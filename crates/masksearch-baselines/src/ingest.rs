@@ -1,0 +1,92 @@
+//! Helpers that copy a generated dataset into the baseline-specific storage
+//! layouts (heap file for PostgreSQL-like, dense array for TileDB-like).
+
+use masksearch_core::MaskId;
+use masksearch_storage::{ArrayStore, DiskProfile, MaskStore, RowStore, StorageResult};
+use std::path::Path;
+
+/// Copies every mask of `store` into a new PostgreSQL-like heap file at
+/// `path`, in ascending mask-id order.
+pub fn copy_to_row_store(
+    store: &dyn MaskStore,
+    path: impl AsRef<Path>,
+    profile: DiskProfile,
+) -> StorageResult<RowStore> {
+    let mut heap = RowStore::create(path.as_ref(), profile)?;
+    for mask_id in store.ids() {
+        let mask = store.get(mask_id)?;
+        heap.append(mask_id, &mask)?;
+    }
+    // Ingestion I/O should not be attributed to subsequent queries.
+    heap.io_stats().reset();
+    Ok(heap)
+}
+
+/// Copies every mask of `store` into a new TileDB-like dense array at
+/// `path`. All masks must share the same shape (they do for the paper's
+/// datasets); the shape is taken from the first mask.
+pub fn copy_to_array_store(
+    store: &dyn MaskStore,
+    path: impl AsRef<Path>,
+    profile: DiskProfile,
+) -> StorageResult<ArrayStore> {
+    let ids = store.ids();
+    let first = ids
+        .first()
+        .copied()
+        .unwrap_or(MaskId::new(0));
+    let (width, height) = if store.is_empty() {
+        (1, 1)
+    } else {
+        let mask = store.get(first)?;
+        mask.shape()
+    };
+    let mut array = ArrayStore::create(path.as_ref(), width, height, profile)?;
+    for mask_id in ids {
+        let mask = store.get(mask_id)?;
+        array.append(mask_id, &mask)?;
+    }
+    array.flush_directory()?;
+    array.io_stats().reset();
+    Ok(array)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use masksearch_core::Mask;
+    use masksearch_storage::MemoryMaskStore;
+
+    fn populated(n: u64) -> MemoryMaskStore {
+        let store = MemoryMaskStore::for_tests();
+        for i in 0..n {
+            let mask = Mask::from_fn(8, 8, move |x, y| ((x + y + i as u32) % 5) as f32 / 5.0);
+            store.put(MaskId::new(i), &mask).unwrap();
+        }
+        store
+    }
+
+    #[test]
+    fn round_trips_into_both_layouts() {
+        let store = populated(6);
+        let base = std::env::temp_dir().join(format!("masksearch-ingest-{}", std::process::id()));
+        let heap_path = base.with_extension("heap");
+        let array_path = base.with_extension("arr");
+
+        let heap = copy_to_row_store(&store, &heap_path, DiskProfile::unthrottled()).unwrap();
+        assert_eq!(heap.len(), 6);
+        assert_eq!(heap.get(MaskId::new(3)).unwrap(), store.get(MaskId::new(3)).unwrap());
+        assert_eq!(heap.io_stats().read_ops(), 1); // only the verification read above
+
+        let array = copy_to_array_store(&store, &array_path, DiskProfile::unthrottled()).unwrap();
+        assert_eq!(array.len(), 6);
+        assert_eq!(
+            array.get(MaskId::new(5)).unwrap(),
+            store.get(MaskId::new(5)).unwrap()
+        );
+
+        let _ = std::fs::remove_file(&heap_path);
+        let _ = std::fs::remove_file(&array_path);
+        let _ = std::fs::remove_file(format!("{}.dir", array_path.display()));
+    }
+}

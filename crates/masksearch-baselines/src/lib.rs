@@ -1,0 +1,41 @@
+//! # masksearch-baselines
+//!
+//! The comparison systems of the paper's evaluation (§4.1), re-implemented
+//! over the shared storage substrate and disk cost model so that the
+//! comparison *shape* (who wins, by what factor, where the crossovers fall)
+//! is faithful:
+//!
+//! * [`NumpyEngine`] — "masks stored as NumPy arrays on disk": loads every
+//!   targeted mask from the object store and evaluates the query with
+//!   vectorised full scans.
+//! * [`PostgresEngine`] — "masks stored as 2-D arrays in a column, `CP` as a
+//!   C UDF": a sequential heap scan that reads **every** tuple (not just the
+//!   targeted ones) and pays a per-tuple UDF overhead.
+//! * [`TileDbEngine`] — "masks stored as one 3-D dense array": sequential
+//!   chunked scans when the query's ROI is constant across masks, but
+//!   per-mask random reads when the ROI is mask-specific (which is exactly
+//!   why the paper observes TileDB losing on Q2/Q4/Q5).
+//! * [`MaskSearchEngine`] — an adapter putting a
+//!   [`Session`](masksearch_query::Session) behind the same [`QueryEngine`]
+//!   trait so the experiment harness can treat all four systems uniformly.
+//!
+//! All engines produce exact (not approximate) results; every one of them is
+//! tested to return byte-identical result sets to MaskSearch's
+//! filter–verification executor.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod engine;
+pub mod ingest;
+pub mod masksearch_engine;
+pub mod numpy_like;
+pub mod postgres_like;
+pub mod tiledb_like;
+
+pub use engine::{BruteForce, EngineReport, QueryEngine};
+pub use ingest::{copy_to_array_store, copy_to_row_store};
+pub use masksearch_engine::MaskSearchEngine;
+pub use numpy_like::NumpyEngine;
+pub use postgres_like::PostgresEngine;
+pub use tiledb_like::TileDbEngine;

@@ -1,0 +1,94 @@
+//! Adapter exposing a MaskSearch [`Session`] through the [`QueryEngine`]
+//! trait, so the experiment harness can run MaskSearch and the baselines
+//! through one interface.
+
+use crate::engine::{EngineReport, QueryEngine};
+use masksearch_query::{Query, QueryError, Session};
+use std::time::Duration;
+
+/// MaskSearch (a [`Session`]) behind the common engine interface.
+pub struct MaskSearchEngine {
+    session: Session,
+    name: String,
+}
+
+impl MaskSearchEngine {
+    /// Wraps a session under the default name "MaskSearch".
+    pub fn new(session: Session) -> Self {
+        Self {
+            session,
+            name: "MaskSearch".to_string(),
+        }
+    }
+
+    /// Wraps a session under a custom display name (e.g. "MS-II" for the
+    /// incremental-indexing configuration of Figure 11).
+    pub fn with_name(session: Session, name: impl Into<String>) -> Self {
+        Self {
+            session,
+            name: name.into(),
+        }
+    }
+
+    /// The wrapped session.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+}
+
+impl QueryEngine for MaskSearchEngine {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn execute(&self, query: &Query) -> Result<EngineReport, QueryError> {
+        let output = self.session.execute(query)?;
+        Ok(EngineReport {
+            output,
+            extra_cpu: Duration::ZERO,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use masksearch_core::{ImageId, Mask, MaskId, MaskRecord, PixelRange, Roi};
+    use masksearch_index::ChiConfig;
+    use masksearch_query::{IndexingMode, SessionConfig};
+    use masksearch_storage::{Catalog, MaskStore, MemoryMaskStore};
+    use std::sync::Arc;
+
+    #[test]
+    fn adapter_reports_session_results() {
+        let store = MemoryMaskStore::for_tests();
+        let mut catalog = Catalog::new();
+        for i in 0..6u64 {
+            let mask = Mask::from_fn(16, 16, move |x, _| if x < i as u32 { 0.9 } else { 0.1 });
+            store.put(MaskId::new(i), &mask).unwrap();
+            catalog.insert(
+                MaskRecord::builder(MaskId::new(i))
+                    .image_id(ImageId::new(i))
+                    .shape(16, 16)
+                    .build(),
+            );
+        }
+        let session = Session::new(
+            Arc::new(store) as Arc<dyn MaskStore>,
+            catalog,
+            SessionConfig::new(ChiConfig::new(4, 4, 8).unwrap())
+                .indexing_mode(IndexingMode::Eager),
+        )
+        .unwrap();
+        let engine = MaskSearchEngine::with_name(session, "MS");
+        assert_eq!(engine.name(), "MS");
+        let query = Query::filter_cp_gt(
+            Roi::new(0, 0, 16, 16).unwrap(),
+            PixelRange::new(0.5, 1.0).unwrap(),
+            40.0,
+        );
+        let report = engine.execute(&query).unwrap();
+        assert_eq!(report.output.rows.len(), 3);
+        assert!(report.modeled_total() >= report.stats().total_wall);
+    }
+}

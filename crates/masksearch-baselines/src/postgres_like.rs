@@ -1,0 +1,133 @@
+//! The PostgreSQL-like baseline: a sequential heap scan with a per-tuple UDF.
+//!
+//! PostgreSQL stores each mask as a 2-D array column; evaluating the `CP`
+//! UDF requires a sequential scan that reads **every** tuple in the relation
+//! — including masks the `WHERE` clause will discard — and pays a fixed
+//! per-tuple execution overhead (tuple deforming + UDF invocation).
+
+use crate::engine::{BruteForce, EngineReport, QueryEngine};
+use masksearch_query::{Query, QueryError, QueryOutput, QueryStats};
+use masksearch_storage::{Catalog, RowStore, StorageError};
+use std::time::Instant;
+
+/// PostgreSQL-like execution over a heap file of mask tuples.
+pub struct PostgresEngine {
+    heap: RowStore,
+    catalog: Catalog,
+}
+
+impl PostgresEngine {
+    /// Creates the engine over a populated heap file and its catalog.
+    pub fn new(heap: RowStore, catalog: Catalog) -> Self {
+        Self { heap, catalog }
+    }
+
+    /// The heap file backing this engine.
+    pub fn heap(&self) -> &RowStore {
+        &self.heap
+    }
+}
+
+impl QueryEngine for PostgresEngine {
+    fn name(&self) -> &str {
+        "PostgreSQL"
+    }
+
+    fn execute(&self, query: &Query) -> Result<EngineReport, QueryError> {
+        let start = Instant::now();
+        let io_before = self.heap.io_stats().snapshot();
+        let mut bf = BruteForce::new(&self.catalog, query);
+        let mut candidates = 0u64;
+        // A sequential scan visits every tuple; the brute-force evaluator
+        // discards non-candidates after the tuple has been read (exactly what
+        // a WHERE clause on metadata does without an index).
+        let mut scan_error: Option<QueryError> = None;
+        let report = self
+            .heap
+            .scan(|mask_id, mask| {
+                if scan_error.is_some() {
+                    return Ok(());
+                }
+                if bf.is_candidate(mask_id) {
+                    candidates += 1;
+                    if let Err(e) = bf.consume(mask_id, &mask) {
+                        scan_error = Some(e);
+                    }
+                }
+                Ok(())
+            })
+            .map_err(StorageError::from)?;
+        if let Some(e) = scan_error {
+            return Err(e);
+        }
+        let rows = bf.finish()?;
+        let io_delta = self.heap.io_stats().snapshot().delta_since(&io_before);
+        let stats = QueryStats {
+            candidates,
+            verified: candidates,
+            masks_loaded: io_delta.masks_loaded,
+            bytes_read: io_delta.bytes_read,
+            io_virtual: io_delta.virtual_io(),
+            total_wall: start.elapsed(),
+            ..Default::default()
+        };
+        Ok(EngineReport {
+            output: QueryOutput { rows, stats },
+            extra_cpu: report.total_overhead(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use masksearch_core::{ImageId, Mask, MaskId, MaskRecord, ModelId, PixelRange, Roi};
+    use masksearch_query::Selection;
+    use masksearch_storage::DiskProfile;
+
+    fn db(n: u64) -> PostgresEngine {
+        let path = std::env::temp_dir().join(format!(
+            "masksearch-pg-test-{}-{}.heap",
+            n,
+            std::process::id()
+        ));
+        let mut heap = RowStore::create(&path, DiskProfile::unthrottled()).unwrap();
+        let mut catalog = Catalog::new();
+        for i in 0..n {
+            let mask = Mask::from_fn(16, 16, move |x, _| {
+                if x < (i as u32 % 16) {
+                    0.9
+                } else {
+                    0.1
+                }
+            });
+            heap.append(MaskId::new(i), &mask).unwrap();
+            catalog.insert(
+                MaskRecord::builder(MaskId::new(i))
+                    .image_id(ImageId::new(i))
+                    .model_id(ModelId::new(1 + i % 2))
+                    .shape(16, 16)
+                    .build(),
+            );
+        }
+        PostgresEngine::new(heap, catalog)
+    }
+
+    #[test]
+    fn postgres_engine_scans_the_whole_heap_even_with_a_selection() {
+        let engine = db(10);
+        let query = Query::filter_cp_gt(
+            Roi::new(0, 0, 16, 16).unwrap(),
+            PixelRange::new(0.5, 1.0).unwrap(),
+            32.0,
+        )
+        .with_selection(Selection::all().with_model(ModelId::new(1)));
+        let report = engine.execute(&query).unwrap();
+        // Only model-1 masks are candidates...
+        assert_eq!(report.stats().candidates, 5);
+        // ...but the heap scan reads every tuple.
+        assert_eq!(report.stats().masks_loaded, 10);
+        assert!(report.extra_cpu > std::time::Duration::ZERO);
+        assert_eq!(engine.name(), "PostgreSQL");
+    }
+}

@@ -1,0 +1,48 @@
+//! Criterion benchmarks comparing MaskSearch against the baseline engines on
+//! the same (small) dataset and query — the micro-scale analogue of Figure 7.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use masksearch_baselines::QueryEngine;
+use masksearch_bench::{BenchDataset, PaperQueries};
+use masksearch_query::IndexingMode;
+
+fn bench_engines_on_paper_queries(c: &mut Criterion) {
+    let bench = BenchDataset::wilds(0.002).expect("generate dataset");
+    let queries = PaperQueries::for_dataset(&bench);
+
+    let masksearch = bench.masksearch_engine(IndexingMode::Eager);
+    let numpy = bench.numpy_engine();
+    let tiledb = bench.tiledb_engine().expect("tiledb ingest");
+    let postgres = bench.postgres_engine().expect("postgres ingest");
+
+    let mut group = c.benchmark_group("engines_q1_filter");
+    group.bench_function("MaskSearch", |b| {
+        b.iter(|| masksearch.execute(black_box(&queries.q1)).expect("query"))
+    });
+    group.bench_function("NumPy", |b| {
+        b.iter(|| numpy.execute(black_box(&queries.q1)).expect("query"))
+    });
+    group.bench_function("TileDB", |b| {
+        b.iter(|| tiledb.execute(black_box(&queries.q1)).expect("query"))
+    });
+    group.bench_function("PostgreSQL", |b| {
+        b.iter(|| postgres.execute(black_box(&queries.q1)).expect("query"))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("engines_q2_object_roi");
+    group.bench_function("MaskSearch", |b| {
+        b.iter(|| masksearch.execute(black_box(&queries.q2)).expect("query"))
+    });
+    group.bench_function("TileDB", |b| {
+        b.iter(|| tiledb.execute(black_box(&queries.q2)).expect("query"))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_engines_on_paper_queries
+}
+criterion_main!(benches);

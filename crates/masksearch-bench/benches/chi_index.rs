@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks of the Cumulative Histogram Index itself:
+//! index construction (paper §3.1's O(w·h) build), available-region lookups
+//! (Eq. 2), and bound computation (Eqs. 3–4).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use masksearch_core::{Mask, PixelRange, Roi};
+use masksearch_index::{Chi, ChiConfig};
+
+fn saliency_like_mask(side: u32) -> Mask {
+    Mask::from_fn(side, side, |x, y| {
+        let dx = x as f32 - side as f32 * 0.4;
+        let dy = y as f32 - side as f32 * 0.6;
+        let sigma = side as f32 * 0.15;
+        (0.95 * (-(dx * dx + dy * dy) / (2.0 * sigma * sigma)).exp() + 0.03).min(0.999)
+    })
+}
+
+fn bench_chi_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chi_build");
+    for side in [64u32, 224, 448] {
+        let mask = saliency_like_mask(side);
+        let config = if side >= 448 {
+            ChiConfig::paper_wilds()
+        } else if side >= 224 {
+            ChiConfig::paper_imagenet()
+        } else {
+            ChiConfig::new(8, 8, 16).unwrap()
+        };
+        group.bench_function(format!("{side}x{side}"), |b| {
+            b.iter(|| Chi::build(black_box(&mask), black_box(&config)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_chi_bounds(c: &mut Criterion) {
+    let mask = saliency_like_mask(224);
+    let chi = Chi::build(&mask, &ChiConfig::paper_imagenet());
+    let roi = Roi::new(37, 51, 190, 201).unwrap();
+    let range = PixelRange::new(0.6, 1.0).unwrap();
+    c.bench_function("chi_bounds/224x224_unaligned_roi", |b| {
+        b.iter(|| chi.cp_bounds(black_box(&roi), black_box(&range)))
+    });
+    c.bench_function("chi_region_hist/224x224", |b| {
+        b.iter(|| chi.region_hist(black_box(1), black_box(1), black_box(7), black_box(7)))
+    });
+    // The exact CP computation the bounds let MaskSearch avoid.
+    c.bench_function("exact_cp/224x224", |b| {
+        b.iter(|| masksearch_core::cp(black_box(&mask), black_box(&roi), black_box(&range)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_chi_build, bench_chi_bounds
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion benchmarks of MaskSearch query execution: small-scale versions
+//! of the paper's Q1–Q5 (Figure 7 / Table 2) running end to end against an
+//! eagerly indexed session.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use masksearch_bench::{BenchDataset, PaperQueries};
+use masksearch_query::IndexingMode;
+
+fn bench_paper_queries(c: &mut Criterion) {
+    let bench = BenchDataset::wilds(0.002).expect("generate dataset");
+    let queries = PaperQueries::for_dataset(&bench);
+    let session = bench.session(IndexingMode::Eager);
+    // Pre-build the aggregated-mask index Q5 relies on (§3.4).
+    if let masksearch_query::QueryKind::MaskAggregate { agg, .. } = &queries.q5.kind {
+        session
+            .build_aggregate_index(agg, &queries.q5.selection)
+            .expect("aggregate index");
+    }
+
+    let mut group = c.benchmark_group("masksearch_paper_queries");
+    for (label, query) in queries.labelled() {
+        group.bench_function(label, |b| {
+            b.iter(|| session.execute(black_box(query)).expect("query"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_randomized_queries(c: &mut Criterion) {
+    let bench = BenchDataset::wilds(0.002).expect("generate dataset");
+    let session = bench.session(IndexingMode::Eager);
+    let mut generator = masksearch_datagen::RandomQueryGenerator::new(
+        11,
+        bench.spec.mask_width,
+        bench.spec.mask_height,
+    );
+    let filter = generator.filter_query();
+    let topk = generator.topk_query();
+    let agg = generator.aggregation_query();
+
+    let mut group = c.benchmark_group("masksearch_randomized_queries");
+    group.bench_function("filter", |b| {
+        b.iter(|| session.execute(black_box(&filter)).expect("query"))
+    });
+    group.bench_function("topk", |b| {
+        b.iter(|| session.execute(black_box(&topk)).expect("query"))
+    });
+    group.bench_function("aggregation", |b| {
+        b.iter(|| session.execute(black_box(&agg)).expect("query"))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_paper_queries, bench_randomized_queries
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benchmark of a short multi-query exploration workload under the
+//! two MaskSearch indexing modes — the micro-scale analogue of Figure 11.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use masksearch_bench::BenchDataset;
+use masksearch_datagen::{ExplorationWorkload, RandomQueryGenerator};
+use masksearch_query::IndexingMode;
+
+fn bench_workload(c: &mut Criterion) {
+    let bench = BenchDataset::wilds(0.001).expect("generate dataset");
+    let all_masks = bench.dataset.catalog.mask_ids();
+    let mut generator =
+        RandomQueryGenerator::new(5, bench.spec.mask_width, bench.spec.mask_height);
+    let workload =
+        ExplorationWorkload::generate("bench", &all_masks, 10, 0.5, &mut generator, 17);
+
+    let mut group = c.benchmark_group("workload_10_queries");
+    group.sample_size(10);
+    group.bench_function("MS_eager_index", |b| {
+        b.iter(|| {
+            let session = bench.session(IndexingMode::Eager);
+            for wq in &workload.queries {
+                session.execute(black_box(&wq.query)).expect("query");
+            }
+        })
+    });
+    group.bench_function("MS_II_incremental", |b| {
+        b.iter(|| {
+            let session = bench.session(IndexingMode::Incremental);
+            for wq in &workload.queries {
+                session.execute(black_box(&wq.query)).expect("query");
+            }
+        })
+    });
+    group.bench_function("no_index_full_scan", |b| {
+        b.iter(|| {
+            let session = bench.session(IndexingMode::Disabled);
+            for wq in &workload.queries {
+                session.execute(black_box(&wq.query)).expect("query");
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_workload);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Figure 10: distribution of the CP bounds computed by MaskSearch and the
+//! induced FML as a function of the count threshold, for combinations of
+//! (dataset, index size, pixel-value range).
+//!
+//! Usage: `cargo run --release -p masksearch-bench --bin fig10_bounds -- [--scale 0.01] [--sample 500]`
+
+use masksearch_bench::experiments::run_bounds_distribution;
+use masksearch_bench::report::{fmt_bytes, Table};
+use masksearch_bench::{scale_from_args, usize_from_args, BenchDataset};
+use masksearch_core::PixelRange;
+use masksearch_index::ChiConfig;
+
+fn main() {
+    let scale = scale_from_args(0.01);
+    let sample = usize_from_args("sample", 500);
+    println!("== Figure 10: distribution of CP bounds and FML vs. threshold ==");
+    println!("(bounds computed for {sample} sampled masks; ROI = per-mask object box)\n");
+
+    for bench in [
+        BenchDataset::wilds(scale).expect("generate WILDS-like dataset"),
+        BenchDataset::imagenet(scale / 10.0).expect("generate ImageNet-like dataset"),
+    ] {
+        println!("--- {} ---", bench.name);
+        // The dataset's default configuration (≈5% index) and a 4x finer one
+        // (the paper's "larger index" variant).
+        let default_cfg = bench.chi_config;
+        let finer = ChiConfig::new(
+            (default_cfg.cell_width() / 2).max(1),
+            (default_cfg.cell_height() / 2).max(1),
+            default_cfg.bins() * 2,
+        )
+        .unwrap();
+        let ranges = [
+            PixelRange::new(0.6, 1.0).unwrap(),
+            PixelRange::new(0.8, 1.0).unwrap(),
+        ];
+        let distributions =
+            run_bounds_distribution(&bench, &[default_cfg, finer], &ranges, sample)
+                .expect("experiment run");
+        let mut table = Table::new(&[
+            "index/mask",
+            "range",
+            "mean bound gap (frac of ROI)",
+            "FML @T=2%",
+            "FML @T=5%",
+            "FML @T=10%",
+            "FML @T=20%",
+            "FML @T=40%",
+        ]);
+        for dist in distributions {
+            let mut cells = vec![
+                fmt_bytes(dist.index_bytes_per_mask),
+                format!("({}, {})", dist.range.lo(), dist.range.hi()),
+                format!("{:.4}", dist.mean_relative_gap),
+            ];
+            for (_, fml) in &dist.fml_at_threshold {
+                cells.push(format!("{fml:.3}"));
+            }
+            table.add_row(cells);
+        }
+        table.print();
+        println!();
+    }
+}

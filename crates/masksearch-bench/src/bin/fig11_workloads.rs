@@ -1,0 +1,59 @@
+//! Figure 11: cumulative total time (index building + query execution) on
+//! multi-query exploration workloads, for MaskSearch with pre-built indexes
+//! (MS), MaskSearch with incremental indexing (MS-II), and NumPy; plus the
+//! MS-II / MS cumulative-time ratio for Workloads 1–4.
+//!
+//! Usage: `cargo run --release -p masksearch-bench --bin fig11_workloads -- [--scale 0.005] [--queries 60]`
+
+use masksearch_bench::experiments::run_workloads;
+use masksearch_bench::report::Table;
+use masksearch_bench::{scale_from_args, usize_from_args, BenchDataset};
+
+fn main() {
+    let scale = scale_from_args(0.005);
+    let num_queries = usize_from_args("queries", 60);
+    println!("== Figure 11: multi-query workload cumulative time ==");
+    println!(
+        "({num_queries} Filter queries per workload; paper uses 200; p_seen = 0.2 / 0.5 / 0.8 / 1.0)\n"
+    );
+
+    for bench in [
+        BenchDataset::wilds(scale).expect("generate WILDS-like dataset"),
+        BenchDataset::imagenet(scale / 10.0).expect("generate ImageNet-like dataset"),
+    ] {
+        println!("--- {} ---", bench.name);
+        let series = run_workloads(&bench, num_queries, &[0.2, 0.5, 0.8, 1.0], 4242)
+            .expect("experiment run");
+
+        // Panels (a)/(b): cumulative time for Workload 2 at checkpoints.
+        let w2 = &series[1];
+        println!("Workload 2 cumulative modelled time (index build counted as query 0 for MS):");
+        let mut table = Table::new(&["after query", "MS", "MS-II", "NumPy"]);
+        let checkpoints = [0usize, 1, 5, 10, 20, num_queries / 2, num_queries];
+        for &q in checkpoints.iter().filter(|&&q| q < w2.ms_cumulative.len()) {
+            table.add_row(vec![
+                q.to_string(),
+                format!("{:.2}s", w2.ms_cumulative[q]),
+                format!("{:.2}s", w2.ms_ii_cumulative[q]),
+                format!("{:.2}s", w2.numpy_cumulative[q]),
+            ]);
+        }
+        table.print();
+
+        // Panels (c)/(d): ratio of MS-II to MS cumulative time per workload.
+        println!("\nMS-II / MS cumulative-time ratio:");
+        let mut ratio_table = Table::new(&["after query", "W1 (0.2)", "W2 (0.5)", "W3 (0.8)", "W4 (1.0)"]);
+        let ratios: Vec<Vec<f64>> = series.iter().map(|s| s.ratio_ms_ii_to_ms()).collect();
+        for &q in checkpoints.iter().filter(|&&q| q > 0 && q < ratios[0].len()) {
+            ratio_table.add_row(vec![
+                q.to_string(),
+                format!("{:.2}", ratios[0][q]),
+                format!("{:.2}", ratios[1][q]),
+                format!("{:.2}", ratios[2][q]),
+                format!("{:.2}", ratios[3][q]),
+            ]);
+        }
+        ratio_table.print();
+        println!();
+    }
+}

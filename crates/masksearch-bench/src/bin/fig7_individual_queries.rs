@@ -1,0 +1,61 @@
+//! Figure 7: end-to-end individual query execution time (Q1–Q5) for
+//! MaskSearch, PostgreSQL, TileDB, and NumPy on both datasets.
+//!
+//! Usage: `cargo run --release -p masksearch-bench --bin fig7_individual_queries -- [--scale 0.01]`
+
+use masksearch_bench::experiments::run_individual_queries;
+use masksearch_bench::report::{fmt_duration, Table};
+use masksearch_bench::{scale_from_args, BenchDataset};
+
+fn main() {
+    let scale = scale_from_args(0.01);
+    println!("== Figure 7: individual query execution time ==");
+    println!(
+        "(synthetic datasets at scale {scale} of the paper's image counts; EBS gp3 disk cost model;\n\
+         modelled time = wall-clock CPU + virtual I/O + per-tuple UDF overhead)\n"
+    );
+
+    for bench in [
+        BenchDataset::wilds(scale).expect("generate WILDS-like dataset"),
+        BenchDataset::imagenet(scale / 10.0).expect("generate ImageNet-like dataset"),
+    ] {
+        println!(
+            "--- {} ({} masks of {}x{}) ---",
+            bench.name,
+            bench.num_masks(),
+            bench.spec.mask_width,
+            bench.spec.mask_height
+        );
+        let size = bench.index_size_report();
+        println!(
+            "index size: {} ({:.1}% of the compressed dataset)",
+            masksearch_bench::report::fmt_bytes(size.index_bytes),
+            size.index_to_compressed_ratio() * 100.0
+        );
+        let rows = run_individual_queries(&bench, true).expect("experiment run");
+        let mut table = Table::new(&["query", "engine", "modelled time", "speedup vs NumPy", "agrees"]);
+        for label in ["Q1", "Q2", "Q3", "Q4", "Q5"] {
+            let numpy_time = rows
+                .iter()
+                .find(|r| r.query == label && r.engine == "NumPy")
+                .map(|r| r.modeled_time.as_secs_f64())
+                .unwrap_or(0.0);
+            for row in rows.iter().filter(|r| r.query == label) {
+                let speedup = if row.modeled_time.as_secs_f64() > 0.0 {
+                    numpy_time / row.modeled_time.as_secs_f64()
+                } else {
+                    f64::INFINITY
+                };
+                table.add_row(vec![
+                    row.query.clone(),
+                    row.engine.clone(),
+                    fmt_duration(row.modeled_time),
+                    format!("{speedup:.1}x"),
+                    if row.matches_reference { "yes" } else { "NO" }.to_string(),
+                ]);
+            }
+        }
+        table.print();
+        println!();
+    }
+}

@@ -1,0 +1,49 @@
+//! Figure 8: distribution of MaskSearch query time across randomized Filter,
+//! Top-K, and Aggregation queries.
+//!
+//! Usage: `cargo run --release -p masksearch-bench --bin fig8_query_types -- [--scale 0.01] [--queries 100]`
+
+use masksearch_bench::experiments::run_query_type_distributions;
+use masksearch_bench::report::{five_number_summary, Table};
+use masksearch_bench::{scale_from_args, usize_from_args, BenchDataset};
+
+fn main() {
+    let scale = scale_from_args(0.01);
+    let per_type = usize_from_args("queries", 60);
+    println!("== Figure 8: MaskSearch query time by query type ==");
+    println!("({per_type} randomized queries per type; paper uses 500; times are modelled end-to-end)\n");
+
+    for bench in [
+        BenchDataset::wilds(scale).expect("generate WILDS-like dataset"),
+        BenchDataset::imagenet(scale / 10.0).expect("generate ImageNet-like dataset"),
+    ] {
+        println!("--- {} ---", bench.name);
+        let distributions =
+            run_query_type_distributions(&bench, per_type, 1234).expect("experiment run");
+        let mut table = Table::new(&[
+            "query type",
+            "min",
+            "p25",
+            "median",
+            "p75",
+            "max",
+            "median FML",
+        ]);
+        for (query_type, measurements) in distributions {
+            let times: Vec<f64> = measurements.iter().map(|m| m.time_secs).collect();
+            let fmls: Vec<f64> = measurements.iter().map(|m| m.fml).collect();
+            let (min, p25, median, p75, max) = five_number_summary(&times);
+            table.add_row(vec![
+                format!("{query_type:?}"),
+                format!("{min:.3}s"),
+                format!("{p25:.3}s"),
+                format!("{median:.3}s"),
+                format!("{p75:.3}s"),
+                format!("{max:.3}s"),
+                format!("{:.4}", masksearch_bench::report::percentile(&fmls, 50.0)),
+            ]);
+        }
+        table.print();
+        println!();
+    }
+}

@@ -1,0 +1,49 @@
+//! Figure 9: relationship between MaskSearch query time and the fraction of
+//! masks loaded (FML), including Pearson's r.
+//!
+//! Usage: `cargo run --release -p masksearch-bench --bin fig9_fml_correlation -- [--scale 0.01] [--queries 200]`
+
+use masksearch_bench::experiments::run_fml_correlation;
+use masksearch_bench::report::{percentile, Table};
+use masksearch_bench::{scale_from_args, usize_from_args, BenchDataset};
+
+fn main() {
+    let scale = scale_from_args(0.01);
+    let queries = usize_from_args("queries", 150);
+    println!("== Figure 9: query time vs. fraction of masks loaded (FML) ==");
+    println!("({queries} randomized Filter queries per dataset; paper uses 1500)\n");
+
+    for bench in [
+        BenchDataset::wilds(scale).expect("generate WILDS-like dataset"),
+        BenchDataset::imagenet(scale / 10.0).expect("generate ImageNet-like dataset"),
+    ] {
+        let (measurements, r) = run_fml_correlation(&bench, queries, 777).expect("experiment run");
+        println!("--- {} ---", bench.name);
+        println!("Pearson's r between FML and modelled query time: {r:.3}");
+        // Bucket the scatter plot into FML deciles for a textual summary.
+        let mut table = Table::new(&["FML bucket", "queries", "mean time"]);
+        let fmls: Vec<f64> = measurements.iter().map(|m| m.fml).collect();
+        let max_fml = percentile(&fmls, 100.0).max(1e-9);
+        let buckets = 5usize;
+        for b in 0..buckets {
+            let lo = max_fml * b as f64 / buckets as f64;
+            let hi = max_fml * (b + 1) as f64 / buckets as f64;
+            let in_bucket: Vec<&_> = measurements
+                .iter()
+                .filter(|m| m.fml >= lo && (m.fml < hi || b == buckets - 1))
+                .collect();
+            let mean_time = if in_bucket.is_empty() {
+                0.0
+            } else {
+                in_bucket.iter().map(|m| m.time_secs).sum::<f64>() / in_bucket.len() as f64
+            };
+            table.add_row(vec![
+                format!("[{lo:.3}, {hi:.3})"),
+                in_bucket.len().to_string(),
+                format!("{mean_time:.3}s"),
+            ]);
+        }
+        table.print();
+        println!();
+    }
+}

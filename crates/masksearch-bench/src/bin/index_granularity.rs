@@ -1,0 +1,64 @@
+//! §4.1 / §4.4: index size accounting and the index-granularity trade-off —
+//! larger (finer) indexes give tighter bounds and lower FML at the cost of
+//! more memory.
+//!
+//! Usage: `cargo run --release -p masksearch-bench --bin index_granularity -- [--scale 0.01]`
+
+use masksearch_bench::experiments::run_granularity_sweep;
+use masksearch_bench::report::{fmt_bytes, Table};
+use masksearch_bench::{scale_from_args, BenchDataset};
+use masksearch_index::ChiConfig;
+
+fn main() {
+    let scale = scale_from_args(0.01);
+    println!("== Index size and granularity (paper §4.1 configuration and §4.4 analysis) ==\n");
+
+    for bench in [
+        BenchDataset::wilds(scale).expect("generate WILDS-like dataset"),
+        BenchDataset::imagenet(scale / 10.0).expect("generate ImageNet-like dataset"),
+    ] {
+        println!("--- {} ---", bench.name);
+        let size = bench.index_size_report();
+        println!(
+            "dataset: {} uncompressed, ~{} compressed; default index {} ({:.1}% of compressed)",
+            fmt_bytes(size.uncompressed_bytes),
+            fmt_bytes(size.compressed_bytes),
+            fmt_bytes(size.index_bytes),
+            size.index_to_compressed_ratio() * 100.0
+        );
+
+        let side = bench.spec.mask_width;
+        let configs = [
+            ChiConfig::new((side / 2).max(1), (side / 2).max(1), 8).unwrap(),
+            ChiConfig::new((side / 4).max(1), (side / 4).max(1), 16).unwrap(),
+            bench.chi_config,
+            ChiConfig::new(
+                (bench.chi_config.cell_width() / 2).max(1),
+                (bench.chi_config.cell_height() / 2).max(1),
+                32,
+            )
+            .unwrap(),
+        ];
+        let rows = run_granularity_sweep(&bench, &configs, 15, 99).expect("experiment run");
+        let mut table = Table::new(&[
+            "cell",
+            "bins",
+            "total index",
+            "% of compressed",
+            "mean bound gap",
+            "mean FML",
+        ]);
+        for row in rows {
+            table.add_row(vec![
+                format!("{}x{}", row.config.cell_width(), row.config.cell_height()),
+                row.config.bins().to_string(),
+                fmt_bytes(row.index_bytes),
+                format!("{:.1}%", row.ratio_to_compressed * 100.0),
+                format!("{:.4}", row.mean_relative_gap),
+                format!("{:.4}", row.mean_fml),
+            ]);
+        }
+        table.print();
+        println!();
+    }
+}

@@ -1,0 +1,51 @@
+//! Table 2: number of masks loaded from storage during query execution,
+//! per query (Q1–Q5) and per system.
+//!
+//! Usage: `cargo run --release -p masksearch-bench --bin table2_masks_loaded -- [--scale 0.01]`
+
+use masksearch_bench::experiments::run_individual_queries;
+use masksearch_bench::report::Table;
+use masksearch_bench::{scale_from_args, BenchDataset};
+
+fn main() {
+    let scale = scale_from_args(0.01);
+    println!("== Table 2: number of masks loaded during query execution ==");
+    println!("(synthetic datasets at scale {scale}; PG/TileDB/NumPy always load every targeted mask)\n");
+
+    for bench in [
+        BenchDataset::wilds(scale).expect("generate WILDS-like dataset"),
+        BenchDataset::imagenet(scale / 10.0).expect("generate ImageNet-like dataset"),
+    ] {
+        println!(
+            "--- {} ({} masks in the dataset) ---",
+            bench.name,
+            bench.num_masks()
+        );
+        let rows = run_individual_queries(&bench, true).expect("experiment run");
+        let engines: Vec<String> = {
+            let mut names: Vec<String> = rows.iter().map(|r| r.engine.clone()).collect();
+            names.dedup();
+            names.truncate(4);
+            names
+        };
+        let mut table = Table::new(
+            &std::iter::once("engine")
+                .chain(["Q1", "Q2", "Q3", "Q4", "Q5"])
+                .collect::<Vec<_>>(),
+        );
+        for engine in &engines {
+            let mut cells = vec![engine.clone()];
+            for label in ["Q1", "Q2", "Q3", "Q4", "Q5"] {
+                let loaded = rows
+                    .iter()
+                    .find(|r| &r.engine == engine && r.query == label)
+                    .map(|r| r.masks_loaded)
+                    .unwrap_or(0);
+                cells.push(loaded.to_string());
+            }
+            table.add_row(cells);
+        }
+        table.print();
+        println!();
+    }
+}

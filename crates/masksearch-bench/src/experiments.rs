@@ -1,0 +1,490 @@
+//! Reusable experiment drivers shared by the per-figure binaries and the
+//! Criterion benches.
+
+use crate::queries::PaperQueries;
+use crate::report::pearson;
+use crate::setup::BenchDataset;
+use masksearch_baselines::QueryEngine;
+use masksearch_core::{MaskId, PixelRange};
+use masksearch_datagen::{ExplorationWorkload, QueryType, RandomQueryGenerator};
+use masksearch_index::{Chi, ChiConfig};
+use masksearch_query::{eval, CpTerm, IndexingMode, Query, QueryError, QueryKind, Session};
+use masksearch_storage::MaskStore;
+use std::time::{Duration, Instant};
+
+/// One (query, engine) measurement of the individual-query experiment
+/// (Figure 7 and Table 2).
+#[derive(Debug, Clone)]
+pub struct IndividualQueryRow {
+    /// Query label (Q1–Q5).
+    pub query: String,
+    /// Engine name.
+    pub engine: String,
+    /// Modelled end-to-end time (wall + virtual I/O + modelled CPU).
+    pub modeled_time: Duration,
+    /// Number of masks loaded from storage.
+    pub masks_loaded: u64,
+    /// Number of result rows.
+    pub result_rows: usize,
+    /// Whether this engine's result set matches the reference (NumPy) result.
+    pub matches_reference: bool,
+}
+
+/// Runs Q1–Q5 on MaskSearch and the baselines (Figure 7 / Table 2).
+///
+/// `include_heavy_baselines` also runs the PostgreSQL- and TileDB-like
+/// engines (which require copying the dataset into their storage layouts).
+pub fn run_individual_queries(
+    bench: &BenchDataset,
+    include_heavy_baselines: bool,
+) -> Result<Vec<IndividualQueryRow>, QueryError> {
+    let queries = PaperQueries::for_dataset(bench);
+
+    // MaskSearch with a pre-built index (§4.2: "we build the CHI for all
+    // masks prior to executing the benchmark queries"), including the
+    // aggregated-mask index used by Q5 (§3.4).
+    let ms = bench.masksearch_engine(IndexingMode::Eager);
+    if let QueryKind::MaskAggregate { agg, .. } = &queries.q5.kind {
+        ms.session()
+            .build_aggregate_index(agg, &queries.q5.selection)?;
+    }
+    bench.store.io_stats().reset();
+
+    let numpy = bench.numpy_engine();
+    let postgres = if include_heavy_baselines {
+        Some(bench.postgres_engine()?)
+    } else {
+        None
+    };
+    let tiledb = if include_heavy_baselines {
+        Some(bench.tiledb_engine()?)
+    } else {
+        None
+    };
+
+    let mut rows = Vec::new();
+    for (label, query) in queries.labelled() {
+        // NumPy is the reference result.
+        let reference = numpy.execute(query)?;
+        let reference_keys: Vec<_> = reference.output.rows.iter().map(|r| r.key).collect();
+
+        let mut engines: Vec<&dyn QueryEngine> = vec![&ms, &numpy];
+        if let Some(pg) = &postgres {
+            engines.push(pg);
+        }
+        if let Some(tdb) = &tiledb {
+            engines.push(tdb);
+        }
+        for engine in engines {
+            let report = if engine.name() == "NumPy" {
+                reference.clone()
+            } else {
+                engine.execute(query)?
+            };
+            let keys: Vec<_> = report.output.rows.iter().map(|r| r.key).collect();
+            rows.push(IndividualQueryRow {
+                query: label.to_string(),
+                engine: engine.name().to_string(),
+                modeled_time: report.modeled_total(),
+                masks_loaded: report.stats().masks_loaded,
+                result_rows: report.output.rows.len(),
+                matches_reference: keys == reference_keys,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// One randomized-query measurement (Figures 8 and 9).
+#[derive(Debug, Clone, Copy)]
+pub struct RandomQueryMeasurement {
+    /// Modelled end-to-end time in seconds.
+    pub time_secs: f64,
+    /// Virtual I/O time in seconds (the deterministic component of the
+    /// modelled time).
+    pub io_secs: f64,
+    /// Fraction of targeted masks loaded.
+    pub fml: f64,
+}
+
+/// Runs `per_type` randomized queries of each type on an eagerly-indexed
+/// MaskSearch session (Figure 8).
+pub fn run_query_type_distributions(
+    bench: &BenchDataset,
+    per_type: usize,
+    seed: u64,
+) -> Result<Vec<(QueryType, Vec<RandomQueryMeasurement>)>, QueryError> {
+    let session = bench.session(IndexingMode::Eager);
+    bench.store.io_stats().reset();
+    let mut out = Vec::new();
+    for query_type in [QueryType::Filter, QueryType::TopK, QueryType::Aggregation] {
+        let mut generator =
+            RandomQueryGenerator::new(seed ^ query_type as u64, bench.spec.mask_width, bench.spec.mask_height);
+        let mut measurements = Vec::with_capacity(per_type);
+        for _ in 0..per_type {
+            let query = generator.query_of(query_type);
+            let output = session.execute(&query)?;
+            measurements.push(RandomQueryMeasurement {
+                time_secs: output.stats.modeled_total().as_secs_f64(),
+                io_secs: output.stats.io_virtual.as_secs_f64(),
+                fml: output.stats.fml(),
+            });
+        }
+        out.push((query_type, measurements));
+    }
+    Ok(out)
+}
+
+/// Runs randomized Filter queries and reports the (FML, time) pairs plus
+/// their Pearson correlation (Figure 9).
+pub fn run_fml_correlation(
+    bench: &BenchDataset,
+    num_queries: usize,
+    seed: u64,
+) -> Result<(Vec<RandomQueryMeasurement>, f64), QueryError> {
+    let session = bench.session(IndexingMode::Eager);
+    bench.store.io_stats().reset();
+    let mut generator =
+        RandomQueryGenerator::new(seed, bench.spec.mask_width, bench.spec.mask_height);
+    let mut measurements = Vec::with_capacity(num_queries);
+    for _ in 0..num_queries {
+        let query = generator.filter_query();
+        let output = session.execute(&query)?;
+        measurements.push(RandomQueryMeasurement {
+            time_secs: output.stats.modeled_total().as_secs_f64(),
+            io_secs: output.stats.io_virtual.as_secs_f64(),
+            fml: output.stats.fml(),
+        });
+    }
+    let fmls: Vec<f64> = measurements.iter().map(|m| m.fml).collect();
+    let times: Vec<f64> = measurements.iter().map(|m| m.time_secs).collect();
+    let r = pearson(&fmls, &times);
+    Ok((measurements, r))
+}
+
+/// Bound-distribution statistics for one (CHI configuration, pixel range)
+/// combination (Figure 10).
+#[derive(Debug, Clone)]
+pub struct BoundsDistribution {
+    /// CHI configuration label.
+    pub config: ChiConfig,
+    /// Index size per mask under this configuration, in bytes.
+    pub index_bytes_per_mask: u64,
+    /// Pixel-value range of the probed `CP` term.
+    pub range: PixelRange,
+    /// Mean width of the `[lower, upper]` interval, as a fraction of the ROI
+    /// area.
+    pub mean_relative_gap: f64,
+    /// `(threshold as a fraction of the ROI area, FML)` pairs: the fraction
+    /// of sampled masks whose bounds straddle the threshold.
+    pub fml_at_threshold: Vec<(f64, f64)>,
+}
+
+/// Computes bound distributions over sampled masks for several index
+/// granularities and pixel ranges (Figure 10 and the §4.4 analysis).
+pub fn run_bounds_distribution(
+    bench: &BenchDataset,
+    configs: &[ChiConfig],
+    ranges: &[PixelRange],
+    sample_size: usize,
+) -> Result<Vec<BoundsDistribution>, QueryError> {
+    let ids = bench.dataset.catalog.mask_ids();
+    let step = (ids.len() / sample_size.max(1)).max(1);
+    let sample: Vec<MaskId> = ids.into_iter().step_by(step).take(sample_size).collect();
+    let thresholds: Vec<f64> = vec![0.02, 0.05, 0.1, 0.2, 0.4];
+
+    let mut out = Vec::new();
+    for config in configs {
+        // Build the CHI of every sampled mask under this configuration.
+        let mut chis = Vec::with_capacity(sample.len());
+        for &id in &sample {
+            let mask = bench.store.get(id)?;
+            chis.push((id, Chi::build(&mask, config)));
+        }
+        for range in ranges {
+            let mut gaps = Vec::new();
+            let mut straddle_counts = vec![0usize; thresholds.len()];
+            for (id, chi) in &chis {
+                let record = bench
+                    .dataset
+                    .catalog
+                    .get(*id)
+                    .ok_or(QueryError::UnknownMask(*id))?;
+                let term = CpTerm::object_roi(*range);
+                let roi = eval::resolve_roi(&term, record, true)?;
+                let bounds = chi.cp_bounds(&roi, range);
+                let area = bounds.roi_area.max(1) as f64;
+                gaps.push(bounds.gap() as f64 / area);
+                for (i, t) in thresholds.iter().enumerate() {
+                    let t_count = t * area;
+                    if (bounds.lower as f64) <= t_count && t_count < bounds.upper as f64 {
+                        straddle_counts[i] += 1;
+                    }
+                }
+            }
+            let mean_relative_gap = gaps.iter().sum::<f64>() / gaps.len().max(1) as f64;
+            let fml_at_threshold = thresholds
+                .iter()
+                .zip(&straddle_counts)
+                .map(|(t, c)| (*t, *c as f64 / sample.len().max(1) as f64))
+                .collect();
+            out.push(BoundsDistribution {
+                config: *config,
+                index_bytes_per_mask: config
+                    .index_bytes(bench.spec.mask_width, bench.spec.mask_height),
+                range: *range,
+                mean_relative_gap,
+                fml_at_threshold,
+            });
+        }
+    }
+    bench.store.io_stats().reset();
+    Ok(out)
+}
+
+/// Cumulative-time series for one multi-query workload (Figure 11).
+#[derive(Debug, Clone)]
+pub struct WorkloadSeries {
+    /// Workload label (Workload 1–4).
+    pub name: String,
+    /// Probability of re-targeting already-seen masks.
+    pub p_seen: f64,
+    /// Cumulative modelled time after each query for MaskSearch with
+    /// pre-built indexes (the index build cost is the 0-th entry).
+    pub ms_cumulative: Vec<f64>,
+    /// Cumulative modelled time for MaskSearch with incremental indexing.
+    pub ms_ii_cumulative: Vec<f64>,
+    /// Cumulative modelled time for the NumPy baseline.
+    pub numpy_cumulative: Vec<f64>,
+}
+
+impl WorkloadSeries {
+    /// Ratio of MS-II to MS cumulative time after each query (Figure 11 c/d).
+    pub fn ratio_ms_ii_to_ms(&self) -> Vec<f64> {
+        self.ms_ii_cumulative
+            .iter()
+            .zip(&self.ms_cumulative)
+            .map(|(ii, ms)| if *ms > 0.0 { ii / ms } else { 0.0 })
+            .collect()
+    }
+}
+
+/// Runs the §4.5 exploration workloads for the given `p_seen` values.
+pub fn run_workloads(
+    bench: &BenchDataset,
+    num_queries: usize,
+    p_seens: &[f64],
+    seed: u64,
+) -> Result<Vec<WorkloadSeries>, QueryError> {
+    let all_masks = bench.dataset.catalog.mask_ids();
+    let mut out = Vec::new();
+    for (i, &p_seen) in p_seens.iter().enumerate() {
+        let mut generator = RandomQueryGenerator::new(
+            seed + i as u64,
+            bench.spec.mask_width,
+            bench.spec.mask_height,
+        );
+        let workload = ExplorationWorkload::generate(
+            format!("Workload {}", i + 1),
+            &all_masks,
+            num_queries,
+            p_seen,
+            &mut generator,
+            seed * 31 + i as u64,
+        );
+
+        // MS: eager index built up front; its cost is the 0-th sample.
+        bench.store.io_stats().reset();
+        let build_start = Instant::now();
+        let ms_session = bench.session(IndexingMode::Eager);
+        let build_io = bench.store.io_stats().virtual_io_time();
+        let build_cost = build_start.elapsed() + build_io;
+        bench.store.io_stats().reset();
+        let ms_cumulative = run_workload_on_session(&ms_session, &workload, build_cost)?;
+
+        // MS-II: incremental indexing, no up-front cost.
+        let ms_ii_session = bench.session(IndexingMode::Incremental);
+        bench.store.io_stats().reset();
+        let ms_ii_cumulative =
+            run_workload_on_session(&ms_ii_session, &workload, Duration::ZERO)?;
+
+        // NumPy: loads every targeted mask for every query.
+        let numpy = bench.numpy_engine();
+        bench.store.io_stats().reset();
+        let mut numpy_cumulative = vec![0.0];
+        let mut acc = Duration::ZERO;
+        for wq in &workload.queries {
+            let report = numpy.execute(&wq.query)?;
+            acc += report.modeled_total();
+            numpy_cumulative.push(acc.as_secs_f64());
+        }
+
+        out.push(WorkloadSeries {
+            name: workload.name.clone(),
+            p_seen,
+            ms_cumulative,
+            ms_ii_cumulative,
+            numpy_cumulative,
+        });
+    }
+    Ok(out)
+}
+
+fn run_workload_on_session(
+    session: &Session,
+    workload: &ExplorationWorkload,
+    initial_cost: Duration,
+) -> Result<Vec<f64>, QueryError> {
+    let mut acc = initial_cost;
+    let mut series = vec![acc.as_secs_f64()];
+    for wq in &workload.queries {
+        let output = session.execute(&wq.query)?;
+        acc += output.stats.modeled_total();
+        series.push(acc.as_secs_f64());
+    }
+    Ok(series)
+}
+
+/// One row of the index-granularity experiment (§4.4).
+#[derive(Debug, Clone)]
+pub struct GranularityRow {
+    /// The CHI configuration evaluated.
+    pub config: ChiConfig,
+    /// Total index size over the dataset.
+    pub index_bytes: u64,
+    /// Index size relative to the (estimated) compressed dataset size.
+    pub ratio_to_compressed: f64,
+    /// Mean relative bound gap over sampled masks (tightness proxy).
+    pub mean_relative_gap: f64,
+    /// Mean FML over a fixed set of randomized filter queries executed with
+    /// this index granularity.
+    pub mean_fml: f64,
+}
+
+/// Sweeps index granularities, reporting size vs. bound tightness vs. FML.
+pub fn run_granularity_sweep(
+    bench: &BenchDataset,
+    configs: &[ChiConfig],
+    probe_queries: usize,
+    seed: u64,
+) -> Result<Vec<GranularityRow>, QueryError> {
+    let size_report = bench.index_size_report();
+    let range = PixelRange::new(0.6, 1.0).unwrap();
+    let mut out = Vec::new();
+    for config in configs {
+        // Bound tightness from the Figure-10 machinery.
+        let dist = run_bounds_distribution(bench, &[*config], &[range], 200)?;
+        let mean_relative_gap = dist[0].mean_relative_gap;
+
+        // FML from actual query execution with this configuration.
+        let session = Session::new(
+            std::sync::Arc::clone(&bench.store) as std::sync::Arc<dyn masksearch_storage::MaskStore>,
+            bench.dataset.catalog.clone(),
+            masksearch_query::SessionConfig::new(*config).indexing_mode(IndexingMode::Eager),
+        )?;
+        bench.store.io_stats().reset();
+        let mut generator =
+            RandomQueryGenerator::new(seed, bench.spec.mask_width, bench.spec.mask_height);
+        let mut fml_sum = 0.0;
+        for _ in 0..probe_queries {
+            let query: Query = generator.filter_query();
+            let output = session.execute(&query)?;
+            fml_sum += output.stats.fml();
+        }
+        let index_bytes =
+            config.index_bytes(bench.spec.mask_width, bench.spec.mask_height) * bench.num_masks();
+        out.push(GranularityRow {
+            config: *config,
+            index_bytes,
+            ratio_to_compressed: index_bytes as f64 / size_report.compressed_bytes.max(1) as f64,
+            mean_relative_gap,
+            mean_fml: fml_sum / probe_queries.max(1) as f64,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench() -> BenchDataset {
+        BenchDataset::wilds(0.0015).unwrap()
+    }
+
+    #[test]
+    fn individual_queries_run_and_agree_across_engines() {
+        let bench = tiny_bench();
+        let rows = run_individual_queries(&bench, true).unwrap();
+        // 5 queries x 4 engines.
+        assert_eq!(rows.len(), 20);
+        for row in &rows {
+            assert!(row.matches_reference, "{} on {} diverged", row.query, row.engine);
+        }
+        // MaskSearch loads fewer masks than NumPy on every query.
+        for label in ["Q1", "Q2", "Q3", "Q4", "Q5"] {
+            let ms = rows
+                .iter()
+                .find(|r| r.query == label && r.engine == "MaskSearch")
+                .unwrap();
+            let np = rows
+                .iter()
+                .find(|r| r.query == label && r.engine == "NumPy")
+                .unwrap();
+            assert!(
+                ms.masks_loaded <= np.masks_loaded,
+                "{label}: MS loaded {} vs NumPy {}",
+                ms.masks_loaded,
+                np.masks_loaded
+            );
+        }
+    }
+
+    #[test]
+    fn fml_correlation_is_strongly_positive() {
+        let bench = tiny_bench();
+        let (measurements, r) = run_fml_correlation(&bench, 30, 9).unwrap();
+        assert_eq!(measurements.len(), 30);
+        // The deterministic (I/O-model) component correlates almost perfectly
+        // with FML; the end-to-end figure also includes wall-clock CPU time,
+        // which is noisy under test-runner load, so only a loose bound is
+        // asserted on it.
+        let fmls: Vec<f64> = measurements.iter().map(|m| m.fml).collect();
+        let ios: Vec<f64> = measurements.iter().map(|m| m.io_secs).collect();
+        assert!(pearson(&fmls, &ios) > 0.95, "io correlation too weak");
+        assert!(r > 0.2, "Pearson r over modelled time was {r}");
+    }
+
+    #[test]
+    fn workload_series_have_expected_shape() {
+        let bench = tiny_bench();
+        let series = run_workloads(&bench, 15, &[0.5], 3).unwrap();
+        assert_eq!(series.len(), 1);
+        let s = &series[0];
+        assert_eq!(s.ms_cumulative.len(), 16);
+        assert_eq!(s.ms_ii_cumulative.len(), 16);
+        assert_eq!(s.numpy_cumulative.len(), 16);
+        // MS starts with the index-build cost, MS-II and NumPy start at zero.
+        assert!(s.ms_cumulative[0] > 0.0);
+        assert_eq!(s.ms_ii_cumulative[0], 0.0);
+        // Cumulative series are non-decreasing.
+        for w in s.numpy_cumulative.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        // By the end of the workload NumPy has fallen behind both MaskSearch
+        // configurations (the paper observes the crossover after ~10 queries).
+        assert!(s.numpy_cumulative.last().unwrap() > s.ms_cumulative.last().unwrap());
+        assert!(s.numpy_cumulative.last().unwrap() >= s.ms_ii_cumulative.last().unwrap());
+    }
+
+    #[test]
+    fn granularity_sweep_shows_size_tightness_tradeoff() {
+        let bench = tiny_bench();
+        let coarse = ChiConfig::new(56, 56, 4).unwrap();
+        let fine = ChiConfig::new(8, 8, 16).unwrap();
+        let rows = run_granularity_sweep(&bench, &[coarse, fine], 5, 7).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[1].index_bytes > rows[0].index_bytes);
+        assert!(rows[1].mean_relative_gap <= rows[0].mean_relative_gap);
+    }
+}

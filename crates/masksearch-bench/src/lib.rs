@@ -1,0 +1,65 @@
+//! # masksearch-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation (§4) on the synthetic substrate described in
+//! `DESIGN.md`. Each experiment has a binary under `src/bin/`:
+//!
+//! | Paper artefact | Binary |
+//! |---|---|
+//! | Table 1 / §4.2 query definitions | shared module [`queries`] |
+//! | Figure 7 (individual query time) | `fig7_individual_queries` |
+//! | Table 2 (masks loaded)           | `table2_masks_loaded` |
+//! | Figure 8 (query-type distributions) | `fig8_query_types` |
+//! | Figure 9 (time vs. FML)          | `fig9_fml_correlation` |
+//! | Figure 10 (bound distributions)  | `fig10_bounds` |
+//! | Figure 11 (multi-query workloads) | `fig11_workloads` |
+//! | §4.1 / §4.4 index sizing & granularity | `index_granularity` |
+//!
+//! Every binary accepts a `--scale <f64>` argument (or the
+//! `MASKSEARCH_SCALE` environment variable) controlling the number of images
+//! relative to the paper's datasets, and prints the scale and substitutions
+//! in its header so recorded numbers are reproducible.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod queries;
+pub mod report;
+pub mod setup;
+
+pub use queries::PaperQueries;
+pub use setup::BenchDataset;
+
+/// Parses the dataset scale from `--scale <f>` command-line arguments or the
+/// `MASKSEARCH_SCALE` environment variable, falling back to `default_scale`.
+pub fn scale_from_args(default_scale: f64) -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    for window in args.windows(2) {
+        if window[0] == "--scale" {
+            if let Ok(v) = window[1].parse::<f64>() {
+                return v;
+            }
+        }
+    }
+    if let Ok(v) = std::env::var("MASKSEARCH_SCALE") {
+        if let Ok(v) = v.parse::<f64>() {
+            return v;
+        }
+    }
+    default_scale
+}
+
+/// Parses an integer argument of the form `--<name> <value>` with a default.
+pub fn usize_from_args(name: &str, default: usize) -> usize {
+    let flag = format!("--{name}");
+    let args: Vec<String> = std::env::args().collect();
+    for window in args.windows(2) {
+        if window[0] == flag {
+            if let Ok(v) = window[1].parse::<usize>() {
+                return v;
+            }
+        }
+    }
+    default
+}

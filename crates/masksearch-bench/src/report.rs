@@ -1,0 +1,186 @@
+//! Small reporting utilities shared by the experiment binaries: fixed-width
+//! tables, duration formatting, and summary statistics.
+
+use std::time::Duration;
+
+/// Formats a duration as seconds with three significant decimals.
+pub fn fmt_duration(d: Duration) -> String {
+    format!("{:.3}s", d.as_secs_f64())
+}
+
+/// Formats a byte count with a binary unit suffix.
+pub fn fmt_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    format!("{value:.2} {}", UNITS[unit])
+}
+
+/// A fixed-width text table.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (extra cells are dropped, missing cells blank).
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let columns = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(columns) {
+                if cell.len() > widths[i] {
+                    widths[i] = cell.len();
+                }
+            }
+        }
+        let mut out = String::new();
+        let header: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{:width$}", h, width = widths[i]))
+            .collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (columns - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = (0..columns)
+                .map(|i| {
+                    format!(
+                        "{:width$}",
+                        row.get(i).cloned().unwrap_or_default(),
+                        width = widths[i]
+                    )
+                })
+                .collect();
+            out.push_str(&cells.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Pearson correlation coefficient of paired samples.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mean_x = xs.iter().sum::<f64>() / n as f64;
+    let mean_y = ys.iter().sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        cov += dx * dy;
+        var_x += dx * dx;
+        var_y += dy * dy;
+    }
+    if var_x == 0.0 || var_y == 0.0 {
+        return 0.0;
+    }
+    cov / (var_x.sqrt() * var_y.sqrt())
+}
+
+/// Percentile (0–100) of a sample, by linear interpolation on sorted data.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = (p / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Five-number summary (min, 25th, median, 75th, max) of a sample.
+pub fn five_number_summary(values: &[f64]) -> (f64, f64, f64, f64, f64) {
+    (
+        percentile(values, 0.0),
+        percentile(values, 25.0),
+        percentile(values, 50.0),
+        percentile(values, 75.0),
+        percentile(values, 100.0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_duration(Duration::from_millis(1500)), "1.500s");
+        assert_eq!(fmt_bytes(512), "512.00 B");
+        assert_eq!(fmt_bytes(6 * 1024 * 1024), "6.00 MiB");
+    }
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new(&["query", "time"]);
+        t.add_row(vec!["Q1".to_string(), "1.2s".to_string()]);
+        t.add_row(vec!["Q10".to_string(), "0.5s".to_string()]);
+        let rendered = t.render();
+        assert!(rendered.contains("query"));
+        assert!(rendered.lines().count() >= 4);
+    }
+
+    #[test]
+    fn pearson_detects_perfect_and_no_correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let anti = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &anti) + 1.0).abs() < 1e-12);
+        let flat = [5.0, 5.0, 5.0, 5.0];
+        assert_eq!(pearson(&xs, &flat), 0.0);
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn percentiles_and_summary() {
+        let values = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&values, 0.0), 1.0);
+        assert_eq!(percentile(&values, 100.0), 4.0);
+        assert_eq!(percentile(&values, 50.0), 2.5);
+        let (min, q1, med, q3, max) = five_number_summary(&values);
+        assert_eq!(min, 1.0);
+        assert!(q1 < med && med < q3);
+        assert_eq!(max, 4.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+}

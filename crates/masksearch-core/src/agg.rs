@@ -1,0 +1,316 @@
+//! Mask aggregation functions (`MASK_AGG`, paper §2.1 and §3.4).
+//!
+//! `MASK_AGG` takes a list of masks (typically the masks of one image across
+//! several models or mask types) and returns a new mask. The canonical
+//! example from the paper is
+//! `INTERSECT(m1 > 0.8, ..., mn > 0.8)`: the intersection of the masks after
+//! thresholding.
+
+use crate::error::{Error, Result};
+use crate::mask::{Mask, MAX_PIXEL_VALUE};
+
+/// A mask-aggregation function, the `MASK_AGG` of the paper's query model.
+///
+/// Monotone aggregations (e.g. [`MaskAgg::WeightedSum`] with non-negative
+/// weights, [`MaskAgg::Mean`], [`MaskAgg::Max`]) allow the query engine to
+/// derive bounds on the aggregate from per-mask CHI indexes; non-monotone
+/// ones require an index built on the aggregated mask itself (§3.4).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MaskAgg {
+    /// Per-pixel intersection after thresholding each input at `threshold`:
+    /// output pixel is high iff *every* input is `>= threshold` at that pixel.
+    IntersectThreshold {
+        /// Threshold applied to every input mask.
+        threshold: f32,
+    },
+    /// Per-pixel union after thresholding: output pixel is high iff *any*
+    /// input is `>= threshold` at that pixel.
+    UnionThreshold {
+        /// Threshold applied to every input mask.
+        threshold: f32,
+    },
+    /// Per-pixel arithmetic mean of the inputs.
+    Mean,
+    /// Per-pixel maximum of the inputs.
+    Max,
+    /// Per-pixel minimum of the inputs.
+    Min,
+    /// Per-pixel weighted sum with the given weights (clamped into `[0, 1)`).
+    WeightedSum {
+        /// One weight per input mask, in the same order.
+        weights: Vec<f32>,
+    },
+}
+
+impl MaskAgg {
+    /// Applies the aggregation to a list of masks.
+    ///
+    /// All masks must share the same shape; the list must be non-empty.
+    pub fn apply(&self, masks: &[&Mask]) -> Result<Mask> {
+        match self {
+            MaskAgg::IntersectThreshold { threshold } => intersect_thresholded(masks, *threshold),
+            MaskAgg::UnionThreshold { threshold } => union_thresholded(masks, *threshold),
+            MaskAgg::Mean => mask_mean(masks),
+            MaskAgg::Max => mask_max(masks),
+            MaskAgg::Min => mask_min(masks),
+            MaskAgg::WeightedSum { weights } => weighted_sum(masks, weights),
+        }
+    }
+
+    /// Returns `true` if the aggregation is monotone non-decreasing in each
+    /// input pixel value, which lets the executor propagate per-mask bounds
+    /// through the aggregation (paper §3.4).
+    pub fn is_monotone(&self) -> bool {
+        match self {
+            MaskAgg::IntersectThreshold { .. }
+            | MaskAgg::UnionThreshold { .. }
+            | MaskAgg::Mean
+            | MaskAgg::Max
+            | MaskAgg::Min => true,
+            MaskAgg::WeightedSum { weights } => weights.iter().all(|w| *w >= 0.0),
+        }
+    }
+
+    /// A short stable name used in plans and statistics output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MaskAgg::IntersectThreshold { .. } => "intersect",
+            MaskAgg::UnionThreshold { .. } => "union",
+            MaskAgg::Mean => "mean",
+            MaskAgg::Max => "max",
+            MaskAgg::Min => "min",
+            MaskAgg::WeightedSum { .. } => "weighted_sum",
+        }
+    }
+}
+
+fn check_shapes(masks: &[&Mask]) -> Result<(u32, u32)> {
+    let first = masks.first().ok_or(Error::EmptyAggregation)?;
+    let shape = first.shape();
+    for m in masks.iter().skip(1) {
+        if m.shape() != shape {
+            return Err(Error::ShapeMismatch {
+                expected: shape,
+                found: m.shape(),
+            });
+        }
+    }
+    Ok(shape)
+}
+
+/// `INTERSECT(m1 > t, ..., mn > t)`: per-pixel logical AND after thresholding.
+///
+/// The output pixel is [`MAX_PIXEL_VALUE`] where every input is `>= t` and
+/// `0.0` elsewhere.
+pub fn intersect_thresholded(masks: &[&Mask], threshold: f32) -> Result<Mask> {
+    let (w, h) = check_shapes(masks)?;
+    let n = (w as usize) * (h as usize);
+    let mut out = vec![MAX_PIXEL_VALUE; n];
+    for m in masks {
+        for (o, &v) in out.iter_mut().zip(m.data()) {
+            if v < threshold {
+                *o = 0.0;
+            }
+        }
+    }
+    Mask::new(w, h, out)
+}
+
+/// `UNION(m1 > t, ..., mn > t)`: per-pixel logical OR after thresholding.
+pub fn union_thresholded(masks: &[&Mask], threshold: f32) -> Result<Mask> {
+    let (w, h) = check_shapes(masks)?;
+    let n = (w as usize) * (h as usize);
+    let mut out = vec![0.0f32; n];
+    for m in masks {
+        for (o, &v) in out.iter_mut().zip(m.data()) {
+            if v >= threshold {
+                *o = MAX_PIXEL_VALUE;
+            }
+        }
+    }
+    Mask::new(w, h, out)
+}
+
+/// Per-pixel arithmetic mean of the input masks.
+pub fn mask_mean(masks: &[&Mask]) -> Result<Mask> {
+    let (w, h) = check_shapes(masks)?;
+    let n = (w as usize) * (h as usize);
+    let mut acc = vec![0.0f64; n];
+    for m in masks {
+        for (a, &v) in acc.iter_mut().zip(m.data()) {
+            *a += v as f64;
+        }
+    }
+    let count = masks.len() as f64;
+    let data = acc.into_iter().map(|a| (a / count) as f32).collect();
+    Mask::from_data_clamped(w, h, data)
+}
+
+/// Per-pixel maximum of the input masks.
+pub fn mask_max(masks: &[&Mask]) -> Result<Mask> {
+    let (w, h) = check_shapes(masks)?;
+    let mut out = masks[0].data().to_vec();
+    for m in masks.iter().skip(1) {
+        for (o, &v) in out.iter_mut().zip(m.data()) {
+            if v > *o {
+                *o = v;
+            }
+        }
+    }
+    Mask::new(w, h, out)
+}
+
+/// Per-pixel minimum of the input masks.
+pub fn mask_min(masks: &[&Mask]) -> Result<Mask> {
+    let (w, h) = check_shapes(masks)?;
+    let mut out = masks[0].data().to_vec();
+    for m in masks.iter().skip(1) {
+        for (o, &v) in out.iter_mut().zip(m.data()) {
+            if v < *o {
+                *o = v;
+            }
+        }
+    }
+    Mask::new(w, h, out)
+}
+
+/// Per-pixel weighted sum `Σ w_i · m_i`, clamped into `[0, 1)`.
+pub fn weighted_sum(masks: &[&Mask], weights: &[f32]) -> Result<Mask> {
+    let (w, h) = check_shapes(masks)?;
+    if weights.len() != masks.len() {
+        return Err(Error::WeightLengthMismatch {
+            masks: masks.len(),
+            weights: weights.len(),
+        });
+    }
+    let n = (w as usize) * (h as usize);
+    let mut acc = vec![0.0f64; n];
+    for (m, &weight) in masks.iter().zip(weights) {
+        for (a, &v) in acc.iter_mut().zip(m.data()) {
+            *a += (v as f64) * (weight as f64);
+        }
+    }
+    let data = acc.into_iter().map(|a| a as f32).collect();
+    Mask::from_data_clamped(w, h, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::range::PixelRange;
+    use crate::roi::Roi;
+
+    fn masks() -> (Mask, Mask) {
+        let a = Mask::from_fn(4, 4, |x, _| if x < 2 { 0.9 } else { 0.1 });
+        let b = Mask::from_fn(4, 4, |_, y| if y < 2 { 0.9 } else { 0.1 });
+        (a, b)
+    }
+
+    #[test]
+    fn intersect_counts_only_joint_high_pixels() {
+        let (a, b) = masks();
+        let i = intersect_thresholded(&[&a, &b], 0.8).unwrap();
+        // Only the 2x2 upper-left block is high in both.
+        let high = i.count_pixels(&i.full_roi(), &PixelRange::new(0.8, 1.0).unwrap());
+        assert_eq!(high, 4);
+        // The upper-left pixel is high, the lower-right is not.
+        assert!(i.get(0, 0) > 0.8);
+        assert_eq!(i.get(3, 3), 0.0);
+    }
+
+    #[test]
+    fn union_counts_any_high_pixels() {
+        let (a, b) = masks();
+        let u = union_thresholded(&[&a, &b], 0.8).unwrap();
+        let high = u.count_pixels(&u.full_roi(), &PixelRange::new(0.8, 1.0).unwrap());
+        // Left half (8) + top half (8) - overlap (4) = 12.
+        assert_eq!(high, 12);
+    }
+
+    #[test]
+    fn mean_max_min() {
+        let (a, b) = masks();
+        let mean = mask_mean(&[&a, &b]).unwrap();
+        assert!((mean.get(0, 0) - 0.9).abs() < 1e-6);
+        assert!((mean.get(0, 3) - 0.5).abs() < 1e-6);
+        assert!((mean.get(3, 3) - 0.1).abs() < 1e-6);
+
+        let max = mask_max(&[&a, &b]).unwrap();
+        assert!((max.get(0, 3) - 0.9).abs() < 1e-6);
+        let min = mask_min(&[&a, &b]).unwrap();
+        assert!((min.get(0, 3) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weighted_sum_applies_weights_and_clamps() {
+        let (a, b) = masks();
+        let s = weighted_sum(&[&a, &b], &[0.5, 0.5]).unwrap();
+        assert!((s.get(0, 0) - 0.9).abs() < 1e-6);
+        // Over-unity weights clamp below 1.0.
+        let s2 = weighted_sum(&[&a, &b], &[2.0, 2.0]).unwrap();
+        assert!(s2.get(0, 0) < 1.0);
+        assert!(weighted_sum(&[&a, &b], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_and_empty_are_rejected() {
+        let a = Mask::zeros(4, 4);
+        let c = Mask::zeros(2, 2);
+        assert!(matches!(
+            mask_mean(&[&a, &c]),
+            Err(Error::ShapeMismatch { .. })
+        ));
+        assert!(matches!(mask_mean(&[]), Err(Error::EmptyAggregation)));
+    }
+
+    #[test]
+    fn mask_agg_enum_dispatch_matches_free_functions() {
+        let (a, b) = masks();
+        let inputs = vec![&a, &b];
+        assert_eq!(
+            MaskAgg::IntersectThreshold { threshold: 0.8 }
+                .apply(&inputs)
+                .unwrap(),
+            intersect_thresholded(&inputs, 0.8).unwrap()
+        );
+        assert_eq!(
+            MaskAgg::Mean.apply(&inputs).unwrap(),
+            mask_mean(&inputs).unwrap()
+        );
+        assert_eq!(
+            MaskAgg::WeightedSum {
+                weights: vec![0.3, 0.7]
+            }
+            .apply(&inputs)
+            .unwrap(),
+            weighted_sum(&inputs, &[0.3, 0.7]).unwrap()
+        );
+    }
+
+    #[test]
+    fn monotonicity_classification() {
+        assert!(MaskAgg::Mean.is_monotone());
+        assert!(MaskAgg::IntersectThreshold { threshold: 0.5 }.is_monotone());
+        assert!(MaskAgg::WeightedSum {
+            weights: vec![0.1, 0.2]
+        }
+        .is_monotone());
+        assert!(!MaskAgg::WeightedSum {
+            weights: vec![0.1, -0.2]
+        }
+        .is_monotone());
+    }
+
+    #[test]
+    fn example_2_intersection_query_shape() {
+        // Paper Example 2: CP(INTERSECT(mask > 0.7), roi, (0.7, 1.0)).
+        let (a, b) = masks();
+        let agg = MaskAgg::IntersectThreshold { threshold: 0.7 };
+        let aggregated = agg.apply(&[&a, &b]).unwrap();
+        let s = aggregated.count_pixels(
+            &Roi::new(0, 0, 4, 4).unwrap(),
+            &PixelRange::new(0.7, 1.0).unwrap(),
+        );
+        assert_eq!(s, 4);
+    }
+}

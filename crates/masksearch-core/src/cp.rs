@@ -1,0 +1,153 @@
+//! The exact `CP` function: count of pixels in an ROI with values in a range.
+//!
+//! `CP(mask, roi, (lv, uv))` is the scalar at the heart of every MaskSearch
+//! query (paper §2.1):
+//!
+//! ```text
+//! CP(mask, roi, (lv, uv)) = Σ_{(x,y) ∈ roi} 1[lv ≤ mask[x][y] < uv]
+//! ```
+//!
+//! The functions in this module are the *reference* implementation: they scan
+//! the mask pixels directly. The whole point of the CHI index
+//! (`masksearch-index`) and the filter–verification executor
+//! (`masksearch-query`) is to avoid calling these on most masks; their
+//! correctness is always defined relative to this module.
+
+use crate::mask::Mask;
+use crate::range::PixelRange;
+use crate::roi::Roi;
+
+/// Exact pixel count: number of pixels of `mask` inside `roi` (clipped to the
+/// mask bounds) whose value lies in `range`.
+///
+/// ```
+/// use masksearch_core::{Mask, Roi, PixelRange, cp};
+/// let m = Mask::from_fn(8, 8, |x, _| x as f32 / 8.0);
+/// let roi = Roi::new(0, 0, 8, 8).unwrap();
+/// // Half of the columns have values >= 0.5.
+/// assert_eq!(cp(&m, &roi, &PixelRange::new(0.5, 1.0).unwrap()), 32);
+/// ```
+#[inline]
+pub fn cp(mask: &Mask, roi: &Roi, range: &PixelRange) -> u64 {
+    mask.count_pixels(roi, range)
+}
+
+/// Exact pixel count over the full mask (the paper's `CP(mask, -, (lv, uv))`
+/// notation, where `-` denotes "no ROI" / the whole mask).
+pub fn cp_full(mask: &Mask, range: &PixelRange) -> u64 {
+    mask.count_pixels(&mask.full_roi(), range)
+}
+
+/// Evaluates `CP` for several `(roi, range)` pairs in a single pass over the
+/// mask.
+///
+/// This mirrors queries that contain multiple `CP` terms (paper §2.1, e.g.
+/// ratios of salient pixels inside vs. outside a region). A single traversal
+/// is noticeably cheaper than one scan per term when masks are loaded from
+/// disk during the verification stage.
+pub fn cp_many(mask: &Mask, terms: &[(Roi, PixelRange)]) -> Vec<u64> {
+    let mut counts = vec![0u64; terms.len()];
+    if terms.is_empty() {
+        return counts;
+    }
+    // Clip all ROIs up front; remember which are non-empty.
+    let clipped: Vec<Option<Roi>> = terms.iter().map(|(roi, _)| mask.clip_roi(roi)).collect();
+    // Compute the bounding box of all clipped ROIs so the scan can skip
+    // rows/columns no term cares about.
+    let mut bbox: Option<Roi> = None;
+    for roi in clipped.iter().flatten() {
+        bbox = Some(match bbox {
+            None => *roi,
+            Some(b) => b.union_bounds(roi),
+        });
+    }
+    let Some(bbox) = bbox else {
+        return counts;
+    };
+    for y in bbox.y0()..bbox.y1() {
+        let row = mask.row(y);
+        for (i, (clip, (_, range))) in clipped.iter().zip(terms.iter()).enumerate() {
+            let Some(clip) = clip else { continue };
+            if y < clip.y0() || y >= clip.y1() {
+                continue;
+            }
+            let slice = &row[clip.x0() as usize..clip.x1() as usize];
+            let mut c = 0u64;
+            for &v in slice {
+                if range.contains(v) {
+                    c += 1;
+                }
+            }
+            counts[i] += c;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient_mask() -> Mask {
+        Mask::from_fn(8, 8, |x, y| ((x + y * 8) as f32) / 64.0)
+    }
+
+    #[test]
+    fn cp_counts_expected_pixels() {
+        let m = gradient_mask();
+        let full = m.full_roi();
+        assert_eq!(cp(&m, &full, &PixelRange::full()), 64);
+        assert_eq!(cp(&m, &full, &PixelRange::new(0.5, 1.0).unwrap()), 32);
+        assert_eq!(cp(&m, &full, &PixelRange::new(0.0, 0.25).unwrap()), 16);
+    }
+
+    #[test]
+    fn cp_full_equals_cp_with_full_roi() {
+        let m = gradient_mask();
+        let range = PixelRange::new(0.3, 0.7).unwrap();
+        assert_eq!(cp_full(&m, &range), cp(&m, &m.full_roi(), &range));
+    }
+
+    #[test]
+    fn cp_clips_roi_to_mask() {
+        let m = gradient_mask();
+        let oversized = Roi::new(4, 4, 100, 100).unwrap();
+        let clipped = Roi::new(4, 4, 8, 8).unwrap();
+        let range = PixelRange::new(0.5, 1.0).unwrap();
+        assert_eq!(cp(&m, &oversized, &range), cp(&m, &clipped, &range));
+    }
+
+    #[test]
+    fn cp_many_matches_individual_calls() {
+        let m = gradient_mask();
+        let terms = vec![
+            (Roi::new(0, 0, 4, 4).unwrap(), PixelRange::new(0.0, 0.5).unwrap()),
+            (Roi::new(2, 2, 8, 8).unwrap(), PixelRange::new(0.25, 0.9).unwrap()),
+            (Roi::new(6, 0, 8, 8).unwrap(), PixelRange::full()),
+            (
+                Roi::new(20, 20, 30, 30).unwrap(),
+                PixelRange::new(0.0, 1.0).unwrap(),
+            ),
+        ];
+        let batch = cp_many(&m, &terms);
+        for (i, (roi, range)) in terms.iter().enumerate() {
+            assert_eq!(batch[i], cp(&m, roi, range), "term {i}");
+        }
+    }
+
+    #[test]
+    fn cp_many_empty_terms() {
+        let m = gradient_mask();
+        assert!(cp_many(&m, &[]).is_empty());
+    }
+
+    #[test]
+    fn cp_boundary_semantics_are_half_open() {
+        // A mask whose only value is exactly 0.5 must be counted by [0.5, x)
+        // ranges but not by [x, 0.5) ranges.
+        let m = Mask::constant(2, 2, 0.5).unwrap();
+        let roi = m.full_roi();
+        assert_eq!(cp(&m, &roi, &PixelRange::new(0.5, 1.0).unwrap()), 4);
+        assert_eq!(cp(&m, &roi, &PixelRange::new(0.0, 0.5).unwrap()), 0);
+    }
+}

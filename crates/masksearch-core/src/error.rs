@@ -1,0 +1,172 @@
+//! Error types shared by the core data model.
+
+use std::fmt;
+
+/// Convenience alias used throughout the core crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while constructing or manipulating core data-model values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A mask was constructed with inconsistent dimensions and data length.
+    DimensionMismatch {
+        /// Declared width in pixels.
+        width: u32,
+        /// Declared height in pixels.
+        height: u32,
+        /// Length of the supplied pixel buffer.
+        data_len: usize,
+    },
+    /// A mask dimension was zero.
+    EmptyMask,
+    /// A pixel value fell outside the valid `[0, 1)` range of the data model.
+    PixelOutOfRange {
+        /// The offending value.
+        value: f32,
+        /// Flat index of the offending pixel.
+        index: usize,
+    },
+    /// A pixel coordinate was outside the mask bounds.
+    CoordinateOutOfBounds {
+        /// Requested x coordinate.
+        x: u32,
+        /// Requested y coordinate.
+        y: u32,
+        /// Mask width.
+        width: u32,
+        /// Mask height.
+        height: u32,
+    },
+    /// A region of interest was degenerate (zero area) or inverted.
+    InvalidRoi {
+        /// Left edge (inclusive).
+        x0: u32,
+        /// Top edge (inclusive).
+        y0: u32,
+        /// Right edge (exclusive).
+        x1: u32,
+        /// Bottom edge (exclusive).
+        y1: u32,
+    },
+    /// A pixel-value range was empty, inverted, or outside `[0, 1]`.
+    InvalidPixelRange {
+        /// Lower bound (inclusive).
+        lo: f32,
+        /// Upper bound (exclusive).
+        hi: f32,
+    },
+    /// A mask aggregation was attempted over masks of differing shapes.
+    ShapeMismatch {
+        /// Shape of the first mask.
+        expected: (u32, u32),
+        /// Shape of the offending mask.
+        found: (u32, u32),
+    },
+    /// A mask aggregation was attempted over an empty collection.
+    EmptyAggregation,
+    /// Weighted aggregation received a weight vector of the wrong length.
+    WeightLengthMismatch {
+        /// Number of masks being aggregated.
+        masks: usize,
+        /// Number of weights supplied.
+        weights: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DimensionMismatch {
+                width,
+                height,
+                data_len,
+            } => write!(
+                f,
+                "mask dimensions {width}x{height} require {} pixels but {data_len} were supplied",
+                (*width as usize) * (*height as usize)
+            ),
+            Error::EmptyMask => write!(f, "mask dimensions must be non-zero"),
+            Error::PixelOutOfRange { value, index } => write!(
+                f,
+                "pixel value {value} at flat index {index} is outside the mask value domain [0, 1)"
+            ),
+            Error::CoordinateOutOfBounds {
+                x,
+                y,
+                width,
+                height,
+            } => write!(
+                f,
+                "coordinate ({x}, {y}) is outside the {width}x{height} mask"
+            ),
+            Error::InvalidRoi { x0, y0, x1, y1 } => write!(
+                f,
+                "region of interest [{x0}, {x1}) x [{y0}, {y1}) is empty or inverted"
+            ),
+            Error::InvalidPixelRange { lo, hi } => write!(
+                f,
+                "pixel value range [{lo}, {hi}) is empty, inverted, or outside [0, 1]"
+            ),
+            Error::ShapeMismatch { expected, found } => write!(
+                f,
+                "mask aggregation requires identical shapes: expected {}x{}, found {}x{}",
+                expected.0, expected.1, found.0, found.1
+            ),
+            Error::EmptyAggregation => {
+                write!(f, "mask aggregation requires at least one input mask")
+            }
+            Error::WeightLengthMismatch { masks, weights } => write!(
+                f,
+                "weighted aggregation over {masks} masks received {weights} weights"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::DimensionMismatch {
+            width: 4,
+            height: 4,
+            data_len: 15,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("4x4"));
+        assert!(msg.contains("16"));
+        assert!(msg.contains("15"));
+
+        let e = Error::PixelOutOfRange {
+            value: 1.5,
+            index: 3,
+        };
+        assert!(e.to_string().contains("1.5"));
+
+        let e = Error::InvalidRoi {
+            x0: 5,
+            y0: 5,
+            x1: 5,
+            y1: 9,
+        };
+        assert!(e.to_string().contains('5'));
+
+        let e = Error::ShapeMismatch {
+            expected: (4, 4),
+            found: (8, 8),
+        };
+        assert!(e.to_string().contains("4x4"));
+        assert!(e.to_string().contains("8x8"));
+    }
+
+    #[test]
+    fn errors_are_cloneable_and_comparable() {
+        let e = Error::EmptyMask;
+        assert_eq!(e.clone(), Error::EmptyMask);
+        assert_ne!(e, Error::EmptyAggregation);
+    }
+}

@@ -1,0 +1,141 @@
+//! Pixel-value ranges `[lo, hi)` used by the `CP` function.
+
+use crate::error::{Error, Result};
+use std::fmt;
+
+/// A half-open pixel-value range `[lo, hi)` with `0 <= lo < hi <= 1`.
+///
+/// The paper writes ranges as `(lv, uv)`; the semantics used throughout the
+/// paper (and formalised in the definition of `CP`, §2.1) are
+/// `lv <= value < uv`, i.e. inclusive lower bound and exclusive upper bound,
+/// which is what this type implements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PixelRange {
+    lo: f32,
+    hi: f32,
+}
+
+impl PixelRange {
+    /// Creates a range `[lo, hi)`, validating `0 <= lo < hi <= 1`.
+    pub fn new(lo: f32, hi: f32) -> Result<Self> {
+        if lo.is_nan() || hi.is_nan() || lo < 0.0 || hi > 1.0 || lo >= hi {
+            return Err(Error::InvalidPixelRange { lo, hi });
+        }
+        Ok(Self { lo, hi })
+    }
+
+    /// The full value domain `[0, 1)`. Counting pixels over this range counts
+    /// every pixel in the ROI.
+    pub fn full() -> Self {
+        Self { lo: 0.0, hi: 1.0 }
+    }
+
+    /// Convenience constructor for "salient pixel" style ranges `[lo, 1)`.
+    pub fn at_least(lo: f32) -> Result<Self> {
+        Self::new(lo, 1.0)
+    }
+
+    /// Lower bound (inclusive).
+    #[inline]
+    pub fn lo(&self) -> f32 {
+        self.lo
+    }
+
+    /// Upper bound (exclusive).
+    #[inline]
+    pub fn hi(&self) -> f32 {
+        self.hi
+    }
+
+    /// Returns `true` if `value` lies in `[lo, hi)`.
+    #[inline]
+    pub fn contains(&self, value: f32) -> bool {
+        value >= self.lo && value < self.hi
+    }
+
+    /// Width of the range.
+    #[inline]
+    pub fn width(&self) -> f32 {
+        self.hi - self.lo
+    }
+
+    /// Returns `true` if this range covers the entire `[0, 1)` value domain.
+    pub fn is_full(&self) -> bool {
+        self.lo <= 0.0 && self.hi >= 1.0
+    }
+
+    /// Intersection of two ranges, or `None` if they are disjoint.
+    pub fn intersect(&self, other: &PixelRange) -> Option<PixelRange> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo < hi {
+            Some(PixelRange { lo, hi })
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for PixelRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_bounds() {
+        assert!(PixelRange::new(0.0, 1.0).is_ok());
+        assert!(PixelRange::new(0.6, 1.0).is_ok());
+        assert!(PixelRange::new(0.5, 0.5).is_err());
+        assert!(PixelRange::new(0.7, 0.6).is_err());
+        assert!(PixelRange::new(-0.1, 0.5).is_err());
+        assert!(PixelRange::new(0.0, 1.1).is_err());
+        assert!(PixelRange::new(f32::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn contains_is_half_open() {
+        let r = PixelRange::new(0.25, 0.75).unwrap();
+        assert!(r.contains(0.25));
+        assert!(r.contains(0.5));
+        assert!(!r.contains(0.75));
+        assert!(!r.contains(0.1));
+    }
+
+    #[test]
+    fn full_range_covers_domain() {
+        let r = PixelRange::full();
+        assert!(r.is_full());
+        assert!(r.contains(0.0));
+        assert!(r.contains(0.999));
+        assert_eq!(r.width(), 1.0);
+    }
+
+    #[test]
+    fn at_least_builds_upper_open_range() {
+        let r = PixelRange::at_least(0.85).unwrap();
+        assert!(r.contains(0.85));
+        assert!(r.contains(0.99));
+        assert!(!r.contains(0.84));
+    }
+
+    #[test]
+    fn intersection() {
+        let a = PixelRange::new(0.2, 0.6).unwrap();
+        let b = PixelRange::new(0.4, 0.8).unwrap();
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i.lo(), 0.4);
+        assert_eq!(i.hi(), 0.6);
+        let c = PixelRange::new(0.6, 0.9).unwrap();
+        assert!(a.intersect(&c).is_none());
+    }
+
+    #[test]
+    fn display_formats_bounds() {
+        assert_eq!(PixelRange::new(0.6, 1.0).unwrap().to_string(), "[0.6, 1)");
+    }
+}

@@ -1,0 +1,169 @@
+//! Mask metadata records: the non-pixel columns of `MasksDatabaseView`.
+
+use crate::roi::Roi;
+use crate::types::{ImageId, Label, MaskId, MaskType, ModelId};
+
+/// Metadata describing one mask in the database (one row of the paper's
+/// `MasksDatabaseView`, minus the pixel payload which lives in the store).
+///
+/// `object_box` is the bounding box of the foreground object in the
+/// underlying image; the paper obtains it from YOLOv5 and uses it as the
+/// mask-specific ROI of queries such as Q2/Q4/Q5 (`roi = object`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaskRecord {
+    /// Unique identifier of the mask (primary key).
+    pub mask_id: MaskId,
+    /// Image the mask annotates.
+    pub image_id: ImageId,
+    /// Model that generated the mask.
+    pub model_id: ModelId,
+    /// Kind of mask (saliency map, segmentation map, ...).
+    pub mask_type: MaskType,
+    /// Mask width in pixels.
+    pub width: u32,
+    /// Mask height in pixels.
+    pub height: u32,
+    /// Ground-truth class label of the image, if known.
+    pub true_label: Option<Label>,
+    /// Label predicted by `model_id` for the image, if known.
+    pub predicted_label: Option<Label>,
+    /// Foreground-object bounding box of the image, if known.
+    pub object_box: Option<Roi>,
+}
+
+impl MaskRecord {
+    /// Starts building a record for the given mask id.
+    pub fn builder(mask_id: MaskId) -> MaskRecordBuilder {
+        MaskRecordBuilder::new(mask_id)
+    }
+
+    /// Returns `true` if the model's prediction disagrees with the
+    /// ground-truth label (both must be present).
+    pub fn is_misclassified(&self) -> bool {
+        match (self.true_label, self.predicted_label) {
+            (Some(t), Some(p)) => t != p,
+            _ => false,
+        }
+    }
+}
+
+/// Builder for [`MaskRecord`], with sensible defaults for optional columns.
+#[derive(Debug, Clone)]
+pub struct MaskRecordBuilder {
+    record: MaskRecord,
+}
+
+impl MaskRecordBuilder {
+    /// Creates a builder with all optional fields unset and a 0×0 shape.
+    pub fn new(mask_id: MaskId) -> Self {
+        Self {
+            record: MaskRecord {
+                mask_id,
+                image_id: ImageId::new(0),
+                model_id: ModelId::new(0),
+                mask_type: MaskType::SaliencyMap,
+                width: 0,
+                height: 0,
+                true_label: None,
+                predicted_label: None,
+                object_box: None,
+            },
+        }
+    }
+
+    /// Sets the image id.
+    pub fn image_id(mut self, id: ImageId) -> Self {
+        self.record.image_id = id;
+        self
+    }
+
+    /// Sets the model id.
+    pub fn model_id(mut self, id: ModelId) -> Self {
+        self.record.model_id = id;
+        self
+    }
+
+    /// Sets the mask type.
+    pub fn mask_type(mut self, ty: MaskType) -> Self {
+        self.record.mask_type = ty;
+        self
+    }
+
+    /// Sets the mask dimensions.
+    pub fn shape(mut self, width: u32, height: u32) -> Self {
+        self.record.width = width;
+        self.record.height = height;
+        self
+    }
+
+    /// Sets the ground-truth label.
+    pub fn true_label(mut self, label: Label) -> Self {
+        self.record.true_label = Some(label);
+        self
+    }
+
+    /// Sets the predicted label.
+    pub fn predicted_label(mut self, label: Label) -> Self {
+        self.record.predicted_label = Some(label);
+        self
+    }
+
+    /// Sets the foreground-object bounding box.
+    pub fn object_box(mut self, roi: Roi) -> Self {
+        self.record.object_box = Some(roi);
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> MaskRecord {
+        self.record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_all_fields() {
+        let roi = Roi::new(10, 10, 50, 60).unwrap();
+        let rec = MaskRecord::builder(MaskId::new(7))
+            .image_id(ImageId::new(3))
+            .model_id(ModelId::new(1))
+            .mask_type(MaskType::SegmentationMap)
+            .shape(224, 224)
+            .true_label(Label::new(5))
+            .predicted_label(Label::new(9))
+            .object_box(roi)
+            .build();
+        assert_eq!(rec.mask_id, MaskId::new(7));
+        assert_eq!(rec.image_id, ImageId::new(3));
+        assert_eq!(rec.model_id, ModelId::new(1));
+        assert_eq!(rec.mask_type, MaskType::SegmentationMap);
+        assert_eq!((rec.width, rec.height), (224, 224));
+        assert_eq!(rec.object_box, Some(roi));
+        assert!(rec.is_misclassified());
+    }
+
+    #[test]
+    fn misclassification_requires_both_labels() {
+        let rec = MaskRecord::builder(MaskId::new(1))
+            .true_label(Label::new(2))
+            .build();
+        assert!(!rec.is_misclassified());
+        let rec = MaskRecord::builder(MaskId::new(1))
+            .true_label(Label::new(2))
+            .predicted_label(Label::new(2))
+            .build();
+        assert!(!rec.is_misclassified());
+    }
+
+    #[test]
+    fn builder_defaults_are_unset() {
+        let rec = MaskRecord::builder(MaskId::new(1)).build();
+        assert!(rec.true_label.is_none());
+        assert!(rec.predicted_label.is_none());
+        assert!(rec.object_box.is_none());
+        assert_eq!(rec.mask_type, MaskType::SaliencyMap);
+    }
+}

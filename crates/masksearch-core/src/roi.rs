@@ -1,0 +1,257 @@
+//! Regions of interest (ROIs): axis-aligned bounding boxes over mask pixels.
+
+use crate::error::{Error, Result};
+use std::fmt;
+
+/// An axis-aligned, half-open pixel rectangle `[x0, x1) × [y0, y1)`.
+///
+/// The paper specifies ROIs as pairs of inclusive 1-based corner coordinates
+/// (upper-left, lower-right); this type uses the more idiomatic 0-based
+/// half-open convention internally and provides
+/// [`Roi::from_inclusive_corners`] for converting paper-style coordinates.
+///
+/// ROIs are query-time values: they are either constant across all masks or
+/// mask-specific (e.g. the bounding box of the foreground object of each
+/// image). They are never persisted with the masks themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Roi {
+    x0: u32,
+    y0: u32,
+    x1: u32,
+    y1: u32,
+}
+
+impl Roi {
+    /// Creates an ROI from half-open bounds `[x0, x1) × [y0, y1)`.
+    ///
+    /// Returns an error if the rectangle is empty or inverted.
+    pub fn new(x0: u32, y0: u32, x1: u32, y1: u32) -> Result<Self> {
+        if x0 >= x1 || y0 >= y1 {
+            return Err(Error::InvalidRoi { x0, y0, x1, y1 });
+        }
+        Ok(Self { x0, y0, x1, y1 })
+    }
+
+    /// Creates an ROI from the paper's convention: inclusive 1-based corner
+    /// coordinates `(x_ul, y_ul)` and `(x_lr, y_lr)`.
+    ///
+    /// For example the paper's Q1 ROI `((50, 50), (200, 200))` covers pixels
+    /// 50..=200 in both dimensions (151 pixels per side).
+    pub fn from_inclusive_corners(
+        upper_left: (u32, u32),
+        lower_right: (u32, u32),
+    ) -> Result<Self> {
+        let (ulx, uly) = upper_left;
+        let (lrx, lry) = lower_right;
+        if ulx == 0 || uly == 0 {
+            return Err(Error::InvalidRoi {
+                x0: ulx,
+                y0: uly,
+                x1: lrx,
+                y1: lry,
+            });
+        }
+        if lrx < ulx || lry < uly {
+            return Err(Error::InvalidRoi {
+                x0: ulx,
+                y0: uly,
+                x1: lrx,
+                y1: lry,
+            });
+        }
+        // 1-based inclusive -> 0-based half-open.
+        Self::new(ulx - 1, uly - 1, lrx, lry)
+    }
+
+    /// Left edge (inclusive).
+    #[inline]
+    pub fn x0(&self) -> u32 {
+        self.x0
+    }
+
+    /// Top edge (inclusive).
+    #[inline]
+    pub fn y0(&self) -> u32 {
+        self.y0
+    }
+
+    /// Right edge (exclusive).
+    #[inline]
+    pub fn x1(&self) -> u32 {
+        self.x1
+    }
+
+    /// Bottom edge (exclusive).
+    #[inline]
+    pub fn y1(&self) -> u32 {
+        self.y1
+    }
+
+    /// Width of the ROI in pixels.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.x1 - self.x0
+    }
+
+    /// Height of the ROI in pixels.
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.y1 - self.y0
+    }
+
+    /// Number of pixels covered by the ROI.
+    #[inline]
+    pub fn area(&self) -> u64 {
+        (self.width() as u64) * (self.height() as u64)
+    }
+
+    /// Returns `true` if `(x, y)` lies inside the ROI.
+    #[inline]
+    pub fn contains_point(&self, x: u32, y: u32) -> bool {
+        x >= self.x0 && x < self.x1 && y >= self.y0 && y < self.y1
+    }
+
+    /// Returns `true` if `other` is entirely contained in `self`.
+    pub fn contains(&self, other: &Roi) -> bool {
+        self.x0 <= other.x0 && self.y0 <= other.y0 && self.x1 >= other.x1 && self.y1 >= other.y1
+    }
+
+    /// Intersection of two ROIs, or `None` if they are disjoint.
+    pub fn intersect(&self, other: &Roi) -> Option<Roi> {
+        let x0 = self.x0.max(other.x0);
+        let y0 = self.y0.max(other.y0);
+        let x1 = self.x1.min(other.x1);
+        let y1 = self.y1.min(other.y1);
+        if x0 < x1 && y0 < y1 {
+            Some(Roi { x0, y0, x1, y1 })
+        } else {
+            None
+        }
+    }
+
+    /// Smallest ROI containing both `self` and `other`.
+    pub fn union_bounds(&self, other: &Roi) -> Roi {
+        Roi {
+            x0: self.x0.min(other.x0),
+            y0: self.y0.min(other.y0),
+            x1: self.x1.max(other.x1),
+            y1: self.y1.max(other.y1),
+        }
+    }
+
+    /// Returns `true` if the two ROIs overlap in at least one pixel.
+    pub fn overlaps(&self, other: &Roi) -> bool {
+        self.intersect(other).is_some()
+    }
+
+    /// Clamps the ROI to fit within a `width × height` mask, returning `None`
+    /// if nothing remains.
+    pub fn clamp_to(&self, width: u32, height: u32) -> Option<Roi> {
+        if width == 0 || height == 0 {
+            return None;
+        }
+        let bounds = Roi {
+            x0: 0,
+            y0: 0,
+            x1: width,
+            y1: height,
+        };
+        self.intersect(&bounds)
+    }
+}
+
+impl fmt::Display for Roi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}, {}) x [{}, {})",
+            self.x0, self.x1, self.y0, self.y1
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_empty_and_inverted() {
+        assert!(Roi::new(0, 0, 0, 5).is_err());
+        assert!(Roi::new(5, 0, 3, 5).is_err());
+        assert!(Roi::new(0, 0, 1, 1).is_ok());
+    }
+
+    #[test]
+    fn inclusive_corner_conversion_matches_paper_convention() {
+        // The paper's ((50,50),(200,200)) box covers 151x151 pixels.
+        let roi = Roi::from_inclusive_corners((50, 50), (200, 200)).unwrap();
+        assert_eq!(roi.width(), 151);
+        assert_eq!(roi.height(), 151);
+        assert_eq!(roi.x0(), 49);
+        assert_eq!(roi.x1(), 200);
+
+        // A single-pixel box.
+        let px = Roi::from_inclusive_corners((3, 7), (3, 7)).unwrap();
+        assert_eq!(px.area(), 1);
+        assert!(px.contains_point(2, 6));
+
+        assert!(Roi::from_inclusive_corners((0, 1), (3, 3)).is_err());
+        assert!(Roi::from_inclusive_corners((5, 5), (4, 9)).is_err());
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let roi = Roi::new(2, 3, 10, 7).unwrap();
+        assert_eq!(roi.width(), 8);
+        assert_eq!(roi.height(), 4);
+        assert_eq!(roi.area(), 32);
+        assert!(roi.contains_point(2, 3));
+        assert!(roi.contains_point(9, 6));
+        assert!(!roi.contains_point(10, 6));
+        assert!(!roi.contains_point(9, 7));
+    }
+
+    #[test]
+    fn containment_and_intersection() {
+        let outer = Roi::new(0, 0, 10, 10).unwrap();
+        let inner = Roi::new(2, 2, 5, 5).unwrap();
+        assert!(outer.contains(&inner));
+        assert!(!inner.contains(&outer));
+        assert_eq!(outer.intersect(&inner), Some(inner));
+
+        let a = Roi::new(0, 0, 4, 4).unwrap();
+        let b = Roi::new(2, 2, 6, 6).unwrap();
+        assert_eq!(a.intersect(&b), Some(Roi::new(2, 2, 4, 4).unwrap()));
+        assert!(a.overlaps(&b));
+
+        let c = Roi::new(4, 4, 6, 6).unwrap();
+        assert_eq!(a.intersect(&c), None);
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn union_bounds_covers_both() {
+        let a = Roi::new(0, 0, 2, 2).unwrap();
+        let b = Roi::new(5, 5, 8, 9).unwrap();
+        let u = a.union_bounds(&b);
+        assert!(u.contains(&a));
+        assert!(u.contains(&b));
+        assert_eq!(u, Roi::new(0, 0, 8, 9).unwrap());
+    }
+
+    #[test]
+    fn clamp_to_mask_bounds() {
+        let roi = Roi::new(5, 5, 20, 20).unwrap();
+        assert_eq!(roi.clamp_to(10, 10), Some(Roi::new(5, 5, 10, 10).unwrap()));
+        assert_eq!(roi.clamp_to(5, 5), None);
+        assert_eq!(roi.clamp_to(0, 10), None);
+        let inside = Roi::new(1, 1, 3, 3).unwrap();
+        assert_eq!(inside.clamp_to(10, 10), Some(inside));
+    }
+
+    #[test]
+    fn display_formats_half_open_bounds() {
+        let roi = Roi::new(1, 2, 3, 4).unwrap();
+        assert_eq!(roi.to_string(), "[1, 3) x [2, 4)");
+    }
+}

@@ -1,0 +1,35 @@
+//! # masksearch-datagen
+//!
+//! Synthetic datasets and workloads for the MaskSearch evaluation.
+//!
+//! The paper evaluates on GradCAM saliency maps for WILDS/iWildCam (22,275
+//! images, 448×448 masks, two ResNet-50 models) and ImageNet (1,331,167
+//! images, 224×224 masks, two models), with YOLOv5 foreground-object boxes
+//! providing the mask-specific ROIs. Neither the images, the models, nor a
+//! GPU are available (or needed) here: the query-processing behaviour only
+//! depends on the *pixel-value distribution* of the masks relative to the
+//! ROIs. This crate synthesises masks with exactly that structure:
+//!
+//! * [`saliency`] — Gaussian-blob saliency maps centred on (or off) a
+//!   per-image foreground object, with background noise; "good" models focus
+//!   on the object, "spurious" models focus elsewhere (reproducing the
+//!   motivation of Figure 2).
+//! * [`dataset`] — dataset specifications ([`DatasetSpec`]) including
+//!   scaled-down WILDS-like and ImageNet-like presets, generated straight
+//!   into any [`MaskStore`](masksearch_storage::MaskStore) together with the
+//!   metadata [`Catalog`](masksearch_storage::Catalog).
+//! * [`workload`] — the randomized query generators of §4.3 (Filter, Top-K,
+//!   Aggregation, with randomized ROIs, pixel ranges, and thresholds) and
+//!   the multi-query exploration workloads of §4.5 (parameterised by
+//!   `p_seen`).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dataset;
+pub mod saliency;
+pub mod workload;
+
+pub use dataset::{DatasetSpec, GeneratedDataset};
+pub use saliency::SaliencyGenerator;
+pub use workload::{ExplorationWorkload, QueryType, RandomQueryGenerator, WorkloadQuery};

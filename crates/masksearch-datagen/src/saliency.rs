@@ -1,0 +1,212 @@
+//! Synthetic saliency-map generation.
+//!
+//! A saliency map is modelled as a mixture of Gaussian blobs over a noisy
+//! background:
+//!
+//! * a **primary blob** centred on the image's foreground object (for a
+//!   "good" model) or at a random background location (for a "spurious"
+//!   model — the behaviour Figure 2 of the paper illustrates),
+//! * optional **secondary blobs** of lower amplitude, and
+//! * low-amplitude background noise.
+//!
+//! This reproduces the statistical structure the CHI exploits: most pixels
+//! are low-valued, high values are spatially concentrated, and the fraction
+//! of salient pixels inside the object box varies widely across masks.
+
+use masksearch_core::{Mask, Roi};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration of the synthetic saliency-map generator.
+#[derive(Debug, Clone)]
+pub struct SaliencyGenerator {
+    /// Mask width in pixels.
+    pub width: u32,
+    /// Mask height in pixels.
+    pub height: u32,
+    /// Probability that a model focuses on the foreground object rather than
+    /// a spurious background location.
+    pub focus_probability: f64,
+    /// Peak amplitude of the primary blob.
+    pub peak: f32,
+    /// Standard deviation of the primary blob, as a fraction of the mask
+    /// width.
+    pub sigma_fraction: f32,
+    /// Number of low-amplitude secondary blobs.
+    pub secondary_blobs: u32,
+    /// Amplitude of the uniform background noise.
+    pub noise: f32,
+}
+
+impl SaliencyGenerator {
+    /// A generator with reasonable defaults for `width × height` masks.
+    pub fn new(width: u32, height: u32) -> Self {
+        Self {
+            width,
+            height,
+            focus_probability: 0.7,
+            peak: 0.95,
+            sigma_fraction: 0.12,
+            secondary_blobs: 2,
+            noise: 0.08,
+        }
+    }
+
+    /// Sets the probability that the saliency blob lands on the object box.
+    pub fn focus_probability(mut self, p: f64) -> Self {
+        self.focus_probability = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the background-noise amplitude.
+    pub fn noise(mut self, noise: f32) -> Self {
+        self.noise = noise.clamp(0.0, 0.5);
+        self
+    }
+
+    /// Generates a random foreground-object bounding box for an image,
+    /// covering roughly 15–45 % of each dimension.
+    pub fn object_box(&self, rng: &mut impl Rng) -> Roi {
+        let bw = rng.gen_range(self.width * 15 / 100..=self.width * 45 / 100).max(1);
+        let bh = rng
+            .gen_range(self.height * 15 / 100..=self.height * 45 / 100)
+            .max(1);
+        let x0 = rng.gen_range(0..=self.width - bw);
+        let y0 = rng.gen_range(0..=self.height - bh);
+        Roi::new(x0, y0, x0 + bw, y0 + bh).expect("non-degenerate box")
+    }
+
+    /// Generates one saliency map for an image whose foreground object is at
+    /// `object_box`. Returns the mask and whether the model focused on the
+    /// object (useful for labelling "spurious" examples in tests and
+    /// examples).
+    pub fn generate(&self, object_box: &Roi, rng: &mut impl Rng) -> (Mask, bool) {
+        let focused = rng.gen_bool(self.focus_probability);
+        let (cx, cy) = if focused {
+            (
+                (object_box.x0() + object_box.x1()) as f32 / 2.0
+                    + rng.gen_range(-2.0..2.0),
+                (object_box.y0() + object_box.y1()) as f32 / 2.0
+                    + rng.gen_range(-2.0..2.0),
+            )
+        } else {
+            (
+                rng.gen_range(0.0..self.width as f32),
+                rng.gen_range(0.0..self.height as f32),
+            )
+        };
+        let sigma = (self.width as f32 * self.sigma_fraction).max(1.0);
+
+        // Secondary blobs at random locations with lower amplitude.
+        let mut blobs = vec![(cx, cy, sigma, self.peak)];
+        for _ in 0..self.secondary_blobs {
+            blobs.push((
+                rng.gen_range(0.0..self.width as f32),
+                rng.gen_range(0.0..self.height as f32),
+                sigma * rng.gen_range(0.5..1.2),
+                self.peak * rng.gen_range(0.2..0.55),
+            ));
+        }
+
+        let noise = self.noise;
+        let noise_seed: u64 = rng.gen();
+        let mut noise_rng = ChaCha8Rng::seed_from_u64(noise_seed);
+        let mut noise_row: Vec<f32> = Vec::new();
+
+        let mask = Mask::from_fn(self.width, self.height, |x, y| {
+            if x == 0 {
+                noise_row = (0..self.width)
+                    .map(|_| {
+                        if noise > 0.0 {
+                            noise_rng.gen_range(0.0..noise)
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect();
+                let _ = y;
+            }
+            let mut v = noise_row[x as usize];
+            for &(bx, by, s, amp) in &blobs {
+                let dx = x as f32 - bx;
+                let dy = y as f32 - by;
+                v += amp * (-(dx * dx + dy * dy) / (2.0 * s * s)).exp();
+            }
+            v.min(0.999)
+        });
+        (mask, focused)
+    }
+
+    /// Generates a deterministic saliency map from an explicit seed.
+    pub fn generate_seeded(&self, object_box: &Roi, seed: u64) -> (Mask, bool) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        self.generate(object_box, &mut rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use masksearch_core::{cp, PixelRange};
+
+    #[test]
+    fn generated_masks_are_valid_and_deterministic() {
+        let gen = SaliencyGenerator::new(64, 64);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let object_box = gen.object_box(&mut rng);
+        let (a, _) = gen.generate_seeded(&object_box, 42);
+        let (b, _) = gen.generate_seeded(&object_box, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.shape(), (64, 64));
+        let (lo, hi) = a.value_bounds();
+        assert!(lo >= 0.0 && hi < 1.0);
+    }
+
+    #[test]
+    fn object_boxes_are_inside_the_mask() {
+        let gen = SaliencyGenerator::new(96, 48);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..50 {
+            let b = gen.object_box(&mut rng);
+            assert!(b.x1() <= 96 && b.y1() <= 48);
+            assert!(b.area() > 0);
+        }
+    }
+
+    #[test]
+    fn focused_masks_concentrate_salient_pixels_in_the_object_box() {
+        let gen = SaliencyGenerator::new(64, 64).focus_probability(1.0);
+        let spurious = SaliencyGenerator::new(64, 64).focus_probability(0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let range = PixelRange::new(0.6, 1.0).unwrap();
+        let mut focused_better = 0;
+        for i in 0..20u64 {
+            let object_box = gen.object_box(&mut rng);
+            let (good, was_focused) = gen.generate_seeded(&object_box, 100 + i);
+            assert!(was_focused);
+            let (bad, was_focused) = spurious.generate_seeded(&object_box, 200 + i);
+            assert!(!was_focused);
+            let good_in = cp(&good, &object_box, &range) as f64 / object_box.area() as f64;
+            let bad_in = cp(&bad, &object_box, &range) as f64 / object_box.area() as f64;
+            if good_in >= bad_in {
+                focused_better += 1;
+            }
+        }
+        // Focused models concentrate salient pixels on the object in the
+        // overwhelming majority of cases (spurious blobs occasionally land on
+        // the object by chance).
+        assert!(focused_better >= 16, "only {focused_better}/20");
+    }
+
+    #[test]
+    fn noise_parameter_controls_background_level() {
+        let quiet = SaliencyGenerator::new(32, 32).noise(0.0);
+        let noisy = SaliencyGenerator::new(32, 32).noise(0.4);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let object_box = quiet.object_box(&mut rng);
+        let (q, _) = quiet.generate_seeded(&object_box, 1);
+        let (n, _) = noisy.generate_seeded(&object_box, 1);
+        assert!(n.mean() > q.mean());
+    }
+}

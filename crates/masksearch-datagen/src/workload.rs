@@ -1,0 +1,322 @@
+//! Randomized query generators (§4.3) and multi-query exploration workloads
+//! (§4.5).
+
+use masksearch_core::{MaskId, PixelRange, Roi};
+use masksearch_query::{Expr, Order, Query, ScalarAgg, Selection};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashSet;
+
+/// The three randomized query types of §4.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryType {
+    /// `CP(mask, object_box, (lv, uv)) > T` filter queries.
+    Filter,
+    /// Top-k queries ranked by `CP` over a random constant ROI.
+    TopK,
+    /// Top-k image queries ranked by the mean `CP` of each image's masks.
+    Aggregation,
+}
+
+/// Generates queries with randomized parameters following §4.3:
+///
+/// * **Filter**: the ROI is the per-mask object box; `lv`/`uv` are drawn from
+///   `{0.1, …, 0.9}` with `uv > lv`; the threshold `T` is uniform over
+///   `[0, mask pixels]`.
+/// * **Top-K**: the ROI is a random rectangle (constant across masks), `k`
+///   defaults to 25, and the order is random.
+/// * **Aggregation**: images ranked by the mean `CP` of their masks, with
+///   random ROI, range, and order.
+pub struct RandomQueryGenerator {
+    rng: ChaCha8Rng,
+    mask_width: u32,
+    mask_height: u32,
+    /// `k` used by ranked query types (the paper uses 25).
+    pub k: usize,
+}
+
+impl RandomQueryGenerator {
+    /// Creates a generator for masks of the given shape.
+    pub fn new(seed: u64, mask_width: u32, mask_height: u32) -> Self {
+        Self {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            mask_width,
+            mask_height,
+            k: 25,
+        }
+    }
+
+    /// Random pixel-value range with bounds in `{0.1, …, 0.9}` and `uv > lv`.
+    pub fn random_range(&mut self) -> PixelRange {
+        loop {
+            let lv = self.rng.gen_range(1..=8) as f32 / 10.0;
+            let uv = self.rng.gen_range(2..=9) as f32 / 10.0;
+            if uv > lv {
+                return PixelRange::new(lv, uv).expect("valid range");
+            }
+        }
+    }
+
+    /// Random rectangle fully inside the mask.
+    pub fn random_roi(&mut self) -> Roi {
+        let x0 = self.rng.gen_range(0..self.mask_width - 1);
+        let y0 = self.rng.gen_range(0..self.mask_height - 1);
+        let x1 = self.rng.gen_range(x0 + 1..=self.mask_width);
+        let y1 = self.rng.gen_range(y0 + 1..=self.mask_height);
+        Roi::new(x0, y0, x1, y1).expect("valid roi")
+    }
+
+    /// Random count threshold in `[0, mask pixels]`.
+    pub fn random_threshold(&mut self) -> f64 {
+        let total = (self.mask_width as u64) * (self.mask_height as u64);
+        self.rng.gen_range(0..=total) as f64
+    }
+
+    /// Random result ordering.
+    pub fn random_order(&mut self) -> Order {
+        if self.rng.gen_bool(0.5) {
+            Order::Desc
+        } else {
+            Order::Asc
+        }
+    }
+
+    /// A randomized Filter query (§4.3).
+    pub fn filter_query(&mut self) -> Query {
+        let range = self.random_range();
+        let threshold = self.random_threshold();
+        Query::filter_object_cp_gt(range, threshold)
+    }
+
+    /// A randomized Top-K query (§4.3).
+    pub fn topk_query(&mut self) -> Query {
+        let roi = self.random_roi();
+        let range = self.random_range();
+        let order = self.random_order();
+        Query::top_k_cp(roi, range, self.k, order)
+    }
+
+    /// A randomized Aggregation query (§4.3).
+    pub fn aggregation_query(&mut self) -> Query {
+        let range = self.random_range();
+        let order = self.random_order();
+        Query::aggregate(Expr::cp_object(range), ScalarAgg::Avg)
+            .with_group_top_k(self.k, order)
+    }
+
+    /// A randomized query of the given type.
+    pub fn query_of(&mut self, query_type: QueryType) -> Query {
+        match query_type {
+            QueryType::Filter => self.filter_query(),
+            QueryType::TopK => self.topk_query(),
+            QueryType::Aggregation => self.aggregation_query(),
+        }
+    }
+}
+
+/// One query of a multi-query workload: the randomized query plus the subset
+/// of masks it targets.
+#[derive(Debug, Clone)]
+pub struct WorkloadQuery {
+    /// The query, already restricted (via its selection) to the target set.
+    pub query: Query,
+    /// The targeted mask ids.
+    pub target: Vec<MaskId>,
+    /// How many of the targeted masks had been targeted by earlier queries
+    /// of the same workload.
+    pub seen_in_target: usize,
+}
+
+/// The multi-query exploration workloads of §4.5.
+///
+/// Each workload consists of `num_queries` Filter queries. Query *i* targets
+/// `n` masks, with `n` drawn from `{0.1, 0.2, 0.3} · N`; a fraction `p_seen`
+/// of the targeted masks is sampled from masks already targeted by earlier
+/// queries and the rest from unseen masks (when too few unseen masks remain,
+/// all of them are included and the remainder is drawn from seen masks, as
+/// in the paper).
+#[derive(Debug, Clone)]
+pub struct ExplorationWorkload {
+    /// Label used in experiment output (the paper's Workload 1–4).
+    pub name: String,
+    /// Probability mass of re-targeting already-seen masks.
+    pub p_seen: f64,
+    /// The generated query sequence.
+    pub queries: Vec<WorkloadQuery>,
+}
+
+impl ExplorationWorkload {
+    /// Generates a workload over the given mask population.
+    pub fn generate(
+        name: impl Into<String>,
+        all_masks: &[MaskId],
+        num_queries: usize,
+        p_seen: f64,
+        generator: &mut RandomQueryGenerator,
+        seed: u64,
+    ) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let n_total = all_masks.len();
+        let mut seen: Vec<MaskId> = Vec::new();
+        let mut seen_set: HashSet<MaskId> = HashSet::new();
+        let mut unseen: Vec<MaskId> = all_masks.to_vec();
+        unseen.shuffle(&mut rng);
+
+        let mut queries = Vec::with_capacity(num_queries);
+        for _ in 0..num_queries {
+            let fraction = [0.1, 0.2, 0.3][rng.gen_range(0..3)];
+            let n = ((n_total as f64 * fraction) as usize).max(1).min(n_total);
+            let want_seen = ((n as f64) * p_seen).round() as usize;
+            let want_unseen = n - want_seen;
+
+            let mut target: Vec<MaskId> = Vec::with_capacity(n);
+            // Unseen portion (or as much of it as remains).
+            let take_unseen = want_unseen.min(unseen.len());
+            for _ in 0..take_unseen {
+                let id = unseen.pop().expect("checked length");
+                target.push(id);
+            }
+            // Seen portion plus any shortfall from the unseen pool.
+            let take_seen = (n - target.len()).min(seen.len());
+            let sampled_seen: Vec<MaskId> = seen
+                .choose_multiple(&mut rng, take_seen)
+                .copied()
+                .collect();
+            let seen_in_target = sampled_seen.len();
+            target.extend(sampled_seen);
+            target.sort_unstable();
+            target.dedup();
+
+            for &id in &target {
+                if seen_set.insert(id) {
+                    seen.push(id);
+                }
+            }
+
+            let mut query = generator.filter_query();
+            query = query.with_selection(Selection::all().with_mask_ids(target.clone()));
+            queries.push(WorkloadQuery {
+                query,
+                target,
+                seen_in_target,
+            });
+        }
+        Self {
+            name: name.into(),
+            p_seen,
+            queries,
+        }
+    }
+
+    /// Total number of distinct masks targeted across the whole workload.
+    pub fn distinct_targets(&self) -> usize {
+        let mut set = HashSet::new();
+        for q in &self.queries {
+            set.extend(q.target.iter().copied());
+        }
+        set.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use masksearch_query::QueryKind;
+
+    fn mask_ids(n: u64) -> Vec<MaskId> {
+        (0..n).map(MaskId::new).collect()
+    }
+
+    #[test]
+    fn random_parameters_are_within_spec() {
+        let mut gen = RandomQueryGenerator::new(1, 64, 64);
+        for _ in 0..100 {
+            let range = gen.random_range();
+            assert!(range.lo() >= 0.1 - 1e-6 && range.hi() <= 0.9 + 1e-6);
+            assert!(range.hi() > range.lo());
+            let roi = gen.random_roi();
+            assert!(roi.x1() <= 64 && roi.y1() <= 64);
+            let t = gen.random_threshold();
+            assert!((0.0..=4096.0).contains(&t));
+        }
+    }
+
+    #[test]
+    fn query_types_produce_expected_shapes() {
+        let mut gen = RandomQueryGenerator::new(2, 64, 64);
+        assert!(matches!(
+            gen.query_of(QueryType::Filter).kind,
+            QueryKind::Filter { .. }
+        ));
+        assert!(matches!(
+            gen.query_of(QueryType::TopK).kind,
+            QueryKind::TopK { k: 25, .. }
+        ));
+        assert!(matches!(
+            gen.query_of(QueryType::Aggregation).kind,
+            QueryKind::Aggregate {
+                top_k: Some((25, _)),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let mut a = RandomQueryGenerator::new(9, 64, 64);
+        let mut b = RandomQueryGenerator::new(9, 64, 64);
+        for _ in 0..10 {
+            assert_eq!(a.filter_query(), b.filter_query());
+            assert_eq!(a.topk_query(), b.topk_query());
+        }
+    }
+
+    #[test]
+    fn workload_targets_respect_population_and_sizes() {
+        let ids = mask_ids(1000);
+        let mut gen = RandomQueryGenerator::new(3, 64, 64);
+        let workload =
+            ExplorationWorkload::generate("w2", &ids, 50, 0.5, &mut gen, 77);
+        assert_eq!(workload.queries.len(), 50);
+        for q in &workload.queries {
+            assert!(!q.target.is_empty());
+            assert!(q.target.len() <= 300 + 1);
+            // The query's selection actually restricts to the target.
+            match &q.query.selection.mask_ids {
+                Some(ids) => assert_eq!(ids.len(), q.target.len()),
+                None => panic!("workload queries must carry an explicit target"),
+            }
+        }
+        assert!(workload.distinct_targets() <= 1000);
+    }
+
+    #[test]
+    fn p_seen_controls_exploration_rate() {
+        let ids = mask_ids(2000);
+        let mut gen_low = RandomQueryGenerator::new(4, 64, 64);
+        let explore =
+            ExplorationWorkload::generate("w1", &ids, 30, 0.2, &mut gen_low, 5);
+        let mut gen_high = RandomQueryGenerator::new(4, 64, 64);
+        let revisit =
+            ExplorationWorkload::generate("w4", &ids, 30, 1.0, &mut gen_high, 5);
+        // Low p_seen explores far more distinct masks than p_seen = 1.0.
+        assert!(explore.distinct_targets() > revisit.distinct_targets());
+        // With p_seen = 1.0 only the first query's target is ever new.
+        assert_eq!(revisit.distinct_targets(), revisit.queries[0].target.len());
+    }
+
+    #[test]
+    fn workload_is_deterministic_for_a_seed() {
+        let ids = mask_ids(500);
+        let mut g1 = RandomQueryGenerator::new(6, 32, 32);
+        let mut g2 = RandomQueryGenerator::new(6, 32, 32);
+        let w1 = ExplorationWorkload::generate("w", &ids, 20, 0.5, &mut g1, 11);
+        let w2 = ExplorationWorkload::generate("w", &ids, 20, 0.5, &mut g2, 11);
+        for (a, b) in w1.queries.iter().zip(&w2.queries) {
+            assert_eq!(a.target, b.target);
+            assert_eq!(a.query, b.query);
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! Upper and lower bounds on `CP` derived from a CHI.
+//!
+//! Given a predicate on `CP(mask, roi, (lv, uv))`, the filter stage needs an
+//! upper bound `θ̄` and a lower bound `θ̲` on the true value `θ` computed
+//! *without* touching the mask. The paper gives two upper-bound constructions
+//! (§3.2.1, Eqs. 3–4) and notes the lower bound is symmetric; both are
+//! implemented here.
+//!
+//! Notation: let `roi⁺` be the smallest available region covering the ROI and
+//! `roi⁻` the largest available region covered by it. Let the *outer* bin
+//! range be `[⌊lv/Δ⌋, ⌈uv/Δ⌉)` (a superset of `(lv, uv)`) and the *inner* bin
+//! range `[⌈lv/Δ⌉, ⌊uv/Δ⌋)` (a subset).
+//!
+//! * Upper bound 1 (Eq. 3): outer-bin count of `roi⁺`.
+//! * Upper bound 2 (Eq. 4): outer-bin count of `roi⁻` plus the pixels of the
+//!   ROI not covered by `roi⁻` (each can contribute at most 1).
+//! * Lower bound 1: inner-bin count of `roi⁻`.
+//! * Lower bound 2: inner-bin count of `roi⁺` minus the pixels of `roi⁺`
+//!   outside the ROI.
+//!
+//! The final bounds are `θ̄ = min(θ̄₁, θ̄₂)` and `θ̲ = max(θ̲₁, θ̲₂)`, clamped to
+//! `[0, |roi|]`.
+
+use crate::chi::Chi;
+use masksearch_core::{PixelRange, Roi};
+
+/// An upper and lower bound on a `CP` value, plus the ROI area they refer to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpBounds {
+    /// Lower bound `θ̲ ≤ θ`.
+    pub lower: u64,
+    /// Upper bound `θ ≤ θ̄`.
+    pub upper: u64,
+    /// Pixel area of the (mask-clipped) ROI the bounds refer to.
+    pub roi_area: u64,
+}
+
+impl CpBounds {
+    /// Bounds for an empty ROI (the exact value is zero).
+    pub fn empty() -> Self {
+        CpBounds {
+            lower: 0,
+            upper: 0,
+            roi_area: 0,
+        }
+    }
+
+    /// Returns `true` if the bounds pin down the exact value.
+    pub fn is_exact(&self) -> bool {
+        self.lower == self.upper
+    }
+
+    /// Width of the uncertainty interval.
+    pub fn gap(&self) -> u64 {
+        self.upper - self.lower
+    }
+}
+
+/// Bin indices of the outer (superset) and inner (subset) bin ranges for a
+/// pixel-value range under `bins` equi-width buckets.
+///
+/// Returns `(outer_lo, outer_hi, inner_lo, inner_hi)` where a range `[a, b)`
+/// of bins is empty when `a >= b`.
+pub fn bin_ranges(range: &PixelRange, bins: u32) -> (u32, u32, u32, u32) {
+    let b = bins as f64;
+    let lo = range.lo() as f64 * b;
+    let hi = range.hi() as f64 * b;
+    let outer_lo = lo.floor() as u32;
+    let outer_hi = (hi.ceil() as u32).min(bins);
+    let inner_lo = (lo.ceil() as u32).min(bins);
+    let inner_hi = hi.floor() as u32;
+    (outer_lo, outer_hi, inner_lo, inner_hi)
+}
+
+/// Count of pixels with bin index in `[lo, hi)` from a reverse-cumulative
+/// histogram (`hist[b]` = count of pixels with bin `>= b`; `hist[bins]` is
+/// implicitly zero).
+fn range_count(hist: &[u64], lo: u32, hi: u32) -> u64 {
+    if lo >= hi {
+        return 0;
+    }
+    let bins = hist.len() as u32;
+    let at = |i: u32| -> u64 {
+        if i >= bins {
+            0
+        } else {
+            hist[i as usize]
+        }
+    };
+    at(lo).saturating_sub(at(hi))
+}
+
+/// Computes [`CpBounds`] for `CP(mask, roi, range)` from the mask's CHI.
+pub fn cp_bounds(chi: &Chi, roi: &Roi, range: &PixelRange) -> CpBounds {
+    let Some(clipped) = roi.clamp_to(chi.mask_width(), chi.mask_height()) else {
+        return CpBounds::empty();
+    };
+    let roi_area = clipped.area();
+    let bins = chi.config().bins();
+    let (outer_lo, outer_hi, inner_lo, inner_hi) = bin_ranges(range, bins);
+
+    let covering = chi
+        .covering_region(&clipped)
+        .expect("non-empty clipped ROI always has a covering region");
+    let covering_hist = {
+        let (bx0, by0, bx1, by1) = covering;
+        chi.region_hist(bx0, by0, bx1, by1)
+    };
+    let covering_area = chi.region_area(covering);
+
+    let covered = chi.covered_region(&clipped);
+    let (covered_hist, covered_area) = match covered {
+        Some((bx0, by0, bx1, by1)) => (
+            Some(chi.region_hist(bx0, by0, bx1, by1)),
+            chi.region_area((bx0, by0, bx1, by1)),
+        ),
+        None => (None, 0),
+    };
+
+    // Upper bound 1 (Eq. 3): outer bins over the covering region.
+    let ub1 = range_count(&covering_hist, outer_lo, outer_hi);
+    // Upper bound 2 (Eq. 4): outer bins over the covered region, plus every
+    // ROI pixel the covered region misses.
+    let ub2 = match &covered_hist {
+        Some(hist) => range_count(hist, outer_lo, outer_hi) + (roi_area - covered_area),
+        None => roi_area,
+    };
+    let upper = ub1.min(ub2).min(roi_area);
+
+    // Lower bound 1: inner bins over the covered region.
+    let lb1 = match &covered_hist {
+        Some(hist) => range_count(hist, inner_lo, inner_hi),
+        None => 0,
+    };
+    // Lower bound 2: inner bins over the covering region minus the covering
+    // pixels that lie outside the ROI (each could account for one counted
+    // pixel).
+    let slack = covering_area - roi_area;
+    let lb2 = range_count(&covering_hist, inner_lo, inner_hi).saturating_sub(slack);
+    let lower = lb1.max(lb2).min(upper);
+
+    CpBounds {
+        lower,
+        upper,
+        roi_area,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chi::ChiConfig;
+    use masksearch_core::{cp, Mask};
+
+    fn blob_mask(w: u32, h: u32, cx: f32, cy: f32, sigma: f32) -> Mask {
+        Mask::from_fn(w, h, |x, y| {
+            let dx = x as f32 - cx;
+            let dy = y as f32 - cy;
+            (0.95 * (-(dx * dx + dy * dy) / (2.0 * sigma * sigma)).exp()).min(0.999)
+        })
+    }
+
+    fn check_bounds(mask: &Mask, config: &ChiConfig, roi: &Roi, range: &PixelRange) -> CpBounds {
+        let chi = Chi::build(mask, config);
+        let bounds = cp_bounds(&chi, roi, range);
+        let exact = cp(mask, roi, range);
+        assert!(
+            bounds.lower <= exact,
+            "lower {} > exact {exact} for roi {roi} range {range}",
+            bounds.lower
+        );
+        assert!(
+            exact <= bounds.upper,
+            "exact {exact} > upper {} for roi {roi} range {range}",
+            bounds.upper
+        );
+        assert!(bounds.upper <= bounds.roi_area);
+        bounds
+    }
+
+    #[test]
+    fn bin_ranges_align_with_boundaries() {
+        let r = PixelRange::new(0.5, 1.0).unwrap();
+        assert_eq!(bin_ranges(&r, 16), (8, 16, 8, 16));
+        let r = PixelRange::new(0.6, 1.0).unwrap();
+        assert_eq!(bin_ranges(&r, 16), (9, 16, 10, 16));
+        let r = PixelRange::new(0.1, 0.2).unwrap();
+        // 16 bins: 0.1*16 = 1.6, 0.2*16 = 3.2
+        assert_eq!(bin_ranges(&r, 16), (1, 4, 2, 3));
+        // A range narrower than one bin has an empty inner range.
+        let r = PixelRange::new(0.11, 0.12).unwrap();
+        let (olo, ohi, ilo, ihi) = bin_ranges(&r, 16);
+        assert!(olo < ohi);
+        assert!(ilo >= ihi);
+    }
+
+    #[test]
+    fn range_count_handles_edges() {
+        let hist = vec![10u64, 7, 4, 1];
+        assert_eq!(range_count(&hist, 0, 4), 10);
+        assert_eq!(range_count(&hist, 1, 3), 6);
+        assert_eq!(range_count(&hist, 2, 2), 0);
+        assert_eq!(range_count(&hist, 3, 9), 1);
+        assert_eq!(range_count(&hist, 5, 9), 0);
+    }
+
+    #[test]
+    fn bounds_are_valid_on_gradient_and_blob_masks() {
+        let configs = [
+            ChiConfig::new(8, 8, 16).unwrap(),
+            ChiConfig::new(5, 7, 4).unwrap(),
+            ChiConfig::new(64, 64, 16).unwrap(), // cells larger than some ROIs
+        ];
+        let masks = [
+            Mask::from_fn(48, 48, |x, y| ((x * y) % 97) as f32 / 97.0),
+            blob_mask(48, 48, 24.0, 24.0, 8.0),
+            Mask::constant(48, 48, 0.42).unwrap(),
+        ];
+        let rois = [
+            Roi::new(0, 0, 48, 48).unwrap(),
+            Roi::new(3, 5, 17, 29).unwrap(),
+            Roi::new(20, 20, 28, 28).unwrap(),
+            Roi::new(1, 1, 3, 3).unwrap(),
+            Roi::new(40, 40, 100, 100).unwrap(),
+        ];
+        let ranges = [
+            PixelRange::new(0.5, 1.0).unwrap(),
+            PixelRange::new(0.8, 1.0).unwrap(),
+            PixelRange::new(0.25, 0.75).unwrap(),
+            PixelRange::new(0.4, 0.45).unwrap(),
+            PixelRange::full(),
+        ];
+        for config in &configs {
+            for mask in &masks {
+                for roi in &rois {
+                    for range in &ranges {
+                        check_bounds(mask, config, roi, range);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cell_aligned_roi_and_bin_aligned_range_give_exact_bounds() {
+        let mask = blob_mask(32, 32, 16.0, 16.0, 6.0);
+        let config = ChiConfig::new(8, 8, 16).unwrap();
+        let chi = Chi::build(&mask, &config);
+        let roi = Roi::new(8, 8, 24, 24).unwrap();
+        let range = PixelRange::new(0.5, 1.0).unwrap(); // 0.5 = bin boundary
+        let bounds = cp_bounds(&chi, &roi, &range);
+        assert!(bounds.is_exact());
+        assert_eq!(bounds.lower, cp(&mask, &roi, &range));
+        assert_eq!(bounds.gap(), 0);
+    }
+
+    #[test]
+    fn disjoint_roi_yields_empty_bounds() {
+        let mask = Mask::zeros(16, 16);
+        let chi = Chi::build(&mask, &ChiConfig::default());
+        let roi = Roi::new(100, 100, 120, 120).unwrap();
+        let bounds = cp_bounds(&chi, &roi, &PixelRange::full());
+        assert_eq!(bounds, CpBounds::empty());
+    }
+
+    #[test]
+    fn figure_6_example_upper_bounds() {
+        // Paper Figure 6 example: the same mask as Figure 4, ROI = ((3,3),(5,5))
+        // in the paper's 1-based inclusive convention, (lv, uv) = (0.5, 1.0),
+        // cell size 2x2, 2 bins.
+        //
+        // The paper computes θ̄₁ = 8 from the covering region ((3,3),(6,6)) and
+        // θ̄₂ = 2 − 0 + 9 − 4 = 7 from the covered region ((3,3),(4,4)).
+        // We build a mask consistent with those index values: within rows/cols
+        // 2..6 (0-based), 8 pixels ≥ 0.5, of which 2 are inside rows/cols 2..4.
+        let mut mask = Mask::zeros(6, 6);
+        for y in 0..6 {
+            for x in 0..6 {
+                mask.set(x, y, 0.1);
+            }
+        }
+        // Two high pixels inside [2,4)x[2,4).
+        mask.set(2, 2, 0.9);
+        mask.set(3, 3, 0.9);
+        // Six more high pixels inside [2,6)x[2,6) but outside [2,4)x[2,4).
+        mask.set(4, 2, 0.9);
+        mask.set(5, 3, 0.9);
+        mask.set(4, 4, 0.9);
+        mask.set(5, 5, 0.9);
+        mask.set(2, 4, 0.9);
+        mask.set(3, 5, 0.9);
+
+        let config = ChiConfig::new(2, 2, 2).unwrap();
+        let chi = Chi::build(&mask, &config);
+        // Paper ROI ((3,3),(5,5)) 1-based inclusive = [2,5)x[2,5) 0-based.
+        let roi = Roi::from_inclusive_corners((3, 3), (5, 5)).unwrap();
+        let range = PixelRange::new(0.5, 1.0).unwrap();
+
+        // Covering region boundaries: [2,6)x[2,6) = grid (1,1)..(3,3).
+        assert_eq!(chi.covering_region(&roi), Some((1, 1, 3, 3)));
+        // Covered region: [2,4)x[2,4) = grid (1,1)..(2,2).
+        assert_eq!(chi.covered_region(&roi), Some((1, 1, 2, 2)));
+
+        let covering_hist = chi.region_hist(1, 1, 3, 3);
+        assert_eq!(covering_hist[1], 8); // θ̄₁ = 8
+        let covered_hist = chi.region_hist(1, 1, 2, 2);
+        assert_eq!(covered_hist[1], 2);
+        // θ̄₂ = 2 + |roi| − |roi⁻| = 2 + 9 − 4 = 7.
+        let bounds = cp_bounds(&chi, &roi, &range);
+        assert_eq!(bounds.upper, 7);
+        // And the bounds bracket the true value.
+        let exact = cp(&mask, &roi, &range);
+        assert!(bounds.lower <= exact && exact <= bounds.upper);
+    }
+
+    #[test]
+    fn full_range_full_roi_is_exact() {
+        let mask = blob_mask(40, 30, 12.0, 15.0, 5.0);
+        let chi = Chi::build(&mask, &ChiConfig::new(8, 8, 8).unwrap());
+        let bounds = cp_bounds(&chi, &mask.full_roi(), &PixelRange::full());
+        assert!(bounds.is_exact());
+        assert_eq!(bounds.upper, 40 * 30);
+    }
+
+    #[test]
+    fn finer_grids_give_tighter_bounds() {
+        // §4.4: larger (more granular) indexes yield tighter bounds.
+        let mask = blob_mask(64, 64, 20.0, 40.0, 10.0);
+        let roi = Roi::new(9, 13, 47, 55).unwrap();
+        let range = PixelRange::new(0.6, 1.0).unwrap();
+        let coarse = Chi::build(&mask, &ChiConfig::new(32, 32, 4).unwrap());
+        let fine = Chi::build(&mask, &ChiConfig::new(4, 4, 32).unwrap());
+        let cb = cp_bounds(&coarse, &roi, &range);
+        let fb = cp_bounds(&fine, &roi, &range);
+        assert!(fb.gap() <= cb.gap());
+        let exact = cp(&mask, &roi, &range);
+        assert!(fb.lower <= exact && exact <= fb.upper);
+        assert!(cb.lower <= exact && exact <= cb.upper);
+    }
+}

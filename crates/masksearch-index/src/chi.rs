@@ -1,0 +1,546 @@
+//! The Cumulative Histogram Index for one mask.
+//!
+//! For a cell grid of `(cell_width, cell_height)` pixels and `bins` equi-width
+//! pixel-value buckets, the index stores (paper Eq. 1)
+//!
+//! ```text
+//! H(cx, cy, bin) = CP(mask,
+//!                     ((0, 0), (min(cx·cell_width, w), min(cy·cell_height, h))),
+//!                     (bin·Δ, 1))
+//! ```
+//!
+//! i.e. for every *prefix rectangle* that ends on a cell boundary, the number
+//! of pixels whose value is at least `bin·Δ` (reverse-cumulative over bins).
+//! Counts for any *available region* — a rectangle whose corners lie on cell
+//! boundaries — follow by inclusion–exclusion (Eq. 2), and bounds on `CP`
+//! over arbitrary ROIs follow from the covering/covered available regions
+//! (see [`crate::bounds`]).
+
+use crate::bounds::{self, CpBounds};
+use masksearch_core::{Mask, PixelRange, Roi};
+
+/// Configuration of a CHI: spatial cell size and number of value bins.
+///
+/// The paper's defaults are `bins = 16` with `cell = 64×64` for WILDS
+/// (448×448 masks) and `cell = 28×28` for ImageNet (224×224 masks), chosen so
+/// the index is ≈5 % of the compressed dataset size (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChiConfig {
+    cell_width: u32,
+    cell_height: u32,
+    bins: u32,
+}
+
+impl ChiConfig {
+    /// Creates a configuration; every parameter must be non-zero.
+    pub fn new(cell_width: u32, cell_height: u32, bins: u32) -> Option<Self> {
+        if cell_width == 0 || cell_height == 0 || bins == 0 {
+            return None;
+        }
+        Some(Self {
+            cell_width,
+            cell_height,
+            bins,
+        })
+    }
+
+    /// The paper's WILDS configuration: 64×64 cells, 16 bins.
+    pub fn paper_wilds() -> Self {
+        Self {
+            cell_width: 64,
+            cell_height: 64,
+            bins: 16,
+        }
+    }
+
+    /// The paper's ImageNet configuration: 28×28 cells, 16 bins.
+    pub fn paper_imagenet() -> Self {
+        Self {
+            cell_width: 28,
+            cell_height: 28,
+            bins: 16,
+        }
+    }
+
+    /// Cell width in pixels.
+    pub fn cell_width(&self) -> u32 {
+        self.cell_width
+    }
+
+    /// Cell height in pixels.
+    pub fn cell_height(&self) -> u32 {
+        self.cell_height
+    }
+
+    /// Number of equi-width pixel-value bins.
+    pub fn bins(&self) -> u32 {
+        self.bins
+    }
+
+    /// Width of one value bin (`Δ` in the paper).
+    pub fn delta(&self) -> f64 {
+        1.0 / self.bins as f64
+    }
+
+    /// Number of grid columns for a mask of width `w` (ragged final column
+    /// included).
+    pub fn cells_x(&self, width: u32) -> u32 {
+        width.div_ceil(self.cell_width)
+    }
+
+    /// Number of grid rows for a mask of height `h`.
+    pub fn cells_y(&self, height: u32) -> u32 {
+        height.div_ceil(self.cell_height)
+    }
+
+    /// Index size in bytes for one mask of the given shape
+    /// (`4 · bins · cells_x · cells_y`, the paper's space formula).
+    pub fn index_bytes(&self, width: u32, height: u32) -> u64 {
+        4 * self.bins as u64 * self.cells_x(width) as u64 * self.cells_y(height) as u64
+    }
+
+    /// Maps a pixel value in `[0, 1)` to its bin index.
+    #[inline]
+    pub fn bin_of(&self, value: f32) -> u32 {
+        ((value as f64 * self.bins as f64) as u32).min(self.bins - 1)
+    }
+}
+
+impl Default for ChiConfig {
+    fn default() -> Self {
+        // A generic default suitable for moderately sized masks.
+        Self {
+            cell_width: 32,
+            cell_height: 32,
+            bins: 16,
+        }
+    }
+}
+
+/// The Cumulative Histogram Index of a single mask.
+///
+/// Internally a flat `Vec<u32>` indexed by `(cy, cx, bin)`; lookups are pure
+/// offset arithmetic ("rather than building a B-tree index or a hash index
+/// ... an optimized index structure using an array", §3.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chi {
+    config: ChiConfig,
+    mask_width: u32,
+    mask_height: u32,
+    cells_x: u32,
+    cells_y: u32,
+    /// `data[((cy * cells_x) + cx) * bins + bin]` = count of pixels in the
+    /// prefix rectangle ending at boundary `(cx+1, cy+1)` with value
+    /// `>= bin · Δ`.
+    data: Vec<u32>,
+}
+
+impl Chi {
+    /// Builds the CHI of `mask` under `config`.
+    ///
+    /// Cost is `O(w · h + cells · bins)` — a single pass over the pixels plus
+    /// the cumulative sweeps.
+    pub fn build(mask: &Mask, config: &ChiConfig) -> Self {
+        let (w, h) = mask.shape();
+        let cells_x = config.cells_x(w);
+        let cells_y = config.cells_y(h);
+        let bins = config.bins as usize;
+        let mut data = vec![0u32; cells_x as usize * cells_y as usize * bins];
+
+        // Pass 1: per-cell plain histograms.
+        for (x, y, v) in mask.iter_pixels() {
+            let cx = (x / config.cell_width) as usize;
+            let cy = (y / config.cell_height) as usize;
+            let bin = config.bin_of(v) as usize;
+            data[(cy * cells_x as usize + cx) * bins + bin] += 1;
+        }
+
+        // Pass 2: reverse-cumulative over bins within each cell.
+        for cell in data.chunks_exact_mut(bins) {
+            for b in (0..bins - 1).rev() {
+                cell[b] += cell[b + 1];
+            }
+        }
+
+        // Pass 3: 2-D prefix sums over the cell grid, per bin.
+        // First along x...
+        for cy in 0..cells_y as usize {
+            for cx in 1..cells_x as usize {
+                for b in 0..bins {
+                    let prev = data[(cy * cells_x as usize + cx - 1) * bins + b];
+                    data[(cy * cells_x as usize + cx) * bins + b] += prev;
+                }
+            }
+        }
+        // ...then along y.
+        for cy in 1..cells_y as usize {
+            for cx in 0..cells_x as usize {
+                for b in 0..bins {
+                    let prev = data[((cy - 1) * cells_x as usize + cx) * bins + b];
+                    data[(cy * cells_x as usize + cx) * bins + b] += prev;
+                }
+            }
+        }
+
+        Self {
+            config: *config,
+            mask_width: w,
+            mask_height: h,
+            cells_x,
+            cells_y,
+            data,
+        }
+    }
+
+    /// Reconstructs a CHI from its raw parts (used by the persistence layer).
+    ///
+    /// Returns `None` if the data length is inconsistent with the shape.
+    pub fn from_parts(
+        config: ChiConfig,
+        mask_width: u32,
+        mask_height: u32,
+        data: Vec<u32>,
+    ) -> Option<Self> {
+        let cells_x = config.cells_x(mask_width);
+        let cells_y = config.cells_y(mask_height);
+        if data.len() != cells_x as usize * cells_y as usize * config.bins() as usize {
+            return None;
+        }
+        Some(Self {
+            config,
+            mask_width,
+            mask_height,
+            cells_x,
+            cells_y,
+            data,
+        })
+    }
+
+    /// The configuration the index was built with.
+    pub fn config(&self) -> &ChiConfig {
+        &self.config
+    }
+
+    /// Width of the indexed mask.
+    pub fn mask_width(&self) -> u32 {
+        self.mask_width
+    }
+
+    /// Height of the indexed mask.
+    pub fn mask_height(&self) -> u32 {
+        self.mask_height
+    }
+
+    /// Number of grid columns (including the ragged final column).
+    pub fn cells_x(&self) -> u32 {
+        self.cells_x
+    }
+
+    /// Number of grid rows.
+    pub fn cells_y(&self) -> u32 {
+        self.cells_y
+    }
+
+    /// Raw cumulative data (used by the persistence layer).
+    pub fn data(&self) -> &[u32] {
+        &self.data
+    }
+
+    /// In-memory size of the index payload in bytes.
+    pub fn byte_size(&self) -> u64 {
+        self.data.len() as u64 * 4
+    }
+
+    /// Pixel x-coordinate of grid boundary `i` (`0 ..= cells_x`), clamped to
+    /// the mask width for the ragged final column.
+    #[inline]
+    pub fn x_boundary(&self, i: u32) -> u32 {
+        (i * self.config.cell_width).min(self.mask_width)
+    }
+
+    /// Pixel y-coordinate of grid boundary `i` (`0 ..= cells_y`).
+    #[inline]
+    pub fn y_boundary(&self, i: u32) -> u32 {
+        (i * self.config.cell_height).min(self.mask_height)
+    }
+
+    /// Reverse-cumulative histogram of the prefix rectangle ending at grid
+    /// boundary `(bx, by)` (in boundary indices, `0 ..= cells`): element `b`
+    /// is the count of pixels with value `>= b · Δ` inside
+    /// `[0, x_boundary(bx)) × [0, y_boundary(by))`.
+    ///
+    /// Boundary index 0 denotes the empty prefix (all zeros).
+    pub fn prefix_hist(&self, bx: u32, by: u32) -> Vec<u64> {
+        let bins = self.config.bins as usize;
+        if bx == 0 || by == 0 {
+            return vec![0; bins];
+        }
+        let cx = (bx - 1).min(self.cells_x - 1) as usize;
+        let cy = (by - 1).min(self.cells_y - 1) as usize;
+        let start = (cy * self.cells_x as usize + cx) * bins;
+        self.data[start..start + bins]
+            .iter()
+            .map(|&v| v as u64)
+            .collect()
+    }
+
+    /// Reverse-cumulative histogram of an *available region* given by grid
+    /// boundary indices `[bx0, bx1) × [by0, by1)` (paper Eq. 2):
+    ///
+    /// ```text
+    /// C(region) = H(bx1, by1) − H(bx0, by1) − H(bx1, by0) + H(bx0, by0)
+    /// ```
+    pub fn region_hist(&self, bx0: u32, by0: u32, bx1: u32, by1: u32) -> Vec<u64> {
+        debug_assert!(bx0 <= bx1 && by0 <= by1);
+        let bins = self.config.bins as usize;
+        let a = self.prefix_hist(bx1, by1);
+        let b = self.prefix_hist(bx0, by1);
+        let c = self.prefix_hist(bx1, by0);
+        let d = self.prefix_hist(bx0, by0);
+        let mut out = vec![0u64; bins];
+        for i in 0..bins {
+            // Inclusion–exclusion never goes negative for prefix sums of
+            // non-negative data; use checked arithmetic in debug builds.
+            out[i] = a[i] + d[i] - b[i] - c[i];
+        }
+        out
+    }
+
+    /// Grid-boundary rectangle (in boundary indices) of the smallest
+    /// available region that *covers* the pixel rectangle `roi`
+    /// (clipped to the mask). Returns `None` if the clipped ROI is empty.
+    pub fn covering_region(&self, roi: &Roi) -> Option<(u32, u32, u32, u32)> {
+        let clipped = roi.clamp_to(self.mask_width, self.mask_height)?;
+        let bx0 = clipped.x0() / self.config.cell_width;
+        let by0 = clipped.y0() / self.config.cell_height;
+        let bx1 = clipped.x1().div_ceil(self.config.cell_width).min(self.cells_x);
+        let by1 = clipped
+            .y1()
+            .div_ceil(self.config.cell_height)
+            .min(self.cells_y);
+        Some((bx0, by0, bx1, by1))
+    }
+
+    /// Grid-boundary rectangle of the largest available region *covered by*
+    /// the pixel rectangle `roi` (clipped to the mask). Returns `None` if no
+    /// complete cell fits inside the ROI.
+    pub fn covered_region(&self, roi: &Roi) -> Option<(u32, u32, u32, u32)> {
+        let clipped = roi.clamp_to(self.mask_width, self.mask_height)?;
+        let bx0 = clipped.x0().div_ceil(self.config.cell_width);
+        let by0 = clipped.y0().div_ceil(self.config.cell_height);
+        let bx1 = clipped.x1() / self.config.cell_width;
+        let by1 = clipped.y1() / self.config.cell_height;
+        // The ragged final boundary equals the mask edge: if the ROI reaches
+        // the mask edge it covers the (partial) final cell as well.
+        let bx1 = if clipped.x1() == self.mask_width {
+            self.cells_x
+        } else {
+            bx1
+        };
+        let by1 = if clipped.y1() == self.mask_height {
+            self.cells_y
+        } else {
+            by1
+        };
+        if bx0 < bx1 && by0 < by1 {
+            Some((bx0, by0, bx1, by1))
+        } else {
+            None
+        }
+    }
+
+    /// Pixel area of a grid-boundary rectangle.
+    pub fn region_area(&self, region: (u32, u32, u32, u32)) -> u64 {
+        let (bx0, by0, bx1, by1) = region;
+        let w = self.x_boundary(bx1).saturating_sub(self.x_boundary(bx0)) as u64;
+        let h = self.y_boundary(by1).saturating_sub(self.y_boundary(by0)) as u64;
+        w * h
+    }
+
+    /// Upper and lower bounds on `CP(mask, roi, range)` computed purely from
+    /// the index (see [`crate::bounds`] for the construction).
+    pub fn cp_bounds(&self, roi: &Roi, range: &PixelRange) -> CpBounds {
+        bounds::cp_bounds(self, roi, range)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient_mask(w: u32, h: u32) -> Mask {
+        Mask::from_fn(w, h, |x, y| ((x + y) as f32) / ((w + h) as f32))
+    }
+
+    #[test]
+    fn config_validation_and_geometry() {
+        assert!(ChiConfig::new(0, 4, 16).is_none());
+        assert!(ChiConfig::new(4, 0, 16).is_none());
+        assert!(ChiConfig::new(4, 4, 0).is_none());
+        let c = ChiConfig::new(28, 28, 16).unwrap();
+        assert_eq!(c.cells_x(224), 8);
+        assert_eq!(c.cells_y(224), 8);
+        // Ragged: 30 pixels with 28-wide cells -> 2 columns.
+        assert_eq!(c.cells_x(30), 2);
+        assert_eq!(c.index_bytes(224, 224), 4 * 16 * 64);
+        assert!((c.delta() - 0.0625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bin_mapping_is_clamped() {
+        let c = ChiConfig::new(4, 4, 16).unwrap();
+        assert_eq!(c.bin_of(0.0), 0);
+        assert_eq!(c.bin_of(0.0624), 0);
+        assert_eq!(c.bin_of(0.0625), 1);
+        assert_eq!(c.bin_of(0.999_999), 15);
+    }
+
+    #[test]
+    fn paper_index_sizes_are_about_five_percent() {
+        // ImageNet: 224x224 masks, 28x28 cells, 16 bins -> 4 KiB per mask
+        // vs. 224*224*4 = 196 KiB raw (about 2%; ~5% of the compressed size).
+        let c = ChiConfig::paper_imagenet();
+        let index = c.index_bytes(224, 224) as f64;
+        let raw = (224 * 224 * 4) as f64;
+        assert!(index / raw < 0.03);
+        // WILDS: 448x448 masks, 64x64 cells, 16 bins.
+        let c = ChiConfig::paper_wilds();
+        let index = c.index_bytes(448, 448) as f64;
+        let raw = (448 * 448 * 4) as f64;
+        assert!(index / raw < 0.01);
+    }
+
+    #[test]
+    fn prefix_hist_matches_brute_force() {
+        let mask = gradient_mask(20, 12);
+        let config = ChiConfig::new(6, 5, 8).unwrap();
+        let chi = Chi::build(&mask, &config);
+        for by in 0..=chi.cells_y() {
+            for bx in 0..=chi.cells_x() {
+                let hist = chi.prefix_hist(bx, by);
+                let x1 = chi.x_boundary(bx);
+                let y1 = chi.y_boundary(by);
+                for (b, &count) in hist.iter().enumerate() {
+                    let lo = (b as f32) * (config.delta() as f32);
+                    let expected = if x1 == 0 || y1 == 0 {
+                        0
+                    } else {
+                        let roi = Roi::new(0, 0, x1, y1).unwrap();
+                        // Count pixels with value >= lo (i.e. in [lo, 1)).
+                        mask.count_pixels(&roi, &PixelRange::new(lo.min(0.999_999), 1.0).unwrap())
+                    };
+                    assert_eq!(count, expected, "bx={bx} by={by} bin={b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn region_hist_is_additive() {
+        // Eq. 2: region counts computed via inclusion-exclusion must match a
+        // direct scan of the region, for every bin, on an awkwardly-sized
+        // mask (ragged cells).
+        let mask = gradient_mask(23, 17);
+        let config = ChiConfig::new(7, 5, 4).unwrap();
+        let chi = Chi::build(&mask, &config);
+        for by0 in 0..chi.cells_y() {
+            for bx0 in 0..chi.cells_x() {
+                for by1 in (by0 + 1)..=chi.cells_y() {
+                    for bx1 in (bx0 + 1)..=chi.cells_x() {
+                        let hist = chi.region_hist(bx0, by0, bx1, by1);
+                        let roi = Roi::new(
+                            chi.x_boundary(bx0),
+                            chi.y_boundary(by0),
+                            chi.x_boundary(bx1),
+                            chi.y_boundary(by1),
+                        )
+                        .unwrap();
+                        for (b, &count) in hist.iter().enumerate() {
+                            let lo = (b as f64 * config.delta()) as f32;
+                            let expected = mask.count_pixels(
+                                &roi,
+                                &PixelRange::new(lo.min(0.999_999), 1.0).unwrap(),
+                            );
+                            assert_eq!(count, expected, "region ({bx0},{by0})-({bx1},{by1}) bin {b}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn covering_and_covered_regions() {
+        let mask = gradient_mask(16, 16);
+        let config = ChiConfig::new(4, 4, 4).unwrap();
+        let chi = Chi::build(&mask, &config);
+
+        // ROI aligned exactly on cell boundaries: covering == covered.
+        let aligned = Roi::new(4, 8, 12, 16).unwrap();
+        assert_eq!(chi.covering_region(&aligned), Some((1, 2, 3, 4)));
+        assert_eq!(chi.covered_region(&aligned), Some((1, 2, 3, 4)));
+
+        // Unaligned ROI.
+        let roi = Roi::new(3, 5, 10, 14).unwrap();
+        assert_eq!(chi.covering_region(&roi), Some((0, 1, 3, 4)));
+        assert_eq!(chi.covered_region(&roi), Some((1, 2, 2, 3)));
+
+        // ROI smaller than a cell: covered region is empty.
+        let tiny = Roi::new(5, 5, 7, 7).unwrap();
+        assert_eq!(chi.covered_region(&tiny), None);
+        assert_eq!(chi.covering_region(&tiny), Some((1, 1, 2, 2)));
+
+        // ROI outside the mask.
+        let outside = Roi::new(100, 100, 120, 120).unwrap();
+        assert_eq!(chi.covering_region(&outside), None);
+        assert_eq!(chi.covered_region(&outside), None);
+
+        // Region area accounts for ragged boundaries.
+        let ragged_mask = gradient_mask(10, 10);
+        let ragged = Chi::build(&ragged_mask, &ChiConfig::new(4, 4, 4).unwrap());
+        // 3 columns with boundaries at 0, 4, 8, 10.
+        assert_eq!(ragged.region_area((0, 0, 3, 3)), 100);
+        assert_eq!(ragged.region_area((2, 2, 3, 3)), 4);
+    }
+
+    #[test]
+    fn figure_4_example() {
+        // Reproduces the paper's Figure 4: a 6x6 mask, cell size 2x2, 2 bins.
+        // We construct a mask where exactly the pixels of the top-left 2x2
+        // block are all below 0.5 and 3 pixels overall are >= 0.5 within the
+        // 4x4 prefix, matching H(M,1,1) = [4, 0] and H(M,2,2) = [16, 3].
+        let mut mask = Mask::zeros(6, 6);
+        // Fill with 0.1 everywhere.
+        for y in 0..6 {
+            for x in 0..6 {
+                mask.set(x, y, 0.1);
+            }
+        }
+        // Place 3 high pixels inside [0,4)x[0,4) but outside [0,2)x[0,2).
+        mask.set(2, 1, 0.9);
+        mask.set(3, 3, 0.7);
+        mask.set(0, 2, 0.6);
+        let chi = Chi::build(&mask, &ChiConfig::new(2, 2, 2).unwrap());
+        assert_eq!(chi.prefix_hist(1, 1), vec![4, 0]);
+        assert_eq!(chi.prefix_hist(2, 2), vec![16, 3]);
+    }
+
+    #[test]
+    fn from_parts_validates_shape() {
+        let mask = gradient_mask(8, 8);
+        let config = ChiConfig::new(4, 4, 4).unwrap();
+        let chi = Chi::build(&mask, &config);
+        let rebuilt =
+            Chi::from_parts(config, 8, 8, chi.data().to_vec()).expect("valid parts");
+        assert_eq!(rebuilt, chi);
+        assert!(Chi::from_parts(config, 8, 8, vec![0; 3]).is_none());
+    }
+
+    #[test]
+    fn byte_size_matches_config_formula() {
+        let mask = gradient_mask(224, 224);
+        let config = ChiConfig::paper_imagenet();
+        let chi = Chi::build(&mask, &config);
+        assert_eq!(chi.byte_size(), config.index_bytes(224, 224));
+    }
+}

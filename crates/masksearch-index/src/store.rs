@@ -1,0 +1,267 @@
+//! A collection of CHIs for a dataset, with persistence and incremental
+//! insertion.
+//!
+//! The paper assumes the CHI of every mask is loaded into memory when a
+//! MaskSearch session starts and persisted to disk when it ends (§3.2, §3.6).
+//! [`ChiStore`] is that collection: a concurrent map from [`MaskId`] to
+//! [`Chi`], a single-file binary serialisation, and size accounting used to
+//! report index-size/dataset-size ratios (§4.1).
+
+use crate::chi::{Chi, ChiConfig};
+use masksearch_core::{Mask, MaskId};
+use masksearch_storage::codec::{Reader, Writer};
+use masksearch_storage::{StorageError, StorageResult};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Magic bytes identifying a CHI index file.
+pub const CHI_MAGIC: [u8; 4] = *b"MSKI";
+/// CHI index file format version.
+pub const CHI_FORMAT_VERSION: u16 = 1;
+
+/// A thread-safe collection of per-mask CHIs sharing one configuration.
+#[derive(Debug)]
+pub struct ChiStore {
+    config: ChiConfig,
+    entries: RwLock<BTreeMap<MaskId, Arc<Chi>>>,
+}
+
+impl ChiStore {
+    /// Creates an empty store for indexes built with `config`.
+    pub fn new(config: ChiConfig) -> Self {
+        Self {
+            config,
+            entries: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// The configuration shared by every index in the store.
+    pub fn config(&self) -> &ChiConfig {
+        &self.config
+    }
+
+    /// Number of indexed masks.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// Returns `true` if no masks are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+
+    /// Returns `true` if `mask_id` has an index.
+    pub fn contains(&self, mask_id: MaskId) -> bool {
+        self.entries.read().contains_key(&mask_id)
+    }
+
+    /// Retrieves the index of `mask_id`, if present.
+    pub fn get(&self, mask_id: MaskId) -> Option<Arc<Chi>> {
+        self.entries.read().get(&mask_id).cloned()
+    }
+
+    /// Inserts a pre-built index for `mask_id`, replacing any existing one.
+    pub fn insert(&self, mask_id: MaskId, chi: Chi) {
+        self.entries.write().insert(mask_id, Arc::new(chi));
+    }
+
+    /// Builds and inserts the index of `mask` under the store's
+    /// configuration (the §3.6 incremental-indexing step), returning it.
+    pub fn index_mask(&self, mask_id: MaskId, mask: &Mask) -> Arc<Chi> {
+        let chi = Arc::new(Chi::build(mask, &self.config));
+        self.entries.write().insert(mask_id, Arc::clone(&chi));
+        chi
+    }
+
+    /// Removes the index of `mask_id`, returning it if it existed.
+    pub fn remove(&self, mask_id: MaskId) -> Option<Arc<Chi>> {
+        self.entries.write().remove(&mask_id)
+    }
+
+    /// Ids of all indexed masks, ascending.
+    pub fn ids(&self) -> Vec<MaskId> {
+        self.entries.read().keys().copied().collect()
+    }
+
+    /// Total in-memory size of the index payloads in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.read().values().map(|c| c.byte_size()).sum()
+    }
+
+    /// Serialises the store (configuration + every index) to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let entries = self.entries.read();
+        let mut w = Writer::new();
+        w.write_bytes(&CHI_MAGIC);
+        w.write_u16(CHI_FORMAT_VERSION);
+        w.write_u16(0);
+        w.write_u32(self.config.cell_width());
+        w.write_u32(self.config.cell_height());
+        w.write_u32(self.config.bins());
+        w.write_u64(entries.len() as u64);
+        for (id, chi) in entries.iter() {
+            w.write_u64(id.raw());
+            w.write_u32(chi.mask_width());
+            w.write_u32(chi.mask_height());
+            w.write_u32_vec(chi.data());
+        }
+        w.into_bytes()
+    }
+
+    /// Deserialises a store written by [`ChiStore::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> StorageResult<Self> {
+        let mut r = Reader::new(bytes, "chi index file");
+        let magic = r.read_magic()?;
+        if magic != CHI_MAGIC {
+            return Err(StorageError::BadMagic {
+                path: "<chi index>".to_string(),
+                found: magic,
+            });
+        }
+        let version = r.read_u16()?;
+        if version > CHI_FORMAT_VERSION {
+            return Err(StorageError::UnsupportedVersion {
+                found: version,
+                supported: CHI_FORMAT_VERSION,
+            });
+        }
+        let _reserved = r.read_u16()?;
+        let cell_width = r.read_u32()?;
+        let cell_height = r.read_u32()?;
+        let bins = r.read_u32()?;
+        let config = ChiConfig::new(cell_width, cell_height, bins)
+            .ok_or_else(|| StorageError::corrupt("chi index file has a zero-sized configuration"))?;
+        let count = r.read_u64()?;
+        let store = ChiStore::new(config);
+        {
+            let mut entries = store.entries.write();
+            for _ in 0..count {
+                let id = MaskId::new(r.read_u64()?);
+                let width = r.read_u32()?;
+                let height = r.read_u32()?;
+                let data = r.read_u32_vec()?;
+                let chi = Chi::from_parts(config, width, height, data).ok_or_else(|| {
+                    StorageError::corrupt(format!(
+                        "chi payload for mask {id} does not match its declared shape"
+                    ))
+                })?;
+                entries.insert(id, Arc::new(chi));
+            }
+        }
+        Ok(store)
+    }
+
+    /// Persists the store to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> StorageResult<()> {
+        std::fs::write(path.as_ref(), self.to_bytes())
+            .map_err(|e| StorageError::io("writing chi index file", e))
+    }
+
+    /// Loads a store from a file.
+    pub fn load(path: impl AsRef<Path>) -> StorageResult<Self> {
+        let bytes = std::fs::read(path.as_ref())
+            .map_err(|e| StorageError::io("reading chi index file", e))?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use masksearch_core::{cp, PixelRange, Roi};
+
+    fn mask(seed: u32) -> Mask {
+        Mask::from_fn(24, 24, |x, y| ((x * 7 + y * 3 + seed) % 19) as f32 / 19.0)
+    }
+
+    fn config() -> ChiConfig {
+        ChiConfig::new(8, 8, 8).unwrap()
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let store = ChiStore::new(config());
+        assert!(store.is_empty());
+        store.index_mask(MaskId::new(1), &mask(1));
+        store.index_mask(MaskId::new(2), &mask(2));
+        assert_eq!(store.len(), 2);
+        assert!(store.contains(MaskId::new(1)));
+        assert!(!store.contains(MaskId::new(3)));
+        assert_eq!(store.ids(), vec![MaskId::new(1), MaskId::new(2)]);
+        assert!(store.get(MaskId::new(2)).is_some());
+        assert!(store.remove(MaskId::new(1)).is_some());
+        assert!(store.remove(MaskId::new(1)).is_none());
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn indexed_bounds_bracket_exact_values() {
+        let store = ChiStore::new(config());
+        let m = mask(5);
+        let chi = store.index_mask(MaskId::new(5), &m);
+        let roi = Roi::new(3, 3, 20, 17).unwrap();
+        let range = PixelRange::new(0.3, 0.7).unwrap();
+        let b = chi.cp_bounds(&roi, &range);
+        let exact = cp(&m, &roi, &range);
+        assert!(b.lower <= exact && exact <= b.upper);
+    }
+
+    #[test]
+    fn total_bytes_accounts_every_index() {
+        let store = ChiStore::new(config());
+        store.index_mask(MaskId::new(1), &mask(1));
+        store.index_mask(MaskId::new(2), &mask(2));
+        // 24x24 mask with 8x8 cells -> 3x3 cells x 8 bins x 4 bytes = 288.
+        assert_eq!(store.total_bytes(), 2 * 288);
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let store = ChiStore::new(config());
+        for i in 0..5u64 {
+            store.index_mask(MaskId::new(i), &mask(i as u32));
+        }
+        let bytes = store.to_bytes();
+        let decoded = ChiStore::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded.len(), 5);
+        assert_eq!(decoded.config(), store.config());
+        for i in 0..5u64 {
+            assert_eq!(
+                *decoded.get(MaskId::new(i)).unwrap(),
+                *store.get(MaskId::new(i)).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn file_round_trip_and_corruption() {
+        let store = ChiStore::new(config());
+        store.index_mask(MaskId::new(9), &mask(9));
+        let path = std::env::temp_dir().join(format!(
+            "masksearch-chistore-test-{}.idx",
+            std::process::id()
+        ));
+        store.save(&path).unwrap();
+        let loaded = ChiStore::load(&path).unwrap();
+        assert_eq!(loaded.len(), 1);
+        // Corrupt the file and confirm a typed error.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] = b'Z';
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            ChiStore::load(&path),
+            Err(StorageError::BadMagic { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_index_file_is_rejected() {
+        let store = ChiStore::new(config());
+        store.index_mask(MaskId::new(1), &mask(1));
+        let bytes = store.to_bytes();
+        assert!(ChiStore::from_bytes(&bytes[..bytes.len() - 8]).is_err());
+    }
+}

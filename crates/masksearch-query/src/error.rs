@@ -1,0 +1,93 @@
+//! Error types for query construction and execution.
+
+use masksearch_core::MaskId;
+use std::fmt;
+
+/// Convenience alias for query-layer results.
+pub type QueryResult<T> = std::result::Result<T, QueryError>;
+
+/// Errors produced while building or executing a query.
+#[derive(Debug, Clone)]
+pub enum QueryError {
+    /// The underlying storage layer failed.
+    Storage(masksearch_storage::StorageError),
+    /// The core data model rejected a value (e.g. a mask aggregation over
+    /// mismatched shapes).
+    Core(masksearch_core::Error),
+    /// The query references a mask that is not in the catalog.
+    UnknownMask(MaskId),
+    /// A query parameter is structurally invalid.
+    InvalidQuery {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A `RoiSpec::ObjectBox` term was evaluated for a mask whose catalog
+    /// record has no object bounding box.
+    MissingObjectBox(MaskId),
+}
+
+impl QueryError {
+    /// Builds an [`QueryError::InvalidQuery`] from a description.
+    pub fn invalid(reason: impl Into<String>) -> Self {
+        QueryError::InvalidQuery {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Storage(e) => write!(f, "storage error: {e}"),
+            QueryError::Core(e) => write!(f, "data model error: {e}"),
+            QueryError::UnknownMask(id) => write!(f, "mask {id} is not in the catalog"),
+            QueryError::InvalidQuery { reason } => write!(f, "invalid query: {reason}"),
+            QueryError::MissingObjectBox(id) => write!(
+                f,
+                "mask {id} has no object bounding box but the query uses roi = object"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Storage(e) => Some(e),
+            QueryError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<masksearch_storage::StorageError> for QueryError {
+    fn from(e: masksearch_storage::StorageError) -> Self {
+        QueryError::Storage(e)
+    }
+}
+
+impl From<masksearch_core::Error> for QueryError {
+    fn from(e: masksearch_core::Error) -> Self {
+        QueryError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: QueryError = masksearch_core::Error::EmptyMask.into();
+        assert!(e.to_string().contains("data model"));
+        let e: QueryError =
+            masksearch_storage::StorageError::MaskNotFound(MaskId::new(4)).into();
+        assert!(e.to_string().contains("storage"));
+        assert!(QueryError::invalid("k must be positive")
+            .to_string()
+            .contains("k must be positive"));
+        assert!(QueryError::MissingObjectBox(MaskId::new(2))
+            .to_string()
+            .contains("object"));
+    }
+}

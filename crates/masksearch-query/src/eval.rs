@@ -1,0 +1,214 @@
+//! Per-mask evaluation of terms, expressions, and predicates — both exactly
+//! (from the mask pixels) and as bounds (from the mask's CHI).
+
+use crate::error::{QueryError, QueryResult};
+use crate::expr::{Expr, Interval};
+use crate::predicate::{Predicate, Truth};
+use crate::spec::CpTerm;
+use masksearch_core::{cp, Mask, MaskRecord, Roi};
+use masksearch_index::Chi;
+
+/// Resolves a term's ROI for a record.
+///
+/// When the term uses the per-mask object box but the record has none, the
+/// behaviour depends on `object_box_fallback`: fall back to the full mask
+/// (`true`) or report an error (`false`).
+pub fn resolve_roi(
+    term: &CpTerm,
+    record: &MaskRecord,
+    object_box_fallback: bool,
+) -> QueryResult<Roi> {
+    if let Some(roi) = term.roi.resolve(record) {
+        return Ok(roi);
+    }
+    match term.roi {
+        crate::spec::RoiSpec::ObjectBox if object_box_fallback => {
+            if record.width == 0 || record.height == 0 {
+                Err(QueryError::invalid(format!(
+                    "mask {} has no recorded shape",
+                    record.mask_id
+                )))
+            } else {
+                Ok(Roi::new(0, 0, record.width, record.height).expect("non-zero shape"))
+            }
+        }
+        crate::spec::RoiSpec::ObjectBox => Err(QueryError::MissingObjectBox(record.mask_id)),
+        _ => Err(QueryError::invalid(format!(
+            "mask {} has no recorded shape",
+            record.mask_id
+        ))),
+    }
+}
+
+/// Exact value of one term on a loaded mask.
+pub fn term_exact(
+    term: &CpTerm,
+    record: &MaskRecord,
+    mask: &Mask,
+    object_box_fallback: bool,
+) -> QueryResult<f64> {
+    let roi = resolve_roi(term, record, object_box_fallback)?;
+    Ok(cp(mask, &roi, &term.range) as f64)
+}
+
+/// Bounds on one term from the mask's CHI.
+pub fn term_bounds(
+    term: &CpTerm,
+    record: &MaskRecord,
+    chi: &Chi,
+    object_box_fallback: bool,
+) -> QueryResult<Interval> {
+    let roi = resolve_roi(term, record, object_box_fallback)?;
+    let b = chi.cp_bounds(&roi, &term.range);
+    Ok(Interval::new(b.lower as f64, b.upper as f64))
+}
+
+/// Exact value of an expression on a loaded mask.
+pub fn expr_exact(
+    expr: &Expr,
+    record: &MaskRecord,
+    mask: &Mask,
+    object_box_fallback: bool,
+) -> QueryResult<f64> {
+    let mut values = Vec::new();
+    for term in expr.terms() {
+        values.push(term_exact(term, record, mask, object_box_fallback)?);
+    }
+    Ok(expr.evaluate_exact(&values))
+}
+
+/// Bounds on an expression from the mask's CHI.
+pub fn expr_bounds(
+    expr: &Expr,
+    record: &MaskRecord,
+    chi: &Chi,
+    object_box_fallback: bool,
+) -> QueryResult<Interval> {
+    let mut intervals = Vec::new();
+    for term in expr.terms() {
+        intervals.push(term_bounds(term, record, chi, object_box_fallback)?);
+    }
+    Ok(expr.evaluate_bounds(&intervals))
+}
+
+/// Exact truth of a predicate on a loaded mask.
+pub fn predicate_exact(
+    predicate: &Predicate,
+    record: &MaskRecord,
+    mask: &Mask,
+    object_box_fallback: bool,
+) -> QueryResult<bool> {
+    let mut values = Vec::new();
+    for cmp in predicate.comparisons() {
+        values.push(expr_exact(&cmp.expr, record, mask, object_box_fallback)?);
+    }
+    Ok(predicate.eval_exact(&values))
+}
+
+/// Three-valued truth of a predicate from the mask's CHI.
+pub fn predicate_bounds(
+    predicate: &Predicate,
+    record: &MaskRecord,
+    chi: &Chi,
+    object_box_fallback: bool,
+) -> QueryResult<Truth> {
+    let mut intervals = Vec::new();
+    for cmp in predicate.comparisons() {
+        intervals.push(expr_bounds(&cmp.expr, record, chi, object_box_fallback)?);
+    }
+    Ok(predicate.eval_bounds(&intervals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::RoiSpec;
+    use masksearch_core::{MaskId, PixelRange};
+    use masksearch_index::ChiConfig;
+
+    fn mask() -> Mask {
+        Mask::from_fn(32, 32, |x, y| if x < 16 && y < 16 { 0.9 } else { 0.1 })
+    }
+
+    fn record(with_box: bool) -> MaskRecord {
+        let mut b = MaskRecord::builder(MaskId::new(1)).shape(32, 32);
+        if with_box {
+            b = b.object_box(Roi::new(0, 0, 16, 16).unwrap());
+        }
+        b.build()
+    }
+
+    #[test]
+    fn roi_resolution_and_fallback() {
+        let term = CpTerm::object_roi(PixelRange::new(0.8, 1.0).unwrap());
+        let with_box = record(true);
+        assert_eq!(
+            resolve_roi(&term, &with_box, false).unwrap(),
+            Roi::new(0, 0, 16, 16).unwrap()
+        );
+        let without = record(false);
+        assert!(matches!(
+            resolve_roi(&term, &without, false),
+            Err(QueryError::MissingObjectBox(_))
+        ));
+        assert_eq!(
+            resolve_roi(&term, &without, true).unwrap(),
+            Roi::new(0, 0, 32, 32).unwrap()
+        );
+        // A full-mask term on a record with no shape errors out.
+        let term = CpTerm::full_mask(PixelRange::full());
+        let shapeless = MaskRecord::builder(MaskId::new(2)).build();
+        assert!(resolve_roi(&term, &shapeless, true).is_err());
+    }
+
+    #[test]
+    fn exact_and_bounded_evaluation_agree() {
+        let m = mask();
+        let rec = record(true);
+        let chi = Chi::build(&m, &ChiConfig::new(8, 8, 16).unwrap());
+        let range = PixelRange::new(0.8, 1.0).unwrap();
+        // Ratio of salient pixels in the object box to salient pixels overall.
+        let expr = Expr::cp_object(range).div(Expr::cp_full(range));
+        let exact = expr_exact(&expr, &rec, &m, false).unwrap();
+        assert!((exact - 1.0).abs() < 1e-12); // all salient pixels are inside the box
+        let bounds = expr_bounds(&expr, &rec, &chi, false).unwrap();
+        assert!(bounds.contains(exact));
+    }
+
+    #[test]
+    fn predicate_evaluation_paths() {
+        let m = mask();
+        let rec = record(true);
+        let chi = Chi::build(&m, &ChiConfig::new(8, 8, 16).unwrap());
+        let range = PixelRange::new(0.8, 1.0).unwrap();
+        // 256 salient pixels inside the object box.
+        let pred = Predicate::gt(Expr::cp_object(range), 200.0)
+            .and(Predicate::lt(Expr::cp_full(range), 300.0));
+        assert!(predicate_exact(&pred, &rec, &m, false).unwrap());
+        // The object box is cell-aligned and the range bin-aligned, so the
+        // bounds are exact and the filter stage can accept outright.
+        assert_eq!(
+            predicate_bounds(&pred, &rec, &chi, false).unwrap(),
+            Truth::True
+        );
+        let never = Predicate::gt(Expr::cp_object(range), 100_000.0);
+        assert_eq!(
+            predicate_bounds(&never, &rec, &chi, false).unwrap(),
+            Truth::False
+        );
+        assert!(!predicate_exact(&never, &rec, &m, false).unwrap());
+    }
+
+    #[test]
+    fn term_bounds_error_on_missing_object_box_without_fallback() {
+        let m = mask();
+        let rec = record(false);
+        let chi = Chi::build(&m, &ChiConfig::new(8, 8, 16).unwrap());
+        let term = CpTerm {
+            roi: RoiSpec::ObjectBox,
+            range: PixelRange::full(),
+        };
+        assert!(term_bounds(&term, &rec, &chi, false).is_err());
+        assert!(term_exact(&term, &rec, &m, false).is_err());
+    }
+}

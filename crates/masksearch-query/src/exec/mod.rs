@@ -1,0 +1,86 @@
+//! Query executors: one module per query shape.
+//!
+//! All executors share the same skeleton (§3.2): a **filter stage** that
+//! classifies each targeted mask from its CHI bounds alone, and a
+//! **verification stage** that loads only the masks the bounds could not
+//! decide. Ranked (top-k) execution interleaves the two stages, maintaining
+//! the current top-k to prune against (§3.5); grouped execution pushes
+//! bounds through monotone scalar aggregates before loading any member mask
+//! (§3.4).
+
+pub mod aggregate;
+pub mod filter;
+pub mod mask_agg;
+pub mod topk;
+
+use crate::result::QueryStats;
+use masksearch_storage::disk::IoSnapshot;
+use std::time::Duration;
+
+/// Fills the I/O-derived fields of [`QueryStats`] from a snapshot delta.
+pub(crate) fn apply_io_delta(stats: &mut QueryStats, delta: &IoSnapshot) {
+    stats.masks_loaded = delta.masks_loaded;
+    stats.bytes_read = delta.bytes_read;
+    stats.io_virtual = delta.virtual_read + delta.virtual_write;
+}
+
+/// Splits a slice into `parts` nearly equal chunks (at least one element per
+/// chunk; fewer chunks if the slice is short).
+pub(crate) fn chunks_for_threads<T>(items: &[T], parts: usize) -> Vec<&[T]> {
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let parts = parts.max(1).min(items.len());
+    let chunk = items.len().div_ceil(parts);
+    items.chunks(chunk).collect()
+}
+
+/// Sorts `(value, id)` pairs by value under an order with a deterministic
+/// tie-break on id, and truncates to `k`.
+pub(crate) fn sort_ranked<K: Ord + Copy>(
+    rows: &mut Vec<(f64, K)>,
+    order: crate::spec::Order,
+    k: usize,
+) {
+    rows.sort_by(|a, b| {
+        let cmp = match order {
+            crate::spec::Order::Desc => b.0.partial_cmp(&a.0),
+            crate::spec::Order::Asc => a.0.partial_cmp(&b.0),
+        }
+        .unwrap_or(std::cmp::Ordering::Equal);
+        cmp.then_with(|| a.1.cmp(&b.1))
+    });
+    rows.truncate(k);
+}
+
+/// Duration since a start instant, saturating at zero.
+pub(crate) fn elapsed(start: std::time::Instant) -> Duration {
+    start.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Order;
+
+    #[test]
+    fn chunking_covers_all_items() {
+        let items: Vec<u32> = (0..10).collect();
+        let chunks = chunks_for_threads(&items, 3);
+        assert_eq!(chunks.iter().map(|c| c.len()).sum::<usize>(), 10);
+        assert!(chunks.len() <= 3);
+        assert!(chunks_for_threads::<u32>(&[], 4).is_empty());
+        let single = chunks_for_threads(&items, 100);
+        assert_eq!(single.len(), 10);
+    }
+
+    #[test]
+    fn ranked_sort_is_deterministic() {
+        let mut rows = vec![(3.0, 5u64), (3.0, 2), (7.0, 9), (1.0, 1)];
+        sort_ranked(&mut rows, Order::Desc, 3);
+        assert_eq!(rows, vec![(7.0, 9), (3.0, 2), (3.0, 5)]);
+        let mut rows = vec![(3.0, 5u64), (3.0, 2), (7.0, 9), (1.0, 1)];
+        sort_ranked(&mut rows, Order::Asc, 2);
+        assert_eq!(rows, vec![(1.0, 1), (3.0, 2)]);
+    }
+}

@@ -1,0 +1,341 @@
+//! Top-k execution with bound-based pruning (§3.5).
+//!
+//! MaskSearch processes the masks sequentially while maintaining the current
+//! top-k set. For a descending query a mask can be pruned as soon as its
+//! *upper* bound cannot beat the current k-th best value; for ascending
+//! queries the *lower* bound plays that role. Masks that survive the check
+//! are loaded, their exact expression value computed, and the top-k set
+//! updated (Eq. 15).
+
+use crate::error::QueryResult;
+use crate::eval;
+use crate::exec::{apply_io_delta, elapsed, sort_ranked};
+use crate::expr::Expr;
+use crate::result::{QueryOutput, QueryStats, ResultRow};
+use crate::session::Session;
+use crate::spec::Order;
+use masksearch_core::MaskId;
+use std::time::Instant;
+
+/// Executes a top-k query over `candidates`.
+pub fn execute(
+    session: &Session,
+    candidates: &[MaskId],
+    expr: &Expr,
+    k: usize,
+    order: Order,
+) -> QueryResult<QueryOutput> {
+    let total_start = Instant::now();
+    let io_before = session.store().io_stats().snapshot();
+    let fallback = session.config().object_box_fallback;
+
+    if k == 0 {
+        return Ok(QueryOutput::default());
+    }
+
+    // Current top-k as (value, mask_id); worst entry found by linear scan
+    // (k is small — the paper uses k = 25).
+    let mut top: Vec<(f64, MaskId)> = Vec::with_capacity(k + 1);
+    let mut pruned = 0u64;
+    let mut verified = 0u64;
+    let mut indexes_built = 0u64;
+    let mut filter_wall = std::time::Duration::ZERO;
+    let mut verify_wall = std::time::Duration::ZERO;
+
+    for &mask_id in candidates {
+        let record = session.record(mask_id)?;
+
+        // Filter step: can the bounds already rule this mask out?
+        let filter_start = Instant::now();
+        let prune = if top.len() == k {
+            if let Some(chi) = session.chi_for(mask_id) {
+                let bounds = eval::expr_bounds(expr, record, &chi, fallback)?;
+                let threshold = worst_value(&top, order);
+                match order {
+                    // Equation 15: a new mask must be strictly better than the
+                    // current k-th value to enter the result.
+                    Order::Desc => bounds.hi <= threshold,
+                    Order::Asc => bounds.lo >= threshold,
+                }
+            } else {
+                false
+            }
+        } else {
+            false
+        };
+        filter_wall += elapsed(filter_start);
+        if prune {
+            pruned += 1;
+            continue;
+        }
+
+        // Verification step: load the mask and compute the exact value.
+        let verify_start = Instant::now();
+        let (mask, built) = session.load_and_index(mask_id)?;
+        if built {
+            indexes_built += 1;
+        }
+        verified += 1;
+        let mut value = eval::expr_exact(expr, record, &mask, fallback)?;
+        if value.is_nan() {
+            // NaN (e.g. 0/0 ratios) ranks worst under either order.
+            value = match order {
+                Order::Desc => f64::NEG_INFINITY,
+                Order::Asc => f64::INFINITY,
+            };
+        }
+        verify_wall += elapsed(verify_start);
+
+        if top.len() < k {
+            top.push((value, mask_id));
+        } else {
+            let threshold = worst_value(&top, order);
+            if order.better(value, threshold) {
+                // Replace the worst entry.
+                let worst_idx = worst_index(&top, order);
+                top[worst_idx] = (value, mask_id);
+            }
+        }
+    }
+
+    sort_ranked(&mut top, order, k);
+
+    let io_delta = session.store().io_stats().snapshot().delta_since(&io_before);
+    let mut stats = QueryStats {
+        candidates: candidates.len() as u64,
+        pruned,
+        accepted_without_load: 0,
+        verified,
+        indexes_built,
+        filter_wall,
+        verify_wall,
+        total_wall: elapsed(total_start),
+        ..Default::default()
+    };
+    apply_io_delta(&mut stats, &io_delta);
+
+    Ok(QueryOutput {
+        rows: top
+            .into_iter()
+            .map(|(value, id)| ResultRow::mask(id, Some(value)))
+            .collect(),
+        stats,
+    })
+}
+
+fn worst_value(top: &[(f64, MaskId)], order: Order) -> f64 {
+    match order {
+        Order::Desc => top.iter().map(|(v, _)| *v).fold(f64::INFINITY, f64::min),
+        Order::Asc => top
+            .iter()
+            .map(|(v, _)| *v)
+            .fold(f64::NEG_INFINITY, f64::max),
+    }
+}
+
+fn worst_index(top: &[(f64, MaskId)], order: Order) -> usize {
+    // Among entries tied for the worst value, evict the one with the largest
+    // mask id so the final result tie-breaks deterministically towards
+    // smaller ids (matching the brute-force reference ordering).
+    let mut idx = 0;
+    for (i, (v, id)) in top.iter().enumerate() {
+        let worse = match order {
+            Order::Desc => *v < top[idx].0,
+            Order::Asc => *v > top[idx].0,
+        };
+        let tied_but_larger_id = *v == top[idx].0 && *id > top[idx].1;
+        if worse || tied_but_larger_id {
+            idx = i;
+        }
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Query;
+    use crate::session::{IndexingMode, SessionConfig};
+    use masksearch_core::{cp, ImageId, Mask, MaskRecord, PixelRange, Roi};
+    use masksearch_index::ChiConfig;
+    use masksearch_storage::{Catalog, MaskStore, MemoryMaskStore};
+    use std::sync::Arc;
+
+    fn blob_db(n: u64) -> (Arc<MemoryMaskStore>, Catalog, Vec<Mask>) {
+        let store = Arc::new(MemoryMaskStore::for_tests());
+        let mut catalog = Catalog::new();
+        let mut masks = Vec::new();
+        for i in 0..n {
+            // Blob radius varies non-monotonically with the id so ranking is
+            // not trivially the id order.
+            let radius = 2.0 + ((i * 7) % 13) as f32;
+            let mask = Mask::from_fn(48, 48, move |x, y| {
+                let dx = x as f32 - 20.0;
+                let dy = y as f32 - 28.0;
+                if (dx * dx + dy * dy).sqrt() < radius {
+                    0.92
+                } else {
+                    0.03
+                }
+            });
+            store.put(MaskId::new(i), &mask).unwrap();
+            catalog.insert(
+                MaskRecord::builder(MaskId::new(i))
+                    .image_id(ImageId::new(i))
+                    .shape(48, 48)
+                    .object_box(Roi::new(8, 16, 34, 42).unwrap())
+                    .build(),
+            );
+            masks.push(mask);
+        }
+        (store, catalog, masks)
+    }
+
+    fn brute_force_topk(
+        masks: &[Mask],
+        roi: &Roi,
+        range: &PixelRange,
+        k: usize,
+        order: Order,
+    ) -> Vec<(f64, MaskId)> {
+        let mut rows: Vec<(f64, MaskId)> = masks
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (cp(m, roi, range) as f64, MaskId::new(i as u64)))
+            .collect();
+        sort_ranked(&mut rows, order, k);
+        rows
+    }
+
+    fn session(store: Arc<MemoryMaskStore>, catalog: Catalog, mode: IndexingMode) -> Session {
+        Session::new(
+            store as Arc<dyn MaskStore>,
+            catalog,
+            SessionConfig::new(ChiConfig::new(8, 8, 8).unwrap()).indexing_mode(mode),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn topk_matches_brute_force_desc_and_asc() {
+        let (store, catalog, masks) = blob_db(30);
+        let s = session(store, catalog, IndexingMode::Eager);
+        let roi = Roi::new(5, 5, 43, 43).unwrap();
+        let range = PixelRange::new(0.5, 1.0).unwrap();
+        for order in [Order::Desc, Order::Asc] {
+            let out = s
+                .execute(&Query::top_k_cp(roi, range, 7, order))
+                .unwrap();
+            let expected = brute_force_topk(&masks, &roi, &range, 7, order);
+            let got: Vec<(f64, MaskId)> = out
+                .rows
+                .iter()
+                .map(|r| {
+                    let id = match r.key {
+                        crate::result::RowKey::Mask(id) => id,
+                        _ => panic!("mask rows expected"),
+                    };
+                    (r.value.unwrap(), id)
+                })
+                .collect();
+            assert_eq!(got, expected, "{order:?}");
+        }
+    }
+
+    #[test]
+    fn pruning_avoids_loading_most_masks() {
+        let (store, catalog, _) = blob_db(60);
+        let s = session(store.clone(), catalog, IndexingMode::Eager);
+        store.io_stats().reset();
+        let roi = Roi::new(5, 5, 43, 43).unwrap();
+        let range = PixelRange::new(0.5, 1.0).unwrap();
+        let out = s
+            .execute(&Query::top_k_cp(roi, range, 5, Order::Desc))
+            .unwrap();
+        assert_eq!(out.len(), 5);
+        assert!(
+            out.stats.masks_loaded < 60,
+            "expected pruning, loaded {}",
+            out.stats.masks_loaded
+        );
+        assert!(out.stats.pruned > 0);
+    }
+
+    #[test]
+    fn k_larger_than_candidates_returns_everything_ranked() {
+        let (store, catalog, masks) = blob_db(6);
+        let s = session(store, catalog, IndexingMode::Eager);
+        let roi = Roi::new(0, 0, 48, 48).unwrap();
+        let range = PixelRange::new(0.5, 1.0).unwrap();
+        let out = s
+            .execute(&Query::top_k_cp(roi, range, 100, Order::Desc))
+            .unwrap();
+        assert_eq!(out.len(), 6);
+        let expected = brute_force_topk(&masks, &roi, &range, 100, Order::Desc);
+        assert_eq!(out.rows[0].value.unwrap(), expected[0].0);
+    }
+
+    #[test]
+    fn k_zero_returns_empty() {
+        let (store, catalog, _) = blob_db(4);
+        let s = session(store, catalog, IndexingMode::Eager);
+        let out = s
+            .execute(&Query::top_k_cp(
+                Roi::new(0, 0, 48, 48).unwrap(),
+                PixelRange::full(),
+                0,
+                Order::Desc,
+            ))
+            .unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn ratio_ranking_matches_brute_force() {
+        // Example 1 from the paper: rank by the ratio of salient pixels in an
+        // ROI to salient pixels in the whole mask, ascending.
+        let (store, catalog, masks) = blob_db(25);
+        let s = session(store, catalog, IndexingMode::Eager);
+        let roi = Roi::new(0, 0, 24, 48).unwrap();
+        let range = PixelRange::new(0.5, 1.0).unwrap();
+        let expr = Expr::cp(roi, range).div(Expr::cp_full(range));
+        let out = s.execute(&Query::top_k(expr, 5, Order::Asc)).unwrap();
+        let mut expected: Vec<(f64, MaskId)> = masks
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let num = cp(m, &roi, &range) as f64;
+                let den = cp(m, &m.full_roi(), &range) as f64;
+                (num / den, MaskId::new(i as u64))
+            })
+            .collect();
+        sort_ranked(&mut expected, Order::Asc, 5);
+        let got_ids: Vec<MaskId> = out.mask_ids();
+        assert_eq!(got_ids, expected.iter().map(|(_, id)| *id).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn incremental_mode_still_returns_correct_topk() {
+        let (store, catalog, masks) = blob_db(20);
+        let s = session(store, catalog, IndexingMode::Incremental);
+        let roi = Roi::new(5, 5, 43, 43).unwrap();
+        let range = PixelRange::new(0.5, 1.0).unwrap();
+        let out = s
+            .execute(&Query::top_k_cp(roi, range, 4, Order::Desc))
+            .unwrap();
+        let expected = brute_force_topk(&masks, &roi, &range, 4, Order::Desc);
+        assert_eq!(
+            out.mask_ids(),
+            expected.iter().map(|(_, id)| *id).collect::<Vec<_>>()
+        );
+        // First query in incremental mode loads everything (and indexes it).
+        assert_eq!(out.stats.masks_loaded, 20);
+        assert_eq!(s.indexed_masks(), 20);
+        // A repeat of the query now prunes using the freshly built indexes.
+        let again = s
+            .execute(&Query::top_k_cp(roi, range, 4, Order::Desc))
+            .unwrap();
+        assert_eq!(again.mask_ids(), out.mask_ids());
+        assert!(again.stats.masks_loaded < 20);
+    }
+}

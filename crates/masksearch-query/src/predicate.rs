@@ -1,0 +1,421 @@
+//! Filter predicates and three-valued evaluation over bounds.
+//!
+//! During the filter stage a predicate is evaluated from *bounds* on its `CP`
+//! expressions, so the outcome is three-valued: definitely true (the mask can
+//! be accepted without loading it), definitely false (the mask can be
+//! pruned), or unknown (the mask must be verified). This module implements
+//! that logic, including AND/OR composition (§3.2, §3.3).
+
+use crate::expr::{Expr, Interval};
+use std::fmt;
+
+/// Comparison operators supported in filter predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Strictly greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+    /// Strictly less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+}
+
+impl CmpOp {
+    /// Evaluates the comparison on exact values.
+    pub fn eval(&self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The outcome of evaluating a predicate from bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Truth {
+    /// Guaranteed to hold — the mask can be accepted without verification.
+    True,
+    /// Guaranteed not to hold — the mask can be pruned.
+    False,
+    /// Cannot be decided from the bounds — the mask must be verified.
+    Unknown,
+}
+
+impl Truth {
+    /// Three-valued conjunction.
+    pub fn and(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::False, _) | (_, Truth::False) => Truth::False,
+            (Truth::True, Truth::True) => Truth::True,
+            _ => Truth::Unknown,
+        }
+    }
+
+    /// Three-valued disjunction.
+    pub fn or(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::True, _) | (_, Truth::True) => Truth::True,
+            (Truth::False, Truth::False) => Truth::False,
+            _ => Truth::Unknown,
+        }
+    }
+
+    /// Three-valued negation.
+    pub fn not(self) -> Truth {
+        match self {
+            Truth::True => Truth::False,
+            Truth::False => Truth::True,
+            Truth::Unknown => Truth::Unknown,
+        }
+    }
+
+    /// Converts a definite boolean into a [`Truth`].
+    pub fn from_bool(b: bool) -> Truth {
+        if b {
+            Truth::True
+        } else {
+            Truth::False
+        }
+    }
+}
+
+/// A comparison of a `CP` expression against a constant threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Left-hand side expression.
+    pub expr: Expr,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right-hand side threshold.
+    pub threshold: f64,
+}
+
+impl Comparison {
+    /// Creates a comparison.
+    pub fn new(expr: Expr, op: CmpOp, threshold: f64) -> Self {
+        Self {
+            expr,
+            op,
+            threshold,
+        }
+    }
+
+    /// Evaluates the comparison from an interval on the expression value.
+    pub fn eval_bounds(&self, value: &Interval) -> Truth {
+        let t = self.threshold;
+        match self.op {
+            CmpOp::Gt => {
+                if value.lo > t {
+                    Truth::True
+                } else if value.hi <= t {
+                    Truth::False
+                } else {
+                    Truth::Unknown
+                }
+            }
+            CmpOp::Ge => {
+                if value.lo >= t {
+                    Truth::True
+                } else if value.hi < t {
+                    Truth::False
+                } else {
+                    Truth::Unknown
+                }
+            }
+            CmpOp::Lt => {
+                if value.hi < t {
+                    Truth::True
+                } else if value.lo >= t {
+                    Truth::False
+                } else {
+                    Truth::Unknown
+                }
+            }
+            CmpOp::Le => {
+                if value.hi <= t {
+                    Truth::True
+                } else if value.lo > t {
+                    Truth::False
+                } else {
+                    Truth::Unknown
+                }
+            }
+        }
+    }
+
+    /// Evaluates the comparison from the exact expression value.
+    pub fn eval_exact(&self, value: f64) -> bool {
+        self.op.eval(value, self.threshold)
+    }
+}
+
+/// A filter predicate: comparisons composed with AND / OR / NOT.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// A single comparison.
+    Cmp(Comparison),
+    /// All children must hold.
+    And(Vec<Predicate>),
+    /// At least one child must hold.
+    Or(Vec<Predicate>),
+    /// The child must not hold.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Convenience constructor: `expr > threshold`.
+    pub fn gt(expr: Expr, threshold: f64) -> Self {
+        Predicate::Cmp(Comparison::new(expr, CmpOp::Gt, threshold))
+    }
+
+    /// Convenience constructor: `expr < threshold`.
+    pub fn lt(expr: Expr, threshold: f64) -> Self {
+        Predicate::Cmp(Comparison::new(expr, CmpOp::Lt, threshold))
+    }
+
+    /// Convenience constructor: `expr >= threshold`.
+    pub fn ge(expr: Expr, threshold: f64) -> Self {
+        Predicate::Cmp(Comparison::new(expr, CmpOp::Ge, threshold))
+    }
+
+    /// Convenience constructor: `expr <= threshold`.
+    pub fn le(expr: Expr, threshold: f64) -> Self {
+        Predicate::Cmp(Comparison::new(expr, CmpOp::Le, threshold))
+    }
+
+    /// Conjunction of two predicates.
+    pub fn and(self, other: Predicate) -> Self {
+        match self {
+            Predicate::And(mut children) => {
+                children.push(other);
+                Predicate::And(children)
+            }
+            p => Predicate::And(vec![p, other]),
+        }
+    }
+
+    /// Disjunction of two predicates.
+    pub fn or(self, other: Predicate) -> Self {
+        match self {
+            Predicate::Or(mut children) => {
+                children.push(other);
+                Predicate::Or(children)
+            }
+            p => Predicate::Or(vec![p, other]),
+        }
+    }
+
+    /// Negation.
+    pub fn negate(self) -> Self {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// Every comparison contained in the predicate, in left-to-right order.
+    pub fn comparisons(&self) -> Vec<&Comparison> {
+        let mut out = Vec::new();
+        self.collect(&mut out);
+        out
+    }
+
+    fn collect<'a>(&'a self, out: &mut Vec<&'a Comparison>) {
+        match self {
+            Predicate::Cmp(c) => out.push(c),
+            Predicate::And(children) | Predicate::Or(children) => {
+                for c in children {
+                    c.collect(out);
+                }
+            }
+            Predicate::Not(child) => child.collect(out),
+        }
+    }
+
+    /// Evaluates the predicate given, for each comparison (in
+    /// [`Predicate::comparisons`] order), an interval on its expression.
+    pub fn eval_bounds(&self, intervals: &[Interval]) -> Truth {
+        let mut cursor = 0usize;
+        self.eval_bounds_inner(intervals, &mut cursor)
+    }
+
+    fn eval_bounds_inner(&self, intervals: &[Interval], cursor: &mut usize) -> Truth {
+        match self {
+            Predicate::Cmp(c) => {
+                let t = c.eval_bounds(&intervals[*cursor]);
+                *cursor += 1;
+                t
+            }
+            Predicate::And(children) => {
+                let mut acc = Truth::True;
+                for child in children {
+                    let t = child.eval_bounds_inner(intervals, cursor);
+                    acc = acc.and(t);
+                }
+                acc
+            }
+            Predicate::Or(children) => {
+                let mut acc = Truth::False;
+                for child in children {
+                    let t = child.eval_bounds_inner(intervals, cursor);
+                    acc = acc.or(t);
+                }
+                acc
+            }
+            Predicate::Not(child) => child.eval_bounds_inner(intervals, cursor).not(),
+        }
+    }
+
+    /// Evaluates the predicate given exact values for each comparison's
+    /// expression (same order as [`Predicate::comparisons`]).
+    pub fn eval_exact(&self, values: &[f64]) -> bool {
+        let mut cursor = 0usize;
+        self.eval_exact_inner(values, &mut cursor)
+    }
+
+    fn eval_exact_inner(&self, values: &[f64], cursor: &mut usize) -> bool {
+        match self {
+            Predicate::Cmp(c) => {
+                let v = c.eval_exact(values[*cursor]);
+                *cursor += 1;
+                v
+            }
+            Predicate::And(children) => {
+                let mut acc = true;
+                for child in children {
+                    let v = child.eval_exact_inner(values, cursor);
+                    acc = acc && v;
+                }
+                acc
+            }
+            Predicate::Or(children) => {
+                let mut acc = false;
+                for child in children {
+                    let v = child.eval_exact_inner(values, cursor);
+                    acc = acc || v;
+                }
+                acc
+            }
+            Predicate::Not(child) => !child.eval_exact_inner(values, cursor),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use masksearch_core::{PixelRange, Roi};
+
+    fn simple_expr() -> Expr {
+        Expr::cp(
+            Roi::new(0, 0, 10, 10).unwrap(),
+            PixelRange::new(0.8, 1.0).unwrap(),
+        )
+    }
+
+    #[test]
+    fn truth_algebra() {
+        use Truth::*;
+        assert_eq!(True.and(True), True);
+        assert_eq!(True.and(Unknown), Unknown);
+        assert_eq!(False.and(Unknown), False);
+        assert_eq!(True.or(Unknown), True);
+        assert_eq!(False.or(Unknown), Unknown);
+        assert_eq!(False.or(False), False);
+        assert_eq!(Unknown.not(), Unknown);
+        assert_eq!(True.not(), False);
+        assert_eq!(Truth::from_bool(true), True);
+    }
+
+    #[test]
+    fn comparison_bounds_cases() {
+        // The three cases of Step 2 (§3.2.1) for CP > T.
+        let cmp = Comparison::new(simple_expr(), CmpOp::Gt, 100.0);
+        assert_eq!(cmp.eval_bounds(&Interval::new(150.0, 200.0)), Truth::True);
+        assert_eq!(cmp.eval_bounds(&Interval::new(10.0, 100.0)), Truth::False);
+        assert_eq!(cmp.eval_bounds(&Interval::new(50.0, 150.0)), Truth::Unknown);
+
+        // CP < T (§3.3): accept when the upper bound is already below T.
+        let cmp = Comparison::new(simple_expr(), CmpOp::Lt, 100.0);
+        assert_eq!(cmp.eval_bounds(&Interval::new(0.0, 99.0)), Truth::True);
+        assert_eq!(cmp.eval_bounds(&Interval::new(100.0, 200.0)), Truth::False);
+        assert_eq!(cmp.eval_bounds(&Interval::new(50.0, 150.0)), Truth::Unknown);
+
+        // Boundary semantics of >= and <=.
+        let ge = Comparison::new(simple_expr(), CmpOp::Ge, 100.0);
+        assert_eq!(ge.eval_bounds(&Interval::new(100.0, 120.0)), Truth::True);
+        let le = Comparison::new(simple_expr(), CmpOp::Le, 100.0);
+        assert_eq!(le.eval_bounds(&Interval::new(0.0, 100.0)), Truth::True);
+    }
+
+    #[test]
+    fn bound_and_exact_evaluation_agree_on_tight_intervals() {
+        let cmp = Comparison::new(simple_expr(), CmpOp::Gt, 42.0);
+        for v in [0.0, 42.0, 42.5, 100.0] {
+            let exact = cmp.eval_exact(v);
+            let bound = cmp.eval_bounds(&Interval::point(v));
+            assert_eq!(bound, Truth::from_bool(exact), "value {v}");
+        }
+    }
+
+    #[test]
+    fn predicate_composition() {
+        let p = Predicate::gt(simple_expr(), 50.0).and(Predicate::lt(simple_expr(), 200.0));
+        assert_eq!(p.comparisons().len(), 2);
+        // Both certain.
+        assert_eq!(
+            p.eval_bounds(&[Interval::new(60.0, 80.0), Interval::new(60.0, 80.0)]),
+            Truth::True
+        );
+        // One certain false short-circuits to false even if the other is unknown.
+        assert_eq!(
+            p.eval_bounds(&[Interval::new(0.0, 10.0), Interval::new(100.0, 300.0)]),
+            Truth::False
+        );
+        // Exact evaluation.
+        assert!(p.eval_exact(&[60.0, 199.0]));
+        assert!(!p.eval_exact(&[60.0, 200.0]));
+
+        let q = Predicate::gt(simple_expr(), 50.0)
+            .or(Predicate::gt(simple_expr(), 1000.0))
+            .negate();
+        assert_eq!(q.comparisons().len(), 2);
+        assert!(!q.eval_exact(&[60.0, 0.0]));
+        assert!(q.eval_exact(&[0.0, 0.0]));
+        assert_eq!(
+            q.eval_bounds(&[Interval::new(60.0, 70.0), Interval::new(0.0, 1.0)]),
+            Truth::False
+        );
+    }
+
+    #[test]
+    fn and_or_builders_flatten() {
+        let p = Predicate::gt(simple_expr(), 1.0)
+            .and(Predicate::gt(simple_expr(), 2.0))
+            .and(Predicate::gt(simple_expr(), 3.0));
+        match p {
+            Predicate::And(children) => assert_eq!(children.len(), 3),
+            other => panic!("expected And, got {other:?}"),
+        }
+        let p = Predicate::gt(simple_expr(), 1.0)
+            .or(Predicate::gt(simple_expr(), 2.0))
+            .or(Predicate::gt(simple_expr(), 3.0));
+        match p {
+            Predicate::Or(children) => assert_eq!(children.len(), 3),
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! The query model: relational selection plus one of the four query shapes.
+
+use crate::expr::Expr;
+use crate::predicate::{CmpOp, Predicate};
+use crate::spec::{CpTerm, Order, RoiSpec, ScalarAgg};
+use masksearch_core::{ImageId, Label, MaskAgg, MaskId, MaskRecord, MaskType, ModelId, PixelRange, Roi};
+
+/// The relational part of a query: which rows of `MasksDatabaseView` are
+/// targeted before any mask pixels are considered.
+///
+/// All populated fields must match (conjunction). An empty selection targets
+/// every mask.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Selection {
+    /// Restrict to these mask ids.
+    pub mask_ids: Option<Vec<MaskId>>,
+    /// Restrict to masks produced by this model.
+    pub model_id: Option<ModelId>,
+    /// Restrict to these mask types (`mask_type IN (...)`).
+    pub mask_types: Option<Vec<MaskType>>,
+    /// Restrict to masks of images predicted as one of these labels.
+    pub predicted_labels: Option<Vec<Label>>,
+    /// Restrict to masks of these images.
+    pub image_ids: Option<Vec<ImageId>>,
+}
+
+impl Selection {
+    /// Targets every mask in the database.
+    pub fn all() -> Self {
+        Self::default()
+    }
+
+    /// Restricts the selection to explicit mask ids.
+    pub fn with_mask_ids(mut self, ids: Vec<MaskId>) -> Self {
+        self.mask_ids = Some(ids);
+        self
+    }
+
+    /// Restricts the selection to one model.
+    pub fn with_model(mut self, model_id: ModelId) -> Self {
+        self.model_id = Some(model_id);
+        self
+    }
+
+    /// Restricts the selection to the given mask types.
+    pub fn with_mask_types(mut self, types: Vec<MaskType>) -> Self {
+        self.mask_types = Some(types);
+        self
+    }
+
+    /// Restricts the selection to masks of images predicted as these labels.
+    pub fn with_predicted_labels(mut self, labels: Vec<Label>) -> Self {
+        self.predicted_labels = Some(labels);
+        self
+    }
+
+    /// Restricts the selection to masks of these images.
+    pub fn with_image_ids(mut self, ids: Vec<ImageId>) -> Self {
+        self.image_ids = Some(ids);
+        self
+    }
+
+    /// Returns `true` if the record satisfies every populated constraint.
+    pub fn matches(&self, record: &MaskRecord) -> bool {
+        if let Some(ids) = &self.mask_ids {
+            if !ids.contains(&record.mask_id) {
+                return false;
+            }
+        }
+        if let Some(model) = self.model_id {
+            if record.model_id != model {
+                return false;
+            }
+        }
+        if let Some(types) = &self.mask_types {
+            if !types.contains(&record.mask_type) {
+                return false;
+            }
+        }
+        if let Some(labels) = &self.predicted_labels {
+            match record.predicted_label {
+                Some(l) if labels.contains(&l) => {}
+                _ => return false,
+            }
+        }
+        if let Some(images) = &self.image_ids {
+            if !images.contains(&record.image_id) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// The shape of the non-relational part of a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryKind {
+    /// Return every targeted mask satisfying a predicate (paper Q1/Q2).
+    Filter {
+        /// The filter predicate over `CP` expressions.
+        predicate: Predicate,
+    },
+    /// Return the top-k masks ranked by an expression (paper Q3, Example 1).
+    TopK {
+        /// Ranking expression.
+        expr: Expr,
+        /// Number of masks to return.
+        k: usize,
+        /// Ranking order.
+        order: Order,
+    },
+    /// Group targeted masks by image, aggregate per-mask expression values
+    /// with a scalar aggregate, then filter and/or rank the groups
+    /// (paper Q4, §3.4).
+    Aggregate {
+        /// Per-mask expression.
+        expr: Expr,
+        /// Scalar aggregate applied to each group's member values.
+        agg: ScalarAgg,
+        /// Optional `HAVING` filter on the aggregate value.
+        having: Option<(CmpOp, f64)>,
+        /// Optional top-k over the aggregate value.
+        top_k: Option<(usize, Order)>,
+    },
+    /// Group targeted masks by image, aggregate the masks themselves with a
+    /// `MASK_AGG`, evaluate a `CP` term on the aggregated mask, then filter
+    /// and/or rank the groups (paper Q5, Example 2).
+    MaskAggregate {
+        /// Mask aggregation function.
+        agg: MaskAgg,
+        /// `CP` term evaluated on the aggregated mask.
+        term: CpTerm,
+        /// Optional `HAVING` filter on the `CP` value.
+        having: Option<(CmpOp, f64)>,
+        /// Optional top-k over the `CP` value.
+        top_k: Option<(usize, Order)>,
+    },
+}
+
+/// A complete MaskSearch query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Which masks the query targets.
+    pub selection: Selection,
+    /// What is computed over the targeted masks.
+    pub kind: QueryKind,
+}
+
+impl Query {
+    /// A filter query with an arbitrary predicate over all masks.
+    pub fn filter(predicate: Predicate) -> Self {
+        Self {
+            selection: Selection::all(),
+            kind: QueryKind::Filter { predicate },
+        }
+    }
+
+    /// Convenience: `CP(mask, roi, range) > threshold` over all masks.
+    pub fn filter_cp_gt(roi: Roi, range: PixelRange, threshold: f64) -> Self {
+        Self::filter(Predicate::gt(Expr::cp(roi, range), threshold))
+    }
+
+    /// Convenience: `CP(mask, roi, range) < threshold` over all masks.
+    pub fn filter_cp_lt(roi: Roi, range: PixelRange, threshold: f64) -> Self {
+        Self::filter(Predicate::lt(Expr::cp(roi, range), threshold))
+    }
+
+    /// Convenience: `CP(mask, object_box, range) > threshold`.
+    pub fn filter_object_cp_gt(range: PixelRange, threshold: f64) -> Self {
+        Self::filter(Predicate::gt(Expr::cp_object(range), threshold))
+    }
+
+    /// A top-k query ranked by an arbitrary expression.
+    pub fn top_k(expr: Expr, k: usize, order: Order) -> Self {
+        Self {
+            selection: Selection::all(),
+            kind: QueryKind::TopK { expr, k, order },
+        }
+    }
+
+    /// Convenience: top-k masks by `CP(mask, roi, range)`.
+    pub fn top_k_cp(roi: Roi, range: PixelRange, k: usize, order: Order) -> Self {
+        Self::top_k(Expr::cp(roi, range), k, order)
+    }
+
+    /// An aggregation query grouped by image.
+    pub fn aggregate(expr: Expr, agg: ScalarAgg) -> Self {
+        Self {
+            selection: Selection::all(),
+            kind: QueryKind::Aggregate {
+                expr,
+                agg,
+                having: None,
+                top_k: None,
+            },
+        }
+    }
+
+    /// A mask-aggregation query grouped by image.
+    pub fn mask_aggregate(agg: MaskAgg, term: CpTerm) -> Self {
+        Self {
+            selection: Selection::all(),
+            kind: QueryKind::MaskAggregate {
+                agg,
+                term,
+                having: None,
+                top_k: None,
+            },
+        }
+    }
+
+    /// Replaces the selection.
+    pub fn with_selection(mut self, selection: Selection) -> Self {
+        self.selection = selection;
+        self
+    }
+
+    /// Adds a `HAVING` clause (aggregation kinds only; no-op otherwise).
+    pub fn with_having(mut self, op: CmpOp, threshold: f64) -> Self {
+        match &mut self.kind {
+            QueryKind::Aggregate { having, .. } | QueryKind::MaskAggregate { having, .. } => {
+                *having = Some((op, threshold));
+            }
+            _ => {}
+        }
+        self
+    }
+
+    /// Adds a top-k clause to an aggregation query (no-op for other kinds).
+    pub fn with_group_top_k(mut self, k: usize, order: Order) -> Self {
+        match &mut self.kind {
+            QueryKind::Aggregate { top_k, .. } | QueryKind::MaskAggregate { top_k, .. } => {
+                *top_k = Some((k, order));
+            }
+            _ => {}
+        }
+        self
+    }
+
+    /// Returns `true` if the query produces image-keyed (grouped) rows.
+    pub fn is_grouped(&self) -> bool {
+        matches!(
+            self.kind,
+            QueryKind::Aggregate { .. } | QueryKind::MaskAggregate { .. }
+        )
+    }
+
+    /// Returns the ROI specifications referenced by the query, used by
+    /// executors to decide whether per-mask metadata (object boxes) is
+    /// required.
+    pub fn roi_specs(&self) -> Vec<RoiSpec> {
+        match &self.kind {
+            QueryKind::Filter { predicate } => predicate
+                .comparisons()
+                .iter()
+                .flat_map(|c| c.expr.terms())
+                .map(|t| t.roi)
+                .collect(),
+            QueryKind::TopK { expr, .. } => expr.terms().iter().map(|t| t.roi).collect(),
+            QueryKind::Aggregate { expr, .. } => expr.terms().iter().map(|t| t.roi).collect(),
+            QueryKind::MaskAggregate { term, .. } => vec![term.roi],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(mask_id: u64, image_id: u64, model_id: u64, mask_type: MaskType) -> MaskRecord {
+        MaskRecord::builder(MaskId::new(mask_id))
+            .image_id(ImageId::new(image_id))
+            .model_id(ModelId::new(model_id))
+            .mask_type(mask_type)
+            .shape(32, 32)
+            .predicted_label(Label::new(model_id * 10))
+            .build()
+    }
+
+    #[test]
+    fn selection_matching() {
+        let rec = record(1, 100, 2, MaskType::SaliencyMap);
+        assert!(Selection::all().matches(&rec));
+        assert!(Selection::all().with_model(ModelId::new(2)).matches(&rec));
+        assert!(!Selection::all().with_model(ModelId::new(3)).matches(&rec));
+        assert!(Selection::all()
+            .with_mask_types(vec![MaskType::SaliencyMap, MaskType::DepthMap])
+            .matches(&rec));
+        assert!(!Selection::all()
+            .with_mask_types(vec![MaskType::DepthMap])
+            .matches(&rec));
+        assert!(Selection::all()
+            .with_predicted_labels(vec![Label::new(20)])
+            .matches(&rec));
+        assert!(!Selection::all()
+            .with_predicted_labels(vec![Label::new(99)])
+            .matches(&rec));
+        assert!(Selection::all()
+            .with_image_ids(vec![ImageId::new(100)])
+            .with_mask_ids(vec![MaskId::new(1)])
+            .matches(&rec));
+        assert!(!Selection::all()
+            .with_mask_ids(vec![MaskId::new(7)])
+            .matches(&rec));
+        // A record with no predicted label fails a predicted-label filter.
+        let unlabeled = MaskRecord::builder(MaskId::new(9)).build();
+        assert!(!Selection::all()
+            .with_predicted_labels(vec![Label::new(1)])
+            .matches(&unlabeled));
+    }
+
+    #[test]
+    fn query_builders_produce_expected_shapes() {
+        let roi = Roi::new(0, 0, 8, 8).unwrap();
+        let range = PixelRange::new(0.6, 1.0).unwrap();
+        let q = Query::filter_cp_gt(roi, range, 100.0);
+        assert!(matches!(q.kind, QueryKind::Filter { .. }));
+        assert!(!q.is_grouped());
+        assert_eq!(q.roi_specs(), vec![RoiSpec::Constant(roi)]);
+
+        let q = Query::top_k_cp(roi, range, 25, Order::Desc);
+        assert!(matches!(q.kind, QueryKind::TopK { k: 25, .. }));
+
+        let q = Query::aggregate(Expr::cp_object(range), ScalarAgg::Avg)
+            .with_group_top_k(25, Order::Desc)
+            .with_having(CmpOp::Gt, 10.0);
+        match &q.kind {
+            QueryKind::Aggregate { having, top_k, .. } => {
+                assert_eq!(*having, Some((CmpOp::Gt, 10.0)));
+                assert_eq!(*top_k, Some((25, Order::Desc)));
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+        assert!(q.is_grouped());
+        assert_eq!(q.roi_specs(), vec![RoiSpec::ObjectBox]);
+
+        let q = Query::mask_aggregate(
+            MaskAgg::IntersectThreshold { threshold: 0.8 },
+            CpTerm::object_roi(range),
+        )
+        .with_group_top_k(10, Order::Desc);
+        assert!(q.is_grouped());
+        assert_eq!(q.roi_specs(), vec![RoiSpec::ObjectBox]);
+
+        // Having / top-k are no-ops on non-grouped queries.
+        let q = Query::filter_cp_gt(roi, range, 1.0).with_having(CmpOp::Lt, 2.0);
+        assert!(matches!(q.kind, QueryKind::Filter { .. }));
+    }
+}

@@ -1,0 +1,496 @@
+//! Sessions: the long-lived object that owns the mask store, catalog, buffer
+//! cache, and CHI store, and executes queries.
+//!
+//! A [`Session`] corresponds to the paper's "MaskSearch session" (§3.2,
+//! §3.6): the CHI of each mask is held in memory for the lifetime of the
+//! session, may be built eagerly up front (the *MS* configuration of the
+//! evaluation), incrementally as masks are first touched by queries
+//! (*MS-II*), or not at all (which makes the session behave like the NumPy
+//! baseline — useful for cost comparisons inside one API).
+
+use crate::error::{QueryError, QueryResult};
+use crate::exec;
+use crate::query::{Query, QueryKind, Selection};
+use crate::result::QueryOutput;
+use masksearch_core::{ImageId, Mask, MaskAgg, MaskId, MaskRecord};
+use masksearch_index::{build_chi_store, BuildOptions, Chi, ChiConfig, ChiStore};
+use masksearch_storage::{Catalog, MaskCache, MaskStore};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+/// When CHIs are built relative to query execution (§3.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexingMode {
+    /// Build the CHI of every catalogued mask when the session starts
+    /// (the paper's vanilla "MS" configuration).
+    Eager,
+    /// Build the CHI of a mask the first time a query loads it
+    /// (the paper's "MS-II" configuration).
+    Incremental,
+    /// Never build or use indexes; every query loads every targeted mask.
+    Disabled,
+}
+
+/// Session configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionConfig {
+    /// CHI configuration (cell size and bin count).
+    pub chi_config: ChiConfig,
+    /// Indexing mode.
+    pub indexing_mode: IndexingMode,
+    /// Worker threads used by the filter/verification stages and bulk index
+    /// builds.
+    pub threads: usize,
+    /// Byte budget of the decoded-mask buffer cache (0 disables caching,
+    /// reproducing the paper's cold-cache setting).
+    pub cache_bytes: u64,
+    /// When a query uses `roi = object` but a mask has no recorded object
+    /// box: fall back to the full mask (`true`) or fail the query (`false`).
+    pub object_box_fallback: bool,
+}
+
+impl SessionConfig {
+    /// Creates a configuration with the given CHI parameters and defaults:
+    /// incremental indexing, all available threads, no mask cache.
+    pub fn new(chi_config: ChiConfig) -> Self {
+        Self {
+            chi_config,
+            indexing_mode: IndexingMode::Incremental,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            cache_bytes: 0,
+            object_box_fallback: true,
+        }
+    }
+
+    /// Sets the indexing mode.
+    pub fn indexing_mode(mut self, mode: IndexingMode) -> Self {
+        self.indexing_mode = mode;
+        self
+    }
+
+    /// Sets the number of worker threads.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the buffer-cache byte budget.
+    pub fn cache_bytes(mut self, bytes: u64) -> Self {
+        self.cache_bytes = bytes;
+        self
+    }
+
+    /// Sets the missing-object-box policy.
+    pub fn object_box_fallback(mut self, fallback: bool) -> Self {
+        self.object_box_fallback = fallback;
+        self
+    }
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self::new(ChiConfig::default())
+    }
+}
+
+/// A MaskSearch session: storage + catalog + indexes + query execution.
+pub struct Session {
+    store: Arc<dyn MaskStore>,
+    catalog: Catalog,
+    config: SessionConfig,
+    chi: ChiStore,
+    cache: MaskCache,
+    /// Indexes over *aggregated* masks (one per `MASK_AGG` signature), keyed
+    /// inside each store by the image id (§3.4).
+    agg_indexes: RwLock<HashMap<String, Arc<ChiStore>>>,
+}
+
+impl Session {
+    /// Creates a session. In [`IndexingMode::Eager`] this builds the CHI of
+    /// every catalogued mask up front (charging the store's cost model, as
+    /// the paper attributes up-front indexing cost to the 0-th query).
+    pub fn new(
+        store: Arc<dyn MaskStore>,
+        catalog: Catalog,
+        config: SessionConfig,
+    ) -> QueryResult<Self> {
+        let chi = match config.indexing_mode {
+            IndexingMode::Eager => {
+                let ids = catalog.mask_ids();
+                build_chi_store(
+                    store.as_ref(),
+                    &ids,
+                    config.chi_config,
+                    BuildOptions {
+                        threads: config.threads,
+                    },
+                )?
+            }
+            _ => ChiStore::new(config.chi_config),
+        };
+        Ok(Self {
+            cache: MaskCache::new(config.cache_bytes),
+            store,
+            catalog,
+            config,
+            chi,
+            agg_indexes: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// Creates a session around an existing CHI store (e.g. loaded from a
+    /// previous session's persisted index file).
+    pub fn with_index(
+        store: Arc<dyn MaskStore>,
+        catalog: Catalog,
+        config: SessionConfig,
+        chi: ChiStore,
+    ) -> Self {
+        Self {
+            cache: MaskCache::new(config.cache_bytes),
+            store,
+            catalog,
+            config,
+            chi,
+            agg_indexes: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The session's catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The session's mask store.
+    pub fn store(&self) -> &Arc<dyn MaskStore> {
+        &self.store
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// The per-mask CHI store.
+    pub fn chi_store(&self) -> &ChiStore {
+        &self.chi
+    }
+
+    /// The decoded-mask buffer cache.
+    pub fn cache(&self) -> &MaskCache {
+        &self.cache
+    }
+
+    /// Number of masks currently indexed.
+    pub fn indexed_masks(&self) -> usize {
+        self.chi.len()
+    }
+
+    /// Total bytes of all in-memory indexes (per-mask plus aggregated).
+    pub fn index_bytes(&self) -> u64 {
+        let agg: u64 = self
+            .agg_indexes
+            .read()
+            .values()
+            .map(|s| s.total_bytes())
+            .sum();
+        self.chi.total_bytes() + agg
+    }
+
+    /// Persists the per-mask index to a file ("when a MaskSearch session
+    /// ends, the CHI for all the masks in the session is persisted to disk",
+    /// §3.6).
+    pub fn persist_index(&self, path: impl AsRef<Path>) -> QueryResult<()> {
+        self.chi.save(path).map_err(QueryError::from)
+    }
+
+    /// Loads a per-mask index file produced by [`Session::persist_index`].
+    pub fn load_index_file(path: impl AsRef<Path>) -> QueryResult<ChiStore> {
+        ChiStore::load(path).map_err(QueryError::from)
+    }
+
+    /// The catalog record of a mask, or an error if unknown.
+    pub(crate) fn record(&self, mask_id: MaskId) -> QueryResult<&MaskRecord> {
+        self.catalog
+            .get(mask_id)
+            .ok_or(QueryError::UnknownMask(mask_id))
+    }
+
+    /// The CHI of a mask, if one exists and indexing is enabled.
+    pub(crate) fn chi_for(&self, mask_id: MaskId) -> Option<Arc<Chi>> {
+        if self.config.indexing_mode == IndexingMode::Disabled {
+            return None;
+        }
+        self.chi.get(mask_id)
+    }
+
+    /// Loads a mask through the buffer cache.
+    pub(crate) fn load_mask(&self, mask_id: MaskId) -> QueryResult<Arc<Mask>> {
+        self.cache
+            .get_or_load(mask_id, || self.store.get(mask_id))
+            .map_err(QueryError::from)
+    }
+
+    /// Loads a mask and, in incremental mode, builds and retains its CHI
+    /// (§3.6). Returns the mask and whether an index was built.
+    pub(crate) fn load_and_index(&self, mask_id: MaskId) -> QueryResult<(Arc<Mask>, bool)> {
+        let mask = self.load_mask(mask_id)?;
+        let built = if self.config.indexing_mode == IndexingMode::Incremental
+            && !self.chi.contains(mask_id)
+        {
+            self.chi.index_mask(mask_id, &mask);
+            true
+        } else {
+            false
+        };
+        Ok((mask, built))
+    }
+
+    /// Resolves a selection into the sorted list of targeted mask ids.
+    pub(crate) fn resolve_selection(&self, selection: &Selection) -> Vec<MaskId> {
+        self.catalog.filter(|record| selection.matches(record))
+    }
+
+    /// Groups targeted masks by image id.
+    pub(crate) fn group_by_image(&self, mask_ids: &[MaskId]) -> Vec<(ImageId, Vec<MaskId>)> {
+        self.catalog.group_by_image(mask_ids)
+    }
+
+    /// Signature string identifying an aggregated-mask index: the aggregation
+    /// function plus the selection whose groups it was built over.
+    pub(crate) fn aggregate_signature(agg: &MaskAgg, selection: &Selection) -> String {
+        format!("{agg:?}|{selection:?}")
+    }
+
+    /// Pre-builds the CHI of every aggregated mask for a `MASK_AGG` query
+    /// shape (§3.4: "the index for the aggregated masks is either built ahead
+    /// of time or incrementally built"). The inner store is keyed by image
+    /// id (as a raw [`MaskId`]).
+    pub fn build_aggregate_index(
+        &self,
+        agg: &MaskAgg,
+        selection: &Selection,
+    ) -> QueryResult<()> {
+        let ids = self.resolve_selection(selection);
+        let groups = self.group_by_image(&ids);
+        let agg_store = ChiStore::new(self.config.chi_config);
+        for (image_id, member_ids) in groups {
+            let mut masks = Vec::with_capacity(member_ids.len());
+            for id in &member_ids {
+                masks.push(self.load_mask(*id)?);
+            }
+            let refs: Vec<&Mask> = masks.iter().map(|m| m.as_ref()).collect();
+            let aggregated = agg.apply(&refs)?;
+            agg_store.index_mask(MaskId::new(image_id.raw()), &aggregated);
+        }
+        self.agg_indexes
+            .write()
+            .insert(Self::aggregate_signature(agg, selection), Arc::new(agg_store));
+        Ok(())
+    }
+
+    /// Looks up an aggregated-mask index by signature.
+    pub(crate) fn aggregate_index(&self, signature: &str) -> Option<Arc<ChiStore>> {
+        if self.config.indexing_mode == IndexingMode::Disabled {
+            return None;
+        }
+        self.agg_indexes.read().get(signature).cloned()
+    }
+
+    /// Registers (or replaces) an aggregated-mask index under a signature.
+    pub(crate) fn insert_aggregate_chi(
+        &self,
+        signature: &str,
+        image_id: ImageId,
+        chi: Chi,
+    ) {
+        if self.config.indexing_mode != IndexingMode::Incremental {
+            return;
+        }
+        let mut indexes = self.agg_indexes.write();
+        let store = indexes
+            .entry(signature.to_string())
+            .or_insert_with(|| Arc::new(ChiStore::new(self.config.chi_config)));
+        store.insert(MaskId::new(image_id.raw()), chi);
+    }
+
+    /// Executes a query, dispatching on its kind.
+    pub fn execute(&self, query: &Query) -> QueryResult<QueryOutput> {
+        let candidates = self.resolve_selection(&query.selection);
+        match &query.kind {
+            QueryKind::Filter { predicate } => {
+                exec::filter::execute(self, &candidates, predicate)
+            }
+            QueryKind::TopK { expr, k, order } => {
+                exec::topk::execute(self, &candidates, expr, *k, *order)
+            }
+            QueryKind::Aggregate {
+                expr,
+                agg,
+                having,
+                top_k,
+            } => exec::aggregate::execute(self, &candidates, expr, *agg, *having, *top_k),
+            QueryKind::MaskAggregate {
+                agg,
+                term,
+                having,
+                top_k,
+            } => exec::mask_agg::execute(
+                self,
+                &query.selection,
+                &candidates,
+                agg,
+                term,
+                *having,
+                *top_k,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use masksearch_core::{PixelRange, Roi};
+    use masksearch_index::ChiConfig;
+    use masksearch_storage::MemoryMaskStore;
+
+    fn small_db(n: u64) -> (Arc<dyn MaskStore>, Catalog) {
+        let store = MemoryMaskStore::for_tests();
+        let mut catalog = Catalog::new();
+        for i in 0..n {
+            let mask = Mask::from_fn(16, 16, move |x, y| ((x + y + i as u32) % 10) as f32 / 10.0);
+            store.put(MaskId::new(i), &mask).unwrap();
+            catalog.insert(
+                MaskRecord::builder(MaskId::new(i))
+                    .image_id(ImageId::new(i / 2))
+                    .shape(16, 16)
+                    .object_box(Roi::new(2, 2, 10, 10).unwrap())
+                    .build(),
+            );
+        }
+        (Arc::new(store), catalog)
+    }
+
+    fn config() -> SessionConfig {
+        SessionConfig::new(ChiConfig::new(4, 4, 8).unwrap()).threads(2)
+    }
+
+    #[test]
+    fn eager_session_indexes_everything_up_front() {
+        let (store, catalog) = small_db(6);
+        let session =
+            Session::new(store, catalog, config().indexing_mode(IndexingMode::Eager)).unwrap();
+        assert_eq!(session.indexed_masks(), 6);
+        assert!(session.index_bytes() > 0);
+    }
+
+    #[test]
+    fn incremental_session_starts_empty_and_indexes_on_load() {
+        let (store, catalog) = small_db(4);
+        let session = Session::new(
+            store,
+            catalog,
+            config().indexing_mode(IndexingMode::Incremental),
+        )
+        .unwrap();
+        assert_eq!(session.indexed_masks(), 0);
+        let (_, built) = session.load_and_index(MaskId::new(2)).unwrap();
+        assert!(built);
+        assert_eq!(session.indexed_masks(), 1);
+        let (_, built_again) = session.load_and_index(MaskId::new(2)).unwrap();
+        assert!(!built_again);
+    }
+
+    #[test]
+    fn disabled_session_never_exposes_indexes() {
+        let (store, catalog) = small_db(4);
+        let session = Session::new(
+            store,
+            catalog,
+            config().indexing_mode(IndexingMode::Disabled),
+        )
+        .unwrap();
+        let (_, built) = session.load_and_index(MaskId::new(1)).unwrap();
+        assert!(!built);
+        assert!(session.chi_for(MaskId::new(1)).is_none());
+    }
+
+    #[test]
+    fn selection_resolution_and_grouping() {
+        let (store, catalog) = small_db(6);
+        let session = Session::new(store, catalog, config()).unwrap();
+        let all = session.resolve_selection(&Selection::all());
+        assert_eq!(all.len(), 6);
+        let subset =
+            session.resolve_selection(&Selection::all().with_image_ids(vec![ImageId::new(1)]));
+        assert_eq!(subset, vec![MaskId::new(2), MaskId::new(3)]);
+        let groups = session.group_by_image(&all);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].1.len(), 2);
+    }
+
+    #[test]
+    fn unknown_mask_is_an_error() {
+        let (store, catalog) = small_db(2);
+        let session = Session::new(store, catalog, config()).unwrap();
+        assert!(matches!(
+            session.record(MaskId::new(99)),
+            Err(QueryError::UnknownMask(_))
+        ));
+    }
+
+    #[test]
+    fn index_persistence_round_trip() {
+        let (store, catalog) = small_db(3);
+        let session = Session::new(
+            Arc::clone(&store),
+            catalog.clone(),
+            config().indexing_mode(IndexingMode::Eager),
+        )
+        .unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "masksearch-session-index-{}.idx",
+            std::process::id()
+        ));
+        session.persist_index(&path).unwrap();
+        let chi = Session::load_index_file(&path).unwrap();
+        assert_eq!(chi.len(), 3);
+        let restored = Session::with_index(store, catalog, config(), chi);
+        assert_eq!(restored.indexed_masks(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn aggregate_index_build() {
+        let (store, catalog) = small_db(6);
+        let session =
+            Session::new(store, catalog, config().indexing_mode(IndexingMode::Eager)).unwrap();
+        let agg = MaskAgg::IntersectThreshold { threshold: 0.5 };
+        let selection = Selection::all();
+        session.build_aggregate_index(&agg, &selection).unwrap();
+        let signature = Session::aggregate_signature(&agg, &selection);
+        let index = session.aggregate_index(&signature).unwrap();
+        assert_eq!(index.len(), 3); // one aggregated mask per image
+    }
+
+    #[test]
+    fn simple_end_to_end_filter_query() {
+        let (store, catalog) = small_db(6);
+        let session =
+            Session::new(store, catalog, config().indexing_mode(IndexingMode::Eager)).unwrap();
+        let query = Query::filter_cp_gt(
+            Roi::new(0, 0, 16, 16).unwrap(),
+            PixelRange::new(0.0, 1.0).unwrap(),
+            0.0,
+        );
+        let out = session.execute(&query).unwrap();
+        // Every mask has 256 pixels in [0,1) > 0, so all qualify.
+        assert_eq!(out.len(), 6);
+        assert_eq!(out.stats.candidates, 6);
+    }
+}

@@ -1,0 +1,210 @@
+//! Query building blocks: ROI specifications, `CP` terms, scalar aggregates,
+//! and result orderings.
+
+use masksearch_core::{MaskRecord, PixelRange, Roi};
+
+/// How the region of interest of a `CP` term is determined for each mask.
+///
+/// The paper's queries use all three forms: a constant user-specified box
+/// (Q1, Q3), the per-mask foreground-object box computed by an object
+/// detector (Q2, Q4, Q5 — `roi = object`), and the full mask (the denominator
+/// of Example 1's ratio query).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RoiSpec {
+    /// The same bounding box for every mask.
+    Constant(Roi),
+    /// The mask-specific foreground-object bounding box stored in the
+    /// catalog record.
+    ObjectBox,
+    /// The entire mask.
+    FullMask,
+}
+
+impl RoiSpec {
+    /// Resolves the specification into a concrete ROI for one mask.
+    ///
+    /// Returns `None` for [`RoiSpec::ObjectBox`] when the record has no
+    /// object box (callers decide whether that is an error or a fallback to
+    /// the full mask).
+    pub fn resolve(&self, record: &MaskRecord) -> Option<Roi> {
+        match self {
+            RoiSpec::Constant(roi) => Some(*roi),
+            RoiSpec::ObjectBox => record.object_box,
+            RoiSpec::FullMask => {
+                if record.width == 0 || record.height == 0 {
+                    None
+                } else {
+                    Some(Roi::new(0, 0, record.width, record.height).expect("non-zero shape"))
+                }
+            }
+        }
+    }
+
+    /// Returns `true` if the ROI differs per mask.
+    pub fn is_mask_specific(&self) -> bool {
+        matches!(self, RoiSpec::ObjectBox)
+    }
+}
+
+/// One `CP(mask, roi, (lv, uv))` term of a query expression.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpTerm {
+    /// Where to count.
+    pub roi: RoiSpec,
+    /// Which pixel values to count.
+    pub range: PixelRange,
+}
+
+impl CpTerm {
+    /// Term with a constant ROI.
+    pub fn constant_roi(roi: Roi, range: PixelRange) -> Self {
+        Self {
+            roi: RoiSpec::Constant(roi),
+            range,
+        }
+    }
+
+    /// Term counting within the mask-specific object bounding box.
+    pub fn object_roi(range: PixelRange) -> Self {
+        Self {
+            roi: RoiSpec::ObjectBox,
+            range,
+        }
+    }
+
+    /// Term counting over the whole mask.
+    pub fn full_mask(range: PixelRange) -> Self {
+        Self {
+            roi: RoiSpec::FullMask,
+            range,
+        }
+    }
+}
+
+/// Scalar aggregation functions over per-mask `CP` expression values
+/// (paper §2.1 `SCALAR_AGG` and §3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarAgg {
+    /// Sum of the member values.
+    Sum,
+    /// Arithmetic mean of the member values.
+    Avg,
+    /// Minimum of the member values.
+    Min,
+    /// Maximum of the member values.
+    Max,
+}
+
+impl ScalarAgg {
+    /// Applies the aggregate to exact per-member values.
+    pub fn apply(&self, values: &[f64]) -> f64 {
+        if values.is_empty() {
+            return 0.0;
+        }
+        match self {
+            ScalarAgg::Sum => values.iter().sum(),
+            ScalarAgg::Avg => values.iter().sum::<f64>() / values.len() as f64,
+            ScalarAgg::Min => values.iter().copied().fold(f64::INFINITY, f64::min),
+            ScalarAgg::Max => values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// A short stable name for plans and statistics output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScalarAgg::Sum => "sum",
+            ScalarAgg::Avg => "avg",
+            ScalarAgg::Min => "min",
+            ScalarAgg::Max => "max",
+        }
+    }
+}
+
+/// Result ordering for ranked (top-k) queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Order {
+    /// Largest values first (`ORDER BY ... DESC`).
+    Desc,
+    /// Smallest values first (`ORDER BY ... ASC`).
+    Asc,
+}
+
+impl Order {
+    /// Returns `true` if `a` ranks strictly better than `b` under this order.
+    pub fn better(&self, a: f64, b: f64) -> bool {
+        match self {
+            Order::Desc => a > b,
+            Order::Asc => a < b,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use masksearch_core::{MaskId, MaskRecord};
+
+    fn record(with_box: bool) -> MaskRecord {
+        let mut b = MaskRecord::builder(MaskId::new(1)).shape(64, 48);
+        if with_box {
+            b = b.object_box(Roi::new(10, 10, 30, 30).unwrap());
+        }
+        b.build()
+    }
+
+    #[test]
+    fn roi_spec_resolution() {
+        let constant = RoiSpec::Constant(Roi::new(0, 0, 5, 5).unwrap());
+        assert_eq!(
+            constant.resolve(&record(false)),
+            Some(Roi::new(0, 0, 5, 5).unwrap())
+        );
+        assert!(!constant.is_mask_specific());
+
+        let object = RoiSpec::ObjectBox;
+        assert_eq!(
+            object.resolve(&record(true)),
+            Some(Roi::new(10, 10, 30, 30).unwrap())
+        );
+        assert_eq!(object.resolve(&record(false)), None);
+        assert!(object.is_mask_specific());
+
+        let full = RoiSpec::FullMask;
+        assert_eq!(
+            full.resolve(&record(false)),
+            Some(Roi::new(0, 0, 64, 48).unwrap())
+        );
+        let empty_record = MaskRecord::builder(MaskId::new(2)).build();
+        assert_eq!(full.resolve(&empty_record), None);
+    }
+
+    #[test]
+    fn cp_term_constructors() {
+        let range = PixelRange::new(0.8, 1.0).unwrap();
+        assert_eq!(
+            CpTerm::constant_roi(Roi::new(0, 0, 4, 4).unwrap(), range).roi,
+            RoiSpec::Constant(Roi::new(0, 0, 4, 4).unwrap())
+        );
+        assert_eq!(CpTerm::object_roi(range).roi, RoiSpec::ObjectBox);
+        assert_eq!(CpTerm::full_mask(range).roi, RoiSpec::FullMask);
+    }
+
+    #[test]
+    fn scalar_aggregates() {
+        let values = [1.0, 2.0, 3.0, 6.0];
+        assert_eq!(ScalarAgg::Sum.apply(&values), 12.0);
+        assert_eq!(ScalarAgg::Avg.apply(&values), 3.0);
+        assert_eq!(ScalarAgg::Min.apply(&values), 1.0);
+        assert_eq!(ScalarAgg::Max.apply(&values), 6.0);
+        assert_eq!(ScalarAgg::Sum.apply(&[]), 0.0);
+        assert_eq!(ScalarAgg::Avg.name(), "avg");
+    }
+
+    #[test]
+    fn order_comparisons() {
+        assert!(Order::Desc.better(5.0, 3.0));
+        assert!(!Order::Desc.better(3.0, 5.0));
+        assert!(Order::Asc.better(3.0, 5.0));
+        assert!(!Order::Asc.better(5.0, 5.0));
+    }
+}

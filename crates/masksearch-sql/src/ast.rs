@@ -1,0 +1,162 @@
+//! Abstract syntax tree of the MaskSearch SQL dialect.
+
+/// How the ROI argument of a `CP` call is written.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoiExpr {
+    /// `(x0, y0, x1, y1)` — half-open pixel coordinates.
+    Box {
+        /// Left edge (inclusive).
+        x0: u32,
+        /// Top edge (inclusive).
+        y0: u32,
+        /// Right edge (exclusive).
+        x1: u32,
+        /// Bottom edge (exclusive).
+        y1: u32,
+    },
+    /// `object` — the per-mask foreground-object box.
+    Object,
+    /// `full` — the whole mask.
+    Full,
+}
+
+/// The first argument of a `CP` call: the plain mask or an aggregation over
+/// the group's masks (`INTERSECT(mask > t)` / `UNION(mask > t)` / `MEAN(mask)`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MaskArg {
+    /// `mask` — the per-mask column.
+    Plain,
+    /// `INTERSECT(mask > threshold)`.
+    Intersect {
+        /// The threshold applied before intersecting.
+        threshold: f64,
+    },
+    /// `UNION(mask > threshold)`.
+    Union {
+        /// The threshold applied before the union.
+        threshold: f64,
+    },
+    /// `MEAN(mask)` — per-pixel mean of the group's masks.
+    Mean,
+}
+
+/// A scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlExpr {
+    /// `CP(mask_arg, roi, (lv, uv))`.
+    Cp {
+        /// The mask argument (plain or aggregated).
+        mask: MaskArg,
+        /// The region of interest.
+        roi: RoiExpr,
+        /// Lower bound of the value range (inclusive).
+        lv: f64,
+        /// Upper bound of the value range (exclusive).
+        uv: f64,
+    },
+    /// `AGG(expr)` with `AGG` ∈ {SUM, AVG/MEAN, MIN, MAX}.
+    ScalarAgg {
+        /// Aggregate function name (uppercased).
+        func: String,
+        /// Aggregated expression.
+        expr: Box<SqlExpr>,
+    },
+    /// Numeric literal.
+    Number(f64),
+    /// Reference to a SELECT alias (used in ORDER BY / HAVING).
+    Alias(String),
+    /// Binary arithmetic.
+    Binary {
+        /// `+`, `-`, `*`, or `/`.
+        op: char,
+        /// Left operand.
+        lhs: Box<SqlExpr>,
+        /// Right operand.
+        rhs: Box<SqlExpr>,
+    },
+}
+
+/// A comparison operator in WHERE / HAVING.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SqlCmp {
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `=`
+    Eq,
+}
+
+/// A WHERE-clause condition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// A comparison between an expression and a numeric literal.
+    Compare {
+        /// Left-hand side expression.
+        expr: SqlExpr,
+        /// Comparison operator.
+        op: SqlCmp,
+        /// Right-hand side value.
+        value: f64,
+    },
+    /// A metadata equality (`model_id = 1`, `predicted_label = 7`, ...).
+    MetaEq {
+        /// Column name (lowercased).
+        column: String,
+        /// Value.
+        value: u64,
+    },
+    /// A metadata membership test (`mask_type IN (1, 2)`).
+    MetaIn {
+        /// Column name (lowercased).
+        column: String,
+        /// Values.
+        values: Vec<u64>,
+    },
+    /// Conjunction.
+    And(Box<Condition>, Box<Condition>),
+    /// Disjunction.
+    Or(Box<Condition>, Box<Condition>),
+}
+
+/// One SELECT item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    /// The selected expression, or `None` for a plain column reference
+    /// (`mask_id`, `image_id`, `*`).
+    pub expr: Option<SqlExpr>,
+    /// Column name when the item is a plain column reference.
+    pub column: Option<String>,
+    /// `AS` alias, if any.
+    pub alias: Option<String>,
+}
+
+/// Sort direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SqlOrder {
+    /// `ASC`
+    Asc,
+    /// `DESC`
+    Desc,
+}
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlQuery {
+    /// SELECT list.
+    pub select: Vec<SelectItem>,
+    /// WHERE clause.
+    pub where_clause: Option<Condition>,
+    /// GROUP BY column (only `image_id` is supported).
+    pub group_by: Option<String>,
+    /// HAVING clause (comparison on the grouped aggregate).
+    pub having: Option<(SqlCmp, f64)>,
+    /// ORDER BY expression (alias or full expression) and direction.
+    pub order_by: Option<(SqlExpr, SqlOrder)>,
+    /// LIMIT value.
+    pub limit: Option<usize>,
+}

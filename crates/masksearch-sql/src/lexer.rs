@@ -1,0 +1,204 @@
+//! Tokenizer for the MaskSearch SQL dialect.
+
+use crate::SqlError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (uppercased for keywords at parse time).
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `=`
+    Eq,
+    /// `;`
+    Semicolon,
+}
+
+/// A token together with its byte offset in the input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Byte offset where the token starts.
+    pub offset: usize,
+}
+
+/// Tokenizes a SQL string.
+pub fn tokenize(input: &str) -> Result<Vec<Spanned>, SqlError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Spanned { token: Token::LParen, offset: i });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Spanned { token: Token::RParen, offset: i });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Spanned { token: Token::Comma, offset: i });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Spanned { token: Token::Star, offset: i });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Spanned { token: Token::Slash, offset: i });
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Spanned { token: Token::Plus, offset: i });
+                i += 1;
+            }
+            '-' => {
+                // `--` starts a comment running to end of line.
+                if i + 1 < bytes.len() && bytes[i + 1] == b'-' {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                } else {
+                    tokens.push(Spanned { token: Token::Minus, offset: i });
+                    i += 1;
+                }
+            }
+            ';' => {
+                tokens.push(Spanned { token: Token::Semicolon, offset: i });
+                i += 1;
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Spanned { token: Token::Ge, offset: i });
+                    i += 2;
+                } else {
+                    tokens.push(Spanned { token: Token::Gt, offset: i });
+                    i += 1;
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Spanned { token: Token::Le, offset: i });
+                    i += 2;
+                } else {
+                    tokens.push(Spanned { token: Token::Lt, offset: i });
+                    i += 1;
+                }
+            }
+            '=' => {
+                tokens.push(Spanned { token: Token::Eq, offset: i });
+                i += 1;
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.' || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || ((bytes[i] == b'+' || bytes[i] == b'-')
+                            && i > start
+                            && (bytes[i - 1] == b'e' || bytes[i - 1] == b'E')))
+                {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let value = text.parse::<f64>().map_err(|_| {
+                    SqlError::new(format!("invalid numeric literal `{text}`"), start)
+                })?;
+                tokens.push(Spanned { token: Token::Number(value), offset: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Spanned {
+                    token: Token::Ident(input[start..i].to_string()),
+                    offset: start,
+                });
+            }
+            other => {
+                return Err(SqlError::new(format!("unexpected character `{other}`"), i));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<Token> {
+        tokenize(sql).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn tokenizes_a_representative_statement() {
+        let tokens = kinds("SELECT mask_id FROM masks WHERE CP(mask, (1, 2, 3, 4), (0.8, 1.0)) >= 500;");
+        assert!(tokens.contains(&Token::Ident("SELECT".to_string())));
+        assert!(tokens.contains(&Token::Ge));
+        assert!(tokens.contains(&Token::Number(0.8)));
+        assert!(tokens.contains(&Token::Semicolon));
+    }
+
+    #[test]
+    fn numbers_operators_and_comments() {
+        assert_eq!(
+            kinds("1.5e-2 -- trailing comment\n + 3"),
+            vec![Token::Number(0.015), Token::Plus, Token::Number(3.0)]
+        );
+        assert_eq!(kinds("a<=b"), vec![
+            Token::Ident("a".into()),
+            Token::Le,
+            Token::Ident("b".into())
+        ]);
+        assert_eq!(kinds("x - 1"), vec![
+            Token::Ident("x".into()),
+            Token::Minus,
+            Token::Number(1.0)
+        ]);
+    }
+
+    #[test]
+    fn rejects_bad_characters_and_numbers() {
+        assert!(tokenize("SELECT ?").is_err());
+        assert!(tokenize("1.2.3").is_err());
+    }
+
+    #[test]
+    fn offsets_point_into_the_input() {
+        let tokens = tokenize("SELECT  image_id").unwrap();
+        assert_eq!(tokens[1].offset, 8);
+    }
+}

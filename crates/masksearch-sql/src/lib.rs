@@ -1,0 +1,86 @@
+//! # masksearch-sql
+//!
+//! A SQL front end for the query dialect of the paper (§2.1–§2.2), lowered
+//! onto the [`masksearch_query`] query model. The supported surface covers
+//! the paper's examples:
+//!
+//! ```sql
+//! -- Example 1 (filter):
+//! SELECT mask_id FROM masks
+//! WHERE CP(mask, (50, 50, 200, 200), (0.85, 1.0)) < 10000 AND model_id = 1;
+//!
+//! -- Example 1 (ratio top-k):
+//! SELECT mask_id, CP(mask, object, (0.85, 1.0)) / CP(mask, full, (0.85, 1.0)) AS r
+//! FROM masks ORDER BY r ASC LIMIT 25;
+//!
+//! -- Q4-style aggregation:
+//! SELECT image_id, AVG(CP(mask, object, (0.8, 1.0))) AS s
+//! FROM masks GROUP BY image_id ORDER BY s DESC LIMIT 25;
+//!
+//! -- Example 2 / Q5-style mask aggregation:
+//! SELECT image_id, CP(INTERSECT(mask > 0.7), object, (0.7, 1.0)) AS s
+//! FROM masks WHERE mask_type IN (1, 2)
+//! GROUP BY image_id ORDER BY s DESC LIMIT 10;
+//! ```
+//!
+//! ROIs are written either as `(x0, y0, x1, y1)` (half-open pixel
+//! coordinates), `object` (the per-mask foreground-object box), or `full`
+//! (the whole mask). Metadata predicates (`model_id = n`,
+//! `mask_type IN (...)`, `predicted_label = n`, `image_id IN (...)`) become
+//! the query's relational selection; `CP` predicates become the
+//! filter-predicate tree.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ast;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+
+pub use ast::SqlQuery;
+pub use lexer::{tokenize, Token};
+pub use lower::lower;
+pub use parser::parse;
+
+use masksearch_query::Query;
+
+/// Parse error with a human-readable message and byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input where the error was detected (best effort).
+    pub offset: usize,
+}
+
+impl SqlError {
+    pub(crate) fn new(message: impl Into<String>, offset: usize) -> Self {
+        Self {
+            message: message.into(),
+            offset,
+        }
+    }
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SQL error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Parses a SQL statement and lowers it to an executable [`Query`].
+///
+/// ```
+/// use masksearch_sql::compile;
+/// let query = compile(
+///     "SELECT mask_id FROM masks WHERE CP(mask, (0, 0, 64, 64), (0.8, 1.0)) > 500 AND model_id = 1",
+/// ).unwrap();
+/// assert!(!query.is_grouped());
+/// ```
+pub fn compile(sql: &str) -> Result<Query, SqlError> {
+    let statement = parse(sql)?;
+    lower(&statement)
+}

@@ -1,0 +1,451 @@
+//! Lowering of parsed SQL statements onto the `masksearch-query` model.
+
+use crate::ast::{Condition, MaskArg, RoiExpr, SelectItem, SqlCmp, SqlExpr, SqlOrder, SqlQuery};
+use crate::SqlError;
+use masksearch_core::{ImageId, Label, MaskAgg, MaskId, MaskType, ModelId, PixelRange, Roi};
+use masksearch_query::{
+    CmpOp, CpTerm, Expr, Order, Predicate, Query, QueryKind, RoiSpec, ScalarAgg, Selection,
+};
+
+/// Lowers a parsed statement into an executable [`Query`].
+pub fn lower(statement: &SqlQuery) -> Result<Query, SqlError> {
+    let (selection, cp_predicate) = lower_where(statement.where_clause.as_ref())?;
+
+    if let Some(group_column) = &statement.group_by {
+        if group_column != "image_id" {
+            return Err(SqlError::new(
+                format!("GROUP BY {group_column} is not supported (only image_id)"),
+                0,
+            ));
+        }
+        if cp_predicate.is_some() {
+            return Err(SqlError::new(
+                "CP predicates in WHERE are not supported together with GROUP BY; use HAVING",
+                0,
+            ));
+        }
+        return lower_grouped(statement, selection);
+    }
+
+    // Ungrouped: ORDER BY + LIMIT means a top-k query; otherwise a filter.
+    if let (Some((order_expr, order)), Some(limit)) = (&statement.order_by, statement.limit) {
+        let expr = resolve_order_expr(order_expr, &statement.select)?;
+        let expr = lower_expr(&expr)?;
+        let mut query = Query::top_k(expr, limit, lower_order(*order));
+        query.selection = selection;
+        return Ok(query);
+    }
+
+    let predicate = cp_predicate.ok_or_else(|| {
+        SqlError::new(
+            "a non-grouped query needs either a CP predicate in WHERE or ORDER BY ... LIMIT",
+            0,
+        )
+    })?;
+    let mut query = Query::filter(predicate);
+    query.selection = selection;
+    Ok(query)
+}
+
+/// Splits the WHERE clause into a relational [`Selection`] (metadata
+/// conditions) and an optional CP [`Predicate`].
+fn lower_where(
+    condition: Option<&Condition>,
+) -> Result<(Selection, Option<Predicate>), SqlError> {
+    let mut selection = Selection::all();
+    let mut predicate: Option<Predicate> = None;
+    if let Some(condition) = condition {
+        collect_conjuncts(condition, &mut selection, &mut predicate)?;
+    }
+    Ok((selection, predicate))
+}
+
+fn collect_conjuncts(
+    condition: &Condition,
+    selection: &mut Selection,
+    predicate: &mut Option<Predicate>,
+) -> Result<(), SqlError> {
+    match condition {
+        Condition::And(lhs, rhs) => {
+            collect_conjuncts(lhs, selection, predicate)?;
+            collect_conjuncts(rhs, selection, predicate)?;
+            Ok(())
+        }
+        Condition::Or(lhs, rhs) => {
+            // OR is only supported between CP comparisons.
+            let l = lower_cp_condition(lhs)?;
+            let r = lower_cp_condition(rhs)?;
+            merge_predicate(predicate, l.or(r));
+            Ok(())
+        }
+        Condition::MetaEq { column, value } => {
+            apply_meta(selection, column, std::slice::from_ref(value))
+        }
+        Condition::MetaIn { column, values } => apply_meta(selection, column, values),
+        Condition::Compare { .. } => {
+            let p = lower_cp_condition(condition)?;
+            merge_predicate(predicate, p);
+            Ok(())
+        }
+    }
+}
+
+fn merge_predicate(slot: &mut Option<Predicate>, new: Predicate) {
+    *slot = Some(match slot.take() {
+        Some(existing) => existing.and(new),
+        None => new,
+    });
+}
+
+fn lower_cp_condition(condition: &Condition) -> Result<Predicate, SqlError> {
+    match condition {
+        Condition::Compare { expr, op, value } => {
+            let expr = lower_expr(expr)?;
+            Ok(match op {
+                SqlCmp::Gt => Predicate::gt(expr, *value),
+                SqlCmp::Ge => Predicate::ge(expr, *value),
+                SqlCmp::Lt => Predicate::lt(expr, *value),
+                SqlCmp::Le => Predicate::le(expr, *value),
+                SqlCmp::Eq => {
+                    Predicate::ge(expr.clone(), *value).and(Predicate::le(expr, *value))
+                }
+            })
+        }
+        Condition::And(lhs, rhs) => {
+            Ok(lower_cp_condition(lhs)?.and(lower_cp_condition(rhs)?))
+        }
+        Condition::Or(lhs, rhs) => Ok(lower_cp_condition(lhs)?.or(lower_cp_condition(rhs)?)),
+        Condition::MetaEq { column, .. } | Condition::MetaIn { column, .. } => Err(SqlError::new(
+            format!("metadata condition on `{column}` cannot appear under OR"),
+            0,
+        )),
+    }
+}
+
+fn apply_meta(selection: &mut Selection, column: &str, values: &[u64]) -> Result<(), SqlError> {
+    match column {
+        "model_id" => {
+            if values.len() != 1 {
+                return Err(SqlError::new("model_id supports a single value", 0));
+            }
+            selection.model_id = Some(ModelId::new(values[0]));
+        }
+        "mask_type" => {
+            selection.mask_types = Some(
+                values
+                    .iter()
+                    .map(|v| MaskType::from_code(*v as u16))
+                    .collect(),
+            );
+        }
+        "predicted_label" => {
+            selection.predicted_labels = Some(values.iter().map(|v| Label::new(*v)).collect());
+        }
+        "image_id" => {
+            selection.image_ids = Some(values.iter().map(|v| ImageId::new(*v)).collect());
+        }
+        "mask_id" => {
+            selection.mask_ids = Some(values.iter().map(|v| MaskId::new(*v)).collect());
+        }
+        other => {
+            return Err(SqlError::new(
+                format!("unsupported metadata column `{other}`"),
+                0,
+            ))
+        }
+    }
+    Ok(())
+}
+
+/// Resolves the ORDER BY expression: either an alias of a SELECT item or a
+/// full expression.
+fn resolve_order_expr(
+    order_expr: &SqlExpr,
+    select: &[SelectItem],
+) -> Result<SqlExpr, SqlError> {
+    if let SqlExpr::Alias(alias) = order_expr {
+        for item in select {
+            if item.alias.as_deref() == Some(alias.as_str()) {
+                return item.expr.clone().ok_or_else(|| {
+                    SqlError::new(format!("alias `{alias}` does not name an expression"), 0)
+                });
+            }
+        }
+        return Err(SqlError::new(format!("unknown alias `{alias}`"), 0));
+    }
+    Ok(order_expr.clone())
+}
+
+fn lower_order(order: SqlOrder) -> Order {
+    match order {
+        SqlOrder::Asc => Order::Asc,
+        SqlOrder::Desc => Order::Desc,
+    }
+}
+
+fn lower_cmp(op: SqlCmp) -> CmpOp {
+    match op {
+        SqlCmp::Gt => CmpOp::Gt,
+        SqlCmp::Ge => CmpOp::Ge,
+        SqlCmp::Lt => CmpOp::Lt,
+        SqlCmp::Le => CmpOp::Le,
+        // Equality in HAVING degrades to >= (callers rarely use it; kept for
+        // completeness).
+        SqlCmp::Eq => CmpOp::Ge,
+    }
+}
+
+fn lower_roi(roi: &RoiExpr) -> Result<RoiSpec, SqlError> {
+    Ok(match roi {
+        RoiExpr::Object => RoiSpec::ObjectBox,
+        RoiExpr::Full => RoiSpec::FullMask,
+        RoiExpr::Box { x0, y0, x1, y1 } => RoiSpec::Constant(
+            Roi::new(*x0, *y0, *x1, *y1)
+                .map_err(|e| SqlError::new(format!("invalid ROI: {e}"), 0))?,
+        ),
+    })
+}
+
+fn lower_range(lv: f64, uv: f64) -> Result<PixelRange, SqlError> {
+    PixelRange::new(lv as f32, uv as f32)
+        .map_err(|e| SqlError::new(format!("invalid pixel range: {e}"), 0))
+}
+
+/// Lowers a scalar expression containing only plain-mask `CP` terms.
+fn lower_expr(expr: &SqlExpr) -> Result<Expr, SqlError> {
+    match expr {
+        SqlExpr::Number(v) => Ok(Expr::Const(*v)),
+        SqlExpr::Cp { mask, roi, lv, uv } => {
+            if *mask != MaskArg::Plain {
+                return Err(SqlError::new(
+                    "mask aggregations inside CP require GROUP BY image_id",
+                    0,
+                ));
+            }
+            let term = CpTerm {
+                roi: lower_roi(roi)?,
+                range: lower_range(*lv, *uv)?,
+            };
+            Ok(Expr::Cp(term))
+        }
+        SqlExpr::Binary { op, lhs, rhs } => {
+            let l = lower_expr(lhs)?;
+            let r = lower_expr(rhs)?;
+            Ok(match op {
+                '+' => l.add(r),
+                '-' => l.sub(r),
+                '*' => l.mul(r),
+                '/' => l.div(r),
+                other => return Err(SqlError::new(format!("unknown operator `{other}`"), 0)),
+            })
+        }
+        SqlExpr::ScalarAgg { .. } => Err(SqlError::new(
+            "scalar aggregates require GROUP BY image_id",
+            0,
+        )),
+        SqlExpr::Alias(alias) => Err(SqlError::new(
+            format!("alias `{alias}` cannot be used here"),
+            0,
+        )),
+    }
+}
+
+/// Lowers a grouped (GROUP BY image_id) statement into an aggregation or
+/// mask-aggregation query.
+fn lower_grouped(statement: &SqlQuery, selection: Selection) -> Result<Query, SqlError> {
+    // Find the aggregate expression in the SELECT list.
+    let agg_item = statement
+        .select
+        .iter()
+        .find(|item| item.expr.is_some())
+        .and_then(|item| item.expr.as_ref())
+        .ok_or_else(|| {
+            SqlError::new("a GROUP BY query must select an aggregate expression", 0)
+        })?;
+
+    let top_k = match (&statement.order_by, statement.limit) {
+        (Some((_, order)), Some(limit)) => Some((limit, lower_order(*order))),
+        _ => None,
+    };
+    let having = statement.having.map(|(op, value)| (lower_cmp(op), value));
+
+    let kind = match agg_item {
+        // SCALAR_AGG(CP(mask, ...)) -> Aggregate.
+        SqlExpr::ScalarAgg { func, expr } => {
+            let scalar = match func.as_str() {
+                "SUM" => ScalarAgg::Sum,
+                "AVG" => ScalarAgg::Avg,
+                "MIN" => ScalarAgg::Min,
+                "MAX" => ScalarAgg::Max,
+                other => {
+                    return Err(SqlError::new(format!("unknown aggregate `{other}`"), 0))
+                }
+            };
+            QueryKind::Aggregate {
+                expr: lower_expr(expr)?,
+                agg: scalar,
+                having,
+                top_k,
+            }
+        }
+        // CP(MASK_AGG(mask ...), ...) -> MaskAggregate.
+        SqlExpr::Cp { mask, roi, lv, uv } if *mask != MaskArg::Plain => {
+            let agg = match mask {
+                MaskArg::Intersect { threshold } => MaskAgg::IntersectThreshold {
+                    threshold: *threshold as f32,
+                },
+                MaskArg::Union { threshold } => MaskAgg::UnionThreshold {
+                    threshold: *threshold as f32,
+                },
+                MaskArg::Mean => MaskAgg::Mean,
+                MaskArg::Plain => unreachable!("guarded by the match arm"),
+            };
+            QueryKind::MaskAggregate {
+                agg,
+                term: CpTerm {
+                    roi: lower_roi(roi)?,
+                    range: lower_range(*lv, *uv)?,
+                },
+                having,
+                top_k,
+            }
+        }
+        other => {
+            return Err(SqlError::new(
+                format!("GROUP BY queries must aggregate; `{other:?}` does not"),
+                0,
+            ))
+        }
+    };
+
+    Ok(Query {
+        selection,
+        kind,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    #[test]
+    fn lowers_example_1_filter() {
+        let q = compile(
+            "SELECT image_id FROM masks \
+             WHERE CP(mask, (10, 10, 50, 50), (0.85, 1.0)) < 10000 AND model_id = 1",
+        )
+        .unwrap();
+        assert_eq!(q.selection.model_id, Some(ModelId::new(1)));
+        match q.kind {
+            QueryKind::Filter { predicate } => {
+                assert_eq!(predicate.comparisons().len(), 1);
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lowers_example_1_ratio_topk() {
+        let q = compile(
+            "SELECT image_id, CP(mask, object, (0.85, 1.0)) / CP(mask, full, (0.85, 1.0)) AS r \
+             FROM masks ORDER BY r ASC LIMIT 25",
+        )
+        .unwrap();
+        match q.kind {
+            QueryKind::TopK { expr, k, order } => {
+                assert_eq!(k, 25);
+                assert_eq!(order, Order::Asc);
+                assert_eq!(expr.terms().len(), 2);
+                assert!(expr.uses_mask_specific_roi());
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lowers_q4_style_aggregation() {
+        let q = compile(
+            "SELECT image_id, AVG(CP(mask, object, (0.8, 1.0))) AS s \
+             FROM masks GROUP BY image_id ORDER BY s DESC LIMIT 25",
+        )
+        .unwrap();
+        match q.kind {
+            QueryKind::Aggregate {
+                agg, top_k, having, ..
+            } => {
+                assert_eq!(agg, ScalarAgg::Avg);
+                assert_eq!(top_k, Some((25, Order::Desc)));
+                assert!(having.is_none());
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lowers_example_2_mask_aggregation() {
+        let q = compile(
+            "SELECT image_id, CP(INTERSECT(mask > 0.7), full, (0.7, 1.0)) AS s \
+             FROM masks WHERE mask_type IN (1, 2) \
+             GROUP BY image_id ORDER BY s DESC LIMIT 10",
+        )
+        .unwrap();
+        assert_eq!(
+            q.selection.mask_types,
+            Some(vec![MaskType::SaliencyMap, MaskType::HumanAttentionMap])
+        );
+        match q.kind {
+            QueryKind::MaskAggregate { agg, top_k, .. } => {
+                assert_eq!(
+                    agg,
+                    MaskAgg::IntersectThreshold { threshold: 0.7 }
+                );
+                assert_eq!(top_k, Some((10, Order::Desc)));
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lowers_having_clause() {
+        let q = compile(
+            "SELECT image_id, SUM(CP(mask, object, (0.8, 1.0))) AS s \
+             FROM masks GROUP BY image_id HAVING s > 500",
+        )
+        .unwrap();
+        match q.kind {
+            QueryKind::Aggregate { having, agg, .. } => {
+                assert_eq!(having, Some((CmpOp::Gt, 500.0)));
+                assert_eq!(agg, ScalarAgg::Sum);
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported_constructs() {
+        // Aggregate without GROUP BY.
+        assert!(compile("SELECT AVG(CP(mask, full, (0.5, 1.0))) AS s FROM masks ORDER BY s DESC LIMIT 5").is_err());
+        // GROUP BY on an unsupported column.
+        assert!(compile(
+            "SELECT model_id, AVG(CP(mask, full, (0.5, 1.0))) AS s FROM masks GROUP BY model_id"
+        )
+        .is_err());
+        // Mask aggregation without GROUP BY.
+        assert!(compile(
+            "SELECT mask_id FROM masks WHERE CP(INTERSECT(mask > 0.5), full, (0.5, 1.0)) > 10"
+        )
+        .is_err());
+        // Metadata column under OR.
+        assert!(compile(
+            "SELECT mask_id FROM masks WHERE model_id = 1 OR CP(mask, full, (0.5, 1.0)) > 10"
+        )
+        .is_err());
+        // No predicate and no ranking.
+        assert!(compile("SELECT mask_id FROM masks").is_err());
+        // Unknown alias in ORDER BY.
+        assert!(compile("SELECT mask_id FROM masks ORDER BY bogus DESC LIMIT 5").is_err());
+        // Invalid range.
+        assert!(compile("SELECT mask_id FROM masks WHERE CP(mask, full, (0.9, 0.1)) > 10").is_err());
+    }
+}

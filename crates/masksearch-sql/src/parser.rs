@@ -1,0 +1,564 @@
+//! Recursive-descent parser for the MaskSearch SQL dialect.
+
+use crate::ast::{Condition, MaskArg, RoiExpr, SelectItem, SqlCmp, SqlExpr, SqlOrder, SqlQuery};
+use crate::lexer::{tokenize, Spanned, Token};
+use crate::SqlError;
+
+/// Parses one SQL statement.
+pub fn parse(sql: &str) -> Result<SqlQuery, SqlError> {
+    let tokens = tokenize(sql)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let query = parser.parse_query()?;
+    parser.consume_if(&Token::Semicolon);
+    if !parser.at_end() {
+        return Err(parser.error("unexpected trailing input"));
+    }
+    Ok(query)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|s| s.offset)
+            .unwrap_or(0)
+    }
+
+    fn error(&self, message: impl Into<String>) -> SqlError {
+        SqlError::new(message, self.offset())
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|s| s.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn consume_if(&mut self, token: &Token) -> bool {
+        if self.peek() == Some(token) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &Token, what: &str) -> Result<(), SqlError> {
+        if self.consume_if(token) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {what}")))
+        }
+    }
+
+    /// Consumes an identifier and returns it uppercased.
+    fn keyword(&mut self) -> Result<String, SqlError> {
+        match self.advance() {
+            Some(Token::Ident(s)) => Ok(s.to_ascii_uppercase()),
+            _ => Err(self.error("expected an identifier")),
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.peek_keyword(kw) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected keyword {kw}")))
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, SqlError> {
+        match self.advance() {
+            Some(Token::Number(v)) => Ok(v),
+            Some(Token::Minus) => match self.advance() {
+                Some(Token::Number(v)) => Ok(-v),
+                _ => Err(self.error("expected a number after `-`")),
+            },
+            _ => Err(self.error("expected a number")),
+        }
+    }
+
+    fn parse_query(&mut self) -> Result<SqlQuery, SqlError> {
+        self.expect_keyword("SELECT")?;
+        let select = self.parse_select_list()?;
+        self.expect_keyword("FROM")?;
+        // The relation name is free-form (`masks`, `MasksDatabaseView`, ...).
+        let _relation = self.keyword()?;
+
+        let where_clause = if self.peek_keyword("WHERE") {
+            self.pos += 1;
+            Some(self.parse_condition()?)
+        } else {
+            None
+        };
+
+        let group_by = if self.peek_keyword("GROUP") {
+            self.pos += 1;
+            self.expect_keyword("BY")?;
+            let column = self.keyword()?.to_ascii_lowercase();
+            Some(column)
+        } else {
+            None
+        };
+
+        let having = if self.peek_keyword("HAVING") {
+            self.pos += 1;
+            // HAVING <alias or expr> <cmp> <number>; the lowered query only
+            // needs the comparison operator and threshold.
+            let _expr = self.parse_expr()?;
+            let op = self.parse_cmp()?;
+            let value = self.number()?;
+            Some((op, value))
+        } else {
+            None
+        };
+
+        let order_by = if self.peek_keyword("ORDER") {
+            self.pos += 1;
+            self.expect_keyword("BY")?;
+            let expr = self.parse_expr()?;
+            let order = if self.peek_keyword("DESC") {
+                self.pos += 1;
+                SqlOrder::Desc
+            } else if self.peek_keyword("ASC") {
+                self.pos += 1;
+                SqlOrder::Asc
+            } else {
+                SqlOrder::Asc
+            };
+            Some((expr, order))
+        } else {
+            None
+        };
+
+        let limit = if self.peek_keyword("LIMIT") {
+            self.pos += 1;
+            let v = self.number()?;
+            if v < 0.0 || v.fract() != 0.0 {
+                return Err(self.error("LIMIT must be a non-negative integer"));
+            }
+            Some(v as usize)
+        } else {
+            None
+        };
+
+        Ok(SqlQuery {
+            select,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn parse_select_list(&mut self) -> Result<Vec<SelectItem>, SqlError> {
+        let mut items = Vec::new();
+        loop {
+            let item = if self.consume_if(&Token::Star) {
+                SelectItem {
+                    expr: None,
+                    column: Some("*".to_string()),
+                    alias: None,
+                }
+            } else if let Some(Token::Ident(name)) = self.peek() {
+                // A bare column name is only a column reference if it is not
+                // followed by `(` (which would make it a function call).
+                let name = name.clone();
+                let is_call = matches!(
+                    self.tokens.get(self.pos + 1).map(|s| &s.token),
+                    Some(Token::LParen)
+                );
+                if is_call {
+                    let expr = self.parse_expr()?;
+                    SelectItem {
+                        expr: Some(expr),
+                        column: None,
+                        alias: None,
+                    }
+                } else {
+                    self.pos += 1;
+                    SelectItem {
+                        expr: None,
+                        column: Some(name.to_ascii_lowercase()),
+                        alias: None,
+                    }
+                }
+            } else {
+                let expr = self.parse_expr()?;
+                SelectItem {
+                    expr: Some(expr),
+                    column: None,
+                    alias: None,
+                }
+            };
+            let item = if self.peek_keyword("AS") {
+                self.pos += 1;
+                let alias = self.keyword()?.to_ascii_lowercase();
+                SelectItem {
+                    alias: Some(alias),
+                    ..item
+                }
+            } else {
+                item
+            };
+            items.push(item);
+            if !self.consume_if(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn parse_cmp(&mut self) -> Result<SqlCmp, SqlError> {
+        match self.advance() {
+            Some(Token::Gt) => Ok(SqlCmp::Gt),
+            Some(Token::Ge) => Ok(SqlCmp::Ge),
+            Some(Token::Lt) => Ok(SqlCmp::Lt),
+            Some(Token::Le) => Ok(SqlCmp::Le),
+            Some(Token::Eq) => Ok(SqlCmp::Eq),
+            _ => Err(self.error("expected a comparison operator")),
+        }
+    }
+
+    fn parse_condition(&mut self) -> Result<Condition, SqlError> {
+        let mut lhs = self.parse_condition_and()?;
+        while self.peek_keyword("OR") {
+            self.pos += 1;
+            let rhs = self.parse_condition_and()?;
+            lhs = Condition::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_condition_and(&mut self) -> Result<Condition, SqlError> {
+        let mut lhs = self.parse_condition_atom()?;
+        while self.peek_keyword("AND") {
+            self.pos += 1;
+            let rhs = self.parse_condition_atom()?;
+            lhs = Condition::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_condition_atom(&mut self) -> Result<Condition, SqlError> {
+        // Metadata columns: <ident> = <int> or <ident> IN (<ints>).
+        if let Some(Token::Ident(name)) = self.peek() {
+            let column = name.to_ascii_lowercase();
+            let is_meta = matches!(
+                column.as_str(),
+                "model_id" | "mask_type" | "image_id" | "mask_id" | "predicted_label" | "true_label"
+            );
+            if is_meta {
+                self.pos += 1;
+                if self.peek_keyword("IN") {
+                    self.pos += 1;
+                    self.expect(&Token::LParen, "`(` after IN")?;
+                    let mut values = Vec::new();
+                    loop {
+                        values.push(self.number()? as u64);
+                        if !self.consume_if(&Token::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&Token::RParen, "`)` closing IN list")?;
+                    return Ok(Condition::MetaIn { column, values });
+                }
+                self.expect(&Token::Eq, "`=` in metadata condition")?;
+                let value = self.number()? as u64;
+                return Ok(Condition::MetaEq { column, value });
+            }
+        }
+        // Otherwise: <expr> <cmp> <number>.
+        let expr = self.parse_expr()?;
+        let op = self.parse_cmp()?;
+        let value = self.number()?;
+        Ok(Condition::Compare { expr, op, value })
+    }
+
+    fn parse_expr(&mut self) -> Result<SqlExpr, SqlError> {
+        let mut lhs = self.parse_term()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => '+',
+                Some(Token::Minus) => '-',
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_term()?;
+            lhs = SqlExpr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_term(&mut self) -> Result<SqlExpr, SqlError> {
+        let mut lhs = self.parse_factor()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => '*',
+                Some(Token::Slash) => '/',
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_factor()?;
+            lhs = SqlExpr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_factor(&mut self) -> Result<SqlExpr, SqlError> {
+        match self.peek().cloned() {
+            Some(Token::Number(v)) => {
+                self.pos += 1;
+                Ok(SqlExpr::Number(v))
+            }
+            Some(Token::Minus) => {
+                self.pos += 1;
+                let inner = self.parse_factor()?;
+                Ok(SqlExpr::Binary {
+                    op: '-',
+                    lhs: Box::new(SqlExpr::Number(0.0)),
+                    rhs: Box::new(inner),
+                })
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let inner = self.parse_expr()?;
+                self.expect(&Token::RParen, "`)`")?;
+                Ok(inner)
+            }
+            Some(Token::Ident(name)) => {
+                let upper = name.to_ascii_uppercase();
+                let is_call = matches!(
+                    self.tokens.get(self.pos + 1).map(|s| &s.token),
+                    Some(Token::LParen)
+                );
+                if !is_call {
+                    self.pos += 1;
+                    return Ok(SqlExpr::Alias(name.to_ascii_lowercase()));
+                }
+                self.pos += 1; // function name
+                self.expect(&Token::LParen, "`(`")?;
+                match upper.as_str() {
+                    "CP" => self.parse_cp_args(),
+                    "SUM" | "AVG" | "MEAN" | "MIN" | "MAX" => {
+                        let inner = self.parse_expr()?;
+                        self.expect(&Token::RParen, "`)` closing aggregate")?;
+                        Ok(SqlExpr::ScalarAgg {
+                            func: if upper == "MEAN" { "AVG".to_string() } else { upper },
+                            expr: Box::new(inner),
+                        })
+                    }
+                    other => Err(self.error(format!("unknown function `{other}`"))),
+                }
+            }
+            _ => Err(self.error("expected an expression")),
+        }
+    }
+
+    /// Parses the arguments of `CP(...)` after the opening parenthesis.
+    fn parse_cp_args(&mut self) -> Result<SqlExpr, SqlError> {
+        // First argument: `mask`, `INTERSECT(mask > t)`, `UNION(mask > t)`,
+        // or `MEAN(mask)`.
+        let mask = match self.peek().cloned() {
+            Some(Token::Ident(name)) if name.eq_ignore_ascii_case("mask") => {
+                self.pos += 1;
+                MaskArg::Plain
+            }
+            Some(Token::Ident(name)) => {
+                let upper = name.to_ascii_uppercase();
+                self.pos += 1;
+                self.expect(&Token::LParen, "`(` after mask aggregation")?;
+                self.expect_keyword("MASK")?;
+                let arg = match upper.as_str() {
+                    "INTERSECT" | "UNION" => {
+                        self.expect(&Token::Gt, "`>` in thresholded mask aggregation")?;
+                        let threshold = self.number()?;
+                        if upper == "INTERSECT" {
+                            MaskArg::Intersect { threshold }
+                        } else {
+                            MaskArg::Union { threshold }
+                        }
+                    }
+                    "MEAN" | "AVG" => MaskArg::Mean,
+                    other => {
+                        return Err(self.error(format!("unknown mask aggregation `{other}`")))
+                    }
+                };
+                self.expect(&Token::RParen, "`)` closing mask aggregation")?;
+                arg
+            }
+            _ => return Err(self.error("expected `mask` or a mask aggregation in CP(...)")),
+        };
+        self.expect(&Token::Comma, "`,` after the mask argument")?;
+
+        // Second argument: the ROI.
+        let roi = match self.peek().cloned() {
+            Some(Token::Ident(name)) if name.eq_ignore_ascii_case("object") => {
+                self.pos += 1;
+                RoiExpr::Object
+            }
+            Some(Token::Ident(name)) if name.eq_ignore_ascii_case("full") => {
+                self.pos += 1;
+                RoiExpr::Full
+            }
+            Some(Token::Minus) => {
+                // The paper writes `CP(mask, -, ...)` for "no ROI".
+                self.pos += 1;
+                RoiExpr::Full
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let x0 = self.number()? as u32;
+                self.expect(&Token::Comma, "`,`")?;
+                let y0 = self.number()? as u32;
+                self.expect(&Token::Comma, "`,`")?;
+                let x1 = self.number()? as u32;
+                self.expect(&Token::Comma, "`,`")?;
+                let y1 = self.number()? as u32;
+                self.expect(&Token::RParen, "`)` closing ROI")?;
+                RoiExpr::Box { x0, y0, x1, y1 }
+            }
+            _ => return Err(self.error("expected an ROI (box, `object`, `full`, or `-`)")),
+        };
+        self.expect(&Token::Comma, "`,` after the ROI")?;
+
+        // Third argument: the pixel-value range `(lv, uv)`.
+        self.expect(&Token::LParen, "`(` opening the value range")?;
+        let lv = self.number()?;
+        self.expect(&Token::Comma, "`,`")?;
+        let uv = self.number()?;
+        self.expect(&Token::RParen, "`)` closing the value range")?;
+        self.expect(&Token::RParen, "`)` closing CP")?;
+        Ok(SqlExpr::Cp { mask, roi, lv, uv })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_filter_with_metadata() {
+        let q = parse(
+            "SELECT mask_id FROM masks \
+             WHERE CP(mask, (50, 50, 200, 200), (0.85, 1.0)) < 10000 AND model_id = 1;",
+        )
+        .unwrap();
+        assert_eq!(q.select.len(), 1);
+        assert_eq!(q.select[0].column.as_deref(), Some("mask_id"));
+        match q.where_clause.unwrap() {
+            Condition::And(lhs, rhs) => {
+                assert!(matches!(*lhs, Condition::Compare { op: SqlCmp::Lt, .. }));
+                assert!(matches!(
+                    *rhs,
+                    Condition::MetaEq { ref column, value: 1 } if column == "model_id"
+                ));
+            }
+            other => panic!("unexpected condition {other:?}"),
+        }
+        assert!(q.group_by.is_none());
+    }
+
+    #[test]
+    fn parses_ratio_topk() {
+        let q = parse(
+            "SELECT mask_id, CP(mask, object, (0.85, 1.0)) / CP(mask, full, (0.85, 1.0)) AS r \
+             FROM masks ORDER BY r ASC LIMIT 25",
+        )
+        .unwrap();
+        assert_eq!(q.select.len(), 2);
+        assert_eq!(q.select[1].alias.as_deref(), Some("r"));
+        assert!(matches!(q.select[1].expr, Some(SqlExpr::Binary { op: '/', .. })));
+        let (expr, order) = q.order_by.unwrap();
+        assert_eq!(expr, SqlExpr::Alias("r".to_string()));
+        assert_eq!(order, SqlOrder::Asc);
+        assert_eq!(q.limit, Some(25));
+    }
+
+    #[test]
+    fn parses_group_by_aggregate() {
+        let q = parse(
+            "SELECT image_id, AVG(CP(mask, object, (0.8, 1.0))) AS s FROM masks \
+             GROUP BY image_id HAVING s > 100 ORDER BY s DESC LIMIT 10",
+        )
+        .unwrap();
+        assert_eq!(q.group_by.as_deref(), Some("image_id"));
+        assert_eq!(q.having, Some((SqlCmp::Gt, 100.0)));
+        assert!(matches!(
+            q.select[1].expr,
+            Some(SqlExpr::ScalarAgg { ref func, .. }) if func == "AVG"
+        ));
+    }
+
+    #[test]
+    fn parses_mask_aggregation() {
+        let q = parse(
+            "SELECT image_id, CP(INTERSECT(mask > 0.7), object, (0.7, 1.0)) AS s FROM masks \
+             WHERE mask_type IN (1, 2) GROUP BY image_id ORDER BY s DESC LIMIT 10",
+        )
+        .unwrap();
+        match &q.select[1].expr {
+            Some(SqlExpr::Cp { mask, roi, lv, .. }) => {
+                assert_eq!(*mask, MaskArg::Intersect { threshold: 0.7 });
+                assert_eq!(*roi, RoiExpr::Object);
+                assert_eq!(*lv, 0.7);
+            }
+            other => panic!("unexpected select expr {other:?}"),
+        }
+        assert!(matches!(
+            q.where_clause,
+            Some(Condition::MetaIn { ref column, ref values }) if column == "mask_type" && values == &vec![1, 2]
+        ));
+    }
+
+    #[test]
+    fn parses_dash_roi_and_star_select() {
+        let q = parse("SELECT * FROM masks WHERE CP(mask, -, (0.5, 1.0)) > 3").unwrap();
+        assert_eq!(q.select[0].column.as_deref(), Some("*"));
+        match q.where_clause.unwrap() {
+            Condition::Compare { expr, .. } => {
+                assert!(matches!(expr, SqlExpr::Cp { roi: RoiExpr::Full, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_statements() {
+        assert!(parse("SELECT FROM masks").is_err());
+        assert!(parse("SELECT mask_id").is_err());
+        assert!(parse("SELECT mask_id FROM masks WHERE CP(mask) > 1").is_err());
+        assert!(parse("SELECT mask_id FROM masks LIMIT 2.5").is_err());
+        assert!(parse("SELECT mask_id FROM masks WHERE FOO(mask) > 1").is_err());
+        assert!(parse("SELECT mask_id FROM masks extra junk").is_err());
+    }
+}

@@ -1,0 +1,465 @@
+//! A TileDB-like dense-array layout: all masks of a dataset in one file.
+//!
+//! The paper's TileDB baseline stores the whole dataset as a 3-D array
+//! `(mask_id, height, width)` with one tile per mask (§4.1). Two access
+//! patterns matter for the evaluation:
+//!
+//! * **Sequential scans** (constant ROI across all masks): the engine can
+//!   stream the file in large chunks, paying per-operation latency only once
+//!   per chunk — this is why TileDB matches the other baselines on Q1/Q3.
+//! * **Per-mask random reads** (mask-specific ROIs): each mask becomes its
+//!   own read operation, which under-utilises disk bandwidth — this is why
+//!   TileDB is *slower* than the other baselines on Q2/Q4/Q5 (§4.2).
+//!
+//! Both patterns are exposed here and charged to the shared cost model.
+
+use crate::codec::{Reader, Writer};
+use crate::disk::{DiskProfile, IoStats};
+use crate::error::{StorageError, StorageResult};
+use masksearch_core::{Mask, MaskId};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Magic bytes identifying an array store file.
+pub const ARRAY_MAGIC: [u8; 4] = *b"MSKA";
+/// Array store format version.
+pub const ARRAY_FORMAT_VERSION: u16 = 1;
+
+/// Fixed header: magic(4) + version(2) + reserved(2) + width(4) + height(4)
+/// + count(8).
+const HEADER_LEN: u64 = 24;
+
+/// A single-file dense array of uniformly-shaped masks (TileDB-like layout).
+pub struct ArrayStore {
+    path: PathBuf,
+    file: Mutex<File>,
+    width: u32,
+    height: u32,
+    profile: DiskProfile,
+    stats: Arc<IoStats>,
+    /// Mask id -> slot index within the array file.
+    slots: BTreeMap<MaskId, u64>,
+    /// Slot index -> mask id (for sequential scans).
+    ids_by_slot: Vec<MaskId>,
+}
+
+impl ArrayStore {
+    /// Creates a new (empty) array store for masks of shape `width × height`.
+    pub fn create(
+        path: impl Into<PathBuf>,
+        width: u32,
+        height: u32,
+        profile: DiskProfile,
+    ) -> StorageResult<Self> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| StorageError::io("creating array store directory", e))?;
+            }
+        }
+        let mut file = OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .read(true)
+            .write(true)
+            .open(&path)
+            .map_err(|e| StorageError::io(format!("creating array store {}", path.display()), e))?;
+        let mut header = Writer::with_capacity(HEADER_LEN as usize);
+        header.write_bytes(&ARRAY_MAGIC);
+        header.write_u16(ARRAY_FORMAT_VERSION);
+        header.write_u16(0);
+        header.write_u32(width);
+        header.write_u32(height);
+        header.write_u64(0);
+        file.write_all(&header.into_bytes())
+            .map_err(|e| StorageError::io("writing array store header", e))?;
+        Ok(Self {
+            path,
+            file: Mutex::new(file),
+            width,
+            height,
+            profile,
+            stats: IoStats::new_shared(),
+            slots: BTreeMap::new(),
+            ids_by_slot: Vec::new(),
+        })
+    }
+
+    /// Opens an existing array store, reading its header and slot directory.
+    ///
+    /// The slot directory is stored in a sidecar file `<path>.dir` written by
+    /// [`ArrayStore::flush_directory`].
+    pub fn open(path: impl Into<PathBuf>, profile: DiskProfile) -> StorageResult<Self> {
+        let path = path.into();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .map_err(|e| StorageError::io(format!("opening array store {}", path.display()), e))?;
+        let mut header_bytes = vec![0u8; HEADER_LEN as usize];
+        file.read_exact(&mut header_bytes)
+            .map_err(|e| StorageError::io("reading array store header", e))?;
+        let mut r = Reader::new(&header_bytes, "array store header");
+        let magic = r.read_magic()?;
+        if magic != ARRAY_MAGIC {
+            return Err(StorageError::BadMagic {
+                path: path.display().to_string(),
+                found: magic,
+            });
+        }
+        let version = r.read_u16()?;
+        if version > ARRAY_FORMAT_VERSION {
+            return Err(StorageError::UnsupportedVersion {
+                found: version,
+                supported: ARRAY_FORMAT_VERSION,
+            });
+        }
+        let _reserved = r.read_u16()?;
+        let width = r.read_u32()?;
+        let height = r.read_u32()?;
+        let count = r.read_u64()?;
+
+        // Slot directory sidecar.
+        let dir_path = Self::directory_path(&path);
+        let dir_bytes = std::fs::read(&dir_path)
+            .map_err(|e| StorageError::io(format!("reading array directory {}", dir_path.display()), e))?;
+        let mut r = Reader::new(&dir_bytes, "array store directory");
+        let n = r.read_u64()?;
+        if n != count {
+            return Err(StorageError::corrupt(format!(
+                "array directory lists {n} masks, header claims {count}"
+            )));
+        }
+        let mut slots = BTreeMap::new();
+        let mut ids_by_slot = Vec::with_capacity(n as usize);
+        for slot in 0..n {
+            let id = MaskId::new(r.read_u64()?);
+            slots.insert(id, slot);
+            ids_by_slot.push(id);
+        }
+        Ok(Self {
+            path,
+            file: Mutex::new(file),
+            width,
+            height,
+            profile,
+            stats: IoStats::new_shared(),
+            slots,
+            ids_by_slot,
+        })
+    }
+
+    fn directory_path(path: &Path) -> PathBuf {
+        let mut p = path.as_os_str().to_owned();
+        p.push(".dir");
+        PathBuf::from(p)
+    }
+
+    /// Persists the slot directory and header count so the store can be
+    /// re-opened later.
+    pub fn flush_directory(&self) -> StorageResult<()> {
+        let mut w = Writer::new();
+        w.write_u64(self.ids_by_slot.len() as u64);
+        for id in &self.ids_by_slot {
+            w.write_u64(id.raw());
+        }
+        let dir_path = Self::directory_path(&self.path);
+        std::fs::write(&dir_path, w.into_bytes())
+            .map_err(|e| StorageError::io("writing array directory", e))?;
+        // Update the count field in the header.
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(16))
+            .map_err(|e| StorageError::io("seeking array header", e))?;
+        file.write_all(&(self.ids_by_slot.len() as u64).to_le_bytes())
+            .map_err(|e| StorageError::io("updating array header count", e))?;
+        Ok(())
+    }
+
+    /// Mask width shared by every mask in the array.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Mask height shared by every mask in the array.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Number of masks in the array.
+    pub fn len(&self) -> usize {
+        self.ids_by_slot.len()
+    }
+
+    /// Returns `true` if the array holds no masks.
+    pub fn is_empty(&self) -> bool {
+        self.ids_by_slot.is_empty()
+    }
+
+    /// All mask ids in slot order.
+    pub fn ids(&self) -> &[MaskId] {
+        &self.ids_by_slot
+    }
+
+    /// Shared I/O statistics.
+    pub fn io_stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Bytes occupied by one mask slot.
+    pub fn mask_bytes(&self) -> u64 {
+        (self.width as u64) * (self.height as u64) * 4
+    }
+
+    /// Total payload bytes in the array.
+    pub fn total_bytes(&self) -> u64 {
+        self.mask_bytes() * self.ids_by_slot.len() as u64
+    }
+
+    fn slot_offset(&self, slot: u64) -> u64 {
+        HEADER_LEN + slot * self.mask_bytes()
+    }
+
+    /// Appends a mask to the array. The mask shape must match the array's.
+    pub fn append(&mut self, mask_id: MaskId, mask: &Mask) -> StorageResult<()> {
+        if mask.shape() != (self.width, self.height) {
+            return Err(StorageError::InvalidMask {
+                mask_id: Some(mask_id),
+                source: masksearch_core::Error::ShapeMismatch {
+                    expected: (self.width, self.height),
+                    found: mask.shape(),
+                },
+            });
+        }
+        if self.slots.contains_key(&mask_id) {
+            return Err(StorageError::AlreadyExists(mask_id));
+        }
+        let slot = self.ids_by_slot.len() as u64;
+        let offset = self.slot_offset(slot);
+        let mut bytes = Vec::with_capacity(mask.data().len() * 4);
+        for &v in mask.data() {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        {
+            let mut file = self.file.lock();
+            file.seek(SeekFrom::Start(offset))
+                .map_err(|e| StorageError::io("seeking array slot", e))?;
+            file.write_all(&bytes)
+                .map_err(|e| StorageError::io("writing array slot", e))?;
+        }
+        self.stats
+            .record_write(bytes.len() as u64, self.profile.write_cost(bytes.len() as u64, 1));
+        self.slots.insert(mask_id, slot);
+        self.ids_by_slot.push(mask_id);
+        Ok(())
+    }
+
+    fn read_range(&self, offset: u64, len: usize, ops: u64) -> StorageResult<Vec<u8>> {
+        let mut buf = vec![0u8; len];
+        {
+            let mut file = self.file.lock();
+            file.seek(SeekFrom::Start(offset))
+                .map_err(|e| StorageError::io("seeking array store", e))?;
+            file.read_exact(&mut buf)
+                .map_err(|e| StorageError::io("reading array store", e))?;
+        }
+        self.stats
+            .record_read(len as u64, self.profile.read_cost(len as u64, ops));
+        Ok(buf)
+    }
+
+    fn decode_pixels(&self, bytes: &[u8]) -> Vec<f32> {
+        bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect()
+    }
+
+    /// Reads a single mask with one random-access operation.
+    pub fn get(&self, mask_id: MaskId) -> StorageResult<Mask> {
+        let slot = *self
+            .slots
+            .get(&mask_id)
+            .ok_or(StorageError::MaskNotFound(mask_id))?;
+        let bytes = self.read_range(self.slot_offset(slot), self.mask_bytes() as usize, 1)?;
+        self.stats.record_mask_loaded();
+        let pixels = self.decode_pixels(&bytes);
+        Mask::new(self.width, self.height, pixels).map_err(|source| StorageError::InvalidMask {
+            mask_id: Some(mask_id),
+            source,
+        })
+    }
+
+    /// Streams every mask in slot order, reading the file in chunks of
+    /// `chunk_masks` masks (one I/O operation per chunk). This models the
+    /// favourable sequential access pattern array databases enjoy when the
+    /// same region is sliced from many masks at once.
+    pub fn scan_sequential(
+        &self,
+        chunk_masks: usize,
+        mut f: impl FnMut(MaskId, Mask) -> StorageResult<()>,
+    ) -> StorageResult<()> {
+        let chunk_masks = chunk_masks.max(1);
+        let mask_bytes = self.mask_bytes() as usize;
+        let mut slot = 0usize;
+        while slot < self.ids_by_slot.len() {
+            let n = chunk_masks.min(self.ids_by_slot.len() - slot);
+            let bytes = self.read_range(self.slot_offset(slot as u64), mask_bytes * n, 1)?;
+            for i in 0..n {
+                let id = self.ids_by_slot[slot + i];
+                let pixels = self.decode_pixels(&bytes[i * mask_bytes..(i + 1) * mask_bytes]);
+                self.stats.record_mask_loaded();
+                let mask = Mask::new(self.width, self.height, pixels).map_err(|source| {
+                    StorageError::InvalidMask {
+                        mask_id: Some(id),
+                        source,
+                    }
+                })?;
+                f(id, mask)?;
+            }
+            slot += n;
+        }
+        Ok(())
+    }
+
+    /// Reads only the rows `[row_start, row_end)` of a single mask — the
+    /// "slice an ROI out of a mask" access path. Charged as one operation.
+    pub fn get_rows(&self, mask_id: MaskId, row_start: u32, row_end: u32) -> StorageResult<Mask> {
+        if row_start >= row_end || row_end > self.height {
+            return Err(StorageError::corrupt(format!(
+                "row range [{row_start}, {row_end}) outside mask height {}",
+                self.height
+            )));
+        }
+        let slot = *self
+            .slots
+            .get(&mask_id)
+            .ok_or(StorageError::MaskNotFound(mask_id))?;
+        let row_bytes = self.width as usize * 4;
+        let offset = self.slot_offset(slot) + (row_start as u64) * row_bytes as u64;
+        let len = (row_end - row_start) as usize * row_bytes;
+        let bytes = self.read_range(offset, len, 1)?;
+        self.stats.record_mask_loaded();
+        let pixels = self.decode_pixels(&bytes);
+        Mask::new(self.width, row_end - row_start, pixels).map_err(|source| {
+            StorageError::InvalidMask {
+                mask_id: Some(mask_id),
+                source,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_mask(seed: u32) -> Mask {
+        Mask::from_fn(8, 8, |x, y| ((x * 3 + y * 5 + seed) % 11) as f32 / 11.0)
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "masksearch-array-test-{}-{}.bin",
+            name,
+            std::process::id()
+        ))
+    }
+
+    fn cleanup(path: &Path) {
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(ArrayStore::directory_path(path));
+    }
+
+    #[test]
+    fn append_get_and_reopen() {
+        let path = temp_path("append");
+        {
+            let mut store =
+                ArrayStore::create(&path, 8, 8, DiskProfile::unthrottled()).unwrap();
+            for i in 0..6u64 {
+                store.append(MaskId::new(i * 10), &sample_mask(i as u32)).unwrap();
+            }
+            store.flush_directory().unwrap();
+            assert_eq!(store.len(), 6);
+            assert_eq!(store.get(MaskId::new(30)).unwrap(), sample_mask(3));
+            assert!(matches!(
+                store.get(MaskId::new(5)),
+                Err(StorageError::MaskNotFound(_))
+            ));
+        }
+        let store = ArrayStore::open(&path, DiskProfile::unthrottled()).unwrap();
+        assert_eq!(store.len(), 6);
+        assert_eq!(store.get(MaskId::new(50)).unwrap(), sample_mask(5));
+        assert_eq!(store.total_bytes(), 6 * 8 * 8 * 4);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn shape_mismatch_and_duplicates_are_rejected() {
+        let path = temp_path("mismatch");
+        let mut store = ArrayStore::create(&path, 8, 8, DiskProfile::unthrottled()).unwrap();
+        let wrong = Mask::zeros(4, 4);
+        assert!(matches!(
+            store.append(MaskId::new(1), &wrong),
+            Err(StorageError::InvalidMask { .. })
+        ));
+        store.append(MaskId::new(1), &sample_mask(1)).unwrap();
+        assert!(matches!(
+            store.append(MaskId::new(1), &sample_mask(2)),
+            Err(StorageError::AlreadyExists(_))
+        ));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn sequential_scan_visits_all_masks_with_fewer_ops() {
+        let path = temp_path("scan");
+        let mut store = ArrayStore::create(&path, 8, 8, DiskProfile::unthrottled()).unwrap();
+        for i in 0..10u64 {
+            store.append(MaskId::new(i), &sample_mask(i as u32)).unwrap();
+        }
+        let mut seen = Vec::new();
+        store
+            .scan_sequential(4, |id, mask| {
+                assert_eq!(mask, sample_mask(id.raw() as u32));
+                seen.push(id);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(seen.len(), 10);
+        // 10 masks in chunks of 4 -> 3 read operations.
+        assert_eq!(store.io_stats().read_ops(), 3);
+        assert_eq!(store.io_stats().masks_loaded(), 10);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn row_slicing_reads_only_requested_rows() {
+        let path = temp_path("rows");
+        let mut store = ArrayStore::create(&path, 8, 8, DiskProfile::unthrottled()).unwrap();
+        let mask = sample_mask(4);
+        store.append(MaskId::new(1), &mask).unwrap();
+        let stats_before = store.io_stats().snapshot();
+        let sliced = store.get_rows(MaskId::new(1), 2, 5).unwrap();
+        assert_eq!(sliced.shape(), (8, 3));
+        assert_eq!(sliced.get(3, 0), mask.get(3, 2));
+        let delta = store.io_stats().snapshot().delta_since(&stats_before);
+        assert_eq!(delta.bytes_read, 3 * 8 * 4);
+        assert!(store.get_rows(MaskId::new(1), 5, 5).is_err());
+        assert!(store.get_rows(MaskId::new(1), 0, 9).is_err());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn open_rejects_non_array_files() {
+        let path = temp_path("badmagic");
+        std::fs::write(&path, b"not an array store at all").unwrap();
+        assert!(ArrayStore::open(&path, DiskProfile::unthrottled()).is_err());
+        cleanup(&path);
+    }
+}

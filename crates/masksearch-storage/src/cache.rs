@@ -1,0 +1,254 @@
+//! A byte-budgeted LRU cache of decoded masks.
+//!
+//! The paper assumes "the database of masks is too large to fit in memory"
+//! (§3); the cache makes that assumption explicit and tunable. The
+//! verification stage of the executor reads masks through this cache so that
+//! multi-query workloads (§4.5) benefit from recently verified masks without
+//! ever exceeding a configured memory budget.
+
+use crate::error::StorageResult;
+use masksearch_core::{Mask, MaskId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Statistics describing cache effectiveness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of lookups satisfied by the cache.
+    pub hits: u64,
+    /// Number of lookups that had to load the mask.
+    pub misses: u64,
+    /// Number of masks evicted to stay under the byte budget.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; zero when no lookups have happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    mask: Arc<Mask>,
+    bytes: u64,
+    last_used: u64,
+}
+
+struct Inner {
+    entries: HashMap<MaskId, Entry>,
+    clock: u64,
+    used_bytes: u64,
+    stats: CacheStats,
+}
+
+/// A least-recently-used mask cache with a byte budget.
+///
+/// A budget of zero disables caching entirely (every lookup is a miss), which
+/// is how experiments reproduce the paper's cold-cache setting ("we clear the
+/// OS page cache before each query execution", §4.2).
+pub struct MaskCache {
+    capacity_bytes: u64,
+    inner: Mutex<Inner>,
+}
+
+impl MaskCache {
+    /// Creates a cache bounded by `capacity_bytes` of decoded mask data.
+    pub fn new(capacity_bytes: u64) -> Self {
+        Self {
+            capacity_bytes,
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                clock: 0,
+                used_bytes: 0,
+                stats: CacheStats::default(),
+            }),
+        }
+    }
+
+    /// A cache that never stores anything (cold-cache behaviour).
+    pub fn disabled() -> Self {
+        Self::new(0)
+    }
+
+    /// Configured byte budget.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Bytes currently held by the cache.
+    pub fn used_bytes(&self) -> u64 {
+        self.inner.lock().used_bytes
+    }
+
+    /// Number of cached masks.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Returns `true` if the cache holds no masks.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current cache statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats
+    }
+
+    /// Removes every cached mask (statistics are preserved).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.entries.clear();
+        inner.used_bytes = 0;
+    }
+
+    /// Looks up a mask, or loads it with `load` on a miss and caches the
+    /// result (evicting least-recently-used entries if needed).
+    pub fn get_or_load(
+        &self,
+        mask_id: MaskId,
+        load: impl FnOnce() -> StorageResult<Mask>,
+    ) -> StorageResult<Arc<Mask>> {
+        {
+            let mut inner = self.inner.lock();
+            inner.clock += 1;
+            let clock = inner.clock;
+            if let Some(entry) = inner.entries.get_mut(&mask_id) {
+                entry.last_used = clock;
+                let mask = Arc::clone(&entry.mask);
+                inner.stats.hits += 1;
+                return Ok(mask);
+            }
+            inner.stats.misses += 1;
+        }
+        // Load outside the lock so concurrent misses for different masks do
+        // not serialise on the cache mutex.
+        let mask = Arc::new(load()?);
+        let bytes = mask.byte_size();
+        let mut inner = self.inner.lock();
+        if self.capacity_bytes == 0 || bytes > self.capacity_bytes {
+            // Too large (or caching disabled): return without caching.
+            return Ok(mask);
+        }
+        inner.clock += 1;
+        let clock = inner.clock;
+        // Evict until the new entry fits.
+        while inner.used_bytes + bytes > self.capacity_bytes && !inner.entries.is_empty() {
+            let victim = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(id, _)| *id)
+                .expect("non-empty cache has a minimum");
+            if let Some(evicted) = inner.entries.remove(&victim) {
+                inner.used_bytes -= evicted.bytes;
+                inner.stats.evictions += 1;
+            }
+        }
+        inner.used_bytes += bytes;
+        inner.entries.insert(
+            mask_id,
+            Entry {
+                mask: Arc::clone(&mask),
+                bytes,
+                last_used: clock,
+            },
+        );
+        Ok(mask)
+    }
+
+    /// Returns the cached mask without loading, if present.
+    pub fn peek(&self, mask_id: MaskId) -> Option<Arc<Mask>> {
+        let inner = self.inner.lock();
+        inner.entries.get(&mask_id).map(|e| Arc::clone(&e.mask))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mask(seed: u32) -> Mask {
+        Mask::from_fn(8, 8, |x, y| ((x + y + seed) % 5) as f32 / 5.0)
+    }
+
+    #[test]
+    fn hit_after_load() {
+        let cache = MaskCache::new(1024 * 1024);
+        let id = MaskId::new(1);
+        let loaded = cache.get_or_load(id, || Ok(mask(1))).unwrap();
+        assert_eq!(*loaded, mask(1));
+        let again = cache
+            .get_or_load(id, || panic!("should be a cache hit"))
+            .unwrap();
+        assert_eq!(*again, mask(1));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn lru_eviction_respects_byte_budget() {
+        // Each 8x8 mask is 256 bytes; budget of 600 holds two.
+        let cache = MaskCache::new(600);
+        for i in 0..3u64 {
+            cache.get_or_load(MaskId::new(i), || Ok(mask(i as u32))).unwrap();
+        }
+        assert_eq!(cache.len(), 2);
+        assert!(cache.used_bytes() <= 600);
+        assert_eq!(cache.stats().evictions, 1);
+        // Mask 0 was least recently used, so it is gone; 1 and 2 remain.
+        assert!(cache.peek(MaskId::new(0)).is_none());
+        assert!(cache.peek(MaskId::new(1)).is_some());
+        assert!(cache.peek(MaskId::new(2)).is_some());
+    }
+
+    #[test]
+    fn recency_is_updated_on_hit() {
+        let cache = MaskCache::new(600);
+        cache.get_or_load(MaskId::new(0), || Ok(mask(0))).unwrap();
+        cache.get_or_load(MaskId::new(1), || Ok(mask(1))).unwrap();
+        // Touch 0 so it becomes most recent, then insert 2 -> 1 is evicted.
+        cache.get_or_load(MaskId::new(0), || panic!("hit")).unwrap();
+        cache.get_or_load(MaskId::new(2), || Ok(mask(2))).unwrap();
+        assert!(cache.peek(MaskId::new(0)).is_some());
+        assert!(cache.peek(MaskId::new(1)).is_none());
+    }
+
+    #[test]
+    fn disabled_cache_never_stores() {
+        let cache = MaskCache::disabled();
+        cache.get_or_load(MaskId::new(1), || Ok(mask(1))).unwrap();
+        assert!(cache.is_empty());
+        // Second lookup is a miss again.
+        cache.get_or_load(MaskId::new(1), || Ok(mask(1))).unwrap();
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn load_errors_propagate_and_are_not_cached() {
+        let cache = MaskCache::new(1024);
+        let err = cache.get_or_load(MaskId::new(1), || {
+            Err(crate::error::StorageError::MaskNotFound(MaskId::new(1)))
+        });
+        assert!(err.is_err());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn clear_keeps_statistics() {
+        let cache = MaskCache::new(1024 * 1024);
+        cache.get_or_load(MaskId::new(1), || Ok(mask(1))).unwrap();
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 1);
+    }
+}

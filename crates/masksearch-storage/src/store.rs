@@ -1,0 +1,422 @@
+//! Object-store-like mask stores: one blob per mask.
+//!
+//! This is the layout MaskSearch itself uses (and the layout the NumPy
+//! baseline of the paper uses: "masks are stored as NumPy arrays on disk").
+//! Two implementations are provided:
+//!
+//! * [`FileMaskStore`] — one file per mask in a directory, read through the
+//!   disk cost model.
+//! * [`MemoryMaskStore`] — an in-memory store with the same accounting,
+//!   convenient for tests and small experiments where writing thousands of
+//!   files would slow iteration without changing any measured quantity
+//!   (the cost model charges the same virtual time either way).
+
+use crate::disk::{DiskProfile, IoStats};
+use crate::error::{StorageError, StorageResult};
+use crate::format::{self, MaskEncoding};
+use masksearch_core::{Mask, MaskId};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Interface shared by every mask store.
+///
+/// A store maps [`MaskId`]s to mask blobs and charges every read/write to a
+/// shared [`IoStats`] according to its [`DiskProfile`]. Query executors only
+/// depend on this trait, so the same executor runs unmodified against the
+/// file-backed store used in experiments and the in-memory store used in
+/// tests.
+pub trait MaskStore: Send + Sync {
+    /// Inserts (or overwrites) a mask.
+    fn put(&self, mask_id: MaskId, mask: &Mask) -> StorageResult<()>;
+
+    /// Loads a mask in full, charging the cost model.
+    fn get(&self, mask_id: MaskId) -> StorageResult<Mask>;
+
+    /// Returns `true` if the store holds a mask with this id.
+    fn contains(&self, mask_id: MaskId) -> bool;
+
+    /// All mask ids in the store, in ascending order.
+    fn ids(&self) -> Vec<MaskId>;
+
+    /// Number of masks in the store.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if the store holds no masks.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// On-disk (encoded) size of one mask in bytes.
+    fn stored_bytes(&self, mask_id: MaskId) -> StorageResult<u64>;
+
+    /// Total on-disk size of all masks in bytes.
+    fn total_bytes(&self) -> u64;
+
+    /// Shared I/O statistics for this store.
+    fn io_stats(&self) -> Arc<IoStats>;
+
+    /// The disk cost model this store charges against.
+    fn disk_profile(&self) -> DiskProfile;
+}
+
+/// A mask store keeping one encoded file per mask in a directory.
+///
+/// File names are `mask_<id>.msk`. The directory is created on demand.
+pub struct FileMaskStore {
+    dir: PathBuf,
+    encoding: MaskEncoding,
+    profile: DiskProfile,
+    stats: Arc<IoStats>,
+    /// Index of stored masks and their encoded sizes. Maintained in memory so
+    /// `ids`/`len`/`total_bytes` do not touch the file system.
+    index: RwLock<BTreeMap<MaskId, u64>>,
+}
+
+impl FileMaskStore {
+    /// Creates a store rooted at `dir` (created if missing), writing masks
+    /// with `encoding` and charging reads/writes against `profile`.
+    pub fn create(
+        dir: impl Into<PathBuf>,
+        encoding: MaskEncoding,
+        profile: DiskProfile,
+    ) -> StorageResult<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)
+            .map_err(|e| StorageError::io(format!("creating store directory {}", dir.display()), e))?;
+        Ok(Self {
+            dir,
+            encoding,
+            profile,
+            stats: IoStats::new_shared(),
+            index: RwLock::new(BTreeMap::new()),
+        })
+    }
+
+    /// Opens an existing store directory, scanning it for mask files.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        encoding: MaskEncoding,
+        profile: DiskProfile,
+    ) -> StorageResult<Self> {
+        let dir = dir.into();
+        if !dir.is_dir() {
+            return Err(StorageError::InvalidStorePath(dir));
+        }
+        let mut index = BTreeMap::new();
+        let entries = fs::read_dir(&dir)
+            .map_err(|e| StorageError::io(format!("listing store directory {}", dir.display()), e))?;
+        for entry in entries {
+            let entry =
+                entry.map_err(|e| StorageError::io("reading store directory entry", e))?;
+            let path = entry.path();
+            if let Some(mask_id) = Self::parse_file_name(&path) {
+                let len = entry
+                    .metadata()
+                    .map_err(|e| StorageError::io("reading mask file metadata", e))?
+                    .len();
+                index.insert(mask_id, len);
+            }
+        }
+        Ok(Self {
+            dir,
+            encoding,
+            profile,
+            stats: IoStats::new_shared(),
+            index: RwLock::new(index),
+        })
+    }
+
+    fn parse_file_name(path: &Path) -> Option<MaskId> {
+        let name = path.file_name()?.to_str()?;
+        let id = name.strip_prefix("mask_")?.strip_suffix(".msk")?;
+        id.parse::<u64>().ok().map(MaskId::new)
+    }
+
+    fn mask_path(&self, mask_id: MaskId) -> PathBuf {
+        self.dir.join(format!("mask_{}.msk", mask_id.raw()))
+    }
+
+    /// Directory the store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Encoding used for newly written masks.
+    pub fn encoding(&self) -> MaskEncoding {
+        self.encoding
+    }
+}
+
+impl MaskStore for FileMaskStore {
+    fn put(&self, mask_id: MaskId, mask: &Mask) -> StorageResult<()> {
+        let bytes = format::encode_mask(mask_id, mask, self.encoding);
+        let path = self.mask_path(mask_id);
+        fs::write(&path, &bytes)
+            .map_err(|e| StorageError::io(format!("writing mask file {}", path.display()), e))?;
+        self.stats
+            .record_write(bytes.len() as u64, self.profile.write_cost(bytes.len() as u64, 1));
+        self.index.write().insert(mask_id, bytes.len() as u64);
+        Ok(())
+    }
+
+    fn get(&self, mask_id: MaskId) -> StorageResult<Mask> {
+        if !self.contains(mask_id) {
+            return Err(StorageError::MaskNotFound(mask_id));
+        }
+        let path = self.mask_path(mask_id);
+        let bytes = fs::read(&path)
+            .map_err(|e| StorageError::io(format!("reading mask file {}", path.display()), e))?;
+        self.stats
+            .record_read(bytes.len() as u64, self.profile.read_cost(bytes.len() as u64, 1));
+        self.stats.record_mask_loaded();
+        let (_, mask) = format::decode_mask(&bytes)?;
+        Ok(mask)
+    }
+
+    fn contains(&self, mask_id: MaskId) -> bool {
+        self.index.read().contains_key(&mask_id)
+    }
+
+    fn ids(&self) -> Vec<MaskId> {
+        self.index.read().keys().copied().collect()
+    }
+
+    fn len(&self) -> usize {
+        self.index.read().len()
+    }
+
+    fn stored_bytes(&self, mask_id: MaskId) -> StorageResult<u64> {
+        self.index
+            .read()
+            .get(&mask_id)
+            .copied()
+            .ok_or(StorageError::MaskNotFound(mask_id))
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.index.read().values().sum()
+    }
+
+    fn io_stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.stats)
+    }
+
+    fn disk_profile(&self) -> DiskProfile {
+        self.profile
+    }
+}
+
+/// An in-memory mask store with the same cost accounting as
+/// [`FileMaskStore`].
+///
+/// Masks are kept in their *encoded* form so the bytes charged to the cost
+/// model (and hence every reported statistic) are identical to the
+/// file-backed store's.
+pub struct MemoryMaskStore {
+    encoding: MaskEncoding,
+    profile: DiskProfile,
+    stats: Arc<IoStats>,
+    blobs: RwLock<BTreeMap<MaskId, Arc<Vec<u8>>>>,
+}
+
+impl MemoryMaskStore {
+    /// Creates an empty in-memory store.
+    pub fn new(encoding: MaskEncoding, profile: DiskProfile) -> Self {
+        Self {
+            encoding,
+            profile,
+            stats: IoStats::new_shared(),
+            blobs: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Creates an empty store with raw encoding and no I/O cost — the usual
+    /// configuration for unit tests.
+    pub fn for_tests() -> Self {
+        Self::new(MaskEncoding::Raw, DiskProfile::unthrottled())
+    }
+}
+
+impl MaskStore for MemoryMaskStore {
+    fn put(&self, mask_id: MaskId, mask: &Mask) -> StorageResult<()> {
+        let bytes = format::encode_mask(mask_id, mask, self.encoding);
+        self.stats
+            .record_write(bytes.len() as u64, self.profile.write_cost(bytes.len() as u64, 1));
+        self.blobs.write().insert(mask_id, Arc::new(bytes));
+        Ok(())
+    }
+
+    fn get(&self, mask_id: MaskId) -> StorageResult<Mask> {
+        let blob = {
+            let blobs = self.blobs.read();
+            blobs
+                .get(&mask_id)
+                .cloned()
+                .ok_or(StorageError::MaskNotFound(mask_id))?
+        };
+        self.stats
+            .record_read(blob.len() as u64, self.profile.read_cost(blob.len() as u64, 1));
+        self.stats.record_mask_loaded();
+        let (_, mask) = format::decode_mask(&blob)?;
+        Ok(mask)
+    }
+
+    fn contains(&self, mask_id: MaskId) -> bool {
+        self.blobs.read().contains_key(&mask_id)
+    }
+
+    fn ids(&self) -> Vec<MaskId> {
+        self.blobs.read().keys().copied().collect()
+    }
+
+    fn len(&self) -> usize {
+        self.blobs.read().len()
+    }
+
+    fn stored_bytes(&self, mask_id: MaskId) -> StorageResult<u64> {
+        self.blobs
+            .read()
+            .get(&mask_id)
+            .map(|b| b.len() as u64)
+            .ok_or(StorageError::MaskNotFound(mask_id))
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.blobs.read().values().map(|b| b.len() as u64).sum()
+    }
+
+    fn io_stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.stats)
+    }
+
+    fn disk_profile(&self) -> DiskProfile {
+        self.profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn sample_mask(seed: u32) -> Mask {
+        Mask::from_fn(16, 16, |x, y| ((x + y + seed) % 13) as f32 / 13.0)
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "masksearch-store-test-{}-{}",
+            name,
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn exercise_store(store: &dyn MaskStore) {
+        assert!(store.is_empty());
+        for i in 0..5u64 {
+            store.put(MaskId::new(i), &sample_mask(i as u32)).unwrap();
+        }
+        assert_eq!(store.len(), 5);
+        assert!(store.contains(MaskId::new(3)));
+        assert!(!store.contains(MaskId::new(99)));
+        assert_eq!(
+            store.ids(),
+            (0..5).map(MaskId::new).collect::<Vec<_>>()
+        );
+
+        let loaded = store.get(MaskId::new(2)).unwrap();
+        assert_eq!(loaded, sample_mask(2));
+        assert!(matches!(
+            store.get(MaskId::new(42)),
+            Err(StorageError::MaskNotFound(_))
+        ));
+
+        let per_mask = store.stored_bytes(MaskId::new(0)).unwrap();
+        assert!(per_mask > 0);
+        assert_eq!(store.total_bytes(), per_mask * 5);
+
+        let stats = store.io_stats();
+        assert_eq!(stats.masks_loaded(), 1);
+        assert_eq!(stats.write_ops(), 5);
+        assert!(stats.bytes_read() >= per_mask);
+    }
+
+    #[test]
+    fn memory_store_basic_operations() {
+        let store = MemoryMaskStore::for_tests();
+        exercise_store(&store);
+    }
+
+    #[test]
+    fn file_store_basic_operations_and_reopen() {
+        let dir = temp_dir("basic");
+        let store =
+            FileMaskStore::create(&dir, MaskEncoding::Raw, DiskProfile::unthrottled()).unwrap();
+        exercise_store(&store);
+
+        // Re-open and confirm the index is rebuilt from the directory.
+        let reopened =
+            FileMaskStore::open(&dir, MaskEncoding::Raw, DiskProfile::unthrottled()).unwrap();
+        assert_eq!(reopened.len(), 5);
+        assert_eq!(reopened.get(MaskId::new(4)).unwrap(), sample_mask(4));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_missing_directory_fails() {
+        let missing = temp_dir("missing-never-created");
+        assert!(matches!(
+            FileMaskStore::open(&missing, MaskEncoding::Raw, DiskProfile::unthrottled()),
+            Err(StorageError::InvalidStorePath(_))
+        ));
+    }
+
+    #[test]
+    fn compressed_file_store_round_trips() {
+        let dir = temp_dir("compressed");
+        let store = FileMaskStore::create(&dir, MaskEncoding::Compressed, DiskProfile::unthrottled())
+            .unwrap();
+        // A smooth (piecewise-constant) mask, as saliency maps typically are.
+        let mask = Mask::from_fn(16, 16, |x, _| if x < 8 { 0.1 } else { 0.8 });
+        store.put(MaskId::new(1), &mask).unwrap();
+        assert_eq!(store.get(MaskId::new(1)).unwrap(), mask);
+        // Compressed blob is smaller than the raw payload for this smooth mask.
+        assert!(store.stored_bytes(MaskId::new(1)).unwrap() < 16 * 16 * 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reads_are_charged_to_the_cost_model() {
+        let profile = DiskProfile {
+            read_bandwidth_bytes_per_sec: 1024, // absurdly slow: 1 KiB/s
+            write_bandwidth_bytes_per_sec: u64::MAX,
+            per_op_latency: Duration::ZERO,
+        };
+        let store = MemoryMaskStore::new(MaskEncoding::Raw, profile);
+        let mask = sample_mask(0);
+        store.put(MaskId::new(1), &mask).unwrap();
+        store.get(MaskId::new(1)).unwrap();
+        // 16*16*4 bytes + 32-byte header at 1 KiB/s -> about one second.
+        let io = store.io_stats().virtual_read_time();
+        assert!(io > Duration::from_millis(900), "io time was {io:?}");
+    }
+
+    #[test]
+    fn corrupt_file_is_surfaced_as_error() {
+        let dir = temp_dir("corrupt");
+        let store =
+            FileMaskStore::create(&dir, MaskEncoding::Raw, DiskProfile::unthrottled()).unwrap();
+        store.put(MaskId::new(1), &sample_mask(1)).unwrap();
+        // Truncate the file behind the store's back.
+        let path = dir.join("mask_1.msk");
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(store.get(MaskId::new(1)).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,101 @@
+//! Quickstart: build a small mask database, index it, and run the basic
+//! MaskSearch query shapes.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use masksearch::core::{MaskAgg, PixelRange, Roi};
+use masksearch::datagen::DatasetSpec;
+use masksearch::index::ChiConfig;
+use masksearch::query::{
+    CpTerm, Expr, IndexingMode, Order, Query, ScalarAgg, Session, SessionConfig,
+};
+use masksearch::storage::{MaskEncoding, MaskStore, MemoryMaskStore};
+use std::sync::Arc;
+
+fn main() {
+    // 1. Generate a small synthetic saliency-map dataset (stand-in for the
+    //    GradCAM maps the paper computes over ImageNet / WILDS).
+    let spec = DatasetSpec {
+        name: "quickstart".to_string(),
+        num_images: 200,
+        models: 2,
+        mask_width: 64,
+        mask_height: 64,
+        num_classes: 10,
+        seed: 1,
+        focus_probability: 0.7,
+    };
+    let store = Arc::new(MemoryMaskStore::new(
+        MaskEncoding::Raw,
+        masksearch::storage::DiskProfile::ebs_gp3(),
+    ));
+    let dataset = spec.generate_into(store.as_ref()).expect("generate dataset");
+    println!(
+        "generated {} masks over {} images ({}x{} pixels each)",
+        spec.num_masks(),
+        spec.num_images,
+        spec.mask_width,
+        spec.mask_height
+    );
+
+    // 2. Open a MaskSearch session with an eagerly built Cumulative
+    //    Histogram Index (8x8-pixel cells, 16 value bins).
+    let session = Session::new(
+        Arc::clone(&store) as Arc<dyn MaskStore>,
+        dataset.catalog.clone(),
+        SessionConfig::new(ChiConfig::new(8, 8, 16).unwrap()).indexing_mode(IndexingMode::Eager),
+    )
+    .expect("create session");
+    println!(
+        "indexed {} masks, index size {} KiB\n",
+        session.indexed_masks(),
+        session.index_bytes() / 1024
+    );
+
+    // 3. Filter query: masks with more than 300 salient pixels (value >= 0.8)
+    //    inside a fixed region of interest.
+    let roi = Roi::new(16, 16, 48, 48).unwrap();
+    let salient = PixelRange::new(0.8, 1.0).unwrap();
+    let filter = Query::filter_cp_gt(roi, salient, 300.0);
+    let result = session.execute(&filter).expect("filter query");
+    println!(
+        "filter query: {} masks match; loaded {}/{} masks (FML {:.3}) in {:?}",
+        result.len(),
+        result.stats.masks_loaded,
+        result.stats.candidates,
+        result.stats.fml(),
+        result.stats.modeled_total()
+    );
+
+    // 4. Top-k query: the 5 masks with the most salient pixels in their
+    //    foreground-object box.
+    let topk = Query::top_k(Expr::cp_object(salient), 5, Order::Desc);
+    let result = session.execute(&topk).expect("top-k query");
+    println!("top-5 masks by salient pixels in the object box:");
+    for row in &result.rows {
+        println!("  {:?} -> {:.0} pixels", row.key, row.value.unwrap_or(0.0));
+    }
+
+    // 5. Aggregation query: the 5 images whose two models' saliency maps have
+    //    the highest average salient-pixel count in the object box.
+    let agg = Query::aggregate(Expr::cp_object(salient), ScalarAgg::Avg)
+        .with_group_top_k(5, Order::Desc);
+    let result = session.execute(&agg).expect("aggregation query");
+    println!("\ntop-5 images by mean salient pixels across models:");
+    for row in &result.rows {
+        println!("  {:?} -> {:.1}", row.key, row.value.unwrap_or(0.0));
+    }
+
+    // 6. Mask-aggregation query (paper Example 2): images where the two
+    //    models' thresholded maps overlap the most.
+    let intersect = Query::mask_aggregate(
+        MaskAgg::IntersectThreshold { threshold: 0.7 },
+        CpTerm::object_roi(PixelRange::new(0.7, 1.0).unwrap()),
+    )
+    .with_group_top_k(5, Order::Desc);
+    let result = session.execute(&intersect).expect("mask aggregation query");
+    println!("\ntop-5 images by model-agreement (intersection of thresholded maps):");
+    for row in &result.rows {
+        println!("  {:?} -> {:.0} overlapping pixels", row.key, row.value.unwrap_or(0.0));
+    }
+}

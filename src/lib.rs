@@ -1,0 +1,36 @@
+//! # MaskSearch
+//!
+//! A Rust reproduction of **"MaskSearch: Querying Image Masks at Scale"**
+//! (He, Zhang, Daum, Ratner, Balazinska — ICDE 2025).
+//!
+//! MaskSearch retrieves images and their masks (saliency maps, segmentation
+//! maps, depth maps, ...) from large mask databases based on properties of
+//! the masks — counts of pixels within regions of interest and pixel-value
+//! ranges — using a **Cumulative Histogram Index (CHI)** and a
+//! **filter–verification** execution framework that avoids loading most
+//! masks from disk.
+//!
+//! This facade crate re-exports the public API of the workspace crates:
+//!
+//! * [`core`](masksearch_core) — masks, ROIs, pixel ranges, the exact `CP`
+//!   function, mask aggregation.
+//! * [`storage`](masksearch_storage) — mask stores, catalog, compression,
+//!   buffer cache, and the disk cost model.
+//! * [`index`](masksearch_index) — the Cumulative Histogram Index.
+//! * [`query`](masksearch_query) — query model, filter–verification
+//!   execution, top-k, aggregation, sessions with incremental indexing.
+//! * [`sql`](masksearch_sql) — the SQL front end for the paper's dialect.
+//! * [`baselines`](masksearch_baselines) — NumPy-, PostgreSQL-, and
+//!   TileDB-like comparison engines.
+//! * [`datagen`](masksearch_datagen) — synthetic dataset and workload
+//!   generators used by the evaluation harness.
+
+pub use masksearch_baselines as baselines;
+pub use masksearch_core as core;
+pub use masksearch_datagen as datagen;
+pub use masksearch_index as index;
+pub use masksearch_query as query;
+pub use masksearch_sql as sql;
+pub use masksearch_storage as storage;
+
+pub use masksearch_core::{cp, Mask, MaskId, MaskRecord, MaskType, PixelRange, Roi};

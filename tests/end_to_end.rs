@@ -1,0 +1,259 @@
+//! End-to-end integration tests spanning every crate: dataset generation,
+//! indexing, all four query shapes, every engine, persistence, and the
+//! incremental-indexing session lifecycle.
+
+use masksearch::baselines::{BruteForce, MaskSearchEngine, QueryEngine};
+use masksearch::core::{MaskAgg, PixelRange, Roi};
+use masksearch::datagen::{DatasetSpec, ExplorationWorkload, RandomQueryGenerator};
+use masksearch::index::ChiConfig;
+use masksearch::query::{
+    CpTerm, Expr, IndexingMode, Order, Query, ScalarAgg, Selection, Session, SessionConfig,
+};
+use masksearch::storage::{DiskProfile, MaskEncoding, MaskStore, MemoryMaskStore};
+use std::sync::Arc;
+
+struct TestDb {
+    store: Arc<MemoryMaskStore>,
+    dataset: masksearch::datagen::GeneratedDataset,
+    chi: ChiConfig,
+}
+
+fn test_db(images: u64, side: u32) -> TestDb {
+    let spec = DatasetSpec {
+        name: "integration".to_string(),
+        num_images: images,
+        models: 2,
+        mask_width: side,
+        mask_height: side,
+        num_classes: 6,
+        seed: 31,
+        focus_probability: 0.7,
+    };
+    let store = Arc::new(MemoryMaskStore::new(
+        MaskEncoding::Raw,
+        DiskProfile::unthrottled(),
+    ));
+    let dataset = spec.generate_into(store.as_ref()).unwrap();
+    TestDb {
+        store,
+        dataset,
+        chi: ChiConfig::new((side / 8).max(1), (side / 8).max(1), 16).unwrap(),
+    }
+}
+
+impl TestDb {
+    fn session(&self, mode: IndexingMode) -> Session {
+        Session::new(
+            Arc::clone(&self.store) as Arc<dyn MaskStore>,
+            self.dataset.catalog.clone(),
+            SessionConfig::new(self.chi).indexing_mode(mode),
+        )
+        .unwrap()
+    }
+
+    /// Brute-force oracle: evaluates the query by loading every mask.
+    fn oracle(&self, query: &Query) -> Vec<masksearch::query::ResultRow> {
+        let mut bf = BruteForce::new(&self.dataset.catalog, query);
+        for id in self.dataset.catalog.mask_ids() {
+            if bf.is_candidate(id) {
+                let mask = self.store.get(id).unwrap();
+                bf.consume(id, &mask).unwrap();
+            }
+        }
+        bf.finish().unwrap()
+    }
+}
+
+fn paper_style_queries(side: u32) -> Vec<(&'static str, Query)> {
+    let area = (side * side) as f64;
+    let roi = Roi::new(side / 5, side / 5, side * 4 / 5, side * 4 / 5).unwrap();
+    vec![
+        (
+            "q1_filter_constant_roi",
+            Query::filter_cp_gt(roi, PixelRange::new(0.6, 1.0).unwrap(), area * 0.05),
+        ),
+        (
+            "q2_filter_object_roi",
+            Query::filter_object_cp_gt(PixelRange::new(0.8, 1.0).unwrap(), area * 0.01),
+        ),
+        (
+            "q3_topk_constant_roi",
+            Query::top_k_cp(roi, PixelRange::new(0.8, 1.0).unwrap(), 10, Order::Desc),
+        ),
+        (
+            "q4_topk_images_by_mean",
+            Query::aggregate(
+                Expr::cp_object(PixelRange::new(0.8, 1.0).unwrap()),
+                ScalarAgg::Avg,
+            )
+            .with_group_top_k(10, Order::Desc),
+        ),
+        (
+            "q5_topk_images_by_intersection",
+            Query::mask_aggregate(
+                MaskAgg::IntersectThreshold { threshold: 0.8 },
+                CpTerm::object_roi(PixelRange::new(0.8, 1.0).unwrap()),
+            )
+            .with_group_top_k(10, Order::Desc),
+        ),
+        (
+            "ratio_topk_ascending",
+            Query::top_k(
+                Expr::cp_object(PixelRange::new(0.85, 1.0).unwrap())
+                    .div(Expr::cp_full(PixelRange::new(0.85, 1.0).unwrap())),
+                10,
+                Order::Asc,
+            ),
+        ),
+    ]
+}
+
+#[test]
+fn masksearch_matches_the_oracle_on_all_query_shapes() {
+    let db = test_db(40, 48);
+    let eager = db.session(IndexingMode::Eager);
+    let incremental = db.session(IndexingMode::Incremental);
+    for (label, query) in paper_style_queries(48) {
+        let expected: Vec<_> = db.oracle(&query).iter().map(|r| r.key).collect();
+        let got_eager: Vec<_> = eager
+            .execute(&query)
+            .unwrap()
+            .rows
+            .iter()
+            .map(|r| r.key)
+            .collect();
+        assert_eq!(got_eager, expected, "eager session diverged on {label}");
+        let got_incr: Vec<_> = incremental
+            .execute(&query)
+            .unwrap()
+            .rows
+            .iter()
+            .map(|r| r.key)
+            .collect();
+        assert_eq!(got_incr, expected, "incremental session diverged on {label}");
+    }
+}
+
+#[test]
+fn all_engines_agree_and_masksearch_loads_fewer_masks() {
+    let db = test_db(30, 48);
+    let ms = MaskSearchEngine::new(db.session(IndexingMode::Eager));
+    let numpy = masksearch::baselines::NumpyEngine::new(
+        Arc::clone(&db.store) as Arc<dyn MaskStore>,
+        db.dataset.catalog.clone(),
+    );
+    let tmp = std::env::temp_dir().join(format!("masksearch-it-{}", std::process::id()));
+    let heap = masksearch::baselines::copy_to_row_store(
+        db.store.as_ref(),
+        tmp.with_extension("heap"),
+        DiskProfile::unthrottled(),
+    )
+    .unwrap();
+    let pg = masksearch::baselines::PostgresEngine::new(heap, db.dataset.catalog.clone());
+    let array = masksearch::baselines::copy_to_array_store(
+        db.store.as_ref(),
+        tmp.with_extension("arr"),
+        DiskProfile::unthrottled(),
+    )
+    .unwrap();
+    let tiledb = masksearch::baselines::TileDbEngine::new(array, db.dataset.catalog.clone());
+
+    for (label, query) in paper_style_queries(48) {
+        let reference = numpy.execute(&query).unwrap();
+        let reference_keys: Vec<_> = reference.output.rows.iter().map(|r| r.key).collect();
+        for engine in [&ms as &dyn QueryEngine, &pg, &tiledb] {
+            let report = engine.execute(&query).unwrap();
+            let keys: Vec<_> = report.output.rows.iter().map(|r| r.key).collect();
+            assert_eq!(keys, reference_keys, "{} diverged on {label}", engine.name());
+        }
+        let ms_report = ms.execute(&query).unwrap();
+        assert!(
+            ms_report.stats().masks_loaded <= reference.stats().masks_loaded,
+            "{label}: MaskSearch loaded more masks than NumPy"
+        );
+    }
+
+    let _ = std::fs::remove_file(tmp.with_extension("heap"));
+    let _ = std::fs::remove_file(tmp.with_extension("arr"));
+    let _ = std::fs::remove_file(format!("{}.dir", tmp.with_extension("arr").display()));
+}
+
+#[test]
+fn index_persists_across_sessions() {
+    let db = test_db(12, 32);
+    let query = Query::filter_object_cp_gt(PixelRange::new(0.8, 1.0).unwrap(), 10.0);
+
+    // Session 1: incremental indexing, run a query, persist the index.
+    let session1 = db.session(IndexingMode::Incremental);
+    let first = session1.execute(&query).unwrap();
+    assert_eq!(first.stats.masks_loaded, 24);
+    let path = std::env::temp_dir().join(format!(
+        "masksearch-it-index-{}.idx",
+        std::process::id()
+    ));
+    session1.persist_index(&path).unwrap();
+
+    // Session 2: load the persisted index; the same query now loads fewer
+    // masks and returns the same result.
+    let chi = Session::load_index_file(&path).unwrap();
+    assert_eq!(chi.len(), 24);
+    let session2 = Session::with_index(
+        Arc::clone(&db.store) as Arc<dyn MaskStore>,
+        db.dataset.catalog.clone(),
+        SessionConfig::new(db.chi).indexing_mode(IndexingMode::Incremental),
+        chi,
+    );
+    let second = session2.execute(&query).unwrap();
+    assert_eq!(second.mask_ids(), first.mask_ids());
+    assert!(second.stats.masks_loaded < first.stats.masks_loaded);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn exploration_workload_results_are_mode_independent() {
+    let db = test_db(25, 32);
+    let all = db.dataset.catalog.mask_ids();
+    let mut generator = RandomQueryGenerator::new(2, 32, 32);
+    let workload = ExplorationWorkload::generate("w", &all, 12, 0.5, &mut generator, 9);
+
+    let eager = db.session(IndexingMode::Eager);
+    let incremental = db.session(IndexingMode::Incremental);
+    let disabled = db.session(IndexingMode::Disabled);
+    let mut incremental_loads = 0;
+    let mut disabled_loads = 0;
+    for wq in &workload.queries {
+        let a = eager.execute(&wq.query).unwrap();
+        let b = incremental.execute(&wq.query).unwrap();
+        let c = disabled.execute(&wq.query).unwrap();
+        assert_eq!(a.mask_ids(), b.mask_ids());
+        assert_eq!(a.mask_ids(), c.mask_ids());
+        incremental_loads += b.stats.masks_loaded;
+        disabled_loads += c.stats.masks_loaded;
+    }
+    // Incremental indexing pays off across the workload: repeated targets are
+    // answered from the index instead of being re-loaded.
+    assert!(incremental_loads < disabled_loads);
+}
+
+#[test]
+fn selections_compose_with_query_execution() {
+    let db = test_db(20, 32);
+    let session = db.session(IndexingMode::Eager);
+    let model1 = Selection::all().with_model(masksearch::core::ModelId::new(1));
+    let query = Query::filter_cp_gt(
+        Roi::new(0, 0, 32, 32).unwrap(),
+        PixelRange::full(),
+        -1.0,
+    )
+    .with_selection(model1);
+    let out = session.execute(&query).unwrap();
+    // Every model-1 mask trivially satisfies CP > -1.
+    assert_eq!(out.len(), 20);
+    assert_eq!(out.stats.candidates, 20);
+    for id in out.mask_ids() {
+        assert_eq!(
+            db.dataset.catalog.get(id).unwrap().model_id,
+            masksearch::core::ModelId::new(1)
+        );
+    }
+}

@@ -1,0 +1,241 @@
+//! Property-based tests of the system's core invariants:
+//!
+//! 1. CHI bounds always bracket the exact `CP` value, for arbitrary masks,
+//!    ROIs, pixel ranges, and grid configurations.
+//! 2. The filter–verification executor returns exactly the brute-force
+//!    result set, for arbitrary data and thresholds.
+//! 3. Top-k execution equals brute-force top-k.
+//! 4. Storage round trips (mask files, compression, CHI persistence) are
+//!    identity functions.
+//! 5. Eq. 2 additivity: region histograms equal direct scans.
+
+use masksearch::core::{cp, Mask, MaskId, MaskRecord, PixelRange, Roi};
+use masksearch::index::{Chi, ChiConfig, ChiStore};
+use masksearch::query::{IndexingMode, Order, Query, Session, SessionConfig};
+use masksearch::storage::{format, Catalog, MaskEncoding, MaskStore, MemoryMaskStore};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Strategy: an arbitrary mask of bounded size with a mixture of smooth and
+/// noisy content.
+fn arb_mask() -> impl Strategy<Value = Mask> {
+    (4u32..40, 4u32..40, any::<u64>()).prop_map(|(w, h, seed)| {
+        let mut state = seed | 1;
+        Mask::from_fn(w, h, move |x, y| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let noise = ((state >> 33) as f32) / (u32::MAX as f32) * 0.3;
+            let blob = {
+                let dx = x as f32 - w as f32 / 3.0;
+                let dy = y as f32 - h as f32 / 2.0;
+                0.7 * (-(dx * dx + dy * dy) / (2.0 * (w.min(h) as f32 / 4.0).powi(2)).max(1.0))
+                    .exp()
+            };
+            (noise + blob).min(0.999)
+        })
+    })
+}
+
+fn arb_roi(max: u32) -> impl Strategy<Value = Roi> {
+    (0u32..max, 0u32..max, 1u32..=max, 1u32..=max).prop_filter_map(
+        "non-degenerate roi",
+        move |(x0, y0, w, h)| Roi::new(x0, y0, x0 + w, y0 + h).ok(),
+    )
+}
+
+fn arb_range() -> impl Strategy<Value = PixelRange> {
+    (0u32..90, 1u32..=100).prop_filter_map("non-empty range", |(lo, width)| {
+        let lo = lo as f32 / 100.0;
+        let hi = (lo + width as f32 / 100.0).min(1.0);
+        PixelRange::new(lo, hi).ok()
+    })
+}
+
+fn arb_config() -> impl Strategy<Value = ChiConfig> {
+    (1u32..16, 1u32..16, 1u32..32)
+        .prop_filter_map("valid config", |(cw, ch, bins)| ChiConfig::new(cw, ch, bins))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn chi_bounds_always_bracket_exact_cp(
+        mask in arb_mask(),
+        roi in arb_roi(48),
+        range in arb_range(),
+        config in arb_config(),
+    ) {
+        let chi = Chi::build(&mask, &config);
+        let bounds = chi.cp_bounds(&roi, &range);
+        let exact = cp(&mask, &roi, &range);
+        prop_assert!(bounds.lower <= exact, "lower {} > exact {exact}", bounds.lower);
+        prop_assert!(exact <= bounds.upper, "exact {exact} > upper {}", bounds.upper);
+        prop_assert!(bounds.upper <= bounds.roi_area);
+    }
+
+    #[test]
+    fn region_histograms_match_direct_scans(
+        mask in arb_mask(),
+        config in arb_config(),
+    ) {
+        let chi = Chi::build(&mask, &config);
+        // Probe a handful of available regions including the full mask.
+        let cx = chi.cells_x();
+        let cy = chi.cells_y();
+        let probes = [
+            (0, 0, cx, cy),
+            (0, 0, cx.div_ceil(2).max(1), cy),
+            (cx / 2, cy / 2, cx, cy),
+        ];
+        for &(bx0, by0, bx1, by1) in &probes {
+            if bx0 >= bx1 || by0 >= by1 {
+                continue;
+            }
+            let hist = chi.region_hist(bx0, by0, bx1, by1);
+            let roi = Roi::new(
+                chi.x_boundary(bx0),
+                chi.y_boundary(by0),
+                chi.x_boundary(bx1),
+                chi.y_boundary(by1),
+            ).unwrap();
+            for (b, &count) in hist.iter().enumerate() {
+                let lo = ((b as f64) * config.delta()).min(0.999_999) as f32;
+                let expected = mask.count_pixels(&roi, &PixelRange::new(lo, 1.0).unwrap());
+                prop_assert_eq!(count, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn mask_file_and_compression_round_trip(
+        mask in arb_mask(),
+        compressed in any::<bool>(),
+    ) {
+        let encoding = if compressed { MaskEncoding::Compressed } else { MaskEncoding::Raw };
+        let bytes = format::encode_mask(MaskId::new(7), &mask, encoding);
+        let (header, decoded) = format::decode_mask(&bytes).unwrap();
+        prop_assert_eq!(header.mask_id, MaskId::new(7));
+        prop_assert_eq!(decoded, mask);
+    }
+
+    #[test]
+    fn chi_store_round_trip(
+        mask in arb_mask(),
+        config in arb_config(),
+    ) {
+        let store = ChiStore::new(config);
+        store.index_mask(MaskId::new(3), &mask);
+        let decoded = ChiStore::from_bytes(&store.to_bytes()).unwrap();
+        prop_assert_eq!(decoded.len(), 1);
+        prop_assert_eq!(&*decoded.get(MaskId::new(3)).unwrap(), &*store.get(MaskId::new(3)).unwrap());
+    }
+}
+
+/// A small randomized database for the executor-equivalence properties.
+fn build_db(masks: &[Mask]) -> (Arc<MemoryMaskStore>, Catalog) {
+    let store = Arc::new(MemoryMaskStore::for_tests());
+    let mut catalog = Catalog::new();
+    for (i, mask) in masks.iter().enumerate() {
+        let id = MaskId::new(i as u64);
+        store.put(id, mask).unwrap();
+        let (w, h) = mask.shape();
+        catalog.insert(
+            MaskRecord::builder(id)
+                .image_id(masksearch::core::ImageId::new(i as u64 / 2))
+                .shape(w, h)
+                .object_box(Roi::new(w / 4, h / 4, (w * 3 / 4).max(1), (h * 3 / 4).max(1)).unwrap())
+                .build(),
+        );
+    }
+    (store, catalog)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn filter_execution_equals_brute_force(
+        seeds in prop::collection::vec(any::<u64>(), 6..20),
+        range in arb_range(),
+        threshold_frac in 0.0f64..0.3,
+        config in arb_config(),
+    ) {
+        // All masks share one shape so the dataset resembles a real one.
+        let masks: Vec<Mask> = seeds
+            .iter()
+            .map(|&seed| {
+                let mut state = seed | 1;
+                Mask::from_fn(24, 24, move |_, _| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(99);
+                    ((state >> 40) as f32 / (1u32 << 24) as f32).min(0.999)
+                })
+            })
+            .collect();
+        let (store, catalog) = build_db(&masks);
+        let session = Session::new(
+            Arc::clone(&store) as Arc<dyn MaskStore>,
+            catalog.clone(),
+            SessionConfig::new(config).indexing_mode(IndexingMode::Eager),
+        ).unwrap();
+
+        let roi = Roi::new(3, 5, 20, 19).unwrap();
+        let threshold = threshold_frac * (24.0 * 24.0);
+        let query = Query::filter_cp_gt(roi, range, threshold);
+        let got = session.execute(&query).unwrap().mask_ids();
+        let expected: Vec<MaskId> = masks
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| (cp(m, &roi, &range) as f64) > threshold)
+            .map(|(i, _)| MaskId::new(i as u64))
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn topk_execution_equals_brute_force(
+        seeds in prop::collection::vec(any::<u64>(), 8..24),
+        range in arb_range(),
+        k in 1usize..8,
+        desc in any::<bool>(),
+    ) {
+        let masks: Vec<Mask> = seeds
+            .iter()
+            .map(|&seed| {
+                let mut state = seed | 1;
+                Mask::from_fn(20, 20, move |_, _| {
+                    state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                    ((state >> 40) as f32 / (1u32 << 24) as f32).min(0.999)
+                })
+            })
+            .collect();
+        let (store, catalog) = build_db(&masks);
+        let session = Session::new(
+            Arc::clone(&store) as Arc<dyn MaskStore>,
+            catalog,
+            SessionConfig::new(ChiConfig::new(5, 5, 8).unwrap())
+                .indexing_mode(IndexingMode::Eager),
+        ).unwrap();
+
+        let order = if desc { Order::Desc } else { Order::Asc };
+        let roi = Roi::new(2, 2, 18, 18).unwrap();
+        let query = Query::top_k_cp(roi, range, k, order);
+        let got = session.execute(&query).unwrap().mask_ids();
+
+        let mut rows: Vec<(f64, MaskId)> = masks
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (cp(m, &roi, &range) as f64, MaskId::new(i as u64)))
+            .collect();
+        rows.sort_by(|a, b| {
+            let cmp = match order {
+                Order::Desc => b.0.partial_cmp(&a.0),
+                Order::Asc => a.0.partial_cmp(&b.0),
+            }
+            .unwrap();
+            cmp.then_with(|| a.1.cmp(&b.1))
+        });
+        rows.truncate(k);
+        let expected: Vec<MaskId> = rows.into_iter().map(|(_, id)| id).collect();
+        prop_assert_eq!(got, expected);
+    }
+}
