@@ -2,9 +2,7 @@
 //! streaming brute-force evaluator the baselines are built on.
 
 use masksearch_core::{cp, ImageId, Mask, MaskId};
-use masksearch_query::{
-    eval, Query, QueryError, QueryKind, QueryOutput, QueryStats, ResultRow,
-};
+use masksearch_query::{eval, Query, QueryError, QueryKind, QueryOutput, QueryStats, ResultRow};
 use masksearch_storage::Catalog;
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -141,10 +139,7 @@ impl<'a> BruteForce<'a> {
                     .collect())
             }
             QueryKind::Aggregate {
-                agg,
-                having,
-                top_k,
-                ..
+                agg, having, top_k, ..
             } => {
                 let mut rows: Vec<(f64, ImageId)> = self
                     .group_values
@@ -260,8 +255,7 @@ mod tests {
             20.0,
         )
         .with_selection(
-            masksearch_query::Selection::all()
-                .with_mask_ids((0..5).map(MaskId::new).collect()),
+            masksearch_query::Selection::all().with_mask_ids((0..5).map(MaskId::new).collect()),
         );
         let mut bf = BruteForce::new(&catalog, &query);
         for (id, mask) in &masks {
@@ -303,11 +297,7 @@ mod tests {
     #[test]
     fn unknown_masks_are_ignored() {
         let (catalog, _) = catalog_and_masks(2);
-        let query = Query::filter_cp_gt(
-            Roi::new(0, 0, 16, 16).unwrap(),
-            PixelRange::full(),
-            0.0,
-        );
+        let query = Query::filter_cp_gt(Roi::new(0, 0, 16, 16).unwrap(), PixelRange::full(), 0.0);
         let mut bf = BruteForce::new(&catalog, &query);
         assert!(!bf.is_candidate(MaskId::new(99)));
         bf.consume(MaskId::new(99), &Mask::zeros(16, 16)).unwrap();

@@ -31,10 +31,7 @@ pub fn copy_to_array_store(
     profile: DiskProfile,
 ) -> StorageResult<ArrayStore> {
     let ids = store.ids();
-    let first = ids
-        .first()
-        .copied()
-        .unwrap_or(MaskId::new(0));
+    let first = ids.first().copied().unwrap_or(MaskId::new(0));
     let (width, height) = if store.is_empty() {
         (1, 1)
     } else {
@@ -75,7 +72,10 @@ mod tests {
 
         let heap = copy_to_row_store(&store, &heap_path, DiskProfile::unthrottled()).unwrap();
         assert_eq!(heap.len(), 6);
-        assert_eq!(heap.get(MaskId::new(3)).unwrap(), store.get(MaskId::new(3)).unwrap());
+        assert_eq!(
+            heap.get(MaskId::new(3)).unwrap(),
+            store.get(MaskId::new(3)).unwrap()
+        );
         assert_eq!(heap.io_stats().read_ops(), 1); // only the verification read above
 
         let array = copy_to_array_store(&store, &array_path, DiskProfile::unthrottled()).unwrap();

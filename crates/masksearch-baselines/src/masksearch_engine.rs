@@ -76,8 +76,7 @@ mod tests {
         let session = Session::new(
             Arc::new(store) as Arc<dyn MaskStore>,
             catalog,
-            SessionConfig::new(ChiConfig::new(4, 4, 8).unwrap())
-                .indexing_mode(IndexingMode::Eager),
+            SessionConfig::new(ChiConfig::new(4, 4, 8).unwrap()).indexing_mode(IndexingMode::Eager),
         )
         .unwrap();
         let engine = MaskSearchEngine::with_name(session, "MS");

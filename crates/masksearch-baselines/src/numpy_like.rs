@@ -77,13 +77,17 @@ mod tests {
         let store = MemoryMaskStore::for_tests();
         let mut catalog = Catalog::new();
         for i in 0..n {
-            let mask = Mask::from_fn(16, 16, move |x, _| {
-                if x < (i as u32 % 16) {
-                    0.9
-                } else {
-                    0.1
-                }
-            });
+            let mask = Mask::from_fn(
+                16,
+                16,
+                move |x, _| {
+                    if x < (i as u32 % 16) {
+                        0.9
+                    } else {
+                        0.1
+                    }
+                },
+            );
             store.put(MaskId::new(i), &mask).unwrap();
             catalog.insert(
                 MaskRecord::builder(MaskId::new(i))

@@ -7,7 +7,7 @@
 
 use crate::engine::{BruteForce, EngineReport, QueryEngine};
 use masksearch_query::{Query, QueryError, QueryOutput, QueryStats};
-use masksearch_storage::{Catalog, RowStore, StorageError};
+use masksearch_storage::{Catalog, RowStore};
 use std::time::Instant;
 
 /// PostgreSQL-like execution over a heap file of mask tuples.
@@ -42,21 +42,18 @@ impl QueryEngine for PostgresEngine {
         // discards non-candidates after the tuple has been read (exactly what
         // a WHERE clause on metadata does without an index).
         let mut scan_error: Option<QueryError> = None;
-        let report = self
-            .heap
-            .scan(|mask_id, mask| {
-                if scan_error.is_some() {
-                    return Ok(());
+        let report = self.heap.scan(|mask_id, mask| {
+            if scan_error.is_some() {
+                return Ok(());
+            }
+            if bf.is_candidate(mask_id) {
+                candidates += 1;
+                if let Err(e) = bf.consume(mask_id, &mask) {
+                    scan_error = Some(e);
                 }
-                if bf.is_candidate(mask_id) {
-                    candidates += 1;
-                    if let Err(e) = bf.consume(mask_id, &mask) {
-                        scan_error = Some(e);
-                    }
-                }
-                Ok(())
-            })
-            .map_err(StorageError::from)?;
+            }
+            Ok(())
+        })?;
         if let Some(e) = scan_error {
             return Err(e);
         }
@@ -94,13 +91,17 @@ mod tests {
         let mut heap = RowStore::create(&path, DiskProfile::unthrottled()).unwrap();
         let mut catalog = Catalog::new();
         for i in 0..n {
-            let mask = Mask::from_fn(16, 16, move |x, _| {
-                if x < (i as u32 % 16) {
-                    0.9
-                } else {
-                    0.1
-                }
-            });
+            let mask = Mask::from_fn(
+                16,
+                16,
+                move |x, _| {
+                    if x < (i as u32 % 16) {
+                        0.9
+                    } else {
+                        0.1
+                    }
+                },
+            );
             heap.append(MaskId::new(i), &mask).unwrap();
             catalog.insert(
                 MaskRecord::builder(MaskId::new(i))

@@ -46,10 +46,7 @@ impl QueryEngine for TileDbEngine {
         let mut bf = BruteForce::new(&self.catalog, query);
         let mut candidates = 0u64;
 
-        let mask_specific_roi = query
-            .roi_specs()
-            .iter()
-            .any(|spec| spec.is_mask_specific());
+        let mask_specific_roi = query.roi_specs().iter().any(|spec| spec.is_mask_specific());
 
         if mask_specific_roi {
             // Per-mask random reads: the same region cannot be sliced across
@@ -118,13 +115,17 @@ mod tests {
         let mut array = ArrayStore::create(&path, 16, 16, DiskProfile::ebs_gp3()).unwrap();
         let mut catalog = Catalog::new();
         for i in 0..n {
-            let mask = Mask::from_fn(16, 16, move |x, _| {
-                if x < (i as u32 % 16) {
-                    0.9
-                } else {
-                    0.1
-                }
-            });
+            let mask = Mask::from_fn(
+                16,
+                16,
+                move |x, _| {
+                    if x < (i as u32 % 16) {
+                        0.9
+                    } else {
+                        0.1
+                    }
+                },
+            );
             array.append(MaskId::new(i), &mask).unwrap();
             catalog.insert(
                 MaskRecord::builder(MaskId::new(i))

@@ -9,10 +9,8 @@ use masksearch_query::IndexingMode;
 fn bench_workload(c: &mut Criterion) {
     let bench = BenchDataset::wilds(0.001).expect("generate dataset");
     let all_masks = bench.dataset.catalog.mask_ids();
-    let mut generator =
-        RandomQueryGenerator::new(5, bench.spec.mask_width, bench.spec.mask_height);
-    let workload =
-        ExplorationWorkload::generate("bench", &all_masks, 10, 0.5, &mut generator, 17);
+    let mut generator = RandomQueryGenerator::new(5, bench.spec.mask_width, bench.spec.mask_height);
+    let workload = ExplorationWorkload::generate("bench", &all_masks, 10, 0.5, &mut generator, 17);
 
     let mut group = c.benchmark_group("workload_10_queries");
     group.sample_size(10);

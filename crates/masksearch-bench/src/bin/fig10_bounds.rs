@@ -34,9 +34,8 @@ fn main() {
             PixelRange::new(0.6, 1.0).unwrap(),
             PixelRange::new(0.8, 1.0).unwrap(),
         ];
-        let distributions =
-            run_bounds_distribution(&bench, &[default_cfg, finer], &ranges, sample)
-                .expect("experiment run");
+        let distributions = run_bounds_distribution(&bench, &[default_cfg, finer], &ranges, sample)
+            .expect("experiment run");
         let mut table = Table::new(&[
             "index/mask",
             "range",

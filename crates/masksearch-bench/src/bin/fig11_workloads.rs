@@ -42,9 +42,18 @@ fn main() {
 
         // Panels (c)/(d): ratio of MS-II to MS cumulative time per workload.
         println!("\nMS-II / MS cumulative-time ratio:");
-        let mut ratio_table = Table::new(&["after query", "W1 (0.2)", "W2 (0.5)", "W3 (0.8)", "W4 (1.0)"]);
+        let mut ratio_table = Table::new(&[
+            "after query",
+            "W1 (0.2)",
+            "W2 (0.5)",
+            "W3 (0.8)",
+            "W4 (1.0)",
+        ]);
         let ratios: Vec<Vec<f64>> = series.iter().map(|s| s.ratio_ms_ii_to_ms()).collect();
-        for &q in checkpoints.iter().filter(|&&q| q > 0 && q < ratios[0].len()) {
+        for &q in checkpoints
+            .iter()
+            .filter(|&&q| q > 0 && q < ratios[0].len())
+        {
             ratio_table.add_row(vec![
                 q.to_string(),
                 format!("{:.2}", ratios[0][q]),

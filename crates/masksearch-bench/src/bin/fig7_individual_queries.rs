@@ -33,7 +33,13 @@ fn main() {
             size.index_to_compressed_ratio() * 100.0
         );
         let rows = run_individual_queries(&bench, true).expect("experiment run");
-        let mut table = Table::new(&["query", "engine", "modelled time", "speedup vs NumPy", "agrees"]);
+        let mut table = Table::new(&[
+            "query",
+            "engine",
+            "modelled time",
+            "speedup vs NumPy",
+            "agrees",
+        ]);
         for label in ["Q1", "Q2", "Q3", "Q4", "Q5"] {
             let numpy_time = rows
                 .iter()

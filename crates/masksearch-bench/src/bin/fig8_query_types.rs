@@ -11,7 +11,9 @@ fn main() {
     let scale = scale_from_args(0.01);
     let per_type = usize_from_args("queries", 60);
     println!("== Figure 8: MaskSearch query time by query type ==");
-    println!("({per_type} randomized queries per type; paper uses 500; times are modelled end-to-end)\n");
+    println!(
+        "({per_type} randomized queries per type; paper uses 500; times are modelled end-to-end)\n"
+    );
 
     for bench in [
         BenchDataset::wilds(scale).expect("generate WILDS-like dataset"),

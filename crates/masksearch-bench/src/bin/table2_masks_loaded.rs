@@ -10,7 +10,9 @@ use masksearch_bench::{scale_from_args, BenchDataset};
 fn main() {
     let scale = scale_from_args(0.01);
     println!("== Table 2: number of masks loaded during query execution ==");
-    println!("(synthetic datasets at scale {scale}; PG/TileDB/NumPy always load every targeted mask)\n");
+    println!(
+        "(synthetic datasets at scale {scale}; PG/TileDB/NumPy always load every targeted mask)\n"
+    );
 
     for bench in [
         BenchDataset::wilds(scale).expect("generate WILDS-like dataset"),

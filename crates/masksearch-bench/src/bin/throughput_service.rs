@@ -1,0 +1,154 @@
+//! Service-layer throughput experiment: served QPS and latency percentiles
+//! as a function of worker-pool size.
+//!
+//! A fleet of client threads fires a mixed filter / top-k / aggregation
+//! workload at one [`Engine`] (the multi-client scenario of the MaskSearch
+//! demonstration). For each worker count the experiment reports completed
+//! queries per second, p50/p99 end-to-end latency, and the server-wide
+//! filter rate, and appends the results to `BENCH_service.json`.
+//!
+//! ```text
+//! cargo run --release --bin throughput_service -- \
+//!     --scale 0.002 --clients 8 --queries 40
+//! ```
+
+use masksearch_bench::report::{percentile, Table};
+use masksearch_bench::{scale_from_args, usize_from_args, BenchDataset};
+use masksearch_datagen::RandomQueryGenerator;
+use masksearch_query::{IndexingMode, Query};
+use masksearch_service::{Engine, ServiceConfig};
+use masksearch_storage::MaskStore;
+use std::io::Write;
+use std::time::Instant;
+
+struct WorkerPoint {
+    workers: usize,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    mean_ms: f64,
+    filter_rate: f64,
+}
+
+fn mixed_workload(client: u64, queries: usize, width: u32, height: u32) -> Vec<Query> {
+    let mut generator = RandomQueryGenerator::new(9000 + client, width, height);
+    (0..queries)
+        .map(|i| match i % 3 {
+            0 => generator.filter_query(),
+            1 => generator.topk_query(),
+            _ => generator.aggregation_query(),
+        })
+        .collect()
+}
+
+fn run_point(bench: &BenchDataset, workers: usize, clients: usize, queries: usize) -> WorkerPoint {
+    let session = bench.session(IndexingMode::Eager);
+    bench.store.io_stats().reset();
+    let engine = Engine::new(session, ServiceConfig::new(workers));
+
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for client in 0..clients {
+        let engine = engine.clone();
+        let workload = mixed_workload(
+            client as u64,
+            queries,
+            bench.spec.mask_width,
+            bench.spec.mask_height,
+        );
+        handles.push(std::thread::spawn(move || {
+            let mut latencies_ms = Vec::with_capacity(workload.len());
+            for query in &workload {
+                let issued = Instant::now();
+                engine.execute(query).expect("served query");
+                latencies_ms.push(issued.elapsed().as_secs_f64() * 1e3);
+            }
+            latencies_ms
+        }));
+    }
+    let latencies_ms: Vec<f64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client thread"))
+        .collect();
+    let wall = start.elapsed();
+    let metrics = engine.metrics();
+    engine.shutdown();
+
+    WorkerPoint {
+        workers,
+        qps: latencies_ms.len() as f64 / wall.as_secs_f64(),
+        p50_ms: percentile(&latencies_ms, 50.0),
+        p99_ms: percentile(&latencies_ms, 99.0),
+        mean_ms: latencies_ms.iter().sum::<f64>() / latencies_ms.len().max(1) as f64,
+        filter_rate: metrics.filter_rate,
+    }
+}
+
+fn main() {
+    let scale = scale_from_args(0.002);
+    let clients = usize_from_args("clients", 8);
+    let queries = usize_from_args("queries", 40);
+    let max_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8);
+
+    println!("== masksearch-service throughput vs. worker count ==");
+    println!("dataset: WILDS-like at scale {scale}, {clients} clients x {queries} queries\n");
+    let bench = BenchDataset::wilds(scale).expect("generate dataset");
+
+    let mut worker_counts = vec![1usize, 2, 4, 8];
+    worker_counts.retain(|&w| w <= max_workers.max(1) * 2);
+    let points: Vec<WorkerPoint> = worker_counts
+        .iter()
+        .map(|&workers| run_point(&bench, workers, clients, queries))
+        .collect();
+
+    let mut table = Table::new(&[
+        "workers",
+        "QPS",
+        "p50 (ms)",
+        "p99 (ms)",
+        "mean (ms)",
+        "filter rate",
+    ]);
+    for p in &points {
+        table.add_row(vec![
+            p.workers.to_string(),
+            format!("{:.1}", p.qps),
+            format!("{:.3}", p.p50_ms),
+            format!("{:.3}", p.p99_ms),
+            format!("{:.3}", p.mean_ms),
+            format!("{:.3}", p.filter_rate),
+        ]);
+    }
+    table.print();
+
+    // Machine-readable output.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"experiment\": \"service_throughput\",\n");
+    json.push_str(&format!("  \"scale\": {scale},\n"));
+    json.push_str(&format!("  \"clients\": {clients},\n"));
+    json.push_str(&format!("  \"queries_per_client\": {queries},\n"));
+    json.push_str(&format!("  \"num_masks\": {},\n", bench.num_masks()));
+    json.push_str("  \"results\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workers\": {}, \"qps\": {:.3}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \
+             \"mean_ms\": {:.4}, \"filter_rate\": {:.4}}}{}\n",
+            p.workers,
+            p.qps,
+            p.p50_ms,
+            p.p99_ms,
+            p.mean_ms,
+            p.filter_rate,
+            if i + 1 < points.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = "BENCH_service.json";
+    std::fs::File::create(path)
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+        .expect("write BENCH_service.json");
+    println!("\nwrote {path}");
+}

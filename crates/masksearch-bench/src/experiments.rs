@@ -118,8 +118,11 @@ pub fn run_query_type_distributions(
     bench.store.io_stats().reset();
     let mut out = Vec::new();
     for query_type in [QueryType::Filter, QueryType::TopK, QueryType::Aggregation] {
-        let mut generator =
-            RandomQueryGenerator::new(seed ^ query_type as u64, bench.spec.mask_width, bench.spec.mask_height);
+        let mut generator = RandomQueryGenerator::new(
+            seed ^ query_type as u64,
+            bench.spec.mask_width,
+            bench.spec.mask_height,
+        );
         let mut measurements = Vec::with_capacity(per_type);
         for _ in 0..per_type {
             let query = generator.query_of(query_type);
@@ -305,8 +308,7 @@ pub fn run_workloads(
         // MS-II: incremental indexing, no up-front cost.
         let ms_ii_session = bench.session(IndexingMode::Incremental);
         bench.store.io_stats().reset();
-        let ms_ii_cumulative =
-            run_workload_on_session(&ms_ii_session, &workload, Duration::ZERO)?;
+        let ms_ii_cumulative = run_workload_on_session(&ms_ii_session, &workload, Duration::ZERO)?;
 
         // NumPy: loads every targeted mask for every query.
         let numpy = bench.numpy_engine();
@@ -378,7 +380,8 @@ pub fn run_granularity_sweep(
 
         // FML from actual query execution with this configuration.
         let session = Session::new(
-            std::sync::Arc::clone(&bench.store) as std::sync::Arc<dyn masksearch_storage::MaskStore>,
+            std::sync::Arc::clone(&bench.store)
+                as std::sync::Arc<dyn masksearch_storage::MaskStore>,
             bench.dataset.catalog.clone(),
             masksearch_query::SessionConfig::new(*config).indexing_mode(IndexingMode::Eager),
         )?;
@@ -419,7 +422,11 @@ mod tests {
         // 5 queries x 4 engines.
         assert_eq!(rows.len(), 20);
         for row in &rows {
-            assert!(row.matches_reference, "{} on {} diverged", row.query, row.engine);
+            assert!(
+                row.matches_reference,
+                "{} on {} diverged",
+                row.query, row.engine
+            );
         }
         // MaskSearch loads fewer masks than NumPy on every query.
         for label in ["Q1", "Q2", "Q3", "Q4", "Q5"] {

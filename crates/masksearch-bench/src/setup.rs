@@ -147,7 +147,9 @@ impl BenchDataset {
         }
         let ratio = sampled_ratio / sample.len().max(1) as f64;
         let compressed = (uncompressed as f64 / ratio) as u64;
-        let index = self.chi_config.index_bytes(self.spec.mask_width, self.spec.mask_height)
+        let index = self
+            .chi_config
+            .index_bytes(self.spec.mask_width, self.spec.mask_height)
             * self.num_masks();
         self.store.io_stats().reset();
         IndexSizeReport {

@@ -121,8 +121,14 @@ mod tests {
     fn cp_many_matches_individual_calls() {
         let m = gradient_mask();
         let terms = vec![
-            (Roi::new(0, 0, 4, 4).unwrap(), PixelRange::new(0.0, 0.5).unwrap()),
-            (Roi::new(2, 2, 8, 8).unwrap(), PixelRange::new(0.25, 0.9).unwrap()),
+            (
+                Roi::new(0, 0, 4, 4).unwrap(),
+                PixelRange::new(0.0, 0.5).unwrap(),
+            ),
+            (
+                Roi::new(2, 2, 8, 8).unwrap(),
+                PixelRange::new(0.25, 0.9).unwrap(),
+            ),
             (Roi::new(6, 0, 8, 8).unwrap(), PixelRange::full()),
             (
                 Roi::new(20, 20, 30, 30).unwrap(),

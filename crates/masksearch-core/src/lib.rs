@@ -39,7 +39,9 @@ pub mod record;
 pub mod roi;
 pub mod types;
 
-pub use agg::{intersect_thresholded, mask_max, mask_mean, union_thresholded, weighted_sum, MaskAgg};
+pub use agg::{
+    intersect_thresholded, mask_max, mask_mean, union_thresholded, weighted_sum, MaskAgg,
+};
 pub use cp::{cp, cp_full, cp_many};
 pub use error::{Error, Result};
 pub use mask::Mask;

@@ -386,7 +386,10 @@ mod tests {
     #[test]
     fn row_and_iteration_agree_with_get() {
         let m = sample_mask();
-        assert_eq!(m.row(2), &[8.0 / 16.0, 9.0 / 16.0, 10.0 / 16.0, 11.0 / 16.0]);
+        assert_eq!(
+            m.row(2),
+            &[8.0 / 16.0, 9.0 / 16.0, 10.0 / 16.0, 11.0 / 16.0]
+        );
         for (x, y, v) in m.iter_pixels() {
             assert_eq!(v, m.get(x, y));
         }

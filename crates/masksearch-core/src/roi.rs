@@ -37,10 +37,7 @@ impl Roi {
     ///
     /// For example the paper's Q1 ROI `((50, 50), (200, 200))` covers pixels
     /// 50..=200 in both dimensions (151 pixels per side).
-    pub fn from_inclusive_corners(
-        upper_left: (u32, u32),
-        lower_right: (u32, u32),
-    ) -> Result<Self> {
+    pub fn from_inclusive_corners(upper_left: (u32, u32), lower_right: (u32, u32)) -> Result<Self> {
         let (ulx, uly) = upper_left;
         let (lrx, lry) = lower_right;
         if ulx == 0 || uly == 0 {
@@ -162,11 +159,7 @@ impl Roi {
 
 impl fmt::Display for Roi {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "[{}, {}) x [{}, {})",
-            self.x0, self.x1, self.y0, self.y1
-        )
+        write!(f, "[{}, {}) x [{}, {})", self.x0, self.x1, self.y0, self.y1)
     }
 }
 

@@ -78,9 +78,10 @@ id_newtype!(
 ///
 /// The paper models this as an `ENUM`; the variants below cover the mask
 /// families enumerated in §1 plus an escape hatch for user-defined types.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum MaskType {
     /// Model-explanation saliency map (e.g. GradCAM, SmoothGrad).
+    #[default]
     SaliencyMap,
     /// Human attention map collected from eye tracking or annotation.
     HumanAttentionMap,
@@ -118,12 +119,6 @@ impl MaskType {
             5 => MaskType::PoseMap,
             other => MaskType::Other(other),
         }
-    }
-}
-
-impl Default for MaskType {
-    fn default() -> Self {
-        MaskType::SaliencyMap
     }
 }
 

@@ -238,10 +238,7 @@ mod tests {
         assert_eq!(imagenet.num_images, 1331);
         let full = DatasetSpec::wilds_like(1.0).full_resolution();
         assert_eq!((full.mask_width, full.mask_height), (448, 448));
-        assert_eq!(
-            full.uncompressed_bytes(),
-            2 * 22_275 * 448 * 448 * 4
-        );
+        assert_eq!(full.uncompressed_bytes(), 2 * 22_275 * 448 * 448 * 4);
     }
 
     #[test]

@@ -68,7 +68,9 @@ impl SaliencyGenerator {
     /// Generates a random foreground-object bounding box for an image,
     /// covering roughly 15–45 % of each dimension.
     pub fn object_box(&self, rng: &mut impl Rng) -> Roi {
-        let bw = rng.gen_range(self.width * 15 / 100..=self.width * 45 / 100).max(1);
+        let bw = rng
+            .gen_range(self.width * 15 / 100..=self.width * 45 / 100)
+            .max(1);
         let bh = rng
             .gen_range(self.height * 15 / 100..=self.height * 45 / 100)
             .max(1);
@@ -85,10 +87,8 @@ impl SaliencyGenerator {
         let focused = rng.gen_bool(self.focus_probability);
         let (cx, cy) = if focused {
             (
-                (object_box.x0() + object_box.x1()) as f32 / 2.0
-                    + rng.gen_range(-2.0..2.0),
-                (object_box.y0() + object_box.y1()) as f32 / 2.0
-                    + rng.gen_range(-2.0..2.0),
+                (object_box.x0() + object_box.x1()) as f32 / 2.0 + rng.gen_range(-2.0..2.0),
+                (object_box.y0() + object_box.y1()) as f32 / 2.0 + rng.gen_range(-2.0..2.0),
             )
         } else {
             (

@@ -102,8 +102,7 @@ impl RandomQueryGenerator {
     pub fn aggregation_query(&mut self) -> Query {
         let range = self.random_range();
         let order = self.random_order();
-        Query::aggregate(Expr::cp_object(range), ScalarAgg::Avg)
-            .with_group_top_k(self.k, order)
+        Query::aggregate(Expr::cp_object(range), ScalarAgg::Avg).with_group_top_k(self.k, order)
     }
 
     /// A randomized query of the given type.
@@ -180,10 +179,8 @@ impl ExplorationWorkload {
             }
             // Seen portion plus any shortfall from the unseen pool.
             let take_seen = (n - target.len()).min(seen.len());
-            let sampled_seen: Vec<MaskId> = seen
-                .choose_multiple(&mut rng, take_seen)
-                .copied()
-                .collect();
+            let sampled_seen: Vec<MaskId> =
+                seen.choose_multiple(&mut rng, take_seen).copied().collect();
             let seen_in_target = sampled_seen.len();
             target.extend(sampled_seen);
             target.sort_unstable();
@@ -277,8 +274,7 @@ mod tests {
     fn workload_targets_respect_population_and_sizes() {
         let ids = mask_ids(1000);
         let mut gen = RandomQueryGenerator::new(3, 64, 64);
-        let workload =
-            ExplorationWorkload::generate("w2", &ids, 50, 0.5, &mut gen, 77);
+        let workload = ExplorationWorkload::generate("w2", &ids, 50, 0.5, &mut gen, 77);
         assert_eq!(workload.queries.len(), 50);
         for q in &workload.queries {
             assert!(!q.target.is_empty());
@@ -296,11 +292,9 @@ mod tests {
     fn p_seen_controls_exploration_rate() {
         let ids = mask_ids(2000);
         let mut gen_low = RandomQueryGenerator::new(4, 64, 64);
-        let explore =
-            ExplorationWorkload::generate("w1", &ids, 30, 0.2, &mut gen_low, 5);
+        let explore = ExplorationWorkload::generate("w1", &ids, 30, 0.2, &mut gen_low, 5);
         let mut gen_high = RandomQueryGenerator::new(4, 64, 64);
-        let revisit =
-            ExplorationWorkload::generate("w4", &ids, 30, 1.0, &mut gen_high, 5);
+        let revisit = ExplorationWorkload::generate("w4", &ids, 30, 1.0, &mut gen_high, 5);
         // Low p_seen explores far more distinct masks than p_seen = 1.0.
         assert!(explore.distinct_targets() > revisit.distinct_targets());
         // With p_seen = 1.0 only the first query's target is ever new.

@@ -54,9 +54,9 @@ pub fn build_chi_store(
 
     let next = AtomicUsize::new(0);
     let first_error: Mutex<Option<masksearch_storage::StorageError>> = Mutex::new(None);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= ids.len() {
                     break;
@@ -79,8 +79,7 @@ pub fn build_chi_store(
                 }
             });
         }
-    })
-    .expect("index build worker panicked");
+    });
 
     if let Some(err) = first_error.into_inner() {
         return Err(err);
@@ -109,9 +108,13 @@ mod tests {
     #[test]
     fn single_threaded_build_indexes_everything() {
         let (store, ids) = populated_store(8);
-        let chi_store =
-            build_chi_store(&store, &ids, ChiConfig::new(8, 8, 8).unwrap(), BuildOptions { threads: 1 })
-                .unwrap();
+        let chi_store = build_chi_store(
+            &store,
+            &ids,
+            ChiConfig::new(8, 8, 8).unwrap(),
+            BuildOptions { threads: 1 },
+        )
+        .unwrap();
         assert_eq!(chi_store.len(), 8);
         assert_eq!(store.io_stats().masks_loaded(), 8);
     }
@@ -120,10 +123,8 @@ mod tests {
     fn parallel_build_matches_serial_build() {
         let (store, ids) = populated_store(32);
         let config = ChiConfig::new(8, 8, 16).unwrap();
-        let serial =
-            build_chi_store(&store, &ids, config, BuildOptions { threads: 1 }).unwrap();
-        let parallel =
-            build_chi_store(&store, &ids, config, BuildOptions { threads: 4 }).unwrap();
+        let serial = build_chi_store(&store, &ids, config, BuildOptions { threads: 1 }).unwrap();
+        let parallel = build_chi_store(&store, &ids, config, BuildOptions { threads: 4 }).unwrap();
         assert_eq!(parallel.len(), serial.len());
         for &id in &ids {
             assert_eq!(*parallel.get(id).unwrap(), *serial.get(id).unwrap());

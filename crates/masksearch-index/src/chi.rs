@@ -313,7 +313,10 @@ impl Chi {
         let clipped = roi.clamp_to(self.mask_width, self.mask_height)?;
         let bx0 = clipped.x0() / self.config.cell_width;
         let by0 = clipped.y0() / self.config.cell_height;
-        let bx1 = clipped.x1().div_ceil(self.config.cell_width).min(self.cells_x);
+        let bx1 = clipped
+            .x1()
+            .div_ceil(self.config.cell_width)
+            .min(self.cells_x);
         let by1 = clipped
             .y1()
             .div_ceil(self.config.cell_height)
@@ -461,7 +464,10 @@ mod tests {
                                 &roi,
                                 &PixelRange::new(lo.min(0.999_999), 1.0).unwrap(),
                             );
-                            assert_eq!(count, expected, "region ({bx0},{by0})-({bx1},{by1}) bin {b}");
+                            assert_eq!(
+                                count, expected,
+                                "region ({bx0},{by0})-({bx1},{by1}) bin {b}"
+                            );
                         }
                     }
                 }
@@ -530,8 +536,7 @@ mod tests {
         let mask = gradient_mask(8, 8);
         let config = ChiConfig::new(4, 4, 4).unwrap();
         let chi = Chi::build(&mask, &config);
-        let rebuilt =
-            Chi::from_parts(config, 8, 8, chi.data().to_vec()).expect("valid parts");
+        let rebuilt = Chi::from_parts(config, 8, 8, chi.data().to_vec()).expect("valid parts");
         assert_eq!(rebuilt, chi);
         assert!(Chi::from_parts(config, 8, 8, vec![0; 3]).is_none());
     }

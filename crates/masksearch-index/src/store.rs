@@ -131,8 +131,9 @@ impl ChiStore {
         let cell_width = r.read_u32()?;
         let cell_height = r.read_u32()?;
         let bins = r.read_u32()?;
-        let config = ChiConfig::new(cell_width, cell_height, bins)
-            .ok_or_else(|| StorageError::corrupt("chi index file has a zero-sized configuration"))?;
+        let config = ChiConfig::new(cell_width, cell_height, bins).ok_or_else(|| {
+            StorageError::corrupt("chi index file has a zero-sized configuration")
+        })?;
         let count = r.read_u64()?;
         let store = ChiStore::new(config);
         {

@@ -80,8 +80,7 @@ mod tests {
     fn display_and_conversions() {
         let e: QueryError = masksearch_core::Error::EmptyMask.into();
         assert!(e.to_string().contains("data model"));
-        let e: QueryError =
-            masksearch_storage::StorageError::MaskNotFound(MaskId::new(4)).into();
+        let e: QueryError = masksearch_storage::StorageError::MaskNotFound(MaskId::new(4)).into();
         assert!(e.to_string().contains("storage"));
         assert!(QueryError::invalid("k must be positive")
             .to_string()

@@ -90,9 +90,7 @@ pub fn execute(
         for &mask_id in member_ids {
             let record = session.record(mask_id)?;
             match session.chi_for(mask_id) {
-                Some(chi) => {
-                    member_bounds.push(eval::expr_bounds(expr, record, &chi, fallback)?)
-                }
+                Some(chi) => member_bounds.push(eval::expr_bounds(expr, record, &chi, fallback)?),
                 None => {
                     all_indexed = false;
                     break;
@@ -189,7 +187,11 @@ pub fn execute(
         accepted_rows
     };
 
-    let io_delta = session.store().io_stats().snapshot().delta_since(&io_before);
+    let io_delta = session
+        .store()
+        .io_stats()
+        .snapshot()
+        .delta_since(&io_before);
     let mut stats = QueryStats {
         candidates: candidates.len() as u64,
         pruned: pruned_groups,

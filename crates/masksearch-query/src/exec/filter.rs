@@ -95,8 +95,7 @@ pub fn execute(
                     let step = || -> QueryResult<(bool, bool)> {
                         let record = session.record(mask_id)?;
                         let (mask, built) = session.load_and_index(mask_id)?;
-                        let satisfied =
-                            eval::predicate_exact(predicate, record, &mask, fallback)?;
+                        let satisfied = eval::predicate_exact(predicate, record, &mask, fallback)?;
                         Ok((satisfied, built))
                     };
                     match step() {
@@ -130,7 +129,11 @@ pub fn execute(
     accepted.extend(verified_hits.into_inner());
     accepted.sort_unstable();
 
-    let io_delta = session.store().io_stats().snapshot().delta_since(&io_before);
+    let io_delta = session
+        .store()
+        .io_stats()
+        .snapshot()
+        .delta_since(&io_before);
     let mut stats = QueryStats {
         candidates: candidates.len() as u64,
         pruned,
@@ -276,8 +279,7 @@ mod tests {
         let eager_session = Session::new(
             store.clone() as Arc<dyn MaskStore>,
             catalog.clone(),
-            SessionConfig::new(ChiConfig::new(8, 8, 8).unwrap())
-                .indexing_mode(IndexingMode::Eager),
+            SessionConfig::new(ChiConfig::new(8, 8, 8).unwrap()).indexing_mode(IndexingMode::Eager),
         )
         .unwrap();
         // Reset stats so the eager build is not counted against the query.
@@ -333,8 +335,7 @@ mod tests {
         let session = Session::new(
             store as Arc<dyn MaskStore>,
             catalog,
-            SessionConfig::new(ChiConfig::new(8, 8, 8).unwrap())
-                .indexing_mode(IndexingMode::Eager),
+            SessionConfig::new(ChiConfig::new(8, 8, 8).unwrap()).indexing_mode(IndexingMode::Eager),
         )
         .unwrap();
         let roi = Roi::new(0, 0, 48, 48).unwrap();
@@ -352,8 +353,7 @@ mod tests {
         let session = Session::new(
             store as Arc<dyn MaskStore>,
             catalog.clone(),
-            SessionConfig::new(ChiConfig::new(8, 8, 8).unwrap())
-                .indexing_mode(IndexingMode::Eager),
+            SessionConfig::new(ChiConfig::new(8, 8, 8).unwrap()).indexing_mode(IndexingMode::Eager),
         )
         .unwrap();
         let range = PixelRange::new(0.5, 1.0).unwrap();

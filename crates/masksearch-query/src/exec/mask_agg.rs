@@ -116,7 +116,11 @@ pub fn execute(
         let value = cp(&aggregated, &roi, &term.range) as f64;
         // Incremental indexing of the aggregated mask (§3.4): retain its CHI
         // so later queries with the same aggregation shape can prune.
-        if agg_index.is_none() || !agg_index.as_ref().unwrap().contains(MaskId::new(image_id.raw()))
+        if agg_index.is_none()
+            || !agg_index
+                .as_ref()
+                .unwrap()
+                .contains(MaskId::new(image_id.raw()))
         {
             let chi = Chi::build(&aggregated, &session.config().chi_config);
             session.insert_aggregate_chi(&signature, *image_id, chi);
@@ -159,7 +163,11 @@ pub fn execute(
         accepted_rows
     };
 
-    let io_delta = session.store().io_stats().snapshot().delta_since(&io_before);
+    let io_delta = session
+        .store()
+        .io_stats()
+        .snapshot()
+        .delta_since(&io_before);
     let mut stats = QueryStats {
         candidates: candidates.len() as u64,
         pruned: pruned_groups,
@@ -185,9 +193,7 @@ fn group_roi(session: &Session, term: &CpTerm, member_ids: &[MaskId]) -> QueryRe
     let record = session.record(*first)?;
     match term.roi {
         RoiSpec::Constant(roi) => Ok(roi),
-        RoiSpec::FullMask | RoiSpec::ObjectBox => {
-            crate::eval::resolve_roi(term, record, fallback)
-        }
+        RoiSpec::FullMask | RoiSpec::ObjectBox => crate::eval::resolve_roi(term, record, fallback),
     }
 }
 
@@ -298,11 +304,7 @@ mod tests {
         rows.into_iter().map(|(_, id)| id).collect()
     }
 
-    fn make_session(
-        store: Arc<MemoryMaskStore>,
-        catalog: Catalog,
-        mode: IndexingMode,
-    ) -> Session {
+    fn make_session(store: Arc<MemoryMaskStore>, catalog: Catalog, mode: IndexingMode) -> Session {
         Session::new(
             store as Arc<dyn MaskStore>,
             catalog,
@@ -321,13 +323,8 @@ mod tests {
         let term = CpTerm::object_roi(range);
         let query = Query::mask_aggregate(agg.clone(), term).with_group_top_k(5, Order::Desc);
         let out = session.execute(&query).unwrap();
-        let expected = brute_force_topk(
-            &by_image,
-            &agg,
-            &Roi::new(8, 8, 32, 32).unwrap(),
-            &range,
-            5,
-        );
+        let expected =
+            brute_force_topk(&by_image, &agg, &Roi::new(8, 8, 32, 32).unwrap(), &range, 5);
         assert_eq!(out.image_ids(), expected);
     }
 
@@ -346,13 +343,8 @@ mod tests {
             .with_selection(selection)
             .with_group_top_k(4, Order::Desc);
         let out = session.execute(&query).unwrap();
-        let expected = brute_force_topk(
-            &by_image,
-            &agg,
-            &Roi::new(8, 8, 32, 32).unwrap(),
-            &range,
-            4,
-        );
+        let expected =
+            brute_force_topk(&by_image, &agg, &Roi::new(8, 8, 32, 32).unwrap(), &range, 4);
         assert_eq!(out.image_ids(), expected);
         // With the aggregate index, most groups are pruned without loading.
         assert!(out.stats.masks_loaded < 48);
@@ -368,8 +360,7 @@ mod tests {
         let roi = Roi::new(0, 0, 40, 40).unwrap();
         let term = CpTerm::constant_roi(roi, range);
         let threshold = 260.0;
-        let query =
-            Query::mask_aggregate(agg.clone(), term).with_having(CmpOp::Gt, threshold);
+        let query = Query::mask_aggregate(agg.clone(), term).with_having(CmpOp::Gt, threshold);
         let out = session.execute(&query).unwrap();
         let expected: Vec<ImageId> = by_image
             .iter()

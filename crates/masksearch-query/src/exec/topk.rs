@@ -100,7 +100,11 @@ pub fn execute(
 
     sort_ranked(&mut top, order, k);
 
-    let io_delta = session.store().io_stats().snapshot().delta_since(&io_before);
+    let io_delta = session
+        .store()
+        .io_stats()
+        .snapshot()
+        .delta_since(&io_before);
     let mut stats = QueryStats {
         candidates: candidates.len() as u64,
         pruned,
@@ -223,9 +227,7 @@ mod tests {
         let roi = Roi::new(5, 5, 43, 43).unwrap();
         let range = PixelRange::new(0.5, 1.0).unwrap();
         for order in [Order::Desc, Order::Asc] {
-            let out = s
-                .execute(&Query::top_k_cp(roi, range, 7, order))
-                .unwrap();
+            let out = s.execute(&Query::top_k_cp(roi, range, 7, order)).unwrap();
             let expected = brute_force_topk(&masks, &roi, &range, 7, order);
             let got: Vec<(f64, MaskId)> = out
                 .rows
@@ -311,7 +313,10 @@ mod tests {
             .collect();
         sort_ranked(&mut expected, Order::Asc, 5);
         let got_ids: Vec<MaskId> = out.mask_ids();
-        assert_eq!(got_ids, expected.iter().map(|(_, id)| *id).collect::<Vec<_>>());
+        assert_eq!(
+            got_ids,
+            expected.iter().map(|(_, id)| *id).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -48,16 +48,19 @@ impl Interval {
     }
 
     /// Interval addition.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(&self, other: &Interval) -> Interval {
         Interval::new(self.lo + other.lo, self.hi + other.hi)
     }
 
     /// Interval subtraction.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(&self, other: &Interval) -> Interval {
         Interval::new(self.lo - other.hi, self.hi - other.lo)
     }
 
     /// Interval multiplication.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(&self, other: &Interval) -> Interval {
         let candidates = [
             self.lo * other.lo,
@@ -72,6 +75,7 @@ impl Interval {
 
     /// Interval division. If the divisor interval contains zero the result is
     /// unbounded in the corresponding direction (conservative but sound).
+    #[allow(clippy::should_implement_trait)]
     pub fn div(&self, other: &Interval) -> Interval {
         if other.lo <= 0.0 && other.hi >= 0.0 {
             // Division by an interval straddling (or touching) zero.
@@ -133,21 +137,25 @@ impl Expr {
     }
 
     /// `self + other`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Expr) -> Self {
         Expr::Add(Box::new(self), Box::new(other))
     }
 
     /// `self - other`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Expr) -> Self {
         Expr::Sub(Box::new(self), Box::new(other))
     }
 
     /// `self * other`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Expr) -> Self {
         Expr::Mul(Box::new(self), Box::new(other))
     }
 
     /// `self / other`.
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, other: Expr) -> Self {
         Expr::Div(Box::new(self), Box::new(other))
     }
@@ -287,7 +295,10 @@ mod tests {
         let terms = expr.terms();
         assert_eq!(terms.len(), 2);
         assert!(!terms[0].roi.is_mask_specific());
-        assert!(expr.clone().mul(Expr::cp_object(range(0.1, 0.2))).uses_mask_specific_roi());
+        assert!(expr
+            .clone()
+            .mul(Expr::cp_object(range(0.1, 0.2)))
+            .uses_mask_specific_roi());
         assert!(!expr.uses_mask_specific_roi());
     }
 

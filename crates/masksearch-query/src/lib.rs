@@ -66,6 +66,6 @@ pub use error::{QueryError, QueryResult as QueryResultExt};
 pub use expr::{Expr, Interval};
 pub use predicate::{CmpOp, Comparison, Predicate, Truth};
 pub use query::{Query, QueryKind, Selection};
-pub use result::{QueryOutput, QueryStats, ResultRow};
+pub use result::{QueryOutput, QueryStats, ResultRow, RowKey};
 pub use session::{IndexingMode, Session, SessionConfig};
 pub use spec::{CpTerm, Order, RoiSpec, ScalarAgg};

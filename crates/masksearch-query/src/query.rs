@@ -3,7 +3,9 @@
 use crate::expr::Expr;
 use crate::predicate::{CmpOp, Predicate};
 use crate::spec::{CpTerm, Order, RoiSpec, ScalarAgg};
-use masksearch_core::{ImageId, Label, MaskAgg, MaskId, MaskRecord, MaskType, ModelId, PixelRange, Roi};
+use masksearch_core::{
+    ImageId, Label, MaskAgg, MaskId, MaskRecord, MaskType, ModelId, PixelRange, Roi,
+};
 
 /// The relational part of a query: which rows of `MasksDatabaseView` are
 /// targeted before any mask pixels are considered.

@@ -214,14 +214,14 @@ impl Session {
     }
 
     /// The catalog record of a mask, or an error if unknown.
-    pub(crate) fn record(&self, mask_id: MaskId) -> QueryResult<&MaskRecord> {
+    pub fn record(&self, mask_id: MaskId) -> QueryResult<&MaskRecord> {
         self.catalog
             .get(mask_id)
             .ok_or(QueryError::UnknownMask(mask_id))
     }
 
     /// The CHI of a mask, if one exists and indexing is enabled.
-    pub(crate) fn chi_for(&self, mask_id: MaskId) -> Option<Arc<Chi>> {
+    pub fn chi_for(&self, mask_id: MaskId) -> Option<Arc<Chi>> {
         if self.config.indexing_mode == IndexingMode::Disabled {
             return None;
         }
@@ -229,7 +229,7 @@ impl Session {
     }
 
     /// Loads a mask through the buffer cache.
-    pub(crate) fn load_mask(&self, mask_id: MaskId) -> QueryResult<Arc<Mask>> {
+    pub fn load_mask(&self, mask_id: MaskId) -> QueryResult<Arc<Mask>> {
         self.cache
             .get_or_load(mask_id, || self.store.get(mask_id))
             .map_err(QueryError::from)
@@ -237,7 +237,7 @@ impl Session {
 
     /// Loads a mask and, in incremental mode, builds and retains its CHI
     /// (§3.6). Returns the mask and whether an index was built.
-    pub(crate) fn load_and_index(&self, mask_id: MaskId) -> QueryResult<(Arc<Mask>, bool)> {
+    pub fn load_and_index(&self, mask_id: MaskId) -> QueryResult<(Arc<Mask>, bool)> {
         let mask = self.load_mask(mask_id)?;
         let built = if self.config.indexing_mode == IndexingMode::Incremental
             && !self.chi.contains(mask_id)
@@ -251,12 +251,12 @@ impl Session {
     }
 
     /// Resolves a selection into the sorted list of targeted mask ids.
-    pub(crate) fn resolve_selection(&self, selection: &Selection) -> Vec<MaskId> {
+    pub fn resolve_selection(&self, selection: &Selection) -> Vec<MaskId> {
         self.catalog.filter(|record| selection.matches(record))
     }
 
     /// Groups targeted masks by image id.
-    pub(crate) fn group_by_image(&self, mask_ids: &[MaskId]) -> Vec<(ImageId, Vec<MaskId>)> {
+    pub fn group_by_image(&self, mask_ids: &[MaskId]) -> Vec<(ImageId, Vec<MaskId>)> {
         self.catalog.group_by_image(mask_ids)
     }
 
@@ -270,11 +270,7 @@ impl Session {
     /// shape (§3.4: "the index for the aggregated masks is either built ahead
     /// of time or incrementally built"). The inner store is keyed by image
     /// id (as a raw [`MaskId`]).
-    pub fn build_aggregate_index(
-        &self,
-        agg: &MaskAgg,
-        selection: &Selection,
-    ) -> QueryResult<()> {
+    pub fn build_aggregate_index(&self, agg: &MaskAgg, selection: &Selection) -> QueryResult<()> {
         let ids = self.resolve_selection(selection);
         let groups = self.group_by_image(&ids);
         let agg_store = ChiStore::new(self.config.chi_config);
@@ -287,9 +283,10 @@ impl Session {
             let aggregated = agg.apply(&refs)?;
             agg_store.index_mask(MaskId::new(image_id.raw()), &aggregated);
         }
-        self.agg_indexes
-            .write()
-            .insert(Self::aggregate_signature(agg, selection), Arc::new(agg_store));
+        self.agg_indexes.write().insert(
+            Self::aggregate_signature(agg, selection),
+            Arc::new(agg_store),
+        );
         Ok(())
     }
 
@@ -302,12 +299,7 @@ impl Session {
     }
 
     /// Registers (or replaces) an aggregated-mask index under a signature.
-    pub(crate) fn insert_aggregate_chi(
-        &self,
-        signature: &str,
-        image_id: ImageId,
-        chi: Chi,
-    ) {
+    pub(crate) fn insert_aggregate_chi(&self, signature: &str, image_id: ImageId, chi: Chi) {
         if self.config.indexing_mode != IndexingMode::Incremental {
             return;
         }
@@ -322,9 +314,7 @@ impl Session {
     pub fn execute(&self, query: &Query) -> QueryResult<QueryOutput> {
         let candidates = self.resolve_selection(&query.selection);
         match &query.kind {
-            QueryKind::Filter { predicate } => {
-                exec::filter::execute(self, &candidates, predicate)
-            }
+            QueryKind::Filter { predicate } => exec::filter::execute(self, &candidates, predicate),
             QueryKind::TopK { expr, k, order } => {
                 exec::topk::execute(self, &candidates, expr, *k, *order)
             }

@@ -1,0 +1,73 @@
+//! A small blocking client for the TCP front end, used by tests, benches,
+//! and as a reference implementation of the wire protocol.
+
+use crate::error::{ServiceError, ServiceResult};
+use crate::protocol::{self, Frame, WireResponse};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected MaskSearch client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> ServiceResult<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        Ok(Self { reader, writer })
+    }
+
+    fn send_line(&mut self, line: &str) -> ServiceResult<()> {
+        if line.contains('\n') || line.contains('\r') {
+            return Err(ServiceError::Protocol(
+                "request must be a single line".to_string(),
+            ));
+        }
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Executes a SQL statement, returning the parsed rows and summary.
+    pub fn query(&mut self, sql: &str) -> ServiceResult<WireResponse> {
+        self.send_line(sql)?;
+        match protocol::read_frame(&mut self.reader)? {
+            Frame::Rows(response) => Ok(response),
+            Frame::Control(line) => Err(ServiceError::Protocol(format!(
+                "expected rows, got control frame {line:?}"
+            ))),
+        }
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> ServiceResult<()> {
+        self.send_line("PING")?;
+        match protocol::read_frame(&mut self.reader)? {
+            Frame::Control(line) if line == "PONG" => Ok(()),
+            other => Err(ServiceError::Protocol(format!(
+                "unexpected ping reply {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the server's metrics summary line (raw `key=value` text).
+    pub fn stats(&mut self) -> ServiceResult<String> {
+        self.send_line("STATS")?;
+        match protocol::read_frame(&mut self.reader)? {
+            Frame::Control(line) => Ok(line),
+            other => Err(ServiceError::Protocol(format!(
+                "unexpected stats reply {other:?}"
+            ))),
+        }
+    }
+
+    /// Politely closes the connection.
+    pub fn quit(mut self) -> ServiceResult<()> {
+        self.send_line("QUIT")
+    }
+}

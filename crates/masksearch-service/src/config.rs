@@ -1,0 +1,100 @@
+//! Service configuration: worker pool sizing, queue bounds, admission
+//! control, and deadlines.
+
+use std::time::Duration;
+
+/// What `submit` does when the bounded job queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Fail fast with [`crate::ServiceError::QueueFull`]. This is the
+    /// production-facing default: back-pressure is surfaced to the caller
+    /// instead of building an unbounded backlog.
+    Reject,
+    /// Block the submitting thread until a slot frees up (or the engine
+    /// shuts down).
+    Block,
+}
+
+/// Configuration of a [`crate::Engine`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Number of worker threads executing queries. Each worker runs one
+    /// query at a time; the session's own intra-query parallelism is
+    /// controlled separately by `SessionConfig::threads`.
+    pub workers: usize,
+    /// Maximum number of queries waiting in the job queue (admission
+    /// control). Must be at least 1.
+    pub queue_depth: usize,
+    /// Admission policy when the queue is full.
+    pub admission: AdmissionPolicy,
+    /// Deadline applied to queries that do not carry their own: measured
+    /// from submission; a query whose deadline passes while still queued is
+    /// abandoned without executing. `None` means no deadline.
+    pub default_deadline: Option<Duration>,
+}
+
+impl ServiceConfig {
+    /// A configuration with `workers` worker threads and defaults otherwise
+    /// (queue depth 1024, reject-on-full, no deadline).
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+            queue_depth: 1024,
+            admission: AdmissionPolicy::Reject,
+            default_deadline: None,
+        }
+    }
+
+    /// Sets the queue depth (clamped to at least 1).
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        self
+    }
+
+    /// Sets the admission policy.
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.admission = policy;
+        self
+    }
+
+    /// Sets the default per-query deadline.
+    pub fn default_deadline(mut self, deadline: Duration) -> Self {
+        self.default_deadline = Some(deadline);
+        self
+    }
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_clamps_and_sets() {
+        let c = ServiceConfig::new(0)
+            .queue_depth(0)
+            .admission(AdmissionPolicy::Block)
+            .default_deadline(Duration::from_millis(5));
+        assert_eq!(c.workers, 1);
+        assert_eq!(c.queue_depth, 1);
+        assert_eq!(c.admission, AdmissionPolicy::Block);
+        assert_eq!(c.default_deadline, Some(Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn default_uses_available_parallelism() {
+        let c = ServiceConfig::default();
+        assert!(c.workers >= 1);
+        assert_eq!(c.admission, AdmissionPolicy::Reject);
+        assert!(c.default_deadline.is_none());
+    }
+}

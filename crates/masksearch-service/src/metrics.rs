@@ -1,0 +1,328 @@
+//! Server-wide metrics: throughput, a log-bucketed latency histogram,
+//! filter effectiveness, and cache efficiency.
+//!
+//! Everything here is lock-free (`AtomicU64` + `Ordering::Relaxed`): metrics
+//! recording sits on the per-query hot path of every worker thread and must
+//! never contend with query execution.
+
+use masksearch_query::QueryStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Number of logarithmic latency buckets. Bucket `i` holds durations in
+/// `[2^i, 2^(i+1))` microseconds; the last bucket is unbounded above.
+pub const LATENCY_BUCKETS: usize = 32;
+
+/// A concurrent latency histogram with power-of-two microsecond buckets.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    count: AtomicU64,
+    total_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_of(micros: u64) -> usize {
+        ((64 - micros.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
+    }
+
+    /// Records one observation.
+    pub fn record(&self, latency: Duration) {
+        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.buckets[Self::bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough copy of the histogram for reporting.
+    pub fn snapshot(&self) -> LatencySnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        LatencySnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            total_micros: self.total_micros.load(Ordering::Relaxed),
+            max_micros: self.max_micros.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Point-in-time view of a [`LatencyHistogram`].
+#[derive(Debug, Clone)]
+pub struct LatencySnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations in microseconds.
+    pub total_micros: u64,
+    /// Largest observation in microseconds.
+    pub max_micros: u64,
+    /// Per-bucket counts (see [`LATENCY_BUCKETS`]).
+    pub buckets: Vec<u64>,
+}
+
+impl LatencySnapshot {
+    /// Mean latency, zero when empty.
+    pub fn mean(&self) -> Duration {
+        self.total_micros
+            .checked_div(self.count)
+            .map(Duration::from_micros)
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`) from the bucket boundaries.
+    /// The upper edge of the bucket containing the q-th observation is
+    /// returned, so the estimate errs on the conservative (larger) side.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Bucket i holds observations in [2^(i-1), 2^i - 1] us; report
+                // its upper edge, clamped to the largest observation.
+                let upper = 1u64 << i;
+                return Duration::from_micros(upper.min(self.max_micros.max(1)));
+            }
+        }
+        Duration::from_micros(self.max_micros)
+    }
+
+    /// Median (p50).
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
+}
+
+/// Counters and histograms describing everything a server has done since it
+/// started.
+#[derive(Debug)]
+pub struct ServiceMetrics {
+    started: Instant,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    rejected: AtomicU64,
+    deadline_expired: AtomicU64,
+    batches: AtomicU64,
+    /// Sum of `QueryStats::candidates` over completed queries.
+    candidates: AtomicU64,
+    /// Sum of `QueryStats::masks_loaded` over completed queries.
+    masks_loaded: AtomicU64,
+    /// Sum of `QueryStats::pruned` over completed queries.
+    pruned: AtomicU64,
+    /// End-to-end latency (submission to completion).
+    latency: LatencyHistogram,
+    /// Time spent waiting in the queue before a worker picked the job up.
+    queue_wait: LatencyHistogram,
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServiceMetrics {
+    /// Creates a zeroed registry with the uptime clock starting now.
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            candidates: AtomicU64::new(0),
+            masks_loaded: AtomicU64::new(0),
+            pruned: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+            queue_wait: LatencyHistogram::new(),
+        }
+    }
+
+    /// Records that a query was admitted to the queue.
+    pub fn record_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a rejection by admission control.
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a query abandoned because its deadline passed in the queue.
+    pub fn record_deadline_expired(&self) {
+        self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a query that failed during execution.
+    pub fn record_failed(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a batch job (in addition to its member queries).
+    pub fn record_batch(&self) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records how long a job sat in the queue before execution started.
+    pub fn record_queue_wait(&self, wait: Duration) {
+        self.queue_wait.record(wait);
+    }
+
+    /// Records a successfully completed query with its execution statistics
+    /// and end-to-end latency.
+    pub fn record_completed(&self, stats: &QueryStats, latency: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.candidates
+            .fetch_add(stats.candidates, Ordering::Relaxed);
+        self.masks_loaded
+            .fetch_add(stats.masks_loaded, Ordering::Relaxed);
+        self.pruned.fetch_add(stats.pruned, Ordering::Relaxed);
+        self.latency.record(latency);
+    }
+
+    /// Point-in-time summary of everything recorded so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let uptime = self.started.elapsed();
+        let completed = self.completed.load(Ordering::Relaxed);
+        let candidates = self.candidates.load(Ordering::Relaxed);
+        let loaded = self.masks_loaded.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            uptime,
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed,
+            failed: self.failed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            qps: if uptime.as_secs_f64() > 0.0 {
+                completed as f64 / uptime.as_secs_f64()
+            } else {
+                0.0
+            },
+            filter_rate: if candidates == 0 {
+                0.0
+            } else {
+                1.0 - loaded as f64 / candidates as f64
+            },
+            // Attributing shared-cache hits to individual queries across
+            // concurrent workers would double count; the engine fills this
+            // from the session cache's own counters at snapshot time.
+            cache_hit_rate: 0.0,
+            latency: self.latency.snapshot(),
+            queue_wait: self.queue_wait.snapshot(),
+        }
+    }
+}
+
+/// Point-in-time view of [`ServiceMetrics`].
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Time since the registry (server) started.
+    pub uptime: Duration,
+    /// Queries admitted.
+    pub submitted: u64,
+    /// Queries finished successfully.
+    pub completed: u64,
+    /// Queries that failed during execution.
+    pub failed: u64,
+    /// Queries rejected by admission control.
+    pub rejected: u64,
+    /// Queries abandoned on queue-deadline expiry.
+    pub deadline_expired: u64,
+    /// Batch jobs executed.
+    pub batches: u64,
+    /// Completed queries per second of uptime.
+    pub qps: f64,
+    /// Fraction of candidate masks the index let the server avoid loading
+    /// (`1 - masks_loaded / candidates`), aggregated over completed queries.
+    pub filter_rate: f64,
+    /// Hit rate of the session's shared mask cache (filled by the engine;
+    /// zero in a bare [`ServiceMetrics::snapshot`]).
+    pub cache_hit_rate: f64,
+    /// End-to-end latency histogram.
+    pub latency: LatencySnapshot,
+    /// Queue-wait histogram.
+    pub queue_wait: LatencySnapshot,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_are_monotone_and_bounded() {
+        let h = LatencyHistogram::new();
+        for ms in [1u64, 2, 3, 5, 8, 13, 200] {
+            h.record(Duration::from_millis(ms));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert!(s.p50() <= s.p99());
+        assert!(s.p99() <= Duration::from_micros(s.max_micros.max(1)));
+        assert!(s.mean() >= Duration::from_millis(1));
+        assert_eq!(s.max_micros, 200_000);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = LatencyHistogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50(), Duration::ZERO);
+        assert_eq!(s.mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn snapshot_derives_rates() {
+        let m = ServiceMetrics::new();
+        m.record_submitted();
+        m.record_submitted();
+        m.record_rejected();
+        let stats = QueryStats {
+            candidates: 100,
+            masks_loaded: 25,
+            pruned: 60,
+            ..Default::default()
+        };
+        m.record_completed(&stats, Duration::from_millis(3));
+        let s = m.snapshot();
+        assert_eq!(s.submitted, 2);
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.rejected, 1);
+        assert!((s.filter_rate - 0.75).abs() < 1e-12);
+        assert!(s.qps > 0.0);
+    }
+
+    #[test]
+    fn bucket_mapping_covers_the_range() {
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert!(LatencyHistogram::bucket_of(u64::MAX) < LATENCY_BUCKETS);
+        // Buckets are non-decreasing in the observation.
+        let mut last = 0;
+        for exp in 0..40u32 {
+            let b = LatencyHistogram::bucket_of(1u64 << exp);
+            assert!(b >= last);
+            last = b;
+        }
+    }
+}

@@ -1,0 +1,411 @@
+//! The line-oriented wire protocol of the TCP front end.
+//!
+//! Requests are single lines of UTF-8. A line equal to `PING`, `STATS`, or
+//! `QUIT` (case-insensitive) is a control command; any other non-empty line
+//! is a SQL statement in the `masksearch-sql` dialect.
+//!
+//! Every request produces one response *frame*: a sequence of lines
+//! terminated by `END`.
+//!
+//! ```text
+//! >> SELECT mask_id FROM masks WHERE CP(mask, (0,0,16,16), (0.5,1.0)) > 50
+//! << OK 2 candidates=10 pruned=7 verified=1 loaded=1 wall_us=184
+//! << mask 3
+//! << mask 7
+//! << END
+//! >> PING
+//! << PONG
+//! << END
+//! >> garbage
+//! << ERR SQL error: ...
+//! << END
+//! ```
+//!
+//! Row values (when a query computes them) are appended to the row line
+//! using Rust's shortest round-trip float formatting, so a value parsed back
+//! by the client is bit-identical to the value the server computed.
+
+use crate::error::{ServiceError, ServiceResult};
+use crate::job::QueryResponse;
+use crate::metrics::MetricsSnapshot;
+use masksearch_core::{ImageId, MaskId};
+use masksearch_query::{QueryOutput, ResultRow, RowKey};
+
+use std::io::{BufRead, Write};
+
+/// Terminates every response frame.
+pub const END_MARKER: &str = "END";
+
+/// A parsed client request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientRequest {
+    /// Liveness check.
+    Ping,
+    /// Server metrics summary.
+    Stats,
+    /// Close the connection.
+    Quit,
+    /// A SQL statement to compile and execute.
+    Sql(String),
+}
+
+impl ClientRequest {
+    /// Classifies one request line.
+    pub fn parse(line: &str) -> Option<Self> {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            return None;
+        }
+        Some(match trimmed.to_ascii_uppercase().as_str() {
+            "PING" => Self::Ping,
+            "STATS" => Self::Stats,
+            "QUIT" => Self::Quit,
+            _ => Self::Sql(trimmed.to_string()),
+        })
+    }
+}
+
+/// Encodes one result row as a protocol line.
+pub fn encode_row(row: &ResultRow) -> String {
+    let (kind, id) = match row.key {
+        RowKey::Mask(id) => ("mask", id.raw()),
+        RowKey::Image(id) => ("image", id.raw()),
+    };
+    match row.value {
+        Some(v) => format!("{kind} {id} {v}"),
+        None => format!("{kind} {id}"),
+    }
+}
+
+/// Decodes a protocol line produced by [`encode_row`].
+pub fn parse_row(line: &str) -> ServiceResult<ResultRow> {
+    let mut parts = line.split_ascii_whitespace();
+    let kind = parts
+        .next()
+        .ok_or_else(|| ServiceError::Protocol("empty row line".to_string()))?;
+    let id: u64 = parts
+        .next()
+        .ok_or_else(|| ServiceError::Protocol(format!("row line missing id: {line:?}")))?
+        .parse()
+        .map_err(|_| ServiceError::Protocol(format!("bad row id in {line:?}")))?;
+    let value = match parts.next() {
+        Some(v) => Some(
+            v.parse::<f64>()
+                .map_err(|_| ServiceError::Protocol(format!("bad row value in {line:?}")))?,
+        ),
+        None => None,
+    };
+    match kind {
+        "mask" => Ok(ResultRow {
+            key: RowKey::Mask(MaskId::new(id)),
+            value,
+        }),
+        "image" => Ok(ResultRow {
+            key: RowKey::Image(ImageId::new(id)),
+            value,
+        }),
+        other => Err(ServiceError::Protocol(format!(
+            "unknown row kind {other:?}"
+        ))),
+    }
+}
+
+/// Writes a successful query response frame.
+pub fn write_response<W: Write>(w: &mut W, response: &QueryResponse) -> std::io::Result<()> {
+    let s = &response.output.stats;
+    writeln!(
+        w,
+        "OK {} candidates={} pruned={} verified={} loaded={} wall_us={}",
+        response.output.rows.len(),
+        s.candidates,
+        s.pruned,
+        s.verified,
+        s.masks_loaded,
+        response.exec_time.as_micros(),
+    )?;
+    for row in &response.output.rows {
+        writeln!(w, "{}", encode_row(row))?;
+    }
+    writeln!(w, "{END_MARKER}")
+}
+
+/// Writes an error frame.
+pub fn write_error<W: Write>(w: &mut W, error: &ServiceError) -> std::io::Result<()> {
+    writeln!(w, "ERR {}", error.wire_message())?;
+    writeln!(w, "{END_MARKER}")
+}
+
+/// Writes a `PONG` frame.
+pub fn write_pong<W: Write>(w: &mut W) -> std::io::Result<()> {
+    writeln!(w, "PONG")?;
+    writeln!(w, "{END_MARKER}")
+}
+
+/// Writes a server-metrics frame.
+pub fn write_stats<W: Write>(w: &mut W, m: &MetricsSnapshot) -> std::io::Result<()> {
+    writeln!(
+        w,
+        "STATS qps={:.3} completed={} failed={} rejected={} deadline_expired={} \
+         p50_us={} p99_us={} mean_us={} filter_rate={:.6} cache_hit_rate={:.6} uptime_ms={}",
+        m.qps,
+        m.completed,
+        m.failed,
+        m.rejected,
+        m.deadline_expired,
+        m.latency.p50().as_micros(),
+        m.latency.p99().as_micros(),
+        m.latency.mean().as_micros(),
+        m.filter_rate,
+        m.cache_hit_rate,
+        m.uptime.as_millis(),
+    )?;
+    writeln!(w, "{END_MARKER}")
+}
+
+/// Summary line of an `OK` frame, as parsed back by the client.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireSummary {
+    /// Declared number of rows in the frame.
+    pub rows: u64,
+    /// `QueryStats::candidates` on the server.
+    pub candidates: u64,
+    /// `QueryStats::pruned` on the server.
+    pub pruned: u64,
+    /// `QueryStats::verified` on the server.
+    pub verified: u64,
+    /// `QueryStats::masks_loaded` on the server.
+    pub loaded: u64,
+    /// Server-side execution time in microseconds.
+    pub wall_us: u64,
+}
+
+/// A parsed `OK` frame.
+#[derive(Debug, Clone, Default)]
+pub struct WireResponse {
+    /// Result rows in server order.
+    pub rows: Vec<ResultRow>,
+    /// Parsed summary line.
+    pub summary: WireSummary,
+}
+
+impl WireResponse {
+    /// Mask ids of mask-keyed rows, in order (mirror of
+    /// [`QueryOutput::mask_ids`]).
+    pub fn mask_ids(&self) -> Vec<MaskId> {
+        self.rows
+            .iter()
+            .filter_map(|r| match r.key {
+                RowKey::Mask(id) => Some(id),
+                RowKey::Image(_) => None,
+            })
+            .collect()
+    }
+}
+
+fn parse_kv(token: &str, key: &str) -> ServiceResult<u64> {
+    token
+        .strip_prefix(key)
+        .and_then(|rest| rest.strip_prefix('='))
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| ServiceError::Protocol(format!("expected {key}=<n>, got {token:?}")))
+}
+
+/// Reads one response frame (all lines up to `END`) and interprets it.
+///
+/// Returns the frame's payload. `ERR` frames become `Err(..)`; `PONG` and
+/// `STATS` frames are returned as raw lines in [`Frame::Control`].
+pub fn read_frame<R: BufRead>(reader: &mut R) -> ServiceResult<Frame> {
+    let mut header = String::new();
+    if reader.read_line(&mut header)? == 0 {
+        return Err(ServiceError::Io("connection closed mid-frame".to_string()));
+    }
+    let header = header.trim_end().to_string();
+    if let Some(msg) = header.strip_prefix("ERR ") {
+        // Consume the END line.
+        expect_end(reader)?;
+        return Err(ServiceError::Protocol(msg.to_string()));
+    }
+    if header == "PONG" || header.starts_with("STATS ") {
+        expect_end(reader)?;
+        return Ok(Frame::Control(header));
+    }
+    let mut tokens = header.split_ascii_whitespace();
+    match tokens.next() {
+        Some("OK") => {}
+        other => {
+            return Err(ServiceError::Protocol(format!(
+                "unexpected frame header {other:?}"
+            )))
+        }
+    }
+    let rows: u64 = tokens
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| ServiceError::Protocol("OK header missing row count".to_string()))?;
+    let mut summary = WireSummary {
+        rows,
+        ..Default::default()
+    };
+    for token in tokens {
+        if let Ok(v) = parse_kv(token, "candidates") {
+            summary.candidates = v;
+        } else if let Ok(v) = parse_kv(token, "pruned") {
+            summary.pruned = v;
+        } else if let Ok(v) = parse_kv(token, "verified") {
+            summary.verified = v;
+        } else if let Ok(v) = parse_kv(token, "loaded") {
+            summary.loaded = v;
+        } else if let Ok(v) = parse_kv(token, "wall_us") {
+            summary.wall_us = v;
+        }
+    }
+    // Cap the pre-allocation: the count is wire data and must not let a
+    // corrupt or hostile header drive an unbounded allocation.
+    let mut parsed_rows = Vec::with_capacity(rows.min(1024) as usize);
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(ServiceError::Io("connection closed mid-frame".to_string()));
+        }
+        let line = line.trim_end();
+        if line == END_MARKER {
+            break;
+        }
+        parsed_rows.push(parse_row(line)?);
+    }
+    if parsed_rows.len() as u64 != rows {
+        return Err(ServiceError::Protocol(format!(
+            "frame declared {rows} rows but carried {}",
+            parsed_rows.len()
+        )));
+    }
+    Ok(Frame::Rows(WireResponse {
+        rows: parsed_rows,
+        summary,
+    }))
+}
+
+fn expect_end<R: BufRead>(reader: &mut R) -> ServiceResult<()> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(ServiceError::Io("connection closed mid-frame".to_string()));
+    }
+    if line.trim_end() == END_MARKER {
+        Ok(())
+    } else {
+        Err(ServiceError::Protocol(format!(
+            "expected {END_MARKER}, got {:?}",
+            line.trim_end()
+        )))
+    }
+}
+
+/// One parsed response frame.
+#[derive(Debug)]
+pub enum Frame {
+    /// An `OK` frame with rows.
+    Rows(WireResponse),
+    /// A `PONG` or `STATS` control frame (raw first line).
+    Control(String),
+}
+
+/// Round-trip helper: renders a [`QueryOutput`]'s rows as wire lines.
+pub fn encode_rows(output: &QueryOutput) -> Vec<String> {
+    output.rows.iter().map(encode_row).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use masksearch_query::QueryStats;
+    use std::io::BufReader;
+    use std::time::Duration;
+
+    #[test]
+    fn request_classification() {
+        assert_eq!(ClientRequest::parse("  PING "), Some(ClientRequest::Ping));
+        assert_eq!(ClientRequest::parse("stats"), Some(ClientRequest::Stats));
+        assert_eq!(ClientRequest::parse("Quit"), Some(ClientRequest::Quit));
+        assert_eq!(
+            ClientRequest::parse("SELECT mask_id FROM masks"),
+            Some(ClientRequest::Sql("SELECT mask_id FROM masks".to_string()))
+        );
+        assert_eq!(ClientRequest::parse("   "), None);
+    }
+
+    #[test]
+    fn rows_round_trip_bit_exactly() {
+        let rows = vec![
+            ResultRow::mask(MaskId::new(7), None),
+            ResultRow::mask(MaskId::new(8), Some(0.1 + 0.2)),
+            ResultRow::image(ImageId::new(3), Some(f64::MIN_POSITIVE)),
+            ResultRow::image(ImageId::new(4), Some(-1234.5678e-9)),
+        ];
+        for row in rows {
+            let parsed = parse_row(&encode_row(&row)).unwrap();
+            assert_eq!(parsed, row);
+        }
+    }
+
+    #[test]
+    fn response_frame_round_trips() {
+        let response = QueryResponse {
+            output: QueryOutput {
+                rows: vec![
+                    ResultRow::mask(MaskId::new(1), None),
+                    ResultRow::mask(MaskId::new(5), Some(0.25)),
+                ],
+                stats: QueryStats {
+                    candidates: 10,
+                    pruned: 7,
+                    verified: 1,
+                    masks_loaded: 1,
+                    ..Default::default()
+                },
+            },
+            queue_wait: Duration::from_micros(5),
+            exec_time: Duration::from_micros(184),
+        };
+        let mut wire = Vec::new();
+        write_response(&mut wire, &response).unwrap();
+        let mut reader = BufReader::new(&wire[..]);
+        match read_frame(&mut reader).unwrap() {
+            Frame::Rows(parsed) => {
+                assert_eq!(parsed.rows, response.output.rows);
+                assert_eq!(parsed.summary.candidates, 10);
+                assert_eq!(parsed.summary.pruned, 7);
+                assert_eq!(parsed.summary.wall_us, 184);
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_frames_surface_as_errors() {
+        let mut wire = Vec::new();
+        write_error(&mut wire, &ServiceError::Sql("bad token".to_string())).unwrap();
+        let mut reader = BufReader::new(&wire[..]);
+        assert!(matches!(
+            read_frame(&mut reader),
+            Err(ServiceError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_frames_are_detected() {
+        let wire = b"OK 2 candidates=5\nmask 1\n".to_vec();
+        let mut reader = BufReader::new(&wire[..]);
+        assert!(read_frame(&mut reader).is_err());
+    }
+
+    #[test]
+    fn control_frames_pass_through() {
+        let mut wire = Vec::new();
+        write_pong(&mut wire).unwrap();
+        let mut reader = BufReader::new(&wire[..]);
+        match read_frame(&mut reader).unwrap() {
+            Frame::Control(line) => assert_eq!(line, "PONG"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

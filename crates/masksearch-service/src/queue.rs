@@ -1,0 +1,238 @@
+//! A bounded, closable MPMC job queue built on `std::sync` primitives.
+//!
+//! This is the admission-control point of the service: producers either fail
+//! fast when the queue is at capacity ([`JobQueue::try_push`]) or block until
+//! a slot frees ([`JobQueue::push_blocking`]); consumers block in
+//! [`JobQueue::pop`] until work arrives or the queue is closed.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer FIFO queue.
+pub struct JobQueue<T> {
+    capacity: usize,
+    inner: Mutex<Inner<T>>,
+    /// Signalled when an item is pushed or the queue closes.
+    not_empty: Condvar,
+    /// Signalled when an item is popped or the queue closes.
+    not_full: Condvar,
+}
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue was at capacity (the item is handed back).
+    Full(T),
+    /// The queue is closed (the item is handed back).
+    Closed(T),
+}
+
+impl<T> JobQueue<T> {
+    /// Creates a queue holding at most `capacity` items (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Maximum number of queued items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of queued items.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Returns `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Attempts to enqueue without blocking.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues, blocking while the queue is at capacity. Fails only if the
+    /// queue closes while waiting.
+    pub fn push_blocking(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.lock();
+        loop {
+            if inner.closed {
+                return Err(PushError::Closed(item));
+            }
+            if inner.items.len() < self.capacity {
+                inner.items.push_back(item);
+                drop(inner);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self
+                .not_full
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Dequeues the oldest item, blocking until one is available. Returns
+    /// `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: waiting producers fail, waiting consumers drain the
+    /// backlog and then receive `None`. Returns the number of items still
+    /// queued at close time.
+    pub fn close(&self) -> usize {
+        let mut inner = self.lock();
+        inner.closed = true;
+        let backlog = inner.items.len();
+        drop(inner);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+        backlog
+    }
+
+    /// Returns `true` if [`JobQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    /// Drains all queued items immediately (used on shutdown to fail
+    /// outstanding tickets).
+    pub fn drain(&self) -> Vec<T> {
+        let mut inner = self.lock();
+        let items = std::mem::take(&mut inner.items);
+        drop(inner);
+        self.not_full.notify_all();
+        items.into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let q = JobQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert!(matches!(q.try_push(3), Err(PushError::Full(3))));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = JobQueue::new(4);
+        q.try_push("a").unwrap();
+        assert_eq!(q.close(), 1);
+        assert!(matches!(q.try_push("b"), Err(PushError::Closed("b"))));
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocking_push_waits_for_a_slot() {
+        let q = Arc::new(JobQueue::new(1));
+        q.try_push(1u32).unwrap();
+        let q2 = Arc::clone(&q);
+        let pusher = std::thread::spawn(move || q2.push_blocking(2));
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(1));
+        pusher.join().unwrap().unwrap();
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn consumers_block_until_work_arrives() {
+        let q = Arc::new(JobQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(Duration::from_millis(20));
+        q.try_push(7u64).unwrap();
+        assert_eq!(consumer.join().unwrap(), Some(7));
+    }
+
+    #[test]
+    fn many_producers_many_consumers_lose_nothing() {
+        let q = Arc::new(JobQueue::new(8));
+        let mut producers = Vec::new();
+        for p in 0..4u64 {
+            let q = Arc::clone(&q);
+            producers.push(std::thread::spawn(move || {
+                for i in 0..50u64 {
+                    q.push_blocking(p * 1000 + i).unwrap();
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let q = Arc::clone(&q);
+            consumers.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all.len(), 200);
+        all.dedup();
+        assert_eq!(all.len(), 200, "duplicated or lost items");
+    }
+}

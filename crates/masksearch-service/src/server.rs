@@ -1,0 +1,184 @@
+//! The TCP front end: a thread-per-connection line-protocol server over
+//! `std::net`, speaking the dialect of [`crate::protocol`].
+
+use crate::engine::Engine;
+use crate::error::ServiceResult;
+use crate::protocol::{self, ClientRequest};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A running MaskSearch TCP server.
+///
+/// ```no_run
+/// use masksearch_service::{Engine, Server, ServiceConfig};
+/// # fn session() -> masksearch_query::Session { unimplemented!() }
+/// let engine = Engine::new(session(), ServiceConfig::default());
+/// let server = Server::bind("127.0.0.1:7878", engine).unwrap();
+/// println!("serving on {}", server.local_addr());
+/// server.run(); // blocks; or `server.spawn()` for a background handle
+/// ```
+pub struct Server {
+    listener: TcpListener,
+    engine: Engine,
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    active_connections: Arc<AtomicU64>,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port) without accepting
+    /// yet.
+    pub fn bind(addr: impl ToSocketAddrs, engine: Engine) -> ServiceResult<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Self {
+            listener,
+            engine,
+            addr,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            active_connections: Arc::new(AtomicU64::new(0)),
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Accepts connections until shut down, blocking the calling thread.
+    /// Each connection is served by its own detached thread; connections
+    /// still open when the accept loop stops keep being served until their
+    /// client disconnects (they are not force-closed).
+    pub fn run(self) {
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let stream = match stream {
+                Ok(stream) => stream,
+                Err(_) => {
+                    // Transient accept failures (e.g. EMFILE under fd
+                    // exhaustion) repeat immediately; back off briefly so the
+                    // loop doesn't spin a core while starving the threads
+                    // that would release descriptors.
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    continue;
+                }
+            };
+            let engine = self.engine.clone();
+            let active = Arc::clone(&self.active_connections);
+            active.fetch_add(1, Ordering::Relaxed);
+            std::thread::spawn(move || {
+                let _ = serve_connection(stream, &engine);
+                active.fetch_sub(1, Ordering::Relaxed);
+            });
+        }
+    }
+
+    /// Starts the accept loop on a background thread, returning a control
+    /// handle.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.addr;
+        let shutdown = Arc::clone(&self.shutdown);
+        let active = Arc::clone(&self.active_connections);
+        let engine = self.engine.clone();
+        let join = std::thread::Builder::new()
+            .name("masksearch-acceptor".to_string())
+            .spawn(move || self.run())
+            .expect("spawn acceptor thread");
+        ServerHandle {
+            addr,
+            shutdown,
+            active_connections: active,
+            engine,
+            join: Some(join),
+        }
+    }
+}
+
+/// Control handle for a server started with [`Server::spawn`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    active_connections: Arc<AtomicU64>,
+    engine: Engine,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of currently open client connections.
+    pub fn active_connections(&self) -> u64 {
+        self.active_connections.load(Ordering::Relaxed)
+    }
+
+    /// The engine behind the server (e.g. for metrics).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Stops accepting new connections and joins the accept loop. Open
+    /// connections finish their in-flight request streams.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.join.is_none() {
+            return;
+        }
+        self.shutdown.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Serves one connection until `QUIT`, EOF, or an I/O error.
+///
+/// Request lines are decoded lossily: bytes that are not valid UTF-8 reach
+/// the SQL front end as replacement characters and fail there with an `ERR`
+/// frame, rather than killing the connection.
+fn serve_connection(stream: TcpStream, engine: &Engine) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        if reader.read_until(b'\n', &mut buf)? == 0 {
+            return Ok(()); // client hung up
+        }
+        let line = String::from_utf8_lossy(&buf);
+        let Some(request) = ClientRequest::parse(&line) else {
+            continue; // blank line
+        };
+        match request {
+            ClientRequest::Quit => {
+                writer.flush()?;
+                return Ok(());
+            }
+            ClientRequest::Ping => protocol::write_pong(&mut writer)?,
+            ClientRequest::Stats => protocol::write_stats(&mut writer, &engine.metrics())?,
+            ClientRequest::Sql(sql) => match engine.execute_sql(&sql) {
+                Ok(response) => protocol::write_response(&mut writer, &response)?,
+                Err(e) => protocol::write_error(&mut writer, &e)?,
+            },
+        }
+        writer.flush()?;
+    }
+}

@@ -58,27 +58,45 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, SqlError> {
                 i += 1;
             }
             '(' => {
-                tokens.push(Spanned { token: Token::LParen, offset: i });
+                tokens.push(Spanned {
+                    token: Token::LParen,
+                    offset: i,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Spanned { token: Token::RParen, offset: i });
+                tokens.push(Spanned {
+                    token: Token::RParen,
+                    offset: i,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Spanned { token: Token::Comma, offset: i });
+                tokens.push(Spanned {
+                    token: Token::Comma,
+                    offset: i,
+                });
                 i += 1;
             }
             '*' => {
-                tokens.push(Spanned { token: Token::Star, offset: i });
+                tokens.push(Spanned {
+                    token: Token::Star,
+                    offset: i,
+                });
                 i += 1;
             }
             '/' => {
-                tokens.push(Spanned { token: Token::Slash, offset: i });
+                tokens.push(Spanned {
+                    token: Token::Slash,
+                    offset: i,
+                });
                 i += 1;
             }
             '+' => {
-                tokens.push(Spanned { token: Token::Plus, offset: i });
+                tokens.push(Spanned {
+                    token: Token::Plus,
+                    offset: i,
+                });
                 i += 1;
             }
             '-' => {
@@ -88,40 +106,63 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, SqlError> {
                         i += 1;
                     }
                 } else {
-                    tokens.push(Spanned { token: Token::Minus, offset: i });
+                    tokens.push(Spanned {
+                        token: Token::Minus,
+                        offset: i,
+                    });
                     i += 1;
                 }
             }
             ';' => {
-                tokens.push(Spanned { token: Token::Semicolon, offset: i });
+                tokens.push(Spanned {
+                    token: Token::Semicolon,
+                    offset: i,
+                });
                 i += 1;
             }
             '>' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    tokens.push(Spanned { token: Token::Ge, offset: i });
+                    tokens.push(Spanned {
+                        token: Token::Ge,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Spanned { token: Token::Gt, offset: i });
+                    tokens.push(Spanned {
+                        token: Token::Gt,
+                        offset: i,
+                    });
                     i += 1;
                 }
             }
             '<' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    tokens.push(Spanned { token: Token::Le, offset: i });
+                    tokens.push(Spanned {
+                        token: Token::Le,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Spanned { token: Token::Lt, offset: i });
+                    tokens.push(Spanned {
+                        token: Token::Lt,
+                        offset: i,
+                    });
                     i += 1;
                 }
             }
             '=' => {
-                tokens.push(Spanned { token: Token::Eq, offset: i });
+                tokens.push(Spanned {
+                    token: Token::Eq,
+                    offset: i,
+                });
                 i += 1;
             }
             c if c.is_ascii_digit() || c == '.' => {
                 let start = i;
                 while i < bytes.len()
-                    && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.' || bytes[i] == b'e'
+                    && ((bytes[i] as char).is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
                         || bytes[i] == b'E'
                         || ((bytes[i] == b'+' || bytes[i] == b'-')
                             && i > start
@@ -133,7 +174,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, SqlError> {
                 let value = text.parse::<f64>().map_err(|_| {
                     SqlError::new(format!("invalid numeric literal `{text}`"), start)
                 })?;
-                tokens.push(Spanned { token: Token::Number(value), offset: start });
+                tokens.push(Spanned {
+                    token: Token::Number(value),
+                    offset: start,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
@@ -160,12 +204,17 @@ mod tests {
     use super::*;
 
     fn kinds(sql: &str) -> Vec<Token> {
-        tokenize(sql).unwrap().into_iter().map(|s| s.token).collect()
+        tokenize(sql)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
     }
 
     #[test]
     fn tokenizes_a_representative_statement() {
-        let tokens = kinds("SELECT mask_id FROM masks WHERE CP(mask, (1, 2, 3, 4), (0.8, 1.0)) >= 500;");
+        let tokens =
+            kinds("SELECT mask_id FROM masks WHERE CP(mask, (1, 2, 3, 4), (0.8, 1.0)) >= 500;");
         assert!(tokens.contains(&Token::Ident("SELECT".to_string())));
         assert!(tokens.contains(&Token::Ge));
         assert!(tokens.contains(&Token::Number(0.8)));
@@ -178,16 +227,18 @@ mod tests {
             kinds("1.5e-2 -- trailing comment\n + 3"),
             vec![Token::Number(0.015), Token::Plus, Token::Number(3.0)]
         );
-        assert_eq!(kinds("a<=b"), vec![
-            Token::Ident("a".into()),
-            Token::Le,
-            Token::Ident("b".into())
-        ]);
-        assert_eq!(kinds("x - 1"), vec![
-            Token::Ident("x".into()),
-            Token::Minus,
-            Token::Number(1.0)
-        ]);
+        assert_eq!(
+            kinds("a<=b"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Le,
+                Token::Ident("b".into())
+            ]
+        );
+        assert_eq!(
+            kinds("x - 1"),
+            vec![Token::Ident("x".into()), Token::Minus, Token::Number(1.0)]
+        );
     }
 
     #[test]

@@ -49,9 +49,7 @@ pub fn lower(statement: &SqlQuery) -> Result<Query, SqlError> {
 
 /// Splits the WHERE clause into a relational [`Selection`] (metadata
 /// conditions) and an optional CP [`Predicate`].
-fn lower_where(
-    condition: Option<&Condition>,
-) -> Result<(Selection, Option<Predicate>), SqlError> {
+fn lower_where(condition: Option<&Condition>) -> Result<(Selection, Option<Predicate>), SqlError> {
     let mut selection = Selection::all();
     let mut predicate: Option<Predicate> = None;
     if let Some(condition) = condition {
@@ -106,14 +104,10 @@ fn lower_cp_condition(condition: &Condition) -> Result<Predicate, SqlError> {
                 SqlCmp::Ge => Predicate::ge(expr, *value),
                 SqlCmp::Lt => Predicate::lt(expr, *value),
                 SqlCmp::Le => Predicate::le(expr, *value),
-                SqlCmp::Eq => {
-                    Predicate::ge(expr.clone(), *value).and(Predicate::le(expr, *value))
-                }
+                SqlCmp::Eq => Predicate::ge(expr.clone(), *value).and(Predicate::le(expr, *value)),
             })
         }
-        Condition::And(lhs, rhs) => {
-            Ok(lower_cp_condition(lhs)?.and(lower_cp_condition(rhs)?))
-        }
+        Condition::And(lhs, rhs) => Ok(lower_cp_condition(lhs)?.and(lower_cp_condition(rhs)?)),
         Condition::Or(lhs, rhs) => Ok(lower_cp_condition(lhs)?.or(lower_cp_condition(rhs)?)),
         Condition::MetaEq { column, .. } | Condition::MetaIn { column, .. } => Err(SqlError::new(
             format!("metadata condition on `{column}` cannot appear under OR"),
@@ -159,10 +153,7 @@ fn apply_meta(selection: &mut Selection, column: &str, values: &[u64]) -> Result
 
 /// Resolves the ORDER BY expression: either an alias of a SELECT item or a
 /// full expression.
-fn resolve_order_expr(
-    order_expr: &SqlExpr,
-    select: &[SelectItem],
-) -> Result<SqlExpr, SqlError> {
+fn resolve_order_expr(order_expr: &SqlExpr, select: &[SelectItem]) -> Result<SqlExpr, SqlError> {
     if let SqlExpr::Alias(alias) = order_expr {
         for item in select {
             if item.alias.as_deref() == Some(alias.as_str()) {
@@ -259,9 +250,7 @@ fn lower_grouped(statement: &SqlQuery, selection: Selection) -> Result<Query, Sq
         .iter()
         .find(|item| item.expr.is_some())
         .and_then(|item| item.expr.as_ref())
-        .ok_or_else(|| {
-            SqlError::new("a GROUP BY query must select an aggregate expression", 0)
-        })?;
+        .ok_or_else(|| SqlError::new("a GROUP BY query must select an aggregate expression", 0))?;
 
     let top_k = match (&statement.order_by, statement.limit) {
         (Some((_, order)), Some(limit)) => Some((limit, lower_order(*order))),
@@ -277,9 +266,7 @@ fn lower_grouped(statement: &SqlQuery, selection: Selection) -> Result<Query, Sq
                 "AVG" => ScalarAgg::Avg,
                 "MIN" => ScalarAgg::Min,
                 "MAX" => ScalarAgg::Max,
-                other => {
-                    return Err(SqlError::new(format!("unknown aggregate `{other}`"), 0))
-                }
+                other => return Err(SqlError::new(format!("unknown aggregate `{other}`"), 0)),
             };
             QueryKind::Aggregate {
                 expr: lower_expr(expr)?,
@@ -318,10 +305,7 @@ fn lower_grouped(statement: &SqlQuery, selection: Selection) -> Result<Query, Sq
         }
     };
 
-    Ok(Query {
-        selection,
-        kind,
-    })
+    Ok(Query { selection, kind })
 }
 
 #[cfg(test)]
@@ -396,10 +380,7 @@ mod tests {
         );
         match q.kind {
             QueryKind::MaskAggregate { agg, top_k, .. } => {
-                assert_eq!(
-                    agg,
-                    MaskAgg::IntersectThreshold { threshold: 0.7 }
-                );
+                assert_eq!(agg, MaskAgg::IntersectThreshold { threshold: 0.7 });
                 assert_eq!(top_k, Some((10, Order::Desc)));
             }
             other => panic!("unexpected kind {other:?}"),
@@ -425,7 +406,10 @@ mod tests {
     #[test]
     fn rejects_unsupported_constructs() {
         // Aggregate without GROUP BY.
-        assert!(compile("SELECT AVG(CP(mask, full, (0.5, 1.0))) AS s FROM masks ORDER BY s DESC LIMIT 5").is_err());
+        assert!(compile(
+            "SELECT AVG(CP(mask, full, (0.5, 1.0))) AS s FROM masks ORDER BY s DESC LIMIT 5"
+        )
+        .is_err());
         // GROUP BY on an unsupported column.
         assert!(compile(
             "SELECT model_id, AVG(CP(mask, full, (0.5, 1.0))) AS s FROM masks GROUP BY model_id"
@@ -446,6 +430,8 @@ mod tests {
         // Unknown alias in ORDER BY.
         assert!(compile("SELECT mask_id FROM masks ORDER BY bogus DESC LIMIT 5").is_err());
         // Invalid range.
-        assert!(compile("SELECT mask_id FROM masks WHERE CP(mask, full, (0.9, 0.1)) > 10").is_err());
+        assert!(
+            compile("SELECT mask_id FROM masks WHERE CP(mask, full, (0.9, 0.1)) > 10").is_err()
+        );
     }
 }

@@ -267,7 +267,12 @@ impl Parser {
             let column = name.to_ascii_lowercase();
             let is_meta = matches!(
                 column.as_str(),
-                "model_id" | "mask_type" | "image_id" | "mask_id" | "predicted_label" | "true_label"
+                "model_id"
+                    | "mask_type"
+                    | "image_id"
+                    | "mask_id"
+                    | "predicted_label"
+                    | "true_label"
             );
             if is_meta {
                 self.pos += 1;
@@ -373,7 +378,11 @@ impl Parser {
                         let inner = self.parse_expr()?;
                         self.expect(&Token::RParen, "`)` closing aggregate")?;
                         Ok(SqlExpr::ScalarAgg {
-                            func: if upper == "MEAN" { "AVG".to_string() } else { upper },
+                            func: if upper == "MEAN" {
+                                "AVG".to_string()
+                            } else {
+                                upper
+                            },
                             expr: Box::new(inner),
                         })
                     }
@@ -409,9 +418,7 @@ impl Parser {
                         }
                     }
                     "MEAN" | "AVG" => MaskArg::Mean,
-                    other => {
-                        return Err(self.error(format!("unknown mask aggregation `{other}`")))
-                    }
+                    other => return Err(self.error(format!("unknown mask aggregation `{other}`"))),
                 };
                 self.expect(&Token::RParen, "`)` closing mask aggregation")?;
                 arg
@@ -497,7 +504,10 @@ mod tests {
         .unwrap();
         assert_eq!(q.select.len(), 2);
         assert_eq!(q.select[1].alias.as_deref(), Some("r"));
-        assert!(matches!(q.select[1].expr, Some(SqlExpr::Binary { op: '/', .. })));
+        assert!(matches!(
+            q.select[1].expr,
+            Some(SqlExpr::Binary { op: '/', .. })
+        ));
         let (expr, order) = q.order_by.unwrap();
         assert_eq!(expr, SqlExpr::Alias("r".to_string()));
         assert_eq!(order, SqlOrder::Asc);
@@ -546,7 +556,13 @@ mod tests {
         assert_eq!(q.select[0].column.as_deref(), Some("*"));
         match q.where_clause.unwrap() {
             Condition::Compare { expr, .. } => {
-                assert!(matches!(expr, SqlExpr::Cp { roi: RoiExpr::Full, .. }));
+                assert!(matches!(
+                    expr,
+                    SqlExpr::Cp {
+                        roi: RoiExpr::Full,
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }

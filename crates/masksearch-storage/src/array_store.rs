@@ -126,8 +126,9 @@ impl ArrayStore {
 
         // Slot directory sidecar.
         let dir_path = Self::directory_path(&path);
-        let dir_bytes = std::fs::read(&dir_path)
-            .map_err(|e| StorageError::io(format!("reading array directory {}", dir_path.display()), e))?;
+        let dir_bytes = std::fs::read(&dir_path).map_err(|e| {
+            StorageError::io(format!("reading array directory {}", dir_path.display()), e)
+        })?;
         let mut r = Reader::new(&dir_bytes, "array store directory");
         let n = r.read_u64()?;
         if n != count {
@@ -251,8 +252,10 @@ impl ArrayStore {
             file.write_all(&bytes)
                 .map_err(|e| StorageError::io("writing array slot", e))?;
         }
-        self.stats
-            .record_write(bytes.len() as u64, self.profile.write_cost(bytes.len() as u64, 1));
+        self.stats.record_write(
+            bytes.len() as u64,
+            self.profile.write_cost(bytes.len() as u64, 1),
+        );
         self.slots.insert(mask_id, slot);
         self.ids_by_slot.push(mask_id);
         Ok(())
@@ -379,10 +382,11 @@ mod tests {
     fn append_get_and_reopen() {
         let path = temp_path("append");
         {
-            let mut store =
-                ArrayStore::create(&path, 8, 8, DiskProfile::unthrottled()).unwrap();
+            let mut store = ArrayStore::create(&path, 8, 8, DiskProfile::unthrottled()).unwrap();
             for i in 0..6u64 {
-                store.append(MaskId::new(i * 10), &sample_mask(i as u32)).unwrap();
+                store
+                    .append(MaskId::new(i * 10), &sample_mask(i as u32))
+                    .unwrap();
             }
             store.flush_directory().unwrap();
             assert_eq!(store.len(), 6);
@@ -421,7 +425,9 @@ mod tests {
         let path = temp_path("scan");
         let mut store = ArrayStore::create(&path, 8, 8, DiskProfile::unthrottled()).unwrap();
         for i in 0..10u64 {
-            store.append(MaskId::new(i), &sample_mask(i as u32)).unwrap();
+            store
+                .append(MaskId::new(i), &sample_mask(i as u32))
+                .unwrap();
         }
         let mut seen = Vec::new();
         store

@@ -200,7 +200,9 @@ mod tests {
         // Each 8x8 mask is 256 bytes; budget of 600 holds two.
         let cache = MaskCache::new(600);
         for i in 0..3u64 {
-            cache.get_or_load(MaskId::new(i), || Ok(mask(i as u32))).unwrap();
+            cache
+                .get_or_load(MaskId::new(i), || Ok(mask(i as u32)))
+                .unwrap();
         }
         assert_eq!(cache.len(), 2);
         assert!(cache.used_bytes() <= 600);

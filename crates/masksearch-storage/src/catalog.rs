@@ -54,8 +54,14 @@ impl Catalog {
                 Self::remove_from(&mut self.by_predicted, &pred, mask_id);
             }
         }
-        self.by_image.entry(record.image_id).or_default().push(mask_id);
-        self.by_model.entry(record.model_id).or_default().push(mask_id);
+        self.by_image
+            .entry(record.image_id)
+            .or_default()
+            .push(mask_id);
+        self.by_model
+            .entry(record.model_id)
+            .or_default()
+            .push(mask_id);
         self.by_type
             .entry(record.mask_type.to_code())
             .or_default()

@@ -76,7 +76,10 @@ impl DiskProfile {
     }
 
     fn cost(&self, bytes: u64, ops: u64, bandwidth: u64) -> Duration {
-        let latency = self.per_op_latency.checked_mul(ops as u32).unwrap_or(Duration::MAX);
+        let latency = self
+            .per_op_latency
+            .checked_mul(ops as u32)
+            .unwrap_or(Duration::MAX);
         if bandwidth == u64::MAX {
             return latency;
         }
@@ -122,16 +125,20 @@ impl IoStats {
     pub fn record_read(&self, bytes: u64, cost: Duration) {
         self.read_ops.fetch_add(1, Ordering::Relaxed);
         self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
-        self.virtual_read_nanos
-            .fetch_add(cost.as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed);
+        self.virtual_read_nanos.fetch_add(
+            cost.as_nanos().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
     }
 
     /// Records a write of `bytes` bytes costing `cost` of virtual time.
     pub fn record_write(&self, bytes: u64, cost: Duration) {
         self.write_ops.fetch_add(1, Ordering::Relaxed);
         self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
-        self.virtual_write_nanos
-            .fetch_add(cost.as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed);
+        self.virtual_write_nanos.fetch_add(
+            cost.as_nanos().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
     }
 
     /// Records that one full mask was materialised from storage.

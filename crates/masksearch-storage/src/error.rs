@@ -82,7 +82,9 @@ impl StorageError {
 impl fmt::Display for StorageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StorageError::Io { context, source } => write!(f, "i/o error while {context}: {source}"),
+            StorageError::Io { context, source } => {
+                write!(f, "i/o error while {context}: {source}")
+            }
             StorageError::MaskNotFound(id) => write!(f, "mask {id} not found in the store"),
             StorageError::BadMagic { path, found } => write!(
                 f,
@@ -138,7 +140,7 @@ mod tests {
 
     #[test]
     fn display_covers_variants() {
-        let e = StorageError::io("reading mask 3", io::Error::new(io::ErrorKind::Other, "boom"));
+        let e = StorageError::io("reading mask 3", io::Error::other("boom"));
         assert!(e.to_string().contains("reading mask 3"));
         assert!(StorageError::MaskNotFound(MaskId::new(9))
             .to_string()
@@ -156,7 +158,7 @@ mod tests {
 
     #[test]
     fn errors_are_cloneable() {
-        let e = StorageError::io("x", io::Error::new(io::ErrorKind::Other, "y"));
+        let e = StorageError::io("x", io::Error::other("y"));
         let _ = e.clone();
         let e2 = StorageError::AlreadyExists(MaskId::new(1));
         assert!(matches!(e2.clone(), StorageError::AlreadyExists(_)));

@@ -176,11 +176,12 @@ pub fn decode_mask(bytes: &[u8]) -> StorageResult<(MaskHeader, Mask)> {
             expected_pixels
         )));
     }
-    let mask =
-        Mask::new(header.width, header.height, pixels).map_err(|source| StorageError::InvalidMask {
+    let mask = Mask::new(header.width, header.height, pixels).map_err(|source| {
+        StorageError::InvalidMask {
             mask_id: Some(header.mask_id),
             source,
-        })?;
+        }
+    })?;
     Ok((header, mask))
 }
 
@@ -279,7 +280,10 @@ mod tests {
         // Unknown encoding.
         let mut bad = bytes.clone();
         bad[6] = 9;
-        assert!(matches!(decode_mask(&bad), Err(StorageError::Corrupt { .. })));
+        assert!(matches!(
+            decode_mask(&bad),
+            Err(StorageError::Corrupt { .. })
+        ));
 
         // Truncated payload.
         bytes.truncate(bytes.len() - 10);

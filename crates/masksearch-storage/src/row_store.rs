@@ -145,8 +145,10 @@ impl RowStore {
             file.write_all(&bytes)
                 .map_err(|e| StorageError::io("appending row store tuple", e))?;
         }
-        self.stats
-            .record_write(bytes.len() as u64, self.profile.write_cost(bytes.len() as u64, 1));
+        self.stats.record_write(
+            bytes.len() as u64,
+            self.profile.write_cost(bytes.len() as u64, 1),
+        );
         self.tuples.push((mask_id, offset, bytes.len() as u64));
         self.write_offset += bytes.len() as u64;
         Ok(())
@@ -158,10 +160,11 @@ impl RowStore {
         let width = r.read_u32()?;
         let height = r.read_u32()?;
         let pixels = r.read_f32_vec()?;
-        let mask = Mask::new(width, height, pixels).map_err(|source| StorageError::InvalidMask {
-            mask_id: Some(mask_id),
-            source,
-        })?;
+        let mask =
+            Mask::new(width, height, pixels).map_err(|source| StorageError::InvalidMask {
+                mask_id: Some(mask_id),
+                source,
+            })?;
         Ok((mask_id, mask))
     }
 
@@ -217,8 +220,7 @@ impl RowStore {
             file.read_exact(&mut buf)
                 .map_err(|e| StorageError::io("reading row store tuple", e))?;
         }
-        self.stats
-            .record_read(len, self.profile.read_cost(len, 1));
+        self.stats.record_read(len, self.profile.read_cost(len, 1));
         self.stats.record_mask_loaded();
         let (_, mask) = Self::decode_tuple(&buf)?;
         Ok(mask)
@@ -264,7 +266,9 @@ mod tests {
         let path = temp_path("scan");
         let mut store = RowStore::create(&path, DiskProfile::unthrottled()).unwrap();
         for i in 0..7u64 {
-            store.append(MaskId::new(i), &sample_mask(i as u32)).unwrap();
+            store
+                .append(MaskId::new(i), &sample_mask(i as u32))
+                .unwrap();
         }
         assert_eq!(store.len(), 7);
         assert_eq!(store.ids().len(), 7);
@@ -297,7 +301,9 @@ mod tests {
             .unwrap()
             .with_page_bytes(256);
         for i in 0..8u64 {
-            store.append(MaskId::new(i), &sample_mask(i as u32)).unwrap();
+            store
+                .append(MaskId::new(i), &sample_mask(i as u32))
+                .unwrap();
         }
         store.scan(|_, _| Ok(())).unwrap();
         // Each tuple is 24 + 4 + 8*4*4 = 156 bytes; 8 tuples = 1248 bytes,
@@ -314,7 +320,9 @@ mod tests {
             .unwrap()
             .with_per_tuple_overhead(Duration::from_millis(1));
         for i in 0..3u64 {
-            store.append(MaskId::new(i), &sample_mask(i as u32)).unwrap();
+            store
+                .append(MaskId::new(i), &sample_mask(i as u32))
+                .unwrap();
         }
         let report = store.scan(|_, _| Ok(())).unwrap();
         assert_eq!(report.total_overhead(), Duration::from_millis(3));

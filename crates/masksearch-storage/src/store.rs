@@ -84,8 +84,9 @@ impl FileMaskStore {
         profile: DiskProfile,
     ) -> StorageResult<Self> {
         let dir = dir.into();
-        fs::create_dir_all(&dir)
-            .map_err(|e| StorageError::io(format!("creating store directory {}", dir.display()), e))?;
+        fs::create_dir_all(&dir).map_err(|e| {
+            StorageError::io(format!("creating store directory {}", dir.display()), e)
+        })?;
         Ok(Self {
             dir,
             encoding,
@@ -106,11 +107,11 @@ impl FileMaskStore {
             return Err(StorageError::InvalidStorePath(dir));
         }
         let mut index = BTreeMap::new();
-        let entries = fs::read_dir(&dir)
-            .map_err(|e| StorageError::io(format!("listing store directory {}", dir.display()), e))?;
+        let entries = fs::read_dir(&dir).map_err(|e| {
+            StorageError::io(format!("listing store directory {}", dir.display()), e)
+        })?;
         for entry in entries {
-            let entry =
-                entry.map_err(|e| StorageError::io("reading store directory entry", e))?;
+            let entry = entry.map_err(|e| StorageError::io("reading store directory entry", e))?;
             let path = entry.path();
             if let Some(mask_id) = Self::parse_file_name(&path) {
                 let len = entry
@@ -156,8 +157,10 @@ impl MaskStore for FileMaskStore {
         let path = self.mask_path(mask_id);
         fs::write(&path, &bytes)
             .map_err(|e| StorageError::io(format!("writing mask file {}", path.display()), e))?;
-        self.stats
-            .record_write(bytes.len() as u64, self.profile.write_cost(bytes.len() as u64, 1));
+        self.stats.record_write(
+            bytes.len() as u64,
+            self.profile.write_cost(bytes.len() as u64, 1),
+        );
         self.index.write().insert(mask_id, bytes.len() as u64);
         Ok(())
     }
@@ -169,8 +172,10 @@ impl MaskStore for FileMaskStore {
         let path = self.mask_path(mask_id);
         let bytes = fs::read(&path)
             .map_err(|e| StorageError::io(format!("reading mask file {}", path.display()), e))?;
-        self.stats
-            .record_read(bytes.len() as u64, self.profile.read_cost(bytes.len() as u64, 1));
+        self.stats.record_read(
+            bytes.len() as u64,
+            self.profile.read_cost(bytes.len() as u64, 1),
+        );
         self.stats.record_mask_loaded();
         let (_, mask) = format::decode_mask(&bytes)?;
         Ok(mask)
@@ -243,8 +248,10 @@ impl MemoryMaskStore {
 impl MaskStore for MemoryMaskStore {
     fn put(&self, mask_id: MaskId, mask: &Mask) -> StorageResult<()> {
         let bytes = format::encode_mask(mask_id, mask, self.encoding);
-        self.stats
-            .record_write(bytes.len() as u64, self.profile.write_cost(bytes.len() as u64, 1));
+        self.stats.record_write(
+            bytes.len() as u64,
+            self.profile.write_cost(bytes.len() as u64, 1),
+        );
         self.blobs.write().insert(mask_id, Arc::new(bytes));
         Ok(())
     }
@@ -257,8 +264,10 @@ impl MaskStore for MemoryMaskStore {
                 .cloned()
                 .ok_or(StorageError::MaskNotFound(mask_id))?
         };
-        self.stats
-            .record_read(blob.len() as u64, self.profile.read_cost(blob.len() as u64, 1));
+        self.stats.record_read(
+            blob.len() as u64,
+            self.profile.read_cost(blob.len() as u64, 1),
+        );
         self.stats.record_mask_loaded();
         let (_, mask) = format::decode_mask(&blob)?;
         Ok(mask)
@@ -324,10 +333,7 @@ mod tests {
         assert_eq!(store.len(), 5);
         assert!(store.contains(MaskId::new(3)));
         assert!(!store.contains(MaskId::new(99)));
-        assert_eq!(
-            store.ids(),
-            (0..5).map(MaskId::new).collect::<Vec<_>>()
-        );
+        assert_eq!(store.ids(), (0..5).map(MaskId::new).collect::<Vec<_>>());
 
         let loaded = store.get(MaskId::new(2)).unwrap();
         assert_eq!(loaded, sample_mask(2));
@@ -379,8 +385,9 @@ mod tests {
     #[test]
     fn compressed_file_store_round_trips() {
         let dir = temp_dir("compressed");
-        let store = FileMaskStore::create(&dir, MaskEncoding::Compressed, DiskProfile::unthrottled())
-            .unwrap();
+        let store =
+            FileMaskStore::create(&dir, MaskEncoding::Compressed, DiskProfile::unthrottled())
+                .unwrap();
         // A smooth (piecewise-constant) mask, as saliency maps typically are.
         let mask = Mask::from_fn(16, 16, |x, _| if x < 8 { 0.1 } else { 0.8 });
         store.put(MaskId::new(1), &mask).unwrap();

@@ -32,7 +32,9 @@ fn main() {
         MaskEncoding::Raw,
         DiskProfile::ebs_gp3(),
     ));
-    let dataset = spec.generate_into(store.as_ref()).expect("generate dataset");
+    let dataset = spec
+        .generate_into(store.as_ref())
+        .expect("generate dataset");
 
     // Incremental indexing: no up-front cost, indexes accumulate as queries run.
     let session = Session::new(
@@ -82,8 +84,7 @@ fn main() {
     // Re-running the first query now benefits from the incrementally built
     // indexes: far fewer masks are loaded.
     let suspects: Vec<_> = dataset.catalog.masks_with_predicted_label(Label::new(3));
-    let query = Query::filter(diffuse)
-        .with_selection(Selection::all().with_mask_ids(suspects));
+    let query = Query::filter(diffuse).with_selection(Selection::all().with_mask_ids(suspects));
     let again = session.execute(&query).expect("repeat query");
     println!(
         "repeating the class-3 query: {} masks loaded this time (was a full scan before), \

@@ -27,7 +27,9 @@ fn main() {
         MaskEncoding::Raw,
         DiskProfile::ebs_gp3(),
     ));
-    let dataset = spec.generate_into(store.as_ref()).expect("generate dataset");
+    let dataset = spec
+        .generate_into(store.as_ref())
+        .expect("generate dataset");
 
     // A 30-query exploration workload that revisits previously seen masks
     // half of the time (the paper's Workload 2).
@@ -68,7 +70,11 @@ fn main() {
         cumulative
     };
 
-    println!("exploration workload of {} queries over {} masks\n", 30, spec.num_masks());
+    println!(
+        "exploration workload of {} queries over {} masks\n",
+        30,
+        spec.num_masks()
+    );
     println!("MaskSearch with incremental indexing (MS-II):");
     let ms_ii = run(IndexingMode::Incremental, "MS-II");
     println!("\nno index (every query scans its targets, NumPy-style):");

@@ -29,7 +29,9 @@ fn main() {
         MaskEncoding::Raw,
         masksearch::storage::DiskProfile::ebs_gp3(),
     ));
-    let dataset = spec.generate_into(store.as_ref()).expect("generate dataset");
+    let dataset = spec
+        .generate_into(store.as_ref())
+        .expect("generate dataset");
     println!(
         "generated {} masks over {} images ({}x{} pixels each)",
         spec.num_masks(),
@@ -78,8 +80,8 @@ fn main() {
 
     // 5. Aggregation query: the 5 images whose two models' saliency maps have
     //    the highest average salient-pixel count in the object box.
-    let agg = Query::aggregate(Expr::cp_object(salient), ScalarAgg::Avg)
-        .with_group_top_k(5, Order::Desc);
+    let agg =
+        Query::aggregate(Expr::cp_object(salient), ScalarAgg::Avg).with_group_top_k(5, Order::Desc);
     let result = session.execute(&agg).expect("aggregation query");
     println!("\ntop-5 images by mean salient pixels across models:");
     for row in &result.rows {
@@ -96,6 +98,10 @@ fn main() {
     let result = session.execute(&intersect).expect("mask aggregation query");
     println!("\ntop-5 images by model-agreement (intersection of thresholded maps):");
     for row in &result.rows {
-        println!("  {:?} -> {:.0} overlapping pixels", row.key, row.value.unwrap_or(0.0));
+        println!(
+            "  {:?} -> {:.0} overlapping pixels",
+            row.key,
+            row.value.unwrap_or(0.0)
+        );
     }
 }

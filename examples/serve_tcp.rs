@@ -1,0 +1,56 @@
+//! Runs a MaskSearch server over a synthetic dataset and serves the SQL
+//! dialect on TCP — the quickest way to poke the service layer by hand:
+//!
+//! ```sh
+//! cargo run --release --example serve_tcp -- 7878
+//! # in another terminal:
+//! printf 'SELECT mask_id FROM masks WHERE CP(mask, object, (0.8, 1.0)) > 100\nQUIT\n' \
+//!     | nc 127.0.0.1 7878
+//! ```
+//!
+//! With no argument an ephemeral port is chosen and printed.
+
+use masksearch::datagen::DatasetSpec;
+use masksearch::index::ChiConfig;
+use masksearch::query::{IndexingMode, Session, SessionConfig};
+use masksearch::service::{Engine, Server, ServiceConfig};
+use masksearch::storage::{MaskStore, MemoryMaskStore};
+use std::sync::Arc;
+
+fn main() {
+    let port: u16 = std::env::args()
+        .nth(1)
+        .and_then(|p| p.parse().ok())
+        .unwrap_or(0);
+
+    let spec = DatasetSpec::wilds_like(0.002);
+    println!(
+        "generating {} ({} masks of {}x{})...",
+        spec.name,
+        spec.num_masks(),
+        spec.mask_width,
+        spec.mask_height
+    );
+    let store = Arc::new(MemoryMaskStore::for_tests());
+    let dataset = spec
+        .generate_into(store.as_ref())
+        .expect("generate dataset");
+    let cell = (spec.mask_width / 7).max(1);
+    let session = Session::new(
+        store as Arc<dyn MaskStore>,
+        dataset.catalog,
+        SessionConfig::new(ChiConfig::new(cell, cell, 16).unwrap())
+            .indexing_mode(IndexingMode::Eager)
+            .cache_bytes(64 << 20),
+    )
+    .expect("session");
+
+    let workers = ServiceConfig::default().workers;
+    let engine = Engine::new(session, ServiceConfig::new(workers).queue_depth(256));
+    let server = Server::bind(("127.0.0.1", port), engine).expect("bind");
+    println!(
+        "serving masksearch-sql on {} with {workers} workers (PING / STATS / QUIT / <sql>)",
+        server.local_addr()
+    );
+    server.run();
+}

@@ -25,7 +25,9 @@ fn main() {
         MaskEncoding::Raw,
         DiskProfile::ebs_gp3(),
     ));
-    let dataset = spec.generate_into(store.as_ref()).expect("generate dataset");
+    let dataset = spec
+        .generate_into(store.as_ref())
+        .expect("generate dataset");
     let session = Session::new(
         Arc::clone(&store) as Arc<dyn MaskStore>,
         dataset.catalog.clone(),

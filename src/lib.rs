@@ -20,6 +20,9 @@
 //! * [`query`](masksearch_query) — query model, filter–verification
 //!   execution, top-k, aggregation, sessions with incremental indexing.
 //! * [`sql`](masksearch_sql) — the SQL front end for the paper's dialect.
+//! * [`service`](masksearch_service) — the concurrent query-serving layer:
+//!   engine handle, worker pool with admission control and deadlines,
+//!   batched multi-query execution, metrics, and a TCP front end.
 //! * [`baselines`](masksearch_baselines) — NumPy-, PostgreSQL-, and
 //!   TileDB-like comparison engines.
 //! * [`datagen`](masksearch_datagen) — synthetic dataset and workload
@@ -30,6 +33,7 @@ pub use masksearch_core as core;
 pub use masksearch_datagen as datagen;
 pub use masksearch_index as index;
 pub use masksearch_query as query;
+pub use masksearch_service as service;
 pub use masksearch_sql as sql;
 pub use masksearch_storage as storage;
 

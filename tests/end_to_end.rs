@@ -130,7 +130,10 @@ fn masksearch_matches_the_oracle_on_all_query_shapes() {
             .iter()
             .map(|r| r.key)
             .collect();
-        assert_eq!(got_incr, expected, "incremental session diverged on {label}");
+        assert_eq!(
+            got_incr, expected,
+            "incremental session diverged on {label}"
+        );
     }
 }
 
@@ -164,7 +167,12 @@ fn all_engines_agree_and_masksearch_loads_fewer_masks() {
         for engine in [&ms as &dyn QueryEngine, &pg, &tiledb] {
             let report = engine.execute(&query).unwrap();
             let keys: Vec<_> = report.output.rows.iter().map(|r| r.key).collect();
-            assert_eq!(keys, reference_keys, "{} diverged on {label}", engine.name());
+            assert_eq!(
+                keys,
+                reference_keys,
+                "{} diverged on {label}",
+                engine.name()
+            );
         }
         let ms_report = ms.execute(&query).unwrap();
         assert!(
@@ -187,10 +195,7 @@ fn index_persists_across_sessions() {
     let session1 = db.session(IndexingMode::Incremental);
     let first = session1.execute(&query).unwrap();
     assert_eq!(first.stats.masks_loaded, 24);
-    let path = std::env::temp_dir().join(format!(
-        "masksearch-it-index-{}.idx",
-        std::process::id()
-    ));
+    let path = std::env::temp_dir().join(format!("masksearch-it-index-{}.idx", std::process::id()));
     session1.persist_index(&path).unwrap();
 
     // Session 2: load the persisted index; the same query now loads fewer
@@ -240,12 +245,8 @@ fn selections_compose_with_query_execution() {
     let db = test_db(20, 32);
     let session = db.session(IndexingMode::Eager);
     let model1 = Selection::all().with_model(masksearch::core::ModelId::new(1));
-    let query = Query::filter_cp_gt(
-        Roi::new(0, 0, 32, 32).unwrap(),
-        PixelRange::full(),
-        -1.0,
-    )
-    .with_selection(model1);
+    let query = Query::filter_cp_gt(Roi::new(0, 0, 32, 32).unwrap(), PixelRange::full(), -1.0)
+        .with_selection(model1);
     let out = session.execute(&query).unwrap();
     // Every model-1 mask trivially satisfies CP > -1.
     assert_eq!(out.len(), 20);

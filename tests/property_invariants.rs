@@ -22,7 +22,9 @@ fn arb_mask() -> impl Strategy<Value = Mask> {
     (4u32..40, 4u32..40, any::<u64>()).prop_map(|(w, h, seed)| {
         let mut state = seed | 1;
         Mask::from_fn(w, h, move |x, y| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let noise = ((state >> 33) as f32) / (u32::MAX as f32) * 0.3;
             let blob = {
                 let dx = x as f32 - w as f32 / 3.0;
@@ -36,10 +38,10 @@ fn arb_mask() -> impl Strategy<Value = Mask> {
 }
 
 fn arb_roi(max: u32) -> impl Strategy<Value = Roi> {
-    (0u32..max, 0u32..max, 1u32..=max, 1u32..=max).prop_filter_map(
-        "non-degenerate roi",
-        move |(x0, y0, w, h)| Roi::new(x0, y0, x0 + w, y0 + h).ok(),
-    )
+    (0u32..max, 0u32..max, 1u32..=max, 1u32..=max)
+        .prop_filter_map("non-degenerate roi", move |(x0, y0, w, h)| {
+            Roi::new(x0, y0, x0 + w, y0 + h).ok()
+        })
 }
 
 fn arb_range() -> impl Strategy<Value = PixelRange> {
@@ -51,8 +53,9 @@ fn arb_range() -> impl Strategy<Value = PixelRange> {
 }
 
 fn arb_config() -> impl Strategy<Value = ChiConfig> {
-    (1u32..16, 1u32..16, 1u32..32)
-        .prop_filter_map("valid config", |(cw, ch, bins)| ChiConfig::new(cw, ch, bins))
+    (1u32..16, 1u32..16, 1u32..32).prop_filter_map("valid config", |(cw, ch, bins)| {
+        ChiConfig::new(cw, ch, bins)
+    })
 }
 
 proptest! {

@@ -1,0 +1,158 @@
+//! Offline shim for the `rand_chacha` crate (see `vendor/README.md`).
+//!
+//! [`ChaCha8Rng`] is a genuine ChaCha stream cipher with 8 rounds used as a
+//! deterministic RNG. It is seeded through the shim `rand_core::SeedableRng`
+//! (32-byte seed; `seed_from_u64` expands via SplitMix64). The keystream is
+//! a correct ChaCha8 keystream, though the *word serialisation order* is not
+//! guaranteed to be bit-identical to the real `rand_chacha` crate — only
+//! determinism per seed is relied upon in this workspace.
+
+pub use rand::rand_core;
+
+use rand::rand_core::{RngCore, SeedableRng};
+
+const CHACHA_ROUNDS: usize = 8;
+
+/// A ChaCha RNG with 8 rounds.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Cipher input block: constants, 256-bit key, 64-bit block counter,
+    /// 64-bit nonce (zero).
+    state: [u32; 16],
+    /// Current keystream block.
+    buffer: [u32; 16],
+    /// Next unread word in `buffer`; 16 means "exhausted".
+    word_pos: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+fn chacha_block(input: &[u32; 16], rounds: usize, out: &mut [u32; 16]) {
+    let mut x = *input;
+    for _ in 0..rounds / 2 {
+        // Column round.
+        quarter_round(&mut x, 0, 4, 8, 12);
+        quarter_round(&mut x, 1, 5, 9, 13);
+        quarter_round(&mut x, 2, 6, 10, 14);
+        quarter_round(&mut x, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut x, 0, 5, 10, 15);
+        quarter_round(&mut x, 1, 6, 11, 12);
+        quarter_round(&mut x, 2, 7, 8, 13);
+        quarter_round(&mut x, 3, 4, 9, 14);
+    }
+    for i in 0..16 {
+        out[i] = x[i].wrapping_add(input[i]);
+    }
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        chacha_block(&self.state, CHACHA_ROUNDS, &mut self.buffer);
+        // 64-bit block counter in words 12..14.
+        let counter = (self.state[12] as u64 | (self.state[13] as u64) << 32).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.word_pos = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; 16];
+        // "expand 32-byte k" constants of the ChaCha specification.
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for i in 0..8 {
+            state[4 + i] = u32::from_le_bytes(seed[4 * i..4 * i + 4].try_into().unwrap());
+        }
+        // Block counter and nonce start at zero.
+        Self {
+            state,
+            buffer: [0; 16],
+            word_pos: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.word_pos >= 16 {
+            self.refill();
+        }
+        let word = self.buffer[self.word_pos];
+        self.word_pos += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn keystream_advances_across_blocks() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let first_block: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        let second_block: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_ne!(first_block, second_block);
+    }
+
+    #[test]
+    fn quarter_round_matches_rfc_7539_vector() {
+        // RFC 7539 §2.1.1 test vector for one quarter round.
+        let mut state = [0u32; 16];
+        state[0] = 0x11111111;
+        state[1] = 0x01020304;
+        state[2] = 0x9b8d6f43;
+        state[3] = 0x01234567;
+        quarter_round(&mut state, 0, 1, 2, 3);
+        assert_eq!(state[0], 0xea2a92f4);
+        assert_eq!(state[1], 0xcb1cf8ce);
+        assert_eq!(state[2], 0x4581472e);
+        assert_eq!(state[3], 0x5881c4bb);
+    }
+
+    #[test]
+    fn works_with_the_rng_extension_trait() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let v = rng.gen_range(10u32..20);
+        assert!((10..20).contains(&v));
+        let p: f64 = rng.gen_range(0.0..1.0);
+        assert!((0.0..1.0).contains(&p));
+        let mean = (0..10_000).map(|_| rng.gen_range(0.0f64..1.0)).sum::<f64>() / 10_000.0;
+        assert!((0.45..0.55).contains(&mean), "mean {mean}");
+    }
+}
