@@ -1,0 +1,167 @@
+//! Ingestion throughput of the durable mask database: masks per second and
+//! commit-latency percentiles as a function of batch size, with and without
+//! fsync-per-commit.
+//!
+//! Each configuration opens a fresh database directory, streams the same
+//! total number of masks through `insert_masks` in batches of the given
+//! size, and reports masks/sec, p50/p99 commit latency, WAL traffic, and
+//! checkpoint count. Results are appended to `BENCH_db.json`.
+//!
+//! ```text
+//! cargo run --release --bin ingest_throughput -- --masks 512
+//! ```
+
+use masksearch_bench::report::{percentile, Table};
+use masksearch_bench::usize_from_args;
+use masksearch_core::{ImageId, Mask, MaskId, MaskRecord};
+use masksearch_db::{DbConfig, MaskDb};
+use masksearch_index::ChiConfig;
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const MASK_SIDE: u32 = 64;
+
+struct IngestPoint {
+    batch_size: usize,
+    fsync: bool,
+    masks_per_sec: f64,
+    commit_p50_ms: f64,
+    commit_p99_ms: f64,
+    wal_mib: f64,
+    checkpoints: u64,
+}
+
+fn bench_mask(seed: u64) -> Mask {
+    Mask::from_fn(MASK_SIDE, MASK_SIDE, move |x, y| {
+        ((x * 31 + y * 17 + seed as u32 * 7) % 251) as f32 / 251.0
+    })
+}
+
+fn bench_record(id: u64) -> MaskRecord {
+    MaskRecord::builder(MaskId::new(id))
+        .image_id(ImageId::new(id / 4))
+        .shape(MASK_SIDE, MASK_SIDE)
+        .build()
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "masksearch-ingest-bench-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run_point(total_masks: usize, batch_size: usize, fsync: bool) -> IngestPoint {
+    let dir = scratch_dir(&format!("b{batch_size}-f{fsync}"));
+    let db = MaskDb::open(
+        &dir,
+        DbConfig::default()
+            .chi_config(ChiConfig::new(16, 16, 8).unwrap())
+            .fsync(fsync),
+    )
+    .expect("open bench database");
+
+    let mut commit_ms = Vec::with_capacity(total_masks / batch_size + 1);
+    let start = Instant::now();
+    let mut next_id = 0u64;
+    while (next_id as usize) < total_masks {
+        let batch: Vec<(MaskRecord, Mask)> = (0..batch_size)
+            .map(|i| {
+                let id = next_id + i as u64;
+                (bench_record(id), bench_mask(id))
+            })
+            .collect();
+        let issued = Instant::now();
+        db.insert_masks(&batch).expect("insert batch");
+        commit_ms.push(issued.elapsed().as_secs_f64() * 1e3);
+        next_id += batch_size as u64;
+    }
+    let wall = start.elapsed();
+    let stats = db.ingest_stats();
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    IngestPoint {
+        batch_size,
+        fsync,
+        masks_per_sec: next_id as f64 / wall.as_secs_f64(),
+        commit_p50_ms: percentile(&commit_ms, 50.0),
+        commit_p99_ms: percentile(&commit_ms, 99.0),
+        wal_mib: stats.wal_bytes as f64 / (1024.0 * 1024.0),
+        checkpoints: stats.checkpoints,
+    }
+}
+
+fn main() {
+    let total_masks = usize_from_args("masks", 384);
+    let batch_sizes = [1usize, 8, 32];
+
+    println!("== masksearch-db ingestion throughput ==");
+    println!(
+        "{total_masks} masks of {MASK_SIDE}x{MASK_SIDE} f32 per configuration; \
+         batch sizes {batch_sizes:?}, fsync on/off\n"
+    );
+
+    let mut points = Vec::new();
+    for &fsync in &[true, false] {
+        for &batch_size in &batch_sizes {
+            points.push(run_point(total_masks, batch_size, fsync));
+        }
+    }
+
+    let mut table = Table::new(&[
+        "batch",
+        "fsync",
+        "masks/s",
+        "commit p50 (ms)",
+        "commit p99 (ms)",
+        "WAL (MiB)",
+        "checkpoints",
+    ]);
+    for p in &points {
+        table.add_row(vec![
+            p.batch_size.to_string(),
+            p.fsync.to_string(),
+            format!("{:.0}", p.masks_per_sec),
+            format!("{:.3}", p.commit_p50_ms),
+            format!("{:.3}", p.commit_p99_ms),
+            format!("{:.2}", p.wal_mib),
+            p.checkpoints.to_string(),
+        ]);
+    }
+    table.print();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"experiment\": \"db_ingest_throughput\",\n");
+    json.push_str(&format!("  \"masks_per_point\": {total_masks},\n"));
+    json.push_str(&format!(
+        "  \"mask_bytes\": {},\n",
+        MASK_SIDE * MASK_SIDE * 4
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"batch_size\": {}, \"fsync\": {}, \"masks_per_sec\": {:.1}, \
+             \"commit_p50_ms\": {:.4}, \"commit_p99_ms\": {:.4}, \"wal_mib\": {:.3}, \
+             \"checkpoints\": {}}}{}\n",
+            p.batch_size,
+            p.fsync,
+            p.masks_per_sec,
+            p.commit_p50_ms,
+            p.commit_p99_ms,
+            p.wal_mib,
+            p.checkpoints,
+            if i + 1 < points.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = "BENCH_db.json";
+    std::fs::File::create(path)
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+        .expect("write BENCH_db.json");
+    println!("\nwrote {path}");
+}

@@ -1,0 +1,146 @@
+//! The mask directory: where each mask's pages live, plus its catalog
+//! record.
+//!
+//! The directory is the database's only piece of variable-size metadata. It
+//! is serialised into its own page extent (pointed to by the meta page) and
+//! rewritten through the WAL on every commit, so a mask's pixels and its
+//! metadata can never be separated by a crash. Embedding the full
+//! [`MaskRecord`] also lets [`crate::MaskDb::catalog`] rebuild the query
+//! layer's catalog after recovery.
+
+use crate::page::PageNo;
+use masksearch_core::{MaskId, MaskRecord};
+use masksearch_storage::catalog::{read_record, write_record};
+use masksearch_storage::codec::{Reader, Writer};
+use masksearch_storage::{StorageError, StorageResult};
+use std::collections::BTreeMap;
+
+/// Magic bytes prefixing a serialised directory.
+pub const DIR_MAGIC: [u8; 4] = *b"MSDE";
+
+/// Location and metadata of one stored mask.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlobEntry {
+    /// First page of the blob extent.
+    pub start: PageNo,
+    /// Number of contiguous pages in the extent.
+    pub pages: u32,
+    /// Meaningful byte length of the encoded mask blob.
+    pub bytes: u64,
+    /// The mask's catalog record.
+    pub record: MaskRecord,
+}
+
+/// Map from mask id to blob location, serialisable into the directory
+/// extent.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Directory {
+    /// All stored masks, keyed by id.
+    pub entries: BTreeMap<MaskId, BlobEntry>,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Serialises the directory.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.write_bytes(&DIR_MAGIC);
+        w.write_u64(self.entries.len() as u64);
+        for (id, entry) in &self.entries {
+            debug_assert_eq!(*id, entry.record.mask_id);
+            w.write_u64(entry.start);
+            w.write_u32(entry.pages);
+            w.write_u64(entry.bytes);
+            write_record(&mut w, &entry.record);
+        }
+        w.into_bytes()
+    }
+
+    /// Deserialises a directory written by [`Directory::encode`].
+    pub fn decode(bytes: &[u8]) -> StorageResult<Self> {
+        let mut r = Reader::new(bytes, "mask database directory");
+        let magic = r.read_magic()?;
+        if magic != DIR_MAGIC {
+            return Err(StorageError::BadMagic {
+                path: "<mask database directory>".to_string(),
+                found: magic,
+            });
+        }
+        let count = r.read_u64()?;
+        let mut entries = BTreeMap::new();
+        for _ in 0..count {
+            let start = r.read_u64()?;
+            let pages = r.read_u32()?;
+            let bytes = r.read_u64()?;
+            let record = read_record(&mut r)?;
+            entries.insert(
+                record.mask_id,
+                BlobEntry {
+                    start,
+                    pages,
+                    bytes,
+                    record,
+                },
+            );
+        }
+        Ok(Self { entries })
+    }
+
+    /// Total bytes of all stored blobs.
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.values().map(|e| e.bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use masksearch_core::{ImageId, Roi};
+
+    fn entry(id: u64, start: PageNo, pages: u32, bytes: u64) -> BlobEntry {
+        BlobEntry {
+            start,
+            pages,
+            bytes,
+            record: MaskRecord::builder(MaskId::new(id))
+                .image_id(ImageId::new(id / 2))
+                .shape(16, 16)
+                .object_box(Roi::new(1, 1, 9, 9).unwrap())
+                .build(),
+        }
+    }
+
+    #[test]
+    fn directory_round_trips() {
+        let mut dir = Directory::new();
+        dir.entries.insert(MaskId::new(3), entry(3, 1, 2, 500));
+        dir.entries.insert(MaskId::new(7), entry(7, 3, 1, 96));
+        let decoded = Directory::decode(&dir.encode()).unwrap();
+        assert_eq!(decoded, dir);
+        assert_eq!(decoded.total_bytes(), 596);
+    }
+
+    #[test]
+    fn empty_directory_round_trips() {
+        let dir = Directory::new();
+        assert_eq!(Directory::decode(&dir.encode()).unwrap(), dir);
+    }
+
+    #[test]
+    fn corrupt_directory_is_rejected() {
+        let mut dir = Directory::new();
+        dir.entries.insert(MaskId::new(1), entry(1, 1, 1, 10));
+        let mut bytes = dir.encode();
+        bytes[0] = b'Z';
+        assert!(matches!(
+            Directory::decode(&bytes),
+            Err(StorageError::BadMagic { .. })
+        ));
+        let bytes = dir.encode();
+        assert!(Directory::decode(&bytes[..bytes.len() - 3]).is_err());
+    }
+}

@@ -1,0 +1,280 @@
+//! Fixed-size-page file I/O with an LRU buffer pool.
+//!
+//! The pager sits between the durable store and the database file. Reads go
+//! through the pool; writes enter the pool as dirty pages and reach the file
+//! only at checkpoint, when [`Pager::flush`] writes all dirty pages and
+//! fsyncs. Dirty pages are **pinned**: eviction only ever drops clean
+//! frames, and when every frame is dirty the pool temporarily grows past
+//! its configured capacity instead. This is the log-ahead rule — the
+//! database file must never see a page whose WAL record might not be
+//! durable (commits may run with `fsync` off), so nothing reaches the file
+//! until the checkpoint has synced the log first. The store bounds pool
+//! growth by checkpointing on a WAL-size threshold.
+//!
+//! Reading past the end of the file yields a zero page — that is what a
+//! freshly allocated, never-checkpointed page looks like.
+
+use crate::page::PageNo;
+use masksearch_storage::{StorageError, StorageResult};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Fewest pool frames a pager will run with; below this, a single mask
+/// spanning a few pages would thrash.
+pub const MIN_POOL_PAGES: usize = 8;
+
+struct Frame {
+    data: Arc<Vec<u8>>,
+    dirty: bool,
+    last_used: u64,
+}
+
+/// A page file with an LRU buffer pool and dirty-page tracking.
+pub struct Pager {
+    file: File,
+    path: PathBuf,
+    page_size: usize,
+    pool: HashMap<PageNo, Frame>,
+    max_frames: usize,
+    clock: u64,
+    /// Pages currently backed by the file (its length / page size).
+    file_pages: u64,
+}
+
+impl Pager {
+    /// Opens (creating if needed) the page file at `path`.
+    pub fn open(
+        path: impl Into<PathBuf>,
+        page_size: u32,
+        max_frames: usize,
+    ) -> StorageResult<Self> {
+        let path = path.into();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|e| StorageError::io(format!("opening page file {}", path.display()), e))?;
+        let len = file
+            .metadata()
+            .map_err(|e| StorageError::io("reading page file metadata", e))?
+            .len();
+        Ok(Self {
+            file,
+            path,
+            page_size: page_size as usize,
+            pool: HashMap::new(),
+            max_frames: max_frames.max(MIN_POOL_PAGES),
+            clock: 0,
+            file_pages: len / page_size as u64,
+        })
+    }
+
+    /// Number of pages currently backed by the file.
+    pub fn file_pages(&self) -> u64 {
+        self.file_pages
+    }
+
+    /// Reads a page through the pool.
+    pub fn read_page(&mut self, page_no: PageNo) -> StorageResult<Arc<Vec<u8>>> {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(frame) = self.pool.get_mut(&page_no) {
+            frame.last_used = clock;
+            return Ok(Arc::clone(&frame.data));
+        }
+        let data = Arc::new(self.read_from_file(page_no)?);
+        self.evict_to_fit()?;
+        self.pool.insert(
+            page_no,
+            Frame {
+                data: Arc::clone(&data),
+                dirty: false,
+                last_used: clock,
+            },
+        );
+        Ok(data)
+    }
+
+    /// Installs a full page image in the pool as dirty. The image reaches
+    /// the database file only at the next [`Pager::flush`] (after the
+    /// caller has synced the WAL) — never earlier; dirty pages are pinned
+    /// against eviction to uphold the log-ahead rule.
+    pub fn write_page(&mut self, page_no: PageNo, data: Vec<u8>) -> StorageResult<()> {
+        debug_assert_eq!(data.len(), self.page_size);
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(frame) = self.pool.get_mut(&page_no) {
+            frame.data = Arc::new(data);
+            frame.dirty = true;
+            frame.last_used = clock;
+            return Ok(());
+        }
+        self.evict_to_fit()?;
+        self.pool.insert(
+            page_no,
+            Frame {
+                data: Arc::new(data),
+                dirty: true,
+                last_used: clock,
+            },
+        );
+        Ok(())
+    }
+
+    /// Writes every dirty page to the file and fsyncs (the checkpoint step).
+    pub fn flush(&mut self) -> StorageResult<()> {
+        let mut dirty: Vec<PageNo> = self
+            .pool
+            .iter()
+            .filter(|(_, f)| f.dirty)
+            .map(|(&p, _)| p)
+            .collect();
+        dirty.sort_unstable();
+        for page_no in dirty {
+            let data = Arc::clone(&self.pool[&page_no].data);
+            self.write_to_file(page_no, &data)?;
+            self.pool
+                .get_mut(&page_no)
+                .expect("flushed page is in the pool")
+                .dirty = false;
+        }
+        self.file
+            .sync_all()
+            .map_err(|e| StorageError::io("fsyncing page file", e))
+    }
+
+    /// Number of dirty pages waiting for a checkpoint.
+    pub fn dirty_pages(&self) -> usize {
+        self.pool.values().filter(|f| f.dirty).count()
+    }
+
+    fn read_from_file(&mut self, page_no: PageNo) -> StorageResult<Vec<u8>> {
+        if page_no >= self.file_pages {
+            return Ok(vec![0; self.page_size]);
+        }
+        let mut buf = vec![0; self.page_size];
+        self.file
+            .seek(SeekFrom::Start(page_no * self.page_size as u64))
+            .and_then(|_| self.file.read_exact(&mut buf))
+            .map_err(|e| {
+                StorageError::io(
+                    format!("reading page {page_no} of {}", self.path.display()),
+                    e,
+                )
+            })?;
+        Ok(buf)
+    }
+
+    fn write_to_file(&mut self, page_no: PageNo, data: &[u8]) -> StorageResult<()> {
+        self.file
+            .seek(SeekFrom::Start(page_no * self.page_size as u64))
+            .and_then(|_| self.file.write_all(data))
+            .map_err(|e| {
+                StorageError::io(
+                    format!("writing page {page_no} of {}", self.path.display()),
+                    e,
+                )
+            })?;
+        self.file_pages = self.file_pages.max(page_no + 1);
+        Ok(())
+    }
+
+    /// Evicts least-recently-used *clean* frames until one slot is free.
+    /// Dirty frames are pinned until [`Pager::flush`]; when nothing is
+    /// evictable the pool grows past its capacity instead — writing a dirty
+    /// page to the file here would break the log-ahead rule whenever the
+    /// covering WAL commit has not been fsynced.
+    fn evict_to_fit(&mut self) -> StorageResult<()> {
+        while self.pool.len() >= self.max_frames {
+            let victim = self
+                .pool
+                .iter()
+                .filter(|(_, f)| !f.dirty)
+                .min_by_key(|(_, f)| f.last_used)
+                .map(|(&p, _)| p);
+            match victim {
+                Some(page_no) => {
+                    self.pool.remove(&page_no);
+                }
+                None => break,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_db(name: &str) -> PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "masksearch-pager-test-{}-{}.db",
+            name,
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn pages_round_trip_through_pool_and_file() {
+        let path = temp_db("roundtrip");
+        {
+            let mut pager = Pager::open(&path, 64, 8).unwrap();
+            pager.write_page(0, vec![1; 64]).unwrap();
+            pager.write_page(5, vec![5; 64]).unwrap();
+            assert_eq!(pager.dirty_pages(), 2);
+            assert_eq!(*pager.read_page(5).unwrap(), vec![5; 64]);
+            // Unwritten page within a sparse file reads as zeros.
+            assert_eq!(*pager.read_page(3).unwrap(), vec![0; 64]);
+            pager.flush().unwrap();
+            assert_eq!(pager.dirty_pages(), 0);
+        }
+        let mut pager = Pager::open(&path, 64, 8).unwrap();
+        assert_eq!(pager.file_pages(), 6);
+        assert_eq!(*pager.read_page(0).unwrap(), vec![1; 64]);
+        assert_eq!(*pager.read_page(5).unwrap(), vec![5; 64]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reads_past_eof_are_zero_pages() {
+        let path = temp_db("eof");
+        let mut pager = Pager::open(&path, 32, 8).unwrap();
+        assert_eq!(*pager.read_page(100).unwrap(), vec![0; 32]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn dirty_pages_are_pinned_until_flush() {
+        let path = temp_db("evict");
+        let mut pager = Pager::open(&path, 32, MIN_POOL_PAGES).unwrap();
+        // Write more dirty pages than the pool holds: the pool must grow
+        // (dirty frames are pinned) and the file must stay untouched — the
+        // log-ahead rule forbids writing pages before the WAL is synced.
+        for i in 0..(MIN_POOL_PAGES as u64 * 3) {
+            pager.write_page(i, vec![i as u8; 32]).unwrap();
+        }
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+        for i in 0..(MIN_POOL_PAGES as u64 * 3) {
+            assert_eq!(*pager.read_page(i).unwrap(), vec![i as u8; 32], "page {i}");
+        }
+        // After a flush the frames are clean and evictable again: the next
+        // miss shrinks the pool back to its capacity.
+        pager.flush().unwrap();
+        assert!(std::fs::metadata(&path).unwrap().len() > 0);
+        pager.read_page(1000).unwrap();
+        assert!(pager.pool.len() <= MIN_POOL_PAGES);
+        // Evicted pages re-read correctly from the flushed file.
+        for i in 0..(MIN_POOL_PAGES as u64 * 3) {
+            assert_eq!(*pager.read_page(i).unwrap(), vec![i as u8; 32], "page {i}");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,897 @@
+//! The durable mask store: atomic multi-page commits over the pager + WAL,
+//! with live CHI maintenance.
+//!
+//! ## Commit protocol
+//!
+//! A write transaction (a batch of inserts and/or deletes) is planned
+//! entirely off to the side — new blob extents, a rewritten directory
+//! extent, and an updated meta page — then:
+//!
+//! 1. all page after-images plus a commit record are appended to the WAL
+//!    (fsynced when [`DbConfig::fsync`] is set): *this* is the commit point;
+//! 2. the images are installed in the buffer pool and the in-memory
+//!    directory is swapped **under the state write lock**, so readers see
+//!    either none or all of the batch;
+//! 3. the CHI store is updated (inserted masks indexed, deleted masks
+//!    already evicted before step 1), preserving the invariant that no index
+//!    entry ever refers to a mask that is not durably present.
+//!
+//! A checkpoint writes all dirty pages to the database file, fsyncs it,
+//! truncates the WAL, and atomically rewrites the CHI file via temp + rename.
+//! Recovery replays committed WAL transactions over the database file and
+//! discards any torn tail (see [`crate::wal`]).
+
+use crate::dir::{BlobEntry, Directory};
+use crate::page::{Meta, PageNo, MIN_PAGE_SIZE};
+use crate::pager::Pager;
+use crate::stats::IngestStats;
+use crate::wal::Wal;
+use masksearch_core::{Mask, MaskId, MaskRecord};
+use masksearch_index::{ChiConfig, ChiStore};
+use masksearch_storage::format;
+use masksearch_storage::store::IngestSnapshot;
+use masksearch_storage::{
+    DiskProfile, IoStats, MaskEncoding, MaskStore, StorageError, StorageResult,
+};
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// File name of the page file inside a database directory.
+pub const DB_FILE: &str = "masks.db";
+/// File name of the write-ahead log.
+pub const WAL_FILE: &str = "masks.wal";
+/// File name of the persisted CHI store.
+pub const CHI_FILE: &str = "masks.chi";
+
+/// Configuration of a durable mask database.
+#[derive(Debug, Clone, Copy)]
+pub struct DbConfig {
+    /// Page size in bytes (clamped to at least [`MIN_PAGE_SIZE`]).
+    pub page_size: u32,
+    /// Buffer-pool capacity in pages.
+    pub pool_pages: usize,
+    /// Whether commits fsync the WAL before returning. Turning this off
+    /// trades crash durability of the most recent commits for throughput
+    /// (atomicity is unaffected: recovery still lands on a committed prefix).
+    pub fsync: bool,
+    /// WAL size that triggers an automatic checkpoint after a commit;
+    /// `0` disables automatic checkpoints.
+    pub checkpoint_wal_bytes: u64,
+    /// CHI configuration for the maintained index.
+    pub chi_config: ChiConfig,
+    /// Encoding of stored mask blobs.
+    pub encoding: MaskEncoding,
+    /// Disk cost model charged for blob reads and writes.
+    pub profile: DiskProfile,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        Self {
+            page_size: 4096,
+            pool_pages: 1024,
+            fsync: true,
+            checkpoint_wal_bytes: 8 * 1024 * 1024,
+            chi_config: ChiConfig::default(),
+            encoding: MaskEncoding::Raw,
+            profile: DiskProfile::unthrottled(),
+        }
+    }
+}
+
+impl DbConfig {
+    /// Sets the page size.
+    pub fn page_size(mut self, bytes: u32) -> Self {
+        self.page_size = bytes.max(MIN_PAGE_SIZE);
+        self
+    }
+
+    /// Sets the buffer-pool capacity in pages.
+    pub fn pool_pages(mut self, pages: usize) -> Self {
+        self.pool_pages = pages;
+        self
+    }
+
+    /// Sets whether commits fsync the WAL.
+    pub fn fsync(mut self, fsync: bool) -> Self {
+        self.fsync = fsync;
+        self
+    }
+
+    /// Sets the automatic-checkpoint WAL threshold (0 disables).
+    pub fn checkpoint_wal_bytes(mut self, bytes: u64) -> Self {
+        self.checkpoint_wal_bytes = bytes;
+        self
+    }
+
+    /// Sets the CHI configuration.
+    pub fn chi_config(mut self, config: ChiConfig) -> Self {
+        self.chi_config = config;
+        self
+    }
+
+    /// Sets the blob encoding.
+    pub fn encoding(mut self, encoding: MaskEncoding) -> Self {
+        self.encoding = encoding;
+        self
+    }
+
+    /// Sets the disk cost model.
+    pub fn profile(mut self, profile: DiskProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+}
+
+/// Mutable state guarded by one `RwLock`: readers resolve a mask's location
+/// and read its pages under a single read guard, so a concurrent commit
+/// (which applies under the write guard) can never tear a read.
+struct State {
+    pager: Mutex<Pager>,
+    dir: Directory,
+    free: BTreeSet<PageNo>,
+    page_count: u64,
+    next_txn: u64,
+    dir_start: PageNo,
+    dir_pages: u32,
+}
+
+/// A durable, mutable mask store over a pager, WAL, and maintained CHI.
+pub struct DurableMaskStore {
+    config: DbConfig,
+    chi_path: PathBuf,
+    state: RwLock<State>,
+    wal: Mutex<Wal>,
+    /// Serialises commits and checkpoints; reads never take it.
+    writer: Mutex<()>,
+    chi: Arc<ChiStore>,
+    ingest: IngestStats,
+    io: Arc<IoStats>,
+    /// Error of a failed *automatic* checkpoint. The triggering commit was
+    /// already durable, so the error is parked here instead of failing it;
+    /// see [`DurableMaskStore::take_checkpoint_error`].
+    checkpoint_error: Mutex<Option<StorageError>>,
+}
+
+impl DurableMaskStore {
+    /// Opens (creating or recovering) a database in `dir`.
+    pub fn open(dir: impl AsRef<Path>, config: DbConfig) -> StorageResult<Self> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir).map_err(|e| {
+            StorageError::io(format!("creating database directory {}", dir.display()), e)
+        })?;
+        let config = DbConfig {
+            page_size: config.page_size.max(MIN_PAGE_SIZE),
+            ..config
+        };
+        let db_path = dir.join(DB_FILE);
+        let wal_path = dir.join(WAL_FILE);
+        let chi_path = dir.join(CHI_FILE);
+
+        let mut pager = Pager::open(&db_path, config.page_size, config.pool_pages)?;
+        let (mut wal, committed) = Wal::open(&wal_path, config.page_size)?;
+        let fresh = pager.file_pages() == 0 && committed.is_empty();
+        for txn in &committed {
+            for (page_no, image) in &txn.pages {
+                pager.write_page(*page_no, image.clone())?;
+            }
+        }
+
+        let (meta, directory) = if fresh {
+            // Bootstrap through the WAL so a crash at any point during
+            // initialisation recovers to either "no database" or "empty
+            // database", never a torn meta page.
+            let directory = Directory::new();
+            let dir_blob = directory.encode();
+            let meta = Meta {
+                page_size: config.page_size,
+                page_count: 2,
+                next_txn_id: 1,
+                dir_start: 1,
+                dir_pages: 1,
+                dir_bytes: dir_blob.len() as u64,
+            };
+            let pages = vec![
+                (0, meta.encode_page()),
+                (1, pad_page(dir_blob, config.page_size)),
+            ];
+            wal.append_txn(0, &pages, config.fsync)?;
+            for (page_no, image) in pages {
+                pager.write_page(page_no, image)?;
+            }
+            (meta, directory)
+        } else {
+            let meta_page = pager.read_page(0)?;
+            let meta = Meta::decode_page(&meta_page, config.page_size)?;
+            let mut dir_blob =
+                Vec::with_capacity((meta.dir_pages as usize) * config.page_size as usize);
+            for page_no in meta.dir_start..meta.dir_start + meta.dir_pages as u64 {
+                dir_blob.extend_from_slice(&pager.read_page(page_no)?);
+            }
+            if (dir_blob.len() as u64) < meta.dir_bytes {
+                return Err(StorageError::corrupt(
+                    "directory extent is shorter than the meta page claims",
+                ));
+            }
+            dir_blob.truncate(meta.dir_bytes as usize);
+            (meta, Directory::decode(&dir_blob)?)
+        };
+
+        let free = derive_free_set(&meta, &directory)?;
+
+        let store = Self {
+            chi: Arc::new(reconcile_chi(&chi_path, &config, &directory, &mut pager)?),
+            config,
+            chi_path,
+            state: RwLock::new(State {
+                pager: Mutex::new(pager),
+                dir: directory,
+                free,
+                page_count: meta.page_count,
+                next_txn: meta.next_txn_id,
+                dir_start: meta.dir_start,
+                dir_pages: meta.dir_pages,
+            }),
+            wal: Mutex::new(wal),
+            writer: Mutex::new(()),
+            ingest: IngestStats::new(),
+            io: IoStats::new_shared(),
+            checkpoint_error: Mutex::new(None),
+        };
+        Ok(store)
+    }
+
+    /// The store's configuration.
+    pub fn config(&self) -> &DbConfig {
+        &self.config
+    }
+
+    /// The CHI store maintained on every commit. Share it with a query
+    /// session (`Session::with_shared_index`) so the filter stage always
+    /// reflects exactly the durably-present masks.
+    pub fn chi_store(&self) -> &Arc<ChiStore> {
+        &self.chi
+    }
+
+    /// Current WAL size in bytes.
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal.lock().len()
+    }
+
+    /// Takes the error of a failed automatic checkpoint, if one occurred
+    /// since the last call. Commits never fail for checkpoint reasons (the
+    /// data is durable in the WAL either way); callers that care about
+    /// checkpoint health poll this or call [`DurableMaskStore::checkpoint`]
+    /// explicitly.
+    pub fn take_checkpoint_error(&self) -> Option<StorageError> {
+        self.checkpoint_error.lock().take()
+    }
+
+    /// Rebuilds a metadata catalog from the persisted directory records.
+    pub fn catalog(&self) -> masksearch_storage::Catalog {
+        let state = self.state.read();
+        let mut catalog = masksearch_storage::Catalog::new();
+        for entry in state.dir.entries.values() {
+            catalog.insert(entry.record.clone());
+        }
+        catalog
+    }
+
+    /// Atomically inserts (or overwrites) a batch of masks with their
+    /// records: after this returns, either every mask in the batch is
+    /// durable or (on error / crash) none of them are visible.
+    pub fn insert_masks(&self, batch: &[(MaskRecord, Mask)]) -> StorageResult<()> {
+        self.commit(batch, &[])
+    }
+
+    /// Atomically deletes a batch of masks. Fails without side effects if
+    /// any of the ids is unknown.
+    pub fn delete_masks(&self, mask_ids: &[MaskId]) -> StorageResult<()> {
+        self.commit(&[], mask_ids)
+    }
+
+    /// Writes all committed pages to the database file, fsyncs it, truncates
+    /// the WAL, and rewrites the CHI file.
+    pub fn checkpoint(&self) -> StorageResult<()> {
+        let _writer = self.writer.lock();
+        self.checkpoint_locked()
+    }
+
+    fn checkpoint_locked(&self) -> StorageResult<()> {
+        // Log-ahead: every commit must be durable in the WAL before its
+        // pages can touch the database file — otherwise a crash mid-flush
+        // with an unsynced log (fsync off) could leave a page mix that no
+        // committed prefix explains.
+        self.wal.lock().sync()?;
+        {
+            let state = self.state.read();
+            state.pager.lock().flush()?;
+        }
+        // The database file is durable; the log can now be dropped.
+        self.wal.lock().reset()?;
+        // CHI rewrite via temp + rename: a crash leaves either the old or
+        // the new index file, and recovery reconciles either against the
+        // directory.
+        let tmp = self.chi_path.with_extension("chi.tmp");
+        fs::write(&tmp, self.chi.to_bytes())
+            .map_err(|e| StorageError::io("writing chi checkpoint file", e))?;
+        fs::rename(&tmp, &self.chi_path).map_err(|e| {
+            let _ = fs::remove_file(&tmp);
+            StorageError::io("renaming chi checkpoint file", e)
+        })?;
+        self.ingest.record_checkpoint();
+        Ok(())
+    }
+
+    fn commit(&self, inserts: &[(MaskRecord, Mask)], deletes: &[MaskId]) -> StorageResult<()> {
+        if inserts.is_empty() && deletes.is_empty() {
+            return Ok(());
+        }
+        let _writer = self.writer.lock();
+
+        // Plan the transaction against a copy of the allocation state. The
+        // writer mutex guarantees nobody else mutates it concurrently.
+        let (mut dir, mut free, mut page_count, txn_id, old_dir_start, old_dir_pages) = {
+            let state = self.state.read();
+            (
+                state.dir.clone(),
+                state.free.clone(),
+                state.page_count,
+                state.next_txn,
+                state.dir_start,
+                state.dir_pages,
+            )
+        };
+        let page_size = self.config.page_size as usize;
+        let mut pages: Vec<(PageNo, Vec<u8>)> = Vec::new();
+
+        let mut deleted_ids: BTreeSet<MaskId> = BTreeSet::new();
+        for &mask_id in deletes {
+            match dir.entries.remove(&mask_id) {
+                Some(entry) => {
+                    free_extent(&mut free, entry.start, entry.pages);
+                    deleted_ids.insert(mask_id);
+                }
+                // A duplicate id in one batch is one delete, not an error.
+                None if deleted_ids.contains(&mask_id) => {}
+                None => return Err(StorageError::MaskNotFound(mask_id)),
+            }
+        }
+
+        let mut blob_bytes = 0u64;
+        let mut overwritten: Vec<MaskId> = Vec::new();
+        for (record, mask) in inserts {
+            if record.width != mask.width() || record.height != mask.height() {
+                return Err(StorageError::corrupt(format!(
+                    "record for mask {} declares shape {}x{} but the mask is {}x{}",
+                    record.mask_id,
+                    record.width,
+                    record.height,
+                    mask.width(),
+                    mask.height()
+                )));
+            }
+            let blob = format::encode_mask(record.mask_id, mask, self.config.encoding);
+            if let Some(old) = dir.entries.remove(&record.mask_id) {
+                free_extent(&mut free, old.start, old.pages);
+                overwritten.push(record.mask_id);
+            }
+            let extent_pages = blob.len().div_ceil(page_size).max(1) as u32;
+            let start = alloc_run(&mut free, &mut page_count, extent_pages);
+            for (i, chunk) in blob.chunks(page_size).enumerate() {
+                pages.push((
+                    start + i as u64,
+                    pad_page(chunk.to_vec(), self.config.page_size),
+                ));
+            }
+            blob_bytes += blob.len() as u64;
+            dir.entries.insert(
+                record.mask_id,
+                BlobEntry {
+                    start,
+                    pages: extent_pages,
+                    bytes: blob.len() as u64,
+                    record: record.clone(),
+                },
+            );
+        }
+
+        // Rewrite the directory extent and the meta page.
+        free_extent(&mut free, old_dir_start, old_dir_pages);
+        let dir_blob = dir.encode();
+        let dir_pages = dir_blob.len().div_ceil(page_size).max(1) as u32;
+        let dir_start = alloc_run(&mut free, &mut page_count, dir_pages);
+        for (i, chunk) in dir_blob.chunks(page_size).enumerate() {
+            pages.push((
+                dir_start + i as u64,
+                pad_page(chunk.to_vec(), self.config.page_size),
+            ));
+        }
+        let dir_bytes = dir_blob.len() as u64;
+        let meta = Meta {
+            page_size: self.config.page_size,
+            page_count,
+            next_txn_id: txn_id + 1,
+            dir_start,
+            dir_pages,
+            dir_bytes,
+        };
+        pages.push((0, meta.encode_page()));
+
+        // Deleted masks leave the index before the commit point so the
+        // filter stage never holds bounds for a mask that may vanish.
+        // Overwritten masks are evicted too: between the publish below and
+        // the re-index after it, a query must fall back to verification by
+        // loading — stale bounds over the new pixels could accept or prune
+        // without ever loading the mask.
+        for &mask_id in &deleted_ids {
+            self.chi.remove(mask_id);
+        }
+        for &mask_id in &overwritten {
+            self.chi.remove(mask_id);
+        }
+
+        // Commit point: the WAL append (+ optional fsync).
+        let wal_bytes = self
+            .wal
+            .lock()
+            .append_txn(txn_id, &pages, self.config.fsync)?;
+
+        // Publish the batch atomically with respect to readers.
+        {
+            let mut state = self.state.write();
+            {
+                let mut pager = state.pager.lock();
+                for (page_no, image) in pages {
+                    pager.write_page(page_no, image)?;
+                }
+            }
+            state.dir = dir;
+            state.free = free;
+            state.page_count = page_count;
+            state.next_txn = txn_id + 1;
+            state.dir_start = dir_start;
+            state.dir_pages = dir_pages;
+        }
+
+        // Inserted masks enter the index only now that they are durable.
+        for (record, mask) in inserts {
+            self.chi.index_mask(record.mask_id, mask);
+        }
+
+        self.io.record_write(
+            blob_bytes,
+            self.config
+                .profile
+                .write_cost(blob_bytes, inserts.len() as u64),
+        );
+        self.ingest
+            .record_commit(inserts.len() as u64, deleted_ids.len() as u64, wal_bytes);
+
+        if self.config.checkpoint_wal_bytes > 0
+            && self.wal.lock().len() >= self.config.checkpoint_wal_bytes
+        {
+            // The transaction above is already durable and published; a
+            // checkpoint failure here must not make the commit look failed.
+            // It is deferred for the caller to observe (and the next
+            // threshold crossing or explicit checkpoint retries anyway).
+            if let Err(e) = self.checkpoint_locked() {
+                *self.checkpoint_error.lock() = Some(e);
+            }
+        }
+        Ok(())
+    }
+
+    fn read_blob(&self, entry: &BlobEntry, state: &State) -> StorageResult<Vec<u8>> {
+        let mut pager = state.pager.lock();
+        let page_size = self.config.page_size as usize;
+        let mut blob = Vec::with_capacity(entry.pages as usize * page_size);
+        for page_no in entry.start..entry.start + entry.pages as u64 {
+            blob.extend_from_slice(&pager.read_page(page_no)?);
+        }
+        blob.truncate(entry.bytes as usize);
+        Ok(blob)
+    }
+}
+
+impl MaskStore for DurableMaskStore {
+    fn put(&self, mask_id: MaskId, mask: &Mask) -> StorageResult<()> {
+        // Preserve an existing record's metadata on overwrite; synthesise a
+        // minimal record otherwise. Metadata-rich inserts go through
+        // `insert_batch` / `insert_masks`.
+        let record = {
+            let state = self.state.read();
+            match state.dir.entries.get(&mask_id) {
+                Some(entry)
+                    if entry.record.width == mask.width()
+                        && entry.record.height == mask.height() =>
+                {
+                    entry.record.clone()
+                }
+                _ => MaskRecord::builder(mask_id)
+                    .shape(mask.width(), mask.height())
+                    .build(),
+            }
+        };
+        self.commit(&[(record, mask.clone())], &[])
+    }
+
+    fn delete(&self, mask_id: MaskId) -> StorageResult<()> {
+        self.delete_masks(&[mask_id])
+    }
+
+    fn insert_batch(&self, batch: &[(MaskRecord, Mask)]) -> StorageResult<()> {
+        self.insert_masks(batch)
+    }
+
+    fn delete_batch(&self, mask_ids: &[MaskId]) -> StorageResult<()> {
+        self.delete_masks(mask_ids)
+    }
+
+    fn ingest_stats(&self) -> Option<IngestSnapshot> {
+        Some(self.ingest.snapshot())
+    }
+
+    fn get(&self, mask_id: MaskId) -> StorageResult<Mask> {
+        let (blob, bytes) = {
+            let state = self.state.read();
+            let entry = state
+                .dir
+                .entries
+                .get(&mask_id)
+                .cloned()
+                .ok_or(StorageError::MaskNotFound(mask_id))?;
+            (self.read_blob(&entry, &state)?, entry.bytes)
+        };
+        self.io
+            .record_read(bytes, self.config.profile.read_cost(bytes, 1));
+        self.io.record_mask_loaded();
+        let (_, mask) = format::decode_mask(&blob)?;
+        Ok(mask)
+    }
+
+    fn contains(&self, mask_id: MaskId) -> bool {
+        self.state.read().dir.entries.contains_key(&mask_id)
+    }
+
+    fn ids(&self) -> Vec<MaskId> {
+        self.state.read().dir.entries.keys().copied().collect()
+    }
+
+    fn len(&self) -> usize {
+        self.state.read().dir.entries.len()
+    }
+
+    fn stored_bytes(&self, mask_id: MaskId) -> StorageResult<u64> {
+        self.state
+            .read()
+            .dir
+            .entries
+            .get(&mask_id)
+            .map(|e| e.bytes)
+            .ok_or(StorageError::MaskNotFound(mask_id))
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.state.read().dir.total_bytes()
+    }
+
+    fn io_stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.io)
+    }
+
+    fn disk_profile(&self) -> DiskProfile {
+        self.config.profile
+    }
+}
+
+/// Zero-pads a partial page image up to the page size.
+fn pad_page(mut bytes: Vec<u8>, page_size: u32) -> Vec<u8> {
+    bytes.resize(page_size as usize, 0);
+    bytes
+}
+
+/// Returns an extent's pages to the free set.
+fn free_extent(free: &mut BTreeSet<PageNo>, start: PageNo, pages: u32) {
+    for page_no in start..start + pages as u64 {
+        free.insert(page_no);
+    }
+}
+
+/// Takes `n` contiguous pages from the free set, extending the database by
+/// fresh pages when no free run is long enough.
+fn alloc_run(free: &mut BTreeSet<PageNo>, page_count: &mut u64, n: u32) -> PageNo {
+    let n = n as u64;
+    let mut run_start: PageNo = 0;
+    let mut run_len: u64 = 0;
+    let mut found: Option<PageNo> = None;
+    for &page_no in free.iter() {
+        if run_len > 0 && page_no == run_start + run_len {
+            run_len += 1;
+        } else {
+            run_start = page_no;
+            run_len = 1;
+        }
+        if run_len == n {
+            found = Some(run_start);
+            break;
+        }
+    }
+    match found {
+        Some(start) => {
+            for page_no in start..start + n {
+                free.remove(&page_no);
+            }
+            start
+        }
+        None => {
+            let start = *page_count;
+            *page_count += n;
+            start
+        }
+    }
+}
+
+/// Builds the free-page set from the meta page and directory, validating
+/// that no extent escapes the database or overlaps another.
+fn derive_free_set(meta: &Meta, dir: &Directory) -> StorageResult<BTreeSet<PageNo>> {
+    let mut used: BTreeSet<PageNo> = BTreeSet::new();
+    used.insert(0);
+    let mut claim = |start: PageNo, pages: u32| -> StorageResult<()> {
+        for page_no in start..start + pages as u64 {
+            if page_no == 0 || page_no >= meta.page_count {
+                return Err(StorageError::corrupt(format!(
+                    "extent page {page_no} escapes the database ({} pages)",
+                    meta.page_count
+                )));
+            }
+            if !used.insert(page_no) {
+                return Err(StorageError::corrupt(format!(
+                    "page {page_no} is claimed by two extents"
+                )));
+            }
+        }
+        Ok(())
+    };
+    claim(meta.dir_start, meta.dir_pages)?;
+    for entry in dir.entries.values() {
+        claim(entry.start, entry.pages)?;
+    }
+    Ok((0..meta.page_count).filter(|p| !used.contains(p)).collect())
+}
+
+/// Loads the persisted CHI file (if any) and reconciles it with the
+/// recovered directory: entries for missing masks are dropped, masks without
+/// an entry (inserted after the last checkpoint) are re-indexed from their
+/// recovered pixels.
+fn reconcile_chi(
+    chi_path: &Path,
+    config: &DbConfig,
+    dir: &Directory,
+    pager: &mut Pager,
+) -> StorageResult<ChiStore> {
+    let chi = match ChiStore::load(chi_path) {
+        Ok(store) if *store.config() == config.chi_config => store,
+        // Missing, corrupt, or differently-configured index files are
+        // discarded; the directory is the source of truth.
+        _ => ChiStore::new(config.chi_config),
+    };
+    for mask_id in chi.ids() {
+        if !dir.entries.contains_key(&mask_id) {
+            chi.remove(mask_id);
+        }
+    }
+    let page_size = config.page_size as usize;
+    for (mask_id, entry) in &dir.entries {
+        if chi.contains(*mask_id) {
+            continue;
+        }
+        let mut blob = Vec::with_capacity(entry.pages as usize * page_size);
+        for page_no in entry.start..entry.start + entry.pages as u64 {
+            blob.extend_from_slice(&pager.read_page(page_no)?);
+        }
+        blob.truncate(entry.bytes as usize);
+        let (_, mask) = format::decode_mask(&blob)?;
+        chi.index_mask(*mask_id, &mask);
+    }
+    Ok(chi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "masksearch-db-store-test-{}-{}",
+            name,
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_config() -> DbConfig {
+        DbConfig::default()
+            .page_size(256)
+            .pool_pages(32)
+            .chi_config(ChiConfig::new(4, 4, 4).unwrap())
+            .checkpoint_wal_bytes(0)
+    }
+
+    fn mask(seed: u32) -> Mask {
+        Mask::from_fn(8, 8, move |x, y| ((x + y * 3 + seed) % 7) as f32 / 7.0)
+    }
+
+    fn record(id: u64) -> MaskRecord {
+        MaskRecord::builder(MaskId::new(id))
+            .image_id(masksearch_core::ImageId::new(id / 2))
+            .shape(8, 8)
+            .build()
+    }
+
+    fn batch(ids: std::ops::Range<u64>) -> Vec<(MaskRecord, Mask)> {
+        ids.map(|i| (record(i), mask(i as u32))).collect()
+    }
+
+    #[test]
+    fn insert_get_delete_round_trip() {
+        let dir = temp_dir("crud");
+        let store = DurableMaskStore::open(&dir, small_config()).unwrap();
+        assert!(store.is_empty());
+        store.insert_masks(&batch(0..5)).unwrap();
+        assert_eq!(store.len(), 5);
+        assert_eq!(store.get(MaskId::new(3)).unwrap(), mask(3));
+        assert_eq!(store.chi_store().len(), 5);
+        assert!(store.stored_bytes(MaskId::new(0)).unwrap() > 0);
+
+        store
+            .delete_masks(&[MaskId::new(1), MaskId::new(3)])
+            .unwrap();
+        assert_eq!(store.len(), 3);
+        assert!(!store.contains(MaskId::new(3)));
+        assert_eq!(store.chi_store().len(), 3);
+        assert!(matches!(
+            store.get(MaskId::new(3)),
+            Err(StorageError::MaskNotFound(_))
+        ));
+        // Deleting an unknown id fails without side effects.
+        assert!(store
+            .delete_masks(&[MaskId::new(0), MaskId::new(99)])
+            .is_err());
+        assert_eq!(store.len(), 3);
+        // A duplicated id in one batch is a single delete, not an error.
+        store
+            .delete_masks(&[MaskId::new(0), MaskId::new(0)])
+            .unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.ingest_stats().unwrap().masks_deleted, 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_recovers_masks_records_and_chi_without_checkpoint() {
+        let dir = temp_dir("reopen");
+        {
+            let store = DurableMaskStore::open(&dir, small_config()).unwrap();
+            store.insert_masks(&batch(0..4)).unwrap();
+            store.delete_masks(&[MaskId::new(2)]).unwrap();
+            // No checkpoint: everything lives in the WAL.
+        }
+        let store = DurableMaskStore::open(&dir, small_config()).unwrap();
+        assert_eq!(
+            store.ids(),
+            vec![MaskId::new(0), MaskId::new(1), MaskId::new(3)]
+        );
+        assert_eq!(store.get(MaskId::new(3)).unwrap(), mask(3));
+        assert_eq!(store.chi_store().len(), 3);
+        let catalog = store.catalog();
+        assert_eq!(catalog.len(), 3);
+        assert_eq!(
+            catalog.get(MaskId::new(3)).unwrap().image_id,
+            masksearch_core::ImageId::new(1)
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal_and_persists_chi() {
+        let dir = temp_dir("checkpoint");
+        {
+            let store = DurableMaskStore::open(&dir, small_config()).unwrap();
+            store.insert_masks(&batch(0..3)).unwrap();
+            let wal_before = store.wal_bytes();
+            store.checkpoint().unwrap();
+            assert!(store.wal_bytes() < wal_before);
+            assert_eq!(store.ingest_stats().unwrap().checkpoints, 1);
+        }
+        assert!(dir.join(CHI_FILE).exists());
+        let chi = ChiStore::load(dir.join(CHI_FILE)).unwrap();
+        assert_eq!(chi.len(), 3);
+        // Reopening after a checkpoint reads pages from the db file.
+        let store = DurableMaskStore::open(&dir, small_config()).unwrap();
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.get(MaskId::new(1)).unwrap(), mask(1));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn overwrites_free_and_reuse_pages() {
+        let dir = temp_dir("reuse");
+        let store = DurableMaskStore::open(&dir, small_config()).unwrap();
+        store.insert_masks(&batch(0..4)).unwrap();
+        let pages_after_first = store.state.read().page_count;
+        // Overwrite the same ids many times; the file must not grow without
+        // bound because freed extents are reused.
+        for round in 0..20u32 {
+            let rewrite: Vec<(MaskRecord, Mask)> = (0..4)
+                .map(|i| (record(i), mask(i as u32 + round)))
+                .collect();
+            store.insert_masks(&rewrite).unwrap();
+        }
+        let pages_after_rewrites = store.state.read().page_count;
+        assert!(
+            pages_after_rewrites <= pages_after_first + 8,
+            "pages grew from {pages_after_first} to {pages_after_rewrites}"
+        );
+        assert_eq!(store.get(MaskId::new(2)).unwrap(), mask(2 + 19));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn automatic_checkpoint_fires_on_wal_threshold() {
+        let dir = temp_dir("auto-ckpt");
+        let store =
+            DurableMaskStore::open(&dir, small_config().checkpoint_wal_bytes(4096)).unwrap();
+        for i in 0..40u64 {
+            store.insert_masks(&batch(i..i + 1)).unwrap();
+        }
+        assert!(store.ingest_stats().unwrap().checkpoints > 0);
+        assert!(store.wal_bytes() < 4096 + 4096);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn put_preserves_existing_record_metadata() {
+        let dir = temp_dir("put-record");
+        let store = DurableMaskStore::open(&dir, small_config()).unwrap();
+        let rich = MaskRecord::builder(MaskId::new(1))
+            .image_id(masksearch_core::ImageId::new(42))
+            .shape(8, 8)
+            .build();
+        store.insert_masks(&[(rich, mask(1))]).unwrap();
+        store.put(MaskId::new(1), &mask(9)).unwrap();
+        let catalog = store.catalog();
+        assert_eq!(
+            catalog.get(MaskId::new(1)).unwrap().image_id,
+            masksearch_core::ImageId::new(42)
+        );
+        assert_eq!(store.get(MaskId::new(1)).unwrap(), mask(9));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shape_mismatched_record_is_rejected() {
+        let dir = temp_dir("shape");
+        let store = DurableMaskStore::open(&dir, small_config()).unwrap();
+        let wrong = MaskRecord::builder(MaskId::new(1)).shape(16, 16).build();
+        assert!(store.insert_masks(&[(wrong, mask(1))]).is_err());
+        assert!(store.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn alloc_run_prefers_free_runs_and_extends_otherwise() {
+        let mut free: BTreeSet<PageNo> = [1, 2, 4, 5, 6].into_iter().collect();
+        let mut page_count = 7u64;
+        assert_eq!(alloc_run(&mut free, &mut page_count, 3), 4);
+        assert_eq!(free, [1, 2].into_iter().collect());
+        assert_eq!(alloc_run(&mut free, &mut page_count, 2), 1);
+        assert!(free.is_empty());
+        assert_eq!(alloc_run(&mut free, &mut page_count, 2), 7);
+        assert_eq!(page_count, 9);
+    }
+}

@@ -1,0 +1,426 @@
+//! The write-ahead log: commit durability and crash recovery.
+//!
+//! Every write transaction appends one *page frame* per modified page (the
+//! full after-image) followed by a *commit frame*, then optionally fsyncs.
+//! A transaction is durable exactly when its commit frame is fully on disk:
+//!
+//! ```text
+//! wal file  = header , frame*
+//! header    = "MSWL" , version u16 , reserved u16 , page_size u32
+//! page frame   = 0x01 , txn_id u64 , page_no u64 , len u32 , checksum u64 , payload
+//! commit frame = 0x02 , txn_id u64 , frame_count u32 , checksum u64
+//! ```
+//!
+//! All checksums are FNV-1a over the frame's header fields and payload.
+//! Recovery scans the log from the start and replays only transactions whose
+//! every frame (including the commit frame) is intact; the first torn,
+//! checksum-mismatched, or unknown record ends the scan, and the file is
+//! truncated back to the last committed boundary so later appends can never
+//! hide behind garbage.
+
+use crate::page::{checksum64, PageNo};
+use masksearch_storage::{StorageError, StorageResult};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes identifying a WAL file.
+pub const WAL_MAGIC: [u8; 4] = *b"MSWL";
+/// WAL format version.
+pub const WAL_VERSION: u16 = 1;
+/// Byte length of the WAL file header.
+pub const WAL_HEADER_LEN: u64 = 12;
+
+const FRAME_PAGE: u8 = 1;
+const FRAME_COMMIT: u8 = 2;
+
+/// One committed transaction recovered from the log, in commit order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommittedTxn {
+    /// Transaction id recorded in the frames.
+    pub txn_id: u64,
+    /// Page after-images, in append order.
+    pub pages: Vec<(PageNo, Vec<u8>)>,
+}
+
+/// An open write-ahead log positioned for appending.
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    page_size: u32,
+    len: u64,
+}
+
+impl Wal {
+    /// Opens (creating if needed) the WAL at `path`, recovers every committed
+    /// transaction, truncates any torn tail, and returns the log positioned
+    /// for appending together with the recovered transactions.
+    pub fn open(
+        path: impl Into<PathBuf>,
+        page_size: u32,
+    ) -> StorageResult<(Self, Vec<CommittedTxn>)> {
+        let path = path.into();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|e| StorageError::io(format!("opening wal {}", path.display()), e))?;
+        let file_len = file
+            .metadata()
+            .map_err(|e| StorageError::io("reading wal metadata", e))?
+            .len();
+
+        let (committed, valid_len) = if file_len < WAL_HEADER_LEN {
+            // Empty or torn-before-header: start fresh.
+            write_header(&mut file, page_size, &path)?;
+            (Vec::new(), WAL_HEADER_LEN)
+        } else {
+            let mut bytes = Vec::with_capacity(file_len as usize);
+            file.seek(SeekFrom::Start(0))
+                .and_then(|_| file.read_to_end(&mut bytes))
+                .map_err(|e| StorageError::io(format!("reading wal {}", path.display()), e))?;
+            verify_header(&bytes, page_size)?;
+            scan(&bytes, page_size)
+        };
+
+        // Drop the torn tail so future appends are reachable by recovery.
+        if valid_len < file_len {
+            file.set_len(valid_len)
+                .map_err(|e| StorageError::io("truncating torn wal tail", e))?;
+            file.sync_all()
+                .map_err(|e| StorageError::io("syncing wal after tail truncation", e))?;
+        }
+        file.seek(SeekFrom::Start(valid_len))
+            .map_err(|e| StorageError::io("seeking wal append position", e))?;
+
+        Ok((
+            Self {
+                file,
+                path,
+                page_size,
+                len: valid_len,
+            },
+            committed,
+        ))
+    }
+
+    /// Bytes currently in the log (header included).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Returns `true` if the log holds no frames.
+    pub fn is_empty(&self) -> bool {
+        self.len <= WAL_HEADER_LEN
+    }
+
+    /// Appends one transaction (page after-images plus the commit frame) and,
+    /// when `fsync` is set, makes it durable before returning. Returns the
+    /// number of bytes appended.
+    pub fn append_txn(
+        &mut self,
+        txn_id: u64,
+        pages: &[(PageNo, Vec<u8>)],
+        fsync: bool,
+    ) -> StorageResult<u64> {
+        let mut buf = Vec::with_capacity(pages.len() * (29 + self.page_size as usize) + 21);
+        for (page_no, image) in pages {
+            debug_assert_eq!(image.len(), self.page_size as usize);
+            let mut header = Vec::with_capacity(21);
+            header.push(FRAME_PAGE);
+            header.extend_from_slice(&txn_id.to_le_bytes());
+            header.extend_from_slice(&page_no.to_le_bytes());
+            header.extend_from_slice(&(image.len() as u32).to_le_bytes());
+            let checksum = checksum64(&[&header, image]);
+            buf.extend_from_slice(&header);
+            buf.extend_from_slice(&checksum.to_le_bytes());
+            buf.extend_from_slice(image);
+        }
+        let mut commit = Vec::with_capacity(13);
+        commit.push(FRAME_COMMIT);
+        commit.extend_from_slice(&txn_id.to_le_bytes());
+        commit.extend_from_slice(&(pages.len() as u32).to_le_bytes());
+        let checksum = checksum64(&[&commit]);
+        buf.extend_from_slice(&commit);
+        buf.extend_from_slice(&checksum.to_le_bytes());
+
+        self.file
+            .write_all(&buf)
+            .map_err(|e| StorageError::io("appending wal transaction", e))?;
+        if fsync {
+            self.file
+                .sync_data()
+                .map_err(|e| StorageError::io("fsyncing wal commit", e))?;
+        }
+        self.len += buf.len() as u64;
+        Ok(buf.len() as u64)
+    }
+
+    /// Forces every appended frame to disk. Used by the checkpoint before
+    /// any page reaches the database file, so the log-ahead rule holds even
+    /// for commits that ran with fsync off.
+    pub fn sync(&mut self) -> StorageResult<()> {
+        self.file
+            .sync_data()
+            .map_err(|e| StorageError::io("fsyncing wal", e))
+    }
+
+    /// Empties the log back to a bare header (the checkpoint step). The
+    /// caller must have made the database file durable first.
+    pub fn reset(&mut self) -> StorageResult<()> {
+        self.file
+            .set_len(0)
+            .map_err(|e| StorageError::io("truncating wal at checkpoint", e))?;
+        write_header(&mut self.file, self.page_size, &self.path)?;
+        self.len = WAL_HEADER_LEN;
+        Ok(())
+    }
+}
+
+fn write_header(file: &mut File, page_size: u32, path: &Path) -> StorageResult<()> {
+    file.seek(SeekFrom::Start(0))
+        .map_err(|e| StorageError::io("seeking wal header", e))?;
+    let mut header = Vec::with_capacity(WAL_HEADER_LEN as usize);
+    header.extend_from_slice(&WAL_MAGIC);
+    header.extend_from_slice(&WAL_VERSION.to_le_bytes());
+    header.extend_from_slice(&0u16.to_le_bytes());
+    header.extend_from_slice(&page_size.to_le_bytes());
+    file.write_all(&header)
+        .and_then(|_| file.sync_data())
+        .map_err(|e| StorageError::io(format!("writing wal header {}", path.display()), e))
+}
+
+fn verify_header(bytes: &[u8], page_size: u32) -> StorageResult<()> {
+    if bytes[0..4] != WAL_MAGIC {
+        return Err(StorageError::BadMagic {
+            path: "<wal>".to_string(),
+            found: [bytes[0], bytes[1], bytes[2], bytes[3]],
+        });
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version > WAL_VERSION {
+        return Err(StorageError::UnsupportedVersion {
+            found: version,
+            supported: WAL_VERSION,
+        });
+    }
+    let stored = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+    if stored != page_size {
+        return Err(StorageError::corrupt(format!(
+            "wal was written with page size {stored}, opened with {page_size}"
+        )));
+    }
+    Ok(())
+}
+
+/// Scans the body of a WAL, returning the committed transactions and the
+/// byte offset just past the last committed frame. Anything after that
+/// offset — an unfinished transaction, a torn record, random garbage — is
+/// ignored, so a crash at *any* byte boundary recovers to a committed prefix.
+fn scan(bytes: &[u8], page_size: u32) -> (Vec<CommittedTxn>, u64) {
+    let mut committed = Vec::new();
+    let mut pos = WAL_HEADER_LEN as usize;
+    let mut valid_len = pos as u64;
+    let mut pending: Vec<(PageNo, Vec<u8>)> = Vec::new();
+    let mut pending_txn: Option<u64> = None;
+
+    while let Some(&frame_type) = bytes.get(pos) {
+        match frame_type {
+            FRAME_PAGE => {
+                let header_end = pos + 21;
+                let Some(header) = bytes.get(pos..header_end) else {
+                    break;
+                };
+                let txn_id = u64::from_le_bytes(header[1..9].try_into().unwrap());
+                let page_no = u64::from_le_bytes(header[9..17].try_into().unwrap());
+                let len = u32::from_le_bytes(header[17..21].try_into().unwrap());
+                if len != page_size {
+                    break;
+                }
+                let Some(stored) = bytes.get(header_end..header_end + 8) else {
+                    break;
+                };
+                let stored = u64::from_le_bytes(stored.try_into().unwrap());
+                let payload_end = header_end + 8 + len as usize;
+                let Some(payload) = bytes.get(header_end + 8..payload_end) else {
+                    break;
+                };
+                if checksum64(&[header, payload]) != stored {
+                    break;
+                }
+                if pending_txn.is_some_and(|t| t != txn_id) {
+                    // A new transaction started without the previous one
+                    // committing: the writer never interleaves, so this is
+                    // corruption — stop.
+                    break;
+                }
+                pending_txn = Some(txn_id);
+                pending.push((page_no, payload.to_vec()));
+                pos = payload_end;
+            }
+            FRAME_COMMIT => {
+                let header_end = pos + 13;
+                let Some(header) = bytes.get(pos..header_end) else {
+                    break;
+                };
+                let txn_id = u64::from_le_bytes(header[1..9].try_into().unwrap());
+                let frame_count = u32::from_le_bytes(header[9..13].try_into().unwrap());
+                let Some(stored) = bytes.get(header_end..header_end + 8) else {
+                    break;
+                };
+                let stored = u64::from_le_bytes(stored.try_into().unwrap());
+                if checksum64(&[header]) != stored {
+                    break;
+                }
+                if pending_txn != Some(txn_id) || pending.len() as u32 != frame_count {
+                    break;
+                }
+                committed.push(CommittedTxn {
+                    txn_id,
+                    pages: std::mem::take(&mut pending),
+                });
+                pending_txn = None;
+                pos = header_end + 8;
+                valid_len = pos as u64;
+            }
+            _ => break,
+        }
+    }
+    (committed, valid_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_wal(name: &str) -> PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "masksearch-wal-test-{}-{}.wal",
+            name,
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn page(fill: u8, size: usize) -> Vec<u8> {
+        vec![fill; size]
+    }
+
+    #[test]
+    fn append_and_recover_round_trip() {
+        let path = temp_wal("roundtrip");
+        {
+            let (mut wal, committed) = Wal::open(&path, 64).unwrap();
+            assert!(committed.is_empty());
+            assert!(wal.is_empty());
+            wal.append_txn(1, &[(0, page(0xaa, 64)), (3, page(0xbb, 64))], true)
+                .unwrap();
+            wal.append_txn(2, &[(3, page(0xcc, 64))], true).unwrap();
+        }
+        let (wal, committed) = Wal::open(&path, 64).unwrap();
+        assert!(!wal.is_empty());
+        assert_eq!(committed.len(), 2);
+        assert_eq!(committed[0].txn_id, 1);
+        assert_eq!(committed[0].pages.len(), 2);
+        assert_eq!(committed[1].pages, vec![(3, page(0xcc, 64))]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn every_truncation_point_recovers_a_committed_prefix() {
+        let path = temp_wal("prefix");
+        {
+            let (mut wal, _) = Wal::open(&path, 32).unwrap();
+            wal.append_txn(1, &[(0, page(1, 32))], true).unwrap();
+            wal.append_txn(2, &[(1, page(2, 32)), (2, page(3, 32))], true)
+                .unwrap();
+            wal.append_txn(3, &[(0, page(4, 32))], true).unwrap();
+        }
+        let full = std::fs::read(&path).unwrap();
+        let mut seen_counts = std::collections::BTreeSet::new();
+        for cut in 0..=full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let (_, committed) = Wal::open(&path, 32).unwrap();
+            // The recovered history is always a prefix of [txn 1, 2, 3].
+            let ids: Vec<u64> = committed.iter().map(|t| t.txn_id).collect();
+            assert_eq!(ids, (1..=committed.len() as u64).collect::<Vec<_>>());
+            seen_counts.insert(committed.len());
+        }
+        // Every prefix length is reachable, including none and all.
+        assert_eq!(seen_counts, (0..=3).collect());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupted_tail_bytes_are_discarded() {
+        let path = temp_wal("corrupt");
+        {
+            let (mut wal, _) = Wal::open(&path, 32).unwrap();
+            wal.append_txn(1, &[(0, page(1, 32))], true).unwrap();
+            wal.append_txn(2, &[(1, page(2, 32))], true).unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a payload byte in the second transaction.
+        let second_txn_start = WAL_HEADER_LEN as usize + 29 + 32 + 21;
+        let idx = second_txn_start + 40;
+        bytes[idx] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, committed) = Wal::open(&path, 32).unwrap();
+        assert_eq!(committed.len(), 1);
+        assert_eq!(committed[0].txn_id, 1);
+        // The torn tail was truncated: reopening again sees the same prefix.
+        let (_, committed) = Wal::open(&path, 32).unwrap();
+        assert_eq!(committed.len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn appends_after_tail_truncation_are_recoverable() {
+        let path = temp_wal("append-after-trunc");
+        {
+            let (mut wal, _) = Wal::open(&path, 32).unwrap();
+            wal.append_txn(1, &[(0, page(1, 32))], true).unwrap();
+            wal.append_txn(2, &[(1, page(2, 32))], true).unwrap();
+        }
+        // Tear the second transaction's tail, reopen, append a third.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        {
+            let (mut wal, committed) = Wal::open(&path, 32).unwrap();
+            assert_eq!(committed.len(), 1);
+            wal.append_txn(2, &[(7, page(9, 32))], true).unwrap();
+        }
+        let (_, committed) = Wal::open(&path, 32).unwrap();
+        assert_eq!(committed.len(), 2);
+        assert_eq!(committed[1].pages, vec![(7, page(9, 32))]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reset_empties_the_log() {
+        let path = temp_wal("reset");
+        let (mut wal, _) = Wal::open(&path, 32).unwrap();
+        wal.append_txn(1, &[(0, page(1, 32))], true).unwrap();
+        wal.reset().unwrap();
+        assert!(wal.is_empty());
+        assert_eq!(wal.len(), WAL_HEADER_LEN);
+        drop(wal);
+        let (_, committed) = Wal::open(&path, 32).unwrap();
+        assert!(committed.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mismatched_page_size_is_rejected() {
+        let path = temp_wal("pagesize");
+        drop(Wal::open(&path, 32).unwrap());
+        assert!(matches!(
+            Wal::open(&path, 64),
+            Err(StorageError::Corrupt { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

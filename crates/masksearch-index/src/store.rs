@@ -14,6 +14,7 @@ use masksearch_storage::{StorageError, StorageResult};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Magic bytes identifying a CHI index file.
@@ -26,6 +27,11 @@ pub const CHI_FORMAT_VERSION: u16 = 1;
 pub struct ChiStore {
     config: ChiConfig,
     entries: RwLock<BTreeMap<MaskId, Arc<Chi>>>,
+    /// Bumped (under the entries write lock) by every removal. Lets callers
+    /// that built an index from pixels loaded *before* a concurrent
+    /// overwrite detect the conflict instead of installing stale bounds —
+    /// see [`ChiStore::index_mask_if_current`].
+    removals: AtomicU64,
 }
 
 impl ChiStore {
@@ -34,6 +40,7 @@ impl ChiStore {
         Self {
             config,
             entries: RwLock::new(BTreeMap::new()),
+            removals: AtomicU64::new(0),
         }
     }
 
@@ -77,7 +84,34 @@ impl ChiStore {
 
     /// Removes the index of `mask_id`, returning it if it existed.
     pub fn remove(&self, mask_id: MaskId) -> Option<Arc<Chi>> {
-        self.entries.write().remove(&mask_id)
+        let mut entries = self.entries.write();
+        self.removals.fetch_add(1, Ordering::Relaxed);
+        entries.remove(&mask_id)
+    }
+
+    /// The current removal generation (see [`ChiStore::index_mask_if_current`]).
+    pub fn removal_generation(&self) -> u64 {
+        self.removals.load(Ordering::Relaxed)
+    }
+
+    /// Builds and inserts the index of `mask` only if no removal has
+    /// happened since `generation` (taken via
+    /// [`ChiStore::removal_generation`] *before* the mask was loaded) and no
+    /// index exists yet. Returns whether the index was installed.
+    ///
+    /// This is the incremental-indexing race guard: a removal between the
+    /// generation snapshot and this call means the loaded pixels may predate
+    /// an overwrite or delete, so installing bounds built from them could
+    /// corrupt the filter stage. The generation check runs under the same
+    /// write lock that removals bump under, so there is no window.
+    pub fn index_mask_if_current(&self, mask_id: MaskId, mask: &Mask, generation: u64) -> bool {
+        let chi = Arc::new(Chi::build(mask, &self.config));
+        let mut entries = self.entries.write();
+        if self.removals.load(Ordering::Relaxed) != generation || entries.contains_key(&mask_id) {
+            return false;
+        }
+        entries.insert(mask_id, chi);
+        true
     }
 
     /// Ids of all indexed masks, ascending.
@@ -195,6 +229,27 @@ mod tests {
         assert!(store.remove(MaskId::new(1)).is_some());
         assert!(store.remove(MaskId::new(1)).is_none());
         assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn guarded_install_refuses_after_a_removal() {
+        let store = ChiStore::new(config());
+        store.index_mask(MaskId::new(1), &mask(1));
+
+        // Simulate incremental indexing racing an overwrite: the generation
+        // is snapshotted, then a removal (the overwrite's eviction) happens
+        // before the install.
+        let generation = store.removal_generation();
+        store.remove(MaskId::new(1));
+        assert!(!store.index_mask_if_current(MaskId::new(1), &mask(1), generation));
+        assert!(!store.contains(MaskId::new(1)));
+
+        // With a fresh snapshot and no interleaved removal, it installs.
+        let generation = store.removal_generation();
+        assert!(store.index_mask_if_current(MaskId::new(1), &mask(2), generation));
+        assert!(store.contains(MaskId::new(1)));
+        // ...but never overwrites an existing entry.
+        assert!(!store.index_mask_if_current(MaskId::new(1), &mask(3), generation));
     }
 
     #[test]

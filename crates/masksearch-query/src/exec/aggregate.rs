@@ -90,7 +90,7 @@ pub fn execute(
         for &mask_id in member_ids {
             let record = session.record(mask_id)?;
             match session.chi_for(mask_id) {
-                Some(chi) => member_bounds.push(eval::expr_bounds(expr, record, &chi, fallback)?),
+                Some(chi) => member_bounds.push(eval::expr_bounds(expr, &record, &chi, fallback)?),
                 None => {
                     all_indexed = false;
                     break;
@@ -145,7 +145,7 @@ pub fn execute(
             if built {
                 indexes_built += 1;
             }
-            values.push(eval::expr_exact(expr, record, &mask, fallback)?);
+            values.push(eval::expr_exact(expr, &record, &mask, fallback)?);
         }
         let value = agg.apply(&values);
         verify_wall += elapsed(verify_start);

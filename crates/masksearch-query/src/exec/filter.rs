@@ -95,7 +95,7 @@ pub fn execute(
                     let step = || -> QueryResult<(bool, bool)> {
                         let record = session.record(mask_id)?;
                         let (mask, built) = session.load_and_index(mask_id)?;
-                        let satisfied = eval::predicate_exact(predicate, record, &mask, fallback)?;
+                        let satisfied = eval::predicate_exact(predicate, &record, &mask, fallback)?;
                         Ok((satisfied, built))
                     };
                     match step() {
@@ -173,7 +173,7 @@ fn classify(
         // No index: incremental and disabled modes verify by loading.
         return Ok(FilterOutcome::Verify);
     };
-    let truth = eval::predicate_bounds(predicate, record, &chi, fallback)?;
+    let truth = eval::predicate_bounds(predicate, &record, &chi, fallback)?;
     Ok(match truth {
         Truth::True => FilterOutcome::Accept,
         Truth::False => FilterOutcome::Prune,

@@ -193,7 +193,7 @@ fn group_roi(session: &Session, term: &CpTerm, member_ids: &[MaskId]) -> QueryRe
     let record = session.record(*first)?;
     match term.roi {
         RoiSpec::Constant(roi) => Ok(roi),
-        RoiSpec::FullMask | RoiSpec::ObjectBox => crate::eval::resolve_roi(term, record, fallback),
+        RoiSpec::FullMask | RoiSpec::ObjectBox => crate::eval::resolve_roi(term, &record, fallback),
     }
 }
 

@@ -49,7 +49,7 @@ pub fn execute(
         let filter_start = Instant::now();
         let prune = if top.len() == k {
             if let Some(chi) = session.chi_for(mask_id) {
-                let bounds = eval::expr_bounds(expr, record, &chi, fallback)?;
+                let bounds = eval::expr_bounds(expr, &record, &chi, fallback)?;
                 let threshold = worst_value(&top, order);
                 match order {
                     // Equation 15: a new mask must be strictly better than the
@@ -76,7 +76,7 @@ pub fn execute(
             indexes_built += 1;
         }
         verified += 1;
-        let mut value = eval::expr_exact(expr, record, &mask, fallback)?;
+        let mut value = eval::expr_exact(expr, &record, &mask, fallback)?;
         if value.is_nan() {
             // NaN (e.g. 0/0 ratios) ranks worst under either order.
             value = match order {

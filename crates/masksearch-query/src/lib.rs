@@ -56,6 +56,7 @@ pub mod error;
 pub mod eval;
 pub mod exec;
 pub mod expr;
+pub mod mutation;
 pub mod predicate;
 pub mod query;
 pub mod result;
@@ -64,6 +65,7 @@ pub mod spec;
 
 pub use error::{QueryError, QueryResult as QueryResultExt};
 pub use expr::{Expr, Interval};
+pub use mutation::{Mutation, MutationOutcome};
 pub use predicate::{CmpOp, Comparison, Predicate, Truth};
 pub use query::{Query, QueryKind, Selection};
 pub use result::{QueryOutput, QueryStats, ResultRow, RowKey};

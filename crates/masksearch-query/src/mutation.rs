@@ -1,0 +1,38 @@
+//! Write operations against a session: the DML half of the query model.
+
+use masksearch_core::{Mask, MaskId, MaskRecord};
+
+/// A write operation lowered from SQL (or built programmatically) and
+/// applied through [`Session::apply`](crate::Session::apply).
+#[derive(Debug, Clone)]
+pub enum Mutation {
+    /// Insert (or overwrite) a batch of masks with their catalog records,
+    /// committed atomically when the underlying store supports it.
+    Insert(Vec<(MaskRecord, Mask)>),
+    /// Delete a batch of masks by id.
+    Delete(Vec<MaskId>),
+}
+
+impl Mutation {
+    /// Number of masks the mutation touches.
+    pub fn len(&self) -> usize {
+        match self {
+            Mutation::Insert(batch) => batch.len(),
+            Mutation::Delete(ids) => ids.len(),
+        }
+    }
+
+    /// Returns `true` if the mutation touches no masks.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// What a mutation did, as reported back to the caller.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MutationOutcome {
+    /// Masks inserted (or overwritten).
+    pub inserted: usize,
+    /// Masks deleted.
+    pub deleted: usize,
+}

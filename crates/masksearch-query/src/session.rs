@@ -7,15 +7,26 @@
 //! evaluation), incrementally as masks are first touched by queries
 //! (*MS-II*), or not at all (which makes the session behave like the NumPy
 //! baseline — useful for cost comparisons inside one API).
+//!
+//! Sessions are also *writable*: [`Session::insert_masks`] and
+//! [`Session::delete_masks`] push batches through the store (durably, when
+//! the store supports it), keep the CHI store and mask cache consistent, and
+//! publish the batch's catalog records atomically. Candidate resolution
+//! happens under one catalog guard, so a query's *candidate set* reflects
+//! whole batches only — never half of one. Per-mask record lookups during
+//! verification are read-committed: a query racing a batch that overwrites
+//! its candidates' metadata may see some records from before and some from
+//! after that batch.
 
 use crate::error::{QueryError, QueryResult};
 use crate::exec;
+use crate::mutation::{Mutation, MutationOutcome};
 use crate::query::{Query, QueryKind, Selection};
 use crate::result::QueryOutput;
 use masksearch_core::{ImageId, Mask, MaskAgg, MaskId, MaskRecord};
 use masksearch_index::{build_chi_store, BuildOptions, Chi, ChiConfig, ChiStore};
 use masksearch_storage::{Catalog, MaskCache, MaskStore};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
@@ -97,16 +108,29 @@ impl Default for SessionConfig {
     }
 }
 
-/// A MaskSearch session: storage + catalog + indexes + query execution.
+/// A MaskSearch session: storage + catalog + indexes + query execution +
+/// write path.
 pub struct Session {
     store: Arc<dyn MaskStore>,
-    catalog: Catalog,
+    /// The catalog lives behind a lock so writes publish whole batches
+    /// atomically; every accessor copies out what it needs, so no lock guard
+    /// ever escapes.
+    catalog: RwLock<Catalog>,
     config: SessionConfig,
-    chi: ChiStore,
+    chi: Arc<ChiStore>,
+    /// When the store maintains `chi` itself on commit (the durable mask
+    /// database does), the session skips its own index maintenance on writes
+    /// instead of rebuilding the same CHIs a second time.
+    chi_maintained_by_store: bool,
     cache: MaskCache,
     /// Indexes over *aggregated* masks (one per `MASK_AGG` signature), keyed
     /// inside each store by the image id (§3.4).
     agg_indexes: RwLock<HashMap<String, Arc<ChiStore>>>,
+    /// Serialises whole write operations. Without it, two concurrent writes
+    /// to the same mask id could commit to the store in one order and
+    /// publish their catalog records in the other, leaving a record that
+    /// describes a different write's pixels.
+    writes: Mutex<()>,
 }
 
 impl Session {
@@ -135,10 +159,12 @@ impl Session {
         Ok(Self {
             cache: MaskCache::new(config.cache_bytes),
             store,
-            catalog,
+            catalog: RwLock::new(catalog),
             config,
-            chi,
+            chi: Arc::new(chi),
+            chi_maintained_by_store: false,
             agg_indexes: RwLock::new(HashMap::new()),
+            writes: Mutex::new(()),
         })
     }
 
@@ -153,16 +179,45 @@ impl Session {
         Self {
             cache: MaskCache::new(config.cache_bytes),
             store,
-            catalog,
+            catalog: RwLock::new(catalog),
             config,
-            chi,
+            chi: Arc::new(chi),
+            chi_maintained_by_store: false,
             agg_indexes: RwLock::new(HashMap::new()),
+            writes: Mutex::new(()),
         }
     }
 
-    /// The session's catalog.
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+    /// Creates a session over a store that maintains the shared CHI store
+    /// itself on every commit (the durable mask database of `masksearch-db`).
+    /// The session then uses `chi` for filtering but leaves index
+    /// maintenance on writes to the store, avoiding duplicate CHI builds.
+    pub fn with_store_maintained_index(
+        store: Arc<dyn MaskStore>,
+        catalog: Catalog,
+        config: SessionConfig,
+        chi: Arc<ChiStore>,
+    ) -> Self {
+        Self {
+            cache: MaskCache::new(config.cache_bytes),
+            store,
+            catalog: RwLock::new(catalog),
+            config,
+            chi,
+            chi_maintained_by_store: true,
+            agg_indexes: RwLock::new(HashMap::new()),
+            writes: Mutex::new(()),
+        }
+    }
+
+    /// A point-in-time copy of the session's catalog.
+    pub fn catalog(&self) -> Catalog {
+        self.catalog.read().clone()
+    }
+
+    /// Number of catalogued masks.
+    pub fn catalog_len(&self) -> usize {
+        self.catalog.read().len()
     }
 
     /// The session's mask store.
@@ -214,9 +269,11 @@ impl Session {
     }
 
     /// The catalog record of a mask, or an error if unknown.
-    pub fn record(&self, mask_id: MaskId) -> QueryResult<&MaskRecord> {
+    pub fn record(&self, mask_id: MaskId) -> QueryResult<MaskRecord> {
         self.catalog
+            .read()
             .get(mask_id)
+            .cloned()
             .ok_or(QueryError::UnknownMask(mask_id))
     }
 
@@ -238,26 +295,154 @@ impl Session {
     /// Loads a mask and, in incremental mode, builds and retains its CHI
     /// (§3.6). Returns the mask and whether an index was built.
     pub fn load_and_index(&self, mask_id: MaskId) -> QueryResult<(Arc<Mask>, bool)> {
+        // Snapshot the CHI removal generation before loading: if a write
+        // evicts this mask's index while we hold pre-write pixels, the
+        // guarded install below refuses to put stale bounds in the index.
+        let chi_generation = self.chi.removal_generation();
         let mask = self.load_mask(mask_id)?;
         let built = if self.config.indexing_mode == IndexingMode::Incremental
             && !self.chi.contains(mask_id)
         {
-            self.chi.index_mask(mask_id, &mask);
-            true
+            self.chi
+                .index_mask_if_current(mask_id, &mask, chi_generation)
         } else {
             false
         };
         Ok((mask, built))
     }
 
+    /// Inserts (or overwrites) a batch of masks with their catalog records.
+    ///
+    /// The store commit happens first (atomically and durably when the store
+    /// supports it), then the CHI store and mask cache are brought up to
+    /// date, and finally the records are published to the catalog under one
+    /// write guard — so a concurrent query's *candidate set* includes either
+    /// none or all of the batch (per-mask record lookups afterwards are
+    /// read-committed; see the module docs).
+    pub fn insert_masks(&self, batch: &[(MaskRecord, Mask)]) -> QueryResult<usize> {
+        if batch.is_empty() {
+            return Ok(0);
+        }
+        let _writes = self.writes.lock();
+        if !self.chi_maintained_by_store {
+            // Evict the CHIs of overwritten ids before the new pixels can
+            // become visible: stale bounds over new pixels could accept or
+            // prune a mask without verification. Until the re-index below,
+            // queries fall back to loading the mask.
+            for (record, _) in batch {
+                self.chi.remove(record.mask_id);
+            }
+        }
+        self.store.insert_batch(batch)?;
+        for (record, mask) in batch {
+            self.cache.invalidate(record.mask_id);
+            if !self.chi_maintained_by_store && self.config.indexing_mode != IndexingMode::Disabled
+            {
+                self.chi.index_mask(record.mask_id, mask);
+            }
+        }
+        {
+            let mut catalog = self.catalog.write();
+            for (record, _) in batch {
+                catalog.insert(record.clone());
+            }
+        }
+        // Aggregated-mask indexes are built over group contents; any write
+        // can invalidate them, so they are dropped and rebuilt on demand.
+        self.agg_indexes.write().clear();
+        Ok(batch.len())
+    }
+
+    /// Deletes a batch of masks.
+    ///
+    /// The ids are deduplicated and validated against the catalog first
+    /// (failing with [`QueryError::UnknownMask`] before any side effect).
+    /// Then: CHI entries are evicted (the filter stage must never hold
+    /// bounds for a mask that is about to vanish), the store delete commits,
+    /// and only then are the catalog records removed — so a store failure
+    /// leaves catalog and store consistent, at the cost of a short window
+    /// where a new query can still resolve a deleted id and fail on load.
+    ///
+    /// Isolation note: a query that resolved its candidates *before* the
+    /// delete may still try to load a deleted mask and fail with
+    /// [`QueryError::UnknownMask`] or a storage not-found error. That is
+    /// deliberate — failing loudly and letting the caller retry beats
+    /// silently returning a result that mixes pre- and post-delete state.
+    pub fn delete_masks(&self, mask_ids: &[MaskId]) -> QueryResult<usize> {
+        if mask_ids.is_empty() {
+            return Ok(0);
+        }
+        let _writes = self.writes.lock();
+        // Deduplicate: `DELETE ... WHERE mask_id IN (5, 5)` means one
+        // delete, and a duplicate must not make the store's batch fail
+        // halfway.
+        let ids: Vec<MaskId> = {
+            let mut seen = std::collections::BTreeSet::new();
+            mask_ids
+                .iter()
+                .copied()
+                .filter(|id| seen.insert(*id))
+                .collect()
+        };
+        {
+            let catalog = self.catalog.read();
+            for &id in &ids {
+                if catalog.get(id).is_none() {
+                    return Err(QueryError::UnknownMask(id));
+                }
+            }
+        }
+        if !self.chi_maintained_by_store {
+            for &id in &ids {
+                self.chi.remove(id);
+            }
+        }
+        // Store first, catalog second: if the store delete fails, the
+        // catalog still matches the store (the evicted CHI entries merely
+        // cost a re-index). Removing catalog records first would leave
+        // permanently orphaned pixels on a store error.
+        self.store.delete_batch(&ids)?;
+        {
+            let mut catalog = self.catalog.write();
+            for &id in &ids {
+                catalog.remove(id);
+            }
+        }
+        for &id in &ids {
+            self.cache.invalidate(id);
+        }
+        self.agg_indexes.write().clear();
+        Ok(ids.len())
+    }
+
+    /// Applies a lowered write statement.
+    pub fn apply(&self, mutation: &Mutation) -> QueryResult<MutationOutcome> {
+        match mutation {
+            Mutation::Insert(batch) => Ok(MutationOutcome {
+                inserted: self.insert_masks(batch)?,
+                deleted: 0,
+            }),
+            Mutation::Delete(ids) => Ok(MutationOutcome {
+                inserted: 0,
+                deleted: self.delete_masks(ids)?,
+            }),
+        }
+    }
+
     /// Resolves a selection into the sorted list of targeted mask ids.
+    ///
+    /// The whole resolution happens under one catalog read guard, so the
+    /// candidate set reflects a single committed state — concurrent write
+    /// batches are observed entirely or not at all.
     pub fn resolve_selection(&self, selection: &Selection) -> Vec<MaskId> {
-        self.catalog.filter(|record| selection.matches(record))
+        self.catalog
+            .read()
+            .filter(|record| selection.matches(record))
     }
 
     /// Groups targeted masks by image id.
     pub fn group_by_image(&self, mask_ids: &[MaskId]) -> Vec<(ImageId, Vec<MaskId>)> {
-        self.catalog.group_by_image(mask_ids)
+        self.catalog.read().group_by_image(mask_ids)
     }
 
     /// Signature string identifying an aggregated-mask index: the aggregation
@@ -466,6 +651,164 @@ mod tests {
         let signature = Session::aggregate_signature(&agg, &selection);
         let index = session.aggregate_index(&signature).unwrap();
         assert_eq!(index.len(), 3); // one aggregated mask per image
+    }
+
+    #[test]
+    fn insert_masks_are_immediately_queryable_and_indexed() {
+        let (store, catalog) = small_db(4);
+        let session =
+            Session::new(store, catalog, config().indexing_mode(IndexingMode::Eager)).unwrap();
+        assert_eq!(session.indexed_masks(), 4);
+
+        let new_mask = Mask::from_fn(16, 16, |_, _| 0.9);
+        let record = MaskRecord::builder(MaskId::new(100))
+            .image_id(ImageId::new(50))
+            .shape(16, 16)
+            .build();
+        let inserted = session.insert_masks(&[(record, new_mask)]).unwrap();
+        assert_eq!(inserted, 1);
+        assert_eq!(session.catalog_len(), 5);
+        assert_eq!(session.indexed_masks(), 5);
+
+        // The new all-0.9 mask matches a high-threshold query alone.
+        let query = Query::filter_cp_gt(
+            Roi::new(0, 0, 16, 16).unwrap(),
+            PixelRange::new(0.85, 1.0).unwrap(),
+            200.0,
+        );
+        let out = session.execute(&query).unwrap();
+        assert_eq!(out.mask_ids(), vec![MaskId::new(100)]);
+    }
+
+    #[test]
+    fn delete_masks_vanish_from_results_index_and_cache() {
+        let (store, catalog) = small_db(6);
+        let session = Session::new(
+            store,
+            catalog,
+            config()
+                .indexing_mode(IndexingMode::Eager)
+                .cache_bytes(1 << 20),
+        )
+        .unwrap();
+        // Warm the cache.
+        session.load_mask(MaskId::new(2)).unwrap();
+        assert!(session.cache().peek(MaskId::new(2)).is_some());
+
+        let deleted = session
+            .delete_masks(&[MaskId::new(2), MaskId::new(3)])
+            .unwrap();
+        assert_eq!(deleted, 2);
+        assert_eq!(session.catalog_len(), 4);
+        assert_eq!(session.indexed_masks(), 4);
+        assert!(session.chi_for(MaskId::new(2)).is_none());
+        assert!(session.cache().peek(MaskId::new(2)).is_none());
+        assert!(!session.store().contains(MaskId::new(2)));
+
+        let query = Query::filter_cp_gt(
+            Roi::new(0, 0, 16, 16).unwrap(),
+            PixelRange::new(0.0, 1.0).unwrap(),
+            0.0,
+        );
+        let out = session.execute(&query).unwrap();
+        assert_eq!(
+            out.mask_ids(),
+            vec![
+                MaskId::new(0),
+                MaskId::new(1),
+                MaskId::new(4),
+                MaskId::new(5)
+            ]
+        );
+        // Unknown ids fail up front without side effects.
+        assert!(matches!(
+            session.delete_masks(&[MaskId::new(0), MaskId::new(77)]),
+            Err(QueryError::UnknownMask(_))
+        ));
+        assert_eq!(session.catalog_len(), 4);
+        // Duplicated ids collapse to one delete.
+        let deleted = session
+            .delete_masks(&[MaskId::new(0), MaskId::new(0)])
+            .unwrap();
+        assert_eq!(deleted, 1);
+        assert_eq!(session.catalog_len(), 3);
+    }
+
+    #[test]
+    fn overwriting_insert_refreshes_chi_and_cache() {
+        let (store, catalog) = small_db(3);
+        let session = Session::new(
+            store,
+            catalog,
+            config()
+                .indexing_mode(IndexingMode::Eager)
+                .cache_bytes(1 << 20),
+        )
+        .unwrap();
+        session.load_mask(MaskId::new(1)).unwrap();
+
+        // Overwrite mask 1 with an all-high mask; stale CHI or cache would
+        // make the query below miss it or mis-prune.
+        let bright = Mask::from_fn(16, 16, |_, _| 0.95);
+        let record = MaskRecord::builder(MaskId::new(1))
+            .image_id(ImageId::new(0))
+            .shape(16, 16)
+            .build();
+        session.insert_masks(&[(record, bright.clone())]).unwrap();
+        assert_eq!(session.catalog_len(), 3);
+        assert_eq!(*session.load_mask(MaskId::new(1)).unwrap(), bright);
+
+        let query = Query::filter_cp_gt(
+            Roi::new(0, 0, 16, 16).unwrap(),
+            PixelRange::new(0.9, 1.0).unwrap(),
+            200.0,
+        );
+        let out = session.execute(&query).unwrap();
+        assert_eq!(out.mask_ids(), vec![MaskId::new(1)]);
+    }
+
+    #[test]
+    fn mutations_clear_aggregate_indexes() {
+        let (store, catalog) = small_db(6);
+        let session =
+            Session::new(store, catalog, config().indexing_mode(IndexingMode::Eager)).unwrap();
+        let agg = MaskAgg::IntersectThreshold { threshold: 0.5 };
+        let selection = Selection::all();
+        session.build_aggregate_index(&agg, &selection).unwrap();
+        let signature = Session::aggregate_signature(&agg, &selection);
+        assert!(session.aggregate_index(&signature).is_some());
+
+        session.delete_masks(&[MaskId::new(5)]).unwrap();
+        assert!(session.aggregate_index(&signature).is_none());
+    }
+
+    #[test]
+    fn apply_dispatches_mutations() {
+        let (store, catalog) = small_db(2);
+        let session = Session::new(store, catalog, config()).unwrap();
+        let mask = Mask::from_fn(16, 16, |_, _| 0.5);
+        let record = MaskRecord::builder(MaskId::new(9)).shape(16, 16).build();
+        let outcome = session
+            .apply(&crate::Mutation::Insert(vec![(record, mask)]))
+            .unwrap();
+        assert_eq!(
+            outcome,
+            crate::MutationOutcome {
+                inserted: 1,
+                deleted: 0
+            }
+        );
+        let outcome = session
+            .apply(&crate::Mutation::Delete(vec![MaskId::new(9)]))
+            .unwrap();
+        assert_eq!(
+            outcome,
+            crate::MutationOutcome {
+                inserted: 0,
+                deleted: 1
+            }
+        );
+        assert_eq!(session.catalog_len(), 2);
     }
 
     #[test]

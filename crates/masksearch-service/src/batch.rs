@@ -113,7 +113,7 @@ pub fn execute(session: &Session, queries: &[Query]) -> QueryResult<BatchOutput>
         for mask_id in candidates {
             let record = session.record(mask_id)?;
             let truth = match session.chi_for(mask_id) {
-                Some(chi) => eval::predicate_bounds(&plan.predicate, record, &chi, fallback)?,
+                Some(chi) => eval::predicate_bounds(&plan.predicate, &record, &chi, fallback)?,
                 None => Truth::Unknown,
             };
             match truth {
@@ -155,7 +155,7 @@ pub fn execute(session: &Session, queries: &[Query]) -> QueryResult<BatchOutput>
                         let (mask, _built) = session.load_and_index(*mask_id)?;
                         for &plan_slot in interested {
                             let plan = &plans[plan_slot];
-                            if eval::predicate_exact(&plan.predicate, record, &mask, fallback)? {
+                            if eval::predicate_exact(&plan.predicate, &record, &mask, fallback)? {
                                 local.push((plan_slot, *mask_id));
                             }
                         }

@@ -11,10 +11,10 @@
 use crate::batch::{self, BatchOutput};
 use crate::config::{AdmissionPolicy, ServiceConfig};
 use crate::error::{ServiceError, ServiceResult};
-use crate::job::{Job, QueryResponse, Request, Response, Ticket};
+use crate::job::{Job, MutationResponse, QueryResponse, Request, Response, Ticket};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::queue::{JobQueue, PushError};
-use masksearch_query::{Query, Session};
+use masksearch_query::{Mutation, Query, Session};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
@@ -142,10 +142,14 @@ impl Engine {
     }
 
     /// Server-wide metrics, with the cache hit rate taken from the session's
-    /// shared mask cache.
+    /// shared mask cache and the write-path counters from the store (when it
+    /// tracks them).
     pub fn metrics(&self) -> MetricsSnapshot {
         let mut snapshot = self.shared.metrics.snapshot();
         snapshot.cache_hit_rate = self.shared.session.cache().stats().hit_rate();
+        if let Some(ingest) = self.shared.session.store().ingest_stats() {
+            snapshot.ingest = ingest;
+        }
         snapshot
     }
 
@@ -203,6 +207,32 @@ impl Engine {
     /// Submits a batch executed with shared filter/verification work.
     pub fn submit_batch(&self, queries: Vec<Query>) -> ServiceResult<Ticket> {
         self.submit_request(Request::Batch(queries), None)
+    }
+
+    /// Submits a write (an atomic INSERT/DELETE batch); redeem the ticket
+    /// with [`Ticket::wait_mutation`].
+    pub fn submit_mutation(&self, mutation: Mutation) -> ServiceResult<Ticket> {
+        self.submit_request(Request::Mutation(mutation), None)
+    }
+
+    /// Submits a write and blocks for its outcome.
+    pub fn execute_mutation(&self, mutation: Mutation) -> ServiceResult<MutationResponse> {
+        self.submit_mutation(mutation)?.wait_mutation()
+    }
+
+    /// Compiles any SQL statement — SELECT, INSERT, or DELETE — and executes
+    /// it, returning the matching response variant. This is the entry point
+    /// the TCP front end uses, so network clients can ingest masks while
+    /// other clients query.
+    pub fn execute_statement(&self, sql: &str) -> ServiceResult<Response> {
+        match masksearch_sql::compile_statement(sql)? {
+            masksearch_sql::Statement::Query(query) => {
+                Ok(Response::Single(self.submit(query)?.wait_single()?))
+            }
+            masksearch_sql::Statement::Mutation(mutation) => Ok(Response::Mutation(
+                self.submit_mutation(mutation)?.wait_mutation()?,
+            )),
+        }
     }
 
     /// Submits a query and blocks for its result.
@@ -263,6 +293,32 @@ fn worker_loop(shared: &Shared) {
                             output,
                             queue_wait: wait,
                             exec_time,
+                        })));
+                    }
+                    Ok(Err(e)) => {
+                        shared.metrics.record_failed();
+                        let _ = job.reply.send(Err(e.into()));
+                    }
+                    Err(panic) => {
+                        shared.metrics.record_failed();
+                        let _ = job
+                            .reply
+                            .send(Err(ServiceError::Internal(panic_message(&panic))));
+                    }
+                }
+            }
+            Request::Mutation(mutation) => {
+                let exec_start = Instant::now();
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    shared.session.apply(&mutation)
+                }));
+                match result {
+                    Ok(Ok(outcome)) => {
+                        shared.metrics.record_mutation(&outcome);
+                        let _ = job.reply.send(Ok(Response::Mutation(MutationResponse {
+                            outcome,
+                            queue_wait: wait,
+                            exec_time: exec_start.elapsed(),
                         })));
                     }
                     Ok(Err(e)) => {
@@ -527,6 +583,51 @@ mod tests {
         fn disk_profile(&self) -> masksearch_storage::DiskProfile {
             self.inner.disk_profile()
         }
+    }
+
+    #[test]
+    fn sql_dml_flows_through_the_engine() {
+        let engine = Engine::new(test_session(4, IndexingMode::Eager), ServiceConfig::new(2));
+        // Insert a bright 16x16 mask via SQL.
+        let pixels: Vec<String> = (0..256).map(|_| "0.95".to_string()).collect();
+        let insert = format!(
+            "INSERT INTO masks VALUES (100, 50, 16, 16, ({}))",
+            pixels.join(", ")
+        );
+        let response = engine.execute_statement(&insert).unwrap();
+        match response {
+            Response::Mutation(m) => {
+                assert_eq!(m.outcome.inserted, 1);
+                assert_eq!(m.outcome.deleted, 0);
+            }
+            other => panic!("expected a mutation response, got {other:?}"),
+        }
+        // The new mask is immediately visible to queries.
+        let response = engine
+            .execute_sql(
+                "SELECT mask_id FROM masks WHERE CP(mask, (0, 0, 16, 16), (0.9, 1.0)) > 200",
+            )
+            .unwrap();
+        assert_eq!(response.output.mask_ids(), vec![MaskId::new(100)]);
+
+        let response = engine
+            .execute_statement("DELETE FROM masks WHERE mask_id = 100")
+            .unwrap();
+        match response {
+            Response::Mutation(m) => assert_eq!(m.outcome.deleted, 1),
+            other => panic!("expected a mutation response, got {other:?}"),
+        }
+        let metrics = engine.metrics();
+        assert_eq!(metrics.mutations, 2);
+        assert_eq!(metrics.masks_inserted, 1);
+        assert_eq!(metrics.masks_deleted, 1);
+        // A failed delete surfaces as a query error and counts as failed.
+        assert!(matches!(
+            engine.execute_statement("DELETE FROM masks WHERE mask_id = 100"),
+            Err(ServiceError::Query(_))
+        ));
+        assert_eq!(engine.metrics().failed, 1);
+        engine.shutdown();
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use crate::batch::BatchOutput;
 use crate::error::{ServiceError, ServiceResult};
-use masksearch_query::{Query, QueryOutput};
+use masksearch_query::{Mutation, MutationOutcome, Query, QueryOutput};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
@@ -15,6 +15,8 @@ pub enum Request {
     /// Execute a group of queries with shared index/mask work
     /// (see [`crate::batch`]).
     Batch(Vec<Query>),
+    /// Apply a write (INSERT/DELETE batch) to the shared session.
+    Mutation(Mutation),
 }
 
 /// What a job produces.
@@ -24,6 +26,8 @@ pub enum Response {
     Single(QueryResponse),
     /// Output of a [`Request::Batch`].
     Batch(BatchOutput),
+    /// Output of a [`Request::Mutation`].
+    Mutation(MutationResponse),
 }
 
 /// The result of one served query: the engine output plus serving-layer
@@ -35,6 +39,17 @@ pub struct QueryResponse {
     /// Time spent queued before a worker started executing.
     pub queue_wait: Duration,
     /// Time spent executing.
+    pub exec_time: Duration,
+}
+
+/// The result of one served write: what it did plus serving-layer timings.
+#[derive(Debug)]
+pub struct MutationResponse {
+    /// What the write did.
+    pub outcome: MutationOutcome,
+    /// Time spent queued before a worker started applying it.
+    pub queue_wait: Duration,
+    /// Time spent applying.
     pub exec_time: Duration,
 }
 
@@ -84,8 +99,8 @@ impl Ticket {
     pub fn wait_single(self) -> ServiceResult<QueryResponse> {
         match self.wait()? {
             Response::Single(r) => Ok(r),
-            Response::Batch(_) => Err(ServiceError::Protocol(
-                "batch response on a single-query ticket".to_string(),
+            _ => Err(ServiceError::Protocol(
+                "non-query response on a single-query ticket".to_string(),
             )),
         }
     }
@@ -94,8 +109,18 @@ impl Ticket {
     pub fn wait_batch(self) -> ServiceResult<BatchOutput> {
         match self.wait()? {
             Response::Batch(b) => Ok(b),
-            Response::Single(_) => Err(ServiceError::Protocol(
-                "single response on a batch ticket".to_string(),
+            _ => Err(ServiceError::Protocol(
+                "non-batch response on a batch ticket".to_string(),
+            )),
+        }
+    }
+
+    /// Convenience for mutation tickets: unwraps [`Response::Mutation`].
+    pub fn wait_mutation(self) -> ServiceResult<MutationResponse> {
+        match self.wait()? {
+            Response::Mutation(m) => Ok(m),
+            _ => Err(ServiceError::Protocol(
+                "non-mutation response on a mutation ticket".to_string(),
             )),
         }
     }

@@ -94,7 +94,7 @@ pub use client::Client;
 pub use config::{AdmissionPolicy, ServiceConfig};
 pub use engine::Engine;
 pub use error::{ServiceError, ServiceResult};
-pub use job::{QueryResponse, Request, Response, Ticket};
+pub use job::{MutationResponse, QueryResponse, Request, Response, Ticket};
 pub use metrics::{LatencyHistogram, LatencySnapshot, MetricsSnapshot, ServiceMetrics};
 pub use protocol::{ClientRequest, WireResponse, WireSummary};
 pub use server::{Server, ServerHandle};

@@ -5,7 +5,8 @@
 //! recording sits on the per-query hot path of every worker thread and must
 //! never contend with query execution.
 
-use masksearch_query::QueryStats;
+use masksearch_query::{MutationOutcome, QueryStats};
+use masksearch_storage::IngestSnapshot;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -122,6 +123,9 @@ pub struct ServiceMetrics {
     rejected: AtomicU64,
     deadline_expired: AtomicU64,
     batches: AtomicU64,
+    mutations: AtomicU64,
+    masks_inserted: AtomicU64,
+    masks_deleted: AtomicU64,
     /// Sum of `QueryStats::candidates` over completed queries.
     candidates: AtomicU64,
     /// Sum of `QueryStats::masks_loaded` over completed queries.
@@ -151,6 +155,9 @@ impl ServiceMetrics {
             rejected: AtomicU64::new(0),
             deadline_expired: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            mutations: AtomicU64::new(0),
+            masks_inserted: AtomicU64::new(0),
+            masks_deleted: AtomicU64::new(0),
             candidates: AtomicU64::new(0),
             masks_loaded: AtomicU64::new(0),
             pruned: AtomicU64::new(0),
@@ -184,6 +191,17 @@ impl ServiceMetrics {
         self.batches.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a successfully applied write and what it did. Mutation
+    /// latencies are deliberately kept out of the query latency histogram so
+    /// ingestion bursts do not distort read p99s.
+    pub fn record_mutation(&self, outcome: &MutationOutcome) {
+        self.mutations.fetch_add(1, Ordering::Relaxed);
+        self.masks_inserted
+            .fetch_add(outcome.inserted as u64, Ordering::Relaxed);
+        self.masks_deleted
+            .fetch_add(outcome.deleted as u64, Ordering::Relaxed);
+    }
+
     /// Records how long a job sat in the queue before execution started.
     pub fn record_queue_wait(&self, wait: Duration) {
         self.queue_wait.record(wait);
@@ -215,6 +233,13 @@ impl ServiceMetrics {
             rejected: self.rejected.load(Ordering::Relaxed),
             deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
+            mutations: self.mutations.load(Ordering::Relaxed),
+            masks_inserted: self.masks_inserted.load(Ordering::Relaxed),
+            masks_deleted: self.masks_deleted.load(Ordering::Relaxed),
+            // Store-level write-path counters; the engine overwrites this
+            // from the session store's `ingest_stats` at snapshot time, like
+            // the cache hit rate below.
+            ingest: IngestSnapshot::default(),
             qps: if uptime.as_secs_f64() > 0.0 {
                 completed as f64 / uptime.as_secs_f64()
             } else {
@@ -252,6 +277,16 @@ pub struct MetricsSnapshot {
     pub deadline_expired: u64,
     /// Batch jobs executed.
     pub batches: u64,
+    /// Write statements applied through the service.
+    pub mutations: u64,
+    /// Masks inserted by served writes.
+    pub masks_inserted: u64,
+    /// Masks deleted by served writes.
+    pub masks_deleted: u64,
+    /// Store-level write-path counters (WAL bytes, checkpoints, commits) for
+    /// stores that track them; zeros otherwise. Filled by the engine at
+    /// snapshot time.
+    pub ingest: IngestSnapshot,
     /// Completed queries per second of uptime.
     pub qps: f64,
     /// Fraction of candidate masks the index let the server avoid loading

@@ -26,7 +26,7 @@
 //! by the client is bit-identical to the value the server computed.
 
 use crate::error::{ServiceError, ServiceResult};
-use crate::job::QueryResponse;
+use crate::job::{MutationResponse, QueryResponse};
 use crate::metrics::MetricsSnapshot;
 use masksearch_core::{ImageId, MaskId};
 use masksearch_query::{QueryOutput, ResultRow, RowKey};
@@ -129,6 +129,23 @@ pub fn write_response<W: Write>(w: &mut W, response: &QueryResponse) -> std::io:
     writeln!(w, "{END_MARKER}")
 }
 
+/// Writes a successful mutation response frame: an `OK` header with zero
+/// rows and `inserted=` / `deleted=` counters, so query-only clients parse
+/// it as an empty result while write-aware clients read the counts.
+pub fn write_mutation_response<W: Write>(
+    w: &mut W,
+    response: &MutationResponse,
+) -> std::io::Result<()> {
+    writeln!(
+        w,
+        "OK 0 inserted={} deleted={} wall_us={}",
+        response.outcome.inserted,
+        response.outcome.deleted,
+        response.exec_time.as_micros(),
+    )?;
+    writeln!(w, "{END_MARKER}")
+}
+
 /// Writes an error frame.
 pub fn write_error<W: Write>(w: &mut W, error: &ServiceError) -> std::io::Result<()> {
     writeln!(w, "ERR {}", error.wire_message())?;
@@ -146,7 +163,8 @@ pub fn write_stats<W: Write>(w: &mut W, m: &MetricsSnapshot) -> std::io::Result<
     writeln!(
         w,
         "STATS qps={:.3} completed={} failed={} rejected={} deadline_expired={} \
-         p50_us={} p99_us={} mean_us={} filter_rate={:.6} cache_hit_rate={:.6} uptime_ms={}",
+         p50_us={} p99_us={} mean_us={} filter_rate={:.6} cache_hit_rate={:.6} uptime_ms={} \
+         mutations={} inserted={} deleted={} wal_bytes={} checkpoints={} commits={}",
         m.qps,
         m.completed,
         m.failed,
@@ -158,6 +176,12 @@ pub fn write_stats<W: Write>(w: &mut W, m: &MetricsSnapshot) -> std::io::Result<
         m.filter_rate,
         m.cache_hit_rate,
         m.uptime.as_millis(),
+        m.mutations,
+        m.masks_inserted,
+        m.masks_deleted,
+        m.ingest.wal_bytes,
+        m.ingest.checkpoints,
+        m.ingest.commits,
     )?;
     writeln!(w, "{END_MARKER}")
 }
@@ -175,6 +199,10 @@ pub struct WireSummary {
     pub verified: u64,
     /// `QueryStats::masks_loaded` on the server.
     pub loaded: u64,
+    /// Masks inserted, when the frame answers a write statement.
+    pub inserted: u64,
+    /// Masks deleted, when the frame answers a write statement.
+    pub deleted: u64,
     /// Server-side execution time in microseconds.
     pub wall_us: u64,
 }
@@ -255,6 +283,10 @@ pub fn read_frame<R: BufRead>(reader: &mut R) -> ServiceResult<Frame> {
             summary.verified = v;
         } else if let Ok(v) = parse_kv(token, "loaded") {
             summary.loaded = v;
+        } else if let Ok(v) = parse_kv(token, "inserted") {
+            summary.inserted = v;
+        } else if let Ok(v) = parse_kv(token, "deleted") {
+            summary.deleted = v;
         } else if let Ok(v) = parse_kv(token, "wall_us") {
             summary.wall_us = v;
         }
@@ -375,6 +407,30 @@ mod tests {
                 assert_eq!(parsed.summary.candidates, 10);
                 assert_eq!(parsed.summary.pruned, 7);
                 assert_eq!(parsed.summary.wall_us, 184);
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mutation_frames_round_trip() {
+        let response = MutationResponse {
+            outcome: masksearch_query::MutationOutcome {
+                inserted: 3,
+                deleted: 1,
+            },
+            queue_wait: Duration::from_micros(2),
+            exec_time: Duration::from_micros(77),
+        };
+        let mut wire = Vec::new();
+        write_mutation_response(&mut wire, &response).unwrap();
+        let mut reader = BufReader::new(&wire[..]);
+        match read_frame(&mut reader).unwrap() {
+            Frame::Rows(parsed) => {
+                assert!(parsed.rows.is_empty());
+                assert_eq!(parsed.summary.inserted, 3);
+                assert_eq!(parsed.summary.deleted, 1);
+                assert_eq!(parsed.summary.wall_us, 77);
             }
             other => panic!("unexpected frame {other:?}"),
         }

@@ -174,8 +174,20 @@ fn serve_connection(stream: TcpStream, engine: &Engine) -> std::io::Result<()> {
             }
             ClientRequest::Ping => protocol::write_pong(&mut writer)?,
             ClientRequest::Stats => protocol::write_stats(&mut writer, &engine.metrics())?,
-            ClientRequest::Sql(sql) => match engine.execute_sql(&sql) {
-                Ok(response) => protocol::write_response(&mut writer, &response)?,
+            ClientRequest::Sql(sql) => match engine.execute_statement(&sql) {
+                Ok(crate::job::Response::Single(response)) => {
+                    protocol::write_response(&mut writer, &response)?
+                }
+                Ok(crate::job::Response::Mutation(response)) => {
+                    protocol::write_mutation_response(&mut writer, &response)?
+                }
+                // The SQL path never produces batch responses.
+                Ok(crate::job::Response::Batch(_)) => protocol::write_error(
+                    &mut writer,
+                    &crate::error::ServiceError::Protocol(
+                        "unexpected batch response for a SQL statement".to_string(),
+                    ),
+                )?,
                 Err(e) => protocol::write_error(&mut writer, &e)?,
             },
         }

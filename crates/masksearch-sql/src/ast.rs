@@ -144,6 +144,49 @@ pub enum SqlOrder {
     Desc,
 }
 
+/// One `(mask_id, image_id, width, height, (pixels...))` tuple of an
+/// `INSERT`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertRow {
+    /// Mask id (primary key).
+    pub mask_id: u64,
+    /// Image the mask annotates.
+    pub image_id: u64,
+    /// Mask width in pixels.
+    pub width: u32,
+    /// Mask height in pixels.
+    pub height: u32,
+    /// Row-major pixel values in `[0, 1]`; must hold `width * height`
+    /// entries.
+    pub pixels: Vec<f64>,
+}
+
+/// A parsed `INSERT INTO masks VALUES (...), (...)` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlInsert {
+    /// The inserted tuples, committed as one atomic batch.
+    pub rows: Vec<InsertRow>,
+}
+
+/// A parsed `DELETE FROM masks WHERE mask_id = n | mask_id IN (...)`
+/// statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlDelete {
+    /// Ids of the masks to delete, deleted as one atomic batch.
+    pub mask_ids: Vec<u64>,
+}
+
+/// Any parsed statement: a query or a write.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlStatement {
+    /// A `SELECT` query.
+    Query(SqlQuery),
+    /// An `INSERT` of new masks.
+    Insert(SqlInsert),
+    /// A `DELETE` of existing masks.
+    Delete(SqlDelete),
+}
+
 /// A parsed SQL statement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SqlQuery {

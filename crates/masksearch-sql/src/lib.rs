@@ -29,6 +29,20 @@
 //! `mask_type IN (...)`, `predicted_label = n`, `image_id IN (...)`) become
 //! the query's relational selection; `CP` predicates become the
 //! filter-predicate tree.
+//!
+//! The dialect also covers ingestion (see [`compile_statement`]):
+//!
+//! ```sql
+//! -- Insert masks as (mask_id, image_id, width, height, (pixels...)):
+//! INSERT INTO masks VALUES (7, 3, 2, 2, (0.1, 0.2, 0.3, 0.4)),
+//!                          (8, 3, 2, 2, (0.9, 0.8, 0.7, 0.6));
+//!
+//! -- Delete masks by id:
+//! DELETE FROM masks WHERE mask_id IN (7, 8);
+//! ```
+//!
+//! Each statement lowers to one atomic batch, so a crash or a concurrent
+//! reader sees either the whole statement applied or none of it.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -38,12 +52,21 @@ pub mod lexer;
 pub mod lower;
 pub mod parser;
 
-pub use ast::SqlQuery;
+pub use ast::{SqlDelete, SqlInsert, SqlQuery, SqlStatement};
 pub use lexer::{tokenize, Token};
-pub use lower::lower;
-pub use parser::parse;
+pub use lower::{lower, lower_statement};
+pub use parser::{parse, parse_statement};
 
-use masksearch_query::Query;
+use masksearch_query::{Mutation, Query};
+
+/// An executable statement: a lowered query or a lowered write.
+#[derive(Debug, Clone)]
+pub enum Statement {
+    /// A read-only query for `Session::execute`.
+    Query(Query),
+    /// A write for `Session::apply`.
+    Mutation(Mutation),
+}
 
 /// Parse error with a human-readable message and byte offset.
 #[derive(Debug, Clone, PartialEq)]
@@ -83,4 +106,19 @@ impl std::error::Error for SqlError {}
 pub fn compile(sql: &str) -> Result<Query, SqlError> {
     let statement = parse(sql)?;
     lower(&statement)
+}
+
+/// Parses any statement — `SELECT`, `INSERT`, or `DELETE` — and lowers it to
+/// an executable [`Statement`].
+///
+/// ```
+/// use masksearch_sql::{compile_statement, Statement};
+/// let statement = compile_statement(
+///     "INSERT INTO masks VALUES (7, 3, 2, 2, (0.1, 0.2, 0.3, 0.4))",
+/// ).unwrap();
+/// assert!(matches!(statement, Statement::Mutation(_)));
+/// ```
+pub fn compile_statement(sql: &str) -> Result<Statement, SqlError> {
+    let statement = parse_statement(sql)?;
+    lower_statement(&statement)
 }

@@ -1,11 +1,62 @@
 //! Lowering of parsed SQL statements onto the `masksearch-query` model.
 
-use crate::ast::{Condition, MaskArg, RoiExpr, SelectItem, SqlCmp, SqlExpr, SqlOrder, SqlQuery};
-use crate::SqlError;
-use masksearch_core::{ImageId, Label, MaskAgg, MaskId, MaskType, ModelId, PixelRange, Roi};
-use masksearch_query::{
-    CmpOp, CpTerm, Expr, Order, Predicate, Query, QueryKind, RoiSpec, ScalarAgg, Selection,
+use crate::ast::{
+    Condition, MaskArg, RoiExpr, SelectItem, SqlCmp, SqlDelete, SqlExpr, SqlInsert, SqlOrder,
+    SqlQuery, SqlStatement,
 };
+use crate::{SqlError, Statement};
+use masksearch_core::{
+    ImageId, Label, Mask, MaskAgg, MaskId, MaskRecord, MaskType, ModelId, PixelRange, Roi,
+};
+use masksearch_query::{
+    CmpOp, CpTerm, Expr, Mutation, Order, Predicate, Query, QueryKind, RoiSpec, ScalarAgg,
+    Selection,
+};
+
+/// Lowers any parsed statement into an executable [`Statement`].
+pub fn lower_statement(statement: &SqlStatement) -> Result<Statement, SqlError> {
+    match statement {
+        SqlStatement::Query(query) => Ok(Statement::Query(lower(query)?)),
+        SqlStatement::Insert(insert) => Ok(Statement::Mutation(lower_insert(insert)?)),
+        SqlStatement::Delete(delete) => Ok(Statement::Mutation(lower_delete(delete))),
+    }
+}
+
+/// Lowers an `INSERT`, validating every tuple's shape and pixel domain.
+fn lower_insert(insert: &SqlInsert) -> Result<Mutation, SqlError> {
+    if insert.rows.is_empty() {
+        return Err(SqlError::new("INSERT needs at least one tuple", 0));
+    }
+    let mut batch = Vec::with_capacity(insert.rows.len());
+    for row in &insert.rows {
+        let expected = (row.width as usize) * (row.height as usize);
+        if row.pixels.len() != expected {
+            return Err(SqlError::new(
+                format!(
+                    "mask {} declares shape {}x{} ({expected} pixels) but the tuple carries {}",
+                    row.mask_id,
+                    row.width,
+                    row.height,
+                    row.pixels.len()
+                ),
+                0,
+            ));
+        }
+        let pixels: Vec<f32> = row.pixels.iter().map(|&v| v as f32).collect();
+        let mask = Mask::new(row.width, row.height, pixels)
+            .map_err(|e| SqlError::new(format!("mask {} is invalid: {e}", row.mask_id), 0))?;
+        let record = MaskRecord::builder(MaskId::new(row.mask_id))
+            .image_id(ImageId::new(row.image_id))
+            .shape(row.width, row.height)
+            .build();
+        batch.push((record, mask));
+    }
+    Ok(Mutation::Insert(batch))
+}
+
+fn lower_delete(delete: &SqlDelete) -> Mutation {
+    Mutation::Delete(delete.mask_ids.iter().map(|&id| MaskId::new(id)).collect())
+}
 
 /// Lowers a parsed statement into an executable [`Query`].
 pub fn lower(statement: &SqlQuery) -> Result<Query, SqlError> {
@@ -401,6 +452,52 @@ mod tests {
             }
             other => panic!("unexpected kind {other:?}"),
         }
+    }
+
+    #[test]
+    fn lowers_insert_to_an_atomic_batch() {
+        let statement =
+            crate::compile_statement("INSERT INTO masks VALUES (7, 3, 2, 2, (0.1, 0.2, 0.3, 0.4))")
+                .unwrap();
+        let crate::Statement::Mutation(Mutation::Insert(batch)) = statement else {
+            panic!("expected an insert mutation");
+        };
+        assert_eq!(batch.len(), 1);
+        let (record, mask) = &batch[0];
+        assert_eq!(record.mask_id, MaskId::new(7));
+        assert_eq!(record.image_id, ImageId::new(3));
+        assert_eq!((record.width, record.height), (2, 2));
+        assert_eq!(mask.get(1, 1), 0.4);
+    }
+
+    #[test]
+    fn lowers_delete_to_ids() {
+        let statement =
+            crate::compile_statement("DELETE FROM masks WHERE mask_id IN (4, 5)").unwrap();
+        let crate::Statement::Mutation(Mutation::Delete(ids)) = statement else {
+            panic!("expected a delete mutation");
+        };
+        assert_eq!(ids, vec![MaskId::new(4), MaskId::new(5)]);
+    }
+
+    #[test]
+    fn compile_statement_also_lowers_queries() {
+        let statement = crate::compile_statement(
+            "SELECT mask_id FROM masks WHERE CP(mask, full, (0.5, 1.0)) > 3",
+        )
+        .unwrap();
+        assert!(matches!(statement, crate::Statement::Query(_)));
+    }
+
+    #[test]
+    fn insert_validation_rejects_bad_tuples() {
+        // Pixel count does not match the declared shape.
+        assert!(
+            crate::compile_statement("INSERT INTO masks VALUES (1, 0, 2, 2, (0.1, 0.2, 0.3))")
+                .is_err()
+        );
+        // Out-of-domain pixel value.
+        assert!(crate::compile_statement("INSERT INTO masks VALUES (1, 0, 1, 1, (1.5))").is_err());
     }
 
     #[test]

@@ -1,10 +1,14 @@
 //! Recursive-descent parser for the MaskSearch SQL dialect.
 
-use crate::ast::{Condition, MaskArg, RoiExpr, SelectItem, SqlCmp, SqlExpr, SqlOrder, SqlQuery};
+use crate::ast::{
+    Condition, InsertRow, MaskArg, RoiExpr, SelectItem, SqlCmp, SqlDelete, SqlExpr, SqlInsert,
+    SqlOrder, SqlQuery, SqlStatement,
+};
 use crate::lexer::{tokenize, Spanned, Token};
 use crate::SqlError;
 
-/// Parses one SQL statement.
+/// Parses one `SELECT` statement (the read-only entry point kept for
+/// callers that only speak queries).
 pub fn parse(sql: &str) -> Result<SqlQuery, SqlError> {
     let tokens = tokenize(sql)?;
     let mut parser = Parser { tokens, pos: 0 };
@@ -14,6 +18,27 @@ pub fn parse(sql: &str) -> Result<SqlQuery, SqlError> {
         return Err(parser.error("unexpected trailing input"));
     }
     Ok(query)
+}
+
+/// Parses any statement: `SELECT`, `INSERT INTO masks VALUES ...`, or
+/// `DELETE FROM masks WHERE mask_id ...`.
+pub fn parse_statement(sql: &str) -> Result<SqlStatement, SqlError> {
+    let tokens = tokenize(sql)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let statement = if parser.peek_keyword("SELECT") {
+        SqlStatement::Query(parser.parse_query()?)
+    } else if parser.peek_keyword("INSERT") {
+        SqlStatement::Insert(parser.parse_insert()?)
+    } else if parser.peek_keyword("DELETE") {
+        SqlStatement::Delete(parser.parse_delete()?)
+    } else {
+        return Err(parser.error("expected SELECT, INSERT, or DELETE"));
+    };
+    parser.consume_if(&Token::Semicolon);
+    if !parser.at_end() {
+        return Err(parser.error("unexpected trailing input"));
+    }
+    Ok(statement)
 }
 
 struct Parser {
@@ -96,6 +121,103 @@ impl Parser {
             },
             _ => Err(self.error("expected a number")),
         }
+    }
+
+    /// Consumes a number and requires it to be a non-negative integer.
+    ///
+    /// Literals reach the parser as `f64`, which represents integers
+    /// exactly only below 2^53; anything at or above that bound may already
+    /// have been silently rounded by the lexer, so it is rejected rather
+    /// than committed under a corrupted id.
+    fn integer(&mut self, what: &str) -> Result<u64, SqlError> {
+        const MAX_EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+        let v = self.number()?;
+        if v < 0.0 || v.fract() != 0.0 || v >= MAX_EXACT {
+            return Err(self.error(format!("{what} must be a non-negative integer below 2^53")));
+        }
+        Ok(v as u64)
+    }
+
+    /// Consumes a number and requires it to fit in a `u32`.
+    fn integer_u32(&mut self, what: &str) -> Result<u32, SqlError> {
+        let v = self.integer(what)?;
+        u32::try_from(v).map_err(|_| self.error(format!("{what} must fit in 32 bits")))
+    }
+
+    /// Parses `INSERT INTO <relation> VALUES (id, image, w, h, (pixels...))
+    /// [, (...)]*`.
+    fn parse_insert(&mut self) -> Result<SqlInsert, SqlError> {
+        self.expect_keyword("INSERT")?;
+        self.expect_keyword("INTO")?;
+        let _relation = self.keyword()?;
+        self.expect_keyword("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&Token::LParen, "`(` opening an INSERT tuple")?;
+            let mask_id = self.integer("mask_id")?;
+            self.expect(&Token::Comma, "`,` after mask_id")?;
+            let image_id = self.integer("image_id")?;
+            self.expect(&Token::Comma, "`,` after image_id")?;
+            let width = self.integer_u32("width")?;
+            self.expect(&Token::Comma, "`,` after width")?;
+            let height = self.integer_u32("height")?;
+            self.expect(&Token::Comma, "`,` after height")?;
+            self.expect(&Token::LParen, "`(` opening the pixel list")?;
+            // Cap the pre-allocation: width/height are wire data, and a
+            // hostile 4-billion-squared shape must not drive a huge (or
+            // panicking) allocation before a single pixel is validated.
+            let declared = (width as usize).saturating_mul(height as usize);
+            let mut pixels = Vec::with_capacity(declared.min(65_536));
+            loop {
+                pixels.push(self.number()?);
+                if !self.consume_if(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen, "`)` closing the pixel list")?;
+            self.expect(&Token::RParen, "`)` closing the INSERT tuple")?;
+            rows.push(InsertRow {
+                mask_id,
+                image_id,
+                width,
+                height,
+                pixels,
+            });
+            if !self.consume_if(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(SqlInsert { rows })
+    }
+
+    /// Parses `DELETE FROM <relation> WHERE mask_id = n` or
+    /// `... WHERE mask_id IN (n, ...)`.
+    fn parse_delete(&mut self) -> Result<SqlDelete, SqlError> {
+        self.expect_keyword("DELETE")?;
+        self.expect_keyword("FROM")?;
+        let _relation = self.keyword()?;
+        self.expect_keyword("WHERE")?;
+        let column = self.keyword()?;
+        if column != "MASK_ID" {
+            return Err(self.error("DELETE supports only `mask_id = n` or `mask_id IN (...)`"));
+        }
+        let mask_ids = if self.peek_keyword("IN") {
+            self.pos += 1;
+            self.expect(&Token::LParen, "`(` after IN")?;
+            let mut ids = Vec::new();
+            loop {
+                ids.push(self.integer("mask_id")?);
+                if !self.consume_if(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen, "`)` closing IN list")?;
+            ids
+        } else {
+            self.expect(&Token::Eq, "`=` or IN in DELETE condition")?;
+            vec![self.integer("mask_id")?]
+        };
+        Ok(SqlDelete { mask_ids })
     }
 
     fn parse_query(&mut self) -> Result<SqlQuery, SqlError> {
@@ -566,6 +688,75 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_insert_tuples() {
+        let statement = parse_statement(
+            "INSERT INTO masks VALUES (7, 3, 2, 2, (0.1, 0.2, 0.3, 0.4)), \
+             (8, 3, 1, 2, (0.9, 1.0));",
+        )
+        .unwrap();
+        let SqlStatement::Insert(insert) = statement else {
+            panic!("expected an insert");
+        };
+        assert_eq!(insert.rows.len(), 2);
+        assert_eq!(insert.rows[0].mask_id, 7);
+        assert_eq!(insert.rows[0].image_id, 3);
+        assert_eq!((insert.rows[0].width, insert.rows[0].height), (2, 2));
+        assert_eq!(insert.rows[0].pixels, vec![0.1, 0.2, 0.3, 0.4]);
+        assert_eq!(insert.rows[1].pixels, vec![0.9, 1.0]);
+    }
+
+    #[test]
+    fn parses_delete_by_eq_and_in() {
+        assert_eq!(
+            parse_statement("DELETE FROM masks WHERE mask_id = 9").unwrap(),
+            SqlStatement::Delete(SqlDelete { mask_ids: vec![9] })
+        );
+        assert_eq!(
+            parse_statement("DELETE FROM masks WHERE mask_id IN (1, 2, 3);").unwrap(),
+            SqlStatement::Delete(SqlDelete {
+                mask_ids: vec![1, 2, 3]
+            })
+        );
+    }
+
+    #[test]
+    fn parse_statement_still_accepts_selects() {
+        let statement =
+            parse_statement("SELECT mask_id FROM masks WHERE CP(mask, full, (0.5, 1.0)) > 3")
+                .unwrap();
+        assert!(matches!(statement, SqlStatement::Query(_)));
+    }
+
+    #[test]
+    fn rejects_malformed_dml() {
+        // Fractional or negative ids.
+        assert!(parse_statement("INSERT INTO masks VALUES (1.5, 0, 1, 1, (0.5))").is_err());
+        assert!(parse_statement("DELETE FROM masks WHERE mask_id = -3").is_err());
+        // Ids at or above 2^53 may have been rounded by the f64 lexer and
+        // must be rejected, not committed under a corrupted id.
+        assert!(parse_statement("DELETE FROM masks WHERE mask_id = 9007199254740993").is_err());
+        assert!(
+            parse_statement("INSERT INTO masks VALUES (9007199254740992, 0, 1, 1, (0.5))").is_err()
+        );
+        // Shape fields must fit in u32 instead of silently wrapping.
+        assert!(parse_statement("INSERT INTO masks VALUES (1, 0, 4294967297, 1, (0.5))").is_err());
+        // ...but a large-but-exact id is fine.
+        assert!(parse_statement("DELETE FROM masks WHERE mask_id = 4503599627370496").is_ok());
+        // Missing pixel list.
+        assert!(parse_statement("INSERT INTO masks VALUES (1, 0, 1, 1)").is_err());
+        // DELETE on a non-key column.
+        assert!(parse_statement("DELETE FROM masks WHERE image_id = 3").is_err());
+        // DELETE without a WHERE clause.
+        assert!(parse_statement("DELETE FROM masks").is_err());
+        // Unknown statement kind.
+        assert!(parse_statement("UPDATE masks SET x = 1").is_err());
+        // Trailing junk.
+        assert!(parse_statement("DELETE FROM masks WHERE mask_id = 1 junk").is_err());
+        // The query-only entry point refuses writes.
+        assert!(parse("DELETE FROM masks WHERE mask_id = 1").is_err());
     }
 
     #[test]

@@ -41,11 +41,27 @@ struct Entry {
     last_used: u64,
 }
 
+/// Entries the per-id invalidation log may hold before collapsing into the
+/// coarse `invalidated_floor` fallback.
+const INVALIDATION_LOG_CAP: usize = 4096;
+
 struct Inner {
     entries: HashMap<MaskId, Entry>,
     clock: u64,
     used_bytes: u64,
     stats: CacheStats,
+    /// Bumped by every invalidation. `get_or_load` loads outside the lock;
+    /// comparing against the per-id log on re-entry keeps a load that raced
+    /// with an invalidation of the *same* mask from caching stale pixels,
+    /// without penalising loads of unrelated masks during steady ingestion.
+    generation: u64,
+    /// Generation at which each mask was last invalidated. Bounded: when it
+    /// grows past [`INVALIDATION_LOG_CAP`] it is cleared and
+    /// `invalidated_floor` takes over for older in-flight loads.
+    invalidated: HashMap<MaskId, u64>,
+    /// Loads that started at or below this generation skip caching
+    /// entirely (conservative fallback after a log collapse or `clear`).
+    invalidated_floor: u64,
 }
 
 /// A least-recently-used mask cache with a byte budget.
@@ -68,6 +84,9 @@ impl MaskCache {
                 clock: 0,
                 used_bytes: 0,
                 stats: CacheStats::default(),
+                generation: 0,
+                invalidated: HashMap::new(),
+                invalidated_floor: 0,
             }),
         }
     }
@@ -105,6 +124,9 @@ impl MaskCache {
     /// Removes every cached mask (statistics are preserved).
     pub fn clear(&self) {
         let mut inner = self.inner.lock();
+        inner.generation += 1;
+        inner.invalidated_floor = inner.generation;
+        inner.invalidated.clear();
         inner.entries.clear();
         inner.used_bytes = 0;
     }
@@ -116,7 +138,7 @@ impl MaskCache {
         mask_id: MaskId,
         load: impl FnOnce() -> StorageResult<Mask>,
     ) -> StorageResult<Arc<Mask>> {
-        {
+        let generation_before = {
             let mut inner = self.inner.lock();
             inner.clock += 1;
             let clock = inner.clock;
@@ -127,7 +149,8 @@ impl MaskCache {
                 return Ok(mask);
             }
             inner.stats.misses += 1;
-        }
+            inner.generation
+        };
         // Load outside the lock so concurrent misses for different masks do
         // not serialise on the cache mutex.
         let mask = Arc::new(load()?);
@@ -135,6 +158,17 @@ impl MaskCache {
         let mut inner = self.inner.lock();
         if self.capacity_bytes == 0 || bytes > self.capacity_bytes {
             // Too large (or caching disabled): return without caching.
+            return Ok(mask);
+        }
+        let invalidated_since = generation_before < inner.invalidated_floor
+            || inner
+                .invalidated
+                .get(&mask_id)
+                .is_some_and(|&gen| gen > generation_before);
+        if invalidated_since {
+            // An invalidation of THIS mask (a store write) raced with the
+            // load: what we loaded may predate the write, so hand it to the
+            // caller but do not cache it.
             return Ok(mask);
         }
         inner.clock += 1;
@@ -169,6 +203,32 @@ impl MaskCache {
         let inner = self.inner.lock();
         inner.entries.get(&mask_id).map(|e| Arc::clone(&e.mask))
     }
+
+    /// Drops the cached copy of a mask (used when it is overwritten or
+    /// deleted in the backing store). Returns `true` if an entry was removed.
+    ///
+    /// Also records the invalidation, so an in-flight `get_or_load` of this
+    /// mask whose load raced with the invalidation will not install a stale
+    /// copy (loads of other masks are unaffected).
+    pub fn invalidate(&self, mask_id: MaskId) -> bool {
+        let mut inner = self.inner.lock();
+        inner.generation += 1;
+        let generation = inner.generation;
+        if inner.invalidated.len() >= INVALIDATION_LOG_CAP {
+            // Collapse the log: anything still in flight becomes
+            // conservatively uncacheable instead of unboundedly tracked.
+            inner.invalidated.clear();
+            inner.invalidated_floor = generation;
+        }
+        inner.invalidated.insert(mask_id, generation);
+        match inner.entries.remove(&mask_id) {
+            Some(entry) => {
+                inner.used_bytes -= entry.bytes;
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -193,6 +253,61 @@ mod tests {
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn invalidate_drops_entries_and_frees_budget() {
+        let cache = MaskCache::new(1024 * 1024);
+        let id = MaskId::new(7);
+        cache.get_or_load(id, || Ok(mask(7))).unwrap();
+        assert!(cache.peek(id).is_some());
+        assert!(cache.used_bytes() > 0);
+        assert!(cache.invalidate(id));
+        assert!(cache.peek(id).is_none());
+        assert_eq!(cache.used_bytes(), 0);
+        assert!(!cache.invalidate(id));
+    }
+
+    #[test]
+    fn load_racing_an_invalidation_is_not_cached() {
+        // Simulate a store write landing between a miss and the load
+        // completing: the load closure itself invalidates the id. The stale
+        // result must be returned to the caller but never installed.
+        let cache = MaskCache::new(1024 * 1024);
+        let id = MaskId::new(3);
+        let stale = cache
+            .get_or_load(id, || {
+                cache.invalidate(id);
+                Ok(mask(3))
+            })
+            .unwrap();
+        assert_eq!(*stale, mask(3));
+        assert!(cache.peek(id).is_none(), "stale mask must not be cached");
+        // The next lookup reloads and caches the fresh value.
+        let fresh = cache.get_or_load(id, || Ok(mask(4))).unwrap();
+        assert_eq!(*fresh, mask(4));
+        assert_eq!(*cache.peek(id).unwrap(), mask(4));
+    }
+
+    #[test]
+    fn invalidating_other_masks_does_not_block_caching() {
+        // Steady ingestion invalidates a stream of unrelated ids; a load in
+        // flight for a different mask must still be cached.
+        let cache = MaskCache::new(1024 * 1024);
+        let id = MaskId::new(10);
+        let loaded = cache
+            .get_or_load(id, || {
+                for other in 0..5u64 {
+                    cache.invalidate(MaskId::new(other));
+                }
+                Ok(mask(10))
+            })
+            .unwrap();
+        assert_eq!(*loaded, mask(10));
+        assert!(
+            cache.peek(id).is_some(),
+            "unrelated invalidations must not prevent caching"
+        );
     }
 
     #[test]

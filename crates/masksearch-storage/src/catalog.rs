@@ -72,6 +72,19 @@ impl Catalog {
         self.records.insert(mask_id, record);
     }
 
+    /// Removes a record, keeping secondary indexes consistent. Returns the
+    /// removed record, if any.
+    pub fn remove(&mut self, mask_id: MaskId) -> Option<MaskRecord> {
+        let old = self.records.remove(&mask_id)?;
+        Self::remove_from(&mut self.by_image, &old.image_id, mask_id);
+        Self::remove_from(&mut self.by_model, &old.model_id, mask_id);
+        Self::remove_from(&mut self.by_type, &old.mask_type.to_code(), mask_id);
+        if let Some(pred) = old.predicted_label {
+            Self::remove_from(&mut self.by_predicted, &pred, mask_id);
+        }
+        Some(old)
+    }
+
     fn remove_from<K: std::hash::Hash + Eq>(
         index: &mut HashMap<K, Vec<MaskId>>,
         key: &K,
@@ -174,32 +187,7 @@ impl Catalog {
         w.write_u16(0);
         w.write_u64(self.records.len() as u64);
         for record in self.records.values() {
-            w.write_u64(record.mask_id.raw());
-            w.write_u64(record.image_id.raw());
-            w.write_u64(record.model_id.raw());
-            w.write_u16(record.mask_type.to_code());
-            w.write_u32(record.width);
-            w.write_u32(record.height);
-            w.write_u8(record.true_label.is_some() as u8);
-            w.write_u64(record.true_label.map(|l| l.raw()).unwrap_or(0));
-            w.write_u8(record.predicted_label.is_some() as u8);
-            w.write_u64(record.predicted_label.map(|l| l.raw()).unwrap_or(0));
-            match record.object_box {
-                Some(roi) => {
-                    w.write_u8(1);
-                    w.write_u32(roi.x0());
-                    w.write_u32(roi.y0());
-                    w.write_u32(roi.x1());
-                    w.write_u32(roi.y1());
-                }
-                None => {
-                    w.write_u8(0);
-                    w.write_u32(0);
-                    w.write_u32(0);
-                    w.write_u32(0);
-                    w.write_u32(0);
-                }
-            }
+            write_record(&mut w, record);
         }
         w.into_bytes()
     }
@@ -225,41 +213,7 @@ impl Catalog {
         let count = r.read_u64()?;
         let mut catalog = Catalog::new();
         for _ in 0..count {
-            let mask_id = MaskId::new(r.read_u64()?);
-            let image_id = ImageId::new(r.read_u64()?);
-            let model_id = ModelId::new(r.read_u64()?);
-            let mask_type = MaskType::from_code(r.read_u16()?);
-            let width = r.read_u32()?;
-            let height = r.read_u32()?;
-            let has_true = r.read_u8()? != 0;
-            let true_label = Label::new(r.read_u64()?);
-            let has_pred = r.read_u8()? != 0;
-            let predicted_label = Label::new(r.read_u64()?);
-            let has_box = r.read_u8()? != 0;
-            let (x0, y0, x1, y1) = (r.read_u32()?, r.read_u32()?, r.read_u32()?, r.read_u32()?);
-            let object_box = if has_box {
-                Some(
-                    Roi::new(x0, y0, x1, y1)
-                        .map_err(|_| StorageError::corrupt("catalog object box is degenerate"))?,
-                )
-            } else {
-                None
-            };
-            let mut builder = MaskRecord::builder(mask_id)
-                .image_id(image_id)
-                .model_id(model_id)
-                .mask_type(mask_type)
-                .shape(width, height);
-            if has_true {
-                builder = builder.true_label(true_label);
-            }
-            if has_pred {
-                builder = builder.predicted_label(predicted_label);
-            }
-            if let Some(roi) = object_box {
-                builder = builder.object_box(roi);
-            }
-            catalog.insert(builder.build());
+            catalog.insert(read_record(&mut r)?);
         }
         Ok(catalog)
     }
@@ -276,6 +230,79 @@ impl Catalog {
             .map_err(|e| StorageError::io("reading catalog file", e))?;
         Self::from_bytes(&bytes)
     }
+}
+
+/// Appends one [`MaskRecord`] in the catalog's fixed binary layout.
+///
+/// Shared with stores that persist records outside a catalog file (the
+/// durable mask database embeds records in its WAL-protected directory so a
+/// crash cannot separate a mask's pixels from its metadata).
+pub fn write_record(w: &mut Writer, record: &MaskRecord) {
+    w.write_u64(record.mask_id.raw());
+    w.write_u64(record.image_id.raw());
+    w.write_u64(record.model_id.raw());
+    w.write_u16(record.mask_type.to_code());
+    w.write_u32(record.width);
+    w.write_u32(record.height);
+    w.write_u8(record.true_label.is_some() as u8);
+    w.write_u64(record.true_label.map(|l| l.raw()).unwrap_or(0));
+    w.write_u8(record.predicted_label.is_some() as u8);
+    w.write_u64(record.predicted_label.map(|l| l.raw()).unwrap_or(0));
+    match record.object_box {
+        Some(roi) => {
+            w.write_u8(1);
+            w.write_u32(roi.x0());
+            w.write_u32(roi.y0());
+            w.write_u32(roi.x1());
+            w.write_u32(roi.y1());
+        }
+        None => {
+            w.write_u8(0);
+            w.write_u32(0);
+            w.write_u32(0);
+            w.write_u32(0);
+            w.write_u32(0);
+        }
+    }
+}
+
+/// Reads one [`MaskRecord`] written by [`write_record`].
+pub fn read_record(r: &mut Reader<'_>) -> StorageResult<MaskRecord> {
+    let mask_id = MaskId::new(r.read_u64()?);
+    let image_id = ImageId::new(r.read_u64()?);
+    let model_id = ModelId::new(r.read_u64()?);
+    let mask_type = MaskType::from_code(r.read_u16()?);
+    let width = r.read_u32()?;
+    let height = r.read_u32()?;
+    let has_true = r.read_u8()? != 0;
+    let true_label = Label::new(r.read_u64()?);
+    let has_pred = r.read_u8()? != 0;
+    let predicted_label = Label::new(r.read_u64()?);
+    let has_box = r.read_u8()? != 0;
+    let (x0, y0, x1, y1) = (r.read_u32()?, r.read_u32()?, r.read_u32()?, r.read_u32()?);
+    let object_box = if has_box {
+        Some(
+            Roi::new(x0, y0, x1, y1)
+                .map_err(|_| StorageError::corrupt("catalog object box is degenerate"))?,
+        )
+    } else {
+        None
+    };
+    let mut builder = MaskRecord::builder(mask_id)
+        .image_id(image_id)
+        .model_id(model_id)
+        .mask_type(mask_type)
+        .shape(width, height);
+    if has_true {
+        builder = builder.true_label(true_label);
+    }
+    if has_pred {
+        builder = builder.predicted_label(predicted_label);
+    }
+    if let Some(roi) = object_box {
+        builder = builder.object_box(roi);
+    }
+    Ok(builder.build())
 }
 
 #[cfg(test)]
@@ -355,6 +382,29 @@ mod tests {
             c.masks_with_predicted_label(Label::new(7)),
             vec![MaskId::new(2)]
         );
+    }
+
+    #[test]
+    fn remove_updates_indexes_and_returns_the_record() {
+        let mut c = sample_catalog();
+        let removed = c.remove(MaskId::new(1)).unwrap();
+        assert_eq!(removed.mask_id, MaskId::new(1));
+        assert_eq!(c.len(), 5);
+        assert!(c.get(MaskId::new(1)).is_none());
+        assert_eq!(c.masks_of_image(ImageId::new(100)), vec![MaskId::new(2)]);
+        assert!(!c.mask_ids().contains(&MaskId::new(1)));
+        assert!(c.remove(MaskId::new(1)).is_none());
+    }
+
+    #[test]
+    fn record_codec_round_trips_standalone() {
+        let rec = record(42, 7, 3, Some(11));
+        let mut w = Writer::new();
+        write_record(&mut w, &rec);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes, "record");
+        assert_eq!(read_record(&mut r).unwrap(), rec);
+        assert_eq!(r.remaining(), 0);
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! baseline saturates that bandwidth because it loads *every* mask for *every*
 //! query. This crate reproduces that substrate:
 //!
-//! * [`format`] — the binary mask file format (raw and compressed encodings).
+//! * [`format`](mod@format) — the binary mask file format (raw and
+//!   compressed encodings).
 //! * [`compression`] — the lossless XOR-delta + RLE codec used by the
 //!   compressed encoding.
 //! * [`disk`] — a deterministic disk cost model ([`disk::DiskProfile`]) plus
@@ -48,4 +49,4 @@ pub use disk::{DiskProfile, IoStats};
 pub use error::{StorageError, StorageResult};
 pub use format::MaskEncoding;
 pub use row_store::RowStore;
-pub use store::{FileMaskStore, MaskStore, MemoryMaskStore};
+pub use store::{FileMaskStore, IngestSnapshot, MaskStore, MemoryMaskStore};

@@ -14,12 +14,32 @@
 use crate::disk::{DiskProfile, IoStats};
 use crate::error::{StorageError, StorageResult};
 use crate::format::{self, MaskEncoding};
-use masksearch_core::{Mask, MaskId};
+use masksearch_core::{Mask, MaskId, MaskRecord};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+
+/// Point-in-time ingestion counters of a mutable mask store.
+///
+/// Stores that support durable writes (see `masksearch-db`) expose these
+/// through [`MaskStore::ingest_stats`] so the serving layer can report
+/// write-path health (masks inserted/deleted, WAL traffic, checkpoints)
+/// alongside its query metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestSnapshot {
+    /// Masks inserted since the store was opened.
+    pub masks_inserted: u64,
+    /// Masks deleted since the store was opened.
+    pub masks_deleted: u64,
+    /// Committed write transactions.
+    pub commits: u64,
+    /// Bytes appended to the write-ahead log.
+    pub wal_bytes: u64,
+    /// Checkpoints completed (WAL truncations).
+    pub checkpoints: u64,
+}
 
 /// Interface shared by every mask store.
 ///
@@ -31,6 +51,43 @@ use std::sync::Arc;
 pub trait MaskStore: Send + Sync {
     /// Inserts (or overwrites) a mask.
     fn put(&self, mask_id: MaskId, mask: &Mask) -> StorageResult<()>;
+
+    /// Removes a mask from the store.
+    ///
+    /// The default implementation reports the operation as unsupported, so
+    /// read-mostly stores need not opt in to mutability.
+    fn delete(&self, mask_id: MaskId) -> StorageResult<()> {
+        let _ = mask_id;
+        Err(StorageError::unsupported("delete"))
+    }
+
+    /// Inserts a batch of masks together with their catalog records.
+    ///
+    /// Durable stores override this to commit the whole batch atomically
+    /// (and to persist the records for crash recovery); the default simply
+    /// loops over [`MaskStore::put`] and ignores the metadata, which is what
+    /// catalog-less stores want.
+    fn insert_batch(&self, batch: &[(MaskRecord, Mask)]) -> StorageResult<()> {
+        for (record, mask) in batch {
+            self.put(record.mask_id, mask)?;
+        }
+        Ok(())
+    }
+
+    /// Removes a batch of masks. Durable stores override this to commit the
+    /// batch atomically; the default loops over [`MaskStore::delete`].
+    fn delete_batch(&self, mask_ids: &[MaskId]) -> StorageResult<()> {
+        for &id in mask_ids {
+            self.delete(id)?;
+        }
+        Ok(())
+    }
+
+    /// Ingestion counters for stores with a durable write path; `None` for
+    /// stores that do not track them.
+    fn ingest_stats(&self) -> Option<IngestSnapshot> {
+        None
+    }
 
     /// Loads a mask in full, charging the cost model.
     fn get(&self, mask_id: MaskId) -> StorageResult<Mask>;
@@ -155,13 +212,35 @@ impl MaskStore for FileMaskStore {
     fn put(&self, mask_id: MaskId, mask: &Mask) -> StorageResult<()> {
         let bytes = format::encode_mask(mask_id, mask, self.encoding);
         let path = self.mask_path(mask_id);
-        fs::write(&path, &bytes)
-            .map_err(|e| StorageError::io(format!("writing mask file {}", path.display()), e))?;
+        // Write to a temporary file and rename it into place: a crash
+        // mid-write leaves either the old mask or no file, never a truncated
+        // blob under the final name (`fs::write` alone is torn-write-prone).
+        let tmp = path.with_extension("msk.tmp");
+        fs::write(&tmp, &bytes)
+            .map_err(|e| StorageError::io(format!("writing mask file {}", tmp.display()), e))?;
+        fs::rename(&tmp, &path).map_err(|e| {
+            let _ = fs::remove_file(&tmp);
+            StorageError::io(format!("renaming mask file into {}", path.display()), e)
+        })?;
         self.stats.record_write(
             bytes.len() as u64,
             self.profile.write_cost(bytes.len() as u64, 1),
         );
         self.index.write().insert(mask_id, bytes.len() as u64);
+        Ok(())
+    }
+
+    fn delete(&self, mask_id: MaskId) -> StorageResult<()> {
+        if !self.index.read().contains_key(&mask_id) {
+            return Err(StorageError::MaskNotFound(mask_id));
+        }
+        // Unlink before touching the index: a failed unlink must leave the
+        // in-memory view matching the directory, or the "deleted" mask would
+        // be invisible here yet resurrected by the next reopen.
+        let path = self.mask_path(mask_id);
+        fs::remove_file(&path)
+            .map_err(|e| StorageError::io(format!("removing mask file {}", path.display()), e))?;
+        self.index.write().remove(&mask_id);
         Ok(())
     }
 
@@ -254,6 +333,13 @@ impl MaskStore for MemoryMaskStore {
         );
         self.blobs.write().insert(mask_id, Arc::new(bytes));
         Ok(())
+    }
+
+    fn delete(&self, mask_id: MaskId) -> StorageResult<()> {
+        match self.blobs.write().remove(&mask_id) {
+            Some(_) => Ok(()),
+            None => Err(StorageError::MaskNotFound(mask_id)),
+        }
     }
 
     fn get(&self, mask_id: MaskId) -> StorageResult<Mask> {
@@ -411,6 +497,108 @@ mod tests {
         // 16*16*4 bytes + 32-byte header at 1 KiB/s -> about one second.
         let io = store.io_stats().virtual_read_time();
         assert!(io > Duration::from_millis(900), "io time was {io:?}");
+    }
+
+    #[test]
+    fn delete_removes_masks_from_both_stores() {
+        let dir = temp_dir("delete");
+        let file_store =
+            FileMaskStore::create(&dir, MaskEncoding::Raw, DiskProfile::unthrottled()).unwrap();
+        let mem_store = MemoryMaskStore::for_tests();
+        for store in [&file_store as &dyn MaskStore, &mem_store as &dyn MaskStore] {
+            store.put(MaskId::new(1), &sample_mask(1)).unwrap();
+            store.put(MaskId::new(2), &sample_mask(2)).unwrap();
+            store.delete(MaskId::new(1)).unwrap();
+            assert!(!store.contains(MaskId::new(1)));
+            assert_eq!(store.ids(), vec![MaskId::new(2)]);
+            assert!(matches!(
+                store.delete(MaskId::new(1)),
+                Err(StorageError::MaskNotFound(_))
+            ));
+        }
+        // The file is really gone (a reopen must not resurrect it).
+        let reopened =
+            FileMaskStore::open(&dir, MaskEncoding::Raw, DiskProfile::unthrottled()).unwrap();
+        assert_eq!(reopened.ids(), vec![MaskId::new(2)]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_store_put_leaves_no_temp_files() {
+        let dir = temp_dir("tmpfiles");
+        let store =
+            FileMaskStore::create(&dir, MaskEncoding::Raw, DiskProfile::unthrottled()).unwrap();
+        store.put(MaskId::new(3), &sample_mask(3)).unwrap();
+        store.put(MaskId::new(3), &sample_mask(4)).unwrap(); // overwrite
+        let names: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["mask_3.msk".to_string()]);
+        assert_eq!(store.get(MaskId::new(3)).unwrap(), sample_mask(4));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn trait_defaults_loop_and_report_unsupported() {
+        /// A minimal store that only implements the required methods.
+        struct PutOnly(MemoryMaskStore);
+        impl MaskStore for PutOnly {
+            fn put(&self, id: MaskId, mask: &Mask) -> StorageResult<()> {
+                self.0.put(id, mask)
+            }
+            fn get(&self, id: MaskId) -> StorageResult<Mask> {
+                self.0.get(id)
+            }
+            fn contains(&self, id: MaskId) -> bool {
+                self.0.contains(id)
+            }
+            fn ids(&self) -> Vec<MaskId> {
+                self.0.ids()
+            }
+            fn len(&self) -> usize {
+                self.0.len()
+            }
+            fn stored_bytes(&self, id: MaskId) -> StorageResult<u64> {
+                self.0.stored_bytes(id)
+            }
+            fn total_bytes(&self) -> u64 {
+                self.0.total_bytes()
+            }
+            fn io_stats(&self) -> Arc<IoStats> {
+                self.0.io_stats()
+            }
+            fn disk_profile(&self) -> DiskProfile {
+                self.0.disk_profile()
+            }
+        }
+        let store = PutOnly(MemoryMaskStore::for_tests());
+        assert!(matches!(
+            store.delete(MaskId::new(1)),
+            Err(StorageError::Unsupported {
+                operation: "delete"
+            })
+        ));
+        assert!(store.ingest_stats().is_none());
+        // The default insert_batch loops over `put`.
+        let batch = vec![
+            (
+                masksearch_core::MaskRecord::builder(MaskId::new(1))
+                    .shape(16, 16)
+                    .build(),
+                sample_mask(1),
+            ),
+            (
+                masksearch_core::MaskRecord::builder(MaskId::new(2))
+                    .shape(16, 16)
+                    .build(),
+                sample_mask(2),
+            ),
+        ];
+        store.insert_batch(&batch).unwrap();
+        assert_eq!(store.len(), 2);
+        // The default delete_batch surfaces the unsupported delete.
+        assert!(store.delete_batch(&[MaskId::new(1)]).is_err());
     }
 
     #[test]

@@ -12,25 +12,30 @@
 //!
 //! This facade crate re-exports the public API of the workspace crates:
 //!
-//! * [`core`](masksearch_core) — masks, ROIs, pixel ranges, the exact `CP`
+//! * [`core`](mod@masksearch_core) — masks, ROIs, pixel ranges, the exact `CP`
 //!   function, mask aggregation.
-//! * [`storage`](masksearch_storage) — mask stores, catalog, compression,
+//! * [`storage`](mod@masksearch_storage) — mask stores, catalog, compression,
 //!   buffer cache, and the disk cost model.
-//! * [`index`](masksearch_index) — the Cumulative Histogram Index.
-//! * [`query`](masksearch_query) — query model, filter–verification
-//!   execution, top-k, aggregation, sessions with incremental indexing.
-//! * [`sql`](masksearch_sql) — the SQL front end for the paper's dialect.
-//! * [`service`](masksearch_service) — the concurrent query-serving layer:
+//! * [`index`](mod@masksearch_index) — the Cumulative Histogram Index.
+//! * [`db`](mod@masksearch_db) — the durable, mutable mask database: pager +
+//!   WAL, crash recovery, atomic insert/delete batches, live CHI
+//!   maintenance, checkpointing.
+//! * [`query`](mod@masksearch_query) — query model, filter–verification
+//!   execution, top-k, aggregation, sessions with incremental indexing and
+//!   a snapshot-consistent write path.
+//! * [`sql`](mod@masksearch_sql) — the SQL front end for the paper's dialect.
+//! * [`service`](mod@masksearch_service) — the concurrent query-serving layer:
 //!   engine handle, worker pool with admission control and deadlines,
 //!   batched multi-query execution, metrics, and a TCP front end.
-//! * [`baselines`](masksearch_baselines) — NumPy-, PostgreSQL-, and
+//! * [`baselines`](mod@masksearch_baselines) — NumPy-, PostgreSQL-, and
 //!   TileDB-like comparison engines.
-//! * [`datagen`](masksearch_datagen) — synthetic dataset and workload
+//! * [`datagen`](mod@masksearch_datagen) — synthetic dataset and workload
 //!   generators used by the evaluation harness.
 
 pub use masksearch_baselines as baselines;
 pub use masksearch_core as core;
 pub use masksearch_datagen as datagen;
+pub use masksearch_db as db;
 pub use masksearch_index as index;
 pub use masksearch_query as query;
 pub use masksearch_service as service;
