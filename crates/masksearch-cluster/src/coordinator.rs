@@ -1,0 +1,678 @@
+//! The [`Coordinator`]: scatter-gather execution of the masksearch-sql
+//! dialect over a set of shard servers, plus its own TCP front end speaking
+//! the same line protocol — so a cluster looks exactly like a bigger server
+//! to any client.
+//!
+//! Statement routing follows [`masksearch_sql::Statement::routing`]:
+//!
+//! * `Broadcast` (filters, plain and `HAVING` aggregations) — forward the
+//!   raw SQL to every shard in parallel and merge the disjoint row sets by
+//!   key ([`masksearch_query::merge::merge_unordered`]).
+//! * `Ranked` (`ORDER BY … LIMIT`) — the distributed threshold algorithm of
+//!   [`crate::topk`] over `PARTIAL K=<n>` shard requests.
+//! * `ByImage` (`INSERT`) — split the batch by the [`ShardMap`] owner of
+//!   each tuple's image id and apply each sub-batch atomically on its shard;
+//!   overwrites that move a mask to a different image first delete the stale
+//!   replica from its old shard.
+//! * `ByMaskId` (`DELETE`) — resolve owners with a `LOOKUP` broadcast (and
+//!   fail before any side effect if an id exists nowhere, matching
+//!   single-node semantics), then split.
+//!
+//! Consistency model: each shard applies its sub-batch atomically (and
+//! durably, on a `masksearch-db` backed shard), but there is **no
+//! cross-shard transaction** — a reader racing a multi-shard write can
+//! observe a state where only some shards have applied it. Because a mask
+//! lives on exactly one shard, per-mask reads are still never torn.
+
+use crate::error::{ClusterError, ClusterResult};
+use crate::metrics::{ClusterMetrics, ClusterMetricsSnapshot};
+use crate::shard::ShardMap;
+use crate::topk;
+use masksearch_core::{Mask, MaskId, MaskRecord};
+use masksearch_query::merge::{self, RankedPartial};
+use masksearch_query::{Mutation, MutationOutcome, Order, QueryOutput, QueryStats};
+use masksearch_service::job::{MutationResponse, QueryResponse};
+use masksearch_service::pool::ClientPool;
+use masksearch_service::protocol::{self, ClientRequest, WireResponse};
+use masksearch_service::ServiceError;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Cluster topology and tuning.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Shard server addresses; index in this list is the shard id the
+    /// [`ShardMap`] routes to.
+    pub shard_addrs: Vec<String>,
+    /// Hash seed of the shard map (must match what loaded the shards).
+    pub shard_seed: u64,
+    /// Idle connections kept pooled per shard.
+    pub pool_idle_per_shard: usize,
+}
+
+impl ClusterConfig {
+    /// A configuration over the given shard addresses with defaults
+    /// (seed 0, 8 pooled connections per shard).
+    pub fn new(shard_addrs: Vec<String>) -> Self {
+        Self {
+            shard_addrs,
+            shard_seed: 0,
+            pool_idle_per_shard: 8,
+        }
+    }
+
+    /// Sets the shard-map hash seed.
+    pub fn shard_seed(mut self, seed: u64) -> Self {
+        self.shard_seed = seed;
+        self
+    }
+}
+
+/// What one coordinated statement produced.
+#[derive(Debug)]
+pub enum ClusterReply {
+    /// Merged rows of a read statement.
+    Rows(QueryOutput),
+    /// Outcome of a routed write.
+    Mutation(MutationOutcome),
+}
+
+struct Inner {
+    pools: Vec<ClientPool>,
+    map: ShardMap,
+    metrics: ClusterMetrics,
+}
+
+/// A connected cluster coordinator. Cloning is cheap and shares the shard
+/// connection pools and metrics.
+#[derive(Clone)]
+pub struct Coordinator {
+    inner: Arc<Inner>,
+}
+
+impl Coordinator {
+    /// Connects to every shard (verifying liveness and protocol version via
+    /// the `PING` handshake) and returns a coordinator over them.
+    pub fn connect(config: ClusterConfig) -> ClusterResult<Self> {
+        if config.shard_addrs.is_empty() {
+            return Err(ClusterError::Config(
+                "a cluster needs at least one shard".to_string(),
+            ));
+        }
+        let map = ShardMap::with_seed(config.shard_addrs.len(), config.shard_seed)?;
+        let pools: Vec<ClientPool> = config
+            .shard_addrs
+            .iter()
+            .map(|addr| ClientPool::new(addr.clone(), config.pool_idle_per_shard))
+            .collect();
+        let coordinator = Self {
+            inner: Arc::new(Inner {
+                pools,
+                map,
+                metrics: ClusterMetrics::new(),
+            }),
+        };
+        coordinator.scatter_all(|shard| coordinator.with_shard(shard, |c| c.ping()))?;
+        Ok(coordinator)
+    }
+
+    /// The partitioning function this cluster agreed on.
+    pub fn shard_map(&self) -> ShardMap {
+        self.inner.map
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.inner.pools.len()
+    }
+
+    /// Coordinator-level metrics.
+    pub fn metrics(&self) -> ClusterMetricsSnapshot {
+        self.inner.metrics.snapshot()
+    }
+
+    fn shard_err(&self, shard: usize, source: ServiceError) -> ClusterError {
+        ClusterError::Shard {
+            shard,
+            addr: self.inner.pools[shard].addr().to_string(),
+            source,
+        }
+    }
+
+    /// Runs one pooled-client operation against a shard, wrapping errors
+    /// with the shard's identity.
+    fn with_shard<T>(
+        &self,
+        shard: usize,
+        op: impl FnOnce(&mut masksearch_service::pool::PooledClient<'_>) -> Result<T, ServiceError>,
+    ) -> ClusterResult<T> {
+        let mut client = self.inner.pools[shard]
+            .get()
+            .map_err(|e| self.shard_err(shard, e))?;
+        op(&mut client).map_err(|e| self.shard_err(shard, e))
+    }
+
+    /// Fans `f` out to every shard in parallel, returning results in shard
+    /// order. The first failing shard's error wins.
+    fn scatter_all<T: Send>(
+        &self,
+        f: impl Fn(usize) -> ClusterResult<T> + Sync,
+    ) -> ClusterResult<Vec<T>> {
+        let shards: Vec<usize> = (0..self.shards()).collect();
+        self.scatter_indexed(&shards, f)
+    }
+
+    /// Fans `f` out to the listed shards in parallel, returning results in
+    /// list order.
+    fn scatter_indexed<T: Send>(
+        &self,
+        shards: &[usize],
+        f: impl Fn(usize) -> ClusterResult<T> + Sync,
+    ) -> ClusterResult<Vec<T>> {
+        self.inner.metrics.record_shard_requests(shards.len());
+        if shards.len() == 1 {
+            return Ok(vec![f(shards[0])?]);
+        }
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter()
+                .map(|&shard| scope.spawn(move || f(shard)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(ClusterError::Internal(
+                            "shard worker thread panicked".to_string(),
+                        ))
+                    })
+                })
+                .collect()
+        })
+    }
+
+    /// Compiles and executes one SQL statement against the cluster.
+    pub fn execute_sql(&self, sql: &str) -> ClusterResult<ClusterReply> {
+        let result = self.execute_sql_inner(sql);
+        if result.is_err() {
+            self.inner.metrics.record_failed();
+        }
+        result
+    }
+
+    fn execute_sql_inner(&self, sql: &str) -> ClusterResult<ClusterReply> {
+        let statement = masksearch_sql::compile_statement(sql)?;
+        match statement.routing() {
+            masksearch_sql::Routing::Broadcast => {
+                self.inner.metrics.record_query();
+                Ok(ClusterReply::Rows(self.broadcast_query(sql)?))
+            }
+            masksearch_sql::Routing::Ranked { k, order } => {
+                self.inner.metrics.record_query();
+                Ok(ClusterReply::Rows(self.ranked_query(sql, k, order)?))
+            }
+            masksearch_sql::Routing::ByImage => {
+                let masksearch_sql::Statement::Mutation(Mutation::Insert(batch)) = statement else {
+                    return Err(ClusterError::Internal(
+                        "ByImage routing on a non-insert statement".to_string(),
+                    ));
+                };
+                Ok(ClusterReply::Mutation(self.routed_insert(batch)?))
+            }
+            masksearch_sql::Routing::ByMaskId => {
+                let masksearch_sql::Statement::Mutation(Mutation::Delete(ids)) = statement else {
+                    return Err(ClusterError::Internal(
+                        "ByMaskId routing on a non-delete statement".to_string(),
+                    ));
+                };
+                Ok(ClusterReply::Mutation(self.routed_delete(ids)?))
+            }
+        }
+    }
+
+    /// Forwards `sql` to every shard and merges the disjoint row sets.
+    fn broadcast_query(&self, sql: &str) -> ClusterResult<QueryOutput> {
+        let partials =
+            self.scatter_all(|shard| self.with_shard(shard, |c| c.query(sql)).map(wire_to_output))?;
+        Ok(merge::merge_unordered(partials))
+    }
+
+    /// The distributed top-k threshold algorithm over `PARTIAL` requests.
+    fn ranked_query(&self, sql: &str, k: usize, order: Order) -> ClusterResult<QueryOutput> {
+        let run = topk::distributed_topk(k, order, self.shards(), |requests| {
+            let shards: Vec<usize> = requests.iter().map(|&(shard, _)| shard).collect();
+            let budget: HashMap<usize, usize> = requests.iter().copied().collect();
+            self.scatter_indexed(&shards, |shard| {
+                let k_shard = budget[&shard];
+                let wire = self.with_shard(shard, |c| c.query_partial(k_shard, sql))?;
+                let bound = wire.summary.bound;
+                Ok(RankedPartial {
+                    output: wire_to_output(wire),
+                    bound,
+                })
+            })
+        })?;
+        self.inner
+            .metrics
+            .record_ranked(run.rounds, run.refined_requests);
+        Ok(run.output)
+    }
+
+    /// Which shards currently hold each of `ids` (shard → present ids).
+    fn locate(&self, ids: &[MaskId]) -> ClusterResult<Vec<Vec<MaskId>>> {
+        self.scatter_all(|shard| self.with_shard(shard, |c| c.lookup(ids)))
+    }
+
+    /// Union of the shards' holdings for `ids`, ascending and deduplicated.
+    pub fn lookup(&self, ids: &[MaskId]) -> ClusterResult<Vec<MaskId>> {
+        let located = self.locate(ids)?;
+        let mut present: Vec<MaskId> = located.into_iter().flatten().collect();
+        present.sort_unstable();
+        present.dedup();
+        Ok(present)
+    }
+
+    /// Routes an `INSERT` batch: each tuple goes to the shard owning its
+    /// image id; stale replicas of overwritten mask ids that lived on other
+    /// shards (the overwrite moved the mask to a new image) are deleted
+    /// first so no id ever resolves on two shards.
+    fn routed_insert(&self, batch: Vec<(MaskRecord, Mask)>) -> ClusterResult<MutationOutcome> {
+        // The single-node wire contract reports one insert per *tuple*, so
+        // remember the requested count before deduplication.
+        let requested = batch.len();
+        // Within one statement, the last tuple for a mask id wins (the
+        // single-node batch applies tuples in order, so its final state is
+        // the last write); earlier duplicates are dropped before routing so
+        // two shards cannot both end up holding the id.
+        let mut dedup: BTreeMap<MaskId, (MaskRecord, Mask)> = BTreeMap::new();
+        for (record, mask) in batch {
+            dedup.insert(record.mask_id, (record, mask));
+        }
+        let mut owner: HashMap<MaskId, usize> = HashMap::new();
+        let mut per_shard: Vec<Vec<(MaskRecord, Mask)>> = vec![Vec::new(); self.shards()];
+        for (id, (record, mask)) in dedup {
+            let shard = self.inner.map.shard_for_record(&record);
+            owner.insert(id, shard);
+            per_shard[shard].push((record, mask));
+        }
+        let ids: Vec<MaskId> = owner.keys().copied().collect();
+
+        // Phase 1: evict stale replicas from non-owner shards.
+        let mut relocated = 0u64;
+        let located = self.locate(&ids)?;
+        let stale_work: Vec<(usize, Vec<MaskId>)> = located
+            .iter()
+            .enumerate()
+            .filter_map(|(shard, present)| {
+                let stale: Vec<MaskId> = present
+                    .iter()
+                    .copied()
+                    .filter(|id| owner.get(id) != Some(&shard))
+                    .collect();
+                (!stale.is_empty()).then_some((shard, stale))
+            })
+            .collect();
+        if !stale_work.is_empty() {
+            let by_shard: HashMap<usize, &Vec<MaskId>> =
+                stale_work.iter().map(|(s, ids)| (*s, ids)).collect();
+            let shards: Vec<usize> = stale_work.iter().map(|(s, _)| *s).collect();
+            let deleted = self.scatter_indexed(&shards, |shard| {
+                let sql = render_delete(by_shard[&shard]);
+                self.with_shard(shard, |c| c.query(&sql))
+            })?;
+            relocated += deleted.iter().map(|r| r.summary.deleted).sum::<u64>();
+        }
+
+        // Phase 2: per-shard atomic inserts.
+        let shards: Vec<usize> = (0..self.shards())
+            .filter(|&s| !per_shard[s].is_empty())
+            .collect();
+        let responses = self.scatter_indexed(&shards, |shard| {
+            let sql = render_insert(&per_shard[shard]);
+            self.with_shard(shard, |c| c.query(&sql))
+        })?;
+        let applied: u64 = responses.iter().map(|r| r.summary.inserted).sum();
+        self.inner.metrics.record_mutation(applied, 0, relocated);
+        // Report the requested tuple count, matching what a single-node
+        // server answers for the same statement (duplicate-id tuples count
+        // once per tuple there too, the later ones overwriting in place).
+        Ok(MutationOutcome {
+            inserted: requested,
+            deleted: 0,
+        })
+    }
+
+    /// Routes a `DELETE`: owners are resolved with a `LOOKUP` broadcast; an
+    /// id held by no shard fails the whole statement *before* any shard is
+    /// mutated (single-node `DELETE` semantics); the rest splits into
+    /// per-shard atomic batches.
+    fn routed_delete(&self, ids: Vec<MaskId>) -> ClusterResult<MutationOutcome> {
+        let ids: Vec<MaskId> = {
+            let mut seen = BTreeSet::new();
+            ids.into_iter().filter(|id| seen.insert(*id)).collect()
+        };
+        if ids.is_empty() {
+            return Ok(MutationOutcome {
+                inserted: 0,
+                deleted: 0,
+            });
+        }
+        let located = self.locate(&ids)?;
+        let found: BTreeSet<MaskId> = located.iter().flatten().copied().collect();
+        for &id in &ids {
+            if !found.contains(&id) {
+                return Err(ClusterError::UnknownMask(id));
+            }
+        }
+        let work: Vec<(usize, &Vec<MaskId>)> = located
+            .iter()
+            .enumerate()
+            .filter(|(_, present)| !present.is_empty())
+            .collect();
+        let by_shard: HashMap<usize, &Vec<MaskId>> = work.iter().copied().collect();
+        let shards: Vec<usize> = work.iter().map(|(s, _)| *s).collect();
+        self.scatter_indexed(&shards, |shard| {
+            let sql = render_delete(by_shard[&shard]);
+            self.with_shard(shard, |c| c.query(&sql))
+        })?;
+        self.inner.metrics.record_mutation(0, ids.len() as u64, 0);
+        Ok(MutationOutcome {
+            inserted: 0,
+            deleted: ids.len(),
+        })
+    }
+
+    /// One aggregated `STATS` line: shard counters summed (latency
+    /// percentiles maxed), plus the coordinator's own scatter/refinement
+    /// counters.
+    pub fn stats_line(&self) -> ClusterResult<String> {
+        let lines = self.scatter_all(|shard| self.with_shard(shard, |c| c.stats()))?;
+        let mut sums: BTreeMap<&'static str, f64> = BTreeMap::new();
+        let mut maxes: BTreeMap<&'static str, f64> = BTreeMap::new();
+        const SUM_KEYS: [&str; 13] = [
+            "qps",
+            "completed",
+            "failed",
+            "rejected",
+            "deadline_expired",
+            "mutations",
+            "inserted",
+            "deleted",
+            "wal_bytes",
+            "checkpoints",
+            "commits",
+            "active_connections",
+            "queue_depth",
+        ];
+        const MAX_KEYS: [&str; 2] = ["p50_us", "p99_us"];
+        for line in &lines {
+            for token in line.split_ascii_whitespace().skip(1) {
+                let Some((key, value)) = token.split_once('=') else {
+                    continue;
+                };
+                let Ok(value) = value.parse::<f64>() else {
+                    continue;
+                };
+                if let Some(key) = SUM_KEYS.iter().find(|k| **k == key) {
+                    *sums.entry(key).or_insert(0.0) += value;
+                } else if let Some(key) = MAX_KEYS.iter().find(|k| **k == key) {
+                    let slot = maxes.entry(key).or_insert(0.0);
+                    *slot = slot.max(value);
+                }
+            }
+        }
+        let m = self.metrics();
+        let mut line = format!("STATS shards={}", self.shards());
+        for (key, value) in sums {
+            if key == "qps" {
+                line.push_str(&format!(" {key}={value:.3}"));
+            } else {
+                line.push_str(&format!(" {key}={}", value as u64));
+            }
+        }
+        for (key, value) in maxes {
+            line.push_str(&format!(" {key}={}", value as u64));
+        }
+        line.push_str(&format!(
+            " cluster_queries={} cluster_ranked={} cluster_mutations={} cluster_failed={} \
+             shard_requests={} topk_rounds={} topk_refined_requests={} relocated={}",
+            m.queries,
+            m.ranked_queries,
+            m.mutations,
+            m.failed,
+            m.shard_requests,
+            m.topk_rounds,
+            m.topk_refined_requests,
+            m.masks_relocated,
+        ));
+        Ok(line)
+    }
+}
+
+/// Converts a parsed shard wire response into a [`QueryOutput`] for the
+/// merge layer (stage counters travel in the summary; timings stay
+/// shard-local).
+fn wire_to_output(wire: WireResponse) -> QueryOutput {
+    let stats = QueryStats {
+        candidates: wire.summary.candidates,
+        pruned: wire.summary.pruned,
+        verified: wire.summary.verified,
+        masks_loaded: wire.summary.loaded,
+        ..Default::default()
+    };
+    QueryOutput {
+        rows: wire.rows,
+        stats,
+    }
+}
+
+/// Renders a per-shard `INSERT` sub-batch back into the dialect. Pixels use
+/// Rust's shortest round-trip `f32` formatting, which re-parses (via `f64`)
+/// to the identical bits — the shard stores exactly what the client sent.
+fn render_insert(batch: &[(MaskRecord, Mask)]) -> String {
+    let tuples: Vec<String> = batch
+        .iter()
+        .map(|(record, mask)| {
+            let pixels: Vec<String> = mask.data().iter().map(|v| format!("{v}")).collect();
+            format!(
+                "({}, {}, {}, {}, ({}))",
+                record.mask_id.raw(),
+                record.image_id.raw(),
+                record.width,
+                record.height,
+                pixels.join(", ")
+            )
+        })
+        .collect();
+    format!("INSERT INTO masks VALUES {}", tuples.join(", "))
+}
+
+/// Renders a per-shard `DELETE` sub-batch.
+fn render_delete(ids: &[MaskId]) -> String {
+    let list: Vec<String> = ids.iter().map(|id| id.raw().to_string()).collect();
+    format!("DELETE FROM masks WHERE mask_id IN ({})", list.join(", "))
+}
+
+/// The coordinator's TCP front end: accepts the same line protocol as a
+/// shard server, so `masksearch_service::Client` (and anything else speaking
+/// the dialect) can talk to a cluster without knowing it is one.
+pub struct CoordinatorServer {
+    listener: TcpListener,
+    coordinator: Coordinator,
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl CoordinatorServer {
+    /// Binds to `addr` (port 0 for an ephemeral port) without accepting yet.
+    pub fn bind(addr: impl ToSocketAddrs, coordinator: Coordinator) -> ClusterResult<Self> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| ClusterError::Config(format!("bind failed: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ClusterError::Config(format!("local_addr failed: {e}")))?;
+        Ok(Self {
+            listener,
+            coordinator,
+            addr,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Accepts connections until shut down, blocking the calling thread.
+    pub fn run(self) {
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let Ok(stream) = stream else {
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            };
+            let coordinator = self.coordinator.clone();
+            std::thread::spawn(move || {
+                let _ = serve_connection(stream, &coordinator);
+            });
+        }
+    }
+
+    /// Starts the accept loop on a background thread.
+    pub fn spawn(self) -> CoordinatorHandle {
+        let addr = self.addr;
+        let shutdown = Arc::clone(&self.shutdown);
+        let coordinator = self.coordinator.clone();
+        let join = std::thread::Builder::new()
+            .name("masksearch-coordinator".to_string())
+            .spawn(move || self.run())
+            .expect("spawn coordinator acceptor");
+        CoordinatorHandle {
+            addr,
+            shutdown,
+            coordinator,
+            join: Some(join),
+        }
+    }
+}
+
+/// Control handle for a [`CoordinatorServer::spawn`].
+pub struct CoordinatorHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    coordinator: Coordinator,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl CoordinatorHandle {
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The coordinator behind the front end (e.g. for metrics).
+    pub fn coordinator(&self) -> &Coordinator {
+        &self.coordinator
+    }
+
+    /// Stops accepting and joins the accept loop; open connections finish
+    /// their request streams.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.join.is_none() {
+            return;
+        }
+        self.shutdown.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for CoordinatorHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Serves one coordinator connection until `QUIT`, EOF, or an I/O error.
+fn serve_connection(stream: TcpStream, coordinator: &Coordinator) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        if reader.read_until(b'\n', &mut buf)? == 0 {
+            return Ok(());
+        }
+        let line = String::from_utf8_lossy(&buf);
+        let Some(request) = ClientRequest::parse(&line) else {
+            continue;
+        };
+        match request {
+            ClientRequest::Quit => {
+                writer.flush()?;
+                return Ok(());
+            }
+            ClientRequest::Ping => protocol::write_pong(&mut writer)?,
+            ClientRequest::Stats => match coordinator.stats_line() {
+                Ok(line) => {
+                    writeln!(writer, "{line}")?;
+                    writeln!(writer, "{}", protocol::END_MARKER)?;
+                }
+                Err(e) => write_cluster_error(&mut writer, &e)?,
+            },
+            ClientRequest::Lookup(ids) => match coordinator.lookup(&ids) {
+                Ok(present) => protocol::write_lookup_response(&mut writer, &present)?,
+                Err(e) => write_cluster_error(&mut writer, &e)?,
+            },
+            // PARTIAL is a shard-internal request; a coordinator is not a
+            // shard of another coordinator (no recursive sharding yet).
+            ClientRequest::Partial { .. } => write_cluster_error(
+                &mut writer,
+                &ClusterError::Sql("PARTIAL is not served by a coordinator".to_string()),
+            )?,
+            ClientRequest::Sql(sql) => {
+                let started = Instant::now();
+                match coordinator.execute_sql(&sql) {
+                    Ok(ClusterReply::Rows(output)) => {
+                        let response = QueryResponse {
+                            output,
+                            queue_wait: Duration::ZERO,
+                            exec_time: started.elapsed(),
+                        };
+                        protocol::write_response(&mut writer, &response)?;
+                    }
+                    Ok(ClusterReply::Mutation(outcome)) => {
+                        let response = MutationResponse {
+                            outcome,
+                            queue_wait: Duration::ZERO,
+                            exec_time: started.elapsed(),
+                        };
+                        protocol::write_mutation_response(&mut writer, &response)?;
+                    }
+                    Err(e) => write_cluster_error(&mut writer, &e)?,
+                }
+            }
+        }
+        writer.flush()?;
+    }
+}
+
+fn write_cluster_error<W: Write>(w: &mut W, error: &ClusterError) -> std::io::Result<()> {
+    writeln!(w, "ERR {}", error.wire_message())?;
+    writeln!(w, "{}", protocol::END_MARKER)
+}

@@ -1,0 +1,58 @@
+//! # masksearch-cluster
+//!
+//! Sharded scatter-gather execution for MaskSearch: the layer that turns a
+//! set of independent [`masksearch-service`](masksearch_service) servers
+//! into one system serving a partitioned mask catalog — the multi-user,
+//! beyond-one-machine deployment the MaskSearch demonstration paper
+//! (arXiv 2404.06563) sketches.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!   SQL clients (same line protocol as a single server)
+//!        │
+//!        ▼
+//!   ┌───────────────┐   ShardMap (hash of image id)
+//!   │ Coordinator    │──────────────────────────────┐
+//!   │  · broadcast + │ scatter       scatter        │ route writes
+//!   │    merge       ▼               ▼              ▼
+//!   │  · distributed ┌─────────┐   ┌─────────┐   ┌─────────┐
+//!   │    top-k       │ shard 0 │   │ shard 1 │ … │ shard N │
+//!   │    refinement  │ Engine  │   │ Engine  │   │ Engine  │
+//!   └───────────────┘└─────────┘   └─────────┘   └─────────┘
+//!        ▲       gather: partial QueryOutputs (+ k-th bounds)
+//!        └─ merged rows byte-identical to single-node execution
+//! ```
+//!
+//! * [`ShardMap`] — the serializable partitioning function (FNV hash of the
+//!   **image id**, the dialect's grouping key, so grouped aggregates never
+//!   span shards and every merge is exact).
+//! * [`topk`] — the distributed top-k threshold algorithm: bounded per-shard
+//!   `k`, k-th-value bounds, and refinement rounds that re-query only the
+//!   shards whose bound can still beat the merged k-th row.
+//! * [`Coordinator`] / [`CoordinatorServer`] — statement routing,
+//!   scatter-gather over pooled [`Client`](masksearch_service::Client)
+//!   connections (protocol-version-checked, reconnect-with-backoff), write
+//!   splitting with per-shard atomicity, and aggregated `STATS`.
+//!
+//! The merge rules themselves live in
+//! [`masksearch_query::merge`] so that exactness over *any*
+//! image-respecting partition is provable (and property-tested) without
+//! networking.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod coordinator;
+pub mod error;
+pub mod metrics;
+pub mod shard;
+pub mod topk;
+
+pub use coordinator::{
+    ClusterConfig, ClusterReply, Coordinator, CoordinatorHandle, CoordinatorServer,
+};
+pub use error::{ClusterError, ClusterResult};
+pub use metrics::{ClusterMetrics, ClusterMetricsSnapshot};
+pub use shard::ShardMap;
+pub use topk::{distributed_topk, TopkRun};

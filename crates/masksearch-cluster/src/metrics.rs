@@ -1,0 +1,130 @@
+//! Coordinator-level metrics: scatter widths, top-k refinement behaviour,
+//! and write routing. Lock-free, mirroring the per-shard
+//! [`ServiceMetrics`](masksearch_service::ServiceMetrics) design.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Counters describing everything a coordinator has done since it started.
+#[derive(Debug)]
+pub struct ClusterMetrics {
+    started: Instant,
+    queries: AtomicU64,
+    ranked_queries: AtomicU64,
+    mutations: AtomicU64,
+    failed: AtomicU64,
+    shard_requests: AtomicU64,
+    topk_rounds: AtomicU64,
+    topk_refined_requests: AtomicU64,
+    masks_inserted: AtomicU64,
+    masks_deleted: AtomicU64,
+    masks_relocated: AtomicU64,
+}
+
+impl Default for ClusterMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClusterMetrics {
+    /// A zeroed registry with the uptime clock starting now.
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            queries: AtomicU64::new(0),
+            ranked_queries: AtomicU64::new(0),
+            mutations: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            shard_requests: AtomicU64::new(0),
+            topk_rounds: AtomicU64::new(0),
+            topk_refined_requests: AtomicU64::new(0),
+            masks_inserted: AtomicU64::new(0),
+            masks_deleted: AtomicU64::new(0),
+            masks_relocated: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn record_query(&self) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_ranked(&self, rounds: usize, refined: usize) {
+        self.ranked_queries.fetch_add(1, Ordering::Relaxed);
+        self.topk_rounds.fetch_add(rounds as u64, Ordering::Relaxed);
+        self.topk_refined_requests
+            .fetch_add(refined as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_mutation(&self, inserted: u64, deleted: u64, relocated: u64) {
+        self.mutations.fetch_add(1, Ordering::Relaxed);
+        self.masks_inserted.fetch_add(inserted, Ordering::Relaxed);
+        self.masks_deleted.fetch_add(deleted, Ordering::Relaxed);
+        self.masks_relocated.fetch_add(relocated, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_failed(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_shard_requests(&self, n: usize) {
+        self.shard_requests.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Point-in-time summary.
+    pub fn snapshot(&self) -> ClusterMetricsSnapshot {
+        ClusterMetricsSnapshot {
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            queries: self.queries.load(Ordering::Relaxed),
+            ranked_queries: self.ranked_queries.load(Ordering::Relaxed),
+            mutations: self.mutations.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            shard_requests: self.shard_requests.load(Ordering::Relaxed),
+            topk_rounds: self.topk_rounds.load(Ordering::Relaxed),
+            topk_refined_requests: self.topk_refined_requests.load(Ordering::Relaxed),
+            masks_inserted: self.masks_inserted.load(Ordering::Relaxed),
+            masks_deleted: self.masks_deleted.load(Ordering::Relaxed),
+            masks_relocated: self.masks_relocated.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time view of [`ClusterMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterMetricsSnapshot {
+    /// Milliseconds since the coordinator started.
+    pub uptime_ms: u64,
+    /// Read statements served.
+    pub queries: u64,
+    /// Ranked (distributed top-k) statements among them.
+    pub ranked_queries: u64,
+    /// Write statements served.
+    pub mutations: u64,
+    /// Statements that failed.
+    pub failed: u64,
+    /// Total shard requests issued (scatter width × statements + writes).
+    pub shard_requests: u64,
+    /// Total top-k scatter rounds (ranked_queries × 1 when no refinement
+    /// was ever needed).
+    pub topk_rounds: u64,
+    /// Shard re-queries issued by top-k refinement beyond each first round.
+    pub topk_refined_requests: u64,
+    /// Masks inserted through the coordinator.
+    pub masks_inserted: u64,
+    /// Masks deleted through the coordinator.
+    pub masks_deleted: u64,
+    /// Stale replicas removed because an overwrite moved a mask to a new
+    /// image (and therefore possibly a new owning shard).
+    pub masks_relocated: u64,
+}
+
+impl ClusterMetricsSnapshot {
+    /// Mean top-k rounds per ranked query (1.0 = refinement never needed).
+    pub fn mean_topk_rounds(&self) -> f64 {
+        if self.ranked_queries == 0 {
+            0.0
+        } else {
+            self.topk_rounds as f64 / self.ranked_queries as f64
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! The [`ShardMap`]: the pure, serializable partitioning function every
+//! cluster participant must agree on.
+//!
+//! Masks are partitioned by **image id** (FNV-1a hash modulo the shard
+//! count), not by mask id. The image id is the grouping key of the dialect's
+//! aggregation queries (`GROUP BY image_id`), so hashing it co-locates every
+//! mask of an image on one shard — which is exactly the property that makes
+//! scatter-gather *exact* for every query shape:
+//!
+//! * filter rows are per-mask and partition-independent,
+//! * scalar and mask aggregates are computed over complete groups on the
+//!   owning shard (no cross-shard `AVG` recombination, no shipping of mask
+//!   pixels for `INTERSECT`/`UNION` aggregation),
+//! * ranked queries merge local top-k's of disjoint candidate sets.
+//!
+//! The map is deliberately tiny state — shard count and hash seed — and has
+//! a canonical text encoding so clients, the coordinator, and tooling can
+//! exchange and persist it without agreeing on anything else.
+
+use crate::error::{ClusterError, ClusterResult};
+use masksearch_core::{ImageId, MaskRecord};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hash-partitioning of the mask catalog across `shards` shards, routing by
+/// image id so grouped queries never span shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    shards: usize,
+    seed: u64,
+}
+
+impl ShardMap {
+    /// A map over `shards` shards with the default seed.
+    pub fn new(shards: usize) -> ClusterResult<Self> {
+        Self::with_seed(shards, 0)
+    }
+
+    /// A map over `shards` shards with an explicit hash seed (useful to
+    /// rebalance a pathological key distribution without resharding code).
+    pub fn with_seed(shards: usize, seed: u64) -> ClusterResult<Self> {
+        if shards == 0 {
+            return Err(ClusterError::Config(
+                "a shard map needs at least one shard".to_string(),
+            ));
+        }
+        Ok(Self { shards, seed })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The hash seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn fnv1a(&self, value: u64) -> u64 {
+        let mut hash = FNV_OFFSET ^ self.seed;
+        for byte in value.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        hash
+    }
+
+    /// The shard owning an image (and therefore all of its masks).
+    pub fn shard_for_image(&self, image: ImageId) -> usize {
+        (self.fnv1a(image.raw()) % self.shards as u64) as usize
+    }
+
+    /// The shard owning a mask record (routes by its image id).
+    pub fn shard_for_record(&self, record: &MaskRecord) -> usize {
+        self.shard_for_image(record.image_id)
+    }
+
+    /// Canonical text encoding, e.g. `shardmap v1 shards=4 seed=0`.
+    pub fn encode(&self) -> String {
+        format!("shardmap v1 shards={} seed={}", self.shards, self.seed)
+    }
+
+    /// Parses [`ShardMap::encode`]'s output.
+    pub fn decode(text: &str) -> ClusterResult<Self> {
+        let mut tokens = text.split_ascii_whitespace();
+        if tokens.next() != Some("shardmap") || tokens.next() != Some("v1") {
+            return Err(ClusterError::Config(format!(
+                "not a v1 shard map: {text:?}"
+            )));
+        }
+        let mut shards = None;
+        let mut seed = 0u64;
+        for token in tokens {
+            if let Some(v) = token.strip_prefix("shards=") {
+                shards = v.parse::<usize>().ok();
+            } else if let Some(v) = token.strip_prefix("seed=") {
+                seed = v
+                    .parse::<u64>()
+                    .map_err(|_| ClusterError::Config(format!("bad shard-map seed in {text:?}")))?;
+            }
+        }
+        match shards {
+            Some(shards) => Self::with_seed(shards, seed),
+            None => Err(ClusterError::Config(format!(
+                "shard map without a shard count: {text:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use masksearch_core::MaskId;
+
+    #[test]
+    fn encoding_round_trips() {
+        let map = ShardMap::with_seed(7, 42).unwrap();
+        let decoded = ShardMap::decode(&map.encode()).unwrap();
+        assert_eq!(decoded, map);
+        assert!(ShardMap::decode("shardmap v2 shards=2 seed=0").is_err());
+        assert!(ShardMap::decode("shardmap v1 seed=3").is_err());
+        assert!(ShardMap::decode("garbage").is_err());
+        assert!(ShardMap::new(0).is_err());
+    }
+
+    #[test]
+    fn routing_is_stable_and_covers_all_shards() {
+        let map = ShardMap::new(4).unwrap();
+        let mut seen = [0usize; 4];
+        for image in 0..1000u64 {
+            let shard = map.shard_for_image(ImageId::new(image));
+            assert_eq!(shard, map.shard_for_image(ImageId::new(image)));
+            assert!(shard < 4);
+            seen[shard] += 1;
+        }
+        for (shard, count) in seen.iter().enumerate() {
+            // FNV over sequential ids spreads well; demand rough balance.
+            assert!(*count > 150, "shard {shard} got only {count}/1000 images");
+        }
+    }
+
+    #[test]
+    fn records_route_by_their_image() {
+        let map = ShardMap::new(3).unwrap();
+        let record = MaskRecord::builder(MaskId::new(99))
+            .image_id(ImageId::new(5))
+            .build();
+        assert_eq!(
+            map.shard_for_record(&record),
+            map.shard_for_image(ImageId::new(5))
+        );
+    }
+
+    #[test]
+    fn seeds_change_the_layout() {
+        let a = ShardMap::with_seed(4, 0).unwrap();
+        let b = ShardMap::with_seed(4, 99).unwrap();
+        let moved = (0..200u64)
+            .filter(|&i| a.shard_for_image(ImageId::new(i)) != b.shard_for_image(ImageId::new(i)))
+            .count();
+        assert!(moved > 0);
+    }
+}

@@ -1,0 +1,279 @@
+//! The distributed top-k threshold algorithm.
+//!
+//! Asking every shard for the full `k` and merging is correct but ships
+//! `shards × k` rows for `k` answers. Instead the coordinator runs the
+//! classic threshold refinement:
+//!
+//! 1. Ask every shard for a small local top-k′ (`⌈k / shards⌉ + 1`) *plus
+//!    its k′-th value as a bound* on everything it did not return
+//!    ([`Session::execute_topk_partial`](masksearch_query::Session::execute_topk_partial)).
+//! 2. Merge the local results into a candidate global top-k.
+//! 3. Re-query **only** the shards whose bound could still beat (or tie —
+//!    the ascending-id tie-break can admit a tied hidden row) the merged
+//!    k-th value, with a doubled per-shard budget.
+//! 4. Repeat until no shard's bound survives; the merge is then provably
+//!    byte-identical to single-node execution.
+//!
+//! Termination: a shard's budget doubles each refinement and its bound
+//! disappears once it has returned every candidate it holds, so the number
+//! of rounds is logarithmic in the largest shard's candidate count (and 1 in
+//! the common case of roughly uniform value distributions).
+//!
+//! The driver is generic over *how* a round of shard requests is executed —
+//! the coordinator fans rounds out over TCP, while tests (and the
+//! partition-merge property suite) drive it with in-process [`Session`]s —
+//! so the refinement logic itself is exercised without any networking.
+//!
+//! [`Session`]: masksearch_query::Session
+
+use masksearch_query::merge::{self, RankedPartial};
+use masksearch_query::{Order, QueryOutput};
+
+/// The outcome of a distributed top-k run, with the round structure the
+/// benchmarks report.
+#[derive(Debug)]
+pub struct TopkRun {
+    /// The exact global top-k.
+    pub output: QueryOutput,
+    /// Scatter rounds executed (1 = no refinement was needed).
+    pub rounds: usize,
+    /// Shard re-queries beyond the first round.
+    pub refined_requests: usize,
+    /// Total shard requests across all rounds.
+    pub shard_requests: usize,
+}
+
+/// Runs the threshold algorithm. `fetch` executes one scatter round: for
+/// each `(shard, k)` pair it returns that shard's local top-`k` and bound,
+/// in order.
+pub fn distributed_topk<E>(
+    k: usize,
+    order: Order,
+    num_shards: usize,
+    mut fetch: impl FnMut(&[(usize, usize)]) -> Result<Vec<RankedPartial>, E>,
+) -> Result<TopkRun, E> {
+    if k == 0 || num_shards == 0 {
+        return Ok(TopkRun {
+            output: QueryOutput::default(),
+            rounds: 0,
+            refined_requests: 0,
+            shard_requests: 0,
+        });
+    }
+
+    // First-round budget: enough that a uniform value distribution finishes
+    // in one round, small enough that a skewed one still saves bandwidth.
+    let first_k = (k.div_ceil(num_shards) + 1).min(k);
+    let mut asked = vec![0usize; num_shards];
+    let mut latest: Vec<Option<RankedPartial>> = vec![None; num_shards];
+    let mut requests: Vec<(usize, usize)> = (0..num_shards).map(|i| (i, first_k)).collect();
+
+    let mut rounds = 0;
+    let mut refined_requests = 0;
+    let mut shard_requests = 0;
+    loop {
+        rounds += 1;
+        shard_requests += requests.len();
+        let partials = fetch(&requests)?;
+        debug_assert_eq!(partials.len(), requests.len());
+        for (&(shard, k_asked), partial) in requests.iter().zip(partials) {
+            asked[shard] = k_asked;
+            latest[shard] = Some(partial);
+        }
+
+        let outputs: Vec<QueryOutput> = latest.iter().flatten().map(|p| p.output.clone()).collect();
+        let merged = merge::merge_ranked(&outputs, k, order);
+
+        requests = latest
+            .iter()
+            .enumerate()
+            .filter_map(|(shard, partial)| {
+                let partial = partial.as_ref()?;
+                if merge::partial_may_improve(partial, &merged, k, order) {
+                    // Escalate to at least the global k, then double: the
+                    // budget strictly grows, so the shard exhausts its
+                    // candidates (dropping its bound) in O(log n) rounds.
+                    Some((shard, (asked[shard] * 2).max(k)))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        if requests.is_empty() {
+            return Ok(TopkRun {
+                output: merged,
+                rounds,
+                refined_requests,
+                shard_requests,
+            });
+        }
+        refined_requests += requests.len();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use masksearch_core::MaskId;
+    use masksearch_query::{QueryStats, ResultRow, RowKey};
+
+    /// An in-memory "shard" holding (value, mask id) pairs.
+    struct FakeShard {
+        rows: Vec<(f64, u64)>,
+    }
+
+    impl FakeShard {
+        fn partial(&self, k: usize, order: Order) -> RankedPartial {
+            let mut rows = self.rows.clone();
+            rows.sort_by(|a, b| {
+                let cmp = match order {
+                    Order::Desc => b.0.partial_cmp(&a.0),
+                    Order::Asc => a.0.partial_cmp(&b.0),
+                }
+                .unwrap();
+                cmp.then_with(|| a.1.cmp(&b.1))
+            });
+            let returned: Vec<ResultRow> = rows
+                .iter()
+                .take(k)
+                .map(|&(v, id)| ResultRow::mask(MaskId::new(id), Some(v)))
+                .collect();
+            let bound = if returned.len() < rows.len() {
+                returned.last().map(|r| r.value.unwrap())
+            } else {
+                None
+            };
+            RankedPartial {
+                output: QueryOutput {
+                    rows: returned,
+                    stats: QueryStats::default(),
+                },
+                bound,
+            }
+        }
+    }
+
+    fn brute_force(shards: &[FakeShard], k: usize, order: Order) -> Vec<(f64, u64)> {
+        let mut all: Vec<(f64, u64)> = shards.iter().flat_map(|s| s.rows.clone()).collect();
+        all.sort_by(|a, b| {
+            let cmp = match order {
+                Order::Desc => b.0.partial_cmp(&a.0),
+                Order::Asc => a.0.partial_cmp(&b.0),
+            }
+            .unwrap();
+            cmp.then_with(|| a.1.cmp(&b.1))
+        });
+        all.truncate(k);
+        all
+    }
+
+    fn run(shards: &[FakeShard], k: usize, order: Order) -> TopkRun {
+        distributed_topk::<std::convert::Infallible>(k, order, shards.len(), |requests| {
+            Ok(requests
+                .iter()
+                .map(|&(shard, k)| shards[shard].partial(k, order))
+                .collect())
+        })
+        .unwrap()
+    }
+
+    fn check(shards: &[FakeShard], k: usize, order: Order) -> TopkRun {
+        let outcome = run(shards, k, order);
+        let got: Vec<(f64, u64)> = outcome
+            .output
+            .rows
+            .iter()
+            .map(|r| match r.key {
+                RowKey::Mask(id) => (r.value.unwrap(), id.raw()),
+                RowKey::Image(_) => panic!("mask rows expected"),
+            })
+            .collect();
+        assert_eq!(got, brute_force(shards, k, order), "k={k} {order:?}");
+        outcome
+    }
+
+    #[test]
+    fn uniform_distribution_converges_in_one_round() {
+        let shards: Vec<FakeShard> = (0..4)
+            .map(|s| FakeShard {
+                rows: (0..50u64)
+                    .map(|i| ((i * 4 + s) as f64 * 1.37, i * 4 + s))
+                    .collect(),
+            })
+            .collect();
+        for order in [Order::Desc, Order::Asc] {
+            check(&shards, 8, order);
+        }
+    }
+
+    #[test]
+    fn skewed_distribution_needs_and_survives_refinement() {
+        // Shard 0 holds all the large values: the first round's per-shard
+        // budget (k/4 + 1) cannot cover the global top-k, forcing rounds.
+        let shards = vec![
+            FakeShard {
+                rows: (0..100u64).map(|i| (1000.0 + i as f64, i)).collect(),
+            },
+            FakeShard {
+                rows: (0..100u64).map(|i| (i as f64, 200 + i)).collect(),
+            },
+            FakeShard {
+                rows: (0..100u64).map(|i| (i as f64 / 2.0, 400 + i)).collect(),
+            },
+            FakeShard { rows: Vec::new() },
+        ];
+        let outcome = check(&shards, 20, Order::Desc);
+        assert!(outcome.rounds > 1, "expected refinement, got 1 round");
+        assert!(outcome.refined_requests > 0);
+    }
+
+    #[test]
+    fn ties_resolve_by_id_across_shards() {
+        // Every value equal: the top-k must be the k smallest ids globally,
+        // which forces tie refinement across shards.
+        let shards: Vec<FakeShard> = (0..3)
+            .map(|s| FakeShard {
+                rows: (0..30u64).map(|i| (7.0, i * 3 + s)).collect(),
+            })
+            .collect();
+        for order in [Order::Desc, Order::Asc] {
+            let outcome = check(&shards, 10, order);
+            let ids: Vec<u64> = outcome
+                .output
+                .rows
+                .iter()
+                .map(|r| match r.key {
+                    RowKey::Mask(id) => id.raw(),
+                    _ => unreachable!(),
+                })
+                .collect();
+            assert_eq!(ids, (0..10u64).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn k_larger_than_population_returns_everything() {
+        let shards = vec![
+            FakeShard {
+                rows: vec![(3.0, 1), (1.0, 2)],
+            },
+            FakeShard {
+                rows: vec![(2.0, 3)],
+            },
+        ];
+        let outcome = check(&shards, 100, Order::Desc);
+        assert_eq!(outcome.output.rows.len(), 3);
+    }
+
+    #[test]
+    fn zero_k_or_zero_shards_is_empty() {
+        let outcome = run(&[], 5, Order::Desc);
+        assert!(outcome.output.is_empty());
+        let shards = vec![FakeShard {
+            rows: vec![(1.0, 1)],
+        }];
+        let outcome = run(&shards, 0, Order::Asc);
+        assert!(outcome.output.is_empty());
+        assert_eq!(outcome.shard_requests, 0);
+    }
+}

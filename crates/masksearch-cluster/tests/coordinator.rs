@@ -1,0 +1,316 @@
+//! End-to-end coordinator tests over in-process shard servers: every query
+//! shape merges byte-identically to a single-node oracle session, writes
+//! route to owning shards, and the aggregated front end behaves like one
+//! big server.
+
+use masksearch_cluster::{ClusterConfig, ClusterReply, Coordinator, CoordinatorServer, ShardMap};
+use masksearch_core::{ImageId, Mask, MaskId, MaskRecord};
+use masksearch_index::ChiConfig;
+use masksearch_query::{IndexingMode, Session, SessionConfig};
+use masksearch_service::{Client, Engine, Server, ServerHandle, ServiceConfig};
+use masksearch_storage::{Catalog, MaskStore, MemoryMaskStore};
+use std::sync::Arc;
+
+const W: u32 = 16;
+const H: u32 = 16;
+
+/// Deterministic pseudo-random mask; ids 100/101 and 102/103 are forced
+/// duplicates (of each other) so ranked queries exercise cross-shard ties.
+fn mask_for(id: u64) -> Mask {
+    let key = match id {
+        101 => 100,
+        103 => 102,
+        other => other,
+    };
+    let mut state = key.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    Mask::from_fn(W, H, move |_, _| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 40) as f32) / (1u64 << 24) as f32
+    })
+}
+
+fn record_for(id: u64) -> MaskRecord {
+    MaskRecord::builder(MaskId::new(id))
+        .image_id(ImageId::new(id / 2))
+        .shape(W, H)
+        .build()
+}
+
+fn session_config() -> SessionConfig {
+    SessionConfig::new(ChiConfig::new(4, 4, 8).unwrap())
+        .threads(2)
+        .indexing_mode(IndexingMode::Eager)
+}
+
+fn session_over(ids: &[u64]) -> Session {
+    let store = Arc::new(MemoryMaskStore::for_tests());
+    let mut catalog = Catalog::new();
+    for &id in ids {
+        store.put(MaskId::new(id), &mask_for(id)).unwrap();
+        catalog.insert(record_for(id));
+    }
+    Session::new(store as Arc<dyn MaskStore>, catalog, session_config()).unwrap()
+}
+
+struct TestCluster {
+    servers: Vec<ServerHandle>,
+    coordinator: Coordinator,
+    oracle: Session,
+}
+
+fn cluster(num_shards: usize, ids: &[u64]) -> TestCluster {
+    let map = ShardMap::new(num_shards).unwrap();
+    let mut per_shard: Vec<Vec<u64>> = vec![Vec::new(); num_shards];
+    for &id in ids {
+        per_shard[map.shard_for_record(&record_for(id))].push(id);
+    }
+    let servers: Vec<ServerHandle> = per_shard
+        .iter()
+        .map(|shard_ids| {
+            let engine = Engine::new(session_over(shard_ids), ServiceConfig::new(2));
+            Server::bind("127.0.0.1:0", engine).unwrap().spawn()
+        })
+        .collect();
+    let addrs: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+    let coordinator = Coordinator::connect(ClusterConfig::new(addrs)).unwrap();
+    TestCluster {
+        servers,
+        coordinator,
+        oracle: session_over(ids),
+    }
+}
+
+fn rows(reply: ClusterReply) -> masksearch_query::QueryOutput {
+    match reply {
+        ClusterReply::Rows(output) => output,
+        other => panic!("expected rows, got {other:?}"),
+    }
+}
+
+/// Every supported read shape, with thresholds that split the data.
+fn query_suite() -> Vec<String> {
+    let filter_roi = format!("(0, 0, {W}, {H})");
+    vec![
+        format!(
+            "SELECT mask_id FROM masks WHERE CP(mask, {filter_roi}, (0.5, 1.0)) > {}",
+            W * H / 2
+        ),
+        format!("SELECT mask_id FROM masks WHERE CP(mask, (2, 2, 10, 12), (0.0, 0.3)) < 20"),
+        format!(
+            "SELECT mask_id, CP(mask, {filter_roi}, (0.6, 1.0)) AS s \
+             FROM masks ORDER BY s DESC LIMIT 5"
+        ),
+        format!(
+            "SELECT mask_id, CP(mask, (0, 0, 8, 16), (0.5, 1.0)) / CP(mask, full, (0.5, 1.0)) AS r \
+             FROM masks ORDER BY r ASC LIMIT 6"
+        ),
+        format!(
+            "SELECT image_id, AVG(CP(mask, full, (0.5, 1.0))) AS s \
+             FROM masks GROUP BY image_id"
+        ),
+        format!(
+            "SELECT image_id, SUM(CP(mask, full, (0.7, 1.0))) AS s \
+             FROM masks GROUP BY image_id HAVING s > 60"
+        ),
+        format!(
+            "SELECT image_id, MAX(CP(mask, full, (0.5, 1.0))) AS s \
+             FROM masks GROUP BY image_id ORDER BY s DESC LIMIT 4"
+        ),
+        format!(
+            "SELECT image_id, CP(INTERSECT(mask > 0.5), full, (0.5, 1.0)) AS s \
+             FROM masks GROUP BY image_id ORDER BY s DESC LIMIT 3"
+        ),
+    ]
+}
+
+fn assert_matches_oracle(cluster: &TestCluster, sql: &str) {
+    let expected = cluster
+        .oracle
+        .execute(&masksearch_sql::compile(sql).unwrap())
+        .unwrap();
+    let got = rows(cluster.coordinator.execute_sql(sql).unwrap());
+    assert_eq!(got.rows, expected.rows, "divergence for {sql}");
+}
+
+#[test]
+fn every_query_shape_is_byte_identical_to_the_oracle() {
+    // 60 masks over 30 images, plus two duplicate pairs for ties.
+    let ids: Vec<u64> = (0..56).chain(100..104).collect();
+    let cluster = cluster(4, &ids);
+    assert!(
+        cluster.servers.len() == 4,
+        "expected in-process shard servers"
+    );
+    for sql in query_suite() {
+        assert_matches_oracle(&cluster, &sql);
+    }
+    let metrics = cluster.coordinator.metrics();
+    assert_eq!(metrics.queries, query_suite().len() as u64);
+    assert!(metrics.ranked_queries >= 4);
+    assert!(metrics.topk_rounds >= metrics.ranked_queries);
+}
+
+#[test]
+fn single_shard_cluster_degenerates_cleanly() {
+    let ids: Vec<u64> = (0..20).collect();
+    let cluster = cluster(1, &ids);
+    for sql in query_suite() {
+        assert_matches_oracle(&cluster, &sql);
+    }
+}
+
+#[test]
+fn writes_route_to_owning_shards_and_match_the_oracle() {
+    let ids: Vec<u64> = (0..24).collect();
+    let cluster = cluster(3, &ids);
+    let select = format!(
+        "SELECT mask_id FROM masks WHERE CP(mask, (0, 0, {W}, {H}), (0.5, 1.0)) > {}",
+        W * H / 4
+    );
+
+    // INSERT eight new masks (four new images) through the coordinator and
+    // the same statement through the oracle.
+    let tuples: Vec<String> = (40..48u64)
+        .map(|id| {
+            let mask = mask_for(id);
+            let pixels: Vec<String> = mask.data().iter().map(|v| format!("{v}")).collect();
+            format!("({id}, {}, {W}, {H}, ({}))", id / 2, pixels.join(", "))
+        })
+        .collect();
+    let insert = format!("INSERT INTO masks VALUES {}", tuples.join(", "));
+    match cluster.coordinator.execute_sql(&insert).unwrap() {
+        ClusterReply::Mutation(outcome) => assert_eq!(outcome.inserted, 8),
+        other => panic!("expected a mutation reply, got {other:?}"),
+    }
+    match masksearch_sql::compile_statement(&insert).unwrap() {
+        masksearch_sql::Statement::Mutation(m) => {
+            cluster.oracle.apply(&m).unwrap();
+        }
+        _ => unreachable!(),
+    }
+    assert_matches_oracle(&cluster, &select);
+
+    // The new ids resolve on exactly the shard the map owns them to.
+    let map = cluster.coordinator.shard_map();
+    for id in 40..48u64 {
+        let owner = map.shard_for_image(ImageId::new(id / 2));
+        for (shard, server) in cluster.servers.iter().enumerate() {
+            let mut client = Client::connect(server.local_addr()).unwrap();
+            let present = client.lookup(&[MaskId::new(id)]).unwrap();
+            if shard == owner {
+                assert_eq!(present, vec![MaskId::new(id)], "shard {shard} id {id}");
+            } else {
+                assert!(present.is_empty(), "stray replica of {id} on shard {shard}");
+            }
+            client.quit().unwrap();
+        }
+    }
+
+    // DELETE ids spread across shards; oracle applies the same statement.
+    let delete = "DELETE FROM masks WHERE mask_id IN (1, 5, 9, 40, 47)";
+    match cluster.coordinator.execute_sql(delete).unwrap() {
+        ClusterReply::Mutation(outcome) => assert_eq!(outcome.deleted, 5),
+        other => panic!("expected a mutation reply, got {other:?}"),
+    }
+    match masksearch_sql::compile_statement(delete).unwrap() {
+        masksearch_sql::Statement::Mutation(m) => {
+            cluster.oracle.apply(&m).unwrap();
+        }
+        _ => unreachable!(),
+    }
+    assert_matches_oracle(&cluster, &select);
+
+    // An unknown id fails the whole DELETE before any side effect.
+    let before = rows(cluster.coordinator.execute_sql(&select).unwrap());
+    let bad = cluster
+        .coordinator
+        .execute_sql("DELETE FROM masks WHERE mask_id IN (2, 9999)");
+    assert!(
+        matches!(bad, Err(masksearch_cluster::ClusterError::UnknownMask(id)) if id.raw() == 9999),
+        "expected UnknownMask"
+    );
+    let after = rows(cluster.coordinator.execute_sql(&select).unwrap());
+    assert_eq!(before.rows, after.rows, "failed DELETE had side effects");
+}
+
+#[test]
+fn overwrites_that_move_images_evict_the_stale_replica() {
+    let ids: Vec<u64> = (0..12).collect();
+    let cluster = cluster(3, &ids);
+    let map = cluster.coordinator.shard_map();
+
+    // Move mask 0 to a new image owned by a different shard.
+    let old_owner = map.shard_for_image(ImageId::new(0));
+    let new_image = (1..1000u64)
+        .find(|&img| map.shard_for_image(ImageId::new(img)) != old_owner)
+        .unwrap();
+    let mask = mask_for(77);
+    let pixels: Vec<String> = mask.data().iter().map(|v| format!("{v}")).collect();
+    let insert = format!(
+        "INSERT INTO masks VALUES (0, {new_image}, {W}, {H}, ({}))",
+        pixels.join(", ")
+    );
+    match cluster.coordinator.execute_sql(&insert).unwrap() {
+        ClusterReply::Mutation(outcome) => assert_eq!(outcome.inserted, 1),
+        other => panic!("expected a mutation reply, got {other:?}"),
+    }
+    // Exactly one shard holds mask 0 now — the new image's owner.
+    let located = cluster.coordinator.lookup(&[MaskId::new(0)]).unwrap();
+    assert_eq!(located, vec![MaskId::new(0)]);
+    for (shard, server) in cluster.servers.iter().enumerate() {
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let present = client.lookup(&[MaskId::new(0)]).unwrap();
+        let expected_here = shard == map.shard_for_image(ImageId::new(new_image));
+        assert_eq!(!present.is_empty(), expected_here, "shard {shard}");
+        client.quit().unwrap();
+    }
+    assert_eq!(cluster.coordinator.metrics().masks_relocated, 1);
+}
+
+#[test]
+fn coordinator_tcp_front_end_speaks_the_protocol() {
+    let ids: Vec<u64> = (0..16).collect();
+    let cluster = cluster(2, &ids);
+    let front = CoordinatorServer::bind("127.0.0.1:0", cluster.coordinator.clone())
+        .unwrap()
+        .spawn();
+
+    // Client::connect performs the v2 handshake against the coordinator.
+    let mut client = Client::connect(front.local_addr()).unwrap();
+    let select = format!(
+        "SELECT mask_id FROM masks WHERE CP(mask, (0, 0, {W}, {H}), (0.5, 1.0)) > {}",
+        W * H / 2
+    );
+    let expected = cluster
+        .oracle
+        .execute(&masksearch_sql::compile(&select).unwrap())
+        .unwrap();
+    let got = client.query(&select).unwrap();
+    assert_eq!(got.rows, expected.rows);
+
+    // Ranked query over TCP.
+    let topk = "SELECT mask_id, CP(mask, full, (0.5, 1.0)) AS s FROM masks ORDER BY s DESC LIMIT 3"
+        .to_string();
+    let expected = cluster
+        .oracle
+        .execute(&masksearch_sql::compile(&topk).unwrap())
+        .unwrap();
+    let got = client.query(&topk).unwrap();
+    assert_eq!(got.rows, expected.rows);
+
+    // Aggregated STATS: per-shard counters summed + cluster counters.
+    let stats = client.stats().unwrap();
+    assert!(stats.starts_with("STATS shards=2"), "{stats}");
+    assert!(stats.contains("cluster_queries="), "{stats}");
+    assert!(stats.contains("topk_rounds="), "{stats}");
+    assert!(stats.contains("active_connections="), "{stats}");
+    assert!(stats.contains("queue_depth="), "{stats}");
+
+    // SQL errors surface as ERR frames, not dead connections.
+    assert!(client.query("SELECT nonsense").is_err());
+    assert!(client.ping().is_ok());
+    client.quit().unwrap();
+    front.shutdown();
+}

@@ -56,6 +56,7 @@ pub mod error;
 pub mod eval;
 pub mod exec;
 pub mod expr;
+pub mod merge;
 pub mod mutation;
 pub mod predicate;
 pub mod query;
@@ -65,6 +66,7 @@ pub mod spec;
 
 pub use error::{QueryError, QueryResult as QueryResultExt};
 pub use expr::{Expr, Interval};
+pub use merge::RankedPartial;
 pub use mutation::{Mutation, MutationOutcome};
 pub use predicate::{CmpOp, Comparison, Predicate, Truth};
 pub use query::{Query, QueryKind, Selection};

@@ -20,6 +20,7 @@
 
 use crate::error::{QueryError, QueryResult};
 use crate::exec;
+use crate::merge;
 use crate::mutation::{Mutation, MutationOutcome};
 use crate::query::{Query, QueryKind, Selection};
 use crate::result::QueryOutput;
@@ -498,17 +499,85 @@ impl Session {
     /// Executes a query, dispatching on its kind.
     pub fn execute(&self, query: &Query) -> QueryResult<QueryOutput> {
         let candidates = self.resolve_selection(&query.selection);
+        self.execute_resolved(query, &candidates)
+    }
+
+    /// Executes a ranked query in *partial* (cluster-shard) mode: the query's
+    /// `k` is optionally overridden, and alongside the local top-k the method
+    /// reports the k-th value as a bound on everything it did **not** return
+    /// (Eq. 15's pruning threshold, exported): any unreturned candidate —
+    /// pruned by its CHI bounds or verified and rejected — ranks no better
+    /// than the bound. A distributed top-k coordinator re-queries a shard
+    /// only while its bound could still beat the merged k-th row (see
+    /// [`merge::partial_may_improve`]).
+    ///
+    /// The bound is `None` when the partition returned *every* candidate it
+    /// holds (nothing is hidden). Non-ranked queries execute normally and
+    /// also carry no bound.
+    pub fn execute_topk_partial(
+        &self,
+        query: &Query,
+        k_override: Option<usize>,
+    ) -> QueryResult<merge::RankedPartial> {
+        let mut query = query.clone();
+        let ranked = match &mut query.kind {
+            QueryKind::TopK { k, .. } => {
+                if let Some(n) = k_override {
+                    *k = n;
+                }
+                true
+            }
+            QueryKind::Aggregate {
+                top_k: Some((k, _)),
+                ..
+            }
+            | QueryKind::MaskAggregate {
+                top_k: Some((k, _)),
+                ..
+            } => {
+                if let Some(n) = k_override {
+                    *k = n;
+                }
+                true
+            }
+            _ => false,
+        };
+        let candidates = self.resolve_selection(&query.selection);
+        if !ranked {
+            return Ok(merge::RankedPartial {
+                output: self.execute_resolved(&query, &candidates)?,
+                bound: None,
+            });
+        }
+        // Count ranked items from the same candidate snapshot the executor
+        // receives, so "did we return everything" cannot race a write.
+        let total = if query.is_grouped() {
+            self.group_by_image(&candidates).len()
+        } else {
+            candidates.len()
+        };
+        let output = self.execute_resolved(&query, &candidates)?;
+        let bound = if output.rows.len() < total {
+            output.rows.last().and_then(|r| r.value)
+        } else {
+            None
+        };
+        Ok(merge::RankedPartial { output, bound })
+    }
+
+    /// Executes a query against an already resolved candidate set.
+    fn execute_resolved(&self, query: &Query, candidates: &[MaskId]) -> QueryResult<QueryOutput> {
         match &query.kind {
-            QueryKind::Filter { predicate } => exec::filter::execute(self, &candidates, predicate),
+            QueryKind::Filter { predicate } => exec::filter::execute(self, candidates, predicate),
             QueryKind::TopK { expr, k, order } => {
-                exec::topk::execute(self, &candidates, expr, *k, *order)
+                exec::topk::execute(self, candidates, expr, *k, *order)
             }
             QueryKind::Aggregate {
                 expr,
                 agg,
                 having,
                 top_k,
-            } => exec::aggregate::execute(self, &candidates, expr, *agg, *having, *top_k),
+            } => exec::aggregate::execute(self, candidates, expr, *agg, *having, *top_k),
             QueryKind::MaskAggregate {
                 agg,
                 term,
@@ -517,7 +586,7 @@ impl Session {
             } => exec::mask_agg::execute(
                 self,
                 &query.selection,
-                &candidates,
+                candidates,
                 agg,
                 term,
                 *having,
@@ -809,6 +878,41 @@ mod tests {
             }
         );
         assert_eq!(session.catalog_len(), 2);
+    }
+
+    #[test]
+    fn partial_topk_reports_the_kth_bound() {
+        let (store, catalog) = small_db(6);
+        let session =
+            Session::new(store, catalog, config().indexing_mode(IndexingMode::Eager)).unwrap();
+        let query = Query::top_k_cp(
+            Roi::new(0, 0, 16, 16).unwrap(),
+            PixelRange::new(0.0, 1.0).unwrap(),
+            4,
+            crate::Order::Desc,
+        );
+        let partial = session.execute_topk_partial(&query, None).unwrap();
+        assert_eq!(partial.output.len(), 4);
+        // Two candidates were not returned, so the 4th value bounds them.
+        assert_eq!(partial.bound, partial.output.rows.last().unwrap().value);
+
+        // Overriding k to cover every candidate removes the bound.
+        let all = session.execute_topk_partial(&query, Some(6)).unwrap();
+        assert_eq!(all.output.len(), 6);
+        assert_eq!(all.bound, None);
+
+        // The k-override changes nothing else: prefix agreement.
+        assert_eq!(&all.output.rows[..4], &partial.output.rows[..]);
+
+        // Non-ranked queries pass through without a bound.
+        let filter = Query::filter_cp_gt(
+            Roi::new(0, 0, 16, 16).unwrap(),
+            PixelRange::new(0.0, 1.0).unwrap(),
+            0.0,
+        );
+        let partial = session.execute_topk_partial(&filter, Some(2)).unwrap();
+        assert_eq!(partial.output.len(), 6);
+        assert_eq!(partial.bound, None);
     }
 
     #[test]

@@ -1,25 +1,121 @@
 //! A small blocking client for the TCP front end, used by tests, benches,
-//! and as a reference implementation of the wire protocol.
+//! the cluster coordinator, and as a reference implementation of the wire
+//! protocol.
+//!
+//! Connecting performs a version handshake: the client sends `PING` and
+//! requires a `PONG v<N>` reply with this build's
+//! [`PROTOCOL_VERSION`]. A peer speaking
+//! a different protocol version is rejected with a clear error instead of
+//! undefined frame parsing.
+//!
+//! With [`Client::with_reconnect`], a request that fails with a *transport*
+//! error (connection reset, broken pipe — not a server-reported `ERR`
+//! frame) is transparently retried once on a fresh connection, after a
+//! short bounded backoff. This lets a long-lived caller — in particular a
+//! cluster coordinator's connection pool — survive a peer restart without
+//! spuriously failing the in-flight request. The resend is safe for reads;
+//! for writes it relies on the engine's statement semantics (`INSERT` is an
+//! idempotent overwrite, a replayed `DELETE` of an already-deleted id fails
+//! loudly rather than corrupting state).
 
 use crate::error::{ServiceError, ServiceResult};
-use crate::protocol::{self, Frame, WireResponse};
+use crate::protocol::{self, Frame, WireResponse, PROTOCOL_VERSION};
+use masksearch_core::MaskId;
 use std::io::{BufReader, BufWriter, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Backoff schedule for the bounded reconnect: one resend attempt, with up
+/// to three connection attempts spaced by these sleeps.
+const RECONNECT_BACKOFF: [Duration; 3] = [
+    Duration::from_millis(50),
+    Duration::from_millis(150),
+    Duration::from_millis(400),
+];
 
 /// A connected MaskSearch client.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    /// The peer we connected to, kept for reconnects.
+    peer: SocketAddr,
+    /// Whether transport errors trigger the bounded reconnect-and-resend.
+    reconnect: bool,
 }
 
 impl Client {
-    /// Connects to a server.
+    /// Connects to a server and performs the version handshake.
     pub fn connect(addr: impl ToSocketAddrs) -> ServiceResult<Self> {
         let stream = TcpStream::connect(addr)?;
+        let peer = stream.peer_addr()?;
+        let mut client = Self::from_stream(stream, peer)?;
+        client.handshake()?;
+        Ok(client)
+    }
+
+    /// Enables (or disables) transparent reconnect-with-backoff on transient
+    /// transport errors: one bounded resend per request.
+    pub fn with_reconnect(mut self, reconnect: bool) -> Self {
+        self.reconnect = reconnect;
+        self
+    }
+
+    fn from_stream(stream: TcpStream, peer: SocketAddr) -> ServiceResult<Self> {
         stream.set_nodelay(true).ok();
         let reader = BufReader::new(stream.try_clone()?);
         let writer = BufWriter::new(stream);
-        Ok(Self { reader, writer })
+        Ok(Self {
+            reader,
+            writer,
+            peer,
+            reconnect: false,
+        })
+    }
+
+    /// Verifies the peer speaks this build's protocol version.
+    fn handshake(&mut self) -> ServiceResult<()> {
+        self.send_line("PING")?;
+        match protocol::read_frame(&mut self.reader)? {
+            Frame::Control(line) => match protocol::pong_version(&line) {
+                Some(PROTOCOL_VERSION) => Ok(()),
+                Some(other) => Err(ServiceError::Protocol(format!(
+                    "protocol version mismatch: peer speaks v{other}, this client v{PROTOCOL_VERSION}"
+                ))),
+                None => Err(ServiceError::Protocol(format!(
+                    "unexpected handshake reply {line:?}"
+                ))),
+            },
+            Frame::Rows(_) => Err(ServiceError::Protocol(
+                "unexpected rows frame in handshake".to_string(),
+            )),
+        }
+    }
+
+    /// Re-dials the peer (with the bounded backoff schedule) and swaps the
+    /// streams in place.
+    fn reconnect_with_backoff(&mut self) -> ServiceResult<()> {
+        let mut last = None;
+        for backoff in RECONNECT_BACKOFF {
+            std::thread::sleep(backoff);
+            match TcpStream::connect(self.peer) {
+                Ok(stream) => {
+                    let reconnect = self.reconnect;
+                    let mut fresh = Self::from_stream(stream, self.peer)?;
+                    match fresh.handshake() {
+                        Ok(()) => {
+                            fresh.reconnect = reconnect;
+                            *self = fresh;
+                            return Ok(());
+                        }
+                        // A version mismatch will not heal; fail fast.
+                        Err(e @ ServiceError::Protocol(_)) => return Err(e),
+                        Err(e) => last = Some(e),
+                    }
+                }
+                Err(e) => last = Some(e.into()),
+            }
+        }
+        Err(last.unwrap_or_else(|| ServiceError::Io("reconnect failed".to_string())))
     }
 
     fn send_line(&mut self, line: &str) -> ServiceResult<()> {
@@ -33,10 +129,46 @@ impl Client {
         Ok(())
     }
 
-    /// Executes a SQL statement, returning the parsed rows and summary.
-    pub fn query(&mut self, sql: &str) -> ServiceResult<WireResponse> {
-        self.send_line(sql)?;
-        match protocol::read_frame(&mut self.reader)? {
+    fn round_trip_once(&mut self, line: &str) -> ServiceResult<Frame> {
+        self.send_line(line)?;
+        protocol::read_frame(&mut self.reader)
+    }
+
+    /// Returns `true` if the request can be safely replayed on a fresh
+    /// connection after a transport error. Reads are side-effect free and
+    /// `INSERT` is an idempotent overwrite; a replayed `DELETE`, however,
+    /// reports `UnknownMask` for a delete that durably committed just
+    /// before the connection died — turning a success into an error — so it
+    /// must not be resent.
+    fn resend_is_safe(line: &str) -> bool {
+        !line
+            .trim_start()
+            .get(..7)
+            .is_some_and(|prefix| prefix.eq_ignore_ascii_case("DELETE "))
+    }
+
+    /// One request/response round trip, with the bounded retry on transport
+    /// errors when reconnect is enabled. Server-reported errors (`ERR`
+    /// frames) and malformed frames are returned as-is: the peer is alive
+    /// and answered, so a retry would only repeat the failure.
+    fn round_trip(&mut self, line: &str) -> ServiceResult<Frame> {
+        match self.round_trip_once(line) {
+            Err(err @ ServiceError::Io(_)) if self.reconnect => {
+                self.reconnect_with_backoff()?;
+                if Self::resend_is_safe(line) {
+                    self.round_trip_once(line)
+                } else {
+                    // The connection is healed for subsequent requests, but
+                    // this one stays ambiguous: report the transport error.
+                    Err(err)
+                }
+            }
+            other => other,
+        }
+    }
+
+    fn expect_rows(frame: Frame) -> ServiceResult<WireResponse> {
+        match frame {
             Frame::Rows(response) => Ok(response),
             Frame::Control(line) => Err(ServiceError::Protocol(format!(
                 "expected rows, got control frame {line:?}"
@@ -44,11 +176,37 @@ impl Client {
         }
     }
 
-    /// Liveness check.
+    /// Executes a SQL statement, returning the parsed rows and summary.
+    pub fn query(&mut self, sql: &str) -> ServiceResult<WireResponse> {
+        Self::expect_rows(self.round_trip(sql)?)
+    }
+
+    /// Executes a ranked SQL statement in partial (cluster-shard) mode: the
+    /// statement's `LIMIT` is replaced by `k` and the summary's `bound`
+    /// carries the shard's k-th value when candidates remain unreturned.
+    pub fn query_partial(&mut self, k: usize, sql: &str) -> ServiceResult<WireResponse> {
+        Self::expect_rows(self.round_trip(&format!("PARTIAL K={k} {sql}"))?)
+    }
+
+    /// Asks the server which of `ids` it currently holds.
+    pub fn lookup(&mut self, ids: &[MaskId]) -> ServiceResult<Vec<MaskId>> {
+        if ids.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut line = String::from("LOOKUP");
+        for id in ids {
+            line.push(' ');
+            line.push_str(&id.raw().to_string());
+        }
+        Ok(Self::expect_rows(self.round_trip(&line)?)?.mask_ids())
+    }
+
+    /// Liveness check (also re-verifies the protocol version).
     pub fn ping(&mut self) -> ServiceResult<()> {
-        self.send_line("PING")?;
-        match protocol::read_frame(&mut self.reader)? {
-            Frame::Control(line) if line == "PONG" => Ok(()),
+        match self.round_trip("PING")? {
+            Frame::Control(line) if protocol::pong_version(&line) == Some(PROTOCOL_VERSION) => {
+                Ok(())
+            }
             other => Err(ServiceError::Protocol(format!(
                 "unexpected ping reply {other:?}"
             ))),
@@ -57,8 +215,7 @@ impl Client {
 
     /// Fetches the server's metrics summary line (raw `key=value` text).
     pub fn stats(&mut self) -> ServiceResult<String> {
-        self.send_line("STATS")?;
-        match protocol::read_frame(&mut self.reader)? {
+        match self.round_trip("STATS")? {
             Frame::Control(line) => Ok(line),
             other => Err(ServiceError::Protocol(format!(
                 "unexpected stats reply {other:?}"
@@ -69,5 +226,89 @@ impl Client {
     /// Politely closes the connection.
     pub fn quit(mut self) -> ServiceResult<()> {
         self.send_line("QUIT")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+    use std::net::TcpListener;
+
+    fn read_request(stream: &TcpStream) -> String {
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        line.trim_end().to_string()
+    }
+
+    #[test]
+    fn handshake_rejects_version_mismatch() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let fake_v1 = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            assert_eq!(read_request(&stream), "PING");
+            // A v1 peer replies with a bare PONG.
+            stream.write_all(b"PONG\nEND\n").unwrap();
+        });
+        match Client::connect(addr) {
+            Err(ServiceError::Protocol(msg)) => {
+                assert!(msg.contains("version mismatch"), "{msg}");
+                assert!(msg.contains("v1"), "{msg}");
+            }
+            Err(other) => panic!("expected a version-mismatch error, got {other:?}"),
+            Ok(_) => panic!("expected a version-mismatch error, got a connection"),
+        }
+        fake_v1.join().unwrap();
+    }
+
+    #[test]
+    fn transient_disconnect_is_survived_by_one_bounded_retry() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            // Connection 1: complete the handshake, then slam the door (a
+            // restarting shard).
+            let (mut stream, _) = listener.accept().unwrap();
+            assert_eq!(read_request(&stream), "PING");
+            stream
+                .write_all(format!("PONG v{PROTOCOL_VERSION}\nEND\n").as_bytes())
+                .unwrap();
+            drop(stream);
+            // Connection 2: the client reconnects (handshake again) and
+            // resends the same request.
+            let (mut stream, _) = listener.accept().unwrap();
+            assert_eq!(read_request(&stream), "PING");
+            stream
+                .write_all(format!("PONG v{PROTOCOL_VERSION}\nEND\n").as_bytes())
+                .unwrap();
+            let request = read_request(&stream);
+            assert_eq!(request, "LOOKUP 7");
+            stream.write_all(b"OK 1\nmask 7\nEND\n").unwrap();
+        });
+        let mut client = Client::connect(addr).unwrap().with_reconnect(true);
+        let present = client.lookup(&[MaskId::new(7)]).unwrap();
+        assert_eq!(present, vec![MaskId::new(7)]);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn without_reconnect_a_disconnect_is_an_error() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            assert_eq!(read_request(&stream), "PING");
+            stream
+                .write_all(format!("PONG v{PROTOCOL_VERSION}\nEND\n").as_bytes())
+                .unwrap();
+        });
+        let mut client = Client::connect(addr).unwrap();
+        server.join().unwrap();
+        assert!(matches!(
+            client.lookup(&[MaskId::new(1)]),
+            Err(ServiceError::Io(_))
+        ));
     }
 }

@@ -11,9 +11,12 @@
 use crate::batch::{self, BatchOutput};
 use crate::config::{AdmissionPolicy, ServiceConfig};
 use crate::error::{ServiceError, ServiceResult};
-use crate::job::{Job, MutationResponse, QueryResponse, Request, Response, Ticket};
+use crate::job::{
+    Job, MutationResponse, PartialResponse, QueryResponse, Request, Response, Ticket,
+};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::queue::{JobQueue, PushError};
+use masksearch_core::MaskId;
 use masksearch_query::{Mutation, Query, Session};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex, PoisonError};
@@ -147,10 +150,21 @@ impl Engine {
     pub fn metrics(&self) -> MetricsSnapshot {
         let mut snapshot = self.shared.metrics.snapshot();
         snapshot.cache_hit_rate = self.shared.session.cache().stats().hit_rate();
+        snapshot.queue_depth = self.shared.queue.len() as u64;
         if let Some(ingest) = self.shared.session.store().ingest_stats() {
             snapshot.ingest = ingest;
         }
         snapshot
+    }
+
+    /// Which of the given mask ids this engine's session currently holds.
+    /// Used by a cluster coordinator to resolve the owning shard of each id
+    /// before routing a `DELETE`.
+    pub fn lookup(&self, ids: &[MaskId]) -> Vec<MaskId> {
+        ids.iter()
+            .copied()
+            .filter(|&id| self.shared.session.record(id).is_ok())
+            .collect()
     }
 
     fn submit_request(
@@ -207,6 +221,27 @@ impl Engine {
     /// Submits a batch executed with shared filter/verification work.
     pub fn submit_batch(&self, queries: Vec<Query>) -> ServiceResult<Ticket> {
         self.submit_request(Request::Batch(queries), None)
+    }
+
+    /// Submits a ranked query in partial (cluster-shard) mode with a
+    /// per-shard `k`; redeem the ticket with [`Ticket::wait_partial`].
+    pub fn submit_partial(&self, query: Query, k: usize) -> ServiceResult<Ticket> {
+        self.submit_request(Request::Partial { query, k }, None)
+    }
+
+    /// Compiles a ranked SQL statement and executes it in partial mode: the
+    /// statement's own `LIMIT` is replaced by `k` and the response reports
+    /// the k-th value as a bound on every unreturned candidate. Non-ranked
+    /// statements execute normally (with no bound); writes are rejected.
+    pub fn execute_partial_sql(&self, sql: &str, k: usize) -> ServiceResult<PartialResponse> {
+        match masksearch_sql::compile_statement(sql)? {
+            masksearch_sql::Statement::Query(query) => {
+                self.submit_partial(query, k)?.wait_partial()
+            }
+            masksearch_sql::Statement::Mutation(_) => Err(ServiceError::Sql(
+                "PARTIAL applies to queries, not writes".to_string(),
+            )),
+        }
     }
 
     /// Submits a write (an atomic INSERT/DELETE batch); redeem the ticket
@@ -293,6 +328,38 @@ fn worker_loop(shared: &Shared) {
                             output,
                             queue_wait: wait,
                             exec_time,
+                        })));
+                    }
+                    Ok(Err(e)) => {
+                        shared.metrics.record_failed();
+                        let _ = job.reply.send(Err(e.into()));
+                    }
+                    Err(panic) => {
+                        shared.metrics.record_failed();
+                        let _ = job
+                            .reply
+                            .send(Err(ServiceError::Internal(panic_message(&panic))));
+                    }
+                }
+            }
+            Request::Partial { query, k } => {
+                let exec_start = Instant::now();
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    shared.session.execute_topk_partial(&query, Some(k))
+                }));
+                match result {
+                    Ok(Ok(partial)) => {
+                        let exec_time = exec_start.elapsed();
+                        shared
+                            .metrics
+                            .record_completed(&partial.output.stats, job.submitted.elapsed());
+                        let _ = job.reply.send(Ok(Response::Partial(PartialResponse {
+                            response: QueryResponse {
+                                output: partial.output,
+                                queue_wait: wait,
+                                exec_time,
+                            },
+                            bound: partial.bound,
                         })));
                     }
                     Ok(Err(e)) => {

@@ -32,6 +32,10 @@ pub enum ServiceError {
     Io(String),
     /// The server sent a response the client could not interpret.
     Protocol(String),
+    /// The server answered with an `ERR` frame: the request failed on the
+    /// peer, but the frame was well-formed and fully consumed — the
+    /// connection remains usable.
+    Remote(String),
     /// Query execution panicked inside a worker (the panic was contained and
     /// the worker kept running).
     Internal(String),
@@ -54,6 +58,7 @@ impl std::fmt::Display for ServiceError {
             Self::Sql(msg) => write!(f, "SQL error: {msg}"),
             Self::Io(msg) => write!(f, "I/O error: {msg}"),
             Self::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            Self::Remote(msg) => write!(f, "server error: {msg}"),
             Self::Internal(msg) => write!(f, "internal error: query panicked: {msg}"),
         }
     }

@@ -12,6 +12,14 @@ use std::time::{Duration, Instant};
 pub enum Request {
     /// Execute one query.
     Single(Query),
+    /// Execute a ranked query in partial (cluster-shard) mode: `k` replaces
+    /// the query's own limit and the response carries the k-th value bound.
+    Partial {
+        /// The ranked query.
+        query: Query,
+        /// Per-shard `k` override.
+        k: usize,
+    },
     /// Execute a group of queries with shared index/mask work
     /// (see [`crate::batch`]).
     Batch(Vec<Query>),
@@ -24,10 +32,23 @@ pub enum Request {
 pub enum Response {
     /// Output of a [`Request::Single`].
     Single(QueryResponse),
+    /// Output of a [`Request::Partial`].
+    Partial(PartialResponse),
     /// Output of a [`Request::Batch`].
     Batch(BatchOutput),
     /// Output of a [`Request::Mutation`].
     Mutation(MutationResponse),
+}
+
+/// The result of one partial (bounded top-k) execution: the local top-k plus
+/// the bound on everything the shard did not return.
+#[derive(Debug)]
+pub struct PartialResponse {
+    /// The local rows and serving-layer timings.
+    pub response: QueryResponse,
+    /// The shard's k-th value when unreturned candidates remain
+    /// (see [`masksearch_query::merge::RankedPartial`]).
+    pub bound: Option<f64>,
 }
 
 /// The result of one served query: the engine output plus serving-layer
@@ -121,6 +142,16 @@ impl Ticket {
             Response::Mutation(m) => Ok(m),
             _ => Err(ServiceError::Protocol(
                 "non-mutation response on a mutation ticket".to_string(),
+            )),
+        }
+    }
+
+    /// Convenience for partial tickets: unwraps [`Response::Partial`].
+    pub fn wait_partial(self) -> ServiceResult<PartialResponse> {
+        match self.wait()? {
+            Response::Partial(p) => Ok(p),
+            _ => Err(ServiceError::Protocol(
+                "non-partial response on a partial ticket".to_string(),
             )),
         }
     }

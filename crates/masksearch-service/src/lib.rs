@@ -85,6 +85,7 @@ pub mod engine;
 pub mod error;
 pub mod job;
 pub mod metrics;
+pub mod pool;
 pub mod protocol;
 pub mod queue;
 pub mod server;
@@ -94,7 +95,8 @@ pub use client::Client;
 pub use config::{AdmissionPolicy, ServiceConfig};
 pub use engine::Engine;
 pub use error::{ServiceError, ServiceResult};
-pub use job::{MutationResponse, QueryResponse, Request, Response, Ticket};
+pub use job::{MutationResponse, PartialResponse, QueryResponse, Request, Response, Ticket};
 pub use metrics::{LatencyHistogram, LatencySnapshot, MetricsSnapshot, ServiceMetrics};
-pub use protocol::{ClientRequest, WireResponse, WireSummary};
+pub use pool::{ClientPool, PooledClient};
+pub use protocol::{ClientRequest, WireResponse, WireSummary, PROTOCOL_VERSION};
 pub use server::{Server, ServerHandle};

@@ -254,6 +254,10 @@ impl ServiceMetrics {
             // concurrent workers would double count; the engine fills this
             // from the session cache's own counters at snapshot time.
             cache_hit_rate: 0.0,
+            // Saturation signals live outside the registry: the engine fills
+            // the queue depth and the TCP front end the connection count.
+            active_connections: 0,
+            queue_depth: 0,
             latency: self.latency.snapshot(),
             queue_wait: self.queue_wait.snapshot(),
         }
@@ -295,6 +299,12 @@ pub struct MetricsSnapshot {
     /// Hit rate of the session's shared mask cache (filled by the engine;
     /// zero in a bare [`ServiceMetrics::snapshot`]).
     pub cache_hit_rate: f64,
+    /// Currently open TCP client connections (filled by the server; zero in
+    /// a bare [`ServiceMetrics::snapshot`]).
+    pub active_connections: u64,
+    /// Jobs waiting in the bounded queue right now (filled by the engine) —
+    /// together with `active_connections` the operator's saturation signal.
+    pub queue_depth: u64,
     /// End-to-end latency histogram.
     pub latency: LatencySnapshot,
     /// Queue-wait histogram.

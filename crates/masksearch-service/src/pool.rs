@@ -1,0 +1,131 @@
+//! A small connection pool over [`Client`], used by the cluster coordinator
+//! to fan concurrent requests out to one shard without a dial-plus-handshake
+//! per request.
+//!
+//! The pool is check-out/check-in: [`ClientPool::get`] pops an idle
+//! connection (or dials a new one), and the returned [`PooledClient`] hands
+//! it back on drop. A connection that failed with a transport or framing
+//! error is discarded instead of returned — the stream position is unknown,
+//! and re-dialling is cheap compared to protocol desync. A server-reported
+//! `ERR` frame ([`ServiceError::Remote`](crate::ServiceError::Remote)) is
+//! different: the frame was consumed through its `END` marker, the stream
+//! sits at a clean boundary, and the connection goes back to the pool.
+
+use crate::client::Client;
+use crate::error::ServiceResult;
+use std::sync::Mutex;
+
+/// A bounded pool of ready connections to one server address.
+pub struct ClientPool {
+    addr: String,
+    idle: Mutex<Vec<Client>>,
+    max_idle: usize,
+}
+
+impl ClientPool {
+    /// Creates a pool dialling `addr`, keeping at most `max_idle` idle
+    /// connections around.
+    pub fn new(addr: impl Into<String>, max_idle: usize) -> Self {
+        Self {
+            addr: addr.into(),
+            idle: Mutex::new(Vec::new()),
+            max_idle: max_idle.max(1),
+        }
+    }
+
+    /// The address this pool connects to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Number of idle pooled connections.
+    pub fn idle_len(&self) -> usize {
+        self.idle.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Checks out a connection: an idle one if available, otherwise a fresh
+    /// dial (with handshake and reconnect-on-transient-error enabled).
+    pub fn get(&self) -> ServiceResult<PooledClient<'_>> {
+        let pooled = self.idle.lock().unwrap_or_else(|e| e.into_inner()).pop();
+        let client = match pooled {
+            Some(client) => client,
+            None => Client::connect(self.addr.as_str())?.with_reconnect(true),
+        };
+        Ok(PooledClient {
+            pool: self,
+            client: Some(client),
+            discard: false,
+        })
+    }
+
+    fn put(&self, client: Client) {
+        let mut idle = self.idle.lock().unwrap_or_else(|e| e.into_inner());
+        if idle.len() < self.max_idle {
+            idle.push(client);
+        }
+    }
+}
+
+/// A checked-out pool connection; returns to the pool on drop unless an
+/// operation on it failed.
+pub struct PooledClient<'a> {
+    pool: &'a ClientPool,
+    client: Option<Client>,
+    discard: bool,
+}
+
+impl PooledClient<'_> {
+    fn run<T>(&mut self, op: impl FnOnce(&mut Client) -> ServiceResult<T>) -> ServiceResult<T> {
+        let client = self.client.as_mut().expect("client present until drop");
+        let result = op(client);
+        match &result {
+            // A remote ERR frame leaves the stream at a clean boundary;
+            // anything else that failed may have desynced it.
+            Err(crate::error::ServiceError::Remote(_)) | Ok(_) => {}
+            Err(_) => self.discard = true,
+        }
+        result
+    }
+
+    /// See [`Client::query`].
+    pub fn query(&mut self, sql: &str) -> ServiceResult<crate::protocol::WireResponse> {
+        self.run(|c| c.query(sql))
+    }
+
+    /// See [`Client::query_partial`].
+    pub fn query_partial(
+        &mut self,
+        k: usize,
+        sql: &str,
+    ) -> ServiceResult<crate::protocol::WireResponse> {
+        self.run(|c| c.query_partial(k, sql))
+    }
+
+    /// See [`Client::lookup`].
+    pub fn lookup(
+        &mut self,
+        ids: &[masksearch_core::MaskId],
+    ) -> ServiceResult<Vec<masksearch_core::MaskId>> {
+        self.run(|c| c.lookup(ids))
+    }
+
+    /// See [`Client::stats`].
+    pub fn stats(&mut self) -> ServiceResult<String> {
+        self.run(|c| c.stats())
+    }
+
+    /// See [`Client::ping`].
+    pub fn ping(&mut self) -> ServiceResult<()> {
+        self.run(|c| c.ping())
+    }
+}
+
+impl Drop for PooledClient<'_> {
+    fn drop(&mut self) {
+        if let Some(client) = self.client.take() {
+            if !self.discard {
+                self.pool.put(client);
+            }
+        }
+    }
+}

@@ -14,7 +14,7 @@
 //! << mask 7
 //! << END
 //! >> PING
-//! << PONG
+//! << PONG v2
 //! << END
 //! >> garbage
 //! << ERR SQL error: ...
@@ -36,15 +36,34 @@ use std::io::{BufRead, Write};
 /// Terminates every response frame.
 pub const END_MARKER: &str = "END";
 
+/// Version of the wire protocol spoken by this build. Carried in the `PONG`
+/// handshake reply (`PONG v<N>`); peers with a different version reject the
+/// connection with a clear error instead of mis-parsing frames.
+///
+/// History: v1 — the original PR-1 protocol (bare `PONG`); v2 — versioned
+/// handshake, `PARTIAL K=<n>` bounded top-k with `bound=` summaries,
+/// `LOOKUP`, and saturation fields in `STATS`.
+pub const PROTOCOL_VERSION: u32 = 2;
+
 /// A parsed client request line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClientRequest {
-    /// Liveness check.
+    /// Liveness check and version handshake.
     Ping,
     /// Server metrics summary.
     Stats,
     /// Close the connection.
     Quit,
+    /// Which of the given mask ids this server holds (cluster routing).
+    Lookup(Vec<MaskId>),
+    /// A ranked SQL statement executed in partial (cluster-shard) mode with
+    /// the per-shard `k` override.
+    Partial {
+        /// Per-shard `k` replacing the statement's own `LIMIT`.
+        k: usize,
+        /// The SQL statement.
+        sql: String,
+    },
     /// A SQL statement to compile and execute.
     Sql(String),
 }
@@ -56,10 +75,39 @@ impl ClientRequest {
         if trimmed.is_empty() {
             return None;
         }
-        Some(match trimmed.to_ascii_uppercase().as_str() {
+        let upper = trimmed.to_ascii_uppercase();
+        if let Some(rest) = upper.strip_prefix("LOOKUP ") {
+            let ids: Option<Vec<MaskId>> = rest
+                .split_ascii_whitespace()
+                .map(|t| t.parse::<u64>().ok().map(MaskId::new))
+                .collect();
+            // A malformed LOOKUP falls through to the SQL path, which
+            // produces a descriptive ERR frame.
+            if let Some(ids) = ids {
+                return Some(Self::Lookup(ids));
+            }
+        }
+        if upper.starts_with("PARTIAL ") {
+            let rest = trimmed[7..].trim_start();
+            if let Some(kv) = rest.split_ascii_whitespace().next() {
+                if let Some(k) = kv
+                    .strip_prefix("K=")
+                    .or_else(|| kv.strip_prefix("k="))
+                    .and_then(|v| v.parse::<usize>().ok())
+                {
+                    let sql = rest[kv.len()..].trim_start().to_string();
+                    if !sql.is_empty() {
+                        return Some(Self::Partial { k, sql });
+                    }
+                }
+            }
+        }
+        Some(match upper.as_str() {
             "PING" => Self::Ping,
             "STATS" => Self::Stats,
             "QUIT" => Self::Quit,
+            // A LOOKUP of zero ids is a valid (empty) question.
+            "LOOKUP" => Self::Lookup(Vec::new()),
             _ => Self::Sql(trimmed.to_string()),
         })
     }
@@ -112,8 +160,18 @@ pub fn parse_row(line: &str) -> ServiceResult<ResultRow> {
 
 /// Writes a successful query response frame.
 pub fn write_response<W: Write>(w: &mut W, response: &QueryResponse) -> std::io::Result<()> {
+    write_response_with_bound(w, response, None)
+}
+
+/// Writes a query response frame carrying a partial-execution `bound=`
+/// summary token (the shard's k-th value; see `PARTIAL K=<n>` requests).
+pub fn write_response_with_bound<W: Write>(
+    w: &mut W,
+    response: &QueryResponse,
+    bound: Option<f64>,
+) -> std::io::Result<()> {
     let s = &response.output.stats;
-    writeln!(
+    write!(
         w,
         "OK {} candidates={} pruned={} verified={} loaded={} wall_us={}",
         response.output.rows.len(),
@@ -123,8 +181,21 @@ pub fn write_response<W: Write>(w: &mut W, response: &QueryResponse) -> std::io:
         s.masks_loaded,
         response.exec_time.as_micros(),
     )?;
+    if let Some(bound) = bound {
+        write!(w, " bound={bound}")?;
+    }
+    writeln!(w)?;
     for row in &response.output.rows {
         writeln!(w, "{}", encode_row(row))?;
+    }
+    writeln!(w, "{END_MARKER}")
+}
+
+/// Writes a `LOOKUP` response frame: one mask row per id this server holds.
+pub fn write_lookup_response<W: Write>(w: &mut W, present: &[MaskId]) -> std::io::Result<()> {
+    writeln!(w, "OK {}", present.len())?;
+    for id in present {
+        writeln!(w, "mask {}", id.raw())?;
     }
     writeln!(w, "{END_MARKER}")
 }
@@ -152,10 +223,21 @@ pub fn write_error<W: Write>(w: &mut W, error: &ServiceError) -> std::io::Result
     writeln!(w, "{END_MARKER}")
 }
 
-/// Writes a `PONG` frame.
+/// Writes a `PONG` frame carrying the protocol version (`PONG v<N>`).
 pub fn write_pong<W: Write>(w: &mut W) -> std::io::Result<()> {
-    writeln!(w, "PONG")?;
+    writeln!(w, "PONG v{PROTOCOL_VERSION}")?;
     writeln!(w, "{END_MARKER}")
+}
+
+/// Extracts the protocol version from a `PONG` control line. A bare `PONG`
+/// (the pre-versioning protocol) reports version 1.
+pub fn pong_version(line: &str) -> Option<u32> {
+    let rest = line.strip_prefix("PONG")?;
+    let rest = rest.trim();
+    if rest.is_empty() {
+        return Some(1);
+    }
+    rest.strip_prefix('v').and_then(|v| v.parse().ok())
 }
 
 /// Writes a server-metrics frame.
@@ -164,7 +246,8 @@ pub fn write_stats<W: Write>(w: &mut W, m: &MetricsSnapshot) -> std::io::Result<
         w,
         "STATS qps={:.3} completed={} failed={} rejected={} deadline_expired={} \
          p50_us={} p99_us={} mean_us={} filter_rate={:.6} cache_hit_rate={:.6} uptime_ms={} \
-         mutations={} inserted={} deleted={} wal_bytes={} checkpoints={} commits={}",
+         mutations={} inserted={} deleted={} wal_bytes={} checkpoints={} commits={} \
+         active_connections={} queue_depth={}",
         m.qps,
         m.completed,
         m.failed,
@@ -182,12 +265,14 @@ pub fn write_stats<W: Write>(w: &mut W, m: &MetricsSnapshot) -> std::io::Result<
         m.ingest.wal_bytes,
         m.ingest.checkpoints,
         m.ingest.commits,
+        m.active_connections,
+        m.queue_depth,
     )?;
     writeln!(w, "{END_MARKER}")
 }
 
 /// Summary line of an `OK` frame, as parsed back by the client.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct WireSummary {
     /// Declared number of rows in the frame.
     pub rows: u64,
@@ -205,6 +290,9 @@ pub struct WireSummary {
     pub deleted: u64,
     /// Server-side execution time in microseconds.
     pub wall_us: u64,
+    /// The shard's k-th value, when the frame answers a `PARTIAL K=<n>`
+    /// request and candidates beyond the returned rows remain on the shard.
+    pub bound: Option<f64>,
 }
 
 /// A parsed `OK` frame.
@@ -249,11 +337,12 @@ pub fn read_frame<R: BufRead>(reader: &mut R) -> ServiceResult<Frame> {
     }
     let header = header.trim_end().to_string();
     if let Some(msg) = header.strip_prefix("ERR ") {
-        // Consume the END line.
+        // Consume the END line: the frame is complete, so the connection
+        // stays at a clean boundary and the error is a *remote* failure.
         expect_end(reader)?;
-        return Err(ServiceError::Protocol(msg.to_string()));
+        return Err(ServiceError::Remote(msg.to_string()));
     }
-    if header == "PONG" || header.starts_with("STATS ") {
+    if header.starts_with("PONG") || header.starts_with("STATS ") {
         expect_end(reader)?;
         return Ok(Frame::Control(header));
     }
@@ -289,6 +378,11 @@ pub fn read_frame<R: BufRead>(reader: &mut R) -> ServiceResult<Frame> {
             summary.deleted = v;
         } else if let Ok(v) = parse_kv(token, "wall_us") {
             summary.wall_us = v;
+        } else if let Some(v) = token
+            .strip_prefix("bound=")
+            .and_then(|v| v.parse::<f64>().ok())
+        {
+            summary.bound = Some(v);
         }
     }
     // Cap the pre-allocation: the count is wire data and must not let a
@@ -443,7 +537,7 @@ mod tests {
         let mut reader = BufReader::new(&wire[..]);
         assert!(matches!(
             read_frame(&mut reader),
-            Err(ServiceError::Protocol(_))
+            Err(ServiceError::Remote(_))
         ));
     }
 
@@ -460,8 +554,90 @@ mod tests {
         write_pong(&mut wire).unwrap();
         let mut reader = BufReader::new(&wire[..]);
         match read_frame(&mut reader).unwrap() {
-            Frame::Control(line) => assert_eq!(line, "PONG"),
+            Frame::Control(line) => assert_eq!(line, format!("PONG v{PROTOCOL_VERSION}")),
             other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pong_versions_parse() {
+        assert_eq!(pong_version("PONG"), Some(1));
+        assert_eq!(pong_version("PONG v2"), Some(2));
+        assert_eq!(pong_version("PONG v17"), Some(17));
+        assert_eq!(pong_version("PONG vX"), None);
+        assert_eq!(pong_version("NOPE"), None);
+    }
+
+    #[test]
+    fn partial_and_lookup_requests_parse() {
+        assert_eq!(
+            ClientRequest::parse("PARTIAL K=5 SELECT mask_id FROM masks ORDER BY s DESC LIMIT 9"),
+            Some(ClientRequest::Partial {
+                k: 5,
+                sql: "SELECT mask_id FROM masks ORDER BY s DESC LIMIT 9".to_string()
+            })
+        );
+        assert_eq!(
+            ClientRequest::parse("partial k=2 select 1"),
+            Some(ClientRequest::Partial {
+                k: 2,
+                sql: "select 1".to_string()
+            })
+        );
+        // Malformed PARTIAL lines fall back to the SQL path (-> ERR frame).
+        assert!(matches!(
+            ClientRequest::parse("PARTIAL SELECT 1"),
+            Some(ClientRequest::Sql(_))
+        ));
+        assert_eq!(
+            ClientRequest::parse("LOOKUP 3 7 11"),
+            Some(ClientRequest::Lookup(vec![
+                MaskId::new(3),
+                MaskId::new(7),
+                MaskId::new(11)
+            ]))
+        );
+        assert_eq!(
+            ClientRequest::parse("lookup 4"),
+            Some(ClientRequest::Lookup(vec![MaskId::new(4)]))
+        );
+        assert!(matches!(
+            ClientRequest::parse("LOOKUP nope"),
+            Some(ClientRequest::Sql(_))
+        ));
+    }
+
+    #[test]
+    fn bound_summaries_round_trip() {
+        let response = QueryResponse {
+            output: QueryOutput {
+                rows: vec![ResultRow::mask(MaskId::new(1), Some(42.5))],
+                stats: QueryStats::default(),
+            },
+            queue_wait: Duration::ZERO,
+            exec_time: Duration::from_micros(9),
+        };
+        for bound in [Some(0.1 + 0.2), Some(f64::INFINITY), None] {
+            let mut wire = Vec::new();
+            write_response_with_bound(&mut wire, &response, bound).unwrap();
+            let mut reader = BufReader::new(&wire[..]);
+            match read_frame(&mut reader).unwrap() {
+                Frame::Rows(parsed) => assert_eq!(parsed.summary.bound, bound),
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_frames_round_trip() {
+        let mut wire = Vec::new();
+        write_lookup_response(&mut wire, &[MaskId::new(2), MaskId::new(9)]).unwrap();
+        let mut reader = BufReader::new(&wire[..]);
+        match read_frame(&mut reader).unwrap() {
+            Frame::Rows(parsed) => {
+                assert_eq!(parsed.mask_ids(), vec![MaskId::new(2), MaskId::new(9)]);
+            }
+            other => panic!("unexpected frame {other:?}"),
         }
     }
 }

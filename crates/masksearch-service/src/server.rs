@@ -11,13 +11,28 @@ use std::sync::Arc;
 
 /// A running MaskSearch TCP server.
 ///
-/// ```no_run
-/// use masksearch_service::{Engine, Server, ServiceConfig};
-/// # fn session() -> masksearch_query::Session { unimplemented!() }
-/// let engine = Engine::new(session(), ServiceConfig::default());
-/// let server = Server::bind("127.0.0.1:7878", engine).unwrap();
+/// ```
+/// use masksearch_core::{Mask, MaskId, MaskRecord};
+/// use masksearch_query::{Session, SessionConfig};
+/// use masksearch_service::{Client, Engine, Server, ServiceConfig};
+/// use masksearch_storage::{Catalog, MaskStore, MemoryMaskStore};
+/// use std::sync::Arc;
+///
+/// // A one-mask database to serve.
+/// let store = MemoryMaskStore::for_tests();
+/// let mut catalog = Catalog::new();
+/// store.put(MaskId::new(0), &Mask::from_fn(8, 8, |_, _| 0.9)).unwrap();
+/// catalog.insert(MaskRecord::builder(MaskId::new(0)).shape(8, 8).build());
+/// let session = Session::new(Arc::new(store), catalog, SessionConfig::default()).unwrap();
+///
+/// let engine = Engine::new(session, ServiceConfig::new(1));
+/// let server = Server::bind("127.0.0.1:0", engine).unwrap(); // port 0: ephemeral
 /// println!("serving on {}", server.local_addr());
-/// server.run(); // blocks; or `server.spawn()` for a background handle
+/// let handle = server.spawn(); // or `server.run()` to block this thread
+///
+/// let mut client = Client::connect(handle.local_addr()).unwrap();
+/// assert!(client.ping().is_ok());
+/// handle.shutdown();
 /// ```
 pub struct Server {
     listener: TcpListener,
@@ -71,7 +86,7 @@ impl Server {
             let active = Arc::clone(&self.active_connections);
             active.fetch_add(1, Ordering::Relaxed);
             std::thread::spawn(move || {
-                let _ = serve_connection(stream, &engine);
+                let _ = serve_connection(stream, &engine, &active);
                 active.fetch_sub(1, Ordering::Relaxed);
             });
         }
@@ -153,7 +168,7 @@ impl Drop for ServerHandle {
 /// Request lines are decoded lossily: bytes that are not valid UTF-8 reach
 /// the SQL front end as replacement characters and fail there with an `ERR`
 /// frame, rather than killing the connection.
-fn serve_connection(stream: TcpStream, engine: &Engine) -> std::io::Result<()> {
+fn serve_connection(stream: TcpStream, engine: &Engine, active: &AtomicU64) -> std::io::Result<()> {
     stream.set_nodelay(true).ok();
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
@@ -173,7 +188,22 @@ fn serve_connection(stream: TcpStream, engine: &Engine) -> std::io::Result<()> {
                 return Ok(());
             }
             ClientRequest::Ping => protocol::write_pong(&mut writer)?,
-            ClientRequest::Stats => protocol::write_stats(&mut writer, &engine.metrics())?,
+            ClientRequest::Stats => {
+                let mut metrics = engine.metrics();
+                metrics.active_connections = active.load(Ordering::Relaxed);
+                protocol::write_stats(&mut writer, &metrics)?
+            }
+            ClientRequest::Lookup(ids) => {
+                protocol::write_lookup_response(&mut writer, &engine.lookup(&ids))?
+            }
+            ClientRequest::Partial { k, sql } => match engine.execute_partial_sql(&sql, k) {
+                Ok(partial) => protocol::write_response_with_bound(
+                    &mut writer,
+                    &partial.response,
+                    partial.bound,
+                )?,
+                Err(e) => protocol::write_error(&mut writer, &e)?,
+            },
             ClientRequest::Sql(sql) => match engine.execute_statement(&sql) {
                 Ok(crate::job::Response::Single(response)) => {
                     protocol::write_response(&mut writer, &response)?
@@ -181,13 +211,15 @@ fn serve_connection(stream: TcpStream, engine: &Engine) -> std::io::Result<()> {
                 Ok(crate::job::Response::Mutation(response)) => {
                     protocol::write_mutation_response(&mut writer, &response)?
                 }
-                // The SQL path never produces batch responses.
-                Ok(crate::job::Response::Batch(_)) => protocol::write_error(
-                    &mut writer,
-                    &crate::error::ServiceError::Protocol(
-                        "unexpected batch response for a SQL statement".to_string(),
-                    ),
-                )?,
+                // The SQL path never produces batch or partial responses.
+                Ok(crate::job::Response::Batch(_)) | Ok(crate::job::Response::Partial(_)) => {
+                    protocol::write_error(
+                        &mut writer,
+                        &crate::error::ServiceError::Protocol(
+                            "unexpected response kind for a SQL statement".to_string(),
+                        ),
+                    )?
+                }
                 Err(e) => protocol::write_error(&mut writer, &e)?,
             },
         }

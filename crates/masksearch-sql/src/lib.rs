@@ -57,7 +57,7 @@ pub use lexer::{tokenize, Token};
 pub use lower::{lower, lower_statement};
 pub use parser::{parse, parse_statement};
 
-use masksearch_query::{Mutation, Query};
+use masksearch_query::{Mutation, Order, Query, QueryKind};
 
 /// An executable statement: a lowered query or a lowered write.
 #[derive(Debug, Clone)]
@@ -66,6 +66,60 @@ pub enum Statement {
     Query(Query),
     /// A write for `Session::apply`.
     Mutation(Mutation),
+}
+
+/// How a compiled statement is routed across a sharded cluster.
+///
+/// This is *metadata only* — the dialect is unchanged — but it is derived
+/// here, next to the lowering rules, so a coordinator never re-implements
+/// the statement classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Routing {
+    /// Send the statement to every shard and merge the disjoint row sets by
+    /// key (filter queries, plain aggregations, `HAVING` aggregations).
+    Broadcast,
+    /// Send to every shard with a bounded per-shard `k` and refine with the
+    /// distributed threshold algorithm (ranked queries: `ORDER BY .. LIMIT`).
+    Ranked {
+        /// The statement's global `k` (its `LIMIT`).
+        k: usize,
+        /// The ranking order.
+        order: Order,
+    },
+    /// Split the write batch by the owning shard of each tuple's image id
+    /// (`INSERT`): group members must co-locate for grouped queries to merge
+    /// exactly.
+    ByImage,
+    /// Resolve each mask id's owning shard, then split (`DELETE`).
+    ByMaskId,
+}
+
+impl Statement {
+    /// The cluster routing of this statement.
+    pub fn routing(&self) -> Routing {
+        match self {
+            Statement::Query(query) => match &query.kind {
+                QueryKind::TopK { k, order, .. } => Routing::Ranked {
+                    k: *k,
+                    order: *order,
+                },
+                QueryKind::Aggregate {
+                    top_k: Some((k, order)),
+                    ..
+                }
+                | QueryKind::MaskAggregate {
+                    top_k: Some((k, order)),
+                    ..
+                } => Routing::Ranked {
+                    k: *k,
+                    order: *order,
+                },
+                _ => Routing::Broadcast,
+            },
+            Statement::Mutation(Mutation::Insert(_)) => Routing::ByImage,
+            Statement::Mutation(Mutation::Delete(_)) => Routing::ByMaskId,
+        }
+    }
 }
 
 /// Parse error with a human-readable message and byte offset.
@@ -121,4 +175,58 @@ pub fn compile(sql: &str) -> Result<Query, SqlError> {
 pub fn compile_statement(sql: &str) -> Result<Statement, SqlError> {
     let statement = parse_statement(sql)?;
     lower_statement(&statement)
+}
+
+#[cfg(test)]
+mod routing_tests {
+    use super::*;
+
+    #[test]
+    fn statements_classify_into_cluster_routes() {
+        let filter = compile_statement(
+            "SELECT mask_id FROM masks WHERE CP(mask, (0, 0, 8, 8), (0.5, 1.0)) > 5",
+        )
+        .unwrap();
+        assert_eq!(filter.routing(), Routing::Broadcast);
+
+        let topk = compile_statement(
+            "SELECT mask_id, CP(mask, full, (0.5, 1.0)) AS s FROM masks ORDER BY s DESC LIMIT 7",
+        )
+        .unwrap();
+        assert_eq!(
+            topk.routing(),
+            Routing::Ranked {
+                k: 7,
+                order: Order::Desc
+            }
+        );
+
+        let grouped_topk = compile_statement(
+            "SELECT image_id, AVG(CP(mask, full, (0.5, 1.0))) AS s FROM masks \
+             GROUP BY image_id ORDER BY s ASC LIMIT 3",
+        )
+        .unwrap();
+        assert_eq!(
+            grouped_topk.routing(),
+            Routing::Ranked {
+                k: 3,
+                order: Order::Asc
+            }
+        );
+
+        let having = compile_statement(
+            "SELECT image_id, SUM(CP(mask, full, (0.5, 1.0))) AS s FROM masks \
+             GROUP BY image_id HAVING s > 10",
+        )
+        .unwrap();
+        assert_eq!(having.routing(), Routing::Broadcast);
+
+        let insert =
+            compile_statement("INSERT INTO masks VALUES (7, 3, 2, 2, (0.1, 0.2, 0.3, 0.4))")
+                .unwrap();
+        assert_eq!(insert.routing(), Routing::ByImage);
+
+        let delete = compile_statement("DELETE FROM masks WHERE mask_id IN (7, 8)").unwrap();
+        assert_eq!(delete.routing(), Routing::ByMaskId);
+    }
 }

@@ -27,12 +27,16 @@
 //! * [`service`](mod@masksearch_service) — the concurrent query-serving layer:
 //!   engine handle, worker pool with admission control and deadlines,
 //!   batched multi-query execution, metrics, and a TCP front end.
+//! * [`cluster`](mod@masksearch_cluster) — sharded scatter-gather execution:
+//!   the serializable shard map, the coordinator with its own TCP front end,
+//!   and the distributed top-k threshold algorithm.
 //! * [`baselines`](mod@masksearch_baselines) — NumPy-, PostgreSQL-, and
 //!   TileDB-like comparison engines.
 //! * [`datagen`](mod@masksearch_datagen) — synthetic dataset and workload
 //!   generators used by the evaluation harness.
 
 pub use masksearch_baselines as baselines;
+pub use masksearch_cluster as cluster;
 pub use masksearch_core as core;
 pub use masksearch_datagen as datagen;
 pub use masksearch_db as db;

@@ -1,0 +1,182 @@
+//! Property tests of partition-merge semantics: executing any query over an
+//! arbitrary image-respecting partition of the catalog and merging the
+//! partial outputs is **identical** to single-node `Session` execution —
+//! rows, values, and ordering (including ranked tie-breaking) — for
+//! aggregation, filter, and top-k query shapes.
+//!
+//! The partition is arbitrary per case: each image is assigned to a random
+//! shard (shards may be empty), which is exactly the family of partitions a
+//! `ShardMap` can produce. Ranked queries run through the same distributed
+//! threshold driver the coordinator uses, so the bound/refinement logic is
+//! covered without any networking.
+
+use masksearch::cluster::distributed_topk;
+use masksearch::core::{ImageId, Mask, MaskAgg, MaskId, MaskRecord, PixelRange, Roi};
+use masksearch::index::ChiConfig;
+use masksearch::query::merge;
+use masksearch::query::{
+    CmpOp, CpTerm, Expr, IndexingMode, Order, Query, ScalarAgg, Session, SessionConfig,
+};
+use masksearch::storage::{Catalog, MaskStore, MemoryMaskStore};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const W: u32 = 16;
+const H: u32 = 16;
+
+/// Deterministic pseudo-random mask. Odd-id masks duplicate their even
+/// sibling every third image, seeding value ties that exercise the ranked
+/// id tie-break across partitions.
+fn mask_for(id: u64, seed: u64) -> Mask {
+    let image = id / 2;
+    let key = if id % 2 == 1 && (image + seed).is_multiple_of(3) {
+        id - 1
+    } else {
+        id
+    };
+    let mut state = key.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(seed) | 1;
+    Mask::from_fn(W, H, move |_, _| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 40) as f32) / (1u64 << 24) as f32
+    })
+}
+
+fn session_over(mask_ids: &[u64], seed: u64) -> Session {
+    let store = Arc::new(MemoryMaskStore::for_tests());
+    let mut catalog = Catalog::new();
+    for &id in mask_ids {
+        store.put(MaskId::new(id), &mask_for(id, seed)).unwrap();
+        catalog.insert(
+            MaskRecord::builder(MaskId::new(id))
+                .image_id(ImageId::new(id / 2))
+                .shape(W, H)
+                .object_box(Roi::new(2, 2, 12, 14).unwrap())
+                .build(),
+        );
+    }
+    Session::new(
+        store as Arc<dyn MaskStore>,
+        catalog,
+        SessionConfig::new(ChiConfig::new(4, 4, 8).unwrap())
+            .threads(1)
+            .indexing_mode(IndexingMode::Eager),
+    )
+    .unwrap()
+}
+
+/// Builds the single-node oracle and the partition's shard sessions from an
+/// image → shard assignment (2 masks per image).
+fn build(assignment: &[usize], seed: u64) -> (Session, Vec<Session>) {
+    let shards = assignment.iter().copied().max().unwrap_or(0) + 1;
+    let all: Vec<u64> = (0..assignment.len() as u64 * 2).collect();
+    let mut per_shard: Vec<Vec<u64>> = vec![Vec::new(); shards];
+    for &id in &all {
+        per_shard[assignment[(id / 2) as usize]].push(id);
+    }
+    (
+        session_over(&all, seed),
+        per_shard
+            .iter()
+            .map(|ids| session_over(ids, seed))
+            .collect(),
+    )
+}
+
+fn assert_unordered_merges(oracle: &Session, shards: &[Session], query: &Query) {
+    let expected = oracle.execute(query).unwrap();
+    let partials: Vec<_> = shards.iter().map(|s| s.execute(query).unwrap()).collect();
+    let merged = merge::merge_unordered(partials);
+    assert_eq!(merged.rows, expected.rows, "unordered merge diverged");
+}
+
+fn assert_ranked_merges(
+    oracle: &Session,
+    shards: &[Session],
+    query: &Query,
+    k: usize,
+    order: Order,
+) {
+    let expected = oracle.execute(query).unwrap();
+    let run = distributed_topk::<std::convert::Infallible>(k, order, shards.len(), |requests| {
+        Ok(requests
+            .iter()
+            .map(|&(shard, k_shard)| {
+                shards[shard]
+                    .execute_topk_partial(query, Some(k_shard))
+                    .unwrap()
+            })
+            .collect())
+    })
+    .unwrap();
+    assert_eq!(run.output.rows, expected.rows, "ranked merge diverged");
+}
+
+fn range(lo: f32, hi: f32) -> PixelRange {
+    PixelRange::new(lo, hi).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn partitioned_execution_merges_to_single_node_results(
+        assignment in proptest::collection::vec(0usize..4, 3..14),
+        seed in any::<u64>(),
+        k in 1usize..9,
+        threshold_steps in 0u32..8,
+        desc in any::<bool>(),
+    ) {
+        let (oracle, shards) = build(&assignment, seed);
+        let order = if desc { Order::Desc } else { Order::Asc };
+        let roi = Roi::new(1, 1, 13, 15).unwrap();
+        let threshold = f64::from(threshold_steps) * (W * H) as f64 / 16.0;
+
+        // Filter.
+        let filter = Query::filter_cp_gt(roi, range(0.5, 1.0), threshold);
+        assert_unordered_merges(&oracle, &shards, &filter);
+        let filter_lt = Query::filter_cp_lt(roi, range(0.0, 0.4), threshold);
+        assert_unordered_merges(&oracle, &shards, &filter_lt);
+
+        // Plain aggregation (every group, exact values).
+        let avg = Query::aggregate(Expr::cp(roi, range(0.5, 1.0)), ScalarAgg::Avg);
+        assert_unordered_merges(&oracle, &shards, &avg);
+
+        // HAVING aggregation (bound-accepted groups keep their None values
+        // on both sides because shard and oracle share CHI config + eager
+        // indexing).
+        let having = Query::aggregate(Expr::cp(roi, range(0.6, 1.0)), ScalarAgg::Sum)
+            .with_having(CmpOp::Gt, threshold);
+        assert_unordered_merges(&oracle, &shards, &having);
+
+        // Mask-level top-k, plus the ratio form (NaN-prone denominator).
+        let topk = Query::top_k_cp(roi, range(0.5, 1.0), k, order);
+        assert_ranked_merges(&oracle, &shards, &topk, k, order);
+        let ratio = Query::top_k(
+            Expr::cp(roi, range(0.8, 1.0)).div(Expr::cp_full(range(0.8, 1.0))),
+            k,
+            order,
+        );
+        assert_ranked_merges(&oracle, &shards, &ratio, k, order);
+
+        // Grouped top-k (scalar aggregate) and mask-aggregation top-k.
+        let grouped = Query::aggregate(Expr::cp(roi, range(0.5, 1.0)), ScalarAgg::Max)
+            .with_group_top_k(k, order);
+        assert_ranked_merges(&oracle, &shards, &grouped, k, order);
+        let mask_agg = Query::mask_aggregate(
+            MaskAgg::IntersectThreshold { threshold: 0.5 },
+            CpTerm::constant_roi(roi, range(0.5, 1.0)),
+        )
+        .with_group_top_k(k, order);
+        assert_ranked_merges(&oracle, &shards, &mask_agg, k, order);
+
+        // Mask-aggregation with HAVING merges unordered.
+        let mask_agg_having = Query::mask_aggregate(
+            MaskAgg::UnionThreshold { threshold: 0.6 },
+            CpTerm::constant_roi(roi, range(0.5, 1.0)),
+        )
+        .with_having(CmpOp::Lt, threshold);
+        assert_unordered_merges(&oracle, &shards, &mask_agg_having);
+    }
+}
