@@ -394,7 +394,7 @@ impl Coordinator {
         let lines = self.scatter_all(|shard| self.with_shard(shard, |c| c.stats()))?;
         let mut sums: BTreeMap<&'static str, f64> = BTreeMap::new();
         let mut maxes: BTreeMap<&'static str, f64> = BTreeMap::new();
-        const SUM_KEYS: [&str; 13] = [
+        const SUM_KEYS: [&str; 16] = [
             "qps",
             "completed",
             "failed",
@@ -406,6 +406,9 @@ impl Coordinator {
             "wal_bytes",
             "checkpoints",
             "commits",
+            "tiles_pruned",
+            "tiles_hist",
+            "tiles_scanned",
             "active_connections",
             "queue_depth",
         ];

@@ -50,36 +50,73 @@ pub fn cp_many(mask: &Mask, terms: &[(Roi, PixelRange)]) -> Vec<u64> {
     if terms.is_empty() {
         return counts;
     }
-    // Clip all ROIs up front; remember which are non-empty.
-    let clipped: Vec<Option<Roi>> = terms.iter().map(|(roi, _)| mask.clip_roi(roi)).collect();
-    // Compute the bounding box of all clipped ROIs so the scan can skip
-    // rows/columns no term cares about.
-    let mut bbox: Option<Roi> = None;
-    for roi in clipped.iter().flatten() {
-        bbox = Some(match bbox {
-            None => *roi,
-            Some(b) => b.union_bounds(roi),
-        });
+    /// One clipped term with its precomputed row span and column slice, so
+    /// the row loop never re-tests `y` against terms whose span is over or
+    /// has not started.
+    #[derive(Clone)]
+    struct PlannedTerm {
+        index: usize,
+        x0: usize,
+        x1: usize,
+        y1: u32,
+        range: PixelRange,
     }
-    let Some(bbox) = bbox else {
+    // Clip every ROI once and sort the surviving terms by their first row;
+    // the scan then sweeps rows keeping only the terms whose span contains
+    // the current row active.
+    let mut pending: Vec<(u32, PlannedTerm)> = terms
+        .iter()
+        .enumerate()
+        .filter_map(|(index, (roi, range))| {
+            let clip = mask.clip_roi(roi)?;
+            Some((
+                clip.y0(),
+                PlannedTerm {
+                    index,
+                    x0: clip.x0() as usize,
+                    x1: clip.x1() as usize,
+                    y1: clip.y1(),
+                    range: *range,
+                },
+            ))
+        })
+        .collect();
+    pending.sort_by_key(|(y0, term)| (*y0, term.index));
+    let Some(&(first_row, _)) = pending.first() else {
         return counts;
     };
-    for y in bbox.y0()..bbox.y1() {
-        let row = mask.row(y);
-        for (i, (clip, (_, range))) in clipped.iter().zip(terms.iter()).enumerate() {
-            let Some(clip) = clip else { continue };
-            if y < clip.y0() || y >= clip.y1() {
+    let last_row = pending.iter().map(|(_, t)| t.y1).max().expect("non-empty");
+
+    let mut next = 0;
+    let mut active: Vec<PlannedTerm> = Vec::new();
+    let mut y = first_row;
+    while y < last_row {
+        active.retain(|t| t.y1 > y);
+        while next < pending.len() && pending[next].0 <= y {
+            active.push(pending[next].1.clone());
+            next += 1;
+        }
+        if active.is_empty() {
+            // Disjoint ROIs can leave the bounding box mostly dead rows;
+            // jump straight to the next term's first row instead of walking
+            // them one by one (`pending` is sorted by first row).
+            if next < pending.len() {
+                y = pending[next].0;
                 continue;
             }
-            let slice = &row[clip.x0() as usize..clip.x1() as usize];
+            break;
+        }
+        let row = mask.row(y);
+        for term in &active {
             let mut c = 0u64;
-            for &v in slice {
-                if range.contains(v) {
+            for &v in &row[term.x0..term.x1] {
+                if term.range.contains(v) {
                     c += 1;
                 }
             }
-            counts[i] += c;
+            counts[term.index] += c;
         }
+        y += 1;
     }
     counts
 }
@@ -133,6 +170,51 @@ mod tests {
             (
                 Roi::new(20, 20, 30, 30).unwrap(),
                 PixelRange::new(0.0, 1.0).unwrap(),
+            ),
+        ];
+        let batch = cp_many(&m, &terms);
+        for (i, (roi, range)) in terms.iter().enumerate() {
+            assert_eq!(batch[i], cp(&m, roi, range), "term {i}");
+        }
+    }
+
+    #[test]
+    fn cp_many_disjoint_rois_with_a_large_bbox() {
+        // Two tiny ROIs at opposite corners of a tall mask: the bounding box
+        // spans every row, but almost all of them belong to no term. The
+        // row-span sweep must still count both terms exactly (and terms
+        // sharing rows with different column slices must not interfere).
+        let m = Mask::from_fn(64, 256, |x, y| ((x * 13 + y * 7) % 97) as f32 / 97.0);
+        let terms = vec![
+            (
+                Roi::new(0, 0, 4, 4).unwrap(),
+                PixelRange::new(0.0, 0.6).unwrap(),
+            ),
+            (
+                Roi::new(60, 252, 64, 256).unwrap(),
+                PixelRange::new(0.4, 1.0).unwrap(),
+            ),
+            (
+                Roi::new(0, 2, 2, 6).unwrap(),
+                PixelRange::new(0.2, 0.8).unwrap(),
+            ),
+            // Fully outside the mask: contributes zero.
+            (Roi::new(500, 500, 600, 600).unwrap(), PixelRange::full()),
+        ];
+        let batch = cp_many(&m, &terms);
+        for (i, (roi, range)) in terms.iter().enumerate() {
+            assert_eq!(batch[i], cp(&m, roi, range), "term {i}");
+        }
+    }
+
+    #[test]
+    fn cp_many_terms_starting_on_the_same_row() {
+        let m = gradient_mask();
+        let terms = vec![
+            (Roi::new(0, 3, 2, 8).unwrap(), PixelRange::full()),
+            (
+                Roi::new(5, 3, 8, 5).unwrap(),
+                PixelRange::new(0.5, 1.0).unwrap(),
             ),
         ];
         let batch = cp_many(&m, &terms);

@@ -37,6 +37,7 @@ pub mod mask;
 pub mod range;
 pub mod record;
 pub mod roi;
+pub mod tiled;
 pub mod types;
 
 pub use agg::{
@@ -48,4 +49,5 @@ pub use mask::Mask;
 pub use range::PixelRange;
 pub use record::{MaskRecord, MaskRecordBuilder};
 pub use roi::Roi;
+pub use tiled::{TileGrid, TileStats, TileSummary, TiledMask, DEFAULT_TILE_SIZE, TILE_BINS};
 pub use types::{ImageId, Label, MaskId, MaskType, ModelId};

@@ -14,20 +14,25 @@
 //!    either none or all of the batch;
 //! 3. the CHI store is updated (inserted masks indexed, deleted masks
 //!    already evicted before step 1), preserving the invariant that no index
-//!    entry ever refers to a mask that is not durably present.
+//!    entry ever refers to a mask that is not durably present. Tile-summary
+//!    grids for the verification kernel are maintained the same way, except
+//!    their insertion happens *inside* step 2's write lock so pixels and
+//!    summaries publish together.
 //!
 //! A checkpoint writes all dirty pages to the database file, fsyncs it,
-//! truncates the WAL, and atomically rewrites the CHI file via temp + rename.
-//! Recovery replays committed WAL transactions over the database file and
-//! discards any torn tail (see [`crate::wal`]).
+//! atomically rewrites the CHI and tile-summary files via temp + rename, and
+//! then truncates the WAL. Recovery replays committed WAL transactions over
+//! the database file, discards any torn tail (see [`crate::wal`]), and drops
+//! persisted index entries for masks whose pages the replay rewrote (their
+//! checkpointed summaries may predate the replayed commits).
 
 use crate::dir::{BlobEntry, Directory};
 use crate::page::{Meta, PageNo, MIN_PAGE_SIZE};
 use crate::pager::Pager;
 use crate::stats::IngestStats;
 use crate::wal::Wal;
-use masksearch_core::{Mask, MaskId, MaskRecord};
-use masksearch_index::{ChiConfig, ChiStore};
+use masksearch_core::{Mask, MaskId, MaskRecord, TileGrid, TiledMask};
+use masksearch_index::{ChiConfig, ChiStore, TileStore};
 use masksearch_storage::format;
 use masksearch_storage::store::IngestSnapshot;
 use masksearch_storage::{
@@ -45,6 +50,8 @@ pub const DB_FILE: &str = "masks.db";
 pub const WAL_FILE: &str = "masks.wal";
 /// File name of the persisted CHI store.
 pub const CHI_FILE: &str = "masks.chi";
+/// File name of the persisted tile-summary store (verification kernel).
+pub const TILES_FILE: &str = "masks.tiles";
 
 /// Configuration of a durable mask database.
 #[derive(Debug, Clone, Copy)]
@@ -143,11 +150,19 @@ struct State {
 pub struct DurableMaskStore {
     config: DbConfig,
     chi_path: PathBuf,
+    tiles_path: PathBuf,
     state: RwLock<State>,
     wal: Mutex<Wal>,
     /// Serialises commits and checkpoints; reads never take it.
     writer: Mutex<()>,
     chi: Arc<ChiStore>,
+    /// Tile-summary grids for the verification kernel, maintained like the
+    /// CHI: evicted before the commit point for deletes/overwrites and
+    /// (re)inserted when the batch publishes. Insertions happen **under the
+    /// state write lock**, so a reader holding the state read guard that
+    /// finds a grid here knows it was built from exactly the pixels the
+    /// directory currently points at (see [`MaskStore::get_tiled`]).
+    tiles: Arc<TileStore>,
     ingest: IngestStats,
     io: Arc<IoStats>,
     /// Error of a failed *automatic* checkpoint. The triggering commit was
@@ -170,12 +185,19 @@ impl DurableMaskStore {
         let db_path = dir.join(DB_FILE);
         let wal_path = dir.join(WAL_FILE);
         let chi_path = dir.join(CHI_FILE);
+        let tiles_path = dir.join(TILES_FILE);
 
         let mut pager = Pager::open(&db_path, config.page_size, config.pool_pages)?;
         let (mut wal, committed) = Wal::open(&wal_path, config.page_size)?;
         let fresh = pager.file_pages() == 0 && committed.is_empty();
+        // Pages rewritten by WAL replay: any mask whose extent intersects
+        // this set got its current content from a post-checkpoint commit, so
+        // index entries for it in the persisted CHI/tile files (written at
+        // the last checkpoint) may be stale and must be rebuilt from pixels.
+        let mut replayed_pages: BTreeSet<PageNo> = BTreeSet::new();
         for txn in &committed {
             for (page_no, image) in &txn.pages {
+                replayed_pages.insert(*page_no);
                 pager.write_page(*page_no, image.clone())?;
             }
         }
@@ -221,11 +243,20 @@ impl DurableMaskStore {
         };
 
         let free = derive_free_set(&meta, &directory)?;
+        let (chi, tiles) =
+            reconcile_indexes(&chi_path, &tiles_path, &config, &directory, &mut pager, {
+                |entry: &BlobEntry| {
+                    (entry.start..entry.start + entry.pages as u64)
+                        .any(|p| replayed_pages.contains(&p))
+                }
+            })?;
 
         let store = Self {
-            chi: Arc::new(reconcile_chi(&chi_path, &config, &directory, &mut pager)?),
+            chi: Arc::new(chi),
+            tiles: Arc::new(tiles),
             config,
             chi_path,
+            tiles_path,
             state: RwLock::new(State {
                 pager: Mutex::new(pager),
                 dir: directory,
@@ -254,6 +285,32 @@ impl DurableMaskStore {
     /// reflects exactly the durably-present masks.
     pub fn chi_store(&self) -> &Arc<ChiStore> {
         &self.chi
+    }
+
+    /// The tile-summary store maintained on every commit (the verification
+    /// kernel's within-mask index).
+    pub fn tile_store(&self) -> &Arc<TileStore> {
+        &self.tiles
+    }
+
+    /// Invariant check used by the ingest-path and crash-recovery tests:
+    /// every durably-present mask must have a tile grid, and every grid must
+    /// equal one freshly rebuilt from the mask's pixels. Returns the number
+    /// of masks checked.
+    pub fn verify_tile_summaries(&self) -> StorageResult<usize> {
+        let ids = self.ids();
+        for &mask_id in &ids {
+            let mask = self.get(mask_id)?;
+            let grid = self.tiles.get(mask_id).ok_or_else(|| {
+                StorageError::corrupt(format!("mask {mask_id} has no tile summaries"))
+            })?;
+            if !grid.verify(&mask) {
+                return Err(StorageError::corrupt(format!(
+                    "tile summaries of mask {mask_id} do not match its pixels"
+                )));
+            }
+        }
+        Ok(ids.len())
     }
 
     /// Current WAL size in bytes.
@@ -310,18 +367,22 @@ impl DurableMaskStore {
             let state = self.state.read();
             state.pager.lock().flush()?;
         }
-        // The database file is durable; the log can now be dropped.
+        // CHI and tile-summary rewrites via temp + rename: a crash leaves
+        // either the old or the new index file, and recovery reconciles
+        // either against the directory. The rewrites happen *before* the WAL
+        // truncation below: recovery treats masks touched by replayed WAL
+        // transactions as possibly-stale in these files, so as long as the
+        // WAL still names every post-file-write commit, an old file is safe.
+        // (Truncating first would open a window where the files are stale
+        // and the WAL no longer says which masks they are stale for.)
+        write_atomic(&self.chi_path, &self.chi.to_bytes(), "chi checkpoint")?;
+        write_atomic(
+            &self.tiles_path,
+            &self.tiles.to_bytes(),
+            "tile summary checkpoint",
+        )?;
+        // The database and index files are durable; the log can be dropped.
         self.wal.lock().reset()?;
-        // CHI rewrite via temp + rename: a crash leaves either the old or
-        // the new index file, and recovery reconciles either against the
-        // directory.
-        let tmp = self.chi_path.with_extension("chi.tmp");
-        fs::write(&tmp, self.chi.to_bytes())
-            .map_err(|e| StorageError::io("writing chi checkpoint file", e))?;
-        fs::rename(&tmp, &self.chi_path).map_err(|e| {
-            let _ = fs::remove_file(&tmp);
-            StorageError::io("renaming chi checkpoint file", e)
-        })?;
         self.ingest.record_checkpoint();
         Ok(())
     }
@@ -421,7 +482,17 @@ impl DurableMaskStore {
         };
         pages.push((0, meta.encode_page()));
 
-        // Deleted masks leave the index before the commit point so the
+        // Build the tile grids of the incoming masks while nothing is
+        // locked: their insertion must happen inside the publish critical
+        // section below (so grids are never observable ahead of or behind
+        // the pixels they summarise), but the O(pixels) build work should
+        // not extend it.
+        let grids: Vec<(MaskId, Arc<TileGrid>)> = inserts
+            .iter()
+            .map(|(record, mask)| (record.mask_id, Arc::new(TileGrid::build(mask))))
+            .collect();
+
+        // Deleted masks leave the indexes before the commit point so the
         // filter stage never holds bounds for a mask that may vanish.
         // Overwritten masks are evicted too: between the publish below and
         // the re-index after it, a query must fall back to verification by
@@ -429,9 +500,11 @@ impl DurableMaskStore {
         // without ever loading the mask.
         for &mask_id in &deleted_ids {
             self.chi.remove(mask_id);
+            self.tiles.remove(mask_id);
         }
         for &mask_id in &overwritten {
             self.chi.remove(mask_id);
+            self.tiles.remove(mask_id);
         }
 
         // Commit point: the WAL append (+ optional fsync).
@@ -455,6 +528,12 @@ impl DurableMaskStore {
             state.next_txn = txn_id + 1;
             state.dir_start = dir_start;
             state.dir_pages = dir_pages;
+            // Tile grids publish atomically with the pixels they summarise:
+            // still under the state write lock, so a reader's state read
+            // guard pins a consistent (pixels, grid) pair.
+            for (mask_id, grid) in grids {
+                self.tiles.insert(mask_id, grid);
+            }
         }
 
         // Inserted masks enter the index only now that they are durable.
@@ -553,6 +632,33 @@ impl MaskStore for DurableMaskStore {
         Ok(mask)
     }
 
+    fn get_tiled(&self, mask_id: MaskId) -> StorageResult<TiledMask> {
+        // Blob read and grid lookup happen under one state read guard:
+        // commits publish pages and grids under the state write lock, and
+        // evictions (which precede any republish) only ever *remove* grids,
+        // so a grid observed here summarises exactly the pixels read here.
+        let (blob, bytes, grid) = {
+            let state = self.state.read();
+            let entry = state
+                .dir
+                .entries
+                .get(&mask_id)
+                .cloned()
+                .ok_or(StorageError::MaskNotFound(mask_id))?;
+            let blob = self.read_blob(&entry, &state)?;
+            (blob, entry.bytes, self.tiles.get(mask_id))
+        };
+        self.io
+            .record_read(bytes, self.config.profile.read_cost(bytes, 1));
+        self.io.record_mask_loaded();
+        let (_, mask) = format::decode_mask(&blob)?;
+        let mask = Arc::new(mask);
+        Ok(match grid {
+            Some(grid) => TiledMask::with_grid(mask, grid),
+            None => TiledMask::new(mask),
+        })
+    }
+
     fn contains(&self, mask_id: MaskId) -> bool {
         self.state.read().dir.entries.contains_key(&mask_id)
     }
@@ -586,6 +692,23 @@ impl MaskStore for DurableMaskStore {
     fn disk_profile(&self) -> DiskProfile {
         self.config.profile
     }
+}
+
+/// Atomically replaces `path` with `bytes` via a temp file + rename, so a
+/// crash leaves either the old file or the new one, never a torn mix.
+fn write_atomic(path: &Path, bytes: &[u8], what: &str) -> StorageResult<()> {
+    // `masks.chi` -> `masks.chi.tmp` (keep the original extension so two
+    // different index files never share a temp name).
+    let tmp = match path.extension() {
+        Some(ext) => path.with_extension(format!("{}.tmp", ext.to_string_lossy())),
+        None => path.with_extension("tmp"),
+    };
+    fs::write(&tmp, bytes).map_err(|e| StorageError::io(format!("writing {what} file"), e))?;
+    fs::rename(&tmp, path).map_err(|e| {
+        let _ = fs::remove_file(&tmp);
+        StorageError::io(format!("renaming {what} file"), e)
+    })?;
+    Ok(())
 }
 
 /// Zero-pads a partial page image up to the page size.
@@ -663,30 +786,55 @@ fn derive_free_set(meta: &Meta, dir: &Directory) -> StorageResult<BTreeSet<PageN
     Ok((0..meta.page_count).filter(|p| !used.contains(p)).collect())
 }
 
-/// Loads the persisted CHI file (if any) and reconciles it with the
-/// recovered directory: entries for missing masks are dropped, masks without
-/// an entry (inserted after the last checkpoint) are re-indexed from their
-/// recovered pixels.
-fn reconcile_chi(
+/// Loads the persisted CHI and tile-summary files (if any) and reconciles
+/// them with the recovered directory:
+///
+/// * entries for masks missing from the directory are dropped;
+/// * entries for masks whose extent was rewritten by WAL replay
+///   (`touched_by_replay`) are dropped too — the persisted files date from
+///   the last checkpoint, so they may describe *pre-overwrite* pixels, and a
+///   stale index over new pixels could mis-prune or mis-accept;
+/// * masks left without an entry are re-indexed from their recovered pixels
+///   (decoded once, shared by both indexes).
+fn reconcile_indexes(
     chi_path: &Path,
+    tiles_path: &Path,
     config: &DbConfig,
     dir: &Directory,
     pager: &mut Pager,
-) -> StorageResult<ChiStore> {
+    touched_by_replay: impl Fn(&BlobEntry) -> bool,
+) -> StorageResult<(ChiStore, TileStore)> {
     let chi = match ChiStore::load(chi_path) {
         Ok(store) if *store.config() == config.chi_config => store,
         // Missing, corrupt, or differently-configured index files are
         // discarded; the directory is the source of truth.
         _ => ChiStore::new(config.chi_config),
     };
+    let tiles = match TileStore::load(tiles_path) {
+        Ok(store) if store.tile() == masksearch_core::DEFAULT_TILE_SIZE => store,
+        _ => TileStore::default(),
+    };
     for mask_id in chi.ids() {
-        if !dir.entries.contains_key(&mask_id) {
-            chi.remove(mask_id);
+        match dir.entries.get(&mask_id) {
+            Some(entry) if !touched_by_replay(entry) => {}
+            _ => {
+                chi.remove(mask_id);
+            }
+        }
+    }
+    for mask_id in tiles.ids() {
+        match dir.entries.get(&mask_id) {
+            Some(entry) if !touched_by_replay(entry) => {}
+            _ => {
+                tiles.remove(mask_id);
+            }
         }
     }
     let page_size = config.page_size as usize;
     for (mask_id, entry) in &dir.entries {
-        if chi.contains(*mask_id) {
+        let need_chi = !chi.contains(*mask_id);
+        let need_tiles = !tiles.contains(*mask_id);
+        if !need_chi && !need_tiles {
             continue;
         }
         let mut blob = Vec::with_capacity(entry.pages as usize * page_size);
@@ -695,9 +843,14 @@ fn reconcile_chi(
         }
         blob.truncate(entry.bytes as usize);
         let (_, mask) = format::decode_mask(&blob)?;
-        chi.index_mask(*mask_id, &mask);
+        if need_chi {
+            chi.index_mask(*mask_id, &mask);
+        }
+        if need_tiles {
+            tiles.index_mask(*mask_id, &mask);
+        }
     }
-    Ok(chi)
+    Ok((chi, tiles))
 }
 
 #[cfg(test)]

@@ -4,8 +4,8 @@
 //! holding exactly the surviving masks.
 
 use masksearch_core::{ImageId, Mask, MaskId, MaskRecord};
-use masksearch_db::{DbConfig, DurableMaskStore, MaskDb, DB_FILE, WAL_FILE};
-use masksearch_index::ChiConfig;
+use masksearch_db::{DbConfig, DurableMaskStore, MaskDb, CHI_FILE, DB_FILE, TILES_FILE, WAL_FILE};
+use masksearch_index::{Chi, ChiConfig};
 use masksearch_storage::MaskStore;
 use std::collections::BTreeMap;
 use std::fs;
@@ -94,8 +94,9 @@ fn run_history(dir: &Path) -> Vec<HistoryStep> {
 }
 
 /// Asserts the reopened store is bit-equivalent to `expected`: same ids,
-/// same pixels, same catalog records, and a CHI entry for exactly the
-/// surviving masks.
+/// same pixels, same catalog records, a CHI for exactly the surviving masks
+/// whose *contents* match their pixels, and tile summaries consistent with
+/// the pixels (the verification-kernel ingest invariant).
 fn assert_state_matches(store: &DurableMaskStore, expected: &BTreeMap<MaskId, Mask>) {
     let ids: Vec<MaskId> = expected.keys().copied().collect();
     assert_eq!(store.ids(), ids);
@@ -110,14 +111,28 @@ fn assert_state_matches(store: &DurableMaskStore, expected: &BTreeMap<MaskId, Ma
     let mut chi_ids = store.chi_store().ids();
     chi_ids.sort_unstable();
     assert_eq!(chi_ids, ids, "CHI must hold exactly the surviving masks");
+    for (id, mask) in expected {
+        let chi = store.chi_store().get(*id).unwrap();
+        assert_eq!(
+            *chi,
+            Chi::build(mask, &store.config().chi_config),
+            "CHI of mask {id} does not match its recovered pixels"
+        );
+    }
+    assert_eq!(store.verify_tile_summaries().unwrap(), ids.len());
 }
 
-/// Copies the database directory with the WAL truncated to `cut` bytes.
+/// Copies the database directory with the WAL truncated to `cut` bytes. The
+/// page file and the checkpointed CHI / tile-summary files survive a crash
+/// unchanged, so they are copied whole — recovery must cope with index files
+/// that predate replayed WAL commits.
 fn crashed_copy(src: &Path, dst: &Path, cut: usize) {
     let _ = fs::remove_dir_all(dst);
     fs::create_dir_all(dst).unwrap();
-    if src.join(DB_FILE).exists() {
-        fs::copy(src.join(DB_FILE), dst.join(DB_FILE)).unwrap();
+    for file in [DB_FILE, CHI_FILE, TILES_FILE] {
+        if src.join(file).exists() {
+            fs::copy(src.join(file), dst.join(file)).unwrap();
+        }
     }
     let wal = fs::read(src.join(WAL_FILE)).unwrap();
     fs::write(dst.join(WAL_FILE), &wal[..cut.min(wal.len())]).unwrap();
@@ -284,6 +299,51 @@ fn fsync_off_under_memory_pressure_still_recovers_a_committed_prefix() {
         last = matched;
     }
     assert_eq!(last, expected_states.len() - 1);
+    fs::remove_dir_all(&src).unwrap();
+    fs::remove_dir_all(&crash_dir).unwrap();
+}
+
+#[test]
+fn stale_index_files_after_post_checkpoint_writes_are_rebuilt() {
+    // A checkpoint persists the CHI and tile-summary files; commits after it
+    // live only in the WAL. A crash then leaves index files describing
+    // *pre-overwrite* pixels. Recovery must detect every mask whose extent
+    // the WAL replay rewrote and rebuild its summaries from the recovered
+    // pixels — a stale CHI would silently mis-prune, stale tiles would
+    // silently mis-count.
+    let src = temp_dir("stale-src");
+    {
+        let db = MaskDb::open(&src, config()).unwrap();
+        let batch: Vec<(MaskRecord, Mask)> =
+            (0..5u64).map(|i| (record(i), mask(i as u32))).collect();
+        db.insert_masks(&batch).unwrap();
+        db.checkpoint().unwrap(); // CHI + tiles files now describe masks 0..5
+                                  // Post-checkpoint: overwrite two masks, delete one, insert one.
+        db.insert_masks(&[(record(1), mask(50)), (record(3), mask(51))])
+            .unwrap();
+        db.delete_masks(&[MaskId::new(0)]).unwrap();
+        db.insert_masks(&[(record(7), mask(52))]).unwrap();
+        // Crash: no further checkpoint, so the index files are stale for
+        // masks 1, 3 (overwritten), 0 (deleted), and missing 7.
+    }
+    let crash_dir = temp_dir("stale-crash");
+    let wal_len = fs::read(src.join(WAL_FILE)).unwrap().len();
+    crashed_copy(&src, &crash_dir, wal_len);
+    assert!(crash_dir.join(CHI_FILE).exists());
+    assert!(crash_dir.join(TILES_FILE).exists());
+
+    let store = DurableMaskStore::open(&crash_dir, config()).unwrap();
+    let expected: BTreeMap<MaskId, Mask> = [
+        (MaskId::new(1), mask(50)),
+        (MaskId::new(2), mask(2)),
+        (MaskId::new(3), mask(51)),
+        (MaskId::new(4), mask(4)),
+        (MaskId::new(7), mask(52)),
+    ]
+    .into_iter()
+    .collect();
+    assert_state_matches(&store, &expected);
+
     fs::remove_dir_all(&src).unwrap();
     fs::remove_dir_all(&crash_dir).unwrap();
 }

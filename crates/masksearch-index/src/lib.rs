@@ -23,6 +23,8 @@
 //! * [`store`] — an in-memory collection of CHIs with binary persistence and
 //!   incremental insertion (paper §3.6).
 //! * [`builder`] — parallel bulk index construction.
+//! * [`tiles`] — a persistent collection of per-mask tile-summary grids for
+//!   the verification kernel (the within-mask counterpart of the CHI).
 //!
 //! ```
 //! use masksearch_core::{cp, Mask, PixelRange, Roi};
@@ -44,8 +46,10 @@ pub mod bounds;
 pub mod builder;
 pub mod chi;
 pub mod store;
+pub mod tiles;
 
 pub use bounds::CpBounds;
 pub use builder::{build_chi_store, BuildOptions};
 pub use chi::{Chi, ChiConfig};
 pub use store::ChiStore;
+pub use tiles::TileStore;

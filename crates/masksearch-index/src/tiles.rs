@@ -1,0 +1,302 @@
+//! A persistent collection of tile-summary grids — the within-mask
+//! counterpart of [`crate::ChiStore`].
+//!
+//! The CHI store holds one cumulative histogram index *per mask* for the
+//! filter stage; the [`TileStore`] holds one [`TileGrid`] per mask for the
+//! verification stage's tiled kernel (`masksearch-core`). The durable mask
+//! database maintains a `TileStore` on every commit and persists it at
+//! checkpoints, so reopened databases serve pre-built summaries instead of
+//! rebuilding them from pixels on first verification.
+
+use masksearch_core::{Mask, MaskId, TileGrid, TileSummary, DEFAULT_TILE_SIZE, TILE_BINS};
+use masksearch_storage::codec::{Reader, Writer};
+use masksearch_storage::{StorageError, StorageResult};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Magic bytes identifying a tile-summary file.
+pub const TILE_MAGIC: [u8; 4] = *b"MSKT";
+/// Tile-summary file format version.
+pub const TILE_FORMAT_VERSION: u16 = 1;
+
+/// A thread-safe collection of per-mask tile grids sharing one tile size.
+#[derive(Debug)]
+pub struct TileStore {
+    tile: u32,
+    entries: RwLock<BTreeMap<MaskId, Arc<TileGrid>>>,
+}
+
+impl Default for TileStore {
+    fn default() -> Self {
+        Self::new(DEFAULT_TILE_SIZE)
+    }
+}
+
+impl TileStore {
+    /// Creates an empty store for grids with `tile × tile` pixel tiles.
+    pub fn new(tile: u32) -> Self {
+        assert!(tile > 0, "tile size must be non-zero");
+        Self {
+            tile,
+            entries: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Tile edge length shared by every grid in the store.
+    pub fn tile(&self) -> u32 {
+        self.tile
+    }
+
+    /// Number of summarised masks.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// Returns `true` if no masks are summarised.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+
+    /// Returns `true` if `mask_id` has a grid.
+    pub fn contains(&self, mask_id: MaskId) -> bool {
+        self.entries.read().contains_key(&mask_id)
+    }
+
+    /// Retrieves the grid of `mask_id`, if present.
+    pub fn get(&self, mask_id: MaskId) -> Option<Arc<TileGrid>> {
+        self.entries.read().get(&mask_id).cloned()
+    }
+
+    /// Inserts a pre-built grid for `mask_id`, replacing any existing one.
+    pub fn insert(&self, mask_id: MaskId, grid: Arc<TileGrid>) {
+        self.entries.write().insert(mask_id, grid);
+    }
+
+    /// Builds and inserts the grid of `mask`, returning it.
+    pub fn index_mask(&self, mask_id: MaskId, mask: &Mask) -> Arc<TileGrid> {
+        let grid = Arc::new(TileGrid::build_with(mask, self.tile));
+        self.entries.write().insert(mask_id, Arc::clone(&grid));
+        grid
+    }
+
+    /// Removes the grid of `mask_id`, returning it if it existed.
+    pub fn remove(&self, mask_id: MaskId) -> Option<Arc<TileGrid>> {
+        self.entries.write().remove(&mask_id)
+    }
+
+    /// Ids of all summarised masks, ascending.
+    pub fn ids(&self) -> Vec<MaskId> {
+        self.entries.read().keys().copied().collect()
+    }
+
+    /// Total in-memory size of the grid payloads in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.read().values().map(|g| g.byte_size()).sum()
+    }
+
+    /// Serialises the store (tile size + every grid) to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let entries = self.entries.read();
+        let mut w = Writer::new();
+        w.write_bytes(&TILE_MAGIC);
+        w.write_u16(TILE_FORMAT_VERSION);
+        w.write_u16(0);
+        w.write_u32(self.tile);
+        w.write_u64(entries.len() as u64);
+        for (id, grid) in entries.iter() {
+            w.write_u64(id.raw());
+            w.write_u32(grid.mask_width());
+            w.write_u32(grid.mask_height());
+            for summary in grid.summaries() {
+                w.write_f32(summary.min());
+                w.write_f32(summary.max());
+                for &c in summary.cum() {
+                    w.write_u32(c);
+                }
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Deserialises a store written by [`TileStore::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> StorageResult<Self> {
+        let mut r = Reader::new(bytes, "tile summary file");
+        let magic = r.read_magic()?;
+        if magic != TILE_MAGIC {
+            return Err(StorageError::BadMagic {
+                path: "<tile summaries>".to_string(),
+                found: magic,
+            });
+        }
+        let version = r.read_u16()?;
+        if version > TILE_FORMAT_VERSION {
+            return Err(StorageError::UnsupportedVersion {
+                found: version,
+                supported: TILE_FORMAT_VERSION,
+            });
+        }
+        let _reserved = r.read_u16()?;
+        let tile = r.read_u32()?;
+        if tile == 0 {
+            return Err(StorageError::corrupt("tile summary file has tile size 0"));
+        }
+        let count = r.read_u64()?;
+        let store = TileStore::new(tile);
+        {
+            let mut entries = store.entries.write();
+            for _ in 0..count {
+                let id = MaskId::new(r.read_u64()?);
+                let width = r.read_u32()?;
+                let height = r.read_u32()?;
+                if width == 0 || height == 0 {
+                    return Err(StorageError::corrupt(format!(
+                        "tile grid for mask {id} declares an empty mask"
+                    )));
+                }
+                let tiles =
+                    (width.div_ceil(tile) as usize).saturating_mul(height.div_ceil(tile) as usize);
+                // Validate the payload really holds `tiles` summaries before
+                // allocating: a corrupt width/height must surface as a typed
+                // error (so callers can discard and rebuild the file), never
+                // as a capacity-overflow panic or an OOM abort.
+                const SUMMARY_BYTES: usize = 8 + 4 * (TILE_BINS + 1);
+                if tiles
+                    .checked_mul(SUMMARY_BYTES)
+                    .is_none_or(|needed| needed > r.remaining())
+                {
+                    return Err(StorageError::corrupt(format!(
+                        "tile grid for mask {id} declares more tiles than the file holds"
+                    )));
+                }
+                let mut summaries = Vec::with_capacity(tiles);
+                for _ in 0..tiles {
+                    let min = r.read_f32()?;
+                    let max = r.read_f32()?;
+                    let mut cum = [0u32; TILE_BINS + 1];
+                    for slot in cum.iter_mut() {
+                        *slot = r.read_u32()?;
+                    }
+                    summaries.push(TileSummary::from_parts(min, max, cum));
+                }
+                let grid =
+                    TileGrid::from_parts(width, height, tile, summaries).ok_or_else(|| {
+                        StorageError::corrupt(format!(
+                            "tile grid for mask {id} does not match its declared shape"
+                        ))
+                    })?;
+                entries.insert(id, Arc::new(grid));
+            }
+        }
+        Ok(store)
+    }
+
+    /// Persists the store to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> StorageResult<()> {
+        std::fs::write(path.as_ref(), self.to_bytes())
+            .map_err(|e| StorageError::io("writing tile summary file", e))
+    }
+
+    /// Loads a store from a file.
+    pub fn load(path: impl AsRef<Path>) -> StorageResult<Self> {
+        let bytes = std::fs::read(path.as_ref())
+            .map_err(|e| StorageError::io("reading tile summary file", e))?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use masksearch_core::{cp, PixelRange, Roi, TileStats};
+
+    fn mask(seed: u32) -> Mask {
+        Mask::from_fn(40, 28, |x, y| ((x * 5 + y * 11 + seed) % 23) as f32 / 23.0)
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let store = TileStore::new(16);
+        assert!(store.is_empty());
+        store.index_mask(MaskId::new(1), &mask(1));
+        store.index_mask(MaskId::new(2), &mask(2));
+        assert_eq!(store.len(), 2);
+        assert!(store.contains(MaskId::new(1)));
+        assert_eq!(store.ids(), vec![MaskId::new(1), MaskId::new(2)]);
+        assert!(store.total_bytes() > 0);
+        assert!(store.remove(MaskId::new(1)).is_some());
+        assert!(store.remove(MaskId::new(1)).is_none());
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn binary_round_trip_preserves_exact_counts() {
+        let store = TileStore::new(16);
+        for i in 0..4u64 {
+            store.index_mask(MaskId::new(i), &mask(i as u32));
+        }
+        let decoded = TileStore::from_bytes(&store.to_bytes()).unwrap();
+        assert_eq!(decoded.len(), 4);
+        assert_eq!(decoded.tile(), 16);
+        for i in 0..4u64 {
+            let m = mask(i as u32);
+            let grid = decoded.get(MaskId::new(i)).unwrap();
+            assert_eq!(*grid, *store.get(MaskId::new(i)).unwrap());
+            assert!(grid.verify(&m));
+            let roi = Roi::new(3, 3, 30, 20).unwrap();
+            let range = PixelRange::new(0.25, 0.75).unwrap();
+            assert_eq!(
+                grid.cp(&m, &roi, &range, &mut TileStats::default()),
+                cp(&m, &roi, &range)
+            );
+        }
+    }
+
+    #[test]
+    fn file_round_trip_and_corruption() {
+        let store = TileStore::default();
+        store.index_mask(MaskId::new(7), &mask(7));
+        let path = std::env::temp_dir().join(format!(
+            "masksearch-tilestore-test-{}.tiles",
+            std::process::id()
+        ));
+        store.save(&path).unwrap();
+        let loaded = TileStore::load(&path).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded.tile(), DEFAULT_TILE_SIZE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] = b'Z';
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            TileStore::load(&path),
+            Err(StorageError::BadMagic { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_shape_fields_error_instead_of_allocating() {
+        // Rewrite the first entry's width to a huge value: decoding must
+        // return a typed corruption error (the open path discards and
+        // rebuilds on Err), not panic or over-allocate.
+        let store = TileStore::new(8);
+        store.index_mask(MaskId::new(1), &mask(1));
+        let mut bytes = store.to_bytes();
+        // Layout: magic(4) version(2) reserved(2) tile(4) count(8) id(8) width(4).
+        let width_offset = 4 + 2 + 2 + 4 + 8 + 8;
+        bytes[width_offset..width_offset + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            TileStore::from_bytes(&bytes),
+            Err(StorageError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let store = TileStore::new(8);
+        store.index_mask(MaskId::new(1), &mask(1));
+        let bytes = store.to_bytes();
+        assert!(TileStore::from_bytes(&bytes[..bytes.len() - 5]).is_err());
+    }
+}

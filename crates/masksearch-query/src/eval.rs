@@ -5,8 +5,19 @@ use crate::error::{QueryError, QueryResult};
 use crate::expr::{Expr, Interval};
 use crate::predicate::{Predicate, Truth};
 use crate::spec::CpTerm;
-use masksearch_core::{cp, Mask, MaskRecord, Roi};
+use masksearch_core::{cp, cp_many, Mask, MaskRecord, PixelRange, Roi, TileStats, TiledMask};
 use masksearch_index::Chi;
+
+/// Options controlling exact (verification-stage) evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct VerifyOptions {
+    /// Missing-object-box policy (see [`resolve_roi`]).
+    pub object_box_fallback: bool,
+    /// Route `CP` terms through the tiled verification kernel (`true`) or
+    /// the reference batched scan (`false`). Counts are byte-identical
+    /// either way; the flag exists for benchmarking and conformance tests.
+    pub use_tiled_kernel: bool,
+}
 
 /// Resolves a term's ROI for a record.
 ///
@@ -49,6 +60,90 @@ pub fn term_exact(
 ) -> QueryResult<f64> {
     let roi = resolve_roi(term, record, object_box_fallback)?;
     Ok(cp(mask, &roi, &term.range) as f64)
+}
+
+/// Resolves and evaluates a batch of `CP` terms on a loaded tiled mask,
+/// routing through the tiled kernel (or the reference batched scan when the
+/// kernel is disabled) and recording tile classifications into `tiles`.
+fn terms_exact_tiled(
+    terms: &[&CpTerm],
+    record: &MaskRecord,
+    tiled: &TiledMask,
+    opts: &VerifyOptions,
+    tiles: &mut TileStats,
+) -> QueryResult<Vec<f64>> {
+    let resolved: Vec<(Roi, PixelRange)> = terms
+        .iter()
+        .map(|term| {
+            Ok((
+                resolve_roi(term, record, opts.object_box_fallback)?,
+                term.range,
+            ))
+        })
+        .collect::<QueryResult<_>>()?;
+    let counts = if opts.use_tiled_kernel {
+        tiled.cp_many_with_stats(&resolved, tiles)
+    } else {
+        cp_many(tiled.mask(), &resolved)
+    };
+    Ok(counts.into_iter().map(|c| c as f64).collect())
+}
+
+/// Exact value of one term on a loaded tiled mask.
+pub fn term_exact_tiled(
+    term: &CpTerm,
+    record: &MaskRecord,
+    tiled: &TiledMask,
+    opts: &VerifyOptions,
+    tiles: &mut TileStats,
+) -> QueryResult<f64> {
+    let roi = resolve_roi(term, record, opts.object_box_fallback)?;
+    let count = if opts.use_tiled_kernel {
+        tiled.cp_with_stats(&roi, &term.range, tiles)
+    } else {
+        cp(tiled.mask(), &roi, &term.range)
+    };
+    Ok(count as f64)
+}
+
+/// Exact value of an expression on a loaded tiled mask; all of the
+/// expression's `CP` terms go through the kernel in one batch.
+pub fn expr_exact_tiled(
+    expr: &Expr,
+    record: &MaskRecord,
+    tiled: &TiledMask,
+    opts: &VerifyOptions,
+    tiles: &mut TileStats,
+) -> QueryResult<f64> {
+    let values = terms_exact_tiled(&expr.terms(), record, tiled, opts, tiles)?;
+    Ok(expr.evaluate_exact(&values))
+}
+
+/// Exact truth of a predicate on a loaded tiled mask; the `CP` terms of
+/// *every* comparison are evaluated in a single kernel batch.
+pub fn predicate_exact_tiled(
+    predicate: &Predicate,
+    record: &MaskRecord,
+    tiled: &TiledMask,
+    opts: &VerifyOptions,
+    tiles: &mut TileStats,
+) -> QueryResult<bool> {
+    let comparisons = predicate.comparisons();
+    let mut all_terms: Vec<&CpTerm> = Vec::new();
+    let mut term_counts = Vec::with_capacity(comparisons.len());
+    for cmp in &comparisons {
+        let terms = cmp.expr.terms();
+        term_counts.push(terms.len());
+        all_terms.extend(terms);
+    }
+    let all_values = terms_exact_tiled(&all_terms, record, tiled, opts, tiles)?;
+    let mut values = Vec::with_capacity(comparisons.len());
+    let mut offset = 0;
+    for (cmp, count) in comparisons.iter().zip(term_counts) {
+        values.push(cmp.expr.evaluate_exact(&all_values[offset..offset + count]));
+        offset += count;
+    }
+    Ok(predicate.eval_exact(&values))
 }
 
 /// Bounds on one term from the mask's CHI.

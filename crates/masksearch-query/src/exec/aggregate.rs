@@ -15,7 +15,7 @@ use crate::predicate::{CmpOp, Comparison, Truth};
 use crate::result::{QueryOutput, QueryStats, ResultRow};
 use crate::session::Session;
 use crate::spec::{Order, ScalarAgg};
-use masksearch_core::{ImageId, MaskId};
+use masksearch_core::{ImageId, MaskId, TileStats};
 use std::time::Instant;
 
 /// Bounds on a scalar aggregate from bounds on its member values.
@@ -64,6 +64,8 @@ pub fn execute(
     let total_start = Instant::now();
     let io_before = session.store().io_stats().snapshot();
     let fallback = session.config().object_box_fallback;
+    let verify_opts = session.verify_options();
+    let mut tiles = TileStats::default();
 
     let groups = session.group_by_image(candidates);
     let mut pruned_groups = 0u64;
@@ -145,7 +147,13 @@ pub fn execute(
             if built {
                 indexes_built += 1;
             }
-            values.push(eval::expr_exact(expr, &record, &mask, fallback)?);
+            values.push(eval::expr_exact_tiled(
+                expr,
+                &record,
+                &mask,
+                &verify_opts,
+                &mut tiles,
+            )?);
         }
         let value = agg.apply(&values);
         verify_wall += elapsed(verify_start);
@@ -198,6 +206,9 @@ pub fn execute(
         accepted_without_load,
         verified: verified_groups,
         indexes_built,
+        tiles_pruned: tiles.tiles_pruned,
+        tiles_hist: tiles.tiles_hist,
+        tiles_scanned: tiles.tiles_scanned,
         filter_wall,
         verify_wall,
         total_wall: elapsed(total_start),

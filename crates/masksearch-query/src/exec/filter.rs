@@ -7,7 +7,7 @@ use crate::exec::{apply_io_delta, chunks_for_threads, elapsed};
 use crate::predicate::{Predicate, Truth};
 use crate::result::{QueryOutput, QueryStats, ResultRow};
 use crate::session::Session;
-use masksearch_core::MaskId;
+use masksearch_core::{MaskId, TileStats};
 use parking_lot::Mutex;
 use std::time::Instant;
 
@@ -31,6 +31,7 @@ pub fn execute(
     let total_start = Instant::now();
     let io_before = session.store().io_stats().snapshot();
     let fallback = session.config().object_box_fallback;
+    let verify_opts = session.verify_options();
     let threads = session.config().threads;
 
     // ---- Filter stage -----------------------------------------------------
@@ -84,6 +85,7 @@ pub fn execute(
     let verify_chunks = chunks_for_threads(&to_verify, threads);
     let verified_hits: Mutex<Vec<MaskId>> = Mutex::new(Vec::new());
     let indexes_built: Mutex<u64> = Mutex::new(0);
+    let tile_stats: Mutex<TileStats> = Mutex::new(TileStats::default());
     let first_error: Mutex<Option<crate::error::QueryError>> = Mutex::new(None);
 
     std::thread::scope(|scope| {
@@ -91,11 +93,18 @@ pub fn execute(
             scope.spawn(|| {
                 let mut local_hits = Vec::new();
                 let mut local_built = 0u64;
+                let mut local_tiles = TileStats::default();
                 for &mask_id in *chunk {
-                    let step = || -> QueryResult<(bool, bool)> {
+                    let mut step = || -> QueryResult<(bool, bool)> {
                         let record = session.record(mask_id)?;
                         let (mask, built) = session.load_and_index(mask_id)?;
-                        let satisfied = eval::predicate_exact(predicate, &record, &mask, fallback)?;
+                        let satisfied = eval::predicate_exact_tiled(
+                            predicate,
+                            &record,
+                            &mask,
+                            &verify_opts,
+                            &mut local_tiles,
+                        )?;
                         Ok((satisfied, built))
                     };
                     match step() {
@@ -118,6 +127,7 @@ pub fn execute(
                 }
                 verified_hits.lock().extend(local_hits);
                 *indexes_built.lock() += local_built;
+                tile_stats.lock().merge(&local_tiles);
             });
         }
     });
@@ -134,6 +144,7 @@ pub fn execute(
         .io_stats()
         .snapshot()
         .delta_since(&io_before);
+    let tiles = *tile_stats.lock();
     let mut stats = QueryStats {
         candidates: candidates.len() as u64,
         pruned,
@@ -141,6 +152,9 @@ pub fn execute(
             .saturating_sub(io_delta.masks_loaded.min(accepted.len() as u64)),
         verified: to_verify.len() as u64,
         indexes_built: *indexes_built.lock(),
+        tiles_pruned: tiles.tiles_pruned,
+        tiles_hist: tiles.tiles_hist,
+        tiles_scanned: tiles.tiles_scanned,
         filter_wall,
         verify_wall,
         total_wall: elapsed(total_start),

@@ -111,8 +111,13 @@ pub fn execute(
             }
             loaded.push(mask);
         }
-        let refs: Vec<&Mask> = loaded.iter().map(|m| m.as_ref()).collect();
+        let refs: Vec<&Mask> = loaded.iter().map(|m| m.mask()).collect();
         let aggregated = agg.apply(&refs)?;
+        // The aggregated mask is freshly materialised and evaluated exactly
+        // once, so the tiled kernel's summary build (a full extra pixel
+        // pass) can never amortise here — the reference ROI scan is
+        // strictly cheaper. The kernel covers the per-mask CP terms of the
+        // other executors, where cached masks reuse their summaries.
         let value = cp(&aggregated, &roi, &term.range) as f64;
         // Incremental indexing of the aggregated mask (§3.4): retain its CHI
         // so later queries with the same aggregation shape can prune.

@@ -14,7 +14,7 @@ use crate::expr::Expr;
 use crate::result::{QueryOutput, QueryStats, ResultRow};
 use crate::session::Session;
 use crate::spec::Order;
-use masksearch_core::MaskId;
+use masksearch_core::{MaskId, TileStats};
 use std::time::Instant;
 
 /// Executes a top-k query over `candidates`.
@@ -28,6 +28,8 @@ pub fn execute(
     let total_start = Instant::now();
     let io_before = session.store().io_stats().snapshot();
     let fallback = session.config().object_box_fallback;
+    let verify_opts = session.verify_options();
+    let mut tiles = TileStats::default();
 
     if k == 0 {
         return Ok(QueryOutput::default());
@@ -76,7 +78,7 @@ pub fn execute(
             indexes_built += 1;
         }
         verified += 1;
-        let mut value = eval::expr_exact(expr, &record, &mask, fallback)?;
+        let mut value = eval::expr_exact_tiled(expr, &record, &mask, &verify_opts, &mut tiles)?;
         if value.is_nan() {
             // NaN (e.g. 0/0 ratios) ranks worst under either order.
             value = match order {
@@ -111,6 +113,9 @@ pub fn execute(
         accepted_without_load: 0,
         verified,
         indexes_built,
+        tiles_pruned: tiles.tiles_pruned,
+        tiles_hist: tiles.tiles_hist,
+        tiles_scanned: tiles.tiles_scanned,
         filter_wall,
         verify_wall,
         total_wall: elapsed(total_start),

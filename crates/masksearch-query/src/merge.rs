@@ -51,6 +51,9 @@ pub fn merge_stats<'a>(partials: impl IntoIterator<Item = &'a QueryStats>) -> Qu
         merged.masks_loaded += s.masks_loaded;
         merged.bytes_read += s.bytes_read;
         merged.indexes_built += s.indexes_built;
+        merged.tiles_pruned += s.tiles_pruned;
+        merged.tiles_hist += s.tiles_hist;
+        merged.tiles_scanned += s.tiles_scanned;
         merged.filter_wall += s.filter_wall;
         merged.verify_wall += s.verify_wall;
         merged.total_wall += s.total_wall;

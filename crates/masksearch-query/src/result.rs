@@ -62,6 +62,13 @@ pub struct QueryStats {
     pub bytes_read: u64,
     /// CHIs built during the query (incremental indexing, §3.6).
     pub indexes_built: u64,
+    /// Verification-kernel tiles decided from min/max summaries alone
+    /// (all-in or all-out) without touching pixels.
+    pub tiles_pruned: u64,
+    /// Verification-kernel tiles answered exactly from tile histograms.
+    pub tiles_hist: u64,
+    /// Verification-kernel tiles that fell back to a pixel scan.
+    pub tiles_scanned: u64,
     /// Wall-clock time spent in the filter stage.
     pub filter_wall: Duration,
     /// Wall-clock time spent in the verification stage (including index

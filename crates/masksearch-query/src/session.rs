@@ -19,12 +19,13 @@
 //! after that batch.
 
 use crate::error::{QueryError, QueryResult};
+use crate::eval;
 use crate::exec;
 use crate::merge;
 use crate::mutation::{Mutation, MutationOutcome};
 use crate::query::{Query, QueryKind, Selection};
 use crate::result::QueryOutput;
-use masksearch_core::{ImageId, Mask, MaskAgg, MaskId, MaskRecord};
+use masksearch_core::{ImageId, Mask, MaskAgg, MaskId, MaskRecord, TiledMask};
 use masksearch_index::{build_chi_store, BuildOptions, Chi, ChiConfig, ChiStore};
 use masksearch_storage::{Catalog, MaskCache, MaskStore};
 use parking_lot::{Mutex, RwLock};
@@ -61,6 +62,11 @@ pub struct SessionConfig {
     /// When a query uses `roi = object` but a mask has no recorded object
     /// box: fall back to the full mask (`true`) or fail the query (`false`).
     pub object_box_fallback: bool,
+    /// Route verification-stage `CP` terms through the tiled kernel
+    /// (per-tile min/max + histogram summaries; see `masksearch-core`).
+    /// Counts are byte-identical either way; disabling falls back to the
+    /// reference batched scan (used by conformance tests and benchmarks).
+    pub use_tiled_kernel: bool,
 }
 
 impl SessionConfig {
@@ -75,6 +81,7 @@ impl SessionConfig {
                 .unwrap_or(1),
             cache_bytes: 0,
             object_box_fallback: true,
+            use_tiled_kernel: true,
         }
     }
 
@@ -99,6 +106,12 @@ impl SessionConfig {
     /// Sets the missing-object-box policy.
     pub fn object_box_fallback(mut self, fallback: bool) -> Self {
         self.object_box_fallback = fallback;
+        self
+    }
+
+    /// Enables or disables the tiled verification kernel.
+    pub fn tiled_kernel(mut self, enabled: bool) -> Self {
+        self.use_tiled_kernel = enabled;
         self
     }
 }
@@ -288,24 +301,39 @@ impl Session {
 
     /// Loads a mask through the buffer cache.
     pub fn load_mask(&self, mask_id: MaskId) -> QueryResult<Arc<Mask>> {
+        Ok(self.load_tiled(mask_id)?.mask_arc())
+    }
+
+    /// Loads a mask in tiled form through the buffer cache. Stores that
+    /// maintain tile summaries (the durable mask database) seed the grid;
+    /// otherwise it is built lazily on first kernel use.
+    pub fn load_tiled(&self, mask_id: MaskId) -> QueryResult<Arc<TiledMask>> {
         self.cache
-            .get_or_load(mask_id, || self.store.get(mask_id))
+            .get_or_load_tiled(mask_id, || self.store.get_tiled(mask_id))
             .map_err(QueryError::from)
     }
 
+    /// Evaluation options for the verification stage.
+    pub fn verify_options(&self) -> eval::VerifyOptions {
+        eval::VerifyOptions {
+            object_box_fallback: self.config.object_box_fallback,
+            use_tiled_kernel: self.config.use_tiled_kernel,
+        }
+    }
+
     /// Loads a mask and, in incremental mode, builds and retains its CHI
-    /// (§3.6). Returns the mask and whether an index was built.
-    pub fn load_and_index(&self, mask_id: MaskId) -> QueryResult<(Arc<Mask>, bool)> {
+    /// (§3.6). Returns the tiled mask and whether an index was built.
+    pub fn load_and_index(&self, mask_id: MaskId) -> QueryResult<(Arc<TiledMask>, bool)> {
         // Snapshot the CHI removal generation before loading: if a write
         // evicts this mask's index while we hold pre-write pixels, the
         // guarded install below refuses to put stale bounds in the index.
         let chi_generation = self.chi.removal_generation();
-        let mask = self.load_mask(mask_id)?;
+        let mask = self.load_tiled(mask_id)?;
         let built = if self.config.indexing_mode == IndexingMode::Incremental
             && !self.chi.contains(mask_id)
         {
             self.chi
-                .index_mask_if_current(mask_id, &mask, chi_generation)
+                .index_mask_if_current(mask_id, mask.mask(), chi_generation)
         } else {
             false
         };

@@ -23,7 +23,7 @@
 //! only scheduled differently (this is asserted by the service concurrency
 //! tests).
 
-use masksearch_core::MaskId;
+use masksearch_core::{MaskId, TileStats};
 use masksearch_query::error::QueryResult;
 use masksearch_query::eval;
 use masksearch_query::{
@@ -86,6 +86,7 @@ pub fn execute(session: &Session, queries: &[Query]) -> QueryResult<BatchOutput>
     let batch_start = Instant::now();
     let io_before = session.store().io_stats().snapshot();
     let fallback = session.config().object_box_fallback;
+    let verify_opts = session.verify_options();
 
     let mut outputs: Vec<Option<QueryOutput>> = (0..queries.len()).map(|_| None).collect();
     let mut plans: Vec<FilterPlan> = Vec::new();
@@ -138,6 +139,9 @@ pub fn execute(session: &Session, queries: &[Query]) -> QueryResult<BatchOutput>
     let verify_start = Instant::now();
     let entries: Vec<(MaskId, Vec<usize>)> = verify_union.into_iter().collect();
     let verified_hits: Mutex<Vec<(usize, MaskId)>> = Mutex::new(Vec::new());
+    // Kernel tile counters per plan: each predicate evaluation is attributed
+    // to the query it verified for, even though the mask load is shared.
+    let plan_tiles: Mutex<Vec<TileStats>> = Mutex::new(vec![TileStats::default(); plans.len()]);
     let first_error: Mutex<Option<masksearch_query::QueryError>> = Mutex::new(None);
     let threads = session.config().threads.max(1).min(entries.len().max(1));
 
@@ -145,17 +149,26 @@ pub fn execute(session: &Session, queries: &[Query]) -> QueryResult<BatchOutput>
         let chunk = entries.len().div_ceil(threads).max(1);
         for part in entries.chunks(chunk) {
             let verified_hits = &verified_hits;
+            let plan_tiles = &plan_tiles;
             let first_error = &first_error;
             let plans = &plans;
+            let verify_opts = &verify_opts;
             scope.spawn(move || {
                 let mut local = Vec::new();
+                let mut local_tiles = vec![TileStats::default(); plans.len()];
                 for (mask_id, interested) in part {
                     let mut step = || -> QueryResult<()> {
                         let record = session.record(*mask_id)?;
                         let (mask, _built) = session.load_and_index(*mask_id)?;
                         for &plan_slot in interested {
                             let plan = &plans[plan_slot];
-                            if eval::predicate_exact(&plan.predicate, &record, &mask, fallback)? {
+                            if eval::predicate_exact_tiled(
+                                &plan.predicate,
+                                &record,
+                                &mask,
+                                verify_opts,
+                                &mut local_tiles[plan_slot],
+                            )? {
                                 local.push((plan_slot, *mask_id));
                             }
                         }
@@ -173,6 +186,10 @@ pub fn execute(session: &Session, queries: &[Query]) -> QueryResult<BatchOutput>
                     .lock()
                     .unwrap_or_else(|p| p.into_inner())
                     .extend(local);
+                let mut shared = plan_tiles.lock().unwrap_or_else(|p| p.into_inner());
+                for (slot, tiles) in shared.iter_mut().zip(&local_tiles) {
+                    slot.merge(tiles);
+                }
             });
         }
     });
@@ -191,7 +208,8 @@ pub fn execute(session: &Session, queries: &[Query]) -> QueryResult<BatchOutput>
     }
     let unique_masks_verified = entries.len() as u64;
     let shared_path_queries = plans.len();
-    for (plan, hits) in plans.into_iter().zip(per_plan_hits) {
+    let plan_tiles = plan_tiles.into_inner().unwrap_or_else(|p| p.into_inner());
+    for ((plan, hits), tiles) in plans.into_iter().zip(per_plan_hits).zip(plan_tiles) {
         let mut accepted = plan.accepted;
         let accepted_without_load = accepted.len() as u64;
         accepted.extend(hits);
@@ -201,6 +219,9 @@ pub fn execute(session: &Session, queries: &[Query]) -> QueryResult<BatchOutput>
             pruned: plan.pruned,
             accepted_without_load,
             verified: plan.verify,
+            tiles_pruned: tiles.tiles_pruned,
+            tiles_hist: tiles.tiles_hist,
+            tiles_scanned: tiles.tiles_scanned,
             filter_wall: plan.filter_wall,
             verify_wall,
             total_wall: plan.filter_wall + verify_wall,

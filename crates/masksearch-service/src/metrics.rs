@@ -132,6 +132,12 @@ pub struct ServiceMetrics {
     masks_loaded: AtomicU64,
     /// Sum of `QueryStats::pruned` over completed queries.
     pruned: AtomicU64,
+    /// Sum of `QueryStats::tiles_pruned` over completed queries.
+    tiles_pruned: AtomicU64,
+    /// Sum of `QueryStats::tiles_hist` over completed queries.
+    tiles_hist: AtomicU64,
+    /// Sum of `QueryStats::tiles_scanned` over completed queries.
+    tiles_scanned: AtomicU64,
     /// End-to-end latency (submission to completion).
     latency: LatencyHistogram,
     /// Time spent waiting in the queue before a worker picked the job up.
@@ -161,6 +167,9 @@ impl ServiceMetrics {
             candidates: AtomicU64::new(0),
             masks_loaded: AtomicU64::new(0),
             pruned: AtomicU64::new(0),
+            tiles_pruned: AtomicU64::new(0),
+            tiles_hist: AtomicU64::new(0),
+            tiles_scanned: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
             queue_wait: LatencyHistogram::new(),
         }
@@ -216,6 +225,12 @@ impl ServiceMetrics {
         self.masks_loaded
             .fetch_add(stats.masks_loaded, Ordering::Relaxed);
         self.pruned.fetch_add(stats.pruned, Ordering::Relaxed);
+        self.tiles_pruned
+            .fetch_add(stats.tiles_pruned, Ordering::Relaxed);
+        self.tiles_hist
+            .fetch_add(stats.tiles_hist, Ordering::Relaxed);
+        self.tiles_scanned
+            .fetch_add(stats.tiles_scanned, Ordering::Relaxed);
         self.latency.record(latency);
     }
 
@@ -236,6 +251,9 @@ impl ServiceMetrics {
             mutations: self.mutations.load(Ordering::Relaxed),
             masks_inserted: self.masks_inserted.load(Ordering::Relaxed),
             masks_deleted: self.masks_deleted.load(Ordering::Relaxed),
+            tiles_pruned: self.tiles_pruned.load(Ordering::Relaxed),
+            tiles_hist: self.tiles_hist.load(Ordering::Relaxed),
+            tiles_scanned: self.tiles_scanned.load(Ordering::Relaxed),
             // Store-level write-path counters; the engine overwrites this
             // from the session store's `ingest_stats` at snapshot time, like
             // the cache hit rate below.
@@ -287,6 +305,13 @@ pub struct MetricsSnapshot {
     pub masks_inserted: u64,
     /// Masks deleted by served writes.
     pub masks_deleted: u64,
+    /// Verification-kernel tiles decided from min/max summaries, summed
+    /// over completed queries.
+    pub tiles_pruned: u64,
+    /// Verification-kernel tiles answered from tile histograms.
+    pub tiles_hist: u64,
+    /// Verification-kernel tiles that fell back to a pixel scan.
+    pub tiles_scanned: u64,
     /// Store-level write-path counters (WAL bytes, checkpoints, commits) for
     /// stores that track them; zeros otherwise. Filled by the engine at
     /// snapshot time.

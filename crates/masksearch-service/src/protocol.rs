@@ -247,6 +247,7 @@ pub fn write_stats<W: Write>(w: &mut W, m: &MetricsSnapshot) -> std::io::Result<
         "STATS qps={:.3} completed={} failed={} rejected={} deadline_expired={} \
          p50_us={} p99_us={} mean_us={} filter_rate={:.6} cache_hit_rate={:.6} uptime_ms={} \
          mutations={} inserted={} deleted={} wal_bytes={} checkpoints={} commits={} \
+         tiles_pruned={} tiles_hist={} tiles_scanned={} \
          active_connections={} queue_depth={}",
         m.qps,
         m.completed,
@@ -265,6 +266,9 @@ pub fn write_stats<W: Write>(w: &mut W, m: &MetricsSnapshot) -> std::io::Result<
         m.ingest.wal_bytes,
         m.ingest.checkpoints,
         m.ingest.commits,
+        m.tiles_pruned,
+        m.tiles_hist,
+        m.tiles_scanned,
         m.active_connections,
         m.queue_depth,
     )?;

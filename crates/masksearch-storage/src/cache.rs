@@ -5,9 +5,14 @@
 //! verification stage of the executor reads masks through this cache so that
 //! multi-query workloads (§4.5) benefit from recently verified masks without
 //! ever exceeding a configured memory budget.
+//!
+//! Entries are stored in *tiled* form ([`TiledMask`]): the decoded pixels
+//! plus the per-tile summaries of the verification kernel, so a cache hit
+//! also skips rebuilding the summaries the kernel prunes with. The byte
+//! budget accounts for both.
 
 use crate::error::StorageResult;
-use masksearch_core::{Mask, MaskId};
+use masksearch_core::{Mask, MaskId, TiledMask};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -36,7 +41,10 @@ impl CacheStats {
 }
 
 struct Entry {
-    mask: Arc<Mask>,
+    /// The decoded mask together with its tile-summary grid, so repeated
+    /// verification of a cached mask also reuses the summaries the
+    /// verification kernel prunes with.
+    mask: Arc<TiledMask>,
     bytes: u64,
     last_used: u64,
 }
@@ -138,6 +146,19 @@ impl MaskCache {
         mask_id: MaskId,
         load: impl FnOnce() -> StorageResult<Mask>,
     ) -> StorageResult<Arc<Mask>> {
+        self.get_or_load_tiled(mask_id, || Ok(TiledMask::from_mask(load()?)))
+            .map(|tiled| tiled.mask_arc())
+    }
+
+    /// Looks up a mask in its tiled form, or loads it with `load` on a miss
+    /// and caches the result (evicting least-recently-used entries if
+    /// needed). This is the lookup the verification executor uses: cache
+    /// hits reuse both the decoded pixels and the tile summaries.
+    pub fn get_or_load_tiled(
+        &self,
+        mask_id: MaskId,
+        load: impl FnOnce() -> StorageResult<TiledMask>,
+    ) -> StorageResult<Arc<TiledMask>> {
         let generation_before = {
             let mut inner = self.inner.lock();
             inner.clock += 1;
@@ -200,6 +221,11 @@ impl MaskCache {
 
     /// Returns the cached mask without loading, if present.
     pub fn peek(&self, mask_id: MaskId) -> Option<Arc<Mask>> {
+        self.peek_tiled(mask_id).map(|tiled| tiled.mask_arc())
+    }
+
+    /// Returns the cached tiled mask without loading, if present.
+    pub fn peek_tiled(&self, mask_id: MaskId) -> Option<Arc<TiledMask>> {
         let inner = self.inner.lock();
         inner.entries.get(&mask_id).map(|e| Arc::clone(&e.mask))
     }
@@ -312,15 +338,16 @@ mod tests {
 
     #[test]
     fn lru_eviction_respects_byte_budget() {
-        // Each 8x8 mask is 256 bytes; budget of 600 holds two.
-        let cache = MaskCache::new(600);
+        // Each 8x8 mask is 256 pixel bytes + 100 tile-summary bytes = 356;
+        // a budget of 800 holds two entries.
+        let cache = MaskCache::new(800);
         for i in 0..3u64 {
             cache
                 .get_or_load(MaskId::new(i), || Ok(mask(i as u32)))
                 .unwrap();
         }
         assert_eq!(cache.len(), 2);
-        assert!(cache.used_bytes() <= 600);
+        assert!(cache.used_bytes() <= 800);
         assert_eq!(cache.stats().evictions, 1);
         // Mask 0 was least recently used, so it is gone; 1 and 2 remain.
         assert!(cache.peek(MaskId::new(0)).is_none());
@@ -330,7 +357,7 @@ mod tests {
 
     #[test]
     fn recency_is_updated_on_hit() {
-        let cache = MaskCache::new(600);
+        let cache = MaskCache::new(800);
         cache.get_or_load(MaskId::new(0), || Ok(mask(0))).unwrap();
         cache.get_or_load(MaskId::new(1), || Ok(mask(1))).unwrap();
         // Touch 0 so it becomes most recent, then insert 2 -> 1 is evicted.

@@ -14,7 +14,7 @@
 use crate::disk::{DiskProfile, IoStats};
 use crate::error::{StorageError, StorageResult};
 use crate::format::{self, MaskEncoding};
-use masksearch_core::{Mask, MaskId, MaskRecord};
+use masksearch_core::{Mask, MaskId, MaskRecord, TiledMask};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::fs;
@@ -91,6 +91,18 @@ pub trait MaskStore: Send + Sync {
 
     /// Loads a mask in full, charging the cost model.
     fn get(&self, mask_id: MaskId) -> StorageResult<Mask>;
+
+    /// Loads a mask together with its tile-summary grid, when the store
+    /// maintains one (see `masksearch-core`'s tiled verification kernel).
+    ///
+    /// The default wraps [`MaskStore::get`] without a pre-built grid — the
+    /// returned [`TiledMask`] builds its summaries lazily on first kernel
+    /// use. Stores that persist tile grids (the durable mask database)
+    /// override this to seed the grid, and must guarantee the grid they
+    /// attach was built from exactly the pixels they return.
+    fn get_tiled(&self, mask_id: MaskId) -> StorageResult<TiledMask> {
+        Ok(TiledMask::from_mask(self.get(mask_id)?))
+    }
 
     /// Returns `true` if the store holds a mask with this id.
     fn contains(&self, mask_id: MaskId) -> bool;

@@ -1,0 +1,201 @@
+//! Differential-oracle property suite for the tiled verification kernel:
+//! `TileGrid::cp` / `TiledMask::cp_many` must return counts **byte-identical**
+//! to the reference scan `Mask::count_pixels` — exact equality, no tolerance —
+//! over arbitrary mask shapes (including non-tile-multiple widths/heights and
+//! degenerate 1×N / N×1 masks), arbitrary clipped and fully-disjoint ROIs,
+//! arbitrary tile sizes, and boundary ranges (bin-edge aligned, one-ULP wide,
+//! the full `[0, 1)` domain).
+
+use masksearch::core::{cp, cp_many, Mask, PixelRange, Roi, TileGrid, TileStats, TiledMask};
+use proptest::prelude::*;
+
+/// Arbitrary masks mixing four content families: smooth blobs (spatially
+/// coherent, the kernel's best case), hash noise (its worst case), values
+/// pinned exactly to histogram bin edges `i/16` (so aligned ranges have
+/// pixels exactly on their bounds), and near-constant masks.
+fn arb_mask() -> impl Strategy<Value = Mask> {
+    (1u32..72, 1u32..72, any::<u64>(), 0u32..4u32).prop_map(|(w, h, seed, kind)| {
+        let mut state = seed | 1;
+        Mask::from_fn(w, h, move |x, y| match kind {
+            0 => {
+                let dx = x as f32 - w as f32 / 3.0;
+                let dy = y as f32 - h as f32 / 2.0;
+                0.9 * (-(dx * dx + dy * dy) / ((w.min(h) as f32 / 3.0).powi(2)).max(1.0)).exp()
+            }
+            1 => {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as f32) / (u32::MAX as f32)
+            }
+            2 => ((x + y * w + seed as u32) % 17) as f32 / 16.0, // bin edges, incl. 1.0 clamped
+            _ => 0.5 + ((x + y) % 2) as f32 * f32::EPSILON,
+        })
+    })
+}
+
+/// ROIs that may lie partially or entirely outside the mask (clipping and
+/// disjointness are part of the contract under test).
+fn arb_roi() -> impl Strategy<Value = Roi> {
+    (0u32..100, 0u32..100, 1u32..=100, 1u32..=100)
+        .prop_filter_map("non-degenerate roi", |(x0, y0, w, h)| {
+            Roi::new(x0, y0, x0 + w, y0 + h).ok()
+        })
+}
+
+/// Ranges mixing generic hundredth-grid bounds, bin-aligned bounds (`i/16`),
+/// the full domain, and one-ULP-wide ranges around an arbitrary value.
+fn arb_range() -> impl Strategy<Value = PixelRange> {
+    (0u32..4u32, 0u32..=99, 1u32..=100, any::<u64>()).prop_filter_map(
+        "valid range",
+        |(kind, lo, width, seed)| match kind {
+            0 => {
+                let lo = lo as f32 / 100.0;
+                let hi = (lo + width as f32 / 100.0).min(1.0);
+                PixelRange::new(lo, hi).ok()
+            }
+            1 => {
+                let a = lo % 16;
+                let b = (a + 1 + width % 16).min(16);
+                PixelRange::new(a as f32 / 16.0, b as f32 / 16.0).ok()
+            }
+            2 => Some(PixelRange::full()),
+            _ => {
+                // One ULP wide: [v, next_up(v)) contains exactly the value v.
+                let v = ((seed % 1_000_000) as f32 / 1_000_000.0).min(0.999_999);
+                PixelRange::new(v, v.next_up()).ok()
+            }
+        },
+    )
+}
+
+/// Tile sizes exercising heavy partial-tile coverage (1..=9) and the
+/// production default's neighbourhood.
+fn arb_tile() -> impl Strategy<Value = u32> {
+    (1u32..=10, 0u32..2u32).prop_map(|(small, big)| if big == 0 { small } else { small * 16 })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The core differential oracle: kernel CP == reference CP, exactly.
+    #[test]
+    fn tiled_cp_equals_reference_cp(
+        mask in arb_mask(),
+        tile in arb_tile(),
+        roi in arb_roi(),
+        range in arb_range(),
+    ) {
+        let grid = TileGrid::build_with(&mask, tile);
+        let mut stats = TileStats::default();
+        let kernel = grid.cp(&mask, &roi, &range, &mut stats);
+        let reference = mask.count_pixels(&roi, &range);
+        prop_assert_eq!(kernel, reference, "tile={} roi={} range={}", tile, roi, range);
+        // Every overlapping tile is classified exactly once.
+        if let Some(clip) = mask.clip_roi(&roi) {
+            let tx = clip.x1().div_ceil(tile) - clip.x0() / tile;
+            let ty = clip.y1().div_ceil(tile) - clip.y0() / tile;
+            prop_assert_eq!(stats.tiles_touched(), u64::from(tx) * u64::from(ty));
+        } else {
+            prop_assert_eq!(stats.tiles_touched(), 0);
+        }
+    }
+
+    /// Multi-term evaluation through the kernel and through the reference
+    /// batched scan both equal per-term reference counts.
+    #[test]
+    fn cp_many_paths_equal_reference(
+        mask in arb_mask(),
+        roi_a in arb_roi(),
+        roi_b in arb_roi(),
+        range_a in arb_range(),
+        range_b in arb_range(),
+    ) {
+        let terms = vec![(roi_a, range_a), (roi_b, range_b), (roi_a, range_b)];
+        let tiled = TiledMask::from_mask(mask.clone());
+        let kernel = tiled.cp_many(&terms);
+        let batched = cp_many(&mask, &terms);
+        for (i, (roi, range)) in terms.iter().enumerate() {
+            let reference = cp(&mask, roi, range);
+            prop_assert_eq!(kernel[i], reference, "kernel term {}", i);
+            prop_assert_eq!(batched[i], reference, "batched term {}", i);
+        }
+    }
+
+    /// A grid seeded through the persistence parts API produces the same
+    /// counts as a freshly built one.
+    #[test]
+    fn reassembled_grid_equals_fresh_grid(
+        mask in arb_mask(),
+        tile in arb_tile(),
+        roi in arb_roi(),
+        range in arb_range(),
+    ) {
+        let grid = TileGrid::build_with(&mask, tile);
+        let reassembled = TileGrid::from_parts(
+            grid.mask_width(),
+            grid.mask_height(),
+            grid.tile(),
+            grid.summaries().to_vec(),
+        ).expect("layout matches");
+        prop_assert!(reassembled.verify(&mask));
+        let mut stats = TileStats::default();
+        prop_assert_eq!(
+            reassembled.cp(&mask, &roi, &range, &mut stats),
+            mask.count_pixels(&roi, &range)
+        );
+    }
+}
+
+/// Degenerate bound combinations that the type system rejects rather than
+/// the kernel mis-counting: `lv == uv`, inverted, NaN, and out-of-domain
+/// bounds are all unrepresentable as [`PixelRange`] values.
+#[test]
+fn degenerate_ranges_are_unrepresentable() {
+    for v in [0.0f32, 0.25, 0.5, 0.999, 1.0] {
+        assert!(PixelRange::new(v, v).is_err(), "lv == uv must be rejected");
+    }
+    assert!(PixelRange::new(0.7, 0.2).is_err());
+    assert!(PixelRange::new(f32::NAN, 0.5).is_err());
+    assert!(PixelRange::new(0.1, f32::NAN).is_err());
+    assert!(PixelRange::new(-0.1, 0.5).is_err());
+    assert!(PixelRange::new(0.0, 1.0 + f32::EPSILON).is_err());
+}
+
+/// NaN-adjacent / extreme-but-valid bounds: the smallest positive range, a
+/// range ending at the largest sub-1.0 value, and subnormal lower bounds.
+#[test]
+fn extreme_boundary_ranges_stay_exact() {
+    let masks = [
+        Mask::from_fn(33, 7, |x, y| ((x * 31 + y * 17) % 97) as f32 / 97.0),
+        Mask::from_fn(1, 64, |_, y| (y % 16) as f32 / 16.0),
+        Mask::from_fn(64, 1, |x, _| (x % 16) as f32 / 16.0),
+        Mask::constant(16, 16, 1.0 - f32::EPSILON).unwrap(),
+        Mask::constant(5, 5, f32::MIN_POSITIVE / 2.0).unwrap(), // subnormal pixels
+    ];
+    let ranges = [
+        PixelRange::new(0.0, f32::MIN_POSITIVE).unwrap(),
+        PixelRange::new(0.0, f32::MIN_POSITIVE / 2.0).unwrap(),
+        PixelRange::new((1.0f32 - f32::EPSILON).next_down(), 1.0).unwrap(),
+        PixelRange::new(1.0 - f32::EPSILON, 1.0).unwrap(),
+        PixelRange::full(),
+    ];
+    for mask in &masks {
+        for tile in [1u32, 2, 5, 64] {
+            let grid = TileGrid::build_with(mask, tile);
+            for range in &ranges {
+                for roi in [
+                    mask.full_roi(),
+                    Roi::new(0, 0, 3, 3).unwrap(),
+                    Roi::new(2, 0, 1000, 1000).unwrap(),
+                ] {
+                    assert_eq!(
+                        grid.cp(mask, &roi, range, &mut TileStats::default()),
+                        mask.count_pixels(&roi, range),
+                        "range {range} roi {roi} tile {tile}"
+                    );
+                }
+            }
+        }
+    }
+}
