@@ -1,7 +1,7 @@
 //! The [`QueryEngine`] trait shared by every evaluated system, plus the
 //! streaming brute-force evaluator the baselines are built on.
 
-use masksearch_core::{cp, ImageId, Mask, MaskId};
+use masksearch_core::{cp, ImageId, Mask, MaskId, MaskRecord, TileStats, TiledMask};
 use masksearch_query::{eval, Query, QueryError, QueryKind, QueryOutput, QueryStats, ResultRow};
 use masksearch_storage::Catalog;
 use std::collections::BTreeMap;
@@ -51,6 +51,8 @@ pub struct BruteForce<'a> {
     ranked: Vec<(f64, MaskId)>,
     group_values: BTreeMap<ImageId, Vec<f64>>,
     group_masks: BTreeMap<ImageId, Vec<Mask>>,
+    /// Pair queries: every consumed mask per image, keyed for binding.
+    pair_masks: BTreeMap<ImageId, Vec<(MaskId, Mask)>>,
     consumed: u64,
 }
 
@@ -65,16 +67,26 @@ impl<'a> BruteForce<'a> {
             ranked: Vec::new(),
             group_values: BTreeMap::new(),
             group_masks: BTreeMap::new(),
+            pair_masks: BTreeMap::new(),
             consumed: 0,
         }
     }
 
-    /// Returns `true` if the mask is targeted by the query's selection.
+    /// Returns `true` if the mask is targeted by the query's selection (for
+    /// pair queries: by the outer selection and either join side).
     pub fn is_candidate(&self, mask_id: MaskId) -> bool {
-        self.catalog
-            .get(mask_id)
-            .map(|record| self.query.selection.matches(record))
-            .unwrap_or(false)
+        let Some(record) = self.catalog.get(mask_id) else {
+            return false;
+        };
+        if !self.query.selection.matches(record) {
+            return false;
+        }
+        match &self.query.kind {
+            QueryKind::PairFilter { join, .. } | QueryKind::PairTopK { join, .. } => {
+                join.left.matches(record) || join.right.matches(record)
+            }
+            _ => true,
+        }
     }
 
     /// Number of candidate masks consumed so far.
@@ -115,6 +127,49 @@ impl<'a> BruteForce<'a> {
                     .or_default()
                     .push(mask.clone());
             }
+            QueryKind::PairFilter { .. } | QueryKind::PairTopK { .. } => {
+                self.pair_masks
+                    .entry(record.image_id)
+                    .or_default()
+                    .push((mask_id, mask.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves pair bindings from the consumed masks and evaluates `f` on
+    /// each bound pair (the load-everything reference for pair queries).
+    fn each_pair(
+        &self,
+        join: &masksearch_query::MaskJoin,
+        mut f: impl FnMut(ImageId, &MaskRecord, &MaskRecord, &Mask, &Mask) -> Result<(), QueryError>,
+    ) -> Result<(), QueryError> {
+        for (image, members) in &self.pair_masks {
+            let bind = |side: &masksearch_query::Selection| -> Option<(&MaskId, &Mask)> {
+                members
+                    .iter()
+                    .filter(|(id, _)| {
+                        self.catalog
+                            .get(*id)
+                            .is_some_and(|r| self.query.selection.matches(r) && side.matches(r))
+                    })
+                    .min_by_key(|(id, _)| *id)
+                    .map(|(id, mask)| (id, mask))
+            };
+            let (Some((left_id, left)), Some((right_id, right))) =
+                (bind(&join.left), bind(&join.right))
+            else {
+                continue;
+            };
+            let left_rec = self
+                .catalog
+                .get(*left_id)
+                .ok_or(QueryError::UnknownMask(*left_id))?;
+            let right_rec = self
+                .catalog
+                .get(*right_id)
+                .ok_or(QueryError::UnknownMask(*right_id))?;
+            f(*image, left_rec, right_rec, left, right)?;
         }
         Ok(())
     }
@@ -173,6 +228,70 @@ impl<'a> BruteForce<'a> {
                     rows.push((value, *image));
                 }
                 Ok(finish_grouped(&mut rows, *having, *top_k))
+            }
+            QueryKind::PairFilter { join, predicate } => {
+                let opts = eval::VerifyOptions {
+                    object_box_fallback: self.object_box_fallback,
+                    use_tiled_kernel: false,
+                };
+                let mut hits: Vec<ImageId> = Vec::new();
+                self.each_pair(join, |image, left_rec, right_rec, left, right| {
+                    let records = eval::PairRecords {
+                        left: left_rec,
+                        right: right_rec,
+                    };
+                    let left = TiledMask::from_mask(left.clone());
+                    let right = TiledMask::from_mask(right.clone());
+                    let mut tiles = TileStats::default();
+                    if eval::pair_predicate_exact_tiled(
+                        predicate, &records, &left, &right, &opts, &mut tiles,
+                    )? {
+                        hits.push(image);
+                    }
+                    Ok(())
+                })?;
+                hits.sort_unstable();
+                Ok(hits
+                    .into_iter()
+                    .map(|id| ResultRow::image(id, None))
+                    .collect())
+            }
+            QueryKind::PairTopK {
+                join,
+                expr,
+                k,
+                order,
+            } => {
+                let opts = eval::VerifyOptions {
+                    object_box_fallback: self.object_box_fallback,
+                    use_tiled_kernel: false,
+                };
+                let mut rows: Vec<(f64, ImageId)> = Vec::new();
+                self.each_pair(join, |image, left_rec, right_rec, left, right| {
+                    let records = eval::PairRecords {
+                        left: left_rec,
+                        right: right_rec,
+                    };
+                    let left = TiledMask::from_mask(left.clone());
+                    let right = TiledMask::from_mask(right.clone());
+                    let mut tiles = TileStats::default();
+                    let mut value = eval::pair_expr_exact_tiled(
+                        expr, &records, &left, &right, &opts, &mut tiles,
+                    )?;
+                    if value.is_nan() {
+                        value = match order {
+                            masksearch_query::Order::Desc => f64::NEG_INFINITY,
+                            masksearch_query::Order::Asc => f64::INFINITY,
+                        };
+                    }
+                    rows.push((value, image));
+                    Ok(())
+                })?;
+                sort_ranked(&mut rows, *order, *k);
+                Ok(rows
+                    .into_iter()
+                    .map(|(v, id)| ResultRow::image(id, Some(v)))
+                    .collect())
             }
         }
     }

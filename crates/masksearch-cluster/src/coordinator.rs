@@ -85,6 +85,11 @@ struct Inner {
     pools: Vec<ClientPool>,
     map: ShardMap,
     metrics: ClusterMetrics,
+    /// Client-facing mutation tokens: a resend of an already-routed write is
+    /// answered from the recorded outcome instead of being re-routed (the
+    /// per-shard sub-batches carry fresh pool-client tokens, so only the
+    /// coordinator can deduplicate the *whole* statement).
+    dedup: masksearch_service::MutationDedup,
 }
 
 /// A connected cluster coordinator. Cloning is cheap and shares the shard
@@ -114,6 +119,7 @@ impl Coordinator {
                 pools,
                 map,
                 metrics: ClusterMetrics::new(),
+                dedup: masksearch_service::MutationDedup::new(),
             }),
         };
         coordinator.scatter_all(|shard| coordinator.with_shard(shard, |c| c.ping()))?;
@@ -205,8 +211,64 @@ impl Coordinator {
         result
     }
 
+    /// Executes one SQL statement carrying a client deduplication token
+    /// (`TOKEN <id> <sql>`): reads pass straight through, and a mutation
+    /// whose token already applied is answered from the recorded outcome
+    /// without touching any shard — the coordinator-level half of
+    /// exactly-once client resends.
+    pub fn execute_sql_tokened(&self, token: u64, sql: &str) -> ClusterResult<ClusterReply> {
+        use masksearch_service::Admission;
+        let statement = masksearch_sql::compile_statement(sql)?;
+        if !matches!(
+            statement.routing(),
+            masksearch_sql::Routing::ByImage | masksearch_sql::Routing::ByMaskId
+        ) {
+            return self.execute_sql_with(sql, statement);
+        }
+        match self.inner.dedup.begin(token) {
+            Admission::Replay(outcome) => {
+                self.inner.metrics.record_deduped();
+                Ok(ClusterReply::Mutation(outcome))
+            }
+            Admission::Execute => {
+                // The permit abandons the token on error or unwind, so a
+                // resend never parks behind a dead execution.
+                let permit = self.inner.dedup.permit(token);
+                let reply = self.execute_sql_with(sql, statement)?;
+                if let ClusterReply::Mutation(outcome) = &reply {
+                    permit.finish(*outcome);
+                }
+                Ok(reply)
+            }
+        }
+    }
+
+    /// [`Coordinator::execute_sql`] over an already compiled statement
+    /// (avoids re-parsing large `INSERT` payloads on the tokened path).
+    fn execute_sql_with(
+        &self,
+        sql: &str,
+        statement: masksearch_sql::Statement,
+    ) -> ClusterResult<ClusterReply> {
+        let result = self.execute_compiled(sql, statement);
+        if result.is_err() {
+            self.inner.metrics.record_failed();
+        }
+        result
+    }
+
     fn execute_sql_inner(&self, sql: &str) -> ClusterResult<ClusterReply> {
         let statement = masksearch_sql::compile_statement(sql)?;
+        self.execute_compiled(sql, statement)
+    }
+
+    /// Executes an already compiled statement (`sql` is the raw text, still
+    /// needed because read statements are forwarded to shards verbatim).
+    fn execute_compiled(
+        &self,
+        sql: &str,
+        statement: masksearch_sql::Statement,
+    ) -> ClusterResult<ClusterReply> {
         match statement.routing() {
             masksearch_sql::Routing::Broadcast => {
                 self.inner.metrics.record_query();
@@ -394,7 +456,7 @@ impl Coordinator {
         let lines = self.scatter_all(|shard| self.with_shard(shard, |c| c.stats()))?;
         let mut sums: BTreeMap<&'static str, f64> = BTreeMap::new();
         let mut maxes: BTreeMap<&'static str, f64> = BTreeMap::new();
-        const SUM_KEYS: [&str; 16] = [
+        const SUM_KEYS: [&str; 18] = [
             "qps",
             "completed",
             "failed",
@@ -403,12 +465,14 @@ impl Coordinator {
             "mutations",
             "inserted",
             "deleted",
+            "deduped",
             "wal_bytes",
             "checkpoints",
             "commits",
             "tiles_pruned",
             "tiles_hist",
             "tiles_scanned",
+            "pairs_bound",
             "active_connections",
             "queue_depth",
         ];
@@ -442,11 +506,13 @@ impl Coordinator {
             line.push_str(&format!(" {key}={}", value as u64));
         }
         line.push_str(&format!(
-            " cluster_queries={} cluster_ranked={} cluster_mutations={} cluster_failed={} \
-             shard_requests={} topk_rounds={} topk_refined_requests={} relocated={}",
+            " cluster_queries={} cluster_ranked={} cluster_mutations={} cluster_deduped={} \
+             cluster_failed={} shard_requests={} topk_rounds={} topk_refined_requests={} \
+             relocated={}",
             m.queries,
             m.ranked_queries,
             m.mutations,
+            m.mutations_deduped,
             m.failed,
             m.shard_requests,
             m.topk_rounds,
@@ -648,6 +714,28 @@ fn serve_connection(stream: TcpStream, coordinator: &Coordinator) -> std::io::Re
                 &mut writer,
                 &ClusterError::Sql("PARTIAL is not served by a coordinator".to_string()),
             )?,
+            ClientRequest::Tokened { token, sql } => {
+                let started = Instant::now();
+                match coordinator.execute_sql_tokened(token, &sql) {
+                    Ok(ClusterReply::Rows(output)) => {
+                        let response = QueryResponse {
+                            output,
+                            queue_wait: Duration::ZERO,
+                            exec_time: started.elapsed(),
+                        };
+                        protocol::write_response(&mut writer, &response)?;
+                    }
+                    Ok(ClusterReply::Mutation(outcome)) => {
+                        let response = MutationResponse {
+                            outcome,
+                            queue_wait: Duration::ZERO,
+                            exec_time: started.elapsed(),
+                        };
+                        protocol::write_mutation_response(&mut writer, &response)?;
+                    }
+                    Err(e) => write_cluster_error(&mut writer, &e)?,
+                }
+            }
             ClientRequest::Sql(sql) => {
                 let started = Instant::now();
                 match coordinator.execute_sql(&sql) {

@@ -19,6 +19,7 @@ pub struct ClusterMetrics {
     masks_inserted: AtomicU64,
     masks_deleted: AtomicU64,
     masks_relocated: AtomicU64,
+    mutations_deduped: AtomicU64,
 }
 
 impl Default for ClusterMetrics {
@@ -42,6 +43,7 @@ impl ClusterMetrics {
             masks_inserted: AtomicU64::new(0),
             masks_deleted: AtomicU64::new(0),
             masks_relocated: AtomicU64::new(0),
+            mutations_deduped: AtomicU64::new(0),
         }
     }
 
@@ -61,6 +63,10 @@ impl ClusterMetrics {
         self.masks_inserted.fetch_add(inserted, Ordering::Relaxed);
         self.masks_deleted.fetch_add(deleted, Ordering::Relaxed);
         self.masks_relocated.fetch_add(relocated, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_deduped(&self) {
+        self.mutations_deduped.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_failed(&self) {
@@ -85,6 +91,7 @@ impl ClusterMetrics {
             masks_inserted: self.masks_inserted.load(Ordering::Relaxed),
             masks_deleted: self.masks_deleted.load(Ordering::Relaxed),
             masks_relocated: self.masks_relocated.load(Ordering::Relaxed),
+            mutations_deduped: self.mutations_deduped.load(Ordering::Relaxed),
         }
     }
 }
@@ -116,6 +123,9 @@ pub struct ClusterMetricsSnapshot {
     /// Stale replicas removed because an overwrite moved a mask to a new
     /// image (and therefore possibly a new owning shard).
     pub masks_relocated: u64,
+    /// Mutations answered from the coordinator's token-dedup registry
+    /// (client resends after transport errors) without re-routing.
+    pub mutations_deduped: u64,
 }
 
 impl ClusterMetricsSnapshot {

@@ -31,6 +31,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod agg;
+pub mod compose;
 pub mod cp;
 pub mod error;
 pub mod mask;
@@ -43,6 +44,7 @@ pub mod types;
 pub use agg::{
     intersect_thresholded, mask_max, mask_mean, union_thresholded, weighted_sum, MaskAgg,
 };
+pub use compose::{check_composable, compose_masks, cp_composed, cp_composed_many, MaskOp};
 pub use cp::{cp, cp_full, cp_many};
 pub use error::{Error, Result};
 pub use mask::Mask;

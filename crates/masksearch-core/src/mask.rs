@@ -81,6 +81,36 @@ impl Mask {
         })
     }
 
+    /// Creates a mask from raw data **without validating the value domain**.
+    ///
+    /// Dimensions are still checked, but pixels may be NaN, ±∞, negative, or
+    /// ≥ 1. Values outside `[0, 1)` are *never in range* for any
+    /// [`PixelRange`] (NaN comparisons are false; a range's bounds satisfy
+    /// `0 ≤ lo < hi ≤ 1`), so `CP` over such a mask counts only its in-domain
+    /// pixels. This constructor exists for code that must tolerate
+    /// hostile or corrupt pixel payloads (the codec round-trips NaN bit
+    /// patterns) and for the differential tests that prove the kernel, CHI,
+    /// and reference scan agree on non-finite pixels. Prefer [`Mask::new`]
+    /// everywhere else.
+    pub fn from_data_unchecked(width: u32, height: u32, data: Vec<f32>) -> Result<Self> {
+        if width == 0 || height == 0 {
+            return Err(Error::EmptyMask);
+        }
+        let expected = (width as usize) * (height as usize);
+        if data.len() != expected {
+            return Err(Error::DimensionMismatch {
+                width,
+                height,
+                data_len: data.len(),
+            });
+        }
+        Ok(Self {
+            width,
+            height,
+            data,
+        })
+    }
+
     /// Creates an all-zero mask of the given dimensions.
     ///
     /// # Panics

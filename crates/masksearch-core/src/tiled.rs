@@ -81,19 +81,35 @@ impl TileStats {
 }
 
 /// Summaries of one tile: value bounds plus a cumulative histogram.
+///
+/// `min`/`max` are computed with plain comparisons, so NaN pixels never
+/// update them; pixels outside the `[0, 1)` value domain (NaN, ±∞, negative,
+/// ≥ 1) are excluded from the histogram and tallied in `uncountable`
+/// instead, because no [`PixelRange`] can ever count them. A tile with
+/// `uncountable > 0` must never be classified *all-in* (its area would
+/// overcount the uncountable pixels); all-out and histogram classification
+/// stay exact.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TileSummary {
     min: f32,
     max: f32,
-    /// `cum[i]` = number of tile pixels with value `< i / TILE_BINS`;
-    /// `cum[TILE_BINS]` is the tile's pixel count (values are always `< 1`).
+    /// Pixels outside the countable `[0, 1)` domain (NaN, ±∞, out of range).
+    uncountable: u32,
+    /// `cum[i]` = number of *countable* tile pixels with value
+    /// `< i / TILE_BINS`; `cum[TILE_BINS]` is the tile's countable pixel
+    /// count.
     cum: [u32; TILE_BINS + 1],
 }
 
 impl TileSummary {
     /// Reassembles a summary from its parts (used by persistence layers).
-    pub fn from_parts(min: f32, max: f32, cum: [u32; TILE_BINS + 1]) -> Self {
-        Self { min, max, cum }
+    pub fn from_parts(min: f32, max: f32, uncountable: u32, cum: [u32; TILE_BINS + 1]) -> Self {
+        Self {
+            min,
+            max,
+            uncountable,
+            cum,
+        }
     }
 
     /// Smallest pixel value in the tile.
@@ -106,14 +122,20 @@ impl TileSummary {
         self.max
     }
 
-    /// The cumulative histogram (`cum[i]` = pixels with value `< i/16`).
+    /// The cumulative histogram (`cum[i]` = countable pixels with value
+    /// `< i/16`).
     pub fn cum(&self) -> &[u32; TILE_BINS + 1] {
         &self.cum
     }
 
-    /// Number of pixels in the tile.
+    /// Number of countable (in-domain) pixels in the tile.
     pub fn count(&self) -> u32 {
         self.cum[TILE_BINS]
+    }
+
+    /// Number of uncountable pixels (NaN / out-of-domain) in the tile.
+    pub fn uncountable(&self) -> u32 {
+        self.uncountable
     }
 }
 
@@ -167,6 +189,7 @@ impl TileGrid {
         // slices land in the per-tile accumulators of the current tile row.
         let mut mins = vec![f32::INFINITY; tiles_x as usize];
         let mut maxs = vec![f32::NEG_INFINITY; tiles_x as usize];
+        let mut uncountables = vec![0u32; tiles_x as usize];
         let mut hists = vec![[0u32; TILE_BINS]; tiles_x as usize];
         for ty in 0..tiles_y {
             for acc in mins.iter_mut() {
@@ -174,6 +197,9 @@ impl TileGrid {
             }
             for acc in maxs.iter_mut() {
                 *acc = f32::NEG_INFINITY;
+            }
+            for acc in uncountables.iter_mut() {
+                *acc = 0;
             }
             for acc in hists.iter_mut() {
                 *acc = [0u32; TILE_BINS];
@@ -185,19 +211,28 @@ impl TileGrid {
                 for tx in 0..tiles_x {
                     let x0 = (tx * tile) as usize;
                     let x1 = ((tx + 1) * tile).min(w) as usize;
-                    let (min, max, hist) = (
+                    let (min, max, uncountable, hist) = (
                         &mut mins[tx as usize],
                         &mut maxs[tx as usize],
+                        &mut uncountables[tx as usize],
                         &mut hists[tx as usize],
                     );
                     for &v in &row[x0..x1] {
+                        // NaN fails both comparisons and so never perturbs
+                        // the bounds; finite out-of-domain values widen them,
+                        // which only forbids the all-in fast path.
                         if v < *min {
                             *min = v;
                         }
                         if v > *max {
                             *max = v;
                         }
-                        hist[bin_of(v)] += 1;
+                        if (0.0..1.0).contains(&v) {
+                            hist[bin_of(v)] += 1;
+                        } else {
+                            // NaN / ±∞ / out-of-domain: never in any range.
+                            *uncountable += 1;
+                        }
                     }
                 }
             }
@@ -209,6 +244,7 @@ impl TileGrid {
                 summaries.push(TileSummary {
                     min: mins[tx],
                     max: maxs[tx],
+                    uncountable: uncountables[tx],
                     cum,
                 });
             }
@@ -300,7 +336,7 @@ impl TileGrid {
     /// tile size (deterministic in the shape; used for cache accounting).
     pub fn byte_size_for(width: u32, height: u32, tile: u32) -> u64 {
         let tiles = (width.div_ceil(tile) as u64) * (height.div_ceil(tile) as u64);
-        tiles * (8 + 4 * (TILE_BINS as u64 + 1)) + 24
+        tiles * (8 + 4 + 4 * (TILE_BINS as u64 + 1)) + 24
     }
 
     #[inline]
@@ -354,7 +390,11 @@ impl TileGrid {
                     .intersect(&clip)
                     .expect("tile range overlaps the clipped roi");
                 // All-in: every pixel is in range; count the covered area.
-                if s.min >= lo && s.max < hi {
+                // Requires a fully countable tile — an uncountable (NaN /
+                // out-of-domain) pixel never satisfies any range, so the
+                // area would overcount it (its value also never updates
+                // min/max when NaN, so the bounds alone cannot exclude it).
+                if s.uncountable == 0 && s.min >= lo && s.max < hi {
                     stats.tiles_pruned += 1;
                     count += inter.area();
                     continue;
@@ -375,6 +415,111 @@ impl TileGrid {
             }
         }
         count
+    }
+
+    /// Exact `CP` over the pixelwise composition `op(a, b)` of two masks of
+    /// identical shape, using **both** masks' tile summaries: per-tile value
+    /// bounds of the composition are derived algebraically from the two
+    /// tiles' min/max (see the module-internal bound table), so all-out and all-in
+    /// tiles are decided without touching either mask's pixels and only
+    /// boundary tiles pay a fused two-row scan. There is no histogram fast
+    /// path — marginal histograms cannot express a joint composition
+    /// exactly.
+    ///
+    /// `self` must summarise `a`, `other` must summarise `b`, and both grids
+    /// must share one tile size; [`TiledMask::cp_composed_with_stats`]
+    /// enforces this and falls back to the reference scan otherwise.
+    #[allow(clippy::too_many_arguments)]
+    pub fn cp_composed(
+        &self,
+        other: &TileGrid,
+        a: &Mask,
+        b: &Mask,
+        op: crate::compose::MaskOp,
+        roi: &Roi,
+        range: &PixelRange,
+        stats: &mut TileStats,
+    ) -> u64 {
+        debug_assert!(self.matches_shape(a), "left grid built for another mask");
+        debug_assert!(other.matches_shape(b), "right grid built for another mask");
+        debug_assert_eq!(a.shape(), b.shape(), "composition requires equal shapes");
+        debug_assert_eq!(self.tile, other.tile, "composition requires equal tiles");
+        let Some(clip) = a.clip_roi(roi) else {
+            return 0;
+        };
+        let lo = range.lo();
+        let hi = range.hi();
+        let ty0 = clip.y0() / self.tile;
+        let ty1 = (clip.y1() - 1) / self.tile;
+        let tx0 = clip.x0() / self.tile;
+        let tx1 = (clip.x1() - 1) / self.tile;
+        let mut count = 0u64;
+        for ty in ty0..=ty1 {
+            for tx in tx0..=tx1 {
+                let sa = self.summary(tx, ty);
+                let sb = other.summary(tx, ty);
+                let (clo, chi) = composed_tile_bounds(op, sa, sb);
+                // All-out: the composed value bounds prove no pixel can lie
+                // in the range. NaN bounds (empty-tile sentinels fed through
+                // Diff arithmetic) fail both comparisons and fall through to
+                // the scan, which is always exact.
+                if chi < lo || clo >= hi {
+                    stats.tiles_pruned += 1;
+                    continue;
+                }
+                let rect = self.tile_rect(tx, ty);
+                let inter = rect
+                    .intersect(&clip)
+                    .expect("tile range overlaps the clipped roi");
+                // All-in: every composed pixel is countable and in range.
+                if sa.uncountable == 0 && sb.uncountable == 0 && clo >= lo && chi < hi {
+                    stats.tiles_pruned += 1;
+                    count += inter.area();
+                    continue;
+                }
+                // Boundary tile: fused scan of exactly the intersected rows.
+                stats.tiles_scanned += 1;
+                for y in inter.y0()..inter.y1() {
+                    let ra = &a.row(y)[inter.x0() as usize..inter.x1() as usize];
+                    let rb = &b.row(y)[inter.x0() as usize..inter.x1() as usize];
+                    for (&x, &yv) in ra.iter().zip(rb) {
+                        if range.contains(op.apply(x, yv)) {
+                            count += 1;
+                        }
+                    }
+                }
+            }
+        }
+        count
+    }
+}
+
+/// Sound value bounds `[lo, hi]` of the composition `op(a, b)` over one tile,
+/// derived from the operands' per-tile min/max:
+///
+/// | op        | lower bound                         | upper bound                         |
+/// |-----------|-------------------------------------|-------------------------------------|
+/// | intersect | `min(a.min, b.min)`                 | `min(a.max, b.max)`                 |
+/// | union     | `max(a.min, b.min)`                 | `max(a.max, b.max)`                 |
+/// | diff      | `max(0, a.min−b.max, b.min−a.max)`  | `max(a.max−b.min, b.max−a.min)`     |
+///
+/// Every composed pixel with both operands countable lies inside the
+/// interval; the intersect/union extremes are additionally attained (the
+/// pointwise min of minima *is* the minimum of the pointwise min).
+fn composed_tile_bounds(
+    op: crate::compose::MaskOp,
+    sa: &TileSummary,
+    sb: &TileSummary,
+) -> (f32, f32) {
+    use crate::compose::MaskOp;
+    match op {
+        MaskOp::Intersect => (sa.min.min(sb.min), sa.max.min(sb.max)),
+        MaskOp::Union => (sa.min.max(sb.min), sa.max.max(sb.max)),
+        MaskOp::Diff => {
+            let hi = (sa.max - sb.min).max(sb.max - sa.min);
+            let lo = (sa.min - sb.max).max(sb.min - sa.max).max(0.0);
+            (lo, hi)
+        }
     }
 }
 
@@ -463,6 +608,33 @@ impl TiledMask {
             .iter()
             .map(|(roi, range)| self.cp_with_stats(roi, range, stats))
             .collect()
+    }
+
+    /// Exact `CP` over the pixelwise composition `op(self, other)` through
+    /// the composed tile kernel, recording tile classifications.
+    ///
+    /// The masks must have identical shapes ([`crate::error::Error::ShapeMismatch`]
+    /// otherwise). When the two grids share a tile size (the default — all
+    /// lazily built grids use [`DEFAULT_TILE_SIZE`]) the composed kernel
+    /// classifies tiles from both summaries; mismatched tile layouts (a
+    /// persisted grid with a custom size) fall back to the fused reference
+    /// scan. Counts are byte-identical either way.
+    pub fn cp_composed_with_stats(
+        &self,
+        other: &TiledMask,
+        op: crate::compose::MaskOp,
+        roi: &Roi,
+        range: &PixelRange,
+        stats: &mut TileStats,
+    ) -> crate::error::Result<u64> {
+        crate::compose::check_composable(&self.mask, &other.mask)?;
+        let ga = self.grid();
+        if ga.tile() == other.grid().tile() {
+            let gb = other.grid();
+            Ok(ga.cp_composed(gb, &self.mask, &other.mask, op, roi, range, stats))
+        } else {
+            crate::compose::cp_composed(&self.mask, &other.mask, op, roi, range)
+        }
     }
 
     /// Cache-accounting size: decoded pixels plus the (default-layout) grid
@@ -652,8 +824,172 @@ mod tests {
         assert_eq!(total, mask.num_pixels() as u64);
         for s in grid.summaries() {
             assert!(s.min() <= s.max());
-            let reassembled = TileSummary::from_parts(s.min(), s.max(), *s.cum());
+            assert_eq!(s.uncountable(), 0);
+            let reassembled = TileSummary::from_parts(s.min(), s.max(), s.uncountable(), *s.cum());
             assert_eq!(&reassembled, s);
         }
+    }
+
+    #[test]
+    fn kernel_agrees_with_scan_on_nan_and_inf_pixels() {
+        // A mask whose pixels would all satisfy [0.25, 0.75) from min/max
+        // alone, with NaN / ±∞ / out-of-domain pixels sprinkled in: the
+        // all-in and histogram paths must not count the uncountables.
+        let mut data = vec![0.5f32; 24 * 24];
+        data[0] = f32::NAN;
+        data[30] = f32::INFINITY;
+        data[77] = f32::NEG_INFINITY;
+        data[100] = -0.25;
+        data[200] = 1.5;
+        data[300] = -0.0; // countable: −0.0 ≥ 0.0 holds in IEEE
+        let mask = Mask::from_data_unchecked(24, 24, data).unwrap();
+        for tile in [1, 4, 8, 64] {
+            let grid = TileGrid::build_with(&mask, tile);
+            for roi in [
+                mask.full_roi(),
+                Roi::new(0, 0, 7, 7).unwrap(),
+                Roi::new(3, 5, 20, 24).unwrap(),
+            ] {
+                for range in [
+                    PixelRange::full(),
+                    PixelRange::new(0.25, 0.75).unwrap(), // bin-aligned
+                    PixelRange::new(0.0, 0.5).unwrap(),
+                    PixelRange::new(0.4, 0.6).unwrap(),
+                ] {
+                    let mut stats = TileStats::default();
+                    assert_eq!(
+                        grid.cp(&mask, &roi, &range, &mut stats),
+                        cp(&mask, &roi, &range),
+                        "tile {tile} roi {roi} range {range}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_nan_tiles_classify_all_out() {
+        let mask = Mask::from_data_unchecked(8, 8, vec![f32::NAN; 64]).unwrap();
+        let grid = TileGrid::build_with(&mask, 4);
+        let mut stats = TileStats::default();
+        assert_eq!(
+            grid.cp(&mask, &mask.full_roi(), &PixelRange::full(), &mut stats),
+            0
+        );
+        assert_eq!(stats.tiles_pruned, 4);
+        assert_eq!(stats.tiles_scanned, 0);
+    }
+
+    #[test]
+    fn composed_kernel_matches_reference_scan() {
+        use crate::compose::{cp_composed, MaskOp};
+        let a = blob(90, 70);
+        let b = gradient(90, 70);
+        for op in [MaskOp::Intersect, MaskOp::Union, MaskOp::Diff] {
+            for tile in [5, 16, 64] {
+                let ga = TileGrid::build_with(&a, tile);
+                let gb = TileGrid::build_with(&b, tile);
+                for roi in [
+                    a.full_roi(),
+                    Roi::new(10, 10, 50, 60).unwrap(),
+                    Roi::new(85, 65, 200, 200).unwrap(),
+                    Roi::new(100, 100, 120, 120).unwrap(),
+                ] {
+                    for range in [
+                        PixelRange::full(),
+                        PixelRange::new(0.5, 1.0).unwrap(),
+                        PixelRange::new(0.05, 0.2).unwrap(),
+                    ] {
+                        let mut stats = TileStats::default();
+                        assert_eq!(
+                            ga.cp_composed(&gb, &a, &b, op, &roi, &range, &mut stats),
+                            cp_composed(&a, &b, op, &roi, &range).unwrap(),
+                            "{op} tile {tile} roi {roi} range {range}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn composed_kernel_prunes_agreeing_smooth_masks() {
+        use crate::compose::MaskOp;
+        // Two near-identical smooth blobs: |a − b| is tiny everywhere, so a
+        // selective DIFF range must prune almost every tile from composed
+        // min/max bounds alone.
+        let a = blob(256, 256);
+        let b = Mask::from_fn(256, 256, |x, y| (a.get(x, y) * 0.99).min(0.999));
+        let ta = TiledMask::from_mask(a.clone());
+        let tb = TiledMask::from_mask(b.clone());
+        let range = PixelRange::new(0.5, 1.0).unwrap();
+        let mut stats = TileStats::default();
+        let count = ta
+            .cp_composed_with_stats(&tb, MaskOp::Diff, &a.full_roi(), &range, &mut stats)
+            .unwrap();
+        assert_eq!(
+            count,
+            crate::compose::cp_composed(&a, &b, MaskOp::Diff, &a.full_roi(), &range).unwrap()
+        );
+        assert_eq!(count, 0);
+        assert!(
+            stats.tiles_pruned > stats.tiles_scanned,
+            "expected mostly pruned tiles, got {stats:?}"
+        );
+    }
+
+    #[test]
+    fn composed_kernel_nan_pixels_never_counted() {
+        use crate::compose::{cp_composed, MaskOp};
+        let mut da = vec![0.6f32; 16 * 16];
+        let mut db = vec![0.4f32; 16 * 16];
+        da[5] = f32::NAN;
+        db[9] = f32::NAN;
+        let a = Mask::from_data_unchecked(16, 16, da).unwrap();
+        let b = Mask::from_data_unchecked(16, 16, db).unwrap();
+        let ta = TiledMask::from_mask(a.clone());
+        let tb = TiledMask::from_mask(b.clone());
+        for op in [MaskOp::Intersect, MaskOp::Union, MaskOp::Diff] {
+            for range in [PixelRange::full(), PixelRange::new(0.25, 0.75).unwrap()] {
+                let mut stats = TileStats::default();
+                assert_eq!(
+                    ta.cp_composed_with_stats(&tb, op, &a.full_roi(), &range, &mut stats)
+                        .unwrap(),
+                    cp_composed(&a, &b, op, &a.full_roi(), &range).unwrap(),
+                    "{op} {range}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn composed_kernel_rejects_shape_mismatch_and_survives_tile_mismatch() {
+        use crate::compose::MaskOp;
+        let a = TiledMask::from_mask(gradient(32, 32));
+        let b = TiledMask::from_mask(gradient(16, 16));
+        let mut stats = TileStats::default();
+        assert!(a
+            .cp_composed_with_stats(
+                &b,
+                MaskOp::Union,
+                &Roi::new(0, 0, 32, 32).unwrap(),
+                &PixelRange::full(),
+                &mut stats
+            )
+            .is_err());
+        // Mismatched tile layouts fall back to the reference scan.
+        let c_mask = Arc::new(gradient(32, 32));
+        let seeded = Arc::new(TileGrid::build_with(&c_mask, 8));
+        let c = TiledMask::with_grid(Arc::clone(&c_mask), seeded);
+        let count = a
+            .cp_composed_with_stats(
+                &c,
+                MaskOp::Union,
+                &c_mask.full_roi(),
+                &PixelRange::full(),
+                &mut stats,
+            )
+            .unwrap();
+        assert_eq!(count, 32 * 32);
     }
 }

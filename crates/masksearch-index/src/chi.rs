@@ -147,8 +147,16 @@ impl Chi {
         let bins = config.bins as usize;
         let mut data = vec![0u32; cells_x as usize * cells_y as usize * bins];
 
-        // Pass 1: per-cell plain histograms.
+        // Pass 1: per-cell plain histograms. Pixels outside the countable
+        // [0, 1) domain (NaN, ±∞, out of range — reachable only through the
+        // unchecked constructor, e.g. on hostile blobs) are skipped: no
+        // `PixelRange` can ever count them, and binning a NaN (which casts
+        // to bin 0) would inflate lower bounds above the exact count,
+        // breaking filter-stage soundness.
         for (x, y, v) in mask.iter_pixels() {
+            if !(0.0..1.0).contains(&v) {
+                continue;
+            }
             let cx = (x / config.cell_width) as usize;
             let cy = (y / config.cell_height) as usize;
             let bin = config.bin_of(v) as usize;

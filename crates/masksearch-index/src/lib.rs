@@ -20,6 +20,9 @@
 //!   additive region-combination rule (paper Eq. 2).
 //! * [`bounds`] — upper/lower bounds on `CP` (paper Eqs. 3–4 plus the
 //!   symmetric lower-bound construction).
+//! * [`compose`] — bound algebra for multi-mask queries: sound `CP` bounds
+//!   over a pixelwise composition (`min`/`max`/`|a−b|`) of two masks,
+//!   derived from the two per-mask CHIs without loading either mask.
 //! * [`store`] — an in-memory collection of CHIs with binary persistence and
 //!   incremental insertion (paper §3.6).
 //! * [`builder`] — parallel bulk index construction.
@@ -45,11 +48,13 @@
 pub mod bounds;
 pub mod builder;
 pub mod chi;
+pub mod compose;
 pub mod store;
 pub mod tiles;
 
 pub use bounds::CpBounds;
 pub use builder::{build_chi_store, BuildOptions};
 pub use chi::{Chi, ChiConfig};
+pub use compose::composed_cp_bounds;
 pub use store::ChiStore;
 pub use tiles::TileStore;

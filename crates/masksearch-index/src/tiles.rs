@@ -19,7 +19,14 @@ use std::sync::Arc;
 /// Magic bytes identifying a tile-summary file.
 pub const TILE_MAGIC: [u8; 4] = *b"MSKT";
 /// Tile-summary file format version.
-pub const TILE_FORMAT_VERSION: u16 = 1;
+///
+/// History: v1 — min/max + cumulative histogram per tile; v2 — adds the
+/// per-tile uncountable-pixel count (NaN / out-of-domain), needed so a
+/// reopened database never serves a summary that would let the kernel
+/// classify a NaN-bearing tile all-in. v1 files (written only from
+/// validated masks, whose uncountable counts are all zero) load as v2 with
+/// zero counts.
+pub const TILE_FORMAT_VERSION: u16 = 2;
 
 /// A thread-safe collection of per-mask tile grids sharing one tile size.
 #[derive(Debug)]
@@ -112,6 +119,7 @@ impl TileStore {
             for summary in grid.summaries() {
                 w.write_f32(summary.min());
                 w.write_f32(summary.max());
+                w.write_u32(summary.uncountable());
                 for &c in summary.cum() {
                     w.write_u32(c);
                 }
@@ -161,9 +169,13 @@ impl TileStore {
                 // allocating: a corrupt width/height must surface as a typed
                 // error (so callers can discard and rebuild the file), never
                 // as a capacity-overflow panic or an OOM abort.
-                const SUMMARY_BYTES: usize = 8 + 4 * (TILE_BINS + 1);
+                let summary_bytes: usize = if version >= 2 {
+                    8 + 4 + 4 * (TILE_BINS + 1)
+                } else {
+                    8 + 4 * (TILE_BINS + 1)
+                };
                 if tiles
-                    .checked_mul(SUMMARY_BYTES)
+                    .checked_mul(summary_bytes)
                     .is_none_or(|needed| needed > r.remaining())
                 {
                     return Err(StorageError::corrupt(format!(
@@ -174,11 +186,15 @@ impl TileStore {
                 for _ in 0..tiles {
                     let min = r.read_f32()?;
                     let max = r.read_f32()?;
+                    // v1 files predate the uncountable-pixel counter; they
+                    // were only ever written from validated masks, so zero
+                    // is the true count.
+                    let uncountable = if version >= 2 { r.read_u32()? } else { 0 };
                     let mut cum = [0u32; TILE_BINS + 1];
                     for slot in cum.iter_mut() {
                         *slot = r.read_u32()?;
                     }
-                    summaries.push(TileSummary::from_parts(min, max, cum));
+                    summaries.push(TileSummary::from_parts(min, max, uncountable, cum));
                 }
                 let grid =
                     TileGrid::from_parts(width, height, tile, summaries).ok_or_else(|| {

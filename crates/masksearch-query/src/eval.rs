@@ -4,9 +4,11 @@
 use crate::error::{QueryError, QueryResult};
 use crate::expr::{Expr, Interval};
 use crate::predicate::{Predicate, Truth};
-use crate::spec::CpTerm;
-use masksearch_core::{cp, cp_many, Mask, MaskRecord, PixelRange, Roi, TileStats, TiledMask};
-use masksearch_index::Chi;
+use crate::spec::{CpTerm, TermSource};
+use masksearch_core::{
+    cp, cp_composed, cp_many, Mask, MaskRecord, PixelRange, Roi, TileStats, TiledMask,
+};
+use masksearch_index::{composed_cp_bounds, Chi};
 
 /// Options controlling exact (verification-stage) evaluation.
 #[derive(Debug, Clone, Copy)]
@@ -51,6 +53,19 @@ pub fn resolve_roi(
     }
 }
 
+/// Rejects a pair-sourced term reaching a single-mask evaluation path: the
+/// candidate binds only one mask, so silently counting it where the query
+/// asked for `a.mask`/`b.mask`/a composition would be a wrong answer, not a
+/// degraded one.
+fn reject_pair_in_single(term: &CpTerm) -> QueryResult<()> {
+    if term.source.is_pair() {
+        return Err(QueryError::invalid(
+            "CP terms over a.mask / b.mask or a mask composition require a pair (join) query",
+        ));
+    }
+    Ok(())
+}
+
 /// Exact value of one term on a loaded mask.
 pub fn term_exact(
     term: &CpTerm,
@@ -58,6 +73,7 @@ pub fn term_exact(
     mask: &Mask,
     object_box_fallback: bool,
 ) -> QueryResult<f64> {
+    reject_pair_in_single(term)?;
     let roi = resolve_roi(term, record, object_box_fallback)?;
     Ok(cp(mask, &roi, &term.range) as f64)
 }
@@ -75,6 +91,7 @@ fn terms_exact_tiled(
     let resolved: Vec<(Roi, PixelRange)> = terms
         .iter()
         .map(|term| {
+            reject_pair_in_single(term)?;
             Ok((
                 resolve_roi(term, record, opts.object_box_fallback)?,
                 term.range,
@@ -97,6 +114,7 @@ pub fn term_exact_tiled(
     opts: &VerifyOptions,
     tiles: &mut TileStats,
 ) -> QueryResult<f64> {
+    reject_pair_in_single(term)?;
     let roi = resolve_roi(term, record, opts.object_box_fallback)?;
     let count = if opts.use_tiled_kernel {
         tiled.cp_with_stats(&roi, &term.range, tiles)
@@ -153,6 +171,7 @@ pub fn term_bounds(
     chi: &Chi,
     object_box_fallback: bool,
 ) -> QueryResult<Interval> {
+    reject_pair_in_single(term)?;
     let roi = resolve_roi(term, record, object_box_fallback)?;
     let b = chi.cp_bounds(&roi, &term.range);
     Ok(Interval::new(b.lower as f64, b.upper as f64))
@@ -212,6 +231,230 @@ pub fn predicate_bounds(
         intervals.push(expr_bounds(&cmp.expr, record, chi, object_box_fallback)?);
     }
     Ok(predicate.eval_bounds(&intervals))
+}
+
+// ---------------------------------------------------------------------------
+// Pair (multi-mask) evaluation: two masks of the same image bound per
+// candidate, terms referencing either side or their pixelwise composition.
+// ---------------------------------------------------------------------------
+
+/// One pair candidate's catalog records: the left and right binding.
+#[derive(Debug, Clone, Copy)]
+pub struct PairRecords<'a> {
+    /// Record of the left-bound mask.
+    pub left: &'a MaskRecord,
+    /// Record of the right-bound mask.
+    pub right: &'a MaskRecord,
+}
+
+impl PairRecords<'_> {
+    /// Resolves a pair term's ROI against the record of the mask it counts
+    /// over (composed terms resolve against the left record; the executors
+    /// enforce equal shapes before any pixels are counted).
+    fn resolve(&self, term: &CpTerm, object_box_fallback: bool) -> QueryResult<Roi> {
+        let record = match term.source {
+            TermSource::Right => self.right,
+            _ => self.left,
+        };
+        resolve_roi(term, record, object_box_fallback)
+    }
+}
+
+fn reject_own_term() -> QueryError {
+    QueryError::invalid(
+        "pair queries require every CP term to name a.mask, b.mask, or a composition",
+    )
+}
+
+/// Checks that the two bound masks can be composed; pair executors call
+/// this once per candidate before any composed term touches pixels.
+pub fn check_pair_shapes(records: &PairRecords<'_>, left: &Mask, right: &Mask) -> QueryResult<()> {
+    if left.shape() != right.shape() {
+        return Err(QueryError::invalid(format!(
+            "pair masks {} and {} of image {} have different shapes {}x{} vs {}x{}",
+            records.left.mask_id,
+            records.right.mask_id,
+            records.left.image_id,
+            left.width(),
+            left.height(),
+            right.width(),
+            right.height(),
+        )));
+    }
+    Ok(())
+}
+
+/// Catalog-record-level shape precheck for composed terms. The filter stage
+/// runs this for every candidate of a query that composes masks, so a
+/// mismatched pair fails identically in every indexing mode — a decisive
+/// CHI bound must not mask (in eager mode) an error that incremental or
+/// disabled mode would surface at verification.
+pub fn check_pair_record_shapes(records: &PairRecords<'_>) -> QueryResult<()> {
+    let (l, r) = (records.left, records.right);
+    if (l.width, l.height) != (r.width, r.height) {
+        return Err(QueryError::invalid(format!(
+            "pair masks {} and {} of image {} have different shapes {}x{} vs {}x{}",
+            l.mask_id, r.mask_id, l.image_id, l.width, l.height, r.width, r.height,
+        )));
+    }
+    Ok(())
+}
+
+/// Returns `true` if the expression composes the pair's two masks (as
+/// opposed to referencing only one side), which is what requires equal
+/// shapes.
+pub fn expr_composes(expr: &Expr) -> bool {
+    expr.terms()
+        .iter()
+        .any(|t| matches!(t.source, TermSource::Compose(_)))
+}
+
+/// Returns `true` if any comparison of the predicate composes the pair.
+pub fn predicate_composes(predicate: &Predicate) -> bool {
+    predicate
+        .comparisons()
+        .iter()
+        .any(|c| expr_composes(&c.expr))
+}
+
+/// Bounds on one pair term from the two masks' CHIs.
+pub fn pair_term_bounds(
+    term: &CpTerm,
+    records: &PairRecords<'_>,
+    chi_left: &Chi,
+    chi_right: &Chi,
+    object_box_fallback: bool,
+) -> QueryResult<Interval> {
+    let roi = records.resolve(term, object_box_fallback)?;
+    let b = match term.source {
+        TermSource::Own => return Err(reject_own_term()),
+        TermSource::Left => chi_left.cp_bounds(&roi, &term.range),
+        TermSource::Right => chi_right.cp_bounds(&roi, &term.range),
+        TermSource::Compose(op) => composed_cp_bounds(chi_left, chi_right, op, &roi, &term.range),
+    };
+    Ok(Interval::new(b.lower as f64, b.upper as f64))
+}
+
+/// Bounds on an expression over pair terms from the two masks' CHIs.
+pub fn pair_expr_bounds(
+    expr: &Expr,
+    records: &PairRecords<'_>,
+    chi_left: &Chi,
+    chi_right: &Chi,
+    object_box_fallback: bool,
+) -> QueryResult<Interval> {
+    let mut intervals = Vec::new();
+    for term in expr.terms() {
+        intervals.push(pair_term_bounds(
+            term,
+            records,
+            chi_left,
+            chi_right,
+            object_box_fallback,
+        )?);
+    }
+    Ok(expr.evaluate_bounds(&intervals))
+}
+
+/// Three-valued truth of a pair predicate from the two masks' CHIs.
+pub fn pair_predicate_bounds(
+    predicate: &Predicate,
+    records: &PairRecords<'_>,
+    chi_left: &Chi,
+    chi_right: &Chi,
+    object_box_fallback: bool,
+) -> QueryResult<Truth> {
+    let mut intervals = Vec::new();
+    for cmp in predicate.comparisons() {
+        intervals.push(pair_expr_bounds(
+            &cmp.expr,
+            records,
+            chi_left,
+            chi_right,
+            object_box_fallback,
+        )?);
+    }
+    Ok(predicate.eval_bounds(&intervals))
+}
+
+/// Exact values of a batch of pair terms on the two loaded tiled masks,
+/// routing through the (composed) tile kernel or the reference scans.
+fn pair_terms_exact_tiled(
+    terms: &[&CpTerm],
+    records: &PairRecords<'_>,
+    left: &TiledMask,
+    right: &TiledMask,
+    opts: &VerifyOptions,
+    tiles: &mut TileStats,
+) -> QueryResult<Vec<f64>> {
+    // Equal shapes are required only to *compose*; side-only terms
+    // (CP(a.mask, …) / CP(b.mask, …)) are fine on differently-shaped pairs.
+    if terms
+        .iter()
+        .any(|t| matches!(t.source, TermSource::Compose(_)))
+    {
+        check_pair_shapes(records, left.mask(), right.mask())?;
+    }
+    let mut values = Vec::with_capacity(terms.len());
+    for term in terms {
+        let roi = records.resolve(term, opts.object_box_fallback)?;
+        let count = match term.source {
+            TermSource::Own => return Err(reject_own_term()),
+            TermSource::Left | TermSource::Right => {
+                let side = if term.source == TermSource::Left {
+                    left
+                } else {
+                    right
+                };
+                if opts.use_tiled_kernel {
+                    side.cp_with_stats(&roi, &term.range, tiles)
+                } else {
+                    cp(side.mask(), &roi, &term.range)
+                }
+            }
+            TermSource::Compose(op) => {
+                if opts.use_tiled_kernel {
+                    left.cp_composed_with_stats(right, op, &roi, &term.range, tiles)?
+                } else {
+                    cp_composed(left.mask(), right.mask(), op, &roi, &term.range)?
+                }
+            }
+        };
+        values.push(count as f64);
+    }
+    Ok(values)
+}
+
+/// Exact value of an expression over pair terms on the two loaded masks.
+pub fn pair_expr_exact_tiled(
+    expr: &Expr,
+    records: &PairRecords<'_>,
+    left: &TiledMask,
+    right: &TiledMask,
+    opts: &VerifyOptions,
+    tiles: &mut TileStats,
+) -> QueryResult<f64> {
+    let values = pair_terms_exact_tiled(&expr.terms(), records, left, right, opts, tiles)?;
+    Ok(expr.evaluate_exact(&values))
+}
+
+/// Exact truth of a pair predicate on the two loaded masks.
+pub fn pair_predicate_exact_tiled(
+    predicate: &Predicate,
+    records: &PairRecords<'_>,
+    left: &TiledMask,
+    right: &TiledMask,
+    opts: &VerifyOptions,
+    tiles: &mut TileStats,
+) -> QueryResult<bool> {
+    let comparisons = predicate.comparisons();
+    let mut values = Vec::with_capacity(comparisons.len());
+    for cmp in &comparisons {
+        values.push(pair_expr_exact_tiled(
+            &cmp.expr, records, left, right, opts, tiles,
+        )?);
+    }
+    Ok(predicate.eval_exact(&values))
 }
 
 #[cfg(test)]
@@ -300,6 +543,7 @@ mod tests {
         let rec = record(false);
         let chi = Chi::build(&m, &ChiConfig::new(8, 8, 16).unwrap());
         let term = CpTerm {
+            source: TermSource::Own,
             roi: RoiSpec::ObjectBox,
             range: PixelRange::full(),
         };

@@ -9,7 +9,7 @@
 
 use crate::error::QueryResult;
 use crate::eval;
-use crate::exec::{apply_io_delta, elapsed, sort_ranked};
+use crate::exec::{apply_io_delta, elapsed, sort_ranked, worst_index, worst_value};
 use crate::expr::{Expr, Interval};
 use crate::predicate::{CmpOp, Comparison, Truth};
 use crate::result::{QueryOutput, QueryStats, ResultRow};
@@ -110,7 +110,7 @@ pub fn execute(
         if let Some(bounds) = &group_bounds {
             if let Some(order) = order {
                 if top.len() == k && k > 0 {
-                    let threshold = worst(&top, order);
+                    let threshold = worst_value(&top, order);
                     let cannot_enter = match order {
                         Order::Desc => bounds.hi <= threshold,
                         Order::Asc => bounds.lo >= threshold,
@@ -165,7 +165,7 @@ pub fn execute(
             if top.len() < k {
                 top.push((value, *image_id));
             } else {
-                let threshold = worst(&top, order);
+                let threshold = worst_value(&top, order);
                 if order.better(value, threshold) {
                     let idx = worst_index(&top, order);
                     top[idx] = (value, *image_id);
@@ -217,33 +217,6 @@ pub fn execute(
     apply_io_delta(&mut stats, &io_delta);
 
     Ok(QueryOutput { rows, stats })
-}
-
-fn worst(top: &[(f64, ImageId)], order: Order) -> f64 {
-    match order {
-        Order::Desc => top.iter().map(|(v, _)| *v).fold(f64::INFINITY, f64::min),
-        Order::Asc => top
-            .iter()
-            .map(|(v, _)| *v)
-            .fold(f64::NEG_INFINITY, f64::max),
-    }
-}
-
-fn worst_index(top: &[(f64, ImageId)], order: Order) -> usize {
-    // Tie-break towards evicting the largest image id so results are
-    // deterministic and match the brute-force reference ordering.
-    let mut idx = 0;
-    for (i, (v, id)) in top.iter().enumerate() {
-        let worse = match order {
-            Order::Desc => *v < top[idx].0,
-            Order::Asc => *v > top[idx].0,
-        };
-        let tied_but_larger_id = *v == top[idx].0 && *id > top[idx].1;
-        if worse || tied_but_larger_id {
-            idx = i;
-        }
-    }
-    idx
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@
 //! mode, the aggregated mask's CHI is built and retained as a side effect).
 
 use crate::error::QueryResult;
-use crate::exec::{apply_io_delta, elapsed, sort_ranked};
+use crate::exec::{apply_io_delta, elapsed, sort_ranked, worst_index, worst_value};
 use crate::expr::Interval;
 use crate::predicate::{CmpOp, Comparison, Truth};
 use crate::query::Selection;
@@ -73,7 +73,7 @@ pub fn execute(
         if let Some(bounds) = &group_bounds {
             if let Some(order) = order {
                 if top.len() == k && k > 0 {
-                    let threshold = worst(&top, order);
+                    let threshold = worst_value(&top, order);
                     let cannot_enter = match order {
                         Order::Desc => bounds.hi <= threshold,
                         Order::Asc => bounds.lo >= threshold,
@@ -139,7 +139,7 @@ pub fn execute(
             if top.len() < k {
                 top.push((value, *image_id));
             } else {
-                let threshold = worst(&top, order);
+                let threshold = worst_value(&top, order);
                 if order.better(value, threshold) {
                     let idx = worst_index(&top, order);
                     top[idx] = (value, *image_id);
@@ -200,33 +200,6 @@ fn group_roi(session: &Session, term: &CpTerm, member_ids: &[MaskId]) -> QueryRe
         RoiSpec::Constant(roi) => Ok(roi),
         RoiSpec::FullMask | RoiSpec::ObjectBox => crate::eval::resolve_roi(term, &record, fallback),
     }
-}
-
-fn worst(top: &[(f64, ImageId)], order: Order) -> f64 {
-    match order {
-        Order::Desc => top.iter().map(|(v, _)| *v).fold(f64::INFINITY, f64::min),
-        Order::Asc => top
-            .iter()
-            .map(|(v, _)| *v)
-            .fold(f64::NEG_INFINITY, f64::max),
-    }
-}
-
-fn worst_index(top: &[(f64, ImageId)], order: Order) -> usize {
-    // Tie-break towards evicting the largest image id so results are
-    // deterministic and match the brute-force reference ordering.
-    let mut idx = 0;
-    for (i, (v, id)) in top.iter().enumerate() {
-        let worse = match order {
-            Order::Desc => *v < top[idx].0,
-            Order::Asc => *v > top[idx].0,
-        };
-        let tied_but_larger_id = *v == top[idx].0 && *id > top[idx].1;
-        if worse || tied_but_larger_id {
-            idx = i;
-        }
-    }
-    idx
 }
 
 /// Brute-force reference used by tests and the baseline engines: aggregate

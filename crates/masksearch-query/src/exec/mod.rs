@@ -11,6 +11,7 @@
 pub mod aggregate;
 pub mod filter;
 pub mod mask_agg;
+pub mod pair;
 pub mod topk;
 
 use crate::result::QueryStats;
@@ -56,6 +57,37 @@ pub(crate) fn sort_ranked<K: Ord + Copy>(
 /// Duration since a start instant, saturating at zero.
 pub(crate) fn elapsed(start: std::time::Instant) -> Duration {
     start.elapsed()
+}
+
+/// The worst (k-th) value currently held in a ranked top-k buffer.
+pub(crate) fn worst_value<K>(top: &[(f64, K)], order: crate::spec::Order) -> f64 {
+    match order {
+        crate::spec::Order::Desc => top.iter().map(|(v, _)| *v).fold(f64::INFINITY, f64::min),
+        crate::spec::Order::Asc => top
+            .iter()
+            .map(|(v, _)| *v)
+            .fold(f64::NEG_INFINITY, f64::max),
+    }
+}
+
+/// Index of the top-k entry to evict: the worst value, breaking ties
+/// towards the **largest** key so the final result tie-breaks
+/// deterministically towards smaller keys — the rule the brute-force
+/// reference ordering and the cluster merge's exactness both depend on.
+/// Shared by every ranked executor so the rule lives in one place.
+pub(crate) fn worst_index<K: Ord + Copy>(top: &[(f64, K)], order: crate::spec::Order) -> usize {
+    let mut idx = 0;
+    for (i, (v, key)) in top.iter().enumerate() {
+        let worse = match order {
+            crate::spec::Order::Desc => *v < top[idx].0,
+            crate::spec::Order::Asc => *v > top[idx].0,
+        };
+        let tied_but_larger_key = *v == top[idx].0 && *key > top[idx].1;
+        if worse || tied_but_larger_key {
+            idx = i;
+        }
+    }
+    idx
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 
 use crate::error::QueryResult;
 use crate::eval;
-use crate::exec::{apply_io_delta, elapsed, sort_ranked};
+use crate::exec::{apply_io_delta, elapsed, sort_ranked, worst_index, worst_value};
 use crate::expr::Expr;
 use crate::result::{QueryOutput, QueryStats, ResultRow};
 use crate::session::Session;
@@ -130,34 +130,6 @@ pub fn execute(
             .collect(),
         stats,
     })
-}
-
-fn worst_value(top: &[(f64, MaskId)], order: Order) -> f64 {
-    match order {
-        Order::Desc => top.iter().map(|(v, _)| *v).fold(f64::INFINITY, f64::min),
-        Order::Asc => top
-            .iter()
-            .map(|(v, _)| *v)
-            .fold(f64::NEG_INFINITY, f64::max),
-    }
-}
-
-fn worst_index(top: &[(f64, MaskId)], order: Order) -> usize {
-    // Among entries tied for the worst value, evict the one with the largest
-    // mask id so the final result tie-breaks deterministically towards
-    // smaller ids (matching the brute-force reference ordering).
-    let mut idx = 0;
-    for (i, (v, id)) in top.iter().enumerate() {
-        let worse = match order {
-            Order::Desc => *v < top[idx].0,
-            Order::Asc => *v > top[idx].0,
-        };
-        let tied_but_larger_id = *v == top[idx].0 && *id > top[idx].1;
-        if worse || tied_but_larger_id {
-            idx = i;
-        }
-    }
-    idx
 }
 
 #[cfg(test)]

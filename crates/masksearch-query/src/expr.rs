@@ -14,8 +14,8 @@
 //!   stage) — standard interval arithmetic, so the resulting interval is
 //!   guaranteed to contain the exact value.
 
-use crate::spec::CpTerm;
-use masksearch_core::{PixelRange, Roi};
+use crate::spec::{CpTerm, RoiSpec, TermSource};
+use masksearch_core::{MaskOp, PixelRange, Roi};
 use std::fmt;
 
 /// A closed interval `[lo, hi]` used for bound propagation.
@@ -134,6 +134,38 @@ impl Expr {
     /// Convenience constructor: a single `CP` term over the full mask.
     pub fn cp_full(range: PixelRange) -> Self {
         Expr::Cp(CpTerm::full_mask(range))
+    }
+
+    /// Convenience constructor: a `CP` term over the pixelwise composition
+    /// of a pair's masks (pair queries only).
+    pub fn cp_composed(op: MaskOp, roi: RoiSpec, range: PixelRange) -> Self {
+        Expr::Cp(CpTerm::composed(op, roi, range))
+    }
+
+    /// Convenience constructor: a `CP` term over one side of a pair.
+    pub fn cp_side(source: TermSource, roi: RoiSpec, range: PixelRange) -> Self {
+        Expr::Cp(CpTerm { source, roi, range })
+    }
+
+    /// The `IOU(a.mask, b.mask, roi, θ)` metric of a pair: the masks are
+    /// binarised at the range's lower bound (`range` is `[θ, 1)`), and the
+    /// metric is `CP∩ / CP∪` — which lowers to a plain ratio expression, so
+    /// the whole filter/top-k bound machinery (interval division included)
+    /// applies unchanged. Two empty binarisations yield `0 / 0 = NaN`,
+    /// which never satisfies a comparison and ranks last under either
+    /// order.
+    pub fn iou(roi: RoiSpec, range: PixelRange) -> Self {
+        Expr::cp_composed(MaskOp::Intersect, roi, range).div(Expr::cp_composed(
+            MaskOp::Union,
+            roi,
+            range,
+        ))
+    }
+
+    /// Returns `true` if any `CP` term binds a pair (left/right/composed)
+    /// rather than the candidate's own mask.
+    pub fn uses_pair_terms(&self) -> bool {
+        self.terms().iter().any(|t| t.source.is_pair())
     }
 
     /// `self + other`.

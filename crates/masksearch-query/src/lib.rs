@@ -69,7 +69,7 @@ pub use expr::{Expr, Interval};
 pub use merge::RankedPartial;
 pub use mutation::{Mutation, MutationOutcome};
 pub use predicate::{CmpOp, Comparison, Predicate, Truth};
-pub use query::{Query, QueryKind, Selection};
+pub use query::{MaskJoin, Query, QueryKind, Selection};
 pub use result::{QueryOutput, QueryStats, ResultRow, RowKey};
 pub use session::{IndexingMode, Session, SessionConfig};
-pub use spec::{CpTerm, Order, RoiSpec, ScalarAgg};
+pub use spec::{CpTerm, Order, RoiSpec, ScalarAgg, TermSource};

@@ -54,6 +54,7 @@ pub fn merge_stats<'a>(partials: impl IntoIterator<Item = &'a QueryStats>) -> Qu
         merged.tiles_pruned += s.tiles_pruned;
         merged.tiles_hist += s.tiles_hist;
         merged.tiles_scanned += s.tiles_scanned;
+        merged.pairs_bound += s.pairs_bound;
         merged.filter_wall += s.filter_wall;
         merged.verify_wall += s.verify_wall;
         merged.total_wall += s.total_wall;

@@ -94,6 +94,30 @@ impl Selection {
     }
 }
 
+/// The two per-image mask bindings of a multi-mask (pair) query.
+///
+/// A pair query joins the mask relation with itself on `image_id`: for every
+/// image, the **left** binding is the image's smallest-id mask matching
+/// `left`, the **right** binding its smallest-id mask matching `right`, and
+/// the image is a candidate only when *both* sides bind. Because the binding
+/// decision depends only on the image's own masks — which a cluster's shard
+/// map co-locates by hashing the image id — pair queries merge exactly
+/// across shards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaskJoin {
+    /// Selection of the left mask within each image.
+    pub left: Selection,
+    /// Selection of the right mask within each image.
+    pub right: Selection,
+}
+
+impl MaskJoin {
+    /// A join binding each image's left/right mask by the two selections.
+    pub fn new(left: Selection, right: Selection) -> Self {
+        Self { left, right }
+    }
+}
+
 /// The shape of the non-relational part of a query.
 #[derive(Debug, Clone, PartialEq)]
 pub enum QueryKind {
@@ -136,6 +160,30 @@ pub enum QueryKind {
         having: Option<(CmpOp, f64)>,
         /// Optional top-k over the `CP` value.
         top_k: Option<(usize, Order)>,
+    },
+    /// Self-join on `image_id` binding two masks per image, filtered by a
+    /// predicate whose `CP` terms may reference either mask or their
+    /// pixelwise composition (the multi-mask workload of the demonstration
+    /// paper: saliency-vs-object comparison, old-vs-new model audits).
+    /// Returns one image-keyed row per qualifying image.
+    PairFilter {
+        /// The two per-image mask bindings.
+        join: MaskJoin,
+        /// Predicate over pair `CP` terms.
+        predicate: Predicate,
+    },
+    /// Self-join on `image_id` binding two masks per image, ranked by an
+    /// expression over pair `CP` terms (e.g. `IOU` ascending: the images
+    /// where two models disagree most).
+    PairTopK {
+        /// The two per-image mask bindings.
+        join: MaskJoin,
+        /// Ranking expression over pair `CP` terms.
+        expr: Expr,
+        /// Number of images to return.
+        k: usize,
+        /// Ranking order.
+        order: Order,
     },
 }
 
@@ -239,11 +287,35 @@ impl Query {
         self
     }
 
+    /// A pair-filter query joining each image's two bound masks.
+    pub fn pair_filter(join: MaskJoin, predicate: Predicate) -> Self {
+        Self {
+            selection: Selection::all(),
+            kind: QueryKind::PairFilter { join, predicate },
+        }
+    }
+
+    /// A pair top-k query ranked by an expression over pair terms.
+    pub fn pair_top_k(join: MaskJoin, expr: Expr, k: usize, order: Order) -> Self {
+        Self {
+            selection: Selection::all(),
+            kind: QueryKind::PairTopK {
+                join,
+                expr,
+                k,
+                order,
+            },
+        }
+    }
+
     /// Returns `true` if the query produces image-keyed (grouped) rows.
     pub fn is_grouped(&self) -> bool {
         matches!(
             self.kind,
-            QueryKind::Aggregate { .. } | QueryKind::MaskAggregate { .. }
+            QueryKind::Aggregate { .. }
+                | QueryKind::MaskAggregate { .. }
+                | QueryKind::PairFilter { .. }
+                | QueryKind::PairTopK { .. }
         )
     }
 
@@ -261,6 +333,13 @@ impl Query {
             QueryKind::TopK { expr, .. } => expr.terms().iter().map(|t| t.roi).collect(),
             QueryKind::Aggregate { expr, .. } => expr.terms().iter().map(|t| t.roi).collect(),
             QueryKind::MaskAggregate { term, .. } => vec![term.roi],
+            QueryKind::PairFilter { predicate, .. } => predicate
+                .comparisons()
+                .iter()
+                .flat_map(|c| c.expr.terms())
+                .map(|t| t.roi)
+                .collect(),
+            QueryKind::PairTopK { expr, .. } => expr.terms().iter().map(|t| t.roi).collect(),
         }
     }
 }

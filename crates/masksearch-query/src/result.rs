@@ -69,6 +69,9 @@ pub struct QueryStats {
     pub tiles_hist: u64,
     /// Verification-kernel tiles that fell back to a pixel scan.
     pub tiles_scanned: u64,
+    /// Pair (multi-mask) queries: images where both mask bindings resolved
+    /// and the pair entered the candidate set.
+    pub pairs_bound: u64,
     /// Wall-clock time spent in the filter stage.
     pub filter_wall: Duration,
     /// Wall-clock time spent in the verification stage (including index

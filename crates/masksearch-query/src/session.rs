@@ -23,7 +23,7 @@ use crate::eval;
 use crate::exec;
 use crate::merge;
 use crate::mutation::{Mutation, MutationOutcome};
-use crate::query::{Query, QueryKind, Selection};
+use crate::query::{MaskJoin, Query, QueryKind, Selection};
 use crate::result::QueryOutput;
 use masksearch_core::{ImageId, Mask, MaskAgg, MaskId, MaskRecord, TiledMask};
 use masksearch_index::{build_chi_store, BuildOptions, Chi, ChiConfig, ChiStore};
@@ -474,6 +474,38 @@ impl Session {
         self.catalog.read().group_by_image(mask_ids)
     }
 
+    /// Resolves a pair query's candidates: for each image, the smallest mask
+    /// id matching `selection ∧ join.left` and the smallest matching
+    /// `selection ∧ join.right`; images where either side fails to bind are
+    /// skipped. Ascending by image id, under one catalog read guard (the
+    /// candidate set reflects whole write batches only).
+    pub fn resolve_pairs(
+        &self,
+        selection: &Selection,
+        join: &MaskJoin,
+    ) -> Vec<(ImageId, MaskId, MaskId)> {
+        let catalog = self.catalog.read();
+        let mut left: std::collections::BTreeMap<ImageId, MaskId> =
+            std::collections::BTreeMap::new();
+        let mut right: std::collections::BTreeMap<ImageId, MaskId> =
+            std::collections::BTreeMap::new();
+        // `Catalog::filter` returns ascending mask ids, so the first id seen
+        // per image is the smallest — the deterministic binding rule.
+        for id in catalog.filter(|r| selection.matches(r) && join.left.matches(r)) {
+            if let Some(r) = catalog.get(id) {
+                left.entry(r.image_id).or_insert(id);
+            }
+        }
+        for id in catalog.filter(|r| selection.matches(r) && join.right.matches(r)) {
+            if let Some(r) = catalog.get(id) {
+                right.entry(r.image_id).or_insert(id);
+            }
+        }
+        left.into_iter()
+            .filter_map(|(image, l)| right.get(&image).map(|&r| (image, l, r)))
+            .collect()
+    }
+
     /// Signature string identifying an aggregated-mask index: the aggregation
     /// function plus the selection whose groups it was built over.
     pub(crate) fn aggregate_signature(agg: &MaskAgg, selection: &Selection) -> String {
@@ -526,6 +558,14 @@ impl Session {
 
     /// Executes a query, dispatching on its kind.
     pub fn execute(&self, query: &Query) -> QueryResult<QueryOutput> {
+        // Pair queries resolve their own image-keyed candidate set; don't
+        // pay a full catalog scan for a mask-id list they never read.
+        if matches!(
+            query.kind,
+            QueryKind::PairFilter { .. } | QueryKind::PairTopK { .. }
+        ) {
+            return self.execute_resolved(query, &[]);
+        }
         let candidates = self.resolve_selection(&query.selection);
         self.execute_resolved(query, &candidates)
     }
@@ -562,7 +602,8 @@ impl Session {
             | QueryKind::MaskAggregate {
                 top_k: Some((k, _)),
                 ..
-            } => {
+            }
+            | QueryKind::PairTopK { k, .. } => {
                 if let Some(n) = k_override {
                     *k = n;
                 }
@@ -570,6 +611,33 @@ impl Session {
             }
             _ => false,
         };
+        // Pair top-k resolves its own (image-keyed) candidate set; resolve
+        // once and count from the same snapshot the executor uses.
+        if let QueryKind::PairTopK {
+            join,
+            expr,
+            k,
+            order,
+        } = &query.kind
+        {
+            let pairs = self.resolve_pairs(&query.selection, join);
+            let total = pairs.len();
+            let output = exec::pair::execute_topk(self, &pairs, expr, *k, *order)?;
+            let bound = if output.rows.len() < total {
+                output.rows.last().and_then(|r| r.value)
+            } else {
+                None
+            };
+            return Ok(merge::RankedPartial { output, bound });
+        }
+        if matches!(query.kind, QueryKind::PairFilter { .. }) {
+            // Non-ranked pair statement: no bound, and no mask-id
+            // candidate scan either (see `execute`).
+            return Ok(merge::RankedPartial {
+                output: self.execute_resolved(&query, &[])?,
+                bound: None,
+            });
+        }
         let candidates = self.resolve_selection(&query.selection);
         if !ranked {
             return Ok(merge::RankedPartial {
@@ -620,6 +688,22 @@ impl Session {
                 *having,
                 *top_k,
             ),
+            // Pair queries resolve their own image-keyed candidate set from
+            // the join's two selections (the mask-id candidates do not
+            // apply).
+            QueryKind::PairFilter { join, predicate } => {
+                let pairs = self.resolve_pairs(&query.selection, join);
+                exec::pair::execute_filter(self, &pairs, predicate)
+            }
+            QueryKind::PairTopK {
+                join,
+                expr,
+                k,
+                order,
+            } => {
+                let pairs = self.resolve_pairs(&query.selection, join);
+                exec::pair::execute_topk(self, &pairs, expr, *k, *order)
+            }
         }
     }
 }

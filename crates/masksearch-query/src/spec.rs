@@ -1,7 +1,7 @@
 //! Query building blocks: ROI specifications, `CP` terms, scalar aggregates,
 //! and result orderings.
 
-use masksearch_core::{MaskRecord, PixelRange, Roi};
+use masksearch_core::{MaskOp, MaskRecord, PixelRange, Roi};
 
 /// How the region of interest of a `CP` term is determined for each mask.
 ///
@@ -46,9 +46,38 @@ impl RoiSpec {
     }
 }
 
+/// Which mask of a candidate a `CP` term counts over.
+///
+/// Every classic (single-mask) query uses [`TermSource::Own`]. Pair-joined
+/// queries (`masksearch-query`'s `PairFilter` / `PairTopK` shapes) bind
+/// **two** masks of the same image per candidate and may count over either
+/// one or over their pixelwise composition ([`MaskOp`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TermSource {
+    /// The candidate's own (single) mask.
+    #[default]
+    Own,
+    /// The left mask of a pair-joined candidate image.
+    Left,
+    /// The right mask of a pair-joined candidate image.
+    Right,
+    /// The pixelwise composition `op(left, right)` of the pair's masks.
+    Compose(MaskOp),
+}
+
+impl TermSource {
+    /// Returns `true` if the term needs a pair binding (anything but
+    /// [`TermSource::Own`]).
+    pub fn is_pair(&self) -> bool {
+        !matches!(self, TermSource::Own)
+    }
+}
+
 /// One `CP(mask, roi, (lv, uv))` term of a query expression.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CpTerm {
+    /// Which mask (or composition) to count over.
+    pub source: TermSource,
     /// Where to count.
     pub roi: RoiSpec,
     /// Which pixel values to count.
@@ -56,9 +85,10 @@ pub struct CpTerm {
 }
 
 impl CpTerm {
-    /// Term with a constant ROI.
+    /// Term with a constant ROI (over the candidate's own mask).
     pub fn constant_roi(roi: Roi, range: PixelRange) -> Self {
         Self {
+            source: TermSource::Own,
             roi: RoiSpec::Constant(roi),
             range,
         }
@@ -67,6 +97,7 @@ impl CpTerm {
     /// Term counting within the mask-specific object bounding box.
     pub fn object_roi(range: PixelRange) -> Self {
         Self {
+            source: TermSource::Own,
             roi: RoiSpec::ObjectBox,
             range,
         }
@@ -75,7 +106,23 @@ impl CpTerm {
     /// Term counting over the whole mask.
     pub fn full_mask(range: PixelRange) -> Self {
         Self {
+            source: TermSource::Own,
             roi: RoiSpec::FullMask,
+            range,
+        }
+    }
+
+    /// Rebinds the term to another source (pair-query construction).
+    pub fn with_source(mut self, source: TermSource) -> Self {
+        self.source = source;
+        self
+    }
+
+    /// Term counting over the pixelwise composition of a pair's masks.
+    pub fn composed(op: MaskOp, roi: RoiSpec, range: PixelRange) -> Self {
+        Self {
+            source: TermSource::Compose(op),
+            roi,
             range,
         }
     }

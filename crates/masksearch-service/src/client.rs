@@ -13,17 +13,47 @@
 //! frame) is transparently retried once on a fresh connection, after a
 //! short bounded backoff. This lets a long-lived caller — in particular a
 //! cluster coordinator's connection pool — survive a peer restart without
-//! spuriously failing the in-flight request. The resend is safe for reads;
-//! for writes it relies on the engine's statement semantics (`INSERT` is an
-//! idempotent overwrite, a replayed `DELETE` of an already-deleted id fails
-//! loudly rather than corrupting state).
+//! spuriously failing the in-flight request.
+//!
+//! Resends are **reads-or-deduplicated-only**. A mutation that committed
+//! just before the connection died would double-apply if replayed naively
+//! (and a replayed `DELETE` would even report `UnknownMask` for a delete
+//! that succeeded), so [`Client::query`] wraps every `INSERT`/`DELETE` in a
+//! `TOKEN <id> <sql>` envelope: the server's dedup registry answers a
+//! replayed token from the recorded outcome without re-applying, making the
+//! resend exactly-once. A raw, un-tokened mutation line (sent through some
+//! other path) is never resent — the transport error is surfaced instead.
 
 use crate::error::{ServiceError, ServiceResult};
 use crate::protocol::{self, Frame, WireResponse, PROTOCOL_VERSION};
 use masksearch_core::MaskId;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// Allocates a process-unique mutation token: a per-process random-ish
+/// prefix (clock entropy at first use) plus a counter, so two clients
+/// talking to the same shard cannot collide within the server's bounded
+/// dedup window.
+fn next_mutation_token() -> u64 {
+    static PREFIX: AtomicU64 = AtomicU64::new(0);
+    static COUNTER: AtomicU64 = AtomicU64::new(1);
+    let mut prefix = PREFIX.load(Ordering::Relaxed);
+    if prefix == 0 {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e37_79b9);
+        let seeded = (nanos ^ (u64::from(std::process::id()) << 32)).max(1);
+        // First writer wins; every thread then sees one stable prefix.
+        let _ = PREFIX.compare_exchange(0, seeded, Ordering::Relaxed, Ordering::Relaxed);
+        prefix = PREFIX.load(Ordering::Relaxed);
+    }
+    prefix
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(COUNTER.fetch_add(1, Ordering::Relaxed))
+}
 
 /// Backoff schedule for the bounded reconnect: one resend attempt, with up
 /// to three connection attempts spaced by these sleeps.
@@ -134,17 +164,25 @@ impl Client {
         protocol::read_frame(&mut self.reader)
     }
 
+    /// Returns `true` if the line is a bare mutation statement.
+    fn is_mutation_sql(line: &str) -> bool {
+        let trimmed = line.trim_start();
+        ["INSERT ", "DELETE "].iter().any(|kw| {
+            trimmed
+                .get(..kw.len())
+                .is_some_and(|p| p.eq_ignore_ascii_case(kw))
+        })
+    }
+
     /// Returns `true` if the request can be safely replayed on a fresh
-    /// connection after a transport error. Reads are side-effect free and
-    /// `INSERT` is an idempotent overwrite; a replayed `DELETE`, however,
-    /// reports `UnknownMask` for a delete that durably committed just
-    /// before the connection died — turning a success into an error — so it
-    /// must not be resent.
+    /// connection after a transport error. Reads are side-effect free, and
+    /// `TOKEN`-wrapped mutations are deduplicated server-side (a replay of
+    /// an already-applied token returns the recorded outcome). A bare
+    /// `INSERT`/`DELETE` is *not* safe: the original may have committed
+    /// before the connection died, and replaying it would double-apply the
+    /// write (or turn a committed `DELETE` into an `UnknownMask` error).
     fn resend_is_safe(line: &str) -> bool {
-        !line
-            .trim_start()
-            .get(..7)
-            .is_some_and(|prefix| prefix.eq_ignore_ascii_case("DELETE "))
+        !Self::is_mutation_sql(line)
     }
 
     /// One request/response round trip, with the bounded retry on transport
@@ -177,7 +215,15 @@ impl Client {
     }
 
     /// Executes a SQL statement, returning the parsed rows and summary.
+    ///
+    /// Mutations (`INSERT`/`DELETE`) are automatically wrapped in a
+    /// `TOKEN <id>` envelope so the bounded reconnect can resend them
+    /// exactly-once (the server deduplicates the token).
     pub fn query(&mut self, sql: &str) -> ServiceResult<WireResponse> {
+        if Self::is_mutation_sql(sql) {
+            let line = format!("TOKEN {} {sql}", next_mutation_token());
+            return Self::expect_rows(self.round_trip(&line)?);
+        }
         Self::expect_rows(self.round_trip(sql)?)
     }
 

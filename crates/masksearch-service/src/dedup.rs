@@ -1,0 +1,244 @@
+//! Mutation deduplication: the server side of exactly-once resends.
+//!
+//! A client that loses its connection mid-request cannot know whether the
+//! mutation it sent committed before the transport died. Resending blindly
+//! can double-apply (double-counted ingest stats, doubled WAL traffic, and —
+//! for `DELETE` — a spurious `UnknownMask` error for a delete that already
+//! succeeded). The fix: every mutation carries a client-chosen 64-bit token
+//! (`TOKEN <id> <sql>`); the server remembers recently applied tokens with
+//! their outcomes and answers a replay from the registry without touching
+//! the store.
+//!
+//! Concurrency: a resend can arrive while the original is still executing
+//! (the client reconnects within its backoff while a worker is mid-commit).
+//! [`MutationDedup::begin`] therefore parks duplicate callers on a condvar
+//! until the first execution finishes, then hands them the recorded outcome
+//! — never a second application. Failed executions release the token so a
+//! later retry may re-attempt (an error means the atomic batch did not
+//! commit).
+//!
+//! The registry is bounded: completed tokens beyond [`DEDUP_CAPACITY`] are
+//! evicted oldest-first. A replay arriving after eviction re-executes — the
+//! window only needs to cover a client's bounded reconnect backoff, not
+//! forever.
+
+use masksearch_query::MutationOutcome;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+
+/// Completed tokens remembered before oldest-first eviction.
+pub const DEDUP_CAPACITY: usize = 4096;
+
+#[derive(Debug, Clone)]
+enum TokenState {
+    /// The first request with this token is still executing.
+    InFlight,
+    /// The mutation applied; the recorded outcome answers replays.
+    Done(MutationOutcome),
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    states: HashMap<u64, TokenState>,
+    /// Completion order of `Done` tokens, for bounded eviction.
+    completed: VecDeque<u64>,
+}
+
+/// What [`MutationDedup::begin`] decided about a token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Admission {
+    /// First sighting: the caller must execute and then call
+    /// [`MutationDedup::finish`] (or [`MutationDedup::abandon`] on error).
+    Execute,
+    /// The token already applied; the recorded outcome is the answer.
+    Replay(MutationOutcome),
+}
+
+/// A bounded registry of recently applied mutation tokens.
+#[derive(Debug, Default)]
+pub struct MutationDedup {
+    inner: Mutex<Inner>,
+    done: Condvar,
+}
+
+impl MutationDedup {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Admits a token: the first caller gets [`Admission::Execute`] and owns
+    /// the execution; concurrent or later duplicates wait for it and get
+    /// [`Admission::Replay`]. A duplicate whose original *failed* (the token
+    /// was abandoned) is re-admitted for execution.
+    pub fn begin(&self, token: u64) -> Admission {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            match inner.states.get(&token) {
+                None => {
+                    inner.states.insert(token, TokenState::InFlight);
+                    return Admission::Execute;
+                }
+                Some(TokenState::Done(outcome)) => return Admission::Replay(*outcome),
+                Some(TokenState::InFlight) => {
+                    inner = self.done.wait(inner).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+    }
+
+    /// Records a successful execution's outcome and wakes any waiters.
+    pub fn finish(&self, token: u64, outcome: MutationOutcome) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.states.insert(token, TokenState::Done(outcome));
+        inner.completed.push_back(token);
+        while inner.completed.len() > DEDUP_CAPACITY {
+            if let Some(old) = inner.completed.pop_front() {
+                inner.states.remove(&old);
+            }
+        }
+        drop(inner);
+        self.done.notify_all();
+    }
+
+    /// Releases a token whose execution failed, so a retry can re-attempt.
+    pub fn abandon(&self, token: u64) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if matches!(inner.states.get(&token), Some(TokenState::InFlight)) {
+            inner.states.remove(&token);
+        }
+        drop(inner);
+        self.done.notify_all();
+    }
+
+    /// An RAII permit for the [`Admission::Execute`] path: unless
+    /// [`ExecutionPermit::finish`] is called, dropping the permit abandons
+    /// the token. This is the panic-safety net — if the execution unwinds
+    /// between `begin` and `finish`, the token must not stay `InFlight`
+    /// forever (a resend of it would park on the condvar with no timeout).
+    pub fn permit(&self, token: u64) -> ExecutionPermit<'_> {
+        ExecutionPermit {
+            dedup: self,
+            token,
+            armed: true,
+        }
+    }
+
+    /// Number of remembered (completed) tokens.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .completed
+            .len()
+    }
+
+    /// Returns `true` if no completed tokens are remembered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Releases an in-flight token on drop unless the execution finished (see
+/// [`MutationDedup::permit`]).
+#[derive(Debug)]
+pub struct ExecutionPermit<'a> {
+    dedup: &'a MutationDedup,
+    token: u64,
+    armed: bool,
+}
+
+impl ExecutionPermit<'_> {
+    /// Records the successful outcome; the permit is disarmed.
+    pub fn finish(mut self, outcome: MutationOutcome) {
+        self.armed = false;
+        self.dedup.finish(self.token, outcome);
+    }
+}
+
+impl Drop for ExecutionPermit<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.dedup.abandon(self.token);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn outcome(inserted: usize) -> MutationOutcome {
+        MutationOutcome {
+            inserted,
+            deleted: 0,
+        }
+    }
+
+    #[test]
+    fn first_executes_replay_answers() {
+        let d = MutationDedup::new();
+        assert_eq!(d.begin(7), Admission::Execute);
+        d.finish(7, outcome(3));
+        assert_eq!(d.begin(7), Admission::Replay(outcome(3)));
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn abandoned_tokens_can_retry() {
+        let d = MutationDedup::new();
+        assert_eq!(d.begin(9), Admission::Execute);
+        d.abandon(9);
+        assert_eq!(d.begin(9), Admission::Execute);
+        d.finish(9, outcome(1));
+        assert_eq!(d.begin(9), Admission::Replay(outcome(1)));
+    }
+
+    #[test]
+    fn concurrent_duplicate_waits_for_the_original() {
+        let d = Arc::new(MutationDedup::new());
+        assert_eq!(d.begin(42), Admission::Execute);
+        let waiter = {
+            let d = Arc::clone(&d);
+            std::thread::spawn(move || d.begin(42))
+        };
+        // Give the waiter time to park, then finish the original.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        d.finish(42, outcome(5));
+        assert_eq!(waiter.join().unwrap(), Admission::Replay(outcome(5)));
+    }
+
+    #[test]
+    fn dropped_permit_abandons_instead_of_wedging() {
+        let d = Arc::new(MutationDedup::new());
+        assert_eq!(d.begin(13), Admission::Execute);
+        {
+            let _permit = d.permit(13);
+            // Execution "unwinds" here: the permit drops without finish.
+        }
+        // A resend is re-admitted instead of parking forever.
+        assert_eq!(d.begin(13), Admission::Execute);
+        let permit = d.permit(13);
+        permit.finish(outcome(2));
+        assert_eq!(d.begin(13), Admission::Replay(outcome(2)));
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let d = MutationDedup::new();
+        for t in 0..(DEDUP_CAPACITY as u64 + 10) {
+            assert_eq!(d.begin(t), Admission::Execute);
+            d.finish(t, outcome(1));
+        }
+        assert_eq!(d.len(), DEDUP_CAPACITY);
+        // The oldest tokens were evicted and would re-execute.
+        assert_eq!(d.begin(0), Admission::Execute);
+        d.abandon(0);
+        // Recent tokens still replay.
+        assert_eq!(
+            d.begin(DEDUP_CAPACITY as u64 + 9),
+            Admission::Replay(outcome(1))
+        );
+    }
+}

@@ -10,6 +10,7 @@
 
 use crate::batch::{self, BatchOutput};
 use crate::config::{AdmissionPolicy, ServiceConfig};
+use crate::dedup::{Admission, MutationDedup};
 use crate::error::{ServiceError, ServiceResult};
 use crate::job::{
     Job, MutationResponse, PartialResponse, QueryResponse, Request, Response, Ticket,
@@ -40,6 +41,8 @@ struct Shared {
     session: Arc<Session>,
     queue: JobQueue<Job>,
     metrics: ServiceMetrics,
+    /// Recently applied mutation tokens (exactly-once client resends).
+    dedup: MutationDedup,
     shutting_down: AtomicBool,
 }
 
@@ -107,6 +110,7 @@ impl Engine {
             session,
             queue: JobQueue::new(config.queue_depth),
             metrics: ServiceMetrics::new(),
+            dedup: MutationDedup::new(),
             shutting_down: AtomicBool::new(false),
         });
         let mut workers = Vec::with_capacity(config.workers);
@@ -267,6 +271,43 @@ impl Engine {
             masksearch_sql::Statement::Mutation(mutation) => Ok(Response::Mutation(
                 self.submit_mutation(mutation)?.wait_mutation()?,
             )),
+        }
+    }
+
+    /// Executes a SQL statement carrying a client deduplication token
+    /// (`TOKEN <id> <sql>`). Queries execute normally (tokens are
+    /// meaningless for side-effect-free reads). A mutation whose token
+    /// already applied is answered from the recorded outcome without
+    /// touching the store — this is what makes a client's
+    /// resend-after-transport-error exactly-once. A duplicate racing the
+    /// original blocks until the original finishes.
+    pub fn execute_statement_tokened(&self, token: u64, sql: &str) -> ServiceResult<Response> {
+        match masksearch_sql::compile_statement(sql)? {
+            masksearch_sql::Statement::Query(query) => {
+                Ok(Response::Single(self.submit(query)?.wait_single()?))
+            }
+            masksearch_sql::Statement::Mutation(mutation) => {
+                match self.shared.dedup.begin(token) {
+                    Admission::Replay(outcome) => {
+                        self.shared.metrics.record_mutation_deduped();
+                        Ok(Response::Mutation(MutationResponse {
+                            outcome,
+                            queue_wait: Duration::ZERO,
+                            exec_time: Duration::ZERO,
+                        }))
+                    }
+                    Admission::Execute => {
+                        // The permit abandons the token on *any* exit —
+                        // error or unwind — that does not record an
+                        // outcome, so a resend can never park forever
+                        // behind a dead execution.
+                        let permit = self.shared.dedup.permit(token);
+                        let response = self.execute_mutation(mutation)?;
+                        permit.finish(response.outcome);
+                        Ok(Response::Mutation(response))
+                    }
+                }
+            }
         }
     }
 

@@ -81,6 +81,7 @@
 pub mod batch;
 pub mod client;
 pub mod config;
+pub mod dedup;
 pub mod engine;
 pub mod error;
 pub mod job;
@@ -93,6 +94,7 @@ pub mod server;
 pub use batch::{BatchOutput, BatchStats};
 pub use client::Client;
 pub use config::{AdmissionPolicy, ServiceConfig};
+pub use dedup::{Admission, MutationDedup};
 pub use engine::Engine;
 pub use error::{ServiceError, ServiceResult};
 pub use job::{MutationResponse, PartialResponse, QueryResponse, Request, Response, Ticket};

@@ -126,6 +126,9 @@ pub struct ServiceMetrics {
     mutations: AtomicU64,
     masks_inserted: AtomicU64,
     masks_deleted: AtomicU64,
+    /// Mutations answered from the token-dedup registry instead of being
+    /// re-applied (a client resent after a transport error).
+    mutations_deduped: AtomicU64,
     /// Sum of `QueryStats::candidates` over completed queries.
     candidates: AtomicU64,
     /// Sum of `QueryStats::masks_loaded` over completed queries.
@@ -138,6 +141,8 @@ pub struct ServiceMetrics {
     tiles_hist: AtomicU64,
     /// Sum of `QueryStats::tiles_scanned` over completed queries.
     tiles_scanned: AtomicU64,
+    /// Sum of `QueryStats::pairs_bound` over completed queries.
+    pairs_bound: AtomicU64,
     /// End-to-end latency (submission to completion).
     latency: LatencyHistogram,
     /// Time spent waiting in the queue before a worker picked the job up.
@@ -164,12 +169,14 @@ impl ServiceMetrics {
             mutations: AtomicU64::new(0),
             masks_inserted: AtomicU64::new(0),
             masks_deleted: AtomicU64::new(0),
+            mutations_deduped: AtomicU64::new(0),
             candidates: AtomicU64::new(0),
             masks_loaded: AtomicU64::new(0),
             pruned: AtomicU64::new(0),
             tiles_pruned: AtomicU64::new(0),
             tiles_hist: AtomicU64::new(0),
             tiles_scanned: AtomicU64::new(0),
+            pairs_bound: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
             queue_wait: LatencyHistogram::new(),
         }
@@ -211,6 +218,12 @@ impl ServiceMetrics {
             .fetch_add(outcome.deleted as u64, Ordering::Relaxed);
     }
 
+    /// Records a mutation answered from the token-dedup registry (the write
+    /// had already been applied; only the recorded outcome was replayed).
+    pub fn record_mutation_deduped(&self) {
+        self.mutations_deduped.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records how long a job sat in the queue before execution started.
     pub fn record_queue_wait(&self, wait: Duration) {
         self.queue_wait.record(wait);
@@ -231,6 +244,8 @@ impl ServiceMetrics {
             .fetch_add(stats.tiles_hist, Ordering::Relaxed);
         self.tiles_scanned
             .fetch_add(stats.tiles_scanned, Ordering::Relaxed);
+        self.pairs_bound
+            .fetch_add(stats.pairs_bound, Ordering::Relaxed);
         self.latency.record(latency);
     }
 
@@ -251,9 +266,11 @@ impl ServiceMetrics {
             mutations: self.mutations.load(Ordering::Relaxed),
             masks_inserted: self.masks_inserted.load(Ordering::Relaxed),
             masks_deleted: self.masks_deleted.load(Ordering::Relaxed),
+            mutations_deduped: self.mutations_deduped.load(Ordering::Relaxed),
             tiles_pruned: self.tiles_pruned.load(Ordering::Relaxed),
             tiles_hist: self.tiles_hist.load(Ordering::Relaxed),
             tiles_scanned: self.tiles_scanned.load(Ordering::Relaxed),
+            pairs_bound: self.pairs_bound.load(Ordering::Relaxed),
             // Store-level write-path counters; the engine overwrites this
             // from the session store's `ingest_stats` at snapshot time, like
             // the cache hit rate below.
@@ -305,6 +322,9 @@ pub struct MetricsSnapshot {
     pub masks_inserted: u64,
     /// Masks deleted by served writes.
     pub masks_deleted: u64,
+    /// Mutations answered from the token-dedup registry (client resends
+    /// after transport errors) instead of being re-applied.
+    pub mutations_deduped: u64,
     /// Verification-kernel tiles decided from min/max summaries, summed
     /// over completed queries.
     pub tiles_pruned: u64,
@@ -312,6 +332,9 @@ pub struct MetricsSnapshot {
     pub tiles_hist: u64,
     /// Verification-kernel tiles that fell back to a pixel scan.
     pub tiles_scanned: u64,
+    /// Pair-query images bound (both join sides resolved), summed over
+    /// completed queries.
+    pub pairs_bound: u64,
     /// Store-level write-path counters (WAL bytes, checkpoints, commits) for
     /// stores that track them; zeros otherwise. Filled by the engine at
     /// snapshot time.

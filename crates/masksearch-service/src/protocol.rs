@@ -42,8 +42,11 @@ pub const END_MARKER: &str = "END";
 ///
 /// History: v1 — the original PR-1 protocol (bare `PONG`); v2 — versioned
 /// handshake, `PARTIAL K=<n>` bounded top-k with `bound=` summaries,
-/// `LOOKUP`, and saturation fields in `STATS`.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// `LOOKUP`, and saturation fields in `STATS`; v3 — `TOKEN <id> <sql>`
+/// deduplicated mutations (exactly-once resend after transport errors),
+/// self-join pair queries in the SQL dialect, and `deduped=` /
+/// `pairs_bound=` in `STATS`.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// A parsed client request line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,6 +64,16 @@ pub enum ClientRequest {
     Partial {
         /// Per-shard `k` replacing the statement's own `LIMIT`.
         k: usize,
+        /// The SQL statement.
+        sql: String,
+    },
+    /// A SQL statement carrying a client-chosen deduplication token: if a
+    /// mutation with this token already applied, the server replays the
+    /// recorded outcome instead of re-applying — making a post-transport-
+    /// error resend exactly-once.
+    Tokened {
+        /// The client's per-request token.
+        token: u64,
         /// The SQL statement.
         sql: String,
     },
@@ -85,6 +98,17 @@ impl ClientRequest {
             // produces a descriptive ERR frame.
             if let Some(ids) = ids {
                 return Some(Self::Lookup(ids));
+            }
+        }
+        if upper.starts_with("TOKEN ") {
+            let rest = trimmed[5..].trim_start();
+            if let Some(tok) = rest.split_ascii_whitespace().next() {
+                if let Ok(token) = tok.parse::<u64>() {
+                    let sql = rest[tok.len()..].trim_start().to_string();
+                    if !sql.is_empty() {
+                        return Some(Self::Tokened { token, sql });
+                    }
+                }
             }
         }
         if upper.starts_with("PARTIAL ") {
@@ -246,8 +270,8 @@ pub fn write_stats<W: Write>(w: &mut W, m: &MetricsSnapshot) -> std::io::Result<
         w,
         "STATS qps={:.3} completed={} failed={} rejected={} deadline_expired={} \
          p50_us={} p99_us={} mean_us={} filter_rate={:.6} cache_hit_rate={:.6} uptime_ms={} \
-         mutations={} inserted={} deleted={} wal_bytes={} checkpoints={} commits={} \
-         tiles_pruned={} tiles_hist={} tiles_scanned={} \
+         mutations={} inserted={} deleted={} deduped={} wal_bytes={} checkpoints={} commits={} \
+         tiles_pruned={} tiles_hist={} tiles_scanned={} pairs_bound={} \
          active_connections={} queue_depth={}",
         m.qps,
         m.completed,
@@ -263,12 +287,14 @@ pub fn write_stats<W: Write>(w: &mut W, m: &MetricsSnapshot) -> std::io::Result<
         m.mutations,
         m.masks_inserted,
         m.masks_deleted,
+        m.mutations_deduped,
         m.ingest.wal_bytes,
         m.ingest.checkpoints,
         m.ingest.commits,
         m.tiles_pruned,
         m.tiles_hist,
         m.tiles_scanned,
+        m.pairs_bound,
         m.active_connections,
         m.queue_depth,
     )?;

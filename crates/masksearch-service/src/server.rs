@@ -204,25 +204,36 @@ fn serve_connection(stream: TcpStream, engine: &Engine, active: &AtomicU64) -> s
                 )?,
                 Err(e) => protocol::write_error(&mut writer, &e)?,
             },
-            ClientRequest::Sql(sql) => match engine.execute_statement(&sql) {
-                Ok(crate::job::Response::Single(response)) => {
-                    protocol::write_response(&mut writer, &response)?
-                }
-                Ok(crate::job::Response::Mutation(response)) => {
-                    protocol::write_mutation_response(&mut writer, &response)?
-                }
-                // The SQL path never produces batch or partial responses.
-                Ok(crate::job::Response::Batch(_)) | Ok(crate::job::Response::Partial(_)) => {
-                    protocol::write_error(
-                        &mut writer,
-                        &crate::error::ServiceError::Protocol(
-                            "unexpected response kind for a SQL statement".to_string(),
-                        ),
-                    )?
-                }
-                Err(e) => protocol::write_error(&mut writer, &e)?,
-            },
+            ClientRequest::Tokened { token, sql } => {
+                write_sql_result(&mut writer, engine.execute_statement_tokened(token, &sql))?
+            }
+            ClientRequest::Sql(sql) => {
+                write_sql_result(&mut writer, engine.execute_statement(&sql))?
+            }
         }
         writer.flush()?;
+    }
+}
+
+/// Writes the outcome of a SQL statement (plain or tokened) as one frame.
+fn write_sql_result<W: std::io::Write>(
+    writer: &mut W,
+    result: crate::error::ServiceResult<crate::job::Response>,
+) -> std::io::Result<()> {
+    match result {
+        Ok(crate::job::Response::Single(response)) => protocol::write_response(writer, &response),
+        Ok(crate::job::Response::Mutation(response)) => {
+            protocol::write_mutation_response(writer, &response)
+        }
+        // The SQL path never produces batch or partial responses.
+        Ok(crate::job::Response::Batch(_)) | Ok(crate::job::Response::Partial(_)) => {
+            protocol::write_error(
+                writer,
+                &crate::error::ServiceError::Protocol(
+                    "unexpected response kind for a SQL statement".to_string(),
+                ),
+            )
+        }
+        Err(e) => protocol::write_error(writer, &e),
     }
 }

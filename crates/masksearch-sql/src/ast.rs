@@ -1,5 +1,7 @@
 //! Abstract syntax tree of the MaskSearch SQL dialect.
 
+use masksearch_core::MaskOp;
+
 /// How the ROI argument of a `CP` call is written.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RoiExpr {
@@ -20,8 +22,10 @@ pub enum RoiExpr {
     Full,
 }
 
-/// The first argument of a `CP` call: the plain mask or an aggregation over
-/// the group's masks (`INTERSECT(mask > t)` / `UNION(mask > t)` / `MEAN(mask)`).
+/// The first argument of a `CP` call: the plain mask, an aggregation over
+/// the group's masks (`INTERSECT(mask > t)` / `UNION(mask > t)` /
+/// `MEAN(mask)`), a join-qualified mask (`a.mask`), or a pixelwise
+/// composition of the two joined masks (`DIFF(a.mask, b.mask)`).
 #[derive(Debug, Clone, PartialEq)]
 pub enum MaskArg {
     /// `mask` — the per-mask column.
@@ -38,6 +42,18 @@ pub enum MaskArg {
     },
     /// `MEAN(mask)` — per-pixel mean of the group's masks.
     Mean,
+    /// `<alias>.mask` — one side of a self-join (pair query).
+    Qualified(String),
+    /// `INTERSECT(a.mask, b.mask)` / `UNION(..)` / `DIFF(..)` — the
+    /// pixelwise composition of a pair query's two masks.
+    Pair {
+        /// The composition operator.
+        op: MaskOp,
+        /// Alias of the left operand.
+        left: String,
+        /// Alias of the right operand.
+        right: String,
+    },
 }
 
 /// A scalar expression.
@@ -60,6 +76,18 @@ pub enum SqlExpr {
         func: String,
         /// Aggregated expression.
         expr: Box<SqlExpr>,
+    },
+    /// `IOU(a.mask, b.mask, roi, θ)` — intersection-over-union of the two
+    /// joined masks binarised at `θ`, within `roi`.
+    Iou {
+        /// Alias of the left operand.
+        left: String,
+        /// Alias of the right operand.
+        right: String,
+        /// The region of interest.
+        roi: RoiExpr,
+        /// Binarisation threshold.
+        threshold: f64,
     },
     /// Numeric literal.
     Number(f64),
@@ -103,8 +131,10 @@ pub enum Condition {
         /// Right-hand side value.
         value: f64,
     },
-    /// A metadata equality (`model_id = 1`, `predicted_label = 7`, ...).
+    /// A metadata equality (`model_id = 1`, `a.model_id = 1`, ...).
     MetaEq {
+        /// Join alias the condition is qualified with, if any.
+        qualifier: Option<String>,
         /// Column name (lowercased).
         column: String,
         /// Value.
@@ -112,6 +142,8 @@ pub enum Condition {
     },
     /// A metadata membership test (`mask_type IN (1, 2)`).
     MetaIn {
+        /// Join alias the condition is qualified with, if any.
+        qualifier: Option<String>,
         /// Column name (lowercased).
         column: String,
         /// Values.
@@ -177,6 +209,10 @@ pub struct SqlDelete {
 }
 
 /// Any parsed statement: a query or a write.
+// A parsed SELECT (with its optional join and clause payloads) is much
+// larger than the write variants; statements are parsed once and moved, not
+// stored in bulk, so boxing would only add indirection.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum SqlStatement {
     /// A `SELECT` query.
@@ -187,11 +223,22 @@ pub enum SqlStatement {
     Delete(SqlDelete),
 }
 
+/// A self-join clause: `FROM masks a JOIN masks b ON a.image_id = b.image_id`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlJoin {
+    /// Alias of the left relation instance.
+    pub left: String,
+    /// Alias of the right relation instance.
+    pub right: String,
+}
+
 /// A parsed SQL statement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SqlQuery {
     /// SELECT list.
     pub select: Vec<SelectItem>,
+    /// Self-join on `image_id`, when the query binds two masks per image.
+    pub join: Option<SqlJoin>,
     /// WHERE clause.
     pub where_clause: Option<Condition>,
     /// GROUP BY column (only `image_id` is supported).

@@ -15,6 +15,9 @@ pub enum Token {
     RParen,
     /// `,`
     Comma,
+    /// `.` (qualified references such as `a.mask`; a `.` directly starting
+    /// a digit sequence still lexes as a numeric literal)
+    Dot,
     /// `*`
     Star,
     /// `/`
@@ -157,6 +160,13 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, SqlError> {
                 });
                 i += 1;
             }
+            '.' if i + 1 >= bytes.len() || !bytes[i + 1].is_ascii_digit() => {
+                tokens.push(Spanned {
+                    token: Token::Dot,
+                    offset: i,
+                });
+                i += 1;
+            }
             c if c.is_ascii_digit() || c == '.' => {
                 let start = i;
                 while i < bytes.len()
@@ -245,6 +255,21 @@ mod tests {
     fn rejects_bad_characters_and_numbers() {
         assert!(tokenize("SELECT ?").is_err());
         assert!(tokenize("1.2.3").is_err());
+    }
+
+    #[test]
+    fn dots_lex_as_qualifiers_but_not_inside_numbers() {
+        assert_eq!(
+            kinds("a.mask"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Dot,
+                Token::Ident("mask".into())
+            ]
+        );
+        assert_eq!(kinds("1.5"), vec![Token::Number(1.5)]);
+        assert_eq!(kinds(".5"), vec![Token::Number(0.5)]);
+        assert_eq!(kinds("b ."), vec![Token::Ident("b".into()), Token::Dot]);
     }
 
     #[test]

@@ -60,6 +60,9 @@ pub use parser::{parse, parse_statement};
 use masksearch_query::{Mutation, Order, Query, QueryKind};
 
 /// An executable statement: a lowered query or a lowered write.
+// Pair queries carry two extra selections, making `Query` the (much) larger
+// variant; statements are compiled once and executed, never stored in bulk.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum Statement {
     /// A read-only query for `Session::execute`.
@@ -111,6 +114,13 @@ impl Statement {
                     top_k: Some((k, order)),
                     ..
                 } => Routing::Ranked {
+                    k: *k,
+                    order: *order,
+                },
+                // Pair queries key rows by image id — the shard map's hash
+                // key — so ranked pairs refine like any ranked query and
+                // pair filters merge as a broadcast.
+                QueryKind::PairTopK { k, order, .. } => Routing::Ranked {
                     k: *k,
                     order: *order,
                 },

@@ -1,17 +1,50 @@
 //! Lowering of parsed SQL statements onto the `masksearch-query` model.
 
 use crate::ast::{
-    Condition, MaskArg, RoiExpr, SelectItem, SqlCmp, SqlDelete, SqlExpr, SqlInsert, SqlOrder,
-    SqlQuery, SqlStatement,
+    Condition, MaskArg, RoiExpr, SelectItem, SqlCmp, SqlDelete, SqlExpr, SqlInsert, SqlJoin,
+    SqlOrder, SqlQuery, SqlStatement,
 };
 use crate::{SqlError, Statement};
 use masksearch_core::{
     ImageId, Label, Mask, MaskAgg, MaskId, MaskRecord, MaskType, ModelId, PixelRange, Roi,
 };
 use masksearch_query::{
-    CmpOp, CpTerm, Expr, Mutation, Order, Predicate, Query, QueryKind, RoiSpec, ScalarAgg,
-    Selection,
+    CmpOp, CpTerm, Expr, MaskJoin, Mutation, Order, Predicate, Query, QueryKind, RoiSpec,
+    ScalarAgg, Selection, TermSource,
 };
+
+/// The join aliases in scope while lowering a pair query's expressions.
+struct JoinCtx<'a> {
+    left: &'a str,
+    right: &'a str,
+}
+
+impl JoinCtx<'_> {
+    /// Maps an alias to the pair side it names.
+    fn side(&self, alias: &str) -> Result<TermSource, SqlError> {
+        if alias == self.left {
+            Ok(TermSource::Left)
+        } else if alias == self.right {
+            Ok(TermSource::Right)
+        } else {
+            Err(SqlError::new(format!("unknown join alias `{alias}`"), 0))
+        }
+    }
+
+    /// Validates that a two-operand composition names both join sides (in
+    /// either order — the compositions are symmetric).
+    fn check_pair(&self, left: &str, right: &str) -> Result<(), SqlError> {
+        let a = self.side(left)?;
+        let b = self.side(right)?;
+        if a == b {
+            return Err(SqlError::new(
+                format!("a mask composition needs both sides of the join, got `{left}` twice"),
+                0,
+            ));
+        }
+        Ok(())
+    }
+}
 
 /// Lowers any parsed statement into an executable [`Statement`].
 pub fn lower_statement(statement: &SqlStatement) -> Result<Statement, SqlError> {
@@ -60,6 +93,9 @@ fn lower_delete(delete: &SqlDelete) -> Mutation {
 
 /// Lowers a parsed statement into an executable [`Query`].
 pub fn lower(statement: &SqlQuery) -> Result<Query, SqlError> {
+    if let Some(join) = &statement.join {
+        return lower_pair(statement, join);
+    }
     let (selection, cp_predicate) = lower_where(statement.where_clause.as_ref())?;
 
     if let Some(group_column) = &statement.group_by {
@@ -122,20 +158,42 @@ fn collect_conjuncts(
         }
         Condition::Or(lhs, rhs) => {
             // OR is only supported between CP comparisons.
-            let l = lower_cp_condition(lhs)?;
-            let r = lower_cp_condition(rhs)?;
+            let l = lower_cp_condition(lhs, None)?;
+            let r = lower_cp_condition(rhs, None)?;
             merge_predicate(predicate, l.or(r));
             Ok(())
         }
-        Condition::MetaEq { column, value } => {
+        Condition::MetaEq {
+            qualifier,
+            column,
+            value,
+        } => {
+            reject_qualifier(qualifier)?;
             apply_meta(selection, column, std::slice::from_ref(value))
         }
-        Condition::MetaIn { column, values } => apply_meta(selection, column, values),
+        Condition::MetaIn {
+            qualifier,
+            column,
+            values,
+        } => {
+            reject_qualifier(qualifier)?;
+            apply_meta(selection, column, values)
+        }
         Condition::Compare { .. } => {
-            let p = lower_cp_condition(condition)?;
+            let p = lower_cp_condition(condition, None)?;
             merge_predicate(predicate, p);
             Ok(())
         }
+    }
+}
+
+fn reject_qualifier(qualifier: &Option<String>) -> Result<(), SqlError> {
+    match qualifier {
+        Some(alias) => Err(SqlError::new(
+            format!("qualified column `{alias}.…` requires a JOIN clause"),
+            0,
+        )),
+        None => Ok(()),
     }
 }
 
@@ -146,10 +204,13 @@ fn merge_predicate(slot: &mut Option<Predicate>, new: Predicate) {
     });
 }
 
-fn lower_cp_condition(condition: &Condition) -> Result<Predicate, SqlError> {
+fn lower_cp_condition(
+    condition: &Condition,
+    join: Option<&JoinCtx<'_>>,
+) -> Result<Predicate, SqlError> {
     match condition {
         Condition::Compare { expr, op, value } => {
-            let expr = lower_expr(expr)?;
+            let expr = lower_expr_in(expr, join)?;
             Ok(match op {
                 SqlCmp::Gt => Predicate::gt(expr, *value),
                 SqlCmp::Ge => Predicate::ge(expr, *value),
@@ -158,12 +219,142 @@ fn lower_cp_condition(condition: &Condition) -> Result<Predicate, SqlError> {
                 SqlCmp::Eq => Predicate::ge(expr.clone(), *value).and(Predicate::le(expr, *value)),
             })
         }
-        Condition::And(lhs, rhs) => Ok(lower_cp_condition(lhs)?.and(lower_cp_condition(rhs)?)),
-        Condition::Or(lhs, rhs) => Ok(lower_cp_condition(lhs)?.or(lower_cp_condition(rhs)?)),
+        Condition::And(lhs, rhs) => {
+            Ok(lower_cp_condition(lhs, join)?.and(lower_cp_condition(rhs, join)?))
+        }
+        Condition::Or(lhs, rhs) => {
+            Ok(lower_cp_condition(lhs, join)?.or(lower_cp_condition(rhs, join)?))
+        }
         Condition::MetaEq { column, .. } | Condition::MetaIn { column, .. } => Err(SqlError::new(
             format!("metadata condition on `{column}` cannot appear under OR"),
             0,
         )),
+    }
+}
+
+/// Lowers a self-join (pair) statement into a `PairFilter` / `PairTopK`
+/// query: qualified metadata conditions refine one side's binding,
+/// unqualified ones the shared image set, and every `CP` term must name a
+/// side (`a.mask`) or a composition of both.
+fn lower_pair(statement: &SqlQuery, join: &SqlJoin) -> Result<Query, SqlError> {
+    if statement.group_by.is_some() {
+        return Err(SqlError::new(
+            "GROUP BY is not supported in JOIN queries (the join already groups by image)",
+            0,
+        ));
+    }
+    if statement.having.is_some() {
+        return Err(SqlError::new(
+            "HAVING is not supported in JOIN queries; put pair predicates in WHERE",
+            0,
+        ));
+    }
+    let ctx = JoinCtx {
+        left: &join.left,
+        right: &join.right,
+    };
+    let mut outer = Selection::all();
+    let mut left = Selection::all();
+    let mut right = Selection::all();
+    let mut predicate: Option<Predicate> = None;
+    if let Some(condition) = &statement.where_clause {
+        collect_pair_conjuncts(
+            condition,
+            &ctx,
+            &mut outer,
+            &mut left,
+            &mut right,
+            &mut predicate,
+        )?;
+    }
+    let mask_join = MaskJoin::new(left, right);
+
+    if let (Some((order_expr, order)), Some(limit)) = (&statement.order_by, statement.limit) {
+        // A ranked pair query has no predicate slot; dropping a WHERE CP
+        // condition silently would rank unfiltered pairs — reject instead.
+        if predicate.is_some() {
+            return Err(SqlError::new(
+                "a JOIN query cannot combine a CP predicate in WHERE with ORDER BY ... LIMIT; \
+                 drop one of the two",
+                0,
+            ));
+        }
+        let expr = resolve_order_expr(order_expr, &statement.select)?;
+        let expr = lower_expr_in(&expr, Some(&ctx))?;
+        let mut query = Query::pair_top_k(mask_join, expr, limit, lower_order(*order));
+        query.selection = outer;
+        return Ok(query);
+    }
+
+    let predicate = predicate.ok_or_else(|| {
+        SqlError::new(
+            "a JOIN query needs either a pair predicate in WHERE or ORDER BY ... LIMIT",
+            0,
+        )
+    })?;
+    let mut query = Query::pair_filter(mask_join, predicate);
+    query.selection = outer;
+    Ok(query)
+}
+
+fn collect_pair_conjuncts(
+    condition: &Condition,
+    ctx: &JoinCtx<'_>,
+    outer: &mut Selection,
+    left: &mut Selection,
+    right: &mut Selection,
+    predicate: &mut Option<Predicate>,
+) -> Result<(), SqlError> {
+    match condition {
+        Condition::And(lhs, rhs) => {
+            collect_pair_conjuncts(lhs, ctx, outer, left, right, predicate)?;
+            collect_pair_conjuncts(rhs, ctx, outer, left, right, predicate)?;
+            Ok(())
+        }
+        Condition::Or(lhs, rhs) => {
+            let l = lower_cp_condition(lhs, Some(ctx))?;
+            let r = lower_cp_condition(rhs, Some(ctx))?;
+            merge_predicate(predicate, l.or(r));
+            Ok(())
+        }
+        Condition::MetaEq {
+            qualifier,
+            column,
+            value,
+        } => {
+            let target = pair_meta_target(qualifier, ctx, outer, left, right)?;
+            apply_meta(target, column, std::slice::from_ref(value))
+        }
+        Condition::MetaIn {
+            qualifier,
+            column,
+            values,
+        } => {
+            let target = pair_meta_target(qualifier, ctx, outer, left, right)?;
+            apply_meta(target, column, values)
+        }
+        Condition::Compare { .. } => {
+            let p = lower_cp_condition(condition, Some(ctx))?;
+            merge_predicate(predicate, p);
+            Ok(())
+        }
+    }
+}
+
+/// Picks the selection a (possibly qualified) metadata condition refines.
+fn pair_meta_target<'s>(
+    qualifier: &Option<String>,
+    ctx: &JoinCtx<'_>,
+    outer: &'s mut Selection,
+    left: &'s mut Selection,
+    right: &'s mut Selection,
+) -> Result<&'s mut Selection, SqlError> {
+    match qualifier.as_deref() {
+        None => Ok(outer),
+        Some(alias) => match ctx.side(alias)? {
+            TermSource::Left => Ok(left),
+            _ => Ok(right),
+        },
     }
 }
 
@@ -255,24 +446,65 @@ fn lower_range(lv: f64, uv: f64) -> Result<PixelRange, SqlError> {
 
 /// Lowers a scalar expression containing only plain-mask `CP` terms.
 fn lower_expr(expr: &SqlExpr) -> Result<Expr, SqlError> {
+    lower_expr_in(expr, None)
+}
+
+/// Lowers a scalar expression; inside a JOIN query (`join` present) `CP`
+/// terms must name a join side or a composition of both, outside one they
+/// must be plain.
+fn lower_expr_in(expr: &SqlExpr, join: Option<&JoinCtx<'_>>) -> Result<Expr, SqlError> {
     match expr {
         SqlExpr::Number(v) => Ok(Expr::Const(*v)),
         SqlExpr::Cp { mask, roi, lv, uv } => {
-            if *mask != MaskArg::Plain {
-                return Err(SqlError::new(
-                    "mask aggregations inside CP require GROUP BY image_id",
-                    0,
-                ));
-            }
+            let source =
+                match (mask, join) {
+                    (MaskArg::Plain, None) => TermSource::Own,
+                    (MaskArg::Plain, Some(_)) => return Err(SqlError::new(
+                        "in a JOIN query every mask reference must be qualified (a.mask / b.mask)",
+                        0,
+                    )),
+                    (MaskArg::Qualified(alias), Some(ctx)) => ctx.side(alias)?,
+                    (MaskArg::Pair { op, left, right }, Some(ctx)) => {
+                        ctx.check_pair(left, right)?;
+                        TermSource::Compose(*op)
+                    }
+                    (MaskArg::Qualified(_) | MaskArg::Pair { .. }, None) => {
+                        return Err(SqlError::new(
+                            "qualified mask references require a JOIN clause",
+                            0,
+                        ))
+                    }
+                    (MaskArg::Intersect { .. } | MaskArg::Union { .. } | MaskArg::Mean, _) => {
+                        return Err(SqlError::new(
+                            "mask aggregations inside CP require GROUP BY image_id",
+                            0,
+                        ))
+                    }
+                };
             let term = CpTerm {
+                source,
                 roi: lower_roi(roi)?,
                 range: lower_range(*lv, *uv)?,
             };
             Ok(Expr::Cp(term))
         }
+        SqlExpr::Iou {
+            left,
+            right,
+            roi,
+            threshold,
+        } => {
+            let Some(ctx) = join else {
+                return Err(SqlError::new("IOU requires a JOIN clause", 0));
+            };
+            ctx.check_pair(left, right)?;
+            let range = PixelRange::new(*threshold as f32, 1.0)
+                .map_err(|e| SqlError::new(format!("invalid IOU threshold {threshold}: {e}"), 0))?;
+            Ok(Expr::iou(lower_roi(roi)?, range))
+        }
         SqlExpr::Binary { op, lhs, rhs } => {
-            let l = lower_expr(lhs)?;
-            let r = lower_expr(rhs)?;
+            let l = lower_expr_in(lhs, join)?;
+            let r = lower_expr_in(rhs, join)?;
             Ok(match op {
                 '+' => l.add(r),
                 '-' => l.sub(r),
@@ -336,11 +568,18 @@ fn lower_grouped(statement: &SqlQuery, selection: Selection) -> Result<Query, Sq
                     threshold: *threshold as f32,
                 },
                 MaskArg::Mean => MaskAgg::Mean,
+                MaskArg::Qualified(_) | MaskArg::Pair { .. } => {
+                    return Err(SqlError::new(
+                        "qualified mask references require a JOIN clause, not GROUP BY",
+                        0,
+                    ))
+                }
                 MaskArg::Plain => unreachable!("guarded by the match arm"),
             };
             QueryKind::MaskAggregate {
                 agg,
                 term: CpTerm {
+                    source: TermSource::Own,
                     roi: lower_roi(roi)?,
                     range: lower_range(*lv, *uv)?,
                 },
@@ -436,6 +675,159 @@ mod tests {
             }
             other => panic!("unexpected kind {other:?}"),
         }
+    }
+
+    #[test]
+    fn lowers_pair_filter_and_topk() {
+        use masksearch_query::TermSource;
+        let q = compile(
+            "SELECT image_id FROM masks a JOIN masks b ON a.image_id = b.image_id \
+             WHERE a.model_id = 1 AND b.model_id = 2 AND image_id IN (1, 2, 3) \
+             AND CP(DIFF(a.mask, b.mask), full, (0.5, 1.0)) > 100",
+        )
+        .unwrap();
+        assert_eq!(
+            q.selection.image_ids,
+            Some(vec![ImageId::new(1), ImageId::new(2), ImageId::new(3)])
+        );
+        match &q.kind {
+            QueryKind::PairFilter { join, predicate } => {
+                assert_eq!(join.left.model_id, Some(ModelId::new(1)));
+                assert_eq!(join.right.model_id, Some(ModelId::new(2)));
+                let comparisons = predicate.comparisons();
+                assert_eq!(comparisons.len(), 1);
+                let terms = comparisons[0].expr.terms();
+                assert_eq!(
+                    terms[0].source,
+                    TermSource::Compose(masksearch_core::MaskOp::Diff)
+                );
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+
+        let q = compile(
+            "SELECT image_id, IOU(a.mask, b.mask, full, 0.5) AS s \
+             FROM masks a JOIN masks b ON a.image_id = b.image_id \
+             WHERE a.model_id = 1 AND b.model_id = 2 \
+             ORDER BY s ASC LIMIT 20",
+        )
+        .unwrap();
+        match &q.kind {
+            QueryKind::PairTopK { expr, k, order, .. } => {
+                assert_eq!(*k, 20);
+                assert_eq!(*order, Order::Asc);
+                // IOU lowers to CP∩ / CP∪ over [θ, 1).
+                let terms = expr.terms();
+                assert_eq!(terms.len(), 2);
+                assert_eq!(
+                    terms[0].source,
+                    TermSource::Compose(masksearch_core::MaskOp::Intersect)
+                );
+                assert_eq!(
+                    terms[1].source,
+                    TermSource::Compose(masksearch_core::MaskOp::Union)
+                );
+                assert_eq!(terms[0].range, PixelRange::new(0.5, 1.0).unwrap());
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+
+        // Reversed operand order is accepted (compositions are symmetric),
+        // and single-side terms map to their side.
+        let q = compile(
+            "SELECT image_id FROM masks a JOIN masks b ON a.image_id = b.image_id \
+             WHERE CP(UNION(b.mask, a.mask), full, (0.5, 1.0)) > 5 \
+             AND CP(b.mask, full, (0.5, 1.0)) > 1",
+        )
+        .unwrap();
+        let QueryKind::PairFilter { predicate, .. } = &q.kind else {
+            panic!("expected a pair filter");
+        };
+        let comparisons = predicate.comparisons();
+        assert_eq!(comparisons[1].expr.terms()[0].source, TermSource::Right);
+    }
+
+    #[test]
+    fn rejects_invalid_pair_constructs() {
+        // Unqualified mask in a JOIN query.
+        assert!(compile(
+            "SELECT image_id FROM masks a JOIN masks b ON a.image_id = b.image_id \
+             WHERE CP(mask, full, (0.5, 1.0)) > 1"
+        )
+        .is_err());
+        // Unknown alias.
+        assert!(compile(
+            "SELECT image_id FROM masks a JOIN masks b ON a.image_id = b.image_id \
+             WHERE CP(c.mask, full, (0.5, 1.0)) > 1"
+        )
+        .is_err());
+        // Composition of one side with itself.
+        assert!(compile(
+            "SELECT image_id FROM masks a JOIN masks b ON a.image_id = b.image_id \
+             WHERE CP(DIFF(a.mask, a.mask), full, (0.5, 1.0)) > 1"
+        )
+        .is_err());
+        // Qualified refs without a JOIN.
+        assert!(
+            compile("SELECT mask_id FROM masks WHERE CP(a.mask, full, (0.5, 1.0)) > 1").is_err()
+        );
+        assert!(compile(
+            "SELECT image_id, IOU(a.mask, b.mask, full, 0.5) AS s FROM masks ORDER BY s ASC LIMIT 5"
+        )
+        .is_err());
+        // Qualified metadata without a JOIN.
+        assert!(compile(
+            "SELECT mask_id FROM masks WHERE a.model_id = 1 AND CP(mask, full, (0.5, 1.0)) > 1"
+        )
+        .is_err());
+        // GROUP BY and HAVING are incompatible with JOIN.
+        assert!(compile(
+            "SELECT image_id, AVG(CP(mask, full, (0.5, 1.0))) AS s \
+             FROM masks a JOIN masks b ON a.image_id = b.image_id GROUP BY image_id"
+        )
+        .is_err());
+        // Invalid IOU threshold.
+        assert!(compile(
+            "SELECT image_id, IOU(a.mask, b.mask, full, 1.5) AS s \
+             FROM masks a JOIN masks b ON a.image_id = b.image_id ORDER BY s ASC LIMIT 5"
+        )
+        .is_err());
+        // A JOIN query without pair predicate or ranking.
+        assert!(
+            compile("SELECT image_id FROM masks a JOIN masks b ON a.image_id = b.image_id")
+                .is_err()
+        );
+        // A ranked JOIN query has no predicate slot: a CP condition in
+        // WHERE must be rejected, never silently dropped.
+        assert!(compile(
+            "SELECT image_id, IOU(a.mask, b.mask, full, 0.5) AS s \
+             FROM masks a JOIN masks b ON a.image_id = b.image_id \
+             WHERE CP(DIFF(a.mask, b.mask), full, (0.5, 1.0)) > 100 \
+             ORDER BY s ASC LIMIT 5"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn pair_statements_route_for_the_cluster() {
+        let filter = crate::compile_statement(
+            "SELECT image_id FROM masks a JOIN masks b ON a.image_id = b.image_id \
+             WHERE CP(DIFF(a.mask, b.mask), full, (0.5, 1.0)) > 10",
+        )
+        .unwrap();
+        assert_eq!(filter.routing(), crate::Routing::Broadcast);
+        let ranked = crate::compile_statement(
+            "SELECT image_id, IOU(a.mask, b.mask, full, 0.5) AS s \
+             FROM masks a JOIN masks b ON a.image_id = b.image_id ORDER BY s ASC LIMIT 9",
+        )
+        .unwrap();
+        assert_eq!(
+            ranked.routing(),
+            crate::Routing::Ranked {
+                k: 9,
+                order: Order::Asc
+            }
+        );
     }
 
     #[test]

@@ -2,10 +2,15 @@
 
 use crate::ast::{
     Condition, InsertRow, MaskArg, RoiExpr, SelectItem, SqlCmp, SqlDelete, SqlExpr, SqlInsert,
-    SqlOrder, SqlQuery, SqlStatement,
+    SqlJoin, SqlOrder, SqlQuery, SqlStatement,
 };
 use crate::lexer::{tokenize, Spanned, Token};
 use crate::SqlError;
+use masksearch_core::MaskOp;
+
+/// Keywords that may directly follow the FROM relation (and therefore can
+/// never be a relation alias).
+const CLAUSE_KEYWORDS: [&str; 7] = ["WHERE", "GROUP", "ORDER", "LIMIT", "HAVING", "JOIN", "ON"];
 
 /// Parses one `SELECT` statement (the read-only entry point kept for
 /// callers that only speak queries).
@@ -220,12 +225,75 @@ impl Parser {
         Ok(SqlDelete { mask_ids })
     }
 
+    /// Returns the next token as a relation alias when it is a plain
+    /// identifier that cannot start a clause.
+    fn maybe_alias(&mut self) -> Option<String> {
+        match self.peek() {
+            Some(Token::Ident(name))
+                if !CLAUSE_KEYWORDS
+                    .iter()
+                    .any(|kw| name.eq_ignore_ascii_case(kw)) =>
+            {
+                let alias = name.to_ascii_lowercase();
+                self.pos += 1;
+                Some(alias)
+            }
+            _ => None,
+        }
+    }
+
+    /// Parses `<alias>.image_id` (the only join key the dialect supports).
+    fn parse_join_key(&mut self) -> Result<String, SqlError> {
+        let alias = self.keyword()?.to_ascii_lowercase();
+        self.expect(&Token::Dot, "`.` in join condition")?;
+        let column = self.keyword()?;
+        if column != "IMAGE_ID" {
+            return Err(self.error("joins are supported only on image_id"));
+        }
+        Ok(alias)
+    }
+
+    /// Parses `[alias [JOIN <relation> <alias> ON a.image_id = b.image_id]]`
+    /// after the FROM relation.
+    fn parse_join(&mut self) -> Result<Option<SqlJoin>, SqlError> {
+        let left = self.maybe_alias();
+        if !self.peek_keyword("JOIN") {
+            return Ok(None);
+        }
+        let Some(left) = left else {
+            return Err(
+                self.error("JOIN requires an alias on the left relation (FROM masks a JOIN ...)")
+            );
+        };
+        self.pos += 1; // JOIN
+        let _relation = self.keyword()?;
+        let Some(right) = self.maybe_alias() else {
+            return Err(self.error("JOIN requires an alias on the right relation"));
+        };
+        if right == left {
+            return Err(self.error("JOIN aliases must be distinct"));
+        }
+        self.expect_keyword("ON")?;
+        let on_a = self.parse_join_key()?;
+        self.expect(&Token::Eq, "`=` in join condition")?;
+        let on_b = self.parse_join_key()?;
+        let mut on = [on_a, on_b];
+        on.sort();
+        let mut declared = [left.clone(), right.clone()];
+        declared.sort();
+        if on != declared {
+            return Err(self.error("the ON clause must equate the two join aliases' image_id"));
+        }
+        Ok(Some(SqlJoin { left, right }))
+    }
+
     fn parse_query(&mut self) -> Result<SqlQuery, SqlError> {
         self.expect_keyword("SELECT")?;
         let select = self.parse_select_list()?;
         self.expect_keyword("FROM")?;
         // The relation name is free-form (`masks`, `MasksDatabaseView`, ...).
         let _relation = self.keyword()?;
+        let join = self.parse_join()?;
 
         let where_clause = if self.peek_keyword("WHERE") {
             self.pos += 1;
@@ -286,6 +354,7 @@ impl Parser {
 
         Ok(SqlQuery {
             select,
+            join,
             where_clause,
             group_by,
             having,
@@ -384,36 +453,65 @@ impl Parser {
     }
 
     fn parse_condition_atom(&mut self) -> Result<Condition, SqlError> {
-        // Metadata columns: <ident> = <int> or <ident> IN (<ints>).
+        // Metadata columns, optionally join-qualified:
+        // `[alias.]<column> = <int>` or `[alias.]<column> IN (<ints>)`.
         if let Some(Token::Ident(name)) = self.peek() {
-            let column = name.to_ascii_lowercase();
-            let is_meta = matches!(
-                column.as_str(),
-                "model_id"
-                    | "mask_type"
-                    | "image_id"
-                    | "mask_id"
-                    | "predicted_label"
-                    | "true_label"
+            let first = name.to_ascii_lowercase();
+            let dotted = matches!(
+                self.tokens.get(self.pos + 1).map(|s| &s.token),
+                Some(Token::Dot)
             );
-            if is_meta {
-                self.pos += 1;
-                if self.peek_keyword("IN") {
-                    self.pos += 1;
-                    self.expect(&Token::LParen, "`(` after IN")?;
-                    let mut values = Vec::new();
-                    loop {
-                        values.push(self.number()? as u64);
-                        if !self.consume_if(&Token::Comma) {
-                            break;
-                        }
-                    }
-                    self.expect(&Token::RParen, "`)` closing IN list")?;
-                    return Ok(Condition::MetaIn { column, values });
+            let column_name = if dotted {
+                match self.tokens.get(self.pos + 2).map(|s| &s.token) {
+                    Some(Token::Ident(column)) => Some(column.to_ascii_lowercase()),
+                    _ => None,
                 }
-                self.expect(&Token::Eq, "`=` in metadata condition")?;
-                let value = self.number()? as u64;
-                return Ok(Condition::MetaEq { column, value });
+            } else {
+                Some(first.clone())
+            };
+            if let Some(column) = column_name {
+                let is_meta = matches!(
+                    column.as_str(),
+                    "model_id"
+                        | "mask_type"
+                        | "image_id"
+                        | "mask_id"
+                        | "predicted_label"
+                        | "true_label"
+                );
+                if is_meta {
+                    let qualifier = if dotted {
+                        self.pos += 3; // alias, dot, column
+                        Some(first)
+                    } else {
+                        self.pos += 1;
+                        None
+                    };
+                    if self.peek_keyword("IN") {
+                        self.pos += 1;
+                        self.expect(&Token::LParen, "`(` after IN")?;
+                        let mut values = Vec::new();
+                        loop {
+                            values.push(self.number()? as u64);
+                            if !self.consume_if(&Token::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&Token::RParen, "`)` closing IN list")?;
+                        return Ok(Condition::MetaIn {
+                            qualifier,
+                            column,
+                            values,
+                        });
+                    }
+                    self.expect(&Token::Eq, "`=` in metadata condition")?;
+                    let value = self.number()? as u64;
+                    return Ok(Condition::MetaEq {
+                        qualifier,
+                        column,
+                        value,
+                    });
+                }
             }
         }
         // Otherwise: <expr> <cmp> <number>.
@@ -496,6 +594,7 @@ impl Parser {
                 self.expect(&Token::LParen, "`(`")?;
                 match upper.as_str() {
                     "CP" => self.parse_cp_args(),
+                    "IOU" => self.parse_iou_args(),
                     "SUM" | "AVG" | "MEAN" | "MIN" | "MAX" => {
                         let inner = self.parse_expr()?;
                         self.expect(&Token::RParen, "`)` closing aggregate")?;
@@ -515,54 +614,40 @@ impl Parser {
         }
     }
 
-    /// Parses the arguments of `CP(...)` after the opening parenthesis.
-    fn parse_cp_args(&mut self) -> Result<SqlExpr, SqlError> {
-        // First argument: `mask`, `INTERSECT(mask > t)`, `UNION(mask > t)`,
-        // or `MEAN(mask)`.
-        let mask = match self.peek().cloned() {
-            Some(Token::Ident(name)) if name.eq_ignore_ascii_case("mask") => {
-                self.pos += 1;
-                MaskArg::Plain
-            }
-            Some(Token::Ident(name)) => {
-                let upper = name.to_ascii_uppercase();
-                self.pos += 1;
-                self.expect(&Token::LParen, "`(` after mask aggregation")?;
-                self.expect_keyword("MASK")?;
-                let arg = match upper.as_str() {
-                    "INTERSECT" | "UNION" => {
-                        self.expect(&Token::Gt, "`>` in thresholded mask aggregation")?;
-                        let threshold = self.number()?;
-                        if upper == "INTERSECT" {
-                            MaskArg::Intersect { threshold }
-                        } else {
-                            MaskArg::Union { threshold }
-                        }
-                    }
-                    "MEAN" | "AVG" => MaskArg::Mean,
-                    other => return Err(self.error(format!("unknown mask aggregation `{other}`"))),
-                };
-                self.expect(&Token::RParen, "`)` closing mask aggregation")?;
-                arg
-            }
-            _ => return Err(self.error("expected `mask` or a mask aggregation in CP(...)")),
-        };
-        self.expect(&Token::Comma, "`,` after the mask argument")?;
+    /// Returns `true` if the token at `self.pos + offset` is a `.`.
+    fn dot_at(&self, offset: usize) -> bool {
+        matches!(
+            self.tokens.get(self.pos + offset).map(|s| &s.token),
+            Some(Token::Dot)
+        )
+    }
 
-        // Second argument: the ROI.
-        let roi = match self.peek().cloned() {
+    /// Parses a join-qualified mask reference `<alias>.mask`.
+    fn parse_qualified_mask(&mut self) -> Result<String, SqlError> {
+        let alias = match self.advance() {
+            Some(Token::Ident(name)) => name.to_ascii_lowercase(),
+            _ => return Err(self.error("expected a join alias (as in `a.mask`)")),
+        };
+        self.expect(&Token::Dot, "`.` after the join alias")?;
+        self.expect_keyword("MASK")?;
+        Ok(alias)
+    }
+
+    /// Parses an ROI argument: a box, `object`, `full`, or `-`.
+    fn parse_roi(&mut self) -> Result<RoiExpr, SqlError> {
+        match self.peek().cloned() {
             Some(Token::Ident(name)) if name.eq_ignore_ascii_case("object") => {
                 self.pos += 1;
-                RoiExpr::Object
+                Ok(RoiExpr::Object)
             }
             Some(Token::Ident(name)) if name.eq_ignore_ascii_case("full") => {
                 self.pos += 1;
-                RoiExpr::Full
+                Ok(RoiExpr::Full)
             }
             Some(Token::Minus) => {
                 // The paper writes `CP(mask, -, ...)` for "no ROI".
                 self.pos += 1;
-                RoiExpr::Full
+                Ok(RoiExpr::Full)
             }
             Some(Token::LParen) => {
                 self.pos += 1;
@@ -574,10 +659,91 @@ impl Parser {
                 self.expect(&Token::Comma, "`,`")?;
                 let y1 = self.number()? as u32;
                 self.expect(&Token::RParen, "`)` closing ROI")?;
-                RoiExpr::Box { x0, y0, x1, y1 }
+                Ok(RoiExpr::Box { x0, y0, x1, y1 })
             }
-            _ => return Err(self.error("expected an ROI (box, `object`, `full`, or `-`)")),
+            _ => Err(self.error("expected an ROI (box, `object`, `full`, or `-`)")),
+        }
+    }
+
+    /// Parses the arguments of `IOU(a.mask, b.mask, roi, θ)` after the
+    /// opening parenthesis.
+    fn parse_iou_args(&mut self) -> Result<SqlExpr, SqlError> {
+        let left = self.parse_qualified_mask()?;
+        self.expect(&Token::Comma, "`,` after the first IOU operand")?;
+        let right = self.parse_qualified_mask()?;
+        self.expect(&Token::Comma, "`,` after the second IOU operand")?;
+        let roi = self.parse_roi()?;
+        self.expect(&Token::Comma, "`,` after the IOU ROI")?;
+        let threshold = self.number()?;
+        self.expect(&Token::RParen, "`)` closing IOU")?;
+        Ok(SqlExpr::Iou {
+            left,
+            right,
+            roi,
+            threshold,
+        })
+    }
+
+    /// Parses the arguments of `CP(...)` after the opening parenthesis.
+    fn parse_cp_args(&mut self) -> Result<SqlExpr, SqlError> {
+        // First argument: `mask`, a qualified `a.mask`, a group aggregation
+        // (`INTERSECT(mask > t)` / `UNION(mask > t)` / `MEAN(mask)`), or a
+        // pair composition (`INTERSECT(a.mask, b.mask)` / `UNION(..)` /
+        // `DIFF(..)`).
+        let mask = match self.peek().cloned() {
+            Some(Token::Ident(_)) if self.dot_at(1) => {
+                MaskArg::Qualified(self.parse_qualified_mask()?)
+            }
+            Some(Token::Ident(name)) if name.eq_ignore_ascii_case("mask") => {
+                self.pos += 1;
+                MaskArg::Plain
+            }
+            Some(Token::Ident(name)) => {
+                let upper = name.to_ascii_uppercase();
+                self.pos += 1;
+                self.expect(&Token::LParen, "`(` after mask aggregation")?;
+                // A qualified first operand means the pair-composition form.
+                if self.dot_at(1) {
+                    let op = match upper.as_str() {
+                        "INTERSECT" => MaskOp::Intersect,
+                        "UNION" => MaskOp::Union,
+                        "DIFF" => MaskOp::Diff,
+                        other => {
+                            return Err(self.error(format!("unknown mask composition `{other}`")))
+                        }
+                    };
+                    let left = self.parse_qualified_mask()?;
+                    self.expect(&Token::Comma, "`,` between composition operands")?;
+                    let right = self.parse_qualified_mask()?;
+                    self.expect(&Token::RParen, "`)` closing mask composition")?;
+                    MaskArg::Pair { op, left, right }
+                } else {
+                    self.expect_keyword("MASK")?;
+                    let arg = match upper.as_str() {
+                        "INTERSECT" | "UNION" => {
+                            self.expect(&Token::Gt, "`>` in thresholded mask aggregation")?;
+                            let threshold = self.number()?;
+                            if upper == "INTERSECT" {
+                                MaskArg::Intersect { threshold }
+                            } else {
+                                MaskArg::Union { threshold }
+                            }
+                        }
+                        "MEAN" | "AVG" => MaskArg::Mean,
+                        other => {
+                            return Err(self.error(format!("unknown mask aggregation `{other}`")))
+                        }
+                    };
+                    self.expect(&Token::RParen, "`)` closing mask aggregation")?;
+                    arg
+                }
+            }
+            _ => return Err(self.error("expected `mask` or a mask aggregation in CP(...)")),
         };
+        self.expect(&Token::Comma, "`,` after the mask argument")?;
+
+        // Second argument: the ROI.
+        let roi = self.parse_roi()?;
         self.expect(&Token::Comma, "`,` after the ROI")?;
 
         // Third argument: the pixel-value range `(lv, uv)`.
@@ -609,7 +775,7 @@ mod tests {
                 assert!(matches!(*lhs, Condition::Compare { op: SqlCmp::Lt, .. }));
                 assert!(matches!(
                     *rhs,
-                    Condition::MetaEq { ref column, value: 1 } if column == "model_id"
+                    Condition::MetaEq { ref column, value: 1, .. } if column == "model_id"
                 ));
             }
             other => panic!("unexpected condition {other:?}"),
@@ -668,7 +834,7 @@ mod tests {
         }
         assert!(matches!(
             q.where_clause,
-            Some(Condition::MetaIn { ref column, ref values }) if column == "mask_type" && values == &vec![1, 2]
+            Some(Condition::MetaIn { ref column, ref values, .. }) if column == "mask_type" && values == &vec![1, 2]
         ));
     }
 
@@ -720,6 +886,123 @@ mod tests {
                 mask_ids: vec![1, 2, 3]
             })
         );
+    }
+
+    #[test]
+    fn parses_join_with_qualified_refs_and_compositions() {
+        let q = parse(
+            "SELECT image_id, CP(DIFF(a.mask, b.mask), (0, 0, 64, 64), (0.5, 1.0)) AS d \
+             FROM masks a JOIN masks b ON a.image_id = b.image_id \
+             WHERE a.model_id = 1 AND b.model_id = 2 AND mask_type = 1 \
+             ORDER BY d DESC LIMIT 20",
+        )
+        .unwrap();
+        assert_eq!(
+            q.join,
+            Some(SqlJoin {
+                left: "a".to_string(),
+                right: "b".to_string()
+            })
+        );
+        match &q.select[1].expr {
+            Some(SqlExpr::Cp { mask, .. }) => {
+                assert_eq!(
+                    *mask,
+                    MaskArg::Pair {
+                        op: MaskOp::Diff,
+                        left: "a".to_string(),
+                        right: "b".to_string()
+                    }
+                );
+            }
+            other => panic!("unexpected select expr {other:?}"),
+        }
+        // WHERE carries two qualified conditions and one unqualified.
+        let mut quals = Vec::new();
+        fn walk(c: &Condition, quals: &mut Vec<(Option<String>, String)>) {
+            match c {
+                Condition::And(l, r) => {
+                    walk(l, quals);
+                    walk(r, quals);
+                }
+                Condition::MetaEq {
+                    qualifier, column, ..
+                } => quals.push((qualifier.clone(), column.clone())),
+                _ => {}
+            }
+        }
+        walk(q.where_clause.as_ref().unwrap(), &mut quals);
+        assert_eq!(
+            quals,
+            vec![
+                (Some("a".to_string()), "model_id".to_string()),
+                (Some("b".to_string()), "model_id".to_string()),
+                (None, "mask_type".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn parses_iou_and_qualified_single_side() {
+        let q = parse(
+            "SELECT image_id, IOU(a.mask, b.mask, full, 0.5) AS agreement \
+             FROM masks a JOIN masks b ON b.image_id = a.image_id \
+             WHERE CP(a.mask, full, (0.5, 1.0)) > 10 \
+             ORDER BY agreement ASC LIMIT 5",
+        )
+        .unwrap();
+        match &q.select[1].expr {
+            Some(SqlExpr::Iou {
+                left,
+                right,
+                roi,
+                threshold,
+            }) => {
+                assert_eq!((left.as_str(), right.as_str()), ("a", "b"));
+                assert_eq!(*roi, RoiExpr::Full);
+                assert_eq!(*threshold, 0.5);
+            }
+            other => panic!("unexpected select expr {other:?}"),
+        }
+        match q.where_clause.unwrap() {
+            Condition::Compare { expr, .. } => {
+                assert!(matches!(
+                    expr,
+                    SqlExpr::Cp {
+                        mask: MaskArg::Qualified(ref alias),
+                        ..
+                    } if alias == "a"
+                ));
+            }
+            other => panic!("unexpected condition {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_joins() {
+        // Missing aliases.
+        assert!(
+            parse("SELECT image_id FROM masks JOIN masks b ON a.image_id = b.image_id").is_err()
+        );
+        assert!(
+            parse("SELECT image_id FROM masks a JOIN masks ON a.image_id = b.image_id").is_err()
+        );
+        // Duplicate alias.
+        assert!(
+            parse("SELECT image_id FROM masks a JOIN masks a ON a.image_id = a.image_id").is_err()
+        );
+        // ON clause must equate the two aliases' image_id.
+        assert!(
+            parse("SELECT image_id FROM masks a JOIN masks b ON a.image_id = c.image_id").is_err()
+        );
+        assert!(
+            parse("SELECT image_id FROM masks a JOIN masks b ON a.mask_id = b.mask_id").is_err()
+        );
+        // Missing ON clause entirely.
+        assert!(parse(
+            "SELECT image_id FROM masks a JOIN masks b WHERE CP(DIFF(a.mask, b.mask), full, (0.5, 1.0)) > 1"
+        )
+        .is_err());
     }
 
     #[test]

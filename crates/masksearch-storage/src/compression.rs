@@ -39,16 +39,26 @@ pub fn compress(pixels: &[f32]) -> Vec<u8> {
     rle_encode(&bytes)
 }
 
-/// Decompresses a payload produced by [`compress`].
+/// Decompresses a payload produced by [`compress`], which must decode to
+/// exactly `expected_pixels` values.
 ///
-/// Returns `None` if the payload is structurally invalid (truncated token or
-/// a byte count that is not a multiple of four).
-pub fn decompress(payload: &[u8]) -> Option<Vec<f32>> {
-    let bytes = rle_decode(payload)?;
-    if bytes.len() % 4 != 0 {
+/// The expected length is part of the contract, not a convenience: RLE run
+/// tokens are attacker-controlled wire/disk data, and three crafted bytes
+/// (`0x00, 0xff, 0xff`) expand to 64 KiB — so an unbounded decoder lets a
+/// small corrupt blob drive allocation amplification. Decoding bails out the
+/// moment the output would exceed `expected_pixels * 4` bytes, and a payload
+/// that decodes *short* (truncated stream) or carries trailing tokens is
+/// rejected too.
+///
+/// Returns `None` if the payload is structurally invalid (truncated token),
+/// over- or under-runs the expected length, or leaves trailing garbage.
+pub fn decompress(payload: &[u8], expected_pixels: usize) -> Option<Vec<f32>> {
+    let max_bytes = expected_pixels.checked_mul(4)?;
+    let bytes = rle_decode(payload, max_bytes)?;
+    if bytes.len() != max_bytes {
         return None;
     }
-    let mut out = Vec::with_capacity(bytes.len() / 4);
+    let mut out = Vec::with_capacity(expected_pixels);
     let mut prev = 0u32;
     for chunk in bytes.chunks_exact(4) {
         let delta = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
@@ -103,8 +113,12 @@ fn flush_literal(out: &mut Vec<u8>, mut literal: &[u8]) {
     }
 }
 
-fn rle_decode(payload: &[u8]) -> Option<Vec<u8>> {
-    let mut out = Vec::with_capacity(payload.len() * 2);
+/// Decodes the RLE stream, refusing to ever grow the output past
+/// `max_bytes` — the caller-declared decoded size. The cap is checked
+/// *before* each token is materialised, so a hostile payload cannot force
+/// an allocation larger than the caller expects.
+fn rle_decode(payload: &[u8], max_bytes: usize) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(payload.len().min(max_bytes));
     let mut i = 0;
     while i < payload.len() {
         let token = payload[i];
@@ -113,6 +127,9 @@ fn rle_decode(payload: &[u8]) -> Option<Vec<u8>> {
         }
         let n = u16::from_le_bytes([payload[i + 1], payload[i + 2]]) as usize;
         i += 3;
+        if n > max_bytes - out.len() {
+            return None; // would overrun the declared decoded size
+        }
         match token {
             TOKEN_RUN => {
                 if i >= payload.len() {
@@ -153,7 +170,7 @@ mod tests {
         // A smooth gradient: typical saliency-map structure.
         let pixels: Vec<f32> = (0..4096).map(|i| (i as f32 / 4096.0) * 0.9).collect();
         let payload = compress(&pixels);
-        let decoded = decompress(&payload).unwrap();
+        let decoded = decompress(&payload, pixels.len()).unwrap();
         assert_eq!(decoded, pixels);
     }
 
@@ -162,7 +179,7 @@ mod tests {
         let pixels = vec![0.25f32; 10_000];
         let payload = compress(&pixels);
         assert!(payload.len() < pixels.len()); // much smaller than 40 KB
-        assert_eq!(decompress(&payload).unwrap(), pixels);
+        assert_eq!(decompress(&payload, pixels.len()).unwrap(), pixels);
     }
 
     #[test]
@@ -177,19 +194,19 @@ mod tests {
             })
             .collect();
         let payload = compress(&pixels);
-        assert_eq!(decompress(&payload).unwrap(), pixels);
+        assert_eq!(decompress(&payload, pixels.len()).unwrap(), pixels);
     }
 
     #[test]
     fn round_trip_empty_and_single() {
-        assert_eq!(decompress(&compress(&[])).unwrap(), Vec::<f32>::new());
-        assert_eq!(decompress(&compress(&[0.5])).unwrap(), vec![0.5]);
+        assert_eq!(decompress(&compress(&[]), 0).unwrap(), Vec::<f32>::new());
+        assert_eq!(decompress(&compress(&[0.5]), 1).unwrap(), vec![0.5]);
     }
 
     #[test]
     fn round_trip_special_bit_patterns() {
         let pixels = vec![0.0, -0.0, f32::MIN_POSITIVE, 0.999_999_94, f32::NAN];
-        let decoded = decompress(&compress(&pixels)).unwrap();
+        let decoded = decompress(&compress(&pixels), pixels.len()).unwrap();
         assert_eq!(decoded.len(), pixels.len());
         for (a, b) in decoded.iter().zip(&pixels) {
             assert_eq!(a.to_bits(), b.to_bits());
@@ -198,12 +215,54 @@ mod tests {
 
     #[test]
     fn corrupt_payloads_are_rejected_not_panicking() {
-        assert!(decompress(&[TOKEN_RUN]).is_none());
-        assert!(decompress(&[TOKEN_LITERAL, 10, 0, 1, 2]).is_none());
-        assert!(decompress(&[0x77, 1, 0, 0]).is_none());
-        // Run that produces a byte count not divisible by 4.
+        assert!(decompress(&[TOKEN_RUN], 1024).is_none());
+        assert!(decompress(&[TOKEN_LITERAL, 10, 0, 1, 2], 1024).is_none());
+        assert!(decompress(&[0x77, 1, 0, 0], 1024).is_none());
+        // Run that produces a byte count not matching the declared pixels.
         let bad = vec![TOKEN_RUN, 5, 0, 0xab];
-        assert!(decompress(&bad).is_none());
+        assert!(decompress(&bad, 1024).is_none());
+    }
+
+    #[test]
+    fn declared_length_caps_allocation_amplification() {
+        // Three run tokens of 64 KiB each: 12 bytes of payload claiming
+        // ~192 KiB of output. With a 16-pixel (64-byte) expectation the
+        // decoder must refuse at the first token, not allocate.
+        let mut hostile = Vec::new();
+        for _ in 0..3 {
+            hostile.extend_from_slice(&[TOKEN_RUN, 0xff, 0xff, 0x00]);
+        }
+        assert!(decompress(&hostile, 16).is_none());
+        // The same stream is fine when the caller really expects that much.
+        let expected = (3 * 0xffff) / 4; // not a multiple of 4 bytes -> short
+        assert!(decompress(&hostile, expected).is_none());
+    }
+
+    #[test]
+    fn wrong_declared_length_is_rejected_both_ways() {
+        let pixels = vec![0.5f32; 64];
+        let payload = compress(&pixels);
+        assert!(decompress(&payload, 64).is_some());
+        // Decodes short of the declared length (truncated stream).
+        assert!(decompress(&payload, 65).is_none());
+        // Decodes past the declared length (trailing garbage).
+        assert!(decompress(&payload, 63).is_none());
+        let mut trailing = payload.clone();
+        trailing.extend_from_slice(&[TOKEN_LITERAL, 4, 0, 1, 2, 3, 4]);
+        assert!(decompress(&trailing, 64).is_none());
+        assert!(decompress(&trailing, 65).is_some()); // exactly consumed
+    }
+
+    #[test]
+    fn truncated_streams_never_decode() {
+        let pixels: Vec<f32> = (0..256).map(|i| (i as f32) / 300.0).collect();
+        let payload = compress(&pixels);
+        for cut in 1..payload.len() {
+            assert!(
+                decompress(&payload[..cut], pixels.len()).is_none(),
+                "truncation at {cut} decoded"
+            );
+        }
     }
 
     #[test]

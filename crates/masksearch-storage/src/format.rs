@@ -166,7 +166,7 @@ pub fn decode_mask(bytes: &[u8]) -> StorageResult<(MaskHeader, Mask)> {
                 .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
                 .collect()
         }
-        MaskEncoding::Compressed => compression::decompress(payload)
+        MaskEncoding::Compressed => compression::decompress(payload, expected_pixels)
             .ok_or_else(|| StorageError::corrupt("compressed mask payload failed to decode"))?,
     };
     if pixels.len() != expected_pixels {

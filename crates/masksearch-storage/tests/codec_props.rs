@@ -1,0 +1,87 @@
+//! Property tests of the mask compression codec under hostile input:
+//!
+//! 1. Round trips are bit-exact for arbitrary pixel buffers, including NaN,
+//!    ±∞, signed zeros, and denormals — the codec works on raw bit patterns.
+//! 2. Every truncated prefix of a valid payload is rejected.
+//! 3. Arbitrary byte soup either fails to decode or decodes to exactly the
+//!    declared pixel count — and the decoder never materialises more than
+//!    the declared length, bounding allocation amplification on crafted run
+//!    tokens.
+//!
+//! These run in CI under `cargo test -p masksearch-storage --release` so the
+//! expensive byte-level cases execute optimized.
+
+use masksearch_storage::compression::{compress, decompress};
+use proptest::prelude::*;
+
+/// Arbitrary pixel buffers biased towards special IEEE values.
+fn arb_pixels() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec((any::<u32>(), 0u32..8), 0..512).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(bits, kind)| match kind {
+                0 => f32::NAN,
+                1 => f32::INFINITY,
+                2 => f32::NEG_INFINITY,
+                3 => -0.0,
+                4 => 0.0,
+                5 => f32::from_bits(bits % 8), // denormals
+                // In-domain values, the common case.
+                _ => (bits % 1000) as f32 / 1000.0,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn round_trip_is_bit_exact(pixels in arb_pixels()) {
+        let payload = compress(&pixels);
+        let decoded = decompress(&payload, pixels.len()).expect("valid payload decodes");
+        prop_assert_eq!(decoded.len(), pixels.len());
+        for (a, b) in decoded.iter().zip(&pixels) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // The declared length is part of the contract in both directions.
+        if !pixels.is_empty() {
+            prop_assert!(decompress(&payload, pixels.len() - 1).is_none());
+        }
+        prop_assert!(decompress(&payload, pixels.len() + 1).is_none());
+    }
+
+    #[test]
+    fn truncated_streams_are_rejected(pixels in arb_pixels(), cut in any::<u64>()) {
+        let payload = compress(&pixels);
+        if !payload.is_empty() {
+            let cut = (cut as usize) % payload.len();
+            // A strict prefix always decodes short (or tears a token): the
+            // encoder never emits zero-length tokens.
+            prop_assert!(decompress(&payload[..cut], pixels.len()).is_none());
+        }
+    }
+
+    #[test]
+    fn hostile_payloads_cannot_amplify(
+        soup in proptest::collection::vec(any::<u8>(), 0..256),
+        declared in 0usize..128,
+    ) {
+        // Whatever the bytes claim, the decode either fails or produces
+        // exactly `declared` pixels — never an unbounded buffer.
+        if let Some(decoded) = decompress(&soup, declared) {
+            prop_assert_eq!(decoded.len(), declared);
+        }
+    }
+
+    #[test]
+    fn run_token_bombs_are_rejected_early(repeats in 1usize..64, declared in 0usize..64) {
+        // `repeats` copies of a 64 KiB run token: a few bytes claiming up to
+        // 4 MiB. With a small declared size the decode must fail (the cap
+        // check runs before any token is materialised).
+        let mut bomb = Vec::with_capacity(repeats * 4);
+        for _ in 0..repeats {
+            bomb.extend_from_slice(&[0x00, 0xff, 0xff, 0x00]);
+        }
+        prop_assert!(decompress(&bomb, declared).is_none());
+    }
+}

@@ -263,6 +263,26 @@ fn query_suite() -> Vec<String> {
             "SELECT image_id, MAX(CP(mask, full, (0.5, 1.0))) AS s \
              FROM masks GROUP BY image_id ORDER BY s DESC LIMIT 4"
         ),
+        // Pair (self-join) shapes: with no per-model metadata both sides
+        // bind each image's smallest mask id, which makes every IoU exactly
+        // 1.0 — an all-ties ranked merge, the hardest case for the
+        // distributed top-k tie-break — while the composed filter behaves
+        // like a per-image CP and must broadcast-merge exactly.
+        format!(
+            "SELECT image_id FROM masks a JOIN masks b ON a.image_id = b.image_id \
+             WHERE CP(UNION(a.mask, b.mask), full, (0.5, 1.0)) > {}",
+            W * H / 2
+        ),
+        format!(
+            "SELECT image_id, IOU(a.mask, b.mask, full, 0.5) AS s \
+             FROM masks a JOIN masks b ON a.image_id = b.image_id \
+             ORDER BY s DESC LIMIT 5"
+        ),
+        format!(
+            "SELECT image_id, CP(DIFF(a.mask, b.mask), (0, 0, 8, {H}), (0.25, 1.0)) AS d \
+             FROM masks a JOIN masks b ON a.image_id = b.image_id \
+             ORDER BY d ASC LIMIT 6"
+        ),
     ]
 }
 

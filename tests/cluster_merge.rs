@@ -11,11 +11,14 @@
 //! covered without any networking.
 
 use masksearch::cluster::distributed_topk;
-use masksearch::core::{ImageId, Mask, MaskAgg, MaskId, MaskRecord, PixelRange, Roi};
+use masksearch::core::{
+    ImageId, Mask, MaskAgg, MaskId, MaskOp, MaskRecord, ModelId, PixelRange, Roi,
+};
 use masksearch::index::ChiConfig;
 use masksearch::query::merge;
 use masksearch::query::{
-    CmpOp, CpTerm, Expr, IndexingMode, Order, Query, ScalarAgg, Session, SessionConfig,
+    CmpOp, CpTerm, Expr, IndexingMode, MaskJoin, Order, Predicate, Query, RoiSpec, ScalarAgg,
+    Selection, Session, SessionConfig,
 };
 use masksearch::storage::{Catalog, MaskStore, MemoryMaskStore};
 use proptest::prelude::*;
@@ -51,6 +54,7 @@ fn session_over(mask_ids: &[u64], seed: u64) -> Session {
         catalog.insert(
             MaskRecord::builder(MaskId::new(id))
                 .image_id(ImageId::new(id / 2))
+                .model_id(ModelId::new(id % 2 + 1))
                 .shape(W, H)
                 .object_box(Roi::new(2, 2, 12, 14).unwrap())
                 .build(),
@@ -170,6 +174,39 @@ proptest! {
         )
         .with_group_top_k(k, order);
         assert_ranked_merges(&oracle, &shards, &mask_agg, k, order);
+
+        // Pair (multi-mask) shapes: model-1 vs model-2 per image. The
+        // every-third-image duplicate siblings make CP(DIFF) = 0 ties, so
+        // the ranked merge's image-id tie-break is exercised too.
+        let join = MaskJoin::new(
+            Selection::all().with_model(ModelId::new(1)),
+            Selection::all().with_model(ModelId::new(2)),
+        );
+        let pair_filter = Query::pair_filter(
+            join.clone(),
+            Predicate::gt(
+                Expr::cp_composed(MaskOp::Diff, RoiSpec::Constant(roi), range(0.5, 1.0)),
+                threshold,
+            ),
+        );
+        assert_unordered_merges(&oracle, &shards, &pair_filter);
+        let pair_union = Query::pair_filter(
+            join.clone(),
+            Predicate::lt(
+                Expr::cp_composed(MaskOp::Union, RoiSpec::FullMask, range(0.5, 1.0)),
+                threshold,
+            ),
+        );
+        assert_unordered_merges(&oracle, &shards, &pair_union);
+        let pair_iou = Query::pair_top_k(join.clone(), Expr::iou(RoiSpec::FullMask, range(0.5, 1.0)), k, order);
+        assert_ranked_merges(&oracle, &shards, &pair_iou, k, order);
+        let pair_intersect_topk = Query::pair_top_k(
+            join,
+            Expr::cp_composed(MaskOp::Intersect, RoiSpec::Constant(roi), range(0.5, 1.0)),
+            k,
+            order,
+        );
+        assert_ranked_merges(&oracle, &shards, &pair_intersect_topk, k, order);
 
         // Mask-aggregation with HAVING merges unordered.
         let mask_agg_having = Query::mask_aggregate(

@@ -6,32 +6,87 @@
 //! arbitrary tile sizes, and boundary ranges (bin-edge aligned, one-ULP wide,
 //! the full `[0, 1)` domain).
 
-use masksearch::core::{cp, cp_many, Mask, PixelRange, Roi, TileGrid, TileStats, TiledMask};
+use masksearch::core::{
+    cp, cp_composed, cp_many, Mask, MaskOp, PixelRange, Roi, TileGrid, TileStats, TiledMask,
+};
 use proptest::prelude::*;
 
-/// Arbitrary masks mixing four content families: smooth blobs (spatially
-/// coherent, the kernel's best case), hash noise (its worst case), values
-/// pinned exactly to histogram bin edges `i/16` (so aligned ranges have
-/// pixels exactly on their bounds), and near-constant masks.
-fn arb_mask() -> impl Strategy<Value = Mask> {
-    (1u32..72, 1u32..72, any::<u64>(), 0u32..4u32).prop_map(|(w, h, seed, kind)| {
-        let mut state = seed | 1;
-        Mask::from_fn(w, h, move |x, y| match kind {
-            0 => {
-                let dx = x as f32 - w as f32 / 3.0;
-                let dy = y as f32 - h as f32 / 2.0;
-                0.9 * (-(dx * dx + dy * dy) / ((w.min(h) as f32 / 3.0).powi(2)).max(1.0)).exp()
-            }
-            1 => {
-                state = state
-                    .wrapping_mul(6364136223846793005)
-                    .wrapping_add(1442695040888963407);
-                ((state >> 33) as f32) / (u32::MAX as f32)
-            }
-            2 => ((x + y * w + seed as u32) % 17) as f32 / 16.0, // bin edges, incl. 1.0 clamped
-            _ => 0.5 + ((x + y) % 2) as f32 * f32::EPSILON,
-        })
+/// Builds one mask of a content family. Families 0–3 are in-domain (smooth
+/// blobs, hash noise, bin-edge values, near-constant); families 4–5 use the
+/// unchecked constructor to inject NaN / ±∞ / −0.0 / out-of-domain pixels —
+/// the payloads a hostile or corrupt compressed blob can round-trip into a
+/// mask, where the kernel's summaries must still agree with the reference
+/// scan (NaN is never in range).
+fn mask_of(w: u32, h: u32, seed: u64, kind: u32) -> Mask {
+    let mut state = seed | 1;
+    if kind >= 4 {
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        let dense_specials = kind == 5;
+        let data: Vec<f32> = (0..(w as usize) * (h as usize))
+            .map(|_| {
+                let r = next();
+                let special = if dense_specials {
+                    r % 2 == 0
+                } else {
+                    r % 8 == 0
+                };
+                if special {
+                    match (r >> 8) % 6 {
+                        0 => f32::NAN,
+                        1 => f32::INFINITY,
+                        2 => f32::NEG_INFINITY,
+                        3 => -0.0,
+                        4 => 1.0 + ((r >> 16) % 100) as f32 / 10.0,
+                        _ => -(((r >> 16) % 100) as f32 / 10.0),
+                    }
+                } else {
+                    ((r >> 33) as f32) / (u32::MAX as f32 + 1.0)
+                }
+            })
+            .collect();
+        return Mask::from_data_unchecked(w, h, data).expect("shape matches");
+    }
+    Mask::from_fn(w, h, move |x, y| match kind {
+        0 => {
+            let dx = x as f32 - w as f32 / 3.0;
+            let dy = y as f32 - h as f32 / 2.0;
+            0.9 * (-(dx * dx + dy * dy) / ((w.min(h) as f32 / 3.0).powi(2)).max(1.0)).exp()
+        }
+        1 => {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32) / (u32::MAX as f32)
+        }
+        2 => ((x + y * w + seed as u32) % 17) as f32 / 16.0, // bin edges, incl. 1.0 clamped
+        _ => 0.5 + ((x + y) % 2) as f32 * f32::EPSILON,
     })
+}
+
+/// Arbitrary masks over all six content families (including the
+/// special-pixel families 4–5).
+fn arb_mask() -> impl Strategy<Value = Mask> {
+    (1u32..72, 1u32..72, any::<u64>(), 0u32..6u32)
+        .prop_map(|(w, h, seed, kind)| mask_of(w, h, seed, kind))
+}
+
+/// A same-shape mask pair for the composed kernel (independent content
+/// families and seeds per side).
+fn arb_mask_pair() -> impl Strategy<Value = (Mask, Mask)> {
+    (
+        1u32..56,
+        1u32..56,
+        any::<u64>(),
+        any::<u64>(),
+        0u32..6u32,
+        0u32..6u32,
+    )
+        .prop_map(|(w, h, sa, sb, ka, kb)| (mask_of(w, h, sa, ka), mask_of(w, h, sb, kb)))
 }
 
 /// ROIs that may lie partially or entirely outside the mask (clipping and
@@ -144,6 +199,35 @@ proptest! {
             reassembled.cp(&mask, &roi, &range, &mut stats),
             mask.count_pixels(&roi, &range)
         );
+    }
+
+    /// Composed-kernel differential oracle: `CP` over `min` / `max` /
+    /// `|a−b|` through both masks' tile summaries equals the fused
+    /// reference scan, exactly — including masks with NaN/±∞/−0.0 pixels
+    /// (a NaN operand poisons the composed pixel, which is never counted).
+    #[test]
+    fn composed_kernel_equals_reference(
+        pair in arb_mask_pair(),
+        tile in arb_tile(),
+        roi in arb_roi(),
+        range in arb_range(),
+        op_pick in 0u32..3,
+    ) {
+        let (a, b) = pair;
+        let op = [MaskOp::Intersect, MaskOp::Union, MaskOp::Diff][op_pick as usize];
+        let ga = TileGrid::build_with(&a, tile);
+        let gb = TileGrid::build_with(&b, tile);
+        let mut stats = TileStats::default();
+        let kernel = ga.cp_composed(&gb, &a, &b, op, &roi, &range, &mut stats);
+        let reference = cp_composed(&a, &b, op, &roi, &range).expect("same shape");
+        prop_assert_eq!(kernel, reference, "{} tile={} roi={} range={}", op, tile, roi, range);
+        // The TiledMask wrapper (default tile size, lazy grids) agrees too.
+        let ta = TiledMask::from_mask(a);
+        let tb = TiledMask::from_mask(b);
+        let wrapped = ta
+            .cp_composed_with_stats(&tb, op, &roi, &range, &mut stats)
+            .expect("same shape");
+        prop_assert_eq!(wrapped, reference);
     }
 }
 

@@ -132,6 +132,104 @@ proptest! {
         prop_assert_eq!(decoded.len(), 1);
         prop_assert_eq!(&*decoded.get(MaskId::new(3)).unwrap(), &*store.get(MaskId::new(3)).unwrap());
     }
+
+    /// CHI bounds stay sound on masks carrying NaN / ±∞ / −0.0 /
+    /// out-of-domain pixels (reachable through the unchecked constructor,
+    /// e.g. from hostile compressed blobs): ingest skips uncountable pixels,
+    /// so the filter stage must still bracket the exact (NaN-never-in-range)
+    /// scan.
+    #[test]
+    fn chi_bounds_bracket_special_pixel_masks(
+        shape in (4u32..40, 4u32..40),
+        seed in any::<u64>(),
+        roi in arb_roi(48),
+        range in arb_range(),
+        config in arb_config(),
+    ) {
+        let (w, h) = shape;
+        let mask = special_pixel_mask(w, h, seed);
+        let chi = Chi::build(&mask, &config);
+        let bounds = chi.cp_bounds(&roi, &range);
+        let exact = cp(&mask, &roi, &range);
+        prop_assert!(bounds.lower <= exact, "lower {} > exact {exact}", bounds.lower);
+        prop_assert!(exact <= bounds.upper, "exact {exact} > upper {}", bounds.upper);
+    }
+
+    /// Composed (pair) bounds bracket the exact composed count for every
+    /// operator, on ordinary and special-pixel masks alike.
+    #[test]
+    fn composed_bounds_bracket_exact_composed_cp(
+        shape in (4u32..40, 4u32..40),
+        seeds in (any::<u64>(), any::<u64>()),
+        special in any::<bool>(),
+        roi in arb_roi(48),
+        range in arb_range(),
+        config in arb_config(),
+        op_pick in 0u32..3,
+    ) {
+        use masksearch::core::{cp_composed, MaskOp};
+        use masksearch::index::composed_cp_bounds;
+        let (w, h) = shape;
+        let make = |seed: u64| if special {
+            special_pixel_mask(w, h, seed)
+        } else {
+            special_pixel_mask(w, h, seed).clamped_copy()
+        };
+        let a = make(seeds.0);
+        let b = make(seeds.1);
+        let op = [MaskOp::Intersect, MaskOp::Union, MaskOp::Diff][op_pick as usize];
+        let chi_a = Chi::build(&a, &config);
+        let chi_b = Chi::build(&b, &config);
+        let bounds = composed_cp_bounds(&chi_a, &chi_b, op, &roi, &range);
+        let exact = cp_composed(&a, &b, op, &roi, &range).unwrap();
+        prop_assert!(
+            bounds.lower <= exact && exact <= bounds.upper,
+            "{}: exact {} outside [{}, {}]", op, exact, bounds.lower, bounds.upper
+        );
+    }
+}
+
+/// A mask with NaN / ±∞ / −0.0 / out-of-domain pixels sprinkled into hash
+/// noise (about one in eight pixels is special).
+fn special_pixel_mask(w: u32, h: u32, seed: u64) -> Mask {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state
+    };
+    let data: Vec<f32> = (0..(w as usize) * (h as usize))
+        .map(|_| {
+            let r = next();
+            if r % 8 == 0 {
+                match (r >> 8) % 6 {
+                    0 => f32::NAN,
+                    1 => f32::INFINITY,
+                    2 => f32::NEG_INFINITY,
+                    3 => -0.0,
+                    4 => 2.5,
+                    _ => -0.75,
+                }
+            } else {
+                ((r >> 33) as f32) / (u32::MAX as f32 + 1.0)
+            }
+        })
+        .collect();
+    Mask::from_data_unchecked(w, h, data).expect("shape matches")
+}
+
+/// Small helper: an in-domain copy of a mask (specials clamped) for the
+/// mixed special/plain composed-bounds property.
+trait ClampedCopy {
+    fn clamped_copy(&self) -> Mask;
+}
+
+impl ClampedCopy for Mask {
+    fn clamped_copy(&self) -> Mask {
+        Mask::from_data_clamped(self.width(), self.height(), self.data().to_vec())
+            .expect("shape matches")
+    }
 }
 
 /// A small randomized database for the executor-equivalence properties.
