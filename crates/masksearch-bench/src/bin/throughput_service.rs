@@ -1,25 +1,41 @@
 //! Service-layer throughput experiment: served QPS and latency percentiles
-//! as a function of worker-pool size.
+//! as a function of worker-pool size, plus the tracing-overhead gate.
 //!
 //! A fleet of client threads fires a mixed filter / top-k / aggregation
 //! workload at one [`Engine`] (the multi-client scenario of the MaskSearch
 //! demonstration). For each worker count the experiment reports completed
-//! queries per second, p50/p99 end-to-end latency, and the server-wide
-//! filter rate, and appends the results to `BENCH_service.json`.
+//! queries per second, p50/p99 end-to-end latency, the server-wide filter
+//! rate, and the lock-wait time the observability counters attribute to the
+//! session catalog and mask cache (the diagnosis instruments for the
+//! 1→2-worker QPS plateau), and appends the results to
+//! `BENCH_service.json`.
 //!
 //! ```text
 //! cargo run --release --bin throughput_service -- \
-//!     --scale 0.002 --clients 8 --queries 40
+//!     --scale 0.002 --clients 8 --queries 40 [--check]
 //! ```
+//!
+//! With `--check` the experiment additionally interleaves tracing-enabled
+//! and tracing-disabled runs at a fixed worker count and exits non-zero if
+//! tracing costs more than 3% of p50 latency — the observability layer's
+//! overhead budget, enforced in CI.
 
 use masksearch_bench::report::{percentile, Table};
 use masksearch_bench::{scale_from_args, usize_from_args, BenchDataset};
 use masksearch_datagen::RandomQueryGenerator;
+use masksearch_obs::counters;
 use masksearch_query::{IndexingMode, Query};
 use masksearch_service::{Engine, ServiceConfig};
 use masksearch_storage::MaskStore;
 use std::io::Write;
 use std::time::Instant;
+
+/// Allowed tracing overhead on p50 latency, as a fraction.
+const TRACING_BUDGET: f64 = 0.03;
+/// Alternation rounds for the `--check` gate.
+const CHECK_ROUNDS: usize = 16;
+/// Queries per engine per alternation round.
+const CHECK_BATCH: usize = 20;
 
 struct WorkerPoint {
     workers: usize,
@@ -28,6 +44,8 @@ struct WorkerPoint {
     p99_ms: f64,
     mean_ms: f64,
     filter_rate: f64,
+    catalog_wait_ms: f64,
+    cache_wait_ms: f64,
 }
 
 fn mixed_workload(client: u64, queries: usize, width: u32, height: u32) -> Vec<Query> {
@@ -41,10 +59,26 @@ fn mixed_workload(client: u64, queries: usize, width: u32, height: u32) -> Vec<Q
         .collect()
 }
 
-fn run_point(bench: &BenchDataset, workers: usize, clients: usize, queries: usize) -> WorkerPoint {
+/// Value of one named counter in a [`counters::snapshot`].
+fn counter_value(snapshot: &[(&'static str, u64)], name: &str) -> u64 {
+    snapshot
+        .iter()
+        .find(|(k, _)| *k == name)
+        .map(|(_, v)| *v)
+        .unwrap_or(0)
+}
+
+fn run_point(
+    bench: &BenchDataset,
+    workers: usize,
+    clients: usize,
+    queries: usize,
+    tracing: bool,
+) -> WorkerPoint {
     let session = bench.session(IndexingMode::Eager);
     bench.store.io_stats().reset();
-    let engine = Engine::new(session, ServiceConfig::new(workers));
+    let engine = Engine::new(session, ServiceConfig::new(workers).tracing(tracing));
+    let before = counters::snapshot();
 
     let start = Instant::now();
     let mut handles = Vec::new();
@@ -72,8 +106,12 @@ fn run_point(bench: &BenchDataset, workers: usize, clients: usize, queries: usiz
         .collect();
     let wall = start.elapsed();
     let metrics = engine.metrics();
+    let after = counters::snapshot();
     engine.shutdown();
 
+    let delta = |name: &str| {
+        (counter_value(&after, name).saturating_sub(counter_value(&before, name))) as f64 / 1e3
+    };
     WorkerPoint {
         workers,
         qps: latencies_ms.len() as f64 / wall.as_secs_f64(),
@@ -81,13 +119,61 @@ fn run_point(bench: &BenchDataset, workers: usize, clients: usize, queries: usiz
         p99_ms: percentile(&latencies_ms, 99.0),
         mean_ms: latencies_ms.iter().sum::<f64>() / latencies_ms.len().max(1) as f64,
         filter_rate: metrics.filter_rate,
+        catalog_wait_ms: delta("catalog_read_wait_us") + delta("catalog_write_wait_us"),
+        cache_wait_ms: delta("cache_lock_wait_us"),
     }
+}
+
+/// The tracing-overhead gate. Two long-lived engines over the same warmed
+/// dataset — one tracing, one not — served by a single client alternating
+/// `CHECK_BATCH`-query batches between them for `CHECK_ROUNDS` rounds.
+/// Separate whole-run comparisons cannot resolve a 3% budget: the machine's
+/// baseline p50 drifts by far more than that between runs. Fine-grained
+/// alternation makes the drift common-mode, so the p50 difference between
+/// the two latency populations is the per-query cost of span recording
+/// itself. Single client + single worker keep queueing noise out entirely.
+/// Returns `(p50_off_ms, p50_on_ms, passed)`.
+fn tracing_overhead(bench: &BenchDataset) -> (f64, f64, bool) {
+    let engine_off = Engine::new(
+        bench.session(IndexingMode::Eager),
+        ServiceConfig::new(1).tracing(false),
+    );
+    let engine_on = Engine::new(
+        bench.session(IndexingMode::Eager),
+        ServiceConfig::new(1).tracing(true),
+    );
+    let workload = mixed_workload(
+        77,
+        CHECK_BATCH,
+        bench.spec.mask_width,
+        bench.spec.mask_height,
+    );
+    let batch = |engine: &Engine, sink: &mut Vec<f64>| {
+        for query in &workload {
+            let issued = Instant::now();
+            engine.execute(query).expect("served query");
+            sink.push(issued.elapsed().as_secs_f64() * 1e3);
+        }
+    };
+    let (mut off_ms, mut on_ms) = (Vec::new(), Vec::new());
+    // Warm both engines (cache fills, lazy allocations) before measuring.
+    batch(&engine_off, &mut Vec::new());
+    batch(&engine_on, &mut Vec::new());
+    for _ in 0..CHECK_ROUNDS {
+        batch(&engine_off, &mut off_ms);
+        batch(&engine_on, &mut on_ms);
+    }
+    engine_off.shutdown();
+    engine_on.shutdown();
+    let (p50_off, p50_on) = (percentile(&off_ms, 50.0), percentile(&on_ms, 50.0));
+    (p50_off, p50_on, p50_on <= p50_off * (1.0 + TRACING_BUDGET))
 }
 
 fn main() {
     let scale = scale_from_args(0.002);
     let clients = usize_from_args("clients", 8);
     let queries = usize_from_args("queries", 40);
+    let check = std::env::args().any(|a| a == "--check");
     let max_workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(8);
@@ -100,7 +186,7 @@ fn main() {
     worker_counts.retain(|&w| w <= max_workers.max(1) * 2);
     let points: Vec<WorkerPoint> = worker_counts
         .iter()
-        .map(|&workers| run_point(&bench, workers, clients, queries))
+        .map(|&workers| run_point(&bench, workers, clients, queries, true))
         .collect();
 
     let mut table = Table::new(&[
@@ -110,6 +196,8 @@ fn main() {
         "p99 (ms)",
         "mean (ms)",
         "filter rate",
+        "catalog wait (ms)",
+        "cache wait (ms)",
     ]);
     for p in &points {
         table.add_row(vec![
@@ -119,9 +207,22 @@ fn main() {
             format!("{:.3}", p.p99_ms),
             format!("{:.3}", p.mean_ms),
             format!("{:.3}", p.filter_rate),
+            format!("{:.1}", p.catalog_wait_ms),
+            format!("{:.1}", p.cache_wait_ms),
         ]);
     }
     table.print();
+
+    let overhead = check.then(|| {
+        let (off_ms, on_ms, passed) = tracing_overhead(&bench);
+        let pct = (on_ms / off_ms - 1.0) * 100.0;
+        println!(
+            "\ntracing overhead (uncontended p50): off={off_ms:.3} ms on={on_ms:.3} ms \
+             ({pct:+.2}%, budget {:.0}%)",
+            TRACING_BUDGET * 100.0
+        );
+        (off_ms, on_ms, passed)
+    });
 
     // Machine-readable output.
     let mut json = String::new();
@@ -131,17 +232,26 @@ fn main() {
     json.push_str(&format!("  \"clients\": {clients},\n"));
     json.push_str(&format!("  \"queries_per_client\": {queries},\n"));
     json.push_str(&format!("  \"num_masks\": {},\n", bench.num_masks()));
+    if let Some((off_ms, on_ms, passed)) = overhead {
+        json.push_str(&format!(
+            "  \"tracing_overhead\": {{\"p50_off_ms\": {off_ms:.4}, \"p50_on_ms\": {on_ms:.4}, \
+             \"budget\": {TRACING_BUDGET}, \"passed\": {passed}}},\n"
+        ));
+    }
     json.push_str("  \"results\": [\n");
     for (i, p) in points.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"workers\": {}, \"qps\": {:.3}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \
-             \"mean_ms\": {:.4}, \"filter_rate\": {:.4}}}{}\n",
+             \"mean_ms\": {:.4}, \"filter_rate\": {:.4}, \"catalog_wait_ms\": {:.2}, \
+             \"cache_wait_ms\": {:.2}}}{}\n",
             p.workers,
             p.qps,
             p.p50_ms,
             p.p99_ms,
             p.mean_ms,
             p.filter_rate,
+            p.catalog_wait_ms,
+            p.cache_wait_ms,
             if i + 1 < points.len() { "," } else { "" },
         ));
     }
@@ -151,4 +261,12 @@ fn main() {
         .and_then(|mut f| f.write_all(json.as_bytes()))
         .expect("write BENCH_service.json");
     println!("\nwrote {path}");
+
+    if let Some((_, _, passed)) = overhead {
+        if !passed {
+            eprintln!("check FAILED: tracing overhead exceeds the p50 budget");
+            std::process::exit(1);
+        }
+        println!("check passed: tracing overhead within the p50 budget");
+    }
 }

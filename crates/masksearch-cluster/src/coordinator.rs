@@ -29,6 +29,8 @@ use crate::metrics::{ClusterMetrics, ClusterMetricsSnapshot};
 use crate::shard::ShardMap;
 use crate::topk;
 use masksearch_core::{Mask, MaskId, MaskRecord};
+use masksearch_obs::{counters as obs_counters, keys as obs_keys, prom::PromText};
+use masksearch_obs::{ProfileRing, QueryProfile};
 use masksearch_query::merge::{self, RankedPartial};
 use masksearch_query::{Mutation, MutationOutcome, Order, QueryOutput, QueryStats};
 use masksearch_service::job::{MutationResponse, QueryResponse};
@@ -52,22 +54,33 @@ pub struct ClusterConfig {
     pub shard_seed: u64,
     /// Idle connections kept pooled per shard.
     pub pool_idle_per_shard: usize,
+    /// Whether coordinated statements are traced into the coordinator's
+    /// profile ring (`STATS PROFILES`). Scatter spans cost two `Instant`
+    /// reads per round; disabling restores the exact pre-tracing path.
+    pub tracing: bool,
 }
 
 impl ClusterConfig {
     /// A configuration over the given shard addresses with defaults
-    /// (seed 0, 8 pooled connections per shard).
+    /// (seed 0, 8 pooled connections per shard, tracing on).
     pub fn new(shard_addrs: Vec<String>) -> Self {
         Self {
             shard_addrs,
             shard_seed: 0,
             pool_idle_per_shard: 8,
+            tracing: true,
         }
     }
 
     /// Sets the shard-map hash seed.
     pub fn shard_seed(mut self, seed: u64) -> Self {
         self.shard_seed = seed;
+        self
+    }
+
+    /// Enables or disables coordinator-side query tracing.
+    pub fn tracing(mut self, enabled: bool) -> Self {
+        self.tracing = enabled;
         self
     }
 }
@@ -79,7 +92,13 @@ pub enum ClusterReply {
     Rows(QueryOutput),
     /// Outcome of a routed write.
     Mutation(MutationOutcome),
+    /// Rendered plan of an `EXPLAIN [ANALYZE]` statement: the coordinator's
+    /// scatter root with each shard's plan as an indented sub-tree.
+    Plan(Vec<String>),
 }
+
+/// Capacity of the coordinator's profile ring.
+const PROFILE_RING_CAPACITY: usize = 128;
 
 struct Inner {
     pools: Vec<ClientPool>,
@@ -90,6 +109,11 @@ struct Inner {
     /// per-shard sub-batches carry fresh pool-client tokens, so only the
     /// coordinator can deduplicate the *whole* statement).
     dedup: masksearch_service::MutationDedup,
+    /// Recent coordinated-query span trees, served by `STATS PROFILES`.
+    profiles: ProfileRing,
+    /// Whether coordinated statements open a trace (see
+    /// [`ClusterConfig::tracing`]).
+    tracing: bool,
 }
 
 /// A connected cluster coordinator. Cloning is cheap and shares the shard
@@ -120,6 +144,8 @@ impl Coordinator {
                 map,
                 metrics: ClusterMetrics::new(),
                 dedup: masksearch_service::MutationDedup::new(),
+                profiles: ProfileRing::new(PROFILE_RING_CAPACITY),
+                tracing: config.tracing,
             }),
         };
         coordinator.scatter_all(|shard| coordinator.with_shard(shard, |c| c.ping()))?;
@@ -180,35 +206,76 @@ impl Coordinator {
         f: impl Fn(usize) -> ClusterResult<T> + Sync,
     ) -> ClusterResult<Vec<T>> {
         self.inner.metrics.record_shard_requests(shards.len());
-        if shards.len() == 1 {
-            return Ok(vec![f(shards[0])?]);
-        }
-        let f = &f;
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = shards
-                .iter()
-                .map(|&shard| scope.spawn(move || f(shard)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join().unwrap_or_else(|_| {
-                        Err(ClusterError::Internal(
-                            "shard worker thread panicked".to_string(),
-                        ))
+        obs_counters::add(&obs_counters::SCATTER_REQUESTS, shards.len() as u64);
+        // Inert unless a trace is open on this thread (the scatter runs on
+        // the coordinating thread; only the per-shard closures move to
+        // scoped workers, so the span nests correctly under the query).
+        let _span = masksearch_obs::span("scatter");
+        masksearch_obs::add_counter("shards", shards.len() as u64);
+        let started = Instant::now();
+        let result = if shards.len() == 1 {
+            f(shards[0]).map(|value| vec![value])
+        } else {
+            let f = &f;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .iter()
+                    .map(|&shard| scope.spawn(move || f(shard)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join().unwrap_or_else(|_| {
+                            Err(ClusterError::Internal(
+                                "shard worker thread panicked".to_string(),
+                            ))
+                        })
                     })
-                })
-                .collect()
-        })
+                    .collect()
+            })
+        };
+        obs_counters::add(
+            &obs_counters::SCATTER_WAIT_US,
+            started.elapsed().as_micros() as u64,
+        );
+        result
     }
 
     /// Compiles and executes one SQL statement against the cluster.
+    ///
+    /// `EXPLAIN [ANALYZE] <query>` is recognised here too and answered with
+    /// [`ClusterReply::Plan`] — the coordinator's scatter root over each
+    /// shard's own plan (see [`Coordinator::explain_sql`]).
     pub fn execute_sql(&self, sql: &str) -> ClusterResult<ClusterReply> {
+        let trace = self
+            .inner
+            .tracing
+            .then(|| masksearch_obs::trace("cluster_query"));
+        let started = Instant::now();
         let result = self.execute_sql_inner(sql);
         if result.is_err() {
             self.inner.metrics.record_failed();
         }
+        self.observe(trace, sql, started, result.is_ok());
         result
+    }
+
+    /// Closes `trace` and, when the statement succeeded, records its span
+    /// tree in the profile ring. A failed statement's trace is discarded —
+    /// its timings describe an aborted scatter, not a query.
+    fn observe(
+        &self,
+        trace: Option<masksearch_obs::TraceGuard>,
+        sql: &str,
+        started: Instant,
+        ok: bool,
+    ) {
+        let Some(trace) = trace else { return };
+        if let (Some(root), true) = (trace.finish(), ok) {
+            self.inner
+                .profiles
+                .record(sql.trim(), started.elapsed().as_micros() as u64, root);
+        }
     }
 
     /// Executes one SQL statement carrying a client deduplication token
@@ -217,6 +284,22 @@ impl Coordinator {
     /// without touching any shard — the coordinator-level half of
     /// exactly-once client resends.
     pub fn execute_sql_tokened(&self, token: u64, sql: &str) -> ClusterResult<ClusterReply> {
+        // Explains never mutate, so the token is meaningless; the plain
+        // path also traces them like any other coordinated statement.
+        if masksearch_sql::strip_explain(sql).is_some() {
+            return self.execute_sql(sql);
+        }
+        let trace = self
+            .inner
+            .tracing
+            .then(|| masksearch_obs::trace("cluster_query"));
+        let started = Instant::now();
+        let result = self.execute_sql_tokened_inner(token, sql);
+        self.observe(trace, sql, started, result.is_ok());
+        result
+    }
+
+    fn execute_sql_tokened_inner(&self, token: u64, sql: &str) -> ClusterResult<ClusterReply> {
         use masksearch_service::Admission;
         let statement = masksearch_sql::compile_statement(sql)?;
         if !matches!(
@@ -258,8 +341,153 @@ impl Coordinator {
     }
 
     fn execute_sql_inner(&self, sql: &str) -> ClusterResult<ClusterReply> {
+        if let Some((mode, inner)) = masksearch_sql::strip_explain(sql) {
+            let analyze = mode == masksearch_sql::ExplainMode::Analyze;
+            return Ok(ClusterReply::Plan(self.explain_sql(analyze, inner)?));
+        }
         let statement = masksearch_sql::compile_statement(sql)?;
         self.execute_compiled(sql, statement)
+    }
+
+    /// Renders the distributed plan of a query: a `cluster` root naming the
+    /// scatter routing, then one `shard <i>` node per shard with the shard's
+    /// own plan indented beneath it. With `analyze`, each shard *executes*
+    /// the query and its sub-tree carries measured stage times and counters
+    /// (the single-node `EXPLAIN ANALYZE` contract: counters equal the
+    /// shard's `QueryStats` exactly), and the root records the scatter's
+    /// wall time.
+    ///
+    /// Ranked queries are explained shard-locally as full queries; at
+    /// execution time the coordinator instead issues bounded `PARTIAL`
+    /// requests plus refinement rounds, which the root line names so the
+    /// plan does not overstate what each shard returns.
+    pub fn explain_sql(&self, analyze: bool, sql: &str) -> ClusterResult<Vec<String>> {
+        let statement = masksearch_sql::compile_statement(sql)?;
+        let routing = match statement.routing() {
+            masksearch_sql::Routing::Broadcast => "broadcast".to_string(),
+            masksearch_sql::Routing::Ranked { k, .. } => format!("ranked_partial k={k}"),
+            masksearch_sql::Routing::ByImage | masksearch_sql::Routing::ByMaskId => {
+                return Err(ClusterError::Sql(
+                    "EXPLAIN applies to queries, not writes".to_string(),
+                ))
+            }
+        };
+        let started = Instant::now();
+        let plans =
+            self.scatter_all(|shard| self.with_shard(shard, |c| c.explain(analyze, sql)))?;
+        let mut lines = Vec::with_capacity(plans.iter().map(Vec::len).sum::<usize>() + 1);
+        let mut root = format!("cluster shards={} routing={routing}", self.shards());
+        if analyze {
+            root.push_str(&format!(
+                " {}={}",
+                obs_keys::WALL_US,
+                started.elapsed().as_micros()
+            ));
+        }
+        lines.push(root);
+        for (shard, plan) in plans.iter().enumerate() {
+            lines.push(format!(
+                "  shard {shard} addr={}",
+                self.inner.pools[shard].addr()
+            ));
+            for line in plan {
+                lines.push(format!("    {line}"));
+            }
+        }
+        Ok(lines)
+    }
+
+    /// The most recent `n` coordinated-query profiles, newest first.
+    pub fn recent_profiles(&self, n: usize) -> Vec<QueryProfile> {
+        self.inner.profiles.recent(n)
+    }
+
+    /// The coordinator's own Prometheus text exposition: routing and
+    /// refinement counters plus the process-global observability counters
+    /// (scatter width and wait time among them). Shard-level metrics are
+    /// scraped from the shards directly — summing histograms across
+    /// processes is the scraper's job, not the coordinator's.
+    pub fn prometheus_text(&self) -> String {
+        let m = self.metrics();
+        let mut p = PromText::new();
+        p.gauge(
+            "masksearch_cluster_shards",
+            "Number of shards this coordinator scatters over.",
+            self.shards() as f64,
+        );
+        p.gauge(
+            "masksearch_cluster_uptime_seconds",
+            "Seconds since the coordinator started.",
+            m.uptime_ms as f64 / 1e3,
+        );
+        p.counter(
+            "masksearch_cluster_queries_total",
+            "Read statements coordinated.",
+            m.queries,
+        );
+        p.counter(
+            "masksearch_cluster_ranked_queries_total",
+            "Distributed top-k statements among them.",
+            m.ranked_queries,
+        );
+        p.counter(
+            "masksearch_cluster_mutations_total",
+            "Write statements routed.",
+            m.mutations,
+        );
+        p.counter(
+            "masksearch_cluster_mutations_deduped_total",
+            "Mutations answered from the coordinator token-dedup registry.",
+            m.mutations_deduped,
+        );
+        p.counter(
+            "masksearch_cluster_failed_total",
+            "Statements that failed.",
+            m.failed,
+        );
+        p.counter(
+            "masksearch_cluster_shard_requests_total",
+            "Shard requests issued by scatter rounds.",
+            m.shard_requests,
+        );
+        p.counter(
+            "masksearch_cluster_topk_rounds_total",
+            "Distributed top-k scatter rounds.",
+            m.topk_rounds,
+        );
+        p.counter(
+            "masksearch_cluster_topk_refined_requests_total",
+            "Shard re-queries issued by top-k refinement.",
+            m.topk_refined_requests,
+        );
+        p.counter(
+            "masksearch_cluster_masks_inserted_total",
+            "Masks inserted through the coordinator.",
+            m.masks_inserted,
+        );
+        p.counter(
+            "masksearch_cluster_masks_deleted_total",
+            "Masks deleted through the coordinator.",
+            m.masks_deleted,
+        );
+        p.counter(
+            "masksearch_cluster_masks_relocated_total",
+            "Stale replicas evicted by overwrites that moved a mask.",
+            m.masks_relocated,
+        );
+        p.counter(
+            "masksearch_cluster_profiles_recorded_total",
+            "Coordinated-query profiles recorded.",
+            self.inner.profiles.recorded(),
+        );
+        for (name, value) in obs_counters::snapshot() {
+            p.counter(
+                &format!("masksearch_{name}_total"),
+                "Process-global observability counter.",
+                value,
+            );
+        }
+        p.finish()
     }
 
     /// Executes an already compiled statement (`sql` is the raw text, still
@@ -456,27 +684,9 @@ impl Coordinator {
         let lines = self.scatter_all(|shard| self.with_shard(shard, |c| c.stats()))?;
         let mut sums: BTreeMap<&'static str, f64> = BTreeMap::new();
         let mut maxes: BTreeMap<&'static str, f64> = BTreeMap::new();
-        const SUM_KEYS: [&str; 18] = [
-            "qps",
-            "completed",
-            "failed",
-            "rejected",
-            "deadline_expired",
-            "mutations",
-            "inserted",
-            "deleted",
-            "deduped",
-            "wal_bytes",
-            "checkpoints",
-            "commits",
-            "tiles_pruned",
-            "tiles_hist",
-            "tiles_scanned",
-            "pairs_bound",
-            "active_connections",
-            "queue_depth",
-        ];
-        const MAX_KEYS: [&str; 2] = ["p50_us", "p99_us"];
+        // The aggregation arrays are the shared registry the shard-side
+        // `STATS` writer spells its keys from, so writer and merge cannot
+        // drift apart.
         for line in &lines {
             for token in line.split_ascii_whitespace().skip(1) {
                 let Some((key, value)) = token.split_once('=') else {
@@ -485,9 +695,9 @@ impl Coordinator {
                 let Ok(value) = value.parse::<f64>() else {
                     continue;
                 };
-                if let Some(key) = SUM_KEYS.iter().find(|k| **k == key) {
+                if let Some(key) = obs_keys::STATS_SUM_KEYS.iter().find(|k| **k == key) {
                     *sums.entry(key).or_insert(0.0) += value;
-                } else if let Some(key) = MAX_KEYS.iter().find(|k| **k == key) {
+                } else if let Some(key) = obs_keys::STATS_MAX_KEYS.iter().find(|k| **k == key) {
                     let slot = maxes.entry(key).or_insert(0.0);
                     *slot = slot.max(value);
                 }
@@ -496,7 +706,7 @@ impl Coordinator {
         let m = self.metrics();
         let mut line = format!("STATS shards={}", self.shards());
         for (key, value) in sums {
-            if key == "qps" {
+            if key == obs_keys::QPS {
                 line.push_str(&format!(" {key}={value:.3}"));
             } else {
                 line.push_str(&format!(" {key}={}", value as u64));
@@ -697,6 +907,17 @@ fn serve_connection(stream: TcpStream, coordinator: &Coordinator) -> std::io::Re
                 return Ok(());
             }
             ClientRequest::Ping => protocol::write_pong(&mut writer)?,
+            ClientRequest::Metrics => {
+                protocol::write_metrics_response(&mut writer, &coordinator.prometheus_text())?
+            }
+            ClientRequest::Profiles(n) => {
+                let lines: Vec<String> = coordinator
+                    .recent_profiles(n)
+                    .iter()
+                    .flat_map(|p| p.render())
+                    .collect();
+                protocol::write_profiles_response(&mut writer, &lines)?
+            }
             ClientRequest::Stats => match coordinator.stats_line() {
                 Ok(line) => {
                     writeln!(writer, "{line}")?;
@@ -733,6 +954,9 @@ fn serve_connection(stream: TcpStream, coordinator: &Coordinator) -> std::io::Re
                         };
                         protocol::write_mutation_response(&mut writer, &response)?;
                     }
+                    Ok(ClusterReply::Plan(lines)) => {
+                        protocol::write_plan_response(&mut writer, &lines)?;
+                    }
                     Err(e) => write_cluster_error(&mut writer, &e)?,
                 }
             }
@@ -754,6 +978,9 @@ fn serve_connection(stream: TcpStream, coordinator: &Coordinator) -> std::io::Re
                             exec_time: started.elapsed(),
                         };
                         protocol::write_mutation_response(&mut writer, &response)?;
+                    }
+                    Ok(ClusterReply::Plan(lines)) => {
+                        protocol::write_plan_response(&mut writer, &lines)?;
                     }
                     Err(e) => write_cluster_error(&mut writer, &e)?,
                 }

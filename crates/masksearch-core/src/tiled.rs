@@ -363,6 +363,7 @@ impl TileGrid {
     /// outcome per tile into `stats`.
     pub fn cp(&self, mask: &Mask, roi: &Roi, range: &PixelRange, stats: &mut TileStats) -> u64 {
         debug_assert!(self.matches_shape(mask), "grid built for another mask");
+        masksearch_obs::counters::incr(&masksearch_obs::counters::KERNEL_CALLS);
         let Some(clip) = mask.clip_roi(roi) else {
             return 0;
         };
@@ -444,6 +445,7 @@ impl TileGrid {
         debug_assert!(other.matches_shape(b), "right grid built for another mask");
         debug_assert_eq!(a.shape(), b.shape(), "composition requires equal shapes");
         debug_assert_eq!(self.tile, other.tile, "composition requires equal tiles");
+        masksearch_obs::counters::incr(&masksearch_obs::counters::KERNEL_CALLS);
         let Some(clip) = a.clip_roi(roi) else {
             return 0;
         };

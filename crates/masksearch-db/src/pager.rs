@@ -81,6 +81,7 @@ impl Pager {
 
     /// Reads a page through the pool.
     pub fn read_page(&mut self, page_no: PageNo) -> StorageResult<Arc<Vec<u8>>> {
+        masksearch_obs::counters::incr(&masksearch_obs::counters::PAGER_READS);
         self.clock += 1;
         let clock = self.clock;
         if let Some(frame) = self.pool.get_mut(&page_no) {
@@ -105,6 +106,7 @@ impl Pager {
     /// caller has synced the WAL) — never earlier; dirty pages are pinned
     /// against eviction to uphold the log-ahead rule.
     pub fn write_page(&mut self, page_no: PageNo, data: Vec<u8>) -> StorageResult<()> {
+        masksearch_obs::counters::incr(&masksearch_obs::counters::PAGER_WRITES);
         debug_assert_eq!(data.len(), self.page_size);
         self.clock += 1;
         let clock = self.clock;

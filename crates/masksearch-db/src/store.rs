@@ -33,6 +33,8 @@ use crate::stats::IngestStats;
 use crate::wal::Wal;
 use masksearch_core::{Mask, MaskId, MaskRecord, TileGrid, TiledMask};
 use masksearch_index::{ChiConfig, ChiStore, TileStore};
+use masksearch_obs::counters as obs_counters;
+use masksearch_obs::ShapeStatsRegistry;
 use masksearch_storage::format;
 use masksearch_storage::store::IngestSnapshot;
 use masksearch_storage::{
@@ -52,6 +54,8 @@ pub const WAL_FILE: &str = "masks.wal";
 pub const CHI_FILE: &str = "masks.chi";
 /// File name of the persisted tile-summary store (verification kernel).
 pub const TILES_FILE: &str = "masks.tiles";
+/// File name of the persisted per-query-shape statistics.
+pub const SHAPE_STATS_FILE: &str = "masks.stats";
 
 /// Configuration of a durable mask database.
 #[derive(Debug, Clone, Copy)]
@@ -163,6 +167,12 @@ pub struct DurableMaskStore {
     /// finds a grid here knows it was built from exactly the pixels the
     /// directory currently points at (see [`MaskStore::get_tiled`]).
     tiles: Arc<TileStore>,
+    /// Per-query-shape statistics recorded by sessions over this store
+    /// (shared via [`MaskStore::shape_stats`]) and persisted at checkpoint
+    /// next to the CHI and tile files, so the observed
+    /// selectivity/decisiveness profile of a workload survives restarts.
+    shape_stats: Arc<ShapeStatsRegistry>,
+    shape_stats_path: PathBuf,
     ingest: IngestStats,
     io: Arc<IoStats>,
     /// Error of a failed *automatic* checkpoint. The triggering commit was
@@ -186,6 +196,7 @@ impl DurableMaskStore {
         let wal_path = dir.join(WAL_FILE);
         let chi_path = dir.join(CHI_FILE);
         let tiles_path = dir.join(TILES_FILE);
+        let shape_stats_path = dir.join(SHAPE_STATS_FILE);
 
         let mut pager = Pager::open(&db_path, config.page_size, config.pool_pages)?;
         let (mut wal, committed) = Wal::open(&wal_path, config.page_size)?;
@@ -251,9 +262,18 @@ impl DurableMaskStore {
                 }
             })?;
 
+        // A missing or foreign-format statistics file simply starts fresh;
+        // shape statistics are advisory, never load-bearing.
+        let shape_stats = fs::read(&shape_stats_path)
+            .ok()
+            .and_then(|bytes| ShapeStatsRegistry::from_bytes(&bytes))
+            .unwrap_or_default();
+
         let store = Self {
             chi: Arc::new(chi),
             tiles: Arc::new(tiles),
+            shape_stats: Arc::new(shape_stats),
+            shape_stats_path,
             config,
             chi_path,
             tiles_path,
@@ -358,6 +378,7 @@ impl DurableMaskStore {
     }
 
     fn checkpoint_locked(&self) -> StorageResult<()> {
+        let checkpoint_start = std::time::Instant::now();
         // Log-ahead: every commit must be durable in the WAL before its
         // pages can touch the database file — otherwise a crash mid-flush
         // with an unsynced log (fsync off) could leave a page mix that no
@@ -381,9 +402,21 @@ impl DurableMaskStore {
             &self.tiles.to_bytes(),
             "tile summary checkpoint",
         )?;
+        // Shape statistics ride along: they describe the workload, not the
+        // data, so staleness after a crash is harmless.
+        write_atomic(
+            &self.shape_stats_path,
+            &self.shape_stats.to_bytes(),
+            "shape statistics checkpoint",
+        )?;
         // The database and index files are durable; the log can be dropped.
         self.wal.lock().reset()?;
         self.ingest.record_checkpoint();
+        obs_counters::incr(&obs_counters::DB_CHECKPOINTS);
+        obs_counters::add(
+            &obs_counters::DB_CHECKPOINT_US,
+            checkpoint_start.elapsed().as_micros() as u64,
+        );
         Ok(())
     }
 
@@ -508,10 +541,16 @@ impl DurableMaskStore {
         }
 
         // Commit point: the WAL append (+ optional fsync).
+        let commit_start = std::time::Instant::now();
         let wal_bytes = self
             .wal
             .lock()
             .append_txn(txn_id, &pages, self.config.fsync)?;
+        obs_counters::incr(&obs_counters::WAL_COMMITS);
+        obs_counters::add(
+            &obs_counters::WAL_COMMIT_US,
+            commit_start.elapsed().as_micros() as u64,
+        );
 
         // Publish the batch atomically with respect to readers.
         {
@@ -612,6 +651,10 @@ impl MaskStore for DurableMaskStore {
 
     fn ingest_stats(&self) -> Option<IngestSnapshot> {
         Some(self.ingest.snapshot())
+    }
+
+    fn shape_stats(&self) -> Option<Arc<ShapeStatsRegistry>> {
+        Some(Arc::clone(&self.shape_stats))
     }
 
     fn get(&self, mask_id: MaskId) -> StorageResult<Mask> {

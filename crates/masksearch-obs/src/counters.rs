@@ -1,0 +1,121 @@
+//! Process-global atomic counters for events the thread-local span stack
+//! cannot follow.
+//!
+//! The query executors fan work out to scoped worker threads, and the cache
+//! and catalog are hit from every connection thread; a per-trace span stack
+//! sees none of that. These counters are global, lock-free, and always on —
+//! they answer "how much lock waiting is happening on this server", which
+//! is exactly the question behind the 1→2 worker QPS plateau, and they feed
+//! the `METRICS` Prometheus exposition.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+macro_rules! global_counters {
+    ($( $(#[$doc:meta])* ($name:ident, $text:expr) ),+ $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub static $name: AtomicU64 = AtomicU64::new(0);
+        )+
+
+        /// Snapshot of every global counter as `(name, value)` pairs, in
+        /// declaration order. Names are the Prometheus metric suffixes.
+        pub fn snapshot() -> Vec<(&'static str, u64)> {
+            vec![$( ($text, $name.load(Ordering::Relaxed)) ),+]
+        }
+    };
+}
+
+global_counters! {
+    /// Microseconds spent waiting to acquire the session catalog lock for
+    /// reading.
+    (CATALOG_READ_WAIT_US, "catalog_read_wait_us"),
+    /// Microseconds spent waiting to acquire the session catalog lock for
+    /// writing.
+    (CATALOG_WRITE_WAIT_US, "catalog_write_wait_us"),
+    /// Catalog lock acquisitions (reads and writes).
+    (CATALOG_LOCK_ACQUIRES, "catalog_lock_acquires"),
+    /// Microseconds spent waiting on the mask-cache mutex.
+    (CACHE_LOCK_WAIT_US, "cache_lock_wait_us"),
+    /// Mask-cache mutex acquisitions.
+    (CACHE_LOCK_ACQUIRES, "cache_lock_acquires"),
+    /// Verification-kernel invocations (one per mask × predicate batch).
+    (KERNEL_CALLS, "kernel_calls"),
+    /// WAL commits.
+    (WAL_COMMITS, "wal_commits"),
+    /// Microseconds spent inside WAL commits (serialize + append + fsync).
+    (WAL_COMMIT_US, "wal_commit_us"),
+    /// Checkpoints taken.
+    (DB_CHECKPOINTS, "db_checkpoints"),
+    /// Microseconds spent inside checkpoints.
+    (DB_CHECKPOINT_US, "db_checkpoint_us"),
+    /// Pages read through the pager.
+    (PAGER_READS, "pager_reads"),
+    /// Pages written through the pager.
+    (PAGER_WRITES, "pager_writes"),
+    /// Shard requests issued by coordinator scatter rounds.
+    (SCATTER_REQUESTS, "scatter_requests"),
+    /// Microseconds spent in coordinator scatter round-trips (summed across
+    /// shards; concurrent waits overlap in wall time).
+    (SCATTER_WAIT_US, "scatter_wait_us"),
+    /// Queries whose end-to-end latency exceeded the slow-query threshold.
+    (SLOW_QUERIES, "slow_queries"),
+}
+
+/// Adds `delta` to a counter. Thin wrapper so call sites read uniformly.
+#[inline]
+pub fn add(counter: &AtomicU64, delta: u64) {
+    if delta > 0 {
+        counter.fetch_add(delta, Ordering::Relaxed);
+    }
+}
+
+/// Increments a counter by one.
+#[inline]
+pub fn incr(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Times the wait for a lock acquisition: runs `acquire`, adds the elapsed
+/// microseconds to `wait_us`, and counts the acquisition in `acquires`.
+///
+/// The fast path (uncontended parking_lot locks) is tens of nanoseconds, so
+/// the `Instant` pair is the dominant cost; it is two `clock_gettime`
+/// vDSO calls and stays comfortably inside the tracing-overhead budget.
+#[inline]
+pub fn timed_acquire<T>(
+    wait_us: &AtomicU64,
+    acquires: &AtomicU64,
+    acquire: impl FnOnce() -> T,
+) -> T {
+    let started = Instant::now();
+    let guard = acquire();
+    add(wait_us, started.elapsed().as_micros() as u64);
+    incr(acquires);
+    guard
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_lists_every_counter_once() {
+        let snap = snapshot();
+        assert!(snap.iter().any(|(k, _)| *k == "catalog_read_wait_us"));
+        assert!(snap.iter().any(|(k, _)| *k == "scatter_requests"));
+        let mut names: Vec<&str> = snap.iter().map(|(k, _)| *k).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), snap.len());
+    }
+
+    #[test]
+    fn timed_acquire_counts_and_returns() {
+        let wait = AtomicU64::new(0);
+        let acquires = AtomicU64::new(0);
+        let value = timed_acquire(&wait, &acquires, || 42);
+        assert_eq!(value, 42);
+        assert_eq!(acquires.load(Ordering::Relaxed), 1);
+    }
+}

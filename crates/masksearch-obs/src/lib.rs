@@ -1,0 +1,50 @@
+//! # masksearch-obs
+//!
+//! The observability layer of the MaskSearch reproduction: a zero-dependency
+//! tracing and profiling substrate threaded through every other crate.
+//!
+//! The paper's claim is about *where query time goes* — CHI bounds turn a
+//! scan of thousands of masks into a handful of loads — so the repo needs a
+//! way to show that division of labour per query. This crate provides:
+//!
+//! - [`span`] / [`trace`]: lightweight hierarchical spans on a thread-local
+//!   stack with monotonic timing and typed counters. When no trace is active
+//!   every instrumentation point is a cheap no-op (one thread-local read),
+//!   which is what keeps the tracing-on/off overhead within the CI gate.
+//! - [`counters`]: process-global atomic counters for events that happen on
+//!   worker threads a span stack cannot follow (cache lock waits, catalog
+//!   lock waits, WAL commits, kernel invocations). Exposed via `METRICS`.
+//! - [`keys`]: the shared metric-name registry used by the service `STATS`
+//!   line and the cluster `SUM_KEYS` aggregation, so the two surfaces can
+//!   never drift.
+//! - [`prom`]: a tiny Prometheus text-exposition builder (and validator).
+//! - [`LogHistogram`]: log₂-bucket latency histograms for per-stage walls.
+//! - [`SlowQueryLog`]: a JSON-lines slow-query log with a configurable
+//!   threshold.
+//! - [`ProfileRing`]: a bounded ring of recent query profiles, queryable
+//!   over the wire via `STATS PROFILES`.
+//! - [`ShapeStatsRegistry`]: per-query-shape aggregate statistics (observed
+//!   selectivity vs CHI decisiveness, kernel tile behaviour, verified
+//!   fraction) that persist at checkpoint alongside the CHI/tiles files —
+//!   the substrate the ROADMAP's cost-based planner will consume.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod counters;
+pub mod keys;
+pub mod prom;
+
+mod histogram;
+mod profiles;
+mod shape;
+mod slowlog;
+mod span;
+
+pub use histogram::{LogHistogram, HISTOGRAM_BUCKETS};
+pub use profiles::{ProfileRing, QueryProfile};
+pub use shape::{ShapeAggregate, ShapeObservation, ShapeStatsRegistry};
+pub use slowlog::{escape_json, SlowQueryLog};
+pub use span::{
+    add_counter, set_counter, span, trace, trace_active, SpanGuard, SpanNode, TraceGuard,
+};

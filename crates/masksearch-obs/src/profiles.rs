@@ -1,0 +1,131 @@
+//! A bounded in-memory ring of recent query profiles.
+//!
+//! The engine pushes one [`QueryProfile`] per traced query; `STATS
+//! PROFILES` reads the most recent ones back over the wire. The ring is
+//! fixed-capacity, so a long-lived server's memory use is bounded no matter
+//! how many queries it serves.
+
+use crate::SpanNode;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One recorded query profile.
+#[derive(Debug, Clone)]
+pub struct QueryProfile {
+    /// Monotonic sequence number (1-based, assigned by the ring).
+    pub seq: u64,
+    /// The statement as received.
+    pub statement: String,
+    /// End-to-end wall time in microseconds.
+    pub wall_us: u64,
+    /// The query's span tree.
+    pub root: SpanNode,
+}
+
+impl QueryProfile {
+    /// Renders this profile as wire lines: a header followed by the span
+    /// tree indented one level under it.
+    pub fn render(&self) -> Vec<String> {
+        let mut lines = vec![format!(
+            "profile seq={} wall_us={} statement={}",
+            self.seq, self.wall_us, self.statement
+        )];
+        for line in self.root.render() {
+            lines.push(format!("  {line}"));
+        }
+        lines
+    }
+}
+
+/// A fixed-capacity ring of the most recent query profiles.
+#[derive(Debug)]
+pub struct ProfileRing {
+    inner: Mutex<RingInner>,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct RingInner {
+    profiles: VecDeque<QueryProfile>,
+    next_seq: u64,
+}
+
+impl ProfileRing {
+    /// A ring holding at most `capacity` profiles (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(RingInner {
+                profiles: VecDeque::new(),
+                next_seq: 1,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Records a profile, evicting the oldest when full. Returns the
+    /// assigned sequence number.
+    pub fn record(&self, statement: &str, wall_us: u64, root: SpanNode) -> u64 {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.profiles.len() == self.capacity {
+            inner.profiles.pop_front();
+        }
+        inner.profiles.push_back(QueryProfile {
+            seq,
+            statement: statement.to_string(),
+            wall_us,
+            root,
+        });
+        seq
+    }
+
+    /// The most recent `n` profiles, newest first.
+    pub fn recent(&self, n: usize) -> Vec<QueryProfile> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.profiles.iter().rev().take(n).cloned().collect()
+    }
+
+    /// Total profiles ever recorded (not just retained).
+    pub fn recorded(&self) -> u64 {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.next_seq - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(name: &str) -> SpanNode {
+        SpanNode {
+            name: name.to_string(),
+            wall_us: 5,
+            counters: vec![("candidates".to_string(), 3)],
+            children: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_newest_first() {
+        let ring = ProfileRing::new(2);
+        for i in 0..5 {
+            ring.record(&format!("q{i}"), i, leaf("query"));
+        }
+        assert_eq!(ring.recorded(), 5);
+        let recent = ring.recent(10);
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].statement, "q4");
+        assert_eq!(recent[0].seq, 5);
+        assert_eq!(recent[1].statement, "q3");
+    }
+
+    #[test]
+    fn profiles_render_with_indented_span_tree() {
+        let ring = ProfileRing::new(4);
+        ring.record("SELECT 1", 42, leaf("query"));
+        let lines = ring.recent(1)[0].render();
+        assert_eq!(lines[0], "profile seq=1 wall_us=42 statement=SELECT 1");
+        assert_eq!(lines[1], "  query wall_us=5 candidates=3");
+    }
+}

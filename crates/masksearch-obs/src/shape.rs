@@ -1,0 +1,326 @@
+//! Per-query-shape aggregate statistics.
+//!
+//! A query *shape* is a normalized description of a query's structure (kind,
+//! number of CP terms, kernel on/off, ...) without its literal constants.
+//! For each shape the registry accumulates the executor's observed counters
+//! — how selective the predicate actually was, how decisive the CHI bounds
+//! were, how the verification kernel's tiles classified — which is exactly
+//! the substrate a cost-based planner needs: "for queries shaped like this,
+//! bounds usually resolve 97% of candidates; don't bother reordering".
+//!
+//! The registry serializes to a versioned, line-oriented text format and is
+//! persisted by the durable store at checkpoint, next to the CHI and tile
+//! files, so the statistics survive restarts.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// The counters one executed query contributes to its shape's aggregate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShapeObservation {
+    /// Candidates considered by the filter stage.
+    pub candidates: u64,
+    /// Result rows produced.
+    pub rows: u64,
+    /// Candidates pruned by bounds alone.
+    pub pruned: u64,
+    /// Candidates accepted by bounds alone (no pixels loaded).
+    pub accepted: u64,
+    /// Candidates verified against pixels.
+    pub verified: u64,
+    /// Masks loaded from the store.
+    pub masks_loaded: u64,
+    /// Kernel tiles skipped entirely.
+    pub tiles_pruned: u64,
+    /// Kernel tiles answered from per-tile histograms.
+    pub tiles_hist: u64,
+    /// Kernel tiles scanned pixel-by-pixel.
+    pub tiles_scanned: u64,
+    /// Filter-stage wall time in microseconds.
+    pub filter_wall_us: u64,
+    /// Verification-stage wall time in microseconds.
+    pub verify_wall_us: u64,
+}
+
+/// Accumulated statistics for one query shape.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShapeAggregate {
+    /// Queries of this shape observed.
+    pub queries: u64,
+    /// Element-wise sums of every observation.
+    pub sums: ShapeObservation,
+}
+
+impl ShapeAggregate {
+    fn add(&mut self, o: &ShapeObservation) {
+        self.queries += 1;
+        let s = &mut self.sums;
+        s.candidates += o.candidates;
+        s.rows += o.rows;
+        s.pruned += o.pruned;
+        s.accepted += o.accepted;
+        s.verified += o.verified;
+        s.masks_loaded += o.masks_loaded;
+        s.tiles_pruned += o.tiles_pruned;
+        s.tiles_hist += o.tiles_hist;
+        s.tiles_scanned += o.tiles_scanned;
+        s.filter_wall_us += o.filter_wall_us;
+        s.verify_wall_us += o.verify_wall_us;
+    }
+
+    /// Observed selectivity: result rows per candidate, in `[0, 1]`-ish
+    /// (grouped queries can exceed 1 when groups outnumber candidates;
+    /// callers treat this as a ratio, not a probability).
+    pub fn observed_selectivity(&self) -> f64 {
+        ratio(self.sums.rows, self.sums.candidates)
+    }
+
+    /// CHI decisiveness: fraction of candidates settled by bounds alone
+    /// (pruned or accepted without loading pixels). This is the planner's
+    /// "how often do the paper's bounds make the load unnecessary".
+    pub fn chi_decisiveness(&self) -> f64 {
+        ratio(self.sums.pruned + self.sums.accepted, self.sums.candidates)
+    }
+
+    /// Fraction of candidates that needed pixel verification.
+    pub fn verified_fraction(&self) -> f64 {
+        ratio(self.sums.verified, self.sums.candidates)
+    }
+
+    /// Fraction of kernel tiles resolved without a pixel scan (pruned or
+    /// answered from tile histograms) — the kernel's observed speedup
+    /// surface: 1.0 means no tile was ever scanned.
+    pub fn kernel_tile_ratio(&self) -> f64 {
+        let resolved = self.sums.tiles_pruned + self.sums.tiles_hist;
+        ratio(resolved, resolved + self.sums.tiles_scanned)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+const MAGIC: &str = "masksearch-shape-stats v1";
+/// Shapes tracked before new (never-seen) shapes are dropped instead of
+/// recorded. Query shapes are structural, so real workloads produce a few
+/// dozen; the cap is a backstop against a key-construction bug consuming
+/// unbounded memory.
+const MAX_SHAPES: usize = 4096;
+
+/// A concurrent registry of per-shape aggregates.
+#[derive(Debug, Default)]
+pub struct ShapeStatsRegistry {
+    shapes: Mutex<BTreeMap<String, ShapeAggregate>>,
+}
+
+impl ShapeStatsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one query's counters under `shape`. Whitespace in the key is
+    /// replaced with `_` (the persisted format and the wire rendering are
+    /// both line/space-delimited).
+    pub fn record(&self, shape: &str, observation: &ShapeObservation) {
+        let key = normalize_key(shape);
+        let mut shapes = self.shapes.lock().unwrap_or_else(|e| e.into_inner());
+        if shapes.len() >= MAX_SHAPES && !shapes.contains_key(&key) {
+            return;
+        }
+        shapes.entry(key).or_default().add(observation);
+    }
+
+    /// Number of distinct shapes seen.
+    pub fn len(&self) -> usize {
+        self.shapes.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Returns `true` if no shape has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The aggregate for one shape, if recorded.
+    pub fn get(&self, shape: &str) -> Option<ShapeAggregate> {
+        self.shapes
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&normalize_key(shape))
+            .copied()
+    }
+
+    /// Every shape and its aggregate, sorted by shape key.
+    pub fn snapshot(&self) -> Vec<(String, ShapeAggregate)> {
+        self.shapes
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Serializes the registry to its persisted format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = String::from(MAGIC);
+        out.push('\n');
+        for (key, a) in self.snapshot() {
+            let s = a.sums;
+            out.push_str(&format!(
+                "{key} {} {} {} {} {} {} {} {} {} {} {} {}\n",
+                a.queries,
+                s.candidates,
+                s.rows,
+                s.pruned,
+                s.accepted,
+                s.verified,
+                s.masks_loaded,
+                s.tiles_pruned,
+                s.tiles_hist,
+                s.tiles_scanned,
+                s.filter_wall_us,
+                s.verify_wall_us,
+            ));
+        }
+        out.into_bytes()
+    }
+
+    /// Deserializes a registry from [`ShapeStatsRegistry::to_bytes`] output.
+    /// Returns `None` on a magic/format mismatch (callers fall back to a
+    /// fresh registry, exactly like a missing file).
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let text = std::str::from_utf8(bytes).ok()?;
+        let mut lines = text.lines();
+        if lines.next()? != MAGIC {
+            return None;
+        }
+        let mut shapes = BTreeMap::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_ascii_whitespace();
+            let key = parts.next()?.to_string();
+            let mut next = || parts.next().and_then(|v| v.parse::<u64>().ok());
+            let aggregate = ShapeAggregate {
+                queries: next()?,
+                sums: ShapeObservation {
+                    candidates: next()?,
+                    rows: next()?,
+                    pruned: next()?,
+                    accepted: next()?,
+                    verified: next()?,
+                    masks_loaded: next()?,
+                    tiles_pruned: next()?,
+                    tiles_hist: next()?,
+                    tiles_scanned: next()?,
+                    filter_wall_us: next()?,
+                    verify_wall_us: next()?,
+                },
+            };
+            shapes.insert(key, aggregate);
+        }
+        Some(Self {
+            shapes: Mutex::new(shapes),
+        })
+    }
+
+    /// Renders the registry as human/wire-readable lines (one per shape)
+    /// with the derived planner ratios.
+    pub fn render(&self) -> Vec<String> {
+        self.snapshot()
+            .into_iter()
+            .map(|(key, a)| {
+                format!(
+                    "shape {key} queries={} selectivity={:.4} chi_decisiveness={:.4} \
+                     verified_fraction={:.4} kernel_tile_ratio={:.4} mean_filter_us={} \
+                     mean_verify_us={}",
+                    a.queries,
+                    a.observed_selectivity(),
+                    a.chi_decisiveness(),
+                    a.verified_fraction(),
+                    a.kernel_tile_ratio(),
+                    a.sums.filter_wall_us / a.queries.max(1),
+                    a.sums.verify_wall_us / a.queries.max(1),
+                )
+            })
+            .collect()
+    }
+}
+
+fn normalize_key(shape: &str) -> String {
+    shape
+        .chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn observation(candidates: u64, rows: u64) -> ShapeObservation {
+        ShapeObservation {
+            candidates,
+            rows,
+            pruned: candidates.saturating_sub(rows + 2),
+            accepted: 1,
+            verified: 1,
+            masks_loaded: 1,
+            tiles_pruned: 10,
+            tiles_hist: 5,
+            tiles_scanned: 5,
+            filter_wall_us: 100,
+            verify_wall_us: 300,
+        }
+    }
+
+    #[test]
+    fn aggregates_accumulate_and_derive_ratios() {
+        let reg = ShapeStatsRegistry::new();
+        reg.record("filter/cp=1", &observation(100, 10));
+        reg.record("filter/cp=1", &observation(100, 30));
+        reg.record("topk/cp=2", &observation(50, 5));
+        assert_eq!(reg.len(), 2);
+        let a = reg.get("filter/cp=1").unwrap();
+        assert_eq!(a.queries, 2);
+        assert_eq!(a.sums.candidates, 200);
+        assert!((a.observed_selectivity() - 0.2).abs() < 1e-12);
+        assert!(a.chi_decisiveness() > 0.5);
+        assert!((a.kernel_tile_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_trips_through_bytes() {
+        let reg = ShapeStatsRegistry::new();
+        reg.record("filter/cp=1/kernel=on", &observation(100, 10));
+        reg.record("pair top-k", &observation(40, 4)); // whitespace in key
+        let bytes = reg.to_bytes();
+        let back = ShapeStatsRegistry::from_bytes(&bytes).expect("parse back");
+        assert_eq!(back.snapshot(), reg.snapshot());
+        assert!(back.get("pair_top-k").is_some());
+    }
+
+    #[test]
+    fn rejects_foreign_bytes() {
+        assert!(ShapeStatsRegistry::from_bytes(b"not stats").is_none());
+        assert!(ShapeStatsRegistry::from_bytes(&[0xFF, 0xFE]).is_none());
+        // Truncated rows are rejected, not half-parsed.
+        let text = format!("{MAGIC}\nkey 1 2 3\n");
+        assert!(ShapeStatsRegistry::from_bytes(text.as_bytes()).is_none());
+    }
+
+    #[test]
+    fn render_lines_carry_planner_ratios() {
+        let reg = ShapeStatsRegistry::new();
+        reg.record("agg/cp=1", &observation(100, 10));
+        let lines = reg.render();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].starts_with("shape agg/cp=1 queries=1"));
+        assert!(lines[0].contains("selectivity=0.1000"));
+    }
+}

@@ -8,6 +8,7 @@ use crate::predicate::{Predicate, Truth};
 use crate::result::{QueryOutput, QueryStats, ResultRow};
 use crate::session::Session;
 use masksearch_core::{MaskId, TileStats};
+use masksearch_obs::keys as obs_keys;
 use parking_lot::Mutex;
 use std::time::Instant;
 
@@ -35,6 +36,7 @@ pub fn execute(
     let threads = session.config().threads;
 
     // ---- Filter stage -----------------------------------------------------
+    let filter_span = masksearch_obs::span("filter");
     let filter_start = Instant::now();
     let chunks = chunks_for_threads(candidates, threads);
     let results: Mutex<Vec<(MaskId, FilterOutcome)>> =
@@ -79,8 +81,13 @@ pub fn execute(
         }
     }
     to_verify.sort_unstable();
+    masksearch_obs::add_counter(obs_keys::CANDIDATES, candidates.len() as u64);
+    masksearch_obs::add_counter(obs_keys::PRUNED, pruned);
+    masksearch_obs::add_counter(obs_keys::VERIFIED, to_verify.len() as u64);
+    drop(filter_span);
 
     // ---- Verification stage ----------------------------------------------
+    let verify_span = masksearch_obs::span("verify");
     let verify_start = Instant::now();
     let verify_chunks = chunks_for_threads(&to_verify, threads);
     let verified_hits: Mutex<Vec<MaskId>> = Mutex::new(Vec::new());
@@ -135,6 +142,8 @@ pub fn execute(
         return Err(err);
     }
     let verify_wall = elapsed(verify_start);
+    masksearch_obs::add_counter(obs_keys::INDEXES_BUILT, *indexes_built.lock());
+    drop(verify_span);
 
     accepted.extend(verified_hits.into_inner());
     accepted.sort_unstable();

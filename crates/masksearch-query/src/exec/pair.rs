@@ -24,6 +24,7 @@ use crate::result::{QueryOutput, QueryStats, ResultRow};
 use crate::session::Session;
 use crate::spec::Order;
 use masksearch_core::{ImageId, MaskId, TileStats};
+use masksearch_obs::keys as obs_keys;
 use parking_lot::Mutex;
 use std::time::Instant;
 
@@ -86,6 +87,7 @@ pub fn execute_filter(
     let composes = eval::predicate_composes(predicate);
 
     // ---- Filter stage -----------------------------------------------------
+    let filter_span = masksearch_obs::span("filter");
     let filter_start = Instant::now();
     let chunks = chunks_for_threads(pairs, threads);
     let results: Mutex<Vec<(PairCandidate, FilterOutcome)>> =
@@ -128,8 +130,14 @@ pub fn execute_filter(
         }
     }
     to_verify.sort_unstable();
+    masksearch_obs::add_counter(obs_keys::CANDIDATES, pairs.len() as u64);
+    masksearch_obs::add_counter(obs_keys::PAIRS_BOUND, pairs.len() as u64);
+    masksearch_obs::add_counter(obs_keys::PRUNED, pruned);
+    masksearch_obs::add_counter(obs_keys::VERIFIED, to_verify.len() as u64);
+    drop(filter_span);
 
     // ---- Verification stage ----------------------------------------------
+    let verify_span = masksearch_obs::span("verify");
     let verify_start = Instant::now();
     let verify_chunks = chunks_for_threads(&to_verify, threads);
     let verified_hits: Mutex<Vec<ImageId>> = Mutex::new(Vec::new());
@@ -188,6 +196,8 @@ pub fn execute_filter(
         return Err(err);
     }
     let verify_wall = elapsed(verify_start);
+    masksearch_obs::add_counter(obs_keys::INDEXES_BUILT, *indexes_built.lock());
+    drop(verify_span);
 
     accepted.extend(verified_hits.into_inner());
     accepted.sort_unstable();

@@ -15,6 +15,7 @@ use crate::result::{QueryOutput, QueryStats, ResultRow};
 use crate::session::Session;
 use crate::spec::Order;
 use masksearch_core::{MaskId, TileStats};
+use masksearch_obs::keys as obs_keys;
 use std::time::Instant;
 
 /// Executes a top-k query over `candidates`.
@@ -37,6 +38,7 @@ pub fn execute(
 
     // Current top-k as (value, mask_id); worst entry found by linear scan
     // (k is small — the paper uses k = 25).
+    let rank_span = masksearch_obs::span("rank");
     let mut top: Vec<(f64, MaskId)> = Vec::with_capacity(k + 1);
     let mut pruned = 0u64;
     let mut verified = 0u64;
@@ -100,6 +102,11 @@ pub fn execute(
         }
     }
 
+    masksearch_obs::add_counter(obs_keys::CANDIDATES, candidates.len() as u64);
+    masksearch_obs::add_counter(obs_keys::PRUNED, pruned);
+    masksearch_obs::add_counter(obs_keys::VERIFIED, verified);
+    masksearch_obs::add_counter(obs_keys::INDEXES_BUILT, indexes_built);
+    drop(rank_span);
     sort_ranked(&mut top, order, k);
 
     let io_delta = session

@@ -15,6 +15,8 @@
 //!   and CHI store, supports eager or incremental indexing (§3.6), and
 //!   executes queries with the filter–verification framework.
 //! * [`exec`] — the executors themselves.
+//! * [`explain`] — `EXPLAIN` / `EXPLAIN ANALYZE` plan trees and normalized
+//!   query-shape keys for persisted per-shape statistics.
 //! * [`result`] — result rows and per-query statistics (masks loaded,
 //!   fraction of masks loaded, stage timings).
 //!
@@ -55,6 +57,7 @@
 pub mod error;
 pub mod eval;
 pub mod exec;
+pub mod explain;
 pub mod expr;
 pub mod merge;
 pub mod mutation;
@@ -65,6 +68,7 @@ pub mod session;
 pub mod spec;
 
 pub use error::{QueryError, QueryResult as QueryResultExt};
+pub use explain::{shape_key, PlanNode};
 pub use expr::{Expr, Interval};
 pub use merge::RankedPartial;
 pub use mutation::{Mutation, MutationOutcome};

@@ -21,14 +21,17 @@
 use crate::error::{QueryError, QueryResult};
 use crate::eval;
 use crate::exec;
+use crate::explain::{self, PlanNode};
 use crate::merge;
 use crate::mutation::{Mutation, MutationOutcome};
 use crate::query::{MaskJoin, Query, QueryKind, Selection};
 use crate::result::QueryOutput;
 use masksearch_core::{ImageId, Mask, MaskAgg, MaskId, MaskRecord, TiledMask};
 use masksearch_index::{build_chi_store, BuildOptions, Chi, ChiConfig, ChiStore};
+use masksearch_obs::counters as obs_counters;
+use masksearch_obs::{ShapeObservation, ShapeStatsRegistry};
 use masksearch_storage::{Catalog, MaskCache, MaskStore};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
@@ -145,6 +148,10 @@ pub struct Session {
     /// publish their catalog records in the other, leaving a record that
     /// describes a different write's pixels.
     writes: Mutex<()>,
+    /// Per-query-shape aggregate statistics. Shared with the store when the
+    /// store persists one across restarts (the durable mask database);
+    /// otherwise private to this session's lifetime.
+    shape_stats: Arc<ShapeStatsRegistry>,
 }
 
 impl Session {
@@ -172,6 +179,7 @@ impl Session {
         };
         Ok(Self {
             cache: MaskCache::new(config.cache_bytes),
+            shape_stats: store.shape_stats().unwrap_or_default(),
             store,
             catalog: RwLock::new(catalog),
             config,
@@ -192,6 +200,7 @@ impl Session {
     ) -> Self {
         Self {
             cache: MaskCache::new(config.cache_bytes),
+            shape_stats: store.shape_stats().unwrap_or_default(),
             store,
             catalog: RwLock::new(catalog),
             config,
@@ -214,6 +223,7 @@ impl Session {
     ) -> Self {
         Self {
             cache: MaskCache::new(config.cache_bytes),
+            shape_stats: store.shape_stats().unwrap_or_default(),
             store,
             catalog: RwLock::new(catalog),
             config,
@@ -224,14 +234,35 @@ impl Session {
         }
     }
 
+    /// Acquires the catalog lock for reading, charging the wait to the
+    /// global lock-contention counters so serving-layer profiles can see
+    /// catalog contention directly (the suspected shape of multi-worker
+    /// scaling plateaus).
+    fn catalog_read(&self) -> RwLockReadGuard<'_, Catalog> {
+        obs_counters::timed_acquire(
+            &obs_counters::CATALOG_READ_WAIT_US,
+            &obs_counters::CATALOG_LOCK_ACQUIRES,
+            || self.catalog.read(),
+        )
+    }
+
+    /// Acquires the catalog lock for writing (see [`Session::catalog_read`]).
+    fn catalog_write(&self) -> RwLockWriteGuard<'_, Catalog> {
+        obs_counters::timed_acquire(
+            &obs_counters::CATALOG_WRITE_WAIT_US,
+            &obs_counters::CATALOG_LOCK_ACQUIRES,
+            || self.catalog.write(),
+        )
+    }
+
     /// A point-in-time copy of the session's catalog.
     pub fn catalog(&self) -> Catalog {
-        self.catalog.read().clone()
+        self.catalog_read().clone()
     }
 
     /// Number of catalogued masks.
     pub fn catalog_len(&self) -> usize {
-        self.catalog.read().len()
+        self.catalog_read().len()
     }
 
     /// The session's mask store.
@@ -284,8 +315,7 @@ impl Session {
 
     /// The catalog record of a mask, or an error if unknown.
     pub fn record(&self, mask_id: MaskId) -> QueryResult<MaskRecord> {
-        self.catalog
-            .read()
+        self.catalog_read()
             .get(mask_id)
             .cloned()
             .ok_or(QueryError::UnknownMask(mask_id))
@@ -371,7 +401,7 @@ impl Session {
             }
         }
         {
-            let mut catalog = self.catalog.write();
+            let mut catalog = self.catalog_write();
             for (record, _) in batch {
                 catalog.insert(record.clone());
             }
@@ -414,7 +444,7 @@ impl Session {
                 .collect()
         };
         {
-            let catalog = self.catalog.read();
+            let catalog = self.catalog_read();
             for &id in &ids {
                 if catalog.get(id).is_none() {
                     return Err(QueryError::UnknownMask(id));
@@ -432,7 +462,7 @@ impl Session {
         // permanently orphaned pixels on a store error.
         self.store.delete_batch(&ids)?;
         {
-            let mut catalog = self.catalog.write();
+            let mut catalog = self.catalog_write();
             for &id in &ids {
                 catalog.remove(id);
             }
@@ -464,14 +494,13 @@ impl Session {
     /// candidate set reflects a single committed state — concurrent write
     /// batches are observed entirely or not at all.
     pub fn resolve_selection(&self, selection: &Selection) -> Vec<MaskId> {
-        self.catalog
-            .read()
+        self.catalog_read()
             .filter(|record| selection.matches(record))
     }
 
     /// Groups targeted masks by image id.
     pub fn group_by_image(&self, mask_ids: &[MaskId]) -> Vec<(ImageId, Vec<MaskId>)> {
-        self.catalog.read().group_by_image(mask_ids)
+        self.catalog_read().group_by_image(mask_ids)
     }
 
     /// Resolves a pair query's candidates: for each image, the smallest mask
@@ -484,7 +513,7 @@ impl Session {
         selection: &Selection,
         join: &MaskJoin,
     ) -> Vec<(ImageId, MaskId, MaskId)> {
-        let catalog = self.catalog.read();
+        let catalog = self.catalog_read();
         let mut left: std::collections::BTreeMap<ImageId, MaskId> =
             std::collections::BTreeMap::new();
         let mut right: std::collections::BTreeMap<ImageId, MaskId> =
@@ -566,8 +595,58 @@ impl Session {
         ) {
             return self.execute_resolved(query, &[]);
         }
-        let candidates = self.resolve_selection(&query.selection);
+        let candidates = {
+            let _resolve = masksearch_obs::span("resolve");
+            self.resolve_selection(&query.selection)
+        };
         self.execute_resolved(query, &candidates)
+    }
+
+    /// The query's plan under this session's configuration (`EXPLAIN`): the
+    /// stage tree the executor will walk, before anything runs.
+    pub fn explain(&self, query: &Query) -> PlanNode {
+        explain::plan(query, &self.config)
+    }
+
+    /// Executes the query and returns its plan annotated with the measured
+    /// statistics (`EXPLAIN ANALYZE`), together with the output itself. The
+    /// annotated counters are copied verbatim from the output's
+    /// [`QueryStats`](crate::result::QueryStats), so the two never disagree.
+    pub fn explain_analyze(&self, query: &Query) -> QueryResult<(PlanNode, QueryOutput)> {
+        let output = self.execute(query)?;
+        let plan = explain::annotate(
+            explain::plan(query, &self.config),
+            &output.stats,
+            output.rows.len() as u64,
+        );
+        Ok((plan, output))
+    }
+
+    /// The per-query-shape statistics registry this session records into.
+    /// Shared with the store when the store persists shapes across restarts.
+    pub fn shape_stats(&self) -> &Arc<ShapeStatsRegistry> {
+        &self.shape_stats
+    }
+
+    /// Folds one finished query into the aggregate statistics of its shape.
+    fn record_query(&self, query: &Query, output: &QueryOutput) {
+        let s = &output.stats;
+        self.shape_stats.record(
+            &explain::shape_key(query, &self.config),
+            &ShapeObservation {
+                candidates: s.candidates,
+                rows: output.rows.len() as u64,
+                pruned: s.pruned,
+                accepted: s.accepted_without_load,
+                verified: s.verified,
+                masks_loaded: s.masks_loaded,
+                tiles_pruned: s.tiles_pruned,
+                tiles_hist: s.tiles_hist,
+                tiles_scanned: s.tiles_scanned,
+                filter_wall_us: s.filter_wall.as_micros() as u64,
+                verify_wall_us: s.verify_wall.as_micros() as u64,
+            },
+        );
     }
 
     /// Executes a ranked query in *partial* (cluster-shard) mode: the query's
@@ -623,6 +702,7 @@ impl Session {
             let pairs = self.resolve_pairs(&query.selection, join);
             let total = pairs.len();
             let output = exec::pair::execute_topk(self, &pairs, expr, *k, *order)?;
+            self.record_query(&query, &output);
             let bound = if output.rows.len() < total {
                 output.rows.last().and_then(|r| r.value)
             } else {
@@ -663,6 +743,13 @@ impl Session {
 
     /// Executes a query against an already resolved candidate set.
     fn execute_resolved(&self, query: &Query, candidates: &[MaskId]) -> QueryResult<QueryOutput> {
+        let output = self.dispatch(query, candidates)?;
+        self.record_query(query, &output);
+        Ok(output)
+    }
+
+    /// Dispatches on the query kind.
+    fn dispatch(&self, query: &Query, candidates: &[MaskId]) -> QueryResult<QueryOutput> {
         match &query.kind {
             QueryKind::Filter { predicate } => exec::filter::execute(self, candidates, predicate),
             QueryKind::TopK { expr, k, order } => {

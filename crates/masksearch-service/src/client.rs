@@ -115,9 +115,9 @@ impl Client {
                     "unexpected handshake reply {line:?}"
                 ))),
             },
-            Frame::Rows(_) => Err(ServiceError::Protocol(
-                "unexpected rows frame in handshake".to_string(),
-            )),
+            other => Err(ServiceError::Protocol(format!(
+                "unexpected frame in handshake: {other:?}"
+            ))),
         }
     }
 
@@ -208,8 +208,8 @@ impl Client {
     fn expect_rows(frame: Frame) -> ServiceResult<WireResponse> {
         match frame {
             Frame::Rows(response) => Ok(response),
-            Frame::Control(line) => Err(ServiceError::Protocol(format!(
-                "expected rows, got control frame {line:?}"
+            other => Err(ServiceError::Protocol(format!(
+                "expected rows, got {other:?}"
             ))),
         }
     }
@@ -265,6 +265,44 @@ impl Client {
             Frame::Control(line) => Ok(line),
             other => Err(ServiceError::Protocol(format!(
                 "unexpected stats reply {other:?}"
+            ))),
+        }
+    }
+
+    /// Renders the server-side plan of a SQL query (`EXPLAIN`), executing
+    /// it first when `analyze` is set (`EXPLAIN ANALYZE`) so the plan
+    /// carries the measured statistics. Returns the plan lines.
+    pub fn explain(&mut self, analyze: bool, sql: &str) -> ServiceResult<Vec<String>> {
+        let keyword = if analyze {
+            "EXPLAIN ANALYZE"
+        } else {
+            "EXPLAIN"
+        };
+        match self.round_trip(&format!("{keyword} {sql}"))? {
+            Frame::Plan(lines) => Ok(lines),
+            other => Err(ServiceError::Protocol(format!(
+                "expected a plan frame, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the server's full Prometheus text exposition.
+    pub fn metrics(&mut self) -> ServiceResult<String> {
+        match self.round_trip("METRICS")? {
+            Frame::Metrics(lines) => Ok(lines.join("\n") + "\n"),
+            other => Err(ServiceError::Protocol(format!(
+                "expected a metrics frame, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the server's most recent `n` traced query profiles as
+    /// rendered lines (`STATS PROFILES <n>`).
+    pub fn profiles(&mut self, n: usize) -> ServiceResult<Vec<String>> {
+        match self.round_trip(&format!("STATS PROFILES {n}"))? {
+            Frame::Profiles(lines) => Ok(lines),
+            other => Err(ServiceError::Protocol(format!(
+                "expected a profiles frame, got {other:?}"
             ))),
         }
     }

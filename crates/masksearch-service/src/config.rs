@@ -31,6 +31,14 @@ pub struct ServiceConfig {
     /// from submission; a query whose deadline passes while still queued is
     /// abandoned without executing. `None` means no deadline.
     pub default_deadline: Option<Duration>,
+    /// Whether workers open a tracing span tree around each query. Traces
+    /// feed the profile ring (`STATS PROFILES`) and the slow-query log; with
+    /// tracing off the hot path takes the pre-observability code path and
+    /// produces byte-identical responses.
+    pub tracing: bool,
+    /// Threshold above which a completed query is written to the structured
+    /// slow-query log. `None` disables the log.
+    pub slow_query: Option<Duration>,
 }
 
 impl ServiceConfig {
@@ -42,6 +50,8 @@ impl ServiceConfig {
             queue_depth: 1024,
             admission: AdmissionPolicy::Reject,
             default_deadline: None,
+            tracing: true,
+            slow_query: None,
         }
     }
 
@@ -60,6 +70,18 @@ impl ServiceConfig {
     /// Sets the default per-query deadline.
     pub fn default_deadline(mut self, deadline: Duration) -> Self {
         self.default_deadline = Some(deadline);
+        self
+    }
+
+    /// Enables or disables per-query tracing (profiles and slow-query log).
+    pub fn tracing(mut self, enabled: bool) -> Self {
+        self.tracing = enabled;
+        self
+    }
+
+    /// Sets the slow-query threshold (queries at least this slow are logged).
+    pub fn slow_query(mut self, threshold: Duration) -> Self {
+        self.slow_query = Some(threshold);
         self
     }
 }
@@ -83,11 +105,15 @@ mod tests {
         let c = ServiceConfig::new(0)
             .queue_depth(0)
             .admission(AdmissionPolicy::Block)
-            .default_deadline(Duration::from_millis(5));
+            .default_deadline(Duration::from_millis(5))
+            .tracing(false)
+            .slow_query(Duration::from_millis(100));
         assert_eq!(c.workers, 1);
         assert_eq!(c.queue_depth, 1);
         assert_eq!(c.admission, AdmissionPolicy::Block);
         assert_eq!(c.default_deadline, Some(Duration::from_millis(5)));
+        assert!(!c.tracing);
+        assert_eq!(c.slow_query, Some(Duration::from_millis(100)));
     }
 
     #[test]
@@ -96,5 +122,7 @@ mod tests {
         assert!(c.workers >= 1);
         assert_eq!(c.admission, AdmissionPolicy::Reject);
         assert!(c.default_deadline.is_none());
+        assert!(c.tracing);
+        assert!(c.slow_query.is_none());
     }
 }

@@ -18,11 +18,16 @@ use crate::job::{
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::queue::{JobQueue, PushError};
 use masksearch_core::MaskId;
-use masksearch_query::{Mutation, Query, Session};
+use masksearch_obs::{keys as obs_keys, prom::PromText, ProfileRing, QueryProfile, SlowQueryLog};
+use masksearch_query::{Mutation, Query, QueryStats, Session};
+use masksearch_sql::ExplainMode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// How many recent query profiles the engine retains for `STATS PROFILES`.
+const PROFILE_RING_CAPACITY: usize = 128;
 
 // The whole serving layer rests on the session stack being shareable across
 // worker threads; assert it at compile time so a future refactor that breaks
@@ -43,7 +48,51 @@ struct Shared {
     metrics: ServiceMetrics,
     /// Recently applied mutation tokens (exactly-once client resends).
     dedup: MutationDedup,
+    /// Span trees of recent traced queries (`STATS PROFILES`).
+    profiles: ProfileRing,
+    /// Threshold-gated JSON-lines log of slow queries.
+    slow_log: SlowQueryLog,
+    /// Whether workers trace queries (`ServiceConfig::tracing`). With this
+    /// off the execution path is exactly the pre-observability one.
+    tracing: bool,
     shutting_down: AtomicBool,
+}
+
+impl Shared {
+    /// Records a traced query into the profile ring and the slow-query log.
+    /// `trace` is `None` when tracing is off — then this is a no-op and the
+    /// query took the untraced path end to end.
+    fn observe_query(
+        &self,
+        trace: Option<masksearch_obs::TraceGuard>,
+        statement: Option<&Arc<str>>,
+        query: &Query,
+        stats: &QueryStats,
+        wall: Duration,
+    ) {
+        let Some(trace) = trace else { return };
+        let label: std::borrow::Cow<'_, str> = match statement {
+            Some(s) => std::borrow::Cow::Borrowed(s.as_ref()),
+            // Programmatic submissions have no SQL text; the normalized
+            // shape key still tells an operator what ran.
+            None => {
+                std::borrow::Cow::Owned(masksearch_query::shape_key(query, self.session.config()))
+            }
+        };
+        if let Some(root) = trace.finish() {
+            self.profiles.record(&label, wall.as_micros() as u64, root);
+        }
+        self.slow_log.observe(
+            &label,
+            wall,
+            &[
+                (obs_keys::CANDIDATES, stats.candidates),
+                (obs_keys::PRUNED, stats.pruned),
+                (obs_keys::VERIFIED, stats.verified),
+                (obs_keys::LOADED, stats.masks_loaded),
+            ],
+        );
+    }
 }
 
 /// Owns the worker handles; its `Drop` (run exactly once, when the last
@@ -111,6 +160,9 @@ impl Engine {
             queue: JobQueue::new(config.queue_depth),
             metrics: ServiceMetrics::new(),
             dedup: MutationDedup::new(),
+            profiles: ProfileRing::new(PROFILE_RING_CAPACITY),
+            slow_log: SlowQueryLog::stderr(config.slow_query),
+            tracing: config.tracing,
             shutting_down: AtomicBool::new(false),
         });
         let mut workers = Vec::with_capacity(config.workers);
@@ -161,6 +213,168 @@ impl Engine {
         snapshot
     }
 
+    /// Everything the server knows, as a Prometheus text exposition
+    /// (version 0.0.4): service counters and gauges, the process-global
+    /// observability counters, and the latency/queue-wait histograms.
+    pub fn prometheus_text(&self) -> String {
+        let s = self.metrics();
+        let mut p = PromText::new();
+        p.counter(
+            "masksearch_queries_submitted_total",
+            "Queries admitted to the job queue.",
+            s.submitted,
+        );
+        p.counter(
+            "masksearch_queries_completed_total",
+            "Queries finished successfully.",
+            s.completed,
+        );
+        p.counter(
+            "masksearch_queries_failed_total",
+            "Queries that failed during execution.",
+            s.failed,
+        );
+        p.counter(
+            "masksearch_queries_rejected_total",
+            "Queries rejected by admission control.",
+            s.rejected,
+        );
+        p.counter(
+            "masksearch_queries_deadline_expired_total",
+            "Queries abandoned on queue-deadline expiry.",
+            s.deadline_expired,
+        );
+        p.counter(
+            "masksearch_batches_total",
+            "Batch jobs executed.",
+            s.batches,
+        );
+        p.counter(
+            "masksearch_mutations_total",
+            "Write statements applied.",
+            s.mutations,
+        );
+        p.counter(
+            "masksearch_masks_inserted_total",
+            "Masks inserted by served writes.",
+            s.masks_inserted,
+        );
+        p.counter(
+            "masksearch_masks_deleted_total",
+            "Masks deleted by served writes.",
+            s.masks_deleted,
+        );
+        p.counter(
+            "masksearch_mutations_deduped_total",
+            "Mutations answered from the token-dedup registry.",
+            s.mutations_deduped,
+        );
+        p.counter(
+            "masksearch_tiles_pruned_total",
+            "Verification-kernel tiles decided from min/max summaries.",
+            s.tiles_pruned,
+        );
+        p.counter(
+            "masksearch_tiles_hist_total",
+            "Verification-kernel tiles answered from tile histograms.",
+            s.tiles_hist,
+        );
+        p.counter(
+            "masksearch_tiles_scanned_total",
+            "Verification-kernel tiles scanned pixel by pixel.",
+            s.tiles_scanned,
+        );
+        p.counter(
+            "masksearch_pairs_bound_total",
+            "Pair-query images bound.",
+            s.pairs_bound,
+        );
+        p.counter(
+            "masksearch_wal_bytes_total",
+            "Bytes appended to the write-ahead log.",
+            s.ingest.wal_bytes,
+        );
+        p.counter(
+            "masksearch_commits_total",
+            "Committed write transactions.",
+            s.ingest.commits,
+        );
+        p.counter(
+            "masksearch_checkpoints_total",
+            "Checkpoints completed (WAL truncations).",
+            s.ingest.checkpoints,
+        );
+        p.counter(
+            "masksearch_profiles_recorded_total",
+            "Query profiles recorded into the profile ring.",
+            self.shared.profiles.recorded(),
+        );
+        p.counter(
+            "masksearch_slow_queries_logged_total",
+            "Entries written to the slow-query log.",
+            self.shared.slow_log.logged(),
+        );
+        p.gauge(
+            "masksearch_uptime_seconds",
+            "Time since the server started.",
+            s.uptime.as_secs_f64(),
+        );
+        p.gauge("masksearch_qps", "Completed queries per second.", s.qps);
+        p.gauge(
+            "masksearch_filter_rate",
+            "Fraction of candidates the index avoided loading.",
+            s.filter_rate,
+        );
+        p.gauge(
+            "masksearch_cache_hit_rate",
+            "Shared mask-cache hit rate.",
+            s.cache_hit_rate,
+        );
+        p.gauge(
+            "masksearch_queue_depth",
+            "Jobs waiting in the bounded queue.",
+            s.queue_depth as f64,
+        );
+        // Process-global counters: lock waits, kernel calls, WAL/pager
+        // activity, scatter rounds. Same source the cluster coordinator
+        // aggregates, so names line up across single node and cluster.
+        for (name, value) in masksearch_obs::counters::snapshot() {
+            p.counter(
+                &format!("masksearch_{name}_total"),
+                "Process-global observability counter.",
+                value,
+            );
+        }
+        let mut text = p.finish();
+        for (name, help, histogram) in [
+            (
+                "masksearch_query_latency_seconds",
+                "End-to-end query latency (submission to completion).",
+                &s.latency,
+            ),
+            (
+                "masksearch_queue_wait_seconds",
+                "Time jobs spent queued before a worker picked them up.",
+                &s.queue_wait,
+            ),
+        ] {
+            text.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
+            histogram.render_prometheus(name, &mut text);
+        }
+        text
+    }
+
+    /// The most recent `n` traced query profiles, newest first.
+    pub fn recent_profiles(&self, n: usize) -> Vec<QueryProfile> {
+        self.shared.profiles.recent(n)
+    }
+
+    /// The engine's slow-query log (threshold set by
+    /// [`ServiceConfig::slow_query`]).
+    pub fn slow_log(&self) -> &SlowQueryLog {
+        &self.shared.slow_log
+    }
+
     /// Which of the given mask ids this engine's session currently holds.
     /// Used by a cluster coordinator to resolve the owning shard of each id
     /// before routing a `DELETE`.
@@ -176,6 +390,15 @@ impl Engine {
         request: Request,
         deadline: Option<Duration>,
     ) -> ServiceResult<Ticket> {
+        self.submit_labeled(request, deadline, None)
+    }
+
+    fn submit_labeled(
+        &self,
+        request: Request,
+        deadline: Option<Duration>,
+        statement: Option<Arc<str>>,
+    ) -> ServiceResult<Ticket> {
         if self.shared.shutting_down.load(Ordering::Acquire) {
             return Err(ServiceError::ShuttingDown);
         }
@@ -189,6 +412,7 @@ impl Engine {
             submitted,
             deadline,
             reply,
+            statement,
         };
         let pushed = match self.config.admission {
             AdmissionPolicy::Reject => self.shared.queue.try_push(job),
@@ -239,9 +463,9 @@ impl Engine {
     /// statements execute normally (with no bound); writes are rejected.
     pub fn execute_partial_sql(&self, sql: &str, k: usize) -> ServiceResult<PartialResponse> {
         match masksearch_sql::compile_statement(sql)? {
-            masksearch_sql::Statement::Query(query) => {
-                self.submit_partial(query, k)?.wait_partial()
-            }
+            masksearch_sql::Statement::Query(query) => self
+                .submit_labeled(Request::Partial { query, k }, None, Some(Arc::from(sql)))?
+                .wait_partial(),
             masksearch_sql::Statement::Mutation(_) => Err(ServiceError::Sql(
                 "PARTIAL applies to queries, not writes".to_string(),
             )),
@@ -264,12 +488,36 @@ impl Engine {
     /// the TCP front end uses, so network clients can ingest masks while
     /// other clients query.
     pub fn execute_statement(&self, sql: &str) -> ServiceResult<Response> {
+        if let Some((mode, inner)) = masksearch_sql::strip_explain(sql) {
+            return Ok(Response::Plan(
+                self.explain_sql(mode == ExplainMode::Analyze, inner)?,
+            ));
+        }
         match masksearch_sql::compile_statement(sql)? {
-            masksearch_sql::Statement::Query(query) => {
-                Ok(Response::Single(self.submit(query)?.wait_single()?))
-            }
+            masksearch_sql::Statement::Query(query) => Ok(Response::Single(
+                self.submit_labeled(Request::Single(query), None, Some(Arc::from(sql)))?
+                    .wait_single()?,
+            )),
             masksearch_sql::Statement::Mutation(mutation) => Ok(Response::Mutation(
                 self.submit_mutation(mutation)?.wait_mutation()?,
+            )),
+        }
+    }
+
+    /// Compiles a SQL query and returns its rendered plan tree, executing it
+    /// first when `analyze` is set (`EXPLAIN ANALYZE`) so the plan carries
+    /// the measured statistics. Writes cannot be explained.
+    pub fn explain_sql(&self, analyze: bool, sql: &str) -> ServiceResult<Vec<String>> {
+        match masksearch_sql::compile_statement(sql)? {
+            masksearch_sql::Statement::Query(query) => self
+                .submit_labeled(
+                    Request::Explain { query, analyze },
+                    None,
+                    Some(Arc::from(sql)),
+                )?
+                .wait_plan(),
+            masksearch_sql::Statement::Mutation(_) => Err(ServiceError::Sql(
+                "EXPLAIN applies to queries, not writes".to_string(),
             )),
         }
     }
@@ -282,10 +530,17 @@ impl Engine {
     /// resend-after-transport-error exactly-once. A duplicate racing the
     /// original blocks until the original finishes.
     pub fn execute_statement_tokened(&self, token: u64, sql: &str) -> ServiceResult<Response> {
+        if let Some((mode, inner)) = masksearch_sql::strip_explain(sql) {
+            // Dedup tokens are meaningless for side-effect-free explains.
+            return Ok(Response::Plan(
+                self.explain_sql(mode == ExplainMode::Analyze, inner)?,
+            ));
+        }
         match masksearch_sql::compile_statement(sql)? {
-            masksearch_sql::Statement::Query(query) => {
-                Ok(Response::Single(self.submit(query)?.wait_single()?))
-            }
+            masksearch_sql::Statement::Query(query) => Ok(Response::Single(
+                self.submit_labeled(Request::Single(query), None, Some(Arc::from(sql)))?
+                    .wait_single()?,
+            )),
             masksearch_sql::Statement::Mutation(mutation) => {
                 match self.shared.dedup.begin(token) {
                     Admission::Replay(outcome) => {
@@ -319,7 +574,8 @@ impl Engine {
     /// Compiles a SQL statement in the MaskSearch dialect and executes it.
     pub fn execute_sql(&self, sql: &str) -> ServiceResult<QueryResponse> {
         let query = masksearch_sql::compile(sql)?;
-        self.execute(&query)
+        self.submit_labeled(Request::Single(query), None, Some(Arc::from(sql)))?
+            .wait_single()
     }
 
     /// Submits a batch and blocks for all of its results.
@@ -356,12 +612,20 @@ fn worker_loop(shared: &Shared) {
         match job.request {
             Request::Single(query) => {
                 let exec_start = Instant::now();
+                let trace = shared.tracing.then(|| masksearch_obs::trace("query"));
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     shared.session.execute(&query)
                 }));
                 match result {
                     Ok(Ok(output)) => {
                         let exec_time = exec_start.elapsed();
+                        shared.observe_query(
+                            trace,
+                            job.statement.as_ref(),
+                            &query,
+                            &output.stats,
+                            exec_time,
+                        );
                         shared
                             .metrics
                             .record_completed(&output.stats, job.submitted.elapsed());
@@ -383,14 +647,61 @@ fn worker_loop(shared: &Shared) {
                     }
                 }
             }
+            Request::Explain { query, analyze } => {
+                if !analyze {
+                    // Plan shape only: no execution, no stats, no trace.
+                    let plan = shared.session.explain(&query);
+                    let _ = job.reply.send(Ok(Response::Plan(plan.render())));
+                    continue;
+                }
+                let exec_start = Instant::now();
+                let trace = shared.tracing.then(|| masksearch_obs::trace("query"));
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    shared.session.explain_analyze(&query)
+                }));
+                match result {
+                    Ok(Ok((plan, output))) => {
+                        let exec_time = exec_start.elapsed();
+                        shared.observe_query(
+                            trace,
+                            job.statement.as_ref(),
+                            &query,
+                            &output.stats,
+                            exec_time,
+                        );
+                        shared
+                            .metrics
+                            .record_completed(&output.stats, job.submitted.elapsed());
+                        let _ = job.reply.send(Ok(Response::Plan(plan.render())));
+                    }
+                    Ok(Err(e)) => {
+                        shared.metrics.record_failed();
+                        let _ = job.reply.send(Err(e.into()));
+                    }
+                    Err(panic) => {
+                        shared.metrics.record_failed();
+                        let _ = job
+                            .reply
+                            .send(Err(ServiceError::Internal(panic_message(&panic))));
+                    }
+                }
+            }
             Request::Partial { query, k } => {
                 let exec_start = Instant::now();
+                let trace = shared.tracing.then(|| masksearch_obs::trace("query"));
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     shared.session.execute_topk_partial(&query, Some(k))
                 }));
                 match result {
                     Ok(Ok(partial)) => {
                         let exec_time = exec_start.elapsed();
+                        shared.observe_query(
+                            trace,
+                            job.statement.as_ref(),
+                            &query,
+                            &partial.output.stats,
+                            exec_time,
+                        );
                         shared
                             .metrics
                             .record_completed(&partial.output.stats, job.submitted.elapsed());

@@ -12,6 +12,14 @@ use std::time::{Duration, Instant};
 pub enum Request {
     /// Execute one query.
     Single(Query),
+    /// Explain a query: render its plan shape, and with `analyze` execute it
+    /// and annotate the plan with the measured statistics.
+    Explain {
+        /// The query to explain.
+        query: Query,
+        /// Whether to execute (`EXPLAIN ANALYZE`) or just plan (`EXPLAIN`).
+        analyze: bool,
+    },
     /// Execute a ranked query in partial (cluster-shard) mode: `k` replaces
     /// the query's own limit and the response carries the k-th value bound.
     Partial {
@@ -32,6 +40,9 @@ pub enum Request {
 pub enum Response {
     /// Output of a [`Request::Single`].
     Single(QueryResponse),
+    /// Output of a [`Request::Explain`]: the rendered plan tree, one line
+    /// per node (indented two spaces per level).
+    Plan(Vec<String>),
     /// Output of a [`Request::Partial`].
     Partial(PartialResponse),
     /// Output of a [`Request::Batch`].
@@ -80,6 +91,10 @@ pub(crate) struct Job {
     pub(crate) submitted: Instant,
     pub(crate) deadline: Option<Instant>,
     pub(crate) reply: mpsc::Sender<ServiceResult<Response>>,
+    /// The statement text as the client sent it, when the job came through a
+    /// SQL entry point — this is what profiles and the slow-query log show.
+    /// Programmatic submissions carry `None` and are labelled by shape.
+    pub(crate) statement: Option<std::sync::Arc<str>>,
 }
 
 impl Job {
@@ -152,6 +167,16 @@ impl Ticket {
             Response::Partial(p) => Ok(p),
             _ => Err(ServiceError::Protocol(
                 "non-partial response on a partial ticket".to_string(),
+            )),
+        }
+    }
+
+    /// Convenience for explain tickets: unwraps [`Response::Plan`].
+    pub fn wait_plan(self) -> ServiceResult<Vec<String>> {
+        match self.wait()? {
+            Response::Plan(lines) => Ok(lines),
+            _ => Err(ServiceError::Protocol(
+                "non-plan response on an explain ticket".to_string(),
             )),
         }
     }

@@ -110,6 +110,31 @@ impl LatencySnapshot {
     pub fn p99(&self) -> Duration {
         self.quantile(0.99)
     }
+
+    /// Renders this snapshot as Prometheus `histogram` sample lines:
+    /// cumulative `_bucket{le=...}` counts with upper edges in **seconds**
+    /// (Prometheus convention), then `_sum` and `_count`. The caller emits
+    /// the `# TYPE name histogram` header.
+    pub fn render_prometheus(&self, name: &str, out: &mut String) {
+        let mut cumulative = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cumulative += c;
+            if c == 0 && i + 1 < self.buckets.len() {
+                // Compact exposition: skip empty buckets (cumulative counts
+                // make them recoverable), but always close with the last.
+                continue;
+            }
+            // Bucket i holds observations in [2^(i-1), 2^i) µs, so its
+            // inclusive upper edge is 2^i µs.
+            let le_seconds = (1u64 << i.min(63)) as f64 / 1e6;
+            out.push_str(&format!(
+                "{name}_bucket{{le=\"{le_seconds}\"}} {cumulative}\n"
+            ));
+        }
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", self.count));
+        out.push_str(&format!("{name}_sum {}\n", self.total_micros as f64 / 1e6));
+        out.push_str(&format!("{name}_count {}\n", self.count));
+    }
 }
 
 /// Counters and histograms describing everything a server has done since it

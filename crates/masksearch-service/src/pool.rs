@@ -114,6 +114,16 @@ impl PooledClient<'_> {
         self.run(|c| c.stats())
     }
 
+    /// See [`Client::explain`].
+    pub fn explain(&mut self, analyze: bool, sql: &str) -> ServiceResult<Vec<String>> {
+        self.run(|c| c.explain(analyze, sql))
+    }
+
+    /// See [`Client::metrics`].
+    pub fn metrics(&mut self) -> ServiceResult<String> {
+        self.run(|c| c.metrics())
+    }
+
     /// See [`Client::ping`].
     pub fn ping(&mut self) -> ServiceResult<()> {
         self.run(|c| c.ping())

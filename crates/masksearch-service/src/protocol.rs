@@ -45,8 +45,14 @@ pub const END_MARKER: &str = "END";
 /// `LOOKUP`, and saturation fields in `STATS`; v3 — `TOKEN <id> <sql>`
 /// deduplicated mutations (exactly-once resend after transport errors),
 /// self-join pair queries in the SQL dialect, and `deduped=` /
-/// `pairs_bound=` in `STATS`.
-pub const PROTOCOL_VERSION: u32 = 3;
+/// `pairs_bound=` in `STATS`; v4 — observability: `EXPLAIN [ANALYZE]`
+/// statements answered with `PLAN <n>` frames, `METRICS` returning a
+/// Prometheus text exposition, and `STATS PROFILES [n]` returning recent
+/// traced query profiles.
+pub const PROTOCOL_VERSION: u32 = 4;
+
+/// Default number of profiles returned by a bare `STATS PROFILES`.
+pub const DEFAULT_PROFILES: usize = 16;
 
 /// A parsed client request line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,6 +61,10 @@ pub enum ClientRequest {
     Ping,
     /// Server metrics summary.
     Stats,
+    /// Prometheus text exposition of every server metric.
+    Metrics,
+    /// The most recent `n` traced query profiles (`STATS PROFILES [n]`).
+    Profiles(usize),
     /// Close the connection.
     Quit,
     /// Which of the given mask ids this server holds (cluster routing).
@@ -111,6 +121,16 @@ impl ClientRequest {
                 }
             }
         }
+        if let Some(rest) = upper.strip_prefix("STATS PROFILES") {
+            let rest = rest.trim();
+            if rest.is_empty() {
+                return Some(Self::Profiles(DEFAULT_PROFILES));
+            }
+            if let Ok(n) = rest.parse::<usize>() {
+                return Some(Self::Profiles(n));
+            }
+            // Malformed count: fall through to the SQL path (-> ERR frame).
+        }
         if upper.starts_with("PARTIAL ") {
             let rest = trimmed[7..].trim_start();
             if let Some(kv) = rest.split_ascii_whitespace().next() {
@@ -129,6 +149,7 @@ impl ClientRequest {
         Some(match upper.as_str() {
             "PING" => Self::Ping,
             "STATS" => Self::Stats,
+            "METRICS" => Self::Metrics,
             "QUIT" => Self::Quit,
             // A LOOKUP of zero ids is a valid (empty) question.
             "LOOKUP" => Self::Lookup(Vec::new()),
@@ -241,6 +262,40 @@ pub fn write_mutation_response<W: Write>(
     writeln!(w, "{END_MARKER}")
 }
 
+/// Writes a plan frame (the answer to an `EXPLAIN [ANALYZE]` statement):
+/// a `PLAN <n>` header followed by the n rendered plan lines.
+pub fn write_plan_response<W: Write>(w: &mut W, lines: &[String]) -> std::io::Result<()> {
+    write_text_frame(w, "PLAN", lines.iter().map(String::as_str))
+}
+
+/// Writes a `METRICS` frame: a `METRICS <n>` header followed by the n lines
+/// of a Prometheus text exposition.
+pub fn write_metrics_response<W: Write>(w: &mut W, exposition: &str) -> std::io::Result<()> {
+    write_text_frame(w, "METRICS", exposition.lines())
+}
+
+/// Writes a `STATS PROFILES` frame: a `PROFILES <n>` header followed by the
+/// n rendered profile lines (each profile is a `profile seq=..` header line
+/// with its span tree indented under it).
+pub fn write_profiles_response<W: Write>(w: &mut W, lines: &[String]) -> std::io::Result<()> {
+    write_text_frame(w, "PROFILES", lines.iter().map(String::as_str))
+}
+
+/// Writes a counted raw-text frame: `<kind> <n>`, n lines verbatim, `END`.
+/// The count (not a sentinel) delimits the payload, so payload lines may be
+/// anything — including indented span trees and `#`-prefixed comments.
+fn write_text_frame<'a, W: Write>(
+    w: &mut W,
+    kind: &str,
+    lines: impl Iterator<Item = &'a str> + Clone,
+) -> std::io::Result<()> {
+    writeln!(w, "{kind} {}", lines.clone().count())?;
+    for line in lines {
+        writeln!(w, "{line}")?;
+    }
+    writeln!(w, "{END_MARKER}")
+}
+
 /// Writes an error frame.
 pub fn write_error<W: Write>(w: &mut W, error: &ServiceError) -> std::io::Result<()> {
     writeln!(w, "ERR {}", error.wire_message())?;
@@ -265,39 +320,52 @@ pub fn pong_version(line: &str) -> Option<u32> {
 }
 
 /// Writes a server-metrics frame.
+///
+/// Every aggregatable key is spelled via [`masksearch_obs::keys`], the same
+/// registry the cluster coordinator's sum/max merge reads — renaming a key
+/// there changes writer and aggregator together.
 pub fn write_stats<W: Write>(w: &mut W, m: &MetricsSnapshot) -> std::io::Result<()> {
-    writeln!(
-        w,
-        "STATS qps={:.3} completed={} failed={} rejected={} deadline_expired={} \
-         p50_us={} p99_us={} mean_us={} filter_rate={:.6} cache_hit_rate={:.6} uptime_ms={} \
-         mutations={} inserted={} deleted={} deduped={} wal_bytes={} checkpoints={} commits={} \
-         tiles_pruned={} tiles_hist={} tiles_scanned={} pairs_bound={} \
-         active_connections={} queue_depth={}",
-        m.qps,
-        m.completed,
-        m.failed,
-        m.rejected,
-        m.deadline_expired,
+    use masksearch_obs::keys as k;
+    use std::fmt::Write as _;
+    let mut line = format!("STATS {}={:.3}", k::QPS, m.qps);
+    for (key, value) in [
+        (k::COMPLETED, m.completed),
+        (k::FAILED, m.failed),
+        (k::REJECTED, m.rejected),
+        (k::DEADLINE_EXPIRED, m.deadline_expired),
+    ] {
+        let _ = write!(line, " {key}={value}");
+    }
+    let _ = write!(
+        line,
+        " {}={} {}={} mean_us={} filter_rate={:.6} cache_hit_rate={:.6} uptime_ms={}",
+        k::P50_US,
         m.latency.p50().as_micros(),
+        k::P99_US,
         m.latency.p99().as_micros(),
         m.latency.mean().as_micros(),
         m.filter_rate,
         m.cache_hit_rate,
         m.uptime.as_millis(),
-        m.mutations,
-        m.masks_inserted,
-        m.masks_deleted,
-        m.mutations_deduped,
-        m.ingest.wal_bytes,
-        m.ingest.checkpoints,
-        m.ingest.commits,
-        m.tiles_pruned,
-        m.tiles_hist,
-        m.tiles_scanned,
-        m.pairs_bound,
-        m.active_connections,
-        m.queue_depth,
-    )?;
+    );
+    for (key, value) in [
+        (k::MUTATIONS, m.mutations),
+        (k::INSERTED, m.masks_inserted),
+        (k::DELETED, m.masks_deleted),
+        (k::DEDUPED, m.mutations_deduped),
+        (k::WAL_BYTES, m.ingest.wal_bytes),
+        (k::CHECKPOINTS, m.ingest.checkpoints),
+        (k::COMMITS, m.ingest.commits),
+        (k::TILES_PRUNED, m.tiles_pruned),
+        (k::TILES_HIST, m.tiles_hist),
+        (k::TILES_SCANNED, m.tiles_scanned),
+        (k::PAIRS_BOUND, m.pairs_bound),
+        (k::ACTIVE_CONNECTIONS, m.active_connections),
+        (k::QUEUE_DEPTH, m.queue_depth),
+    ] {
+        let _ = write!(line, " {key}={value}");
+    }
+    writeln!(w, "{line}")?;
     writeln!(w, "{END_MARKER}")
 }
 
@@ -376,6 +444,22 @@ pub fn read_frame<R: BufRead>(reader: &mut R) -> ServiceResult<Frame> {
         expect_end(reader)?;
         return Ok(Frame::Control(header));
     }
+    for (kind, make) in [
+        ("PLAN", Frame::Plan as fn(Vec<String>) -> Frame),
+        ("METRICS", Frame::Metrics as fn(Vec<String>) -> Frame),
+        ("PROFILES", Frame::Profiles as fn(Vec<String>) -> Frame),
+    ] {
+        if let Some(count) = header
+            .strip_prefix(kind)
+            .and_then(|rest| rest.strip_prefix(' '))
+        {
+            let count: usize = count
+                .trim()
+                .parse()
+                .map_err(|_| ServiceError::Protocol(format!("bad line count in {header:?}")))?;
+            return Ok(make(read_raw_lines(reader, count)?));
+        }
+    }
     let mut tokens = header.split_ascii_whitespace();
     match tokens.next() {
         Some("OK") => {}
@@ -441,6 +525,22 @@ pub fn read_frame<R: BufRead>(reader: &mut R) -> ServiceResult<Frame> {
     }))
 }
 
+/// Reads exactly `count` verbatim payload lines followed by the `END`
+/// marker (the counted-frame body of `PLAN` / `METRICS` / `PROFILES`).
+fn read_raw_lines<R: BufRead>(reader: &mut R, count: usize) -> ServiceResult<Vec<String>> {
+    // Cap the pre-allocation: the count is wire data.
+    let mut lines = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(ServiceError::Io("connection closed mid-frame".to_string()));
+        }
+        lines.push(line.trim_end_matches(['\r', '\n']).to_string());
+    }
+    expect_end(reader)?;
+    Ok(lines)
+}
+
 fn expect_end<R: BufRead>(reader: &mut R) -> ServiceResult<()> {
     let mut line = String::new();
     if reader.read_line(&mut line)? == 0 {
@@ -463,6 +563,12 @@ pub enum Frame {
     Rows(WireResponse),
     /// A `PONG` or `STATS` control frame (raw first line).
     Control(String),
+    /// A `PLAN` frame: rendered plan-tree lines of an `EXPLAIN [ANALYZE]`.
+    Plan(Vec<String>),
+    /// A `METRICS` frame: Prometheus text-exposition lines.
+    Metrics(Vec<String>),
+    /// A `PROFILES` frame: rendered recent query profiles.
+    Profiles(Vec<String>),
 }
 
 /// Round-trip helper: renders a [`QueryOutput`]'s rows as wire lines.
@@ -656,6 +762,81 @@ mod tests {
                 other => panic!("unexpected frame {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn metrics_and_profiles_requests_parse() {
+        assert_eq!(
+            ClientRequest::parse("METRICS"),
+            Some(ClientRequest::Metrics)
+        );
+        assert_eq!(
+            ClientRequest::parse("metrics "),
+            Some(ClientRequest::Metrics)
+        );
+        assert_eq!(
+            ClientRequest::parse("STATS PROFILES"),
+            Some(ClientRequest::Profiles(DEFAULT_PROFILES))
+        );
+        assert_eq!(
+            ClientRequest::parse("stats profiles 3"),
+            Some(ClientRequest::Profiles(3))
+        );
+        // A malformed count falls through to the SQL path (-> ERR frame).
+        assert!(matches!(
+            ClientRequest::parse("STATS PROFILES nope"),
+            Some(ClientRequest::Sql(_))
+        ));
+        // EXPLAIN is not a control command: it rides the SQL path and the
+        // engine answers it with a PLAN frame.
+        assert!(matches!(
+            ClientRequest::parse("EXPLAIN SELECT mask_id FROM masks"),
+            Some(ClientRequest::Sql(_))
+        ));
+    }
+
+    #[test]
+    fn counted_text_frames_round_trip() {
+        // Plan lines include indentation and k=v tokens; metrics lines
+        // include `#` comments; profile payloads may be empty. All must
+        // survive verbatim because the count, not a sentinel, frames them.
+        let plan = vec![
+            "query kind=filter wall_us=12 candidates=10".to_string(),
+            "  filter terms=1 pruned=7".to_string(),
+            "  verify verified=1".to_string(),
+        ];
+        let mut wire = Vec::new();
+        write_plan_response(&mut wire, &plan).unwrap();
+        match read_frame(&mut BufReader::new(&wire[..])).unwrap() {
+            Frame::Plan(lines) => assert_eq!(lines, plan),
+            other => panic!("unexpected frame {other:?}"),
+        }
+
+        let exposition = "# HELP masksearch_up Up.\n# TYPE masksearch_up gauge\nmasksearch_up 1\n";
+        let mut wire = Vec::new();
+        write_metrics_response(&mut wire, exposition).unwrap();
+        match read_frame(&mut BufReader::new(&wire[..])).unwrap() {
+            Frame::Metrics(lines) => {
+                assert_eq!(lines.len(), 3);
+                assert_eq!(lines[2], "masksearch_up 1");
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+
+        let mut wire = Vec::new();
+        write_profiles_response(&mut wire, &[]).unwrap();
+        match read_frame(&mut BufReader::new(&wire[..])).unwrap() {
+            Frame::Profiles(lines) => assert!(lines.is_empty()),
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_text_frames_are_detected() {
+        let wire = b"PLAN 3\nquery wall_us=1\n".to_vec();
+        assert!(read_frame(&mut BufReader::new(&wire[..])).is_err());
+        let wire = b"PLAN nope\n".to_vec();
+        assert!(read_frame(&mut BufReader::new(&wire[..])).is_err());
     }
 
     #[test]

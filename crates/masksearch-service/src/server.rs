@@ -193,6 +193,17 @@ fn serve_connection(stream: TcpStream, engine: &Engine, active: &AtomicU64) -> s
                 metrics.active_connections = active.load(Ordering::Relaxed);
                 protocol::write_stats(&mut writer, &metrics)?
             }
+            ClientRequest::Metrics => {
+                protocol::write_metrics_response(&mut writer, &engine.prometheus_text())?
+            }
+            ClientRequest::Profiles(n) => {
+                let lines: Vec<String> = engine
+                    .recent_profiles(n)
+                    .iter()
+                    .flat_map(|p| p.render())
+                    .collect();
+                protocol::write_profiles_response(&mut writer, &lines)?
+            }
             ClientRequest::Lookup(ids) => {
                 protocol::write_lookup_response(&mut writer, &engine.lookup(&ids))?
             }
@@ -225,6 +236,7 @@ fn write_sql_result<W: std::io::Write>(
         Ok(crate::job::Response::Mutation(response)) => {
             protocol::write_mutation_response(writer, &response)
         }
+        Ok(crate::job::Response::Plan(lines)) => protocol::write_plan_response(writer, &lines),
         // The SQL path never produces batch or partial responses.
         Ok(crate::job::Response::Batch(_)) | Ok(crate::job::Response::Partial(_)) => {
             protocol::write_error(

@@ -132,6 +132,51 @@ impl Statement {
     }
 }
 
+/// Which flavour of `EXPLAIN` a statement asked for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExplainMode {
+    /// `EXPLAIN <query>`: show the plan shape without executing.
+    Plan,
+    /// `EXPLAIN ANALYZE <query>`: execute and annotate the plan with the
+    /// measured statistics.
+    Analyze,
+}
+
+/// Recognizes an `EXPLAIN [ANALYZE]` prefix and returns the mode plus the
+/// inner statement text, or `None` when the input is not an `EXPLAIN`.
+///
+/// The keywords are case-insensitive and must be whole words, so a query on
+/// a hypothetical `explained` column is not misparsed. The inner statement is
+/// *not* validated here — compilation happens wherever the caller already
+/// compiles SQL, keeping one error path.
+///
+/// ```
+/// use masksearch_sql::{strip_explain, ExplainMode};
+/// let (mode, inner) = strip_explain("EXPLAIN ANALYZE SELECT mask_id FROM masks").unwrap();
+/// assert_eq!(mode, ExplainMode::Analyze);
+/// assert_eq!(inner, "SELECT mask_id FROM masks");
+/// assert!(strip_explain("SELECT mask_id FROM masks").is_none());
+/// ```
+pub fn strip_explain(sql: &str) -> Option<(ExplainMode, &str)> {
+    fn strip_keyword<'a>(text: &'a str, keyword: &str) -> Option<&'a str> {
+        let trimmed = text.trim_start();
+        if trimmed.len() < keyword.len() || !trimmed[..keyword.len()].eq_ignore_ascii_case(keyword)
+        {
+            return None;
+        }
+        let rest = &trimmed[keyword.len()..];
+        // Whole-word match only: the keyword must be followed by whitespace
+        // (a bare `EXPLAIN` with nothing after it is not a statement).
+        rest.starts_with(|c: char| c.is_whitespace())
+            .then_some(rest)
+    }
+    let rest = strip_keyword(sql, "EXPLAIN")?;
+    match strip_keyword(rest, "ANALYZE") {
+        Some(inner) => Some((ExplainMode::Analyze, inner.trim())),
+        None => Some((ExplainMode::Plan, rest.trim())),
+    }
+}
+
 /// Parse error with a human-readable message and byte offset.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SqlError {
@@ -185,6 +230,57 @@ pub fn compile(sql: &str) -> Result<Query, SqlError> {
 pub fn compile_statement(sql: &str) -> Result<Statement, SqlError> {
     let statement = parse_statement(sql)?;
     lower_statement(&statement)
+}
+
+#[cfg(test)]
+mod explain_tests {
+    use super::*;
+
+    #[test]
+    fn explain_prefix_is_recognized_case_insensitively() {
+        let (mode, inner) = strip_explain("explain select mask_id from masks").unwrap();
+        assert_eq!(mode, ExplainMode::Plan);
+        assert_eq!(inner, "select mask_id from masks");
+
+        let (mode, inner) =
+            strip_explain("  EXPLAIN  Analyze  SELECT mask_id FROM masks  ").unwrap();
+        assert_eq!(mode, ExplainMode::Analyze);
+        assert_eq!(inner, "SELECT mask_id FROM masks");
+    }
+
+    #[test]
+    fn non_explain_statements_pass_through() {
+        assert!(strip_explain("SELECT mask_id FROM masks").is_none());
+        assert!(strip_explain("INSERT INTO masks VALUES (1, 1, 1, 1, (0.5))").is_none());
+        // Keyword must be a whole word…
+        assert!(strip_explain("EXPLAINED SELECT 1").is_none());
+        // …and must be followed by an actual statement.
+        assert!(strip_explain("EXPLAIN").is_none());
+        assert!(strip_explain("").is_none());
+    }
+
+    #[test]
+    fn explain_analyze_needs_word_boundary_too() {
+        // `ANALYZER` is not the ANALYZE keyword: the whole remainder is the
+        // inner statement of a plain EXPLAIN.
+        let (mode, inner) = strip_explain("EXPLAIN ANALYZER").unwrap();
+        assert_eq!(mode, ExplainMode::Plan);
+        assert_eq!(inner, "ANALYZER");
+    }
+
+    #[test]
+    fn inner_statement_still_compiles() {
+        let (mode, inner) = strip_explain(
+            "EXPLAIN ANALYZE SELECT mask_id FROM masks \
+             WHERE CP(mask, (0, 0, 8, 8), (0.5, 1.0)) > 5",
+        )
+        .unwrap();
+        assert_eq!(mode, ExplainMode::Analyze);
+        assert!(matches!(
+            compile_statement(inner).unwrap(),
+            Statement::Query(_)
+        ));
+    }
 }
 
 #[cfg(test)]

@@ -13,7 +13,8 @@
 
 use crate::error::StorageResult;
 use masksearch_core::{Mask, MaskId, TiledMask};
-use parking_lot::Mutex;
+use masksearch_obs::counters as obs_counters;
+use parking_lot::{Mutex, MutexGuard};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -104,6 +105,17 @@ impl MaskCache {
         Self::new(0)
     }
 
+    /// Acquires the cache mutex, charging the wait to the global
+    /// lock-contention counters (`cache_lock_wait_us` / `cache_lock_acquires`)
+    /// so profiles can tell cache contention apart from load time.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        obs_counters::timed_acquire(
+            &obs_counters::CACHE_LOCK_WAIT_US,
+            &obs_counters::CACHE_LOCK_ACQUIRES,
+            || self.inner.lock(),
+        )
+    }
+
     /// Configured byte budget.
     pub fn capacity_bytes(&self) -> u64 {
         self.capacity_bytes
@@ -111,12 +123,12 @@ impl MaskCache {
 
     /// Bytes currently held by the cache.
     pub fn used_bytes(&self) -> u64 {
-        self.inner.lock().used_bytes
+        self.lock().used_bytes
     }
 
     /// Number of cached masks.
     pub fn len(&self) -> usize {
-        self.inner.lock().entries.len()
+        self.lock().entries.len()
     }
 
     /// Returns `true` if the cache holds no masks.
@@ -126,12 +138,12 @@ impl MaskCache {
 
     /// Current cache statistics.
     pub fn stats(&self) -> CacheStats {
-        self.inner.lock().stats
+        self.lock().stats
     }
 
     /// Removes every cached mask (statistics are preserved).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         inner.generation += 1;
         inner.invalidated_floor = inner.generation;
         inner.invalidated.clear();
@@ -160,7 +172,7 @@ impl MaskCache {
         load: impl FnOnce() -> StorageResult<TiledMask>,
     ) -> StorageResult<Arc<TiledMask>> {
         let generation_before = {
-            let mut inner = self.inner.lock();
+            let mut inner = self.lock();
             inner.clock += 1;
             let clock = inner.clock;
             if let Some(entry) = inner.entries.get_mut(&mask_id) {
@@ -176,7 +188,7 @@ impl MaskCache {
         // not serialise on the cache mutex.
         let mask = Arc::new(load()?);
         let bytes = mask.byte_size();
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         if self.capacity_bytes == 0 || bytes > self.capacity_bytes {
             // Too large (or caching disabled): return without caching.
             return Ok(mask);
@@ -226,7 +238,7 @@ impl MaskCache {
 
     /// Returns the cached tiled mask without loading, if present.
     pub fn peek_tiled(&self, mask_id: MaskId) -> Option<Arc<TiledMask>> {
-        let inner = self.inner.lock();
+        let inner = self.lock();
         inner.entries.get(&mask_id).map(|e| Arc::clone(&e.mask))
     }
 
@@ -237,7 +249,7 @@ impl MaskCache {
     /// mask whose load raced with the invalidation will not install a stale
     /// copy (loads of other masks are unaffected).
     pub fn invalidate(&self, mask_id: MaskId) -> bool {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         inner.generation += 1;
         let generation = inner.generation;
         if inner.invalidated.len() >= INVALIDATION_LOG_CAP {

@@ -89,6 +89,16 @@ pub trait MaskStore: Send + Sync {
         None
     }
 
+    /// The per-query-shape statistics registry this store persists across
+    /// restarts, when it does (the durable mask database checkpoints one
+    /// alongside its CHI and tile files). Sessions built over such a store
+    /// record into the shared registry so observed selectivities survive a
+    /// restart; the default (`None`) makes sessions keep a private,
+    /// process-lifetime registry.
+    fn shape_stats(&self) -> Option<Arc<masksearch_obs::ShapeStatsRegistry>> {
+        None
+    }
+
     /// Loads a mask in full, charging the cost model.
     fn get(&self, mask_id: MaskId) -> StorageResult<Mask>;
 

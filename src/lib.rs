@@ -30,6 +30,10 @@
 //! * [`cluster`](mod@masksearch_cluster) — sharded scatter-gather execution:
 //!   the serializable shard map, the coordinator with its own TCP front end,
 //!   and the distributed top-k threshold algorithm.
+//! * [`obs`](mod@masksearch_obs) — the zero-dependency observability layer:
+//!   hierarchical query traces, the shared metric-name registry, Prometheus
+//!   text exposition, query profiles, slow-query logging, and per-shape
+//!   aggregate statistics.
 //! * [`baselines`](mod@masksearch_baselines) — NumPy-, PostgreSQL-, and
 //!   TileDB-like comparison engines.
 //! * [`datagen`](mod@masksearch_datagen) — synthetic dataset and workload
@@ -41,6 +45,7 @@ pub use masksearch_core as core;
 pub use masksearch_datagen as datagen;
 pub use masksearch_db as db;
 pub use masksearch_index as index;
+pub use masksearch_obs as obs;
 pub use masksearch_query as query;
 pub use masksearch_service as service;
 pub use masksearch_sql as sql;
