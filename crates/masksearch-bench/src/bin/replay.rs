@@ -1,0 +1,291 @@
+//! Deterministic replay of a flight recording against a live server.
+//!
+//! Reads a recording produced by the service's flight recorder (`RECORD
+//! START` over the wire or `ServiceConfig::record_to`), re-executes every
+//! captured statement against a TCP server in the recorded arrival order,
+//! and reports a per-shape regression summary: recorded vs. replayed
+//! p50/p99 wall time, filter rate, and response-digest agreement. Because
+//! the recorder stores an order-insensitive FNV-1a digest of each response
+//! frame (wall time excluded), a replay against an equivalent store must
+//! reproduce every digest bit-for-bit — any divergence is a real behaviour
+//! change, not timing noise.
+//!
+//! ```text
+//! cargo run --release --bin replay -- --input flight.bin --addr 127.0.0.1:7878
+//!     [--timing]   # preserve recorded inter-arrival gaps
+//!     [--check]    # exit non-zero if any digest diverges
+//! cargo run --release --bin replay -- --smoke [--scale 0.001]
+//! ```
+//!
+//! `--smoke` is the self-contained CI cycle: generate a small dataset,
+//! serve it, capture a mixed workload over TCP (`RECORD START/STOP`),
+//! replay the recording against the same server, and fail on any digest
+//! mismatch.
+
+use masksearch_bench::report::{percentile, Table};
+use masksearch_bench::{scale_from_args, BenchDataset};
+use masksearch_obs::{read_recording, RecordKind, RecordedQuery};
+use masksearch_query::IndexingMode;
+use masksearch_service::protocol::{self, Frame};
+use masksearch_service::{Client, Engine, Server, ServiceConfig, ServiceError};
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// Parses a string argument of the form `--<name> <value>`.
+fn string_from_args(name: &str) -> Option<String> {
+    let flag = format!("--{name}");
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2).find(|w| w[0] == flag).map(|w| w[1].clone())
+}
+
+/// What replaying one recorded statement produced.
+struct Replayed {
+    wall_us: u64,
+    digest: Option<u64>,
+    counters: [u64; 6],
+}
+
+/// The request line that re-issues a recorded statement. Tokened mutations
+/// get a *fresh* token: the recorded one may still sit in the server's
+/// dedup registry, and a replay must re-execute, not be answered from it.
+fn request_line(record: &RecordedQuery, fresh_token: u64) -> String {
+    match record.kind {
+        RecordKind::Statement => record.sql.clone(),
+        RecordKind::Tokened => format!("TOKEN {fresh_token} {}", record.sql),
+        RecordKind::Partial => format!("PARTIAL K={} {}", record.aux, record.sql),
+    }
+}
+
+/// Digest of a replayed response, mirroring what the server-side recorder
+/// computed for the original. `Remote` carries the peer's wire message
+/// verbatim, which is exactly what the server digested for an error.
+fn replay_digest(result: &Result<Frame, ServiceError>) -> Option<u64> {
+    match result {
+        Ok(Frame::Rows(wire)) => Some(protocol::digest_wire_response(wire)),
+        Ok(Frame::Plan(lines)) => Some(protocol::digest_plan_lines(lines)),
+        Ok(_) => None,
+        Err(ServiceError::Remote(msg)) => Some(protocol::digest_error_message(msg)),
+        Err(_) => None,
+    }
+}
+
+/// Replays `records` (already sorted by arrival) against `addr` on one
+/// connection — sequential issue order is what makes the replay
+/// deterministic. Returns the per-record outcomes.
+fn replay(records: &[RecordedQuery], addr: SocketAddr, timing: bool) -> Vec<Replayed> {
+    let mut client = Client::connect(addr).expect("connect to replay target");
+    // A fresh token base far from the capturing client's counter-based ones.
+    let token_base = 0x5EED_0000_0000_0000u64 ^ u64::from(std::process::id()) << 20;
+    let started = Instant::now();
+    let first_arrival = records.first().map(|r| r.arrival_us).unwrap_or(0);
+    records
+        .iter()
+        .enumerate()
+        .map(|(i, record)| {
+            if timing {
+                let due = Duration::from_micros(record.arrival_us - first_arrival);
+                let elapsed = started.elapsed();
+                if due > elapsed {
+                    std::thread::sleep(due - elapsed);
+                }
+            }
+            let line = request_line(record, token_base + i as u64);
+            let issued = Instant::now();
+            let result = client.round_trip_raw(&line);
+            let wall_us = issued.elapsed().as_micros() as u64;
+            let counters = match &result {
+                Ok(Frame::Rows(wire)) => [
+                    wire.summary.candidates,
+                    wire.summary.pruned,
+                    wire.summary.verified,
+                    wire.summary.loaded,
+                    wire.summary.inserted,
+                    wire.summary.deleted,
+                ],
+                _ => [0; 6],
+            };
+            Replayed {
+                wall_us,
+                digest: replay_digest(&result),
+                counters,
+            }
+        })
+        .collect()
+}
+
+/// Per-shape accumulation of recorded vs. replayed behaviour.
+#[derive(Default)]
+struct ShapeReport {
+    recorded_us: Vec<f64>,
+    replayed_us: Vec<f64>,
+    recorded_counters: [u64; 6],
+    replayed_counters: [u64; 6],
+    mismatches: u64,
+}
+
+/// `1 - loaded/candidates`, the share of candidates the index answered
+/// without loading pixels.
+fn filter_rate(counters: &[u64; 6]) -> f64 {
+    let (candidates, loaded) = (counters[0], counters[3]);
+    if candidates == 0 {
+        0.0
+    } else {
+        1.0 - loaded as f64 / candidates as f64
+    }
+}
+
+/// Builds and prints the regression report; returns the total number of
+/// digest mismatches.
+fn report(records: &[RecordedQuery], replayed: &[Replayed]) -> u64 {
+    let mut shapes: BTreeMap<&str, ShapeReport> = BTreeMap::new();
+    for (record, replay) in records.iter().zip(replayed) {
+        let entry = shapes.entry(record.shape.as_str()).or_default();
+        entry.recorded_us.push(record.wall_us as f64);
+        entry.replayed_us.push(replay.wall_us as f64);
+        for (slot, v) in entry.recorded_counters.iter_mut().zip(record.counters) {
+            *slot += v;
+        }
+        for (slot, v) in entry.replayed_counters.iter_mut().zip(replay.counters) {
+            *slot += v;
+        }
+        if replay.digest != Some(record.digest) {
+            entry.mismatches += 1;
+        }
+    }
+    let mut table = Table::new(&[
+        "shape",
+        "n",
+        "rec p50 (us)",
+        "rep p50 (us)",
+        "rec p99 (us)",
+        "rep p99 (us)",
+        "rec filter",
+        "rep filter",
+        "digest mismatches",
+    ]);
+    let mut mismatches = 0;
+    for (shape, r) in &shapes {
+        mismatches += r.mismatches;
+        table.add_row(vec![
+            shape.to_string(),
+            r.recorded_us.len().to_string(),
+            format!("{:.0}", percentile(&r.recorded_us, 50.0)),
+            format!("{:.0}", percentile(&r.replayed_us, 50.0)),
+            format!("{:.0}", percentile(&r.recorded_us, 99.0)),
+            format!("{:.0}", percentile(&r.replayed_us, 99.0)),
+            format!("{:.3}", filter_rate(&r.recorded_counters)),
+            format!("{:.3}", filter_rate(&r.replayed_counters)),
+            r.mismatches.to_string(),
+        ]);
+    }
+    table.print();
+    mismatches
+}
+
+/// The mixed smoke workload: every query shape the service serves (filter,
+/// top-k, aggregation, pair), a plan, a plan-with-execution, a write pair,
+/// and a statement that fails — errors are part of the recorded contract.
+fn smoke_workload() -> Vec<String> {
+    let filter = "SELECT image_id FROM masks \
+                  WHERE CP(mask, (16, 16, 96, 96), (0.85, 1.0)) < 50 AND model_id = 1";
+    let topk = "SELECT mask_id, CP(mask, full, (0.85, 1.0)) AS c \
+                FROM masks ORDER BY c DESC LIMIT 5";
+    let agg = "SELECT image_id, AVG(CP(mask, object, (0.8, 1.0))) AS s \
+               FROM masks GROUP BY image_id ORDER BY s DESC LIMIT 5";
+    let pair = "SELECT image_id, CP(INTERSECT(mask > 0.7), full, (0.7, 1.0)) AS s \
+                FROM masks GROUP BY image_id ORDER BY s DESC LIMIT 5";
+    let pixels: Vec<String> = (0..16).map(|i| format!("{}", i as f32 / 16.0)).collect();
+    let insert = format!(
+        "INSERT INTO masks VALUES (999983, 424242, 4, 4, ({}))",
+        pixels.join(", ")
+    );
+    let delete = "DELETE FROM masks WHERE mask_id IN (999983)";
+    vec![
+        filter.to_string(),
+        topk.to_string(),
+        agg.to_string(),
+        pair.to_string(),
+        format!("EXPLAIN {filter}"),
+        format!("EXPLAIN ANALYZE {topk}"),
+        insert,
+        delete.to_string(),
+        "SELECT bogus FROM masks".to_string(), // deterministic ERR frame
+    ]
+}
+
+/// The self-contained capture→replay→compare cycle CI runs.
+fn smoke(scale: f64) -> i32 {
+    println!("== flight-recorder smoke: capture, replay, compare ==");
+    let bench = BenchDataset::wilds(scale).expect("generate dataset");
+    let engine = Engine::new(bench.session(IndexingMode::Eager), ServiceConfig::new(2));
+    let server = Server::bind("127.0.0.1:0", engine)
+        .expect("bind server")
+        .spawn();
+    let path = std::env::temp_dir().join(format!(
+        "masksearch-replay-smoke-{}.flight",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client
+        .record_start(Some(path.to_str().expect("utf-8 temp path")))
+        .expect("RECORD START");
+    for sql in smoke_workload() {
+        // Errors are expected for the deliberately-bad statement.
+        let _ = client.round_trip_raw(&sql);
+    }
+    let status = client.record_stop().expect("RECORD STOP");
+    println!("captured: {status}");
+
+    let records = read_recording(&path).expect("read recording");
+    assert_eq!(
+        records.len(),
+        smoke_workload().len(),
+        "every statement must be captured"
+    );
+    let replayed = replay(&records, server.local_addr(), false);
+    let mismatches = report(&records, &replayed);
+    std::fs::remove_file(&path).ok();
+    server.shutdown();
+    if mismatches == 0 {
+        println!("\nsmoke passed: all {} digests reproduced", records.len());
+        0
+    } else {
+        eprintln!("\nsmoke FAILED: {mismatches} digest mismatches");
+        1
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--smoke") {
+        std::process::exit(smoke(scale_from_args(0.001)));
+    }
+    let input = string_from_args("input")
+        .expect("usage: replay --input <recording> --addr <host:port> [--timing] [--check]");
+    let addr: SocketAddr = string_from_args("addr")
+        .expect("usage: replay --input <recording> --addr <host:port>")
+        .parse()
+        .expect("parse --addr");
+    let timing = args.iter().any(|a| a == "--timing");
+    let check = args.iter().any(|a| a == "--check");
+
+    let mut records = read_recording(std::path::Path::new(&input)).expect("read recording");
+    records.sort_by_key(|r| r.arrival_us);
+    println!(
+        "== replaying {} recorded statements from {input} against {addr} ==",
+        records.len()
+    );
+    let replayed = replay(&records, addr, timing);
+    let mismatches = report(&records, &replayed);
+    if mismatches == 0 {
+        println!("\nall {} response digests reproduced", records.len());
+    } else {
+        eprintln!("\n{mismatches} response digests diverged from the recording");
+        if check {
+            std::process::exit(1);
+        }
+    }
+}

@@ -18,7 +18,9 @@
 //! With `--check` the experiment additionally interleaves tracing-enabled
 //! and tracing-disabled runs at a fixed worker count and exits non-zero if
 //! tracing costs more than 3% of p50 latency — the observability layer's
-//! overhead budget, enforced in CI.
+//! overhead budget, enforced in CI. The same interleaved methodology gates
+//! the flight recorder: a recorder-on engine must stay within 3% of an
+//! uncontended recorder-off p50.
 
 use masksearch_bench::report::{percentile, Table};
 use masksearch_bench::{scale_from_args, usize_from_args, BenchDataset};
@@ -32,6 +34,8 @@ use std::time::Instant;
 
 /// Allowed tracing overhead on p50 latency, as a fraction.
 const TRACING_BUDGET: f64 = 0.03;
+/// Allowed flight-recorder overhead on p50 latency, as a fraction.
+const RECORDER_BUDGET: f64 = 0.03;
 /// Alternation rounds for the `--check` gate.
 const CHECK_ROUNDS: usize = 16;
 /// Queries per engine per alternation round.
@@ -45,6 +49,7 @@ struct WorkerPoint {
     mean_ms: f64,
     filter_rate: f64,
     catalog_wait_ms: f64,
+    catalog_acquires: u64,
     cache_wait_ms: f64,
 }
 
@@ -120,6 +125,8 @@ fn run_point(
         mean_ms: latencies_ms.iter().sum::<f64>() / latencies_ms.len().max(1) as f64,
         filter_rate: metrics.filter_rate,
         catalog_wait_ms: delta("catalog_read_wait_us") + delta("catalog_write_wait_us"),
+        catalog_acquires: counter_value(&after, "catalog_lock_acquires")
+            .saturating_sub(counter_value(&before, "catalog_lock_acquires")),
         cache_wait_ms: delta("cache_lock_wait_us"),
     }
 }
@@ -132,8 +139,8 @@ fn run_point(
 /// alternation makes the drift common-mode, so the p50 difference between
 /// the two latency populations is the per-query cost of span recording
 /// itself. Single client + single worker keep queueing noise out entirely.
-/// Returns `(p50_off_ms, p50_on_ms, passed)`.
-fn tracing_overhead(bench: &BenchDataset) -> (f64, f64, bool) {
+/// Returns `(p50_off_ms, p50_on_ms, paired_delta_ms, passed)`.
+fn tracing_overhead(bench: &BenchDataset) -> (f64, f64, f64, bool) {
     let engine_off = Engine::new(
         bench.session(IndexingMode::Eager),
         ServiceConfig::new(1).tracing(false),
@@ -159,14 +166,87 @@ fn tracing_overhead(bench: &BenchDataset) -> (f64, f64, bool) {
     // Warm both engines (cache fills, lazy allocations) before measuring.
     batch(&engine_off, &mut Vec::new());
     batch(&engine_on, &mut Vec::new());
-    for _ in 0..CHECK_ROUNDS {
-        batch(&engine_off, &mut off_ms);
-        batch(&engine_on, &mut on_ms);
+    // Alternate which engine goes first each round: clock drift within a
+    // round (turbo/thermal ramps) would otherwise systematically favour
+    // whichever engine always ran earlier.
+    for round in 0..CHECK_ROUNDS {
+        if round % 2 == 0 {
+            batch(&engine_off, &mut off_ms);
+            batch(&engine_on, &mut on_ms);
+        } else {
+            batch(&engine_on, &mut on_ms);
+            batch(&engine_off, &mut off_ms);
+        }
     }
     engine_off.shutdown();
     engine_on.shutdown();
     let (p50_off, p50_on) = (percentile(&off_ms, 50.0), percentile(&on_ms, 50.0));
-    (p50_off, p50_on, p50_on <= p50_off * (1.0 + TRACING_BUDGET))
+    let delta = paired_delta_ms(&off_ms, &on_ms);
+    (p50_off, p50_on, delta, delta <= p50_off * TRACING_BUDGET)
+}
+
+/// The flight-recorder overhead gate: the same interleaved-batch
+/// methodology as [`tracing_overhead`], but the workload goes through the
+/// SQL entry points the recorder wraps — one engine capturing every
+/// statement to a temp file, one not. Returns
+/// `(p50_off_ms, p50_on_ms, paired_delta_ms, passed)`.
+fn recorder_overhead(bench: &BenchDataset) -> (f64, f64, f64, bool) {
+    let record_path = std::env::temp_dir().join(format!(
+        "masksearch-recorder-overhead-{}.flight",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&record_path);
+    let engine_off = Engine::new(bench.session(IndexingMode::Eager), ServiceConfig::new(1));
+    let engine_on = Engine::new(
+        bench.session(IndexingMode::Eager),
+        ServiceConfig::new(1).record_to(&record_path),
+    );
+    let statements = [
+        "SELECT image_id FROM masks \
+         WHERE CP(mask, (8, 8, 56, 56), (0.85, 1.0)) < 50 AND model_id = 1",
+        "SELECT mask_id, CP(mask, full, (0.85, 1.0)) AS c \
+         FROM masks ORDER BY c DESC LIMIT 5",
+        "SELECT image_id, AVG(CP(mask, object, (0.8, 1.0))) AS s \
+         FROM masks GROUP BY image_id ORDER BY s DESC LIMIT 5",
+    ];
+    let batch = |engine: &Engine, sink: &mut Vec<f64>| {
+        for i in 0..CHECK_BATCH {
+            let sql = statements[i % statements.len()];
+            let issued = Instant::now();
+            engine.execute_statement(sql).expect("served statement");
+            sink.push(issued.elapsed().as_secs_f64() * 1e3);
+        }
+    };
+    let (mut off_ms, mut on_ms) = (Vec::new(), Vec::new());
+    batch(&engine_off, &mut Vec::new());
+    batch(&engine_on, &mut Vec::new());
+    // Alternating order per round, as in `tracing_overhead`.
+    for round in 0..CHECK_ROUNDS {
+        if round % 2 == 0 {
+            batch(&engine_off, &mut off_ms);
+            batch(&engine_on, &mut on_ms);
+        } else {
+            batch(&engine_on, &mut on_ms);
+            batch(&engine_off, &mut off_ms);
+        }
+    }
+    engine_off.shutdown();
+    engine_on.shutdown();
+    std::fs::remove_file(&record_path).ok();
+    let (p50_off, p50_on) = (percentile(&off_ms, 50.0), percentile(&on_ms, 50.0));
+    let delta = paired_delta_ms(&off_ms, &on_ms);
+    (p50_off, p50_on, delta, delta <= p50_off * RECORDER_BUDGET)
+}
+
+/// The gate statistic: both engines served the identical statement sequence,
+/// so `off` and `on` are paired sample-by-sample. The median of the paired
+/// differences cancels the workload's latency multimodality (a whole-
+/// population p50 sits on a mode boundary and flaps run to run), leaving
+/// only the per-query cost of the instrument under test; the gates require
+/// it to stay within their budget fraction of the baseline p50.
+fn paired_delta_ms(off_ms: &[f64], on_ms: &[f64]) -> f64 {
+    let diffs: Vec<f64> = off_ms.iter().zip(on_ms).map(|(o, n)| n - o).collect();
+    percentile(&diffs, 50.0)
 }
 
 fn main() {
@@ -197,6 +277,7 @@ fn main() {
         "mean (ms)",
         "filter rate",
         "catalog wait (ms)",
+        "catalog acquires",
         "cache wait (ms)",
     ]);
     for p in &points {
@@ -208,20 +289,31 @@ fn main() {
             format!("{:.3}", p.mean_ms),
             format!("{:.3}", p.filter_rate),
             format!("{:.1}", p.catalog_wait_ms),
+            p.catalog_acquires.to_string(),
             format!("{:.1}", p.cache_wait_ms),
         ]);
     }
     table.print();
 
     let overhead = check.then(|| {
-        let (off_ms, on_ms, passed) = tracing_overhead(&bench);
-        let pct = (on_ms / off_ms - 1.0) * 100.0;
+        let (off_ms, on_ms, delta_ms, passed) = tracing_overhead(&bench);
+        let pct = delta_ms / off_ms * 100.0;
         println!(
-            "\ntracing overhead (uncontended p50): off={off_ms:.3} ms on={on_ms:.3} ms \
-             ({pct:+.2}%, budget {:.0}%)",
+            "\ntracing overhead: p50 off={off_ms:.3} ms on={on_ms:.3} ms \
+             paired median delta={delta_ms:+.4} ms ({pct:+.2}% of p50, budget {:.0}%)",
             TRACING_BUDGET * 100.0
         );
-        (off_ms, on_ms, passed)
+        (off_ms, on_ms, delta_ms, passed)
+    });
+    let rec_overhead = check.then(|| {
+        let (off_ms, on_ms, delta_ms, passed) = recorder_overhead(&bench);
+        let pct = delta_ms / off_ms * 100.0;
+        println!(
+            "recorder overhead: p50 off={off_ms:.3} ms on={on_ms:.3} ms \
+             paired median delta={delta_ms:+.4} ms ({pct:+.2}% of p50, budget {:.0}%)",
+            RECORDER_BUDGET * 100.0
+        );
+        (off_ms, on_ms, delta_ms, passed)
     });
 
     // Machine-readable output.
@@ -232,10 +324,18 @@ fn main() {
     json.push_str(&format!("  \"clients\": {clients},\n"));
     json.push_str(&format!("  \"queries_per_client\": {queries},\n"));
     json.push_str(&format!("  \"num_masks\": {},\n", bench.num_masks()));
-    if let Some((off_ms, on_ms, passed)) = overhead {
+    if let Some((off_ms, on_ms, delta_ms, passed)) = overhead {
         json.push_str(&format!(
             "  \"tracing_overhead\": {{\"p50_off_ms\": {off_ms:.4}, \"p50_on_ms\": {on_ms:.4}, \
-             \"budget\": {TRACING_BUDGET}, \"passed\": {passed}}},\n"
+             \"paired_delta_ms\": {delta_ms:.4}, \"budget\": {TRACING_BUDGET}, \
+             \"passed\": {passed}}},\n"
+        ));
+    }
+    if let Some((off_ms, on_ms, delta_ms, passed)) = rec_overhead {
+        json.push_str(&format!(
+            "  \"recorder_overhead\": {{\"p50_off_ms\": {off_ms:.4}, \"p50_on_ms\": {on_ms:.4}, \
+             \"paired_delta_ms\": {delta_ms:.4}, \"budget\": {RECORDER_BUDGET}, \
+             \"passed\": {passed}}},\n"
         ));
     }
     json.push_str("  \"results\": [\n");
@@ -243,7 +343,7 @@ fn main() {
         json.push_str(&format!(
             "    {{\"workers\": {}, \"qps\": {:.3}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \
              \"mean_ms\": {:.4}, \"filter_rate\": {:.4}, \"catalog_wait_ms\": {:.2}, \
-             \"cache_wait_ms\": {:.2}}}{}\n",
+             \"catalog_acquires\": {}, \"cache_wait_ms\": {:.2}}}{}\n",
             p.workers,
             p.qps,
             p.p50_ms,
@@ -251,6 +351,7 @@ fn main() {
             p.mean_ms,
             p.filter_rate,
             p.catalog_wait_ms,
+            p.catalog_acquires,
             p.cache_wait_ms,
             if i + 1 < points.len() { "," } else { "" },
         ));
@@ -262,11 +363,24 @@ fn main() {
         .expect("write BENCH_service.json");
     println!("\nwrote {path}");
 
-    if let Some((_, _, passed)) = overhead {
-        if !passed {
+    let mut failed = false;
+    if let Some((_, _, _, passed)) = overhead {
+        if passed {
+            println!("check passed: tracing overhead within the p50 budget");
+        } else {
             eprintln!("check FAILED: tracing overhead exceeds the p50 budget");
-            std::process::exit(1);
+            failed = true;
         }
-        println!("check passed: tracing overhead within the p50 budget");
+    }
+    if let Some((_, _, _, passed)) = rec_overhead {
+        if passed {
+            println!("check passed: recorder overhead within the p50 budget");
+        } else {
+            eprintln!("check FAILED: recorder overhead exceeds the p50 budget");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }

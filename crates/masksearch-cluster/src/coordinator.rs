@@ -111,6 +111,8 @@ struct Inner {
     dedup: masksearch_service::MutationDedup,
     /// Recent coordinated-query span trees, served by `STATS PROFILES`.
     profiles: ProfileRing,
+    /// Windowed time series over coordinated statements (`METRICS WINDOW`).
+    timeseries: masksearch_obs::TimeSeries,
     /// Whether coordinated statements open a trace (see
     /// [`ClusterConfig::tracing`]).
     tracing: bool,
@@ -145,6 +147,7 @@ impl Coordinator {
                 metrics: ClusterMetrics::new(),
                 dedup: masksearch_service::MutationDedup::new(),
                 profiles: ProfileRing::new(PROFILE_RING_CAPACITY),
+                timeseries: masksearch_obs::TimeSeries::new(),
                 tracing: config.tracing,
             }),
         };
@@ -256,8 +259,25 @@ impl Coordinator {
         if result.is_err() {
             self.inner.metrics.record_failed();
         }
+        self.observe_series(started.elapsed(), &result);
         self.observe(trace, sql, started, result.is_ok());
         result
+    }
+
+    /// Feeds one coordinated statement into the windowed time series.
+    fn observe_series(&self, wall: Duration, result: &ClusterResult<ClusterReply>) {
+        let stages = match result {
+            Ok(ClusterReply::Rows(output)) => masksearch_obs::StageCounts {
+                candidates: output.stats.candidates,
+                pruned: output.stats.pruned,
+                verified: output.stats.verified,
+                loaded: output.stats.masks_loaded,
+            },
+            _ => masksearch_obs::StageCounts::default(),
+        };
+        self.inner
+            .timeseries
+            .observe(wall.as_micros() as u64, result.is_ok(), stages);
     }
 
     /// Closes `trace` and, when the statement succeeded, records its span
@@ -295,6 +315,7 @@ impl Coordinator {
             .then(|| masksearch_obs::trace("cluster_query"));
         let started = Instant::now();
         let result = self.execute_sql_tokened_inner(token, sql);
+        self.observe_series(started.elapsed(), &result);
         self.observe(trace, sql, started, result.is_ok());
         result
     }
@@ -731,6 +752,107 @@ impl Coordinator {
         ));
         Ok(line)
     }
+
+    /// Summary of the last `secs` seconds of coordinated statements from
+    /// the coordinator's own windowed time series.
+    pub fn window(&self, secs: u64) -> masksearch_obs::WindowSummary {
+        self.inner.timeseries.window(secs)
+    }
+
+    /// The coordinator's windowed gauges for `secs` as a Prometheus text
+    /// exposition (the payload of a `METRICS WINDOW <secs>` frame).
+    pub fn metrics_window_text(&self, secs: u64) -> String {
+        let mut text = String::new();
+        self.inner.timeseries.render_prometheus(&[secs], &mut text);
+        text
+    }
+
+    /// Cluster-wide cumulative values of the `MONITOR` counters: every
+    /// shard's `STATS` line scattered and the
+    /// [`obs_keys::MONITOR_DELTA_KEYS`] summed, so coordinator `MONITOR`
+    /// deltas sum to the same totals an aggregated `STATS` reports.
+    pub fn monitor_values(&self) -> ClusterResult<Vec<(&'static str, u64)>> {
+        let lines = self.scatter_all(|shard| self.with_shard(shard, |c| c.stats()))?;
+        let mut sums = vec![0u64; obs_keys::MONITOR_DELTA_KEYS.len()];
+        for line in &lines {
+            for token in line.split_ascii_whitespace().skip(1) {
+                let Some((key, value)) = token.split_once('=') else {
+                    continue;
+                };
+                let Ok(value) = value.parse::<u64>() else {
+                    continue;
+                };
+                if let Some(pos) = obs_keys::MONITOR_DELTA_KEYS.iter().position(|k| *k == key) {
+                    sums[pos] += value;
+                }
+            }
+        }
+        Ok(obs_keys::MONITOR_DELTA_KEYS
+            .iter()
+            .zip(sums)
+            .map(|(&key, value)| (key, value))
+            .collect())
+    }
+
+    /// Broadcasts a `RECORD` control to every shard and merges the replies.
+    /// `START` derives one file per shard (`<path>.shard<i>`) from the given
+    /// base path, so a cluster capture replays shard-by-shard; counters are
+    /// summed and `active` means *every* shard is recording.
+    pub fn record_control(
+        &self,
+        control: &protocol::RecordControl,
+    ) -> ClusterResult<masksearch_obs::RecorderStatus> {
+        let lines = match control {
+            protocol::RecordControl::Start(Some(base)) => self.scatter_all(|shard| {
+                let path = format!("{base}.shard{shard}");
+                self.with_shard(shard, |c| c.record_start(Some(&path)))
+            })?,
+            protocol::RecordControl::Start(None) => {
+                return Err(ClusterError::Sql(
+                    "RECORD START needs a path on a coordinator (per-shard \
+                     files are derived from it)"
+                        .to_string(),
+                ))
+            }
+            protocol::RecordControl::Stop => {
+                self.scatter_all(|shard| self.with_shard(shard, |c| c.record_stop()))?
+            }
+            protocol::RecordControl::Status => {
+                self.scatter_all(|shard| self.with_shard(shard, |c| c.record_status()))?
+            }
+        };
+        let mut merged = masksearch_obs::RecorderStatus {
+            active: !lines.is_empty(),
+            path: if let protocol::RecordControl::Start(Some(base)) = control {
+                Some(base.into())
+            } else {
+                None
+            },
+            records: 0,
+            bytes: 0,
+            dropped: 0,
+        };
+        for line in &lines {
+            for token in line.split_ascii_whitespace().skip(1) {
+                let Some((key, value)) = token.split_once('=') else {
+                    continue;
+                };
+                match key {
+                    "active" => merged.active &= value == "1",
+                    // No base path to report (STOP/STATUS): the first
+                    // shard's file stands in for the family.
+                    "path" if merged.path.is_none() && value != "-" => {
+                        merged.path = Some(value.into());
+                    }
+                    "records" => merged.records += value.parse::<u64>().unwrap_or(0),
+                    "bytes" => merged.bytes += value.parse::<u64>().unwrap_or(0),
+                    "dropped" => merged.dropped += value.parse::<u64>().unwrap_or(0),
+                    _ => {}
+                }
+            }
+        }
+        Ok(merged)
+    }
 }
 
 /// Converts a parsed shard wire response into a [`QueryOutput`] for the
@@ -909,6 +1031,44 @@ fn serve_connection(stream: TcpStream, coordinator: &Coordinator) -> std::io::Re
             ClientRequest::Ping => protocol::write_pong(&mut writer)?,
             ClientRequest::Metrics => {
                 protocol::write_metrics_response(&mut writer, &coordinator.prometheus_text())?
+            }
+            ClientRequest::MetricsWindow(secs) => protocol::write_metrics_response(
+                &mut writer,
+                &coordinator.metrics_window_text(secs),
+            )?,
+            ClientRequest::Record(control) => match coordinator.record_control(&control) {
+                Ok(status) => protocol::write_record_status(&mut writer, &status)?,
+                Err(e) => write_cluster_error(&mut writer, &e)?,
+            },
+            ClientRequest::Monitor {
+                frames,
+                interval_ms,
+            } => {
+                // Same contract as a single server: baseline zero, one delta
+                // frame per tick, cluster-wide values from a STATS scatter.
+                let mut prev = vec![0u64; obs_keys::MONITOR_DELTA_KEYS.len()];
+                for seq in 0..frames {
+                    let values = match coordinator.monitor_values() {
+                        Ok(values) => values,
+                        Err(e) => {
+                            write_cluster_error(&mut writer, &e)?;
+                            break;
+                        }
+                    };
+                    let deltas: Vec<(&str, u64)> = values
+                        .iter()
+                        .zip(prev.iter())
+                        .map(|(&(key, value), &p)| (key, value.saturating_sub(p)))
+                        .collect();
+                    protocol::write_delta_frame(&mut writer, seq as u64, &deltas)?;
+                    writer.flush()?;
+                    for (slot, &(_, value)) in prev.iter_mut().zip(values.iter()) {
+                        *slot = value;
+                    }
+                    if seq + 1 < frames {
+                        std::thread::sleep(Duration::from_millis(interval_ms));
+                    }
+                }
             }
             ClientRequest::Profiles(n) => {
                 let lines: Vec<String> = coordinator

@@ -98,6 +98,28 @@ pub const STATS_SUM_KEYS: [&str; 18] = [
 /// (latency percentiles: the slowest shard bounds the cluster).
 pub const STATS_MAX_KEYS: [&str; 2] = [P50_US, P99_US];
 
+/// `STATS` keys streamed as deltas by the `MONITOR` subscription: the
+/// monotonic counters, so that deltas summed over a subscription that
+/// started at server-zero equal the cumulative `STATS` values. Gauges
+/// (`queue_depth`, `active_connections`), rates (`qps`), percentiles, and
+/// the non-monotonic `wal_bytes` (it shrinks at checkpoint) are excluded.
+pub const MONITOR_DELTA_KEYS: [&str; 14] = [
+    COMPLETED,
+    FAILED,
+    REJECTED,
+    DEADLINE_EXPIRED,
+    MUTATIONS,
+    INSERTED,
+    DELETED,
+    DEDUPED,
+    CHECKPOINTS,
+    COMMITS,
+    TILES_PRUNED,
+    TILES_HIST,
+    TILES_SCANNED,
+    PAIRS_BOUND,
+];
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,5 +132,22 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(all.len(), dedup.len(), "duplicate key in registry");
+    }
+
+    #[test]
+    fn monitor_keys_are_summed_stats_keys() {
+        // Every monitored delta must also be a summed STATS key, or the
+        // "deltas sum to the cumulative STATS counters" invariant (checked
+        // end-to-end in the service tests) could not hold cluster-wide.
+        for key in MONITOR_DELTA_KEYS {
+            assert!(
+                STATS_SUM_KEYS.contains(&key),
+                "{key} monitored but not summed"
+            );
+        }
+        let mut dedup = MONITOR_DELTA_KEYS.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), MONITOR_DELTA_KEYS.len());
     }
 }

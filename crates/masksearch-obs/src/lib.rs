@@ -27,6 +27,12 @@
 //!   selectivity vs CHI decisiveness, kernel tile behaviour, verified
 //!   fraction) that persist at checkpoint alongside the CHI/tiles files —
 //!   the substrate the ROADMAP's cost-based planner will consume.
+//! - [`TimeSeries`]: bounded rings of fixed-width time buckets over query
+//!   completions and the global counters, so windows of recent behaviour
+//!   (`METRICS WINDOW <secs>`) can be queried without external scraping.
+//! - [`FlightRecorder`]: bounded, checksummed capture of every executed
+//!   statement to a binary log that `masksearch-bench`'s replay bin can
+//!   re-execute and compare against.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -37,14 +43,21 @@ pub mod prom;
 
 mod histogram;
 mod profiles;
+mod recorder;
 mod shape;
 mod slowlog;
 mod span;
+mod timeseries;
 
 pub use histogram::{LogHistogram, HISTOGRAM_BUCKETS};
 pub use profiles::{ProfileRing, QueryProfile};
+pub use recorder::{
+    fnv1a, read_recording, FlightRecorder, Fnv64, RecordKind, RecordedQuery, RecorderStatus,
+    RECORDER_MAGIC,
+};
 pub use shape::{ShapeAggregate, ShapeObservation, ShapeStatsRegistry};
 pub use slowlog::{escape_json, SlowQueryLog};
 pub use span::{
     add_counter, set_counter, span, trace, trace_active, SpanGuard, SpanNode, TraceGuard,
 };
+pub use timeseries::{StageCounts, TimeSeries, WindowSummary};

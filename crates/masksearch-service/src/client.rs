@@ -63,6 +63,10 @@ const RECONNECT_BACKOFF: [Duration; 3] = [
     Duration::from_millis(400),
 ];
 
+/// One `DELTA` frame from a [`Client::monitor`] subscription: the frame's
+/// sequence number and the counter deltas since the previous frame.
+pub type MonitorFrame = (u64, Vec<(String, u64)>);
+
 /// A connected MaskSearch client.
 pub struct Client {
     reader: BufReader<TcpStream>,
@@ -205,6 +209,15 @@ impl Client {
         }
     }
 
+    /// Sends one raw request line and returns whatever frame the server
+    /// answers with. This is the replay path's entry point: a recorded
+    /// statement may legitimately come back as rows, a plan, or an `ERR`
+    /// frame ([`ServiceError::Remote`]), and the replayer digests whichever
+    /// arrives rather than expecting one kind.
+    pub fn round_trip_raw(&mut self, line: &str) -> ServiceResult<Frame> {
+        self.round_trip(line)
+    }
+
     fn expect_rows(frame: Frame) -> ServiceResult<WireResponse> {
         match frame {
             Frame::Rows(response) => Ok(response),
@@ -294,6 +307,68 @@ impl Client {
                 "expected a metrics frame, got {other:?}"
             ))),
         }
+    }
+
+    /// Fetches the windowed gauges for the last `secs` seconds as a
+    /// Prometheus text exposition (`METRICS WINDOW <secs>`).
+    pub fn metrics_window(&mut self, secs: u64) -> ServiceResult<String> {
+        match self.round_trip(&format!("METRICS WINDOW {secs}"))? {
+            Frame::Metrics(lines) => Ok(lines.join("\n") + "\n"),
+            other => Err(ServiceError::Protocol(format!(
+                "expected a metrics frame, got {other:?}"
+            ))),
+        }
+    }
+
+    fn record_control(&mut self, line: &str) -> ServiceResult<String> {
+        match self.round_trip(line)? {
+            Frame::Control(line) if line.starts_with("RECORD ") => Ok(line),
+            other => Err(ServiceError::Protocol(format!(
+                "expected a RECORD status, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Starts the server's flight recorder, optionally naming the recording
+    /// file (otherwise the server's configured path is used). Returns the
+    /// raw `RECORD active=... path=... records=... bytes=... dropped=...`
+    /// status line.
+    pub fn record_start(&mut self, path: Option<&str>) -> ServiceResult<String> {
+        match path {
+            Some(p) => self.record_control(&format!("RECORD START {p}")),
+            None => self.record_control("RECORD START"),
+        }
+    }
+
+    /// Flushes and stops the server's flight recorder.
+    pub fn record_stop(&mut self) -> ServiceResult<String> {
+        self.record_control("RECORD STOP")
+    }
+
+    /// Fetches the server's flight-recorder status line.
+    pub fn record_status(&mut self) -> ServiceResult<String> {
+        self.record_control("RECORD STATUS")
+    }
+
+    /// Subscribes to `frames` periodic metric-delta frames spaced
+    /// `interval_ms` apart. Blocks until the subscription completes and
+    /// returns, per frame, the counter deltas since the previous frame
+    /// (frame 0 is the cumulative counters at subscription time). Each
+    /// frame is `(seq, deltas)`.
+    pub fn monitor(&mut self, frames: u32, interval_ms: u64) -> ServiceResult<Vec<MonitorFrame>> {
+        self.send_line(&format!("MONITOR {frames} {interval_ms}"))?;
+        let mut out = Vec::with_capacity(frames as usize);
+        for _ in 0..frames {
+            match protocol::read_frame(&mut self.reader)? {
+                Frame::Delta(lines) => out.push(protocol::parse_delta_lines(&lines)),
+                other => {
+                    return Err(ServiceError::Protocol(format!(
+                        "expected a delta frame, got {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// Fetches the server's most recent `n` traced query profiles as

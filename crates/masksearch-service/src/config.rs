@@ -1,7 +1,12 @@
 //! Service configuration: worker pool sizing, queue bounds, admission
-//! control, and deadlines.
+//! control, deadlines, and observability sinks.
 
+use std::path::PathBuf;
 use std::time::Duration;
+
+/// Default flight-recorder byte budget (64 MiB): enough for millions of
+/// captured statements while bounding disk use on a forgotten recorder.
+pub const DEFAULT_RECORDER_BUDGET: u64 = 64 << 20;
 
 /// What `submit` does when the bounded job queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,7 +21,7 @@ pub enum AdmissionPolicy {
 }
 
 /// Configuration of a [`crate::Engine`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Number of worker threads executing queries. Each worker runs one
     /// query at a time; the session's own intra-query parallelism is
@@ -39,6 +44,17 @@ pub struct ServiceConfig {
     /// Threshold above which a completed query is written to the structured
     /// slow-query log. `None` disables the log.
     pub slow_query: Option<Duration>,
+    /// Destination file for the slow-query log (JSON lines, appended).
+    /// `None` keeps the historical default of stderr.
+    pub slow_query_path: Option<PathBuf>,
+    /// When set, the flight recorder starts capturing to this file as soon
+    /// as the engine comes up (an existing recording is appended to, the
+    /// way the shape-stats file survives reopen). Recording can also be
+    /// started and stopped over the wire with `RECORD START/STOP`.
+    pub record_to: Option<PathBuf>,
+    /// Byte budget for the flight recorder; statements past the budget are
+    /// counted as dropped instead of growing the recording.
+    pub recorder_budget: u64,
 }
 
 impl ServiceConfig {
@@ -52,6 +68,9 @@ impl ServiceConfig {
             default_deadline: None,
             tracing: true,
             slow_query: None,
+            slow_query_path: None,
+            record_to: None,
+            recorder_budget: DEFAULT_RECORDER_BUDGET,
         }
     }
 
@@ -84,6 +103,26 @@ impl ServiceConfig {
         self.slow_query = Some(threshold);
         self
     }
+
+    /// Sends the slow-query log to a file (JSON lines, appended) instead of
+    /// stderr.
+    pub fn slow_query_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.slow_query_path = Some(path.into());
+        self
+    }
+
+    /// Starts the flight recorder at engine construction, capturing every
+    /// executed statement to `path`.
+    pub fn record_to(mut self, path: impl Into<PathBuf>) -> Self {
+        self.record_to = Some(path.into());
+        self
+    }
+
+    /// Sets the flight-recorder byte budget.
+    pub fn recorder_budget(mut self, bytes: u64) -> Self {
+        self.recorder_budget = bytes.max(1);
+        self
+    }
 }
 
 impl Default for ServiceConfig {
@@ -107,13 +146,19 @@ mod tests {
             .admission(AdmissionPolicy::Block)
             .default_deadline(Duration::from_millis(5))
             .tracing(false)
-            .slow_query(Duration::from_millis(100));
+            .slow_query(Duration::from_millis(100))
+            .slow_query_path("/tmp/slow.jsonl")
+            .record_to("/tmp/flight.bin")
+            .recorder_budget(0);
         assert_eq!(c.workers, 1);
         assert_eq!(c.queue_depth, 1);
         assert_eq!(c.admission, AdmissionPolicy::Block);
         assert_eq!(c.default_deadline, Some(Duration::from_millis(5)));
         assert!(!c.tracing);
         assert_eq!(c.slow_query, Some(Duration::from_millis(100)));
+        assert_eq!(c.slow_query_path, Some(PathBuf::from("/tmp/slow.jsonl")));
+        assert_eq!(c.record_to, Some(PathBuf::from("/tmp/flight.bin")));
+        assert_eq!(c.recorder_budget, 1);
     }
 
     #[test]
@@ -124,5 +169,8 @@ mod tests {
         assert!(c.default_deadline.is_none());
         assert!(c.tracing);
         assert!(c.slow_query.is_none());
+        assert!(c.slow_query_path.is_none());
+        assert!(c.record_to.is_none());
+        assert_eq!(c.recorder_budget, DEFAULT_RECORDER_BUDGET);
     }
 }

@@ -18,7 +18,10 @@ use crate::job::{
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::queue::{JobQueue, PushError};
 use masksearch_core::MaskId;
-use masksearch_obs::{keys as obs_keys, prom::PromText, ProfileRing, QueryProfile, SlowQueryLog};
+use masksearch_obs::{
+    keys as obs_keys, prom::PromText, FlightRecorder, ProfileRing, QueryProfile, RecordKind,
+    RecordedQuery, RecorderStatus, SlowQueryLog, StageCounts, TimeSeries, WindowSummary,
+};
 use masksearch_query::{Mutation, Query, QueryStats, Session};
 use masksearch_sql::ExplainMode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -52,6 +55,13 @@ struct Shared {
     profiles: ProfileRing,
     /// Threshold-gated JSON-lines log of slow queries.
     slow_log: SlowQueryLog,
+    /// Windowed time-series over completions (`METRICS WINDOW <secs>`).
+    timeseries: TimeSeries,
+    /// Flight recorder capturing executed statements (`RECORD START/STOP`).
+    recorder: FlightRecorder,
+    /// When the engine came up; recorded arrival timestamps are offsets
+    /// from this instant.
+    epoch: Instant,
     /// Whether workers trace queries (`ServiceConfig::tracing`). With this
     /// off the execution path is exactly the pre-observability one.
     tracing: bool,
@@ -92,6 +102,21 @@ impl Shared {
                 (obs_keys::LOADED, stats.masks_loaded),
             ],
         );
+    }
+
+    /// Feeds one completion (or failure) into the windowed time series.
+    /// Always on: the rings are bounded and an observation is a short
+    /// mutex-protected bucket update.
+    fn observe_series(&self, wall: Duration, ok: bool, stats: Option<&QueryStats>) {
+        let stages = stats
+            .map(|s| StageCounts {
+                candidates: s.candidates,
+                pruned: s.pruned,
+                verified: s.verified,
+                loaded: s.masks_loaded,
+            })
+            .unwrap_or_default();
+        self.timeseries.observe(wall.as_micros() as u64, ok, stages);
     }
 }
 
@@ -142,7 +167,7 @@ impl Clone for Engine {
         Self {
             shared: Arc::clone(&self.shared),
             pool: Arc::clone(&self.pool),
-            config: self.config,
+            config: self.config.clone(),
         }
     }
 }
@@ -155,13 +180,41 @@ impl Engine {
 
     /// Creates an engine over an already shared session.
     pub fn with_shared_session(session: Arc<Session>, config: ServiceConfig) -> Self {
+        // Slow-query destination: a configured file (append mode), else the
+        // historical stderr default. A file that cannot be opened falls
+        // back to stderr rather than failing engine construction.
+        let slow_log = match config.slow_query_path.as_deref().map(|path| {
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+        }) {
+            Some(Ok(file)) => SlowQueryLog::with_sink(config.slow_query, Box::new(file)),
+            Some(Err(e)) => {
+                eprintln!("masksearch: slow-query log file unavailable, using stderr: {e}");
+                SlowQueryLog::stderr(config.slow_query)
+            }
+            None => SlowQueryLog::stderr(config.slow_query),
+        };
+        let recorder = FlightRecorder::new();
+        if let Some(path) = &config.record_to {
+            if let Err(e) = recorder.start(path, config.recorder_budget) {
+                eprintln!(
+                    "masksearch: flight recorder disabled ({}: {e})",
+                    path.display()
+                );
+            }
+        }
         let shared = Arc::new(Shared {
             session,
             queue: JobQueue::new(config.queue_depth),
             metrics: ServiceMetrics::new(),
             dedup: MutationDedup::new(),
             profiles: ProfileRing::new(PROFILE_RING_CAPACITY),
-            slow_log: SlowQueryLog::stderr(config.slow_query),
+            slow_log,
+            timeseries: TimeSeries::new(),
+            recorder,
+            epoch: Instant::now(),
             tracing: config.tracing,
             shutting_down: AtomicBool::new(false),
         });
@@ -361,6 +414,11 @@ impl Engine {
             text.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
             histogram.render_prometheus(name, &mut text);
         }
+        // Windowed gauges (last minute, last five minutes) from the bounded
+        // time-series rings.
+        self.shared
+            .timeseries
+            .render_prometheus(&[60, 300], &mut text);
         text
     }
 
@@ -375,6 +433,85 @@ impl Engine {
         &self.shared.slow_log
     }
 
+    /// Summary of the last `secs` seconds of activity from the windowed
+    /// time series (rates, latency percentiles, stage sums, and global
+    /// counter deltas over the window).
+    pub fn window(&self, secs: u64) -> WindowSummary {
+        self.shared.timeseries.window(secs)
+    }
+
+    /// The windowed gauges for `secs` as a Prometheus text exposition (the
+    /// payload of a `METRICS WINDOW <secs>` frame).
+    pub fn metrics_window_text(&self, secs: u64) -> String {
+        let mut text = String::new();
+        self.shared.timeseries.render_prometheus(&[secs], &mut text);
+        text
+    }
+
+    /// Current flight-recorder state.
+    pub fn recorder_status(&self) -> RecorderStatus {
+        self.shared.recorder.status()
+    }
+
+    /// Starts (or resumes) the flight recorder. Without an explicit path the
+    /// configured [`ServiceConfig::record_to`] path is used.
+    pub fn record_start(&self, path: Option<&str>) -> ServiceResult<RecorderStatus> {
+        let path = match path {
+            Some(p) => std::path::PathBuf::from(p),
+            None => self.config.record_to.clone().ok_or_else(|| {
+                ServiceError::Protocol(
+                    "RECORD START needs a path (no recording path configured)".to_string(),
+                )
+            })?,
+        };
+        self.shared
+            .recorder
+            .start(&path, self.config.recorder_budget)
+            .map_err(|e| ServiceError::Io(format!("cannot record to {}: {e}", path.display())))?;
+        Ok(self.shared.recorder.status())
+    }
+
+    /// Flushes and stops the flight recorder.
+    pub fn record_stop(&self) -> ServiceResult<RecorderStatus> {
+        self.shared
+            .recorder
+            .stop()
+            .map_err(|e| ServiceError::Io(format!("recorder flush failed: {e}")))?;
+        Ok(self.shared.recorder.status())
+    }
+
+    /// Current cumulative values of the monotonic counters a `MONITOR`
+    /// subscription streams as deltas, keyed by
+    /// [`obs_keys::MONITOR_DELTA_KEYS`]. A subscriber's baseline is zero,
+    /// so deltas summed over a subscription equal these values at its last
+    /// sample — the same numbers `STATS` reports.
+    pub fn monitor_values(&self) -> Vec<(&'static str, u64)> {
+        let m = self.metrics();
+        obs_keys::MONITOR_DELTA_KEYS
+            .iter()
+            .map(|&key| {
+                let value = match key {
+                    k if k == obs_keys::COMPLETED => m.completed,
+                    k if k == obs_keys::FAILED => m.failed,
+                    k if k == obs_keys::REJECTED => m.rejected,
+                    k if k == obs_keys::DEADLINE_EXPIRED => m.deadline_expired,
+                    k if k == obs_keys::MUTATIONS => m.mutations,
+                    k if k == obs_keys::INSERTED => m.masks_inserted,
+                    k if k == obs_keys::DELETED => m.masks_deleted,
+                    k if k == obs_keys::DEDUPED => m.mutations_deduped,
+                    k if k == obs_keys::CHECKPOINTS => m.ingest.checkpoints,
+                    k if k == obs_keys::COMMITS => m.ingest.commits,
+                    k if k == obs_keys::TILES_PRUNED => m.tiles_pruned,
+                    k if k == obs_keys::TILES_HIST => m.tiles_hist,
+                    k if k == obs_keys::TILES_SCANNED => m.tiles_scanned,
+                    k if k == obs_keys::PAIRS_BOUND => m.pairs_bound,
+                    _ => 0,
+                };
+                (key, value)
+            })
+            .collect()
+    }
+
     /// Which of the given mask ids this engine's session currently holds.
     /// Used by a cluster coordinator to resolve the owning shard of each id
     /// before routing a `DELETE`.
@@ -383,6 +520,104 @@ impl Engine {
             .copied()
             .filter(|&id| self.shared.session.record(id).is_ok())
             .collect()
+    }
+
+    /// Opens a flight-recorder capture for one statement, if recording.
+    /// Taken at entry (before compilation) so the arrival timestamp
+    /// reflects when the statement reached the service.
+    fn begin_capture(&self) -> Option<CaptureStart> {
+        if !self.shared.recorder.is_active() {
+            return None;
+        }
+        Some(CaptureStart {
+            arrival_us: self.shared.epoch.elapsed().as_micros() as u64,
+            started: Instant::now(),
+        })
+    }
+
+    /// Writes one captured statement to the flight recorder. No-op when
+    /// `start` is `None` (recording was off at arrival).
+    fn capture(
+        &self,
+        start: Option<CaptureStart>,
+        kind: RecordKind,
+        aux: u64,
+        sql: &str,
+        outcome: CapturedOutcome<'_>,
+    ) {
+        let Some(start) = start else { return };
+        let (ok, rows, counters, digest, wall_us) = match outcome {
+            CapturedOutcome::Query(r, bound) => {
+                let s = &r.output.stats;
+                (
+                    true,
+                    r.output.rows.len() as u64,
+                    [s.candidates, s.pruned, s.verified, s.masks_loaded, 0, 0],
+                    crate::protocol::digest_query_response(r, bound),
+                    r.exec_time.as_micros() as u64,
+                )
+            }
+            CapturedOutcome::Mutation(m) => (
+                true,
+                0,
+                [
+                    0,
+                    0,
+                    0,
+                    0,
+                    m.outcome.inserted as u64,
+                    m.outcome.deleted as u64,
+                ],
+                crate::protocol::digest_mutation_response(m),
+                m.exec_time.as_micros() as u64,
+            ),
+            CapturedOutcome::Plan(lines) => (
+                true,
+                lines.len() as u64,
+                [0; 6],
+                crate::protocol::digest_plan_lines(lines),
+                start.started.elapsed().as_micros() as u64,
+            ),
+            CapturedOutcome::Error(e) => (
+                false,
+                0,
+                [0; 6],
+                crate::protocol::digest_error_message(&e.wire_message()),
+                start.started.elapsed().as_micros() as u64,
+            ),
+        };
+        let shape = match &outcome {
+            CapturedOutcome::Error(_) => "error".to_string(),
+            CapturedOutcome::Plan(_) => "explain".to_string(),
+            CapturedOutcome::Mutation(_) => {
+                let upper = sql.trim_start().to_ascii_uppercase();
+                if upper.starts_with("INSERT") {
+                    "insert".to_string()
+                } else if upper.starts_with("DELETE") {
+                    "delete".to_string()
+                } else {
+                    "mutation".to_string()
+                }
+            }
+            CapturedOutcome::Query(..) => match masksearch_sql::compile_statement(sql) {
+                Ok(masksearch_sql::Statement::Query(query)) => {
+                    masksearch_query::shape_key(&query, self.shared.session.config())
+                }
+                _ => "query".to_string(),
+            },
+        };
+        self.shared.recorder.record(&RecordedQuery {
+            arrival_us: start.arrival_us,
+            wall_us,
+            kind,
+            ok,
+            rows,
+            aux,
+            counters,
+            digest,
+            shape,
+            sql: sql.to_string(),
+        });
     }
 
     fn submit_request(
@@ -462,6 +697,19 @@ impl Engine {
     /// the k-th value as a bound on every unreturned candidate. Non-ranked
     /// statements execute normally (with no bound); writes are rejected.
     pub fn execute_partial_sql(&self, sql: &str, k: usize) -> ServiceResult<PartialResponse> {
+        let start = self.begin_capture();
+        let result = self.execute_partial_sql_inner(sql, k);
+        if start.is_some() {
+            let outcome = match &result {
+                Ok(p) => CapturedOutcome::Query(&p.response, p.bound),
+                Err(e) => CapturedOutcome::Error(e),
+            };
+            self.capture(start, RecordKind::Partial, k as u64, sql, outcome);
+        }
+        result
+    }
+
+    fn execute_partial_sql_inner(&self, sql: &str, k: usize) -> ServiceResult<PartialResponse> {
         match masksearch_sql::compile_statement(sql)? {
             masksearch_sql::Statement::Query(query) => self
                 .submit_labeled(Request::Partial { query, k }, None, Some(Arc::from(sql)))?
@@ -488,6 +736,37 @@ impl Engine {
     /// the TCP front end uses, so network clients can ingest masks while
     /// other clients query.
     pub fn execute_statement(&self, sql: &str) -> ServiceResult<Response> {
+        let start = self.begin_capture();
+        let result = self.execute_statement_inner(sql);
+        if start.is_some() {
+            self.capture_response(start, RecordKind::Statement, 0, sql, &result);
+        }
+        result
+    }
+
+    /// Records an `execute_statement`-shaped result (used by both the plain
+    /// and tokened entry points).
+    fn capture_response(
+        &self,
+        start: Option<CaptureStart>,
+        kind: RecordKind,
+        aux: u64,
+        sql: &str,
+        result: &ServiceResult<Response>,
+    ) {
+        let outcome = match result {
+            Ok(Response::Single(r)) => CapturedOutcome::Query(r, None),
+            Ok(Response::Partial(p)) => CapturedOutcome::Query(&p.response, p.bound),
+            Ok(Response::Mutation(m)) => CapturedOutcome::Mutation(m),
+            Ok(Response::Plan(lines)) => CapturedOutcome::Plan(lines),
+            // Batches never come through the statement entry points.
+            Ok(Response::Batch(_)) => return,
+            Err(e) => CapturedOutcome::Error(e),
+        };
+        self.capture(start, kind, aux, sql, outcome);
+    }
+
+    fn execute_statement_inner(&self, sql: &str) -> ServiceResult<Response> {
         if let Some((mode, inner)) = masksearch_sql::strip_explain(sql) {
             return Ok(Response::Plan(
                 self.explain_sql(mode == ExplainMode::Analyze, inner)?,
@@ -530,6 +809,15 @@ impl Engine {
     /// resend-after-transport-error exactly-once. A duplicate racing the
     /// original blocks until the original finishes.
     pub fn execute_statement_tokened(&self, token: u64, sql: &str) -> ServiceResult<Response> {
+        let start = self.begin_capture();
+        let result = self.execute_statement_tokened_inner(token, sql);
+        if start.is_some() {
+            self.capture_response(start, RecordKind::Tokened, token, sql, &result);
+        }
+        result
+    }
+
+    fn execute_statement_tokened_inner(&self, token: u64, sql: &str) -> ServiceResult<Response> {
         if let Some((mode, inner)) = masksearch_sql::strip_explain(sql) {
             // Dedup tokens are meaningless for side-effect-free explains.
             return Ok(Response::Plan(
@@ -573,6 +861,19 @@ impl Engine {
 
     /// Compiles a SQL statement in the MaskSearch dialect and executes it.
     pub fn execute_sql(&self, sql: &str) -> ServiceResult<QueryResponse> {
+        let start = self.begin_capture();
+        let result = self.execute_sql_inner(sql);
+        if start.is_some() {
+            let outcome = match &result {
+                Ok(r) => CapturedOutcome::Query(r, None),
+                Err(e) => CapturedOutcome::Error(e),
+            };
+            self.capture(start, RecordKind::Statement, 0, sql, outcome);
+        }
+        result
+    }
+
+    fn execute_sql_inner(&self, sql: &str) -> ServiceResult<QueryResponse> {
         let query = masksearch_sql::compile(sql)?;
         self.submit_labeled(Request::Single(query), None, Some(Arc::from(sql)))?
             .wait_single()
@@ -589,6 +890,21 @@ impl Engine {
     pub fn shutdown(&self) {
         self.pool.shutdown();
     }
+}
+
+/// Arrival timestamp and start instant of one recorded statement.
+struct CaptureStart {
+    arrival_us: u64,
+    started: Instant,
+}
+
+/// What a captured statement produced, borrowed from the caller's result so
+/// capture adds no allocation or copying when recording is off.
+enum CapturedOutcome<'a> {
+    Query(&'a QueryResponse, Option<f64>),
+    Mutation(&'a MutationResponse),
+    Plan(&'a [String]),
+    Error(&'a ServiceError),
 }
 
 /// One worker thread: pop, check deadline, execute, reply, repeat.
@@ -629,6 +945,7 @@ fn worker_loop(shared: &Shared) {
                         shared
                             .metrics
                             .record_completed(&output.stats, job.submitted.elapsed());
+                        shared.observe_series(exec_time, true, Some(&output.stats));
                         let _ = job.reply.send(Ok(Response::Single(QueryResponse {
                             output,
                             queue_wait: wait,
@@ -637,10 +954,12 @@ fn worker_loop(shared: &Shared) {
                     }
                     Ok(Err(e)) => {
                         shared.metrics.record_failed();
+                        shared.observe_series(exec_start.elapsed(), false, None);
                         let _ = job.reply.send(Err(e.into()));
                     }
                     Err(panic) => {
                         shared.metrics.record_failed();
+                        shared.observe_series(exec_start.elapsed(), false, None);
                         let _ = job
                             .reply
                             .send(Err(ServiceError::Internal(panic_message(&panic))));
@@ -672,14 +991,17 @@ fn worker_loop(shared: &Shared) {
                         shared
                             .metrics
                             .record_completed(&output.stats, job.submitted.elapsed());
+                        shared.observe_series(exec_time, true, Some(&output.stats));
                         let _ = job.reply.send(Ok(Response::Plan(plan.render())));
                     }
                     Ok(Err(e)) => {
                         shared.metrics.record_failed();
+                        shared.observe_series(exec_start.elapsed(), false, None);
                         let _ = job.reply.send(Err(e.into()));
                     }
                     Err(panic) => {
                         shared.metrics.record_failed();
+                        shared.observe_series(exec_start.elapsed(), false, None);
                         let _ = job
                             .reply
                             .send(Err(ServiceError::Internal(panic_message(&panic))));
@@ -705,6 +1027,7 @@ fn worker_loop(shared: &Shared) {
                         shared
                             .metrics
                             .record_completed(&partial.output.stats, job.submitted.elapsed());
+                        shared.observe_series(exec_time, true, Some(&partial.output.stats));
                         let _ = job.reply.send(Ok(Response::Partial(PartialResponse {
                             response: QueryResponse {
                                 output: partial.output,
@@ -716,10 +1039,12 @@ fn worker_loop(shared: &Shared) {
                     }
                     Ok(Err(e)) => {
                         shared.metrics.record_failed();
+                        shared.observe_series(exec_start.elapsed(), false, None);
                         let _ = job.reply.send(Err(e.into()));
                     }
                     Err(panic) => {
                         shared.metrics.record_failed();
+                        shared.observe_series(exec_start.elapsed(), false, None);
                         let _ = job
                             .reply
                             .send(Err(ServiceError::Internal(panic_message(&panic))));
@@ -734,6 +1059,7 @@ fn worker_loop(shared: &Shared) {
                 match result {
                     Ok(Ok(outcome)) => {
                         shared.metrics.record_mutation(&outcome);
+                        shared.observe_series(exec_start.elapsed(), true, None);
                         let _ = job.reply.send(Ok(Response::Mutation(MutationResponse {
                             outcome,
                             queue_wait: wait,
@@ -742,10 +1068,12 @@ fn worker_loop(shared: &Shared) {
                     }
                     Ok(Err(e)) => {
                         shared.metrics.record_failed();
+                        shared.observe_series(exec_start.elapsed(), false, None);
                         let _ = job.reply.send(Err(e.into()));
                     }
                     Err(panic) => {
                         shared.metrics.record_failed();
+                        shared.observe_series(exec_start.elapsed(), false, None);
                         let _ = job
                             .reply
                             .send(Err(ServiceError::Internal(panic_message(&panic))));
@@ -754,23 +1082,28 @@ fn worker_loop(shared: &Shared) {
             }
             Request::Batch(queries) => {
                 shared.metrics.record_batch();
+                let exec_start = Instant::now();
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     batch::execute(&shared.session, &queries)
                 }));
                 match result {
                     Ok(Ok(output)) => {
                         let latency = job.submitted.elapsed();
+                        let exec_time = exec_start.elapsed();
                         for out in &output.outputs {
                             shared.metrics.record_completed(&out.stats, latency);
+                            shared.observe_series(exec_time, true, Some(&out.stats));
                         }
                         let _ = job.reply.send(Ok(Response::Batch(output)));
                     }
                     Ok(Err(e)) => {
                         shared.metrics.record_failed();
+                        shared.observe_series(exec_start.elapsed(), false, None);
                         let _ = job.reply.send(Err(e.into()));
                     }
                     Err(panic) => {
                         shared.metrics.record_failed();
+                        shared.observe_series(exec_start.elapsed(), false, None);
                         let _ = job
                             .reply
                             .send(Err(ServiceError::Internal(panic_message(&panic))));

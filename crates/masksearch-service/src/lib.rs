@@ -92,7 +92,7 @@ pub mod queue;
 pub mod server;
 
 pub use batch::{BatchOutput, BatchStats};
-pub use client::Client;
+pub use client::{Client, MonitorFrame};
 pub use config::{AdmissionPolicy, ServiceConfig};
 pub use dedup::{Admission, MutationDedup};
 pub use engine::Engine;

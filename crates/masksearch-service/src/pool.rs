@@ -128,6 +128,21 @@ impl PooledClient<'_> {
     pub fn ping(&mut self) -> ServiceResult<()> {
         self.run(|c| c.ping())
     }
+
+    /// See [`Client::record_start`].
+    pub fn record_start(&mut self, path: Option<&str>) -> ServiceResult<String> {
+        self.run(|c| c.record_start(path))
+    }
+
+    /// See [`Client::record_stop`].
+    pub fn record_stop(&mut self) -> ServiceResult<String> {
+        self.run(|c| c.record_stop())
+    }
+
+    /// See [`Client::record_status`].
+    pub fn record_status(&mut self) -> ServiceResult<String> {
+        self.run(|c| c.record_status())
+    }
 }
 
 impl Drop for PooledClient<'_> {

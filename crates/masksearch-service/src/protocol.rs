@@ -48,11 +48,33 @@ pub const END_MARKER: &str = "END";
 /// `pairs_bound=` in `STATS`; v4 — observability: `EXPLAIN [ANALYZE]`
 /// statements answered with `PLAN <n>` frames, `METRICS` returning a
 /// Prometheus text exposition, and `STATS PROFILES [n]` returning recent
-/// traced query profiles.
-pub const PROTOCOL_VERSION: u32 = 4;
+/// traced query profiles; v5 — temporal observability: `METRICS WINDOW
+/// <secs>` windowed gauges, `RECORD START/STOP/STATUS` flight-recorder
+/// control answered with `RECORD` control frames, and `MONITOR <frames>
+/// [<interval_ms>]` streaming counted `DELTA <n>` metric-delta frames.
+pub const PROTOCOL_VERSION: u32 = 5;
 
 /// Default number of profiles returned by a bare `STATS PROFILES`.
 pub const DEFAULT_PROFILES: usize = 16;
+
+/// Default delta interval of a `MONITOR` subscription in milliseconds.
+pub const DEFAULT_MONITOR_INTERVAL_MS: u64 = 1000;
+
+/// Upper bound on frames per `MONITOR` subscription; a subscription is one
+/// blocking request on its connection, so its span must be bounded.
+pub const MAX_MONITOR_FRAMES: u32 = 3600;
+
+/// A parsed `RECORD <cmd>` flight-recorder control command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordControl {
+    /// Start (or resume) capturing. With a path, record there; without, the
+    /// server uses its configured recording path.
+    Start(Option<String>),
+    /// Flush and stop capturing.
+    Stop,
+    /// Report recorder state without changing it.
+    Status,
+}
 
 /// A parsed client request line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,6 +85,20 @@ pub enum ClientRequest {
     Stats,
     /// Prometheus text exposition of every server metric.
     Metrics,
+    /// Windowed time-series gauges over the last `secs` seconds
+    /// (`METRICS WINDOW <secs>`), answered with a `METRICS` frame.
+    MetricsWindow(u64),
+    /// Flight-recorder control (`RECORD START [<path>] | STOP | STATUS`),
+    /// answered with a `RECORD` control frame.
+    Record(RecordControl),
+    /// Subscribe this connection to `frames` periodic metric-delta frames
+    /// (`MONITOR <frames> [<interval_ms>]`), each a counted `DELTA` frame.
+    Monitor {
+        /// Number of delta frames to stream before the request completes.
+        frames: u32,
+        /// Milliseconds between frames.
+        interval_ms: u64,
+    },
     /// The most recent `n` traced query profiles (`STATS PROFILES [n]`).
     Profiles(usize),
     /// Close the connection.
@@ -121,6 +157,64 @@ impl ClientRequest {
                 }
             }
         }
+        if let Some(rest) = upper.strip_prefix("METRICS WINDOW") {
+            if let Ok(secs) = rest.trim().parse::<u64>() {
+                if secs > 0 {
+                    return Some(Self::MetricsWindow(secs));
+                }
+            }
+            // Malformed window: fall through to the SQL path (-> ERR frame).
+        }
+        if let Some(rest) = upper.strip_prefix("RECORD ") {
+            let cmd = rest.trim();
+            if cmd == "STOP" {
+                return Some(Self::Record(RecordControl::Stop));
+            }
+            if cmd == "STATUS" {
+                return Some(Self::Record(RecordControl::Status));
+            }
+            if cmd == "START" {
+                return Some(Self::Record(RecordControl::Start(None)));
+            }
+            if cmd.starts_with("START ") {
+                // Take the path from the original line: paths are
+                // case-sensitive.
+                let path = trimmed[trimmed.len() - rest.len()..].trim()["START ".len()..]
+                    .trim()
+                    .to_string();
+                if !path.is_empty() {
+                    return Some(Self::Record(RecordControl::Start(Some(path))));
+                }
+            }
+            // Unknown subcommand: fall through to the SQL path (-> ERR).
+        }
+        if let Some(rest) = upper.strip_prefix("MONITOR") {
+            let mut parts = rest.split_ascii_whitespace();
+            let frames = parts.next().map(|t| t.parse::<u32>());
+            let interval = parts.next().map(|t| t.parse::<u64>());
+            match (frames, interval, parts.next()) {
+                (None, None, None) => {
+                    return Some(Self::Monitor {
+                        frames: 1,
+                        interval_ms: DEFAULT_MONITOR_INTERVAL_MS,
+                    });
+                }
+                (Some(Ok(frames)), None, None) if frames > 0 => {
+                    return Some(Self::Monitor {
+                        frames: frames.min(MAX_MONITOR_FRAMES),
+                        interval_ms: DEFAULT_MONITOR_INTERVAL_MS,
+                    });
+                }
+                (Some(Ok(frames)), Some(Ok(interval_ms)), None) if frames > 0 => {
+                    return Some(Self::Monitor {
+                        frames: frames.min(MAX_MONITOR_FRAMES),
+                        interval_ms,
+                    });
+                }
+                // Malformed: fall through to the SQL path (-> ERR frame).
+                _ => {}
+            }
+        }
         if let Some(rest) = upper.strip_prefix("STATS PROFILES") {
             let rest = rest.trim();
             if rest.is_empty() {
@@ -160,13 +254,22 @@ impl ClientRequest {
 
 /// Encodes one result row as a protocol line.
 pub fn encode_row(row: &ResultRow) -> String {
+    let mut line = String::new();
+    encode_row_into(&mut line, row);
+    line
+}
+
+/// Appends [`encode_row`]'s line for `row` to `out` (no trailing newline).
+/// The allocation-free form the response digests use per row.
+fn encode_row_into(out: &mut String, row: &ResultRow) {
+    use std::fmt::Write as _;
     let (kind, id) = match row.key {
         RowKey::Mask(id) => ("mask", id.raw()),
         RowKey::Image(id) => ("image", id.raw()),
     };
     match row.value {
-        Some(v) => format!("{kind} {id} {v}"),
-        None => format!("{kind} {id}"),
+        Some(v) => write!(out, "{kind} {id} {v}").expect("write to string"),
+        None => write!(out, "{kind} {id}").expect("write to string"),
     }
 }
 
@@ -279,6 +382,61 @@ pub fn write_metrics_response<W: Write>(w: &mut W, exposition: &str) -> std::io:
 /// with its span tree indented under it).
 pub fn write_profiles_response<W: Write>(w: &mut W, lines: &[String]) -> std::io::Result<()> {
     write_text_frame(w, "PROFILES", lines.iter().map(String::as_str))
+}
+
+/// Writes one `MONITOR` delta frame: a counted `DELTA <n>` frame whose
+/// payload is a `seq=<k>` line followed by `key=value` delta lines.
+pub fn write_delta_frame<W: Write>(
+    w: &mut W,
+    seq: u64,
+    deltas: &[(&str, u64)],
+) -> std::io::Result<()> {
+    let lines: Vec<String> = std::iter::once(format!("seq={seq}"))
+        .chain(deltas.iter().map(|(k, v)| format!("{k}={v}")))
+        .collect();
+    write_text_frame(w, "DELTA", lines.iter().map(String::as_str))
+}
+
+/// Parses one `DELTA` frame payload back into its sequence number and
+/// `(key, delta)` pairs. Unknown or malformed lines are skipped.
+pub fn parse_delta_lines(lines: &[String]) -> (u64, Vec<(String, u64)>) {
+    let mut seq = 0;
+    let mut deltas = Vec::with_capacity(lines.len().saturating_sub(1));
+    for line in lines {
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let Ok(value) = value.parse::<u64>() else {
+            continue;
+        };
+        if key == "seq" {
+            seq = value;
+        } else {
+            deltas.push((key.to_string(), value));
+        }
+    }
+    (seq, deltas)
+}
+
+/// Writes a `RECORD` control frame answering a recorder-control request.
+pub fn write_record_status<W: Write>(
+    w: &mut W,
+    status: &masksearch_obs::RecorderStatus,
+) -> std::io::Result<()> {
+    writeln!(
+        w,
+        "RECORD active={} path={} records={} bytes={} dropped={}",
+        u8::from(status.active),
+        status
+            .path
+            .as_ref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| "-".to_string()),
+        status.records,
+        status.bytes,
+        status.dropped,
+    )?;
+    writeln!(w, "{END_MARKER}")
 }
 
 /// Writes a counted raw-text frame: `<kind> <n>`, n lines verbatim, `END`.
@@ -440,7 +598,7 @@ pub fn read_frame<R: BufRead>(reader: &mut R) -> ServiceResult<Frame> {
         expect_end(reader)?;
         return Err(ServiceError::Remote(msg.to_string()));
     }
-    if header.starts_with("PONG") || header.starts_with("STATS ") {
+    if header.starts_with("PONG") || header.starts_with("STATS ") || header.starts_with("RECORD ") {
         expect_end(reader)?;
         return Ok(Frame::Control(header));
     }
@@ -448,6 +606,7 @@ pub fn read_frame<R: BufRead>(reader: &mut R) -> ServiceResult<Frame> {
         ("PLAN", Frame::Plan as fn(Vec<String>) -> Frame),
         ("METRICS", Frame::Metrics as fn(Vec<String>) -> Frame),
         ("PROFILES", Frame::Profiles as fn(Vec<String>) -> Frame),
+        ("DELTA", Frame::Delta as fn(Vec<String>) -> Frame),
     ] {
         if let Some(count) = header
             .strip_prefix(kind)
@@ -561,7 +720,7 @@ fn expect_end<R: BufRead>(reader: &mut R) -> ServiceResult<()> {
 pub enum Frame {
     /// An `OK` frame with rows.
     Rows(WireResponse),
-    /// A `PONG` or `STATS` control frame (raw first line).
+    /// A `PONG`, `STATS`, or `RECORD` control frame (raw first line).
     Control(String),
     /// A `PLAN` frame: rendered plan-tree lines of an `EXPLAIN [ANALYZE]`.
     Plan(Vec<String>),
@@ -569,11 +728,136 @@ pub enum Frame {
     Metrics(Vec<String>),
     /// A `PROFILES` frame: rendered recent query profiles.
     Profiles(Vec<String>),
+    /// A `DELTA` frame: one `MONITOR` metric-delta sample
+    /// (`seq=<k>` then `key=value` lines).
+    Delta(Vec<String>),
 }
 
 /// Round-trip helper: renders a [`QueryOutput`]'s rows as wire lines.
 pub fn encode_rows(output: &QueryOutput) -> Vec<String> {
     output.rows.iter().map(encode_row).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Response digests for the flight recorder.
+//
+// The recorder stores an FNV-1a digest of each response with wall time
+// excluded, and the replay harness recomputes the same digest from the
+// frames it reads back. The canonical form below is shared by both sides;
+// because row values use shortest round-trip float formatting, a value
+// parsed by the client re-encodes to the identical bytes the server wrote.
+// ---------------------------------------------------------------------------
+
+fn digest_ok_frame<'a>(
+    rows: u64,
+    stats: [u64; 6],
+    bound: Option<f64>,
+    row_iter: impl Iterator<Item = &'a ResultRow>,
+) -> u64 {
+    use std::fmt::Write as _;
+    let mut h = masksearch_obs::Fnv64::new();
+    let [candidates, pruned, verified, loaded, inserted, deleted] = stats;
+    // One reused buffer: the digest sits on the hot query path whenever the
+    // recorder is active, so it must not allocate per row.
+    let mut buf = String::with_capacity(64);
+    write!(
+        buf,
+        "OK {rows} candidates={candidates} pruned={pruned} verified={verified} \
+         loaded={loaded} inserted={inserted} deleted={deleted}"
+    )
+    .expect("write to string");
+    if let Some(bound) = bound {
+        write!(buf, " bound={bound}").expect("write to string");
+    }
+    buf.push('\n');
+    h.update(buf.as_bytes());
+    for row in row_iter {
+        buf.clear();
+        encode_row_into(&mut buf, row);
+        buf.push('\n');
+        h.update(buf.as_bytes());
+    }
+    h.finish()
+}
+
+/// Digest of a successful query response (wall time excluded), as stored in
+/// flight recordings. `bound` must match what the wire frame carried.
+pub fn digest_query_response(response: &QueryResponse, bound: Option<f64>) -> u64 {
+    let s = &response.output.stats;
+    digest_ok_frame(
+        response.output.rows.len() as u64,
+        [s.candidates, s.pruned, s.verified, s.masks_loaded, 0, 0],
+        bound,
+        response.output.rows.iter(),
+    )
+}
+
+/// Digest of a successful mutation response (wall time excluded).
+pub fn digest_mutation_response(response: &MutationResponse) -> u64 {
+    digest_ok_frame(
+        0,
+        [
+            0,
+            0,
+            0,
+            0,
+            response.outcome.inserted as u64,
+            response.outcome.deleted as u64,
+        ],
+        None,
+        std::iter::empty(),
+    )
+}
+
+/// Digest of a parsed `OK` frame, computed client-side by the replay
+/// harness; matches [`digest_query_response`] / [`digest_mutation_response`]
+/// for the same response.
+pub fn digest_wire_response(response: &WireResponse) -> u64 {
+    let s = &response.summary;
+    digest_ok_frame(
+        response.rows.len() as u64,
+        [
+            s.candidates,
+            s.pruned,
+            s.verified,
+            s.loaded,
+            s.inserted,
+            s.deleted,
+        ],
+        s.bound,
+        response.rows.iter(),
+    )
+}
+
+/// Digest of an error response: errors are part of a workload's observable
+/// behaviour, so replays must reproduce them too.
+pub fn digest_error_message(message: &str) -> u64 {
+    masksearch_obs::fnv1a(format!("ERR {message}\n").as_bytes())
+}
+
+/// Digest of a `PLAN` frame with `wall_us=` values masked (EXPLAIN ANALYZE
+/// plans embed per-node wall times, which legitimately vary run to run).
+pub fn digest_plan_lines(lines: &[String]) -> u64 {
+    let mut h = masksearch_obs::Fnv64::new();
+    for line in lines {
+        h.update(mask_wall_tokens(line).as_bytes());
+        h.update(b"\n");
+    }
+    h.finish()
+}
+
+/// Replaces the digits of every `wall_us=<n>` token in a line with `_`.
+fn mask_wall_tokens(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut rest = line;
+    while let Some(at) = rest.find("wall_us=") {
+        let after = at + "wall_us=".len();
+        out.push_str(&rest[..after]);
+        out.push('_');
+        rest = rest[after..].trim_start_matches(|c: char| c.is_ascii_digit());
+    }
+    out.push_str(rest);
+    out
 }
 
 #[cfg(test)]
@@ -837,6 +1121,225 @@ mod tests {
         assert!(read_frame(&mut BufReader::new(&wire[..])).is_err());
         let wire = b"PLAN nope\n".to_vec();
         assert!(read_frame(&mut BufReader::new(&wire[..])).is_err());
+    }
+
+    #[test]
+    fn metrics_window_requests_parse() {
+        assert_eq!(
+            ClientRequest::parse("METRICS WINDOW 60"),
+            Some(ClientRequest::MetricsWindow(60))
+        );
+        assert_eq!(
+            ClientRequest::parse("metrics window 5"),
+            Some(ClientRequest::MetricsWindow(5))
+        );
+        // Zero or malformed windows fall back to the SQL path (-> ERR).
+        assert!(matches!(
+            ClientRequest::parse("METRICS WINDOW 0"),
+            Some(ClientRequest::Sql(_))
+        ));
+        assert!(matches!(
+            ClientRequest::parse("METRICS WINDOW soon"),
+            Some(ClientRequest::Sql(_))
+        ));
+    }
+
+    #[test]
+    fn record_requests_parse_and_keep_path_case() {
+        assert_eq!(
+            ClientRequest::parse("RECORD STOP"),
+            Some(ClientRequest::Record(RecordControl::Stop))
+        );
+        assert_eq!(
+            ClientRequest::parse("record status"),
+            Some(ClientRequest::Record(RecordControl::Status))
+        );
+        assert_eq!(
+            ClientRequest::parse("RECORD START"),
+            Some(ClientRequest::Record(RecordControl::Start(None)))
+        );
+        assert_eq!(
+            ClientRequest::parse("record start /tmp/Flight.bin"),
+            Some(ClientRequest::Record(RecordControl::Start(Some(
+                "/tmp/Flight.bin".to_string()
+            ))))
+        );
+        assert!(matches!(
+            ClientRequest::parse("RECORD REWIND"),
+            Some(ClientRequest::Sql(_))
+        ));
+    }
+
+    #[test]
+    fn monitor_requests_parse() {
+        assert_eq!(
+            ClientRequest::parse("MONITOR"),
+            Some(ClientRequest::Monitor {
+                frames: 1,
+                interval_ms: DEFAULT_MONITOR_INTERVAL_MS
+            })
+        );
+        assert_eq!(
+            ClientRequest::parse("monitor 5"),
+            Some(ClientRequest::Monitor {
+                frames: 5,
+                interval_ms: DEFAULT_MONITOR_INTERVAL_MS
+            })
+        );
+        assert_eq!(
+            ClientRequest::parse("MONITOR 3 250"),
+            Some(ClientRequest::Monitor {
+                frames: 3,
+                interval_ms: 250
+            })
+        );
+        assert_eq!(
+            ClientRequest::parse("MONITOR 999999 250"),
+            Some(ClientRequest::Monitor {
+                frames: MAX_MONITOR_FRAMES,
+                interval_ms: 250
+            })
+        );
+        assert!(matches!(
+            ClientRequest::parse("MONITOR 0"),
+            Some(ClientRequest::Sql(_))
+        ));
+        assert!(matches!(
+            ClientRequest::parse("MONITOR 3 fast"),
+            Some(ClientRequest::Sql(_))
+        ));
+        assert!(matches!(
+            ClientRequest::parse("MONITORING SELECT 1"),
+            Some(ClientRequest::Sql(_))
+        ));
+    }
+
+    #[test]
+    fn delta_frames_round_trip() {
+        let deltas = [("completed", 12u64), ("failed", 0), ("tiles_pruned", 99)];
+        let mut wire = Vec::new();
+        write_delta_frame(&mut wire, 7, &deltas).unwrap();
+        match read_frame(&mut BufReader::new(&wire[..])).unwrap() {
+            Frame::Delta(lines) => {
+                let (seq, parsed) = parse_delta_lines(&lines);
+                assert_eq!(seq, 7);
+                assert_eq!(
+                    parsed,
+                    deltas
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), *v))
+                        .collect::<Vec<_>>()
+                );
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn record_status_frames_are_control() {
+        let status = masksearch_obs::RecorderStatus {
+            active: true,
+            path: Some("/tmp/f.bin".into()),
+            records: 12,
+            bytes: 3400,
+            dropped: 1,
+        };
+        let mut wire = Vec::new();
+        write_record_status(&mut wire, &status).unwrap();
+        match read_frame(&mut BufReader::new(&wire[..])).unwrap() {
+            Frame::Control(line) => {
+                assert_eq!(
+                    line,
+                    "RECORD active=1 path=/tmp/f.bin records=12 bytes=3400 dropped=1"
+                );
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn digests_match_across_the_wire() {
+        let response = QueryResponse {
+            output: QueryOutput {
+                rows: vec![
+                    ResultRow::mask(MaskId::new(1), None),
+                    ResultRow::mask(MaskId::new(5), Some(0.1 + 0.2)),
+                ],
+                stats: QueryStats {
+                    candidates: 10,
+                    pruned: 7,
+                    verified: 1,
+                    masks_loaded: 1,
+                    ..Default::default()
+                },
+            },
+            queue_wait: Duration::from_micros(5),
+            exec_time: Duration::from_micros(184),
+        };
+        for bound in [None, Some(0.1 + 0.2)] {
+            let server = digest_query_response(&response, bound);
+            let mut wire = Vec::new();
+            write_response_with_bound(&mut wire, &response, bound).unwrap();
+            match read_frame(&mut BufReader::new(&wire[..])).unwrap() {
+                Frame::Rows(parsed) => assert_eq!(digest_wire_response(&parsed), server),
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        // Different wall times must not change the digest...
+        let mut slower = response;
+        slower.exec_time = Duration::from_secs(2);
+        let baseline = QueryResponse {
+            exec_time: Duration::from_micros(184),
+            queue_wait: slower.queue_wait,
+            output: slower.output.clone(),
+        };
+        assert_eq!(
+            digest_query_response(&slower, None),
+            digest_query_response(&baseline, None)
+        );
+        // ...but different rows must.
+        slower.output.rows.pop();
+        assert_ne!(
+            digest_query_response(&slower, None),
+            digest_query_response(&baseline, None)
+        );
+    }
+
+    #[test]
+    fn mutation_digests_match_across_the_wire() {
+        let response = MutationResponse {
+            outcome: masksearch_query::MutationOutcome {
+                inserted: 3,
+                deleted: 1,
+            },
+            queue_wait: Duration::from_micros(2),
+            exec_time: Duration::from_micros(77),
+        };
+        let server = digest_mutation_response(&response);
+        let mut wire = Vec::new();
+        write_mutation_response(&mut wire, &response).unwrap();
+        match read_frame(&mut BufReader::new(&wire[..])).unwrap() {
+            Frame::Rows(parsed) => assert_eq!(digest_wire_response(&parsed), server),
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plan_digests_mask_wall_times() {
+        let a = vec![
+            "query kind=filter wall_us=12 candidates=10".to_string(),
+            "  filter terms=1 wall_us=7".to_string(),
+        ];
+        let b = vec![
+            "query kind=filter wall_us=99999 candidates=10".to_string(),
+            "  filter terms=1 wall_us=1".to_string(),
+        ];
+        assert_eq!(digest_plan_lines(&a), digest_plan_lines(&b));
+        let c = vec![
+            "query kind=filter wall_us=12 candidates=11".to_string(),
+            "  filter terms=1 wall_us=7".to_string(),
+        ];
+        assert_ne!(digest_plan_lines(&a), digest_plan_lines(&c));
     }
 
     #[test]

@@ -196,6 +196,45 @@ fn serve_connection(stream: TcpStream, engine: &Engine, active: &AtomicU64) -> s
             ClientRequest::Metrics => {
                 protocol::write_metrics_response(&mut writer, &engine.prometheus_text())?
             }
+            ClientRequest::MetricsWindow(secs) => {
+                protocol::write_metrics_response(&mut writer, &engine.metrics_window_text(secs))?
+            }
+            ClientRequest::Record(control) => {
+                let status = match control {
+                    protocol::RecordControl::Start(path) => engine.record_start(path.as_deref()),
+                    protocol::RecordControl::Stop => engine.record_stop(),
+                    protocol::RecordControl::Status => Ok(engine.recorder_status()),
+                };
+                match status {
+                    Ok(status) => protocol::write_record_status(&mut writer, &status)?,
+                    Err(e) => protocol::write_error(&mut writer, &e)?,
+                }
+            }
+            ClientRequest::Monitor {
+                frames,
+                interval_ms,
+            } => {
+                // Stream one delta frame per tick. The subscriber's baseline
+                // is zero, so frame 0 carries the cumulative counters and
+                // deltas summed over the subscription equal the final STATS.
+                let mut prev = vec![0u64; masksearch_obs::keys::MONITOR_DELTA_KEYS.len()];
+                for seq in 0..frames {
+                    let values = engine.monitor_values();
+                    let deltas: Vec<(&str, u64)> = values
+                        .iter()
+                        .zip(prev.iter())
+                        .map(|(&(key, value), &p)| (key, value.saturating_sub(p)))
+                        .collect();
+                    protocol::write_delta_frame(&mut writer, seq as u64, &deltas)?;
+                    writer.flush()?;
+                    for (slot, &(_, value)) in prev.iter_mut().zip(values.iter()) {
+                        *slot = value;
+                    }
+                    if seq + 1 < frames {
+                        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+                    }
+                }
+            }
             ClientRequest::Profiles(n) => {
                 let lines: Vec<String> = engine
                     .recent_profiles(n)

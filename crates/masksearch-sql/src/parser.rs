@@ -36,6 +36,15 @@ pub fn parse_statement(sql: &str) -> Result<SqlStatement, SqlError> {
         SqlStatement::Insert(parser.parse_insert()?)
     } else if parser.peek_keyword("DELETE") {
         SqlStatement::Delete(parser.parse_delete()?)
+    } else if parser.peek_keyword("RECORD") || parser.peek_keyword("MONITOR") {
+        // A well-formed control request never reaches the SQL front end —
+        // it is intercepted by the protocol layer — so this is a malformed
+        // one (bad subcommand, stray arguments). Name the real grammar
+        // instead of the generic expected-SELECT message.
+        return Err(parser.error(
+            "RECORD/MONITOR is a wire-protocol control command, not SQL \
+             (RECORD START [<path>] | STOP | STATUS; MONITOR [<frames> [<interval_ms>]])",
+        ));
     } else {
         return Err(parser.error("expected SELECT, INSERT, or DELETE"));
     };
@@ -760,6 +769,21 @@ impl Parser {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn control_keywords_get_a_protocol_hint() {
+        for sql in ["RECORD START /tmp/flight.bin", "MONITOR 5 100"] {
+            let err = parse_statement(sql).unwrap_err();
+            assert!(
+                err.message.contains("wire-protocol control command"),
+                "{sql}: {}",
+                err.message
+            );
+        }
+        // Ordinary garbage still gets the generic message.
+        let err = parse_statement("UPSERT INTO masks").unwrap_err();
+        assert!(err.message.contains("expected SELECT, INSERT, or DELETE"));
+    }
 
     #[test]
     fn parses_filter_with_metadata() {

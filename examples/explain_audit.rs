@@ -107,6 +107,19 @@ fn main() {
         println!("{line}");
     }
 
+    // 5. The temporal layer: windowed gauges over the last minute and the
+    //    flight recorder's status line (off here — no capture configured).
+    let windowed = client.metrics_window(60).expect("METRICS WINDOW");
+    prom::validate(&windowed).expect("valid windowed exposition");
+    println!("\n== METRICS WINDOW 60 (over TCP) == excerpt:");
+    for line in windowed.lines().filter(|l| {
+        l.starts_with("masksearch_window_qps") || l.starts_with("masksearch_window_queries")
+    }) {
+        println!("{line}");
+    }
+    let status = client.record_status().expect("RECORD STATUS");
+    println!("\n== RECORD STATUS (over TCP) ==\n{status}");
+
     client.quit().expect("quit");
     server.shutdown();
 }
