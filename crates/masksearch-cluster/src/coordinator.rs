@@ -482,6 +482,11 @@ impl Coordinator {
             m.topk_refined_requests,
         );
         p.counter(
+            "masksearch_cluster_topk_single_round_total",
+            "Ranked queries the planner ran in single-round mode.",
+            m.topk_single_round,
+        );
+        p.counter(
             "masksearch_cluster_masks_inserted_total",
             "Masks inserted through the coordinator.",
             m.masks_inserted,
@@ -553,9 +558,18 @@ impl Coordinator {
         Ok(merge::merge_unordered(partials))
     }
 
-    /// The distributed top-k threshold algorithm over `PARTIAL` requests.
+    /// Distributed top-k over `PARTIAL` requests. The planner picks between
+    /// the threshold algorithm (small first-round budgets, refinement
+    /// rounds as needed) and single-round mode (full `k` to every shard) —
+    /// both return byte-identical rows, so the choice is purely a
+    /// bandwidth-vs-round-trips trade informed by observed convergence.
     fn ranked_query(&self, sql: &str, k: usize, order: Order) -> ClusterResult<QueryOutput> {
-        let run = topk::distributed_topk(k, order, self.shards(), |requests| {
+        let single_round = masksearch_plan::choose_single_round(
+            k,
+            self.shards(),
+            self.inner.metrics.snapshot().mean_threshold_rounds(),
+        );
+        let run = topk::distributed_topk(k, order, self.shards(), single_round, |requests| {
             let shards: Vec<usize> = requests.iter().map(|&(shard, _)| shard).collect();
             let budget: HashMap<usize, usize> = requests.iter().copied().collect();
             self.scatter_indexed(&shards, |shard| {
@@ -570,7 +584,7 @@ impl Coordinator {
         })?;
         self.inner
             .metrics
-            .record_ranked(run.rounds, run.refined_requests);
+            .record_ranked(run.rounds, run.refined_requests, single_round);
         Ok(run.output)
     }
 
@@ -739,7 +753,7 @@ impl Coordinator {
         line.push_str(&format!(
             " cluster_queries={} cluster_ranked={} cluster_mutations={} cluster_deduped={} \
              cluster_failed={} shard_requests={} topk_rounds={} topk_refined_requests={} \
-             relocated={}",
+             topk_single_round={} relocated={}",
             m.queries,
             m.ranked_queries,
             m.mutations,
@@ -748,6 +762,7 @@ impl Coordinator {
             m.shard_requests,
             m.topk_rounds,
             m.topk_refined_requests,
+            m.topk_single_round,
             m.masks_relocated,
         ));
         Ok(line)

@@ -16,6 +16,7 @@ pub struct ClusterMetrics {
     shard_requests: AtomicU64,
     topk_rounds: AtomicU64,
     topk_refined_requests: AtomicU64,
+    topk_single_round: AtomicU64,
     masks_inserted: AtomicU64,
     masks_deleted: AtomicU64,
     masks_relocated: AtomicU64,
@@ -40,6 +41,7 @@ impl ClusterMetrics {
             shard_requests: AtomicU64::new(0),
             topk_rounds: AtomicU64::new(0),
             topk_refined_requests: AtomicU64::new(0),
+            topk_single_round: AtomicU64::new(0),
             masks_inserted: AtomicU64::new(0),
             masks_deleted: AtomicU64::new(0),
             masks_relocated: AtomicU64::new(0),
@@ -51,11 +53,13 @@ impl ClusterMetrics {
         self.queries.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn record_ranked(&self, rounds: usize, refined: usize) {
+    pub(crate) fn record_ranked(&self, rounds: usize, refined: usize, single_round: bool) {
         self.ranked_queries.fetch_add(1, Ordering::Relaxed);
         self.topk_rounds.fetch_add(rounds as u64, Ordering::Relaxed);
         self.topk_refined_requests
             .fetch_add(refined as u64, Ordering::Relaxed);
+        self.topk_single_round
+            .fetch_add(single_round as u64, Ordering::Relaxed);
     }
 
     pub(crate) fn record_mutation(&self, inserted: u64, deleted: u64, relocated: u64) {
@@ -88,6 +92,7 @@ impl ClusterMetrics {
             shard_requests: self.shard_requests.load(Ordering::Relaxed),
             topk_rounds: self.topk_rounds.load(Ordering::Relaxed),
             topk_refined_requests: self.topk_refined_requests.load(Ordering::Relaxed),
+            topk_single_round: self.topk_single_round.load(Ordering::Relaxed),
             masks_inserted: self.masks_inserted.load(Ordering::Relaxed),
             masks_deleted: self.masks_deleted.load(Ordering::Relaxed),
             masks_relocated: self.masks_relocated.load(Ordering::Relaxed),
@@ -116,6 +121,9 @@ pub struct ClusterMetricsSnapshot {
     pub topk_rounds: u64,
     /// Shard re-queries issued by top-k refinement beyond each first round.
     pub topk_refined_requests: u64,
+    /// Ranked queries the planner ran in single-round mode (full `k` to
+    /// every shard, no refinement) instead of the threshold algorithm.
+    pub topk_single_round: u64,
     /// Masks inserted through the coordinator.
     pub masks_inserted: u64,
     /// Masks deleted through the coordinator.
@@ -135,6 +143,19 @@ impl ClusterMetricsSnapshot {
             0.0
         } else {
             self.topk_rounds as f64 / self.ranked_queries as f64
+        }
+    }
+
+    /// Mean rounds over *threshold-mode* ranked queries only — single-round
+    /// queries take exactly one round by construction and would bias the
+    /// planner's convergence feedback towards flapping back to threshold
+    /// mode. `None` until a threshold-mode query has run.
+    pub fn mean_threshold_rounds(&self) -> Option<f64> {
+        let threshold_queries = self.ranked_queries - self.topk_single_round;
+        if threshold_queries == 0 {
+            None
+        } else {
+            Some((self.topk_rounds - self.topk_single_round) as f64 / threshold_queries as f64)
         }
     }
 }

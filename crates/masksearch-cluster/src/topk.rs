@@ -46,10 +46,19 @@ pub struct TopkRun {
 /// Runs the threshold algorithm. `fetch` executes one scatter round: for
 /// each `(shard, k)` pair it returns that shard's local top-`k` and bound,
 /// in order.
+///
+/// With `single_round` set, every shard is asked for the full global `k` in
+/// the first round and refinement is skipped. Merging k full local top-ks
+/// yields the exact global top-k (a shard's (k+1)-th row entering the
+/// global answer would force its k better rows in too — k+1 > k), and
+/// `merge_ranked` breaks ties exactly as the threshold path's final merge
+/// does, so the rows are byte-identical either way; the planner trades the
+/// larger first-round payload against refinement round-trips.
 pub fn distributed_topk<E>(
     k: usize,
     order: Order,
     num_shards: usize,
+    single_round: bool,
     mut fetch: impl FnMut(&[(usize, usize)]) -> Result<Vec<RankedPartial>, E>,
 ) -> Result<TopkRun, E> {
     if k == 0 || num_shards == 0 {
@@ -63,7 +72,12 @@ pub fn distributed_topk<E>(
 
     // First-round budget: enough that a uniform value distribution finishes
     // in one round, small enough that a skewed one still saves bandwidth.
-    let first_k = (k.div_ceil(num_shards) + 1).min(k);
+    // Single-round mode asks for everything up front instead.
+    let first_k = if single_round {
+        k
+    } else {
+        (k.div_ceil(num_shards) + 1).min(k)
+    };
     let mut asked = vec![0usize; num_shards];
     let mut latest: Vec<Option<RankedPartial>> = vec![None; num_shards];
     let mut requests: Vec<(usize, usize)> = (0..num_shards).map(|i| (i, first_k)).collect();
@@ -83,6 +97,17 @@ pub fn distributed_topk<E>(
 
         let outputs: Vec<QueryOutput> = latest.iter().flatten().map(|p| p.output.clone()).collect();
         let merged = merge::merge_ranked(&outputs, k, order);
+
+        if single_round {
+            // Every shard already answered with its full local top-k; the
+            // merge above is exact (see the doc comment).
+            return Ok(TopkRun {
+                output: merged,
+                rounds,
+                refined_requests,
+                shard_requests,
+            });
+        }
 
         requests = latest
             .iter()
@@ -167,14 +192,24 @@ mod tests {
         all
     }
 
-    fn run(shards: &[FakeShard], k: usize, order: Order) -> TopkRun {
-        distributed_topk::<std::convert::Infallible>(k, order, shards.len(), |requests| {
-            Ok(requests
-                .iter()
-                .map(|&(shard, k)| shards[shard].partial(k, order))
-                .collect())
-        })
+    fn run_mode(shards: &[FakeShard], k: usize, order: Order, single_round: bool) -> TopkRun {
+        distributed_topk::<std::convert::Infallible>(
+            k,
+            order,
+            shards.len(),
+            single_round,
+            |requests| {
+                Ok(requests
+                    .iter()
+                    .map(|&(shard, k)| shards[shard].partial(k, order))
+                    .collect())
+            },
+        )
         .unwrap()
+    }
+
+    fn run(shards: &[FakeShard], k: usize, order: Order) -> TopkRun {
+        run_mode(shards, k, order, false)
     }
 
     fn check(shards: &[FakeShard], k: usize, order: Order) -> TopkRun {
@@ -263,6 +298,42 @@ mod tests {
         ];
         let outcome = check(&shards, 100, Order::Desc);
         assert_eq!(outcome.output.rows.len(), 3);
+    }
+
+    #[test]
+    fn single_round_mode_is_byte_identical_and_never_refines() {
+        // Same skewed layout that forces the threshold algorithm to refine:
+        // single-round mode must return identical rows in exactly one round.
+        let shards = vec![
+            FakeShard {
+                rows: (0..100u64).map(|i| (1000.0 + i as f64, i)).collect(),
+            },
+            FakeShard {
+                rows: (0..100u64).map(|i| (i as f64, 200 + i)).collect(),
+            },
+            FakeShard {
+                rows: (0..100u64).map(|i| (i as f64 / 2.0, 400 + i)).collect(),
+            },
+            FakeShard { rows: Vec::new() },
+        ];
+        for order in [Order::Desc, Order::Asc] {
+            let threshold = run_mode(&shards, 20, order, false);
+            let single = run_mode(&shards, 20, order, true);
+            assert_eq!(single.output.rows, threshold.output.rows);
+            assert_eq!(single.rounds, 1);
+            assert_eq!(single.refined_requests, 0);
+        }
+        // Ties too: equal values force id-order refinement in threshold
+        // mode; single-round must resolve them identically.
+        let tied: Vec<FakeShard> = (0..3)
+            .map(|s| FakeShard {
+                rows: (0..30u64).map(|i| (7.0, i * 3 + s)).collect(),
+            })
+            .collect();
+        let threshold = run_mode(&tied, 10, Order::Desc, false);
+        let single = run_mode(&tied, 10, Order::Desc, true);
+        assert_eq!(single.output.rows, threshold.output.rows);
+        assert_eq!(single.rounds, 1);
     }
 
     #[test]

@@ -40,6 +40,14 @@ pub const TILES_HIST: &str = "tiles_hist";
 pub const TILES_SCANNED: &str = "tiles_scanned";
 /// Mask pairs resolved by composed bounds without loading both masks.
 pub const PAIRS_BOUND: &str = "pairs_bound";
+/// Verified masks the planner routed through the tiled kernel.
+pub const PLANNER_KERNEL_ON: &str = "planner_kernel_on";
+/// Verified masks the planner routed to the reference scan.
+pub const PLANNER_KERNEL_OFF: &str = "planner_kernel_off";
+/// Pair candidates whose bounds pass the planner skipped (load-first).
+pub const PLANNER_BOUNDS_SKIPPED: &str = "planner_bounds_skipped";
+/// Queries whose CP comparisons the planner evaluated off written order.
+pub const PLANNER_REORDERS: &str = "planner_reorders";
 /// Open client connections.
 pub const ACTIVE_CONNECTIONS: &str = "active_connections";
 /// Jobs waiting in the queue.
@@ -73,7 +81,7 @@ pub const WALL_US: &str = "wall_us";
 /// Both the shard-side `STATS` writer and the coordinator's merge draw from
 /// this one array, so a key added or renamed here changes every surface at
 /// once.
-pub const STATS_SUM_KEYS: [&str; 18] = [
+pub const STATS_SUM_KEYS: [&str; 22] = [
     QPS,
     COMPLETED,
     FAILED,
@@ -90,6 +98,10 @@ pub const STATS_SUM_KEYS: [&str; 18] = [
     TILES_HIST,
     TILES_SCANNED,
     PAIRS_BOUND,
+    PLANNER_KERNEL_ON,
+    PLANNER_KERNEL_OFF,
+    PLANNER_BOUNDS_SKIPPED,
+    PLANNER_REORDERS,
     ACTIVE_CONNECTIONS,
     QUEUE_DEPTH,
 ];
@@ -103,7 +115,7 @@ pub const STATS_MAX_KEYS: [&str; 2] = [P50_US, P99_US];
 /// started at server-zero equal the cumulative `STATS` values. Gauges
 /// (`queue_depth`, `active_connections`), rates (`qps`), percentiles, and
 /// the non-monotonic `wal_bytes` (it shrinks at checkpoint) are excluded.
-pub const MONITOR_DELTA_KEYS: [&str; 14] = [
+pub const MONITOR_DELTA_KEYS: [&str; 18] = [
     COMPLETED,
     FAILED,
     REJECTED,
@@ -118,6 +130,10 @@ pub const MONITOR_DELTA_KEYS: [&str; 14] = [
     TILES_HIST,
     TILES_SCANNED,
     PAIRS_BOUND,
+    PLANNER_KERNEL_ON,
+    PLANNER_KERNEL_OFF,
+    PLANNER_BOUNDS_SKIPPED,
+    PLANNER_REORDERS,
 ];
 
 #[cfg(test)]

@@ -55,7 +55,7 @@ pub use recorder::{
     fnv1a, read_recording, FlightRecorder, Fnv64, RecordKind, RecordedQuery, RecorderStatus,
     RECORDER_MAGIC,
 };
-pub use shape::{ShapeAggregate, ShapeObservation, ShapeStatsRegistry};
+pub use shape::{CatalogStats, ShapeAggregate, ShapeObservation, ShapeStatsRegistry};
 pub use slowlog::{escape_json, SlowQueryLog};
 pub use span::{
     add_counter, set_counter, span, trace, trace_active, SpanGuard, SpanNode, TraceGuard,

@@ -104,17 +104,63 @@ fn ratio(num: u64, den: u64) -> f64 {
     }
 }
 
-const MAGIC: &str = "masksearch-shape-stats v1";
+/// Catalog-level planner statistics: which strategies the cost-based
+/// planner chose across the whole catalog, and how far its selectivity
+/// estimates landed from the observed outcomes. Persisted in the same
+/// `masks.stats` file as the per-shape aggregates (the `catalog` line of
+/// the v2 format), so the planner's decision history survives restarts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CatalogStats {
+    /// Queries that went through the planner.
+    pub planned: u64,
+    /// Verified masks routed through the tiled kernel.
+    pub kernel_on: u64,
+    /// Verified masks routed to the reference scan.
+    pub kernel_off: u64,
+    /// Pair candidates whose bounds pass was skipped (load-first).
+    pub bounds_skipped: u64,
+    /// Queries whose comparisons were evaluated off written order.
+    pub reorders: u64,
+    /// Cumulative |estimated - observed| selectivity error, in 1/1000ths
+    /// (divide by `planned` for the mean estimation error; it shrinks as
+    /// the feedback loop refines the estimates).
+    pub est_error_milli: u64,
+}
+
+impl CatalogStats {
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &CatalogStats) {
+        self.planned += other.planned;
+        self.kernel_on += other.kernel_on;
+        self.kernel_off += other.kernel_off;
+        self.bounds_skipped += other.bounds_skipped;
+        self.reorders += other.reorders;
+        self.est_error_milli += other.est_error_milli;
+    }
+
+    /// Mean absolute selectivity-estimation error over planned queries.
+    pub fn mean_est_error(&self) -> f64 {
+        ratio(self.est_error_milli, self.planned) / 1000.0
+    }
+}
+
+const MAGIC_V1: &str = "masksearch-shape-stats v1";
+const MAGIC: &str = "masksearch-shape-stats v2";
+/// Key of the catalog-statistics line in the v2 format. Shape keys from
+/// `shape_key()` always contain `/`, so the bare word cannot collide.
+const CATALOG_KEY: &str = "catalog";
 /// Shapes tracked before new (never-seen) shapes are dropped instead of
 /// recorded. Query shapes are structural, so real workloads produce a few
 /// dozen; the cap is a backstop against a key-construction bug consuming
 /// unbounded memory.
 const MAX_SHAPES: usize = 4096;
 
-/// A concurrent registry of per-shape aggregates.
+/// A concurrent registry of per-shape aggregates plus catalog-level
+/// planner statistics.
 #[derive(Debug, Default)]
 pub struct ShapeStatsRegistry {
     shapes: Mutex<BTreeMap<String, ShapeAggregate>>,
+    catalog: Mutex<CatalogStats>,
 }
 
 impl ShapeStatsRegistry {
@@ -154,6 +200,19 @@ impl ShapeStatsRegistry {
             .copied()
     }
 
+    /// Folds one query's planner decisions into the catalog statistics.
+    pub fn record_catalog(&self, delta: &CatalogStats) {
+        self.catalog
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .merge(delta);
+    }
+
+    /// The catalog-level planner statistics.
+    pub fn catalog(&self) -> CatalogStats {
+        *self.catalog.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Every shape and its aggregate, sorted by shape key.
     pub fn snapshot(&self) -> Vec<(String, ShapeAggregate)> {
         self.shapes
@@ -168,6 +227,11 @@ impl ShapeStatsRegistry {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = String::from(MAGIC);
         out.push('\n');
+        let c = self.catalog();
+        out.push_str(&format!(
+            "{CATALOG_KEY} {} {} {} {} {} {}\n",
+            c.planned, c.kernel_on, c.kernel_off, c.bounds_skipped, c.reorders, c.est_error_milli,
+        ));
         for (key, a) in self.snapshot() {
             let s = a.sums;
             out.push_str(&format!(
@@ -195,10 +259,14 @@ impl ShapeStatsRegistry {
     pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
         let text = std::str::from_utf8(bytes).ok()?;
         let mut lines = text.lines();
-        if lines.next()? != MAGIC {
+        let magic = lines.next()?;
+        // v1 files (written before the planner existed) carry no catalog
+        // line; everything else about the row format is unchanged.
+        if magic != MAGIC && magic != MAGIC_V1 {
             return None;
         }
         let mut shapes = BTreeMap::new();
+        let mut catalog = CatalogStats::default();
         for line in lines {
             if line.is_empty() {
                 continue;
@@ -206,6 +274,17 @@ impl ShapeStatsRegistry {
             let mut parts = line.split_ascii_whitespace();
             let key = parts.next()?.to_string();
             let mut next = || parts.next().and_then(|v| v.parse::<u64>().ok());
+            if key == CATALOG_KEY {
+                catalog = CatalogStats {
+                    planned: next()?,
+                    kernel_on: next()?,
+                    kernel_off: next()?,
+                    bounds_skipped: next()?,
+                    reorders: next()?,
+                    est_error_milli: next()?,
+                };
+                continue;
+            }
             let aggregate = ShapeAggregate {
                 queries: next()?,
                 sums: ShapeObservation {
@@ -226,6 +305,7 @@ impl ShapeStatsRegistry {
         }
         Some(Self {
             shapes: Mutex::new(shapes),
+            catalog: Mutex::new(catalog),
         })
     }
 
@@ -299,10 +379,37 @@ mod tests {
         let reg = ShapeStatsRegistry::new();
         reg.record("filter/cp=1/kernel=on", &observation(100, 10));
         reg.record("pair top-k", &observation(40, 4)); // whitespace in key
+        reg.record_catalog(&CatalogStats {
+            planned: 7,
+            kernel_on: 5,
+            kernel_off: 2,
+            bounds_skipped: 3,
+            reorders: 1,
+            est_error_milli: 450,
+        });
         let bytes = reg.to_bytes();
         let back = ShapeStatsRegistry::from_bytes(&bytes).expect("parse back");
         assert_eq!(back.snapshot(), reg.snapshot());
         assert!(back.get("pair_top-k").is_some());
+        assert_eq!(back.catalog(), reg.catalog());
+        assert!((back.catalog().mean_est_error() - 0.45 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn v1_files_load_with_default_catalog_stats() {
+        // A registry persisted before the planner existed: same row format
+        // under the v1 magic, no catalog line.
+        let text = "masksearch-shape-stats v1\n\
+                    filter/cp=1 1 100 10 88 1 1 1 10 5 5 100 300\n";
+        let back = ShapeStatsRegistry::from_bytes(text.as_bytes()).expect("v1 parses");
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.catalog(), CatalogStats::default());
+    }
+
+    #[test]
+    fn torn_catalog_lines_reject_the_file() {
+        let text = format!("{MAGIC}\n{CATALOG_KEY} 1 2 3\n");
+        assert!(ShapeStatsRegistry::from_bytes(text.as_bytes()).is_none());
     }
 
     #[test]

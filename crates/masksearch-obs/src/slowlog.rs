@@ -58,10 +58,31 @@ impl SlowQueryLog {
         self.logged.load(Ordering::Relaxed)
     }
 
+    /// Whether an entry with this wall time would be written. Lets callers
+    /// skip assembling expensive entry fields (e.g. a plan signature) for
+    /// the fast-query common case.
+    pub fn would_log(&self, wall: Duration) -> bool {
+        let threshold = self.threshold_us.load(Ordering::Relaxed);
+        threshold != u64::MAX && wall.as_micros() as u64 >= threshold
+    }
+
     /// Logs `statement` if `wall` crosses the threshold. `counters` are
     /// emitted as a nested object of integers. Returns `true` if an entry
     /// was written.
     pub fn observe(&self, statement: &str, wall: Duration, counters: &[(&str, u64)]) -> bool {
+        self.observe_with_plan(statement, None, wall, counters)
+    }
+
+    /// [`SlowQueryLog::observe`] with an optional planner signature, emitted
+    /// as a `"plan"` string field so operators can see which strategies the
+    /// planner chose for the slow statement.
+    pub fn observe_with_plan(
+        &self,
+        statement: &str,
+        plan: Option<&str>,
+        wall: Duration,
+        counters: &[(&str, u64)],
+    ) -> bool {
         let threshold = self.threshold_us.load(Ordering::Relaxed);
         let wall_us = wall.as_micros() as u64;
         if threshold == u64::MAX || wall_us < threshold {
@@ -69,9 +90,13 @@ impl SlowQueryLog {
         }
         let mut line = format!(
             "{{\"slow_query\":true,\"wall_us\":{wall_us},\"threshold_us\":{threshold},\
-             \"statement\":\"{}\",\"counters\":{{",
+             \"statement\":\"{}\",",
             escape_json(statement)
         );
+        if let Some(plan) = plan {
+            line.push_str(&format!("\"plan\":\"{}\",", escape_json(plan)));
+        }
+        line.push_str("\"counters\":{");
         for (i, (key, value)) in counters.iter().enumerate() {
             if i > 0 {
                 line.push(',');

@@ -233,6 +233,67 @@ pub fn predicate_bounds(
     Ok(predicate.eval_bounds(&intervals))
 }
 
+/// Three-valued truth of a predicate from the mask's CHI, computing the
+/// comparisons' bounds in the planner's cost `order` and stopping as soon
+/// as the partially-bound predicate is decided.
+///
+/// The result is byte-identical to [`predicate_bounds`]: an uncomputed
+/// comparison contributes the unbounded interval, which evaluates
+/// `Unknown`, and three-valued evaluation is monotone in the information
+/// order — once the partial evaluation returns `True` or `False`, refining
+/// the remaining comparisons cannot change it. Term ROIs are still resolved
+/// in *written* order first, so a resolution error (e.g. a missing object
+/// box without fallback) surfaces from the same comparison it always did.
+///
+/// An `order` that is not a permutation of `0..comparisons` falls back to
+/// evaluating everything (never wrong, just not fast).
+pub fn predicate_bounds_ordered(
+    predicate: &Predicate,
+    record: &MaskRecord,
+    chi: &Chi,
+    object_box_fallback: bool,
+    order: &[usize],
+) -> QueryResult<Truth> {
+    let comparisons = predicate.comparisons();
+    if order.len() != comparisons.len() {
+        return predicate_bounds(predicate, record, chi, object_box_fallback);
+    }
+    // Written-order ROI resolution, exactly as the unordered path performs
+    // it via `expr_bounds`: the first erroring term must not depend on the
+    // cost order (or on an early exit skipping it).
+    let mut resolved: Vec<Vec<(Roi, PixelRange)>> = Vec::with_capacity(comparisons.len());
+    for cmp in &comparisons {
+        let terms = cmp.expr.terms();
+        let mut pairs = Vec::with_capacity(terms.len());
+        for term in terms {
+            reject_pair_in_single(term)?;
+            pairs.push((resolve_roi(term, record, object_box_fallback)?, term.range));
+        }
+        resolved.push(pairs);
+    }
+    let unbounded = Interval::new(f64::NEG_INFINITY, f64::INFINITY);
+    let mut intervals = vec![unbounded; comparisons.len()];
+    let mut truth = Truth::Unknown;
+    for &index in order {
+        let Some(cmp) = comparisons.get(index) else {
+            return predicate_bounds(predicate, record, chi, object_box_fallback);
+        };
+        let term_intervals: Vec<Interval> = resolved[index]
+            .iter()
+            .map(|(roi, range)| {
+                let b = chi.cp_bounds(roi, range);
+                Interval::new(b.lower as f64, b.upper as f64)
+            })
+            .collect();
+        intervals[index] = cmp.expr.evaluate_bounds(&term_intervals);
+        truth = predicate.eval_bounds(&intervals);
+        if truth != Truth::Unknown {
+            return Ok(truth);
+        }
+    }
+    Ok(truth)
+}
+
 // ---------------------------------------------------------------------------
 // Pair (multi-mask) evaluation: two masks of the same image bound per
 // candidate, terms referencing either side or their pixelwise composition.

@@ -11,11 +11,13 @@ use crate::error::QueryResult;
 use crate::eval;
 use crate::exec::{apply_io_delta, elapsed, sort_ranked, worst_index, worst_value};
 use crate::expr::{Expr, Interval};
+use crate::planner::ExecPlan;
 use crate::predicate::{CmpOp, Comparison, Truth};
 use crate::result::{QueryOutput, QueryStats, ResultRow};
 use crate::session::Session;
 use crate::spec::{Order, ScalarAgg};
 use masksearch_core::{ImageId, MaskId, TileStats};
+use masksearch_obs::keys as obs_keys;
 use std::time::Instant;
 
 /// Bounds on a scalar aggregate from bounds on its member values.
@@ -60,12 +62,14 @@ pub fn execute(
     agg: ScalarAgg,
     having: Option<(CmpOp, f64)>,
     top_k: Option<(usize, Order)>,
+    plan: &ExecPlan,
 ) -> QueryResult<QueryOutput> {
     let total_start = Instant::now();
     let io_before = session.store().io_stats().snapshot();
     let fallback = session.config().object_box_fallback;
-    let verify_opts = session.verify_options();
     let mut tiles = TileStats::default();
+    let mut kernel_on_count = 0u64;
+    let mut kernel_off_count = 0u64;
 
     let groups = session.group_by_image(candidates);
     let mut pruned_groups = 0u64;
@@ -147,11 +151,17 @@ pub fn execute(
             if built {
                 indexes_built += 1;
             }
+            let kernel_on = plan.kernel_on_for(&mask);
+            if kernel_on {
+                kernel_on_count += 1;
+            } else {
+                kernel_off_count += 1;
+            }
             values.push(eval::expr_exact_tiled(
                 expr,
                 &record,
                 &mask,
-                &verify_opts,
+                &session.verify_options_with(kernel_on),
                 &mut tiles,
             )?);
         }
@@ -195,6 +205,9 @@ pub fn execute(
         accepted_rows
     };
 
+    masksearch_obs::add_counter(obs_keys::PLANNER_KERNEL_ON, kernel_on_count);
+    masksearch_obs::add_counter(obs_keys::PLANNER_KERNEL_OFF, kernel_off_count);
+
     let io_delta = session
         .store()
         .io_stats()
@@ -206,6 +219,8 @@ pub fn execute(
         accepted_without_load,
         verified: verified_groups,
         indexes_built,
+        planner_kernel_on: kernel_on_count,
+        planner_kernel_off: kernel_off_count,
         tiles_pruned: tiles.tiles_pruned,
         tiles_hist: tiles.tiles_hist,
         tiles_scanned: tiles.tiles_scanned,

@@ -4,6 +4,7 @@
 use crate::error::QueryResult;
 use crate::eval;
 use crate::exec::{apply_io_delta, chunks_for_threads, elapsed};
+use crate::planner::ExecPlan;
 use crate::predicate::{Predicate, Truth};
 use crate::result::{QueryOutput, QueryStats, ResultRow};
 use crate::session::Session;
@@ -23,16 +24,18 @@ enum FilterOutcome {
     Verify,
 }
 
-/// Executes a filter query over `candidates`.
+/// Executes a filter query over `candidates`, following `plan`'s term
+/// order and per-mask kernel routing (both byte-identical to the fixed
+/// strategies; see `masksearch-plan`).
 pub fn execute(
     session: &Session,
     candidates: &[MaskId],
     predicate: &Predicate,
+    plan: &ExecPlan,
 ) -> QueryResult<QueryOutput> {
     let total_start = Instant::now();
     let io_before = session.store().io_stats().snapshot();
     let fallback = session.config().object_box_fallback;
-    let verify_opts = session.verify_options();
     let threads = session.config().threads;
 
     // ---- Filter stage -----------------------------------------------------
@@ -48,7 +51,7 @@ pub fn execute(
             scope.spawn(|| {
                 let mut local = Vec::with_capacity(chunk.len());
                 for &mask_id in *chunk {
-                    let outcome = match classify(session, mask_id, predicate, fallback) {
+                    let outcome = match classify(session, mask_id, predicate, fallback, plan) {
                         Ok(o) => o,
                         Err(e) => {
                             let mut slot = first_error.lock();
@@ -93,6 +96,7 @@ pub fn execute(
     let verified_hits: Mutex<Vec<MaskId>> = Mutex::new(Vec::new());
     let indexes_built: Mutex<u64> = Mutex::new(0);
     let tile_stats: Mutex<TileStats> = Mutex::new(TileStats::default());
+    let kernel_routing: Mutex<(u64, u64)> = Mutex::new((0, 0));
     let first_error: Mutex<Option<crate::error::QueryError>> = Mutex::new(None);
 
     std::thread::scope(|scope| {
@@ -101,15 +105,22 @@ pub fn execute(
                 let mut local_hits = Vec::new();
                 let mut local_built = 0u64;
                 let mut local_tiles = TileStats::default();
+                let mut local_kernel = (0u64, 0u64);
                 for &mask_id in *chunk {
                     let mut step = || -> QueryResult<(bool, bool)> {
                         let record = session.record(mask_id)?;
                         let (mask, built) = session.load_and_index(mask_id)?;
+                        let kernel_on = plan.kernel_on_for(&mask);
+                        if kernel_on {
+                            local_kernel.0 += 1;
+                        } else {
+                            local_kernel.1 += 1;
+                        }
                         let satisfied = eval::predicate_exact_tiled(
                             predicate,
                             &record,
                             &mask,
-                            &verify_opts,
+                            &session.verify_options_with(kernel_on),
                             &mut local_tiles,
                         )?;
                         Ok((satisfied, built))
@@ -135,6 +146,9 @@ pub fn execute(
                 verified_hits.lock().extend(local_hits);
                 *indexes_built.lock() += local_built;
                 tile_stats.lock().merge(&local_tiles);
+                let mut routing = kernel_routing.lock();
+                routing.0 += local_kernel.0;
+                routing.1 += local_kernel.1;
             });
         }
     });
@@ -142,7 +156,10 @@ pub fn execute(
         return Err(err);
     }
     let verify_wall = elapsed(verify_start);
+    let (kernel_on_count, kernel_off_count) = *kernel_routing.lock();
     masksearch_obs::add_counter(obs_keys::INDEXES_BUILT, *indexes_built.lock());
+    masksearch_obs::add_counter(obs_keys::PLANNER_KERNEL_ON, kernel_on_count);
+    masksearch_obs::add_counter(obs_keys::PLANNER_KERNEL_OFF, kernel_off_count);
     drop(verify_span);
 
     accepted.extend(verified_hits.into_inner());
@@ -164,6 +181,9 @@ pub fn execute(
         tiles_pruned: tiles.tiles_pruned,
         tiles_hist: tiles.tiles_hist,
         tiles_scanned: tiles.tiles_scanned,
+        planner_kernel_on: kernel_on_count,
+        planner_kernel_off: kernel_off_count,
+        planner_reorders: plan.plan.reordered() as u64,
         filter_wall,
         verify_wall,
         total_wall: elapsed(total_start),
@@ -184,19 +204,22 @@ pub fn execute(
     })
 }
 
-/// Classifies one mask without loading it (when possible).
+/// Classifies one mask without loading it (when possible), computing the
+/// comparisons' bounds in the plan's cost order.
 fn classify(
     session: &Session,
     mask_id: MaskId,
     predicate: &Predicate,
     fallback: bool,
+    plan: &ExecPlan,
 ) -> QueryResult<FilterOutcome> {
     let record = session.record(mask_id)?;
     let Some(chi) = session.chi_for(mask_id) else {
         // No index: incremental and disabled modes verify by loading.
         return Ok(FilterOutcome::Verify);
     };
-    let truth = eval::predicate_bounds(predicate, &record, &chi, fallback)?;
+    let truth =
+        eval::predicate_bounds_ordered(predicate, &record, &chi, fallback, plan.term_order())?;
     Ok(match truth {
         Truth::True => FilterOutcome::Accept,
         Truth::False => FilterOutcome::Prune,

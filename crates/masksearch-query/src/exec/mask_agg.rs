@@ -8,6 +8,11 @@
 //! value from that index and most groups are never materialised; otherwise
 //! every group is verified by loading its member masks (and, in incremental
 //! mode, the aggregated mask's CHI is built and retained as a side effect).
+//!
+//! The planner deliberately leaves this executor on its reference scan: the
+//! aggregated mask is materialised fresh for each group, so a tile-summary
+//! grid built over it could never amortise across queries the way per-mask
+//! grids do.
 
 use crate::error::QueryResult;
 use crate::exec::{apply_io_delta, elapsed, sort_ranked, worst_index, worst_value};

@@ -19,6 +19,7 @@ use crate::exec::{
     apply_io_delta, chunks_for_threads, elapsed, sort_ranked, worst_index, worst_value,
 };
 use crate::expr::Expr;
+use crate::planner::ExecPlan;
 use crate::predicate::{Predicate, Truth};
 use crate::result::{QueryOutput, QueryStats, ResultRow};
 use crate::session::Session;
@@ -74,66 +75,83 @@ fn classify(
 }
 
 /// Executes a pair-filter query over resolved pair candidates.
+///
+/// When `plan` chose load-first, the composed-bounds classify stage is
+/// skipped entirely and every pair goes to verification. The rows are
+/// byte-identical to the bounds-first path: CHI bounds are sound, so a
+/// bounds-accepted pair verifies to `true` and a bounds-pruned pair to
+/// `false`; shape checks under a composing predicate run for every
+/// candidate on either path (here in `classify`, there inside
+/// [`eval::pair_predicate_exact_tiled`]).
 pub fn execute_filter(
     session: &Session,
     pairs: &[PairCandidate],
     predicate: &Predicate,
+    plan: &ExecPlan,
 ) -> QueryResult<QueryOutput> {
     let total_start = Instant::now();
     let io_before = session.store().io_stats().snapshot();
     let fallback = session.config().object_box_fallback;
-    let verify_opts = session.verify_options();
     let threads = session.config().threads;
     let composes = eval::predicate_composes(predicate);
+    let load_first = plan.load_first();
 
     // ---- Filter stage -----------------------------------------------------
     let filter_span = masksearch_obs::span("filter");
     let filter_start = Instant::now();
-    let chunks = chunks_for_threads(pairs, threads);
-    let results: Mutex<Vec<(PairCandidate, FilterOutcome)>> =
-        Mutex::new(Vec::with_capacity(pairs.len()));
-    let first_error: Mutex<Option<crate::error::QueryError>> = Mutex::new(None);
-    std::thread::scope(|scope| {
-        for chunk in &chunks {
-            scope.spawn(|| {
-                let mut local = Vec::with_capacity(chunk.len());
-                for pair in *chunk {
-                    match classify(session, pair, predicate, fallback, composes) {
-                        Ok(outcome) => local.push((*pair, outcome)),
-                        Err(e) => {
-                            let mut slot = first_error.lock();
-                            if slot.is_none() {
-                                *slot = Some(e);
+    let mut accepted: Vec<ImageId> = Vec::new();
+    let mut to_verify: Vec<PairCandidate>;
+    let mut pruned = 0u64;
+    if load_first {
+        // Predicted ~everything undecidable from bounds: send every pair
+        // straight to verification.
+        to_verify = pairs.to_vec();
+    } else {
+        let chunks = chunks_for_threads(pairs, threads);
+        let results: Mutex<Vec<(PairCandidate, FilterOutcome)>> =
+            Mutex::new(Vec::with_capacity(pairs.len()));
+        let first_error: Mutex<Option<crate::error::QueryError>> = Mutex::new(None);
+        std::thread::scope(|scope| {
+            for chunk in &chunks {
+                scope.spawn(|| {
+                    let mut local = Vec::with_capacity(chunk.len());
+                    for pair in *chunk {
+                        match classify(session, pair, predicate, fallback, composes) {
+                            Ok(outcome) => local.push((*pair, outcome)),
+                            Err(e) => {
+                                let mut slot = first_error.lock();
+                                if slot.is_none() {
+                                    *slot = Some(e);
+                                }
+                                return;
                             }
-                            return;
                         }
                     }
-                }
-                results.lock().extend(local);
-            });
+                    results.lock().extend(local);
+                });
+            }
+        });
+        if let Some(err) = first_error.into_inner() {
+            return Err(err);
         }
-    });
-    if let Some(err) = first_error.into_inner() {
-        return Err(err);
+        let outcomes = results.into_inner();
+        to_verify = Vec::new();
+        for (pair, outcome) in outcomes {
+            match outcome {
+                FilterOutcome::Accept => accepted.push(pair.0),
+                FilterOutcome::Prune => pruned += 1,
+                FilterOutcome::Verify => to_verify.push(pair),
+            }
+        }
     }
-    let outcomes = results.into_inner();
     let filter_wall = elapsed(filter_start);
-
-    let mut accepted: Vec<ImageId> = Vec::new();
-    let mut to_verify: Vec<PairCandidate> = Vec::new();
-    let mut pruned = 0u64;
-    for (pair, outcome) in outcomes {
-        match outcome {
-            FilterOutcome::Accept => accepted.push(pair.0),
-            FilterOutcome::Prune => pruned += 1,
-            FilterOutcome::Verify => to_verify.push(pair),
-        }
-    }
     to_verify.sort_unstable();
+    let bounds_skipped = if load_first { pairs.len() as u64 } else { 0 };
     masksearch_obs::add_counter(obs_keys::CANDIDATES, pairs.len() as u64);
     masksearch_obs::add_counter(obs_keys::PAIRS_BOUND, pairs.len() as u64);
     masksearch_obs::add_counter(obs_keys::PRUNED, pruned);
     masksearch_obs::add_counter(obs_keys::VERIFIED, to_verify.len() as u64);
+    masksearch_obs::add_counter(obs_keys::PLANNER_BOUNDS_SKIPPED, bounds_skipped);
     drop(filter_span);
 
     // ---- Verification stage ----------------------------------------------
@@ -143,6 +161,7 @@ pub fn execute_filter(
     let verified_hits: Mutex<Vec<ImageId>> = Mutex::new(Vec::new());
     let indexes_built: Mutex<u64> = Mutex::new(0);
     let tile_stats: Mutex<TileStats> = Mutex::new(TileStats::default());
+    let kernel_routing: Mutex<(u64, u64)> = Mutex::new((0, 0));
     let first_error: Mutex<Option<crate::error::QueryError>> = Mutex::new(None);
     std::thread::scope(|scope| {
         for chunk in &verify_chunks {
@@ -150,6 +169,7 @@ pub fn execute_filter(
                 let mut local_hits = Vec::new();
                 let mut local_built = 0u64;
                 let mut local_tiles = TileStats::default();
+                let mut local_kernel = (0u64, 0u64);
                 for &(image_id, left_id, right_id) in *chunk {
                     let mut step = || -> QueryResult<(bool, u64)> {
                         let left_rec = session.record(left_id)?;
@@ -160,12 +180,21 @@ pub fn execute_filter(
                             left: &left_rec,
                             right: &right_rec,
                         };
+                        // A noisy mask on either side defeats the kernel's
+                        // tile summaries; route to the scan unless both
+                        // sides favour the kernel.
+                        let kernel_on = plan.kernel_on_for(&left) && plan.kernel_on_for(&right);
+                        if kernel_on {
+                            local_kernel.0 += 1;
+                        } else {
+                            local_kernel.1 += 1;
+                        }
                         let satisfied = eval::pair_predicate_exact_tiled(
                             predicate,
                             &records,
                             &left,
                             &right,
-                            &verify_opts,
+                            &session.verify_options_with(kernel_on),
                             &mut local_tiles,
                         )?;
                         Ok((satisfied, u64::from(built_l) + u64::from(built_r)))
@@ -189,6 +218,9 @@ pub fn execute_filter(
                 verified_hits.lock().extend(local_hits);
                 *indexes_built.lock() += local_built;
                 tile_stats.lock().merge(&local_tiles);
+                let mut routing = kernel_routing.lock();
+                routing.0 += local_kernel.0;
+                routing.1 += local_kernel.1;
             });
         }
     });
@@ -196,7 +228,10 @@ pub fn execute_filter(
         return Err(err);
     }
     let verify_wall = elapsed(verify_start);
+    let (kernel_on_count, kernel_off_count) = *kernel_routing.lock();
     masksearch_obs::add_counter(obs_keys::INDEXES_BUILT, *indexes_built.lock());
+    masksearch_obs::add_counter(obs_keys::PLANNER_KERNEL_ON, kernel_on_count);
+    masksearch_obs::add_counter(obs_keys::PLANNER_KERNEL_OFF, kernel_off_count);
     drop(verify_span);
 
     accepted.extend(verified_hits.into_inner());
@@ -220,6 +255,9 @@ pub fn execute_filter(
         tiles_pruned: tiles.tiles_pruned,
         tiles_hist: tiles.tiles_hist,
         tiles_scanned: tiles.tiles_scanned,
+        planner_kernel_on: kernel_on_count,
+        planner_kernel_off: kernel_off_count,
+        planner_bounds_skipped: bounds_skipped,
         filter_wall,
         verify_wall,
         total_wall: elapsed(total_start),
@@ -239,19 +277,28 @@ pub fn execute_filter(
 /// Executes a pair top-k query over resolved pair candidates, pruning
 /// against the running k-th value with composed CHI bounds (§3.5 applied to
 /// the pair's bound algebra).
+///
+/// Under a load-first `plan` the bounds prune check is skipped: a pruned
+/// pair could never displace the current k-th row (the prune condition is
+/// the negation of the strictly-better entry rule), so verifying it instead
+/// yields the same top-k, byte for byte.
 pub fn execute_topk(
     session: &Session,
     pairs: &[PairCandidate],
     expr: &Expr,
     k: usize,
     order: Order,
+    plan: &ExecPlan,
 ) -> QueryResult<QueryOutput> {
     let total_start = Instant::now();
     let io_before = session.store().io_stats().snapshot();
     let fallback = session.config().object_box_fallback;
-    let verify_opts = session.verify_options();
     let composes = eval::expr_composes(expr);
+    let load_first = plan.load_first();
     let mut tiles = TileStats::default();
+    let mut kernel_on_count = 0u64;
+    let mut kernel_off_count = 0u64;
+    let mut bounds_skipped = 0u64;
 
     if k == 0 {
         return Ok(QueryOutput::default());
@@ -280,7 +327,10 @@ pub fn execute_topk(
         // Filter step: both CHIs present and the composed bounds already
         // beaten by the current k-th value?
         let filter_start = Instant::now();
-        let prune = if top.len() == k {
+        if load_first && top.len() == k {
+            bounds_skipped += 1;
+        }
+        let prune = if !load_first && top.len() == k {
             if let (Some(chi_left), Some(chi_right)) =
                 (session.chi_for(left_id), session.chi_for(right_id))
             {
@@ -309,8 +359,20 @@ pub fn execute_topk(
         let (right, built_r) = session.load_and_index(right_id)?;
         indexes_built += u64::from(built_l) + u64::from(built_r);
         verified += 1;
-        let mut value =
-            eval::pair_expr_exact_tiled(expr, &records, &left, &right, &verify_opts, &mut tiles)?;
+        let kernel_on = plan.kernel_on_for(&left) && plan.kernel_on_for(&right);
+        if kernel_on {
+            kernel_on_count += 1;
+        } else {
+            kernel_off_count += 1;
+        }
+        let mut value = eval::pair_expr_exact_tiled(
+            expr,
+            &records,
+            &left,
+            &right,
+            &session.verify_options_with(kernel_on),
+            &mut tiles,
+        )?;
         if value.is_nan() {
             // NaN (e.g. the 0/0 IoU of two empty binarisations) ranks worst
             // under either order.
@@ -333,6 +395,9 @@ pub fn execute_topk(
     }
 
     sort_ranked(&mut top, order, k);
+    masksearch_obs::add_counter(obs_keys::PLANNER_KERNEL_ON, kernel_on_count);
+    masksearch_obs::add_counter(obs_keys::PLANNER_KERNEL_OFF, kernel_off_count);
+    masksearch_obs::add_counter(obs_keys::PLANNER_BOUNDS_SKIPPED, bounds_skipped);
 
     let io_delta = session
         .store()
@@ -349,6 +414,9 @@ pub fn execute_topk(
         tiles_pruned: tiles.tiles_pruned,
         tiles_hist: tiles.tiles_hist,
         tiles_scanned: tiles.tiles_scanned,
+        planner_kernel_on: kernel_on_count,
+        planner_kernel_off: kernel_off_count,
+        planner_bounds_skipped: bounds_skipped,
         filter_wall,
         verify_wall,
         total_wall: elapsed(total_start),

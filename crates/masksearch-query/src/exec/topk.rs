@@ -11,6 +11,7 @@ use crate::error::QueryResult;
 use crate::eval;
 use crate::exec::{apply_io_delta, elapsed, sort_ranked, worst_index, worst_value};
 use crate::expr::Expr;
+use crate::planner::ExecPlan;
 use crate::result::{QueryOutput, QueryStats, ResultRow};
 use crate::session::Session;
 use crate::spec::Order;
@@ -18,19 +19,22 @@ use masksearch_core::{MaskId, TileStats};
 use masksearch_obs::keys as obs_keys;
 use std::time::Instant;
 
-/// Executes a top-k query over `candidates`.
+/// Executes a top-k query over `candidates`, routing each loaded mask's
+/// verification through the kernel as `plan` decides.
 pub fn execute(
     session: &Session,
     candidates: &[MaskId],
     expr: &Expr,
     k: usize,
     order: Order,
+    plan: &ExecPlan,
 ) -> QueryResult<QueryOutput> {
     let total_start = Instant::now();
     let io_before = session.store().io_stats().snapshot();
     let fallback = session.config().object_box_fallback;
-    let verify_opts = session.verify_options();
     let mut tiles = TileStats::default();
+    let mut kernel_on_count = 0u64;
+    let mut kernel_off_count = 0u64;
 
     if k == 0 {
         return Ok(QueryOutput::default());
@@ -80,7 +84,19 @@ pub fn execute(
             indexes_built += 1;
         }
         verified += 1;
-        let mut value = eval::expr_exact_tiled(expr, &record, &mask, &verify_opts, &mut tiles)?;
+        let kernel_on = plan.kernel_on_for(&mask);
+        if kernel_on {
+            kernel_on_count += 1;
+        } else {
+            kernel_off_count += 1;
+        }
+        let mut value = eval::expr_exact_tiled(
+            expr,
+            &record,
+            &mask,
+            &session.verify_options_with(kernel_on),
+            &mut tiles,
+        )?;
         if value.is_nan() {
             // NaN (e.g. 0/0 ratios) ranks worst under either order.
             value = match order {
@@ -106,6 +122,8 @@ pub fn execute(
     masksearch_obs::add_counter(obs_keys::PRUNED, pruned);
     masksearch_obs::add_counter(obs_keys::VERIFIED, verified);
     masksearch_obs::add_counter(obs_keys::INDEXES_BUILT, indexes_built);
+    masksearch_obs::add_counter(obs_keys::PLANNER_KERNEL_ON, kernel_on_count);
+    masksearch_obs::add_counter(obs_keys::PLANNER_KERNEL_OFF, kernel_off_count);
     drop(rank_span);
     sort_ranked(&mut top, order, k);
 
@@ -123,6 +141,8 @@ pub fn execute(
         tiles_pruned: tiles.tiles_pruned,
         tiles_hist: tiles.tiles_hist,
         tiles_scanned: tiles.tiles_scanned,
+        planner_kernel_on: kernel_on_count,
+        planner_kernel_off: kernel_off_count,
         filter_wall,
         verify_wall,
         total_wall: elapsed(total_start),

@@ -11,10 +11,12 @@
 //! Plans render to indented `name key=value` lines, the same grammar the
 //! span trees and `STATS PROFILES` use, so one parser serves every surface.
 
+use crate::planner::ExecPlan;
 use crate::query::{Query, QueryKind, Selection};
 use crate::result::QueryStats;
 use crate::session::{IndexingMode, SessionConfig};
 use crate::spec::{CpTerm, RoiSpec, TermSource};
+use masksearch_plan::KernelMode;
 
 /// One node of a query plan: a named stage with ordered properties and
 /// child stages.
@@ -148,8 +150,9 @@ fn describe_term(term: &CpTerm) -> String {
     )
 }
 
-/// The query's `CP` terms in evaluation order.
-fn cp_terms(query: &Query) -> Vec<CpTerm> {
+/// The query's `CP` terms in written order (also the planner's feature
+/// universe).
+pub(crate) fn cp_terms(query: &Query) -> Vec<CpTerm> {
     match &query.kind {
         QueryKind::Filter { predicate } | QueryKind::PairFilter { predicate, .. } => predicate
             .comparisons()
@@ -267,13 +270,83 @@ pub fn plan(query: &Query, config: &SessionConfig) -> PlanNode {
 
     let verify = PlanNode::new("verify").with(
         "kernel",
-        if config.use_tiled_kernel {
-            "tiled"
-        } else {
-            "scan"
+        match config.kernel_mode {
+            KernelMode::ForceOn => "tiled",
+            KernelMode::ForceOff => "scan",
+            KernelMode::Auto => "auto",
         },
     );
     root.children.push(verify);
+    root
+}
+
+/// [`plan`] plus the cost-based planner's resolved choices and estimates:
+/// the `verify` node's `kernel` becomes the decided routing, the `filter`
+/// node gains the estimated selectivity, term order, and (for pair queries)
+/// whether the bounds pass runs, and each `term` node gains the estimated
+/// selectivity of its comparison (`est_selectivity=`).
+pub fn plan_with(query: &Query, config: &SessionConfig, exec: Option<&ExecPlan>) -> PlanNode {
+    let mut root = plan(query, config);
+    let Some(exec) = exec else {
+        return root;
+    };
+    if let Some(verify) = root.find_mut("verify") {
+        verify.set("kernel", exec.plan.kernel.label());
+    }
+    if let Some(filter) = root.find_mut("filter") {
+        if exec.sampled {
+            filter.set(
+                "est_selectivity",
+                format!("{:.3}", exec.plan.est_selectivity),
+            );
+        }
+        if !exec.term_order().is_empty() {
+            filter.set(
+                "order",
+                if exec.plan.reordered() {
+                    exec.term_order()
+                        .iter()
+                        .map(|i| i.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                } else {
+                    "written".to_string()
+                },
+            );
+        }
+        if matches!(
+            query.kind,
+            QueryKind::PairFilter { .. } | QueryKind::PairTopK { .. }
+        ) {
+            filter.set(
+                "bounds",
+                if exec.load_first() {
+                    "skipped"
+                } else {
+                    "first"
+                },
+            );
+        }
+        // Per-comparison estimates land on the comparison's term nodes (a
+        // multi-term expression shares its comparison's estimate).
+        if let QueryKind::Filter { predicate } | QueryKind::PairFilter { predicate, .. } =
+            &query.kind
+        {
+            let comparisons = predicate.comparisons();
+            if exec.sampled && exec.plan.term_estimates.len() == comparisons.len() {
+                let mut term_idx = 0;
+                for (ci, cmp) in comparisons.iter().enumerate() {
+                    let est = format!("{:.3}", exec.plan.term_estimates[ci]);
+                    for _ in cmp.expr.terms() {
+                        if let Some(node) = filter.children.get_mut(term_idx) {
+                            node.set("est_selectivity", &est);
+                        }
+                        term_idx += 1;
+                    }
+                }
+            }
+        }
+    }
     root
 }
 
@@ -295,6 +368,14 @@ pub fn annotate(mut plan: PlanNode, stats: &QueryStats, rows: u64) -> PlanNode {
         filter.set(keys::PRUNED, stats.pruned);
         filter.set(keys::ACCEPTED, stats.accepted_without_load);
         filter.set(keys::VERIFIED, stats.verified);
+        if stats.candidates > 0 {
+            filter.set(
+                "actual_selectivity",
+                format!("{:.3}", rows as f64 / stats.candidates as f64),
+            );
+        }
+        filter.set(keys::PLANNER_BOUNDS_SKIPPED, stats.planner_bounds_skipped);
+        filter.set(keys::PLANNER_REORDERS, stats.planner_reorders);
     }
     if let Some(verify) = plan.find_mut("verify") {
         verify.set(keys::WALL_US, stats.verify_wall.as_micros() as u64);
@@ -304,6 +385,8 @@ pub fn annotate(mut plan: PlanNode, stats: &QueryStats, rows: u64) -> PlanNode {
         verify.set(keys::TILES_PRUNED, stats.tiles_pruned);
         verify.set(keys::TILES_HIST, stats.tiles_hist);
         verify.set(keys::TILES_SCANNED, stats.tiles_scanned);
+        verify.set(keys::PLANNER_KERNEL_ON, stats.planner_kernel_on);
+        verify.set(keys::PLANNER_KERNEL_OFF, stats.planner_kernel_off);
     }
     plan
 }
@@ -336,7 +419,7 @@ pub fn shape_key(query: &Query, config: &SessionConfig) -> String {
         kind_name(&query.kind),
         terms.len(),
         roi,
-        if config.use_tiled_kernel { "on" } else { "off" },
+        config.kernel_mode.label(),
         indexing_name(config.indexing_mode),
     )
 }
@@ -376,7 +459,11 @@ mod tests {
             .prop("cp")
             .unwrap()
             .starts_with("cp(own,box("));
-        assert_eq!(p.find("verify").unwrap().prop("kernel"), Some("tiled"));
+        // The default kernel policy is the planner's per-mask decision;
+        // forcing resolves it statically.
+        assert_eq!(p.find("verify").unwrap().prop("kernel"), Some("auto"));
+        let forced = plan(&filter_query(), &config().tiled_kernel(true));
+        assert_eq!(forced.find("verify").unwrap().prop("kernel"), Some("tiled"));
     }
 
     #[test]
@@ -454,7 +541,7 @@ mod tests {
         assert_eq!(shape_key(&a, &cfg), shape_key(&b, &cfg));
         assert_eq!(
             shape_key(&a, &cfg),
-            "filter/cp=1/roi=const/kernel=on/idx=incremental"
+            "filter/cp=1/roi=const/kernel=auto/idx=incremental"
         );
         let ranked = Query::top_k_cp(
             Roi::new(0, 0, 8, 8).unwrap(),

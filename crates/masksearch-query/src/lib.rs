@@ -15,6 +15,9 @@
 //!   and CHI store, supports eager or incremental indexing (§3.6), and
 //!   executes queries with the filter–verification framework.
 //! * [`exec`] — the executors themselves.
+//! * [`planner`] — plan-time feature extraction feeding the cost model of
+//!   `masksearch-plan`; every query is planned before dispatch and every
+//!   choice is byte-identical to the fixed strategies it replaces.
 //! * [`explain`] — `EXPLAIN` / `EXPLAIN ANALYZE` plan trees and normalized
 //!   query-shape keys for persisted per-shape statistics.
 //! * [`result`] — result rows and per-query statistics (masks loaded,
@@ -61,6 +64,7 @@ pub mod explain;
 pub mod expr;
 pub mod merge;
 pub mod mutation;
+pub mod planner;
 pub mod predicate;
 pub mod query;
 pub mod result;
@@ -70,8 +74,10 @@ pub mod spec;
 pub use error::{QueryError, QueryResult as QueryResultExt};
 pub use explain::{shape_key, PlanNode};
 pub use expr::{Expr, Interval};
+pub use masksearch_plan::{KernelMode, PairMode};
 pub use merge::RankedPartial;
 pub use mutation::{Mutation, MutationOutcome};
+pub use planner::ExecPlan;
 pub use predicate::{CmpOp, Comparison, Predicate, Truth};
 pub use query::{MaskJoin, Query, QueryKind, Selection};
 pub use result::{QueryOutput, QueryStats, ResultRow, RowKey};

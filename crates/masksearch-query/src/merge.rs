@@ -55,6 +55,10 @@ pub fn merge_stats<'a>(partials: impl IntoIterator<Item = &'a QueryStats>) -> Qu
         merged.tiles_hist += s.tiles_hist;
         merged.tiles_scanned += s.tiles_scanned;
         merged.pairs_bound += s.pairs_bound;
+        merged.planner_kernel_on += s.planner_kernel_on;
+        merged.planner_kernel_off += s.planner_kernel_off;
+        merged.planner_bounds_skipped += s.planner_bounds_skipped;
+        merged.planner_reorders += s.planner_reorders;
         merged.filter_wall += s.filter_wall;
         merged.verify_wall += s.verify_wall;
         merged.total_wall += s.total_wall;

@@ -72,6 +72,15 @@ pub struct QueryStats {
     /// Pair (multi-mask) queries: images where both mask bindings resolved
     /// and the pair entered the candidate set.
     pub pairs_bound: u64,
+    /// Verified masks the planner routed through the tiled kernel.
+    pub planner_kernel_on: u64,
+    /// Verified masks the planner routed to the reference scan.
+    pub planner_kernel_off: u64,
+    /// Pair candidates whose bounds pass the planner skipped (load-first).
+    pub planner_bounds_skipped: u64,
+    /// 1 when the planner evaluated CP comparisons off written order
+    /// (summed across partials by the cluster merge).
+    pub planner_reorders: u64,
     /// Wall-clock time spent in the filter stage.
     pub filter_wall: Duration,
     /// Wall-clock time spent in the verification stage (including index

@@ -24,12 +24,14 @@ use crate::exec;
 use crate::explain::{self, PlanNode};
 use crate::merge;
 use crate::mutation::{Mutation, MutationOutcome};
+use crate::planner::{self, ExecPlan};
 use crate::query::{MaskJoin, Query, QueryKind, Selection};
 use crate::result::QueryOutput;
 use masksearch_core::{ImageId, Mask, MaskAgg, MaskId, MaskRecord, TiledMask};
 use masksearch_index::{build_chi_store, BuildOptions, Chi, ChiConfig, ChiStore};
 use masksearch_obs::counters as obs_counters;
-use masksearch_obs::{ShapeObservation, ShapeStatsRegistry};
+use masksearch_obs::{CatalogStats, ShapeObservation, ShapeStatsRegistry};
+use masksearch_plan::{KernelMode, PairMode};
 use masksearch_storage::{Catalog, MaskCache, MaskStore};
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::collections::HashMap;
@@ -65,11 +67,17 @@ pub struct SessionConfig {
     /// When a query uses `roi = object` but a mask has no recorded object
     /// box: fall back to the full mask (`true`) or fail the query (`false`).
     pub object_box_fallback: bool,
-    /// Route verification-stage `CP` terms through the tiled kernel
-    /// (per-tile min/max + histogram summaries; see `masksearch-core`).
-    /// Counts are byte-identical either way; disabling falls back to the
-    /// reference batched scan (used by conformance tests and benchmarks).
-    pub use_tiled_kernel: bool,
+    /// How verification-stage `CP` terms are routed: through the tiled
+    /// kernel (per-tile min/max + histogram summaries; see
+    /// `masksearch-core`), the reference batched scan, or — the default —
+    /// per mask as the planner decides. Counts are byte-identical under
+    /// every mode; forcing exists for benchmarking and conformance tests.
+    pub kernel_mode: KernelMode,
+    /// How pair (join) queries stage their work: composed-bounds pass first,
+    /// load-everything first, or — the default — as the planner decides
+    /// from the shape's observed verified fraction. Results are
+    /// byte-identical under every mode.
+    pub pair_mode: PairMode,
 }
 
 impl SessionConfig {
@@ -84,7 +92,8 @@ impl SessionConfig {
                 .unwrap_or(1),
             cache_bytes: 0,
             object_box_fallback: true,
-            use_tiled_kernel: true,
+            kernel_mode: KernelMode::Auto,
+            pair_mode: PairMode::Auto,
         }
     }
 
@@ -112,9 +121,34 @@ impl SessionConfig {
         self
     }
 
-    /// Enables or disables the tiled verification kernel.
+    /// Forces the tiled verification kernel on (`true`) or off (`false`).
+    ///
+    /// Deprecated spelling of [`SessionConfig::kernel_mode`] from before the
+    /// planner existed, kept for callers that need a fixed pipeline
+    /// (benchmarks, conformance tests): `true` maps to
+    /// [`KernelMode::ForceOn`], `false` to [`KernelMode::ForceOff`]. New
+    /// code should leave the default [`KernelMode::Auto`] and let the
+    /// planner choose per mask.
     pub fn tiled_kernel(mut self, enabled: bool) -> Self {
-        self.use_tiled_kernel = enabled;
+        self.kernel_mode = if enabled {
+            KernelMode::ForceOn
+        } else {
+            KernelMode::ForceOff
+        };
+        self
+    }
+
+    /// Sets the planner's kernel policy (force on, force off, or decide per
+    /// mask).
+    pub fn kernel_mode(mut self, mode: KernelMode) -> Self {
+        self.kernel_mode = mode;
+        self
+    }
+
+    /// Sets the planner's pair stage-order policy (force bounds-first,
+    /// force load-first, or decide from observed statistics).
+    pub fn pair_mode(mut self, mode: PairMode) -> Self {
+        self.pair_mode = mode;
         self
     }
 }
@@ -343,11 +377,21 @@ impl Session {
             .map_err(QueryError::from)
     }
 
-    /// Evaluation options for the verification stage.
+    /// Evaluation options for the verification stage with the kernel
+    /// resolved statically from the configuration alone (`ForceOff` scans,
+    /// anything else uses the kernel). Execution paths that hold an
+    /// [`ExecPlan`] resolve per mask via [`Session::verify_options_with`]
+    /// instead.
     pub fn verify_options(&self) -> eval::VerifyOptions {
+        self.verify_options_with(!matches!(self.config.kernel_mode, KernelMode::ForceOff))
+    }
+
+    /// Evaluation options for the verification stage with an explicit
+    /// (planner-resolved) kernel decision.
+    pub fn verify_options_with(&self, use_tiled_kernel: bool) -> eval::VerifyOptions {
         eval::VerifyOptions {
             object_box_fallback: self.config.object_box_fallback,
-            use_tiled_kernel: self.config.use_tiled_kernel,
+            use_tiled_kernel,
         }
     }
 
@@ -602,10 +646,33 @@ impl Session {
         self.execute_resolved(query, &candidates)
     }
 
+    /// Plans a query without executing it: resolves candidates, extracts
+    /// cost features (sampled CHI bounds, range alignment, shape feedback),
+    /// and returns the strategies the executor would use.
+    pub fn plan_query(&self, query: &Query) -> ExecPlan {
+        let candidates = if matches!(
+            query.kind,
+            QueryKind::PairFilter { .. } | QueryKind::PairTopK { .. }
+        ) {
+            Vec::new()
+        } else {
+            self.resolve_selection(&query.selection)
+        };
+        planner::plan_query(self, query, &candidates)
+    }
+
+    /// The compact strategy signature the planner would choose for a query
+    /// (`kernel=... bounds=... order=...`) — what the slow-query log
+    /// records.
+    pub fn plan_signature(&self, query: &Query) -> String {
+        self.plan_query(query).signature()
+    }
+
     /// The query's plan under this session's configuration (`EXPLAIN`): the
-    /// stage tree the executor will walk, before anything runs.
+    /// stage tree the executor will walk, before anything runs, including
+    /// the cost-based choices and their estimates.
     pub fn explain(&self, query: &Query) -> PlanNode {
-        explain::plan(query, &self.config)
+        explain::plan_with(query, &self.config, Some(&self.plan_query(query)))
     }
 
     /// Executes the query and returns its plan annotated with the measured
@@ -613,9 +680,13 @@ impl Session {
     /// annotated counters are copied verbatim from the output's
     /// [`QueryStats`](crate::result::QueryStats), so the two never disagree.
     pub fn explain_analyze(&self, query: &Query) -> QueryResult<(PlanNode, QueryOutput)> {
+        // Plan once up front for display; execution re-plans internally from
+        // the same deterministic sample and feedback state, so the displayed
+        // estimates are the executed ones.
+        let exec_plan = self.plan_query(query);
         let output = self.execute(query)?;
         let plan = explain::annotate(
-            explain::plan(query, &self.config),
+            explain::plan_with(query, &self.config, Some(&exec_plan)),
             &output.stats,
             output.rows.len() as u64,
         );
@@ -701,8 +772,10 @@ impl Session {
         {
             let pairs = self.resolve_pairs(&query.selection, join);
             let total = pairs.len();
-            let output = exec::pair::execute_topk(self, &pairs, expr, *k, *order)?;
+            let plan = planner::plan_query(self, &query, &[]);
+            let output = exec::pair::execute_topk(self, &pairs, expr, *k, *order, &plan)?;
             self.record_query(&query, &output);
+            self.record_planner(&plan, &output);
             let bound = if output.rows.len() < total {
                 output.rows.last().and_then(|r| r.value)
             } else {
@@ -741,26 +814,59 @@ impl Session {
         Ok(merge::RankedPartial { output, bound })
     }
 
-    /// Executes a query against an already resolved candidate set.
+    /// Executes a query against an already resolved candidate set:
+    /// plan, dispatch, record.
     fn execute_resolved(&self, query: &Query, candidates: &[MaskId]) -> QueryResult<QueryOutput> {
-        let output = self.dispatch(query, candidates)?;
+        let plan = {
+            let _plan = masksearch_obs::span("plan");
+            planner::plan_query(self, query, candidates)
+        };
+        let output = self.dispatch(query, candidates, &plan)?;
         self.record_query(query, &output);
+        self.record_planner(&plan, &output);
         Ok(output)
     }
 
+    /// Folds one planned execution into the catalog-level planner
+    /// statistics (persisted with the shape registry at checkpoint).
+    fn record_planner(&self, plan: &ExecPlan, output: &QueryOutput) {
+        let s = &output.stats;
+        let est_error_milli = if plan.sampled && s.candidates > 0 {
+            let actual = output.rows.len() as f64 / s.candidates as f64;
+            ((plan.plan.est_selectivity - actual).abs() * 1000.0).round() as u64
+        } else {
+            0
+        };
+        self.shape_stats.record_catalog(&CatalogStats {
+            planned: 1,
+            kernel_on: s.planner_kernel_on,
+            kernel_off: s.planner_kernel_off,
+            bounds_skipped: s.planner_bounds_skipped,
+            reorders: s.planner_reorders,
+            est_error_milli,
+        });
+    }
+
     /// Dispatches on the query kind.
-    fn dispatch(&self, query: &Query, candidates: &[MaskId]) -> QueryResult<QueryOutput> {
+    fn dispatch(
+        &self,
+        query: &Query,
+        candidates: &[MaskId],
+        plan: &ExecPlan,
+    ) -> QueryResult<QueryOutput> {
         match &query.kind {
-            QueryKind::Filter { predicate } => exec::filter::execute(self, candidates, predicate),
+            QueryKind::Filter { predicate } => {
+                exec::filter::execute(self, candidates, predicate, plan)
+            }
             QueryKind::TopK { expr, k, order } => {
-                exec::topk::execute(self, candidates, expr, *k, *order)
+                exec::topk::execute(self, candidates, expr, *k, *order, plan)
             }
             QueryKind::Aggregate {
                 expr,
                 agg,
                 having,
                 top_k,
-            } => exec::aggregate::execute(self, candidates, expr, *agg, *having, *top_k),
+            } => exec::aggregate::execute(self, candidates, expr, *agg, *having, *top_k, plan),
             QueryKind::MaskAggregate {
                 agg,
                 term,
@@ -780,7 +886,7 @@ impl Session {
             // apply).
             QueryKind::PairFilter { join, predicate } => {
                 let pairs = self.resolve_pairs(&query.selection, join);
-                exec::pair::execute_filter(self, &pairs, predicate)
+                exec::pair::execute_filter(self, &pairs, predicate, plan)
             }
             QueryKind::PairTopK {
                 join,
@@ -789,7 +895,7 @@ impl Session {
                 order,
             } => {
                 let pairs = self.resolve_pairs(&query.selection, join);
-                exec::pair::execute_topk(self, &pairs, expr, *k, *order)
+                exec::pair::execute_topk(self, &pairs, expr, *k, *order, plan)
             }
         }
     }

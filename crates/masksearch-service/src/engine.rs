@@ -92,14 +92,28 @@ impl Shared {
         if let Some(root) = trace.finish() {
             self.profiles.record(&label, wall.as_micros() as u64, root);
         }
-        self.slow_log.observe(
+        // The plan signature re-runs planning, so it is only computed once
+        // the entry is known to cross the threshold.
+        let plan = self
+            .slow_log
+            .would_log(wall)
+            .then(|| self.session.plan_signature(query));
+        self.slow_log.observe_with_plan(
             &label,
+            plan.as_deref(),
             wall,
             &[
                 (obs_keys::CANDIDATES, stats.candidates),
                 (obs_keys::PRUNED, stats.pruned),
                 (obs_keys::VERIFIED, stats.verified),
                 (obs_keys::LOADED, stats.masks_loaded),
+                (obs_keys::PLANNER_KERNEL_ON, stats.planner_kernel_on),
+                (obs_keys::PLANNER_KERNEL_OFF, stats.planner_kernel_off),
+                (
+                    obs_keys::PLANNER_BOUNDS_SKIPPED,
+                    stats.planner_bounds_skipped,
+                ),
+                (obs_keys::PLANNER_REORDERS, stats.planner_reorders),
             ],
         );
     }
@@ -343,6 +357,26 @@ impl Engine {
             s.pairs_bound,
         );
         p.counter(
+            "masksearch_planner_kernel_on_total",
+            "Masks the planner routed to the tiled verification kernel.",
+            s.planner_kernel_on,
+        );
+        p.counter(
+            "masksearch_planner_kernel_off_total",
+            "Masks the planner routed to the reference scan.",
+            s.planner_kernel_off,
+        );
+        p.counter(
+            "masksearch_planner_bounds_skipped_total",
+            "Pairs whose bounds classification the planner skipped.",
+            s.planner_bounds_skipped,
+        );
+        p.counter(
+            "masksearch_planner_reorders_total",
+            "Queries whose CP terms the planner reordered.",
+            s.planner_reorders,
+        );
+        p.counter(
             "masksearch_wal_bytes_total",
             "Bytes appended to the write-ahead log.",
             s.ingest.wal_bytes,
@@ -505,6 +539,10 @@ impl Engine {
                     k if k == obs_keys::TILES_HIST => m.tiles_hist,
                     k if k == obs_keys::TILES_SCANNED => m.tiles_scanned,
                     k if k == obs_keys::PAIRS_BOUND => m.pairs_bound,
+                    k if k == obs_keys::PLANNER_KERNEL_ON => m.planner_kernel_on,
+                    k if k == obs_keys::PLANNER_KERNEL_OFF => m.planner_kernel_off,
+                    k if k == obs_keys::PLANNER_BOUNDS_SKIPPED => m.planner_bounds_skipped,
+                    k if k == obs_keys::PLANNER_REORDERS => m.planner_reorders,
                     _ => 0,
                 };
                 (key, value)

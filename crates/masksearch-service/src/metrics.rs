@@ -168,6 +168,14 @@ pub struct ServiceMetrics {
     tiles_scanned: AtomicU64,
     /// Sum of `QueryStats::pairs_bound` over completed queries.
     pairs_bound: AtomicU64,
+    /// Sum of `QueryStats::planner_kernel_on` over completed queries.
+    planner_kernel_on: AtomicU64,
+    /// Sum of `QueryStats::planner_kernel_off` over completed queries.
+    planner_kernel_off: AtomicU64,
+    /// Sum of `QueryStats::planner_bounds_skipped` over completed queries.
+    planner_bounds_skipped: AtomicU64,
+    /// Sum of `QueryStats::planner_reorders` over completed queries.
+    planner_reorders: AtomicU64,
     /// End-to-end latency (submission to completion).
     latency: LatencyHistogram,
     /// Time spent waiting in the queue before a worker picked the job up.
@@ -202,6 +210,10 @@ impl ServiceMetrics {
             tiles_hist: AtomicU64::new(0),
             tiles_scanned: AtomicU64::new(0),
             pairs_bound: AtomicU64::new(0),
+            planner_kernel_on: AtomicU64::new(0),
+            planner_kernel_off: AtomicU64::new(0),
+            planner_bounds_skipped: AtomicU64::new(0),
+            planner_reorders: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
             queue_wait: LatencyHistogram::new(),
         }
@@ -271,6 +283,14 @@ impl ServiceMetrics {
             .fetch_add(stats.tiles_scanned, Ordering::Relaxed);
         self.pairs_bound
             .fetch_add(stats.pairs_bound, Ordering::Relaxed);
+        self.planner_kernel_on
+            .fetch_add(stats.planner_kernel_on, Ordering::Relaxed);
+        self.planner_kernel_off
+            .fetch_add(stats.planner_kernel_off, Ordering::Relaxed);
+        self.planner_bounds_skipped
+            .fetch_add(stats.planner_bounds_skipped, Ordering::Relaxed);
+        self.planner_reorders
+            .fetch_add(stats.planner_reorders, Ordering::Relaxed);
         self.latency.record(latency);
     }
 
@@ -296,6 +316,10 @@ impl ServiceMetrics {
             tiles_hist: self.tiles_hist.load(Ordering::Relaxed),
             tiles_scanned: self.tiles_scanned.load(Ordering::Relaxed),
             pairs_bound: self.pairs_bound.load(Ordering::Relaxed),
+            planner_kernel_on: self.planner_kernel_on.load(Ordering::Relaxed),
+            planner_kernel_off: self.planner_kernel_off.load(Ordering::Relaxed),
+            planner_bounds_skipped: self.planner_bounds_skipped.load(Ordering::Relaxed),
+            planner_reorders: self.planner_reorders.load(Ordering::Relaxed),
             // Store-level write-path counters; the engine overwrites this
             // from the session store's `ingest_stats` at snapshot time, like
             // the cache hit rate below.
@@ -360,6 +384,14 @@ pub struct MetricsSnapshot {
     /// Pair-query images bound (both join sides resolved), summed over
     /// completed queries.
     pub pairs_bound: u64,
+    /// Masks the planner routed to the tiled verification kernel.
+    pub planner_kernel_on: u64,
+    /// Masks the planner routed to the reference scan.
+    pub planner_kernel_off: u64,
+    /// Pairs whose bounds classification the planner skipped (load-first).
+    pub planner_bounds_skipped: u64,
+    /// Queries whose CP terms the planner evaluated out of written order.
+    pub planner_reorders: u64,
     /// Store-level write-path counters (WAL bytes, checkpoints, commits) for
     /// stores that track them; zeros otherwise. Filled by the engine at
     /// snapshot time.

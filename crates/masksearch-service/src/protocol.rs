@@ -52,6 +52,8 @@ pub const END_MARKER: &str = "END";
 /// <secs>` windowed gauges, `RECORD START/STOP/STATUS` flight-recorder
 /// control answered with `RECORD` control frames, and `MONITOR <frames>
 /// [<interval_ms>]` streaming counted `DELTA <n>` metric-delta frames.
+/// Within v5 the query planner added `planner_*` counters to `STATS` —
+/// additive key/value tokens, so no version bump was needed.
 pub const PROTOCOL_VERSION: u32 = 5;
 
 /// Default number of profiles returned by a bare `STATS PROFILES`.
@@ -518,6 +520,10 @@ pub fn write_stats<W: Write>(w: &mut W, m: &MetricsSnapshot) -> std::io::Result<
         (k::TILES_HIST, m.tiles_hist),
         (k::TILES_SCANNED, m.tiles_scanned),
         (k::PAIRS_BOUND, m.pairs_bound),
+        (k::PLANNER_KERNEL_ON, m.planner_kernel_on),
+        (k::PLANNER_KERNEL_OFF, m.planner_kernel_off),
+        (k::PLANNER_BOUNDS_SKIPPED, m.planner_bounds_skipped),
+        (k::PLANNER_REORDERS, m.planner_reorders),
         (k::ACTIVE_CONNECTIONS, m.active_connections),
         (k::QUEUE_DEPTH, m.queue_depth),
     ] {

@@ -103,18 +103,34 @@ fn assert_ranked_merges(
     order: Order,
 ) {
     let expected = oracle.execute(query).unwrap();
-    let run = distributed_topk::<std::convert::Infallible>(k, order, shards.len(), |requests| {
-        Ok(requests
-            .iter()
-            .map(|&(shard, k_shard)| {
-                shards[shard]
-                    .execute_topk_partial(query, Some(k_shard))
-                    .unwrap()
-            })
-            .collect())
-    })
-    .unwrap();
-    assert_eq!(run.output.rows, expected.rows, "ranked merge diverged");
+    // Both planner modes — threshold refinement and single-round — must
+    // reproduce single-node rows exactly.
+    for single_round in [false, true] {
+        let run = distributed_topk::<std::convert::Infallible>(
+            k,
+            order,
+            shards.len(),
+            single_round,
+            |requests| {
+                Ok(requests
+                    .iter()
+                    .map(|&(shard, k_shard)| {
+                        shards[shard]
+                            .execute_topk_partial(query, Some(k_shard))
+                            .unwrap()
+                    })
+                    .collect())
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            run.output.rows, expected.rows,
+            "ranked merge diverged (single_round={single_round})"
+        );
+        if single_round {
+            assert_eq!(run.rounds, 1, "single-round mode refined");
+        }
+    }
 }
 
 fn range(lo: f32, hi: f32) -> PixelRange {

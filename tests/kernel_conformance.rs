@@ -184,12 +184,15 @@ fn kernel_enabled_and_disabled_produce_byte_identical_frames() {
     }
 
     // The kernel actually engaged: re-run one verification-heavy query with
-    // the kernel on and confirm the serving metrics counted tiles.
+    // the kernel forced on (the auto planner may legitimately choose the
+    // scan for this shape) and confirm the serving metrics counted tiles.
     let db = MaskDb::open(&dir, db_config()).unwrap();
     let session = Session::with_store_maintained_index(
         db.mask_store(),
         db.catalog(),
-        SessionConfig::new(ChiConfig::new(8, 8, 8).unwrap()).threads(2),
+        SessionConfig::new(ChiConfig::new(8, 8, 8).unwrap())
+            .threads(2)
+            .tiled_kernel(true),
         db.chi_store(),
     );
     let engine = Engine::new(session, ServiceConfig::new(1));

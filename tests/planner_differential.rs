@@ -1,0 +1,347 @@
+//! Differential property tests of the cost-based planner: for arbitrary
+//! data and query shapes, a session planning in `Auto` mode must return
+//! rows **byte-identical** to every fixed-strategy session (kernel forced
+//! on/off × pair bounds-first/load-first), and repeated execution — which
+//! feeds the shape-statistics registry and can flip the planner's choices
+//! mid-stream — must never change a result.
+//!
+//! This is the executable form of the planner's core contract: every plan
+//! choice is a cost decision, never a semantic one.
+
+use masksearch::core::{
+    ImageId, Mask, MaskId, MaskOp, MaskRecord, ModelId, PixelRange, Roi, TILE_BINS,
+};
+use masksearch::index::ChiConfig;
+use masksearch::query::{
+    CmpOp, Expr, IndexingMode, KernelMode, MaskJoin, Order, PairMode, Predicate, Query, RoiSpec,
+    ScalarAgg, Selection, Session, SessionConfig,
+};
+use masksearch::storage::{Catalog, MaskStore, MemoryMaskStore};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const W: u32 = 24;
+const H: u32 = 24;
+/// Executions per query per session: enough that the feedback loop matures
+/// (`MIN_FEEDBACK_QUERIES = 3`) and planner choices can flip mid-run.
+const REPS: usize = 5;
+
+/// Deterministic per-id mask. Even ids are smooth blobs (tight CHI bounds,
+/// kernel-friendly), odd ids are per-pixel noise (loose bounds, where the
+/// planner should prefer the scan) — so auto kernel routing genuinely
+/// diverges across masks within one query.
+fn mask_for(id: u64, seed: u64) -> Mask {
+    if id.is_multiple_of(2) {
+        let r = 3.0 + ((id / 2 + seed) % 9) as f32;
+        Mask::from_fn(W, H, move |x, y| {
+            let dx = x as f32 - W as f32 / 2.0;
+            let dy = y as f32 - H as f32 / 2.0;
+            if (dx * dx + dy * dy).sqrt() < r {
+                0.9
+            } else {
+                0.05
+            }
+        })
+    } else {
+        let mut state = id.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(seed) | 1;
+        Mask::from_fn(W, H, move |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 40) as f32) / (1u64 << 24) as f32
+        })
+    }
+}
+
+fn session_over(images: u64, seed: u64, kernel: KernelMode, pair: PairMode) -> Session {
+    let store = Arc::new(MemoryMaskStore::for_tests());
+    let mut catalog = Catalog::new();
+    for id in 0..images * 2 {
+        store.put(MaskId::new(id), &mask_for(id, seed)).unwrap();
+        catalog.insert(
+            MaskRecord::builder(MaskId::new(id))
+                .image_id(ImageId::new(id / 2))
+                .model_id(ModelId::new(id % 2 + 1))
+                .shape(W, H)
+                .object_box(Roi::new(4, 4, 20, 20).unwrap())
+                .build(),
+        );
+    }
+    Session::new(
+        store as Arc<dyn MaskStore>,
+        catalog,
+        SessionConfig::new(ChiConfig::new(6, 6, 8).unwrap())
+            .threads(1)
+            .indexing_mode(IndexingMode::Eager)
+            .kernel_mode(kernel)
+            .pair_mode(pair),
+    )
+    .unwrap()
+}
+
+/// A pixel range that is tile-bin aligned (`i / TILE_BINS`) when `aligned`,
+/// arbitrary hundredths otherwise — both planner branches of decision (b).
+fn arb_range() -> impl Strategy<Value = PixelRange> {
+    (any::<bool>(), 0u32..12, 1u32..=8).prop_filter_map(
+        "non-empty range",
+        |(aligned, lo_step, width)| {
+            if aligned {
+                let lo = lo_step.min(TILE_BINS as u32 - 1) as f32 / TILE_BINS as f32;
+                let hi = ((lo_step + width).min(TILE_BINS as u32)) as f32 / TILE_BINS as f32;
+                PixelRange::new(lo, hi).ok()
+            } else {
+                let lo = lo_step as f32 * 0.07;
+                let hi = (lo + width as f32 * 0.09).min(1.0);
+                PixelRange::new(lo, hi).ok()
+            }
+        },
+    )
+}
+
+fn arb_roi() -> impl Strategy<Value = Roi> {
+    (0u32..W - 4, 0u32..H - 4, 4u32..=W, 4u32..=H)
+        .prop_filter_map("non-degenerate roi", |(x0, y0, w, h)| {
+            Roi::new(x0, y0, (x0 + w).min(W), (y0 + h).min(H)).ok()
+        })
+}
+
+/// A comparison over one CP term (constant or object-box ROI).
+fn arb_comparison() -> impl Strategy<Value = Predicate> {
+    (
+        arb_roi(),
+        arb_range(),
+        any::<bool>(),
+        0u32..6,
+        any::<bool>(),
+    )
+        .prop_map(|(roi, range, object, steps, gt)| {
+            let threshold = f64::from(steps) * (W * H) as f64 / 12.0;
+            let expr = if object {
+                Expr::cp_object(range)
+            } else {
+                Expr::cp(roi, range)
+            };
+            if gt {
+                Predicate::gt(expr, threshold)
+            } else {
+                Predicate::lt(expr, threshold)
+            }
+        })
+}
+
+/// 1–3 comparisons combined with AND / OR / NOT: multi-term predicates give
+/// the term-reordering decision (a) something to reorder.
+fn arb_predicate() -> impl Strategy<Value = Predicate> {
+    (
+        (arb_comparison(), arb_comparison(), arb_comparison()),
+        (0u32..3, any::<bool>(), any::<bool>(), any::<bool>()),
+    )
+        .prop_map(|((first, second, third), (extra, and2, and3, neg))| {
+            let mut p = first;
+            if extra >= 1 {
+                p = if and2 { p.and(second) } else { p.or(second) };
+            }
+            if extra >= 2 {
+                p = if and3 { p.and(third) } else { p.or(third) };
+            }
+            if neg {
+                p = p.negate();
+            }
+            p
+        })
+}
+
+/// The fixed-strategy grid the planner must match byte-for-byte.
+fn fixed_modes() -> [(KernelMode, PairMode); 4] {
+    [
+        (KernelMode::ForceOn, PairMode::ForceBounds),
+        (KernelMode::ForceOn, PairMode::ForceLoad),
+        (KernelMode::ForceOff, PairMode::ForceBounds),
+        (KernelMode::ForceOff, PairMode::ForceLoad),
+    ]
+}
+
+/// Runs `query` `REPS` times on the auto session and once per fixed
+/// session; every result's rows must equal the first fixed baseline.
+fn assert_planner_matches_fixed(images: u64, seed: u64, queries: &[Query]) {
+    let auto = session_over(images, seed, KernelMode::Auto, PairMode::Auto);
+    let fixed: Vec<Session> = fixed_modes()
+        .iter()
+        .map(|&(k, p)| session_over(images, seed, k, p))
+        .collect();
+    for query in queries {
+        let baseline = fixed[0].execute(query).unwrap();
+        for session in &fixed[1..] {
+            let out = session.execute(query).unwrap();
+            assert_eq!(
+                out.rows, baseline.rows,
+                "fixed strategies diverged on {query:?}"
+            );
+        }
+        // Repeated auto executions: the registry matures between runs, so
+        // the planner may reorder terms, flip the kernel, or switch a pair
+        // query to load-first mid-sequence — rows must never move.
+        for rep in 0..REPS {
+            let out = auto.execute(query).unwrap();
+            assert_eq!(
+                out.rows,
+                baseline.rows,
+                "auto plan diverged from fixed strategies on rep {rep} of {query:?} \
+                 (plan: {})",
+                auto.plan_signature(query)
+            );
+        }
+    }
+}
+
+fn range(lo: f32, hi: f32) -> PixelRange {
+    PixelRange::new(lo, hi).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn filter_plans_are_byte_identical_to_every_fixed_strategy(
+        images in 3u64..10,
+        seed in any::<u64>(),
+        predicate in arb_predicate(),
+    ) {
+        let queries = [Query::filter(predicate)];
+        assert_planner_matches_fixed(images, seed, &queries);
+    }
+
+    #[test]
+    fn topk_and_aggregate_plans_are_byte_identical(
+        images in 3u64..10,
+        seed in any::<u64>(),
+        roi in arb_roi(),
+        r in arb_range(),
+        k in 1usize..7,
+        desc in any::<bool>(),
+        steps in 0u32..6,
+    ) {
+        let order = if desc { Order::Desc } else { Order::Asc };
+        let threshold = f64::from(steps) * (W * H) as f64 / 12.0;
+        let queries = [
+            Query::top_k_cp(roi, r, k, order),
+            Query::top_k(
+                Expr::cp(roi, r).div(Expr::cp_full(range(0.0, 1.0))),
+                k,
+                order,
+            ),
+            Query::aggregate(Expr::cp(roi, r), ScalarAgg::Avg).with_group_top_k(k, order),
+            Query::aggregate(Expr::cp(roi, r), ScalarAgg::Sum)
+                .with_having(CmpOp::Gt, threshold),
+        ];
+        assert_planner_matches_fixed(images, seed, &queries);
+    }
+
+    #[test]
+    fn pair_plans_are_byte_identical(
+        images in 3u64..9,
+        seed in any::<u64>(),
+        roi in arb_roi(),
+        r in arb_range(),
+        k in 1usize..6,
+        desc in any::<bool>(),
+        steps in 0u32..6,
+    ) {
+        let order = if desc { Order::Desc } else { Order::Asc };
+        let threshold = f64::from(steps) * (W * H) as f64 / 12.0;
+        let join = || MaskJoin::new(
+            Selection::all().with_model(ModelId::new(1)),
+            Selection::all().with_model(ModelId::new(2)),
+        );
+        let queries = [
+            Query::pair_filter(
+                join(),
+                Predicate::gt(
+                    Expr::cp_composed(MaskOp::Diff, RoiSpec::Constant(roi), r),
+                    threshold,
+                ),
+            ),
+            Query::pair_filter(
+                join(),
+                Predicate::lt(
+                    Expr::cp_composed(MaskOp::Union, RoiSpec::FullMask, r),
+                    threshold,
+                ),
+            ),
+            Query::pair_top_k(join(), Expr::iou(RoiSpec::FullMask, r), k, order),
+            Query::pair_top_k(
+                join(),
+                Expr::cp_composed(MaskOp::Intersect, RoiSpec::Constant(roi), r),
+                k,
+                order,
+            ),
+        ];
+        assert_planner_matches_fixed(images, seed, &queries);
+    }
+}
+
+/// Deterministic (non-proptest) check that the feedback loop actually flips
+/// a pair query to load-first and the rows still match: a predicate no
+/// bounds pass can ever decide forces `verified_fraction = 1`, which crosses
+/// `LOAD_FIRST_THRESHOLD` once the shape matures.
+#[test]
+fn load_first_flip_mid_sequence_keeps_rows_identical() {
+    // All-noise masks on both join sides: composed CHI bounds over noise
+    // are loose, so a mid-distribution threshold is never decided by the
+    // bounds pass and every pair verifies (verified fraction = 1.0).
+    let noisy_session = |kernel: KernelMode, pair: PairMode| {
+        let store = Arc::new(MemoryMaskStore::for_tests());
+        let mut catalog = Catalog::new();
+        for id in 0..12u64 {
+            store
+                .put(MaskId::new(id), &mask_for(id * 2 + 1, 7))
+                .unwrap();
+            catalog.insert(
+                MaskRecord::builder(MaskId::new(id))
+                    .image_id(ImageId::new(id / 2))
+                    .model_id(ModelId::new(id % 2 + 1))
+                    .shape(W, H)
+                    .object_box(Roi::new(4, 4, 20, 20).unwrap())
+                    .build(),
+            );
+        }
+        Session::new(
+            store.clone() as Arc<dyn MaskStore>,
+            catalog,
+            SessionConfig::new(ChiConfig::new(6, 6, 8).unwrap())
+                .threads(1)
+                .indexing_mode(IndexingMode::Eager)
+                .kernel_mode(kernel)
+                .pair_mode(pair),
+        )
+        .unwrap()
+    };
+    let auto = noisy_session(KernelMode::Auto, PairMode::Auto);
+    let bounds = noisy_session(KernelMode::Auto, PairMode::ForceBounds);
+    let join = MaskJoin::new(
+        Selection::all().with_model(ModelId::new(1)),
+        Selection::all().with_model(ModelId::new(2)),
+    );
+    // Expected CP(min(a,b) in (0.3, 0.7)) over two uniform-noise masks is
+    // ~0.40 of the area; a threshold there sits inside every pair's bound
+    // interval.
+    let query = Query::pair_filter(
+        join,
+        Predicate::gt(
+            Expr::cp_composed(MaskOp::Intersect, RoiSpec::FullMask, range(0.3, 0.7)),
+            (W * H) as f64 * 0.40,
+        ),
+    );
+    let expected = bounds.execute(&query).unwrap();
+    let mut saw_load_first = false;
+    for rep in 0..8 {
+        let plan = auto.plan_query(&query);
+        saw_load_first |= plan.load_first();
+        let out = auto.execute(&query).unwrap();
+        assert_eq!(out.rows, expected.rows, "rows moved on rep {rep}");
+    }
+    assert!(
+        saw_load_first,
+        "feedback never flipped the pair query to load-first"
+    );
+}
