@@ -18,13 +18,35 @@
 //!   fail before any side effect if an id exists nowhere, matching
 //!   single-node semantics), then split.
 //!
+//! ## Shard links: one pipelined connection each
+//!
+//! Each shard endpoint is reached through a single multiplexed
+//! [`MuxClient`] connection (protocol v6, `@<id>`-tagged frames). A scatter
+//! writes every shard's request before waiting on any response, so a
+//! fan-out over N shards costs **one round trip**, not N — the fix for the
+//! fan-out regression where per-shard synchronous round trips made a
+//! 4-shard cluster slower per-coordinator-thread than one shard.
+//!
+//! ## Replicas and failover
+//!
+//! A shard may have read replicas ([`ClusterConfig::replicas`]) tailing its
+//! primary's WAL. Broadcast and `PARTIAL` reads round-robin across the
+//! primary and its replicas; a read that fails with a transport error fails
+//! over to the shard's other endpoints before the statement fails. Writes,
+//! `LOOKUP` (which feeds write routing and must see the latest writes),
+//! `STATS`, `RECORD`, and `EXPLAIN` always address the primary; a write to
+//! a dead primary is an error — failover is reads-only.
+//!
 //! Consistency model: each shard applies its sub-batch atomically (and
 //! durably, on a `masksearch-db` backed shard), but there is **no
 //! cross-shard transaction** — a reader racing a multi-shard write can
 //! observe a state where only some shards have applied it. Because a mask
 //! lives on exactly one shard, per-mask reads are still never torn.
+//! Replicas apply whole committed transactions and so only ever serve
+//! (possibly slightly stale) shard-atomic states.
 
 use crate::error::{ClusterError, ClusterResult};
+use crate::eventloop::{EventLoop, Handler, Waker};
 use crate::metrics::{ClusterMetrics, ClusterMetricsSnapshot};
 use crate::shard::ShardMap;
 use crate::topk;
@@ -34,26 +56,28 @@ use masksearch_obs::{ProfileRing, QueryProfile};
 use masksearch_query::merge::{self, RankedPartial};
 use masksearch_query::{Mutation, MutationOutcome, Order, QueryOutput, QueryStats};
 use masksearch_service::job::{MutationResponse, QueryResponse};
-use masksearch_service::pool::ClientPool;
-use masksearch_service::protocol::{self, ClientRequest, WireResponse};
+use masksearch_service::mux::MuxClient;
+use masksearch_service::protocol::{self, ClientRequest, Frame, WireResponse};
 use masksearch_service::ServiceError;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Cluster topology and tuning.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
-    /// Shard server addresses; index in this list is the shard id the
+    /// Shard primary addresses; index in this list is the shard id the
     /// [`ShardMap`] routes to.
     pub shard_addrs: Vec<String>,
+    /// Read-replica addresses per shard (outer index = shard id). Empty
+    /// means no replicas anywhere; when non-empty it must have one (possibly
+    /// empty) entry per shard.
+    pub replica_addrs: Vec<Vec<String>>,
     /// Hash seed of the shard map (must match what loaded the shards).
     pub shard_seed: u64,
-    /// Idle connections kept pooled per shard.
-    pub pool_idle_per_shard: usize,
     /// Whether coordinated statements are traced into the coordinator's
     /// profile ring (`STATS PROFILES`). Scatter spans cost two `Instant`
     /// reads per round; disabling restores the exact pre-tracing path.
@@ -62,12 +86,12 @@ pub struct ClusterConfig {
 
 impl ClusterConfig {
     /// A configuration over the given shard addresses with defaults
-    /// (seed 0, 8 pooled connections per shard, tracing on).
+    /// (seed 0, no replicas, tracing on).
     pub fn new(shard_addrs: Vec<String>) -> Self {
         Self {
             shard_addrs,
+            replica_addrs: Vec::new(),
             shard_seed: 0,
-            pool_idle_per_shard: 8,
             tracing: true,
         }
     }
@@ -75,6 +99,13 @@ impl ClusterConfig {
     /// Sets the shard-map hash seed.
     pub fn shard_seed(mut self, seed: u64) -> Self {
         self.shard_seed = seed;
+        self
+    }
+
+    /// Sets the per-shard read-replica addresses (outer index = shard id;
+    /// must match the shard count).
+    pub fn replicas(mut self, replica_addrs: Vec<Vec<String>>) -> Self {
+        self.replica_addrs = replica_addrs;
         self
     }
 
@@ -100,13 +131,101 @@ pub enum ClusterReply {
 /// Capacity of the coordinator's profile ring.
 const PROFILE_RING_CAPACITY: usize = 128;
 
+/// Worker threads executing requests behind the coordinator front end's
+/// event loop. Each worker blocks on shard round trips for its request's
+/// duration, so this bounds the front end's in-flight statement depth.
+const COORDINATOR_WORKERS: usize = 8;
+
+/// Every `READ_PROBE_INTERVAL`-th read picked for a shard ignores the
+/// down-marks, so an endpoint that recovered (e.g. a restarted primary) is
+/// rediscovered without a background health checker.
+const READ_PROBE_INTERVAL: usize = 16;
+
+/// One shard endpoint: a multiplexed connection plus a health mark used by
+/// read routing.
+struct Endpoint {
+    addr: String,
+    client: MuxClient,
+    /// Set when a request to this endpoint failed with a transport error;
+    /// cleared by any success (including probe reads).
+    down: AtomicBool,
+}
+
+impl Endpoint {
+    fn connect(addr: &str) -> Result<Self, ServiceError> {
+        let client = MuxClient::connect(addr)?.with_reconnect(true);
+        Ok(Self {
+            addr: addr.to_string(),
+            client,
+            down: AtomicBool::new(false),
+        })
+    }
+}
+
+/// One shard's endpoints: the primary (index 0) plus its read replicas,
+/// with a round-robin cursor for read balancing.
+struct ShardLink {
+    primary: Endpoint,
+    replicas: Vec<Endpoint>,
+    rr: AtomicUsize,
+}
+
+impl ShardLink {
+    fn endpoints(&self) -> usize {
+        1 + self.replicas.len()
+    }
+
+    /// Endpoint 0 is the primary; `i > 0` is `replicas[i - 1]`.
+    fn endpoint(&self, idx: usize) -> &Endpoint {
+        if idx == 0 {
+            &self.primary
+        } else {
+            &self.replicas[idx - 1]
+        }
+    }
+
+    /// Picks the endpoint for the next read: round-robin over the healthy
+    /// endpoints, with a periodic probe that includes down-marked ones so
+    /// recovery is noticed.
+    fn pick_read(&self) -> usize {
+        let n = self.endpoints();
+        if n == 1 {
+            return 0;
+        }
+        let tick = self.rr.fetch_add(1, Ordering::Relaxed);
+        if tick.is_multiple_of(READ_PROBE_INTERVAL) {
+            return tick % n;
+        }
+        for offset in 0..n {
+            let idx = (tick + offset) % n;
+            if !self.endpoint(idx).down.load(Ordering::Relaxed) {
+                return idx;
+            }
+        }
+        // Everything is marked down; any pick surfaces the real error.
+        tick % n
+    }
+}
+
+/// Where a scatter's requests may be served.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Route {
+    /// Any endpoint of the shard (round-robin, with failover on transport
+    /// errors). Only for requests whose answer may lag the primary by a
+    /// replication beat: broadcast queries and `PARTIAL` top-k rounds.
+    Read,
+    /// The primary only. Mutations, `LOOKUP` (feeds write routing),
+    /// `STATS`/`RECORD`/`EXPLAIN` (operate on the authoritative server).
+    Primary,
+}
+
 struct Inner {
-    pools: Vec<ClientPool>,
+    links: Vec<ShardLink>,
     map: ShardMap,
     metrics: ClusterMetrics,
     /// Client-facing mutation tokens: a resend of an already-routed write is
     /// answered from the recorded outcome instead of being re-routed (the
-    /// per-shard sub-batches carry fresh pool-client tokens, so only the
+    /// per-shard sub-batches carry fresh tokens of their own, so only the
     /// coordinator can deduplicate the *whole* statement).
     dedup: masksearch_service::MutationDedup,
     /// Recent coordinated-query span trees, served by `STATS PROFILES`.
@@ -119,30 +238,55 @@ struct Inner {
 }
 
 /// A connected cluster coordinator. Cloning is cheap and shares the shard
-/// connection pools and metrics.
+/// links and metrics.
 #[derive(Clone)]
 pub struct Coordinator {
     inner: Arc<Inner>,
 }
 
 impl Coordinator {
-    /// Connects to every shard (verifying liveness and protocol version via
-    /// the `PING` handshake) and returns a coordinator over them.
+    /// Connects one multiplexed link to every shard primary and replica
+    /// (verifying liveness and protocol version via the `PING` handshake)
+    /// and returns a coordinator over them.
     pub fn connect(config: ClusterConfig) -> ClusterResult<Self> {
         if config.shard_addrs.is_empty() {
             return Err(ClusterError::Config(
                 "a cluster needs at least one shard".to_string(),
             ));
         }
+        if !config.replica_addrs.is_empty()
+            && config.replica_addrs.len() != config.shard_addrs.len()
+        {
+            return Err(ClusterError::Config(format!(
+                "replica topology lists {} shards, cluster has {}",
+                config.replica_addrs.len(),
+                config.shard_addrs.len()
+            )));
+        }
         let map = ShardMap::with_seed(config.shard_addrs.len(), config.shard_seed)?;
-        let pools: Vec<ClientPool> = config
-            .shard_addrs
-            .iter()
-            .map(|addr| ClientPool::new(addr.clone(), config.pool_idle_per_shard))
-            .collect();
-        let coordinator = Self {
+        let mut links = Vec::with_capacity(config.shard_addrs.len());
+        for (shard, addr) in config.shard_addrs.iter().enumerate() {
+            let connect = |addr: &String| {
+                Endpoint::connect(addr).map_err(|source| ClusterError::Shard {
+                    shard,
+                    addr: addr.clone(),
+                    source,
+                })
+            };
+            let primary = connect(addr)?;
+            let replicas = match config.replica_addrs.get(shard) {
+                Some(addrs) => addrs.iter().map(connect).collect::<ClusterResult<_>>()?,
+                None => Vec::new(),
+            };
+            links.push(ShardLink {
+                primary,
+                replicas,
+                rr: AtomicUsize::new(0),
+            });
+        }
+        Ok(Self {
             inner: Arc::new(Inner {
-                pools,
+                links,
                 map,
                 metrics: ClusterMetrics::new(),
                 dedup: masksearch_service::MutationDedup::new(),
@@ -150,9 +294,7 @@ impl Coordinator {
                 timeseries: masksearch_obs::TimeSeries::new(),
                 tracing: config.tracing,
             }),
-        };
-        coordinator.scatter_all(|shard| coordinator.with_shard(shard, |c| c.ping()))?;
-        Ok(coordinator)
+        })
     }
 
     /// The partitioning function this cluster agreed on.
@@ -162,7 +304,7 @@ impl Coordinator {
 
     /// Number of shards.
     pub fn shards(&self) -> usize {
-        self.inner.pools.len()
+        self.inner.links.len()
     }
 
     /// Coordinator-level metrics.
@@ -173,75 +315,155 @@ impl Coordinator {
     fn shard_err(&self, shard: usize, source: ServiceError) -> ClusterError {
         ClusterError::Shard {
             shard,
-            addr: self.inner.pools[shard].addr().to_string(),
+            addr: self.inner.links[shard].primary.addr.clone(),
             source,
         }
     }
 
-    /// Runs one pooled-client operation against a shard, wrapping errors
-    /// with the shard's identity.
-    fn with_shard<T>(
-        &self,
-        shard: usize,
-        op: impl FnOnce(&mut masksearch_service::pool::PooledClient<'_>) -> Result<T, ServiceError>,
-    ) -> ClusterResult<T> {
-        let mut client = self.inner.pools[shard]
-            .get()
-            .map_err(|e| self.shard_err(shard, e))?;
-        op(&mut client).map_err(|e| self.shard_err(shard, e))
+    /// The same request line addressed to every shard.
+    fn all(&self, line: &str) -> Vec<(usize, String)> {
+        (0..self.shards()).map(|s| (s, line.to_string())).collect()
     }
 
-    /// Fans `f` out to every shard in parallel, returning results in shard
-    /// order. The first failing shard's error wins.
-    fn scatter_all<T: Send>(
+    /// Pipelined scatter: **phase 1** starts every request on its shard's
+    /// chosen endpoint without waiting (the whole fan-out is in flight after
+    /// one pass), **phase 2** gathers responses in request order. The whole
+    /// scatter therefore costs one round trip to the slowest shard instead
+    /// of one per shard.
+    ///
+    /// `Route::Read` requests that die with a transport error fail over to
+    /// the shard's other endpoints; any other failure (or a transport error
+    /// on the primary route) fails the scatter with that shard's identity.
+    fn scatter<T>(
         &self,
-        f: impl Fn(usize) -> ClusterResult<T> + Sync,
+        requests: Vec<(usize, String)>,
+        route: Route,
+        parse: impl Fn(usize, Frame) -> Result<T, ServiceError>,
     ) -> ClusterResult<Vec<T>> {
-        let shards: Vec<usize> = (0..self.shards()).collect();
-        self.scatter_indexed(&shards, f)
-    }
-
-    /// Fans `f` out to the listed shards in parallel, returning results in
-    /// list order.
-    fn scatter_indexed<T: Send>(
-        &self,
-        shards: &[usize],
-        f: impl Fn(usize) -> ClusterResult<T> + Sync,
-    ) -> ClusterResult<Vec<T>> {
-        self.inner.metrics.record_shard_requests(shards.len());
-        obs_counters::add(&obs_counters::SCATTER_REQUESTS, shards.len() as u64);
-        // Inert unless a trace is open on this thread (the scatter runs on
-        // the coordinating thread; only the per-shard closures move to
-        // scoped workers, so the span nests correctly under the query).
+        self.inner.metrics.record_shard_requests(requests.len());
+        obs_counters::add(&obs_counters::SCATTER_REQUESTS, requests.len() as u64);
+        // Inert unless a trace is open on this thread (both phases run on
+        // the coordinating thread, so the span nests under the query).
         let _span = masksearch_obs::span("scatter");
-        masksearch_obs::add_counter("shards", shards.len() as u64);
+        masksearch_obs::add_counter("shards", requests.len() as u64);
         let started = Instant::now();
-        let result = if shards.len() == 1 {
-            f(shards[0]).map(|value| vec![value])
-        } else {
-            let f = &f;
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = shards
-                    .iter()
-                    .map(|&shard| scope.spawn(move || f(shard)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| {
-                        h.join().unwrap_or_else(|_| {
-                            Err(ClusterError::Internal(
-                                "shard worker thread panicked".to_string(),
-                            ))
-                        })
-                    })
-                    .collect()
-            })
+        let mut inflight = Vec::with_capacity(requests.len());
+        for (shard, line) in requests {
+            let link = &self.inner.links[shard];
+            let ep = match route {
+                Route::Primary => 0,
+                Route::Read => link.pick_read(),
+            };
+            let endpoint = link.endpoint(ep);
+            let pending = match route {
+                // The primary route carries mutations: TOKEN-wrap them so
+                // the link's bounded reconnect can resend exactly-once.
+                Route::Primary => endpoint.client.begin_query(&line),
+                Route::Read => endpoint.client.begin(&line),
+            };
+            inflight.push((shard, ep, line, pending));
+        }
+        let gather = || {
+            let mut results = Vec::with_capacity(inflight.len());
+            for (shard, ep, line, pending) in inflight {
+                let frame = match pending.wait() {
+                    Ok(frame) => {
+                        let endpoint = self.inner.links[shard].endpoint(ep);
+                        endpoint.down.store(false, Ordering::Relaxed);
+                        if ep != 0 {
+                            self.inner.metrics.record_replica_read();
+                        }
+                        frame
+                    }
+                    Err(err @ ServiceError::Io(_)) if route == Route::Read => {
+                        self.failover_read(shard, ep, &line, err)?
+                    }
+                    Err(err) => return Err(self.shard_err(shard, err)),
+                };
+                results.push(parse(shard, frame).map_err(|e| self.shard_err(shard, e))?);
+            }
+            Ok(results)
         };
+        let result = gather();
         obs_counters::add(
             &obs_counters::SCATTER_WAIT_US,
             started.elapsed().as_micros() as u64,
         );
         result
+    }
+
+    /// After a read died on `failed` with a transport error, tries the
+    /// shard's other endpoints (primary first) before giving up. A non-
+    /// transport error means a server answered — that is the statement's
+    /// result, not a reason to re-route.
+    fn failover_read(
+        &self,
+        shard: usize,
+        failed: usize,
+        line: &str,
+        original: ServiceError,
+    ) -> ClusterResult<Frame> {
+        let link = &self.inner.links[shard];
+        link.endpoint(failed).down.store(true, Ordering::Relaxed);
+        for idx in 0..link.endpoints() {
+            if idx == failed {
+                continue;
+            }
+            let endpoint = link.endpoint(idx);
+            match endpoint.client.call(line) {
+                Ok(frame) => {
+                    endpoint.down.store(false, Ordering::Relaxed);
+                    self.inner.metrics.record_failover();
+                    if idx != 0 {
+                        self.inner.metrics.record_replica_read();
+                    }
+                    return Ok(frame);
+                }
+                Err(ServiceError::Io(_)) => {
+                    endpoint.down.store(true, Ordering::Relaxed);
+                }
+                Err(err) => return Err(self.shard_err(shard, err)),
+            }
+        }
+        Err(self.shard_err(shard, original))
+    }
+
+    /// Scatter expecting a rows frame from every shard.
+    fn scatter_rows(
+        &self,
+        requests: Vec<(usize, String)>,
+        route: Route,
+    ) -> ClusterResult<Vec<WireResponse>> {
+        self.scatter(requests, route, |_, frame| match frame {
+            Frame::Rows(rows) => Ok(rows),
+            other => Err(ServiceError::Protocol(format!(
+                "expected rows, got {other:?}"
+            ))),
+        })
+    }
+
+    /// Scatter expecting a one-line control reply from every shard.
+    fn scatter_control(
+        &self,
+        requests: Vec<(usize, String)>,
+        route: Route,
+    ) -> ClusterResult<Vec<String>> {
+        self.scatter(requests, route, |_, frame| match frame {
+            Frame::Control(line) => Ok(line),
+            other => Err(ServiceError::Protocol(format!(
+                "expected a control reply, got {other:?}"
+            ))),
+        })
+    }
+
+    /// Scatter expecting a plan frame from every shard.
+    fn scatter_plans(&self, requests: Vec<(usize, String)>) -> ClusterResult<Vec<Vec<String>>> {
+        self.scatter(requests, Route::Primary, |_, frame| match frame {
+            Frame::Plan(lines) => Ok(lines),
+            other => Err(ServiceError::Protocol(format!(
+                "expected a plan, got {other:?}"
+            ))),
+        })
     }
 
     /// Compiles and executes one SQL statement against the cluster.
@@ -376,7 +598,8 @@ impl Coordinator {
     /// the query and its sub-tree carries measured stage times and counters
     /// (the single-node `EXPLAIN ANALYZE` contract: counters equal the
     /// shard's `QueryStats` exactly), and the root records the scatter's
-    /// wall time.
+    /// wall time. Plans always come from the primaries, whose state is
+    /// authoritative.
     ///
     /// Ranked queries are explained shard-locally as full queries; at
     /// execution time the coordinator instead issues bounded `PARTIAL`
@@ -393,9 +616,13 @@ impl Coordinator {
                 ))
             }
         };
+        let keyword = if analyze {
+            "EXPLAIN ANALYZE"
+        } else {
+            "EXPLAIN"
+        };
         let started = Instant::now();
-        let plans =
-            self.scatter_all(|shard| self.with_shard(shard, |c| c.explain(analyze, sql)))?;
+        let plans = self.scatter_plans(self.all(&format!("{keyword} {sql}")))?;
         let mut lines = Vec::with_capacity(plans.iter().map(Vec::len).sum::<usize>() + 1);
         let mut root = format!("cluster shards={} routing={routing}", self.shards());
         if analyze {
@@ -409,7 +636,7 @@ impl Coordinator {
         for (shard, plan) in plans.iter().enumerate() {
             lines.push(format!(
                 "  shard {shard} addr={}",
-                self.inner.pools[shard].addr()
+                self.inner.links[shard].primary.addr
             ));
             for line in plan {
                 lines.push(format!("    {line}"));
@@ -423,11 +650,12 @@ impl Coordinator {
         self.inner.profiles.recent(n)
     }
 
-    /// The coordinator's own Prometheus text exposition: routing and
-    /// refinement counters plus the process-global observability counters
-    /// (scatter width and wait time among them). Shard-level metrics are
-    /// scraped from the shards directly — summing histograms across
-    /// processes is the scraper's job, not the coordinator's.
+    /// The coordinator's own Prometheus text exposition: routing,
+    /// refinement, replica-read and failover counters plus the
+    /// process-global observability counters (scatter width and wait time
+    /// among them). Shard-level metrics are scraped from the shards
+    /// directly — summing histograms across processes is the scraper's job,
+    /// not the coordinator's.
     pub fn prometheus_text(&self) -> String {
         let m = self.metrics();
         let mut p = PromText::new();
@@ -470,6 +698,16 @@ impl Coordinator {
             "masksearch_cluster_shard_requests_total",
             "Shard requests issued by scatter rounds.",
             m.shard_requests,
+        );
+        p.counter(
+            "masksearch_cluster_replica_reads_total",
+            "Read requests served by a replica endpoint.",
+            m.replica_reads,
+        );
+        p.counter(
+            "masksearch_cluster_failovers_total",
+            "Reads re-routed to another endpoint after a transport error.",
+            m.failovers,
         );
         p.counter(
             "masksearch_cluster_topk_rounds_total",
@@ -551,10 +789,14 @@ impl Coordinator {
         }
     }
 
-    /// Forwards `sql` to every shard and merges the disjoint row sets.
+    /// Forwards `sql` to every shard (read-balanced) and merges the
+    /// disjoint row sets.
     fn broadcast_query(&self, sql: &str) -> ClusterResult<QueryOutput> {
-        let partials =
-            self.scatter_all(|shard| self.with_shard(shard, |c| c.query(sql)).map(wire_to_output))?;
+        let partials = self
+            .scatter_rows(self.all(sql), Route::Read)?
+            .into_iter()
+            .map(wire_to_output)
+            .collect();
         Ok(merge::merge_unordered(partials))
     }
 
@@ -570,17 +812,23 @@ impl Coordinator {
             self.inner.metrics.snapshot().mean_threshold_rounds(),
         );
         let run = topk::distributed_topk(k, order, self.shards(), single_round, |requests| {
-            let shards: Vec<usize> = requests.iter().map(|&(shard, _)| shard).collect();
-            let budget: HashMap<usize, usize> = requests.iter().copied().collect();
-            self.scatter_indexed(&shards, |shard| {
-                let k_shard = budget[&shard];
-                let wire = self.with_shard(shard, |c| c.query_partial(k_shard, sql))?;
-                let bound = wire.summary.bound;
-                Ok(RankedPartial {
-                    output: wire_to_output(wire),
-                    bound,
-                })
-            })
+            let lines: Vec<(usize, String)> = requests
+                .iter()
+                .map(|&(shard, k_shard)| (shard, format!("PARTIAL K={k_shard} {sql}")))
+                .collect();
+            let wires = self.scatter_rows(lines, Route::Read)?;
+            Ok::<Vec<RankedPartial>, ClusterError>(
+                wires
+                    .into_iter()
+                    .map(|wire| {
+                        let bound = wire.summary.bound;
+                        RankedPartial {
+                            output: wire_to_output(wire),
+                            bound,
+                        }
+                    })
+                    .collect(),
+            )
         })?;
         self.inner
             .metrics
@@ -589,8 +837,19 @@ impl Coordinator {
     }
 
     /// Which shards currently hold each of `ids` (shard → present ids).
+    /// Always asks the primaries: the answer routes writes, so it must see
+    /// every write that has been acknowledged.
     fn locate(&self, ids: &[MaskId]) -> ClusterResult<Vec<Vec<MaskId>>> {
-        self.scatter_all(|shard| self.with_shard(shard, |c| c.lookup(ids)))
+        if ids.is_empty() {
+            return Ok(vec![Vec::new(); self.shards()]);
+        }
+        let mut line = String::from("LOOKUP");
+        for id in ids {
+            line.push(' ');
+            line.push_str(&id.raw().to_string());
+        }
+        let wires = self.scatter_rows(self.all(&line), Route::Primary)?;
+        Ok(wires.into_iter().map(|w| w.mask_ids()).collect())
     }
 
     /// Union of the shards' holdings for `ids`, ascending and deduplicated.
@@ -630,7 +889,7 @@ impl Coordinator {
         // Phase 1: evict stale replicas from non-owner shards.
         let mut relocated = 0u64;
         let located = self.locate(&ids)?;
-        let stale_work: Vec<(usize, Vec<MaskId>)> = located
+        let stale_work: Vec<(usize, String)> = located
             .iter()
             .enumerate()
             .filter_map(|(shard, present)| {
@@ -639,28 +898,22 @@ impl Coordinator {
                     .copied()
                     .filter(|id| owner.get(id) != Some(&shard))
                     .collect();
-                (!stale.is_empty()).then_some((shard, stale))
+                (!stale.is_empty()).then(|| (shard, render_delete(&stale)))
             })
             .collect();
         if !stale_work.is_empty() {
-            let by_shard: HashMap<usize, &Vec<MaskId>> =
-                stale_work.iter().map(|(s, ids)| (*s, ids)).collect();
-            let shards: Vec<usize> = stale_work.iter().map(|(s, _)| *s).collect();
-            let deleted = self.scatter_indexed(&shards, |shard| {
-                let sql = render_delete(by_shard[&shard]);
-                self.with_shard(shard, |c| c.query(&sql))
-            })?;
+            let deleted = self.scatter_rows(stale_work, Route::Primary)?;
             relocated += deleted.iter().map(|r| r.summary.deleted).sum::<u64>();
         }
 
         // Phase 2: per-shard atomic inserts.
-        let shards: Vec<usize> = (0..self.shards())
-            .filter(|&s| !per_shard[s].is_empty())
+        let requests: Vec<(usize, String)> = per_shard
+            .iter()
+            .enumerate()
+            .filter(|(_, batch)| !batch.is_empty())
+            .map(|(shard, batch)| (shard, render_insert(batch)))
             .collect();
-        let responses = self.scatter_indexed(&shards, |shard| {
-            let sql = render_insert(&per_shard[shard]);
-            self.with_shard(shard, |c| c.query(&sql))
-        })?;
+        let responses = self.scatter_rows(requests, Route::Primary)?;
         let applied: u64 = responses.iter().map(|r| r.summary.inserted).sum();
         self.inner.metrics.record_mutation(applied, 0, relocated);
         // Report the requested tuple count, matching what a single-node
@@ -694,17 +947,13 @@ impl Coordinator {
                 return Err(ClusterError::UnknownMask(id));
             }
         }
-        let work: Vec<(usize, &Vec<MaskId>)> = located
+        let requests: Vec<(usize, String)> = located
             .iter()
             .enumerate()
             .filter(|(_, present)| !present.is_empty())
+            .map(|(shard, present)| (shard, render_delete(present)))
             .collect();
-        let by_shard: HashMap<usize, &Vec<MaskId>> = work.iter().copied().collect();
-        let shards: Vec<usize> = work.iter().map(|(s, _)| *s).collect();
-        self.scatter_indexed(&shards, |shard| {
-            let sql = render_delete(by_shard[&shard]);
-            self.with_shard(shard, |c| c.query(&sql))
-        })?;
+        self.scatter_rows(requests, Route::Primary)?;
         self.inner.metrics.record_mutation(0, ids.len() as u64, 0);
         Ok(MutationOutcome {
             inserted: 0,
@@ -712,11 +961,11 @@ impl Coordinator {
         })
     }
 
-    /// One aggregated `STATS` line: shard counters summed (latency
-    /// percentiles maxed), plus the coordinator's own scatter/refinement
-    /// counters.
+    /// One aggregated `STATS` line: shard-primary counters summed (latency
+    /// percentiles maxed), plus the coordinator's own scatter/refinement/
+    /// replication counters.
     pub fn stats_line(&self) -> ClusterResult<String> {
-        let lines = self.scatter_all(|shard| self.with_shard(shard, |c| c.stats()))?;
+        let lines = self.scatter_control(self.all("STATS"), Route::Primary)?;
         let mut sums: BTreeMap<&'static str, f64> = BTreeMap::new();
         let mut maxes: BTreeMap<&'static str, f64> = BTreeMap::new();
         // The aggregation arrays are the shared registry the shard-side
@@ -752,14 +1001,16 @@ impl Coordinator {
         }
         line.push_str(&format!(
             " cluster_queries={} cluster_ranked={} cluster_mutations={} cluster_deduped={} \
-             cluster_failed={} shard_requests={} topk_rounds={} topk_refined_requests={} \
-             topk_single_round={} relocated={}",
+             cluster_failed={} shard_requests={} replica_reads={} failovers={} topk_rounds={} \
+             topk_refined_requests={} topk_single_round={} relocated={}",
             m.queries,
             m.ranked_queries,
             m.mutations,
             m.mutations_deduped,
             m.failed,
             m.shard_requests,
+            m.replica_reads,
+            m.failovers,
             m.topk_rounds,
             m.topk_refined_requests,
             m.topk_single_round,
@@ -783,11 +1034,11 @@ impl Coordinator {
     }
 
     /// Cluster-wide cumulative values of the `MONITOR` counters: every
-    /// shard's `STATS` line scattered and the
+    /// shard primary's `STATS` line scattered and the
     /// [`obs_keys::MONITOR_DELTA_KEYS`] summed, so coordinator `MONITOR`
     /// deltas sum to the same totals an aggregated `STATS` reports.
     pub fn monitor_values(&self) -> ClusterResult<Vec<(&'static str, u64)>> {
-        let lines = self.scatter_all(|shard| self.with_shard(shard, |c| c.stats()))?;
+        let lines = self.scatter_control(self.all("STATS"), Route::Primary)?;
         let mut sums = vec![0u64; obs_keys::MONITOR_DELTA_KEYS.len()];
         for line in &lines {
             for token in line.split_ascii_whitespace().skip(1) {
@@ -809,19 +1060,21 @@ impl Coordinator {
             .collect())
     }
 
-    /// Broadcasts a `RECORD` control to every shard and merges the replies.
-    /// `START` derives one file per shard (`<path>.shard<i>`) from the given
-    /// base path, so a cluster capture replays shard-by-shard; counters are
-    /// summed and `active` means *every* shard is recording.
+    /// Broadcasts a `RECORD` control to every shard primary and merges the
+    /// replies. `START` derives one file per shard (`<path>.shard<i>`) from
+    /// the given base path, so a cluster capture replays shard-by-shard;
+    /// counters are summed and `active` means *every* shard is recording.
     pub fn record_control(
         &self,
         control: &protocol::RecordControl,
     ) -> ClusterResult<masksearch_obs::RecorderStatus> {
         let lines = match control {
-            protocol::RecordControl::Start(Some(base)) => self.scatter_all(|shard| {
-                let path = format!("{base}.shard{shard}");
-                self.with_shard(shard, |c| c.record_start(Some(&path)))
-            })?,
+            protocol::RecordControl::Start(Some(base)) => {
+                let requests = (0..self.shards())
+                    .map(|shard| (shard, format!("RECORD START {base}.shard{shard}")))
+                    .collect();
+                self.scatter_control(requests, Route::Primary)?
+            }
             protocol::RecordControl::Start(None) => {
                 return Err(ClusterError::Sql(
                     "RECORD START needs a path on a coordinator (per-shard \
@@ -830,10 +1083,10 @@ impl Coordinator {
                 ))
             }
             protocol::RecordControl::Stop => {
-                self.scatter_all(|shard| self.with_shard(shard, |c| c.record_stop()))?
+                self.scatter_control(self.all("RECORD STOP"), Route::Primary)?
             }
             protocol::RecordControl::Status => {
-                self.scatter_all(|shard| self.with_shard(shard, |c| c.record_status()))?
+                self.scatter_control(self.all("RECORD STATUS"), Route::Primary)?
             }
         };
         let mut merged = masksearch_obs::RecorderStatus {
@@ -915,28 +1168,38 @@ fn render_delete(ids: &[MaskId]) -> String {
 }
 
 /// The coordinator's TCP front end: accepts the same line protocol as a
-/// shard server, so `masksearch_service::Client` (and anything else speaking
-/// the dialect) can talk to a cluster without knowing it is one.
+/// shard server (tagged and untagged), so `masksearch_service::Client`,
+/// [`MuxClient`], and anything else speaking the dialect can talk to a
+/// cluster without knowing it is one. Connections are served by a
+/// readiness-driven `poll(2)` event loop — one poller thread plus a small
+/// worker pool — instead of a thread per connection.
 pub struct CoordinatorServer {
-    listener: TcpListener,
+    eventloop: EventLoop,
     coordinator: Coordinator,
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
 }
 
 impl CoordinatorServer {
-    /// Binds to `addr` (port 0 for an ephemeral port) without accepting yet.
+    /// Binds to `addr` (port 0 for an ephemeral port) and builds the event
+    /// loop without accepting yet.
     pub fn bind(addr: impl ToSocketAddrs, coordinator: Coordinator) -> ClusterResult<Self> {
         let listener = TcpListener::bind(addr)
             .map_err(|e| ClusterError::Config(format!("bind failed: {e}")))?;
         let addr = listener
             .local_addr()
             .map_err(|e| ClusterError::Config(format!("local_addr failed: {e}")))?;
+        let handler: Handler = {
+            let coordinator = coordinator.clone();
+            Arc::new(move |tag, request, emit: &mut dyn FnMut(Vec<u8>)| {
+                execute_request(&coordinator, tag, request, emit)
+            })
+        };
+        let eventloop = EventLoop::new(listener, handler, COORDINATOR_WORKERS)
+            .map_err(|e| ClusterError::Config(format!("event loop setup failed: {e}")))?;
         Ok(Self {
-            listener,
+            eventloop,
             coordinator,
             addr,
-            shutdown: Arc::new(AtomicBool::new(false)),
         })
     }
 
@@ -945,35 +1208,25 @@ impl CoordinatorServer {
         self.addr
     }
 
-    /// Accepts connections until shut down, blocking the calling thread.
+    /// Serves connections until shut down, blocking the calling thread.
     pub fn run(self) {
-        for stream in self.listener.incoming() {
-            if self.shutdown.load(Ordering::Acquire) {
-                break;
-            }
-            let Ok(stream) = stream else {
-                std::thread::sleep(Duration::from_millis(10));
-                continue;
-            };
-            let coordinator = self.coordinator.clone();
-            std::thread::spawn(move || {
-                let _ = serve_connection(stream, &coordinator);
-            });
-        }
+        self.eventloop.run()
     }
 
-    /// Starts the accept loop on a background thread.
+    /// Starts the event loop on a background thread.
     pub fn spawn(self) -> CoordinatorHandle {
         let addr = self.addr;
-        let shutdown = Arc::clone(&self.shutdown);
         let coordinator = self.coordinator.clone();
+        let shutdown = self.eventloop.shutdown_flag();
+        let waker = self.eventloop.waker();
         let join = std::thread::Builder::new()
             .name("masksearch-coordinator".to_string())
             .spawn(move || self.run())
-            .expect("spawn coordinator acceptor");
+            .expect("spawn coordinator event loop");
         CoordinatorHandle {
             addr,
             shutdown,
+            waker,
             coordinator,
             join: Some(join),
         }
@@ -984,6 +1237,7 @@ impl CoordinatorServer {
 pub struct CoordinatorHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    waker: Waker,
     coordinator: Coordinator,
     join: Option<std::thread::JoinHandle<()>>,
 }
@@ -999,8 +1253,7 @@ impl CoordinatorHandle {
         &self.coordinator
     }
 
-    /// Stops accepting and joins the accept loop; open connections finish
-    /// their request streams.
+    /// Stops the event loop and joins it; open connections are dropped.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
@@ -1010,7 +1263,7 @@ impl CoordinatorHandle {
             return;
         }
         self.shutdown.store(true, Ordering::Release);
-        let _ = TcpStream::connect(self.addr);
+        self.waker.wake();
         if let Some(join) = self.join.take() {
             let _ = join.join();
         }
@@ -1023,145 +1276,146 @@ impl Drop for CoordinatorHandle {
     }
 }
 
-/// Serves one coordinator connection until `QUIT`, EOF, or an I/O error.
-fn serve_connection(stream: TcpStream, coordinator: &Coordinator) -> std::io::Result<()> {
-    stream.set_nodelay(true).ok();
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    let mut buf = Vec::new();
-    loop {
-        buf.clear();
-        if reader.read_until(b'\n', &mut buf)? == 0 {
-            return Ok(());
-        }
-        let line = String::from_utf8_lossy(&buf);
-        let Some(request) = ClientRequest::parse(&line) else {
-            continue;
-        };
-        match request {
-            ClientRequest::Quit => {
-                writer.flush()?;
-                return Ok(());
-            }
-            ClientRequest::Ping => protocol::write_pong(&mut writer)?,
-            ClientRequest::Metrics => {
-                protocol::write_metrics_response(&mut writer, &coordinator.prometheus_text())?
-            }
-            ClientRequest::MetricsWindow(secs) => protocol::write_metrics_response(
-                &mut writer,
-                &coordinator.metrics_window_text(secs),
-            )?,
-            ClientRequest::Record(control) => match coordinator.record_control(&control) {
-                Ok(status) => protocol::write_record_status(&mut writer, &status)?,
-                Err(e) => write_cluster_error(&mut writer, &e)?,
-            },
-            ClientRequest::Monitor {
-                frames,
-                interval_ms,
-            } => {
-                // Same contract as a single server: baseline zero, one delta
-                // frame per tick, cluster-wide values from a STATS scatter.
-                let mut prev = vec![0u64; obs_keys::MONITOR_DELTA_KEYS.len()];
-                for seq in 0..frames {
-                    let values = match coordinator.monitor_values() {
-                        Ok(values) => values,
-                        Err(e) => {
-                            write_cluster_error(&mut writer, &e)?;
-                            break;
+/// Executes one parsed front-end request on an event-loop worker, emitting
+/// rendered response frames (each prefixed with the request's `@<id>` tag
+/// when present). `MONITOR` streams one buffer per delta frame; everything
+/// else emits exactly one frame.
+fn execute_request(
+    coordinator: &Coordinator,
+    tag: Option<u64>,
+    request: ClientRequest,
+    emit: &mut dyn FnMut(Vec<u8>),
+) {
+    match request {
+        ClientRequest::Monitor {
+            frames,
+            interval_ms,
+        } => {
+            // Same contract as a single server: baseline zero, one delta
+            // frame per tick, cluster-wide values from a STATS scatter.
+            // (The event loop only dispatches MONITOR untagged.)
+            let mut prev = vec![0u64; obs_keys::MONITOR_DELTA_KEYS.len()];
+            for seq in 0..frames {
+                let mut buf = frame_buf(tag);
+                match coordinator.monitor_values() {
+                    Ok(values) => {
+                        let deltas: Vec<(&str, u64)> = values
+                            .iter()
+                            .zip(prev.iter())
+                            .map(|(&(key, value), &p)| (key, value.saturating_sub(p)))
+                            .collect();
+                        let _ = protocol::write_delta_frame(&mut buf, seq as u64, &deltas);
+                        emit(buf);
+                        for (slot, &(_, value)) in prev.iter_mut().zip(values.iter()) {
+                            *slot = value;
                         }
-                    };
-                    let deltas: Vec<(&str, u64)> = values
-                        .iter()
-                        .zip(prev.iter())
-                        .map(|(&(key, value), &p)| (key, value.saturating_sub(p)))
-                        .collect();
-                    protocol::write_delta_frame(&mut writer, seq as u64, &deltas)?;
-                    writer.flush()?;
-                    for (slot, &(_, value)) in prev.iter_mut().zip(values.iter()) {
-                        *slot = value;
                     }
-                    if seq + 1 < frames {
-                        std::thread::sleep(Duration::from_millis(interval_ms));
+                    Err(e) => {
+                        let _ = write_cluster_error(&mut buf, &e);
+                        emit(buf);
+                        return;
                     }
                 }
-            }
-            ClientRequest::Profiles(n) => {
-                let lines: Vec<String> = coordinator
-                    .recent_profiles(n)
-                    .iter()
-                    .flat_map(|p| p.render())
-                    .collect();
-                protocol::write_profiles_response(&mut writer, &lines)?
-            }
-            ClientRequest::Stats => match coordinator.stats_line() {
-                Ok(line) => {
-                    writeln!(writer, "{line}")?;
-                    writeln!(writer, "{}", protocol::END_MARKER)?;
-                }
-                Err(e) => write_cluster_error(&mut writer, &e)?,
-            },
-            ClientRequest::Lookup(ids) => match coordinator.lookup(&ids) {
-                Ok(present) => protocol::write_lookup_response(&mut writer, &present)?,
-                Err(e) => write_cluster_error(&mut writer, &e)?,
-            },
-            // PARTIAL is a shard-internal request; a coordinator is not a
-            // shard of another coordinator (no recursive sharding yet).
-            ClientRequest::Partial { .. } => write_cluster_error(
-                &mut writer,
-                &ClusterError::Sql("PARTIAL is not served by a coordinator".to_string()),
-            )?,
-            ClientRequest::Tokened { token, sql } => {
-                let started = Instant::now();
-                match coordinator.execute_sql_tokened(token, &sql) {
-                    Ok(ClusterReply::Rows(output)) => {
-                        let response = QueryResponse {
-                            output,
-                            queue_wait: Duration::ZERO,
-                            exec_time: started.elapsed(),
-                        };
-                        protocol::write_response(&mut writer, &response)?;
-                    }
-                    Ok(ClusterReply::Mutation(outcome)) => {
-                        let response = MutationResponse {
-                            outcome,
-                            queue_wait: Duration::ZERO,
-                            exec_time: started.elapsed(),
-                        };
-                        protocol::write_mutation_response(&mut writer, &response)?;
-                    }
-                    Ok(ClusterReply::Plan(lines)) => {
-                        protocol::write_plan_response(&mut writer, &lines)?;
-                    }
-                    Err(e) => write_cluster_error(&mut writer, &e)?,
-                }
-            }
-            ClientRequest::Sql(sql) => {
-                let started = Instant::now();
-                match coordinator.execute_sql(&sql) {
-                    Ok(ClusterReply::Rows(output)) => {
-                        let response = QueryResponse {
-                            output,
-                            queue_wait: Duration::ZERO,
-                            exec_time: started.elapsed(),
-                        };
-                        protocol::write_response(&mut writer, &response)?;
-                    }
-                    Ok(ClusterReply::Mutation(outcome)) => {
-                        let response = MutationResponse {
-                            outcome,
-                            queue_wait: Duration::ZERO,
-                            exec_time: started.elapsed(),
-                        };
-                        protocol::write_mutation_response(&mut writer, &response)?;
-                    }
-                    Ok(ClusterReply::Plan(lines)) => {
-                        protocol::write_plan_response(&mut writer, &lines)?;
-                    }
-                    Err(e) => write_cluster_error(&mut writer, &e)?,
+                if seq + 1 < frames {
+                    std::thread::sleep(Duration::from_millis(interval_ms));
                 }
             }
         }
-        writer.flush()?;
+        request => {
+            let mut buf = frame_buf(tag);
+            render_reply(coordinator, request, &mut buf);
+            emit(buf);
+        }
+    }
+}
+
+/// An output buffer pre-seeded with the `@<id>` tag prefix.
+fn frame_buf(tag: Option<u64>) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(128);
+    if let Some(id) = tag {
+        let _ = write!(buf, "@{id} ");
+    }
+    buf
+}
+
+/// Renders the response frame for every single-frame request kind.
+fn render_reply(coordinator: &Coordinator, request: ClientRequest, buf: &mut Vec<u8>) {
+    // Writes into a Vec<u8> cannot fail.
+    let _ = match request {
+        // QUIT closes in the event loop and MONITOR streams in
+        // `execute_request`; neither reaches this renderer.
+        ClientRequest::Quit | ClientRequest::Monitor { .. } => Ok(()),
+        ClientRequest::Ping => protocol::write_pong(buf),
+        ClientRequest::Metrics => {
+            protocol::write_metrics_response(buf, &coordinator.prometheus_text())
+        }
+        ClientRequest::MetricsWindow(secs) => {
+            protocol::write_metrics_response(buf, &coordinator.metrics_window_text(secs))
+        }
+        ClientRequest::Record(control) => match coordinator.record_control(&control) {
+            Ok(status) => protocol::write_record_status(buf, &status),
+            Err(e) => write_cluster_error(buf, &e),
+        },
+        ClientRequest::Profiles(n) => {
+            let lines: Vec<String> = coordinator
+                .recent_profiles(n)
+                .iter()
+                .flat_map(|p| p.render())
+                .collect();
+            protocol::write_profiles_response(buf, &lines)
+        }
+        ClientRequest::Stats => match coordinator.stats_line() {
+            Ok(line) => {
+                writeln!(buf, "{line}").and_then(|()| writeln!(buf, "{}", protocol::END_MARKER))
+            }
+            Err(e) => write_cluster_error(buf, &e),
+        },
+        ClientRequest::Lookup(ids) => match coordinator.lookup(&ids) {
+            Ok(present) => protocol::write_lookup_response(buf, &present),
+            Err(e) => write_cluster_error(buf, &e),
+        },
+        // PARTIAL is a shard-internal request; a coordinator is not a
+        // shard of another coordinator (no recursive sharding yet).
+        ClientRequest::Partial { .. } => write_cluster_error(
+            buf,
+            &ClusterError::Sql("PARTIAL is not served by a coordinator".to_string()),
+        ),
+        ClientRequest::Tokened { token, sql } => {
+            let started = Instant::now();
+            write_sql_reply(buf, coordinator.execute_sql_tokened(token, &sql), started)
+        }
+        ClientRequest::Sql(sql) => {
+            let started = Instant::now();
+            write_sql_reply(buf, coordinator.execute_sql(&sql), started)
+        }
+    };
+}
+
+/// Writes the outcome of a coordinated SQL statement as one frame.
+fn write_sql_reply(
+    buf: &mut Vec<u8>,
+    result: ClusterResult<ClusterReply>,
+    started: Instant,
+) -> std::io::Result<()> {
+    match result {
+        Ok(ClusterReply::Rows(output)) => {
+            let response = QueryResponse {
+                output,
+                queue_wait: Duration::ZERO,
+                exec_time: started.elapsed(),
+            };
+            protocol::write_response(buf, &response)
+        }
+        Ok(ClusterReply::Mutation(outcome)) => {
+            let response = MutationResponse {
+                outcome,
+                queue_wait: Duration::ZERO,
+                exec_time: started.elapsed(),
+            };
+            protocol::write_mutation_response(buf, &response)
+        }
+        Ok(ClusterReply::Plan(lines)) => protocol::write_plan_response(buf, &lines),
+        Err(e) => write_cluster_error(buf, &e),
     }
 }
 

@@ -10,17 +10,21 @@
 //!
 //! ```text
 //!   SQL clients (same line protocol as a single server)
-//!        │
+//!        │ tagged (@id) or plain lines
 //!        ▼
-//!   ┌───────────────┐   ShardMap (hash of image id)
-//!   │ Coordinator    │──────────────────────────────┐
-//!   │  · broadcast + │ scatter       scatter        │ route writes
-//!   │    merge       ▼               ▼              ▼
-//!   │  · distributed ┌─────────┐   ┌─────────┐   ┌─────────┐
-//!   │    top-k       │ shard 0 │   │ shard 1 │ … │ shard N │
-//!   │    refinement  │ Engine  │   │ Engine  │   │ Engine  │
-//!   └───────────────┘└─────────┘   └─────────┘   └─────────┘
-//!        ▲       gather: partial QueryOutputs (+ k-th bounds)
+//!   ┌────────────────┐   ShardMap (hash of image id)
+//!   │ Coordinator     │─────────────────────────────┐
+//!   │  · poll(2) event│ pipelined     pipelined     │ route writes
+//!   │    loop front   │ scatter       scatter       │ (primary only)
+//!   │    end          ▼               ▼             ▼
+//!   │  · broadcast +  ┌─────────┐   ┌─────────┐   ┌─────────┐
+//!   │    merge        │ shard 0 │   │ shard 1 │ … │ shard N │
+//!   │  · distributed  │ primary │   │ primary │   │ primary │
+//!   │    top-k        └────┬────┘   └─────────┘   └─────────┘
+//!   │    refinement        │ WAL tail
+//!   └────────────────┘┌────▼────┐
+//!        ▲            │ replica │◄── reads round-robin here too,
+//!        │            └─────────┘    failover when an endpoint dies
 //!        └─ merged rows byte-identical to single-node execution
 //! ```
 //!
@@ -30,10 +34,16 @@
 //! * [`topk`] — the distributed top-k threshold algorithm: bounded per-shard
 //!   `k`, k-th-value bounds, and refinement rounds that re-query only the
 //!   shards whose bound can still beat the merged k-th row.
-//! * [`Coordinator`] / [`CoordinatorServer`] — statement routing,
-//!   scatter-gather over pooled [`Client`](masksearch_service::Client)
-//!   connections (protocol-version-checked, reconnect-with-backoff), write
-//!   splitting with per-shard atomicity, and aggregated `STATS`.
+//! * [`Coordinator`] / [`CoordinatorServer`] — statement routing over one
+//!   multiplexed [`MuxClient`](masksearch_service::mux::MuxClient) link per
+//!   shard endpoint (a whole fan-out is one round trip), read balancing
+//!   across replicas with transport-error failover, write splitting with
+//!   per-shard atomicity, and aggregated `STATS`. The front end serves all
+//!   client connections from a readiness-driven `poll(2)` event loop plus a
+//!   small worker pool instead of a thread per connection.
+//! * [`replica`] — a read replica of a shard: a fresh database that tails
+//!   the primary's checksummed WAL and applies committed transactions, kept
+//!   queryable throughout.
 //!
 //! The merge rules themselves live in
 //! [`masksearch_query::merge`] so that exactness over *any*
@@ -45,7 +55,9 @@
 
 pub mod coordinator;
 pub mod error;
+mod eventloop;
 pub mod metrics;
+pub mod replica;
 pub mod shard;
 pub mod topk;
 
@@ -54,5 +66,6 @@ pub use coordinator::{
 };
 pub use error::{ClusterError, ClusterResult};
 pub use metrics::{ClusterMetrics, ClusterMetricsSnapshot};
+pub use replica::ReplicaShard;
 pub use shard::ShardMap;
 pub use topk::{distributed_topk, TopkRun};

@@ -21,6 +21,8 @@ pub struct ClusterMetrics {
     masks_deleted: AtomicU64,
     masks_relocated: AtomicU64,
     mutations_deduped: AtomicU64,
+    replica_reads: AtomicU64,
+    failovers: AtomicU64,
 }
 
 impl Default for ClusterMetrics {
@@ -46,6 +48,8 @@ impl ClusterMetrics {
             masks_deleted: AtomicU64::new(0),
             masks_relocated: AtomicU64::new(0),
             mutations_deduped: AtomicU64::new(0),
+            replica_reads: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
         }
     }
 
@@ -81,6 +85,14 @@ impl ClusterMetrics {
         self.shard_requests.fetch_add(n as u64, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_replica_read(&self) {
+        self.replica_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_failover(&self) {
+        self.failovers.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Point-in-time summary.
     pub fn snapshot(&self) -> ClusterMetricsSnapshot {
         ClusterMetricsSnapshot {
@@ -97,6 +109,8 @@ impl ClusterMetrics {
             masks_deleted: self.masks_deleted.load(Ordering::Relaxed),
             masks_relocated: self.masks_relocated.load(Ordering::Relaxed),
             mutations_deduped: self.mutations_deduped.load(Ordering::Relaxed),
+            replica_reads: self.replica_reads.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
         }
     }
 }
@@ -134,6 +148,13 @@ pub struct ClusterMetricsSnapshot {
     /// Mutations answered from the coordinator's token-dedup registry
     /// (client resends after transport errors) without re-routing.
     pub mutations_deduped: u64,
+    /// Read requests served by a replica endpoint instead of its shard's
+    /// primary (round-robin selection and failover re-routes both count).
+    pub replica_reads: u64,
+    /// Read requests that failed on their selected endpoint with a
+    /// transport error and were successfully re-routed to another endpoint
+    /// of the same shard.
+    pub failovers: u64,
 }
 
 impl ClusterMetricsSnapshot {

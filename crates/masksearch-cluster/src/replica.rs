@@ -1,0 +1,243 @@
+//! Read replicas: a second serving copy of a shard that tails the
+//! primary's write-ahead log and applies committed transactions as they
+//! land, staying queryable throughout.
+//!
+//! ## Topology
+//!
+//! Replication is **WAL shipping over a shared filesystem**: the replica
+//! reads the primary's `masks.wal` file directly (primary and replica run
+//! on the same host or a shared mount — the deployment this repo's
+//! in-process cluster tests and benchmarks model). The tailer remembers a
+//! byte watermark into that file, and each poll scans forward from it with
+//! the same torn-tail-tolerant scanner crash recovery uses
+//! ([`masksearch_db::wal::scan_committed`]): a half-written transaction is
+//! simply not there yet, and only whole committed transactions are applied.
+//!
+//! Each applied transaction goes through
+//! [`DurableMaskStore::apply_replicated`](masksearch_db::DurableMaskStore::apply_replicated),
+//! which re-logs it in the replica's own WAL (so the replica crash-recovers
+//! like any database), installs the page after-images, and maintains the
+//! CHI and tile indexes; the serving session then refreshes its catalog and
+//! caches. A query on the replica therefore always sees a committed prefix
+//! of the primary's write history — possibly a beat behind, never torn.
+//!
+//! ## Requirements on the primary
+//!
+//! The primary must keep its WAL growing monotonically while replicas tail
+//! it: open it with `checkpoint_wal_bytes(0)` (no automatic truncation) and
+//! do not call `checkpoint()` while a replica is attached. A tailer that
+//! observes the file shrink below its watermark reports a desync error and
+//! stops rather than guessing.
+
+use crate::error::{ClusterError, ClusterResult};
+use masksearch_db::wal::{header_page_size, scan_committed, WAL_HEADER_LEN};
+use masksearch_db::{DbConfig, MaskDb, WAL_FILE};
+use masksearch_query::{Session, SessionConfig};
+use masksearch_service::{Engine, Server, ServerHandle, ServiceConfig};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How often an idle tailer re-polls the primary's WAL file.
+const POLL_INTERVAL: Duration = Duration::from_millis(2);
+
+/// A serving read replica of one shard: its own durable database plus a
+/// TCP server, kept in sync by a background WAL tailer.
+pub struct ReplicaShard {
+    db: MaskDb,
+    session: Arc<Session>,
+    handle: Option<ServerHandle>,
+    stop: Arc<AtomicBool>,
+    applied: Arc<AtomicU64>,
+    error: Arc<Mutex<Option<String>>>,
+    tailer: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ReplicaShard {
+    /// Opens a replica database in `replica_dir`, starts its server on an
+    /// ephemeral port, and spawns the tailer over the primary database in
+    /// `primary_dir`. `db_config` must use the primary's page size (the
+    /// tailer verifies this against the primary's WAL header and fails the
+    /// start otherwise).
+    pub fn start(
+        primary_dir: impl AsRef<Path>,
+        replica_dir: impl AsRef<Path>,
+        db_config: DbConfig,
+        session_config: SessionConfig,
+        service_config: ServiceConfig,
+    ) -> ClusterResult<Self> {
+        let primary_wal = primary_dir.as_ref().join(WAL_FILE);
+        let db = MaskDb::open(replica_dir.as_ref(), db_config)
+            .map_err(|e| ClusterError::Internal(format!("opening replica database: {e}")))?;
+        let page_size = db.store().config().page_size;
+        // Fail fast on a mismatched primary instead of letting the tailer
+        // discover it asynchronously.
+        let header = std::fs::read(&primary_wal).map_err(|e| {
+            ClusterError::Internal(format!(
+                "reading primary wal {}: {e}",
+                primary_wal.display()
+            ))
+        })?;
+        let primary_page_size = header_page_size(&header)
+            .map_err(|e| ClusterError::Internal(format!("primary wal header: {e}")))?;
+        if primary_page_size != page_size {
+            return Err(ClusterError::Config(format!(
+                "replica page size {page_size} does not match primary wal page size \
+                 {primary_page_size}"
+            )));
+        }
+
+        let session = Arc::new(Session::with_store_maintained_index(
+            db.mask_store(),
+            db.catalog(),
+            session_config,
+            db.chi_store(),
+        ));
+        let engine = Engine::with_shared_session(Arc::clone(&session), service_config);
+        let handle = Server::bind("127.0.0.1:0", engine)
+            .map_err(|e| ClusterError::Internal(format!("binding replica server: {e}")))?
+            .spawn();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let applied = Arc::new(AtomicU64::new(WAL_HEADER_LEN));
+        let error = Arc::new(Mutex::new(None));
+        let tailer = {
+            let db = db.clone();
+            let session = Arc::clone(&session);
+            let stop = Arc::clone(&stop);
+            let applied = Arc::clone(&applied);
+            let error = Arc::clone(&error);
+            std::thread::Builder::new()
+                .name("masksearch-replica-tailer".to_string())
+                .spawn(move || {
+                    if let Err(e) =
+                        tail_wal(&primary_wal, page_size, &db, &session, &stop, &applied)
+                    {
+                        *error.lock().unwrap() = Some(e);
+                    }
+                })
+                .expect("spawn replica tailer")
+        };
+
+        Ok(Self {
+            db,
+            session,
+            handle: Some(handle),
+            stop,
+            applied,
+            error,
+            tailer: Some(tailer),
+        })
+    }
+
+    /// The replica server's address.
+    pub fn addr(&self) -> SocketAddr {
+        self.handle
+            .as_ref()
+            .expect("replica server is running")
+            .local_addr()
+    }
+
+    /// The replica's own database handle.
+    pub fn db(&self) -> &MaskDb {
+        &self.db
+    }
+
+    /// The serving session (e.g. for catalog assertions in tests).
+    pub fn session(&self) -> &Arc<Session> {
+        &self.session
+    }
+
+    /// Byte offset into the primary's WAL up to which every committed
+    /// transaction has been applied.
+    pub fn applied_bytes(&self) -> u64 {
+        self.applied.load(Ordering::Acquire)
+    }
+
+    /// The tailer's terminal error (e.g. a desync after the primary
+    /// truncated its WAL), if it died.
+    pub fn tailer_error(&self) -> Option<String> {
+        self.error.lock().unwrap().clone()
+    }
+
+    /// Blocks until the tailer's watermark reaches `bytes` (a primary
+    /// `wal_bytes()` reading). Returns `false` on timeout or tailer death.
+    pub fn wait_applied(&self, bytes: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.applied_bytes() < bytes {
+            if Instant::now() >= deadline || self.tailer_error().is_some() {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        true
+    }
+
+    /// Stops the tailer and the server.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(tailer) = self.tailer.take() {
+            let _ = tailer.join();
+        }
+        if let Some(handle) = self.handle.take() {
+            handle.shutdown();
+        }
+    }
+}
+
+impl Drop for ReplicaShard {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// The tailer loop: poll the primary's WAL, apply newly committed
+/// transactions, refresh the serving session. Returns `Ok` on a requested
+/// stop and `Err` with a description on desync or an apply failure.
+fn tail_wal(
+    primary_wal: &PathBuf,
+    page_size: u32,
+    db: &MaskDb,
+    session: &Session,
+    stop: &AtomicBool,
+    applied: &AtomicU64,
+) -> Result<(), String> {
+    while !stop.load(Ordering::Acquire) {
+        let watermark = applied.load(Ordering::Acquire);
+        let bytes = std::fs::read(primary_wal)
+            .map_err(|e| format!("reading primary wal {}: {e}", primary_wal.display()))?;
+        if (bytes.len() as u64) < watermark {
+            return Err(format!(
+                "primary wal shrank below the applied watermark ({} < {watermark}): the \
+                 primary checkpointed while replicated; replicas require \
+                 checkpoint_wal_bytes(0)",
+                bytes.len()
+            ));
+        }
+        let (txns, new_watermark) = scan_committed(&bytes, page_size, watermark);
+        if txns.is_empty() {
+            std::thread::sleep(POLL_INTERVAL);
+            continue;
+        }
+        let mut changed = Vec::new();
+        for txn in &txns {
+            let ids = db
+                .store()
+                .apply_replicated(txn)
+                .map_err(|e| format!("applying replicated txn {}: {e}", txn.txn_id))?;
+            changed.extend(ids);
+        }
+        // One catalog swap per poll round, after the whole committed batch
+        // applied: readers see shard-atomic states, never a half-applied
+        // transaction.
+        session.sync_replicated(db.catalog(), &changed);
+        applied.store(new_watermark, Ordering::Release);
+    }
+    Ok(())
+}

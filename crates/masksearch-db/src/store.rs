@@ -30,7 +30,7 @@ use crate::dir::{BlobEntry, Directory};
 use crate::page::{Meta, PageNo, MIN_PAGE_SIZE};
 use crate::pager::Pager;
 use crate::stats::IngestStats;
-use crate::wal::Wal;
+use crate::wal::{CommittedTxn, Wal};
 use masksearch_core::{Mask, MaskId, MaskRecord, TileGrid, TiledMask};
 use masksearch_index::{ChiConfig, ChiStore, TileStore};
 use masksearch_obs::counters as obs_counters;
@@ -601,6 +601,151 @@ impl DurableMaskStore {
             }
         }
         Ok(())
+    }
+
+    /// Applies one committed transaction shipped from another database's
+    /// WAL — the apply half of primary → replica replication (the tailing
+    /// half lives in `masksearch-cluster`). Returns the ids of every mask
+    /// the transaction inserted, overwrote, or deleted, so the serving
+    /// layer can invalidate caches.
+    ///
+    /// The transaction is first appended to the replica's *own* WAL, so a
+    /// replica crash-recovers exactly like a primary. Applying relies on
+    /// the commit protocol's invariant that every transaction rewrites the
+    /// entire directory extent plus the meta page: the after-images in the
+    /// transaction fully describe the new catalog state, and any mask whose
+    /// entry changed has its complete new extent among the transaction's
+    /// pages. Re-applying a transaction the replica already holds is
+    /// idempotent (same images to the same pages, same directory).
+    pub fn apply_replicated(&self, txn: &CommittedTxn) -> StorageResult<Vec<MaskId>> {
+        let _writer = self.writer.lock();
+
+        let page_size = self.config.page_size as usize;
+        let meta_image = txn
+            .pages
+            .iter()
+            .rev()
+            .find(|(page_no, _)| *page_no == 0)
+            .map(|(_, image)| image)
+            .ok_or_else(|| {
+                StorageError::corrupt("replicated transaction has no meta page".to_string())
+            })?;
+        let meta = Meta::decode_page(meta_image, self.config.page_size)?;
+        let mut dir_blob = Vec::with_capacity(meta.dir_pages as usize * page_size);
+        for page_no in meta.dir_start..meta.dir_start + meta.dir_pages as u64 {
+            let image = txn
+                .pages
+                .iter()
+                .rev()
+                .find(|(p, _)| *p == page_no)
+                .map(|(_, image)| image)
+                .ok_or_else(|| {
+                    StorageError::corrupt(format!(
+                        "replicated transaction misses directory page {page_no}"
+                    ))
+                })?;
+            dir_blob.extend_from_slice(image);
+        }
+        if (dir_blob.len() as u64) < meta.dir_bytes {
+            return Err(StorageError::corrupt(
+                "replicated directory extent is shorter than its meta page claims",
+            ));
+        }
+        dir_blob.truncate(meta.dir_bytes as usize);
+        let dir = Directory::decode(&dir_blob)?;
+        let free = derive_free_set(&meta, &dir)?;
+
+        // Which masks does this transaction touch? An entry present only on
+        // one side was inserted/deleted; an entry on both sides changed iff
+        // any of its pages is among the after-images (live extents are never
+        // reallocated to anything else, so intersection means rewrite).
+        let txn_pages: BTreeSet<PageNo> = txn.pages.iter().map(|(p, _)| *p).collect();
+        let old_entries = {
+            let state = self.state.read();
+            state.dir.entries.clone()
+        };
+        let mut removed: Vec<MaskId> = Vec::new();
+        let mut reindex: Vec<MaskId> = Vec::new();
+        for (mask_id, old) in &old_entries {
+            match dir.entries.get(mask_id) {
+                None => removed.push(*mask_id),
+                Some(new) => {
+                    let rewritten = new != old
+                        || (new.start..new.start + new.pages as u64)
+                            .any(|p| txn_pages.contains(&p));
+                    if rewritten {
+                        reindex.push(*mask_id);
+                    }
+                }
+            }
+        }
+        for (mask_id, entry) in &dir.entries {
+            if !old_entries.contains_key(mask_id) {
+                debug_assert!(
+                    (entry.start..entry.start + entry.pages as u64).all(|p| txn_pages.contains(&p)),
+                    "inserted mask extent must be in its transaction"
+                );
+                reindex.push(*mask_id);
+            }
+        }
+
+        // Durability first (the replica's own log), then eviction before
+        // publish, then the atomic swap — the same order as a local commit.
+        let wal_bytes = self
+            .wal
+            .lock()
+            .append_txn(txn.txn_id, &txn.pages, self.config.fsync)?;
+        for &mask_id in removed.iter().chain(reindex.iter()) {
+            self.chi.remove(mask_id);
+            self.tiles.remove(mask_id);
+        }
+        let mut masks: Vec<(MaskId, Mask)> = Vec::with_capacity(reindex.len());
+        {
+            let mut state = self.state.write();
+            {
+                let mut pager = state.pager.lock();
+                for (page_no, image) in &txn.pages {
+                    pager.write_page(*page_no, image.clone())?;
+                }
+            }
+            state.dir = dir;
+            state.free = free;
+            state.page_count = meta.page_count;
+            state.next_txn = meta.next_txn_id;
+            state.dir_start = meta.dir_start;
+            state.dir_pages = meta.dir_pages;
+            // Rebuild tile grids under the same write guard that published
+            // the pixels (the primary does this too); decode each touched
+            // mask once and reuse it for the CHI below.
+            for &mask_id in &reindex {
+                let entry = state.dir.entries.get(&mask_id).cloned().ok_or_else(|| {
+                    StorageError::corrupt(format!("reindexed mask {mask_id} vanished"))
+                })?;
+                let blob = self.read_blob(&entry, &state)?;
+                let (_, mask) = format::decode_mask(&blob)?;
+                self.tiles.insert(mask_id, Arc::new(TileGrid::build(&mask)));
+                masks.push((mask_id, mask));
+            }
+        }
+        for (mask_id, mask) in &masks {
+            self.chi.index_mask(*mask_id, mask);
+        }
+        self.ingest
+            .record_commit(reindex.len() as u64, removed.len() as u64, wal_bytes);
+
+        if self.config.checkpoint_wal_bytes > 0
+            && self.wal.lock().len() >= self.config.checkpoint_wal_bytes
+        {
+            // Checkpointing here only touches the replica's own files.
+            if let Err(e) = self.checkpoint_locked() {
+                *self.checkpoint_error.lock() = Some(e);
+            }
+        }
+        let mut changed = removed;
+        changed.extend(reindex);
+        changed.sort_unstable();
+        changed.dedup();
+        Ok(changed)
     }
 
     fn read_blob(&self, entry: &BlobEntry, state: &State) -> StorageResult<Vec<u8>> {

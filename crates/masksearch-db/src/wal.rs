@@ -82,7 +82,7 @@ impl Wal {
                 .and_then(|_| file.read_to_end(&mut bytes))
                 .map_err(|e| StorageError::io(format!("reading wal {}", path.display()), e))?;
             verify_header(&bytes, page_size)?;
-            scan(&bytes, page_size)
+            scan_committed(&bytes, page_size, WAL_HEADER_LEN)
         };
 
         // Drop the torn tail so future appends are reachable by recovery.
@@ -192,6 +192,33 @@ fn write_header(file: &mut File, page_size: u32, path: &Path) -> StorageResult<(
         .map_err(|e| StorageError::io(format!("writing wal header {}", path.display()), e))
 }
 
+/// Validates the header of a WAL byte image and returns the page size it
+/// was written with. Used by replication tailers to check a primary's log
+/// before applying anything from it.
+pub fn header_page_size(bytes: &[u8]) -> StorageResult<u32> {
+    if bytes.len() < WAL_HEADER_LEN as usize {
+        return Err(StorageError::corrupt(
+            "wal shorter than its header".to_string(),
+        ));
+    }
+    if bytes[0..4] != WAL_MAGIC {
+        return Err(StorageError::BadMagic {
+            path: "<wal>".to_string(),
+            found: [bytes[0], bytes[1], bytes[2], bytes[3]],
+        });
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version > WAL_VERSION {
+        return Err(StorageError::UnsupportedVersion {
+            found: version,
+            supported: WAL_VERSION,
+        });
+    }
+    Ok(u32::from_le_bytes([
+        bytes[8], bytes[9], bytes[10], bytes[11],
+    ]))
+}
+
 fn verify_header(bytes: &[u8], page_size: u32) -> StorageResult<()> {
     if bytes[0..4] != WAL_MAGIC {
         return Err(StorageError::BadMagic {
@@ -215,13 +242,17 @@ fn verify_header(bytes: &[u8], page_size: u32) -> StorageResult<()> {
     Ok(())
 }
 
-/// Scans the body of a WAL, returning the committed transactions and the
-/// byte offset just past the last committed frame. Anything after that
-/// offset — an unfinished transaction, a torn record, random garbage — is
-/// ignored, so a crash at *any* byte boundary recovers to a committed prefix.
-fn scan(bytes: &[u8], page_size: u32) -> (Vec<CommittedTxn>, u64) {
+/// Scans a WAL byte image for committed transactions starting at byte
+/// `start` (a frame boundary; [`WAL_HEADER_LEN`] scans the whole body),
+/// returning them in commit order together with the offset just past the
+/// last committed frame. Anything after that offset — an unfinished
+/// transaction, a torn record, random garbage — is ignored, so a crash at
+/// *any* byte boundary recovers to a committed prefix. Recovery scans the
+/// whole log this way; replication tailers resume from their applied
+/// watermark.
+pub fn scan_committed(bytes: &[u8], page_size: u32, start: u64) -> (Vec<CommittedTxn>, u64) {
     let mut committed = Vec::new();
-    let mut pos = WAL_HEADER_LEN as usize;
+    let mut pos = start as usize;
     let mut valid_len = pos as u64;
     let mut pending: Vec<(PageNo, Vec<u8>)> = Vec::new();
     let mut pending_txn: Option<u64> = None;

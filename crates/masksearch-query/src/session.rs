@@ -304,6 +304,16 @@ impl Session {
         &self.store
     }
 
+    /// Caps the filter/verification worker threads (floor 1).
+    ///
+    /// Embedding layers that multiplex several concurrent queries over one
+    /// session — e.g. a service engine with its own worker pool — use this
+    /// to divide the machine's cores among those queries instead of letting
+    /// each query claim all of them.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.config.threads = threads.max(1);
+    }
+
     /// The session configuration.
     pub fn config(&self) -> &SessionConfig {
         &self.config
@@ -516,6 +526,26 @@ impl Session {
         }
         self.agg_indexes.write().clear();
         Ok(ids.len())
+    }
+
+    /// Brings the session in line with a write that was applied *directly
+    /// to the underlying store* — the serving side of replication, where a
+    /// tailer applies shipped transactions to the store (which also
+    /// maintains the shared CHI and tile indexes) and the session only has
+    /// to refresh its own derived state: the catalog snapshot swaps to the
+    /// store's post-apply catalog, the cache entries of the changed masks
+    /// are invalidated, and the aggregated-mask indexes are dropped.
+    ///
+    /// Only meaningful on sessions created with
+    /// [`Session::with_store_maintained_index`]; on others the shared CHI
+    /// would not have been maintained by anyone.
+    pub fn sync_replicated(&self, catalog: Catalog, changed: &[MaskId]) {
+        let _writes = self.writes.lock();
+        *self.catalog_write() = catalog;
+        for &id in changed {
+            self.cache.invalidate(id);
+        }
+        self.agg_indexes.write().clear();
     }
 
     /// Applies a lowered write statement.

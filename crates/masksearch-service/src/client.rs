@@ -36,7 +36,7 @@ use std::time::Duration;
 /// prefix (clock entropy at first use) plus a counter, so two clients
 /// talking to the same shard cannot collide within the server's bounded
 /// dedup window.
-fn next_mutation_token() -> u64 {
+pub(crate) fn next_mutation_token() -> u64 {
     static PREFIX: AtomicU64 = AtomicU64::new(0);
     static COUNTER: AtomicU64 = AtomicU64::new(1);
     let mut prefix = PREFIX.load(Ordering::Relaxed);
@@ -57,11 +57,32 @@ fn next_mutation_token() -> u64 {
 
 /// Backoff schedule for the bounded reconnect: one resend attempt, with up
 /// to three connection attempts spaced by these sleeps.
-const RECONNECT_BACKOFF: [Duration; 3] = [
+pub(crate) const RECONNECT_BACKOFF: [Duration; 3] = [
     Duration::from_millis(50),
     Duration::from_millis(150),
     Duration::from_millis(400),
 ];
+
+/// Returns `true` if the line is a bare mutation statement.
+pub(crate) fn is_mutation_sql(line: &str) -> bool {
+    let trimmed = line.trim_start();
+    ["INSERT ", "DELETE "].iter().any(|kw| {
+        trimmed
+            .get(..kw.len())
+            .is_some_and(|p| p.eq_ignore_ascii_case(kw))
+    })
+}
+
+/// Returns `true` if the request can be safely replayed on a fresh
+/// connection after a transport error. Reads are side-effect free, and
+/// `TOKEN`-wrapped mutations are deduplicated server-side (a replay of
+/// an already-applied token returns the recorded outcome). A bare
+/// `INSERT`/`DELETE` is *not* safe: the original may have committed
+/// before the connection died, and replaying it would double-apply the
+/// write (or turn a committed `DELETE` into an `UnknownMask` error).
+pub(crate) fn resend_is_safe(line: &str) -> bool {
+    !is_mutation_sql(line)
+}
 
 /// One `DELTA` frame from a [`Client::monitor`] subscription: the frame's
 /// sequence number and the counter deltas since the previous frame.
@@ -168,27 +189,6 @@ impl Client {
         protocol::read_frame(&mut self.reader)
     }
 
-    /// Returns `true` if the line is a bare mutation statement.
-    fn is_mutation_sql(line: &str) -> bool {
-        let trimmed = line.trim_start();
-        ["INSERT ", "DELETE "].iter().any(|kw| {
-            trimmed
-                .get(..kw.len())
-                .is_some_and(|p| p.eq_ignore_ascii_case(kw))
-        })
-    }
-
-    /// Returns `true` if the request can be safely replayed on a fresh
-    /// connection after a transport error. Reads are side-effect free, and
-    /// `TOKEN`-wrapped mutations are deduplicated server-side (a replay of
-    /// an already-applied token returns the recorded outcome). A bare
-    /// `INSERT`/`DELETE` is *not* safe: the original may have committed
-    /// before the connection died, and replaying it would double-apply the
-    /// write (or turn a committed `DELETE` into an `UnknownMask` error).
-    fn resend_is_safe(line: &str) -> bool {
-        !Self::is_mutation_sql(line)
-    }
-
     /// One request/response round trip, with the bounded retry on transport
     /// errors when reconnect is enabled. Server-reported errors (`ERR`
     /// frames) and malformed frames are returned as-is: the peer is alive
@@ -197,7 +197,7 @@ impl Client {
         match self.round_trip_once(line) {
             Err(err @ ServiceError::Io(_)) if self.reconnect => {
                 self.reconnect_with_backoff()?;
-                if Self::resend_is_safe(line) {
+                if resend_is_safe(line) {
                     self.round_trip_once(line)
                 } else {
                     // The connection is healed for subsequent requests, but
@@ -233,7 +233,7 @@ impl Client {
     /// `TOKEN <id>` envelope so the bounded reconnect can resend them
     /// exactly-once (the server deduplicates the token).
     pub fn query(&mut self, sql: &str) -> ServiceResult<WireResponse> {
-        if Self::is_mutation_sql(sql) {
+        if is_mutation_sql(sql) {
             let line = format!("TOKEN {} {sql}", next_mutation_token());
             return Self::expect_rows(self.round_trip(&line)?);
         }

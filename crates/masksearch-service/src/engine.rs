@@ -193,7 +193,20 @@ impl Engine {
     }
 
     /// Creates an engine over an already shared session.
-    pub fn with_shared_session(session: Arc<Session>, config: ServiceConfig) -> Self {
+    pub fn with_shared_session(mut session: Arc<Session>, config: ServiceConfig) -> Self {
+        // Each worker runs one query at a time, and each query fans out to
+        // `session.config().threads` verify threads — which defaults to all
+        // cores. With several workers the product oversubscribes the machine
+        // and throughput *drops* as workers are added (BENCH_service.json:
+        // 309 -> 302 QPS going 1 -> 2 workers). Divide the verify pool
+        // across workers so total verify concurrency stays ~one machine.
+        // A session already shared with another engine is left untouched.
+        if config.workers > 1 {
+            if let Some(session) = Arc::get_mut(&mut session) {
+                let per_worker = (session.config().threads / config.workers).max(1);
+                session.set_threads(per_worker);
+            }
+        }
         // Slow-query destination: a configured file (append mode), else the
         // historical stderr default. A file that cannot be opened falls
         // back to stderr rather than failing engine construction.
@@ -1193,6 +1206,27 @@ mod tests {
                 .indexing_mode(mode),
         )
         .unwrap()
+    }
+
+    #[test]
+    fn verify_pool_is_divided_across_workers() {
+        let make = |threads: usize| {
+            Session::new(
+                Arc::new(MemoryMaskStore::for_tests()) as Arc<dyn MaskStore>,
+                Catalog::new(),
+                SessionConfig::new(ChiConfig::new(4, 4, 8).unwrap()).threads(threads),
+            )
+            .unwrap()
+        };
+        // 8 verify threads over 4 workers -> 2 per query.
+        let engine = Engine::new(make(8), ServiceConfig::new(4));
+        assert_eq!(engine.session().config().threads, 2);
+        // Floor of one, even with more workers than verify threads.
+        let engine = Engine::new(make(2), ServiceConfig::new(8));
+        assert_eq!(engine.session().config().threads, 1);
+        // A single worker keeps the session's full pool.
+        let engine = Engine::new(make(8), ServiceConfig::new(1));
+        assert_eq!(engine.session().config().threads, 8);
     }
 
     fn sample_query() -> Query {

@@ -86,6 +86,7 @@ pub mod engine;
 pub mod error;
 pub mod job;
 pub mod metrics;
+pub mod mux;
 pub mod pool;
 pub mod protocol;
 pub mod queue;
@@ -99,6 +100,7 @@ pub use engine::Engine;
 pub use error::{ServiceError, ServiceResult};
 pub use job::{MutationResponse, PartialResponse, QueryResponse, Request, Response, Ticket};
 pub use metrics::{LatencyHistogram, LatencySnapshot, MetricsSnapshot, ServiceMetrics};
+pub use mux::{MuxClient, MuxPending};
 pub use pool::{ClientPool, PooledClient};
 pub use protocol::{ClientRequest, WireResponse, WireSummary, PROTOCOL_VERSION};
 pub use server::{Server, ServerHandle};

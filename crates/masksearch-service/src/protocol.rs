@@ -53,8 +53,14 @@ pub const END_MARKER: &str = "END";
 /// control answered with `RECORD` control frames, and `MONITOR <frames>
 /// [<interval_ms>]` streaming counted `DELTA <n>` metric-delta frames.
 /// Within v5 the query planner added `planner_*` counters to `STATS` —
-/// additive key/value tokens, so no version bump was needed.
-pub const PROTOCOL_VERSION: u32 = 5;
+/// additive key/value tokens, so no version bump was needed; v6 —
+/// multiplexing: a request line may be prefixed with a `@<id>` tag, and the
+/// server answers it with a frame whose header line carries the same
+/// `@<id>` prefix. Tagged requests may be pipelined — many in flight on one
+/// connection, answered in completion order — while untagged requests keep
+/// the v5 one-at-a-time FIFO contract. `MONITOR` subscriptions stream
+/// multiple frames and therefore stay untagged-only.
+pub const PROTOCOL_VERSION: u32 = 6;
 
 /// Default number of profiles returned by a bare `STATS PROFILES`.
 pub const DEFAULT_PROFILES: usize = 16;
@@ -588,16 +594,66 @@ fn parse_kv(token: &str, key: &str) -> ServiceResult<u64> {
         .ok_or_else(|| ServiceError::Protocol(format!("expected {key}=<n>, got {token:?}")))
 }
 
-/// Reads one response frame (all lines up to `END`) and interprets it.
+/// Splits a `@<id>`-tagged line into its request id and the rest of the
+/// line. Returns `None` when the line carries no well-formed tag — such a
+/// line is an ordinary untagged request (or frame header) and keeps its v5
+/// FIFO semantics, so a malformed tag degrades to an error *frame* rather
+/// than a poisoned connection.
+pub fn parse_tag(line: &str) -> Option<(u64, &str)> {
+    let rest = line.strip_prefix('@')?;
+    let (id, rest) = rest.split_once(' ')?;
+    if id.is_empty() || !id.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    Some((id.parse().ok()?, rest))
+}
+
+/// Reads one response frame, peeling an optional `@<id>` multiplexing tag
+/// from its header line.
 ///
-/// Returns the frame's payload. `ERR` frames become `Err(..)`; `PONG` and
-/// `STATS` frames are returned as raw lines in [`Frame::Control`].
-pub fn read_frame<R: BufRead>(reader: &mut R) -> ServiceResult<Frame> {
+/// The outer `Err` is a *transport or framing* failure: the stream is no
+/// longer at a frame boundary and the connection must be torn down. The
+/// inner result attributes a complete frame to its tag — `Err` there is
+/// always [`ServiceError::Remote`] (a well-formed `ERR` frame), which a
+/// multiplexing reader routes to the tagged caller instead of killing the
+/// connection.
+pub fn read_tagged_frame<R: BufRead>(
+    reader: &mut R,
+) -> ServiceResult<(Option<u64>, ServiceResult<Frame>)> {
     let mut header = String::new();
     if reader.read_line(&mut header)? == 0 {
         return Err(ServiceError::Io("connection closed mid-frame".to_string()));
     }
-    let header = header.trim_end().to_string();
+    let header = header.trim_end();
+    let (tag, header) = match parse_tag(header) {
+        Some((id, rest)) => (Some(id), rest.to_string()),
+        None => (None, header.to_string()),
+    };
+    match read_frame_body(&header, reader) {
+        Ok(frame) => Ok((tag, Ok(frame))),
+        Err(err @ ServiceError::Remote(_)) => Ok((tag, Err(err))),
+        Err(fatal) => Err(fatal),
+    }
+}
+
+/// Reads one response frame (all lines up to `END`) and interprets it.
+///
+/// Returns the frame's payload. `ERR` frames become `Err(..)`; `PONG` and
+/// `STATS` frames are returned as raw lines in [`Frame::Control`]. A
+/// `@<id>`-tagged frame is a protocol error here — callers expecting tags
+/// use [`read_tagged_frame`].
+pub fn read_frame<R: BufRead>(reader: &mut R) -> ServiceResult<Frame> {
+    match read_tagged_frame(reader)? {
+        (None, result) => result,
+        (Some(id), _) => Err(ServiceError::Protocol(format!(
+            "unexpected @{id}-tagged frame on an untagged stream"
+        ))),
+    }
+}
+
+/// Interprets one frame whose (tag-stripped) header line has already been
+/// read, consuming the frame's remaining lines from `reader`.
+fn read_frame_body<R: BufRead>(header: &str, reader: &mut R) -> ServiceResult<Frame> {
     if let Some(msg) = header.strip_prefix("ERR ") {
         // Consume the END line: the frame is complete, so the connection
         // stays at a clean boundary and the error is a *remote* failure.
@@ -606,7 +662,7 @@ pub fn read_frame<R: BufRead>(reader: &mut R) -> ServiceResult<Frame> {
     }
     if header.starts_with("PONG") || header.starts_with("STATS ") || header.starts_with("RECORD ") {
         expect_end(reader)?;
-        return Ok(Frame::Control(header));
+        return Ok(Frame::Control(header.to_string()));
     }
     for (kind, make) in [
         ("PLAN", Frame::Plan as fn(Vec<String>) -> Frame),

@@ -1,13 +1,29 @@
 //! The TCP front end: a thread-per-connection line-protocol server over
 //! `std::net`, speaking the dialect of [`crate::protocol`].
+//!
+//! Each connection serves two request styles at once (protocol v6):
+//!
+//! * **untagged** lines keep the strict v5 FIFO contract — parsed, executed
+//!   and answered inline, one at a time;
+//! * **`@<id>`-tagged** lines are handed to a small per-connection handler
+//!   pool, so many tagged requests proceed through the engine concurrently
+//!   and each answer is written — whole frame, tag included — under the
+//!   shared writer lock as soon as it completes, in completion order.
 
 use crate::engine::Engine;
-use crate::error::ServiceResult;
+use crate::error::{ServiceError, ServiceResult};
 use crate::protocol::{self, ClientRequest};
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
+
+/// Handler threads per connection serving tagged (multiplexed) requests.
+/// Each handler blocks in the engine for its request's duration, so this
+/// bounds one connection's in-flight depth; the engine's own worker pool
+/// and admission queue bound the process-wide concurrency.
+const TAGGED_HANDLERS: usize = 8;
 
 /// A running MaskSearch TCP server.
 ///
@@ -40,6 +56,42 @@ pub struct Server {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     active_connections: Arc<AtomicU64>,
+    conns: Arc<ConnRegistry>,
+}
+
+/// Registry of open connection sockets, so [`ServerHandle::kill`] can sever
+/// them all (modelling a process death) instead of draining gracefully.
+#[derive(Default)]
+struct ConnRegistry {
+    next_id: AtomicU64,
+    streams: Mutex<HashMap<u64, TcpStream>>,
+}
+
+impl ConnRegistry {
+    fn register(&self, stream: &TcpStream) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            self.streams
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .insert(id, clone);
+        }
+        id
+    }
+
+    fn unregister(&self, id: u64) {
+        self.streams
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&id);
+    }
+
+    fn sever_all(&self) {
+        let streams = self.streams.lock().unwrap_or_else(PoisonError::into_inner);
+        for stream in streams.values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
 }
 
 impl Server {
@@ -54,6 +106,7 @@ impl Server {
             addr,
             shutdown: Arc::new(AtomicBool::new(false)),
             active_connections: Arc::new(AtomicU64::new(0)),
+            conns: Arc::new(ConnRegistry::default()),
         })
     }
 
@@ -84,9 +137,12 @@ impl Server {
             };
             let engine = self.engine.clone();
             let active = Arc::clone(&self.active_connections);
+            let conns = Arc::clone(&self.conns);
+            let conn_id = conns.register(&stream);
             active.fetch_add(1, Ordering::Relaxed);
             std::thread::spawn(move || {
                 let _ = serve_connection(stream, &engine, &active);
+                conns.unregister(conn_id);
                 active.fetch_sub(1, Ordering::Relaxed);
             });
         }
@@ -98,6 +154,7 @@ impl Server {
         let addr = self.addr;
         let shutdown = Arc::clone(&self.shutdown);
         let active = Arc::clone(&self.active_connections);
+        let conns = Arc::clone(&self.conns);
         let engine = self.engine.clone();
         let join = std::thread::Builder::new()
             .name("masksearch-acceptor".to_string())
@@ -107,6 +164,7 @@ impl Server {
             addr,
             shutdown,
             active_connections: active,
+            conns,
             engine,
             join: Some(join),
         }
@@ -118,6 +176,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     active_connections: Arc<AtomicU64>,
+    conns: Arc<ConnRegistry>,
     engine: Engine,
     join: Option<std::thread::JoinHandle<()>>,
 }
@@ -144,6 +203,16 @@ impl ServerHandle {
         self.shutdown_inner();
     }
 
+    /// Kills the server like a process death: stops accepting and severs
+    /// every open connection mid-stream, so clients observe an abrupt
+    /// disconnect rather than a graceful drain. The database files stay
+    /// intact — a replica or a recovery reopen takes over from here.
+    pub fn kill(mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.conns.sever_all();
+        self.shutdown_inner();
+    }
+
     fn shutdown_inner(&mut self) {
         if self.join.is_none() {
             return;
@@ -163,15 +232,76 @@ impl Drop for ServerHandle {
     }
 }
 
+/// The write half of one connection, shared between the inline (untagged)
+/// request loop and the tagged handler pool. Every response frame is
+/// rendered to a buffer first and written with one lock acquisition, so
+/// concurrent completions can never interleave mid-frame.
+type SharedWriter = Arc<Mutex<BufWriter<TcpStream>>>;
+
+/// Renders one frame (with its optional `@<id>` tag prefix) off-lock, then
+/// writes and flushes it atomically.
+fn respond(
+    writer: &SharedWriter,
+    tag: Option<u64>,
+    render: impl FnOnce(&mut Vec<u8>) -> std::io::Result<()>,
+) -> std::io::Result<()> {
+    let mut buf = Vec::with_capacity(128);
+    if let Some(id) = tag {
+        write!(buf, "@{id} ")?;
+    }
+    render(&mut buf)?;
+    let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// The per-connection pool executing tagged requests concurrently. Spawned
+/// lazily on the first tagged request, so purely-v5 connections cost
+/// nothing extra.
+struct TaggedPool {
+    tx: mpsc::Sender<(u64, ClientRequest)>,
+}
+
+impl TaggedPool {
+    fn spawn(engine: Engine, writer: SharedWriter, active: Arc<AtomicU64>) -> Self {
+        let (tx, rx) = mpsc::channel::<(u64, ClientRequest)>();
+        let rx = Arc::new(Mutex::new(rx));
+        for _ in 0..TAGGED_HANDLERS {
+            let engine = engine.clone();
+            let writer = Arc::clone(&writer);
+            let active = Arc::clone(&active);
+            let rx = Arc::clone(&rx);
+            std::thread::spawn(move || loop {
+                let job = rx.lock().unwrap_or_else(PoisonError::into_inner).recv();
+                match job {
+                    Ok((id, request)) => {
+                        if handle_request(&engine, &active, &writer, Some(id), request).is_err() {
+                            // The connection died mid-write; drain no more.
+                            return;
+                        }
+                    }
+                    Err(_) => return, // connection loop gone, pool drains
+                }
+            });
+        }
+        Self { tx }
+    }
+}
+
 /// Serves one connection until `QUIT`, EOF, or an I/O error.
 ///
 /// Request lines are decoded lossily: bytes that are not valid UTF-8 reach
 /// the SQL front end as replacement characters and fail there with an `ERR`
 /// frame, rather than killing the connection.
-fn serve_connection(stream: TcpStream, engine: &Engine, active: &AtomicU64) -> std::io::Result<()> {
+fn serve_connection(
+    stream: TcpStream,
+    engine: &Engine,
+    active: &Arc<AtomicU64>,
+) -> std::io::Result<()> {
     stream.set_nodelay(true).ok();
     let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
+    let writer: SharedWriter = Arc::new(Mutex::new(BufWriter::new(stream)));
+    let mut pool: Option<TaggedPool> = None;
     let mut buf = Vec::new();
     loop {
         buf.clear();
@@ -179,89 +309,152 @@ fn serve_connection(stream: TcpStream, engine: &Engine, active: &AtomicU64) -> s
             return Ok(()); // client hung up
         }
         let line = String::from_utf8_lossy(&buf);
-        let Some(request) = ClientRequest::parse(&line) else {
+        let line = line.trim_end_matches(['\r', '\n']);
+        if let Some((id, rest)) = protocol::parse_tag(line) {
+            let Some(request) = ClientRequest::parse(rest) else {
+                continue; // blank tagged line
+            };
+            match request {
+                // Multi-frame and connection-scoped requests cannot be
+                // answered out of order under one tag; reject them rather
+                // than silently degrading their contracts.
+                ClientRequest::Monitor { .. } | ClientRequest::Quit => {
+                    respond(&writer, Some(id), |buf| {
+                        protocol::write_error(
+                            buf,
+                            &ServiceError::Protocol(
+                                "request cannot be multiplexed; send it untagged".to_string(),
+                            ),
+                        )
+                    })?;
+                }
+                request => {
+                    let pool = pool.get_or_insert_with(|| {
+                        TaggedPool::spawn(engine.clone(), Arc::clone(&writer), Arc::clone(active))
+                    });
+                    if pool.tx.send((id, request)).is_err() {
+                        return Ok(()); // every handler died: connection is gone
+                    }
+                }
+            }
+            continue;
+        }
+        let Some(request) = ClientRequest::parse(line) else {
             continue; // blank line
         };
-        match request {
-            ClientRequest::Quit => {
-                writer.flush()?;
-                return Ok(());
-            }
-            ClientRequest::Ping => protocol::write_pong(&mut writer)?,
-            ClientRequest::Stats => {
-                let mut metrics = engine.metrics();
-                metrics.active_connections = active.load(Ordering::Relaxed);
-                protocol::write_stats(&mut writer, &metrics)?
-            }
-            ClientRequest::Metrics => {
-                protocol::write_metrics_response(&mut writer, &engine.prometheus_text())?
-            }
-            ClientRequest::MetricsWindow(secs) => {
-                protocol::write_metrics_response(&mut writer, &engine.metrics_window_text(secs))?
-            }
-            ClientRequest::Record(control) => {
-                let status = match control {
-                    protocol::RecordControl::Start(path) => engine.record_start(path.as_deref()),
-                    protocol::RecordControl::Stop => engine.record_stop(),
-                    protocol::RecordControl::Status => Ok(engine.recorder_status()),
-                };
-                match status {
-                    Ok(status) => protocol::write_record_status(&mut writer, &status)?,
-                    Err(e) => protocol::write_error(&mut writer, &e)?,
-                }
-            }
-            ClientRequest::Monitor {
-                frames,
-                interval_ms,
-            } => {
-                // Stream one delta frame per tick. The subscriber's baseline
-                // is zero, so frame 0 carries the cumulative counters and
-                // deltas summed over the subscription equal the final STATS.
-                let mut prev = vec![0u64; masksearch_obs::keys::MONITOR_DELTA_KEYS.len()];
-                for seq in 0..frames {
-                    let values = engine.monitor_values();
-                    let deltas: Vec<(&str, u64)> = values
-                        .iter()
-                        .zip(prev.iter())
-                        .map(|(&(key, value), &p)| (key, value.saturating_sub(p)))
-                        .collect();
-                    protocol::write_delta_frame(&mut writer, seq as u64, &deltas)?;
-                    writer.flush()?;
-                    for (slot, &(_, value)) in prev.iter_mut().zip(values.iter()) {
-                        *slot = value;
-                    }
-                    if seq + 1 < frames {
-                        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
-                    }
-                }
-            }
-            ClientRequest::Profiles(n) => {
-                let lines: Vec<String> = engine
-                    .recent_profiles(n)
-                    .iter()
-                    .flat_map(|p| p.render())
-                    .collect();
-                protocol::write_profiles_response(&mut writer, &lines)?
-            }
-            ClientRequest::Lookup(ids) => {
-                protocol::write_lookup_response(&mut writer, &engine.lookup(&ids))?
-            }
-            ClientRequest::Partial { k, sql } => match engine.execute_partial_sql(&sql, k) {
-                Ok(partial) => protocol::write_response_with_bound(
-                    &mut writer,
-                    &partial.response,
-                    partial.bound,
-                )?,
-                Err(e) => protocol::write_error(&mut writer, &e)?,
-            },
-            ClientRequest::Tokened { token, sql } => {
-                write_sql_result(&mut writer, engine.execute_statement_tokened(token, &sql))?
-            }
-            ClientRequest::Sql(sql) => {
-                write_sql_result(&mut writer, engine.execute_statement(&sql))?
-            }
+        if matches!(request, ClientRequest::Quit) {
+            writer
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .flush()?;
+            return Ok(());
         }
-        writer.flush()?;
+        handle_request(engine, active, &writer, None, request)?;
+    }
+}
+
+/// Executes one request and writes its response frame(s). `tag` carries the
+/// request's multiplexing id, echoed on every frame header it produces.
+fn handle_request(
+    engine: &Engine,
+    active: &AtomicU64,
+    writer: &SharedWriter,
+    tag: Option<u64>,
+    request: ClientRequest,
+) -> std::io::Result<()> {
+    match request {
+        // QUIT is handled by the connection loop; a tagged QUIT is rejected
+        // before dispatch.
+        ClientRequest::Quit => Ok(()),
+        ClientRequest::Ping => respond(writer, tag, protocol::write_pong),
+        ClientRequest::Stats => {
+            let mut metrics = engine.metrics();
+            metrics.active_connections = active.load(Ordering::Relaxed);
+            respond(writer, tag, |buf| protocol::write_stats(buf, &metrics))
+        }
+        ClientRequest::Metrics => {
+            let text = engine.prometheus_text();
+            respond(writer, tag, |buf| {
+                protocol::write_metrics_response(buf, &text)
+            })
+        }
+        ClientRequest::MetricsWindow(secs) => {
+            let text = engine.metrics_window_text(secs);
+            respond(writer, tag, |buf| {
+                protocol::write_metrics_response(buf, &text)
+            })
+        }
+        ClientRequest::Record(control) => {
+            let status = match control {
+                protocol::RecordControl::Start(path) => engine.record_start(path.as_deref()),
+                protocol::RecordControl::Stop => engine.record_stop(),
+                protocol::RecordControl::Status => Ok(engine.recorder_status()),
+            };
+            respond(writer, tag, |buf| match status {
+                Ok(status) => protocol::write_record_status(buf, &status),
+                Err(e) => protocol::write_error(buf, &e),
+            })
+        }
+        ClientRequest::Monitor {
+            frames,
+            interval_ms,
+        } => {
+            // Stream one delta frame per tick. The subscriber's baseline
+            // is zero, so frame 0 carries the cumulative counters and
+            // deltas summed over the subscription equal the final STATS.
+            let mut prev = vec![0u64; masksearch_obs::keys::MONITOR_DELTA_KEYS.len()];
+            for seq in 0..frames {
+                let values = engine.monitor_values();
+                let deltas: Vec<(&str, u64)> = values
+                    .iter()
+                    .zip(prev.iter())
+                    .map(|(&(key, value), &p)| (key, value.saturating_sub(p)))
+                    .collect();
+                respond(writer, tag, |buf| {
+                    protocol::write_delta_frame(buf, seq as u64, &deltas)
+                })?;
+                for (slot, &(_, value)) in prev.iter_mut().zip(values.iter()) {
+                    *slot = value;
+                }
+                if seq + 1 < frames {
+                    std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+                }
+            }
+            Ok(())
+        }
+        ClientRequest::Profiles(n) => {
+            let lines: Vec<String> = engine
+                .recent_profiles(n)
+                .iter()
+                .flat_map(|p| p.render())
+                .collect();
+            respond(writer, tag, |buf| {
+                protocol::write_profiles_response(buf, &lines)
+            })
+        }
+        ClientRequest::Lookup(ids) => {
+            let present = engine.lookup(&ids);
+            respond(writer, tag, |buf| {
+                protocol::write_lookup_response(buf, &present)
+            })
+        }
+        ClientRequest::Partial { k, sql } => {
+            let result = engine.execute_partial_sql(&sql, k);
+            respond(writer, tag, |buf| match result {
+                Ok(partial) => {
+                    protocol::write_response_with_bound(buf, &partial.response, partial.bound)
+                }
+                Err(e) => protocol::write_error(buf, &e),
+            })
+        }
+        ClientRequest::Tokened { token, sql } => {
+            let result = engine.execute_statement_tokened(token, &sql);
+            respond(writer, tag, |buf| write_sql_result(buf, result))
+        }
+        ClientRequest::Sql(sql) => {
+            let result = engine.execute_statement(&sql);
+            respond(writer, tag, |buf| write_sql_result(buf, result))
+        }
     }
 }
 

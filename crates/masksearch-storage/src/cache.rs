@@ -16,7 +16,7 @@ use masksearch_core::{Mask, MaskId, TiledMask};
 use masksearch_obs::counters as obs_counters;
 use parking_lot::{Mutex, MutexGuard};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, PoisonError};
 
 /// Statistics describing cache effectiveness.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -50,12 +50,78 @@ struct Entry {
     last_used: u64,
 }
 
+/// A single-flight slot: one per mask id currently being loaded. The first
+/// misser (the *leader*) loads and decompresses; concurrent missers of the
+/// same id block here instead of duplicating the load.
+enum FlightOutcome {
+    /// The leader is still loading.
+    Pending,
+    /// The leader finished. `Some` carries a result safe to share;
+    /// `None` means the waiter must restart its lookup (the load failed,
+    /// raced an invalidation of this id, or the cache is not sharing).
+    Done(Option<Arc<TiledMask>>),
+}
+
+struct Flight {
+    state: std::sync::Mutex<FlightOutcome>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Self {
+            state: std::sync::Mutex::new(FlightOutcome::Pending),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until the leader completes, returning its shared result.
+    fn wait(&self) -> Option<Arc<TiledMask>> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            match &*state {
+                FlightOutcome::Done(result) => return result.clone(),
+                FlightOutcome::Pending => {
+                    state = self.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        }
+    }
+
+    fn complete(&self, result: Option<Arc<TiledMask>>) {
+        *self.state.lock().unwrap_or_else(PoisonError::into_inner) = FlightOutcome::Done(result);
+        self.cv.notify_all();
+    }
+}
+
+/// Deregisters and completes the leader's flight on every exit path —
+/// including an unwinding load — so waiters can never hang on a flight
+/// whose leader is gone.
+struct FlightGuard<'a> {
+    cache: &'a MaskCache,
+    mask_id: MaskId,
+    slot: Arc<Flight>,
+    /// Set by the leader on success when the loaded value is safe to share
+    /// with the waiters; `None` sends them back around the lookup loop.
+    shared: Option<Arc<TiledMask>>,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        self.cache.lock().flights.remove(&self.mask_id);
+        self.slot.complete(self.shared.take());
+    }
+}
+
 /// Entries the per-id invalidation log may hold before collapsing into the
 /// coarse `invalidated_floor` fallback.
 const INVALIDATION_LOG_CAP: usize = 4096;
 
 struct Inner {
     entries: HashMap<MaskId, Entry>,
+    /// Loads currently in flight, keyed by mask id (single-flight: the
+    /// first misser loads, concurrent missers of the same id wait).
+    flights: HashMap<MaskId, Arc<Flight>>,
     clock: u64,
     used_bytes: u64,
     stats: CacheStats,
@@ -90,6 +156,7 @@ impl MaskCache {
             capacity_bytes,
             inner: Mutex::new(Inner {
                 entries: HashMap::new(),
+                flights: HashMap::new(),
                 clock: 0,
                 used_bytes: 0,
                 stats: CacheStats::default(),
@@ -166,33 +233,89 @@ impl MaskCache {
     /// and caches the result (evicting least-recently-used entries if
     /// needed). This is the lookup the verification executor uses: cache
     /// hits reuse both the decoded pixels and the tile summaries.
+    ///
+    /// Loads are **single-flight per mask id**: when several threads miss on
+    /// the same id concurrently, exactly one runs `load` (decode and
+    /// decompress once); the others block until it finishes and share its
+    /// result. A failed or invalidation-raced load sends the waiters back
+    /// through the lookup, so an error never poisons the id and a waiter
+    /// never observes pixels older than a write it arrived after.
     pub fn get_or_load_tiled(
         &self,
         mask_id: MaskId,
         load: impl FnOnce() -> StorageResult<TiledMask>,
     ) -> StorageResult<Arc<TiledMask>> {
-        let generation_before = {
-            let mut inner = self.lock();
-            inner.clock += 1;
-            let clock = inner.clock;
-            if let Some(entry) = inner.entries.get_mut(&mask_id) {
-                entry.last_used = clock;
-                let mask = Arc::clone(&entry.mask);
-                inner.stats.hits += 1;
+        if self.capacity_bytes == 0 {
+            // Caching disabled (the cold-cache experimental setting): every
+            // lookup loads for itself; sharing would warm what must be cold.
+            self.lock().stats.misses += 1;
+            return Ok(Arc::new(load()?));
+        }
+        let mut load = Some(load);
+        loop {
+            let flight = {
+                let mut inner = self.lock();
+                inner.clock += 1;
+                let clock = inner.clock;
+                if let Some(entry) = inner.entries.get_mut(&mask_id) {
+                    entry.last_used = clock;
+                    let mask = Arc::clone(&entry.mask);
+                    inner.stats.hits += 1;
+                    return Ok(mask);
+                }
+                match inner.flights.get(&mask_id) {
+                    Some(flight) => Arc::clone(flight),
+                    None => {
+                        // This thread is the leader for the id.
+                        inner.stats.misses += 1;
+                        let flight = Arc::new(Flight::new());
+                        inner.flights.insert(mask_id, Arc::clone(&flight));
+                        let generation = inner.generation;
+                        drop(inner);
+                        return self.load_as_leader(
+                            mask_id,
+                            flight,
+                            generation,
+                            load.take().expect("leader runs once"),
+                        );
+                    }
+                }
+            };
+            // Another thread is already loading this id; wait for it (off
+            // the cache lock) and share its result.
+            if let Some(mask) = flight.wait() {
+                self.lock().stats.hits += 1;
                 return Ok(mask);
             }
-            inner.stats.misses += 1;
-            inner.generation
+            // The leader's load failed, raced an invalidation, or was not
+            // shareable: start the lookup over. If this thread still holds
+            // its own `load`, it may become the next leader and surface its
+            // own error.
+        }
+    }
+
+    /// The leader's half of a single-flight load: runs `load`, publishes the
+    /// result to the cache and to any waiters, and returns it. The flight is
+    /// deregistered (and waiters released) on *every* exit, including an
+    /// unwinding `load`.
+    fn load_as_leader(
+        &self,
+        mask_id: MaskId,
+        slot: Arc<Flight>,
+        generation_before: u64,
+        load: impl FnOnce() -> StorageResult<TiledMask>,
+    ) -> StorageResult<Arc<TiledMask>> {
+        let mut guard = FlightGuard {
+            cache: self,
+            mask_id,
+            slot,
+            shared: None,
         };
         // Load outside the lock so concurrent misses for different masks do
         // not serialise on the cache mutex.
         let mask = Arc::new(load()?);
         let bytes = mask.byte_size();
         let mut inner = self.lock();
-        if self.capacity_bytes == 0 || bytes > self.capacity_bytes {
-            // Too large (or caching disabled): return without caching.
-            return Ok(mask);
-        }
         let invalidated_since = generation_before < inner.invalidated_floor
             || inner
                 .invalidated
@@ -201,7 +324,13 @@ impl MaskCache {
         if invalidated_since {
             // An invalidation of THIS mask (a store write) raced with the
             // load: what we loaded may predate the write, so hand it to the
-            // caller but do not cache it.
+            // caller but do not cache it — and do not share it with waiters,
+            // who may have arrived after the write.
+            return Ok(mask);
+        }
+        guard.shared = Some(Arc::clone(&mask));
+        if bytes > self.capacity_bytes {
+            // Too large to cache: return (and share) without caching.
             return Ok(mask);
         }
         inner.clock += 1;
@@ -397,6 +526,90 @@ mod tests {
         });
         assert!(err.is_err());
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn concurrent_readers_share_a_single_load() {
+        // Eight readers miss on the same id at once: exactly one runs the
+        // load (one decode + decompress); the other seven wait on the
+        // flight and share its result as hits.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Barrier;
+
+        let cache = Arc::new(MaskCache::new(1024 * 1024));
+        let id = MaskId::new(42);
+        let loads = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let loads = Arc::clone(&loads);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let got = cache
+                        .get_or_load(id, || {
+                            loads.fetch_add(1, Ordering::SeqCst);
+                            // Slow load: the other readers must pile up
+                            // behind the flight, not race past it.
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            Ok(mask(42))
+                        })
+                        .unwrap();
+                    assert_eq!(*got, mask(42));
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(
+            loads.load(Ordering::SeqCst),
+            1,
+            "single-flight: one load per id"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 7);
+    }
+
+    #[test]
+    fn failed_flight_releases_waiters_to_retry() {
+        // A leader whose load fails must not wedge the id: waiters retry,
+        // one becomes the next leader, and its successful load is shared.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Barrier;
+
+        let cache = Arc::new(MaskCache::new(1024 * 1024));
+        let id = MaskId::new(9);
+        let attempts = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(Barrier::new(4));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let attempts = Arc::clone(&attempts);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    cache.get_or_load(id, || {
+                        if attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+                            std::thread::sleep(std::time::Duration::from_millis(10));
+                            Err(crate::error::StorageError::MaskNotFound(id))
+                        } else {
+                            Ok(mask(9))
+                        }
+                    })
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(results.iter().filter(|r| r.is_err()).count(), 1);
+        assert!(results.iter().filter(|r| r.is_ok()).count() >= 3);
+        assert!(
+            attempts.load(Ordering::SeqCst) <= 2,
+            "after the failure, at most one retry load runs"
+        );
+        assert_eq!(*cache.peek(id).unwrap(), mask(9));
     }
 
     #[test]

@@ -46,6 +46,19 @@ impl DiskProfile {
         }
     }
 
+    /// Object-storage-class media (S3 and friends): modest bandwidth and a
+    /// millisecond of request latency per operation. The regime where
+    /// sharding a catalog pays off — per-request latency dominates, so
+    /// overlapping requests across shards and pipelined connections is the
+    /// whole game.
+    pub fn cloud_object() -> Self {
+        DiskProfile {
+            read_bandwidth_bytes_per_sec: 100 * 1024 * 1024,
+            write_bandwidth_bytes_per_sec: 100 * 1024 * 1024,
+            per_op_latency: Duration::from_millis(1),
+        }
+    }
+
     /// A fast local NVMe-class device (useful for sensitivity analysis).
     pub fn local_nvme() -> Self {
         DiskProfile {

@@ -324,6 +324,7 @@ impl MaskStore for FileMaskStore {
 pub struct MemoryMaskStore {
     encoding: MaskEncoding,
     profile: DiskProfile,
+    emulate_latency: bool,
     stats: Arc<IoStats>,
     blobs: RwLock<BTreeMap<MaskId, Arc<Vec<u8>>>>,
 }
@@ -334,9 +335,21 @@ impl MemoryMaskStore {
         Self {
             encoding,
             profile,
+            emulate_latency: false,
             stats: IoStats::new_shared(),
             blobs: RwLock::new(BTreeMap::new()),
         }
+    }
+
+    /// Makes every read actually *wait out* the profile's modeled cost
+    /// (`thread::sleep`) instead of only charging virtual time. This turns
+    /// the store into a stand-in for slow media on fast benchmark hosts:
+    /// concurrency benefits — overlapping reads across threads, shards or
+    /// pipelined requests — become measurable in wall-clock terms even when
+    /// the host has fewer cores than the modeled deployment has spindles.
+    pub fn emulate_latency(mut self, emulate: bool) -> Self {
+        self.emulate_latency = emulate;
+        self
     }
 
     /// Creates an empty store with raw encoding and no I/O cost — the usual
@@ -372,10 +385,11 @@ impl MaskStore for MemoryMaskStore {
                 .cloned()
                 .ok_or(StorageError::MaskNotFound(mask_id))?
         };
-        self.stats.record_read(
-            blob.len() as u64,
-            self.profile.read_cost(blob.len() as u64, 1),
-        );
+        let cost = self.profile.read_cost(blob.len() as u64, 1);
+        if self.emulate_latency {
+            std::thread::sleep(cost);
+        }
+        self.stats.record_read(blob.len() as u64, cost);
         self.stats.record_mask_loaded();
         let (_, mask) = format::decode_mask(&blob)?;
         Ok(mask)

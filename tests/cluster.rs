@@ -11,7 +11,7 @@
 //! reborn server's fresh port. This models a process restart without
 //! rebinding a port out from under TIME_WAIT sockets.
 
-use masksearch::cluster::{ClusterConfig, Coordinator, CoordinatorServer};
+use masksearch::cluster::{ClusterConfig, Coordinator, CoordinatorServer, ReplicaShard};
 use masksearch::core::{ImageId, Mask, MaskId, MaskRecord};
 use masksearch::db::{DbConfig, MaskDb};
 use masksearch::index::ChiConfig;
@@ -22,7 +22,7 @@ use std::collections::BTreeSet;
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -153,7 +153,11 @@ struct Shard {
 
 impl Shard {
     fn start(dir: PathBuf) -> Shard {
-        let db = MaskDb::open(&dir, db_config()).unwrap();
+        Shard::start_with(dir, db_config())
+    }
+
+    fn start_with(dir: PathBuf, config: DbConfig) -> Shard {
+        let db = MaskDb::open(&dir, config).unwrap();
         let session = Session::with_store_maintained_index(
             db.mask_store(),
             db.catalog(),
@@ -435,5 +439,172 @@ fn four_shard_cluster_with_live_ingestion_and_shard_restart() {
     client.quit().unwrap();
     front.shutdown();
 
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+/// The zero-downtime replication test: a 2-shard cluster where each shard
+/// has a WAL-tailing read replica. One primary is killed outright (its
+/// server shut down, no proxy — redials fail fast) while reader threads
+/// hammer the coordinator; every read must keep succeeding, byte-identical
+/// to a single-node oracle, served through the surviving replica. Writes to
+/// the dead shard must fail (failover is reads-only).
+#[test]
+fn primary_kill_fails_over_to_replicas_with_reads_served_throughout() {
+    const REPL_SHARDS: usize = 2;
+    let base =
+        std::env::temp_dir().join(format!("masksearch-cluster-replica-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    // Primaries keep their WAL growing (no checkpoints) so replicas can
+    // tail it.
+    let replicated_db_config = || db_config().checkpoint_wal_bytes(0);
+    let mut shards: Vec<Shard> = (0..REPL_SHARDS)
+        .map(|i| Shard::start_with(base.join(format!("primary-{i}")), replicated_db_config()))
+        .collect();
+    let replicas: Vec<ReplicaShard> = (0..REPL_SHARDS)
+        .map(|i| {
+            ReplicaShard::start(
+                shards[i].dir.clone(),
+                base.join(format!("replica-{i}")),
+                replicated_db_config(),
+                session_config(),
+                ServiceConfig::new(2),
+            )
+            .unwrap()
+        })
+        .collect();
+    let coordinator = Coordinator::connect(
+        ClusterConfig::new(shards.iter().map(|s| s.addr().to_string()).collect()).replicas(
+            replicas
+                .iter()
+                .map(|r| vec![r.addr().to_string()])
+                .collect(),
+        ),
+    )
+    .unwrap();
+    let front = CoordinatorServer::bind("127.0.0.1:0", coordinator.clone())
+        .unwrap()
+        .spawn();
+    let addr = front.local_addr();
+
+    // Ingest through the coordinator, then wait until both replicas have
+    // applied every committed transaction.
+    let mut writer = Client::connect(addr).unwrap();
+    for batch in 0..BATCHES {
+        let response = writer
+            .query(&insert_sql(batch * BATCH..(batch + 1) * BATCH))
+            .unwrap();
+        assert_eq!(response.summary.inserted, BATCH);
+    }
+    for (shard, replica) in shards.iter().zip(&replicas) {
+        let target = shard.db.as_ref().unwrap().store().wal_bytes();
+        assert!(
+            replica.wait_applied(target, Duration::from_secs(20)),
+            "replica failed to catch up: {:?}",
+            replica.tailer_error()
+        );
+    }
+
+    let all_ids: Vec<u64> = (0..BATCHES * BATCH).collect();
+    let oracle = oracle_session(&all_ids);
+    assert_cluster_matches_oracle(&mut writer, &oracle, "before kill");
+
+    // Precompute the oracle's answers so reader threads can verify without
+    // sharing the session.
+    let expected: Arc<Vec<(String, Vec<masksearch::query::ResultRow>)>> = Arc::new(
+        query_suite()
+            .into_iter()
+            .map(|sql| {
+                let rows = oracle
+                    .execute(&masksearch::sql::compile(&sql).unwrap())
+                    .unwrap()
+                    .rows;
+                (sql, rows)
+            })
+            .collect(),
+    );
+
+    // Readers: loop the whole suite, asserting every read succeeds and is
+    // byte-identical — before, during, and after the kill.
+    let done = Arc::new(AtomicBool::new(false));
+    let passes: Vec<Arc<AtomicU64>> = (0..3).map(|_| Arc::new(AtomicU64::new(0))).collect();
+    let readers: Vec<_> = passes
+        .iter()
+        .map(|pass| {
+            let done = Arc::clone(&done);
+            let pass = Arc::clone(pass);
+            let expected = Arc::clone(&expected);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                while !done.load(Ordering::Acquire) {
+                    for (sql, rows) in expected.iter() {
+                        let got = client.query(sql).unwrap();
+                        assert_eq!(&got.rows, rows, "read diverged during failover for {sql}");
+                    }
+                    pass.fetch_add(1, Ordering::Release);
+                }
+                client.quit().unwrap();
+            })
+        })
+        .collect();
+
+    // Wait for at least one full pass each, then kill primary 0 under load.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while passes.iter().any(|p| p.load(Ordering::Acquire) == 0) {
+        assert!(Instant::now() < deadline, "readers never completed a pass");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let victim = 0;
+    shards[victim].handle.take().unwrap().kill();
+    shards[victim].db = None;
+
+    // Every reader must complete at least two more full passes — ensuring
+    // at least one pass ran entirely against the killed-primary cluster.
+    let marks: Vec<u64> = passes.iter().map(|p| p.load(Ordering::Acquire)).collect();
+    while passes
+        .iter()
+        .zip(&marks)
+        .any(|(p, &mark)| p.load(Ordering::Acquire) < mark + 2)
+    {
+        assert!(
+            Instant::now() < deadline,
+            "readers stalled after the primary kill"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    done.store(true, Ordering::Release);
+    for reader in readers {
+        reader.join().unwrap();
+    }
+
+    // The main connection reads byte-identically too, and a write touching
+    // the dead shard fails: failover is reads-only. Pick mask ids whose
+    // image hashes to the killed shard so the insert must route there.
+    assert_cluster_matches_oracle(&mut writer, &oracle, "after primary kill");
+    let map = masksearch::cluster::ShardMap::new(REPL_SHARDS).unwrap();
+    let doomed_image = (BATCHES * BATCH / 2..)
+        .find(|&img| map.shard_for_image(ImageId::new(img)) == victim)
+        .unwrap();
+    let more = doomed_image * 2..doomed_image * 2 + 2;
+    assert!(
+        writer.query(&insert_sql(more)).is_err(),
+        "a write to a dead primary must fail"
+    );
+    assert_cluster_matches_oracle(&mut writer, &oracle, "after failed write");
+    writer.quit().unwrap();
+
+    let metrics = coordinator.metrics();
+    assert!(metrics.failovers > 0, "no failover recorded: {metrics:?}");
+    assert!(
+        metrics.replica_reads > metrics.failovers,
+        "round-robin replica reads should outnumber failovers: {metrics:?}"
+    );
+    for replica in &replicas {
+        assert_eq!(replica.tailer_error(), None);
+    }
+
+    front.shutdown();
+    drop(replicas);
+    drop(shards);
     std::fs::remove_dir_all(&base).unwrap();
 }

@@ -1,0 +1,165 @@
+//! Property tests of the v6 multiplexed wire framing: the tagged-frame
+//! reader must never panic on arbitrary bytes, must never mis-attribute a
+//! frame to the wrong tag under interleaving or duplication, and must
+//! reject torn frames instead of inventing content.
+
+use masksearch::service::protocol::{self, Frame};
+use masksearch::service::ServiceError;
+use proptest::prelude::*;
+
+/// The frame kinds a v6 server can answer a tagged request with.
+#[derive(Debug, Clone, Copy)]
+enum FrameKind {
+    Rows,
+    Error,
+    Plan,
+    Record,
+}
+
+fn arb_kind() -> impl Strategy<Value = FrameKind> {
+    (0u8..4).prop_map(|k| match k {
+        0 => FrameKind::Rows,
+        1 => FrameKind::Error,
+        2 => FrameKind::Plan,
+        _ => FrameKind::Record,
+    })
+}
+
+/// Renders one tagged frame whose payload encodes its own tag, so a reader
+/// that mixes frames up is caught by content, not just by bookkeeping.
+fn render_frame(tag: u64, kind: FrameKind) -> Vec<u8> {
+    match kind {
+        FrameKind::Rows => format!("@{tag} OK 2\nmask {tag}\nimage {tag} 0.5\nEND\n"),
+        FrameKind::Error => format!("@{tag} ERR boom for {tag}\nEND\n"),
+        FrameKind::Plan => format!("@{tag} PLAN 2\nFilter tag={tag}\n  Scan\nEND\n"),
+        FrameKind::Record => {
+            format!("@{tag} RECORD active=0 path=- records={tag} bytes=0 dropped=0\nEND\n")
+        }
+    }
+    .into_bytes()
+}
+
+/// Asserts a parsed frame carries the payload rendered for `tag`.
+fn assert_payload_matches(tag: u64, kind: FrameKind, result: Result<Frame, ServiceError>) {
+    match (kind, result) {
+        (FrameKind::Rows, Ok(Frame::Rows(response))) => {
+            assert_eq!(response.summary.rows, 2);
+            assert_eq!(
+                response.mask_ids(),
+                vec![masksearch::core::MaskId::new(tag)],
+                "rows frame mis-routed"
+            );
+        }
+        (FrameKind::Error, Err(ServiceError::Remote(msg))) => {
+            assert_eq!(msg, format!("boom for {tag}"), "error frame mis-routed");
+        }
+        (FrameKind::Plan, Ok(Frame::Plan(lines))) => {
+            assert_eq!(
+                lines[0],
+                format!("Filter tag={tag}"),
+                "plan frame mis-routed"
+            );
+        }
+        (FrameKind::Record, Ok(Frame::Control(line))) => {
+            assert!(
+                line.contains(&format!("records={tag}")),
+                "control frame mis-routed: {line}"
+            );
+        }
+        (kind, other) => panic!("frame kind {kind:?} parsed as {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes never panic the reader; it consumes input and
+    /// terminates with either parsed frames or an error.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let mut reader = &bytes[..];
+        for _ in 0..bytes.len() + 1 {
+            match protocol::read_tagged_frame(&mut reader) {
+                Ok(_) => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Mostly-line-shaped printable garbage (the adversarial case for a
+    /// line protocol: fake headers, fake tags, fake counts) never panics.
+    #[test]
+    fn line_shaped_garbage_never_panics(raw in prop::collection::vec(any::<u8>(), 0..512)) {
+        // Map bytes onto printable ASCII with occasional newlines, so the
+        // stream parses as plausible-looking header lines.
+        let bytes: Vec<u8> = raw
+            .iter()
+            .map(|&b| {
+                let v = b % 97;
+                if v == 96 {
+                    b'\n'
+                } else {
+                    b' ' + v
+                }
+            })
+            .collect();
+        let mut reader = &bytes[..];
+        for _ in 0..bytes.len() + 1 {
+            match protocol::read_tagged_frame(&mut reader) {
+                Ok(_) => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Frames interleaved in arbitrary completion order — with arbitrary
+    /// duplication — always come back attributed to their own tag, with
+    /// their own payload.
+    #[test]
+    fn interleaved_and_duplicated_frames_never_misroute(
+        kinds in prop::collection::vec(arb_kind(), 1..12),
+        order in prop::collection::vec(any::<usize>(), 1..24),
+    ) {
+        // `order` picks frames with replacement: out-of-order AND repeated.
+        let tagged: Vec<(u64, FrameKind)> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (i as u64 + 1, k))
+            .collect();
+        let mut stream = Vec::new();
+        let mut expect = Vec::new();
+        for pick in &order {
+            let (tag, kind) = tagged[pick % tagged.len()];
+            stream.extend_from_slice(&render_frame(tag, kind));
+            expect.push((tag, kind));
+        }
+        let mut reader = &stream[..];
+        for (tag, kind) in expect {
+            let (got_tag, result) = protocol::read_tagged_frame(&mut reader)
+                .expect("well-formed frame stream");
+            prop_assert_eq!(got_tag, Some(tag));
+            assert_payload_matches(tag, kind, result);
+        }
+    }
+
+    /// A torn (truncated) frame is rejected or — when the tear happens to
+    /// fall at a frame boundary — parsed *identically* to the original;
+    /// the reader never delivers altered content under a valid tag.
+    #[test]
+    fn torn_frames_never_deliver_altered_content(
+        tag in 1u64..1_000_000,
+        kind in arb_kind(),
+        cut in any::<usize>(),
+    ) {
+        let full = render_frame(tag, kind);
+        let cut = cut % full.len();
+        let mut reader = &full[..cut];
+        // The only acceptable success is the complete frame: content
+        // identical to what the writer rendered. (This happens when only
+        // the trailing newline of END was torn off.) Any error is fine.
+        if let Ok((got_tag, result)) = protocol::read_tagged_frame(&mut reader) {
+            prop_assert_eq!(got_tag, Some(tag));
+            assert_payload_matches(tag, kind, result);
+        }
+    }
+}
