@@ -14,9 +14,30 @@
 //!   each tuple's image id and apply each sub-batch atomically on its shard;
 //!   overwrites that move a mask to a different image first delete the stale
 //!   replica from its old shard.
-//! * `ByMaskId` (`DELETE`) — resolve owners with a `LOOKUP` broadcast (and
-//!   fail before any side effect if an id exists nowhere, matching
-//!   single-node semantics), then split.
+//! * `ByMaskId` (`DELETE`, `UPDATE`) — resolve each id's owning shard from
+//!   the coordinator's **owner index** (below) and split; an id that exists
+//!   nowhere fails the statement before any side effect, matching
+//!   single-node semantics.
+//! * `Ddl` (`CREATE INDEX` / `DROP INDEX`) — apply on every shard so index
+//!   definitions cannot drift between shards.
+//! * `Control` — a bare `BEGIN`/`COMMIT`/`ROLLBACK` is rejected; a whole
+//!   `BEGIN; …; COMMIT` script is routed to the single shard owning every
+//!   mask it touches and applied there as one atomic commit. A script whose
+//!   statements span shards is rejected loudly before any side effect —
+//!   there is no cross-shard transaction.
+//!
+//! ## The owner index
+//!
+//! The coordinator keeps an in-memory `mask id → owning shard` map, seeded
+//! with a `LOOKUP *` scatter at connect time and maintained by every routed
+//! write (inserts add, deletes remove; `UPDATE` cannot move a mask because
+//! the sharding key is immutable). Write routing resolves owners from this
+//! map, so steady-state `DELETE`/`UPDATE`/overwrite routing costs **zero
+//! `LOOKUP` broadcasts** — a broadcast happens only for ids the map does not
+//! know (counted by `lookup_broadcasts`), and its answer heals the map.
+//! Writes that bypass the coordinator and land on a shard directly are
+//! outside this model, exactly as they already were for `LOOKUP`-routed
+//! deletes.
 //!
 //! ## Shard links: one pipelined connection each
 //!
@@ -119,8 +140,9 @@ impl ClusterConfig {
 /// What one coordinated statement produced.
 #[derive(Debug)]
 pub enum ClusterReply {
-    /// Merged rows of a read statement.
-    Rows(QueryOutput),
+    /// Merged rows of a read statement (boxed: `QueryOutput` dwarfs the
+    /// other variants).
+    Rows(Box<QueryOutput>),
     /// Outcome of a routed write.
     Mutation(MutationOutcome),
     /// Rendered plan of an `EXPLAIN [ANALYZE]` statement: the coordinator's
@@ -223,6 +245,10 @@ struct Inner {
     links: Vec<ShardLink>,
     map: ShardMap,
     metrics: ClusterMetrics,
+    /// The owner index: which shard currently holds each mask id. Seeded
+    /// from a `LOOKUP *` scatter at connect and maintained by every routed
+    /// write, so steady-state write routing never broadcasts `LOOKUP`s.
+    owners: std::sync::Mutex<HashMap<MaskId, usize>>,
     /// Client-facing mutation tokens: a resend of an already-routed write is
     /// answered from the recorded outcome instead of being re-routed (the
     /// per-shard sub-batches carry fresh tokens of their own, so only the
@@ -284,17 +310,36 @@ impl Coordinator {
                 rr: AtomicUsize::new(0),
             });
         }
-        Ok(Self {
+        let coordinator = Self {
             inner: Arc::new(Inner {
                 links,
                 map,
                 metrics: ClusterMetrics::new(),
+                owners: std::sync::Mutex::new(HashMap::new()),
                 dedup: masksearch_service::MutationDedup::new(),
                 profiles: ProfileRing::new(PROFILE_RING_CAPACITY),
                 timeseries: masksearch_obs::TimeSeries::new(),
                 tracing: config.tracing,
             }),
-        })
+        };
+        // Seed the owner index so routed writes start at zero LOOKUP
+        // broadcasts even against shards loaded before this coordinator.
+        let seeded = coordinator.fetch_all_owners()?;
+        *coordinator.inner.owners.lock().expect("owner index lock") = seeded;
+        Ok(coordinator)
+    }
+
+    /// One `LOOKUP *` scatter over the shard primaries: the full
+    /// `mask id → owning shard` map as the shards currently hold it.
+    fn fetch_all_owners(&self) -> ClusterResult<HashMap<MaskId, usize>> {
+        let wires = self.scatter_rows(self.all("LOOKUP *"), Route::Primary)?;
+        let mut owners = HashMap::new();
+        for (shard, wire) in wires.into_iter().enumerate() {
+            for id in wire.mask_ids() {
+                owners.insert(id, shard);
+            }
+        }
+        Ok(owners)
     }
 
     /// The partitioning function this cluster agreed on.
@@ -544,10 +589,30 @@ impl Coordinator {
 
     fn execute_sql_tokened_inner(&self, token: u64, sql: &str) -> ClusterResult<ClusterReply> {
         use masksearch_service::Admission;
+        // A transaction script mutates as one unit, so it dedups as one
+        // unit too (mirroring the shard engine's tokened script path).
+        if let Some((mutations, commit)) = compile_transaction_script(sql)? {
+            return match self.inner.dedup.begin(token) {
+                Admission::Replay(outcome) => {
+                    self.inner.metrics.record_deduped();
+                    Ok(ClusterReply::Mutation(outcome))
+                }
+                Admission::Execute => {
+                    let permit = self.inner.dedup.permit(token);
+                    let outcome = self
+                        .run_transaction_script(sql, mutations, commit)
+                        .inspect_err(|_| self.inner.metrics.record_failed())?;
+                    permit.finish(outcome);
+                    Ok(ClusterReply::Mutation(outcome))
+                }
+            };
+        }
         let statement = masksearch_sql::compile_statement(sql)?;
         if !matches!(
             statement.routing(),
-            masksearch_sql::Routing::ByImage | masksearch_sql::Routing::ByMaskId
+            masksearch_sql::Routing::ByImage
+                | masksearch_sql::Routing::ByMaskId
+                | masksearch_sql::Routing::Ddl
         ) {
             return self.execute_sql_with(sql, statement);
         }
@@ -588,6 +653,11 @@ impl Coordinator {
             let analyze = mode == masksearch_sql::ExplainMode::Analyze;
             return Ok(ClusterReply::Plan(self.explain_sql(analyze, inner)?));
         }
+        if let Some((mutations, commit)) = compile_transaction_script(sql)? {
+            return Ok(ClusterReply::Mutation(
+                self.run_transaction_script(sql, mutations, commit)?,
+            ));
+        }
         let statement = masksearch_sql::compile_statement(sql)?;
         self.execute_compiled(sql, statement)
     }
@@ -610,9 +680,16 @@ impl Coordinator {
         let routing = match statement.routing() {
             masksearch_sql::Routing::Broadcast => "broadcast".to_string(),
             masksearch_sql::Routing::Ranked { k, .. } => format!("ranked_partial k={k}"),
-            masksearch_sql::Routing::ByImage | masksearch_sql::Routing::ByMaskId => {
+            masksearch_sql::Routing::ByImage
+            | masksearch_sql::Routing::ByMaskId
+            | masksearch_sql::Routing::Ddl => {
                 return Err(ClusterError::Sql(
                     "EXPLAIN applies to queries, not writes".to_string(),
+                ))
+            }
+            masksearch_sql::Routing::Control => {
+                return Err(ClusterError::Sql(
+                    "EXPLAIN applies to queries, not transaction control".to_string(),
                 ))
             }
         };
@@ -735,6 +812,26 @@ impl Coordinator {
             m.masks_deleted,
         );
         p.counter(
+            "masksearch_cluster_masks_updated_total",
+            "Masks re-masked in place (UPDATE) through the coordinator.",
+            m.masks_updated,
+        );
+        p.counter(
+            "masksearch_cluster_transactions_total",
+            "BEGIN ... COMMIT scripts applied atomically on a single shard.",
+            m.transactions,
+        );
+        p.counter(
+            "masksearch_cluster_owner_resolutions_total",
+            "Mask-id owners resolved from the in-memory owner index.",
+            m.owner_resolutions,
+        );
+        p.counter(
+            "masksearch_cluster_lookup_broadcasts_total",
+            "LOOKUP broadcasts issued for ids the owner index did not know.",
+            m.lookup_broadcasts,
+        );
+        p.counter(
             "masksearch_cluster_masks_relocated_total",
             "Stale replicas evicted by overwrites that moved a mask.",
             m.masks_relocated,
@@ -764,11 +861,11 @@ impl Coordinator {
         match statement.routing() {
             masksearch_sql::Routing::Broadcast => {
                 self.inner.metrics.record_query();
-                Ok(ClusterReply::Rows(self.broadcast_query(sql)?))
+                Ok(ClusterReply::Rows(Box::new(self.broadcast_query(sql)?)))
             }
             masksearch_sql::Routing::Ranked { k, order } => {
                 self.inner.metrics.record_query();
-                Ok(ClusterReply::Rows(self.ranked_query(sql, k, order)?))
+                Ok(ClusterReply::Rows(Box::new(self.ranked_query(sql, k, order)?)))
             }
             masksearch_sql::Routing::ByImage => {
                 let masksearch_sql::Statement::Mutation(Mutation::Insert(batch)) = statement else {
@@ -778,14 +875,23 @@ impl Coordinator {
                 };
                 Ok(ClusterReply::Mutation(self.routed_insert(batch)?))
             }
-            masksearch_sql::Routing::ByMaskId => {
-                let masksearch_sql::Statement::Mutation(Mutation::Delete(ids)) = statement else {
-                    return Err(ClusterError::Internal(
-                        "ByMaskId routing on a non-delete statement".to_string(),
-                    ));
-                };
-                Ok(ClusterReply::Mutation(self.routed_delete(ids)?))
-            }
+            masksearch_sql::Routing::ByMaskId => match statement {
+                masksearch_sql::Statement::Mutation(Mutation::Delete(ids)) => {
+                    Ok(ClusterReply::Mutation(self.routed_delete(ids)?))
+                }
+                masksearch_sql::Statement::Mutation(Mutation::Update(updates)) => {
+                    Ok(ClusterReply::Mutation(self.routed_update(sql, updates)?))
+                }
+                _ => Err(ClusterError::Internal(
+                    "ByMaskId routing on a non-delete, non-update statement".to_string(),
+                )),
+            },
+            masksearch_sql::Routing::Ddl => Ok(ClusterReply::Mutation(self.broadcast_ddl(sql)?)),
+            masksearch_sql::Routing::Control => Err(ClusterError::Sql(
+                "BEGIN/COMMIT/ROLLBACK control a connection's open transaction; \
+                 on a cluster send the whole transaction as one `BEGIN; ...; COMMIT` script"
+                    .to_string(),
+            )),
         }
     }
 
@@ -836,9 +942,11 @@ impl Coordinator {
         Ok(run.output)
     }
 
-    /// Which shards currently hold each of `ids` (shard → present ids).
-    /// Always asks the primaries: the answer routes writes, so it must see
-    /// every write that has been acknowledged.
+    /// Which shards currently hold each of `ids` (shard → present ids),
+    /// resolved with a `LOOKUP` broadcast to the primaries (authoritative).
+    /// Write routing goes through [`Coordinator::resolve_owners`] instead,
+    /// which only falls back to this broadcast for ids the owner index does
+    /// not know.
     fn locate(&self, ids: &[MaskId]) -> ClusterResult<Vec<Vec<MaskId>>> {
         if ids.is_empty() {
             return Ok(vec![Vec::new(); self.shards()]);
@@ -853,12 +961,67 @@ impl Coordinator {
     }
 
     /// Union of the shards' holdings for `ids`, ascending and deduplicated.
+    /// Always asks the primaries; what it learns heals the owner index.
     pub fn lookup(&self, ids: &[MaskId]) -> ClusterResult<Vec<MaskId>> {
         let located = self.locate(ids)?;
+        {
+            let mut owners = self.inner.owners.lock().expect("owner index lock");
+            for id in ids {
+                owners.remove(id);
+            }
+            for (shard, present) in located.iter().enumerate() {
+                for &id in present {
+                    owners.insert(id, shard);
+                }
+            }
+        }
         let mut present: Vec<MaskId> = located.into_iter().flatten().collect();
         present.sort_unstable();
         present.dedup();
         Ok(present)
+    }
+
+    /// Every mask id the cluster holds (`LOOKUP *` scattered over the
+    /// primaries), ascending; the answer also reseeds the owner index.
+    pub fn lookup_all(&self) -> ClusterResult<Vec<MaskId>> {
+        let owners = self.fetch_all_owners()?;
+        let mut ids: Vec<MaskId> = owners.keys().copied().collect();
+        ids.sort_unstable();
+        *self.inner.owners.lock().expect("owner index lock") = owners;
+        Ok(ids)
+    }
+
+    /// Resolves the owning shard of each of `ids`. Owner-index hits cost no
+    /// shard round trip; the ids the index does not know (if any) are
+    /// resolved with **one** `LOOKUP` broadcast whose answer heals the
+    /// index. Ids held by no shard are absent from the result.
+    fn resolve_owners(&self, ids: &[MaskId]) -> ClusterResult<HashMap<MaskId, usize>> {
+        let mut resolved = HashMap::with_capacity(ids.len());
+        let mut unknown: Vec<MaskId> = Vec::new();
+        {
+            let owners = self.inner.owners.lock().expect("owner index lock");
+            for &id in ids {
+                match owners.get(&id) {
+                    Some(&shard) => {
+                        resolved.insert(id, shard);
+                    }
+                    None => unknown.push(id),
+                }
+            }
+        }
+        self.inner.metrics.record_owner_resolutions(resolved.len());
+        if !unknown.is_empty() {
+            self.inner.metrics.record_lookup_broadcast();
+            let located = self.locate(&unknown)?;
+            let mut owners = self.inner.owners.lock().expect("owner index lock");
+            for (shard, present) in located.into_iter().enumerate() {
+                for id in present {
+                    owners.insert(id, shard);
+                    resolved.insert(id, shard);
+                }
+            }
+        }
+        Ok(resolved)
     }
 
     /// Routes an `INSERT` batch: each tuple goes to the shard owning its
@@ -884,22 +1047,28 @@ impl Coordinator {
             owner.insert(id, shard);
             per_shard[shard].push((record, mask));
         }
-        let ids: Vec<MaskId> = owner.keys().copied().collect();
-
-        // Phase 1: evict stale replicas from non-owner shards.
+        // Phase 1: evict stale replicas from non-owner shards. The owner
+        // index knows each overwritten id's current holder, so this costs
+        // no `LOOKUP` broadcast — an id the index does not know is new and
+        // cannot have a stale replica anywhere.
         let mut relocated = 0u64;
-        let located = self.locate(&ids)?;
-        let stale_work: Vec<(usize, String)> = located
+        let mut stale_per_shard: Vec<Vec<MaskId>> = vec![Vec::new(); self.shards()];
+        {
+            let owners = self.inner.owners.lock().expect("owner index lock");
+            for (&id, &new_shard) in &owner {
+                if let Some(&current) = owners.get(&id) {
+                    if current != new_shard {
+                        stale_per_shard[current].push(id);
+                    }
+                }
+            }
+        }
+        self.inner.metrics.record_owner_resolutions(owner.len());
+        let stale_work: Vec<(usize, String)> = stale_per_shard
             .iter()
             .enumerate()
-            .filter_map(|(shard, present)| {
-                let stale: Vec<MaskId> = present
-                    .iter()
-                    .copied()
-                    .filter(|id| owner.get(id) != Some(&shard))
-                    .collect();
-                (!stale.is_empty()).then(|| (shard, render_delete(&stale)))
-            })
+            .filter(|(_, stale)| !stale.is_empty())
+            .map(|(shard, stale)| (shard, render_delete(stale)))
             .collect();
         if !stale_work.is_empty() {
             let deleted = self.scatter_rows(stale_work, Route::Primary)?;
@@ -915,18 +1084,26 @@ impl Coordinator {
             .collect();
         let responses = self.scatter_rows(requests, Route::Primary)?;
         let applied: u64 = responses.iter().map(|r| r.summary.inserted).sum();
-        self.inner.metrics.record_mutation(applied, 0, relocated);
+        {
+            let mut owners = self.inner.owners.lock().expect("owner index lock");
+            for (id, shard) in owner {
+                owners.insert(id, shard);
+            }
+        }
+        self.inner.metrics.record_mutation(applied, 0, 0, relocated);
         // Report the requested tuple count, matching what a single-node
         // server answers for the same statement (duplicate-id tuples count
         // once per tuple there too, the later ones overwriting in place).
         Ok(MutationOutcome {
             inserted: requested,
             deleted: 0,
+            updated: 0,
         })
     }
 
-    /// Routes a `DELETE`: owners are resolved with a `LOOKUP` broadcast; an
-    /// id held by no shard fails the whole statement *before* any shard is
+    /// Routes a `DELETE`: owners come from the owner index (steady state
+    /// costs zero `LOOKUP` broadcasts; unknown ids fall back to one); an id
+    /// held by no shard fails the whole statement *before* any shard is
     /// mutated (single-node `DELETE` semantics); the rest splits into
     /// per-shard atomic batches.
     fn routed_delete(&self, ids: Vec<MaskId>) -> ClusterResult<MutationOutcome> {
@@ -935,29 +1112,216 @@ impl Coordinator {
             ids.into_iter().filter(|id| seen.insert(*id)).collect()
         };
         if ids.is_empty() {
-            return Ok(MutationOutcome {
-                inserted: 0,
-                deleted: 0,
-            });
+            return Ok(MutationOutcome::default());
         }
-        let located = self.locate(&ids)?;
-        let found: BTreeSet<MaskId> = located.iter().flatten().copied().collect();
+        let owners = self.resolve_owners(&ids)?;
         for &id in &ids {
-            if !found.contains(&id) {
+            if !owners.contains_key(&id) {
                 return Err(ClusterError::UnknownMask(id));
             }
         }
-        let requests: Vec<(usize, String)> = located
+        let mut per_shard: Vec<Vec<MaskId>> = vec![Vec::new(); self.shards()];
+        for &id in &ids {
+            per_shard[owners[&id]].push(id);
+        }
+        let requests: Vec<(usize, String)> = per_shard
             .iter()
             .enumerate()
             .filter(|(_, present)| !present.is_empty())
             .map(|(shard, present)| (shard, render_delete(present)))
             .collect();
         self.scatter_rows(requests, Route::Primary)?;
-        self.inner.metrics.record_mutation(0, ids.len() as u64, 0);
+        {
+            let mut map = self.inner.owners.lock().expect("owner index lock");
+            for &id in &ids {
+                map.remove(&id);
+            }
+        }
+        self.inner
+            .metrics
+            .record_mutation(0, ids.len() as u64, 0, 0);
         Ok(MutationOutcome {
             inserted: 0,
             deleted: ids.len(),
+            updated: 0,
+        })
+    }
+
+    /// Routes an `UPDATE`: the sharding key is immutable, so the statement
+    /// is forwarded verbatim to the shard owning its target mask (resolved
+    /// from the owner index — steady state costs zero `LOOKUP` broadcasts).
+    /// An id held by no shard fails before any side effect.
+    fn routed_update(
+        &self,
+        sql: &str,
+        updates: Vec<masksearch_query::MaskUpdate>,
+    ) -> ClusterResult<MutationOutcome> {
+        let ids: Vec<MaskId> = updates.iter().map(|u| u.mask_id).collect();
+        let owners = self.resolve_owners(&ids)?;
+        for &id in &ids {
+            if !owners.contains_key(&id) {
+                return Err(ClusterError::UnknownMask(id));
+            }
+        }
+        let shards: BTreeSet<usize> = ids.iter().map(|id| owners[id]).collect();
+        // The grammar scopes one UPDATE to one mask id, so one owning shard.
+        let Some(&shard) = shards.first().filter(|_| shards.len() == 1) else {
+            return Err(ClusterError::Internal(
+                "UPDATE statement spans shards".to_string(),
+            ));
+        };
+        let responses = self.scatter_rows(vec![(shard, sql.to_string())], Route::Primary)?;
+        let updated: u64 = responses.iter().map(|r| r.summary.updated).sum();
+        self.inner.metrics.record_mutation(0, 0, updated, 0);
+        Ok(MutationOutcome {
+            inserted: 0,
+            deleted: 0,
+            updated: updated as usize,
+        })
+    }
+
+    /// Applies a DDL statement (`CREATE INDEX` / `DROP INDEX`) on every
+    /// shard primary. Every shard must succeed, so index definitions cannot
+    /// drift between shards; `IF [NOT] EXISTS` makes retries after a
+    /// partial failure idempotent.
+    fn broadcast_ddl(&self, sql: &str) -> ClusterResult<MutationOutcome> {
+        self.scatter_rows(self.all(sql), Route::Primary)?;
+        self.inner.metrics.record_mutation(0, 0, 0, 0);
+        Ok(MutationOutcome::default())
+    }
+
+    /// Executes a recognised `BEGIN; …; COMMIT` script: every statement
+    /// must resolve to the same owning shard, and the raw script is then
+    /// forwarded there verbatim so the shard applies it as **one** atomic
+    /// storage commit. A script that would touch two shards — including an
+    /// overwrite that would move a mask between shards — is rejected loudly
+    /// before any side effect: there is no cross-shard transaction. A
+    /// script ending in `ROLLBACK` answers a zero outcome without touching
+    /// any shard.
+    fn run_transaction_script(
+        &self,
+        sql: &str,
+        mutations: Vec<Mutation>,
+        commit: bool,
+    ) -> ClusterResult<MutationOutcome> {
+        if !commit || mutations.is_empty() {
+            return Ok(MutationOutcome::default());
+        }
+        let mut target: Option<usize> = None;
+        let mut require = |shard: usize| -> ClusterResult<()> {
+            match target {
+                None => {
+                    target = Some(shard);
+                    Ok(())
+                }
+                Some(t) if t == shard => Ok(()),
+                Some(t) => Err(ClusterError::Sql(format!(
+                    "cross-shard transaction: statements land on shard {t} and shard {shard}; \
+                     a cluster transaction must touch a single shard"
+                ))),
+            }
+        };
+        // Ids created by an earlier statement in the same script: later
+        // DELETEs and UPDATEs must observe them (single-node transaction
+        // semantics) without consulting the owner index, which only knows
+        // committed state.
+        let mut pending: HashMap<MaskId, usize> = HashMap::new();
+        for mutation in &mutations {
+            match mutation {
+                Mutation::Insert(batch) => {
+                    for (record, _) in batch {
+                        let shard = self.inner.map.shard_for_record(record);
+                        if let Some(&current) = self
+                            .inner
+                            .owners
+                            .lock()
+                            .expect("owner index lock")
+                            .get(&record.mask_id)
+                        {
+                            if current != shard {
+                                return Err(ClusterError::Sql(format!(
+                                    "cross-shard transaction: overwriting mask {} would move \
+                                     it from shard {current} to shard {shard}; relocate it \
+                                     outside a transaction",
+                                    record.mask_id.raw()
+                                )));
+                            }
+                        }
+                        require(shard)?;
+                        pending.insert(record.mask_id, shard);
+                    }
+                }
+                Mutation::Delete(ids) => {
+                    let committed: Vec<MaskId> = ids
+                        .iter()
+                        .copied()
+                        .filter(|id| !pending.contains_key(id))
+                        .collect();
+                    let owners = self.resolve_owners(&committed)?;
+                    for &id in ids {
+                        match pending.get(&id).or_else(|| owners.get(&id)) {
+                            Some(&shard) => require(shard)?,
+                            None => return Err(ClusterError::UnknownMask(id)),
+                        }
+                    }
+                }
+                Mutation::Update(updates) => {
+                    let committed: Vec<MaskId> = updates
+                        .iter()
+                        .map(|u| u.mask_id)
+                        .filter(|id| !pending.contains_key(id))
+                        .collect();
+                    let owners = self.resolve_owners(&committed)?;
+                    for update in updates {
+                        let id = update.mask_id;
+                        match pending.get(&id).or_else(|| owners.get(&id)) {
+                            Some(&shard) => require(shard)?,
+                            None => return Err(ClusterError::UnknownMask(id)),
+                        }
+                    }
+                }
+                Mutation::CreateIndex { .. } | Mutation::DropIndex { .. } => {
+                    return Err(ClusterError::Sql(
+                        "DDL inside a transaction script is not supported on a cluster; \
+                         run CREATE INDEX / DROP INDEX as its own statement"
+                            .to_string(),
+                    ))
+                }
+            }
+        }
+        let Some(shard) = target else {
+            return Ok(MutationOutcome::default());
+        };
+        let responses = self.scatter_rows(vec![(shard, sql.to_string())], Route::Primary)?;
+        let summary = responses[0].summary;
+        // Replay the script's ownership effects into the owner index in
+        // statement order, so a later DELETE wins over an earlier INSERT.
+        {
+            let mut owners = self.inner.owners.lock().expect("owner index lock");
+            for mutation in &mutations {
+                match mutation {
+                    Mutation::Insert(batch) => {
+                        for (record, _) in batch {
+                            owners.insert(record.mask_id, shard);
+                        }
+                    }
+                    Mutation::Delete(ids) => {
+                        for id in ids {
+                            owners.remove(id);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        self.inner.metrics.record_transaction();
+        self.inner
+            .metrics
+            .record_mutation(summary.inserted, summary.deleted, summary.updated, 0);
+        Ok(MutationOutcome {
+            inserted: summary.inserted as usize,
+            deleted: summary.deleted as usize,
+            updated: summary.updated as usize,
         })
     }
 
@@ -1002,7 +1366,8 @@ impl Coordinator {
         line.push_str(&format!(
             " cluster_queries={} cluster_ranked={} cluster_mutations={} cluster_deduped={} \
              cluster_failed={} shard_requests={} replica_reads={} failovers={} topk_rounds={} \
-             topk_refined_requests={} topk_single_round={} relocated={}",
+             topk_refined_requests={} topk_single_round={} relocated={} cluster_transactions={} \
+             cluster_updated={} owner_resolutions={} lookup_broadcasts={}",
             m.queries,
             m.ranked_queries,
             m.mutations,
@@ -1015,6 +1380,10 @@ impl Coordinator {
             m.topk_refined_requests,
             m.topk_single_round,
             m.masks_relocated,
+            m.transactions,
+            m.masks_updated,
+            m.owner_resolutions,
+            m.lookup_broadcasts,
         ));
         Ok(line)
     }
@@ -1159,6 +1528,49 @@ fn render_insert(batch: &[(MaskRecord, Mask)]) -> String {
         })
         .collect();
     format!("INSERT INTO masks VALUES {}", tuples.join(", "))
+}
+
+/// Recognises a multi-statement `BEGIN; …; COMMIT|ROLLBACK` script and
+/// returns its mutations plus whether it commits. `Ok(None)` means `sql` is
+/// a single statement (a lone trailing `;` is fine) and takes the ordinary
+/// routing path. Mirrors the shard engine's script compiler so a script
+/// means exactly the same thing to a cluster and to a single server.
+fn compile_transaction_script(sql: &str) -> ClusterResult<Option<(Vec<Mutation>, bool)>> {
+    use masksearch_sql::{Statement, TxnControl};
+    if !sql.contains(';') {
+        return Ok(None);
+    }
+    let statements = masksearch_sql::compile_script(sql)?;
+    if statements.len() <= 1 {
+        return Ok(None);
+    }
+    let err = |msg: &str| Err(ClusterError::Sql(msg.to_string()));
+    let mut iter = statements.into_iter();
+    if !matches!(iter.next(), Some(Statement::Control(TxnControl::Begin))) {
+        return err("a multi-statement script must be wrapped in BEGIN ... COMMIT");
+    }
+    let mut mutations = Vec::new();
+    let mut finished = None;
+    for statement in iter {
+        if finished.is_some() {
+            return err("statements after COMMIT/ROLLBACK in a transaction script");
+        }
+        match statement {
+            Statement::Mutation(m) => mutations.push(m),
+            Statement::Control(TxnControl::Commit) => finished = Some(true),
+            Statement::Control(TxnControl::Rollback) => finished = Some(false),
+            Statement::Control(TxnControl::Begin) => {
+                return err("nested BEGIN in a transaction script")
+            }
+            Statement::Query(_) => {
+                return err("queries are not allowed inside a transaction script")
+            }
+        }
+    }
+    match finished {
+        Some(commit) => Ok(Some((mutations, commit))),
+        None => err("a transaction script must end with COMMIT (or ROLLBACK)"),
+    }
 }
 
 /// Renders a per-shard `DELETE` sub-batch.
@@ -1374,6 +1786,10 @@ fn render_reply(coordinator: &Coordinator, request: ClientRequest, buf: &mut Vec
             Ok(present) => protocol::write_lookup_response(buf, &present),
             Err(e) => write_cluster_error(buf, &e),
         },
+        ClientRequest::LookupAll => match coordinator.lookup_all() {
+            Ok(present) => protocol::write_lookup_response(buf, &present),
+            Err(e) => write_cluster_error(buf, &e),
+        },
         // PARTIAL is a shard-internal request; a coordinator is not a
         // shard of another coordinator (no recursive sharding yet).
         ClientRequest::Partial { .. } => write_cluster_error(
@@ -1400,7 +1816,7 @@ fn write_sql_reply(
     match result {
         Ok(ClusterReply::Rows(output)) => {
             let response = QueryResponse {
-                output,
+                output: *output,
                 queue_wait: Duration::ZERO,
                 exec_time: started.elapsed(),
             };

@@ -19,10 +19,14 @@ pub struct ClusterMetrics {
     topk_single_round: AtomicU64,
     masks_inserted: AtomicU64,
     masks_deleted: AtomicU64,
+    masks_updated: AtomicU64,
     masks_relocated: AtomicU64,
     mutations_deduped: AtomicU64,
     replica_reads: AtomicU64,
     failovers: AtomicU64,
+    transactions: AtomicU64,
+    owner_resolutions: AtomicU64,
+    lookup_broadcasts: AtomicU64,
 }
 
 impl Default for ClusterMetrics {
@@ -46,10 +50,14 @@ impl ClusterMetrics {
             topk_single_round: AtomicU64::new(0),
             masks_inserted: AtomicU64::new(0),
             masks_deleted: AtomicU64::new(0),
+            masks_updated: AtomicU64::new(0),
             masks_relocated: AtomicU64::new(0),
             mutations_deduped: AtomicU64::new(0),
             replica_reads: AtomicU64::new(0),
             failovers: AtomicU64::new(0),
+            transactions: AtomicU64::new(0),
+            owner_resolutions: AtomicU64::new(0),
+            lookup_broadcasts: AtomicU64::new(0),
         }
     }
 
@@ -66,11 +74,31 @@ impl ClusterMetrics {
             .fetch_add(single_round as u64, Ordering::Relaxed);
     }
 
-    pub(crate) fn record_mutation(&self, inserted: u64, deleted: u64, relocated: u64) {
+    pub(crate) fn record_mutation(
+        &self,
+        inserted: u64,
+        deleted: u64,
+        updated: u64,
+        relocated: u64,
+    ) {
         self.mutations.fetch_add(1, Ordering::Relaxed);
         self.masks_inserted.fetch_add(inserted, Ordering::Relaxed);
         self.masks_deleted.fetch_add(deleted, Ordering::Relaxed);
+        self.masks_updated.fetch_add(updated, Ordering::Relaxed);
         self.masks_relocated.fetch_add(relocated, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_transaction(&self) {
+        self.transactions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_owner_resolutions(&self, n: usize) {
+        self.owner_resolutions
+            .fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_lookup_broadcast(&self) {
+        self.lookup_broadcasts.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_deduped(&self) {
@@ -107,10 +135,14 @@ impl ClusterMetrics {
             topk_single_round: self.topk_single_round.load(Ordering::Relaxed),
             masks_inserted: self.masks_inserted.load(Ordering::Relaxed),
             masks_deleted: self.masks_deleted.load(Ordering::Relaxed),
+            masks_updated: self.masks_updated.load(Ordering::Relaxed),
             masks_relocated: self.masks_relocated.load(Ordering::Relaxed),
             mutations_deduped: self.mutations_deduped.load(Ordering::Relaxed),
             replica_reads: self.replica_reads.load(Ordering::Relaxed),
             failovers: self.failovers.load(Ordering::Relaxed),
+            transactions: self.transactions.load(Ordering::Relaxed),
+            owner_resolutions: self.owner_resolutions.load(Ordering::Relaxed),
+            lookup_broadcasts: self.lookup_broadcasts.load(Ordering::Relaxed),
         }
     }
 }
@@ -142,6 +174,8 @@ pub struct ClusterMetricsSnapshot {
     pub masks_inserted: u64,
     /// Masks deleted through the coordinator.
     pub masks_deleted: u64,
+    /// Masks re-masked in place (`UPDATE`) through the coordinator.
+    pub masks_updated: u64,
     /// Stale replicas removed because an overwrite moved a mask to a new
     /// image (and therefore possibly a new owning shard).
     pub masks_relocated: u64,
@@ -155,6 +189,15 @@ pub struct ClusterMetricsSnapshot {
     /// transport error and were successfully re-routed to another endpoint
     /// of the same shard.
     pub failovers: u64,
+    /// `BEGIN … COMMIT` scripts applied atomically on a single owning shard.
+    pub transactions: u64,
+    /// Mask-id owners resolved from the coordinator's in-memory owner index
+    /// (no shard round trip).
+    pub owner_resolutions: u64,
+    /// `LOOKUP` broadcasts issued because a write referenced mask ids the
+    /// owner index did not know (zero in steady state: the index is seeded
+    /// at connect and maintained by every routed write).
+    pub lookup_broadcasts: u64,
 }
 
 impl ClusterMetricsSnapshot {

@@ -84,7 +84,7 @@ fn cluster(num_shards: usize, ids: &[u64]) -> TestCluster {
 
 fn rows(reply: ClusterReply) -> masksearch_query::QueryOutput {
     match reply {
-        ClusterReply::Rows(output) => output,
+        ClusterReply::Rows(output) => *output,
         other => panic!("expected rows, got {other:?}"),
     }
 }

@@ -36,6 +36,7 @@ use masksearch_index::{ChiConfig, ChiStore, TileStore};
 use masksearch_obs::counters as obs_counters;
 use masksearch_obs::ShapeStatsRegistry;
 use masksearch_storage::format;
+use masksearch_storage::meta_index::{self, MetaColumn, MetaIndexRegistry};
 use masksearch_storage::store::IngestSnapshot;
 use masksearch_storage::{
     DiskProfile, IoStats, MaskEncoding, MaskStore, StorageError, StorageResult,
@@ -56,6 +57,14 @@ pub const CHI_FILE: &str = "masks.chi";
 pub const TILES_FILE: &str = "masks.tiles";
 /// File name of the persisted per-query-shape statistics.
 pub const SHAPE_STATS_FILE: &str = "masks.stats";
+/// File-name prefix of persisted secondary metadata indexes; the full name
+/// is `masks.idx.<column>` (e.g. `masks.idx.model_id`).
+pub const META_INDEX_FILE_PREFIX: &str = "masks.idx.";
+
+/// The snapshot file name of a secondary index over `column`.
+pub fn meta_index_file(column: MetaColumn) -> String {
+    format!("{}{}", META_INDEX_FILE_PREFIX, column.name())
+}
 
 /// Configuration of a durable mask database.
 #[derive(Debug, Clone, Copy)]
@@ -173,6 +182,14 @@ pub struct DurableMaskStore {
     /// selectivity/decisiveness profile of a workload survives restarts.
     shape_stats: Arc<ShapeStatsRegistry>,
     shape_stats_path: PathBuf,
+    /// Secondary metadata index definitions, shared with query sessions via
+    /// [`MaskStore::meta_indexes`] and snapshotted to one `masks.idx.<col>`
+    /// file per definition (on DDL and at checkpoint). Posting lists live in
+    /// the catalog's secondary maps — maintained inside every commit — so a
+    /// snapshot is rebuilt from the recovered catalog whenever it is stale,
+    /// torn, or foreign.
+    meta_indexes: Arc<MetaIndexRegistry>,
+    db_dir: PathBuf,
     ingest: IngestStats,
     io: Arc<IoStats>,
     /// Error of a failed *automatic* checkpoint. The triggering commit was
@@ -269,11 +286,49 @@ impl DurableMaskStore {
             .and_then(|bytes| ShapeStatsRegistry::from_bytes(&bytes))
             .unwrap_or_default();
 
+        // Recover secondary index definitions from their snapshot files.
+        // Posting lists are served from the catalog's live secondary maps,
+        // so only the *definition* is load-bearing here; postings that went
+        // stale since the last snapshot are rewritten from the recovered
+        // catalog, and torn or foreign files are discarded (snapshots are
+        // written via temp + rename, so a torn file means external damage
+        // — the directory remains the source of truth, like the CHI).
+        let meta_indexes = Arc::new(MetaIndexRegistry::new());
+        {
+            let mut catalog = masksearch_storage::Catalog::new();
+            for entry in directory.entries.values() {
+                catalog.insert(entry.record.clone());
+            }
+            for column in MetaColumn::ALL {
+                let path = dir.join(meta_index_file(column));
+                let Ok(bytes) = fs::read(&path) else { continue };
+                match meta_index::decode_snapshot(&bytes) {
+                    Ok((def, map))
+                        if def.column == column
+                            && meta_indexes.create(&def.name, def.column, true).is_ok() =>
+                    {
+                        if map != meta_index::postings(&catalog, column) {
+                            write_atomic(
+                                &path,
+                                &meta_index::snapshot_bytes(&def, &catalog),
+                                "metadata index rebuild",
+                            )?;
+                        }
+                    }
+                    _ => {
+                        let _ = fs::remove_file(&path);
+                    }
+                }
+            }
+        }
+
         let store = Self {
             chi: Arc::new(chi),
             tiles: Arc::new(tiles),
             shape_stats: Arc::new(shape_stats),
             shape_stats_path,
+            meta_indexes,
+            db_dir: dir.to_path_buf(),
             config,
             chi_path,
             tiles_path,
@@ -409,6 +464,10 @@ impl DurableMaskStore {
             &self.shape_stats.to_bytes(),
             "shape statistics checkpoint",
         )?;
+        // Secondary index snapshots too: definitions were already durable
+        // (persisted at DDL time), and postings are recomputed from the
+        // recovered catalog at open, so a stale snapshot is harmless.
+        self.persist_meta_indexes_locked()?;
         // The database and index files are durable; the log can be dropped.
         self.wal.lock().reset()?;
         self.ingest.record_checkpoint();
@@ -748,6 +807,34 @@ impl DurableMaskStore {
         Ok(changed)
     }
 
+    /// Snapshots every defined secondary index to its `masks.idx.<col>` file
+    /// and removes the files of dropped definitions. Caller holds the writer
+    /// mutex (directly or via a checkpoint).
+    fn persist_meta_indexes_locked(&self) -> StorageResult<()> {
+        let catalog = self.catalog();
+        for column in MetaColumn::ALL {
+            let path = self.db_dir.join(meta_index_file(column));
+            match self.meta_indexes.on(column) {
+                Some(def) => write_atomic(
+                    &path,
+                    &meta_index::snapshot_bytes(&def, &catalog),
+                    "metadata index snapshot",
+                )?,
+                None => {
+                    if path.exists() {
+                        fs::remove_file(&path).map_err(|e| {
+                            StorageError::io(
+                                format!("removing dropped metadata index {}", path.display()),
+                                e,
+                            )
+                        })?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn read_blob(&self, entry: &BlobEntry, state: &State) -> StorageResult<Vec<u8>> {
         let mut pager = state.pager.lock();
         let page_size = self.config.page_size as usize;
@@ -792,6 +879,22 @@ impl MaskStore for DurableMaskStore {
 
     fn delete_batch(&self, mask_ids: &[MaskId]) -> StorageResult<()> {
         self.delete_masks(mask_ids)
+    }
+
+    fn apply_batch(&self, inserts: &[(MaskRecord, Mask)], deletes: &[MaskId]) -> StorageResult<()> {
+        // One WAL commit frame for the whole batch: a transaction spanning
+        // inserts, updates (overwrites), and deletes is all-or-nothing at
+        // every crash point, unlike the default delete-then-insert split.
+        self.commit(inserts, deletes)
+    }
+
+    fn meta_indexes(&self) -> Option<Arc<MetaIndexRegistry>> {
+        Some(Arc::clone(&self.meta_indexes))
+    }
+
+    fn persist_meta_indexes(&self) -> StorageResult<()> {
+        let _writer = self.writer.lock();
+        self.persist_meta_indexes_locked()
     }
 
     fn ingest_stats(&self) -> Option<IngestSnapshot> {
@@ -1221,6 +1324,77 @@ mod tests {
         let wrong = MaskRecord::builder(MaskId::new(1)).shape(16, 16).build();
         assert!(store.insert_masks(&[(wrong, mask(1))]).is_err());
         assert!(store.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn meta_index_definitions_survive_reopen_and_torn_files_are_discarded() {
+        let dir = temp_dir("meta-idx");
+        {
+            let store = DurableMaskStore::open(&dir, small_config()).unwrap();
+            store.insert_masks(&batch(0..6)).unwrap();
+            let registry = store.meta_indexes().unwrap();
+            registry
+                .create("by_image", MetaColumn::ImageId, false)
+                .unwrap();
+            registry
+                .create("by_model", MetaColumn::ModelId, false)
+                .unwrap();
+            store.persist_meta_indexes().unwrap();
+            registry.drop_index("by_model", false).unwrap();
+            store.persist_meta_indexes().unwrap();
+        }
+        assert!(dir.join(meta_index_file(MetaColumn::ImageId)).exists());
+        assert!(!dir.join(meta_index_file(MetaColumn::ModelId)).exists());
+        {
+            let store = DurableMaskStore::open(&dir, small_config()).unwrap();
+            let registry = store.meta_indexes().unwrap();
+            assert_eq!(
+                registry.by_name("by_image").unwrap().column,
+                MetaColumn::ImageId
+            );
+            assert!(registry.by_name("by_model").is_none());
+            // Mutate without re-persisting: the snapshot goes stale, and the
+            // next open must rebuild it from the recovered catalog.
+            store.delete_masks(&[MaskId::new(0)]).unwrap();
+        }
+        {
+            let store = DurableMaskStore::open(&dir, small_config()).unwrap();
+            let registry = store.meta_indexes().unwrap();
+            assert_eq!(registry.len(), 1);
+            let bytes = fs::read(dir.join(meta_index_file(MetaColumn::ImageId))).unwrap();
+            let (_, map) = meta_index::decode_snapshot(&bytes).unwrap();
+            assert_eq!(
+                map,
+                meta_index::postings(&store.catalog(), MetaColumn::ImageId)
+            );
+        }
+        // A torn snapshot (external damage — writes go through temp+rename)
+        // is discarded on open; the definition it held is gone, loudly absent.
+        let idx_path = dir.join(meta_index_file(MetaColumn::ImageId));
+        let full = fs::read(&idx_path).unwrap();
+        fs::write(&idx_path, &full[..full.len() / 2]).unwrap();
+        {
+            let store = DurableMaskStore::open(&dir, small_config()).unwrap();
+            assert!(store.meta_indexes().unwrap().is_empty());
+        }
+        assert!(!idx_path.exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn apply_batch_commits_inserts_and_deletes_in_one_frame() {
+        let dir = temp_dir("apply-batch");
+        let store = DurableMaskStore::open(&dir, small_config()).unwrap();
+        store.insert_masks(&batch(0..4)).unwrap();
+        let commits_before = store.ingest_stats().unwrap().commits;
+        store
+            .apply_batch(&batch(4..6), &[MaskId::new(0), MaskId::new(1)])
+            .unwrap();
+        assert_eq!(store.ingest_stats().unwrap().commits, commits_before + 1);
+        assert_eq!(store.len(), 4);
+        assert!(!store.contains(MaskId::new(0)));
+        assert_eq!(store.get(MaskId::new(5)).unwrap(), mask(5));
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -72,22 +72,16 @@ pub fn bin_ranges(range: &PixelRange, bins: u32) -> (u32, u32, u32, u32) {
     (outer_lo, outer_hi, inner_lo, inner_hi)
 }
 
-/// Count of pixels with bin index in `[lo, hi)` from a reverse-cumulative
-/// histogram (`hist[b]` = count of pixels with bin `>= b`; `hist[bins]` is
-/// implicitly zero).
-fn range_count(hist: &[u64], lo: u32, hi: u32) -> u64 {
+/// Count of pixels with bin index in `[lo, hi)` inside an available region,
+/// from two reverse-cumulative lookups. No histogram is materialised: this
+/// runs once per candidate mask in the filter stage, and the per-call
+/// histogram allocations used to dominate a bounds-decided classification.
+fn region_range_count(chi: &Chi, region: (u32, u32, u32, u32), lo: u32, hi: u32) -> u64 {
     if lo >= hi {
         return 0;
     }
-    let bins = hist.len() as u32;
-    let at = |i: u32| -> u64 {
-        if i >= bins {
-            0
-        } else {
-            hist[i as usize]
-        }
-    };
-    at(lo).saturating_sub(at(hi))
+    chi.region_count(region, lo)
+        .saturating_sub(chi.region_count(region, hi))
 }
 
 /// Computes [`CpBounds`] for `CP(mask, roi, range)` from the mask's CHI.
@@ -102,41 +96,33 @@ pub fn cp_bounds(chi: &Chi, roi: &Roi, range: &PixelRange) -> CpBounds {
     let covering = chi
         .covering_region(&clipped)
         .expect("non-empty clipped ROI always has a covering region");
-    let covering_hist = {
-        let (bx0, by0, bx1, by1) = covering;
-        chi.region_hist(bx0, by0, bx1, by1)
-    };
     let covering_area = chi.region_area(covering);
 
     let covered = chi.covered_region(&clipped);
-    let (covered_hist, covered_area) = match covered {
-        Some((bx0, by0, bx1, by1)) => (
-            Some(chi.region_hist(bx0, by0, bx1, by1)),
-            chi.region_area((bx0, by0, bx1, by1)),
-        ),
-        None => (None, 0),
-    };
+    let covered_area = covered.map_or(0, |region| chi.region_area(region));
 
     // Upper bound 1 (Eq. 3): outer bins over the covering region.
-    let ub1 = range_count(&covering_hist, outer_lo, outer_hi);
+    let ub1 = region_range_count(chi, covering, outer_lo, outer_hi);
     // Upper bound 2 (Eq. 4): outer bins over the covered region, plus every
     // ROI pixel the covered region misses.
-    let ub2 = match &covered_hist {
-        Some(hist) => range_count(hist, outer_lo, outer_hi) + (roi_area - covered_area),
+    let ub2 = match covered {
+        Some(region) => {
+            region_range_count(chi, region, outer_lo, outer_hi) + (roi_area - covered_area)
+        }
         None => roi_area,
     };
     let upper = ub1.min(ub2).min(roi_area);
 
     // Lower bound 1: inner bins over the covered region.
-    let lb1 = match &covered_hist {
-        Some(hist) => range_count(hist, inner_lo, inner_hi),
+    let lb1 = match covered {
+        Some(region) => region_range_count(chi, region, inner_lo, inner_hi),
         None => 0,
     };
     // Lower bound 2: inner bins over the covering region minus the covering
     // pixels that lie outside the ROI (each could account for one counted
     // pixel).
     let slack = covering_area - roi_area;
-    let lb2 = range_count(&covering_hist, inner_lo, inner_hi).saturating_sub(slack);
+    let lb2 = region_range_count(chi, covering, inner_lo, inner_hi).saturating_sub(slack);
     let lower = lb1.max(lb2).min(upper);
 
     CpBounds {
@@ -195,13 +181,31 @@ mod tests {
     }
 
     #[test]
-    fn range_count_handles_edges() {
-        let hist = vec![10u64, 7, 4, 1];
-        assert_eq!(range_count(&hist, 0, 4), 10);
-        assert_eq!(range_count(&hist, 1, 3), 6);
-        assert_eq!(range_count(&hist, 2, 2), 0);
-        assert_eq!(range_count(&hist, 3, 9), 1);
-        assert_eq!(range_count(&hist, 5, 9), 0);
+    fn region_range_count_matches_materialised_histograms() {
+        let mask = blob_mask(20, 12, 10.0, 6.0, 4.0);
+        let config = ChiConfig::new(6, 5, 8).unwrap();
+        let chi = Chi::build(&mask, &config);
+        let region = chi
+            .covering_region(&Roi::new(1, 1, 19, 11).unwrap())
+            .unwrap();
+        let (bx0, by0, bx1, by1) = region;
+        let hist = chi.region_hist(bx0, by0, bx1, by1);
+        let bins = config.bins();
+        for lo in 0..=bins + 1 {
+            for hi in 0..=bins + 1 {
+                let expected = if lo >= hi {
+                    0
+                } else {
+                    let at = |i: u32| *hist.get(i as usize).unwrap_or(&0);
+                    at(lo).saturating_sub(at(hi))
+                };
+                assert_eq!(
+                    region_range_count(&chi, region, lo, hi),
+                    expected,
+                    "lo={lo} hi={hi}"
+                );
+            }
+        }
     }
 
     #[test]

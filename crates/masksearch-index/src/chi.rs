@@ -292,6 +292,34 @@ impl Chi {
             .collect()
     }
 
+    /// One element of [`Chi::prefix_hist`] — the count of pixels with bin
+    /// index `>= bin` in the prefix rectangle — without materialising the
+    /// histogram. `bin >= bins` counts zero pixels (the implicit
+    /// `hist[bins] = 0` element).
+    pub fn prefix_count(&self, bx: u32, by: u32, bin: u32) -> u64 {
+        if bx == 0 || by == 0 || bin >= self.config.bins {
+            return 0;
+        }
+        let bins = self.config.bins as usize;
+        let cx = (bx - 1).min(self.cells_x - 1) as usize;
+        let cy = (by - 1).min(self.cells_y - 1) as usize;
+        self.data[(cy * self.cells_x as usize + cx) * bins + bin as usize] as u64
+    }
+
+    /// One element of [`Chi::region_hist`] without materialising the
+    /// histogram: the bounds computation only ever reads two elements per
+    /// region, and the per-call histogram allocations dominated the filter
+    /// stage's per-candidate cost.
+    pub fn region_count(&self, region: (u32, u32, u32, u32), bin: u32) -> u64 {
+        let (bx0, by0, bx1, by1) = region;
+        debug_assert!(bx0 <= bx1 && by0 <= by1);
+        // Same inclusion–exclusion as `region_hist`, which never goes
+        // negative for prefix sums of non-negative data.
+        self.prefix_count(bx1, by1, bin) + self.prefix_count(bx0, by0, bin)
+            - self.prefix_count(bx0, by1, bin)
+            - self.prefix_count(bx1, by0, bin)
+    }
+
     /// Reverse-cumulative histogram of an *available region* given by grid
     /// boundary indices `[bx0, bx1) × [by0, by1)` (paper Eq. 2):
     ///

@@ -56,5 +56,5 @@ pub use bounds::CpBounds;
 pub use builder::{build_chi_store, BuildOptions};
 pub use chi::{Chi, ChiConfig};
 pub use compose::composed_cp_bounds;
-pub use store::ChiStore;
+pub use store::{ChiReader, ChiStore};
 pub use tiles::TileStore;

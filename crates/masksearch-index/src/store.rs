@@ -34,6 +34,21 @@ pub struct ChiStore {
     removals: AtomicU64,
 }
 
+/// A read guard over a [`ChiStore`] for batched lookups (see
+/// [`ChiStore::reader`]).
+#[derive(Debug)]
+pub struct ChiReader<'a> {
+    entries: parking_lot::RwLockReadGuard<'a, BTreeMap<MaskId, Arc<Chi>>>,
+}
+
+impl ChiReader<'_> {
+    /// The index of `mask_id`, if present — borrowed from the guard, so no
+    /// reference count is touched.
+    pub fn get(&self, mask_id: MaskId) -> Option<&Chi> {
+        self.entries.get(&mask_id).map(Arc::as_ref)
+    }
+}
+
 impl ChiStore {
     /// Creates an empty store for indexes built with `config`.
     pub fn new(config: ChiConfig) -> Self {
@@ -67,6 +82,16 @@ impl ChiStore {
     /// Retrieves the index of `mask_id`, if present.
     pub fn get(&self, mask_id: MaskId) -> Option<Arc<Chi>> {
         self.entries.read().get(&mask_id).cloned()
+    }
+
+    /// Takes a read guard for a batch of lookups: one lock acquisition (and
+    /// no `Arc` clone per hit) amortised over a whole candidate chunk — the
+    /// filter stage's hot loop. Writers block while the reader is held, so
+    /// hold it only across CPU-bound work.
+    pub fn reader(&self) -> ChiReader<'_> {
+        ChiReader {
+            entries: self.entries.read(),
+        }
     }
 
     /// Inserts a pre-built index for `mask_id`, replacing any existing one.

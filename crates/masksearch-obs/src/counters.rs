@@ -60,6 +60,11 @@ global_counters! {
     (SCATTER_WAIT_US, "scatter_wait_us"),
     /// Queries whose end-to-end latency exceeded the slow-query threshold.
     (SLOW_QUERIES, "slow_queries"),
+    /// Candidate resolutions that walked the full catalog (no secondary
+    /// index applied, or the planner estimated the scan cheaper).
+    (CATALOG_SCANS, "catalog_scans"),
+    /// Secondary-index point probes issued during candidate resolution.
+    (META_INDEX_PROBES, "meta_index_probes"),
 }
 
 /// Adds `delta` to a counter. Thin wrapper so call sites read uniformly.

@@ -24,6 +24,8 @@ pub const MUTATIONS: &str = "mutations";
 pub const INSERTED: &str = "inserted";
 /// Masks deleted.
 pub const DELETED: &str = "deleted";
+/// Masks updated in place.
+pub const UPDATED: &str = "updated";
 /// Mutations answered from the token-dedup registry.
 pub const DEDUPED: &str = "deduped";
 /// WAL bytes pending checkpoint.
@@ -48,6 +50,14 @@ pub const PLANNER_KERNEL_OFF: &str = "planner_kernel_off";
 pub const PLANNER_BOUNDS_SKIPPED: &str = "planner_bounds_skipped";
 /// Queries whose CP comparisons the planner evaluated off written order.
 pub const PLANNER_REORDERS: &str = "planner_reorders";
+/// Secondary-index point probes issued during candidate resolution.
+pub const INDEX_PROBES: &str = "index_probes";
+/// Mask ids returned by secondary-index probes (before re-verification).
+pub const INDEX_ROWS: &str = "index_rows";
+/// Metadata-constrained resolutions the planner routed through an index.
+pub const PLANNER_INDEX_ON: &str = "planner_index_on";
+/// Metadata-constrained resolutions the planner kept on the catalog scan.
+pub const PLANNER_INDEX_OFF: &str = "planner_index_off";
 /// Open client connections.
 pub const ACTIVE_CONNECTIONS: &str = "active_connections";
 /// Jobs waiting in the queue.
@@ -81,7 +91,7 @@ pub const WALL_US: &str = "wall_us";
 /// Both the shard-side `STATS` writer and the coordinator's merge draw from
 /// this one array, so a key added or renamed here changes every surface at
 /// once.
-pub const STATS_SUM_KEYS: [&str; 22] = [
+pub const STATS_SUM_KEYS: [&str; 27] = [
     QPS,
     COMPLETED,
     FAILED,
@@ -90,6 +100,7 @@ pub const STATS_SUM_KEYS: [&str; 22] = [
     MUTATIONS,
     INSERTED,
     DELETED,
+    UPDATED,
     DEDUPED,
     WAL_BYTES,
     CHECKPOINTS,
@@ -102,6 +113,10 @@ pub const STATS_SUM_KEYS: [&str; 22] = [
     PLANNER_KERNEL_OFF,
     PLANNER_BOUNDS_SKIPPED,
     PLANNER_REORDERS,
+    INDEX_PROBES,
+    INDEX_ROWS,
+    PLANNER_INDEX_ON,
+    PLANNER_INDEX_OFF,
     ACTIVE_CONNECTIONS,
     QUEUE_DEPTH,
 ];
@@ -115,7 +130,7 @@ pub const STATS_MAX_KEYS: [&str; 2] = [P50_US, P99_US];
 /// started at server-zero equal the cumulative `STATS` values. Gauges
 /// (`queue_depth`, `active_connections`), rates (`qps`), percentiles, and
 /// the non-monotonic `wal_bytes` (it shrinks at checkpoint) are excluded.
-pub const MONITOR_DELTA_KEYS: [&str; 18] = [
+pub const MONITOR_DELTA_KEYS: [&str; 23] = [
     COMPLETED,
     FAILED,
     REJECTED,
@@ -123,6 +138,7 @@ pub const MONITOR_DELTA_KEYS: [&str; 18] = [
     MUTATIONS,
     INSERTED,
     DELETED,
+    UPDATED,
     DEDUPED,
     CHECKPOINTS,
     COMMITS,
@@ -134,6 +150,10 @@ pub const MONITOR_DELTA_KEYS: [&str; 18] = [
     PLANNER_KERNEL_OFF,
     PLANNER_BOUNDS_SKIPPED,
     PLANNER_REORDERS,
+    INDEX_PROBES,
+    INDEX_ROWS,
+    PLANNER_INDEX_ON,
+    PLANNER_INDEX_OFF,
 ];
 
 #[cfg(test)]

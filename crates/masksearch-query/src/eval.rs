@@ -3,7 +3,7 @@
 
 use crate::error::{QueryError, QueryResult};
 use crate::expr::{Expr, Interval};
-use crate::predicate::{Predicate, Truth};
+use crate::predicate::{Comparison, Predicate, Truth};
 use crate::spec::{CpTerm, TermSource};
 use masksearch_core::{
     cp, cp_composed, cp_many, Mask, MaskRecord, PixelRange, Roi, TileStats, TiledMask,
@@ -254,44 +254,116 @@ pub fn predicate_bounds_ordered(
     object_box_fallback: bool,
     order: &[usize],
 ) -> QueryResult<Truth> {
-    let comparisons = predicate.comparisons();
-    if order.len() != comparisons.len() {
-        return predicate_bounds(predicate, record, chi, object_box_fallback);
-    }
-    // Written-order ROI resolution, exactly as the unordered path performs
-    // it via `expr_bounds`: the first erroring term must not depend on the
-    // cost order (or on an early exit skipping it).
-    let mut resolved: Vec<Vec<(Roi, PixelRange)>> = Vec::with_capacity(comparisons.len());
-    for cmp in &comparisons {
-        let terms = cmp.expr.terms();
-        let mut pairs = Vec::with_capacity(terms.len());
-        for term in terms {
-            reject_pair_in_single(term)?;
-            pairs.push((resolve_roi(term, record, object_box_fallback)?, term.range));
-        }
-        resolved.push(pairs);
-    }
-    let unbounded = Interval::new(f64::NEG_INFINITY, f64::INFINITY);
-    let mut intervals = vec![unbounded; comparisons.len()];
-    let mut truth = Truth::Unknown;
-    for &index in order {
-        let Some(cmp) = comparisons.get(index) else {
-            return predicate_bounds(predicate, record, chi, object_box_fallback);
-        };
-        let term_intervals: Vec<Interval> = resolved[index]
-            .iter()
-            .map(|(roi, range)| {
-                let b = chi.cp_bounds(roi, range);
-                Interval::new(b.lower as f64, b.upper as f64)
+    BoundsClassifier::new(predicate, order).classify(record, chi, object_box_fallback)
+}
+
+/// A predicate compiled for repeated bounds classification.
+///
+/// The filter stage classifies every candidate against the *same* predicate
+/// and cost order. Collecting comparison and term references anew for each
+/// mask — plus the per-mask scratch vectors — made heap allocation the
+/// dominant cost of a bounds-decided classification, so the classifier does
+/// that work once and owns the scratch space: classifying another mask
+/// allocates nothing. One classifier is built per worker thread and reused
+/// across its whole chunk.
+///
+/// [`BoundsClassifier::classify`] is byte-identical to
+/// [`predicate_bounds_ordered`] (which is implemented on top of it).
+pub struct BoundsClassifier<'p> {
+    predicate: &'p Predicate,
+    /// Comparisons in written order, each with its terms flattened.
+    comparisons: Vec<(&'p Comparison, Vec<&'p CpTerm>)>,
+    /// The planner's cost order; indices are re-checked per use, matching
+    /// [`predicate_bounds_ordered`]'s fallback rule.
+    order: Vec<usize>,
+    /// `false` when `order`'s length does not match the predicate: every
+    /// classification then falls back to [`predicate_bounds`].
+    ordered: bool,
+    // Per-mask scratch, cleared on every classification.
+    resolved: Vec<(Roi, PixelRange)>,
+    offsets: Vec<usize>,
+    intervals: Vec<Interval>,
+    term_intervals: Vec<Interval>,
+}
+
+impl<'p> BoundsClassifier<'p> {
+    /// Compiles `predicate` with the planner's cost `order`.
+    pub fn new(predicate: &'p Predicate, order: &[usize]) -> Self {
+        let comparisons: Vec<(&Comparison, Vec<&CpTerm>)> = predicate
+            .comparisons()
+            .into_iter()
+            .map(|cmp| {
+                let terms = cmp.expr.terms();
+                (cmp, terms)
             })
             .collect();
-        intervals[index] = cmp.expr.evaluate_bounds(&term_intervals);
-        truth = predicate.eval_bounds(&intervals);
-        if truth != Truth::Unknown {
-            return Ok(truth);
+        let ordered = order.len() == comparisons.len();
+        Self {
+            predicate,
+            order: order.to_vec(),
+            ordered,
+            comparisons,
+            resolved: Vec::new(),
+            offsets: Vec::new(),
+            intervals: Vec::new(),
+            term_intervals: Vec::new(),
         }
     }
-    Ok(truth)
+
+    /// Three-valued truth of the compiled predicate from one mask's CHI.
+    pub fn classify(
+        &mut self,
+        record: &MaskRecord,
+        chi: &Chi,
+        object_box_fallback: bool,
+    ) -> QueryResult<Truth> {
+        if !self.ordered {
+            return predicate_bounds(self.predicate, record, chi, object_box_fallback);
+        }
+        let Self {
+            predicate,
+            comparisons,
+            order,
+            resolved,
+            offsets,
+            intervals,
+            term_intervals,
+            ..
+        } = self;
+        // Written-order ROI resolution, exactly as the unordered path
+        // performs it via `expr_bounds`: the first erroring term must not
+        // depend on the cost order (or on an early exit skipping it).
+        resolved.clear();
+        offsets.clear();
+        for (_, terms) in comparisons.iter() {
+            offsets.push(resolved.len());
+            for term in terms {
+                reject_pair_in_single(term)?;
+                resolved.push((resolve_roi(term, record, object_box_fallback)?, term.range));
+            }
+        }
+        offsets.push(resolved.len());
+        let unbounded = Interval::new(f64::NEG_INFINITY, f64::INFINITY);
+        intervals.clear();
+        intervals.resize(comparisons.len(), unbounded);
+        let mut truth = Truth::Unknown;
+        for &index in order.iter() {
+            let Some((cmp, _)) = comparisons.get(index) else {
+                return predicate_bounds(predicate, record, chi, object_box_fallback);
+            };
+            term_intervals.clear();
+            for (roi, range) in &resolved[offsets[index]..offsets[index + 1]] {
+                let b = chi.cp_bounds(roi, range);
+                term_intervals.push(Interval::new(b.lower as f64, b.upper as f64));
+            }
+            intervals[index] = cmp.expr.evaluate_bounds(term_intervals);
+            truth = predicate.eval_bounds(intervals);
+            if truth != Truth::Unknown {
+                return Ok(truth);
+            }
+        }
+        Ok(truth)
+    }
 }
 
 // ---------------------------------------------------------------------------

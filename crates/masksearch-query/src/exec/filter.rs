@@ -42,35 +42,65 @@ pub fn execute(
     let filter_span = masksearch_obs::span("filter");
     let filter_start = Instant::now();
     let chunks = chunks_for_threads(candidates, threads);
-    let results: Mutex<Vec<(MaskId, FilterOutcome)>> =
-        Mutex::new(Vec::with_capacity(candidates.len()));
-    let first_error: Mutex<Option<crate::error::QueryError>> = Mutex::new(None);
-
-    std::thread::scope(|scope| {
-        for chunk in &chunks {
-            scope.spawn(|| {
-                let mut local = Vec::with_capacity(chunk.len());
-                for &mask_id in *chunk {
-                    let outcome = match classify(session, mask_id, predicate, fallback, plan) {
-                        Ok(o) => o,
+    // The stage is pure CPU (nothing is loaded), so one catalog guard and
+    // one CHI-store guard cover all of it: per-candidate lock round-trips,
+    // record clones, and `Arc` bumps used to dominate bounds-decided
+    // classification. Both guards drop at the end of this block, before
+    // verification starts loading masks.
+    let outcomes: Vec<(MaskId, FilterOutcome)> = {
+        let catalog = session.catalog_read();
+        let chi_reader = session.chi_reader();
+        let classify_chunk = |chunk: &[MaskId]| -> QueryResult<Vec<(MaskId, FilterOutcome)>> {
+            let mut classifier = eval::BoundsClassifier::new(predicate, plan.term_order());
+            let mut local = Vec::with_capacity(chunk.len());
+            for &mask_id in chunk {
+                let record = catalog
+                    .get(mask_id)
+                    .ok_or(crate::error::QueryError::UnknownMask(mask_id))?;
+                let outcome = match chi_reader.as_ref().and_then(|r| r.get(mask_id)) {
+                    // No index: incremental and disabled modes verify by
+                    // loading.
+                    None => FilterOutcome::Verify,
+                    Some(chi) => match classifier.classify(record, chi, fallback)? {
+                        Truth::True => FilterOutcome::Accept,
+                        Truth::False => FilterOutcome::Prune,
+                        Truth::Unknown => FilterOutcome::Verify,
+                    },
+                };
+                local.push((mask_id, outcome));
+            }
+            Ok(local)
+        };
+        if chunks.len() <= 1 {
+            // One chunk (single-threaded session or small input): classify
+            // inline — spawning a worker costs more than the work it does.
+            match chunks.first() {
+                Some(chunk) => classify_chunk(chunk)?,
+                None => Vec::new(),
+            }
+        } else {
+            let results: Mutex<Vec<(MaskId, FilterOutcome)>> =
+                Mutex::new(Vec::with_capacity(candidates.len()));
+            let first_error: Mutex<Option<crate::error::QueryError>> = Mutex::new(None);
+            std::thread::scope(|scope| {
+                for chunk in &chunks {
+                    scope.spawn(|| match classify_chunk(chunk) {
+                        Ok(local) => results.lock().extend(local),
                         Err(e) => {
                             let mut slot = first_error.lock();
                             if slot.is_none() {
                                 *slot = Some(e);
                             }
-                            return;
                         }
-                    };
-                    local.push((mask_id, outcome));
+                    });
                 }
-                results.lock().extend(local);
             });
+            if let Some(err) = first_error.into_inner() {
+                return Err(err);
+            }
+            results.into_inner()
         }
-    });
-    if let Some(err) = first_error.into_inner() {
-        return Err(err);
-    }
-    let outcomes = results.into_inner();
+    };
     let filter_wall = elapsed(filter_start);
 
     let mut accepted: Vec<MaskId> = Vec::new();
@@ -93,76 +123,82 @@ pub fn execute(
     let verify_span = masksearch_obs::span("verify");
     let verify_start = Instant::now();
     let verify_chunks = chunks_for_threads(&to_verify, threads);
-    let verified_hits: Mutex<Vec<MaskId>> = Mutex::new(Vec::new());
-    let indexes_built: Mutex<u64> = Mutex::new(0);
-    let tile_stats: Mutex<TileStats> = Mutex::new(TileStats::default());
-    let kernel_routing: Mutex<(u64, u64)> = Mutex::new((0, 0));
-    let first_error: Mutex<Option<crate::error::QueryError>> = Mutex::new(None);
-
-    std::thread::scope(|scope| {
-        for chunk in &verify_chunks {
-            scope.spawn(|| {
-                let mut local_hits = Vec::new();
-                let mut local_built = 0u64;
-                let mut local_tiles = TileStats::default();
-                let mut local_kernel = (0u64, 0u64);
-                for &mask_id in *chunk {
-                    let mut step = || -> QueryResult<(bool, bool)> {
-                        let record = session.record(mask_id)?;
-                        let (mask, built) = session.load_and_index(mask_id)?;
-                        let kernel_on = plan.kernel_on_for(&mask);
-                        if kernel_on {
-                            local_kernel.0 += 1;
-                        } else {
-                            local_kernel.1 += 1;
-                        }
-                        let satisfied = eval::predicate_exact_tiled(
-                            predicate,
-                            &record,
-                            &mask,
-                            &session.verify_options_with(kernel_on),
-                            &mut local_tiles,
-                        )?;
-                        Ok((satisfied, built))
-                    };
-                    match step() {
-                        Ok((satisfied, built)) => {
-                            if satisfied {
-                                local_hits.push(mask_id);
-                            }
-                            if built {
-                                local_built += 1;
-                            }
-                        }
-                        Err(e) => {
-                            let mut slot = first_error.lock();
-                            if slot.is_none() {
-                                *slot = Some(e);
-                            }
-                            return;
+    #[derive(Default)]
+    struct ChunkVerify {
+        hits: Vec<MaskId>,
+        built: u64,
+        tiles: TileStats,
+        kernel: (u64, u64),
+    }
+    let verify_chunk = |chunk: &[MaskId]| -> QueryResult<ChunkVerify> {
+        let mut out = ChunkVerify::default();
+        for &mask_id in chunk {
+            let record = session.record(mask_id)?;
+            let (mask, built) = session.load_and_index(mask_id)?;
+            let kernel_on = plan.kernel_on_for(&mask);
+            if kernel_on {
+                out.kernel.0 += 1;
+            } else {
+                out.kernel.1 += 1;
+            }
+            let satisfied = eval::predicate_exact_tiled(
+                predicate,
+                &record,
+                &mask,
+                &session.verify_options_with(kernel_on),
+                &mut out.tiles,
+            )?;
+            if satisfied {
+                out.hits.push(mask_id);
+            }
+            if built {
+                out.built += 1;
+            }
+        }
+        Ok(out)
+    };
+    let verified = if verify_chunks.len() <= 1 {
+        // Same single-chunk shortcut as the filter stage.
+        match verify_chunks.first() {
+            Some(chunk) => verify_chunk(chunk)?,
+            None => ChunkVerify::default(),
+        }
+    } else {
+        let merged: Mutex<ChunkVerify> = Mutex::new(ChunkVerify::default());
+        let first_error: Mutex<Option<crate::error::QueryError>> = Mutex::new(None);
+        std::thread::scope(|scope| {
+            for chunk in &verify_chunks {
+                scope.spawn(|| match verify_chunk(chunk) {
+                    Ok(out) => {
+                        let mut m = merged.lock();
+                        m.hits.extend(out.hits);
+                        m.built += out.built;
+                        m.tiles.merge(&out.tiles);
+                        m.kernel.0 += out.kernel.0;
+                        m.kernel.1 += out.kernel.1;
+                    }
+                    Err(e) => {
+                        let mut slot = first_error.lock();
+                        if slot.is_none() {
+                            *slot = Some(e);
                         }
                     }
-                }
-                verified_hits.lock().extend(local_hits);
-                *indexes_built.lock() += local_built;
-                tile_stats.lock().merge(&local_tiles);
-                let mut routing = kernel_routing.lock();
-                routing.0 += local_kernel.0;
-                routing.1 += local_kernel.1;
-            });
+                });
+            }
+        });
+        if let Some(err) = first_error.into_inner() {
+            return Err(err);
         }
-    });
-    if let Some(err) = first_error.into_inner() {
-        return Err(err);
-    }
+        merged.into_inner()
+    };
     let verify_wall = elapsed(verify_start);
-    let (kernel_on_count, kernel_off_count) = *kernel_routing.lock();
-    masksearch_obs::add_counter(obs_keys::INDEXES_BUILT, *indexes_built.lock());
+    let (kernel_on_count, kernel_off_count) = verified.kernel;
+    masksearch_obs::add_counter(obs_keys::INDEXES_BUILT, verified.built);
     masksearch_obs::add_counter(obs_keys::PLANNER_KERNEL_ON, kernel_on_count);
     masksearch_obs::add_counter(obs_keys::PLANNER_KERNEL_OFF, kernel_off_count);
     drop(verify_span);
 
-    accepted.extend(verified_hits.into_inner());
+    accepted.extend(verified.hits);
     accepted.sort_unstable();
 
     let io_delta = session
@@ -170,14 +206,14 @@ pub fn execute(
         .io_stats()
         .snapshot()
         .delta_since(&io_before);
-    let tiles = *tile_stats.lock();
+    let tiles = verified.tiles;
     let mut stats = QueryStats {
         candidates: candidates.len() as u64,
         pruned,
         accepted_without_load: (accepted.len() as u64)
             .saturating_sub(io_delta.masks_loaded.min(accepted.len() as u64)),
         verified: to_verify.len() as u64,
-        indexes_built: *indexes_built.lock(),
+        indexes_built: verified.built,
         tiles_pruned: tiles.tiles_pruned,
         tiles_hist: tiles.tiles_hist,
         tiles_scanned: tiles.tiles_scanned,
@@ -201,29 +237,6 @@ pub fn execute(
             .map(|id| ResultRow::mask(id, None))
             .collect(),
         stats,
-    })
-}
-
-/// Classifies one mask without loading it (when possible), computing the
-/// comparisons' bounds in the plan's cost order.
-fn classify(
-    session: &Session,
-    mask_id: MaskId,
-    predicate: &Predicate,
-    fallback: bool,
-    plan: &ExecPlan,
-) -> QueryResult<FilterOutcome> {
-    let record = session.record(mask_id)?;
-    let Some(chi) = session.chi_for(mask_id) else {
-        // No index: incremental and disabled modes verify by loading.
-        return Ok(FilterOutcome::Verify);
-    };
-    let truth =
-        eval::predicate_bounds_ordered(predicate, &record, &chi, fallback, plan.term_order())?;
-    Ok(match truth {
-        Truth::True => FilterOutcome::Accept,
-        Truth::False => FilterOutcome::Prune,
-        Truth::Unknown => FilterOutcome::Verify,
     })
 }
 

@@ -293,6 +293,20 @@ pub fn plan_with(query: &Query, config: &SessionConfig, exec: Option<&ExecPlan>)
     if let Some(verify) = root.find_mut("verify") {
         verify.set("kernel", exec.plan.kernel.label());
     }
+    // Access path: which secondary index the resolution probes, or `scan`.
+    // Pair queries carry one decision per binding side instead.
+    if matches!(
+        query.kind,
+        QueryKind::PairFilter { .. } | QueryKind::PairTopK { .. }
+    ) {
+        if let Some(bind) = root.find_mut("pair.bind") {
+            for (side, access) in bind.children.iter_mut().zip(&exec.pair_index_access) {
+                side.set("index", access.as_deref().unwrap_or("scan"));
+            }
+        }
+    } else if let Some(select) = root.find_mut("select") {
+        select.set("index", exec.index_access.as_deref().unwrap_or("scan"));
+    }
     if let Some(filter) = root.find_mut("filter") {
         if exec.sampled {
             filter.set(
@@ -360,6 +374,13 @@ pub fn annotate(mut plan: PlanNode, stats: &QueryStats, rows: u64) -> PlanNode {
     plan.set(keys::CANDIDATES, stats.candidates);
     plan.set("rows", rows);
     plan.set("io_virtual_us", stats.io_virtual.as_micros() as u64);
+    if let Some(select) = plan.find_mut("select") {
+        select.set(keys::WALL_US, stats.resolve_wall.as_micros() as u64);
+        select.set(keys::INDEX_PROBES, stats.index_probes);
+        select.set(keys::INDEX_ROWS, stats.index_rows);
+        select.set(keys::PLANNER_INDEX_ON, stats.planner_index_on);
+        select.set(keys::PLANNER_INDEX_OFF, stats.planner_index_off);
+    }
     if let Some(bind) = plan.find_mut("pair.bind") {
         bind.set(keys::PAIRS_BOUND, stats.pairs_bound);
     }

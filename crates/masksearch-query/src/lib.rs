@@ -75,8 +75,9 @@ pub use error::{QueryError, QueryResult as QueryResultExt};
 pub use explain::{shape_key, PlanNode};
 pub use expr::{Expr, Interval};
 pub use masksearch_plan::{KernelMode, PairMode};
+pub use masksearch_storage::{MetaColumn, MetaIndexDef, MetaIndexRegistry};
 pub use merge::RankedPartial;
-pub use mutation::{Mutation, MutationOutcome};
+pub use mutation::{MaskUpdate, Mutation, MutationOutcome};
 pub use planner::ExecPlan;
 pub use predicate::{CmpOp, Comparison, Predicate, Truth};
 pub use query::{MaskJoin, Query, QueryKind, Selection};

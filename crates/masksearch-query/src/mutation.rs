@@ -1,6 +1,51 @@
 //! Write operations against a session: the DML half of the query model.
 
-use masksearch_core::{Mask, MaskId, MaskRecord};
+use masksearch_core::{Label, Mask, MaskId, MaskRecord, MaskType, ModelId};
+use masksearch_storage::MetaColumn;
+
+/// An in-place change to one existing mask: re-masked pixels and/or new
+/// metadata. `None` fields keep their current value.
+///
+/// The primary key (`mask_id`) names the target and the sharding key
+/// (`image_id`) is immutable — a mask can never migrate between shards
+/// through an UPDATE.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MaskUpdate {
+    /// Id of the mask to update.
+    pub mask_id: MaskId,
+    /// New pixel values (row-major, `[0, 1]`), when re-masking.
+    pub pixels: Option<Vec<f32>>,
+    /// New `(width, height)`; only valid together with `pixels`.
+    pub shape: Option<(u32, u32)>,
+    /// New model id.
+    pub model_id: Option<ModelId>,
+    /// New mask type.
+    pub mask_type: Option<MaskType>,
+    /// New predicted label.
+    pub predicted_label: Option<Label>,
+    /// New true label.
+    pub true_label: Option<Label>,
+}
+
+impl MaskUpdate {
+    /// A no-op update of `mask_id` (builder-style starting point).
+    pub fn of(mask_id: MaskId) -> Self {
+        Self {
+            mask_id,
+            ..Self::default()
+        }
+    }
+
+    /// Returns `true` if no field would change.
+    pub fn is_noop(&self) -> bool {
+        self.pixels.is_none()
+            && self.shape.is_none()
+            && self.model_id.is_none()
+            && self.mask_type.is_none()
+            && self.predicted_label.is_none()
+            && self.true_label.is_none()
+    }
+}
 
 /// A write operation lowered from SQL (or built programmatically) and
 /// applied through [`Session::apply`](crate::Session::apply).
@@ -11,20 +56,44 @@ pub enum Mutation {
     Insert(Vec<(MaskRecord, Mask)>),
     /// Delete a batch of masks by id.
     Delete(Vec<MaskId>),
+    /// Update existing masks in place (pixels and/or metadata), committed
+    /// atomically like an insert batch.
+    Update(Vec<MaskUpdate>),
+    /// Define a secondary metadata index.
+    CreateIndex {
+        /// Index name.
+        name: String,
+        /// Indexed metadata column.
+        column: MetaColumn,
+        /// Swallow a duplicate definition instead of erroring.
+        if_not_exists: bool,
+    },
+    /// Drop a secondary metadata index by name.
+    DropIndex {
+        /// Index name.
+        name: String,
+        /// Swallow a missing definition instead of erroring.
+        if_exists: bool,
+    },
 }
 
 impl Mutation {
-    /// Number of masks the mutation touches.
+    /// Number of masks the mutation touches (DDL touches none).
     pub fn len(&self) -> usize {
         match self {
             Mutation::Insert(batch) => batch.len(),
             Mutation::Delete(ids) => ids.len(),
+            Mutation::Update(updates) => updates.len(),
+            Mutation::CreateIndex { .. } | Mutation::DropIndex { .. } => 0,
         }
     }
 
-    /// Returns `true` if the mutation touches no masks.
+    /// Returns `true` if the mutation touches no masks and is not DDL.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        match self {
+            Mutation::CreateIndex { .. } | Mutation::DropIndex { .. } => false,
+            other => other.len() == 0,
+        }
     }
 }
 
@@ -35,4 +104,6 @@ pub struct MutationOutcome {
     pub inserted: usize,
     /// Masks deleted.
     pub deleted: usize,
+    /// Masks updated in place.
+    pub updated: usize,
 }

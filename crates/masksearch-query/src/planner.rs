@@ -36,6 +36,14 @@ pub struct ExecPlan {
     /// opposed to the no-evidence defaults) — the gate for folding the
     /// estimated-vs-actual selectivity error into the catalog statistics.
     pub sampled: bool,
+    /// Name of the secondary index the candidate resolution probes for the
+    /// query's selection, `None` on the catalog-scan path. Comes from the
+    /// same decision the executor makes, so `EXPLAIN` cannot disagree with
+    /// execution.
+    pub index_access: Option<String>,
+    /// Pair queries: the index access of the left and right binding's
+    /// resolution (`selection ∧ join.side`), in that order.
+    pub pair_index_access: [Option<String>; 2],
     /// Distinct `CP` ranges of the query, for per-mask kernel resolution.
     ranges: Vec<PixelRange>,
 }
@@ -48,6 +56,8 @@ impl ExecPlan {
         Self {
             plan: QueryPlan::fixed(kernel_on),
             sampled: false,
+            index_access: None,
+            pair_index_access: [None, None],
             ranges: Vec::new(),
         }
     }
@@ -306,6 +316,19 @@ pub(crate) fn plan_query(session: &Session, query: &Query, candidates: &[MaskId]
 
     let kernel = choose_kernel(config.kernel_mode, aligned, sampled_gap, feedback.as_ref());
 
+    // The access-path face of the plan: which secondary index (if any) the
+    // candidate resolution will probe. Pair kinds resolve per side.
+    let (index_access, pair_index_access) = match &query.kind {
+        QueryKind::PairFilter { join, .. } | QueryKind::PairTopK { join, .. } => (
+            None,
+            [
+                session.index_access_for(&[&query.selection, &join.left]),
+                session.index_access_for(&[&query.selection, &join.right]),
+            ],
+        ),
+        _ => (session.index_access_for(&[&query.selection]), [None, None]),
+    };
+
     ExecPlan {
         plan: QueryPlan {
             term_order,
@@ -315,6 +338,8 @@ pub(crate) fn plan_query(session: &Session, query: &Query, candidates: &[MaskId]
             load_first,
         },
         sampled,
+        index_access,
+        pair_index_access,
         ranges,
     }
 }

@@ -81,12 +81,26 @@ pub struct QueryStats {
     /// 1 when the planner evaluated CP comparisons off written order
     /// (summed across partials by the cluster merge).
     pub planner_reorders: u64,
+    /// Secondary-index point probes issued during candidate resolution.
+    pub index_probes: u64,
+    /// Mask ids returned by secondary-index probes before re-verification
+    /// against the full selection.
+    pub index_rows: u64,
+    /// Metadata-constrained resolutions answered through a secondary index.
+    pub planner_index_on: u64,
+    /// Metadata-constrained resolutions answered by a catalog scan.
+    pub planner_index_off: u64,
+    /// Wall-clock time spent resolving the relational selection into the
+    /// candidate set (catalog scan or secondary-index probe). This is the
+    /// stage a metadata index accelerates, so it is reported separately
+    /// from the filter/verify stages that follow it.
+    pub resolve_wall: Duration,
     /// Wall-clock time spent in the filter stage.
     pub filter_wall: Duration,
     /// Wall-clock time spent in the verification stage (including index
     /// building in incremental mode).
     pub verify_wall: Duration,
-    /// Total wall-clock time of the query.
+    /// Total wall-clock time of the query, including candidate resolution.
     pub total_wall: Duration,
     /// Virtual I/O time charged by the disk cost model during the query.
     pub io_virtual: Duration,

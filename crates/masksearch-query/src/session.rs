@@ -23,18 +23,18 @@ use crate::eval;
 use crate::exec;
 use crate::explain::{self, PlanNode};
 use crate::merge;
-use crate::mutation::{Mutation, MutationOutcome};
+use crate::mutation::{MaskUpdate, Mutation, MutationOutcome};
 use crate::planner::{self, ExecPlan};
 use crate::query::{MaskJoin, Query, QueryKind, Selection};
-use crate::result::QueryOutput;
+use crate::result::{QueryOutput, QueryStats};
 use masksearch_core::{ImageId, Mask, MaskAgg, MaskId, MaskRecord, TiledMask};
-use masksearch_index::{build_chi_store, BuildOptions, Chi, ChiConfig, ChiStore};
+use masksearch_index::{build_chi_store, BuildOptions, Chi, ChiConfig, ChiReader, ChiStore};
 use masksearch_obs::counters as obs_counters;
 use masksearch_obs::{CatalogStats, ShapeObservation, ShapeStatsRegistry};
 use masksearch_plan::{KernelMode, PairMode};
-use masksearch_storage::{Catalog, MaskCache, MaskStore};
+use masksearch_storage::{Catalog, MaskCache, MaskStore, MetaColumn, MetaIndexRegistry};
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -186,6 +186,79 @@ pub struct Session {
     /// store persists one across restarts (the durable mask database);
     /// otherwise private to this session's lifetime.
     shape_stats: Arc<ShapeStatsRegistry>,
+    /// Secondary metadata index definitions. Shared with the store when the
+    /// store persists them across restarts (the durable mask database);
+    /// otherwise private to this session's lifetime.
+    meta_indexes: Arc<MetaIndexRegistry>,
+}
+
+/// How one candidate resolution answered a metadata selection: through a
+/// secondary index (probes + pre-verification row count) or a catalog scan.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ResolveTrace {
+    /// Secondary-index point probes issued (one per probed value).
+    pub index_probes: u64,
+    /// Mask ids the probes returned before re-verification.
+    pub index_rows: u64,
+    /// Name of the index used, `None` on the scan path.
+    pub index_name: Option<String>,
+    /// `true` when the selection constrained at least one indexable
+    /// metadata column — the gate for the planner's index-on/off counters.
+    pub constrained: bool,
+}
+
+impl ResolveTrace {
+    /// Folds this resolution into a query's statistics.
+    pub fn apply(&self, stats: &mut QueryStats) {
+        stats.index_probes += self.index_probes;
+        stats.index_rows += self.index_rows;
+        if self.constrained {
+            if self.index_name.is_some() {
+                stats.planner_index_on += 1;
+            } else {
+                stats.planner_index_off += 1;
+            }
+        }
+    }
+}
+
+/// A resolved index-selection decision: which index to probe with which
+/// key values.
+struct IndexChoice {
+    name: String,
+    column: MetaColumn,
+    values: Vec<u64>,
+}
+
+/// The equality key values `selection` constrains `column` to, as the raw
+/// `u64` keys the catalog's secondary maps are probed with. `None` when the
+/// selection leaves the column unconstrained.
+fn selection_values(selection: &Selection, column: MetaColumn) -> Option<Vec<u64>> {
+    let mut values = match column {
+        MetaColumn::ImageId => selection
+            .image_ids
+            .as_ref()
+            .map(|ids| ids.iter().map(|i| i.raw()).collect::<Vec<u64>>())?,
+        MetaColumn::ModelId => vec![selection.model_id?.raw()],
+        MetaColumn::MaskType => selection
+            .mask_types
+            .as_ref()
+            .map(|types| types.iter().map(|t| t.to_code() as u64).collect())?,
+        MetaColumn::PredictedLabel => selection
+            .predicted_labels
+            .as_ref()
+            .map(|labels| labels.iter().map(|l| l.raw()).collect())?,
+    };
+    values.sort_unstable();
+    values.dedup();
+    Some(values)
+}
+
+/// Whether the selection constrains any indexable metadata column.
+fn has_meta_constraint(selection: &Selection) -> bool {
+    MetaColumn::ALL
+        .into_iter()
+        .any(|c| selection_values(selection, c).is_some())
 }
 
 impl Session {
@@ -214,6 +287,7 @@ impl Session {
         Ok(Self {
             cache: MaskCache::new(config.cache_bytes),
             shape_stats: store.shape_stats().unwrap_or_default(),
+            meta_indexes: store.meta_indexes().unwrap_or_default(),
             store,
             catalog: RwLock::new(catalog),
             config,
@@ -235,6 +309,7 @@ impl Session {
         Self {
             cache: MaskCache::new(config.cache_bytes),
             shape_stats: store.shape_stats().unwrap_or_default(),
+            meta_indexes: store.meta_indexes().unwrap_or_default(),
             store,
             catalog: RwLock::new(catalog),
             config,
@@ -258,6 +333,7 @@ impl Session {
         Self {
             cache: MaskCache::new(config.cache_bytes),
             shape_stats: store.shape_stats().unwrap_or_default(),
+            meta_indexes: store.meta_indexes().unwrap_or_default(),
             store,
             catalog: RwLock::new(catalog),
             config,
@@ -272,12 +348,19 @@ impl Session {
     /// global lock-contention counters so serving-layer profiles can see
     /// catalog contention directly (the suspected shape of multi-worker
     /// scaling plateaus).
-    fn catalog_read(&self) -> RwLockReadGuard<'_, Catalog> {
+    pub(crate) fn catalog_read(&self) -> RwLockReadGuard<'_, Catalog> {
         obs_counters::timed_acquire(
             &obs_counters::CATALOG_READ_WAIT_US,
             &obs_counters::CATALOG_LOCK_ACQUIRES,
             || self.catalog.read(),
         )
+    }
+
+    /// One read guard over the per-mask CHI store for a batch of lookups —
+    /// the filter stage's hot loop. `None` when indexing is disabled (every
+    /// candidate then goes to verification, as in [`Session::chi_for`]).
+    pub(crate) fn chi_reader(&self) -> Option<ChiReader<'_>> {
+        (self.config.indexing_mode != IndexingMode::Disabled).then(|| self.chi.reader())
     }
 
     /// Acquires the catalog lock for writing (see [`Session::catalog_read`]).
@@ -437,6 +520,14 @@ impl Session {
             return Ok(0);
         }
         let _writes = self.writes.lock();
+        self.insert_batch_locked(batch)?;
+        Ok(batch.len())
+    }
+
+    /// The body of [`Session::insert_masks`], assuming the caller already
+    /// holds the write lock (shared with the UPDATE path, which rides the
+    /// same evict-then-publish sequence).
+    fn insert_batch_locked(&self, batch: &[(MaskRecord, Mask)]) -> QueryResult<()> {
         if !self.chi_maintained_by_store {
             // Evict the CHIs of overwritten ids before the new pixels can
             // become visible: stale bounds over new pixels could accept or
@@ -463,7 +554,135 @@ impl Session {
         // Aggregated-mask indexes are built over group contents; any write
         // can invalidate them, so they are dropped and rebuilt on demand.
         self.agg_indexes.write().clear();
-        Ok(batch.len())
+        Ok(())
+    }
+
+    /// The post-image of one update applied to the mask's current state —
+    /// `current` when the mask was already rewritten earlier in the same
+    /// statement or transaction, the committed catalog + store state
+    /// otherwise. Fails with [`QueryError::UnknownMask`] before any side
+    /// effect when the target does not exist.
+    fn updated_entry(
+        &self,
+        current: Option<&(MaskRecord, Mask)>,
+        catalog: &Catalog,
+        update: &MaskUpdate,
+    ) -> QueryResult<(MaskRecord, Mask)> {
+        let (mut record, mut mask) = match current {
+            Some((record, mask)) => (record.clone(), mask.clone()),
+            None => {
+                let record = catalog
+                    .get(update.mask_id)
+                    .cloned()
+                    .ok_or(QueryError::UnknownMask(update.mask_id))?;
+                let mask = self.store.get(update.mask_id)?;
+                (record, mask)
+            }
+        };
+        if let Some(pixels) = &update.pixels {
+            let (width, height) = update.shape.unwrap_or((record.width, record.height));
+            if (width as usize) * (height as usize) != pixels.len() {
+                return Err(QueryError::invalid(format!(
+                    "UPDATE of mask {} sets {} pixels but the mask shape is {}x{}",
+                    update.mask_id,
+                    pixels.len(),
+                    width,
+                    height
+                )));
+            }
+            if (width, height) != (record.width, record.height) {
+                // A reshape can leave the recorded object box outside the
+                // new mask; drop it rather than let ROI resolution read
+                // out of bounds.
+                if let Some(roi) = record.object_box {
+                    if roi.x1() > width || roi.y1() > height {
+                        record.object_box = None;
+                    }
+                }
+            }
+            record.width = width;
+            record.height = height;
+            mask = Mask::new(width, height, pixels.clone())?;
+        } else if update.shape.is_some() {
+            return Err(QueryError::invalid(
+                "UPDATE cannot change a mask's shape without new pixels",
+            ));
+        }
+        if let Some(model_id) = update.model_id {
+            record.model_id = model_id;
+        }
+        if let Some(mask_type) = update.mask_type {
+            record.mask_type = mask_type;
+        }
+        if let Some(label) = update.predicted_label {
+            record.predicted_label = Some(label);
+        }
+        if let Some(label) = update.true_label {
+            record.true_label = Some(label);
+        }
+        Ok((record, mask))
+    }
+
+    /// Updates masks in place: re-masked pixels and/or new metadata ride the
+    /// insert path (CHI evict → store commit → cache invalidate → catalog
+    /// publish), so tiles, CHI, stats, and secondary indexes stay atomic
+    /// with the pixels. Unknown targets fail before any side effect;
+    /// repeated updates of one mask within the slice compose in order.
+    pub fn update_masks(&self, updates: &[MaskUpdate]) -> QueryResult<usize> {
+        if updates.is_empty() {
+            return Ok(0);
+        }
+        let _writes = self.writes.lock();
+        let batch: Vec<(MaskRecord, Mask)> = {
+            let catalog = self.catalog_read();
+            let mut pending: BTreeMap<MaskId, (MaskRecord, Mask)> = BTreeMap::new();
+            for update in updates {
+                let entry = self.updated_entry(pending.get(&update.mask_id), &catalog, update)?;
+                pending.insert(update.mask_id, entry);
+            }
+            pending.into_values().collect()
+        };
+        self.insert_batch_locked(&batch)?;
+        Ok(updates.len())
+    }
+
+    /// Defines a secondary metadata index. Returns `true` when a new
+    /// definition was created (`false` when `IF NOT EXISTS` swallowed a
+    /// duplicate); persisted immediately when the store keeps index files.
+    pub fn create_index(
+        &self,
+        name: &str,
+        column: MetaColumn,
+        if_not_exists: bool,
+    ) -> QueryResult<bool> {
+        let _writes = self.writes.lock();
+        let created = self
+            .meta_indexes
+            .create(name, column, if_not_exists)
+            .map_err(QueryError::invalid)?;
+        if created {
+            self.store.persist_meta_indexes()?;
+        }
+        Ok(created)
+    }
+
+    /// Drops a secondary metadata index by name. Returns `true` when a
+    /// definition was removed (`false` when `IF EXISTS` swallowed a miss).
+    pub fn drop_index(&self, name: &str, if_exists: bool) -> QueryResult<bool> {
+        let _writes = self.writes.lock();
+        let dropped = self
+            .meta_indexes
+            .drop_index(name, if_exists)
+            .map_err(QueryError::invalid)?;
+        if dropped {
+            self.store.persist_meta_indexes()?;
+        }
+        Ok(dropped)
+    }
+
+    /// The session's secondary metadata index registry.
+    pub fn meta_indexes(&self) -> &Arc<MetaIndexRegistry> {
+        &self.meta_indexes
     }
 
     /// Deletes a batch of masks.
@@ -553,12 +772,229 @@ impl Session {
         match mutation {
             Mutation::Insert(batch) => Ok(MutationOutcome {
                 inserted: self.insert_masks(batch)?,
-                deleted: 0,
+                ..Default::default()
             }),
             Mutation::Delete(ids) => Ok(MutationOutcome {
-                inserted: 0,
                 deleted: self.delete_masks(ids)?,
+                ..Default::default()
             }),
+            Mutation::Update(updates) => Ok(MutationOutcome {
+                updated: self.update_masks(updates)?,
+                ..Default::default()
+            }),
+            Mutation::CreateIndex {
+                name,
+                column,
+                if_not_exists,
+            } => {
+                self.create_index(name, *column, *if_not_exists)?;
+                Ok(MutationOutcome::default())
+            }
+            Mutation::DropIndex { name, if_exists } => {
+                self.drop_index(name, *if_exists)?;
+                Ok(MutationOutcome::default())
+            }
+        }
+    }
+
+    /// Applies a `BEGIN ... COMMIT` block of write statements atomically.
+    ///
+    /// The statements are first *simulated* against the committed state
+    /// under the write lock — later statements observe earlier ones, and
+    /// any validation error (unknown mask, malformed update, DDL inside the
+    /// block) rejects the whole transaction before a single side effect.
+    /// The surviving net effect — one batch of upserts plus one batch of
+    /// deletes, disjoint by construction — is then applied through
+    /// [`MaskStore::apply_batch`], which durable stores publish in a single
+    /// commit frame: a crash at any byte recovers all of the transaction or
+    /// none of it.
+    pub fn apply_transaction(&self, mutations: &[Mutation]) -> QueryResult<MutationOutcome> {
+        if mutations.is_empty() {
+            return Ok(MutationOutcome::default());
+        }
+        let _writes = self.writes.lock();
+        let mut outcome = MutationOutcome::default();
+        let mut upserts: BTreeMap<MaskId, (MaskRecord, Mask)> = BTreeMap::new();
+        let mut deletes: BTreeSet<MaskId> = BTreeSet::new();
+        {
+            let catalog = self.catalog_read();
+            for mutation in mutations {
+                match mutation {
+                    Mutation::Insert(batch) => {
+                        for (record, mask) in batch {
+                            deletes.remove(&record.mask_id);
+                            upserts.insert(record.mask_id, (record.clone(), mask.clone()));
+                        }
+                        outcome.inserted += batch.len();
+                    }
+                    Mutation::Delete(ids) => {
+                        let mut seen = BTreeSet::new();
+                        for &id in ids {
+                            if !seen.insert(id) {
+                                continue;
+                            }
+                            let was_pending = upserts.remove(&id).is_some();
+                            let in_catalog = !deletes.contains(&id) && catalog.get(id).is_some();
+                            if !was_pending && !in_catalog {
+                                return Err(QueryError::UnknownMask(id));
+                            }
+                            // Only masks the committed state knows need a
+                            // store delete; a pending insert that never
+                            // committed just evaporates.
+                            if catalog.get(id).is_some() {
+                                deletes.insert(id);
+                            }
+                            outcome.deleted += 1;
+                        }
+                    }
+                    Mutation::Update(updates) => {
+                        for update in updates {
+                            if deletes.contains(&update.mask_id)
+                                && !upserts.contains_key(&update.mask_id)
+                            {
+                                return Err(QueryError::UnknownMask(update.mask_id));
+                            }
+                            let entry =
+                                self.updated_entry(upserts.get(&update.mask_id), &catalog, update)?;
+                            upserts.insert(update.mask_id, entry);
+                        }
+                        outcome.updated += updates.len();
+                    }
+                    Mutation::CreateIndex { .. } | Mutation::DropIndex { .. } => {
+                        return Err(QueryError::invalid(
+                            "index DDL is not allowed inside a transaction",
+                        ));
+                    }
+                }
+            }
+        }
+        let inserts: Vec<(MaskRecord, Mask)> = upserts.into_values().collect();
+        let delete_ids: Vec<MaskId> = deletes.into_iter().collect();
+        if inserts.is_empty() && delete_ids.is_empty() {
+            return Ok(outcome);
+        }
+        if !self.chi_maintained_by_store {
+            for (record, _) in &inserts {
+                self.chi.remove(record.mask_id);
+            }
+            for &id in &delete_ids {
+                self.chi.remove(id);
+            }
+        }
+        self.store.apply_batch(&inserts, &delete_ids)?;
+        for &id in &delete_ids {
+            self.cache.invalidate(id);
+        }
+        for (record, mask) in &inserts {
+            self.cache.invalidate(record.mask_id);
+            if !self.chi_maintained_by_store && self.config.indexing_mode != IndexingMode::Disabled
+            {
+                self.chi.index_mask(record.mask_id, mask);
+            }
+        }
+        {
+            let mut catalog = self.catalog_write();
+            for &id in &delete_ids {
+                catalog.remove(id);
+            }
+            for (record, _) in &inserts {
+                catalog.insert(record.clone());
+            }
+        }
+        self.agg_indexes.write().clear();
+        Ok(outcome)
+    }
+
+    /// Picks the cheapest applicable secondary index for a conjunction of
+    /// selections, or `None` when no defined index covers a constrained
+    /// column — or when the catalog's own posting-list lengths estimate the
+    /// probe no better than half a scan (a near-unselective probe still
+    /// pays the sort/dedup/re-verify tax on top of touching most records).
+    fn choose_index(&self, catalog: &Catalog, selections: &[&Selection]) -> Option<IndexChoice> {
+        if self.meta_indexes.is_empty() {
+            return None;
+        }
+        let mut best: Option<(IndexChoice, usize)> = None;
+        for def in self.meta_indexes.list() {
+            let Some(values) = selections
+                .iter()
+                .find_map(|s| selection_values(s, def.column))
+            else {
+                continue;
+            };
+            let est: usize = values
+                .iter()
+                .map(|&v| def.column.estimate(catalog, v))
+                .sum();
+            if est * 2 > catalog.len() {
+                continue;
+            }
+            if best.as_ref().is_none_or(|(_, b)| est < *b) {
+                best = Some((
+                    IndexChoice {
+                        name: def.name,
+                        column: def.column,
+                        values,
+                    },
+                    est,
+                ));
+            }
+        }
+        best.map(|(choice, _)| choice)
+    }
+
+    /// The index (by name) the planner would probe for a conjunction of
+    /// selections — the `EXPLAIN` face of [`Session::choose_index`], so the
+    /// displayed access path and the executed one come from one decision.
+    pub(crate) fn index_access_for(&self, selections: &[&Selection]) -> Option<String> {
+        let catalog = self.catalog_read();
+        self.choose_index(&catalog, selections).map(|c| c.name)
+    }
+
+    /// Resolves a conjunction of selections to the ascending list of
+    /// matching mask ids, probing a secondary index when one applies.
+    ///
+    /// The probe path is byte-identical to the scan: posting lists are
+    /// ascending per value, so their merged sort/dedup matches
+    /// [`Catalog::filter`]'s BTreeMap order, and every probed id is
+    /// re-verified against the *full* conjunction (the index only covers
+    /// one column). The differential oracle in `tests/` holds this equality
+    /// across every query shape.
+    fn resolve_conjunction(
+        &self,
+        catalog: &Catalog,
+        selections: &[&Selection],
+    ) -> (Vec<MaskId>, ResolveTrace) {
+        let constrained = selections.iter().any(|s| has_meta_constraint(s));
+        let matches = |r: &MaskRecord| selections.iter().all(|s| s.matches(r));
+        if let Some(choice) = self.choose_index(catalog, selections) {
+            let mut ids: Vec<MaskId> = Vec::new();
+            for &value in &choice.values {
+                ids.extend(choice.column.probe(catalog, value));
+            }
+            ids.sort_unstable();
+            ids.dedup();
+            let index_rows = ids.len() as u64;
+            ids.retain(|&id| catalog.get(id).is_some_and(matches));
+            obs_counters::add(&obs_counters::META_INDEX_PROBES, choice.values.len() as u64);
+            (
+                ids,
+                ResolveTrace {
+                    index_probes: choice.values.len() as u64,
+                    index_rows,
+                    index_name: Some(choice.name),
+                    constrained,
+                },
+            )
+        } else {
+            obs_counters::incr(&obs_counters::CATALOG_SCANS);
+            (
+                catalog.filter(|r| matches(r)),
+                ResolveTrace {
+                    constrained,
+                    ..Default::default()
+                },
+            )
         }
     }
 
@@ -568,8 +1004,17 @@ impl Session {
     /// candidate set reflects a single committed state — concurrent write
     /// batches are observed entirely or not at all.
     pub fn resolve_selection(&self, selection: &Selection) -> Vec<MaskId> {
-        self.catalog_read()
-            .filter(|record| selection.matches(record))
+        self.resolve_selection_traced(selection).0
+    }
+
+    /// [`Session::resolve_selection`] plus how the resolution was answered
+    /// (index probe vs catalog scan), for the query's statistics.
+    pub(crate) fn resolve_selection_traced(
+        &self,
+        selection: &Selection,
+    ) -> (Vec<MaskId>, ResolveTrace) {
+        let catalog = self.catalog_read();
+        self.resolve_conjunction(&catalog, &[selection])
     }
 
     /// Groups targeted masks by image id.
@@ -587,26 +1032,41 @@ impl Session {
         selection: &Selection,
         join: &MaskJoin,
     ) -> Vec<(ImageId, MaskId, MaskId)> {
+        self.resolve_pairs_traced(selection, join).0
+    }
+
+    /// [`Session::resolve_pairs`] plus how each side's resolution was
+    /// answered (index probe vs catalog scan), for the query's statistics.
+    pub(crate) fn resolve_pairs_traced(
+        &self,
+        selection: &Selection,
+        join: &MaskJoin,
+    ) -> (Vec<(ImageId, MaskId, MaskId)>, ResolveTrace, ResolveTrace) {
         let catalog = self.catalog_read();
-        let mut left: std::collections::BTreeMap<ImageId, MaskId> =
-            std::collections::BTreeMap::new();
-        let mut right: std::collections::BTreeMap<ImageId, MaskId> =
-            std::collections::BTreeMap::new();
-        // `Catalog::filter` returns ascending mask ids, so the first id seen
-        // per image is the smallest — the deterministic binding rule.
-        for id in catalog.filter(|r| selection.matches(r) && join.left.matches(r)) {
+        // Each side resolves `selection ∧ join.side`; the lists come back
+        // ascending by mask id (from the scan or the re-verified probe), so
+        // the first id seen per image is the smallest — the deterministic
+        // binding rule.
+        let (left_ids, left_trace) = self.resolve_conjunction(&catalog, &[selection, &join.left]);
+        let (right_ids, right_trace) =
+            self.resolve_conjunction(&catalog, &[selection, &join.right]);
+        let mut left: BTreeMap<ImageId, MaskId> = BTreeMap::new();
+        let mut right: BTreeMap<ImageId, MaskId> = BTreeMap::new();
+        for id in left_ids {
             if let Some(r) = catalog.get(id) {
                 left.entry(r.image_id).or_insert(id);
             }
         }
-        for id in catalog.filter(|r| selection.matches(r) && join.right.matches(r)) {
+        for id in right_ids {
             if let Some(r) = catalog.get(id) {
                 right.entry(r.image_id).or_insert(id);
             }
         }
-        left.into_iter()
+        let pairs = left
+            .into_iter()
             .filter_map(|(image, l)| right.get(&image).map(|&r| (image, l, r)))
-            .collect()
+            .collect();
+        (pairs, left_trace, right_trace)
     }
 
     /// Signature string identifying an aggregated-mask index: the aggregation
@@ -669,11 +1129,20 @@ impl Session {
         ) {
             return self.execute_resolved(query, &[]);
         }
-        let candidates = {
+        let resolve_start = std::time::Instant::now();
+        let (candidates, trace) = {
             let _resolve = masksearch_obs::span("resolve");
-            self.resolve_selection(&query.selection)
+            self.resolve_selection_traced(&query.selection)
         };
-        self.execute_resolved(query, &candidates)
+        let resolve_wall = resolve_start.elapsed();
+        let mut output = self.execute_resolved(query, &candidates)?;
+        trace.apply(&mut output.stats);
+        // Resolution runs before the executor starts its clock; charge it
+        // so `total_wall` (and the modelled query time) covers the stage a
+        // metadata index exists to shrink.
+        output.stats.resolve_wall = resolve_wall;
+        output.stats.total_wall += resolve_wall;
+        Ok(output)
     }
 
     /// Plans a query without executing it: resolves candidates, extracts
@@ -708,7 +1177,7 @@ impl Session {
     /// Executes the query and returns its plan annotated with the measured
     /// statistics (`EXPLAIN ANALYZE`), together with the output itself. The
     /// annotated counters are copied verbatim from the output's
-    /// [`QueryStats`](crate::result::QueryStats), so the two never disagree.
+    /// [`QueryStats`], so the two never disagree.
     pub fn explain_analyze(&self, query: &Query) -> QueryResult<(PlanNode, QueryOutput)> {
         // Plan once up front for display; execution re-plans internally from
         // the same deterministic sample and feedback state, so the displayed
@@ -800,12 +1269,15 @@ impl Session {
             order,
         } = &query.kind
         {
-            let pairs = self.resolve_pairs(&query.selection, join);
+            let (pairs, left_trace, right_trace) =
+                self.resolve_pairs_traced(&query.selection, join);
             let total = pairs.len();
             let plan = planner::plan_query(self, &query, &[]);
-            let output = exec::pair::execute_topk(self, &pairs, expr, *k, *order, &plan)?;
+            let mut output = exec::pair::execute_topk(self, &pairs, expr, *k, *order, &plan)?;
             self.record_query(&query, &output);
             self.record_planner(&plan, &output);
+            left_trace.apply(&mut output.stats);
+            right_trace.apply(&mut output.stats);
             let bound = if output.rows.len() < total {
                 output.rows.last().and_then(|r| r.value)
             } else {
@@ -821,10 +1293,12 @@ impl Session {
                 bound: None,
             });
         }
-        let candidates = self.resolve_selection(&query.selection);
+        let (candidates, trace) = self.resolve_selection_traced(&query.selection);
         if !ranked {
+            let mut output = self.execute_resolved(&query, &candidates)?;
+            trace.apply(&mut output.stats);
             return Ok(merge::RankedPartial {
-                output: self.execute_resolved(&query, &candidates)?,
+                output,
                 bound: None,
             });
         }
@@ -835,7 +1309,8 @@ impl Session {
         } else {
             candidates.len()
         };
-        let output = self.execute_resolved(&query, &candidates)?;
+        let mut output = self.execute_resolved(&query, &candidates)?;
+        trace.apply(&mut output.stats);
         let bound = if output.rows.len() < total {
             output.rows.last().and_then(|r| r.value)
         } else {
@@ -915,8 +1390,12 @@ impl Session {
             // the join's two selections (the mask-id candidates do not
             // apply).
             QueryKind::PairFilter { join, predicate } => {
-                let pairs = self.resolve_pairs(&query.selection, join);
-                exec::pair::execute_filter(self, &pairs, predicate, plan)
+                let (pairs, left_trace, right_trace) =
+                    self.resolve_pairs_traced(&query.selection, join);
+                let mut output = exec::pair::execute_filter(self, &pairs, predicate, plan)?;
+                left_trace.apply(&mut output.stats);
+                right_trace.apply(&mut output.stats);
+                Ok(output)
             }
             QueryKind::PairTopK {
                 join,
@@ -924,8 +1403,12 @@ impl Session {
                 k,
                 order,
             } => {
-                let pairs = self.resolve_pairs(&query.selection, join);
-                exec::pair::execute_topk(self, &pairs, expr, *k, *order, plan)
+                let (pairs, left_trace, right_trace) =
+                    self.resolve_pairs_traced(&query.selection, join);
+                let mut output = exec::pair::execute_topk(self, &pairs, expr, *k, *order, plan)?;
+                left_trace.apply(&mut output.stats);
+                right_trace.apply(&mut output.stats);
+                Ok(output)
             }
         }
     }
@@ -1199,7 +1682,7 @@ mod tests {
             outcome,
             crate::MutationOutcome {
                 inserted: 1,
-                deleted: 0
+                ..Default::default()
             }
         );
         let outcome = session
@@ -1208,8 +1691,8 @@ mod tests {
         assert_eq!(
             outcome,
             crate::MutationOutcome {
-                inserted: 0,
-                deleted: 1
+                deleted: 1,
+                ..Default::default()
             }
         );
         assert_eq!(session.catalog_len(), 2);

@@ -63,14 +63,29 @@ pub(crate) const RECONNECT_BACKOFF: [Duration; 3] = [
     Duration::from_millis(400),
 ];
 
-/// Returns `true` if the line is a bare mutation statement.
+/// The first keyword of a request line (up to whitespace or `;`).
+pub(crate) fn first_keyword(line: &str) -> &str {
+    line.trim_start()
+        .split([' ', '\t', ';'])
+        .next()
+        .unwrap_or("")
+}
+
+/// Returns `true` if the line holds a multi-statement script — more than
+/// one `;`-separated statement, ignoring a bare trailing terminator.
+pub(crate) fn is_script(line: &str) -> bool {
+    line.trim_end().trim_end_matches(';').contains(';')
+}
+
+/// Returns `true` if the line is a bare mutation statement — or a
+/// `BEGIN; …` transaction script, which the server applies (and its token
+/// registry dedups) as one atomic unit.
 pub(crate) fn is_mutation_sql(line: &str) -> bool {
-    let trimmed = line.trim_start();
-    ["INSERT ", "DELETE "].iter().any(|kw| {
-        trimmed
-            .get(..kw.len())
-            .is_some_and(|p| p.eq_ignore_ascii_case(kw))
-    })
+    let first = first_keyword(line);
+    ["INSERT", "DELETE", "UPDATE"]
+        .iter()
+        .any(|kw| first.eq_ignore_ascii_case(kw))
+        || (first.eq_ignore_ascii_case("BEGIN") && is_script(line))
 }
 
 /// Returns `true` if the request can be safely replayed on a fresh
@@ -96,6 +111,9 @@ pub struct Client {
     peer: SocketAddr,
     /// Whether transport errors trigger the bounded reconnect-and-resend.
     reconnect: bool,
+    /// Whether this connection holds an open interactive transaction
+    /// (`BEGIN` acknowledged, no `COMMIT`/`ROLLBACK` yet).
+    in_txn: bool,
 }
 
 impl Client {
@@ -124,6 +142,7 @@ impl Client {
             writer,
             peer,
             reconnect: false,
+            in_txn: false,
         })
     }
 
@@ -229,10 +248,38 @@ impl Client {
 
     /// Executes a SQL statement, returning the parsed rows and summary.
     ///
-    /// Mutations (`INSERT`/`DELETE`) are automatically wrapped in a
-    /// `TOKEN <id>` envelope so the bounded reconnect can resend them
-    /// exactly-once (the server deduplicates the token).
+    /// Mutations (`INSERT`/`UPDATE`/`DELETE`) and `BEGIN; …` transaction
+    /// scripts are automatically wrapped in a `TOKEN <id>` envelope so the
+    /// bounded reconnect can resend them exactly-once (the server
+    /// deduplicates the token).
+    ///
+    /// The client tracks interactive transactions: a bare `BEGIN` flips
+    /// the connection into transaction mode, where every statement travels
+    /// raw (the server's buffer rejects `TOKEN` envelopes) and is **never**
+    /// resent — after a transport error the server has already rolled the
+    /// transaction back, and a replayed statement would land outside it
+    /// and apply immediately. `COMMIT`/`ROLLBACK` (or the transport error
+    /// itself) leave transaction mode.
     pub fn query(&mut self, sql: &str) -> ServiceResult<WireResponse> {
+        if self.in_txn {
+            let first = first_keyword(sql);
+            let boundary = ["COMMIT", "ROLLBACK"]
+                .iter()
+                .any(|kw| first.eq_ignore_ascii_case(kw));
+            let result = self.round_trip_once(sql);
+            // The server discards an open transaction with its connection;
+            // `COMMIT` consumes the buffer even when the engine then
+            // rejects what it held.
+            if boundary || matches!(result, Err(ServiceError::Io(_))) {
+                self.in_txn = false;
+            }
+            return Self::expect_rows(result?);
+        }
+        if first_keyword(sql).eq_ignore_ascii_case("BEGIN") && !is_script(sql) {
+            let response = Self::expect_rows(self.round_trip(sql)?)?;
+            self.in_txn = true;
+            return Ok(response);
+        }
         if is_mutation_sql(sql) {
             let line = format!("TOKEN {} {sql}", next_mutation_token());
             return Self::expect_rows(self.round_trip(&line)?);

@@ -173,6 +173,7 @@ mod tests {
         MutationOutcome {
             inserted,
             deleted: 0,
+            updated: 0,
         }
     }
 

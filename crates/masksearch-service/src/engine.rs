@@ -22,8 +22,8 @@ use masksearch_obs::{
     keys as obs_keys, prom::PromText, FlightRecorder, ProfileRing, QueryProfile, RecordKind,
     RecordedQuery, RecorderStatus, SlowQueryLog, StageCounts, TimeSeries, WindowSummary,
 };
-use masksearch_query::{Mutation, Query, QueryStats, Session};
-use masksearch_sql::ExplainMode;
+use masksearch_query::{Mutation, MutationOutcome, Query, QueryStats, Session};
+use masksearch_sql::{ExplainMode, Statement, TxnControl};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
@@ -345,6 +345,11 @@ impl Engine {
             s.masks_deleted,
         );
         p.counter(
+            "masksearch_masks_updated_total",
+            "Masks re-masked in place by served writes.",
+            s.masks_updated,
+        );
+        p.counter(
             "masksearch_mutations_deduped_total",
             "Mutations answered from the token-dedup registry.",
             s.mutations_deduped,
@@ -388,6 +393,26 @@ impl Engine {
             "masksearch_planner_reorders_total",
             "Queries whose CP terms the planner reordered.",
             s.planner_reorders,
+        );
+        p.counter(
+            "masksearch_index_probes_total",
+            "Secondary-index probes issued by metadata resolution.",
+            s.index_probes,
+        );
+        p.counter(
+            "masksearch_index_rows_total",
+            "Candidate rows produced by secondary-index probes.",
+            s.index_rows,
+        );
+        p.counter(
+            "masksearch_planner_index_on_total",
+            "Queries whose metadata filter was answered through an index.",
+            s.planner_index_on,
+        );
+        p.counter(
+            "masksearch_planner_index_off_total",
+            "Index-eligible queries the planner kept on the catalog scan.",
+            s.planner_index_off,
         );
         p.counter(
             "masksearch_wal_bytes_total",
@@ -545,6 +570,7 @@ impl Engine {
                     k if k == obs_keys::MUTATIONS => m.mutations,
                     k if k == obs_keys::INSERTED => m.masks_inserted,
                     k if k == obs_keys::DELETED => m.masks_deleted,
+                    k if k == obs_keys::UPDATED => m.masks_updated,
                     k if k == obs_keys::DEDUPED => m.mutations_deduped,
                     k if k == obs_keys::CHECKPOINTS => m.ingest.checkpoints,
                     k if k == obs_keys::COMMITS => m.ingest.commits,
@@ -556,6 +582,10 @@ impl Engine {
                     k if k == obs_keys::PLANNER_KERNEL_OFF => m.planner_kernel_off,
                     k if k == obs_keys::PLANNER_BOUNDS_SKIPPED => m.planner_bounds_skipped,
                     k if k == obs_keys::PLANNER_REORDERS => m.planner_reorders,
+                    k if k == obs_keys::INDEX_PROBES => m.index_probes,
+                    k if k == obs_keys::INDEX_ROWS => m.index_rows,
+                    k if k == obs_keys::PLANNER_INDEX_ON => m.planner_index_on,
+                    k if k == obs_keys::PLANNER_INDEX_OFF => m.planner_index_off,
                     _ => 0,
                 };
                 (key, value)
@@ -571,6 +601,14 @@ impl Engine {
             .copied()
             .filter(|&id| self.shared.session.record(id).is_ok())
             .collect()
+    }
+
+    /// Every mask id this engine's session currently holds (the answer to a
+    /// `LOOKUP *`). Used by a cluster coordinator to seed its mask-id →
+    /// shard owner map in one round trip per shard instead of broadcasting
+    /// per-statement lookups.
+    pub fn lookup_all(&self) -> Vec<MaskId> {
+        self.shared.session.store().ids()
     }
 
     /// Opens a flight-recorder capture for one statement, if recording.
@@ -646,6 +684,10 @@ impl Engine {
                     "insert".to_string()
                 } else if upper.starts_with("DELETE") {
                     "delete".to_string()
+                } else if upper.starts_with("UPDATE") {
+                    "update".to_string()
+                } else if upper.starts_with("BEGIN") {
+                    "transaction".to_string()
                 } else {
                     "mutation".to_string()
                 }
@@ -762,10 +804,10 @@ impl Engine {
 
     fn execute_partial_sql_inner(&self, sql: &str, k: usize) -> ServiceResult<PartialResponse> {
         match masksearch_sql::compile_statement(sql)? {
-            masksearch_sql::Statement::Query(query) => self
+            Statement::Query(query) => self
                 .submit_labeled(Request::Partial { query, k }, None, Some(Arc::from(sql)))?
                 .wait_partial(),
-            masksearch_sql::Statement::Mutation(_) => Err(ServiceError::Sql(
+            Statement::Mutation(_) | Statement::Control(_) => Err(ServiceError::Sql(
                 "PARTIAL applies to queries, not writes".to_string(),
             )),
         }
@@ -780,6 +822,34 @@ impl Engine {
     /// Submits a write and blocks for its outcome.
     pub fn execute_mutation(&self, mutation: Mutation) -> ServiceResult<MutationResponse> {
         self.submit_mutation(mutation)?.wait_mutation()
+    }
+
+    /// Submits a transaction (every mutation lands in one storage commit or
+    /// none do); redeem the ticket with [`Ticket::wait_mutation`].
+    pub fn submit_transaction(&self, mutations: Vec<Mutation>) -> ServiceResult<Ticket> {
+        self.submit_request(Request::Transaction(mutations), None)
+    }
+
+    /// Submits a transaction and blocks for its summed outcome.
+    pub fn execute_transaction(&self, mutations: Vec<Mutation>) -> ServiceResult<MutationResponse> {
+        self.submit_transaction(mutations)?.wait_mutation()
+    }
+
+    /// Runs a parsed transaction script. A script that ended in `ROLLBACK`
+    /// applies nothing and reports a zero outcome without touching the queue.
+    fn run_transaction_script(
+        &self,
+        mutations: Vec<Mutation>,
+        commit: bool,
+    ) -> ServiceResult<MutationResponse> {
+        if !commit {
+            return Ok(MutationResponse {
+                outcome: MutationOutcome::default(),
+                queue_wait: Duration::ZERO,
+                exec_time: Duration::ZERO,
+            });
+        }
+        self.execute_transaction(mutations)
     }
 
     /// Compiles any SQL statement — SELECT, INSERT, or DELETE — and executes
@@ -823,14 +893,20 @@ impl Engine {
                 self.explain_sql(mode == ExplainMode::Analyze, inner)?,
             ));
         }
+        if let Some((mutations, commit)) = compile_transaction_script(sql)? {
+            return Ok(Response::Mutation(
+                self.run_transaction_script(mutations, commit)?,
+            ));
+        }
         match masksearch_sql::compile_statement(sql)? {
-            masksearch_sql::Statement::Query(query) => Ok(Response::Single(
+            Statement::Query(query) => Ok(Response::Single(
                 self.submit_labeled(Request::Single(query), None, Some(Arc::from(sql)))?
                     .wait_single()?,
             )),
-            masksearch_sql::Statement::Mutation(mutation) => Ok(Response::Mutation(
+            Statement::Mutation(mutation) => Ok(Response::Mutation(
                 self.submit_mutation(mutation)?.wait_mutation()?,
             )),
+            Statement::Control(_) => Err(bare_control_error()),
         }
     }
 
@@ -839,14 +915,14 @@ impl Engine {
     /// the measured statistics. Writes cannot be explained.
     pub fn explain_sql(&self, analyze: bool, sql: &str) -> ServiceResult<Vec<String>> {
         match masksearch_sql::compile_statement(sql)? {
-            masksearch_sql::Statement::Query(query) => self
+            Statement::Query(query) => self
                 .submit_labeled(
                     Request::Explain { query, analyze },
                     None,
                     Some(Arc::from(sql)),
                 )?
                 .wait_plan(),
-            masksearch_sql::Statement::Mutation(_) => Err(ServiceError::Sql(
+            Statement::Mutation(_) | Statement::Control(_) => Err(ServiceError::Sql(
                 "EXPLAIN applies to queries, not writes".to_string(),
             )),
         }
@@ -875,12 +951,32 @@ impl Engine {
                 self.explain_sql(mode == ExplainMode::Analyze, inner)?,
             ));
         }
+        if let Some((mutations, commit)) = compile_transaction_script(sql)? {
+            // The whole script dedups as one unit: a resent script whose
+            // original committed replays the recorded summed outcome.
+            return match self.shared.dedup.begin(token) {
+                Admission::Replay(outcome) => {
+                    self.shared.metrics.record_mutation_deduped();
+                    Ok(Response::Mutation(MutationResponse {
+                        outcome,
+                        queue_wait: Duration::ZERO,
+                        exec_time: Duration::ZERO,
+                    }))
+                }
+                Admission::Execute => {
+                    let permit = self.shared.dedup.permit(token);
+                    let response = self.run_transaction_script(mutations, commit)?;
+                    permit.finish(response.outcome);
+                    Ok(Response::Mutation(response))
+                }
+            };
+        }
         match masksearch_sql::compile_statement(sql)? {
-            masksearch_sql::Statement::Query(query) => Ok(Response::Single(
+            Statement::Query(query) => Ok(Response::Single(
                 self.submit_labeled(Request::Single(query), None, Some(Arc::from(sql)))?
                     .wait_single()?,
             )),
-            masksearch_sql::Statement::Mutation(mutation) => {
+            Statement::Mutation(mutation) => {
                 match self.shared.dedup.begin(token) {
                     Admission::Replay(outcome) => {
                         self.shared.metrics.record_mutation_deduped();
@@ -902,6 +998,7 @@ impl Engine {
                     }
                 }
             }
+            Statement::Control(_) => Err(bare_control_error()),
         }
     }
 
@@ -940,6 +1037,60 @@ impl Engine {
     /// also happens automatically when the last `Engine` clone drops.
     pub fn shutdown(&self) {
         self.pool.shutdown();
+    }
+}
+
+/// The error a bare interactive `BEGIN` / `COMMIT` / `ROLLBACK` gets at the
+/// engine's statement entry points: transaction state is connection-scoped,
+/// which the embedded API has none of.
+fn bare_control_error() -> ServiceError {
+    ServiceError::Sql(
+        "BEGIN/COMMIT/ROLLBACK control a connection's open transaction; \
+         here send the whole transaction as one `BEGIN; ...; COMMIT` script"
+            .to_string(),
+    )
+}
+
+/// Recognises a multi-statement `BEGIN; …; COMMIT` (or `… ROLLBACK`) script
+/// and extracts its mutations. Returns `Ok(None)` for anything that is a
+/// single statement (including one with a trailing `;`), which then takes
+/// the ordinary [`masksearch_sql::compile_statement`] path. Multi-statement
+/// scripts that are not a well-formed transaction are rejected loudly —
+/// nothing is ever partially applied.
+fn compile_transaction_script(sql: &str) -> ServiceResult<Option<(Vec<Mutation>, bool)>> {
+    if !sql.contains(';') {
+        return Ok(None);
+    }
+    let statements = masksearch_sql::compile_script(sql)?;
+    if statements.len() <= 1 {
+        return Ok(None);
+    }
+    let err = |msg: &str| Err(ServiceError::Sql(msg.to_string()));
+    let mut iter = statements.into_iter();
+    if !matches!(iter.next(), Some(Statement::Control(TxnControl::Begin))) {
+        return err("a multi-statement script must be wrapped in BEGIN ... COMMIT");
+    }
+    let mut mutations = Vec::new();
+    let mut finished = None;
+    for statement in iter {
+        if finished.is_some() {
+            return err("statements after COMMIT/ROLLBACK in a transaction script");
+        }
+        match statement {
+            Statement::Mutation(m) => mutations.push(m),
+            Statement::Control(TxnControl::Commit) => finished = Some(true),
+            Statement::Control(TxnControl::Rollback) => finished = Some(false),
+            Statement::Control(TxnControl::Begin) => {
+                return err("nested BEGIN in a transaction script");
+            }
+            Statement::Query(_) => {
+                return err("queries are not allowed inside a transaction script");
+            }
+        }
+    }
+    match finished {
+        Some(commit) => Ok(Some((mutations, commit))),
+        None => err("a transaction script must end with COMMIT (or ROLLBACK)"),
     }
 }
 
@@ -1106,6 +1257,35 @@ fn worker_loop(shared: &Shared) {
                 let exec_start = Instant::now();
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     shared.session.apply(&mutation)
+                }));
+                match result {
+                    Ok(Ok(outcome)) => {
+                        shared.metrics.record_mutation(&outcome);
+                        shared.observe_series(exec_start.elapsed(), true, None);
+                        let _ = job.reply.send(Ok(Response::Mutation(MutationResponse {
+                            outcome,
+                            queue_wait: wait,
+                            exec_time: exec_start.elapsed(),
+                        })));
+                    }
+                    Ok(Err(e)) => {
+                        shared.metrics.record_failed();
+                        shared.observe_series(exec_start.elapsed(), false, None);
+                        let _ = job.reply.send(Err(e.into()));
+                    }
+                    Err(panic) => {
+                        shared.metrics.record_failed();
+                        shared.observe_series(exec_start.elapsed(), false, None);
+                        let _ = job
+                            .reply
+                            .send(Err(ServiceError::Internal(panic_message(&panic))));
+                    }
+                }
+            }
+            Request::Transaction(mutations) => {
+                let exec_start = Instant::now();
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    shared.session.apply_transaction(&mutations)
                 }));
                 match result {
                     Ok(Ok(outcome)) => {

@@ -33,6 +33,10 @@ pub enum Request {
     Batch(Vec<Query>),
     /// Apply a write (INSERT/DELETE batch) to the shared session.
     Mutation(Mutation),
+    /// Apply a `BEGIN … COMMIT` script atomically: every statement lands in
+    /// one storage commit or none do. Answered with [`Response::Mutation`]
+    /// carrying the summed outcome.
+    Transaction(Vec<Mutation>),
 }
 
 /// What a job produces.

@@ -151,6 +151,7 @@ pub struct ServiceMetrics {
     mutations: AtomicU64,
     masks_inserted: AtomicU64,
     masks_deleted: AtomicU64,
+    masks_updated: AtomicU64,
     /// Mutations answered from the token-dedup registry instead of being
     /// re-applied (a client resent after a transport error).
     mutations_deduped: AtomicU64,
@@ -176,6 +177,14 @@ pub struct ServiceMetrics {
     planner_bounds_skipped: AtomicU64,
     /// Sum of `QueryStats::planner_reorders` over completed queries.
     planner_reorders: AtomicU64,
+    /// Sum of `QueryStats::index_probes` over completed queries.
+    index_probes: AtomicU64,
+    /// Sum of `QueryStats::index_rows` over completed queries.
+    index_rows: AtomicU64,
+    /// Sum of `QueryStats::planner_index_on` over completed queries.
+    planner_index_on: AtomicU64,
+    /// Sum of `QueryStats::planner_index_off` over completed queries.
+    planner_index_off: AtomicU64,
     /// End-to-end latency (submission to completion).
     latency: LatencyHistogram,
     /// Time spent waiting in the queue before a worker picked the job up.
@@ -202,6 +211,7 @@ impl ServiceMetrics {
             mutations: AtomicU64::new(0),
             masks_inserted: AtomicU64::new(0),
             masks_deleted: AtomicU64::new(0),
+            masks_updated: AtomicU64::new(0),
             mutations_deduped: AtomicU64::new(0),
             candidates: AtomicU64::new(0),
             masks_loaded: AtomicU64::new(0),
@@ -214,6 +224,10 @@ impl ServiceMetrics {
             planner_kernel_off: AtomicU64::new(0),
             planner_bounds_skipped: AtomicU64::new(0),
             planner_reorders: AtomicU64::new(0),
+            index_probes: AtomicU64::new(0),
+            index_rows: AtomicU64::new(0),
+            planner_index_on: AtomicU64::new(0),
+            planner_index_off: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
             queue_wait: LatencyHistogram::new(),
         }
@@ -253,6 +267,8 @@ impl ServiceMetrics {
             .fetch_add(outcome.inserted as u64, Ordering::Relaxed);
         self.masks_deleted
             .fetch_add(outcome.deleted as u64, Ordering::Relaxed);
+        self.masks_updated
+            .fetch_add(outcome.updated as u64, Ordering::Relaxed);
     }
 
     /// Records a mutation answered from the token-dedup registry (the write
@@ -291,6 +307,14 @@ impl ServiceMetrics {
             .fetch_add(stats.planner_bounds_skipped, Ordering::Relaxed);
         self.planner_reorders
             .fetch_add(stats.planner_reorders, Ordering::Relaxed);
+        self.index_probes
+            .fetch_add(stats.index_probes, Ordering::Relaxed);
+        self.index_rows
+            .fetch_add(stats.index_rows, Ordering::Relaxed);
+        self.planner_index_on
+            .fetch_add(stats.planner_index_on, Ordering::Relaxed);
+        self.planner_index_off
+            .fetch_add(stats.planner_index_off, Ordering::Relaxed);
         self.latency.record(latency);
     }
 
@@ -311,6 +335,7 @@ impl ServiceMetrics {
             mutations: self.mutations.load(Ordering::Relaxed),
             masks_inserted: self.masks_inserted.load(Ordering::Relaxed),
             masks_deleted: self.masks_deleted.load(Ordering::Relaxed),
+            masks_updated: self.masks_updated.load(Ordering::Relaxed),
             mutations_deduped: self.mutations_deduped.load(Ordering::Relaxed),
             tiles_pruned: self.tiles_pruned.load(Ordering::Relaxed),
             tiles_hist: self.tiles_hist.load(Ordering::Relaxed),
@@ -320,6 +345,10 @@ impl ServiceMetrics {
             planner_kernel_off: self.planner_kernel_off.load(Ordering::Relaxed),
             planner_bounds_skipped: self.planner_bounds_skipped.load(Ordering::Relaxed),
             planner_reorders: self.planner_reorders.load(Ordering::Relaxed),
+            index_probes: self.index_probes.load(Ordering::Relaxed),
+            index_rows: self.index_rows.load(Ordering::Relaxed),
+            planner_index_on: self.planner_index_on.load(Ordering::Relaxed),
+            planner_index_off: self.planner_index_off.load(Ordering::Relaxed),
             // Store-level write-path counters; the engine overwrites this
             // from the session store's `ingest_stats` at snapshot time, like
             // the cache hit rate below.
@@ -371,6 +400,8 @@ pub struct MetricsSnapshot {
     pub masks_inserted: u64,
     /// Masks deleted by served writes.
     pub masks_deleted: u64,
+    /// Masks re-masked in place (`UPDATE`) by served writes.
+    pub masks_updated: u64,
     /// Mutations answered from the token-dedup registry (client resends
     /// after transport errors) instead of being re-applied.
     pub mutations_deduped: u64,
@@ -392,6 +423,14 @@ pub struct MetricsSnapshot {
     pub planner_bounds_skipped: u64,
     /// Queries whose CP terms the planner evaluated out of written order.
     pub planner_reorders: u64,
+    /// Secondary-index probes issued by metadata resolution.
+    pub index_probes: u64,
+    /// Candidate rows produced by secondary-index probes.
+    pub index_rows: u64,
+    /// Queries whose metadata filter was answered through an index.
+    pub planner_index_on: u64,
+    /// Index-eligible queries the planner kept on the catalog scan.
+    pub planner_index_off: u64,
     /// Store-level write-path counters (WAL bytes, checkpoints, commits) for
     /// stores that track them; zeros otherwise. Filled by the engine at
     /// snapshot time.

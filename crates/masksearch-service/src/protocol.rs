@@ -59,8 +59,14 @@ pub const END_MARKER: &str = "END";
 /// `@<id>` prefix. Tagged requests may be pipelined — many in flight on one
 /// connection, answered in completion order — while untagged requests keep
 /// the v5 one-at-a-time FIFO contract. `MONITOR` subscriptions stream
-/// multiple frames and therefore stay untagged-only.
-pub const PROTOCOL_VERSION: u32 = 6;
+/// multiple frames and therefore stay untagged-only; v7 — indexes and
+/// transactions: mutation `OK` headers carry `updated=` (in-place
+/// re-masking), `STATS` grows `updated` / `index_probes` / `index_rows` /
+/// `planner_index_on` / `planner_index_off`, `LOOKUP *` answers with every
+/// mask id the server holds (cluster owner-map seeding), and connections
+/// accept interactive `BEGIN` / `COMMIT` / `ROLLBACK` plus one-line
+/// `BEGIN; …; COMMIT` scripts applied as a single storage commit.
+pub const PROTOCOL_VERSION: u32 = 7;
 
 /// Default number of profiles returned by a bare `STATS PROFILES`.
 pub const DEFAULT_PROFILES: usize = 16;
@@ -113,6 +119,9 @@ pub enum ClientRequest {
     Quit,
     /// Which of the given mask ids this server holds (cluster routing).
     Lookup(Vec<MaskId>),
+    /// Every mask id this server holds (`LOOKUP *`) — how a cluster
+    /// coordinator seeds its mask-id → shard owner map in one round trip.
+    LookupAll,
     /// A ranked SQL statement executed in partial (cluster-shard) mode with
     /// the per-shard `k` override.
     Partial {
@@ -144,6 +153,9 @@ impl ClientRequest {
         }
         let upper = trimmed.to_ascii_uppercase();
         if let Some(rest) = upper.strip_prefix("LOOKUP ") {
+            if rest.trim() == "*" {
+                return Some(Self::LookupAll);
+            }
             let ids: Option<Vec<MaskId>> = rest
                 .split_ascii_whitespace()
                 .map(|t| t.parse::<u64>().ok().map(MaskId::new))
@@ -357,17 +369,19 @@ pub fn write_lookup_response<W: Write>(w: &mut W, present: &[MaskId]) -> std::io
 }
 
 /// Writes a successful mutation response frame: an `OK` header with zero
-/// rows and `inserted=` / `deleted=` counters, so query-only clients parse
-/// it as an empty result while write-aware clients read the counts.
+/// rows and `inserted=` / `deleted=` / `updated=` counters, so query-only
+/// clients parse it as an empty result while write-aware clients read the
+/// counts.
 pub fn write_mutation_response<W: Write>(
     w: &mut W,
     response: &MutationResponse,
 ) -> std::io::Result<()> {
     writeln!(
         w,
-        "OK 0 inserted={} deleted={} wall_us={}",
+        "OK 0 inserted={} deleted={} updated={} wall_us={}",
         response.outcome.inserted,
         response.outcome.deleted,
+        response.outcome.updated,
         response.exec_time.as_micros(),
     )?;
     writeln!(w, "{END_MARKER}")
@@ -518,6 +532,7 @@ pub fn write_stats<W: Write>(w: &mut W, m: &MetricsSnapshot) -> std::io::Result<
         (k::MUTATIONS, m.mutations),
         (k::INSERTED, m.masks_inserted),
         (k::DELETED, m.masks_deleted),
+        (k::UPDATED, m.masks_updated),
         (k::DEDUPED, m.mutations_deduped),
         (k::WAL_BYTES, m.ingest.wal_bytes),
         (k::CHECKPOINTS, m.ingest.checkpoints),
@@ -530,6 +545,10 @@ pub fn write_stats<W: Write>(w: &mut W, m: &MetricsSnapshot) -> std::io::Result<
         (k::PLANNER_KERNEL_OFF, m.planner_kernel_off),
         (k::PLANNER_BOUNDS_SKIPPED, m.planner_bounds_skipped),
         (k::PLANNER_REORDERS, m.planner_reorders),
+        (k::INDEX_PROBES, m.index_probes),
+        (k::INDEX_ROWS, m.index_rows),
+        (k::PLANNER_INDEX_ON, m.planner_index_on),
+        (k::PLANNER_INDEX_OFF, m.planner_index_off),
         (k::ACTIVE_CONNECTIONS, m.active_connections),
         (k::QUEUE_DEPTH, m.queue_depth),
     ] {
@@ -556,6 +575,8 @@ pub struct WireSummary {
     pub inserted: u64,
     /// Masks deleted, when the frame answers a write statement.
     pub deleted: u64,
+    /// Masks re-masked in place, when the frame answers a write statement.
+    pub updated: u64,
     /// Server-side execution time in microseconds.
     pub wall_us: u64,
     /// The shard's k-th value, when the frame answers a `PARTIAL K=<n>`
@@ -711,6 +732,8 @@ fn read_frame_body<R: BufRead>(header: &str, reader: &mut R) -> ServiceResult<Fr
             summary.inserted = v;
         } else if let Ok(v) = parse_kv(token, "deleted") {
             summary.deleted = v;
+        } else if let Ok(v) = parse_kv(token, "updated") {
+            summary.updated = v;
         } else if let Ok(v) = parse_kv(token, "wall_us") {
             summary.wall_us = v;
         } else if let Some(v) = token
@@ -812,20 +835,20 @@ pub fn encode_rows(output: &QueryOutput) -> Vec<String> {
 
 fn digest_ok_frame<'a>(
     rows: u64,
-    stats: [u64; 6],
+    stats: [u64; 7],
     bound: Option<f64>,
     row_iter: impl Iterator<Item = &'a ResultRow>,
 ) -> u64 {
     use std::fmt::Write as _;
     let mut h = masksearch_obs::Fnv64::new();
-    let [candidates, pruned, verified, loaded, inserted, deleted] = stats;
+    let [candidates, pruned, verified, loaded, inserted, deleted, updated] = stats;
     // One reused buffer: the digest sits on the hot query path whenever the
     // recorder is active, so it must not allocate per row.
     let mut buf = String::with_capacity(64);
     write!(
         buf,
         "OK {rows} candidates={candidates} pruned={pruned} verified={verified} \
-         loaded={loaded} inserted={inserted} deleted={deleted}"
+         loaded={loaded} inserted={inserted} deleted={deleted} updated={updated}"
     )
     .expect("write to string");
     if let Some(bound) = bound {
@@ -848,7 +871,7 @@ pub fn digest_query_response(response: &QueryResponse, bound: Option<f64>) -> u6
     let s = &response.output.stats;
     digest_ok_frame(
         response.output.rows.len() as u64,
-        [s.candidates, s.pruned, s.verified, s.masks_loaded, 0, 0],
+        [s.candidates, s.pruned, s.verified, s.masks_loaded, 0, 0, 0],
         bound,
         response.output.rows.iter(),
     )
@@ -865,6 +888,7 @@ pub fn digest_mutation_response(response: &MutationResponse) -> u64 {
             0,
             response.outcome.inserted as u64,
             response.outcome.deleted as u64,
+            response.outcome.updated as u64,
         ],
         None,
         std::iter::empty(),
@@ -885,6 +909,7 @@ pub fn digest_wire_response(response: &WireResponse) -> u64 {
             s.loaded,
             s.inserted,
             s.deleted,
+            s.updated,
         ],
         s.bound,
         response.rows.iter(),
@@ -994,6 +1019,7 @@ mod tests {
             outcome: masksearch_query::MutationOutcome {
                 inserted: 3,
                 deleted: 1,
+                updated: 2,
             },
             queue_wait: Duration::from_micros(2),
             exec_time: Duration::from_micros(77),
@@ -1006,6 +1032,7 @@ mod tests {
                 assert!(parsed.rows.is_empty());
                 assert_eq!(parsed.summary.inserted, 3);
                 assert_eq!(parsed.summary.deleted, 1);
+                assert_eq!(parsed.summary.updated, 2);
                 assert_eq!(parsed.summary.wall_us, 77);
             }
             other => panic!("unexpected frame {other:?}"),
@@ -1087,6 +1114,14 @@ mod tests {
             ClientRequest::parse("LOOKUP nope"),
             Some(ClientRequest::Sql(_))
         ));
+        assert_eq!(
+            ClientRequest::parse("LOOKUP *"),
+            Some(ClientRequest::LookupAll)
+        );
+        assert_eq!(
+            ClientRequest::parse("lookup  * "),
+            Some(ClientRequest::LookupAll)
+        );
     }
 
     #[test]
@@ -1373,6 +1408,7 @@ mod tests {
             outcome: masksearch_query::MutationOutcome {
                 inserted: 3,
                 deleted: 1,
+                updated: 2,
             },
             queue_wait: Duration::from_micros(2),
             exec_time: Duration::from_micros(77),

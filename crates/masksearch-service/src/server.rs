@@ -12,12 +12,16 @@
 
 use crate::engine::Engine;
 use crate::error::{ServiceError, ServiceResult};
+use crate::job::{MutationResponse, Response};
 use crate::protocol::{self, ClientRequest};
+use masksearch_query::{Mutation, MutationOutcome};
+use masksearch_sql::{Statement, TxnControl};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::time::Duration;
 
 /// Handler threads per connection serving tagged (multiplexed) requests.
 /// Each handler blocks in the engine for its request's duration, so this
@@ -293,6 +297,15 @@ impl TaggedPool {
 /// Request lines are decoded lossily: bytes that are not valid UTF-8 reach
 /// the SQL front end as replacement characters and fail there with an `ERR`
 /// frame, rather than killing the connection.
+///
+/// The connection owns its interactive transaction state (protocol v7): a
+/// bare `BEGIN` opens a buffer, DML statements buffer into it (each
+/// acknowledged with a zero-outcome `OK`), and `COMMIT` submits the buffer
+/// as one atomic transaction whose `OK` frame reports the summed outcome.
+/// `ROLLBACK` — or the connection dropping for any reason, including `QUIT`
+/// and a severed socket — discards the buffer without touching the store;
+/// nothing is applied before `COMMIT` reaches the engine. Tagged
+/// (multiplexed) requests bypass the buffer and execute immediately.
 fn serve_connection(
     stream: TcpStream,
     engine: &Engine,
@@ -302,6 +315,9 @@ fn serve_connection(
     let mut reader = BufReader::new(stream.try_clone()?);
     let writer: SharedWriter = Arc::new(Mutex::new(BufWriter::new(stream)));
     let mut pool: Option<TaggedPool> = None;
+    // The open transaction's buffered mutations. Local to this loop, so any
+    // exit path — QUIT, EOF, I/O error — drops it: rollback by default.
+    let mut txn: Option<Vec<Mutation>> = None;
     let mut buf = Vec::new();
     loop {
         buf.clear();
@@ -347,9 +363,129 @@ fn serve_connection(
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner)
                 .flush()?;
-            return Ok(());
+            return Ok(()); // an open transaction (if any) is discarded
+        }
+        match &request {
+            ClientRequest::Sql(sql) if txn.is_some() || leading_txn_keyword(sql) => {
+                handle_txn_line(engine, &writer, &mut txn, sql)?;
+                continue;
+            }
+            ClientRequest::Tokened { .. } | ClientRequest::Partial { .. } if txn.is_some() => {
+                respond(&writer, None, |buf| {
+                    protocol::write_error(
+                        buf,
+                        &ServiceError::Protocol(
+                            "not allowed inside an open transaction; COMMIT or ROLLBACK first"
+                                .to_string(),
+                        ),
+                    )
+                })?;
+                continue;
+            }
+            _ => {}
         }
         handle_request(engine, active, &writer, None, request)?;
+    }
+}
+
+/// Whether a SQL line's first keyword is `BEGIN` / `COMMIT` / `ROLLBACK` —
+/// the cheap pre-filter deciding if the connection's transaction handler
+/// must compile the line. Everything else skips straight to the engine.
+fn leading_txn_keyword(sql: &str) -> bool {
+    let first = sql
+        .trim_start()
+        .split([' ', '\t', ';'])
+        .next()
+        .unwrap_or("");
+    ["BEGIN", "COMMIT", "ROLLBACK"]
+        .iter()
+        .any(|kw| first.eq_ignore_ascii_case(kw))
+}
+
+/// Acknowledges a buffered (not yet applied) statement or an empty control
+/// action with a zero-outcome mutation frame.
+fn ok_zero(writer: &SharedWriter) -> std::io::Result<()> {
+    let response = MutationResponse {
+        outcome: MutationOutcome::default(),
+        queue_wait: Duration::ZERO,
+        exec_time: Duration::ZERO,
+    };
+    respond(writer, None, |buf| {
+        protocol::write_mutation_response(buf, &response)
+    })
+}
+
+/// Handles one untagged SQL line that interacts with the connection's
+/// transaction state: bare `BEGIN` / `COMMIT` / `ROLLBACK`, and — while a
+/// transaction is open — every statement on the connection.
+fn handle_txn_line(
+    engine: &Engine,
+    writer: &SharedWriter,
+    txn: &mut Option<Vec<Mutation>>,
+    sql: &str,
+) -> std::io::Result<()> {
+    let fail = |writer: &SharedWriter, msg: &str| {
+        respond(writer, None, |buf| {
+            protocol::write_error(buf, &ServiceError::Sql(msg.to_string()))
+        })
+    };
+    let statements = match masksearch_sql::compile_script(sql) {
+        Ok(statements) => statements,
+        // A parse error answers with ERR and leaves any open transaction
+        // open: the client decides whether to retry the line or roll back.
+        Err(e) => {
+            return respond(writer, None, |buf| protocol::write_error(buf, &e.into()));
+        }
+    };
+    if statements.len() != 1 {
+        if txn.is_some() {
+            return fail(
+                writer,
+                "finish the open transaction before sending a multi-statement script",
+            );
+        }
+        // No open transaction: the engine's script path owns `BEGIN; ...`.
+        let result = engine.execute_statement(sql);
+        return respond(writer, None, |buf| write_sql_result(buf, result));
+    }
+    let statement = statements.into_iter().next().expect("one statement");
+    match (statement, txn.as_mut()) {
+        (Statement::Control(TxnControl::Begin), None) => {
+            *txn = Some(Vec::new());
+            ok_zero(writer)
+        }
+        (Statement::Control(TxnControl::Begin), Some(_)) => fail(
+            writer,
+            "transaction already open (transactions do not nest)",
+        ),
+        (Statement::Control(TxnControl::Commit | TxnControl::Rollback), None) => {
+            fail(writer, "no open transaction")
+        }
+        (Statement::Control(TxnControl::Commit), Some(_)) => {
+            let mutations = txn.take().expect("open transaction");
+            let result = engine
+                .execute_transaction(mutations)
+                .map(Response::Mutation);
+            respond(writer, None, |buf| write_sql_result(buf, result))
+        }
+        (Statement::Control(TxnControl::Rollback), Some(_)) => {
+            *txn = None;
+            ok_zero(writer)
+        }
+        (Statement::Mutation(mutation), Some(buffer)) => {
+            buffer.push(mutation);
+            ok_zero(writer)
+        }
+        (Statement::Query(_), Some(_)) => fail(
+            writer,
+            "queries are not allowed inside an open transaction; \
+             its writes are not visible until COMMIT",
+        ),
+        // No transaction open and not a control statement: ordinary path.
+        (Statement::Mutation(_) | Statement::Query(_), None) => {
+            let result = engine.execute_statement(sql);
+            respond(writer, None, |buf| write_sql_result(buf, result))
+        }
     }
 }
 
@@ -434,6 +570,12 @@ fn handle_request(
         }
         ClientRequest::Lookup(ids) => {
             let present = engine.lookup(&ids);
+            respond(writer, tag, |buf| {
+                protocol::write_lookup_response(buf, &present)
+            })
+        }
+        ClientRequest::LookupAll => {
+            let present = engine.lookup_all();
             respond(writer, tag, |buf| {
                 protocol::write_lookup_response(buf, &present)
             })

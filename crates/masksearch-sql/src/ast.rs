@@ -208,7 +208,52 @@ pub struct SqlDelete {
     pub mask_ids: Vec<u64>,
 }
 
-/// Any parsed statement: a query or a write.
+/// A parsed `UPDATE masks SET ... WHERE mask_id = n` statement.
+///
+/// Assignable columns: `pixels` (with optional `width`/`height` to re-shape),
+/// `model_id`, `mask_type`, `predicted_label`, `true_label`. The primary key
+/// (`mask_id`) and the sharding key (`image_id`) are not assignable.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SqlUpdate {
+    /// Id of the mask to update.
+    pub mask_id: u64,
+    /// New pixel values, when `SET pixels = (...)` was given.
+    pub pixels: Option<Vec<f64>>,
+    /// New mask width; only meaningful together with `pixels`.
+    pub width: Option<u32>,
+    /// New mask height; only meaningful together with `pixels`.
+    pub height: Option<u32>,
+    /// New model id.
+    pub model_id: Option<u64>,
+    /// New mask type code.
+    pub mask_type: Option<u16>,
+    /// New predicted label.
+    pub predicted_label: Option<u64>,
+    /// New true label.
+    pub true_label: Option<u64>,
+}
+
+/// A parsed `CREATE INDEX [IF NOT EXISTS] <name> ON masks (<column>)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlCreateIndex {
+    /// Index name.
+    pub name: String,
+    /// Indexed metadata column (lowercased; validated during lowering).
+    pub column: String,
+    /// `IF NOT EXISTS` was given.
+    pub if_not_exists: bool,
+}
+
+/// A parsed `DROP INDEX [IF EXISTS] <name>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlDropIndex {
+    /// Index name.
+    pub name: String,
+    /// `IF EXISTS` was given.
+    pub if_exists: bool,
+}
+
+/// Any parsed statement: a query, a write, a DDL, or transaction control.
 // A parsed SELECT (with its optional join and clause payloads) is much
 // larger than the write variants; statements are parsed once and moved, not
 // stored in bulk, so boxing would only add indirection.
@@ -221,6 +266,18 @@ pub enum SqlStatement {
     Insert(SqlInsert),
     /// A `DELETE` of existing masks.
     Delete(SqlDelete),
+    /// An `UPDATE` of one existing mask.
+    Update(SqlUpdate),
+    /// A `CREATE INDEX` definition.
+    CreateIndex(SqlCreateIndex),
+    /// A `DROP INDEX`.
+    DropIndex(SqlDropIndex),
+    /// `BEGIN [TRANSACTION]` — open a multi-statement transaction.
+    Begin,
+    /// `COMMIT [TRANSACTION]` — apply the open transaction atomically.
+    Commit,
+    /// `ROLLBACK [TRANSACTION]` — discard the open transaction.
+    Rollback,
 }
 
 /// A self-join clause: `FROM masks a JOIN masks b ON a.image_id = b.image_id`.

@@ -52,12 +52,29 @@ pub mod lexer;
 pub mod lower;
 pub mod parser;
 
-pub use ast::{SqlDelete, SqlInsert, SqlQuery, SqlStatement};
+pub use ast::{
+    SqlCreateIndex, SqlDelete, SqlDropIndex, SqlInsert, SqlQuery, SqlStatement, SqlUpdate,
+};
 pub use lexer::{tokenize, Token};
 pub use lower::{lower, lower_statement};
 pub use parser::{parse, parse_statement};
 
 use masksearch_query::{Mutation, Order, Query, QueryKind};
+
+/// A transaction-control statement: `BEGIN`, `COMMIT`, or `ROLLBACK`.
+///
+/// These do not execute against a session; they manipulate the
+/// *connection's* transaction state (the service buffers mutations between
+/// `BEGIN` and `COMMIT` and applies them as one atomic batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnControl {
+    /// Open a multi-statement transaction.
+    Begin,
+    /// Apply the buffered statements atomically.
+    Commit,
+    /// Discard the buffered statements.
+    Rollback,
+}
 
 /// An executable statement: a lowered query or a lowered write.
 // Pair queries carry two extra selections, making `Query` the (much) larger
@@ -69,6 +86,8 @@ pub enum Statement {
     Query(Query),
     /// A write for `Session::apply`.
     Mutation(Mutation),
+    /// Transaction control, handled by the connection, not the session.
+    Control(TxnControl),
 }
 
 /// How a compiled statement is routed across a sharded cluster.
@@ -93,8 +112,16 @@ pub enum Routing {
     /// (`INSERT`): group members must co-locate for grouped queries to merge
     /// exactly.
     ByImage,
-    /// Resolve each mask id's owning shard, then split (`DELETE`).
+    /// Resolve each mask id's owning shard, then split (`DELETE`, `UPDATE`).
     ByMaskId,
+    /// Apply on every shard and require every one to succeed
+    /// (`CREATE INDEX` / `DROP INDEX`): index definitions must not drift
+    /// between shards.
+    Ddl,
+    /// Not routable: `BEGIN`/`COMMIT`/`ROLLBACK` manipulate per-connection
+    /// state, so a coordinator either scopes the whole transaction to one
+    /// owning shard or rejects it.
+    Control,
 }
 
 impl Statement {
@@ -127,7 +154,11 @@ impl Statement {
                 _ => Routing::Broadcast,
             },
             Statement::Mutation(Mutation::Insert(_)) => Routing::ByImage,
-            Statement::Mutation(Mutation::Delete(_)) => Routing::ByMaskId,
+            Statement::Mutation(Mutation::Delete(_) | Mutation::Update(_)) => Routing::ByMaskId,
+            Statement::Mutation(Mutation::CreateIndex { .. } | Mutation::DropIndex { .. }) => {
+                Routing::Ddl
+            }
+            Statement::Control(_) => Routing::Control,
         }
     }
 }
@@ -232,6 +263,37 @@ pub fn compile_statement(sql: &str) -> Result<Statement, SqlError> {
     lower_statement(&statement)
 }
 
+/// Compiles a `;`-separated script into its statements, in order.
+///
+/// The dialect has no string literals, so every `;` is a statement
+/// separator. Empty statements (trailing `;`, doubled separators) are
+/// skipped; reported error offsets are relative to the whole script.
+///
+/// ```
+/// use masksearch_sql::{compile_script, Statement, TxnControl};
+/// let script = compile_script(
+///     "BEGIN; DELETE FROM masks WHERE mask_id = 1; COMMIT;",
+/// ).unwrap();
+/// assert_eq!(script.len(), 3);
+/// assert!(matches!(script[0], Statement::Control(TxnControl::Begin)));
+/// assert!(matches!(script[2], Statement::Control(TxnControl::Commit)));
+/// ```
+pub fn compile_script(sql: &str) -> Result<Vec<Statement>, SqlError> {
+    let mut statements = Vec::new();
+    let mut offset = 0usize;
+    for piece in sql.split(';') {
+        if !piece.trim().is_empty() {
+            let statement = compile_statement(piece).map_err(|mut e| {
+                e.offset += offset;
+                e
+            })?;
+            statements.push(statement);
+        }
+        offset += piece.len() + 1;
+    }
+    Ok(statements)
+}
+
 #[cfg(test)]
 mod explain_tests {
     use super::*;
@@ -334,5 +396,49 @@ mod routing_tests {
 
         let delete = compile_statement("DELETE FROM masks WHERE mask_id IN (7, 8)").unwrap();
         assert_eq!(delete.routing(), Routing::ByMaskId);
+
+        let update = compile_statement("UPDATE masks SET model_id = 2 WHERE mask_id = 7").unwrap();
+        assert_eq!(update.routing(), Routing::ByMaskId);
+
+        let create = compile_statement("CREATE INDEX by_model ON masks (model_id)").unwrap();
+        assert_eq!(create.routing(), Routing::Ddl);
+        let drop = compile_statement("DROP INDEX by_model").unwrap();
+        assert_eq!(drop.routing(), Routing::Ddl);
+
+        for sql in ["BEGIN", "COMMIT", "ROLLBACK"] {
+            assert_eq!(compile_statement(sql).unwrap().routing(), Routing::Control);
+        }
+    }
+
+    #[test]
+    fn scripts_split_on_semicolons() {
+        let script = compile_script(
+            "BEGIN;\
+             INSERT INTO masks VALUES (1, 0, 1, 1, (0.5));\
+             UPDATE masks SET model_id = 2 WHERE mask_id = 1;\
+             DELETE FROM masks WHERE mask_id = 1;\
+             COMMIT;",
+        )
+        .unwrap();
+        assert_eq!(script.len(), 5);
+        assert!(matches!(script[0], Statement::Control(TxnControl::Begin)));
+        assert!(matches!(
+            script[1],
+            Statement::Mutation(Mutation::Insert(_))
+        ));
+        assert!(matches!(
+            script[2],
+            Statement::Mutation(Mutation::Update(_))
+        ));
+        assert!(matches!(
+            script[3],
+            Statement::Mutation(Mutation::Delete(_))
+        ));
+        assert!(matches!(script[4], Statement::Control(TxnControl::Commit)));
+
+        // Empty pieces are skipped; errors carry script-relative offsets.
+        assert_eq!(compile_script(" ; ;; ").unwrap().len(), 0);
+        let err = compile_script("BEGIN; SELECT garbage;").unwrap_err();
+        assert!(err.offset >= 6, "offset {} not script-relative", err.offset);
     }
 }

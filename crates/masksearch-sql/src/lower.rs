@@ -1,17 +1,18 @@
 //! Lowering of parsed SQL statements onto the `masksearch-query` model.
 
 use crate::ast::{
-    Condition, MaskArg, RoiExpr, SelectItem, SqlCmp, SqlDelete, SqlExpr, SqlInsert, SqlJoin,
-    SqlOrder, SqlQuery, SqlStatement,
+    Condition, MaskArg, RoiExpr, SelectItem, SqlCmp, SqlCreateIndex, SqlDelete, SqlExpr, SqlInsert,
+    SqlJoin, SqlOrder, SqlQuery, SqlStatement, SqlUpdate,
 };
-use crate::{SqlError, Statement};
+use crate::{SqlError, Statement, TxnControl};
 use masksearch_core::{
     ImageId, Label, Mask, MaskAgg, MaskId, MaskRecord, MaskType, ModelId, PixelRange, Roi,
 };
 use masksearch_query::{
-    CmpOp, CpTerm, Expr, MaskJoin, Mutation, Order, Predicate, Query, QueryKind, RoiSpec,
-    ScalarAgg, Selection, TermSource,
+    CmpOp, CpTerm, Expr, MaskJoin, MaskUpdate, Mutation, Order, Predicate, Query, QueryKind,
+    RoiSpec, ScalarAgg, Selection, TermSource,
 };
+use masksearch_storage::MetaColumn;
 
 /// The join aliases in scope while lowering a pair query's expressions.
 struct JoinCtx<'a> {
@@ -52,7 +53,86 @@ pub fn lower_statement(statement: &SqlStatement) -> Result<Statement, SqlError> 
         SqlStatement::Query(query) => Ok(Statement::Query(lower(query)?)),
         SqlStatement::Insert(insert) => Ok(Statement::Mutation(lower_insert(insert)?)),
         SqlStatement::Delete(delete) => Ok(Statement::Mutation(lower_delete(delete))),
+        SqlStatement::Update(update) => Ok(Statement::Mutation(lower_update(update)?)),
+        SqlStatement::CreateIndex(ddl) => Ok(Statement::Mutation(lower_create_index(ddl)?)),
+        SqlStatement::DropIndex(ddl) => Ok(Statement::Mutation(Mutation::DropIndex {
+            name: ddl.name.clone(),
+            if_exists: ddl.if_exists,
+        })),
+        SqlStatement::Begin => Ok(Statement::Control(TxnControl::Begin)),
+        SqlStatement::Commit => Ok(Statement::Control(TxnControl::Commit)),
+        SqlStatement::Rollback => Ok(Statement::Control(TxnControl::Rollback)),
     }
+}
+
+/// Lowers an `UPDATE`, validating the assignment combination (shape fields
+/// require pixels, and when both are given the pixel count must match; a
+/// pixel list alone is checked against the mask's current shape at apply
+/// time).
+fn lower_update(update: &SqlUpdate) -> Result<Mutation, SqlError> {
+    let shape = match (update.width, update.height) {
+        (Some(w), Some(h)) => Some((w, h)),
+        (None, None) => None,
+        _ => {
+            return Err(SqlError::new(
+                "UPDATE must set width and height together (or neither)",
+                0,
+            ))
+        }
+    };
+    if shape.is_some() && update.pixels.is_none() {
+        return Err(SqlError::new(
+            "UPDATE cannot re-shape a mask without assigning pixels",
+            0,
+        ));
+    }
+    if let (Some((w, h)), Some(pixels)) = (shape, update.pixels.as_ref()) {
+        let expected = (w as usize) * (h as usize);
+        if pixels.len() != expected {
+            return Err(SqlError::new(
+                format!(
+                    "UPDATE declares shape {w}x{h} ({expected} pixels) but assigns {}",
+                    pixels.len()
+                ),
+                0,
+            ));
+        }
+    }
+    let lowered = MaskUpdate {
+        mask_id: MaskId::new(update.mask_id),
+        pixels: update
+            .pixels
+            .as_ref()
+            .map(|pixels| pixels.iter().map(|&v| v as f32).collect()),
+        shape,
+        model_id: update.model_id.map(ModelId::new),
+        mask_type: update.mask_type.map(MaskType::from_code),
+        predicted_label: update.predicted_label.map(Label::new),
+        true_label: update.true_label.map(Label::new),
+    };
+    if lowered.is_noop() {
+        return Err(SqlError::new("UPDATE needs at least one SET assignment", 0));
+    }
+    Ok(Mutation::Update(vec![lowered]))
+}
+
+/// Lowers a `CREATE INDEX`, validating the indexed column.
+fn lower_create_index(ddl: &SqlCreateIndex) -> Result<Mutation, SqlError> {
+    let column = MetaColumn::parse(&ddl.column).ok_or_else(|| {
+        SqlError::new(
+            format!(
+                "column `{}` cannot be indexed (supported: image_id, model_id, \
+                 mask_type, predicted_label)",
+                ddl.column
+            ),
+            0,
+        )
+    })?;
+    Ok(Mutation::CreateIndex {
+        name: ddl.name.clone(),
+        column,
+        if_not_exists: ddl.if_not_exists,
+    })
 }
 
 /// Lowers an `INSERT`, validating every tuple's shape and pixel domain.
@@ -870,6 +950,90 @@ mod tests {
             panic!("expected a delete mutation");
         };
         assert_eq!(ids, vec![MaskId::new(4), MaskId::new(5)]);
+    }
+
+    #[test]
+    fn lowers_update_with_validation() {
+        let statement = crate::compile_statement(
+            "UPDATE masks SET pixels = (0.9, 0.8, 0.7, 0.6), model_id = 5 WHERE mask_id = 7",
+        )
+        .unwrap();
+        let crate::Statement::Mutation(Mutation::Update(updates)) = statement else {
+            panic!("expected an update mutation");
+        };
+        assert_eq!(updates.len(), 1);
+        let update = &updates[0];
+        assert_eq!(update.mask_id, MaskId::new(7));
+        assert_eq!(update.pixels.as_deref(), Some(&[0.9f32, 0.8, 0.7, 0.6][..]));
+        assert_eq!(update.shape, None);
+        assert_eq!(update.model_id, Some(ModelId::new(5)));
+        assert_eq!(update.mask_type, None);
+
+        // Re-shape: width and height must come together, pixels must match.
+        let statement = crate::compile_statement(
+            "UPDATE masks SET width = 2, height = 1, pixels = (0.5, 0.6) WHERE mask_id = 7",
+        )
+        .unwrap();
+        let crate::Statement::Mutation(Mutation::Update(updates)) = statement else {
+            panic!("expected an update mutation");
+        };
+        assert_eq!(updates[0].shape, Some((2, 1)));
+
+        assert!(crate::compile_statement(
+            "UPDATE masks SET width = 2, pixels = (0.5, 0.6) WHERE mask_id = 7"
+        )
+        .is_err());
+        assert!(crate::compile_statement(
+            "UPDATE masks SET width = 2, height = 2 WHERE mask_id = 7"
+        )
+        .is_err());
+        assert!(crate::compile_statement(
+            "UPDATE masks SET width = 2, height = 2, pixels = (0.5) WHERE mask_id = 7"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn lowers_index_ddl_with_column_validation() {
+        let statement =
+            crate::compile_statement("CREATE INDEX by_model ON masks (model_id)").unwrap();
+        let crate::Statement::Mutation(Mutation::CreateIndex {
+            name,
+            column,
+            if_not_exists,
+        }) = statement
+        else {
+            panic!("expected a create-index mutation");
+        };
+        assert_eq!(name, "by_model");
+        assert_eq!(column, masksearch_storage::MetaColumn::ModelId);
+        assert!(!if_not_exists);
+
+        let statement = crate::compile_statement("DROP INDEX IF EXISTS by_model").unwrap();
+        let crate::Statement::Mutation(Mutation::DropIndex { name, if_exists }) = statement else {
+            panic!("expected a drop-index mutation");
+        };
+        assert_eq!(name, "by_model");
+        assert!(if_exists);
+
+        // true_label has no catalog posting map; pixels is not metadata.
+        assert!(crate::compile_statement("CREATE INDEX i ON masks (true_label)").is_err());
+        assert!(crate::compile_statement("CREATE INDEX i ON masks (pixels)").is_err());
+    }
+
+    #[test]
+    fn lowers_transaction_control() {
+        for (sql, expected) in [
+            ("BEGIN", TxnControl::Begin),
+            ("COMMIT", TxnControl::Commit),
+            ("ROLLBACK", TxnControl::Rollback),
+        ] {
+            let statement = crate::compile_statement(sql).unwrap();
+            let crate::Statement::Control(control) = statement else {
+                panic!("expected a control statement for {sql}");
+            };
+            assert_eq!(control, expected);
+        }
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Recursive-descent parser for the MaskSearch SQL dialect.
 
 use crate::ast::{
-    Condition, InsertRow, MaskArg, RoiExpr, SelectItem, SqlCmp, SqlDelete, SqlExpr, SqlInsert,
-    SqlJoin, SqlOrder, SqlQuery, SqlStatement,
+    Condition, InsertRow, MaskArg, RoiExpr, SelectItem, SqlCmp, SqlCreateIndex, SqlDelete,
+    SqlDropIndex, SqlExpr, SqlInsert, SqlJoin, SqlOrder, SqlQuery, SqlStatement, SqlUpdate,
 };
 use crate::lexer::{tokenize, Spanned, Token};
 use crate::SqlError;
@@ -25,8 +25,9 @@ pub fn parse(sql: &str) -> Result<SqlQuery, SqlError> {
     Ok(query)
 }
 
-/// Parses any statement: `SELECT`, `INSERT INTO masks VALUES ...`, or
-/// `DELETE FROM masks WHERE mask_id ...`.
+/// Parses any statement: `SELECT`, `INSERT INTO masks VALUES ...`,
+/// `DELETE FROM masks WHERE mask_id ...`, `UPDATE masks SET ...`,
+/// `CREATE INDEX` / `DROP INDEX`, or `BEGIN` / `COMMIT` / `ROLLBACK`.
 pub fn parse_statement(sql: &str) -> Result<SqlStatement, SqlError> {
     let tokens = tokenize(sql)?;
     let mut parser = Parser { tokens, pos: 0 };
@@ -36,6 +37,21 @@ pub fn parse_statement(sql: &str) -> Result<SqlStatement, SqlError> {
         SqlStatement::Insert(parser.parse_insert()?)
     } else if parser.peek_keyword("DELETE") {
         SqlStatement::Delete(parser.parse_delete()?)
+    } else if parser.peek_keyword("UPDATE") {
+        SqlStatement::Update(parser.parse_update()?)
+    } else if parser.peek_keyword("CREATE") {
+        SqlStatement::CreateIndex(parser.parse_create_index()?)
+    } else if parser.peek_keyword("DROP") {
+        SqlStatement::DropIndex(parser.parse_drop_index()?)
+    } else if parser.peek_keyword("BEGIN") {
+        parser.parse_txn_control()?;
+        SqlStatement::Begin
+    } else if parser.peek_keyword("COMMIT") {
+        parser.parse_txn_control()?;
+        SqlStatement::Commit
+    } else if parser.peek_keyword("ROLLBACK") {
+        parser.parse_txn_control()?;
+        SqlStatement::Rollback
     } else if parser.peek_keyword("RECORD") || parser.peek_keyword("MONITOR") {
         // A well-formed control request never reaches the SQL front end —
         // it is intercepted by the protocol layer — so this is a malformed
@@ -46,7 +62,10 @@ pub fn parse_statement(sql: &str) -> Result<SqlStatement, SqlError> {
              (RECORD START [<path>] | STOP | STATUS; MONITOR [<frames> [<interval_ms>]])",
         ));
     } else {
-        return Err(parser.error("expected SELECT, INSERT, or DELETE"));
+        return Err(parser.error(
+            "expected SELECT, INSERT, UPDATE, DELETE, CREATE INDEX, DROP INDEX, \
+             or BEGIN/COMMIT/ROLLBACK",
+        ));
     };
     parser.consume_if(&Token::Semicolon);
     if !parser.at_end() {
@@ -232,6 +251,129 @@ impl Parser {
             vec![self.integer("mask_id")?]
         };
         Ok(SqlDelete { mask_ids })
+    }
+
+    /// Parses `UPDATE <relation> SET <col> = <value> [, ...]
+    /// WHERE mask_id = n`.
+    fn parse_update(&mut self) -> Result<SqlUpdate, SqlError> {
+        self.expect_keyword("UPDATE")?;
+        let _relation = self.keyword()?;
+        self.expect_keyword("SET")?;
+        let mut update = SqlUpdate::default();
+        loop {
+            let column = self.keyword()?;
+            self.expect(&Token::Eq, "`=` in SET assignment")?;
+            match column.as_str() {
+                "PIXELS" => {
+                    if update.pixels.is_some() {
+                        return Err(self.error("pixels assigned twice"));
+                    }
+                    self.expect(&Token::LParen, "`(` opening the pixel list")?;
+                    let mut pixels = Vec::new();
+                    loop {
+                        pixels.push(self.number()?);
+                        if !self.consume_if(&Token::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&Token::RParen, "`)` closing the pixel list")?;
+                    update.pixels = Some(pixels);
+                }
+                "WIDTH" => update.width = Some(self.integer_u32("width")?),
+                "HEIGHT" => update.height = Some(self.integer_u32("height")?),
+                "MODEL_ID" => update.model_id = Some(self.integer("model_id")?),
+                "MASK_TYPE" => {
+                    let code = self.integer("mask_type")?;
+                    let code = u16::try_from(code)
+                        .map_err(|_| self.error("mask_type must fit in 16 bits"))?;
+                    update.mask_type = Some(code);
+                }
+                "PREDICTED_LABEL" => {
+                    update.predicted_label = Some(self.integer("predicted_label")?)
+                }
+                "TRUE_LABEL" => update.true_label = Some(self.integer("true_label")?),
+                "MASK_ID" | "IMAGE_ID" => {
+                    return Err(self.error(format!(
+                        "{} is not assignable (it is a key column)",
+                        column.to_ascii_lowercase()
+                    )))
+                }
+                other => {
+                    return Err(self.error(format!(
+                        "unknown UPDATE column `{}`",
+                        other.to_ascii_lowercase()
+                    )))
+                }
+            }
+            if !self.consume_if(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect_keyword("WHERE")?;
+        let column = self.keyword()?;
+        if column != "MASK_ID" {
+            return Err(self.error("UPDATE supports only `WHERE mask_id = n`"));
+        }
+        self.expect(&Token::Eq, "`=` in UPDATE condition")?;
+        update.mask_id = self.integer("mask_id")?;
+        Ok(update)
+    }
+
+    /// Parses `CREATE INDEX [IF NOT EXISTS] <name> ON <relation> (<column>)`.
+    fn parse_create_index(&mut self) -> Result<SqlCreateIndex, SqlError> {
+        self.expect_keyword("CREATE")?;
+        self.expect_keyword("INDEX")?;
+        let mut if_not_exists = false;
+        if self.peek_keyword("IF") {
+            self.pos += 1;
+            self.expect_keyword("NOT")?;
+            self.expect_keyword("EXISTS")?;
+            if_not_exists = true;
+        }
+        let name = self.index_name()?;
+        self.expect_keyword("ON")?;
+        let _relation = self.keyword()?;
+        self.expect(&Token::LParen, "`(` opening the indexed column")?;
+        let column = self.keyword()?.to_ascii_lowercase();
+        self.expect(&Token::RParen, "`)` closing the indexed column")?;
+        Ok(SqlCreateIndex {
+            name,
+            column,
+            if_not_exists,
+        })
+    }
+
+    /// Parses `DROP INDEX [IF EXISTS] <name>`.
+    fn parse_drop_index(&mut self) -> Result<SqlDropIndex, SqlError> {
+        self.expect_keyword("DROP")?;
+        self.expect_keyword("INDEX")?;
+        let mut if_exists = false;
+        if self.peek_keyword("IF") {
+            self.pos += 1;
+            self.expect_keyword("EXISTS")?;
+            if_exists = true;
+        }
+        let name = self.index_name()?;
+        Ok(SqlDropIndex { name, if_exists })
+    }
+
+    /// Consumes an index name: a plain identifier, kept lowercased so names
+    /// compare case-insensitively like the rest of the dialect.
+    fn index_name(&mut self) -> Result<String, SqlError> {
+        match self.advance() {
+            Some(Token::Ident(s)) => Ok(s.to_ascii_lowercase()),
+            _ => Err(self.error("expected an index name")),
+        }
+    }
+
+    /// Consumes `BEGIN`/`COMMIT`/`ROLLBACK` plus an optional noise keyword
+    /// (`TRANSACTION` or `WORK`).
+    fn parse_txn_control(&mut self) -> Result<(), SqlError> {
+        self.pos += 1; // the control keyword itself, already peeked
+        if self.peek_keyword("TRANSACTION") || self.peek_keyword("WORK") {
+            self.pos += 1;
+        }
+        Ok(())
     }
 
     /// Returns the next token as a relation alias when it is a plain
@@ -782,7 +924,112 @@ mod tests {
         }
         // Ordinary garbage still gets the generic message.
         let err = parse_statement("UPSERT INTO masks").unwrap_err();
-        assert!(err.message.contains("expected SELECT, INSERT, or DELETE"));
+        assert!(err
+            .message
+            .contains("expected SELECT, INSERT, UPDATE, DELETE"));
+    }
+
+    #[test]
+    fn parses_update_assignments() {
+        let statement = parse_statement(
+            "UPDATE masks SET pixels = (0.1, 0.2, 0.3, 0.4), model_id = 3, \
+             predicted_label = 7 WHERE mask_id = 9;",
+        )
+        .unwrap();
+        let SqlStatement::Update(update) = statement else {
+            panic!("expected an update");
+        };
+        assert_eq!(update.mask_id, 9);
+        assert_eq!(update.pixels.as_deref(), Some(&[0.1, 0.2, 0.3, 0.4][..]));
+        assert_eq!(update.model_id, Some(3));
+        assert_eq!(update.predicted_label, Some(7));
+        assert_eq!(update.width, None);
+        assert_eq!(update.mask_type, None);
+
+        let statement = parse_statement(
+            "UPDATE masks SET width = 1, height = 2, pixels = (0.5, 0.6) WHERE mask_id = 4",
+        )
+        .unwrap();
+        let SqlStatement::Update(update) = statement else {
+            panic!("expected an update");
+        };
+        assert_eq!((update.width, update.height), (Some(1), Some(2)));
+    }
+
+    #[test]
+    fn rejects_malformed_updates() {
+        // Key columns are not assignable.
+        assert!(parse_statement("UPDATE masks SET mask_id = 2 WHERE mask_id = 1").is_err());
+        assert!(parse_statement("UPDATE masks SET image_id = 2 WHERE mask_id = 1").is_err());
+        // WHERE must target mask_id by equality.
+        assert!(parse_statement("UPDATE masks SET model_id = 2 WHERE image_id = 1").is_err());
+        assert!(parse_statement("UPDATE masks SET model_id = 2").is_err());
+        // Double assignment of pixels.
+        assert!(parse_statement(
+            "UPDATE masks SET pixels = (0.1), pixels = (0.2) WHERE mask_id = 1"
+        )
+        .is_err());
+        // mask_type must fit u16.
+        assert!(parse_statement("UPDATE masks SET mask_type = 70000 WHERE mask_id = 1").is_err());
+    }
+
+    #[test]
+    fn parses_index_ddl() {
+        assert_eq!(
+            parse_statement("CREATE INDEX by_model ON masks (model_id)").unwrap(),
+            SqlStatement::CreateIndex(SqlCreateIndex {
+                name: "by_model".to_string(),
+                column: "model_id".to_string(),
+                if_not_exists: false,
+            })
+        );
+        assert_eq!(
+            parse_statement("CREATE INDEX IF NOT EXISTS By_Pred ON masks (PREDICTED_LABEL);")
+                .unwrap(),
+            SqlStatement::CreateIndex(SqlCreateIndex {
+                name: "by_pred".to_string(),
+                column: "predicted_label".to_string(),
+                if_not_exists: true,
+            })
+        );
+        assert_eq!(
+            parse_statement("DROP INDEX by_model").unwrap(),
+            SqlStatement::DropIndex(SqlDropIndex {
+                name: "by_model".to_string(),
+                if_exists: false,
+            })
+        );
+        assert_eq!(
+            parse_statement("DROP INDEX IF EXISTS by_model;").unwrap(),
+            SqlStatement::DropIndex(SqlDropIndex {
+                name: "by_model".to_string(),
+                if_exists: true,
+            })
+        );
+        // Malformed DDL.
+        assert!(parse_statement("CREATE INDEX ON masks (model_id)").is_err());
+        assert!(parse_statement("CREATE INDEX i ON masks model_id").is_err());
+        assert!(parse_statement("CREATE INDEX IF EXISTS i ON masks (model_id)").is_err());
+        assert!(parse_statement("DROP INDEX").is_err());
+    }
+
+    #[test]
+    fn parses_transaction_control() {
+        assert_eq!(parse_statement("BEGIN").unwrap(), SqlStatement::Begin);
+        assert_eq!(
+            parse_statement("BEGIN TRANSACTION;").unwrap(),
+            SqlStatement::Begin
+        );
+        assert_eq!(
+            parse_statement("commit work").unwrap(),
+            SqlStatement::Commit
+        );
+        assert_eq!(
+            parse_statement("ROLLBACK;").unwrap(),
+            SqlStatement::Rollback
+        );
+        // Trailing junk is still rejected.
+        assert!(parse_statement("BEGIN now").is_err());
     }
 
     #[test]

@@ -152,6 +152,27 @@ impl Catalog {
         ids
     }
 
+    /// Number of masks annotating `image_id`, without cloning the list.
+    pub fn count_of_image(&self, image_id: ImageId) -> usize {
+        self.by_image.get(&image_id).map_or(0, Vec::len)
+    }
+
+    /// Number of masks produced by `model_id`, without cloning the list.
+    pub fn count_of_model(&self, model_id: ModelId) -> usize {
+        self.by_model.get(&model_id).map_or(0, Vec::len)
+    }
+
+    /// Number of masks of the given type, without cloning the list.
+    pub fn count_of_type(&self, mask_type: MaskType) -> usize {
+        self.by_type.get(&mask_type.to_code()).map_or(0, Vec::len)
+    }
+
+    /// Number of masks whose image was predicted as `label`, without cloning
+    /// the list.
+    pub fn count_with_predicted_label(&self, label: Label) -> usize {
+        self.by_predicted.get(&label).map_or(0, Vec::len)
+    }
+
     /// Mask ids whose records satisfy an arbitrary predicate.
     pub fn filter(&self, mut predicate: impl FnMut(&MaskRecord) -> bool) -> Vec<MaskId> {
         self.records
@@ -353,6 +374,13 @@ mod tests {
             vec![MaskId::new(3), MaskId::new(4)]
         );
         assert_eq!(c.image_ids().len(), 3);
+        // The count accessors agree with the lists without cloning them.
+        assert_eq!(c.count_of_image(ImageId::new(100)), 2);
+        assert_eq!(c.count_of_model(ModelId::new(1)), 3);
+        assert_eq!(c.count_of_type(MaskType::SaliencyMap), 6);
+        assert_eq!(c.count_of_type(MaskType::DepthMap), 0);
+        assert_eq!(c.count_with_predicted_label(Label::new(8)), 2);
+        assert_eq!(c.count_with_predicted_label(Label::new(99)), 0);
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod compression;
 pub mod disk;
 pub mod error;
 pub mod format;
+pub mod meta_index;
 pub mod row_store;
 pub mod store;
 
@@ -48,5 +49,6 @@ pub use catalog::Catalog;
 pub use disk::{DiskProfile, IoStats};
 pub use error::{StorageError, StorageResult};
 pub use format::MaskEncoding;
+pub use meta_index::{MetaColumn, MetaIndexDef, MetaIndexRegistry};
 pub use row_store::RowStore;
 pub use store::{FileMaskStore, IngestSnapshot, MaskStore, MemoryMaskStore};

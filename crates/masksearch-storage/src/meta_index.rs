@@ -1,0 +1,413 @@
+//! Secondary metadata indexes over the catalog.
+//!
+//! A metadata index maps one metadata column value (`model_id = 1`) to the
+//! set of mask ids carrying that value, so a metadata-equality predicate can
+//! probe a posting list instead of scanning every catalog record. The
+//! in-memory posting lists are the catalog's own secondary maps — they are
+//! maintained inside every commit already — so an index here is a *named
+//! definition* plus a persisted snapshot (`masks.idx.<col>`) that survives
+//! restarts and is rebuilt from the recovered catalog when torn or alien.
+
+use crate::catalog::Catalog;
+use crate::codec::{Reader, Writer};
+use crate::error::{StorageError, StorageResult};
+use masksearch_core::{ImageId, Label, MaskId, MaskRecord, MaskType, ModelId};
+use std::collections::BTreeMap;
+use std::sync::RwLock;
+
+/// Magic bytes identifying a metadata index snapshot file.
+pub const META_INDEX_MAGIC: [u8; 4] = *b"MSKI";
+/// Metadata index file format version.
+pub const META_INDEX_FORMAT_VERSION: u16 = 1;
+
+/// A metadata column that can carry a secondary index.
+///
+/// `true_label` is deliberately absent: the catalog keeps no posting map for
+/// it, so an index there would be a scan in disguise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MetaColumn {
+    /// `image_id` — the sharding / join key.
+    ImageId,
+    /// `model_id` — which model produced the mask.
+    ModelId,
+    /// `mask_type` — saliency map, segmentation, etc.
+    MaskType,
+    /// `predicted_label` — the model's predicted class for the image.
+    PredictedLabel,
+}
+
+impl MetaColumn {
+    /// Every indexable column.
+    pub const ALL: [MetaColumn; 4] = [
+        MetaColumn::ImageId,
+        MetaColumn::ModelId,
+        MetaColumn::MaskType,
+        MetaColumn::PredictedLabel,
+    ];
+
+    /// The SQL column name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetaColumn::ImageId => "image_id",
+            MetaColumn::ModelId => "model_id",
+            MetaColumn::MaskType => "mask_type",
+            MetaColumn::PredictedLabel => "predicted_label",
+        }
+    }
+
+    /// Parses a SQL column name (case-insensitive).
+    pub fn parse(name: &str) -> Option<Self> {
+        MetaColumn::ALL
+            .into_iter()
+            .find(|c| c.name().eq_ignore_ascii_case(name))
+    }
+
+    /// Stable on-disk code.
+    pub fn to_code(self) -> u16 {
+        match self {
+            MetaColumn::ImageId => 1,
+            MetaColumn::ModelId => 2,
+            MetaColumn::MaskType => 3,
+            MetaColumn::PredictedLabel => 4,
+        }
+    }
+
+    /// Inverse of [`MetaColumn::to_code`].
+    pub fn from_code(code: u16) -> Option<Self> {
+        MetaColumn::ALL.into_iter().find(|c| c.to_code() == code)
+    }
+
+    /// The indexed key of a record, if the record carries one.
+    pub fn key_of(self, record: &MaskRecord) -> Option<u64> {
+        match self {
+            MetaColumn::ImageId => Some(record.image_id.raw()),
+            MetaColumn::ModelId => Some(record.model_id.raw()),
+            MetaColumn::MaskType => Some(record.mask_type.to_code() as u64),
+            MetaColumn::PredictedLabel => record.predicted_label.map(|l| l.raw()),
+        }
+    }
+
+    /// Posting list for `value`, sorted ascending, straight from the
+    /// catalog's secondary maps.
+    pub fn probe(self, catalog: &Catalog, value: u64) -> Vec<MaskId> {
+        match self {
+            MetaColumn::ImageId => catalog.masks_of_image(ImageId::new(value)),
+            MetaColumn::ModelId => catalog.masks_of_model(ModelId::new(value)),
+            MetaColumn::MaskType => match u16::try_from(value) {
+                Ok(code) => catalog.masks_of_type(MaskType::from_code(code)),
+                Err(_) => Vec::new(),
+            },
+            MetaColumn::PredictedLabel => catalog.masks_with_predicted_label(Label::new(value)),
+        }
+    }
+
+    /// Posting-list length for `value` without cloning or sorting the list.
+    pub fn estimate(self, catalog: &Catalog, value: u64) -> usize {
+        match self {
+            MetaColumn::ImageId => catalog.count_of_image(ImageId::new(value)),
+            MetaColumn::ModelId => catalog.count_of_model(ModelId::new(value)),
+            MetaColumn::MaskType => match u16::try_from(value) {
+                Ok(code) => catalog.count_of_type(MaskType::from_code(code)),
+                Err(_) => 0,
+            },
+            MetaColumn::PredictedLabel => catalog.count_with_predicted_label(Label::new(value)),
+        }
+    }
+}
+
+/// A named index definition: one index covers exactly one metadata column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetaIndexDef {
+    /// The index name given at `CREATE INDEX`.
+    pub name: String,
+    /// The indexed column.
+    pub column: MetaColumn,
+}
+
+/// The set of index definitions live on a store, shared between the query
+/// session (which probes) and the durable store (which persists snapshots).
+#[derive(Debug, Default)]
+pub struct MetaIndexRegistry {
+    /// name → column; at most one definition per column.
+    defs: RwLock<BTreeMap<String, MetaColumn>>,
+}
+
+impl MetaIndexRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an index. Returns `true` if a new definition was created,
+    /// `false` if `if_not_exists` swallowed a duplicate.
+    pub fn create(
+        &self,
+        name: &str,
+        column: MetaColumn,
+        if_not_exists: bool,
+    ) -> Result<bool, String> {
+        let mut defs = self.defs.write().unwrap();
+        if let Some(existing) = defs.get(name) {
+            if if_not_exists {
+                return Ok(false);
+            }
+            return Err(format!(
+                "index `{name}` already exists (on {})",
+                existing.name()
+            ));
+        }
+        if let Some((other, _)) = defs.iter().find(|(_, c)| **c == column) {
+            return Err(format!(
+                "column {} is already indexed by `{other}`",
+                column.name()
+            ));
+        }
+        defs.insert(name.to_string(), column);
+        Ok(true)
+    }
+
+    /// Drops an index by name. Returns `true` if a definition was removed,
+    /// `false` if `if_exists` swallowed a miss.
+    pub fn drop_index(&self, name: &str, if_exists: bool) -> Result<bool, String> {
+        let mut defs = self.defs.write().unwrap();
+        if defs.remove(name).is_some() {
+            Ok(true)
+        } else if if_exists {
+            Ok(false)
+        } else {
+            Err(format!("index `{name}` does not exist"))
+        }
+    }
+
+    /// The definition covering `column`, if any.
+    pub fn on(&self, column: MetaColumn) -> Option<MetaIndexDef> {
+        self.defs
+            .read()
+            .unwrap()
+            .iter()
+            .find(|(_, c)| **c == column)
+            .map(|(name, c)| MetaIndexDef {
+                name: name.clone(),
+                column: *c,
+            })
+    }
+
+    /// Looks up a definition by name.
+    pub fn by_name(&self, name: &str) -> Option<MetaIndexDef> {
+        self.defs.read().unwrap().get(name).map(|c| MetaIndexDef {
+            name: name.to_string(),
+            column: *c,
+        })
+    }
+
+    /// All definitions, ordered by name.
+    pub fn list(&self) -> Vec<MetaIndexDef> {
+        self.defs
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(name, c)| MetaIndexDef {
+                name: name.clone(),
+                column: *c,
+            })
+            .collect()
+    }
+
+    /// Number of definitions.
+    pub fn len(&self) -> usize {
+        self.defs.read().unwrap().len()
+    }
+
+    /// Returns `true` if no index is defined.
+    pub fn is_empty(&self) -> bool {
+        self.defs.read().unwrap().is_empty()
+    }
+}
+
+/// Builds the full posting map of `column` over `catalog`.
+pub fn postings(catalog: &Catalog, column: MetaColumn) -> BTreeMap<u64, Vec<MaskId>> {
+    let mut map: BTreeMap<u64, Vec<MaskId>> = BTreeMap::new();
+    for record in catalog.records() {
+        if let Some(key) = column.key_of(record) {
+            map.entry(key).or_default().push(record.mask_id);
+        }
+    }
+    map
+}
+
+/// Serialises a `masks.idx.<col>` snapshot: the definition plus the posting
+/// map of its column at snapshot time.
+pub fn snapshot_bytes(def: &MetaIndexDef, catalog: &Catalog) -> Vec<u8> {
+    let map = postings(catalog, def.column);
+    let mut w = Writer::new();
+    w.write_bytes(&META_INDEX_MAGIC);
+    w.write_u16(META_INDEX_FORMAT_VERSION);
+    w.write_u16(def.column.to_code());
+    w.write_string(&def.name);
+    w.write_u64(map.len() as u64);
+    for (key, ids) in &map {
+        w.write_u64(*key);
+        w.write_u64(ids.len() as u64);
+        for id in ids {
+            w.write_u64(id.raw());
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes a snapshot produced by [`snapshot_bytes`].
+pub fn decode_snapshot(bytes: &[u8]) -> StorageResult<(MetaIndexDef, BTreeMap<u64, Vec<MaskId>>)> {
+    let mut r = Reader::new(bytes, "metadata index");
+    let magic = r.read_magic()?;
+    if magic != META_INDEX_MAGIC {
+        return Err(StorageError::BadMagic {
+            path: "<metadata index>".to_string(),
+            found: magic,
+        });
+    }
+    let version = r.read_u16()?;
+    if version > META_INDEX_FORMAT_VERSION {
+        return Err(StorageError::UnsupportedVersion {
+            found: version,
+            supported: META_INDEX_FORMAT_VERSION,
+        });
+    }
+    let code = r.read_u16()?;
+    let column = MetaColumn::from_code(code)
+        .ok_or_else(|| StorageError::corrupt(format!("unknown metadata column code {code}")))?;
+    let name = r.read_string()?;
+    if name.is_empty() {
+        return Err(StorageError::corrupt("metadata index name is empty"));
+    }
+    let entries = r.read_u64()?;
+    let mut map = BTreeMap::new();
+    for _ in 0..entries {
+        let key = r.read_u64()?;
+        let count = r.read_u64()?;
+        if count as usize > r.remaining() / 8 {
+            return Err(StorageError::corrupt(
+                "metadata index posting list longer than the file",
+            ));
+        }
+        let mut ids = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            ids.push(MaskId::new(r.read_u64()?));
+        }
+        map.insert(key, ids);
+    }
+    if r.remaining() != 0 {
+        return Err(StorageError::corrupt(
+            "trailing bytes after metadata index postings",
+        ));
+    }
+    Ok((MetaIndexDef { name, column }, map))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use masksearch_core::Roi;
+
+    fn record(mask_id: u64, image_id: u64, model_id: u64, pred: Option<u64>) -> MaskRecord {
+        let mut b = MaskRecord::builder(MaskId::new(mask_id))
+            .image_id(ImageId::new(image_id))
+            .model_id(ModelId::new(model_id))
+            .mask_type(MaskType::SaliencyMap)
+            .shape(8, 8)
+            .object_box(Roi::new(1, 1, 4, 4).unwrap());
+        if let Some(p) = pred {
+            b = b.predicted_label(Label::new(p));
+        }
+        b.build()
+    }
+
+    fn sample_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.insert(record(1, 100, 1, Some(7)));
+        c.insert(record(2, 100, 2, Some(7)));
+        c.insert(record(3, 101, 1, None));
+        c
+    }
+
+    #[test]
+    fn column_names_round_trip() {
+        for column in MetaColumn::ALL {
+            assert_eq!(MetaColumn::parse(column.name()), Some(column));
+            assert_eq!(MetaColumn::from_code(column.to_code()), Some(column));
+        }
+        assert_eq!(MetaColumn::parse("MODEL_ID"), Some(MetaColumn::ModelId));
+        assert!(MetaColumn::parse("true_label").is_none());
+        assert!(MetaColumn::parse("pixels").is_none());
+    }
+
+    #[test]
+    fn probe_and_estimate_agree_with_the_catalog() {
+        let c = sample_catalog();
+        assert_eq!(
+            MetaColumn::ModelId.probe(&c, 1),
+            vec![MaskId::new(1), MaskId::new(3)]
+        );
+        assert_eq!(MetaColumn::ModelId.estimate(&c, 1), 2);
+        assert_eq!(
+            MetaColumn::PredictedLabel.probe(&c, 7),
+            vec![MaskId::new(1), MaskId::new(2)]
+        );
+        assert_eq!(MetaColumn::PredictedLabel.estimate(&c, 9), 0);
+        assert!(MetaColumn::MaskType.probe(&c, u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn registry_enforces_one_index_per_column() {
+        let reg = MetaIndexRegistry::new();
+        assert!(reg.create("by_model", MetaColumn::ModelId, false).unwrap());
+        // Duplicate name: swallowed with IF NOT EXISTS, loud without.
+        assert!(!reg.create("by_model", MetaColumn::ModelId, true).unwrap());
+        assert!(reg.create("by_model", MetaColumn::ModelId, false).is_err());
+        // Second index on the same column is always an error.
+        assert!(reg.create("by_model2", MetaColumn::ModelId, false).is_err());
+        assert_eq!(reg.on(MetaColumn::ModelId).unwrap().name, "by_model");
+        assert!(reg.on(MetaColumn::ImageId).is_none());
+        assert_eq!(reg.by_name("by_model").unwrap().column, MetaColumn::ModelId);
+        assert_eq!(reg.list().len(), 1);
+        assert!(reg.drop_index("nope", true).is_ok());
+        assert!(reg.drop_index("nope", false).is_err());
+        assert!(reg.drop_index("by_model", false).unwrap());
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let c = sample_catalog();
+        let def = MetaIndexDef {
+            name: "by_pred".to_string(),
+            column: MetaColumn::PredictedLabel,
+        };
+        let bytes = snapshot_bytes(&def, &c);
+        let (decoded, map) = decode_snapshot(&bytes).unwrap();
+        assert_eq!(decoded, def);
+        // Mask 3 has no predicted label and must not appear.
+        assert_eq!(map.len(), 1);
+        assert_eq!(map[&7], vec![MaskId::new(1), MaskId::new(2)]);
+        assert_eq!(map, postings(&c, MetaColumn::PredictedLabel));
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_rejected() {
+        let c = sample_catalog();
+        let def = MetaIndexDef {
+            name: "by_model".to_string(),
+            column: MetaColumn::ModelId,
+        };
+        let mut bytes = snapshot_bytes(&def, &c);
+        bytes[0] = b'X';
+        assert!(matches!(
+            decode_snapshot(&bytes),
+            Err(StorageError::BadMagic { .. })
+        ));
+        let bytes = snapshot_bytes(&def, &c);
+        assert!(decode_snapshot(&bytes[..bytes.len() - 3]).is_err());
+        let mut trailing = snapshot_bytes(&def, &c);
+        trailing.push(0);
+        assert!(decode_snapshot(&trailing).is_err());
+    }
+}

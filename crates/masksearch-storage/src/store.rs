@@ -83,6 +83,32 @@ pub trait MaskStore: Send + Sync {
         Ok(())
     }
 
+    /// Applies deletions and insertions as one write. Durable stores
+    /// override this to publish both in a single commit frame so a crash can
+    /// never expose half of a multi-statement transaction; the default runs
+    /// the deletes then the inserts with no atomicity guarantee.
+    fn apply_batch(&self, inserts: &[(MaskRecord, Mask)], deletes: &[MaskId]) -> StorageResult<()> {
+        self.delete_batch(deletes)?;
+        self.insert_batch(inserts)
+    }
+
+    /// The secondary metadata index registry this store persists across
+    /// restarts, when it does (the durable mask database snapshots one
+    /// `masks.idx.<col>` file per definition alongside its CHI and tile
+    /// files). Sessions built over such a store share the registry so
+    /// `CREATE INDEX` survives a restart; the default (`None`) makes
+    /// sessions keep a private, process-lifetime registry.
+    fn meta_indexes(&self) -> Option<Arc<crate::meta_index::MetaIndexRegistry>> {
+        None
+    }
+
+    /// Re-persists the secondary index definitions after DDL (`CREATE INDEX`
+    /// / `DROP INDEX`), for stores that keep them on disk. The default — any
+    /// store whose registry lives only in memory — does nothing.
+    fn persist_meta_indexes(&self) -> StorageResult<()> {
+        Ok(())
+    }
+
     /// Ingestion counters for stores with a durable write path; `None` for
     /// stores that do not track them.
     fn ingest_stats(&self) -> Option<IngestSnapshot> {
@@ -635,6 +661,18 @@ mod tests {
         assert_eq!(store.len(), 2);
         // The default delete_batch surfaces the unsupported delete.
         assert!(store.delete_batch(&[MaskId::new(1)]).is_err());
+        // apply_batch with no deletes degrades to insert_batch; with deletes
+        // it surfaces the unsupported delete before inserting anything.
+        assert!(store.meta_indexes().is_none());
+        assert!(store.apply_batch(&[], &[MaskId::new(1)]).is_err());
+        let more = vec![(
+            masksearch_core::MaskRecord::builder(MaskId::new(3))
+                .shape(16, 16)
+                .build(),
+            sample_mask(3),
+        )];
+        store.apply_batch(&more, &[]).unwrap();
+        assert_eq!(store.len(), 3);
     }
 
     #[test]

@@ -608,3 +608,125 @@ fn primary_kill_fails_over_to_replicas_with_reads_served_throughout() {
     drop(shards);
     std::fs::remove_dir_all(&base).unwrap();
 }
+
+// ---------------------------------------------------------------------------
+// Transaction scripts.
+// ---------------------------------------------------------------------------
+
+/// A memory-backed shard server: transaction routing is a coordinator
+/// concern, so these tests need live wire round trips but not durability.
+fn memory_shard() -> ServerHandle {
+    let store = Arc::new(MemoryMaskStore::for_tests());
+    let session = Session::new(
+        store as Arc<dyn MaskStore>,
+        Catalog::new(),
+        session_config().indexing_mode(IndexingMode::Eager),
+    )
+    .unwrap();
+    Server::bind("127.0.0.1:0", Engine::new(session, ServiceConfig::new(2)))
+        .unwrap()
+        .spawn()
+}
+
+fn tuple_for(id: u64, image: u64) -> String {
+    let mask = mask_for(id);
+    let pixels: Vec<String> = mask.data().iter().map(|v| format!("{v}")).collect();
+    format!("({id}, {image}, {W}, {H}, ({}))", pixels.join(","))
+}
+
+/// Transactions through the coordinator: a `BEGIN; …; COMMIT` script whose
+/// statements all land on one shard applies atomically there (later
+/// statements observing earlier ones, exactly like a single node); a
+/// `ROLLBACK` script touches no shard; and anything unroutable — a script
+/// spanning shards, DDL inside a script, an unknown mask id, a bare
+/// control statement — is rejected loudly before any side effect.
+#[test]
+fn transaction_scripts_route_to_one_shard_and_reject_cross_shard() {
+    let shards: Vec<ServerHandle> = (0..2).map(|_| memory_shard()).collect();
+    let coordinator = Coordinator::connect(ClusterConfig::new(
+        shards.iter().map(|h| h.local_addr().to_string()).collect(),
+    ))
+    .unwrap();
+    let front = CoordinatorServer::bind("127.0.0.1:0", coordinator.clone())
+        .unwrap()
+        .spawn();
+    let mut client = Client::connect(front.local_addr()).unwrap();
+
+    let map = masksearch::cluster::ShardMap::new(2).unwrap();
+    let mut images_on_0 = (0u64..).filter(|&i| map.shard_for_image(ImageId::new(i)) == 0);
+    let img0 = images_on_0.next().unwrap();
+    let img0b = images_on_0.next().unwrap();
+    let img1 = (0u64..)
+        .find(|&i| map.shard_for_image(ImageId::new(i)) == 1)
+        .unwrap();
+    let ids = |raw: &[u64]| raw.iter().map(|&id| MaskId::new(id)).collect::<Vec<_>>();
+
+    // Seed a committed mask on shard 0.
+    let seed = format!("INSERT INTO masks VALUES {}", tuple_for(1, img0));
+    assert_eq!(client.query(&seed).unwrap().summary.inserted, 1);
+
+    // One script: INSERT two masks, UPDATE the committed one, DELETE one of
+    // the masks inserted *by this script* — all on shard 0, one atomic
+    // commit, with later statements observing earlier ones.
+    let script = format!(
+        "BEGIN; INSERT INTO masks VALUES {}, {}; \
+         UPDATE masks SET predicted_label = 9 WHERE mask_id = 1; \
+         DELETE FROM masks WHERE mask_id IN (3); COMMIT",
+        tuple_for(2, img0b),
+        tuple_for(3, img0),
+    );
+    let applied = client.query(&script).unwrap();
+    assert_eq!(applied.summary.inserted, 2);
+    assert_eq!(applied.summary.updated, 1);
+    assert_eq!(applied.summary.deleted, 1);
+    assert_eq!(client.lookup(&ids(&[1, 2, 3])).unwrap(), ids(&[1, 2]));
+
+    // A ROLLBACK script answers zero without touching any shard.
+    let rolled = client
+        .query("BEGIN; DELETE FROM masks WHERE mask_id IN (1); ROLLBACK")
+        .unwrap();
+    assert_eq!(rolled.summary.deleted, 0);
+    assert_eq!(client.lookup(&ids(&[1, 2, 3])).unwrap(), ids(&[1, 2]));
+
+    // A script whose statements land on two shards is rejected before any
+    // side effect.
+    let split = format!(
+        "BEGIN; INSERT INTO masks VALUES {}; INSERT INTO masks VALUES {}; COMMIT",
+        tuple_for(10, img0),
+        tuple_for(11, img1),
+    );
+    let e = client
+        .query(&split)
+        .expect_err("cross-shard script must fail");
+    assert!(format!("{e}").contains("cross-shard transaction"), "{e}");
+    assert_eq!(client.lookup(&ids(&[10, 11])).unwrap(), ids(&[]));
+
+    // DDL cannot ride inside a script (it must broadcast to every shard).
+    let e = client
+        .query("BEGIN; CREATE INDEX by_model ON masks (model_id); COMMIT")
+        .expect_err("DDL in a script must fail");
+    assert!(format!("{e}").contains("DDL inside a transaction"), "{e}");
+
+    // An unknown mask id fails the whole script; resolving it cost the one
+    // LOOKUP broadcast the owner index could not answer.
+    let e = client
+        .query("BEGIN; DELETE FROM masks WHERE mask_id IN (99); COMMIT")
+        .expect_err("unknown mask must fail the script");
+    assert!(format!("{e}").contains("99"), "{e}");
+
+    // Interactive control statements do not route on a cluster.
+    let e = client.query("BEGIN").expect_err("bare BEGIN must fail");
+    assert!(format!("{e}").contains("BEGIN"), "{e}");
+
+    let metrics = coordinator.metrics();
+    assert_eq!(metrics.transactions, 1, "{metrics:?}");
+    assert_eq!(metrics.masks_updated, 1, "{metrics:?}");
+    assert_eq!(metrics.lookup_broadcasts, 1, "{metrics:?}");
+    assert!(metrics.owner_resolutions >= 1, "{metrics:?}");
+
+    client.quit().unwrap();
+    front.shutdown();
+    for shard in shards {
+        shard.shutdown();
+    }
+}

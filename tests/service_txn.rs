@@ -1,0 +1,148 @@
+//! Interactive transactions over the wire (protocol v7): a bare `BEGIN`
+//! opens a per-connection buffer, DML buffers into it without touching the
+//! store, `COMMIT` applies everything as one atomic transaction, and
+//! `ROLLBACK` — or the connection dropping for any reason — discards it.
+
+use masksearch::core::{Mask, MaskId};
+use masksearch::index::ChiConfig;
+use masksearch::query::{IndexingMode, Session, SessionConfig};
+use masksearch::service::{Client, Engine, Server, ServerHandle, ServiceConfig};
+use masksearch::storage::{Catalog, MaskStore, MemoryMaskStore};
+use std::sync::Arc;
+
+const W: u32 = 4;
+
+fn spawn_server() -> ServerHandle {
+    let store = Arc::new(MemoryMaskStore::for_tests());
+    let session = Session::new(
+        store as Arc<dyn MaskStore>,
+        Catalog::new(),
+        SessionConfig::new(ChiConfig::new(2, 2, 4).unwrap())
+            .threads(1)
+            .indexing_mode(IndexingMode::Eager),
+    )
+    .unwrap();
+    Server::bind("127.0.0.1:0", Engine::new(session, ServiceConfig::new(2)))
+        .unwrap()
+        .spawn()
+}
+
+fn tuple(id: u64) -> String {
+    let mask = Mask::from_fn(W, W, move |x, y| {
+        ((x * 5 + y * 3 + id as u32) % 7) as f32 / 7.0
+    });
+    let pixels: Vec<String> = mask.data().iter().map(|v| format!("{v}")).collect();
+    format!("({id}, {}, {W}, {W}, ({}))", id / 2, pixels.join(", "))
+}
+
+fn insert(id: u64) -> String {
+    format!("INSERT INTO masks VALUES {}", tuple(id))
+}
+
+fn present(client: &mut Client, upto: u64) -> Vec<u64> {
+    let ids: Vec<MaskId> = (0..upto).map(MaskId::new).collect();
+    client
+        .lookup(&ids)
+        .unwrap()
+        .into_iter()
+        .map(|id| id.raw())
+        .collect()
+}
+
+fn err_of(result: masksearch::service::ServiceResult<impl std::fmt::Debug>) -> String {
+    format!("{}", result.expect_err("statement must be rejected"))
+}
+
+#[test]
+fn interactive_transactions_buffer_commit_and_roll_back() {
+    let server = spawn_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Buffered statements acknowledge with a zero outcome; nothing is
+    // visible before COMMIT.
+    assert_eq!(client.query("BEGIN").unwrap().summary.inserted, 0);
+    assert_eq!(client.query(&insert(0)).unwrap().summary.inserted, 0);
+    assert_eq!(client.query(&insert(1)).unwrap().summary.inserted, 0);
+
+    // The buffer rejects what cannot run inside a transaction, and stays
+    // open across those errors.
+    let e = err_of(client.query("SELECT mask_id FROM masks WHERE CP(mask, full, (0.0, 1.0)) > 0"));
+    assert!(e.contains("queries are not allowed"), "{e}");
+    let e = err_of(client.query("BEGIN"));
+    assert!(e.contains("transactions do not nest"), "{e}");
+    let e = err_of(client.query(&format!("{}; {}", insert(2), insert(3))));
+    assert!(e.contains("finish the open transaction"), "{e}");
+
+    // COMMIT applies the whole buffer; its outcome is the transaction's sum.
+    let commit = client.query("COMMIT").unwrap();
+    assert_eq!(commit.summary.inserted, 2);
+    assert_eq!(present(&mut client, 8), vec![0, 1]);
+
+    // Control statements without an open transaction fail loudly.
+    let e = err_of(client.query("COMMIT"));
+    assert!(e.contains("no open transaction"), "{e}");
+    let e = err_of(client.query("ROLLBACK"));
+    assert!(e.contains("no open transaction"), "{e}");
+
+    // ROLLBACK discards the buffer without touching the store.
+    client.query("BEGIN").unwrap();
+    client.query(&insert(4)).unwrap();
+    client
+        .query("DELETE FROM masks WHERE mask_id IN (0)")
+        .unwrap();
+    assert_eq!(client.query("ROLLBACK").unwrap().summary.deleted, 0);
+    assert_eq!(present(&mut client, 8), vec![0, 1]);
+
+    // A transaction mixing INSERT, UPDATE, and DELETE commits its net
+    // effect atomically — later statements observe earlier ones.
+    client.query("BEGIN").unwrap();
+    client.query(&insert(4)).unwrap();
+    client
+        .query("UPDATE masks SET model_id = 7 WHERE mask_id = 4")
+        .unwrap();
+    client
+        .query("DELETE FROM masks WHERE mask_id IN (1)")
+        .unwrap();
+    let commit = client.query("COMMIT").unwrap();
+    assert_eq!(commit.summary.inserted, 1);
+    assert_eq!(commit.summary.updated, 1);
+    assert_eq!(commit.summary.deleted, 1);
+    assert_eq!(present(&mut client, 8), vec![0, 4]);
+
+    // One-line `BEGIN; …; COMMIT` scripts take the engine's atomic script
+    // path when no interactive transaction is open.
+    let script = format!("BEGIN; {}; {}; COMMIT", insert(5), insert(6));
+    assert_eq!(client.query(&script).unwrap().summary.inserted, 2);
+    assert_eq!(present(&mut client, 8), vec![0, 4, 5, 6]);
+
+    client.quit().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn dropping_the_connection_rolls_an_open_transaction_back() {
+    let server = spawn_server();
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    assert_eq!(client.query(&insert(0)).unwrap().summary.inserted, 1);
+    client.query("BEGIN").unwrap();
+    client.query(&insert(1)).unwrap();
+    client
+        .query("DELETE FROM masks WHERE mask_id IN (0)")
+        .unwrap();
+    // QUIT with the transaction still open: rollback by default.
+    client.quit().unwrap();
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    assert_eq!(present(&mut client, 4), vec![0]);
+
+    // A severed socket (no QUIT) rolls back the same way.
+    let mut doomed = Client::connect(server.local_addr()).unwrap();
+    doomed.query("BEGIN").unwrap();
+    doomed.query(&insert(2)).unwrap();
+    drop(doomed);
+    assert_eq!(present(&mut client, 4), vec![0]);
+
+    client.quit().unwrap();
+    server.shutdown();
+}
